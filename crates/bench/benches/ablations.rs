@@ -1,0 +1,138 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! * `reply_encoding` — full-graph replies (the paper's NRMI) vs delta
+//!   replies (its proposed future-work optimization, §5.2.4 #2), under a
+//!   no-change call and a sparse-change call. The delta's advantage is
+//!   the paper's prediction: "the cost of passing an object
+//!   by-copy-restore and not making any changes to it is almost
+//!   identical to the cost of passing it by-copy."
+//! * `pipeline_stages` — the copy-restore pipeline decomposed:
+//!   linear-map build (step 1), serialization (step 2), deserialization
+//!   with map reconstruction (step 3 + optimization #1), and the restore
+//!   pass (steps 4–6).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nrmi_bench::workload::{bench_classes, build_workload, Scenario};
+use nrmi_core::{apply_restore, CallOptions, NrmiError, PassMode, Session};
+use nrmi_heap::{Heap, HeapAccess, LinearMap, Value};
+use nrmi_wire::{deserialize_graph, serialize_graph};
+
+const SEED: u64 = 7;
+
+/// A service that touches exactly `k` nodes, so the delta's size is
+/// controlled.
+fn sparse_touch_service() -> Box<dyn nrmi_core::RemoteService> {
+    Box::new(nrmi_core::FnService::new(
+        |method: &str, args: &[Value], heap: &mut dyn HeapAccess| {
+            let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("want tree"))?;
+            match method {
+                "noop" => Ok(Value::Null),
+                "touch_root" => {
+                    heap.set_field(root, "data", Value::Int(31337))?;
+                    Ok(Value::Null)
+                }
+                other => Err(NrmiError::app(format!("unknown method {other}"))),
+            }
+        },
+    ))
+}
+
+fn bench_reply_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reply_encoding");
+    group.sample_size(20);
+    for method in ["noop", "touch_root"] {
+        for (label, opts) in [
+            ("full", CallOptions::forced(PassMode::CopyRestore)),
+            ("delta", CallOptions::copy_restore_delta()),
+        ] {
+            for size in [64usize, 1024] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{method}/{label}"), size),
+                    &size,
+                    |b, &size| {
+                        let classes = bench_classes();
+                        let mut session = Session::builder(classes.registry.clone())
+                            .serve("svc", sparse_touch_service())
+                            .build();
+                        b.iter_custom(|iters| {
+                            let mut total = Duration::ZERO;
+                            for _ in 0..iters {
+                                let w =
+                                    build_workload(session.heap(), &classes, Scenario::I, size, SEED)
+                                        .expect("workload");
+                                let start = Instant::now();
+                                session
+                                    .call_with("svc", method, &[Value::Ref(w.root)], opts)
+                                    .expect("call");
+                                total += start.elapsed();
+                            }
+                            total
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_stages");
+    let classes = bench_classes();
+    for size in [64usize, 1024] {
+        // Shared fixture: a client graph and its serialized form.
+        let mut client = Heap::new(classes.registry.clone());
+        let w = build_workload(&mut client, &classes, Scenario::I, size, SEED).expect("workload");
+        let enc = serialize_graph(&client, &[Value::Ref(w.root)]).expect("serialize");
+
+        group.bench_with_input(BenchmarkId::new("linear_map", size), &size, |b, _| {
+            b.iter(|| LinearMap::build(&client, &[w.root]).expect("map"));
+        });
+        group.bench_with_input(BenchmarkId::new("serialize", size), &size, |b, _| {
+            b.iter(|| serialize_graph(&client, &[Value::Ref(w.root)]).expect("serialize"));
+        });
+        group.bench_with_input(BenchmarkId::new("deserialize", size), &size, |b, _| {
+            b.iter_batched(
+                || Heap::new(classes.registry.clone()),
+                |mut heap| deserialize_graph(&enc.bytes, &mut heap).expect("deserialize"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("restore", size), &size, |b, _| {
+            // Prepare: a reply payload annotated against the client map.
+            let mut server = Heap::new(classes.registry.clone());
+            let dec = deserialize_graph(&enc.bytes, &mut server).expect("deserialize");
+            let server_root = dec.roots[0].as_ref_id().expect("root");
+            let server_map = LinearMap::build(&server, &[server_root]).expect("map");
+            let old: std::collections::HashMap<_, _> =
+                server_map.iter().map(|(pos, id)| (id, pos)).collect();
+            let reply_roots: Vec<Value> =
+                server_map.order().iter().map(|&id| Value::Ref(id)).collect();
+            let reply =
+                nrmi_wire::serialize_graph_with(&server, &reply_roots, Some(&old), None)
+                    .expect("reply");
+            b.iter_batched(
+                || {
+                    // Fresh client copy per iteration (restore mutates).
+                    let mut heap = Heap::new(classes.registry.clone());
+                    let w2 = build_workload(&mut heap, &classes, Scenario::I, size, SEED)
+                        .expect("workload");
+                    let map = LinearMap::build(&heap, &[w2.root]).expect("map");
+                    let decoded = deserialize_graph(&reply.bytes, &mut heap).expect("decode");
+                    (heap, map, decoded)
+                },
+                |(mut heap, map, decoded)| {
+                    apply_restore(&mut heap, &map, &decoded).expect("restore")
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reply_encoding, bench_pipeline_stages);
+criterion_main!(benches);

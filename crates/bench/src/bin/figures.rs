@@ -1,0 +1,15 @@
+//! Regenerates the paper's Figures 1–9 as ASCII heap diagrams.
+//!
+//! ```text
+//! cargo run -p nrmi-bench --bin figures          # ASCII heap diagrams
+//! cargo run -p nrmi-bench --bin figures -- --dot # Graphviz (Figures 1-2)
+//! ```
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+    if dot {
+        print!("{}", nrmi_bench::figures::figures_dot());
+    } else {
+        print!("{}", nrmi_bench::figures::all_figures());
+    }
+}

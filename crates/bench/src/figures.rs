@@ -1,0 +1,298 @@
+//! Regenerates the paper's Figures 1–9 as ASCII heap diagrams.
+//!
+//! The figures are state snapshots of the running example (the 7-node
+//! tree with `alias1`/`alias2` and the mutator `foo`) under different
+//! semantics and at different stages of the copy-restore algorithm.
+//! Each function returns the rendered diagram; the `figures` binary
+//! prints them all.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use nrmi_core::{CallOptions, PassMode, Session};
+use nrmi_heap::graph::{render_ascii, render_dot};
+use nrmi_heap::tree::{self, RunningExample, TreeClasses};
+use nrmi_heap::{ClassRegistry, Heap, LinearMap, ObjId, SharedRegistry, Value};
+use nrmi_wire::{deserialize_graph, serialize_graph, serialize_graph_with};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = tree::register_tree_classes(&mut reg);
+    reg.snapshot()
+}
+
+fn classes(heap: &Heap) -> TreeClasses {
+    TreeClasses { tree: heap.registry_handle().by_name("Tree").expect("Tree registered") }
+}
+
+fn example_roots(ex: &RunningExample) -> Vec<(String, ObjId)> {
+    vec![
+        ("t".to_owned(), ex.root),
+        ("alias1".to_owned(), ex.alias1_target),
+        ("alias2".to_owned(), ex.alias2_target),
+    ]
+}
+
+/// Figure 1: the tree data structure and two aliasing references.
+pub fn figure1() -> String {
+    let mut heap = Heap::new(registry());
+    let c = classes(&heap);
+    let ex = tree::build_running_example(&mut heap, &c).expect("example");
+    let mut out = String::from("Figure 1: a tree and two aliasing references into it\n\n");
+    out.push_str(&render_ascii(&heap, &example_roots(&ex)).expect("render"));
+    out
+}
+
+/// Figure 2: the state after a LOCAL call `foo(t)` — every change
+/// visible through `t`, `alias1`, and `alias2`.
+pub fn figure2() -> String {
+    let mut heap = Heap::new(registry());
+    let c = classes(&heap);
+    let ex = tree::build_running_example(&mut heap, &c).expect("example");
+    tree::run_foo(&mut heap, ex.root).expect("foo");
+    let mut out = String::from("Figure 2: after a local call foo(t) — all reachable data affected\n\n");
+    out.push_str(&render_ascii(&heap, &example_roots(&ex)).expect("render"));
+    out
+}
+
+/// Figure 3: call-by-reference through remote pointers — the client keeps
+/// the objects; the server sees a stub and every dereference crosses the
+/// network. Rendered as the client heap plus the stub-induced traffic
+/// summary after running `foo` remotely.
+pub fn figure3() -> String {
+    let reg = registry();
+    let mut session = Session::builder(reg.clone())
+        .serve(
+            "figure3",
+            Box::new(nrmi_core::FnService::new(|_m, args, heap| {
+                let root = args[0].as_ref_id().expect("tree argument");
+                tree::run_foo(heap, root)?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let c = classes(session.heap());
+    let ex = tree::build_running_example(session.heap(), &c).expect("example");
+    let (_, stats) = session
+        .call_with_stats(
+            "figure3",
+            "foo",
+            &[Value::Ref(ex.root)],
+            CallOptions::forced(PassMode::RemoteRef),
+        )
+        .expect("remote-ref call");
+    let mut out = String::from(
+        "Figure 3: call-by-reference with remote references — the server\n\
+         dereferences through the network; t.right is now a stub for a\n\
+         server-resident node\n\n",
+    );
+    out.push_str(&render_ascii(session.heap(), &example_roots(&ex)).expect("render"));
+    let _ = writeln!(out, "\ncallback round trips served by the client: {}", stats.callbacks_served);
+    out
+}
+
+/// Figures 4–7: the four stages of the copy-restore algorithm on the
+/// running example, rendered from the actual pipeline.
+pub fn figures4_to_7() -> String {
+    let reg = registry();
+    let mut client = Heap::new(reg.clone());
+    let c = classes(&client);
+    let ex = tree::build_running_example(&mut client, &c).expect("example");
+    let mut out = String::new();
+
+    // Steps 1-2: linear map + ship to server; server runs foo.
+    let client_map = LinearMap::build(&client, &[ex.root]).expect("map");
+    let request = serialize_graph(&client, &[Value::Ref(ex.root)]).expect("request");
+    let mut server = Heap::new(reg.clone());
+    let decoded_req = deserialize_graph(&request.bytes, &mut server).expect("decode");
+    let server_root = decoded_req.roots[0].as_ref_id().expect("root");
+    let server_map = LinearMap::build(&server, &[server_root]).expect("server map");
+    tree::run_foo(&mut server, server_root).expect("foo");
+
+    let _ = writeln!(
+        out,
+        "Figure 4: after steps 1-2 — linear maps built on both sides\n\
+         ({} entries each); foo has modified the server copy\n",
+        client_map.len()
+    );
+    out.push_str("server heap (modified copy):\n");
+    out.push_str(
+        &render_ascii(
+            &server,
+            &server_map.order().iter().enumerate().map(|(i, &id)| (format!("map[{i}]"), id)).collect::<Vec<_>>(),
+        )
+        .expect("render"),
+    );
+
+    // Step 3: reply marshalled from the server's linear map.
+    let old_index: HashMap<ObjId, u32> = server_map.iter().map(|(pos, id)| (id, pos)).collect();
+    let reply_roots: Vec<Value> = server_map.order().iter().map(|&id| Value::Ref(id)).collect();
+    let reply = serialize_graph_with(&server, &reply_roots, Some(&old_index), None).expect("reply");
+
+    let decoded = deserialize_graph(&reply.bytes, &mut client).expect("decode reply");
+    let _ = writeln!(
+        out,
+        "\nFigure 5: after steps 3-4 — modified objects copied back (even the\n\
+         ones unreachable from tree) and matched to originals by linear-map\n\
+         position: {} old objects, {} new",
+        decoded.old_index.iter().filter(|o| o.is_some()).count(),
+        decoded.old_index.iter().filter(|o| o.is_none()).count(),
+    );
+    for (temp, old) in decoded.iter_with_old() {
+        match old {
+            Some(pos) => {
+                let orig = client_map.at(pos).expect("position");
+                let _ = writeln!(out, "  modified {temp} -> original {orig} (map position {pos})");
+            }
+            None => {
+                let _ = writeln!(out, "  new object {temp} (allocated by the remote routine)");
+            }
+        }
+    }
+
+    // Steps 5-6: the restore.
+    let outcome = nrmi_core::apply_restore(&mut client, &client_map, &decoded).expect("restore");
+    let _ = writeln!(
+        out,
+        "\nFigures 6-7: after steps 5-6 — originals overwritten in place,\n\
+         new objects' pointers converted, modified copies deallocated\n\
+         ({} old objects restored, {} new spliced in):\n",
+        outcome.stats.old_objects, outcome.stats.new_objects
+    );
+    out.push_str(&render_ascii(&client, &example_roots(&ex)).expect("render"));
+    out.push_str("\n(identical to Figure 2 — the local-call result)\n");
+    out
+}
+
+/// Figure 8 (= Figure 2) and Figure 9: full copy-restore vs DCE RPC
+/// semantics on the same call.
+pub fn figures8_and_9() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    for (figure, opts, note) in [
+        (
+            "Figure 8: changes after the method under full copy-restore (NRMI)",
+            CallOptions::forced(PassMode::CopyRestore),
+            "identical to the local call (Figure 2)",
+        ),
+        (
+            "Figure 9: the same call under DCE RPC semantics",
+            CallOptions::forced(PassMode::DceRpc),
+            "changes to data unreachable from t are NOT restored:\n\
+             alias1.data is still 3, alias2.data still 7, alias2.right still the old node",
+        ),
+    ] {
+        let mut session = Session::builder(reg.clone())
+            .serve(
+                "figure",
+                Box::new(nrmi_core::FnService::new(|_m, args, heap| {
+                    let root = args[0].as_ref_id().expect("tree argument");
+                    tree::run_foo(heap, root)?;
+                    Ok(Value::Null)
+                })),
+            )
+            .build();
+        let c = classes(session.heap());
+        let ex = tree::build_running_example(session.heap(), &c).expect("example");
+        session
+            .call_with("figure", "foo", &[Value::Ref(ex.root)], opts)
+            .expect("call");
+        let _ = writeln!(out, "{figure}\n");
+        out.push_str(&render_ascii(session.heap(), &example_roots(&ex)).expect("render"));
+        let _ = writeln!(out, "({note})\n");
+    }
+    out
+}
+
+/// Figures 1 and 2 in Graphviz DOT syntax (before/after the local call),
+/// for `figures --dot` (pipe into `dot -Tsvg`).
+pub fn figures_dot() -> String {
+    let mut out = String::new();
+    let mut heap = Heap::new(registry());
+    let c = classes(&heap);
+    let ex = tree::build_running_example(&mut heap, &c).expect("example");
+    out.push_str("// Figure 1: before the call
+");
+    out.push_str(&render_dot(&heap, &example_roots(&ex)).expect("render"));
+    tree::run_foo(&mut heap, ex.root).expect("foo");
+    out.push_str("
+// Figure 2: after a local call foo(t)
+");
+    out.push_str(&render_dot(&heap, &example_roots(&ex)).expect("render"));
+    out
+}
+
+/// All figures, concatenated for the `figures` binary.
+pub fn all_figures() -> String {
+    let mut out = String::new();
+    for section in [figure1(), figure2(), figure3(), figures4_to_7(), figures8_and_9()] {
+        out.push_str(&section);
+        out.push('\n');
+        out.push_str(&"=".repeat(72));
+        out.push_str("\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shows_tree_and_aliases() {
+        let f = figure1();
+        assert!(f.contains("alias1"));
+        assert!(f.contains("data=5"));
+        assert!(f.contains("-> @"), "aliases render as back-references");
+    }
+
+    #[test]
+    fn figure2_shows_mutations() {
+        let f = figure2();
+        assert!(f.contains("data=0"), "t.left.data = 0 visible:\n{f}");
+        assert!(f.contains("data=9"), "t.right.data = 9 visible");
+        assert!(f.contains("data=2"), "new node visible");
+    }
+
+    #[test]
+    fn figure3_reports_callbacks() {
+        let f = figure3();
+        assert!(f.contains("callback round trips"));
+        assert!(f.contains("@RemoteStub"), "t.right should render as a stub:\n{f}");
+    }
+
+    #[test]
+    fn figures4_to_7_walk_the_algorithm() {
+        let f = figures4_to_7();
+        assert!(f.contains("Figure 4"));
+        assert!(f.contains("modified"));
+        assert!(f.contains("new object"), "foo's temp node is new:\n{f}");
+        assert!(f.contains("identical to Figure 2"));
+    }
+
+    #[test]
+    fn figure9_differs_from_figure8() {
+        let f = figures8_and_9();
+        // Figure 8 restores data=0; Figure 9 keeps data=3 on alias1.
+        assert!(f.contains("Figure 8"));
+        assert!(f.contains("Figure 9"));
+        let fig8 = &f[..f.find("Figure 9").unwrap()];
+        let fig9 = &f[f.find("Figure 9").unwrap()..];
+        assert!(fig8.contains("data=0"));
+        assert!(fig9.contains("data=3"), "DCE drops the unlinked write:\n{fig9}");
+    }
+
+    #[test]
+    fn dot_figures_contain_both_states() {
+        let dot = figures_dot();
+        assert!(dot.contains("// Figure 1"));
+        assert!(dot.contains("// Figure 2"));
+        assert_eq!(dot.matches("digraph heap").count(), 2);
+    }
+
+    #[test]
+    fn all_figures_nonempty() {
+        let f = all_figures();
+        assert!(f.len() > 1000);
+    }
+}

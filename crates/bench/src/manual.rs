@@ -1,0 +1,367 @@
+//! Hand-written restore over plain call-by-copy RMI (§5.3.2).
+//!
+//! "Consider how a programmer can replay the server changes on the
+//! client using regular Java RMI" — this module is that programmer. It
+//! implements the three emulation strategies the paper walks through,
+//! each paired with the call-by-copy service methods in
+//! [`workload`](crate::workload):
+//!
+//! * **Scenario I** — return the parameter as the return value and
+//!   reassign the caller's reference (plus the boilerplate of a combined
+//!   return type when the method already returns something).
+//! * **Scenario II** — the tree shape is unchanged, so traverse the
+//!   original and returned trees *in lockstep* and reassign each alias
+//!   to the corresponding node of the returned tree.
+//! * **Scenario III** — shapes diverge and mutated nodes may be
+//!   unlinked, so the server builds a **shadow tree** of the original
+//!   structure before mutating and ships it back too; the client walks
+//!   original-vs-shadow to map every original node to its mutated
+//!   version, then reassigns root and aliases.
+//!
+//! Note what NRMI spares the user: all of this code, plus the global
+//! knowledge it demands (every alias, and what the server changed).
+//! [`loc`] records the paper's lines-of-code accounting for it.
+
+use std::collections::HashMap;
+
+use nrmi_core::{CallOptions, NrmiError, PassMode, Session};
+use nrmi_heap::{Heap, HeapAccess, ObjId, Value};
+
+use crate::workload::Scenario;
+
+/// The client's view after a manual-restore call: the (reassigned) root
+/// and the (reassigned) aliases. Under manual emulation the caller ends
+/// up pointing at *replacement* objects — unlike NRMI, which preserves
+/// object identity.
+#[derive(Clone, Debug)]
+pub struct ManualOutcome {
+    /// The new root reference.
+    pub root: ObjId,
+    /// The reassigned aliases, in the same order as the inputs.
+    pub aliases: Vec<ObjId>,
+}
+
+/// Performs one call-by-copy remote call plus the scenario's hand-written
+/// client-side restore, exactly as the paper's §5.3.2 prescribes.
+///
+/// # Errors
+/// Remote-call failures, or heap errors during the fix-up traversals.
+pub fn manual_restore_call(
+    session: &mut Session,
+    service: &str,
+    scenario: Scenario,
+    root: ObjId,
+    aliases: &[ObjId],
+) -> Result<ManualOutcome, NrmiError> {
+    let copy = CallOptions::forced(PassMode::Copy);
+    match scenario {
+        Scenario::I => {
+            // "The parameter just has to be returned as the return value
+            // of the remote method. Once the remote call completes, the
+            // reference pointing to the original data structure gets
+            // reassigned to point to the return value."
+            let ret = session.call_with(service, "mutate_return", &[Value::Ref(root)], copy)?;
+            let new_root = ret
+                .as_ref_id()
+                .ok_or_else(|| NrmiError::Protocol("manual I: expected tree return".into()))?;
+            Ok(ManualOutcome { root: new_root, aliases: Vec::new() })
+        }
+        Scenario::II => {
+            // "Both the original and the modified trees (that are now
+            // isomorphic) can be traversed simultaneously. Upon
+            // encountering each node, all aliases should be reassigned."
+            let ret = session.call_with(service, "mutate_return", &[Value::Ref(root)], copy)?;
+            let new_root = ret
+                .as_ref_id()
+                .ok_or_else(|| NrmiError::Protocol("manual II: expected tree return".into()))?;
+            let map = lockstep_map(session.heap(), root, new_root)?;
+            let aliases = translate_aliases(&map, aliases, "II")?;
+            Ok(ManualOutcome { root: new_root, aliases })
+        }
+        Scenario::III => {
+            // "The simplest way to do it is by having the remote method
+            // create a 'shadow tree' of its tree parameter prior to
+            // making any changes... Then both the parameter tree and the
+            // 'shadow tree' are returned to the caller."
+            let ret = session.call_with(service, "mutate_shadow", &[Value::Ref(root)], copy)?;
+            let pair = ret
+                .as_ref_id()
+                .ok_or_else(|| NrmiError::Protocol("manual III: expected pair return".into()))?;
+            let heap = session.heap();
+            let new_root = heap
+                .get_ref(pair, "first")?
+                .ok_or_else(|| NrmiError::Protocol("manual III: missing tree".into()))?;
+            let shadow = heap
+                .get_ref(pair, "second")?
+                .ok_or_else(|| NrmiError::Protocol("manual III: missing shadow".into()))?;
+            // Walk original structure against the shadow: shadow.orig is
+            // the mutated version of the corresponding original node.
+            let map = shadow_map(heap, root, shadow)?;
+            let aliases = translate_aliases(&map, aliases, "III")?;
+            Ok(ManualOutcome { root: new_root, aliases })
+        }
+    }
+}
+
+fn translate_aliases(
+    map: &HashMap<ObjId, ObjId>,
+    aliases: &[ObjId],
+    scenario: &str,
+) -> Result<Vec<ObjId>, NrmiError> {
+    aliases
+        .iter()
+        .map(|a| {
+            map.get(a).copied().ok_or_else(|| {
+                NrmiError::Protocol(format!("manual {scenario}: alias target not found in map"))
+            })
+        })
+        .collect()
+}
+
+/// Simultaneous traversal of two isomorphic trees, producing the
+/// original → replacement node map (scenario II's fix-up).
+///
+/// # Errors
+/// [`NrmiError::Protocol`] if the trees turn out not to be isomorphic
+/// (the scenario's contract was violated).
+pub fn lockstep_map(
+    heap: &mut Heap,
+    original: ObjId,
+    replacement: ObjId,
+) -> Result<HashMap<ObjId, ObjId>, NrmiError> {
+    let mut map = HashMap::new();
+    let mut stack = vec![(original, replacement)];
+    while let Some((orig, repl)) = stack.pop() {
+        if map.insert(orig, repl).is_some() {
+            continue; // shared subtree already mapped
+        }
+        for side in ["left", "right"] {
+            let o = heap.get_ref(orig, side)?;
+            let r = heap.get_ref(repl, side)?;
+            match (o, r) {
+                (Some(o), Some(r)) => stack.push((o, r)),
+                (None, None) => {}
+                _ => {
+                    return Err(NrmiError::Protocol(
+                        "manual II: trees are not isomorphic".into(),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Walks the client's original tree against the returned shadow tree,
+/// producing the original → mutated-version map (scenario III's fix-up).
+/// The shadow mirrors the *pre-mutation* structure, so this works even
+/// though the mutated tree's shape diverged and some mutated nodes are
+/// no longer linked to it.
+///
+/// # Errors
+/// [`NrmiError::Protocol`] if the shadow does not mirror the original.
+pub fn shadow_map(
+    heap: &mut Heap,
+    original: ObjId,
+    shadow: ObjId,
+) -> Result<HashMap<ObjId, ObjId>, NrmiError> {
+    let mut map = HashMap::new();
+    let mut stack = vec![(original, shadow)];
+    while let Some((orig, sh)) = stack.pop() {
+        let mutated = heap
+            .get_ref(sh, "orig")?
+            .ok_or_else(|| NrmiError::Protocol("manual III: shadow node missing target".into()))?;
+        if map.insert(orig, mutated).is_some() {
+            continue;
+        }
+        for side in ["left", "right"] {
+            let o = heap.get_ref(orig, side)?;
+            let s = heap.get_ref(sh, side)?;
+            match (o, s) {
+                (Some(o), Some(s)) => stack.push((o, s)),
+                (None, None) => {}
+                _ => {
+                    return Err(NrmiError::Protocol(
+                        "manual III: shadow does not mirror the original".into(),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Lines-of-code accounting for the manual emulations, as reported in
+/// §5.3.2: "about 45 lines of code were needed in order to define return
+/// types. For the second and third benchmark scenario, an extra 16 lines
+/// of code were needed to perform the updating traversal. For the third
+/// benchmark scenario, about 35 more lines of code were needed for the
+/// 'shadow tree'."
+pub fn loc(scenario: Scenario) -> LocBreakdown {
+    match scenario {
+        Scenario::I => LocBreakdown { return_types: 45, traversal: 0, shadow: 0 },
+        Scenario::II => LocBreakdown { return_types: 45, traversal: 16, shadow: 0 },
+        Scenario::III => LocBreakdown { return_types: 45, traversal: 16, shadow: 35 },
+    }
+}
+
+/// Extra lines a plain-RMI programmer writes per remote call, versus ~0
+/// for NRMI (implement `Restorable`, look up the method).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocBreakdown {
+    /// Combined return-type definitions and plumbing.
+    pub return_types: usize,
+    /// The updating (lockstep) traversal.
+    pub traversal: usize,
+    /// Shadow-tree construction and handling.
+    pub shadow: usize,
+}
+
+impl LocBreakdown {
+    /// Total extra lines.
+    pub fn total(&self) -> usize {
+        self.return_types + self.traversal + self.shadow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{
+        bench_classes, build_workload, mutate_tree, scenario_service, BenchClasses,
+    };
+    use nrmi_heap::graph::isomorphic_multi;
+    use nrmi_transport::MachineSpec;
+
+    /// End-to-end check: the manual emulation satisfies the paper's
+    /// invariant ("all the changes are visible to the caller") for each
+    /// scenario, verified against a local-execution oracle.
+    fn manual_matches_local_oracle(scenario: Scenario, size: usize, seed: u64) {
+        let classes: BenchClasses = bench_classes();
+
+        // Local oracle.
+        let mut oracle = Heap::new(classes.registry.clone());
+        let w_oracle = build_workload(&mut oracle, &classes, scenario, size, seed).unwrap();
+        mutate_tree(&mut oracle, w_oracle.root, scenario, seed).unwrap();
+        let mut oracle_roots = vec![w_oracle.root];
+        oracle_roots.extend(&w_oracle.aliases);
+
+        // Remote + manual restore.
+        let svc = scenario_service(
+            &classes,
+            scenario,
+            seed,
+            None,
+            MachineSpec::fast(),
+            nrmi_core::JdkGeneration::Jdk14,
+        );
+        let mut session = Session::builder(classes.registry.clone())
+            .serve("bench", Box::new(svc))
+            .build();
+        let w = build_workload(session.heap(), &classes, scenario, size, seed).unwrap();
+        let outcome =
+            manual_restore_call(&mut session, "bench", scenario, w.root, &w.aliases).unwrap();
+        let mut client_roots = vec![outcome.root];
+        client_roots.extend(&outcome.aliases);
+
+        assert!(
+            isomorphic_multi(&oracle, &oracle_roots, session.heap(), &client_roots).unwrap(),
+            "manual restore for scenario {scenario:?} diverged from local execution"
+        );
+    }
+
+    #[test]
+    fn manual_scenario_i_matches_local() {
+        manual_matches_local_oracle(Scenario::I, 32, 11);
+        manual_matches_local_oracle(Scenario::I, 64, 12);
+    }
+
+    #[test]
+    fn manual_scenario_ii_matches_local() {
+        manual_matches_local_oracle(Scenario::II, 32, 21);
+        manual_matches_local_oracle(Scenario::II, 64, 22);
+    }
+
+    #[test]
+    fn manual_scenario_iii_matches_local() {
+        manual_matches_local_oracle(Scenario::III, 32, 31);
+        manual_matches_local_oracle(Scenario::III, 64, 32);
+    }
+
+    #[test]
+    fn manual_replaces_identity_nrmi_preserves_it() {
+        // The qualitative difference the paper's usability argument
+        // rests on: after manual restore the caller holds NEW objects;
+        // after NRMI copy-restore it holds the SAME objects.
+        let classes = bench_classes();
+        let seed = 77;
+
+        let svc = scenario_service(
+            &classes,
+            Scenario::II,
+            seed,
+            None,
+            MachineSpec::fast(),
+            nrmi_core::JdkGeneration::Jdk14,
+        );
+        let mut session = Session::builder(classes.registry.clone())
+            .serve("bench", Box::new(svc))
+            .build();
+        let w = build_workload(session.heap(), &classes, Scenario::II, 16, seed).unwrap();
+        let outcome =
+            manual_restore_call(&mut session, "bench", Scenario::II, w.root, &w.aliases).unwrap();
+        assert_ne!(outcome.root, w.root, "manual restore reassigns to a replacement");
+
+        let svc2 = scenario_service(
+            &classes,
+            Scenario::II,
+            seed,
+            None,
+            MachineSpec::fast(),
+            nrmi_core::JdkGeneration::Jdk14,
+        );
+        let mut session2 = Session::builder(classes.registry.clone())
+            .serve("bench", Box::new(svc2))
+            .build();
+        let w2 = build_workload(session2.heap(), &classes, Scenario::II, 16, seed).unwrap();
+        session2
+            .call_with(
+                "bench",
+                "mutate",
+                &[Value::Ref(w2.root)],
+                CallOptions::forced(PassMode::CopyRestore),
+            )
+            .unwrap();
+        // Same root object, mutated in place; aliases untouched.
+        let nodes = nrmi_heap::tree::collect_nodes(session2.heap(), w2.root).unwrap();
+        assert!(nodes.contains(&w2.root));
+    }
+
+    #[test]
+    fn loc_accounting_matches_paper() {
+        assert_eq!(loc(Scenario::I).total(), 45);
+        assert_eq!(loc(Scenario::II).total(), 61);
+        assert_eq!(loc(Scenario::III).total(), 96, "up to ~100 lines per remote call");
+    }
+
+    #[test]
+    fn lockstep_rejects_non_isomorphic() {
+        let classes = bench_classes();
+        let mut heap = Heap::new(classes.registry.clone());
+        let t1 = nrmi_heap::tree::build_random_tree(
+            &mut heap,
+            &nrmi_heap::tree::TreeClasses { tree: classes.tree },
+            8,
+            1,
+        )
+        .unwrap();
+        let t2 = nrmi_heap::tree::build_random_tree(
+            &mut heap,
+            &nrmi_heap::tree::TreeClasses { tree: classes.tree },
+            9,
+            2,
+        )
+        .unwrap();
+        assert!(lockstep_map(&mut heap, t1, t2).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Machine-checked reproduction of the paper's §5.3.3 observations.
+//!
+//! The point of the reproduction is not matching absolute milliseconds —
+//! our substrate is a simulator, theirs was two Sun workstations — but
+//! the *shape* of the results: who wins, by roughly what factor, and
+//! where the crossovers fall. Each [`Observation`] states one published
+//! claim and whether the regenerated tables support it.
+
+use nrmi_core::JdkGeneration::{Jdk13, Jdk14};
+
+use crate::tables::{run_table, TableData};
+use crate::workload::{Scenario, TREE_SIZES};
+
+/// One checked claim.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// The claim, quoted or paraphrased from §5.3.3.
+    pub claim: String,
+    /// Whether the regenerated tables support it.
+    pub holds: bool,
+    /// Supporting numbers.
+    pub detail: String,
+}
+
+/// The six regenerated tables, bundled for the checks.
+#[derive(Clone, Debug)]
+pub struct AllTables {
+    /// Tables 1–6 in order.
+    pub tables: Vec<TableData>,
+}
+
+/// Runs all six tables.
+pub fn run_all_tables() -> AllTables {
+    AllTables { tables: (1..=6).map(run_table).collect() }
+}
+
+impl AllTables {
+    fn t(&self, id: usize) -> &TableData {
+        &self.tables[id - 1]
+    }
+}
+
+/// Checks every §5.3.3 claim against the regenerated tables.
+pub fn check_observations(all: &AllTables) -> Vec<Observation> {
+    let mut obs = Vec::new();
+    let big = 1024;
+
+    // 1. "Java RMI in JDK 1.4 is significantly faster than RMI in JDK
+    //    1.3. The speedup is in the order of 50-60%."
+    {
+        let t2 = all.t(2);
+        let mut ratios = Vec::new();
+        for &s in &Scenario::ALL {
+            let old = t2.cell(s, Jdk13, big).primary;
+            let new = t2.cell(s, Jdk14, big).primary;
+            ratios.push(old / new);
+        }
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        obs.push(Observation {
+            claim: "RMI on JDK 1.4 is ~50-60% faster than on JDK 1.3".into(),
+            holds: min >= 1.4,
+            detail: format!("1024-node one-way speedups: {ratios:.2?} (want ≳1.5x)"),
+        });
+    }
+
+    // 2. "Even the portable version is rarely more than 30% slower than
+    //    the corresponding RMI version" (benchmarks I and II).
+    {
+        let t4 = all.t(4);
+        let t5 = all.t(5);
+        let mut worst: f64 = 0.0;
+        for &s in [Scenario::I, Scenario::II].iter() {
+            for &size in &TREE_SIZES[2..] {
+                let rmi = t4.cell(s, Jdk14, size).primary;
+                let nrmi_portable = t5.cell(s, Jdk14, size).primary;
+                worst = worst.max(nrmi_portable / rmi);
+            }
+        }
+        obs.push(Observation {
+            claim: "Portable NRMI rarely more than 30% over RMI-with-restore (I, II)".into(),
+            holds: worst <= 1.45,
+            detail: format!("worst portable/RMI ratio at 256/1024 nodes: {worst:.2}"),
+        });
+    }
+
+    // 3. "The optimized implementation of NRMI is about 20% slower than
+    //    RMI in JDK 1.4" (benchmarks I and II).
+    {
+        let t4 = all.t(4);
+        let t5 = all.t(5);
+        let mut ratios = Vec::new();
+        for &s in [Scenario::I, Scenario::II].iter() {
+            let rmi = t4.cell(s, Jdk14, big).primary;
+            let nrmi_opt = t5.cell(s, Jdk14, big).secondary.expect("paired cell");
+            ratios.push(nrmi_opt / rmi);
+        }
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        obs.push(Observation {
+            claim: "Optimized NRMI ≈20% over RMI-with-restore on JDK 1.4 (I, II)".into(),
+            holds: ratios.iter().all(|&r| r > 1.0 && r <= 1.35),
+            detail: format!("optimized/RMI ratios at 1024 nodes: {ratios:.2?} (max {max:.2})"),
+        });
+    }
+
+    // 4. "The optimized implementation of NRMI for JDK 1.4 is 20-30%
+    //    faster than regular RMI in JDK 1.3."
+    {
+        let t4 = all.t(4);
+        let t5 = all.t(5);
+        let mut holds = true;
+        let mut detail = Vec::new();
+        for &s in &Scenario::ALL {
+            let rmi13 = t4.cell(s, Jdk13, big).primary;
+            let nrmi14 = t5.cell(s, Jdk14, big).secondary.expect("paired cell");
+            detail.push(format!("{}: {nrmi14:.0} vs {rmi13:.0}", s.label()));
+            holds &= nrmi14 < rmi13;
+        }
+        obs.push(Observation {
+            claim: "Optimized NRMI on 1.4 beats regular RMI-with-restore on 1.3".into(),
+            holds,
+            detail: detail.join(", "),
+        });
+    }
+
+    // 5. "For benchmark III ... the portable implementation of NRMI gets
+    //    similar performance to regular RMI in all cases, while the
+    //    optimized implementation is faster" — the shadow tree ships
+    //    more data than NRMI's (never-transmitted) linear map.
+    {
+        let t4 = all.t(4);
+        let t5 = all.t(5);
+        let rmi = t4.cell(Scenario::III, Jdk14, big).primary;
+        let portable = t5.cell(Scenario::III, Jdk14, big).primary;
+        let optimized = t5.cell(Scenario::III, Jdk14, big).secondary.expect("paired cell");
+        obs.push(Observation {
+            claim: "Benchmark III: optimized NRMI beats manual RMI (shadow-tree bytes)".into(),
+            holds: optimized < rmi && portable <= rmi * 1.15,
+            detail: format!("RMI {rmi:.0} ms, NRMI portable {portable:.0} ms, optimized {optimized:.0} ms"),
+        });
+    }
+
+    // 6. "Call-by-reference implemented by remote pointers is extremely
+    //    inefficient (as expected)."
+    {
+        let t5 = all.t(5);
+        let t6 = all.t(6);
+        let mut min_ratio = f64::INFINITY;
+        for &s in &Scenario::ALL {
+            for &size in &TREE_SIZES[..3] {
+                let nrmi = t5.cell(s, Jdk14, size).secondary.unwrap_or_else(|| {
+                    t5.cell(s, Jdk14, size).primary
+                });
+                let remote = t6.cell(s, Jdk14, size).primary;
+                min_ratio = min_ratio.min(remote / nrmi);
+            }
+        }
+        obs.push(Observation {
+            claim: "Remote pointers are an order of magnitude slower than NRMI".into(),
+            holds: min_ratio >= 5.0,
+            detail: format!("minimum remote-ref/NRMI ratio (16-256 nodes): {min_ratio:.1}x"),
+        });
+    }
+
+    // 7. Cost ordering per configuration: one-way < manual restore <
+    //    NRMI (for I/II) — each layer adds its work.
+    {
+        let t2 = all.t(2);
+        let t4 = all.t(4);
+        let t5 = all.t(5);
+        let mut holds = true;
+        for &s in &Scenario::ALL {
+            let a = t2.cell(s, Jdk14, big).primary;
+            let b = t4.cell(s, Jdk14, big).primary;
+            let c = t5.cell(s, Jdk14, big).primary;
+            holds &= a < b && (s == Scenario::III || b < c * 1.05);
+        }
+        obs.push(Observation {
+            claim: "Per-cell ordering: one-way < with-restore ≲ NRMI (crossover only in III)".into(),
+            holds,
+            detail: "compares Tables 2, 4, 5 at 1024 nodes".into(),
+        });
+    }
+
+    obs
+}
+
+/// Renders the observation report.
+pub fn render_observations(obs: &[Observation]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "§5.3.3 observation checks (shape reproduction):");
+    for o in obs {
+        let _ = writeln!(out, "  [{}] {}", if o.holds { "PASS" } else { "FAIL" }, o.claim);
+        let _ = writeln!(out, "        {}", o.detail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_report_renders() {
+        // Cheap smoke test on a subset: tables 2 and 4 orderings are
+        // covered by tables::tests; here just check the report plumbing
+        // with real (but small) data.
+        let all = run_all_tables();
+        let obs = check_observations(&all);
+        assert_eq!(obs.len(), 7);
+        let report = render_observations(&obs);
+        assert!(report.contains("PASS") || report.contains("FAIL"));
+    }
+}

@@ -1,0 +1,187 @@
+//! The semantics matrix: every calling mode × every workload scenario,
+//! machine-checked for network transparency.
+//!
+//! This is the paper's Sections 2–4 as one executable table. For each
+//! cell we run the scenario's mutation once locally (the oracle) and
+//! once remotely under the mode, then compare the caller-visible graphs
+//! (argument + all aliases) up to isomorphism:
+//!
+//! * **copy** — never transparent under mutation (changes lost);
+//! * **copy-restore / delta** — always transparent (the paper's claim);
+//! * **DCE RPC** — diverges only when mutated data becomes unreachable
+//!   from the parameters AND the caller can still see it through an
+//!   alias (scenario III). Scenario I unlinks nodes too, but with no
+//!   aliases nobody can observe the dropped updates — DCE is
+//!   *observationally* transparent there, which is precisely the
+//!   paper's point about when the approximation is "good enough";
+//! * **remote-ref** — transparent for caller-owned data, but
+//!   server-allocated nodes remain remote (the structural scenarios
+//!   splice nodes), so the caller-side graph holds stubs where the
+//!   local oracle holds trees.
+//!
+//! Each cell runs several seeds; one observed divergence marks the cell.
+
+use nrmi_core::{CallOptions, FnService, NrmiError, PassMode, Session};
+use nrmi_heap::graph::first_difference;
+use nrmi_heap::{Heap, Value};
+
+use crate::workload::{bench_classes, build_workload, mutate_tree, Scenario};
+
+/// One checked cell.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// Calling semantics label.
+    pub mode: &'static str,
+    /// Workload scenario.
+    pub scenario: Scenario,
+    /// `None` = transparent; `Some(reason)` = first divergence.
+    pub divergence: Option<String>,
+}
+
+const SEEDS: [u64; 6] = [1, 7, 42, 1337, 424242, 900913];
+const SIZE: usize = 48;
+
+fn run_seed(opts: CallOptions, scenario: Scenario, seed: u64) -> Option<String> {
+    let classes = bench_classes();
+
+    // Oracle: local execution.
+    let mut oracle = Heap::new(classes.registry.clone());
+    let w_oracle = build_workload(&mut oracle, &classes, scenario, SIZE, seed).expect("workload");
+    mutate_tree(&mut oracle, w_oracle.root, scenario, seed).expect("mutation");
+    let mut oracle_roots = vec![w_oracle.root];
+    oracle_roots.extend(&w_oracle.aliases);
+
+    // Remote execution.
+    let mut session = Session::builder(classes.registry.clone())
+        .serve(
+            "mutator",
+            Box::new(FnService::new(move |_m, args, heap| {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                mutate_tree(heap, root, scenario, seed)?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let w = build_workload(session.heap(), &classes, scenario, SIZE, seed).expect("workload");
+    session
+        .call_with("mutator", "run", &[Value::Ref(w.root)], opts)
+        .expect("remote call");
+    let mut client_roots = vec![w.root];
+    client_roots.extend(&w.aliases);
+
+    first_difference(&oracle, &oracle_roots, session.heap(), &client_roots)
+        .unwrap_or_else(|e| Some(format!("(comparison failed: {e})")))
+}
+
+fn run_cell(mode: &'static str, opts: CallOptions, scenario: Scenario) -> MatrixCell {
+    let divergence = SEEDS.iter().find_map(|&seed| {
+        run_seed(opts, scenario, seed).map(|d| format!("seed {seed}: {d}"))
+    });
+    MatrixCell { mode, scenario, divergence }
+}
+
+/// Runs the full matrix.
+pub fn run_matrix() -> Vec<MatrixCell> {
+    let modes: [(&'static str, CallOptions); 5] = [
+        ("copy", CallOptions::forced(PassMode::Copy)),
+        ("copy-restore", CallOptions::forced(PassMode::CopyRestore)),
+        ("copy-restore+delta", CallOptions::copy_restore_delta()),
+        ("dce-rpc", CallOptions::forced(PassMode::DceRpc)),
+        ("remote-ref", CallOptions::forced(PassMode::RemoteRef)),
+    ];
+    let mut cells = Vec::new();
+    for (label, opts) in modes {
+        for scenario in Scenario::ALL {
+            cells.push(run_cell(label, opts, scenario));
+        }
+    }
+    cells
+}
+
+/// Renders the matrix in a grid.
+pub fn render_matrix(cells: &[MatrixCell]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Network-transparency matrix: remote outcome ≡ local outcome? ({SIZE}-node trees)"
+    );
+    let _ = writeln!(out, "{:<20} {:>6} {:>6} {:>6}", "semantics", "I", "II", "III");
+    let mut modes: Vec<&'static str> = Vec::new();
+    for c in cells {
+        if !modes.contains(&c.mode) {
+            modes.push(c.mode);
+        }
+    }
+    for mode in modes {
+        let _ = write!(out, "{mode:<20}");
+        for scenario in Scenario::ALL {
+            let cell = cells
+                .iter()
+                .find(|c| c.mode == mode && c.scenario == scenario)
+                .expect("full matrix");
+            let mark = if cell.divergence.is_none() { "yes" } else { "NO" };
+            let _ = write!(out, " {mark:>6}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "\nfirst divergences:");
+    for c in cells {
+        if let Some(d) = &c.divergence {
+            let _ = writeln!(out, "  {} / {}: {}", c.mode, c.scenario.label(), d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell<'a>(cells: &'a [MatrixCell], mode: &str, scenario: Scenario) -> &'a MatrixCell {
+        cells
+            .iter()
+            .find(|c| c.mode == mode && c.scenario == scenario)
+            .expect("cell")
+    }
+
+    #[test]
+    fn matrix_matches_the_papers_semantics() {
+        let cells = run_matrix();
+        assert_eq!(cells.len(), 15);
+        for scenario in Scenario::ALL {
+            // Copy-restore (full and delta) is ALWAYS transparent.
+            assert!(
+                cell(&cells, "copy-restore", scenario).divergence.is_none(),
+                "{scenario:?}"
+            );
+            assert!(
+                cell(&cells, "copy-restore+delta", scenario).divergence.is_none(),
+                "{scenario:?}"
+            );
+            // Plain copy never is (the mutation always changes data).
+            assert!(cell(&cells, "copy", scenario).divergence.is_some(), "{scenario:?}");
+        }
+        // DCE matches copy-restore when the structure is untouched (II)
+        // and — with no aliases to observe the dropped updates — also in
+        // scenario I. Scenario III's aliases expose the divergence.
+        assert!(cell(&cells, "dce-rpc", Scenario::I).divergence.is_none());
+        assert!(cell(&cells, "dce-rpc", Scenario::II).divergence.is_none());
+        assert!(cell(&cells, "dce-rpc", Scenario::III).divergence.is_some());
+        // Remote-ref: scenario II (data only) is fully transparent; the
+        // structural scenarios splice SERVER-resident nodes, which the
+        // caller sees as stubs — transparent semantics, split heaps.
+        assert!(cell(&cells, "remote-ref", Scenario::II).divergence.is_none());
+        assert!(cell(&cells, "remote-ref", Scenario::I).divergence.is_some());
+        assert!(cell(&cells, "remote-ref", Scenario::III).divergence.is_some());
+    }
+
+    #[test]
+    fn matrix_renders() {
+        let cells = run_matrix();
+        let text = render_matrix(&cells);
+        assert!(text.contains("semantics"));
+        assert!(text.contains("copy-restore"));
+        assert!(text.contains("first divergences"));
+    }
+}

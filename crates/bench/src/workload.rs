@@ -1,0 +1,515 @@
+//! Benchmark workloads: the paper's three scenarios (§5.3.2).
+//!
+//! "Each benchmark consists of a single randomly-generated binary tree
+//! parameter passed to a remote method. The remote method performs
+//! random changes to its input tree. The invariant maintained is that
+//! all the changes are visible to the caller."
+//!
+//! * **Scenario I** — no client-side aliases into the tree; data and
+//!   structure may change.
+//! * **Scenario II** — aliases exist, but the tree's shape is preserved;
+//!   only node data changes.
+//! * **Scenario III** — aliases exist and the structure changes
+//!   arbitrarily (nodes unlinked, spliced, shared).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nrmi_core::NrmiError;
+use nrmi_heap::tree::{register_tree_classes, TreeClasses};
+use nrmi_heap::{ClassId, ClassRegistry, Heap, HeapAccess, ObjId, SharedRegistry, Value};
+
+/// The paper's three aliasing scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// No aliases; arbitrary changes.
+    I,
+    /// Aliases; data-only changes (shape preserved).
+    II,
+    /// Aliases; arbitrary structural changes.
+    III,
+}
+
+impl Scenario {
+    /// All scenarios, in the paper's order.
+    pub const ALL: [Scenario; 3] = [Scenario::I, Scenario::II, Scenario::III];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::I => "I",
+            Scenario::II => "II",
+            Scenario::III => "III",
+        }
+    }
+
+    /// Number of aliases the client keeps into the tree.
+    pub fn alias_count(self, size: usize) -> usize {
+        match self {
+            Scenario::I => 0,
+            // A handful of aliases, growing slowly with the tree.
+            Scenario::II | Scenario::III => (size / 16).clamp(2, 16),
+        }
+    }
+
+    /// True if the mutator may change the tree's shape.
+    pub fn structural(self) -> bool {
+        !matches!(self, Scenario::II)
+    }
+}
+
+/// The benchmark tree sizes of Tables 1–6.
+pub const TREE_SIZES: [usize; 4] = [16, 64, 256, 1024];
+
+/// Registry + class handles shared by every benchmark component.
+#[derive(Clone, Debug)]
+pub struct BenchClasses {
+    /// The shared registry snapshot.
+    pub registry: SharedRegistry,
+    /// The restorable `Tree` class.
+    pub tree: ClassId,
+    /// `ShadowNode { orig, left, right }` for the scenario-III manual
+    /// emulation.
+    pub shadow: ClassId,
+    /// `Pair { first, second }` for multi-value returns.
+    pub pair: ClassId,
+}
+
+/// Registers the benchmark classes and freezes the registry.
+pub fn bench_classes() -> BenchClasses {
+    let mut reg = ClassRegistry::new();
+    let TreeClasses { tree } = register_tree_classes(&mut reg);
+    let shadow = reg
+        .define("ShadowNode")
+        .field_ref("orig")
+        .field_ref("left")
+        .field_ref("right")
+        .serializable()
+        .register();
+    let pair = reg
+        .define("Pair")
+        .field_ref("first")
+        .field_ref("second")
+        .serializable()
+        .register();
+    BenchClasses { registry: reg.snapshot(), tree, shadow, pair }
+}
+
+/// A generated workload instance on some heap: the tree root plus the
+/// client's aliases into its interior.
+#[derive(Clone, Debug)]
+pub struct WorkloadInstance {
+    /// The tree root (the remote call's argument).
+    pub root: ObjId,
+    /// Aliases into the tree's interior (empty for scenario I).
+    pub aliases: Vec<ObjId>,
+}
+
+/// Builds the benchmark tree (exactly `size` nodes, seeded) and the
+/// scenario's aliases into `heap`.
+///
+/// # Errors
+/// Propagates allocation errors.
+pub fn build_workload(
+    heap: &mut Heap,
+    classes: &BenchClasses,
+    scenario: Scenario,
+    size: usize,
+    seed: u64,
+) -> Result<WorkloadInstance, nrmi_heap::HeapError> {
+    let tree_classes = TreeClasses { tree: classes.tree };
+    let root = nrmi_heap::tree::build_random_tree(heap, &tree_classes, size, seed)?;
+    let nodes = nrmi_heap::tree::collect_nodes(heap, root)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa11a5);
+    let alias_count = scenario.alias_count(size);
+    let mut aliases = Vec::with_capacity(alias_count);
+    for _ in 0..alias_count {
+        // Interior preference: skip the root itself when possible.
+        let idx = if nodes.len() > 1 { rng.gen_range(1..nodes.len()) } else { 0 };
+        aliases.push(nodes[idx]);
+    }
+    Ok(WorkloadInstance { root, aliases })
+}
+
+/// What the mutator did — drives the simulated computation charge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutationReport {
+    /// Nodes visited by the mutation pass.
+    pub nodes_visited: usize,
+    /// Data fields rewritten.
+    pub data_changes: usize,
+    /// Structural edits (children nulled/swapped, nodes spliced).
+    pub structural_changes: usize,
+    /// Nodes allocated by the mutation.
+    pub new_nodes: usize,
+}
+
+/// Walks the tree via [`HeapAccess`] (so it also runs over remote
+/// pointers), returning nodes in preorder. Cycle-safe.
+///
+/// # Errors
+/// Propagates heap/proxy access errors.
+pub fn walk_tree(heap: &mut dyn HeapAccess, root: ObjId) -> Result<Vec<ObjId>, nrmi_heap::HeapError> {
+    let mut order = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        if !seen.insert(node) {
+            continue;
+        }
+        order.push(node);
+        // Push right first so left is visited first.
+        if let Some(right) = heap.get_ref(node, "right")? {
+            stack.push(right);
+        }
+        if let Some(left) = heap.get_ref(node, "left")? {
+            stack.push(left);
+        }
+    }
+    Ok(order)
+}
+
+/// The remote method's "random changes" (§5.3.2), deterministic per
+/// seed. Scenario II touches only `data`; I and III also unlink, swap,
+/// and splice (III's client-side aliases are what make that hard to
+/// emulate by hand).
+///
+/// # Errors
+/// Propagates heap/proxy access errors.
+pub fn mutate_tree(
+    heap: &mut dyn HeapAccess,
+    root: ObjId,
+    scenario: Scenario,
+    seed: u64,
+) -> Result<MutationReport, nrmi_heap::HeapError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut report = MutationReport::default();
+    let nodes = walk_tree(heap, root)?;
+    report.nodes_visited = nodes.len();
+    let tree_class = heap.class_of(root)?;
+
+    // Data pass: roughly half the nodes get new values.
+    for &node in &nodes {
+        if rng.gen_bool(0.5) {
+            heap.set_field(node, "data", Value::Int(rng.gen_range(-1000..1000)))?;
+            report.data_changes += 1;
+        }
+    }
+
+    // Structural pass (scenarios I and III).
+    if scenario.structural() {
+        let edits = (nodes.len() / 8).max(2);
+        for _ in 0..edits {
+            let node = nodes[rng.gen_range(0..nodes.len())];
+            match rng.gen_range(0..4) {
+                0 => {
+                    // Unlink a child (it may still be aliased!).
+                    let side = if rng.gen_bool(0.5) { "left" } else { "right" };
+                    if heap.get_ref(node, side)?.is_some() {
+                        heap.set_field(node, side, Value::Null)?;
+                        report.structural_changes += 1;
+                    }
+                }
+                1 => {
+                    // Swap children.
+                    let l = heap.get_field(node, "left")?;
+                    let r = heap.get_field(node, "right")?;
+                    heap.set_field(node, "left", r)?;
+                    heap.set_field(node, "right", l)?;
+                    report.structural_changes += 1;
+                }
+                2 => {
+                    // Splice a fresh node above a child (like `foo`).
+                    let side = if rng.gen_bool(0.5) { "left" } else { "right" };
+                    let child = heap.get_field(node, side)?;
+                    let fresh = heap.alloc_raw(
+                        tree_class,
+                        vec![Value::Int(rng.gen_range(-1000..1000)), child, Value::Null],
+                    )?;
+                    heap.set_field(node, side, Value::Ref(fresh))?;
+                    report.structural_changes += 1;
+                    report.new_nodes += 1;
+                }
+                _ => {
+                    // Share: point a child slot at another subtree
+                    // (creates aliasing within the tree, but no cycles:
+                    // target is drawn from the original preorder, and we
+                    // only relink *forward* in that order).
+                    let pos = nodes.iter().position(|&n| n == node).unwrap_or(0);
+                    if pos + 1 < nodes.len() {
+                        let target = nodes[rng.gen_range(pos + 1..nodes.len())];
+                        heap.set_field(node, "right", Value::Ref(target))?;
+                        report.structural_changes += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Per-node computation cost of the mutation (µs at reference speed),
+/// calibrated so a local run regenerates Table 1's shape.
+pub fn mutation_cost_us_per_node(scenario: Scenario, jdk: nrmi_core::JdkGeneration) -> f64 {
+    use nrmi_core::JdkGeneration::*;
+    match (scenario, jdk) {
+        (Scenario::I, Jdk13) => 5.9,
+        (Scenario::I, Jdk14) => 3.9,
+        (Scenario::II, Jdk13) => 14.6,
+        (Scenario::II, Jdk14) => 11.7,
+        (Scenario::III, Jdk13) => 18.5,
+        (Scenario::III, Jdk14) => 14.6,
+    }
+}
+
+/// Builds the benchmark service closure: mutates its tree argument and
+/// charges the simulated environment for the computation (the Table 1
+/// baseline work). Methods:
+///
+/// * `"mutate"` — mutate in place, return null (NRMI and one-way paths);
+/// * `"mutate_return"` — mutate and return the tree (manual I and II);
+/// * `"mutate_shadow"` — build a shadow tree first, mutate, return
+///   `Pair(tree, shadow)` (manual III).
+pub fn scenario_service(
+    classes: &BenchClasses,
+    scenario: Scenario,
+    seed: u64,
+    env: Option<nrmi_transport::SimEnv>,
+    machine: nrmi_transport::MachineSpec,
+    jdk: nrmi_core::JdkGeneration,
+) -> ScenarioService {
+    let shadow_class = classes.shadow;
+    let pair_class = classes.pair;
+    nrmi_core::FnService::new(Box::new(move |method: &str, args: &[Value], heap: &mut dyn HeapAccess| {
+        let root = args
+            .first()
+            .and_then(Value::as_ref_id)
+            .ok_or_else(|| NrmiError::app("expected a tree argument"))?;
+        let charge = |report: &MutationReport| {
+            if let Some(env) = &env {
+                env.charge_cpu(
+                    &machine,
+                    report.nodes_visited as f64 * mutation_cost_us_per_node(scenario, jdk),
+                );
+            }
+        };
+        match method {
+            "mutate" => {
+                let report = mutate_tree(heap, root, scenario, seed)?;
+                charge(&report);
+                Ok(Value::Null)
+            }
+            "mutate_return" => {
+                let report = mutate_tree(heap, root, scenario, seed)?;
+                charge(&report);
+                Ok(Value::Ref(root))
+            }
+            "mutate_shadow" => {
+                // Shadow BEFORE mutation: mirrors the original structure
+                // and pins every original node (§5.3.2, scenario III).
+                let shadow = build_shadow(heap, root, shadow_class)?;
+                let report = mutate_tree(heap, root, scenario, seed)?;
+                charge(&report);
+                let pair =
+                    heap.alloc_raw(pair_class, vec![Value::Ref(root), Value::Ref(shadow)])?;
+                Ok(Value::Ref(pair))
+            }
+            other => Err(NrmiError::app(format!("unknown benchmark method {other}"))),
+        }
+    }))
+}
+
+/// The boxed service type returned by [`scenario_service`].
+pub type ScenarioService = nrmi_core::FnService<
+    Box<dyn FnMut(&str, &[Value], &mut dyn HeapAccess) -> Result<Value, NrmiError> + Send>,
+>;
+
+/// Builds the scenario-III "shadow tree": an isomorphic mirror of the
+/// (pre-mutation) tree whose every node points at the corresponding tree
+/// node. The paper: "The 'shadow tree' points to the original tree's
+/// data and serves as a reminder of the structure of the original tree."
+///
+/// # Errors
+/// Propagates heap/proxy access errors.
+pub fn build_shadow(
+    heap: &mut dyn HeapAccess,
+    node: ObjId,
+    shadow_class: ClassId,
+) -> Result<ObjId, nrmi_heap::HeapError> {
+    let left = heap.get_ref(node, "left")?;
+    let right = heap.get_ref(node, "right")?;
+    let left_shadow = match left {
+        Some(child) => Value::Ref(build_shadow(heap, child, shadow_class)?),
+        None => Value::Null,
+    };
+    let right_shadow = match right {
+        Some(child) => Value::Ref(build_shadow(heap, child, shadow_class)?),
+        None => Value::Null,
+    };
+    heap.alloc_raw(shadow_class, vec![Value::Ref(node), left_shadow, right_shadow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap_and_classes() -> (Heap, BenchClasses) {
+        let classes = bench_classes();
+        (Heap::new(classes.registry.clone()), classes)
+    }
+
+    #[test]
+    fn workload_sizes_and_aliases() {
+        let (mut heap, classes) = heap_and_classes();
+        for scenario in Scenario::ALL {
+            let w = build_workload(&mut heap, &classes, scenario, 64, 1).unwrap();
+            let nodes = nrmi_heap::tree::collect_nodes(&heap, w.root).unwrap();
+            assert_eq!(nodes.len(), 64);
+            assert_eq!(w.aliases.len(), scenario.alias_count(64));
+            for alias in &w.aliases {
+                assert!(nodes.contains(alias), "aliases point into the tree");
+            }
+        }
+        assert_eq!(Scenario::I.alias_count(1024), 0);
+        assert!(Scenario::III.alias_count(1024) >= 2);
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let (mut h1, c1) = heap_and_classes();
+        let (mut h2, _) = heap_and_classes();
+        let w1 = build_workload(&mut h1, &c1, Scenario::III, 64, 9).unwrap();
+        let w2 = build_workload(&mut h2, &c1, Scenario::III, 64, 9).unwrap();
+        let r1 = mutate_tree(&mut h1, w1.root, Scenario::III, 9).unwrap();
+        let r2 = mutate_tree(&mut h2, w2.root, Scenario::III, 9).unwrap();
+        assert_eq!(r1, r2);
+        assert!(nrmi_heap::graph::isomorphic(&h1, w1.root, &h2, w2.root).unwrap());
+    }
+
+    #[test]
+    fn scenario_ii_preserves_shape() {
+        let (mut heap, classes) = heap_and_classes();
+        let w = build_workload(&mut heap, &classes, Scenario::II, 128, 3).unwrap();
+        let shape_before: Vec<(Option<ObjId>, Option<ObjId>)> = walk_tree(&mut heap, w.root)
+            .unwrap()
+            .iter()
+            .map(|&n| {
+                (heap.get_ref(n, "left").unwrap(), heap.get_ref(n, "right").unwrap())
+            })
+            .collect();
+        let report = mutate_tree(&mut heap, w.root, Scenario::II, 3).unwrap();
+        assert_eq!(report.structural_changes, 0);
+        assert_eq!(report.new_nodes, 0);
+        assert!(report.data_changes > 0);
+        let shape_after: Vec<(Option<ObjId>, Option<ObjId>)> = walk_tree(&mut heap, w.root)
+            .unwrap()
+            .iter()
+            .map(|&n| {
+                (heap.get_ref(n, "left").unwrap(), heap.get_ref(n, "right").unwrap())
+            })
+            .collect();
+        assert_eq!(shape_before, shape_after, "scenario II must not change structure");
+    }
+
+    #[test]
+    fn scenario_iii_changes_structure() {
+        let (mut heap, classes) = heap_and_classes();
+        let w = build_workload(&mut heap, &classes, Scenario::III, 128, 4).unwrap();
+        let report = mutate_tree(&mut heap, w.root, Scenario::III, 4).unwrap();
+        assert!(report.structural_changes > 0);
+    }
+
+    #[test]
+    fn mutation_never_creates_cycles() {
+        let (mut heap, classes) = heap_and_classes();
+        for seed in 0..20 {
+            let w = build_workload(&mut heap, &classes, Scenario::III, 64, seed).unwrap();
+            mutate_tree(&mut heap, w.root, Scenario::III, seed).unwrap();
+            // A cycle would make this loop diverge; walk_tree is
+            // cycle-safe, so instead verify: following left/right from
+            // any node never revisits an ancestor.
+            assert!(acyclic(&mut heap, w.root), "seed {seed} created a cycle");
+        }
+    }
+
+    fn acyclic(heap: &mut Heap, root: ObjId) -> bool {
+        fn visit(
+            heap: &mut Heap,
+            node: ObjId,
+            path: &mut std::collections::HashSet<ObjId>,
+        ) -> bool {
+            if !path.insert(node) {
+                return false;
+            }
+            for side in ["left", "right"] {
+                if let Some(child) = heap.get_ref(node, side).unwrap() {
+                    if !visit(heap, child, path) {
+                        return false;
+                    }
+                }
+            }
+            path.remove(&node);
+            true
+        }
+        visit(heap, root, &mut std::collections::HashSet::new())
+    }
+
+    #[test]
+    fn shadow_mirrors_structure_and_pins_originals() {
+        let (mut heap, classes) = heap_and_classes();
+        let w = build_workload(&mut heap, &classes, Scenario::III, 32, 5).unwrap();
+        let shadow = build_shadow(&mut heap, w.root, classes.shadow).unwrap();
+        // Shadow root points at the tree root.
+        assert_eq!(heap.get_ref(shadow, "orig").unwrap(), Some(w.root));
+        // Walk both in lockstep: every shadow node mirrors one tree node.
+        fn check(heap: &mut Heap, shadow: ObjId, node: ObjId) -> usize {
+            assert_eq!(heap.get_ref(shadow, "orig").unwrap(), Some(node));
+            let mut count = 1;
+            for side in ["left", "right"] {
+                let s_child = heap.get_ref(shadow, side).unwrap();
+                let n_child = heap.get_ref(node, side).unwrap();
+                assert_eq!(s_child.is_some(), n_child.is_some());
+                if let (Some(s), Some(n)) = (s_child, n_child) {
+                    count += check(heap, s, n);
+                }
+            }
+            count
+        }
+        assert_eq!(check(&mut heap, shadow, w.root), 32);
+    }
+
+    #[test]
+    fn scenario_iii_mutations_create_in_graph_sharing() {
+        // The "share" edit points a child slot at another subtree; over
+        // several seeds the post-mutation graphs must exhibit in-degree
+        // ≥ 2 nodes — the aliasing that makes scenario III hard to
+        // emulate by hand.
+        let mut saw_sharing = false;
+        for seed in 0..10 {
+            let (mut heap, classes) = heap_and_classes();
+            let w = build_workload(&mut heap, &classes, Scenario::III, 96, seed).unwrap();
+            mutate_tree(&mut heap, w.root, Scenario::III, seed).unwrap();
+            let stats = nrmi_heap::graph::graph_stats(&heap, &[w.root]).unwrap();
+            assert!(stats.objects > 0 && stats.edges >= stats.objects - 1);
+            if stats.shared_objects > 0 {
+                saw_sharing = true;
+            }
+        }
+        assert!(saw_sharing, "III should produce shared subtrees across 10 seeds");
+    }
+
+    #[test]
+    fn mutation_costs_ordered_like_table_1() {
+        use nrmi_core::JdkGeneration::*;
+        for jdk in [Jdk13, Jdk14] {
+            let i = mutation_cost_us_per_node(Scenario::I, jdk);
+            let ii = mutation_cost_us_per_node(Scenario::II, jdk);
+            let iii = mutation_cost_us_per_node(Scenario::III, jdk);
+            assert!(i < ii && ii < iii, "{jdk:?}");
+        }
+        assert!(
+            mutation_cost_us_per_node(Scenario::I, Jdk13)
+                > mutation_cost_us_per_node(Scenario::I, Jdk14)
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The middleware error type.
+
+use std::error::Error;
+use std::fmt;
+
+use nrmi_heap::HeapError;
+use nrmi_transport::TransportError;
+use nrmi_wire::WireError;
+
+/// Errors surfaced by NRMI remote calls.
+///
+/// Faithful to the paper's position on network transparency (§6.2):
+/// remote calls *can fail in ways local calls cannot*, and the programmer
+/// must see that. Every remote invocation returns `Result<_, NrmiError>`
+/// — the analogue of `RemoteException`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NrmiError {
+    /// A heap operation failed.
+    Heap(HeapError),
+    /// Marshalling or unmarshalling failed.
+    Wire(WireError),
+    /// The transport failed (disconnect, timeout, socket error).
+    Transport(TransportError),
+    /// No service is bound under the requested name.
+    NoSuchService(String),
+    /// The service does not implement the requested method.
+    NoSuchMethod {
+        /// Service name.
+        service: String,
+        /// Method name.
+        method: String,
+    },
+    /// The remote method raised an exception; carries its message.
+    Remote(String),
+    /// The peer violated the protocol (unexpected frame, bad annotation).
+    Protocol(String),
+    /// A call was made with arguments the chosen semantics cannot
+    /// marshal (e.g. remote-reference mode with a primitive-only class).
+    InvalidArgument(String),
+}
+
+impl NrmiError {
+    /// Builds an application-level error for service implementations —
+    /// the analogue of throwing inside a remote method body.
+    pub fn app(message: impl Into<String>) -> Self {
+        NrmiError::Remote(message.into())
+    }
+}
+
+impl fmt::Display for NrmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NrmiError::Heap(e) => write!(f, "heap error: {e}"),
+            NrmiError::Wire(e) => write!(f, "marshalling error: {e}"),
+            NrmiError::Transport(e) => write!(f, "transport error: {e}"),
+            NrmiError::NoSuchService(name) => write!(f, "no service bound as {name:?}"),
+            NrmiError::NoSuchMethod { service, method } => {
+                write!(f, "service {service:?} has no method {method:?}")
+            }
+            NrmiError::Remote(msg) => write!(f, "remote exception: {msg}"),
+            NrmiError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NrmiError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for NrmiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NrmiError::Heap(e) => Some(e),
+            NrmiError::Wire(e) => Some(e),
+            NrmiError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeapError> for NrmiError {
+    fn from(e: HeapError) -> Self {
+        NrmiError::Heap(e)
+    }
+}
+
+impl From<WireError> for NrmiError {
+    fn from(e: WireError) -> Self {
+        NrmiError::Wire(e)
+    }
+}
+
+impl From<TransportError> for NrmiError {
+    fn from(e: TransportError) -> Self {
+        NrmiError::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error + 'static>() {}
+        assert_bounds::<NrmiError>();
+    }
+
+    #[test]
+    fn sources_chain() {
+        assert!(NrmiError::from(HeapError::DanglingRef(1)).source().is_some());
+        assert!(NrmiError::from(WireError::BadMagic).source().is_some());
+        assert!(NrmiError::from(TransportError::Timeout).source().is_some());
+        assert!(NrmiError::NoSuchService("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn displays() {
+        assert!(NrmiError::app("boom").to_string().contains("boom"));
+        assert!(NrmiError::NoSuchService("translator".into())
+            .to_string()
+            .contains("translator"));
+        assert!(NrmiError::NoSuchMethod { service: "s".into(), method: "m".into() }
+            .to_string()
+            .contains('m'));
+        assert!(NrmiError::Protocol("bad".into()).to_string().contains("bad"));
+        assert!(NrmiError::InvalidArgument("arg".into()).to_string().contains("arg"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Typed remote interfaces: the `java.rmi.Remote` interface contract.
+//!
+//! In Java RMI the remote interface is checked at compile time: a stub
+//! only offers the declared methods, and argument or return-type
+//! mismatches cannot reach the wire. This substrate is dynamically
+//! typed, so [`InterfaceDef`] restores that safety at the middleware
+//! boundary: it declares each method's parameter and return shapes, and
+//! both ends enforce them — the client before marshalling
+//! ([`InterfaceDef::check_call`]), the server before and after invoking
+//! the implementation ([`TypedService`]).
+//!
+//! ```
+//! use nrmi_core::interface::{InterfaceDef, ParamType};
+//! use nrmi_heap::Value;
+//!
+//! let translator = InterfaceDef::new("Translator")
+//!     .method("translate", &[ParamType::Reference, ParamType::Str], ParamType::Int)
+//!     .method("ping", &[], ParamType::Void);
+//! assert!(translator
+//!     .check_call("translate", &[Value::Ref(nrmi_heap::ObjId::from_index(0)), Value::Str("de".into())])
+//!     .is_ok());
+//! assert!(translator.check_call("translate", &[Value::Int(1)]).is_err());
+//! assert!(translator.check_call("frobnicate", &[]).is_err());
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nrmi_heap::{HeapAccess, Value};
+
+use crate::error::NrmiError;
+use crate::service::RemoteService;
+
+/// The declared shape of one parameter or return value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamType {
+    /// `boolean`.
+    Bool,
+    /// `int`.
+    Int,
+    /// `long`.
+    Long,
+    /// `double`.
+    Double,
+    /// `String` (nullable, as in Java).
+    Str,
+    /// An object reference (nullable).
+    Reference,
+    /// Any value (an `Object` parameter).
+    Any,
+    /// No value — only meaningful as a return shape (`void`).
+    Void,
+}
+
+impl ParamType {
+    /// True if `value` conforms to this shape.
+    pub fn admits(self, value: &Value) -> bool {
+        match self {
+            ParamType::Bool => matches!(value, Value::Bool(_)),
+            ParamType::Int => matches!(value, Value::Int(_)),
+            ParamType::Long => matches!(value, Value::Long(_)),
+            ParamType::Double => matches!(value, Value::Double(_)),
+            ParamType::Str => matches!(value, Value::Str(_) | Value::Null),
+            ParamType::Reference => matches!(value, Value::Ref(_) | Value::Null),
+            ParamType::Any => true,
+            ParamType::Void => matches!(value, Value::Null),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ParamType::Bool => "boolean",
+            ParamType::Int => "int",
+            ParamType::Long => "long",
+            ParamType::Double => "double",
+            ParamType::Str => "String",
+            ParamType::Reference => "Object reference",
+            ParamType::Any => "Object",
+            ParamType::Void => "void",
+        }
+    }
+}
+
+/// One declared method: parameter shapes and return shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodSig {
+    params: Vec<ParamType>,
+    returns: ParamType,
+}
+
+impl MethodSig {
+    /// The parameter shapes, in order.
+    pub fn params(&self) -> &[ParamType] {
+        &self.params
+    }
+
+    /// The return shape.
+    pub fn returns(&self) -> ParamType {
+        self.returns
+    }
+}
+
+/// A remote interface: a named set of method signatures.
+#[derive(Clone, Debug, Default)]
+pub struct InterfaceDef {
+    name: String,
+    methods: HashMap<String, MethodSig>,
+}
+
+impl InterfaceDef {
+    /// Starts an interface named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        InterfaceDef { name: name.into(), methods: HashMap::new() }
+    }
+
+    /// Declares a method (builder-style).
+    pub fn method(
+        mut self,
+        name: impl Into<String>,
+        params: &[ParamType],
+        returns: ParamType,
+    ) -> Self {
+        self.methods
+            .insert(name.into(), MethodSig { params: params.to_vec(), returns });
+        self
+    }
+
+    /// The interface name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Looks up a declared method.
+    pub fn signature(&self, method: &str) -> Option<&MethodSig> {
+        self.methods.get(method)
+    }
+
+    /// Declared method names (unordered).
+    pub fn methods(&self) -> impl Iterator<Item = &str> {
+        self.methods.keys().map(String::as_str)
+    }
+
+    /// Validates a call against the interface.
+    ///
+    /// # Errors
+    /// [`NrmiError::NoSuchMethod`] for undeclared methods;
+    /// [`NrmiError::InvalidArgument`] for arity or shape mismatches.
+    pub fn check_call(&self, method: &str, args: &[Value]) -> Result<(), NrmiError> {
+        let sig = self.methods.get(method).ok_or_else(|| NrmiError::NoSuchMethod {
+            service: self.name.clone(),
+            method: method.to_owned(),
+        })?;
+        if args.len() != sig.params.len() {
+            return Err(NrmiError::InvalidArgument(format!(
+                "{}.{method} takes {} argument(s), got {}",
+                self.name,
+                sig.params.len(),
+                args.len()
+            )));
+        }
+        for (i, (param, arg)) in sig.params.iter().zip(args).enumerate() {
+            if !param.admits(arg) {
+                return Err(NrmiError::InvalidArgument(format!(
+                    "{}.{method} argument {i} must be {}, got {}",
+                    self.name,
+                    param.name(),
+                    arg.kind_name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a return value against the declared shape.
+    ///
+    /// # Errors
+    /// [`NrmiError::Protocol`] if the implementation returned the wrong
+    /// shape (a server bug, surfaced instead of silently shipped).
+    pub fn check_return(&self, method: &str, value: &Value) -> Result<(), NrmiError> {
+        if let Some(sig) = self.methods.get(method) {
+            if !sig.returns.admits(value) {
+                return Err(NrmiError::Protocol(format!(
+                    "{}.{method} must return {}, implementation returned {}",
+                    self.name,
+                    sig.returns.name(),
+                    value.kind_name()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wraps a service implementation with interface enforcement: calls are
+/// validated before dispatch, returns after — the server-side half of
+/// the typed contract.
+pub struct TypedService {
+    interface: Arc<InterfaceDef>,
+    inner: Box<dyn RemoteService>,
+}
+
+impl std::fmt::Debug for TypedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypedService").field("interface", &self.interface.name()).finish()
+    }
+}
+
+impl TypedService {
+    /// Wraps `inner` with `interface` enforcement.
+    pub fn new(interface: Arc<InterfaceDef>, inner: Box<dyn RemoteService>) -> Self {
+        TypedService { interface, inner }
+    }
+}
+
+impl RemoteService for TypedService {
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[Value],
+        heap: &mut dyn HeapAccess,
+    ) -> Result<Value, NrmiError> {
+        self.interface.check_call(method, args)?;
+        let ret = self.inner.invoke(method, args, heap)?;
+        self.interface.check_return(method, &ret)?;
+        Ok(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::FnService;
+    use nrmi_heap::{ClassRegistry, Heap, ObjId};
+
+    fn calc_interface() -> InterfaceDef {
+        InterfaceDef::new("Calc")
+            .method("add", &[ParamType::Int, ParamType::Int], ParamType::Int)
+            .method("name", &[], ParamType::Str)
+            .method("reset", &[], ParamType::Void)
+            .method("touch", &[ParamType::Reference], ParamType::Any)
+    }
+
+    #[test]
+    fn check_call_accepts_conforming_arguments() {
+        let iface = calc_interface();
+        assert!(iface.check_call("add", &[Value::Int(1), Value::Int(2)]).is_ok());
+        assert!(iface.check_call("name", &[]).is_ok());
+        assert!(iface.check_call("touch", &[Value::Null]).is_ok(), "references are nullable");
+        assert!(iface
+            .check_call("touch", &[Value::Ref(ObjId::from_index(3))])
+            .is_ok());
+    }
+
+    #[test]
+    fn check_call_rejects_mismatches() {
+        let iface = calc_interface();
+        let arity = iface.check_call("add", &[Value::Int(1)]).unwrap_err();
+        assert!(arity.to_string().contains("takes 2"), "{arity}");
+        let shape = iface.check_call("add", &[Value::Int(1), Value::Long(2)]).unwrap_err();
+        assert!(shape.to_string().contains("argument 1 must be int"), "{shape}");
+        let missing = iface.check_call("mul", &[]).unwrap_err();
+        assert!(matches!(missing, NrmiError::NoSuchMethod { .. }));
+    }
+
+    #[test]
+    fn check_return_enforces_shape() {
+        let iface = calc_interface();
+        assert!(iface.check_return("add", &Value::Int(3)).is_ok());
+        assert!(iface.check_return("add", &Value::Str("3".into())).is_err());
+        assert!(iface.check_return("reset", &Value::Null).is_ok());
+        assert!(iface.check_return("reset", &Value::Int(0)).is_err());
+        // Undeclared methods are not return-checked (the call check
+        // already rejected them).
+        assert!(iface.check_return("mystery", &Value::Int(1)).is_ok());
+    }
+
+    #[test]
+    fn typed_service_enforces_both_directions() {
+        let iface = Arc::new(calc_interface());
+        let mut svc = TypedService::new(
+            iface,
+            Box::new(FnService::new(|method, args, _h| match method {
+                "add" => Ok(Value::Int(
+                    args[0].as_int().unwrap_or(0) + args[1].as_int().unwrap_or(0),
+                )),
+                // A buggy implementation returning the wrong shape:
+                "name" => Ok(Value::Int(42)),
+                _ => Ok(Value::Null),
+            })),
+        );
+        let reg = ClassRegistry::new();
+        let mut heap = Heap::new(reg.snapshot());
+        assert_eq!(
+            svc.invoke("add", &[Value::Int(20), Value::Int(22)], &mut heap).unwrap(),
+            Value::Int(42)
+        );
+        // Bad arguments rejected before the implementation runs.
+        assert!(svc.invoke("add", &[Value::Null, Value::Int(1)], &mut heap).is_err());
+        // Bad return surfaced as a protocol error.
+        let err = svc.invoke("name", &[], &mut heap).unwrap_err();
+        assert!(matches!(err, NrmiError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn param_type_admission_table() {
+        use ParamType::*;
+        assert!(Bool.admits(&Value::Bool(true)));
+        assert!(!Bool.admits(&Value::Int(1)));
+        assert!(Long.admits(&Value::Long(1)));
+        assert!(!Long.admits(&Value::Int(1)), "no implicit widening");
+        assert!(Double.admits(&Value::Double(1.0)));
+        assert!(Str.admits(&Value::Null), "strings are nullable");
+        assert!(Any.admits(&Value::Double(0.0)));
+        assert!(Void.admits(&Value::Null));
+        assert!(!Void.admits(&Value::Int(0)));
+    }
+
+    #[test]
+    fn interface_introspection() {
+        let iface = calc_interface();
+        assert_eq!(iface.name(), "Calc");
+        let mut methods: Vec<&str> = iface.methods().collect();
+        methods.sort_unstable();
+        assert_eq!(methods, vec!["add", "name", "reset", "touch"]);
+        let sig = iface.signature("add").unwrap();
+        assert_eq!(sig.params(), &[ParamType::Int, ParamType::Int]);
+        assert_eq!(sig.returns(), ParamType::Int);
+        assert!(iface.signature("nope").is_none());
+    }
+}

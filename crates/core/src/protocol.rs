@@ -1,0 +1,603 @@
+//! The remote-call protocol: marshalling, dispatch, and restore.
+//!
+//! One client entry point ([`client_invoke`]) and one server loop
+//! ([`serve_connection`]) implement all four calling semantics:
+//!
+//! * **Copy** — serialize arguments, run, serialize the return value.
+//! * **Copy-restore** — the paper's six-step algorithm end to end:
+//!   linear maps on both sides (steps 1–2 via serialization, §5.2.1),
+//!   the reply marshalled *from the server's linear map* so unreachable-
+//!   but-aliased data travels home (step 3), old-index annotations in the
+//!   payload (step 4's matching), and the in-place restore on the client
+//!   (steps 5–6).
+//! * **DCE RPC** — identical, except the reply is marshalled from the
+//!   parameters instead of the linear map: data unreachable from the
+//!   parameters after the call silently drops (§4.2, Figure 9).
+//! * **Remote references** — arguments travel as export keys; the
+//!   service runs against a [`RemoteHeapProxy`] and the client answers
+//!   field-access callbacks mid-call (Figure 3).
+//!
+//! The client's receive loop doubles as the callback server, so graphs
+//! that mix semantics (a copied graph containing remote-marked objects)
+//! work too.
+//!
+//! [`RemoteHeapProxy`]: crate::proxy::RemoteHeapProxy
+
+use std::collections::HashMap;
+
+use nrmi_heap::{Heap, LinearMap, ObjId, SharedRegistry, Value};
+use nrmi_transport::{decode_rvals, encode_rvals, Frame, Transport, TransportError};
+use nrmi_wire::{
+    apply_delta, deserialize_graph_with, encode_delta, serialize_graph_with, GraphSnapshot,
+};
+
+use crate::error::NrmiError;
+use crate::node::{ClientNode, NodeHooks, ServerNode};
+use crate::proxy::{handle_callback, RemoteHeapProxy};
+use crate::restore::apply_restore;
+use crate::semantics::{CallOptions, PassMode};
+
+/// Determines which argument objects are copy-restore roots for a call.
+/// Both sides compute this identically (same registry, same argument
+/// order), which is what makes the two linear maps correspond.
+fn restore_roots_of(
+    registry: &SharedRegistry,
+    heap: &Heap,
+    opts: CallOptions,
+    args: &[Value],
+) -> Result<Vec<ObjId>, NrmiError> {
+    let refs = args.iter().filter_map(Value::as_ref_id);
+    match opts.mode_override {
+        Some(PassMode::Copy) | Some(PassMode::RemoteRef) => Ok(Vec::new()),
+        Some(PassMode::CopyRestore) | Some(PassMode::DceRpc) => {
+            // Forced restore semantics for every (copyable) reference arg.
+            let mut roots = Vec::new();
+            for id in refs {
+                let obj = heap.get(id)?;
+                let flags = registry.get(obj.class())?.flags();
+                if !flags.stub && !flags.remote {
+                    roots.push(id);
+                }
+            }
+            Ok(roots)
+        }
+        None => {
+            // Marker-driven (the NRMI default, §5.1).
+            let mut roots = Vec::new();
+            for id in refs {
+                let obj = heap.get(id)?;
+                if registry.get(obj.class())?.flags().restorable {
+                    roots.push(id);
+                }
+            }
+            Ok(roots)
+        }
+    }
+}
+
+/// Per-call accounting returned alongside the result by
+/// [`client_invoke_with_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CallStats {
+    /// Objects serialized into the request.
+    pub request_objects: usize,
+    /// Request payload bytes.
+    pub request_bytes: usize,
+    /// Objects materialized from the reply.
+    pub reply_objects: usize,
+    /// Reply payload bytes.
+    pub reply_bytes: usize,
+    /// Old objects restored in place (steps 4–6).
+    pub restored_objects: usize,
+    /// New objects spliced into the caller's graph.
+    pub new_objects: usize,
+    /// Remote-pointer callbacks served by this client during the call.
+    pub callbacks_served: u64,
+}
+
+/// What a call is addressed to: a registry-named service, or a
+/// first-class remote object in the server's export table.
+#[derive(Clone, Copy, Debug)]
+enum CallTarget<'a> {
+    Named(&'a str),
+    Exported(u64),
+}
+
+/// Invokes `service.method(args)` over `transport` and returns the
+/// translated return value. Convenience wrapper over
+/// [`client_invoke_with_stats`].
+///
+/// # Errors
+/// Marshalling, transport, protocol, and remote-exception failures.
+pub fn client_invoke(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    args: &[Value],
+    opts: CallOptions,
+) -> Result<Value, NrmiError> {
+    client_invoke_with_stats(client, transport, service, method, args, opts).map(|(v, _)| v)
+}
+
+/// Invokes a remote method on a named service, returning the result and
+/// per-call statistics.
+///
+/// # Errors
+/// Marshalling, transport, protocol, and remote-exception failures.
+pub fn client_invoke_with_stats(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    args: &[Value],
+    opts: CallOptions,
+) -> Result<(Value, CallStats), NrmiError> {
+    client_invoke_target(client, transport, CallTarget::Named(service), method, args, opts)
+}
+
+/// Invokes a method ON a remote object the client holds a stub for —
+/// RMI's first-class remote-object dispatch. The stub's key addresses
+/// the receiver; the server prepends the receiver to the arguments and
+/// dispatches to the behavior bound to its class
+/// ([`ServerNode::bind_class`]).
+///
+/// # Errors
+/// [`NrmiError::InvalidArgument`] if `stub` is not a remote stub, plus
+/// the usual call failures.
+pub fn client_invoke_on_object_with_stats(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    stub: nrmi_heap::ObjId,
+    method: &str,
+    args: &[Value],
+    opts: CallOptions,
+) -> Result<(Value, CallStats), NrmiError> {
+    let key = client
+        .state
+        .heap
+        .stub_key(stub)?
+        .ok_or_else(|| NrmiError::InvalidArgument(format!("{stub} is not a remote stub")))?;
+    client_invoke_target(client, transport, CallTarget::Exported(key), method, args, opts)
+}
+
+fn client_invoke_target(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    target: CallTarget<'_>,
+    method: &str,
+    args: &[Value],
+    opts: CallOptions,
+) -> Result<(Value, CallStats), NrmiError> {
+    // Delta replies encode "everything the server changed", which is
+    // full copy-restore semantics; combining the flag with DCE's partial
+    // restore or remote-ref's no-copy mode would silently change meaning.
+    if opts.delta_reply
+        && matches!(opts.mode_override, Some(PassMode::DceRpc) | Some(PassMode::RemoteRef))
+    {
+        return Err(NrmiError::InvalidArgument(
+            "delta replies require copy-restore semantics (AUTO or CopyRestore)".into(),
+        ));
+    }
+    let state = &mut client.state;
+    let cost = state.profile.cost();
+    let mut stats = CallStats::default();
+
+    // --- Marshal the request -------------------------------------------
+    let registry = state.heap.registry_handle().clone();
+    let remote_ref_mode = opts.mode_override == Some(PassMode::RemoteRef);
+
+    let (payload, client_map) = if remote_ref_mode {
+        // Arguments travel as export keys; nothing is copied.
+        let mut rvals = Vec::with_capacity(args.len());
+        for arg in args {
+            rvals.push(state.value_to_rval(arg)?);
+        }
+        state.charge_cpu(cost.call_overhead_us);
+        (encode_rvals(&rvals), LinearMap::empty())
+    } else {
+        // Step 1: the client's linear map over the restorable roots.
+        let restore_roots = restore_roots_of(&registry, &state.heap, opts, args)?;
+        let client_map = LinearMap::build(&state.heap, &restore_roots)?;
+        // Step 2 (first half): serialize everything reachable from the
+        // arguments. The traversal IS the linear-map walk (§5.2.1).
+        let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
+        let enc = serialize_graph_with(&state.heap, args, None, Some(&mut hooks))?;
+        stats.request_objects = enc.object_count();
+        stats.request_bytes = enc.byte_len();
+        state.charge_cpu(
+            cost.call_overhead_us
+                + enc.object_count() as f64 * cost.ser_per_obj_us
+                + enc.byte_len() as f64 * cost.per_byte_us
+                + client_map.len() as f64 * cost.linear_map_per_obj_us,
+        );
+        (enc.bytes, client_map)
+    };
+
+    let request = match target {
+        CallTarget::Named(service) => Frame::CallRequest {
+            service: service.to_owned(),
+            method: method.to_owned(),
+            mode: opts.to_wire(),
+            payload,
+        },
+        CallTarget::Exported(key) => Frame::CallObject {
+            key,
+            method: method.to_owned(),
+            mode: opts.to_wire(),
+            payload,
+        },
+    };
+    transport.send(&request)?;
+
+    // --- Serve callbacks until the reply arrives ------------------------
+    let reply_payload = loop {
+        let frame = match opts.timeout {
+            Some(deadline) => transport.recv_timeout(deadline)?,
+            None => transport.recv()?,
+        };
+        match frame {
+            Frame::CallReply { payload } => break payload,
+            Frame::CallError { message } => return Err(NrmiError::Remote(message)),
+            other => match handle_callback(state, &other) {
+                Some(reply) => {
+                    stats.callbacks_served += 1;
+                    transport.send(&reply)?;
+                }
+                None => {
+                    return Err(NrmiError::Protocol(format!(
+                        "unexpected frame while awaiting reply: {other:?}"
+                    )))
+                }
+            },
+        }
+    };
+    stats.reply_bytes = reply_payload.len();
+
+    // --- Unmarshal the reply and restore --------------------------------
+    if remote_ref_mode {
+        let rvals = decode_rvals(&reply_payload)?;
+        let ret = rvals
+            .first()
+            .ok_or_else(|| NrmiError::Protocol("empty remote-ref reply".into()))?;
+        let value = state.rval_to_value(ret)?;
+        return Ok((value, stats));
+    }
+
+    if opts.delta_reply && reply_payload.starts_with(&nrmi_wire::delta::DELTA_MAGIC) {
+        // Delta path: apply directly onto the originals — the restore is
+        // implicit in delta application. (A reply starting with the
+        // graph magic instead means the server fell back to a full
+        // reply; the ordinary path below handles it.)
+        let applied = apply_delta(&reply_payload, &mut state.heap, client_map.order())?;
+        stats.restored_objects = applied.changed_count;
+        stats.new_objects = applied.new_objects.len();
+        state.charge_cpu(
+            reply_payload.len() as f64 * cost.per_byte_us
+                + applied.changed_count as f64 * (cost.de_per_obj_us + cost.restore_per_obj_us)
+                + applied.new_objects.len() as f64 * cost.de_per_obj_us,
+        );
+        let ret = applied
+            .roots
+            .first()
+            .cloned()
+            .ok_or_else(|| NrmiError::Protocol("empty delta reply".into()))?;
+        return Ok((ret, stats));
+    }
+
+    // Full reply: deserialize (rebuilding the reply-side linear map in
+    // the same pass), then run steps 4–6.
+    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
+    let decoded = deserialize_graph_with(&reply_payload, &mut state.heap, &mut hooks)?;
+    stats.reply_objects = decoded.object_count();
+    state.charge_cpu(
+        decoded.object_count() as f64 * cost.de_per_obj_us
+            + reply_payload.len() as f64 * cost.per_byte_us,
+    );
+
+    let outcome = apply_restore(&mut state.heap, &client_map, &decoded)?;
+    stats.restored_objects = outcome.stats.old_objects;
+    stats.new_objects = outcome.stats.new_objects;
+    state.charge_cpu(outcome.stats.old_objects as f64 * cost.restore_per_obj_us);
+
+    let ret = outcome
+        .roots
+        .first()
+        .cloned()
+        .ok_or_else(|| NrmiError::Protocol("empty reply".into()))?;
+    Ok((ret, stats))
+}
+
+/// Handles one `CallRequest` on the server. Returns the reply frame
+/// (`CallReply` on success, `CallError` carrying the remote exception
+/// otherwise).
+/// What the server resolved a request to.
+#[derive(Clone, Copy, Debug)]
+enum Callee<'a> {
+    Named(&'a str),
+    Exported(u64),
+}
+
+fn server_handle_call(
+    server: &mut ServerNode,
+    transport: &mut dyn Transport,
+    method: &str,
+    callee: Callee<'_>,
+    mode_byte: u8,
+    payload: &[u8],
+) -> Frame {
+    match server_handle_call_inner(server, transport, method, callee, mode_byte, payload) {
+        Ok(reply) => reply,
+        // Application exceptions travel as their own message; wrapping
+        // happens once, on the client ("remote exception: <msg>").
+        Err(NrmiError::Remote(message)) => Frame::CallError { message },
+        Err(e) => Frame::CallError { message: e.to_string() },
+    }
+}
+
+fn server_handle_call_inner(
+    server: &mut ServerNode,
+    transport: &mut dyn Transport,
+    method: &str,
+    callee: Callee<'_>,
+    mode_byte: u8,
+    payload: &[u8],
+) -> Result<Frame, NrmiError> {
+    let opts = CallOptions::from_wire(mode_byte)?;
+    let ServerNode { state, services, class_services } = server;
+    let cost = state.profile.cost();
+    let registry = state.heap.registry_handle().clone();
+    // Resolve the callee: a named service, or the class behavior of an
+    // exported receiver object (prepended to the args below).
+    let (service, receiver) = match callee {
+        Callee::Named(name) => (
+            services
+                .get_mut(name)
+                .ok_or_else(|| NrmiError::NoSuchService(name.to_owned()))?,
+            None,
+        ),
+        Callee::Exported(key) => {
+            let obj = state.exports.lookup(key).ok_or_else(|| {
+                NrmiError::Protocol(format!("call on unknown export key {key}"))
+            })?;
+            let class = state.heap.get(obj)?.class();
+            let service = class_services.get_mut(&class).ok_or_else(|| {
+                let name = registry
+                    .get(class)
+                    .map(|d| d.name().to_owned())
+                    .unwrap_or_else(|_| format!("<class:{}>", class.index()));
+                NrmiError::NoSuchService(format!("class {name}"))
+            })?;
+            (service, Some(obj))
+        }
+    };
+
+    let remote_ref_mode = opts.mode_override == Some(PassMode::RemoteRef);
+
+    // --- Unmarshal arguments --------------------------------------------
+    let (args, server_map, snapshot) = if remote_ref_mode {
+        let rvals = decode_rvals(payload)?;
+        let mut args = Vec::with_capacity(rvals.len());
+        for rv in &rvals {
+            args.push(state.rval_to_value(rv)?);
+        }
+        state.charge_cpu(cost.dispatch_overhead_us);
+        (args, LinearMap::empty(), None)
+    } else {
+        let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
+        let decoded = deserialize_graph_with(payload, &mut state.heap, &mut hooks)?;
+        state.charge_cpu(
+            cost.dispatch_overhead_us
+                + decoded.object_count() as f64 * cost.de_per_obj_us
+                + payload.len() as f64 * cost.per_byte_us,
+        );
+        let args = decoded.roots.clone();
+        // The server-side linear map (step 2, second half). Matches the
+        // client's map position-for-position because the deserialized
+        // graph is isomorphic and the traversal is deterministic.
+        let restore_roots = restore_roots_of(&registry, &state.heap, opts, &args)?;
+        let server_map = LinearMap::build(&state.heap, &restore_roots)?;
+        state.charge_cpu(server_map.len() as f64 * cost.linear_map_per_obj_us);
+        let snapshot = if opts.delta_reply {
+            Some(GraphSnapshot::capture(&state.heap, server_map.order())?)
+        } else {
+            None
+        };
+        (args, server_map, snapshot)
+    };
+
+    // --- Execute the remote routine --------------------------------------
+    // The service always runs against the proxy: plain heap accesses go
+    // straight through; stub accesses cross the network. No read/write
+    // barriers on the local path — the paper's "full speed" property.
+    // For object-addressed calls the receiver is prepended as args[0]
+    // (AFTER the restore map was built: the receiver is server-owned and
+    // never restored to the caller).
+    let invoke_args: Vec<Value> = match receiver {
+        Some(obj) => std::iter::once(Value::Ref(obj)).chain(args.iter().cloned()).collect(),
+        None => args.clone(),
+    };
+    let ret = {
+        let mut proxy = RemoteHeapProxy::new(state, transport);
+        service.invoke(method, &invoke_args, &mut proxy)?
+    };
+
+    // --- Marshal the reply -----------------------------------------------
+    if remote_ref_mode {
+        let rv = state.value_to_rval(&ret)?;
+        state.charge_cpu(cost.callback_owner_us);
+        return Ok(Frame::CallReply { payload: encode_rvals(&[rv]) });
+    }
+
+    if let Some(snapshot) = snapshot {
+        // Delta reply (§5.2.4, optimization 2). The delta encoder cannot
+        // express remote stubs linked into restorable state; when the
+        // method created such links, fall through to the full-reply path
+        // (the payload self-describes via its magic, so the client copes).
+        match encode_delta(&state.heap, &snapshot, std::slice::from_ref(&ret)) {
+            Ok(delta) => {
+                state.charge_cpu(
+                    delta.stats.changed_count as f64 * cost.ser_per_obj_us
+                        + delta.stats.new_count as f64 * cost.ser_per_obj_us
+                        + server_map.len() as f64 * cost.linear_map_per_obj_us
+                        + delta.bytes.len() as f64 * cost.per_byte_us,
+                );
+                return Ok(Frame::CallReply { payload: delta.bytes });
+            }
+            Err(nrmi_wire::WireError::NotSerializable { .. })
+            | Err(nrmi_wire::WireError::RemoteWithoutHooks { .. }) => {
+                // Fall through to the annotated full reply below.
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // Step 3: marshal the reply. Old-index annotations implement the
+    // map matching of step 4 on the wire.
+    let old_index: HashMap<ObjId, u32> = server_map.iter().map(|(pos, id)| (id, pos)).collect();
+    let mut reply_roots = vec![ret];
+    match opts.mode_override {
+        Some(PassMode::DceRpc) => {
+            // DCE RPC (§4.2): the reply is marshalled from the PARAMETER
+            // roots, not the linear map. Whatever became unreachable
+            // from the parameters during the call silently stays behind
+            // — Figure 9's divergence from true copy-restore. (Java
+            // reference arguments cannot be reseated, so the pre-call
+            // roots are still the roots.)
+            reply_roots.extend(
+                restore_roots_of(&registry, &state.heap, opts, &args)?
+                    .into_iter()
+                    .map(Value::Ref),
+            );
+        }
+        _ => {
+            // Full copy-restore (also the AUTO path): ship the whole
+            // linear map, so data unreachable from the parameters still
+            // travels home.
+            reply_roots.extend(server_map.order().iter().map(|&id| Value::Ref(id)));
+        }
+    }
+    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
+    let enc = serialize_graph_with(&state.heap, &reply_roots, Some(&old_index), Some(&mut hooks))?;
+    state.charge_cpu(
+        enc.object_count() as f64 * cost.ser_per_obj_us
+            + enc.byte_len() as f64 * cost.per_byte_us,
+    );
+    Ok(Frame::CallReply { payload: enc.bytes })
+}
+
+/// Shared-server variant of [`serve_connection`]: the server node sits
+/// behind a mutex so several connection threads can serve it — the
+/// paper's multi-threaded server accepting requests from multiple client
+/// machines (§4.1: this never endangers network transparency; only
+/// multi-threaded *clients* do). The lock is held per request, so
+/// requests from different clients serialize against the shared heap
+/// exactly as `synchronized` dispatch would.
+///
+/// # Errors
+/// Returns transport errors other than orderly disconnect.
+pub fn serve_connection_shared(
+    server: &parking_lot::Mutex<ServerNode>,
+    transport: &mut dyn Transport,
+) -> Result<(), NrmiError> {
+    loop {
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(TransportError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        match frame {
+            Frame::Shutdown => return Ok(()),
+            Frame::Lookup { name } => {
+                let found = server.lock().is_bound(&name);
+                transport.send(&Frame::LookupReply { found })?;
+            }
+            Frame::CallRequest { service, method, mode, payload } => {
+                let reply = server_handle_call(
+                    &mut server.lock(),
+                    transport,
+                    &method,
+                    Callee::Named(&service),
+                    mode,
+                    &payload,
+                );
+                transport.send(&reply)?;
+            }
+            Frame::CallObject { key, method, mode, payload } => {
+                let reply = server_handle_call(
+                    &mut server.lock(),
+                    transport,
+                    &method,
+                    Callee::Exported(key),
+                    mode,
+                    &payload,
+                );
+                transport.send(&reply)?;
+            }
+            Frame::DgcClean { key } => {
+                server.lock().state.exports.clean(key);
+            }
+            other => {
+                return Err(NrmiError::Protocol(format!("unexpected frame {other:?}")));
+            }
+        }
+    }
+}
+
+/// Serves one connection until the peer disconnects or sends `Shutdown`.
+/// This is the server's main loop (one per connection; the paper's
+/// servers are single-threaded per client, multi-threaded across
+/// clients).
+///
+/// # Errors
+/// Returns transport errors other than orderly disconnect.
+pub fn serve_connection(
+    server: &mut ServerNode,
+    transport: &mut dyn Transport,
+) -> Result<(), NrmiError> {
+    loop {
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(TransportError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        match frame {
+            Frame::Shutdown => return Ok(()),
+            Frame::Lookup { name } => {
+                let found = server.is_bound(&name);
+                transport.send(&Frame::LookupReply { found })?;
+            }
+            Frame::CallRequest { service, method, mode, payload } => {
+                let reply = server_handle_call(
+                    server,
+                    transport,
+                    &method,
+                    Callee::Named(&service),
+                    mode,
+                    &payload,
+                );
+                transport.send(&reply)?;
+            }
+            Frame::CallObject { key, method, mode, payload } => {
+                let reply = server_handle_call(
+                    server,
+                    transport,
+                    &method,
+                    Callee::Exported(key),
+                    mode,
+                    &payload,
+                );
+                transport.send(&reply)?;
+            }
+            Frame::DgcClean { key } => {
+                server.state.exports.clean(key);
+            }
+            other => {
+                // Callbacks addressed at the server's exports (a client
+                // holding stubs to server objects between calls is not
+                // part of this protocol version).
+                return Err(NrmiError::Protocol(format!("unexpected frame {other:?}")));
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The remote-service abstraction (the paper's "remote routine").
+
+use nrmi_heap::{HeapAccess, Value};
+
+use crate::error::NrmiError;
+
+/// A server-side object exposing remotely callable methods.
+///
+/// The `heap` parameter is the service's view of object memory. Under
+/// call-by-copy and call-by-copy-restore it is the server's local heap —
+/// the routine runs "at full speed", with no read or write barriers, as
+/// the paper emphasizes (Section 3). Under call-by-reference it is a
+/// remote-heap proxy whose every access crosses the network. The service
+/// body is identical in both cases; only the middleware differs.
+///
+/// `&mut self` permits stateful services, which exist precisely so tests
+/// can demonstrate the paper's §4.1 caveat: copy-restore equals
+/// call-by-reference *only* for stateless routines.
+pub trait RemoteService: Send {
+    /// Invokes `method` with `args` (primitives, strings, or references
+    /// into `heap`). Returns the method's result value.
+    ///
+    /// # Errors
+    /// Implementations raise [`NrmiError::Remote`] (via
+    /// [`NrmiError::app`]) for application failures, or propagate heap
+    /// errors; either travels back to the caller as a remote exception.
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[Value],
+        heap: &mut dyn HeapAccess,
+    ) -> Result<Value, NrmiError>;
+}
+
+/// Adapts a closure into a [`RemoteService`].
+///
+/// ```
+/// use nrmi_core::{FnService, NrmiError, RemoteService};
+/// use nrmi_heap::{ClassRegistry, Heap, Value};
+///
+/// let mut svc = FnService::new(|method, args, _heap| match method {
+///     "add" => {
+///         let a = args[0].as_int().ok_or_else(|| NrmiError::app("bad arg"))?;
+///         let b = args[1].as_int().ok_or_else(|| NrmiError::app("bad arg"))?;
+///         Ok(Value::Int(a + b))
+///     }
+///     other => Err(NrmiError::app(format!("no method {other}"))),
+/// });
+/// let mut reg = ClassRegistry::new();
+/// let mut heap = Heap::new(reg.snapshot());
+/// let r = svc.invoke("add", &[Value::Int(2), Value::Int(3)], &mut heap).unwrap();
+/// assert_eq!(r, Value::Int(5));
+/// ```
+pub struct FnService<F>(F);
+
+impl<F> FnService<F>
+where
+    F: FnMut(&str, &[Value], &mut dyn HeapAccess) -> Result<Value, NrmiError> + Send,
+{
+    /// Wraps `f` as a service.
+    pub fn new(f: F) -> Self {
+        FnService(f)
+    }
+}
+
+impl<F> std::fmt::Debug for FnService<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnService(..)")
+    }
+}
+
+impl<F> RemoteService for FnService<F>
+where
+    F: FnMut(&str, &[Value], &mut dyn HeapAccess) -> Result<Value, NrmiError> + Send,
+{
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[Value],
+        heap: &mut dyn HeapAccess,
+    ) -> Result<Value, NrmiError> {
+        (self.0)(method, args, heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrmi_heap::ClassRegistry;
+
+    #[test]
+    fn fn_service_dispatches_and_errors() {
+        let mut svc = FnService::new(|method, _args, _heap| match method {
+            "ok" => Ok(Value::Int(1)),
+            other => Err(NrmiError::NoSuchMethod { service: "t".into(), method: other.into() }),
+        });
+        let reg = ClassRegistry::new();
+        let mut heap = nrmi_heap::Heap::new(reg.snapshot());
+        assert_eq!(svc.invoke("ok", &[], &mut heap).unwrap(), Value::Int(1));
+        assert!(matches!(
+            svc.invoke("nope", &[], &mut heap),
+            Err(NrmiError::NoSuchMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn stateful_services_are_possible() {
+        // §4.1: statefulness is what breaks copy-restore/by-reference
+        // equivalence; the trait must allow modelling it.
+        let mut counter = 0;
+        let mut svc = FnService::new(move |_m, _a, _h| {
+            counter += 1;
+            Ok(Value::Int(counter))
+        });
+        let reg = ClassRegistry::new();
+        let mut heap = nrmi_heap::Heap::new(reg.snapshot());
+        assert_eq!(svc.invoke("tick", &[], &mut heap).unwrap(), Value::Int(1));
+        assert_eq!(svc.invoke("tick", &[], &mut heap).unwrap(), Value::Int(2));
+    }
+}

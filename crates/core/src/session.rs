@@ -1,0 +1,550 @@
+//! In-process client/server sessions: the main entry point for
+//! applications, tests, and benchmarks.
+//!
+//! A [`Session`] spawns the server on its own thread, connected to the
+//! client by an in-process channel transport (optionally accounting
+//! simulated time). TCP helpers ([`serve_tcp`], [`Session::connect_tcp`])
+//! run the identical protocol across real sockets for genuine
+//! distribution.
+
+use std::thread::JoinHandle;
+
+use std::collections::HashSet;
+
+use nrmi_heap::{Heap, LinearMap, ObjId, SharedRegistry, Value};
+use nrmi_transport::{
+    channel_pair, ChannelTransport, Frame, LinkSpec, MachineSpec, SimEnv, TcpListenerTransport,
+    TcpTransport, Transport,
+};
+
+use crate::error::NrmiError;
+use crate::node::{ClientNode, ServerNode};
+use crate::profile::RuntimeProfile;
+use crate::protocol::{
+    client_invoke_on_object_with_stats, client_invoke_with_stats, serve_connection, CallStats,
+};
+use crate::semantics::CallOptions;
+use crate::service::RemoteService;
+
+/// Configures and launches a [`Session`].
+pub struct SessionBuilder {
+    registry: SharedRegistry,
+    services: Vec<(String, Box<dyn RemoteService>)>,
+    class_services: Vec<(nrmi_heap::ClassId, Box<dyn RemoteService>)>,
+    env: Option<SimEnv>,
+    link: LinkSpec,
+    client_machine: MachineSpec,
+    server_machine: MachineSpec,
+    profile: RuntimeProfile,
+}
+
+impl std::fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("services", &self.services.len())
+            .field("link", &self.link)
+            .finish()
+    }
+}
+
+impl SessionBuilder {
+    /// Binds `service` under `name` on the server.
+    pub fn serve(mut self, name: impl Into<String>, service: Box<dyn RemoteService>) -> Self {
+        self.services.push((name.into(), service));
+        self
+    }
+
+    /// Binds `service` as the behavior of remote-marked `class` on the
+    /// server: method calls on exported instances (via
+    /// [`Session::call_on`]) dispatch to it with the receiver prepended
+    /// as `args[0]`.
+    pub fn serve_class(
+        mut self,
+        class: nrmi_heap::ClassId,
+        service: Box<dyn RemoteService>,
+    ) -> Self {
+        self.class_services.push((class, service));
+        self
+    }
+
+    /// Enables simulated-time accounting: transfers over `link`, CPU on
+    /// the given machines, middleware costs from `profile`.
+    pub fn simulated(
+        mut self,
+        env: SimEnv,
+        link: LinkSpec,
+        client_machine: MachineSpec,
+        server_machine: MachineSpec,
+        profile: RuntimeProfile,
+    ) -> Self {
+        self.env = Some(env);
+        self.link = link;
+        self.client_machine = client_machine;
+        self.server_machine = server_machine;
+        self.profile = profile;
+        self
+    }
+
+    /// Launches the server thread and returns the connected session.
+    pub fn build(self) -> Session {
+        let (client_t, mut server_t) = channel_pair(self.env.clone(), self.link);
+        let mut server = ServerNode::new(self.registry.clone(), self.server_machine);
+        if let Some(env) = &self.env {
+            server.state.env = Some(env.clone());
+            server.state.profile = self.profile;
+        }
+        for (name, service) in self.services {
+            server.bind(name, service);
+        }
+        for (class, service) in self.class_services {
+            server.bind_class(class, service);
+        }
+        let handle = std::thread::spawn(move || {
+            // Orderly disconnects end the loop; a protocol error from a
+            // misbehaving peer also ends it (the node is returned for
+            // inspection either way).
+            let _ = serve_connection(&mut server, &mut server_t);
+            server
+        });
+        let mut client = ClientNode::new(self.registry, self.client_machine);
+        if let Some(env) = &self.env {
+            client.state.env = Some(env.clone());
+            client.state.profile = self.profile;
+        }
+        Session {
+            client,
+            transport: client_t,
+            server_thread: Some(handle),
+            tracer: crate::trace::Tracer::new(),
+        }
+    }
+}
+
+/// A connected client with its in-process server.
+///
+/// ```
+/// use nrmi_core::{FnService, Session};
+/// use nrmi_heap::{ClassRegistry, Value};
+///
+/// # fn main() -> Result<(), nrmi_core::NrmiError> {
+/// let reg = ClassRegistry::new();
+/// let mut session = Session::builder(reg.snapshot())
+///     .serve(
+///         "adder",
+///         Box::new(FnService::new(|_m, args, _h| {
+///             let (a, b) = (args[0].as_int().unwrap_or(0), args[1].as_int().unwrap_or(0));
+///             Ok(Value::Int(a + b))
+///         })),
+///     )
+///     .build();
+/// let sum = session.call("adder", "add", &[Value::Int(2), Value::Int(40)])?;
+/// assert_eq!(sum, Value::Int(42));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Session {
+    client: ClientNode,
+    transport: ChannelTransport,
+    server_thread: Option<JoinHandle<ServerNode>>,
+    tracer: crate::trace::Tracer,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("client", &self.client).finish()
+    }
+}
+
+impl Session {
+    /// Starts configuring a session over a shared class registry.
+    pub fn builder(registry: SharedRegistry) -> SessionBuilder {
+        SessionBuilder {
+            registry,
+            services: Vec::new(),
+            class_services: Vec::new(),
+            env: None,
+            link: LinkSpec::free(),
+            client_machine: MachineSpec::fast(),
+            server_machine: MachineSpec::slow(),
+            profile: RuntimeProfile::default(),
+        }
+    }
+
+    /// The client-side heap (where applications build argument graphs).
+    pub fn heap(&mut self) -> &mut Heap {
+        &mut self.client.state.heap
+    }
+
+    /// The client node (heap plus export/stub tables).
+    pub fn client(&mut self) -> &mut ClientNode {
+        &mut self.client
+    }
+
+    /// Invokes a remote method with marker-driven semantics
+    /// ([`CallOptions::auto`]).
+    ///
+    /// # Errors
+    /// Marshalling, transport, protocol, and remote-exception failures.
+    pub fn call(&mut self, service: &str, method: &str, args: &[Value]) -> Result<Value, NrmiError> {
+        self.call_with(service, method, args, CallOptions::auto())
+    }
+
+    /// Invokes a remote method with explicit options.
+    ///
+    /// # Errors
+    /// As [`Session::call`].
+    pub fn call_with(
+        &mut self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+        opts: CallOptions,
+    ) -> Result<Value, NrmiError> {
+        self.call_with_stats(service, method, args, opts).map(|(v, _)| v)
+    }
+
+    /// Invokes a remote method and returns per-call statistics alongside
+    /// the result.
+    ///
+    /// # Errors
+    /// As [`Session::call`].
+    pub fn call_with_stats(
+        &mut self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+        opts: CallOptions,
+    ) -> Result<(Value, CallStats), NrmiError> {
+        let started = std::time::Instant::now();
+        let result =
+            client_invoke_with_stats(&mut self.client, &mut self.transport, service, method, args, opts);
+        if self.tracer.is_enabled() {
+            let (error, stats) = match &result {
+                Ok((_, stats)) => (None, *stats),
+                Err(e) => (Some(e.to_string()), CallStats::default()),
+            };
+            self.tracer.record(
+                format!("{service}.{method}"),
+                opts,
+                error,
+                stats,
+                started.elapsed(),
+            );
+        }
+        result
+    }
+
+    /// Starts recording a [`CallTrace`](crate::trace::CallTrace) per
+    /// invocation; inspect with [`Session::tracer`].
+    pub fn enable_tracing(&mut self) {
+        self.tracer.enable();
+    }
+
+    /// The session's call log.
+    pub fn tracer(&self) -> &crate::trace::Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the call log (e.g. to clear it between phases).
+    pub fn tracer_mut(&mut self) -> &mut crate::trace::Tracer {
+        &mut self.tracer
+    }
+
+    /// Invokes a method ON a remote object this client holds a stub for
+    /// (obtained from an earlier call's return value or a marshalled
+    /// graph) — the RMI factory pattern: look up a factory service, get
+    /// back a remote object, call methods on it directly.
+    ///
+    /// # Errors
+    /// [`NrmiError::InvalidArgument`] if `stub` is not a stub; the usual
+    /// call failures otherwise.
+    pub fn call_on(
+        &mut self,
+        stub: ObjId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, NrmiError> {
+        self.call_on_with(stub, method, args, CallOptions::auto())
+    }
+
+    /// [`Session::call_on`] with explicit options.
+    ///
+    /// # Errors
+    /// As [`Session::call_on`].
+    pub fn call_on_with(
+        &mut self,
+        stub: ObjId,
+        method: &str,
+        args: &[Value],
+        opts: CallOptions,
+    ) -> Result<Value, NrmiError> {
+        let started = std::time::Instant::now();
+        let result = client_invoke_on_object_with_stats(
+            &mut self.client,
+            &mut self.transport,
+            stub,
+            method,
+            args,
+            opts,
+        );
+        if self.tracer.is_enabled() {
+            let (error, stats) = match &result {
+                Ok((_, stats)) => (None, *stats),
+                Err(e) => (Some(e.to_string()), CallStats::default()),
+            };
+            self.tracer
+                .record(format!("{stub}.{method}"), opts, error, stats, started.elapsed());
+        }
+        result.map(|(v, _)| v)
+    }
+
+    /// Queries the server's registry for `name` (the `Naming.lookup`
+    /// analogue).
+    ///
+    /// # Errors
+    /// Transport failures or protocol violations.
+    pub fn lookup(&mut self, name: &str) -> Result<bool, NrmiError> {
+        self.transport.send(&Frame::Lookup { name: name.to_owned() })?;
+        match self.transport.recv()? {
+            Frame::LookupReply { found } => Ok(found),
+            other => Err(NrmiError::Protocol(format!("expected LookupReply, got {other:?}"))),
+        }
+    }
+
+    /// Releases a stub held by the client: sends the DGC clean message
+    /// for its key and drops the local stub object. The analogue of the
+    /// client-side GC detecting an unreachable remote reference.
+    ///
+    /// # Errors
+    /// Transport failures, or heap errors if `stub` is not a live stub.
+    pub fn release_stub(&mut self, stub: ObjId) -> Result<(), NrmiError> {
+        let key = self
+            .client
+            .state
+            .heap
+            .stub_key(stub)?
+            .ok_or_else(|| NrmiError::InvalidArgument(format!("{stub} is not a stub")))?;
+        self.transport.send(&Frame::DgcClean { key })?;
+        self.client.state.stubs.remove(&key);
+        self.client.state.heap.free(stub)?;
+        Ok(())
+    }
+
+    /// Runs a client-side garbage collection: everything unreachable
+    /// from `roots` (plus objects pinned by the peer's stubs, which are
+    /// GC roots) is freed, and a DGC clean message is sent for every
+    /// stub that became unreachable — the full RMI DGC loop. Returns
+    /// `(objects_freed, cleans_sent)`.
+    ///
+    /// Acyclic cross-heap garbage is reclaimed by this mechanism;
+    /// distributed *cycles* are not (each side's stub is pinned by the
+    /// other side's object), which is exactly the paper's Table 6 leak.
+    ///
+    /// # Errors
+    /// Transport failures while sending cleans; heap errors.
+    pub fn collect_garbage(&mut self, roots: &[ObjId]) -> Result<(usize, usize), NrmiError> {
+        let state = &mut self.client.state;
+        // Objects the PEER holds references to must survive local GC.
+        let mut gc_roots: Vec<ObjId> = roots.to_vec();
+        gc_roots.extend(state.exports.roots());
+        let reachable: HashSet<ObjId> =
+            LinearMap::build(&state.heap, &gc_roots)?.order().iter().copied().collect();
+        // Unreachable stubs: release the peer's export before freeing.
+        let doomed: Vec<(u64, ObjId)> = state
+            .stubs
+            .iter()
+            .filter(|(_, stub)| !reachable.contains(stub))
+            .map(|(&key, &stub)| (key, stub))
+            .collect();
+        let mut cleans = 0;
+        for (key, stub) in doomed {
+            self.transport.send(&Frame::DgcClean { key })?;
+            self.client.state.stubs.remove(&key);
+            cleans += 1;
+            let _ = stub; // freed by the sweep below
+        }
+        let freed = nrmi_heap::gc::mark_sweep(&mut self.client.state.heap, &gc_roots)?;
+        Ok((freed, cleans))
+    }
+
+    /// Shuts the server down and returns its final state for inspection
+    /// (tests assert on server heaps, export tables, and statistics).
+    ///
+    /// # Errors
+    /// Transport failures during shutdown; a panicked server thread.
+    pub fn shutdown(mut self) -> Result<ServerNode, NrmiError> {
+        self.transport.send(&Frame::Shutdown)?;
+        let handle = self.server_thread.take().expect("shutdown called once");
+        handle
+            .join()
+            .map_err(|_| NrmiError::Protocol("server thread panicked".into()))
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(handle) = self.server_thread.take() {
+            let _ = self.transport.send(&Frame::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serves connections accepted from `listener` until `max_connections`
+/// have been handled (servers in examples/tests typically serve one).
+/// Each connection runs the full protocol against the same server node —
+/// sequential, like a single-threaded RMI dispatch queue.
+///
+/// # Errors
+/// Socket or protocol failures.
+pub fn serve_tcp(
+    server: &mut ServerNode,
+    listener: &TcpListenerTransport,
+    max_connections: usize,
+) -> Result<(), NrmiError> {
+    for _ in 0..max_connections {
+        let mut transport = listener.accept()?;
+        serve_connection(server, &mut transport)?;
+    }
+    Ok(())
+}
+
+/// Serves `max_connections` connections **concurrently**: each accepted
+/// client gets its own thread, all dispatching into one shared
+/// [`ServerNode`] (per-request locking). Returns the server node once
+/// every connection has ended.
+///
+/// # Errors
+/// Socket failures on accept; per-connection protocol errors end that
+/// connection only.
+pub fn serve_tcp_concurrent(
+    server: ServerNode,
+    listener: &TcpListenerTransport,
+    max_connections: usize,
+) -> Result<ServerNode, NrmiError> {
+    let shared = parking_lot::Mutex::new(server);
+    std::thread::scope(|scope| -> Result<(), NrmiError> {
+        for _ in 0..max_connections {
+            let mut transport = listener.accept()?;
+            let shared = &shared;
+            scope.spawn(move || {
+                let _ = crate::protocol::serve_connection_shared(shared, &mut transport);
+            });
+        }
+        Ok(())
+    })?;
+    Ok(shared.into_inner())
+}
+
+/// A client connected over an arbitrary [`Transport`] — the generic twin
+/// of [`Session`] for real sockets (TCP, Unix-domain) or custom pipes.
+pub struct RemoteSession<T: Transport> {
+    client: ClientNode,
+    transport: T,
+}
+
+/// A client connected over TCP.
+pub type TcpSession = RemoteSession<TcpTransport>;
+
+impl<T: Transport> std::fmt::Debug for RemoteSession<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteSession").finish()
+    }
+}
+
+impl Session {
+    /// Connects a TCP client to a server reachable at `addr`.
+    ///
+    /// # Errors
+    /// Socket failures.
+    pub fn connect_tcp(
+        registry: SharedRegistry,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> Result<TcpSession, NrmiError> {
+        let transport = TcpTransport::connect(addr)?;
+        Ok(RemoteSession::over(registry, transport))
+    }
+
+    /// Connects over a Unix-domain socket at `path`.
+    ///
+    /// # Errors
+    /// Socket failures.
+    #[cfg(unix)]
+    pub fn connect_uds(
+        registry: SharedRegistry,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<RemoteSession<nrmi_transport::UdsTransport>, NrmiError> {
+        let transport = nrmi_transport::UdsTransport::connect(path)?;
+        Ok(RemoteSession::over(registry, transport))
+    }
+}
+
+impl<T: Transport> RemoteSession<T> {
+    /// Wraps an already-connected transport as a client session.
+    pub fn over(registry: SharedRegistry, transport: T) -> Self {
+        RemoteSession { client: ClientNode::new(registry, MachineSpec::fast()), transport }
+    }
+
+    /// The client-side heap.
+    pub fn heap(&mut self) -> &mut Heap {
+        &mut self.client.state.heap
+    }
+
+    /// The client node (heap plus export/stub tables).
+    pub fn client(&mut self) -> &mut ClientNode {
+        &mut self.client
+    }
+
+    /// Invokes a remote method with marker-driven semantics.
+    ///
+    /// # Errors
+    /// As [`Session::call`].
+    pub fn call(&mut self, service: &str, method: &str, args: &[Value]) -> Result<Value, NrmiError> {
+        self.call_with(service, method, args, CallOptions::auto())
+    }
+
+    /// Invokes a remote method with explicit options.
+    ///
+    /// # Errors
+    /// As [`Session::call`].
+    pub fn call_with(
+        &mut self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+        opts: CallOptions,
+    ) -> Result<Value, NrmiError> {
+        client_invoke_with_stats(&mut self.client, &mut self.transport, service, method, args, opts)
+            .map(|(v, _)| v)
+    }
+
+    /// Invokes a method on a remote object this client holds a stub for.
+    ///
+    /// # Errors
+    /// As [`Session::call_on`].
+    pub fn call_on(
+        &mut self,
+        stub: ObjId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, NrmiError> {
+        client_invoke_on_object_with_stats(
+            &mut self.client,
+            &mut self.transport,
+            stub,
+            method,
+            args,
+            CallOptions::auto(),
+        )
+        .map(|(v, _)| v)
+    }
+
+    /// Ends the connection (the server moves on to its next client).
+    ///
+    /// # Errors
+    /// Socket failures.
+    pub fn close(mut self) -> Result<(), NrmiError> {
+        self.transport.send(&Frame::Shutdown)?;
+        Ok(())
+    }
+}

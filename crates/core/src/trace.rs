@@ -1,0 +1,202 @@
+//! Call tracing: a client-side record of every remote invocation.
+//!
+//! Middleware hides mechanism by design, which is exactly what makes it
+//! hard to debug ("why was that call slow?", "did the restore actually
+//! run?", "how many bytes did this ship?"). A [`Tracer`] attached to a
+//! session records one [`CallTrace`] per invocation — target, semantics,
+//! outcome, wire statistics, wall-clock — and renders them as a table.
+
+use std::time::Duration;
+
+use crate::protocol::CallStats;
+use crate::semantics::CallOptions;
+
+/// One recorded remote invocation.
+#[derive(Clone, Debug)]
+pub struct CallTrace {
+    /// Monotonic per-session sequence number.
+    pub seq: u64,
+    /// `service.method` or `#stubkey.method`.
+    pub target: String,
+    /// The options the call ran under.
+    pub options: CallOptions,
+    /// `None` on success, the error message otherwise.
+    pub error: Option<String>,
+    /// Wire statistics (zeroed for failed calls that never marshalled).
+    pub stats: CallStats,
+    /// Wall-clock duration of the whole invocation.
+    pub elapsed: Duration,
+}
+
+impl CallTrace {
+    /// One-line rendering.
+    pub fn line(&self) -> String {
+        let mode = match self.options.mode_override {
+            None => "auto",
+            Some(crate::PassMode::Copy) => "copy",
+            Some(crate::PassMode::CopyRestore) => "copy-restore",
+            Some(crate::PassMode::RemoteRef) => "remote-ref",
+            Some(crate::PassMode::DceRpc) => "dce",
+        };
+        let delta = if self.options.delta_reply { "+delta" } else { "" };
+        let outcome = match &self.error {
+            None => "ok".to_owned(),
+            Some(e) => format!("ERR {e}"),
+        };
+        format!(
+            "#{} {} [{}{}] {}us req={}B/{}obj reply={}B restored={} new={} callbacks={} {}",
+            self.seq,
+            self.target,
+            mode,
+            delta,
+            self.elapsed.as_micros(),
+            self.stats.request_bytes,
+            self.stats.request_objects,
+            self.stats.reply_bytes,
+            self.stats.restored_objects,
+            self.stats.new_objects,
+            self.stats.callbacks_served,
+            outcome
+        )
+    }
+}
+
+/// An append-only call log. Disabled by default (zero overhead beyond a
+/// branch); enable per session.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    next_seq: u64,
+    entries: Vec<CallTrace>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Turns recording off (existing entries are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one call (no-op when disabled). Returns the sequence
+    /// number assigned, if recorded.
+    pub fn record(
+        &mut self,
+        target: String,
+        options: CallOptions,
+        error: Option<String>,
+        stats: CallStats,
+        elapsed: Duration,
+    ) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(CallTrace { seq, target, options, error, stats, elapsed });
+        Some(seq)
+    }
+
+    /// The recorded calls, oldest first.
+    pub fn entries(&self) -> &[CallTrace] {
+        &self.entries
+    }
+
+    /// Drops all recorded entries (the sequence keeps counting).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Renders the log, one line per call.
+    pub fn render(&self) -> String {
+        self.entries.iter().map(|e| e.line()).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Aggregate totals over the recorded calls:
+    /// `(calls, errors, request_bytes, reply_bytes, callbacks)`.
+    pub fn totals(&self) -> (usize, usize, usize, usize, u64) {
+        let mut errors = 0;
+        let mut req = 0;
+        let mut reply = 0;
+        let mut callbacks = 0;
+        for e in &self.entries {
+            if e.error.is_some() {
+                errors += 1;
+            }
+            req += e.stats.request_bytes;
+            reply += e.stats.reply_bytes;
+            callbacks += e.stats.callbacks_served;
+        }
+        (self.entries.len(), errors, req, reply, callbacks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(req: usize, reply: usize) -> CallStats {
+        CallStats { request_bytes: req, reply_bytes: reply, ..CallStats::default() }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new();
+        assert!(!t.is_enabled());
+        assert_eq!(
+            t.record("svc.m".into(), CallOptions::auto(), None, stats(1, 2), Duration::ZERO),
+            None
+        );
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = Tracer::new();
+        t.enable();
+        let seq = t
+            .record("svc.m".into(), CallOptions::auto(), None, stats(100, 200), Duration::from_micros(5))
+            .unwrap();
+        assert_eq!(seq, 0);
+        t.record(
+            "svc.boom".into(),
+            CallOptions::copy_restore_delta(),
+            Some("remote exception: x".into()),
+            stats(10, 0),
+            Duration::from_micros(7),
+        );
+        assert_eq!(t.entries().len(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("svc.m [auto]"));
+        assert!(rendered.contains("copy-restore+delta"));
+        assert!(rendered.contains("ERR remote exception: x"));
+        let (calls, errors, req, reply, callbacks) = t.totals();
+        assert_eq!((calls, errors, req, reply, callbacks), (2, 1, 110, 200, 0));
+    }
+
+    #[test]
+    fn clear_keeps_sequence() {
+        let mut t = Tracer::new();
+        t.enable();
+        t.record("a.b".into(), CallOptions::auto(), None, stats(0, 0), Duration::ZERO);
+        t.clear();
+        assert!(t.entries().is_empty());
+        let seq = t
+            .record("a.c".into(), CallOptions::auto(), None, stats(0, 0), Duration::ZERO)
+            .unwrap();
+        assert_eq!(seq, 1, "sequence numbers never repeat");
+    }
+}

@@ -1,0 +1,178 @@
+//! Network-transparency verification (the paper's §5.3.2 invariant).
+//!
+//! "The invariant maintained is that all the changes are visible to the
+//! caller. In other words, the resulting execution semantics is as if
+//! both the caller and the callee were executing within the same address
+//! space." This module turns that sentence into an executable check:
+//! build the same graph twice, run the routine once locally (the oracle)
+//! and once through a remote call, and compare the resulting heaps up to
+//! isomorphism — *including the aliases*.
+//!
+//! Property-based tests drive [`check_transparency`] with random graphs,
+//! random aliases, and random mutation scripts; it is the strongest
+//! correctness statement in the repository.
+
+use nrmi_heap::graph::first_difference;
+use nrmi_heap::{Heap, HeapAccess, ObjId, SharedRegistry, Value};
+
+use crate::error::NrmiError;
+use crate::semantics::CallOptions;
+use crate::service::FnService;
+use crate::session::Session;
+
+/// A routine under test: receives the root argument and the heap it
+/// should mutate. Must be deterministic — it runs twice.
+pub type Routine = fn(&mut dyn HeapAccess, ObjId) -> Result<Value, NrmiError>;
+
+/// Builds a graph into a heap, returning the interesting roots:
+/// element 0 is the call argument; the rest are aliases into the graph
+/// whose views must also be checked.
+pub type GraphBuilder<'a> = &'a dyn Fn(&mut Heap) -> Vec<ObjId>;
+
+/// Runs `routine` both locally and as a remote call under `opts`, and
+/// compares the outcomes.
+///
+/// Returns `Ok(None)` when the remote execution is transparent — the
+/// caller-side heap is isomorphic to the local-oracle heap across the
+/// argument *and every alias* — and `Ok(Some(description))` naming the
+/// first divergence otherwise (which is the expected outcome for, e.g.,
+/// plain copy semantics under mutation, or DCE semantics with
+/// unreachable changes).
+///
+/// # Errors
+/// Propagates infrastructure failures (the comparison itself failing),
+/// not semantic divergences.
+pub fn check_transparency(
+    registry: &SharedRegistry,
+    build: GraphBuilder<'_>,
+    routine: Routine,
+    opts: CallOptions,
+) -> Result<Option<String>, NrmiError> {
+    // Local oracle.
+    let mut oracle_heap = Heap::new(registry.clone());
+    let oracle_roots = build(&mut oracle_heap);
+    let oracle_arg = *oracle_roots.first().expect("builder returns at least the argument root");
+    routine(&mut oracle_heap, oracle_arg)?;
+
+    // Remote execution.
+    let mut session = Session::builder(registry.clone())
+        .serve(
+            "under-test",
+            Box::new(FnService::new(move |_method, args, heap| {
+                let arg = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("routine expects a reference argument"))?;
+                routine(heap, arg)
+            })),
+        )
+        .build();
+    let client_roots = build(session.heap());
+    let client_arg = *client_roots.first().expect("builder returns at least the argument root");
+    session.call_with("under-test", "run", &[Value::Ref(client_arg)], opts)?;
+
+    // Compare outcome graphs across argument + aliases.
+    let diff = first_difference(&oracle_heap, &oracle_roots, session.heap(), &client_roots)?;
+    Ok(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::PassMode;
+    use nrmi_heap::{tree, ClassRegistry};
+
+    fn registry() -> SharedRegistry {
+        let mut reg = ClassRegistry::new();
+        let _ = tree::register_tree_classes(&mut reg);
+        reg.snapshot()
+    }
+
+    fn build_example(heap: &mut Heap) -> Vec<ObjId> {
+        let classes = tree::TreeClasses {
+            tree: heap.registry_handle().by_name("Tree").expect("Tree registered"),
+        };
+        let ex = tree::build_running_example(heap, &classes).unwrap();
+        vec![ex.root, ex.alias1_target, ex.alias2_target]
+    }
+
+    fn foo_routine(heap: &mut dyn HeapAccess, root: ObjId) -> Result<Value, NrmiError> {
+        tree::run_foo(heap, root)?;
+        Ok(Value::Null)
+    }
+
+    #[test]
+    fn copy_restore_is_transparent_for_running_example() {
+        let diff = check_transparency(
+            &registry(),
+            &build_example,
+            foo_routine,
+            CallOptions::forced(PassMode::CopyRestore),
+        )
+        .unwrap();
+        assert_eq!(diff, None, "copy-restore must equal local execution");
+    }
+
+    #[test]
+    fn auto_mode_is_transparent_for_restorable_classes() {
+        let diff =
+            check_transparency(&registry(), &build_example, foo_routine, CallOptions::auto())
+                .unwrap();
+        assert_eq!(diff, None, "Tree is Restorable, so AUTO should copy-restore");
+    }
+
+    #[test]
+    fn delta_reply_is_transparent() {
+        let diff = check_transparency(
+            &registry(),
+            &build_example,
+            foo_routine,
+            CallOptions::copy_restore_delta(),
+        )
+        .unwrap();
+        assert_eq!(diff, None, "delta-encoded copy-restore must equal local execution");
+    }
+
+    #[test]
+    fn plain_copy_is_not_transparent_under_mutation() {
+        let diff = check_transparency(
+            &registry(),
+            &build_example,
+            foo_routine,
+            CallOptions::forced(PassMode::Copy),
+        )
+        .unwrap();
+        assert!(diff.is_some(), "call-by-copy discards server mutations");
+    }
+
+    #[test]
+    fn dce_semantics_is_not_transparent_when_data_unlinked() {
+        // foo unlinks t.left and the old t.right; DCE drops their
+        // updates, so the outcome differs from local execution (§4.2).
+        let diff = check_transparency(
+            &registry(),
+            &build_example,
+            foo_routine,
+            CallOptions::forced(PassMode::DceRpc),
+        )
+        .unwrap();
+        assert!(diff.is_some(), "DCE RPC must diverge on the running example");
+    }
+
+    #[test]
+    fn dce_equals_copy_restore_without_unlinking() {
+        // When nothing becomes unreachable, DCE and full copy-restore
+        // coincide.
+        fn benign(heap: &mut dyn HeapAccess, root: ObjId) -> Result<Value, NrmiError> {
+            heap.set_field(root, "data", Value::Int(123))?;
+            Ok(Value::Null)
+        }
+        let diff = check_transparency(
+            &registry(),
+            &build_example,
+            benign,
+            CallOptions::forced(PassMode::DceRpc),
+        )
+        .unwrap();
+        assert_eq!(diff, None);
+    }
+}

@@ -1,0 +1,540 @@
+//! Class descriptors: the reflective metadata Java provides at runtime.
+//!
+//! NRMI's portable implementation walks object graphs using
+//! `java.lang.reflect`; its optimized implementation uses `sun.misc.Unsafe`
+//! but still relies on class layout metadata. Rust has neither, so every
+//! object type participating in remote calls is described ahead of time by
+//! a [`ClassDescriptor`] registered in a [`ClassRegistry`]. This mirrors
+//! how stubs/skeletons and serialVersionUIDs require class definitions to
+//! be present on both client and server "classpaths".
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::HeapError;
+
+/// Identifies a class within a [`ClassRegistry`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Raw registry index; stable across client and server because both
+    /// sides share a registry snapshot (their common "classpath").
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a `ClassId` from [`ClassId::index`]. Validity is checked on
+    /// first use against the registry.
+    pub fn from_index(index: u32) -> Self {
+        ClassId(index)
+    }
+}
+
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class:{}", self.0)
+    }
+}
+
+/// Static type of a field slot.
+///
+/// References are untyped (as if every reference field were declared
+/// `Object`); the dynamic class travels with the object, exactly as in
+/// Java serialization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// Java `boolean`.
+    Bool,
+    /// Java `int`.
+    Int,
+    /// Java `long`.
+    Long,
+    /// Java `double`.
+    Double,
+    /// An immutable string.
+    Str,
+    /// A reference to another object (or null).
+    Ref,
+    /// Any value — a Java `Object` field, which may hold a reference,
+    /// null, or a boxed primitive.
+    Any,
+}
+
+impl FieldType {
+    /// True if a [`Value`](crate::Value) is admissible in a slot of this
+    /// type. `Null` is admissible in `Ref` and `Str` slots (Java nulls).
+    pub fn admits(self, value: &crate::Value) -> bool {
+        use crate::Value;
+        matches!(
+            (self, value),
+            (FieldType::Bool, Value::Bool(_))
+                | (FieldType::Int, Value::Int(_))
+                | (FieldType::Long, Value::Long(_))
+                | (FieldType::Double, Value::Double(_))
+                | (FieldType::Str, Value::Str(_))
+                | (FieldType::Str, Value::Null)
+                | (FieldType::Ref, Value::Ref(_))
+                | (FieldType::Ref, Value::Null)
+                | (FieldType::Any, _)
+        )
+    }
+
+    /// The default (zero) value a freshly allocated slot of this type holds.
+    pub fn default_value(self) -> crate::Value {
+        use crate::Value;
+        match self {
+            FieldType::Bool => Value::Bool(false),
+            FieldType::Int => Value::Int(0),
+            FieldType::Long => Value::Long(0),
+            FieldType::Double => Value::Double(0.0),
+            FieldType::Str => Value::Null,
+            FieldType::Ref => Value::Null,
+            FieldType::Any => Value::Null,
+        }
+    }
+}
+
+/// A named, typed field slot in a class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDescriptor {
+    name: String,
+    ty: FieldType,
+}
+
+impl FieldDescriptor {
+    /// Creates a descriptor for field `name` of type `ty`.
+    pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
+        FieldDescriptor { name: name.into(), ty }
+    }
+
+    /// The field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field's static type.
+    pub fn ty(&self) -> FieldType {
+        self.ty
+    }
+}
+
+/// NRMI marker flags, mirroring the paper's per-type semantics selection
+/// (§5.1): `java.io.Serializable` → pass by copy,
+/// `java.rmi.Restorable` → pass by copy-restore,
+/// `UnicastRemoteObject` → pass by remote reference.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassFlags {
+    /// Instances may be marshalled by value (`java.io.Serializable`).
+    pub serializable: bool,
+    /// Instances are passed by copy-restore (`java.rmi.Restorable`).
+    /// Implies `serializable`, as in the paper ("Restorable extends
+    /// Serializable").
+    pub restorable: bool,
+    /// Instances are remotely accessible and passed by remote reference
+    /// (`java.rmi.server.UnicastRemoteObject`).
+    pub remote: bool,
+    /// Instances are arrays; `fields` is empty and the payload is an
+    /// element vector.
+    pub array: bool,
+    /// Instances are local proxies ("stubs") for objects owned by the
+    /// peer node, holding only the peer's export key. Auto-registered as
+    /// [`ClassRegistry::stub_class`]; never defined by users.
+    pub stub: bool,
+}
+
+/// Immutable description of an object type: name, field layout, flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDescriptor {
+    name: String,
+    fields: Vec<FieldDescriptor>,
+    flags: ClassFlags,
+    /// Element type for array classes.
+    element: Option<FieldType>,
+}
+
+impl ClassDescriptor {
+    /// The fully qualified class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Field descriptors in declaration order (the order serialization and
+    /// the linear-map traversal follow).
+    pub fn fields(&self) -> &[FieldDescriptor] {
+        &self.fields
+    }
+
+    /// The marker flags.
+    pub fn flags(&self) -> ClassFlags {
+        self.flags
+    }
+
+    /// For array classes, the element type.
+    pub fn element_type(&self) -> Option<FieldType> {
+        self.element
+    }
+
+    /// Index of the field named `name`.
+    ///
+    /// # Errors
+    /// [`HeapError::NoSuchField`] if the class declares no such field.
+    pub fn field_index(&self, name: &str) -> Result<usize, HeapError> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| HeapError::NoSuchField {
+                class: self.name.clone(),
+                field: name.to_owned(),
+            })
+    }
+
+    /// Number of declared fields.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Approximate per-object wire overhead (class handle + field count),
+    /// used by the simulated cost model.
+    pub fn header_wire_size(&self) -> usize {
+        5 + 2
+    }
+}
+
+/// Builder returned by [`ClassRegistry::define`].
+///
+/// ```
+/// use nrmi_heap::ClassRegistry;
+/// let mut reg = ClassRegistry::new();
+/// let tree = reg
+///     .define("Tree")
+///     .field_int("data")
+///     .field_ref("left")
+///     .field_ref("right")
+///     .restorable()
+///     .register();
+/// assert_eq!(reg.get(tree).unwrap().name(), "Tree");
+/// ```
+#[derive(Debug)]
+pub struct ClassBuilder<'r> {
+    registry: &'r mut ClassRegistry,
+    name: String,
+    fields: Vec<FieldDescriptor>,
+    flags: ClassFlags,
+    element: Option<FieldType>,
+}
+
+impl<'r> ClassBuilder<'r> {
+    /// Adds a field of an explicit type.
+    pub fn field(mut self, name: impl Into<String>, ty: FieldType) -> Self {
+        self.fields.push(FieldDescriptor::new(name, ty));
+        self
+    }
+
+    /// Adds an `int` field.
+    pub fn field_int(self, name: impl Into<String>) -> Self {
+        self.field(name, FieldType::Int)
+    }
+
+    /// Adds a `long` field.
+    pub fn field_long(self, name: impl Into<String>) -> Self {
+        self.field(name, FieldType::Long)
+    }
+
+    /// Adds a `double` field.
+    pub fn field_double(self, name: impl Into<String>) -> Self {
+        self.field(name, FieldType::Double)
+    }
+
+    /// Adds a `bool` field.
+    pub fn field_bool(self, name: impl Into<String>) -> Self {
+        self.field(name, FieldType::Bool)
+    }
+
+    /// Adds a string field.
+    pub fn field_str(self, name: impl Into<String>) -> Self {
+        self.field(name, FieldType::Str)
+    }
+
+    /// Adds a reference field.
+    pub fn field_ref(self, name: impl Into<String>) -> Self {
+        self.field(name, FieldType::Ref)
+    }
+
+    /// Adds an `Object`-typed field that admits any value (reference,
+    /// null, or boxed primitive).
+    pub fn field_any(self, name: impl Into<String>) -> Self {
+        self.field(name, FieldType::Any)
+    }
+
+    /// Marks instances serializable (pass by copy).
+    pub fn serializable(mut self) -> Self {
+        self.flags.serializable = true;
+        self
+    }
+
+    /// Marks instances restorable (pass by copy-restore). Implies
+    /// serializable.
+    pub fn restorable(mut self) -> Self {
+        self.flags.restorable = true;
+        self.flags.serializable = true;
+        self
+    }
+
+    /// Marks instances remote (pass by remote reference).
+    pub fn remote(mut self) -> Self {
+        self.flags.remote = true;
+        self
+    }
+
+    /// Finalizes the class and returns its id.
+    ///
+    /// # Panics
+    /// Panics if a class with the same name is already registered; class
+    /// names are the cross-address-space identity and must be unique.
+    pub fn register(self) -> ClassId {
+        self.registry
+            .insert(ClassDescriptor {
+                name: self.name,
+                fields: self.fields,
+                flags: self.flags,
+                element: self.element,
+            })
+            .expect("duplicate class name")
+    }
+}
+
+/// The set of classes known to a node. Client and server each hold a
+/// [`SharedRegistry`] snapshot of the same registry — the analogue of
+/// having the same classes on both classpaths.
+#[derive(Clone, Debug, Default)]
+pub struct ClassRegistry {
+    classes: Vec<ClassDescriptor>,
+    by_name: HashMap<String, ClassId>,
+}
+
+/// A frozen, shareable registry handle used by heaps and serializers.
+pub type SharedRegistry = Arc<ClassRegistry>;
+
+/// Name of the auto-registered remote-stub class.
+pub const STUB_CLASS_NAME: &str = "@RemoteStub";
+
+impl ClassRegistry {
+    /// Creates a registry with the built-in remote-stub class registered.
+    ///
+    /// Stubs are how a node represents an object owned by its peer: a
+    /// single `key` field holding the peer's export-table key. They are
+    /// the in-heap form of RMI's remote references (Figure 3 of the
+    /// paper).
+    pub fn new() -> Self {
+        let mut reg = Self::default();
+        reg.insert(ClassDescriptor {
+            name: STUB_CLASS_NAME.to_owned(),
+            fields: vec![FieldDescriptor::new("key", FieldType::Long)],
+            flags: ClassFlags { stub: true, ..ClassFlags::default() },
+            element: None,
+        })
+        .expect("fresh registry");
+        reg
+    }
+
+    /// The built-in remote-stub class.
+    ///
+    /// # Panics
+    /// Panics if called on a registry built without [`ClassRegistry::new`]
+    /// (e.g. `default()`), which has no stub class.
+    pub fn stub_class(&self) -> ClassId {
+        self.by_name(STUB_CLASS_NAME).expect("stub class registered by new()")
+    }
+
+    /// Starts defining a class named `name`.
+    pub fn define(&mut self, name: impl Into<String>) -> ClassBuilder<'_> {
+        ClassBuilder {
+            registry: self,
+            name: name.into(),
+            fields: Vec::new(),
+            flags: ClassFlags::default(),
+            element: None,
+        }
+    }
+
+    /// Defines an array class with elements of type `element`. Array
+    /// classes are serializable by default (Java arrays are).
+    pub fn define_array(&mut self, name: impl Into<String>, element: FieldType) -> ClassId {
+        self.insert(ClassDescriptor {
+            name: name.into(),
+            fields: Vec::new(),
+            flags: ClassFlags { serializable: true, array: true, ..ClassFlags::default() },
+            element: Some(element),
+        })
+        .expect("duplicate class name")
+    }
+
+    fn insert(&mut self, desc: ClassDescriptor) -> Result<ClassId, HeapError> {
+        if self.by_name.contains_key(desc.name()) {
+            return Err(HeapError::DuplicateClass(desc.name().to_owned()));
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.by_name.insert(desc.name().to_owned(), id);
+        self.classes.push(desc);
+        Ok(id)
+    }
+
+    /// Looks up a descriptor by id.
+    ///
+    /// # Errors
+    /// [`HeapError::UnknownClass`] for ids not issued by this registry.
+    pub fn get(&self, id: ClassId) -> Result<&ClassDescriptor, HeapError> {
+        self.classes
+            .get(id.0 as usize)
+            .ok_or(HeapError::UnknownClass(id.0))
+    }
+
+    /// Looks up a class id by name.
+    pub fn by_name(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if no classes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over `(id, descriptor)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassDescriptor)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ClassId(i as u32), d))
+    }
+
+    /// Freezes the registry into a [`SharedRegistry`] handle that heaps on
+    /// both sides of a connection can share.
+    pub fn snapshot(&self) -> SharedRegistry {
+        Arc::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut reg = ClassRegistry::new();
+        let tree = reg
+            .define("Tree")
+            .field_int("data")
+            .field_ref("left")
+            .field_ref("right")
+            .restorable()
+            .register();
+        let desc = reg.get(tree).unwrap();
+        assert_eq!(desc.name(), "Tree");
+        assert_eq!(desc.field_count(), 3);
+        assert_eq!(desc.field_index("left").unwrap(), 1);
+        assert!(desc.flags().restorable);
+        assert!(desc.flags().serializable, "restorable implies serializable");
+        assert_eq!(reg.by_name("Tree"), Some(tree));
+        assert_eq!(reg.by_name("Missing"), None);
+    }
+
+    #[test]
+    fn field_index_error_names_class_and_field() {
+        let mut reg = ClassRegistry::new();
+        let c = reg.define("C").field_int("x").register();
+        let err = reg.get(c).unwrap().field_index("y").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains('C') && msg.contains('y'), "got: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class name")]
+    fn duplicate_names_rejected() {
+        let mut reg = ClassRegistry::new();
+        reg.define("A").register();
+        reg.define("A").register();
+    }
+
+    #[test]
+    fn unknown_class_id() {
+        let reg = ClassRegistry::new();
+        assert!(matches!(
+            reg.get(ClassId::from_index(9)),
+            Err(HeapError::UnknownClass(9))
+        ));
+    }
+
+    #[test]
+    fn stub_class_is_preregistered() {
+        let reg = ClassRegistry::new();
+        let stub = reg.stub_class();
+        let desc = reg.get(stub).unwrap();
+        assert!(desc.flags().stub);
+        assert!(!desc.flags().serializable, "stubs use the TAG_REMOTE path, not copying");
+        assert_eq!(desc.field_count(), 1);
+        assert_eq!(desc.fields()[0].ty(), FieldType::Long);
+    }
+
+    #[test]
+    fn array_classes() {
+        let mut reg = ClassRegistry::new();
+        let arr = reg.define_array("Object[]", FieldType::Ref);
+        let desc = reg.get(arr).unwrap();
+        assert!(desc.flags().array);
+        assert!(desc.flags().serializable);
+        assert_eq!(desc.element_type(), Some(FieldType::Ref));
+        assert_eq!(desc.field_count(), 0);
+    }
+
+    #[test]
+    fn field_type_admission() {
+        assert!(FieldType::Int.admits(&Value::Int(1)));
+        assert!(!FieldType::Int.admits(&Value::Long(1)));
+        assert!(FieldType::Ref.admits(&Value::Null));
+        assert!(FieldType::Str.admits(&Value::Null));
+        assert!(!FieldType::Bool.admits(&Value::Null));
+        assert!(FieldType::Ref.admits(&Value::Ref(crate::ObjId::from_index(0))));
+        for v in [
+            Value::Null,
+            Value::Int(1),
+            Value::Str("s".into()),
+            Value::Ref(crate::ObjId::from_index(0)),
+        ] {
+            assert!(FieldType::Any.admits(&v));
+        }
+    }
+
+    #[test]
+    fn default_values_match_types() {
+        for ty in [
+            FieldType::Bool,
+            FieldType::Int,
+            FieldType::Long,
+            FieldType::Double,
+            FieldType::Str,
+            FieldType::Ref,
+            FieldType::Any,
+        ] {
+            assert!(ty.admits(&ty.default_value()), "{ty:?}");
+        }
+    }
+
+    #[test]
+    fn iteration_order_is_registration_order() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.define("A").register();
+        let b = reg.define("B").register();
+        let ids: Vec<ClassId> = reg.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![reg.stub_class(), a, b]);
+        assert_eq!(reg.len(), 3, "stub class + A + B");
+        assert!(!reg.is_empty());
+    }
+}

@@ -1,0 +1,552 @@
+//! Heap-resident collections: the `java.util` of this substrate.
+//!
+//! The paper's programming interface (§5.1) shows NRMI applied to JDK
+//! collection types — `class RestorableHashMap extends java.util.HashMap
+//! implements java.rmi.Restorable` — and its motivating applications
+//! index shared data through lists and maps. Those collections must
+//! themselves live *in the object heap* (not in Rust memory) so that
+//! they serialize, alias, and restore like any other object graph.
+//!
+//! Two collections are provided, both operating through [`HeapAccess`]
+//! so the same code runs locally, on a server copy, or over remote
+//! pointers:
+//!
+//! * [`HList`] — an `ArrayList`: a header object with a `size` field and
+//!   an over-allocated backing array, grown by reallocation;
+//! * [`HMap`] — a `HashMap` with string keys: bucket array of
+//!   association-list entries, resized at a 0.75 load factor.
+//!
+//! Handles ([`HList`], [`HMap`]) are plain wrappers around the header
+//! object's [`ObjId`]; pass that id through remote calls and re-wrap on
+//! the other side.
+
+use crate::class::{ClassId, ClassRegistry, FieldType};
+use crate::heap_impl::HeapAccess;
+use crate::value::{ObjId, Value};
+use crate::Result;
+
+/// Class ids for the collection library. Register once per registry via
+/// [`register_collections`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollectionClasses {
+    /// `ArrayList` header: `{ int size; Object[] items; }`.
+    pub list: ClassId,
+    /// `HashMap` header: `{ int size; Object[] buckets; }`.
+    pub map: ClassId,
+    /// Map entry: `{ String key; Object value; MapEntry next; }`.
+    pub entry: ClassId,
+    /// The shared `Object[]` array class.
+    pub array: ClassId,
+}
+
+/// Registers the collection classes. Headers are **restorable** (the
+/// `RestorableHashMap` pattern): passing a list or map to a remote
+/// method restores its mutations in place.
+pub fn register_collections(registry: &mut ClassRegistry) -> CollectionClasses {
+    let array = registry
+        .by_name("Object[]")
+        .unwrap_or_else(|| registry.define_array("Object[]", FieldType::Any));
+    let list = registry
+        .define("ArrayList")
+        .field_int("size")
+        .field_ref("items")
+        .restorable()
+        .register();
+    let map = registry
+        .define("HashMap")
+        .field_int("size")
+        .field_ref("buckets")
+        .restorable()
+        .register();
+    let entry = registry
+        .define("MapEntry")
+        .field_str("key")
+        .field_any("value")
+        .field_ref("next")
+        .serializable()
+        .register();
+    CollectionClasses { list, map, entry, array }
+}
+
+/// Resolves [`CollectionClasses`] from a registry where
+/// [`register_collections`] already ran (e.g. on the other side of a
+/// connection).
+///
+/// # Panics
+/// Panics if the collection classes are missing from the registry.
+pub fn collection_classes(registry: &crate::class::ClassRegistry) -> CollectionClasses {
+    CollectionClasses {
+        list: registry.by_name("ArrayList").expect("ArrayList registered"),
+        map: registry.by_name("HashMap").expect("HashMap registered"),
+        entry: registry.by_name("MapEntry").expect("MapEntry registered"),
+        array: registry.by_name("Object[]").expect("Object[] registered"),
+    }
+}
+
+/// A handle to a heap-resident `ArrayList`.
+///
+/// ```
+/// use nrmi_heap::collections::{register_collections, HList};
+/// use nrmi_heap::{ClassRegistry, Heap, Value};
+///
+/// # fn main() -> Result<(), nrmi_heap::HeapError> {
+/// let mut reg = ClassRegistry::new();
+/// let classes = register_collections(&mut reg);
+/// let mut heap = Heap::new(reg.snapshot());
+/// let list = HList::new(&mut heap, classes)?;
+/// list.push(&mut heap, Value::Int(7))?;
+/// list.push(&mut heap, Value::Str("seven".into()))?;
+/// assert_eq!(list.len(&mut heap)?, 2);
+/// assert_eq!(list.get(&mut heap, 0)?, Value::Int(7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HList {
+    id: ObjId,
+    classes: CollectionClasses,
+}
+
+impl HList {
+    /// Allocates an empty list.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn new(heap: &mut dyn HeapAccess, classes: CollectionClasses) -> Result<Self> {
+        let items = heap.alloc_array_raw(classes.array, vec![Value::Null; 4])?;
+        let id = heap.alloc_raw(classes.list, vec![Value::Int(0), Value::Ref(items)])?;
+        Ok(HList { id, classes })
+    }
+
+    /// Wraps an existing list header (e.g. received through a call).
+    pub fn from_id(id: ObjId, classes: CollectionClasses) -> Self {
+        HList { id, classes }
+    }
+
+    /// The header object's id (what you pass as a call argument).
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+
+    /// Number of elements.
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn len(&self, heap: &mut dyn HeapAccess) -> Result<usize> {
+        Ok(heap.get_field(self.id, "size")?.as_int().unwrap_or(0) as usize)
+    }
+
+    /// True if the list has no elements.
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn is_empty(&self, heap: &mut dyn HeapAccess) -> Result<bool> {
+        Ok(self.len(heap)? == 0)
+    }
+
+    /// Appends a value, growing the backing array by doubling when full
+    /// (exactly `ArrayList.add`).
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn push(&self, heap: &mut dyn HeapAccess, value: Value) -> Result<()> {
+        let size = self.len(heap)?;
+        let mut items = heap
+            .get_field(self.id, "items")?
+            .as_ref_id()
+            .expect("list backing array");
+        let capacity = heap.slot_count(items)?;
+        if size == capacity {
+            let grown = heap.alloc_array_raw(self.classes.array, vec![Value::Null; capacity * 2])?;
+            for i in 0..size {
+                let v = heap.get_element(items, i)?;
+                heap.set_element(grown, i, v)?;
+            }
+            heap.set_field(self.id, "items", Value::Ref(grown))?;
+            items = grown;
+        }
+        heap.set_element(items, size, value)?;
+        heap.set_field(self.id, "size", Value::Int((size + 1) as i32))?;
+        Ok(())
+    }
+
+    /// Reads element `index`.
+    ///
+    /// # Errors
+    /// Fails for out-of-range indices.
+    pub fn get(&self, heap: &mut dyn HeapAccess, index: usize) -> Result<Value> {
+        let size = self.len(heap)?;
+        if index >= size {
+            return Err(crate::HeapError::ArrayIndexOutOfBounds { index, len: size });
+        }
+        let items = heap.get_field(self.id, "items")?.as_ref_id().expect("backing array");
+        heap.get_element(items, index)
+    }
+
+    /// Writes element `index`.
+    ///
+    /// # Errors
+    /// Fails for out-of-range indices.
+    pub fn set(&self, heap: &mut dyn HeapAccess, index: usize, value: Value) -> Result<()> {
+        let size = self.len(heap)?;
+        if index >= size {
+            return Err(crate::HeapError::ArrayIndexOutOfBounds { index, len: size });
+        }
+        let items = heap.get_field(self.id, "items")?.as_ref_id().expect("backing array");
+        heap.set_element(items, index, value)
+    }
+
+    /// Collects all elements into a `Vec`.
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn to_vec(&self, heap: &mut dyn HeapAccess) -> Result<Vec<Value>> {
+        let size = self.len(heap)?;
+        let items = heap.get_field(self.id, "items")?.as_ref_id().expect("backing array");
+        (0..size).map(|i| heap.get_element(items, i)).collect()
+    }
+}
+
+/// A handle to a heap-resident `HashMap<String, Value>`.
+///
+/// ```
+/// use nrmi_heap::collections::{register_collections, HMap};
+/// use nrmi_heap::{ClassRegistry, Heap, Value};
+///
+/// # fn main() -> Result<(), nrmi_heap::HeapError> {
+/// let mut reg = ClassRegistry::new();
+/// let classes = register_collections(&mut reg);
+/// let mut heap = Heap::new(reg.snapshot());
+/// let map = HMap::new(&mut heap, classes)?;
+/// map.put(&mut heap, "answer", Value::Int(42))?;
+/// assert_eq!(map.get(&mut heap, "answer")?, Some(Value::Int(42)));
+/// assert_eq!(map.remove(&mut heap, "answer")?, Some(Value::Int(42)));
+/// assert!(map.is_empty(&mut heap)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HMap {
+    id: ObjId,
+    classes: CollectionClasses,
+}
+
+const INITIAL_BUCKETS: usize = 8;
+
+fn bucket_of(key: &str, buckets: usize) -> usize {
+    // FNV-1a, stable across platforms (determinism matters: both sides
+    // must lay out isomorphic maps identically).
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    (hash % buckets as u64) as usize
+}
+
+impl HMap {
+    /// Allocates an empty map.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn new(heap: &mut dyn HeapAccess, classes: CollectionClasses) -> Result<Self> {
+        let buckets =
+            heap.alloc_array_raw(classes.array, vec![Value::Null; INITIAL_BUCKETS])?;
+        let id = heap.alloc_raw(classes.map, vec![Value::Int(0), Value::Ref(buckets)])?;
+        Ok(HMap { id, classes })
+    }
+
+    /// Wraps an existing map header.
+    pub fn from_id(id: ObjId, classes: CollectionClasses) -> Self {
+        HMap { id, classes }
+    }
+
+    /// The header object's id.
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+
+    /// Number of entries.
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn len(&self, heap: &mut dyn HeapAccess) -> Result<usize> {
+        Ok(heap.get_field(self.id, "size")?.as_int().unwrap_or(0) as usize)
+    }
+
+    /// True if the map has no entries.
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn is_empty(&self, heap: &mut dyn HeapAccess) -> Result<bool> {
+        Ok(self.len(heap)? == 0)
+    }
+
+    /// Inserts or updates `key`, returning the previous value if any.
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn put(&self, heap: &mut dyn HeapAccess, key: &str, value: Value) -> Result<Option<Value>> {
+        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let capacity = heap.slot_count(buckets)?;
+        let slot = bucket_of(key, capacity);
+        // Walk the chain looking for the key.
+        let mut cursor = heap.get_element(buckets, slot)?.as_ref_id();
+        while let Some(entry) = cursor {
+            if heap.get_field(entry, "key")?.as_str() == Some(key) {
+                let old = heap.get_field(entry, "value")?;
+                heap.set_field(entry, "value", value)?;
+                return Ok(Some(old));
+            }
+            cursor = heap.get_field(entry, "next")?.as_ref_id();
+        }
+        // Prepend a new entry.
+        let head = heap.get_element(buckets, slot)?;
+        let entry = heap.alloc_raw(
+            self.classes.entry,
+            vec![Value::Str(key.to_owned()), value, head],
+        )?;
+        heap.set_element(buckets, slot, Value::Ref(entry))?;
+        let size = self.len(heap)? + 1;
+        heap.set_field(self.id, "size", Value::Int(size as i32))?;
+        if size * 4 > capacity * 3 {
+            self.rehash(heap, capacity * 2)?;
+        }
+        Ok(None)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn get(&self, heap: &mut dyn HeapAccess, key: &str) -> Result<Option<Value>> {
+        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let capacity = heap.slot_count(buckets)?;
+        let mut cursor = heap.get_element(buckets, bucket_of(key, capacity))?.as_ref_id();
+        while let Some(entry) = cursor {
+            if heap.get_field(entry, "key")?.as_str() == Some(key) {
+                return Ok(Some(heap.get_field(entry, "value")?));
+            }
+            cursor = heap.get_field(entry, "next")?.as_ref_id();
+        }
+        Ok(None)
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn remove(&self, heap: &mut dyn HeapAccess, key: &str) -> Result<Option<Value>> {
+        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let capacity = heap.slot_count(buckets)?;
+        let slot = bucket_of(key, capacity);
+        let mut prev: Option<ObjId> = None;
+        let mut cursor = heap.get_element(buckets, slot)?.as_ref_id();
+        while let Some(entry) = cursor {
+            let next = heap.get_field(entry, "next")?;
+            if heap.get_field(entry, "key")?.as_str() == Some(key) {
+                let value = heap.get_field(entry, "value")?;
+                match prev {
+                    Some(p) => heap.set_field(p, "next", next)?,
+                    None => heap.set_element(buckets, slot, next)?,
+                }
+                let size = self.len(heap)? - 1;
+                heap.set_field(self.id, "size", Value::Int(size as i32))?;
+                return Ok(Some(value));
+            }
+            prev = Some(entry);
+            cursor = next.as_ref_id();
+        }
+        Ok(None)
+    }
+
+    /// All `(key, value)` pairs, in bucket order.
+    ///
+    /// # Errors
+    /// Propagates heap access failures.
+    pub fn entries(&self, heap: &mut dyn HeapAccess) -> Result<Vec<(String, Value)>> {
+        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let capacity = heap.slot_count(buckets)?;
+        let mut out = Vec::new();
+        for slot in 0..capacity {
+            let mut cursor = heap.get_element(buckets, slot)?.as_ref_id();
+            while let Some(entry) = cursor {
+                let key = heap
+                    .get_field(entry, "key")?
+                    .as_str()
+                    .map(str::to_owned)
+                    .unwrap_or_default();
+                out.push((key, heap.get_field(entry, "value")?));
+                cursor = heap.get_field(entry, "next")?.as_ref_id();
+            }
+        }
+        Ok(out)
+    }
+
+    fn rehash(&self, heap: &mut dyn HeapAccess, new_capacity: usize) -> Result<()> {
+        let entries = self.entries_raw(heap)?;
+        let fresh = heap.alloc_array_raw(self.classes.array, vec![Value::Null; new_capacity])?;
+        for entry in entries {
+            let key = heap
+                .get_field(entry, "key")?
+                .as_str()
+                .map(str::to_owned)
+                .unwrap_or_default();
+            let slot = bucket_of(&key, new_capacity);
+            let head = heap.get_element(fresh, slot)?;
+            heap.set_field(entry, "next", head)?;
+            heap.set_element(fresh, slot, Value::Ref(entry))?;
+        }
+        heap.set_field(self.id, "buckets", Value::Ref(fresh))?;
+        Ok(())
+    }
+
+    fn entries_raw(&self, heap: &mut dyn HeapAccess) -> Result<Vec<ObjId>> {
+        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let capacity = heap.slot_count(buckets)?;
+        let mut out = Vec::new();
+        for slot in 0..capacity {
+            let mut cursor = heap.get_element(buckets, slot)?.as_ref_id();
+            while let Some(entry) = cursor {
+                out.push(entry);
+                cursor = heap.get_field(entry, "next")?.as_ref_id();
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassRegistry, Heap};
+
+    fn setup() -> (Heap, CollectionClasses) {
+        let mut reg = ClassRegistry::new();
+        let classes = register_collections(&mut reg);
+        (Heap::new(reg.snapshot()), classes)
+    }
+
+    #[test]
+    fn list_push_get_grow() {
+        let (mut heap, classes) = setup();
+        let list = HList::new(&mut heap, classes).unwrap();
+        assert!(list.is_empty(&mut heap).unwrap());
+        for i in 0..100 {
+            list.push(&mut heap, Value::Int(i)).unwrap();
+        }
+        assert_eq!(list.len(&mut heap).unwrap(), 100);
+        assert_eq!(list.get(&mut heap, 0).unwrap(), Value::Int(0));
+        assert_eq!(list.get(&mut heap, 99).unwrap(), Value::Int(99));
+        assert!(list.get(&mut heap, 100).is_err());
+        list.set(&mut heap, 5, Value::Str("five".into())).unwrap();
+        assert_eq!(list.get(&mut heap, 5).unwrap(), Value::Str("five".into()));
+        let all = list.to_vec(&mut heap).unwrap();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn list_survives_wire_roundtrip() {
+        let (mut heap, classes) = setup();
+        let list = HList::new(&mut heap, classes).unwrap();
+        for i in 0..10 {
+            list.push(&mut heap, Value::Int(i * i)).unwrap();
+        }
+        let enc = nrmi_wire_roundtrip(&heap, list.id());
+        let mut dst = Heap::new(heap.registry_handle().clone());
+        let dec = crate_test_deserialize(&enc, &mut dst);
+        let list2 = HList::from_id(dec, classes);
+        assert_eq!(list2.len(&mut dst).unwrap(), 10);
+        assert_eq!(list2.get(&mut dst, 3).unwrap(), Value::Int(9));
+    }
+
+    // The heap crate cannot depend on nrmi-wire (it is the other way
+    // around), so the round trip here is a deep copy — the structural
+    // equivalent.
+    fn nrmi_wire_roundtrip(heap: &Heap, root: ObjId) -> (Vec<ObjId>, Heap) {
+        let mut dst = Heap::new(heap.registry_handle().clone());
+        let map = crate::copy::deep_copy_between(heap, &[root], &mut dst).unwrap();
+        (vec![map[&root]], dst)
+    }
+
+    fn crate_test_deserialize(enc: &(Vec<ObjId>, Heap), dst: &mut Heap) -> ObjId {
+        let (roots, src) = enc;
+        let map = crate::copy::deep_copy_between(src, roots, dst).unwrap();
+        map[&roots[0]]
+    }
+
+    #[test]
+    fn map_put_get_update_remove() {
+        let (mut heap, classes) = setup();
+        let map = HMap::new(&mut heap, classes).unwrap();
+        assert!(map.is_empty(&mut heap).unwrap());
+        assert_eq!(map.put(&mut heap, "a", Value::Int(1)).unwrap(), None);
+        assert_eq!(map.put(&mut heap, "b", Value::Int(2)).unwrap(), None);
+        assert_eq!(map.get(&mut heap, "a").unwrap(), Some(Value::Int(1)));
+        assert_eq!(map.get(&mut heap, "missing").unwrap(), None);
+        // Update returns the old value.
+        assert_eq!(map.put(&mut heap, "a", Value::Int(10)).unwrap(), Some(Value::Int(1)));
+        assert_eq!(map.get(&mut heap, "a").unwrap(), Some(Value::Int(10)));
+        assert_eq!(map.len(&mut heap).unwrap(), 2);
+        // Remove.
+        assert_eq!(map.remove(&mut heap, "a").unwrap(), Some(Value::Int(10)));
+        assert_eq!(map.remove(&mut heap, "a").unwrap(), None);
+        assert_eq!(map.len(&mut heap).unwrap(), 1);
+    }
+
+    #[test]
+    fn map_rehashes_and_keeps_all_entries() {
+        let (mut heap, classes) = setup();
+        let map = HMap::new(&mut heap, classes).unwrap();
+        for i in 0..200 {
+            map.put(&mut heap, &format!("key-{i}"), Value::Int(i)).unwrap();
+        }
+        assert_eq!(map.len(&mut heap).unwrap(), 200);
+        for i in 0..200 {
+            assert_eq!(
+                map.get(&mut heap, &format!("key-{i}")).unwrap(),
+                Some(Value::Int(i)),
+                "key-{i} lost during rehash"
+            );
+        }
+        assert_eq!(map.entries(&mut heap).unwrap().len(), 200);
+    }
+
+    #[test]
+    fn map_handles_chained_collisions() {
+        let (mut heap, classes) = setup();
+        let map = HMap::new(&mut heap, classes).unwrap();
+        // With 8 buckets, 24 keys guarantee chains before the first
+        // rehash threshold would allow them to disperse fully.
+        for i in 0..6 {
+            map.put(&mut heap, &format!("k{i}"), Value::Int(i)).unwrap();
+        }
+        for i in 0..6 {
+            assert_eq!(map.get(&mut heap, &format!("k{i}")).unwrap(), Some(Value::Int(i)));
+        }
+        // Remove from the middle of a chain.
+        map.remove(&mut heap, "k2").unwrap();
+        assert_eq!(map.get(&mut heap, "k2").unwrap(), None);
+        assert_eq!(map.get(&mut heap, "k3").unwrap(), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn collection_classes_resolvable_by_name() {
+        let mut reg = ClassRegistry::new();
+        let created = register_collections(&mut reg);
+        let resolved = collection_classes(&reg);
+        assert_eq!(created.list, resolved.list);
+        assert_eq!(created.map, resolved.map);
+        assert_eq!(created.entry, resolved.entry);
+        assert_eq!(created.array, resolved.array);
+    }
+
+    #[test]
+    fn bucket_hash_is_deterministic() {
+        assert_eq!(bucket_of("hello", 8), bucket_of("hello", 8));
+        // FNV-1a of "" is the offset basis; just pin stability.
+        let h1 = bucket_of("a", 1024);
+        let h2 = bucket_of("a", 1024);
+        assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Error type for heap operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by heap, class-registry, and traversal operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HeapError {
+    /// The handle refers to a freed or never-allocated slot.
+    DanglingRef(u32),
+    /// A class id was not issued by the registry in use.
+    UnknownClass(u32),
+    /// A class name was registered twice.
+    DuplicateClass(String),
+    /// The class declares no field with the given name.
+    NoSuchField {
+        /// Class name.
+        class: String,
+        /// Field name that was requested.
+        field: String,
+    },
+    /// A field index was out of bounds for the object's class.
+    FieldIndexOutOfBounds {
+        /// Class name.
+        class: String,
+        /// Offending index.
+        index: usize,
+        /// Number of declared fields.
+        len: usize,
+    },
+    /// A value's kind does not match the field's declared type.
+    TypeMismatch {
+        /// Class name.
+        class: String,
+        /// Field name.
+        field: String,
+        /// Expected static type, e.g. `"int"`.
+        expected: &'static str,
+        /// Kind of the offending value.
+        found: &'static str,
+    },
+    /// An array operation was applied to a non-array object or vice versa.
+    NotAnArray(String),
+    /// Array element index out of bounds.
+    ArrayIndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Array length.
+        len: usize,
+    },
+    /// Wrong number of field initializers passed to `alloc`.
+    ArityMismatch {
+        /// Class name.
+        class: String,
+        /// Number of declared fields.
+        expected: usize,
+        /// Number of initializers supplied.
+        found: usize,
+    },
+    /// An operation required a marker flag the class does not carry
+    /// (e.g. serializing a non-serializable class).
+    MarkerViolation {
+        /// Class name.
+        class: String,
+        /// The missing capability, e.g. `"serializable"`.
+        required: &'static str,
+    },
+    /// A heap access routed through a remote proxy failed at the network
+    /// layer — the `RemoteException` of the remote-pointer world, where
+    /// even a field read can fail.
+    RemoteAccess(String),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::DanglingRef(idx) => {
+                write!(f, "dangling reference to heap slot #{idx}")
+            }
+            HeapError::UnknownClass(idx) => write!(f, "unknown class id {idx}"),
+            HeapError::DuplicateClass(name) => {
+                write!(f, "class {name:?} is already registered")
+            }
+            HeapError::NoSuchField { class, field } => {
+                write!(f, "class {class} has no field named {field:?}")
+            }
+            HeapError::FieldIndexOutOfBounds { class, index, len } => {
+                write!(f, "field index {index} out of bounds for {class} ({len} fields)")
+            }
+            HeapError::TypeMismatch { class, field, expected, found } => write!(
+                f,
+                "type mismatch writing {class}.{field}: expected {expected}, found {found}"
+            ),
+            HeapError::NotAnArray(class) => {
+                write!(f, "array operation on non-array class {class}")
+            }
+            HeapError::ArrayIndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds (len {len})")
+            }
+            HeapError::ArityMismatch { class, expected, found } => write!(
+                f,
+                "wrong initializer count for {class}: expected {expected}, found {found}"
+            ),
+            HeapError::MarkerViolation { class, required } => {
+                write!(f, "class {class} is not {required}")
+            }
+            HeapError::RemoteAccess(msg) => {
+                write!(f, "remote heap access failed: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for HeapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error + 'static>() {}
+        assert_bounds::<HeapError>();
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors: Vec<HeapError> = vec![
+            HeapError::DanglingRef(1),
+            HeapError::UnknownClass(2),
+            HeapError::DuplicateClass("A".into()),
+            HeapError::NoSuchField { class: "A".into(), field: "f".into() },
+            HeapError::FieldIndexOutOfBounds { class: "A".into(), index: 3, len: 1 },
+            HeapError::TypeMismatch {
+                class: "A".into(),
+                field: "f".into(),
+                expected: "int",
+                found: "ref",
+            },
+            HeapError::NotAnArray("A".into()),
+            HeapError::ArrayIndexOutOfBounds { index: 4, len: 2 },
+            HeapError::ArityMismatch { class: "A".into(), expected: 2, found: 0 },
+            HeapError::MarkerViolation { class: "A".into(), required: "serializable" },
+            HeapError::RemoteAccess("link down".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+}

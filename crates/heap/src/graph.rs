@@ -1,0 +1,547 @@
+//! Graph comparison and rendering.
+//!
+//! The paper's correctness invariant (§5.3.2) is that after a remote call
+//! "all the changes are visible to the caller ... as if both the caller
+//! and the callee were executing within the same address space". Checking
+//! that invariant means comparing heap *graphs* up to object identity:
+//! same classes, same primitive data, and — critically — the same aliasing
+//! structure. [`isomorphic`] performs that check; [`render_ascii`]
+//! regenerates the paper's figures as text for the `figures` binary.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::heap_impl::Heap;
+use crate::traverse::LinearMap;
+use crate::value::{ObjId, Value};
+use crate::Result;
+
+/// Checks whether the graphs reachable from `root_a` (in `heap_a`) and
+/// `root_b` (in `heap_b`) are isomorphic: there is a bijection between
+/// the reachable sets that preserves classes, slot counts, primitive
+/// values, nulls, and reference structure (hence aliasing and cycles).
+///
+/// # Errors
+/// Propagates dangling-reference errors from either heap.
+pub fn isomorphic(heap_a: &Heap, root_a: ObjId, heap_b: &Heap, root_b: ObjId) -> Result<bool> {
+    isomorphic_multi(heap_a, &[root_a], heap_b, &[root_b])
+}
+
+/// Multi-root variant of [`isomorphic`]; root lists are matched pairwise,
+/// so shared structure *across* roots must also correspond.
+///
+/// # Errors
+/// Propagates dangling-reference errors from either heap.
+pub fn isomorphic_multi(
+    heap_a: &Heap,
+    roots_a: &[ObjId],
+    heap_b: &Heap,
+    roots_b: &[ObjId],
+) -> Result<bool> {
+    if roots_a.len() != roots_b.len() {
+        return Ok(false);
+    }
+    let map_a = LinearMap::build(heap_a, roots_a)?;
+    let map_b = LinearMap::build(heap_b, roots_b)?;
+    if map_a.len() != map_b.len() {
+        return Ok(false);
+    }
+    // Roots must occupy matching traversal positions.
+    for (&ra, &rb) in roots_a.iter().zip(roots_b) {
+        if map_a.position_of(ra) != map_b.position_of(rb) {
+            return Ok(false);
+        }
+    }
+    // Deterministic traversal means: isomorphic graphs enumerate
+    // corresponding objects at equal positions. Verify slot-by-slot.
+    for (&ida, &idb) in map_a.order().iter().zip(map_b.order()) {
+        let oa = heap_a.get(ida)?;
+        let ob = heap_b.get(idb)?;
+        if oa.class() != ob.class() || oa.body().len() != ob.body().len() {
+            return Ok(false);
+        }
+        for (va, vb) in oa.body().slots().iter().zip(ob.body().slots()) {
+            let matches = match (va, vb) {
+                (Value::Ref(ta), Value::Ref(tb)) => {
+                    map_a.position_of(*ta) == map_b.position_of(*tb)
+                }
+                (a, b) => a == b,
+            };
+            if !matches {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Like [`isomorphic_multi`], but returns a human-readable description of
+/// the first difference instead of a bool — the debugging workhorse for
+/// semantics tests.
+///
+/// # Errors
+/// Propagates dangling-reference errors from either heap.
+pub fn first_difference(
+    heap_a: &Heap,
+    roots_a: &[ObjId],
+    heap_b: &Heap,
+    roots_b: &[ObjId],
+) -> Result<Option<String>> {
+    if roots_a.len() != roots_b.len() {
+        return Ok(Some(format!(
+            "root arity differs: {} vs {}",
+            roots_a.len(),
+            roots_b.len()
+        )));
+    }
+    let map_a = LinearMap::build(heap_a, roots_a)?;
+    let map_b = LinearMap::build(heap_b, roots_b)?;
+    if map_a.len() != map_b.len() {
+        return Ok(Some(format!(
+            "reachable set sizes differ: {} vs {}",
+            map_a.len(),
+            map_b.len()
+        )));
+    }
+    for (&ra, &rb) in roots_a.iter().zip(roots_b) {
+        if map_a.position_of(ra) != map_b.position_of(rb) {
+            return Ok(Some(format!("root {ra} / {rb} at different traversal positions")));
+        }
+    }
+    for (pos, (&ida, &idb)) in map_a.order().iter().zip(map_b.order()).enumerate() {
+        let oa = heap_a.get(ida)?;
+        let ob = heap_b.get(idb)?;
+        if oa.class() != ob.class() {
+            return Ok(Some(format!("object at position {pos}: classes differ")));
+        }
+        if oa.body().len() != ob.body().len() {
+            return Ok(Some(format!(
+                "object at position {pos}: slot counts {} vs {}",
+                oa.body().len(),
+                ob.body().len()
+            )));
+        }
+        for (slot, (va, vb)) in oa.body().slots().iter().zip(ob.body().slots()).enumerate() {
+            let matches = match (va, vb) {
+                (Value::Ref(ta), Value::Ref(tb)) => {
+                    map_a.position_of(*ta) == map_b.position_of(*tb)
+                }
+                (a, b) => a == b,
+            };
+            if !matches {
+                return Ok(Some(format!(
+                    "object at position {pos}, slot {slot}: {va} vs {vb}"
+                )));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Renders the subgraph reachable from `roots` as indented ASCII, one
+/// object per line, with aliases shown as `-> @N` back-references to the
+/// traversal position where the object was first printed. Used to
+/// regenerate the paper's figures.
+///
+/// # Errors
+/// Propagates dangling-reference errors.
+pub fn render_ascii(heap: &Heap, roots: &[(String, ObjId)]) -> Result<String> {
+    let root_ids: Vec<ObjId> = roots.iter().map(|(_, id)| *id).collect();
+    let map = LinearMap::build(heap, &root_ids)?;
+    let mut out = String::new();
+    let mut printed: HashMap<ObjId, u32> = HashMap::new();
+    for (label, root) in roots {
+        let _ = writeln!(out, "{label}:");
+        render_node(heap, *root, &map, &mut printed, 1, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn render_node(
+    heap: &Heap,
+    id: ObjId,
+    map: &LinearMap,
+    printed: &mut HashMap<ObjId, u32>,
+    depth: usize,
+    out: &mut String,
+) -> Result<()> {
+    let indent = "  ".repeat(depth);
+    if let Some(pos) = printed.get(&id) {
+        let _ = writeln!(out, "{indent}-> @{pos}");
+        return Ok(());
+    }
+    let pos = map.position_of(id).unwrap_or(u32::MAX);
+    printed.insert(id, pos);
+    let obj = heap.get(id)?;
+    let desc = heap.registry_handle().get(obj.class())?;
+    let prims: Vec<String> = if obj.is_array() {
+        obj.body()
+            .slots()
+            .iter()
+            .filter(|v| v.as_ref_id().is_none() && !v.is_null())
+            .map(|v| v.to_string())
+            .collect()
+    } else {
+        desc.fields()
+            .iter()
+            .zip(obj.body().slots())
+            .filter(|(_, v)| v.as_ref_id().is_none() && !v.is_null())
+            .map(|(f, v)| format!("{}={}", f.name(), v))
+            .collect()
+    };
+    let _ = writeln!(out, "{indent}@{pos} {} [{}]", desc.name(), prims.join(", "));
+    if obj.is_array() {
+        for (i, slot) in obj.body().slots().to_vec().iter().enumerate() {
+            if let Some(child) = slot.as_ref_id() {
+                let _ = writeln!(out, "{indent}  [{i}]:");
+                render_node(heap, child, map, printed, depth + 2, out)?;
+            }
+        }
+    } else {
+        let fields: Vec<(String, Value)> = desc
+            .fields()
+            .iter()
+            .zip(obj.body().slots())
+            .map(|(f, v)| (f.name().to_owned(), v.clone()))
+            .collect();
+        for (name, slot) in fields {
+            if let Some(child) = slot.as_ref_id() {
+                let _ = writeln!(out, "{indent}  .{name}:");
+                render_node(heap, child, map, printed, depth + 2, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shape statistics of a reachable subgraph, for workload
+/// characterization (how much sharing and depth a benchmark actually
+/// exercises).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Reachable objects.
+    pub objects: usize,
+    /// Reference edges between reachable objects.
+    pub edges: usize,
+    /// Objects with in-degree ≥ 2 (aliased within the graph).
+    pub shared_objects: usize,
+    /// Length of the longest simple path from a root following edges
+    /// (bounded by `objects`; cycles contribute their perimeter once).
+    pub max_depth: usize,
+}
+
+/// Computes [`GraphStats`] over everything reachable from `roots`.
+///
+/// # Errors
+/// Propagates dangling-reference errors.
+pub fn graph_stats(heap: &Heap, roots: &[ObjId]) -> Result<GraphStats> {
+    let map = LinearMap::build(heap, roots)?;
+    let mut in_degree: HashMap<ObjId, usize> = HashMap::new();
+    let mut edges = 0;
+    for &id in map.order() {
+        for target in heap.get(id)?.outgoing_refs() {
+            edges += 1;
+            *in_degree.entry(target).or_insert(0) += 1;
+        }
+    }
+    let shared_objects = in_degree.values().filter(|&&d| d >= 2).count();
+    // Longest path via iterative deepening over the DAG condensation is
+    // overkill; a DFS tracking the current path depth (cycle-safe via
+    // on-path marking) suffices for benchmark-sized graphs.
+    let mut max_depth = 0usize;
+    let mut on_path: std::collections::HashSet<ObjId> = std::collections::HashSet::new();
+    // Depth memo is unsound with cycles; bound work by visit budget.
+    let mut budget: usize = map.len().saturating_mul(64).max(4096);
+    fn dfs(
+        heap: &Heap,
+        node: ObjId,
+        depth: usize,
+        on_path: &mut std::collections::HashSet<ObjId>,
+        max_depth: &mut usize,
+        budget: &mut usize,
+    ) -> Result<()> {
+        if *budget == 0 || !on_path.insert(node) {
+            return Ok(());
+        }
+        *budget -= 1;
+        *max_depth = (*max_depth).max(depth);
+        let children: Vec<ObjId> = heap.get(node)?.outgoing_refs().collect();
+        for child in children {
+            dfs(heap, child, depth + 1, on_path, max_depth, budget)?;
+        }
+        on_path.remove(&node);
+        Ok(())
+    }
+    for &root in roots {
+        dfs(heap, root, 1, &mut on_path, &mut max_depth, &mut budget)?;
+    }
+    Ok(GraphStats { objects: map.len(), edges, shared_objects, max_depth })
+}
+
+/// Renders the subgraph reachable from `roots` in Graphviz DOT syntax:
+/// one record-shaped node per object (class name + primitive fields),
+/// labelled edges for reference fields, and diamond nodes for the named
+/// roots. Paste into `dot -Tsvg` to draw the paper's figures.
+///
+/// # Errors
+/// Propagates dangling-reference errors.
+pub fn render_dot(heap: &Heap, roots: &[(String, ObjId)]) -> Result<String> {
+    let root_ids: Vec<ObjId> = roots.iter().map(|(_, id)| *id).collect();
+    let map = LinearMap::build(heap, &root_ids)?;
+    let mut out = String::from("digraph heap {\n  rankdir=TB;\n  node [shape=record, fontname=\"monospace\"];\n");
+    for (label, root) in roots {
+        let pos = map.position_of(*root).unwrap_or(u32::MAX);
+        let _ = writeln!(out, "  root_{label} [shape=diamond, label=\"{label}\"];");
+        let _ = writeln!(out, "  root_{label} -> n{pos};");
+    }
+    for (pos, id) in map.iter() {
+        let obj = heap.get(id)?;
+        let desc = heap.registry_handle().get(obj.class())?;
+        let mut fields = Vec::new();
+        if obj.is_array() {
+            for (i, v) in obj.body().slots().iter().enumerate() {
+                if v.as_ref_id().is_none() {
+                    fields.push(format!("[{i}]={}", escape_dot(&v.to_string())));
+                }
+            }
+        } else {
+            for (fd, v) in desc.fields().iter().zip(obj.body().slots()) {
+                if v.as_ref_id().is_none() && !v.is_null() {
+                    fields.push(format!("{}={}", fd.name(), escape_dot(&v.to_string())));
+                }
+            }
+        }
+        let field_part = if fields.is_empty() {
+            String::new()
+        } else {
+            format!("|{}", fields.join("\\n"))
+        };
+        let _ = writeln!(
+            out,
+            "  n{pos} [label=\"{{{}{}}}\"];",
+            escape_dot(desc.name()),
+            field_part
+        );
+        // Edges.
+        if obj.is_array() {
+            for (i, v) in obj.body().slots().iter().enumerate() {
+                if let Some(target) = v.as_ref_id() {
+                    let tpos = map.position_of(target).expect("reachable");
+                    let _ = writeln!(out, "  n{pos} -> n{tpos} [label=\"[{i}]\"];");
+                }
+            }
+        } else {
+            for (fd, v) in desc.fields().iter().zip(obj.body().slots()) {
+                if let Some(target) = v.as_ref_id() {
+                    let tpos = map.position_of(target).expect("reachable");
+                    let _ = writeln!(out, "  n{pos} -> n{tpos} [label=\"{}\"];", fd.name());
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+fn escape_dot(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('{', "\\{")
+        .replace('}', "\\}")
+        .replace('|', "\\|")
+        .replace('<', "\\<")
+        .replace('>', "\\>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{self, TreeClasses};
+    use crate::{ClassRegistry, HeapAccess};
+
+    fn setup() -> (Heap, TreeClasses) {
+        let mut reg = ClassRegistry::new();
+        let classes = tree::register_tree_classes(&mut reg);
+        (Heap::new(reg.snapshot()), classes)
+    }
+
+    #[test]
+    fn identical_trees_are_isomorphic() {
+        let (mut h1, c1) = setup();
+        let (mut h2, c2) = setup();
+        let r1 = tree::build_random_tree(&mut h1, &c1, 64, 11).unwrap();
+        let r2 = tree::build_random_tree(&mut h2, &c2, 64, 11).unwrap();
+        assert!(isomorphic(&h1, r1, &h2, r2).unwrap());
+        assert_eq!(first_difference(&h1, &[r1], &h2, &[r2]).unwrap(), None);
+    }
+
+    #[test]
+    fn data_difference_detected() {
+        let (mut h1, c1) = setup();
+        let (mut h2, c2) = setup();
+        let r1 = tree::build_random_tree(&mut h1, &c1, 16, 5).unwrap();
+        let r2 = tree::build_random_tree(&mut h2, &c2, 16, 5).unwrap();
+        h2.set_field(r2, "data", Value::Int(99999)).unwrap();
+        assert!(!isomorphic(&h1, r1, &h2, r2).unwrap());
+        let diff = first_difference(&h1, &[r1], &h2, &[r2]).unwrap();
+        assert!(diff.is_some());
+    }
+
+    #[test]
+    fn aliasing_difference_detected() {
+        let (mut h1, c1) = setup();
+        let (mut h2, c2) = setup();
+        // h1: root with two DISTINCT children holding equal data.
+        let l1 = h1.alloc(c1.tree, vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        let r1c = h1.alloc(c1.tree, vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        let r1 = h1
+            .alloc(c1.tree, vec![Value::Int(0), Value::Ref(l1), Value::Ref(r1c)])
+            .unwrap();
+        // h2: root whose two children are the SAME object.
+        let shared = h2.alloc(c2.tree, vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        let r2 = h2
+            .alloc(c2.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .unwrap();
+        // Value-equal but structurally different: must NOT be isomorphic.
+        assert!(!isomorphic(&h1, r1, &h2, r2).unwrap());
+    }
+
+    #[test]
+    fn cyclic_graphs_compare() {
+        let (mut h1, c1) = setup();
+        let (mut h2, c2) = setup();
+        for (h, c) in [(&mut h1, &c1), (&mut h2, &c2)] {
+            let a = h.alloc_default(c.tree).unwrap();
+            let b = h.alloc_default(c.tree).unwrap();
+            h.set_field(a, "left", Value::Ref(b)).unwrap();
+            h.set_field(b, "left", Value::Ref(a)).unwrap();
+        }
+        let a1 = ObjId::from_index(0);
+        let a2 = ObjId::from_index(0);
+        assert!(isomorphic(&h1, a1, &h2, a2).unwrap());
+    }
+
+    #[test]
+    fn multi_root_alias_correspondence() {
+        let (mut h1, c1) = setup();
+        let (mut h2, c2) = setup();
+        // h1: alias points INTO the tree; h2: alias points at a detached
+        // value-identical node. Reachable sets differ in size → detected.
+        let t1 = tree::build_running_example(&mut h1, &c1).unwrap();
+        let t2 = tree::build_running_example(&mut h2, &c2).unwrap();
+        let detached = h2
+            .alloc(c2.tree, vec![Value::Int(3), Value::Null, Value::Null])
+            .unwrap();
+        assert!(isomorphic_multi(
+            &h1,
+            &[t1.root, t1.alias1_target],
+            &h2,
+            &[t2.root, t2.alias1_target]
+        )
+        .unwrap());
+        assert!(!isomorphic_multi(&h1, &[t1.root, t1.alias1_target], &h2, &[t2.root, detached])
+            .unwrap());
+    }
+
+    #[test]
+    fn graph_stats_measure_shape() {
+        let (mut heap, classes) = setup();
+        let ex = tree::build_running_example(&mut heap, &classes).unwrap();
+        let stats = graph_stats(&heap, &[ex.root]).unwrap();
+        assert_eq!(stats.objects, 7);
+        assert_eq!(stats.edges, 6, "a tree has n-1 edges");
+        assert_eq!(stats.shared_objects, 0, "no in-tree sharing in figure 1");
+        assert_eq!(stats.max_depth, 3);
+        // Introduce sharing: both leaves point at one extra node.
+        let extra = heap.alloc_default(classes.tree).unwrap();
+        heap.set_field(ex.ll, "left", Value::Ref(extra)).unwrap();
+        heap.set_field(ex.lr, "left", Value::Ref(extra)).unwrap();
+        let stats = graph_stats(&heap, &[ex.root]).unwrap();
+        assert_eq!(stats.objects, 8);
+        assert_eq!(stats.shared_objects, 1);
+        assert_eq!(stats.max_depth, 4);
+    }
+
+    #[test]
+    fn graph_stats_handle_cycles() {
+        let (mut heap, classes) = setup();
+        let a = heap.alloc_default(classes.tree).unwrap();
+        let b = heap.alloc_default(classes.tree).unwrap();
+        heap.set_field(a, "left", Value::Ref(b)).unwrap();
+        heap.set_field(b, "left", Value::Ref(a)).unwrap();
+        let stats = graph_stats(&heap, &[a]).unwrap();
+        assert_eq!(stats.objects, 2);
+        assert_eq!(stats.edges, 2);
+        assert_eq!(stats.shared_objects, 0, "in-degree 1 each within the cycle");
+        assert_eq!(stats.max_depth, 2, "the cycle contributes its perimeter once");
+    }
+
+    #[test]
+    fn dot_escapes_special_characters() {
+        let mut reg = ClassRegistry::new();
+        let named = reg.define("Named").field_str("name").serializable().register();
+        let mut heap = Heap::new(reg.snapshot());
+        let obj = heap
+            .alloc(named, vec![Value::Str("we{ird} \"quo|tes\" <here>".into())])
+            .unwrap();
+        let dot = render_dot(&heap, &[("n".to_owned(), obj)]).unwrap();
+        // Every special must appear escaped (preceded by a backslash).
+        let label_line = dot.lines().find(|l| l.contains("Named")).unwrap();
+        for escaped in ["\\{", "\\}", "\\|", "\\<", "\\>"] {
+            assert!(label_line.contains(escaped), "missing {escaped:?} in {label_line}");
+        }
+        // And the record label still parses (balanced outer braces).
+        assert!(label_line.trim_end().ends_with("\"];"));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let (mut heap, classes) = setup();
+        let ex = tree::build_running_example(&mut heap, &classes).unwrap();
+        let dot = render_dot(
+            &heap,
+            &[("t".to_owned(), ex.root), ("alias1".to_owned(), ex.alias1_target)],
+        )
+        .unwrap();
+        assert!(dot.starts_with("digraph heap {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("root_t"));
+        assert!(dot.contains("root_alias1"));
+        assert!(dot.contains("data=5"));
+        // Seven nodes, each declared exactly once (edge lines also
+        // contain `[label=`, so match on line starts).
+        for pos in 0..7 {
+            let decl = format!("  n{pos} [label=");
+            assert_eq!(
+                dot.lines().filter(|l| l.starts_with(&decl)).count(),
+                1,
+                "node n{pos} declared once\n{dot}"
+            );
+        }
+        // Balanced braces (a cheap well-formedness check).
+        let opens = dot.matches('{').count();
+        let closes = dot.matches('}').count();
+        assert_eq!(opens, closes, "{dot}");
+    }
+
+    #[test]
+    fn render_shows_aliases_as_backrefs() {
+        let (mut heap, classes) = setup();
+        let ex = tree::build_running_example(&mut heap, &classes).unwrap();
+        let art = render_ascii(
+            &heap,
+            &[
+                ("t".to_owned(), ex.root),
+                ("alias1".to_owned(), ex.alias1_target),
+                ("alias2".to_owned(), ex.alias2_target),
+            ],
+        )
+        .unwrap();
+        assert!(art.contains("t:"));
+        assert!(art.contains("alias1:"));
+        // alias1 target was already printed under t, so it renders as a
+        // back-reference.
+        assert!(art.contains("-> @"), "render:\n{art}");
+        assert!(art.contains("data=5"));
+    }
+}

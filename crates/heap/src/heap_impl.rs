@@ -1,0 +1,659 @@
+//! The managed heap: an arena of objects addressed by stable handles.
+
+use std::fmt;
+
+use crate::class::{ClassId, SharedRegistry};
+use crate::error::HeapError;
+use crate::object::{Object, ObjectBody};
+use crate::value::{ObjId, Value};
+use crate::Result;
+
+/// Uniform object access used by server code.
+///
+/// The paper's server routines run "at full speed" against the local copy
+/// under call-by-copy/copy-restore, but under call-by-reference every
+/// field access crosses the network (Figure 3). Writing services against
+/// this trait lets the *same* service body run in both worlds: [`Heap`]
+/// implements it with direct slot access, while `nrmi-core`'s remote-heap
+/// proxy implements it with request/reply messages — which is precisely
+/// how the paper measures the cost gap in Table 6.
+///
+/// Methods take `&mut self` even for reads because the proxy
+/// implementation performs I/O.
+pub trait HeapAccess {
+    /// Reads field `field` (by declaration index) of object `obj`.
+    ///
+    /// # Errors
+    /// Returns an error for dangling handles or out-of-range indices.
+    fn get_field_raw(&mut self, obj: ObjId, field: usize) -> Result<Value>;
+
+    /// Writes field `field` (by declaration index) of object `obj`.
+    ///
+    /// # Errors
+    /// Returns an error for dangling handles, out-of-range indices, or
+    /// type-mismatched values.
+    fn set_field_raw(&mut self, obj: ObjId, field: usize, value: Value) -> Result<()>;
+
+    /// Allocates an object of class `class` with the given field values.
+    ///
+    /// # Errors
+    /// Returns an error for unknown classes or arity/type mismatches.
+    fn alloc_raw(&mut self, class: ClassId, fields: Vec<Value>) -> Result<ObjId>;
+
+    /// Allocates an array of class `class` with the given elements.
+    ///
+    /// # Errors
+    /// Returns an error if `class` is not an array class.
+    fn alloc_array_raw(&mut self, class: ClassId, elements: Vec<Value>) -> Result<ObjId>;
+
+    /// Returns the class of `obj`.
+    ///
+    /// # Errors
+    /// Returns an error for dangling handles.
+    fn class_of(&mut self, obj: ObjId) -> Result<ClassId>;
+
+    /// Returns the number of slots (fields or array elements) of `obj`.
+    ///
+    /// # Errors
+    /// Returns an error for dangling handles.
+    fn slot_count(&mut self, obj: ObjId) -> Result<usize>;
+
+    /// Reads array element `index` of `obj`.
+    ///
+    /// # Errors
+    /// Returns an error for dangling handles, non-arrays, or bad indices.
+    fn get_element(&mut self, obj: ObjId, index: usize) -> Result<Value>;
+
+    /// Writes array element `index` of `obj`.
+    ///
+    /// # Errors
+    /// Returns an error for dangling handles, non-arrays, or bad indices.
+    fn set_element(&mut self, obj: ObjId, index: usize, value: Value) -> Result<()>;
+
+    /// The shared class registry this access path resolves names against.
+    fn registry(&self) -> &SharedRegistry;
+
+    /// Reads a field by name. Provided in terms of the raw accessors.
+    ///
+    /// # Errors
+    /// As [`HeapAccess::get_field_raw`], plus unknown field names.
+    fn get_field(&mut self, obj: ObjId, field: &str) -> Result<Value> {
+        let class = self.class_of(obj)?;
+        let idx = self.registry().get(class)?.field_index(field)?;
+        self.get_field_raw(obj, idx)
+    }
+
+    /// Writes a field by name. Provided in terms of the raw accessors.
+    ///
+    /// # Errors
+    /// As [`HeapAccess::set_field_raw`], plus unknown field names.
+    fn set_field(&mut self, obj: ObjId, field: &str, value: Value) -> Result<()> {
+        let class = self.class_of(obj)?;
+        let idx = self.registry().get(class)?.field_index(field)?;
+        self.set_field_raw(obj, idx, value)
+    }
+
+    /// Reads a reference-typed field, returning `None` for null.
+    ///
+    /// # Errors
+    /// As [`HeapAccess::get_field`].
+    fn get_ref(&mut self, obj: ObjId, field: &str) -> Result<Option<ObjId>> {
+        Ok(self.get_field(obj, field)?.as_ref_id())
+    }
+}
+
+/// Allocation and mutation statistics, used both by tests and by the
+/// simulated cost model (e.g. Table 6's memory-growth observation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects allocated over the heap's lifetime.
+    pub allocations: u64,
+    /// Objects freed (by GC or explicit free).
+    pub frees: u64,
+    /// Field/element writes performed.
+    pub writes: u64,
+    /// Field/element reads performed.
+    pub reads: u64,
+}
+
+impl HeapStats {
+    /// Objects currently live (allocations minus frees).
+    pub fn live(&self) -> u64 {
+        self.allocations - self.frees
+    }
+}
+
+/// An arena of objects addressed by stable [`ObjId`] handles.
+///
+/// Slots of freed objects are recycled via a free list; handles to freed
+/// slots are detected as dangling (`Option` slots), which keeps the
+/// substrate honest about use-after-free bugs in middleware code.
+pub struct Heap {
+    registry: SharedRegistry,
+    slots: Vec<Option<Object>>,
+    free: Vec<u32>,
+    stats: HeapStats,
+}
+
+impl fmt::Debug for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Heap")
+            .field("live", &self.stats.live())
+            .field("slots", &self.slots.len())
+            .field("classes", &self.registry.len())
+            .finish()
+    }
+}
+
+impl Heap {
+    /// Creates an empty heap bound to a class registry snapshot.
+    pub fn new(registry: SharedRegistry) -> Self {
+        Heap { registry, slots: Vec::new(), free: Vec::new(), stats: HeapStats::default() }
+    }
+
+    /// The registry this heap resolves classes against.
+    pub fn registry_handle(&self) -> &SharedRegistry {
+        &self.registry
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over `(id, object)` pairs for all live objects, in slot
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &Object)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|o| (ObjId(i as u32), o)))
+    }
+
+    /// Borrows the object behind `id`.
+    ///
+    /// # Errors
+    /// [`HeapError::DanglingRef`] if `id` is freed or unallocated.
+    pub fn get(&self, id: ObjId) -> Result<&Object> {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(HeapError::DanglingRef(id.0))
+    }
+
+    fn get_mut(&mut self, id: ObjId) -> Result<&mut Object> {
+        self.slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(HeapError::DanglingRef(id.0))
+    }
+
+    /// True if `id` refers to a live object.
+    pub fn contains(&self, id: ObjId) -> bool {
+        self.slots.get(id.0 as usize).is_some_and(Option::is_some)
+    }
+
+    fn place(&mut self, obj: Object) -> ObjId {
+        self.stats.allocations += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(obj);
+            ObjId(idx)
+        } else {
+            self.slots.push(Some(obj));
+            ObjId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Allocates an object, validating arity and field types against the
+    /// class descriptor.
+    ///
+    /// # Errors
+    /// [`HeapError::UnknownClass`], [`HeapError::ArityMismatch`] or
+    /// [`HeapError::TypeMismatch`].
+    pub fn alloc(&mut self, class: ClassId, fields: Vec<Value>) -> Result<ObjId> {
+        let desc = self.registry.get(class)?;
+        if desc.flags().array {
+            return Err(HeapError::NotAnArray(desc.name().to_owned()));
+        }
+        if fields.len() != desc.field_count() {
+            return Err(HeapError::ArityMismatch {
+                class: desc.name().to_owned(),
+                expected: desc.field_count(),
+                found: fields.len(),
+            });
+        }
+        for (fd, v) in desc.fields().iter().zip(&fields) {
+            if !fd.ty().admits(v) {
+                return Err(HeapError::TypeMismatch {
+                    class: desc.name().to_owned(),
+                    field: fd.name().to_owned(),
+                    expected: type_name(fd.ty()),
+                    found: v.kind_name(),
+                });
+            }
+        }
+        Ok(self.place(Object::new(class, fields)))
+    }
+
+    /// Allocates an object with all fields set to their type defaults.
+    ///
+    /// # Errors
+    /// [`HeapError::UnknownClass`] or [`HeapError::NotAnArray`].
+    pub fn alloc_default(&mut self, class: ClassId) -> Result<ObjId> {
+        let desc = self.registry.get(class)?;
+        let fields = desc.fields().iter().map(|f| f.ty().default_value()).collect();
+        self.alloc(class, fields)
+    }
+
+    /// Allocates an array object.
+    ///
+    /// # Errors
+    /// [`HeapError::NotAnArray`] if `class` is not an array class, or
+    /// [`HeapError::TypeMismatch`] for elements of the wrong type.
+    pub fn alloc_array(&mut self, class: ClassId, elements: Vec<Value>) -> Result<ObjId> {
+        let desc = self.registry.get(class)?;
+        let Some(elem_ty) = desc.element_type() else {
+            return Err(HeapError::NotAnArray(desc.name().to_owned()));
+        };
+        for v in &elements {
+            if !elem_ty.admits(v) {
+                return Err(HeapError::TypeMismatch {
+                    class: desc.name().to_owned(),
+                    field: "[]".to_owned(),
+                    expected: type_name(elem_ty),
+                    found: v.kind_name(),
+                });
+            }
+        }
+        Ok(self.place(Object::new_array(class, elements)))
+    }
+
+    /// Frees the object behind `id`, recycling its slot.
+    ///
+    /// # Errors
+    /// [`HeapError::DanglingRef`] if already freed.
+    pub fn free(&mut self, id: ObjId) -> Result<()> {
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .ok_or(HeapError::DanglingRef(id.0))?;
+        if slot.take().is_none() {
+            return Err(HeapError::DanglingRef(id.0));
+        }
+        self.stats.frees += 1;
+        self.free.push(id.0);
+        Ok(())
+    }
+
+    /// Replaces every field slot of `id` with `values` (same arity), used
+    /// by the restore algorithm's overwrite step (step 5).
+    ///
+    /// # Errors
+    /// Dangling handles or arity mismatches.
+    pub fn overwrite_slots(&mut self, id: ObjId, values: Vec<Value>) -> Result<()> {
+        self.stats.writes += 1;
+        let obj = self.get_mut(id)?;
+        let len = obj.body.len();
+        if len == values.len() {
+            obj.body.slots_mut().clone_from_slice(&values);
+            Ok(())
+        } else {
+            // Arrays may change length server-side; replace wholesale.
+            match &mut obj.body {
+                ObjectBody::Array(v) => {
+                    *v = values;
+                    Ok(())
+                }
+                ObjectBody::Fields(_) => Err(HeapError::ArityMismatch {
+                    class: String::from("<overwrite>"),
+                    expected: len,
+                    found: values.len(),
+                }),
+            }
+        }
+    }
+
+    /// Allocates a remote-stub object proxying the peer's object `key`.
+    ///
+    /// # Errors
+    /// Propagates allocation errors.
+    pub fn alloc_stub(&mut self, key: u64) -> Result<ObjId> {
+        let class = self.registry.stub_class();
+        self.alloc(class, vec![Value::Long(key as i64)])
+    }
+
+    /// If `id` is a remote stub, returns the peer export key it carries.
+    ///
+    /// # Errors
+    /// [`HeapError::DanglingRef`].
+    pub fn stub_key(&self, id: ObjId) -> Result<Option<u64>> {
+        let obj = self.get(id)?;
+        let desc = self.registry.get(obj.class())?;
+        if desc.flags().stub {
+            Ok(obj.body().slots().first().and_then(Value::as_long).map(|k| k as u64))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Clones the full slot vector of `id`.
+    ///
+    /// # Errors
+    /// [`HeapError::DanglingRef`].
+    pub fn slots_of(&self, id: ObjId) -> Result<Vec<Value>> {
+        Ok(self.get(id)?.body().slots().to_vec())
+    }
+
+    /// Rewrites every reference slot of `id` through `map`; slots whose
+    /// target is absent from `map` are left unchanged. Used by restore
+    /// step 6 (pointer conversion new → old).
+    ///
+    /// # Errors
+    /// [`HeapError::DanglingRef`].
+    pub fn rewrite_refs(
+        &mut self,
+        id: ObjId,
+        map: &std::collections::HashMap<ObjId, ObjId>,
+    ) -> Result<()> {
+        self.stats.writes += 1;
+        let obj = self.get_mut(id)?;
+        for slot in obj.body.slots_mut() {
+            if let Value::Ref(target) = slot {
+                if let Some(new_target) = map.get(target) {
+                    *slot = Value::Ref(*new_target);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn type_name(ty: crate::class::FieldType) -> &'static str {
+    use crate::class::FieldType;
+    match ty {
+        FieldType::Bool => "bool",
+        FieldType::Int => "int",
+        FieldType::Long => "long",
+        FieldType::Double => "double",
+        FieldType::Str => "str",
+        FieldType::Ref => "ref",
+        FieldType::Any => "any",
+    }
+}
+
+impl HeapAccess for Heap {
+    fn get_field_raw(&mut self, obj: ObjId, field: usize) -> Result<Value> {
+        self.stats.reads += 1;
+        let o = self.get(obj)?;
+        o.body()
+            .slots()
+            .get(field)
+            .cloned()
+            .ok_or_else(|| HeapError::FieldIndexOutOfBounds {
+                class: class_name(&self.registry, o.class()),
+                index: field,
+                len: o.body().len(),
+            })
+    }
+
+    fn set_field_raw(&mut self, obj: ObjId, field: usize, value: Value) -> Result<()> {
+        self.stats.writes += 1;
+        let registry = self.registry.clone();
+        let o = self.get_mut(obj)?;
+        let class = o.class();
+        let len = o.body().len();
+        // Type-check ordinary fields; array classes have no descriptors.
+        if !o.is_array() {
+            let desc = registry.get(class)?;
+            let fd = desc.fields().get(field).ok_or(HeapError::FieldIndexOutOfBounds {
+                class: desc.name().to_owned(),
+                index: field,
+                len,
+            })?;
+            if !fd.ty().admits(&value) {
+                return Err(HeapError::TypeMismatch {
+                    class: desc.name().to_owned(),
+                    field: fd.name().to_owned(),
+                    expected: type_name(fd.ty()),
+                    found: value.kind_name(),
+                });
+            }
+        }
+        let slot = o.body.slots_mut().get_mut(field).ok_or(
+            HeapError::FieldIndexOutOfBounds { class: class_name(&registry, class), index: field, len },
+        )?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn alloc_raw(&mut self, class: ClassId, fields: Vec<Value>) -> Result<ObjId> {
+        self.alloc(class, fields)
+    }
+
+    fn alloc_array_raw(&mut self, class: ClassId, elements: Vec<Value>) -> Result<ObjId> {
+        self.alloc_array(class, elements)
+    }
+
+    fn class_of(&mut self, obj: ObjId) -> Result<ClassId> {
+        Ok(self.get(obj)?.class())
+    }
+
+    fn slot_count(&mut self, obj: ObjId) -> Result<usize> {
+        Ok(self.get(obj)?.body().len())
+    }
+
+    fn get_element(&mut self, obj: ObjId, index: usize) -> Result<Value> {
+        self.stats.reads += 1;
+        let o = self.get(obj)?;
+        if !o.is_array() {
+            return Err(HeapError::NotAnArray(class_name(&self.registry, o.class())));
+        }
+        o.body()
+            .slots()
+            .get(index)
+            .cloned()
+            .ok_or(HeapError::ArrayIndexOutOfBounds { index, len: o.body().len() })
+    }
+
+    fn set_element(&mut self, obj: ObjId, index: usize, value: Value) -> Result<()> {
+        self.stats.writes += 1;
+        let registry = self.registry.clone();
+        let o = self.get_mut(obj)?;
+        if !o.is_array() {
+            return Err(HeapError::NotAnArray(class_name(&registry, o.class())));
+        }
+        let len = o.body().len();
+        let slot = o
+            .body
+            .slots_mut()
+            .get_mut(index)
+            .ok_or(HeapError::ArrayIndexOutOfBounds { index, len })?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn registry(&self) -> &SharedRegistry {
+        &self.registry
+    }
+}
+
+fn class_name(registry: &SharedRegistry, class: ClassId) -> String {
+    registry
+        .get(class)
+        .map(|d| d.name().to_owned())
+        .unwrap_or_else(|_| format!("<class:{}>", class.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassRegistry, FieldType};
+
+    fn tree_setup() -> (SharedRegistry, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let tree = reg
+            .define("Tree")
+            .field_int("data")
+            .field_ref("left")
+            .field_ref("right")
+            .restorable()
+            .register();
+        (reg.snapshot(), tree)
+    }
+
+    #[test]
+    fn alloc_get_set_roundtrip() {
+        let (reg, tree) = tree_setup();
+        let mut heap = Heap::new(reg);
+        let leaf = heap
+            .alloc(tree, vec![Value::Int(7), Value::Null, Value::Null])
+            .unwrap();
+        let root = heap
+            .alloc(tree, vec![Value::Int(1), Value::Ref(leaf), Value::Null])
+            .unwrap();
+        assert_eq!(heap.get_field(root, "data").unwrap(), Value::Int(1));
+        assert_eq!(heap.get_ref(root, "left").unwrap(), Some(leaf));
+        heap.set_field(root, "data", Value::Int(9)).unwrap();
+        assert_eq!(heap.get_field(root, "data").unwrap(), Value::Int(9));
+        assert_eq!(heap.live_count(), 2);
+    }
+
+    #[test]
+    fn aliasing_two_handles_same_object() {
+        let (reg, tree) = tree_setup();
+        let mut heap = Heap::new(reg);
+        let shared = heap.alloc_default(tree).unwrap();
+        let a = heap
+            .alloc(tree, vec![Value::Int(1), Value::Ref(shared), Value::Null])
+            .unwrap();
+        let b = heap
+            .alloc(tree, vec![Value::Int(2), Value::Ref(shared), Value::Null])
+            .unwrap();
+        // Mutation through one alias is visible through the other.
+        heap.set_field(shared, "data", Value::Int(42)).unwrap();
+        let via_a = heap.get_ref(a, "left").unwrap().unwrap();
+        let via_b = heap.get_ref(b, "left").unwrap().unwrap();
+        assert_eq!(via_a, via_b);
+        assert_eq!(heap.get_field(via_a, "data").unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn arity_and_type_validation() {
+        let (reg, tree) = tree_setup();
+        let mut heap = Heap::new(reg);
+        assert!(matches!(
+            heap.alloc(tree, vec![Value::Int(1)]),
+            Err(HeapError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            heap.alloc(tree, vec![Value::Str("x".into()), Value::Null, Value::Null]),
+            Err(HeapError::TypeMismatch { .. })
+        ));
+        let obj = heap.alloc_default(tree).unwrap();
+        assert!(matches!(
+            heap.set_field(obj, "data", Value::Null),
+            Err(HeapError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            heap.set_field(obj, "nope", Value::Int(1)),
+            Err(HeapError::NoSuchField { .. })
+        ));
+    }
+
+    #[test]
+    fn free_and_dangling_detection() {
+        let (reg, tree) = tree_setup();
+        let mut heap = Heap::new(reg);
+        let obj = heap.alloc_default(tree).unwrap();
+        heap.free(obj).unwrap();
+        assert!(matches!(heap.get(obj), Err(HeapError::DanglingRef(_))));
+        assert!(matches!(heap.free(obj), Err(HeapError::DanglingRef(_))));
+        assert!(!heap.contains(obj));
+        // Slot is recycled.
+        let again = heap.alloc_default(tree).unwrap();
+        assert_eq!(again.index(), obj.index());
+        assert_eq!(heap.stats().frees, 1);
+        assert_eq!(heap.stats().allocations, 2);
+        assert_eq!(heap.stats().live(), 1);
+    }
+
+    #[test]
+    fn arrays() {
+        let mut reg = ClassRegistry::new();
+        let arr = reg.define_array("int[]", FieldType::Int);
+        let mut heap = Heap::new(reg.snapshot());
+        let a = heap
+            .alloc_array(arr, vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        assert_eq!(heap.get_element(a, 1).unwrap(), Value::Int(2));
+        heap.set_element(a, 0, Value::Int(9)).unwrap();
+        assert_eq!(heap.get_element(a, 0).unwrap(), Value::Int(9));
+        assert!(matches!(
+            heap.get_element(a, 5),
+            Err(HeapError::ArrayIndexOutOfBounds { .. })
+        ));
+        // Element type enforcement at alloc.
+        assert!(matches!(
+            heap.alloc_array(arr, vec![Value::Str("no".into())]),
+            Err(HeapError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn array_ops_on_plain_object_fail() {
+        let (reg, tree) = tree_setup();
+        let mut heap = Heap::new(reg);
+        let obj = heap.alloc_default(tree).unwrap();
+        assert!(matches!(heap.get_element(obj, 0), Err(HeapError::NotAnArray(_))));
+        assert!(matches!(
+            heap.set_element(obj, 0, Value::Int(1)),
+            Err(HeapError::NotAnArray(_))
+        ));
+        // And alloc of a non-array class via alloc_array fails.
+        assert!(matches!(heap.alloc_array(obj_class(&heap), vec![]), Err(HeapError::NotAnArray(_))));
+    }
+
+    fn obj_class(heap: &Heap) -> ClassId {
+        heap.registry_handle().by_name("Tree").unwrap()
+    }
+
+    #[test]
+    fn overwrite_and_rewrite() {
+        let (reg, tree) = tree_setup();
+        let mut heap = Heap::new(reg);
+        let a = heap.alloc_default(tree).unwrap();
+        let b = heap.alloc_default(tree).unwrap();
+        let c = heap.alloc_default(tree).unwrap();
+        heap.overwrite_slots(a, vec![Value::Int(5), Value::Ref(b), Value::Null])
+            .unwrap();
+        assert_eq!(heap.get_ref(a, "left").unwrap(), Some(b));
+        let mut map = std::collections::HashMap::new();
+        map.insert(b, c);
+        heap.rewrite_refs(a, &map).unwrap();
+        assert_eq!(heap.get_ref(a, "left").unwrap(), Some(c));
+        assert_eq!(heap.get_field(a, "data").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn overwrite_array_may_resize() {
+        let mut reg = ClassRegistry::new();
+        let arr = reg.define_array("int[]", FieldType::Int);
+        let mut heap = Heap::new(reg.snapshot());
+        let a = heap.alloc_array(arr, vec![Value::Int(1)]).unwrap();
+        heap.overwrite_slots(a, vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+            .unwrap();
+        assert_eq!(heap.slot_count(a).unwrap(), 3);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let (reg, _) = tree_setup();
+        let heap = Heap::new(reg);
+        assert!(!format!("{heap:?}").is_empty());
+    }
+}

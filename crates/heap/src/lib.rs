@@ -1,0 +1,81 @@
+//! # nrmi-heap — managed object-graph substrate
+//!
+//! NRMI (Tilevich & Smaragdakis, ICDCS 2003) is middleware for a language
+//! with a garbage-collected heap of freely-aliased mutable objects (Java).
+//! Rust has no such runtime, so this crate builds one: a [`Heap`] is an
+//! arena of [`Object`]s addressed by stable [`ObjId`] handles, and a field
+//! holding [`Value::Ref`] is the moral equivalent of a Java reference.
+//! Two fields holding the same `ObjId` *are* an alias — exactly the
+//! situation NRMI's call-by-copy-restore semantics is about.
+//!
+//! The crate also provides the runtime metadata that Java gets from
+//! reflection: every object belongs to a class registered in a
+//! [`ClassRegistry`], whose [`ClassDescriptor`] lists field names and types
+//! and carries the NRMI marker flags (`serializable`, `restorable`,
+//! `remote` — the analogues of `java.io.Serializable`,
+//! `java.rmi.Restorable` and `java.rmi.server.UnicastRemoteObject`).
+//!
+//! On top of the raw heap sit the pieces the NRMI algorithm needs:
+//!
+//! * [`traverse`] — deterministic preorder depth-first reachability and
+//!   the **linear map** (step 1 of the paper's algorithm);
+//! * [`copy`] — alias-preserving deep copies within and across heaps;
+//! * [`graph`] — alias-structure-aware isomorphism checks and an ASCII
+//!   renderer used to regenerate the paper's figures;
+//! * [`gc`] — a mark-sweep collector plus a reference-counting space that
+//!   (faithfully to RMI's distributed GC) cannot reclaim cycles;
+//! * [`tree`] — builders for the paper's running example and the random
+//!   binary trees of its benchmarks.
+//!
+//! ## Example
+//!
+//! ```
+//! use nrmi_heap::{ClassRegistry, Heap, HeapAccess, Value};
+//!
+//! # fn main() -> Result<(), nrmi_heap::HeapError> {
+//! let mut registry = ClassRegistry::new();
+//! let point = registry
+//!     .define("Point")
+//!     .field_int("x")
+//!     .field_int("y")
+//!     .serializable()
+//!     .register();
+//!
+//! let mut heap = Heap::new(registry.snapshot());
+//! let p = heap.alloc(point, vec![Value::Int(3), Value::Int(4)])?;
+//! heap.set_field(p, "x", Value::Int(7))?;
+//! assert_eq!(heap.get_field(p, "x")?, Value::Int(7));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod error;
+mod heap_impl;
+mod object;
+mod value;
+
+pub mod collections;
+pub mod copy;
+pub mod gc;
+pub mod graph;
+pub mod snapshot;
+pub mod validate;
+pub mod traverse;
+pub mod tree;
+
+pub use class::{
+    ClassBuilder, ClassDescriptor, ClassFlags, ClassId, ClassRegistry, FieldDescriptor, FieldType,
+    SharedRegistry,
+};
+pub use error::HeapError;
+pub use heap_impl::{Heap, HeapAccess, HeapStats};
+pub use object::{Object, ObjectBody};
+pub use traverse::LinearMap;
+pub use value::{ObjId, Value};
+
+/// Convenient result alias for heap operations.
+pub type Result<T> = std::result::Result<T, HeapError>;

@@ -1,0 +1,122 @@
+//! Object records stored in heap slots.
+
+use crate::class::ClassId;
+use crate::value::Value;
+
+/// The payload of an object: either named field slots (ordinary classes)
+/// or an element vector (array classes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjectBody {
+    /// Field slots in declaration order.
+    Fields(Vec<Value>),
+    /// Array elements.
+    Array(Vec<Value>),
+}
+
+impl ObjectBody {
+    /// All value slots, regardless of representation.
+    pub fn slots(&self) -> &[Value] {
+        match self {
+            ObjectBody::Fields(v) | ObjectBody::Array(v) => v,
+        }
+    }
+
+    /// Mutable access to all value slots.
+    pub fn slots_mut(&mut self) -> &mut [Value] {
+        match self {
+            ObjectBody::Fields(v) | ObjectBody::Array(v) => v,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots().len()
+    }
+
+    /// True if there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots().is_empty()
+    }
+}
+
+/// A heap-resident object: a class tag plus its payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Object {
+    pub(crate) class: ClassId,
+    pub(crate) body: ObjectBody,
+}
+
+impl Object {
+    /// Creates an object with ordinary field slots.
+    pub fn new(class: ClassId, fields: Vec<Value>) -> Self {
+        Object { class, body: ObjectBody::Fields(fields) }
+    }
+
+    /// Creates an array object.
+    pub fn new_array(class: ClassId, elements: Vec<Value>) -> Self {
+        Object { class, body: ObjectBody::Array(elements) }
+    }
+
+    /// The object's class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The object's payload.
+    pub fn body(&self) -> &ObjectBody {
+        &self.body
+    }
+
+    /// True for array objects.
+    pub fn is_array(&self) -> bool {
+        matches!(self.body, ObjectBody::Array(_))
+    }
+
+    /// Iterates over the object ids this object references directly,
+    /// in slot order (the order the linear-map traversal follows).
+    pub fn outgoing_refs(&self) -> impl Iterator<Item = crate::ObjId> + '_ {
+        self.body.slots().iter().filter_map(Value::as_ref_id)
+    }
+
+    /// Approximate serialized payload size in bytes (slot values only;
+    /// the per-object header is accounted by the class descriptor).
+    pub fn payload_wire_size(&self) -> usize {
+        self.body.slots().iter().map(Value::wire_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassId, ObjId};
+
+    fn cid() -> ClassId {
+        ClassId::from_index(0)
+    }
+
+    #[test]
+    fn outgoing_refs_skips_primitives_and_nulls() {
+        let a = ObjId::from_index(1);
+        let b = ObjId::from_index(2);
+        let obj = Object::new(
+            cid(),
+            vec![Value::Int(5), Value::Ref(a), Value::Null, Value::Ref(b)],
+        );
+        let refs: Vec<ObjId> = obj.outgoing_refs().collect();
+        assert_eq!(refs, vec![a, b]);
+    }
+
+    #[test]
+    fn array_body() {
+        let obj = Object::new_array(cid(), vec![Value::Int(1), Value::Int(2)]);
+        assert!(obj.is_array());
+        assert_eq!(obj.body().len(), 2);
+        assert!(!obj.body().is_empty());
+    }
+
+    #[test]
+    fn payload_size_sums_slots() {
+        let obj = Object::new(cid(), vec![Value::Int(1), Value::Long(2)]);
+        assert_eq!(obj.payload_wire_size(), 5 + 9);
+    }
+}

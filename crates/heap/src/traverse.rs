@@ -1,0 +1,244 @@
+//! Reachability traversal and the linear map (algorithm step 1).
+//!
+//! The paper's algorithm hinges on a *linear map*: "a data structure
+//! storing references to all objects reachable from the reference
+//! parameter, in the order that they were traversed" (§5.2.1). Client and
+//! server independently compute the same traversal order over isomorphic
+//! graphs, which is what lets position `i` in the client map correspond to
+//! position `i` in the server map (step 4, "match up the two linear
+//! maps"). Determinism is therefore a correctness requirement, not a
+//! convenience: we use preorder depth-first traversal, visiting slots in
+//! declaration order.
+
+use std::collections::HashMap;
+
+use crate::heap_impl::Heap;
+use crate::value::ObjId;
+use crate::Result;
+
+/// All objects reachable from a set of roots, in deterministic traversal
+/// order, with O(1) position lookup.
+///
+/// Position `i` on the client corresponds to position `i` on the server
+/// after marshalling, which is how "old" objects are matched back to their
+/// originals during restore.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinearMap {
+    order: Vec<ObjId>,
+    position: HashMap<ObjId, u32>,
+}
+
+impl LinearMap {
+    /// Builds the linear map of everything reachable from `roots` in
+    /// `heap`, following fields in declaration order (depth-first,
+    /// preorder). Strings and primitives are values, not objects, and do
+    /// not appear.
+    ///
+    /// # Errors
+    /// Propagates dangling-reference errors from the heap.
+    pub fn build(heap: &Heap, roots: &[ObjId]) -> Result<Self> {
+        let mut map = LinearMap::default();
+        let mut stack: Vec<ObjId> = Vec::new();
+        // Push roots in reverse so they are visited first-root-first.
+        for &root in roots.iter().rev() {
+            stack.push(root);
+        }
+        while let Some(id) = stack.pop() {
+            if map.position.contains_key(&id) {
+                continue;
+            }
+            let obj = heap.get(id)?;
+            map.position.insert(id, map.order.len() as u32);
+            map.order.push(id);
+            // Reverse so the first declared field is traversed first.
+            let outgoing: Vec<ObjId> = obj.outgoing_refs().collect();
+            for child in outgoing.into_iter().rev() {
+                if !map.position.contains_key(&child) {
+                    stack.push(child);
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Builds an empty map (e.g. for calls with no reference arguments).
+    pub fn empty() -> Self {
+        LinearMap::default()
+    }
+
+    /// The objects in traversal order.
+    pub fn order(&self) -> &[ObjId] {
+        &self.order
+    }
+
+    /// The traversal position of `id`, if reachable.
+    pub fn position_of(&self, id: ObjId) -> Option<u32> {
+        self.position.get(&id).copied()
+    }
+
+    /// The object at traversal position `pos`.
+    pub fn at(&self, pos: u32) -> Option<ObjId> {
+        self.order.get(pos as usize).copied()
+    }
+
+    /// True if `id` was reachable from the roots.
+    pub fn contains(&self, id: ObjId) -> bool {
+        self.position.contains_key(&id)
+    }
+
+    /// Number of reachable objects.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if no objects are reachable (all roots were null/absent).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates over `(position, id)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, ObjId)> + '_ {
+        self.order.iter().enumerate().map(|(i, &id)| (i as u32, id))
+    }
+}
+
+/// Returns the set of objects reachable from `roots` (unordered
+/// convenience wrapper over [`LinearMap::build`]).
+///
+/// # Errors
+/// Propagates dangling-reference errors from the heap.
+pub fn reachable_set(heap: &Heap, roots: &[ObjId]) -> Result<std::collections::HashSet<ObjId>> {
+    Ok(LinearMap::build(heap, roots)?.order().iter().copied().collect())
+}
+
+/// Counts the objects reachable from `roots`.
+///
+/// # Errors
+/// Propagates dangling-reference errors from the heap.
+pub fn reachable_count(heap: &Heap, roots: &[ObjId]) -> Result<usize> {
+    Ok(LinearMap::build(heap, roots)?.len())
+}
+
+/// Computes the total wire size (headers + payloads) of the subgraph
+/// reachable from `roots`; the simulated cost model uses this to charge
+/// serialization CPU and network transfer.
+///
+/// # Errors
+/// Propagates dangling-reference or unknown-class errors.
+pub fn reachable_wire_size(heap: &Heap, roots: &[ObjId]) -> Result<usize> {
+    let map = LinearMap::build(heap, roots)?;
+    let mut total = 0usize;
+    for &id in map.order() {
+        let obj = heap.get(id)?;
+        let desc = heap.registry_handle().get(obj.class())?;
+        total += desc.header_wire_size() + obj.payload_wire_size();
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{self, TreeClasses};
+    use crate::{ClassRegistry, Heap, Value};
+
+    fn setup() -> (Heap, TreeClasses) {
+        let mut reg = ClassRegistry::new();
+        let classes = tree::register_tree_classes(&mut reg);
+        (Heap::new(reg.snapshot()), classes)
+    }
+
+    #[test]
+    fn linear_map_of_running_example_is_preorder() {
+        let (mut heap, classes) = setup();
+        let ex = tree::build_running_example(&mut heap, &classes).unwrap();
+        let map = LinearMap::build(&heap, &[ex.root]).unwrap();
+        // Figure 1's tree has 7 nodes; preorder visits root, then the
+        // left subtree, then the right subtree.
+        assert_eq!(map.len(), 7);
+        assert_eq!(map.at(0), Some(ex.root));
+        assert_eq!(map.position_of(ex.root), Some(0));
+        assert_eq!(map.at(1), Some(ex.left));
+        // alias targets are interior nodes, hence present.
+        assert!(map.contains(ex.alias1_target));
+        assert!(map.contains(ex.alias2_target));
+    }
+
+    #[test]
+    fn shared_subtrees_appear_once() {
+        let (mut heap, classes) = setup();
+        let shared = heap
+            .alloc(classes.tree, vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        let root = heap
+            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .unwrap();
+        let map = LinearMap::build(&heap, &[root]).unwrap();
+        assert_eq!(map.len(), 2, "aliased child must appear exactly once");
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let (mut heap, classes) = setup();
+        let a = heap.alloc_default(classes.tree).unwrap();
+        let b = heap.alloc_default(classes.tree).unwrap();
+        crate::HeapAccess::set_field(&mut heap, a, "left", Value::Ref(b)).unwrap();
+        crate::HeapAccess::set_field(&mut heap, b, "left", Value::Ref(a)).unwrap();
+        let map = LinearMap::build(&heap, &[a]).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.at(0), Some(a));
+        assert_eq!(map.at(1), Some(b));
+    }
+
+    #[test]
+    fn multiple_roots_share_dedup() {
+        let (mut heap, classes) = setup();
+        let shared = heap.alloc_default(classes.tree).unwrap();
+        let a = heap
+            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Null])
+            .unwrap();
+        let b = heap
+            .alloc(classes.tree, vec![Value::Int(1), Value::Ref(shared), Value::Null])
+            .unwrap();
+        let map = LinearMap::build(&heap, &[a, b]).unwrap();
+        // The paper (§4.1): sharing across parameters is replicated, not
+        // duplicated — a shared object appears once in the map.
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.at(0), Some(a));
+        assert_eq!(map.at(1), Some(shared));
+        assert_eq!(map.at(2), Some(b));
+    }
+
+    #[test]
+    fn empty_roots() {
+        let (heap, _) = setup();
+        let map = LinearMap::build(&heap, &[]).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(LinearMap::empty(), map);
+    }
+
+    #[test]
+    fn wire_size_positive_and_monotone() {
+        let (mut heap, classes) = setup();
+        let small = tree::build_random_tree(&mut heap, &classes, 4, 1).unwrap();
+        let large = tree::build_random_tree(&mut heap, &classes, 64, 1).unwrap();
+        let s = reachable_wire_size(&heap, &[small]).unwrap();
+        let l = reachable_wire_size(&heap, &[large]).unwrap();
+        assert!(s > 0);
+        assert!(l > s);
+    }
+
+    #[test]
+    fn reachable_set_matches_map() {
+        let (mut heap, classes) = setup();
+        let root = tree::build_random_tree(&mut heap, &classes, 16, 7).unwrap();
+        let set = reachable_set(&heap, &[root]).unwrap();
+        let map = LinearMap::build(&heap, &[root]).unwrap();
+        assert_eq!(set.len(), map.len());
+        assert_eq!(reachable_count(&heap, &[root]).unwrap(), map.len());
+        for &id in map.order() {
+            assert!(set.contains(&id));
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The paper's running example and binary-tree workload builders.
+//!
+//! Section 2 of the paper develops one example used throughout: a 7-node
+//! binary tree `t` of integers with two aliases into its interior
+//! (`alias1 → t.left`, `alias2 → t.right`, Figure 1), and a procedure
+//! `foo` that mutates data, unlinks subtrees, and splices in a new node
+//! (Figure 2). This module reproduces that example exactly, plus the
+//! seeded random trees used by the benchmarks (§5.3.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::class::{ClassId, ClassRegistry};
+use crate::heap_impl::{Heap, HeapAccess};
+use crate::value::{ObjId, Value};
+use crate::Result;
+
+/// Class ids for the tree workloads.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeClasses {
+    /// `class Tree implements java.rmi.Restorable { int data; Tree left, right; }`
+    pub tree: ClassId,
+}
+
+/// Registers the `Tree` class (restorable, hence serializable) used by the
+/// running example and all benchmarks.
+pub fn register_tree_classes(registry: &mut ClassRegistry) -> TreeClasses {
+    let tree = registry
+        .define("Tree")
+        .field_int("data")
+        .field_ref("left")
+        .field_ref("right")
+        .restorable()
+        .register();
+    TreeClasses { tree }
+}
+
+/// Handles into the Figure 1 graph.
+///
+/// ```text
+///            t(5)
+///           /    \
+///        L(3)    R(7)     alias1 → L,  alias2 → R
+///        /  \    /  \
+///    LL(1) LR(4) RL(6) RR(11)
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RunningExample {
+    /// The root `t` passed to `foo`.
+    pub root: ObjId,
+    /// `t.left` before the call (data 3).
+    pub left: ObjId,
+    /// `t.right` before the call (data 7).
+    pub right: ObjId,
+    /// `t.left.left` (data 1).
+    pub ll: ObjId,
+    /// `t.left.right` (data 4).
+    pub lr: ObjId,
+    /// `t.right.left` (data 6).
+    pub rl: ObjId,
+    /// `t.right.right` (data 11, set to 8 by `foo`).
+    pub rr: ObjId,
+    /// What `alias1` points at (the pre-call `t.left`).
+    pub alias1_target: ObjId,
+    /// What `alias2` points at (the pre-call `t.right`).
+    pub alias2_target: ObjId,
+}
+
+/// Builds the Figure 1 tree with both aliasing references.
+///
+/// # Errors
+/// Propagates allocation errors.
+pub fn build_running_example(heap: &mut Heap, classes: &TreeClasses) -> Result<RunningExample> {
+    let node = |heap: &mut Heap, data: i32, left: Value, right: Value| {
+        heap.alloc(classes.tree, vec![Value::Int(data), left, right])
+    };
+    let ll = node(heap, 1, Value::Null, Value::Null)?;
+    let lr = node(heap, 4, Value::Null, Value::Null)?;
+    let rl = node(heap, 6, Value::Null, Value::Null)?;
+    let rr = node(heap, 11, Value::Null, Value::Null)?;
+    let left = node(heap, 3, Value::Ref(ll), Value::Ref(lr))?;
+    let right = node(heap, 7, Value::Ref(rl), Value::Ref(rr))?;
+    let root = node(heap, 5, Value::Ref(left), Value::Ref(right))?;
+    Ok(RunningExample {
+        root,
+        left,
+        right,
+        ll,
+        lr,
+        rl,
+        rr,
+        alias1_target: left,
+        alias2_target: right,
+    })
+}
+
+/// The paper's `foo`, verbatim (Section 2):
+///
+/// ```java
+/// void foo(Tree tree) {
+///   tree.left.data = 0;
+///   tree.right.data = 9;
+///   tree.right.right.data = 8;
+///   tree.left = null;
+///   Tree temp = new Tree(2, tree.right.right, null);
+///   tree.right.right = null;
+///   tree.right = temp;
+/// }
+/// ```
+///
+/// Written against [`HeapAccess`] so the same body runs locally, on a
+/// server copy, or over remote references (Figure 3's world).
+///
+/// # Errors
+/// Propagates heap/proxy access errors.
+pub fn run_foo(heap: &mut dyn HeapAccess, tree: ObjId) -> Result<()> {
+    let tree_class = heap.class_of(tree)?;
+    let left = heap.get_field(tree, "left")?.as_ref_id().expect("tree.left");
+    let right = heap.get_field(tree, "right")?.as_ref_id().expect("tree.right");
+    heap.set_field(left, "data", Value::Int(0))?;
+    heap.set_field(right, "data", Value::Int(9))?;
+    let right_right = heap.get_field(right, "right")?.as_ref_id().expect("tree.right.right");
+    heap.set_field(right_right, "data", Value::Int(8))?;
+    heap.set_field(tree, "left", Value::Null)?;
+    let temp = heap.alloc_raw(
+        tree_class,
+        vec![Value::Int(2), Value::Ref(right_right), Value::Null],
+    )?;
+    heap.set_field(right, "right", Value::Null)?;
+    heap.set_field(tree, "right", Value::Ref(temp))?;
+    Ok(())
+}
+
+/// Checks that the heap state around `ex` matches Figure 2 — the result of
+/// a *local* call `foo(t)`, which is also the contract of a correct
+/// copy-restore remote call. Returns a list of violated expectations
+/// (empty = success), so tests can report precisely what diverged.
+///
+/// # Errors
+/// Propagates heap access errors (e.g. prematurely freed nodes).
+pub fn figure2_violations(heap: &mut Heap, ex: &RunningExample) -> Result<Vec<String>> {
+    let mut violations = Vec::new();
+    let mut check = |cond: bool, what: &str| {
+        if !cond {
+            violations.push(what.to_owned());
+        }
+    };
+
+    // Mutations visible through aliases even where unlinked from t:
+    let left_data = heap.get_field(ex.alias1_target, "data")?;
+    check(left_data == Value::Int(0), "alias1.data == 0 (was t.left.data = 0)");
+    let right_data = heap.get_field(ex.alias2_target, "data")?;
+    check(right_data == Value::Int(9), "alias2.data == 9 (was t.right.data = 9)");
+    let rr_data = heap.get_field(ex.rr, "data")?;
+    check(rr_data == Value::Int(8), "t.right.right.data == 8");
+
+    // Structural changes on t itself:
+    let t_left = heap.get_ref(ex.root, "left")?;
+    check(t_left.is_none(), "t.left == null");
+    let t_right = heap.get_ref(ex.root, "right")?;
+    match t_right {
+        None => check(false, "t.right is null, expected new node"),
+        Some(temp) => {
+            check(temp != ex.right, "t.right is a NEW node, not the old one");
+            let temp_data = heap.get_field(temp, "data")?;
+            check(temp_data == Value::Int(2), "t.right.data == 2 (new node)");
+            let temp_left = heap.get_ref(temp, "left")?;
+            check(
+                temp_left == Some(ex.rr),
+                "t.right.left is the ORIGINAL t.right.right node (identity preserved)",
+            );
+            let temp_right = heap.get_ref(temp, "right")?;
+            check(temp_right.is_none(), "t.right.right == null (new node's right)");
+        }
+    }
+
+    // The old right node was unlinked from rr:
+    let old_right_right = heap.get_ref(ex.alias2_target, "right")?;
+    check(old_right_right.is_none(), "alias2.right == null (tree.right.right = null)");
+    // Its left child is untouched:
+    let old_right_left = heap.get_ref(ex.alias2_target, "left")?;
+    check(old_right_left == Some(ex.rl), "alias2.left still the original RL node");
+
+    // The unlinked left subtree keeps its children (visible via alias1):
+    let a1_left = heap.get_ref(ex.alias1_target, "left")?;
+    check(a1_left == Some(ex.ll), "alias1.left still LL");
+    let a1_right = heap.get_ref(ex.alias1_target, "right")?;
+    check(a1_right == Some(ex.lr), "alias1.right still LR");
+
+    Ok(violations)
+}
+
+/// Checks Figure 9 — the result under DCE RPC semantics, where changes to
+/// data that became unreachable from `t` are *not* restored: `t.left.data`
+/// and `t.right.data` keep their old values and the old right node's
+/// `right` field still points at the original RR node. Everything
+/// reachable from `t` after the call matches Figure 2.
+///
+/// # Errors
+/// Propagates heap access errors.
+pub fn figure9_violations(heap: &mut Heap, ex: &RunningExample) -> Result<Vec<String>> {
+    let mut violations = Vec::new();
+    let mut check = |cond: bool, what: &str| {
+        if !cond {
+            violations.push(what.to_owned());
+        }
+    };
+
+    // Disregarded on the caller site under DCE RPC (Figure 9):
+    let left_data = heap.get_field(ex.alias1_target, "data")?;
+    check(left_data == Value::Int(3), "alias1.data unchanged (DCE drops tree.left.data = 0)");
+    let right_data = heap.get_field(ex.alias2_target, "data")?;
+    check(right_data == Value::Int(7), "alias2.data unchanged (DCE drops tree.right.data = 9)");
+    let old_rr_link = heap.get_ref(ex.alias2_target, "right")?;
+    check(
+        old_rr_link == Some(ex.rr),
+        "alias2.right still RR (DCE drops tree.right.right = null)",
+    );
+
+    // Still restored (reachable from t after the call):
+    let rr_data = heap.get_field(ex.rr, "data")?;
+    check(rr_data == Value::Int(8), "t.right.right.data == 8 (still reachable via new node)");
+    let t_left = heap.get_ref(ex.root, "left")?;
+    check(t_left.is_none(), "t.left == null");
+    match heap.get_ref(ex.root, "right")? {
+        None => check(false, "t.right is null, expected new node"),
+        Some(temp) => {
+            let temp_data = heap.get_field(temp, "data")?;
+            check(temp_data == Value::Int(2), "t.right.data == 2 (new node)");
+            let temp_left = heap.get_ref(temp, "left")?;
+            check(temp_left == Some(ex.rr), "t.right.left is the original RR node");
+        }
+    }
+
+    Ok(violations)
+}
+
+/// Builds a random binary tree with exactly `size` nodes and returns its
+/// root. Shapes and data are drawn from a seeded RNG so client and server
+/// (and repeated benchmark runs) see identical workloads.
+///
+/// # Errors
+/// Propagates allocation errors.
+///
+/// # Panics
+/// Panics if `size` is zero.
+pub fn build_random_tree(
+    heap: &mut Heap,
+    classes: &TreeClasses,
+    size: usize,
+    seed: u64,
+) -> Result<ObjId> {
+    assert!(size > 0, "tree size must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    build_random_subtree(heap, classes, size, &mut rng)
+}
+
+fn build_random_subtree(
+    heap: &mut Heap,
+    classes: &TreeClasses,
+    size: usize,
+    rng: &mut StdRng,
+) -> Result<ObjId> {
+    debug_assert!(size > 0);
+    let data = Value::Int(rng.gen_range(-1000..1000));
+    if size == 1 {
+        return heap.alloc(classes.tree, vec![data, Value::Null, Value::Null]);
+    }
+    let left_size = rng.gen_range(0..size); // remaining after root
+    let right_size = size - 1 - left_size;
+    let left = if left_size > 0 {
+        Value::Ref(build_random_subtree(heap, classes, left_size, rng)?)
+    } else {
+        Value::Null
+    };
+    let right = if right_size > 0 {
+        Value::Ref(build_random_subtree(heap, classes, right_size, rng)?)
+    } else {
+        Value::Null
+    };
+    heap.alloc(classes.tree, vec![data, left, right])
+}
+
+/// Collects every node of the tree rooted at `root` in traversal order
+/// (root first). Convenience for alias selection in benchmarks.
+///
+/// # Errors
+/// Propagates heap access errors.
+pub fn collect_nodes(heap: &Heap, root: ObjId) -> Result<Vec<ObjId>> {
+    Ok(crate::traverse::LinearMap::build(heap, &[root])?.order().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClassRegistry;
+
+    fn setup() -> (Heap, TreeClasses) {
+        let mut reg = ClassRegistry::new();
+        let classes = register_tree_classes(&mut reg);
+        (Heap::new(reg.snapshot()), classes)
+    }
+
+    #[test]
+    fn running_example_shape_matches_figure_1() {
+        let (mut heap, classes) = setup();
+        let ex = build_running_example(&mut heap, &classes).unwrap();
+        assert_eq!(heap.get_field(ex.root, "data").unwrap(), Value::Int(5));
+        assert_eq!(heap.get_ref(ex.root, "left").unwrap(), Some(ex.left));
+        assert_eq!(heap.get_ref(ex.root, "right").unwrap(), Some(ex.right));
+        assert_eq!(heap.get_ref(ex.right, "right").unwrap(), Some(ex.rr));
+        assert_eq!(ex.alias1_target, ex.left);
+        assert_eq!(ex.alias2_target, ex.right);
+        assert_eq!(collect_nodes(&heap, ex.root).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn local_foo_produces_figure_2() {
+        let (mut heap, classes) = setup();
+        let ex = build_running_example(&mut heap, &classes).unwrap();
+        run_foo(&mut heap, ex.root).unwrap();
+        let violations = figure2_violations(&mut heap, &ex).unwrap();
+        assert!(violations.is_empty(), "figure 2 violations: {violations:?}");
+    }
+
+    #[test]
+    fn local_foo_does_not_satisfy_figure_9() {
+        let (mut heap, classes) = setup();
+        let ex = build_running_example(&mut heap, &classes).unwrap();
+        run_foo(&mut heap, ex.root).unwrap();
+        // A local call restores everything, so the DCE expectations
+        // (changes dropped) must NOT hold.
+        let violations = figure9_violations(&mut heap, &ex).unwrap();
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn random_trees_have_exact_size_and_are_deterministic() {
+        let (mut heap, classes) = setup();
+        for size in [1, 2, 16, 64, 256] {
+            let root = build_random_tree(&mut heap, &classes, size, 42).unwrap();
+            assert_eq!(collect_nodes(&heap, root).unwrap().len(), size, "size {size}");
+        }
+        // Same seed, same data sequence.
+        let (mut h1, c1) = setup();
+        let (mut h2, c2) = setup();
+        let r1 = build_random_tree(&mut h1, &c1, 32, 7).unwrap();
+        let r2 = build_random_tree(&mut h2, &c2, 32, 7).unwrap();
+        let n1 = collect_nodes(&h1, r1).unwrap();
+        let n2 = collect_nodes(&h2, r2).unwrap();
+        let d1: Vec<Value> = n1.iter().map(|&n| heap_field(&mut h1, n)).collect();
+        let d2: Vec<Value> = n2.iter().map(|&n| heap_field(&mut h2, n)).collect();
+        assert_eq!(d1, d2);
+    }
+
+    fn heap_field(heap: &mut Heap, node: ObjId) -> Value {
+        heap.get_field(node, "data").unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "tree size must be positive")]
+    fn zero_size_tree_panics() {
+        let (mut heap, classes) = setup();
+        let _ = build_random_tree(&mut heap, &classes, 0, 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Heap integrity validation.
+//!
+//! The substrate underpins every correctness claim in this repository,
+//! so it must be possible to *prove* a heap is internally consistent at
+//! any point: after a restore, after a GC, after a fault-injected
+//! failure. [`validate`] checks every live object against the structural
+//! invariants and returns the violations (empty = sound).
+
+use crate::class::FieldType;
+use crate::heap_impl::Heap;
+use crate::value::Value;
+
+/// One detected inconsistency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A reference slot points at a freed or never-allocated slot.
+    DanglingReference {
+        /// The object holding the bad reference.
+        holder: crate::ObjId,
+        /// Slot index within the holder.
+        slot: usize,
+        /// The dangling target index.
+        target: u32,
+    },
+    /// An object's class id is not in the registry.
+    UnknownClass {
+        /// The object.
+        object: crate::ObjId,
+        /// Its class index.
+        class: u32,
+    },
+    /// A non-array object's slot count differs from its class's declared
+    /// field count.
+    ArityMismatch {
+        /// The object.
+        object: crate::ObjId,
+        /// Declared field count.
+        declared: usize,
+        /// Actual slot count.
+        actual: usize,
+    },
+    /// A slot holds a value its declared field type does not admit.
+    TypeMismatch {
+        /// The object.
+        object: crate::ObjId,
+        /// Slot index.
+        slot: usize,
+        /// The field's declared type.
+        declared: FieldType,
+        /// The offending value's kind.
+        found: &'static str,
+    },
+    /// A stub object whose key slot is malformed.
+    MalformedStub {
+        /// The stub object.
+        object: crate::ObjId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DanglingReference { holder, slot, target } => {
+                write!(f, "{holder} slot {slot} dangles to freed slot #{target}")
+            }
+            Violation::UnknownClass { object, class } => {
+                write!(f, "{object} has unknown class id {class}")
+            }
+            Violation::ArityMismatch { object, declared, actual } => {
+                write!(f, "{object} has {actual} slots, class declares {declared}")
+            }
+            Violation::TypeMismatch { object, slot, declared, found } => {
+                write!(f, "{object} slot {slot} holds {found}, declared {declared:?}")
+            }
+            Violation::MalformedStub { object } => write!(f, "{object} is a malformed stub"),
+        }
+    }
+}
+
+/// Checks every live object of `heap` against the structural invariants:
+/// no dangling references, classes known, slot arity and types matching
+/// declarations, stubs carrying valid keys. Returns all violations.
+pub fn validate(heap: &Heap) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let registry = heap.registry_handle().clone();
+    for (id, obj) in heap.iter() {
+        let desc = match registry.get(obj.class()) {
+            Ok(desc) => desc,
+            Err(_) => {
+                violations.push(Violation::UnknownClass { object: id, class: obj.class().index() });
+                continue;
+            }
+        };
+        let slots = obj.body().slots();
+        if !obj.is_array() {
+            if slots.len() != desc.field_count() {
+                violations.push(Violation::ArityMismatch {
+                    object: id,
+                    declared: desc.field_count(),
+                    actual: slots.len(),
+                });
+            }
+            for (i, (fd, v)) in desc.fields().iter().zip(slots).enumerate() {
+                if !fd.ty().admits(v) {
+                    violations.push(Violation::TypeMismatch {
+                        object: id,
+                        slot: i,
+                        declared: fd.ty(),
+                        found: v.kind_name(),
+                    });
+                }
+            }
+            if desc.flags().stub && !matches!(slots.first(), Some(Value::Long(_))) {
+                violations.push(Violation::MalformedStub { object: id });
+            }
+        } else if let Some(elem_ty) = desc.element_type() {
+            for (i, v) in slots.iter().enumerate() {
+                if !elem_ty.admits(v) {
+                    violations.push(Violation::TypeMismatch {
+                        object: id,
+                        slot: i,
+                        declared: elem_ty,
+                        found: v.kind_name(),
+                    });
+                }
+            }
+        }
+        for (i, v) in slots.iter().enumerate() {
+            if let Value::Ref(target) = v {
+                if !heap.contains(*target) {
+                    violations.push(Violation::DanglingReference {
+                        holder: id,
+                        slot: i,
+                        target: target.index(),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Panics with a readable report if `heap` is inconsistent. For tests.
+///
+/// # Panics
+/// Panics when [`validate`] reports any violation.
+pub fn assert_valid(heap: &Heap) {
+    let violations = validate(heap);
+    assert!(
+        violations.is_empty(),
+        "heap integrity violations:\n{}",
+        violations.iter().map(|v| format!("  - {v}")).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{self, TreeClasses};
+    use crate::{ClassRegistry, HeapAccess};
+
+    fn setup() -> (Heap, TreeClasses) {
+        let mut reg = ClassRegistry::new();
+        let classes = tree::register_tree_classes(&mut reg);
+        (Heap::new(reg.snapshot()), classes)
+    }
+
+    #[test]
+    fn fresh_graphs_validate() {
+        let (mut heap, classes) = setup();
+        let _ = tree::build_running_example(&mut heap, &classes).unwrap();
+        let root = tree::build_random_tree(&mut heap, &classes, 64, 3).unwrap();
+        tree::run_foo(&mut heap, root).unwrap_or(());
+        assert_valid(&heap);
+        assert!(validate(&heap).is_empty());
+    }
+
+    #[test]
+    fn dangling_reference_detected() {
+        let (mut heap, classes) = setup();
+        let child = heap.alloc_default(classes.tree).unwrap();
+        let parent = heap
+            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(child), Value::Null])
+            .unwrap();
+        // Free the child WITHOUT unlinking — the validator must notice.
+        heap.free(child).unwrap();
+        let violations = validate(&heap);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            Violation::DanglingReference { holder, slot: 1, .. } if holder == parent
+        ));
+        assert!(violations[0].to_string().contains("dangles"));
+    }
+
+    #[test]
+    fn stubs_validate() {
+        let (mut heap, _) = setup();
+        let stub = heap.alloc_stub(42).unwrap();
+        assert_valid(&heap);
+        // Corrupt the key slot through the raw interface... the typed
+        // heap refuses (Long field), so stubs are well-formed by
+        // construction — assert that the write is rejected.
+        assert!(heap.set_field_raw(stub, 0, Value::Str("bad".into())).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "heap integrity violations")]
+    fn assert_valid_panics_on_bad_heap() {
+        let (mut heap, classes) = setup();
+        let child = heap.alloc_default(classes.tree).unwrap();
+        let _parent = heap
+            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(child), Value::Null])
+            .unwrap();
+        heap.free(child).unwrap();
+        assert_valid(&heap);
+    }
+}

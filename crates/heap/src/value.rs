@@ -1,0 +1,313 @@
+//! Primitive values and object handles.
+
+use std::fmt;
+
+/// A handle to an object living in a [`Heap`](crate::Heap).
+///
+/// Handles are stable for the lifetime of the object: mutating fields of
+/// other objects never invalidates a handle, which is what lets two fields
+/// alias the same object — the property the NRMI restore algorithm exists
+/// to preserve across address spaces.
+///
+/// An `ObjId` is only meaningful relative to the heap that issued it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub(crate) u32);
+
+impl ObjId {
+    /// Returns the raw slot index. Exposed for wire formats and debugging;
+    /// the value has no meaning outside the issuing heap.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a handle from a raw index previously obtained with
+    /// [`ObjId::index`]. The caller is responsible for pairing it with the
+    /// correct heap; a stale handle is caught at access time as
+    /// [`HeapError::DanglingRef`](crate::HeapError::DanglingRef).
+    pub fn from_index(index: u32) -> Self {
+        ObjId(index)
+    }
+}
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A single field slot: either a primitive, a string, a reference to
+/// another heap object, or null.
+///
+/// This mirrors the Java value universe the paper assumes: primitives are
+/// passed by copy, references point into the heap, and `null` is a
+/// first-class citizen. Strings are modelled as immutable inline values
+/// (as Java strings effectively are for serialization purposes).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// The null reference.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 32-bit signed integer (Java `int`).
+    Int(i32),
+    /// A 64-bit signed integer (Java `long`).
+    Long(i64),
+    /// A 64-bit IEEE float (Java `double`). Compared bitwise so that
+    /// `Value` can implement `Eq`.
+    Double(f64),
+    /// An immutable string.
+    Str(String),
+    /// A reference to a heap object.
+    Ref(ObjId),
+}
+
+impl Value {
+    /// Returns the referenced object, if this value is a non-null reference.
+    pub fn as_ref_id(&self) -> Option<ObjId> {
+        match self {
+            Value::Ref(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// True if this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the contained `i32`, if any.
+    pub fn as_int(&self) -> Option<i32> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained `i64`, if any.
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Value::Long(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained `f64`, if any.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string slice, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained `bool`, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable tag for diagnostics ("int", "ref", ...).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Long(_) => "long",
+            Value::Double(_) => "double",
+            Value::Str(_) => "str",
+            Value::Ref(_) => "ref",
+        }
+    }
+
+    /// Approximate serialized size in bytes, used by the simulated cost
+    /// model. Mirrors the field sizes a compact Java-serialization-like
+    /// format would emit.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 2,
+            Value::Int(_) => 5,
+            Value::Long(_) => 9,
+            Value::Double(_) => 9,
+            Value::Str(s) => 1 + 4 + s.len(),
+            Value::Ref(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Long(a), Value::Long(b)) => a == b,
+            // Bitwise comparison: gives us Eq/Hash and makes NaN == NaN,
+            // which is what graph-equality checks want.
+            (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Ref(a), Value::Ref(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Long(i) => i.hash(state),
+            Value::Double(d) => d.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Ref(r) => r.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Long(i) => write!(f, "{i}L"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Ref(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<ObjId> for Value {
+    fn from(v: ObjId) -> Self {
+        Value::Ref(v)
+    }
+}
+
+impl From<Option<ObjId>> for Value {
+    fn from(v: Option<ObjId>) -> Self {
+        match v {
+            Some(id) => Value::Ref(id),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_accessors() {
+        let id = ObjId::from_index(7);
+        assert_eq!(Value::Ref(id).as_ref_id(), Some(id));
+        assert_eq!(Value::Null.as_ref_id(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn double_equality_is_bitwise() {
+        assert_eq!(Value::Double(f64::NAN), Value::Double(f64::NAN));
+        assert_ne!(Value::Double(0.0), Value::Double(-0.0));
+        assert_eq!(Value::Double(1.5), Value::Double(1.5));
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(3), Value::Int(3));
+        assert_eq!(Value::from(3i64), Value::Long(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(None::<ObjId>), Value::Null);
+        let id = ObjId::from_index(1);
+        assert_eq!(Value::from(Some(id)), Value::Ref(id));
+    }
+
+    #[test]
+    fn wire_sizes_are_positive_and_str_scales() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(1),
+            Value::Long(1),
+            Value::Double(1.0),
+            Value::Ref(ObjId::from_index(0)),
+        ] {
+            assert!(v.wire_size() > 0);
+        }
+        assert!(Value::Str("abcdef".into()).wire_size() > Value::Str("a".into()).wire_size());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Long(5).to_string(), "5L");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+        assert_eq!(ObjId::from_index(3).to_string(), "#3");
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Null.kind_name(), "null");
+        assert_eq!(Value::Ref(ObjId::from_index(0)).kind_name(), "ref");
+        assert_eq!(Value::Double(0.0).kind_name(), "double");
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests of the heap substrate's core invariants.
+
+use proptest::prelude::*;
+
+use nrmi_heap::copy::{deep_copy_between, deep_copy_within};
+use nrmi_heap::graph::{first_difference, isomorphic, isomorphic_multi};
+use nrmi_heap::{ClassRegistry, Heap, HeapAccess, LinearMap, ObjId, Value};
+
+#[derive(Clone, Debug)]
+enum Action {
+    Alloc(i32),
+    Free(usize),
+    Link(usize, bool, usize),
+    Unlink(usize, bool),
+    Write(usize, i32),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        any::<i32>().prop_map(Action::Alloc),
+        (0usize..64).prop_map(Action::Free),
+        (0usize..64, any::<bool>(), 0usize..64).prop_map(|(a, l, b)| Action::Link(a, l, b)),
+        (0usize..64, any::<bool>()).prop_map(|(a, l)| Action::Unlink(a, l)),
+        (0usize..64, any::<i32>()).prop_map(|(a, v)| Action::Write(a, v)),
+    ]
+}
+
+fn fresh_heap() -> (Heap, nrmi_heap::ClassId) {
+    let mut reg = ClassRegistry::new();
+    let class = reg
+        .define("Node")
+        .field_int("data")
+        .field_ref("left")
+        .field_ref("right")
+        .restorable()
+        .register();
+    (Heap::new(reg.snapshot()), class)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary alloc/free/link/write sequences keep the heap's
+    /// accounting consistent, never corrupt live objects, and detect
+    /// every dangling access.
+    #[test]
+    fn heap_stays_consistent_under_arbitrary_action_sequences(
+        actions in proptest::collection::vec(action_strategy(), 1..120)
+    ) {
+        let (mut heap, class) = fresh_heap();
+        let mut live: Vec<ObjId> = Vec::new();
+        let mut freed: Vec<ObjId> = Vec::new();
+        for action in actions {
+            match action {
+                Action::Alloc(v) => {
+                    let id = heap
+                        .alloc(class, vec![Value::Int(v), Value::Null, Value::Null])
+                        .unwrap();
+                    // Recycled slots may reuse indices of freed objects.
+                    freed.retain(|&f| f != id);
+                    live.push(id);
+                }
+                Action::Free(i) if !live.is_empty() => {
+                    let victim = live.remove(i % live.len());
+                    // Clear incoming refs first so live objects never
+                    // point at freed slots (GC would do this for us).
+                    for &holder in &live {
+                        let mut map = std::collections::HashMap::new();
+                        map.insert(victim, victim);
+                        // Remove edges by rewriting to Null manually:
+                        for side in ["left", "right"] {
+                            if heap.get_ref(holder, side).unwrap() == Some(victim) {
+                                heap.set_field(holder, side, Value::Null).unwrap();
+                            }
+                        }
+                        let _ = map;
+                    }
+                    heap.free(victim).unwrap();
+                    freed.push(victim);
+                }
+                Action::Link(a, left, b) if !live.is_empty() => {
+                    let from = live[a % live.len()];
+                    let to = live[b % live.len()];
+                    let side = if left { "left" } else { "right" };
+                    heap.set_field(from, side, Value::Ref(to)).unwrap();
+                }
+                Action::Unlink(a, left) if !live.is_empty() => {
+                    let from = live[a % live.len()];
+                    let side = if left { "left" } else { "right" };
+                    heap.set_field(from, side, Value::Null).unwrap();
+                }
+                Action::Write(a, v) if !live.is_empty() => {
+                    let target = live[a % live.len()];
+                    heap.set_field(target, "data", Value::Int(v)).unwrap();
+                    prop_assert_eq!(heap.get_field(target, "data").unwrap(), Value::Int(v));
+                }
+                _ => {}
+            }
+            // Invariants after every step:
+            prop_assert_eq!(heap.live_count(), live.len());
+            prop_assert_eq!(heap.stats().live() as usize, live.len());
+            for &id in &live {
+                prop_assert!(heap.contains(id));
+            }
+            for &id in &freed {
+                prop_assert!(!heap.contains(id));
+                prop_assert!(heap.get(id).is_err());
+            }
+        }
+    }
+
+    /// The linear map enumerates exactly the reachable set, with the
+    /// root first and every position consistent with `position_of`.
+    #[test]
+    fn linear_map_laws(
+        n in 1usize..24,
+        edges in proptest::collection::vec((0usize..24, any::<bool>(), 0usize..24), 0..40)
+    ) {
+        let (mut heap, class) = fresh_heap();
+        let nodes: Vec<ObjId> = (0..n)
+            .map(|i| heap.alloc(class, vec![Value::Int(i as i32), Value::Null, Value::Null]).unwrap())
+            .collect();
+        for (a, left, b) in edges {
+            let side = if left { "left" } else { "right" };
+            heap.set_field(nodes[a % n], side, Value::Ref(nodes[b % n])).unwrap();
+        }
+        let map = LinearMap::build(&heap, &[nodes[0]]).unwrap();
+        prop_assert_eq!(map.at(0), Some(nodes[0]), "root comes first");
+        prop_assert!(!map.is_empty());
+        // Bijection between order and positions:
+        for (pos, id) in map.iter() {
+            prop_assert_eq!(map.position_of(id), Some(pos));
+            prop_assert_eq!(map.at(pos), Some(id));
+        }
+        // Closure: every outgoing edge of a member stays in the map.
+        for &id in map.order() {
+            for side in ["left", "right"] {
+                if let Some(child) = heap.get_ref(id, side).unwrap() {
+                    prop_assert!(map.contains(child));
+                }
+            }
+        }
+        // Rebuilding is deterministic.
+        let again = LinearMap::build(&heap, &[nodes[0]]).unwrap();
+        prop_assert_eq!(map.order(), again.order());
+    }
+
+    /// Isomorphism is reflexive and symmetric; deep copies are
+    /// isomorphic to their source; double copies stay isomorphic.
+    #[test]
+    fn isomorphism_and_copy_laws(
+        n in 1usize..16,
+        edges in proptest::collection::vec((0usize..16, any::<bool>(), 0usize..16), 0..24)
+    ) {
+        let (mut heap, class) = fresh_heap();
+        let nodes: Vec<ObjId> = (0..n)
+            .map(|i| heap.alloc(class, vec![Value::Int(i as i32), Value::Null, Value::Null]).unwrap())
+            .collect();
+        for (a, left, b) in edges {
+            let side = if left { "left" } else { "right" };
+            heap.set_field(nodes[a % n], side, Value::Ref(nodes[b % n])).unwrap();
+        }
+        let root = nodes[0];
+        // Reflexive.
+        prop_assert!(isomorphic(&heap, root, &heap, root).unwrap());
+        // Copy within: isomorphic, disjoint object ids.
+        let within = deep_copy_within(&mut heap, &[root]).unwrap();
+        let copy_root = within[&root];
+        prop_assert!(isomorphic(&heap, root, &heap, copy_root).unwrap());
+        // Symmetric.
+        prop_assert!(isomorphic(&heap, copy_root, &heap, root).unwrap());
+        prop_assert_eq!(first_difference(&heap, &[root], &heap, &[copy_root]).unwrap(), None);
+        // Copy between heaps, twice: transitivity in practice.
+        let mut other = Heap::new(heap.registry_handle().clone());
+        let across = deep_copy_between(&heap, &[root], &mut other).unwrap();
+        let mut third = Heap::new(heap.registry_handle().clone());
+        let across2 = deep_copy_between(&other, &[across[&root]], &mut third).unwrap();
+        prop_assert!(isomorphic_multi(
+            &heap,
+            &[root],
+            &third,
+            &[across2[&across[&root]]]
+        ).unwrap());
+    }
+
+    /// Mutating one field breaks isomorphism detectably (unless the
+    /// write is the value already present).
+    #[test]
+    fn single_field_divergence_is_detected(
+        n in 2usize..12,
+        edges in proptest::collection::vec((0usize..12, any::<bool>(), 0usize..12), 0..16),
+        pick in 0usize..12,
+        new_value in any::<i32>()
+    ) {
+        let (mut heap, class) = fresh_heap();
+        let nodes: Vec<ObjId> = (0..n)
+            .map(|i| heap.alloc(class, vec![Value::Int(i as i32), Value::Null, Value::Null]).unwrap())
+            .collect();
+        for (a, left, b) in edges {
+            let side = if left { "left" } else { "right" };
+            heap.set_field(nodes[a % n], side, Value::Ref(nodes[b % n])).unwrap();
+        }
+        let root = nodes[0];
+        let mut other = Heap::new(heap.registry_handle().clone());
+        let map = deep_copy_between(&heap, &[root], &mut other).unwrap();
+        // Mutate a node in the copy that is reachable from the root.
+        let reachable = LinearMap::build(&heap, &[root]).unwrap();
+        let target_src = reachable.at((pick % reachable.len()) as u32).unwrap();
+        let old = heap.get_field(target_src, "data").unwrap();
+        let target = map[&target_src];
+        other.set_field(target, "data", Value::Int(new_value)).unwrap();
+        let should_match = old == Value::Int(new_value);
+        prop_assert_eq!(
+            isomorphic(&heap, root, &other, map[&root]).unwrap(),
+            should_match
+        );
+    }
+}

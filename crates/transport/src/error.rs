@@ -1,0 +1,85 @@
+//! Transport error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by transports and frame codecs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// The peer closed the connection (channel disconnected / EOF).
+    Disconnected,
+    /// A receive deadline elapsed.
+    Timeout,
+    /// A frame failed to encode or decode.
+    Codec(nrmi_wire::WireError),
+    /// An unknown frame tag was received.
+    UnknownFrame(u8),
+    /// Underlying socket I/O failed.
+    Io(std::io::Error),
+    /// A frame exceeded the maximum allowed size.
+    FrameTooLarge {
+        /// Declared frame length.
+        len: usize,
+        /// Maximum accepted length.
+        max: usize,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::Timeout => write!(f, "receive timed out"),
+            TransportError::Codec(e) => write!(f, "frame codec error: {e}"),
+            TransportError::UnknownFrame(tag) => write!(f, "unknown frame tag {tag:#04x}"),
+            TransportError::Io(e) => write!(f, "socket error: {e}"),
+            TransportError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl Error for TransportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransportError::Codec(e) => Some(e),
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nrmi_wire::WireError> for TransportError {
+    fn from(e: nrmi_wire::WireError) -> Self {
+        TransportError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error + 'static>() {}
+        assert_bounds::<TransportError>();
+    }
+
+    #[test]
+    fn displays() {
+        assert!(TransportError::Disconnected.to_string().contains("disconnected"));
+        assert!(TransportError::Timeout.to_string().contains("timed out"));
+        assert!(TransportError::UnknownFrame(0xab).to_string().contains("0xab"));
+        assert!(TransportError::FrameTooLarge { len: 10, max: 5 }.to_string().contains("10"));
+        let codec = TransportError::Codec(nrmi_wire::WireError::BadMagic);
+        assert!(codec.source().is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! # nrmi-transport — network substrate for NRMI
+//!
+//! The paper's evaluation ran on two Sun workstations (750 MHz and
+//! 440 MHz) joined by a 100 Mbps LAN. This crate reproduces that
+//! environment in two layers:
+//!
+//! * **Real transports** — [`ChannelTransport`] (in-process, crossbeam
+//!   channels) and [`TcpTransport`] (framed `std::net` sockets) carry the
+//!   protocol [`Frame`]s for actual execution.
+//! * **Simulated time** — a [`SimEnv`] deterministically accounts CPU
+//!   microseconds (scaled per [`MachineSpec`]) and transfer microseconds
+//!   (latency + bytes over a [`LinkSpec`]'s bandwidth). Benchmarks read
+//!   the simulated clock to regenerate the paper's tables with the
+//!   original environment's proportions, independent of the host machine.
+//!
+//! The two layers are independent: transports work without a `SimEnv`
+//! (no accounting), and the middleware charges the `SimEnv` explicitly
+//! for the work it models (serialization CPU, restore CPU, transfers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod endpoint;
+pub mod fault;
+pub mod message;
+pub mod simnet;
+pub mod tcp;
+#[cfg(unix)]
+pub mod uds;
+
+pub use endpoint::{channel_pair, ChannelTransport, Transport};
+pub use fault::{Fault, FaultPlan, FaultyTransport};
+pub use error::TransportError;
+pub use message::{decode_rvals, encode_rvals, Frame, RVal};
+pub use simnet::{LinkSpec, MachineSpec, SimEnv, SimReport};
+pub use tcp::{TcpListenerTransport, TcpTransport};
+#[cfg(unix)]
+pub use uds::{UdsListenerTransport, UdsTransport};
+
+/// Result alias for transport operations.
+pub type Result<T> = std::result::Result<T, TransportError>;

@@ -1,0 +1,557 @@
+//! Protocol frames and their codec.
+//!
+//! One frame type covers the whole NRMI protocol:
+//!
+//! * `CallRequest`/`CallReply` carry marshalled object graphs (opaque
+//!   payloads produced by `nrmi-wire`);
+//! * the callback frames (`GetField`, `SetField`, …) implement
+//!   call-by-reference through remote pointers — the paper's Figure 3
+//!   world, where *every pointer dereference generates network traffic*;
+//! * `DgcClean` is the distributed-GC release message (RMI's
+//!   `clean` call), whose reference-counting nature is why remote-pointer
+//!   cycles leak (Table 6 discussion);
+//! * `Lookup` is the registry query (`Naming.lookup`).
+//!
+//! Frames are encoded with the same varint primitives as the graph wire
+//! format, so byte accounting in the simulated network is consistent.
+
+use nrmi_wire::{ByteReader, ByteWriter};
+
+use crate::{Result, TransportError};
+
+/// A scalar-or-remote value, the currency of the remote-pointer callback
+/// protocol. Unlike a marshalled graph, an `RVal` never embeds object
+/// *contents* — references travel as `(owner, key)` stubs, which is
+/// exactly what makes call-by-reference slow and call-by-copy-restore
+/// interesting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RVal {
+    /// Null reference.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 32-bit integer.
+    Int(i32),
+    /// 64-bit integer.
+    Long(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// Immutable string.
+    Str(String),
+    /// A remote reference: `owned_by_sender` is true when the sending
+    /// node owns the object, false when the key names an object in the
+    /// *receiver's* export table.
+    Remote {
+        /// Ownership direction, relative to the frame's sender.
+        owned_by_sender: bool,
+        /// Export-table key at the owning node.
+        key: u64,
+    },
+}
+
+const RV_NULL: u8 = 0;
+const RV_FALSE: u8 = 1;
+const RV_TRUE: u8 = 2;
+const RV_INT: u8 = 3;
+const RV_LONG: u8 = 4;
+const RV_DOUBLE: u8 = 5;
+const RV_STR: u8 = 6;
+const RV_REMOTE_MINE: u8 = 7;
+const RV_REMOTE_YOURS: u8 = 8;
+
+impl RVal {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            RVal::Null => w.put_u8(RV_NULL),
+            RVal::Bool(false) => w.put_u8(RV_FALSE),
+            RVal::Bool(true) => w.put_u8(RV_TRUE),
+            RVal::Int(i) => {
+                w.put_u8(RV_INT);
+                w.put_zigzag(i64::from(*i));
+            }
+            RVal::Long(i) => {
+                w.put_u8(RV_LONG);
+                w.put_zigzag(*i);
+            }
+            RVal::Double(d) => {
+                w.put_u8(RV_DOUBLE);
+                w.put_f64(*d);
+            }
+            RVal::Str(s) => {
+                w.put_u8(RV_STR);
+                w.put_str(s);
+            }
+            RVal::Remote { owned_by_sender, key } => {
+                w.put_u8(if *owned_by_sender { RV_REMOTE_MINE } else { RV_REMOTE_YOURS });
+                w.put_varint(*key);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let tag = r.get_u8().map_err(TransportError::Codec)?;
+        Ok(match tag {
+            RV_NULL => RVal::Null,
+            RV_FALSE => RVal::Bool(false),
+            RV_TRUE => RVal::Bool(true),
+            RV_INT => RVal::Int(r.get_zigzag().map_err(TransportError::Codec)? as i32),
+            RV_LONG => RVal::Long(r.get_zigzag().map_err(TransportError::Codec)?),
+            RV_DOUBLE => RVal::Double(r.get_f64().map_err(TransportError::Codec)?),
+            RV_STR => RVal::Str(r.get_str().map_err(TransportError::Codec)?),
+            RV_REMOTE_MINE => RVal::Remote {
+                owned_by_sender: true,
+                key: r.get_varint().map_err(TransportError::Codec)?,
+            },
+            RV_REMOTE_YOURS => RVal::Remote {
+                owned_by_sender: false,
+                key: r.get_varint().map_err(TransportError::Codec)?,
+            },
+            other => return Err(TransportError::UnknownFrame(other)),
+        })
+    }
+
+    /// Flips the ownership direction of a remote reference, which is how
+    /// an `RVal` is reinterpreted after crossing the link (the sender's
+    /// "mine" is the receiver's "yours"). Scalars are unchanged.
+    pub fn flipped(self) -> Self {
+        match self {
+            RVal::Remote { owned_by_sender, key } => {
+                RVal::Remote { owned_by_sender: !owned_by_sender, key }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Encodes a list of [`RVal`]s as a payload (used by remote-reference
+/// call requests and replies, where arguments travel as handles).
+pub fn encode_rvals(values: &[RVal]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_varint(values.len() as u64);
+    for v in values {
+        v.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a payload produced by [`encode_rvals`].
+///
+/// # Errors
+/// Fails on truncated or malformed payloads.
+pub fn decode_rvals(bytes: &[u8]) -> Result<Vec<RVal>> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.get_count().map_err(TransportError::Codec)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(RVal::decode(&mut r)?);
+    }
+    Ok(out)
+}
+
+/// A protocol message.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Frame {
+    /// Invoke `method` on the named service. `mode` is the calling
+    /// semantics discriminant (defined by `nrmi-core`); `payload` is the
+    /// marshalled argument graph (copy modes) or encoded remote handles
+    /// (remote-reference mode).
+    CallRequest {
+        /// Registered service name.
+        service: String,
+        /// Method name.
+        method: String,
+        /// Calling-semantics discriminant (opaque at this layer).
+        mode: u8,
+        /// Marshalled arguments.
+        payload: Vec<u8>,
+    },
+    /// Invoke `method` on an EXPORTED OBJECT (a first-class remote
+    /// object, RMI's `UnicastRemoteObject` dispatch): `key` names the
+    /// receiver in the callee's export table.
+    CallObject {
+        /// Export key of the receiver at the server.
+        key: u64,
+        /// Method name.
+        method: String,
+        /// Calling-semantics discriminant (opaque at this layer).
+        mode: u8,
+        /// Marshalled arguments.
+        payload: Vec<u8>,
+    },
+    /// Successful completion; `payload` is the marshalled reply.
+    CallReply {
+        /// Marshalled reply (return value and/or restore graph).
+        payload: Vec<u8>,
+    },
+    /// The call failed; carries the remote exception message.
+    CallError {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Registry query: does `name` resolve to a service?
+    Lookup {
+        /// Service name.
+        name: String,
+    },
+    /// Registry answer.
+    LookupReply {
+        /// Whether the service exists.
+        found: bool,
+    },
+    /// Remote-pointer callback: read field `field` of exported object `key`.
+    GetField {
+        /// Export key at the receiver.
+        key: u64,
+        /// Field index.
+        field: u32,
+    },
+    /// Remote-pointer callback: write field `field` of exported object `key`.
+    SetField {
+        /// Export key at the receiver.
+        key: u64,
+        /// Field index.
+        field: u32,
+        /// New value.
+        value: RVal,
+    },
+    /// Remote-pointer callback: read array element.
+    GetElement {
+        /// Export key at the receiver.
+        key: u64,
+        /// Element index.
+        index: u32,
+    },
+    /// Remote-pointer callback: write array element.
+    SetElement {
+        /// Export key at the receiver.
+        key: u64,
+        /// Element index.
+        index: u32,
+        /// New value.
+        value: RVal,
+    },
+    /// Remote-pointer callback: number of slots of exported object `key`.
+    SlotCount {
+        /// Export key at the receiver.
+        key: u64,
+    },
+    /// Remote-pointer callback: class of exported object `key`.
+    ClassOf {
+        /// Export key at the receiver.
+        key: u64,
+    },
+    /// Reply carrying a single value.
+    ValueReply(RVal),
+    /// Reply carrying a count.
+    CountReply(u64),
+    /// Reply carrying a class id.
+    ClassReply(u32),
+    /// A callback failed at the owner; carries the error message.
+    ErrorReply {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Distributed GC: the sender dropped its last stub for `key` in the
+    /// receiver's export table (RMI DGC `clean`).
+    DgcClean {
+        /// Export key at the receiver.
+        key: u64,
+    },
+    /// Generic acknowledgement.
+    Ack,
+    /// Orderly shutdown of the serving loop.
+    Shutdown,
+}
+
+const F_CALL_REQUEST: u8 = 1;
+const F_CALL_REPLY: u8 = 2;
+const F_CALL_ERROR: u8 = 3;
+const F_LOOKUP: u8 = 4;
+const F_LOOKUP_REPLY: u8 = 5;
+const F_GET_FIELD: u8 = 6;
+const F_SET_FIELD: u8 = 7;
+const F_GET_ELEMENT: u8 = 8;
+const F_SET_ELEMENT: u8 = 9;
+const F_SLOT_COUNT: u8 = 10;
+const F_CLASS_OF: u8 = 11;
+const F_VALUE_REPLY: u8 = 12;
+const F_COUNT_REPLY: u8 = 13;
+const F_CLASS_REPLY: u8 = 14;
+const F_ERROR_REPLY: u8 = 15;
+const F_DGC_CLEAN: u8 = 16;
+const F_ACK: u8 = 17;
+const F_SHUTDOWN: u8 = 18;
+const F_CALL_OBJECT: u8 = 19;
+
+impl Frame {
+    /// Encodes the frame to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Frame::CallRequest { service, method, mode, payload } => {
+                w.put_u8(F_CALL_REQUEST);
+                w.put_str(service);
+                w.put_str(method);
+                w.put_u8(*mode);
+                w.put_varint(payload.len() as u64);
+                w.put_slice(payload);
+            }
+            Frame::CallObject { key, method, mode, payload } => {
+                w.put_u8(F_CALL_OBJECT);
+                w.put_varint(*key);
+                w.put_str(method);
+                w.put_u8(*mode);
+                w.put_varint(payload.len() as u64);
+                w.put_slice(payload);
+            }
+            Frame::CallReply { payload } => {
+                w.put_u8(F_CALL_REPLY);
+                w.put_varint(payload.len() as u64);
+                w.put_slice(payload);
+            }
+            Frame::CallError { message } => {
+                w.put_u8(F_CALL_ERROR);
+                w.put_str(message);
+            }
+            Frame::Lookup { name } => {
+                w.put_u8(F_LOOKUP);
+                w.put_str(name);
+            }
+            Frame::LookupReply { found } => {
+                w.put_u8(F_LOOKUP_REPLY);
+                w.put_u8(u8::from(*found));
+            }
+            Frame::GetField { key, field } => {
+                w.put_u8(F_GET_FIELD);
+                w.put_varint(*key);
+                w.put_varint(u64::from(*field));
+            }
+            Frame::SetField { key, field, value } => {
+                w.put_u8(F_SET_FIELD);
+                w.put_varint(*key);
+                w.put_varint(u64::from(*field));
+                value.encode(&mut w);
+            }
+            Frame::GetElement { key, index } => {
+                w.put_u8(F_GET_ELEMENT);
+                w.put_varint(*key);
+                w.put_varint(u64::from(*index));
+            }
+            Frame::SetElement { key, index, value } => {
+                w.put_u8(F_SET_ELEMENT);
+                w.put_varint(*key);
+                w.put_varint(u64::from(*index));
+                value.encode(&mut w);
+            }
+            Frame::SlotCount { key } => {
+                w.put_u8(F_SLOT_COUNT);
+                w.put_varint(*key);
+            }
+            Frame::ClassOf { key } => {
+                w.put_u8(F_CLASS_OF);
+                w.put_varint(*key);
+            }
+            Frame::ValueReply(v) => {
+                w.put_u8(F_VALUE_REPLY);
+                v.encode(&mut w);
+            }
+            Frame::CountReply(n) => {
+                w.put_u8(F_COUNT_REPLY);
+                w.put_varint(*n);
+            }
+            Frame::ClassReply(c) => {
+                w.put_u8(F_CLASS_REPLY);
+                w.put_varint(u64::from(*c));
+            }
+            Frame::ErrorReply { message } => {
+                w.put_u8(F_ERROR_REPLY);
+                w.put_str(message);
+            }
+            Frame::DgcClean { key } => {
+                w.put_u8(F_DGC_CLEAN);
+                w.put_varint(*key);
+            }
+            Frame::Ack => w.put_u8(F_ACK),
+            Frame::Shutdown => w.put_u8(F_SHUTDOWN),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a frame from bytes.
+    ///
+    /// # Errors
+    /// Fails on truncated payloads or unknown tags.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let wire = |e| TransportError::Codec(e);
+        let tag = r.get_u8().map_err(wire)?;
+        let frame = match tag {
+            F_CALL_REQUEST => {
+                let service = r.get_str().map_err(wire)?;
+                let method = r.get_str().map_err(wire)?;
+                let mode = r.get_u8().map_err(wire)?;
+                let len = r.get_varint().map_err(wire)? as usize;
+                let payload = r.get_slice(len).map_err(wire)?.to_vec();
+                Frame::CallRequest { service, method, mode, payload }
+            }
+            F_CALL_OBJECT => {
+                let key = r.get_varint().map_err(wire)?;
+                let method = r.get_str().map_err(wire)?;
+                let mode = r.get_u8().map_err(wire)?;
+                let len = r.get_varint().map_err(wire)? as usize;
+                let payload = r.get_slice(len).map_err(wire)?.to_vec();
+                Frame::CallObject { key, method, mode, payload }
+            }
+            F_CALL_REPLY => {
+                let len = r.get_varint().map_err(wire)? as usize;
+                let payload = r.get_slice(len).map_err(wire)?.to_vec();
+                Frame::CallReply { payload }
+            }
+            F_CALL_ERROR => Frame::CallError { message: r.get_str().map_err(wire)? },
+            F_LOOKUP => Frame::Lookup { name: r.get_str().map_err(wire)? },
+            F_LOOKUP_REPLY => Frame::LookupReply { found: r.get_u8().map_err(wire)? != 0 },
+            F_GET_FIELD => Frame::GetField {
+                key: r.get_varint().map_err(wire)?,
+                field: r.get_varint().map_err(wire)? as u32,
+            },
+            F_SET_FIELD => Frame::SetField {
+                key: r.get_varint().map_err(wire)?,
+                field: r.get_varint().map_err(wire)? as u32,
+                value: RVal::decode(&mut r)?,
+            },
+            F_GET_ELEMENT => Frame::GetElement {
+                key: r.get_varint().map_err(wire)?,
+                index: r.get_varint().map_err(wire)? as u32,
+            },
+            F_SET_ELEMENT => Frame::SetElement {
+                key: r.get_varint().map_err(wire)?,
+                index: r.get_varint().map_err(wire)? as u32,
+                value: RVal::decode(&mut r)?,
+            },
+            F_SLOT_COUNT => Frame::SlotCount { key: r.get_varint().map_err(wire)? },
+            F_CLASS_OF => Frame::ClassOf { key: r.get_varint().map_err(wire)? },
+            F_VALUE_REPLY => Frame::ValueReply(RVal::decode(&mut r)?),
+            F_COUNT_REPLY => Frame::CountReply(r.get_varint().map_err(wire)?),
+            F_CLASS_REPLY => Frame::ClassReply(r.get_varint().map_err(wire)? as u32),
+            F_ERROR_REPLY => Frame::ErrorReply { message: r.get_str().map_err(wire)? },
+            F_DGC_CLEAN => Frame::DgcClean { key: r.get_varint().map_err(wire)? },
+            F_ACK => Frame::Ack,
+            F_SHUTDOWN => Frame::Shutdown,
+            other => return Err(TransportError::UnknownFrame(other)),
+        };
+        Ok(frame)
+    }
+
+    /// Encoded size in bytes (what the simulated network charges).
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let bytes = f.encode();
+        let back = Frame::decode(&bytes).unwrap();
+        assert_eq!(f, back);
+        assert_eq!(f.wire_size(), bytes.len());
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(Frame::CallRequest {
+            service: "translator".into(),
+            method: "translate".into(),
+            mode: 2,
+            payload: vec![1, 2, 3],
+        });
+        roundtrip(Frame::CallObject {
+            key: 9,
+            method: "deposit".into(),
+            mode: 2,
+            payload: vec![4, 5],
+        });
+        roundtrip(Frame::CallReply { payload: vec![] });
+        roundtrip(Frame::CallError { message: "remote exception: boom".into() });
+        roundtrip(Frame::Lookup { name: "svc".into() });
+        roundtrip(Frame::LookupReply { found: true });
+        roundtrip(Frame::LookupReply { found: false });
+        roundtrip(Frame::GetField { key: 7, field: 2 });
+        roundtrip(Frame::SetField { key: 7, field: 2, value: RVal::Int(-5) });
+        roundtrip(Frame::GetElement { key: 1, index: 9 });
+        roundtrip(Frame::SetElement { key: 1, index: 9, value: RVal::Str("x".into()) });
+        roundtrip(Frame::SlotCount { key: 3 });
+        roundtrip(Frame::ClassOf { key: 3 });
+        roundtrip(Frame::ValueReply(RVal::Remote { owned_by_sender: true, key: 12 }));
+        roundtrip(Frame::ValueReply(RVal::Remote { owned_by_sender: false, key: 12 }));
+        roundtrip(Frame::ValueReply(RVal::Double(2.5)));
+        roundtrip(Frame::ValueReply(RVal::Bool(true)));
+        roundtrip(Frame::ValueReply(RVal::Long(i64::MIN)));
+        roundtrip(Frame::ValueReply(RVal::Null));
+        roundtrip(Frame::CountReply(u64::MAX));
+        roundtrip(Frame::ClassReply(42));
+        roundtrip(Frame::ErrorReply { message: "dangling".into() });
+        roundtrip(Frame::DgcClean { key: 99 });
+        roundtrip(Frame::Ack);
+        roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn rval_list_roundtrip() {
+        let values = vec![
+            RVal::Null,
+            RVal::Int(-7),
+            RVal::Str("arg".into()),
+            RVal::Remote { owned_by_sender: true, key: 3 },
+            RVal::Double(1.25),
+        ];
+        let bytes = encode_rvals(&values);
+        assert_eq!(decode_rvals(&bytes).unwrap(), values);
+        assert_eq!(decode_rvals(&encode_rvals(&[])).unwrap(), Vec::<RVal>::new());
+        // Truncations fail cleanly.
+        for cut in 0..bytes.len() {
+            assert!(decode_rvals(&bytes[..cut]).is_err() || cut == 0 && bytes[0] == 0);
+        }
+        // A hostile count never over-allocates: count > remaining is EOF.
+        assert!(decode_rvals(&[0xff, 0xff, 0x01]).is_err());
+    }
+
+    #[test]
+    fn rval_flip() {
+        let v = RVal::Remote { owned_by_sender: true, key: 4 };
+        assert_eq!(v.clone().flipped(), RVal::Remote { owned_by_sender: false, key: 4 });
+        assert_eq!(RVal::Int(1).flipped(), RVal::Int(1));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(Frame::decode(&[0xEE]), Err(TransportError::UnknownFrame(0xEE))));
+        assert!(matches!(Frame::decode(&[]), Err(TransportError::Codec(_))));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let full = Frame::CallRequest {
+            service: "s".into(),
+            method: "m".into(),
+            mode: 1,
+            payload: vec![9; 16],
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert!(Frame::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn callback_frames_are_small() {
+        // The remote-pointer protocol's cost is dominated by round-trip
+        // latency, not frame size — frames must be tens of bytes, not
+        // graph-sized.
+        assert!(Frame::GetField { key: 1, field: 1 }.wire_size() < 8);
+        assert!(Frame::ValueReply(RVal::Int(5)).wire_size() < 8);
+    }
+}

@@ -1,0 +1,188 @@
+//! Unix-domain-socket transport: same-host IPC with the same framing as
+//! TCP — the natural fit for the paper's Table 3 configuration (two
+//! runtimes on one machine, no network adapter in the path).
+
+#![cfg(unix)]
+
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::time::Duration;
+
+use crate::endpoint::Transport;
+use crate::message::Frame;
+use crate::tcp::MAX_FRAME;
+use crate::{Result, TransportError};
+
+/// A connected Unix-domain-socket frame transport.
+pub struct UdsTransport {
+    stream: UnixStream,
+}
+
+impl std::fmt::Debug for UdsTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdsTransport").finish()
+    }
+}
+
+impl UdsTransport {
+    /// Connects to a listening peer at `path`.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(UdsTransport { stream: UnixStream::connect(path)? })
+    }
+
+    /// Wraps an accepted stream.
+    pub fn from_stream(stream: UnixStream) -> Self {
+        UdsTransport { stream }
+    }
+
+    fn recv_inner(&mut self) -> Result<Frame> {
+        let mut len_buf = [0u8; 4];
+        if let Err(e) = self.stream.read_exact(&mut len_buf) {
+            return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TransportError::Disconnected
+            } else {
+                TransportError::Io(e)
+            });
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge { len, max: MAX_FRAME });
+        }
+        let mut buf = vec![0u8; len];
+        self.stream.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TransportError::Disconnected
+            } else {
+                TransportError::Io(e)
+            }
+        })?;
+        Frame::decode(&buf)
+    }
+}
+
+impl Transport for UdsTransport {
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        let bytes = frame.encode();
+        let len = (bytes.len() as u32).to_be_bytes();
+        self.stream.write_all(&len)?;
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame> {
+        self.stream.set_read_timeout(None)?;
+        self.recv_inner()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        let result = self.recv_inner();
+        let _ = self.stream.set_read_timeout(None);
+        match result {
+            Err(TransportError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(TransportError::Timeout)
+            }
+            other => other,
+        }
+    }
+}
+
+/// A listener accepting [`UdsTransport`] connections at a filesystem
+/// path. The socket file is removed on drop.
+#[derive(Debug)]
+pub struct UdsListenerTransport {
+    listener: UnixListener,
+    path: std::path::PathBuf,
+}
+
+impl UdsListenerTransport {
+    /// Binds at `path` (any stale socket file is removed first).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        Ok(UdsListenerTransport { listener: UnixListener::bind(&path)?, path })
+    }
+
+    /// The bound filesystem path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Blocks until a client connects.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn accept(&self) -> Result<UdsTransport> {
+        let (stream, _) = self.listener.accept()?;
+        Ok(UdsTransport::from_stream(stream))
+    }
+}
+
+impl Drop for UdsListenerTransport {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn socket_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nrmi-uds-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn uds_roundtrip() {
+        let path = socket_path("roundtrip");
+        let listener = UdsListenerTransport::bind(&path).unwrap();
+        let server = thread::spawn(move || {
+            let mut t = listener.accept().unwrap();
+            let f = t.recv().unwrap();
+            assert_eq!(f, Frame::Lookup { name: "svc".into() });
+            t.send(&Frame::LookupReply { found: true }).unwrap();
+        });
+        let mut client = UdsTransport::connect(&path).unwrap();
+        client.send(&Frame::Lookup { name: "svc".into() }).unwrap();
+        assert_eq!(client.recv().unwrap(), Frame::LookupReply { found: true });
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn uds_disconnect_and_timeout() {
+        let path = socket_path("disconnect");
+        let listener = UdsListenerTransport::bind(&path).unwrap();
+        let server = thread::spawn(move || {
+            let t = listener.accept().unwrap();
+            thread::sleep(Duration::from_millis(100));
+            drop(t);
+        });
+        let mut client = UdsTransport::connect(&path).unwrap();
+        let err = client.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout), "{err:?}");
+        server.join().unwrap();
+        assert!(matches!(client.recv(), Err(TransportError::Disconnected)));
+    }
+
+    #[test]
+    fn socket_file_removed_on_drop() {
+        let path = socket_path("cleanup");
+        {
+            let _listener = UdsListenerTransport::bind(&path).unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,436 @@
+//! Graph deserialization (unmarshalling) with linear-map reconstruction.
+//!
+//! Objects appear in the payload in the sender's traversal order, so the
+//! receiver can rebuild the linear map *during* unmarshalling — no map is
+//! ever transmitted. This is the first optimization of §5.2.4 of the
+//! paper and the reason NRMI's extra bandwidth over plain call-by-copy is
+//! only the reply payload. Each decoded object also records the sender's
+//! `old_index` annotation, the raw material for restore step 4 ("match up
+//! the two linear maps").
+
+use nrmi_heap::{Heap, ObjId, Value};
+
+use crate::io::ByteReader;
+use crate::ser::{
+    RemoteHooks, TAG_BACKREF, TAG_DOUBLE, TAG_FALSE, TAG_INT, TAG_LONG, TAG_NULL, TAG_OBJ,
+    TAG_REMOTE, TAG_STR, TAG_STRREF, TAG_TRUE,
+};
+use crate::{Result, WireError, FORMAT_VERSION, MAGIC};
+
+/// The result of unmarshalling a graph payload.
+#[derive(Clone, Debug, Default)]
+pub struct DecodedGraph {
+    /// The decoded root values, in the order they were encoded.
+    pub roots: Vec<Value>,
+    /// The receiver-side linear map: newly allocated objects in the
+    /// sender's traversal order (position `i` here corresponds to
+    /// position `i` in the sender's [`EncodedGraph::linear`]).
+    ///
+    /// [`EncodedGraph::linear`]: crate::ser::EncodedGraph::linear
+    pub linear: Vec<ObjId>,
+    /// Per-object `old_index` annotations (parallel to `linear`): the
+    /// object's position in the linear map of an *earlier* exchange, if
+    /// the sender declared one. `None` marks objects the sender
+    /// allocated after that exchange — the algorithm's "new objects".
+    pub old_index: Vec<Option<u32>>,
+}
+
+impl DecodedGraph {
+    /// Number of objects materialized.
+    pub fn object_count(&self) -> usize {
+        self.linear.len()
+    }
+
+    /// Iterates over `(obj, old_index)` pairs in traversal order.
+    pub fn iter_with_old(&self) -> impl Iterator<Item = (ObjId, Option<u32>)> + '_ {
+        self.linear.iter().copied().zip(self.old_index.iter().copied())
+    }
+}
+
+/// Streaming graph decoder. Most callers use [`deserialize_graph`].
+pub struct Deserializer<'h, 'b, 'k> {
+    heap: &'h mut Heap,
+    reader: ByteReader<'b>,
+    linear: Vec<ObjId>,
+    old_index: Vec<Option<u32>>,
+    hooks: Option<&'k mut (dyn RemoteHooks + 'k)>,
+    strings: Vec<String>,
+}
+
+impl<'h, 'b, 'k> std::fmt::Debug for Deserializer<'h, 'b, 'k> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deserializer")
+            .field("decoded", &self.linear.len())
+            .field("offset", &self.reader.position())
+            .finish()
+    }
+}
+
+impl<'h, 'b, 'k> Deserializer<'h, 'b, 'k> {
+    /// Creates a decoder that materializes objects into `heap`.
+    pub fn new(
+        heap: &'h mut Heap,
+        bytes: &'b [u8],
+        hooks: Option<&'k mut (dyn RemoteHooks + 'k)>,
+    ) -> Self {
+        Deserializer {
+            heap,
+            reader: ByteReader::new(bytes),
+            linear: Vec::new(),
+            old_index: Vec::new(),
+            hooks,
+            strings: Vec::new(),
+        }
+    }
+
+    /// Decodes the full payload.
+    ///
+    /// # Errors
+    /// Fails on malformed payloads (bad magic/version/tags/back-references)
+    /// or heap allocation failures.
+    pub fn decode(mut self) -> Result<DecodedGraph> {
+        let magic = self.reader.get_slice(4)?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = self.reader.get_u8()?;
+        if version != FORMAT_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let root_count = self.reader.get_count()?;
+        let mut roots = Vec::with_capacity(root_count);
+        for _ in 0..root_count {
+            let v = self.decode_value()?;
+            roots.push(v);
+        }
+        Ok(DecodedGraph { roots, linear: self.linear, old_index: self.old_index })
+    }
+
+    fn decode_value(&mut self) -> Result<Value> {
+        let offset = self.reader.position();
+        let tag = self.reader.get_u8()?;
+        match tag {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_INT => {
+                let v = self.reader.get_zigzag()?;
+                Ok(Value::Int(v as i32))
+            }
+            TAG_LONG => Ok(Value::Long(self.reader.get_zigzag()?)),
+            TAG_DOUBLE => Ok(Value::Double(self.reader.get_f64()?)),
+            TAG_STR => {
+                let s = self.reader.get_str()?;
+                self.strings.push(s.clone());
+                Ok(Value::Str(s))
+            }
+            TAG_STRREF => {
+                let idx = self.reader.get_varint()? as usize;
+                self.strings
+                    .get(idx)
+                    .map(|s| Value::Str(s.clone()))
+                    .ok_or(WireError::BadBackRef {
+                        position: idx as u32,
+                        decoded: self.strings.len() as u32,
+                    })
+            }
+            TAG_OBJ => self.decode_object(),
+            TAG_BACKREF => {
+                let pos = self.reader.get_varint()? as u32;
+                self.linear
+                    .get(pos as usize)
+                    .map(|&id| Value::Ref(id))
+                    .ok_or(WireError::BadBackRef { position: pos, decoded: self.linear.len() as u32 })
+            }
+            TAG_REMOTE => {
+                let owned_by_sender = self.reader.get_u8()? != 0;
+                let key = self.reader.get_varint()?;
+                match self.hooks.as_deref_mut() {
+                    Some(hooks) => hooks.import(self.heap, owned_by_sender, key),
+                    None => Err(WireError::RemoteWithoutHooks { class: format!("<stub:{key}>") }),
+                }
+            }
+            other => Err(WireError::UnknownTag { tag: other, offset }),
+        }
+    }
+
+    fn decode_object(&mut self) -> Result<Value> {
+        let class = nrmi_heap::ClassId::from_index(self.reader.get_varint()? as u32);
+        let old = match self.reader.get_varint()? {
+            0 => None,
+            n => Some((n - 1) as u32),
+        };
+        let slot_count = self.reader.get_count()?;
+
+        // Allocate the shell first so children (and cycles) can refer to
+        // it by traversal position while its slots are still being read.
+        let desc = self.heap.registry_handle().get(class)?;
+        let is_array = desc.flags().array;
+        let id = if is_array {
+            self.heap.alloc_array(class, Vec::new())?
+        } else {
+            self.heap.alloc_default(class)?
+        };
+        self.linear.push(id);
+        self.old_index.push(old);
+
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            slots.push(self.decode_value()?);
+        }
+        self.heap.overwrite_slots(id, slots)?;
+        Ok(Value::Ref(id))
+    }
+}
+
+/// Decodes a payload produced by [`serialize_graph`], materializing the
+/// graph into `heap`.
+///
+/// # Errors
+/// See [`Deserializer::decode`].
+///
+/// [`serialize_graph`]: crate::ser::serialize_graph
+pub fn deserialize_graph(bytes: &[u8], heap: &mut Heap) -> Result<DecodedGraph> {
+    Deserializer::new(heap, bytes, None).decode()
+}
+
+/// Decodes with remote hooks installed (stub-bearing graphs).
+///
+/// # Errors
+/// See [`Deserializer::decode`].
+pub fn deserialize_graph_with(
+    bytes: &[u8],
+    heap: &mut Heap,
+    hooks: &mut dyn RemoteHooks,
+) -> Result<DecodedGraph> {
+    Deserializer::new(heap, bytes, Some(hooks)).decode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser::serialize_graph;
+    use nrmi_heap::graph::isomorphic;
+    use nrmi_heap::tree::{self, TreeClasses};
+    use nrmi_heap::{ClassRegistry, HeapAccess};
+
+    fn setup() -> (Heap, TreeClasses) {
+        let mut reg = ClassRegistry::new();
+        let classes = tree::register_tree_classes(&mut reg);
+        (Heap::new(reg.snapshot()), classes)
+    }
+
+    fn roundtrip(heap: &Heap, roots: &[Value]) -> (Heap, DecodedGraph) {
+        let enc = serialize_graph(heap, roots).unwrap();
+        let mut dst = Heap::new(heap.registry_handle().clone());
+        let dec = deserialize_graph(&enc.bytes, &mut dst).unwrap();
+        (dst, dec)
+    }
+
+    #[test]
+    fn tree_roundtrip_isomorphic() {
+        let (mut heap, classes) = setup();
+        let root = tree::build_random_tree(&mut heap, &classes, 64, 5).unwrap();
+        let (dst, dec) = roundtrip(&heap, &[Value::Ref(root)]);
+        let root2 = dec.roots[0].as_ref_id().unwrap();
+        assert!(isomorphic(&heap, root, &dst, root2).unwrap());
+        assert_eq!(dec.object_count(), 64);
+        assert!(dec.old_index.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn aliasing_preserved() {
+        let (mut heap, classes) = setup();
+        let shared = heap
+            .alloc(classes.tree, vec![Value::Int(42), Value::Null, Value::Null])
+            .unwrap();
+        let root = heap
+            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .unwrap();
+        let (mut dst, dec) = roundtrip(&heap, &[Value::Ref(root)]);
+        let root2 = dec.roots[0].as_ref_id().unwrap();
+        let l = dst.get_ref(root2, "left").unwrap().unwrap();
+        let r = dst.get_ref(root2, "right").unwrap().unwrap();
+        assert_eq!(l, r);
+        assert_eq!(dst.get_field(l, "data").unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn cycles_roundtrip() {
+        let (mut heap, classes) = setup();
+        let a = heap.alloc_default(classes.tree).unwrap();
+        let b = heap.alloc_default(classes.tree).unwrap();
+        heap.set_field(a, "left", Value::Ref(b)).unwrap();
+        heap.set_field(b, "left", Value::Ref(a)).unwrap();
+        let (mut dst, dec) = roundtrip(&heap, &[Value::Ref(a)]);
+        let a2 = dec.roots[0].as_ref_id().unwrap();
+        let b2 = dst.get_ref(a2, "left").unwrap().unwrap();
+        assert_eq!(dst.get_ref(b2, "left").unwrap(), Some(a2));
+    }
+
+    #[test]
+    fn receiver_linear_map_matches_sender_positions() {
+        let (mut heap, classes) = setup();
+        let ex = tree::build_running_example(&mut heap, &classes).unwrap();
+        let enc = serialize_graph(&heap, &[Value::Ref(ex.root)]).unwrap();
+        let mut dst = Heap::new(heap.registry_handle().clone());
+        let dec = deserialize_graph(&enc.bytes, &mut dst).unwrap();
+        assert_eq!(dec.linear.len(), enc.linear.len());
+        // Position i on both sides refers to isomorphic objects: compare
+        // the data field of each tree node pairwise.
+        for (i, (&sid, &did)) in enc.linear.iter().zip(&dec.linear).enumerate() {
+            let sv = heap.get_field(sid, "data").unwrap();
+            let dv = dst.get_field(did, "data").unwrap();
+            assert_eq!(sv, dv, "position {i}");
+        }
+    }
+
+    #[test]
+    fn old_index_annotations_roundtrip() {
+        let (mut heap, classes) = setup();
+        let root = tree::build_random_tree(&mut heap, &classes, 8, 2).unwrap();
+        let map = nrmi_heap::LinearMap::build(&heap, &[root]).unwrap();
+        let old: std::collections::HashMap<ObjId, u32> =
+            map.iter().map(|(pos, id)| (id, pos)).collect();
+        let enc =
+            crate::ser::serialize_graph_with(&heap, &[Value::Ref(root)], Some(&old), None).unwrap();
+        let mut dst = Heap::new(heap.registry_handle().clone());
+        let dec = deserialize_graph(&enc.bytes, &mut dst).unwrap();
+        for (i, old) in dec.old_index.iter().enumerate() {
+            assert_eq!(*old, Some(i as u32), "traversal order equals old order here");
+        }
+    }
+
+    #[test]
+    fn mixed_roots() {
+        let (mut heap, classes) = setup();
+        let root = tree::build_random_tree(&mut heap, &classes, 4, 9).unwrap();
+        let (_, dec) = roundtrip(
+            &heap,
+            &[Value::Int(1), Value::Ref(root), Value::Null, Value::Str("tail".into())],
+        );
+        assert_eq!(dec.roots.len(), 4);
+        assert_eq!(dec.roots[0], Value::Int(1));
+        assert!(dec.roots[1].as_ref_id().is_some());
+        assert_eq!(dec.roots[2], Value::Null);
+        assert_eq!(dec.roots[3], Value::Str("tail".into()));
+    }
+
+    #[test]
+    fn repeated_root_decodes_to_same_object() {
+        let (mut heap, classes) = setup();
+        let root = tree::build_random_tree(&mut heap, &classes, 3, 4).unwrap();
+        // Paper §4.1: passing the same parameter twice must create ONE
+        // copy on the remote site, with sharing replicated.
+        let (_, dec) = roundtrip(&heap, &[Value::Ref(root), Value::Ref(root)]);
+        assert_eq!(dec.roots[0], dec.roots[1]);
+        assert_eq!(dec.object_count(), 3);
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        let (mut heap, _) = setup();
+        assert!(matches!(
+            deserialize_graph(b"XXXX\x01\x00", &mut heap),
+            Err(WireError::BadMagic)
+        ));
+        assert!(matches!(
+            deserialize_graph(b"NRMI\x63\x00", &mut heap),
+            Err(WireError::UnsupportedVersion(0x63))
+        ));
+        assert!(matches!(
+            deserialize_graph(b"NRMI", &mut heap),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        // Root count 1 followed by an unknown tag.
+        assert!(matches!(
+            deserialize_graph(b"NRMI\x01\x01\x63", &mut heap),
+            Err(WireError::UnknownTag { tag: 0x63, .. })
+        ));
+        // Back-reference with nothing decoded.
+        assert!(matches!(
+            deserialize_graph(b"NRMI\x01\x01\x08\x00", &mut heap),
+            Err(WireError::BadBackRef { .. })
+        ));
+        // Remote stub without hooks.
+        assert!(matches!(
+            deserialize_graph(b"NRMI\x01\x01\x09\x01\x07", &mut heap),
+            Err(WireError::RemoteWithoutHooks { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_strings_are_interned() {
+        let mut reg = ClassRegistry::new();
+        let named = reg.define("Named").field_str("name").serializable().register();
+        let mut heap = Heap::new(reg.snapshot());
+        let long_name = "a-rather-long-repeated-string-value".to_owned();
+        let nodes: Vec<Value> = (0..20)
+            .map(|_| {
+                Value::Ref(
+                    heap.alloc(named, vec![Value::Str(long_name.clone())]).unwrap(),
+                )
+            })
+            .collect();
+        let enc = serialize_graph(&heap, &nodes).unwrap();
+        // 20 copies of a 35-byte string would be ≥700 bytes un-interned;
+        // interning stores it once plus small references.
+        assert!(
+            enc.byte_len() < 300,
+            "interned payload should be small, got {}",
+            enc.byte_len()
+        );
+        let mut dst = Heap::new(heap.registry_handle().clone());
+        let dec = deserialize_graph(&enc.bytes, &mut dst).unwrap();
+        for root in &dec.roots {
+            let id = root.as_ref_id().unwrap();
+            assert_eq!(dst.get_field(id, "name").unwrap().as_str(), Some(long_name.as_str()));
+        }
+    }
+
+    #[test]
+    fn distinct_strings_stay_distinct() {
+        let mut reg = ClassRegistry::new();
+        let named = reg.define("Named").field_str("name").serializable().register();
+        let mut heap = Heap::new(reg.snapshot());
+        let a = heap.alloc(named, vec![Value::Str("alpha".into())]).unwrap();
+        let b = heap.alloc(named, vec![Value::Str("beta".into())]).unwrap();
+        let c = heap.alloc(named, vec![Value::Str("alpha".into())]).unwrap();
+        let enc = serialize_graph(&heap, &[Value::Ref(a), Value::Ref(b), Value::Ref(c)]).unwrap();
+        let mut dst = Heap::new(heap.registry_handle().clone());
+        let dec = deserialize_graph(&enc.bytes, &mut dst).unwrap();
+        let texts: Vec<Option<String>> = dec
+            .roots
+            .iter()
+            .map(|r| {
+                dst.get_field(r.as_ref_id().unwrap(), "name")
+                    .unwrap()
+                    .as_str()
+                    .map(str::to_owned)
+            })
+            .collect();
+        assert_eq!(
+            texts,
+            vec![Some("alpha".into()), Some("beta".into()), Some("alpha".into())]
+        );
+    }
+
+    #[test]
+    fn array_roundtrip_preserves_aliases_and_length() {
+        let mut reg = ClassRegistry::new();
+        let classes = tree::register_tree_classes(&mut reg);
+        let arr_class = reg.define_array("Object[]", nrmi_heap::FieldType::Ref);
+        let mut heap = Heap::new(reg.snapshot());
+        let node = heap.alloc_default(classes.tree).unwrap();
+        let arr = heap
+            .alloc_array(arr_class, vec![Value::Ref(node), Value::Ref(node), Value::Null])
+            .unwrap();
+        let (mut dst, dec) = roundtrip(&heap, &[Value::Ref(arr)]);
+        let arr2 = dec.roots[0].as_ref_id().unwrap();
+        assert_eq!(dst.slot_count(arr2).unwrap(), 3);
+        let e0 = dst.get_element(arr2, 0).unwrap();
+        let e1 = dst.get_element(arr2, 1).unwrap();
+        assert_eq!(e0, e1);
+        assert_eq!(dst.get_element(arr2, 2).unwrap(), Value::Null);
+    }
+}

@@ -1,0 +1,244 @@
+//! Payload introspection: render a wire payload as human-readable text
+//! without materializing it into a heap.
+//!
+//! Debugging middleware means staring at byte buffers; [`dump_graph`]
+//! turns an NRMI graph payload into an indented listing of its objects,
+//! back-references, old-index annotations, and remote stubs, resolving
+//! class ids against a registry. Used by tests (to assert what a payload
+//! *contains*, e.g. "the reply carries old-index annotations for all 7
+//! objects") and by humans (println-debugging a protocol exchange).
+
+use std::fmt::Write as _;
+
+use nrmi_heap::ClassRegistry;
+
+use crate::io::ByteReader;
+use crate::ser::{
+    TAG_BACKREF, TAG_DOUBLE, TAG_FALSE, TAG_INT, TAG_LONG, TAG_NULL, TAG_OBJ, TAG_REMOTE,
+    TAG_STR, TAG_STRREF, TAG_TRUE,
+};
+use crate::{Result, WireError, FORMAT_VERSION, MAGIC};
+
+/// Summary statistics extracted while dumping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DumpStats {
+    /// Objects inlined in the payload.
+    pub objects: usize,
+    /// Back-references (shared structure / cycles on the wire).
+    pub backrefs: usize,
+    /// Objects carrying an old-index annotation (restore candidates).
+    pub annotated: usize,
+    /// Remote stubs.
+    pub remotes: usize,
+    /// Interned-string references.
+    pub string_refs: usize,
+}
+
+/// The rendered dump plus its statistics.
+#[derive(Clone, Debug)]
+pub struct GraphDump {
+    /// Human-readable listing.
+    pub text: String,
+    /// Extracted statistics.
+    pub stats: DumpStats,
+}
+
+struct Dumper<'a, 'r> {
+    reader: ByteReader<'a>,
+    registry: &'r ClassRegistry,
+    out: String,
+    stats: DumpStats,
+    next_position: u32,
+    strings: Vec<String>,
+}
+
+impl Dumper<'_, '_> {
+    fn dump_value(&mut self, depth: usize) -> Result<()> {
+        let indent = "  ".repeat(depth);
+        let offset = self.reader.position();
+        let tag = self.reader.get_u8()?;
+        match tag {
+            TAG_NULL => {
+                let _ = writeln!(self.out, "{indent}null");
+            }
+            TAG_FALSE => {
+                let _ = writeln!(self.out, "{indent}false");
+            }
+            TAG_TRUE => {
+                let _ = writeln!(self.out, "{indent}true");
+            }
+            TAG_INT => {
+                let v = self.reader.get_zigzag()?;
+                let _ = writeln!(self.out, "{indent}int {v}");
+            }
+            TAG_LONG => {
+                let v = self.reader.get_zigzag()?;
+                let _ = writeln!(self.out, "{indent}long {v}");
+            }
+            TAG_DOUBLE => {
+                let v = self.reader.get_f64()?;
+                let _ = writeln!(self.out, "{indent}double {v}");
+            }
+            TAG_STR => {
+                let s = self.reader.get_str()?;
+                self.strings.push(s.clone());
+                let _ = writeln!(self.out, "{indent}str {s:?}");
+            }
+            TAG_STRREF => {
+                let idx = self.reader.get_varint()? as usize;
+                self.stats.string_refs += 1;
+                let resolved = self.strings.get(idx).cloned().unwrap_or_default();
+                let _ = writeln!(self.out, "{indent}strref #{idx} ({resolved:?})");
+            }
+            TAG_BACKREF => {
+                let pos = self.reader.get_varint()?;
+                self.stats.backrefs += 1;
+                let _ = writeln!(self.out, "{indent}-> @{pos}");
+            }
+            TAG_REMOTE => {
+                let owned_by_sender = self.reader.get_u8()? != 0;
+                let key = self.reader.get_varint()?;
+                self.stats.remotes += 1;
+                let owner = if owned_by_sender { "sender" } else { "receiver" };
+                let _ = writeln!(self.out, "{indent}remote stub key={key} (owned by {owner})");
+            }
+            TAG_OBJ => {
+                let class_idx = self.reader.get_varint()? as u32;
+                let old = self.reader.get_varint()?;
+                let slot_count = self.reader.get_count()?;
+                let position = self.next_position;
+                self.next_position += 1;
+                self.stats.objects += 1;
+                let class_id = nrmi_heap::ClassId::from_index(class_idx);
+                let class_name = self
+                    .registry
+                    .get(class_id)
+                    .map(|d| d.name().to_owned())
+                    .unwrap_or_else(|_| format!("<class:{class_idx}>"));
+                let annotation = if old == 0 {
+                    String::new()
+                } else {
+                    self.stats.annotated += 1;
+                    format!(" old_index={}", old - 1)
+                };
+                let _ = writeln!(
+                    self.out,
+                    "{indent}@{position} {class_name} ({slot_count} slots){annotation}"
+                );
+                let field_names: Vec<String> = self
+                    .registry
+                    .get(class_id)
+                    .map(|d| d.fields().iter().map(|f| f.name().to_owned()).collect())
+                    .unwrap_or_default();
+                for i in 0..slot_count {
+                    if let Some(name) = field_names.get(i) {
+                        let _ = writeln!(self.out, "{indent}  .{name}:");
+                    } else {
+                        let _ = writeln!(self.out, "{indent}  [{i}]:");
+                    }
+                    self.dump_value(depth + 2)?;
+                }
+            }
+            other => return Err(WireError::UnknownTag { tag: other, offset }),
+        }
+        Ok(())
+    }
+}
+
+/// Dumps an NRMI graph payload (as produced by
+/// [`serialize_graph`](crate::serialize_graph)) to text, resolving class
+/// names against `registry`.
+///
+/// # Errors
+/// The same malformed-payload errors the real decoder reports.
+pub fn dump_graph(bytes: &[u8], registry: &ClassRegistry) -> Result<GraphDump> {
+    let mut dumper = Dumper {
+        reader: ByteReader::new(bytes),
+        registry,
+        out: String::new(),
+        stats: DumpStats::default(),
+        next_position: 0,
+        strings: Vec::new(),
+    };
+    let magic = dumper.reader.get_slice(4)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = dumper.reader.get_u8()?;
+    if version != FORMAT_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let root_count = dumper.reader.get_count()?;
+    let _ = writeln!(dumper.out, "graph payload v{version}: {root_count} root(s), {} bytes", bytes.len());
+    for i in 0..root_count {
+        let _ = writeln!(dumper.out, "root[{i}]:");
+        dumper.dump_value(1)?;
+    }
+    Ok(GraphDump { text: dumper.out, stats: dumper.stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serialize_graph, serialize_graph_with};
+    use nrmi_heap::{tree, Heap, LinearMap, ObjId, Value};
+    use std::collections::HashMap;
+
+    fn setup() -> (Heap, ClassRegistry) {
+        let mut reg = ClassRegistry::new();
+        let _ = tree::register_tree_classes(&mut reg);
+        let snapshot = reg.snapshot();
+        (Heap::new(snapshot), reg)
+    }
+
+    #[test]
+    fn dump_shows_structure_and_stats() {
+        let (mut heap, registry) = setup();
+        let classes = tree::TreeClasses { tree: registry.by_name("Tree").unwrap() };
+        let ex = tree::build_running_example(&mut heap, &classes).unwrap();
+        let enc =
+            serialize_graph(&heap, &[Value::Ref(ex.root), Value::Ref(ex.alias1_target)]).unwrap();
+        let dump = dump_graph(&enc.bytes, &registry).unwrap();
+        assert_eq!(dump.stats.objects, 7);
+        assert_eq!(dump.stats.backrefs, 1, "alias1 root is a back-reference");
+        assert_eq!(dump.stats.annotated, 0);
+        assert!(dump.text.contains("Tree (3 slots)"));
+        assert!(dump.text.contains(".left:"));
+        assert!(dump.text.contains("int 5"));
+        assert!(dump.text.contains("-> @"));
+    }
+
+    #[test]
+    fn dump_shows_old_index_annotations() {
+        let (mut heap, registry) = setup();
+        let classes = tree::TreeClasses { tree: registry.by_name("Tree").unwrap() };
+        let root = tree::build_random_tree(&mut heap, &classes, 5, 1).unwrap();
+        let map = LinearMap::build(&heap, &[root]).unwrap();
+        let old: HashMap<ObjId, u32> = map.iter().map(|(p, id)| (id, p)).collect();
+        let enc = serialize_graph_with(&heap, &[Value::Ref(root)], Some(&old), None).unwrap();
+        let dump = dump_graph(&enc.bytes, &registry).unwrap();
+        assert_eq!(dump.stats.annotated, 5, "every object annotated:\n{}", dump.text);
+        assert!(dump.text.contains("old_index=0"));
+    }
+
+    #[test]
+    fn dump_shows_interned_strings() {
+        let mut reg = ClassRegistry::new();
+        let named = reg.define("Named").field_str("name").serializable().register();
+        let registry_snapshot = reg.snapshot();
+        let mut heap = Heap::new(registry_snapshot);
+        let a = heap.alloc(named, vec![Value::Str("dup".into())]).unwrap();
+        let b = heap.alloc(named, vec![Value::Str("dup".into())]).unwrap();
+        let enc = serialize_graph(&heap, &[Value::Ref(a), Value::Ref(b)]).unwrap();
+        let dump = dump_graph(&enc.bytes, &reg).unwrap();
+        assert_eq!(dump.stats.string_refs, 1);
+        assert!(dump.text.contains("strref #0 (\"dup\")"));
+    }
+
+    #[test]
+    fn dump_rejects_malformed() {
+        let reg = ClassRegistry::new();
+        assert!(matches!(dump_graph(b"XXXX\x01\x00", &reg), Err(WireError::BadMagic)));
+        assert!(dump_graph(b"NRMI\x01\x01\x63", &reg).is_err());
+    }
+}

@@ -1,0 +1,348 @@
+//! Graph serialization (marshalling).
+//!
+//! The serializer performs the *same deterministic preorder traversal* as
+//! [`nrmi_heap::LinearMap`]: the first time an object is reached it is
+//! emitted inline and assigned the next traversal position; later visits
+//! emit a back-reference to that position. Consequently:
+//!
+//! * sharing and cycles are preserved exactly (one copy per object);
+//! * the sequence of inline-emitted objects *is* the linear map, so the
+//!   receiving side can rebuild the map during deserialization without it
+//!   ever being transmitted (§5.2.4, optimization 1);
+//! * when the sender knows an object's position in a previously received
+//!   linear map (the server marshalling its reply), that *old index* is
+//!   embedded with the object — this is the information the client's
+//!   restore step uses to "match up the two linear maps" (step 4).
+
+use std::collections::HashMap;
+
+use nrmi_heap::{Heap, ObjId, Value};
+
+use crate::io::ByteWriter;
+use crate::{Result, WireError, FORMAT_VERSION, MAGIC};
+
+pub(crate) const TAG_NULL: u8 = 0;
+pub(crate) const TAG_FALSE: u8 = 1;
+pub(crate) const TAG_TRUE: u8 = 2;
+pub(crate) const TAG_INT: u8 = 3;
+pub(crate) const TAG_LONG: u8 = 4;
+pub(crate) const TAG_DOUBLE: u8 = 5;
+pub(crate) const TAG_STR: u8 = 6;
+pub(crate) const TAG_OBJ: u8 = 7;
+pub(crate) const TAG_BACKREF: u8 = 8;
+pub(crate) const TAG_REMOTE: u8 = 9;
+pub(crate) const TAG_STRREF: u8 = 13;
+
+/// Marshalling hooks for remote-marked objects.
+///
+/// Plain serializable graphs never need these. When a graph contains an
+/// object whose class carries the `remote` flag (the
+/// `UnicastRemoteObject` analogue), RMI semantics replace it with a stub;
+/// the middleware layer implements that replacement by providing these
+/// hooks (issuing/looking up object keys in its export table).
+pub trait RemoteHooks {
+    /// Called when a remote-marked object owned by the *sender* is
+    /// reached during encoding; returns the export-table key its stub
+    /// should carry.
+    ///
+    /// # Errors
+    /// Implementations may refuse to export (e.g. table full).
+    fn export(&mut self, heap: &Heap, obj: ObjId) -> Result<u64>;
+
+    /// Called when a remote reference is decoded. `owned_by_sender` is
+    /// true when the sender owns the object (the receiver should
+    /// materialize or reuse a local stub carrying `key` — allocated in
+    /// `heap`, which is the heap being deserialized into), and false when
+    /// the reference names an object the *receiver* owns (resolve `key`
+    /// in the receiver's export table back to the original object).
+    ///
+    /// # Errors
+    /// Implementations may reject unknown keys.
+    fn import(&mut self, heap: &mut Heap, owned_by_sender: bool, key: u64) -> Result<Value>;
+}
+
+/// The output of serialization: the payload plus the traversal-order
+/// linear map of the objects that were inlined into it.
+#[derive(Clone, Debug)]
+pub struct EncodedGraph {
+    /// The wire payload.
+    pub bytes: Vec<u8>,
+    /// Objects in traversal (linear-map) order — the sender-side linear
+    /// map, obtained "almost for free" from the serialization walk.
+    pub linear: Vec<ObjId>,
+}
+
+impl EncodedGraph {
+    /// Number of objects inlined in the payload.
+    pub fn object_count(&self) -> usize {
+        self.linear.len()
+    }
+
+    /// Payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Streaming graph encoder. Most callers use [`serialize_graph`] or
+/// [`serialize_graph_with`].
+pub struct Serializer<'h, 'm, 'k> {
+    heap: &'h Heap,
+    writer: ByteWriter,
+    positions: HashMap<ObjId, u32>,
+    order: Vec<ObjId>,
+    old_index: Option<&'m HashMap<ObjId, u32>>,
+    hooks: Option<&'k mut (dyn RemoteHooks + 'k)>,
+    /// String intern table: repeated strings are emitted once and then
+    /// referenced by index, as Java serialization's handle table does.
+    strings: HashMap<String, u32>,
+}
+
+impl<'h, 'm, 'k> std::fmt::Debug for Serializer<'h, 'm, 'k> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Serializer")
+            .field("objects", &self.order.len())
+            .field("bytes", &self.writer.len())
+            .finish()
+    }
+}
+
+impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
+    /// Creates a serializer over `heap`.
+    ///
+    /// `old_index` maps objects to their position in a previously
+    /// received linear map (server replies use this); `hooks` handle
+    /// remote-marked objects.
+    pub fn new(
+        heap: &'h Heap,
+        old_index: Option<&'m HashMap<ObjId, u32>>,
+        hooks: Option<&'k mut (dyn RemoteHooks + 'k)>,
+    ) -> Self {
+        let mut writer = ByteWriter::new();
+        writer.put_slice(&MAGIC);
+        writer.put_u8(FORMAT_VERSION);
+        Serializer {
+            heap,
+            writer,
+            positions: HashMap::new(),
+            order: Vec::new(),
+            old_index,
+            hooks,
+            strings: HashMap::new(),
+        }
+    }
+
+    /// Encodes the given root values (arguments of a call, or a reply's
+    /// object list) and finishes the payload.
+    ///
+    /// # Errors
+    /// Fails on dangling references, non-serializable classes, or
+    /// remote-marked objects without hooks.
+    pub fn encode_roots(mut self, roots: &[Value]) -> Result<EncodedGraph> {
+        self.writer.put_varint(roots.len() as u64);
+        for root in roots {
+            self.encode_value(root)?;
+        }
+        Ok(EncodedGraph { bytes: self.writer.into_bytes(), linear: self.order })
+    }
+
+    fn encode_value(&mut self, value: &Value) -> Result<()> {
+        match value {
+            Value::Null => self.writer.put_u8(TAG_NULL),
+            Value::Bool(false) => self.writer.put_u8(TAG_FALSE),
+            Value::Bool(true) => self.writer.put_u8(TAG_TRUE),
+            Value::Int(i) => {
+                self.writer.put_u8(TAG_INT);
+                self.writer.put_zigzag(i64::from(*i));
+            }
+            Value::Long(i) => {
+                self.writer.put_u8(TAG_LONG);
+                self.writer.put_zigzag(*i);
+            }
+            Value::Double(d) => {
+                self.writer.put_u8(TAG_DOUBLE);
+                self.writer.put_f64(*d);
+            }
+            Value::Str(s) => match self.strings.get(s.as_str()) {
+                Some(&idx) => {
+                    self.writer.put_u8(TAG_STRREF);
+                    self.writer.put_varint(u64::from(idx));
+                }
+                None => {
+                    self.strings.insert(s.clone(), self.strings.len() as u32);
+                    self.writer.put_u8(TAG_STR);
+                    self.writer.put_str(s);
+                }
+            },
+            Value::Ref(id) => self.encode_object(*id)?,
+        }
+        Ok(())
+    }
+
+    fn encode_object(&mut self, id: ObjId) -> Result<()> {
+        if let Some(&pos) = self.positions.get(&id) {
+            self.writer.put_u8(TAG_BACKREF);
+            self.writer.put_varint(u64::from(pos));
+            return Ok(());
+        }
+        let obj = self.heap.get(id)?;
+        let desc = self.heap.registry_handle().get(obj.class())?;
+        let flags = desc.flags();
+        if flags.stub {
+            // A stub I hold names an object YOU (the receiver) own:
+            // forward the peer key with the owned-by-sender flag clear.
+            let key = self
+                .heap
+                .stub_key(id)?
+                .expect("stub-flagged object carries a key");
+            self.writer.put_u8(TAG_REMOTE);
+            self.writer.put_u8(0);
+            self.writer.put_varint(key);
+            return Ok(());
+        }
+        if flags.remote {
+            // RMI semantics: remote objects travel as stubs, not copies.
+            // I own this object; the receiver gets a stub with my key.
+            let Some(hooks) = self.hooks.as_deref_mut() else {
+                return Err(WireError::RemoteWithoutHooks { class: desc.name().to_owned() });
+            };
+            let key = hooks.export(self.heap, id)?;
+            self.writer.put_u8(TAG_REMOTE);
+            self.writer.put_u8(1);
+            self.writer.put_varint(key);
+            return Ok(());
+        }
+        if !flags.serializable {
+            return Err(WireError::NotSerializable { class: desc.name().to_owned() });
+        }
+
+        let pos = self.order.len() as u32;
+        self.positions.insert(id, pos);
+        self.order.push(id);
+
+        self.writer.put_u8(TAG_OBJ);
+        self.writer.put_varint(u64::from(obj.class().index()));
+        match self.old_index.and_then(|m| m.get(&id)) {
+            Some(&old) => self.writer.put_varint(u64::from(old) + 1),
+            None => self.writer.put_varint(0),
+        }
+        let slots = obj.body().slots().to_vec();
+        self.writer.put_varint(slots.len() as u64);
+        for slot in &slots {
+            self.encode_value(slot)?;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes the graphs reachable from `roots` in `heap`.
+///
+/// # Errors
+/// See [`Serializer::encode_roots`].
+pub fn serialize_graph(heap: &Heap, roots: &[Value]) -> Result<EncodedGraph> {
+    Serializer::new(heap, None, None).encode_roots(roots)
+}
+
+/// Serializes with old-index annotations and/or remote hooks — the form
+/// the middleware layer uses for server replies and stub-bearing graphs.
+///
+/// # Errors
+/// See [`Serializer::encode_roots`].
+pub fn serialize_graph_with(
+    heap: &Heap,
+    roots: &[Value],
+    old_index: Option<&HashMap<ObjId, u32>>,
+    hooks: Option<&mut dyn RemoteHooks>,
+) -> Result<EncodedGraph> {
+    Serializer::new(heap, old_index, hooks).encode_roots(roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrmi_heap::tree::{self, TreeClasses};
+    use nrmi_heap::{ClassRegistry, HeapAccess};
+
+    fn setup() -> (Heap, TreeClasses) {
+        let mut reg = ClassRegistry::new();
+        let classes = tree::register_tree_classes(&mut reg);
+        (Heap::new(reg.snapshot()), classes)
+    }
+
+    #[test]
+    fn payload_starts_with_magic_and_version() {
+        let (mut heap, classes) = setup();
+        let root = tree::build_random_tree(&mut heap, &classes, 4, 1).unwrap();
+        let enc = serialize_graph(&heap, &[Value::Ref(root)]).unwrap();
+        assert_eq!(&enc.bytes[..4], b"NRMI");
+        assert_eq!(enc.bytes[4], FORMAT_VERSION);
+        assert_eq!(enc.object_count(), 4);
+        assert!(enc.byte_len() > 5);
+    }
+
+    #[test]
+    fn linear_order_matches_linear_map() {
+        let (mut heap, classes) = setup();
+        let ex = tree::build_running_example(&mut heap, &classes).unwrap();
+        let enc = serialize_graph(&heap, &[Value::Ref(ex.root)]).unwrap();
+        let map = nrmi_heap::LinearMap::build(&heap, &[ex.root]).unwrap();
+        assert_eq!(enc.linear, map.order(), "serialization walk IS the linear map");
+    }
+
+    #[test]
+    fn shared_objects_emitted_once() {
+        let (mut heap, classes) = setup();
+        let shared = heap.alloc_default(classes.tree).unwrap();
+        let root = heap
+            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .unwrap();
+        let enc = serialize_graph(&heap, &[Value::Ref(root)]).unwrap();
+        assert_eq!(enc.object_count(), 2);
+    }
+
+    #[test]
+    fn cycles_terminate_via_backrefs() {
+        let (mut heap, classes) = setup();
+        let a = heap.alloc_default(classes.tree).unwrap();
+        let b = heap.alloc_default(classes.tree).unwrap();
+        heap.set_field(a, "left", Value::Ref(b)).unwrap();
+        heap.set_field(b, "left", Value::Ref(a)).unwrap();
+        let enc = serialize_graph(&heap, &[Value::Ref(a)]).unwrap();
+        assert_eq!(enc.object_count(), 2);
+    }
+
+    #[test]
+    fn non_serializable_rejected() {
+        let mut reg = ClassRegistry::new();
+        let plain = reg.define("Plain").field_int("x").register();
+        let mut heap = Heap::new(reg.snapshot());
+        let obj = heap.alloc_default(plain).unwrap();
+        let err = serialize_graph(&heap, &[Value::Ref(obj)]).unwrap_err();
+        assert!(matches!(err, WireError::NotSerializable { .. }));
+    }
+
+    #[test]
+    fn remote_without_hooks_rejected() {
+        let mut reg = ClassRegistry::new();
+        let svc = reg.define("Service").remote().register();
+        let mut heap = Heap::new(reg.snapshot());
+        let obj = heap.alloc_default(svc).unwrap();
+        let err = serialize_graph(&heap, &[Value::Ref(obj)]).unwrap_err();
+        assert!(matches!(err, WireError::RemoteWithoutHooks { .. }));
+    }
+
+    #[test]
+    fn primitive_roots_only() {
+        let (heap, _) = setup();
+        let enc =
+            serialize_graph(&heap, &[Value::Int(7), Value::Str("ok".into()), Value::Null]).unwrap();
+        assert_eq!(enc.object_count(), 0);
+    }
+
+    #[test]
+    fn dangling_root_is_error() {
+        let (heap, _) = setup();
+        let err = serialize_graph(&heap, &[Value::Ref(ObjId::from_index(99))]).unwrap_err();
+        assert!(matches!(err, WireError::Heap(_)));
+    }
+}

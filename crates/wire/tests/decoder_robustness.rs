@@ -1,0 +1,94 @@
+//! Decoder robustness: hostile or corrupt payloads must produce errors,
+//! never panics, unbounded allocation, or heap corruption.
+
+use proptest::prelude::*;
+
+use nrmi_heap::{ClassRegistry, Heap, Value};
+use nrmi_wire::{apply_delta, deserialize_graph, serialize_graph};
+
+fn fresh_heap() -> Heap {
+    let mut reg = ClassRegistry::new();
+    reg.define("Node")
+        .field_int("data")
+        .field_ref("left")
+        .field_ref("right")
+        .restorable()
+        .register();
+    Heap::new(reg.snapshot())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: decode returns an error or a valid graph —
+    /// never a panic — and only live objects remain in the heap.
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut heap = fresh_heap();
+        let _ = deserialize_graph(&bytes, &mut heap);
+        // Whatever happened, the heap's accounting is intact.
+        prop_assert_eq!(heap.live_count() as u64, heap.stats().live());
+    }
+
+    /// Arbitrary bytes with a valid magic prefix (deeper penetration
+    /// into the decoder) still never panic.
+    #[test]
+    fn decoder_never_panics_past_the_magic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut payload = b"NRMI\x01".to_vec();
+        payload.extend(&bytes);
+        let mut heap = fresh_heap();
+        let _ = deserialize_graph(&payload, &mut heap);
+        prop_assert_eq!(heap.live_count() as u64, heap.stats().live());
+    }
+
+    /// Truncating a VALID payload at every prefix length yields clean
+    /// errors, never panics or accepted-but-wrong graphs.
+    #[test]
+    fn truncated_valid_payloads_fail_cleanly(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, any::<bool>(), 0usize..12), 0..16)
+    ) {
+        use nrmi_heap::HeapAccess;
+        let mut src = fresh_heap();
+        let class = src.registry_handle().by_name("Node").unwrap();
+        let nodes: Vec<_> = (0..n)
+            .map(|i| src.alloc(class, vec![Value::Int(i as i32), Value::Null, Value::Null]).unwrap())
+            .collect();
+        for (a, left, b) in edges {
+            let side = if left { "left" } else { "right" };
+            src.set_field(nodes[a % n], side, Value::Ref(nodes[b % n])).unwrap();
+        }
+        let enc = serialize_graph(&src, &[Value::Ref(nodes[0])]).unwrap();
+        for cut in 0..enc.bytes.len() {
+            let mut heap = fresh_heap();
+            prop_assert!(
+                deserialize_graph(&enc.bytes[..cut], &mut heap).is_err(),
+                "truncation at {cut} of {} accepted", enc.bytes.len()
+            );
+        }
+        // The untruncated payload still decodes.
+        let mut heap = fresh_heap();
+        prop_assert!(deserialize_graph(&enc.bytes, &mut heap).is_ok());
+    }
+
+    /// Arbitrary delta payloads against a real linear map never panic.
+    #[test]
+    fn delta_decoder_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        with_magic in any::<bool>()
+    ) {
+        let mut heap = fresh_heap();
+        let class = heap.registry_handle().by_name("Node").unwrap();
+        let a = heap.alloc(class, vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        let b = heap.alloc(class, vec![Value::Int(2), Value::Null, Value::Null]).unwrap();
+        let payload = if with_magic {
+            let mut p = b"NRMD\x01".to_vec();
+            p.extend(&bytes);
+            p
+        } else {
+            bytes
+        };
+        let _ = apply_delta(&payload, &mut heap, &[a, b]);
+        prop_assert_eq!(heap.live_count() as u64, heap.stats().live());
+    }
+}

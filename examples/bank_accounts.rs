@@ -1,0 +1,114 @@
+//! First-class remote objects: the RMI factory pattern.
+//!
+//! A `Bank` factory service opens `Account` objects that live on the
+//! server (`UnicastRemoteObject` semantics: passed by reference, never
+//! copied). The client receives stubs and invokes methods directly on
+//! them with `Session::call_on`; a copy-restore `Statement` argument
+//! shows how remote receivers and restorable arguments compose.
+//!
+//! ```text
+//! cargo run --example bank_accounts
+//! ```
+
+use nrmi::core::{FnService, NrmiError, Session};
+use nrmi::heap::{ClassRegistry, HeapAccess, Value};
+
+fn main() -> Result<(), NrmiError> {
+    let mut reg = ClassRegistry::new();
+    // class Account extends UnicastRemoteObject { String owner; long cents; }
+    let account = reg
+        .define("Account")
+        .field_str("owner")
+        .field_long("cents")
+        .remote()
+        .register();
+    // class Statement implements java.rmi.Restorable { String owner; long balance; }
+    let statement = reg
+        .define("Statement")
+        .field_str("owner")
+        .field_long("balance")
+        .restorable()
+        .register();
+    let registry = reg.snapshot();
+
+    let mut session = Session::builder(registry)
+        .serve(
+            "bank",
+            Box::new(FnService::new(move |method, args, heap| match method {
+                "open" => {
+                    let owner = args[0].as_str().ok_or_else(|| NrmiError::app("owner"))?;
+                    let acct = heap
+                        .alloc_raw(account, vec![Value::Str(owner.to_owned()), Value::Long(0)])?;
+                    Ok(Value::Ref(acct)) // exported; the client gets a stub
+                }
+                other => Err(NrmiError::app(format!("no method {other}"))),
+            })),
+        )
+        .serve_class(
+            account,
+            Box::new(FnService::new(|method, args, heap| {
+                let this = args[0].as_ref_id().ok_or_else(|| NrmiError::app("receiver"))?;
+                match method {
+                    "deposit" | "withdraw" => {
+                        let amount = args[1].as_long().ok_or_else(|| NrmiError::app("amount"))?;
+                        let sign = if method == "deposit" { 1 } else { -1 };
+                        let balance = heap.get_field(this, "cents")?.as_long().unwrap_or(0);
+                        let updated = balance + sign * amount;
+                        if updated < 0 {
+                            return Err(NrmiError::app("insufficient funds"));
+                        }
+                        heap.set_field(this, "cents", Value::Long(updated))?;
+                        Ok(Value::Long(updated))
+                    }
+                    "statement" => {
+                        let stmt = args[1].as_ref_id().ok_or_else(|| NrmiError::app("stmt"))?;
+                        let owner = heap.get_field(this, "owner")?;
+                        let balance = heap.get_field(this, "cents")?;
+                        heap.set_field(stmt, "owner", owner)?;
+                        heap.set_field(stmt, "balance", balance)?;
+                        Ok(Value::Null)
+                    }
+                    other => Err(NrmiError::app(format!("no method {other}"))),
+                }
+            })),
+        )
+        .build();
+
+    // Open two server-resident accounts through the factory.
+    let ada = session.call("bank", "open", &[Value::Str("ada".into())])?;
+    let bob = session.call("bank", "open", &[Value::Str("bob".into())])?;
+    let (ada, bob) = (ada.as_ref_id().unwrap(), bob.as_ref_id().unwrap());
+    println!(
+        "opened two accounts; client holds stubs (keys {:?}, {:?})",
+        session.heap().stub_key(ada)?,
+        session.heap().stub_key(bob)?
+    );
+
+    // Method calls dispatch on the receiver's class, server-side.
+    session.call_on(ada, "deposit", &[Value::Long(500)])?;
+    session.call_on(bob, "deposit", &[Value::Long(120)])?;
+    let after = session.call_on(ada, "withdraw", &[Value::Long(150)])?;
+    println!("ada after deposit 500 / withdraw 150: {after} cents");
+
+    // A remote exception from the class behavior:
+    let err = session.call_on(bob, "withdraw", &[Value::Long(1_000_000)]).unwrap_err();
+    println!("bob overdraw rejected: {err}");
+
+    // Restorable argument filled in by the remote receiver:
+    let stmt = session.heap().alloc(statement, vec![Value::Null, Value::Long(0)])?;
+    session.call_on(ada, "statement", &[Value::Ref(stmt)])?;
+    println!(
+        "statement for {}: {} cents (copy-restored into the caller's object)",
+        session.heap().get_field(stmt, "owner")?,
+        session.heap().get_field(stmt, "balance")?
+    );
+
+    // DGC: dropping bob's stub releases the server-side account.
+    session.release_stub(bob)?;
+    let server = session.shutdown()?;
+    println!(
+        "after releasing bob: server still pins {} exported account(s)",
+        server.state.exports.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! The paper's multiple-indexing application (§4.3, second bullet).
+//!
+//! "Most applications in imperative programming languages create some
+//! multiple indexing scheme for their data. ... Every customer may be
+//! retrievable from a data structure ordered by zip code, and from a
+//! second data structure ordered by name. All of these references are
+//! aliases to the same data. NRMI allows such references to be updated
+//! correctly as a result of a remote call (e.g., an update of purchase
+//! records from a different location, or a retrieval of a customer's
+//! address from a central database)."
+//!
+//! This example keeps customers in two indexes (by-name list, by-zip
+//! list) and transactions in both a global log and per-customer
+//! histories. A remote billing service applies a price adjustment and
+//! appends transactions (reallocating the fixed-size arrays, Java
+//! `ArrayList`-style); every index sees the update after one
+//! copy-restore call.
+//!
+//! ```text
+//! cargo run --example business_indexing
+//! ```
+
+use nrmi::core::{FnService, NrmiError, Session};
+use nrmi::heap::{ClassRegistry, FieldType, Heap, HeapAccess, ObjId, Value};
+
+/// Appends `value` to the array stored in `owner.field`, Java-style:
+/// allocate a one-larger array, copy, and reseat the field. Runs against
+/// any [`HeapAccess`], so the same code works over remote pointers too.
+fn append(
+    heap: &mut dyn HeapAccess,
+    owner: ObjId,
+    field: &str,
+    value: Value,
+) -> Result<(), NrmiError> {
+    let old = heap
+        .get_field(owner, field)?
+        .as_ref_id()
+        .ok_or_else(|| NrmiError::app(format!("{field} is not a list")))?;
+    let len = heap.slot_count(old)?;
+    let mut elems = Vec::with_capacity(len + 1);
+    for i in 0..len {
+        elems.push(heap.get_element(old, i)?);
+    }
+    elems.push(value);
+    let class = heap.class_of(old)?;
+    let grown = heap.alloc_array_raw(class, elems)?;
+    heap.set_field(owner, field, Value::Ref(grown))?;
+    Ok(())
+}
+
+fn main() -> Result<(), NrmiError> {
+    // --- Schema -----------------------------------------------------------
+    let mut registry = ClassRegistry::new();
+    // class Customer implements Serializable { String name; int zip; long balanceCents; Object[] history; }
+    let customer = registry
+        .define("Customer")
+        .field_str("name")
+        .field_int("zip")
+        .field_long("balance_cents")
+        .field_ref("history")
+        .serializable()
+        .register();
+    // class Transaction implements Serializable { String memo; long amountCents; Customer customer; }
+    let transaction = registry
+        .define("Transaction")
+        .field_str("memo")
+        .field_long("amount_cents")
+        .field_ref("customer")
+        .serializable()
+        .register();
+    let list = registry.define_array("Object[]", FieldType::Ref);
+    // class Ledger implements java.rmi.Restorable — the root passed to
+    // the billing service; everything reachable from it is restored.
+    let ledger = registry
+        .define("Ledger")
+        .field_ref("by_name")
+        .field_ref("by_zip")
+        .field_ref("recent_holder")
+        .restorable()
+        .register();
+    // One level of indirection so `recent` can be reseated on append.
+    let holder = registry.define("ListHolder").field_ref("items").serializable().register();
+    let registry = registry.snapshot();
+
+    // --- The remote billing service ----------------------------------------
+    let _ = transaction;
+    let mut session = Session::builder(registry)
+        .serve(
+            "billing",
+            Box::new(FnService::new(move |method, args, heap| match method {
+                // Apply a surcharge to every customer in a zip code and
+                // log one transaction per affected customer.
+                "surcharge_zip" => {
+                    let ledger = args[0].as_ref_id().ok_or_else(|| NrmiError::app("ledger"))?;
+                    let zip = args[1].as_int().ok_or_else(|| NrmiError::app("zip"))?;
+                    let cents = args[2].as_long().ok_or_else(|| NrmiError::app("cents"))?;
+                    let by_zip = heap.get_ref(ledger, "by_zip")?.expect("index");
+                    let recent_holder = heap.get_ref(ledger, "recent_holder")?.expect("log");
+                    let tx_class = heap.registry().by_name("Transaction").expect("class");
+                    let mut touched = 0;
+                    for i in 0..heap.slot_count(by_zip)? {
+                        let Some(cust) = heap.get_element(by_zip, i)?.as_ref_id() else {
+                            continue;
+                        };
+                        if heap.get_field(cust, "zip")?.as_int() != Some(zip) {
+                            continue;
+                        }
+                        let balance =
+                            heap.get_field(cust, "balance_cents")?.as_long().unwrap_or(0);
+                        heap.set_field(cust, "balance_cents", Value::Long(balance + cents))?;
+                        // One new transaction, linked from BOTH the
+                        // global log and the customer's own history —
+                        // fresh aliasing created on the server.
+                        let tx = heap.alloc_raw(
+                            tx_class,
+                            vec![
+                                Value::Str(format!("zip-{zip} surcharge")),
+                                Value::Long(cents),
+                                Value::Ref(cust),
+                            ],
+                        )?;
+                        append(heap, recent_holder, "items", Value::Ref(tx))?;
+                        append(heap, cust, "history", Value::Ref(tx))?;
+                        touched += 1;
+                    }
+                    Ok(Value::Int(touched))
+                }
+                other => Err(NrmiError::app(format!("no method {other}"))),
+            })),
+        )
+        .build();
+
+    // --- Client data, indexed two ways -------------------------------------
+    let heap = session.heap();
+    let mut customers = Vec::new();
+    for (name, zip, balance) in [
+        ("Ada Lovelace", 30332, 12_000_i64),
+        ("Charles Babbage", 30332, 7_550),
+        ("Alan Turing", 10001, 20_000),
+    ] {
+        let history = heap.alloc_array(list, Vec::new())?;
+        customers.push(heap.alloc(
+            customer,
+            vec![
+                Value::Str(name.to_owned()),
+                Value::Int(zip),
+                Value::Long(balance),
+                Value::Ref(history),
+            ],
+        )?);
+    }
+    // Two orderings, SAME customer objects (aliases):
+    let by_name = heap.alloc_array(
+        list,
+        vec![Value::Ref(customers[1]), Value::Ref(customers[0]), Value::Ref(customers[2])],
+    )?;
+    let by_zip = heap.alloc_array(
+        list,
+        vec![Value::Ref(customers[2]), Value::Ref(customers[0]), Value::Ref(customers[1])],
+    )?;
+    let empty_log = heap.alloc_array(list, Vec::new())?;
+    let recent_holder = heap.alloc(holder, vec![Value::Ref(empty_log)])?;
+    let ledger_obj = heap.alloc(
+        ledger,
+        vec![Value::Ref(by_name), Value::Ref(by_zip), Value::Ref(recent_holder)],
+    )?;
+
+    print_balances(heap, &customers, "before");
+
+    // --- One copy-restore call updates every index --------------------------
+    let touched = session.call(
+        "billing",
+        "surcharge_zip",
+        &[Value::Ref(ledger_obj), Value::Int(30332), Value::Long(999)],
+    )?;
+    println!("\nsurcharged {touched} customers in zip 30332 via one remote call\n");
+
+    let heap = session.heap();
+    print_balances(heap, &customers, "after");
+
+    // The by-name index (never mentioned in the call) sees the update,
+    // because the customer OBJECTS were restored in place:
+    let ada_via_name = heap.get_element(by_name, 1)?.as_ref_id().unwrap();
+    assert_eq!(ada_via_name, customers[0], "index still aliases the original object");
+    assert_eq!(heap.get_field(ada_via_name, "balance_cents")?, Value::Long(12_000 + 999));
+
+    // The global log and Ada's history share ONE transaction object —
+    // server-created aliasing, replicated on the client:
+    let log = heap.get_ref(recent_holder, "items")?.unwrap();
+    assert_eq!(heap.slot_count(log)?, 2, "two surcharges logged");
+    let global_tx = heap.get_element(log, 0)?.as_ref_id().unwrap();
+    let ada_history = heap.get_ref(customers[0], "history")?.unwrap();
+    let ada_tx = heap.get_element(ada_history, 0)?.as_ref_id().unwrap();
+    assert_eq!(global_tx, ada_tx, "one transaction object, two indexes");
+    // The transaction's back-reference lands on the caller's ORIGINAL
+    // customer object (restore step 6: new objects' pointers converted):
+    assert_eq!(heap.get_ref(global_tx, "customer")?, Some(customers[0]));
+    // Turing (zip 10001) untouched:
+    assert_eq!(heap.get_field(customers[2], "balance_cents")?, Value::Long(20_000));
+    let memo = heap.get_field(global_tx, "memo")?;
+    println!("\nshared transaction: {memo} for {} cents", heap.get_field(global_tx, "amount_cents")?);
+    println!("back-references land on the caller's original customers — no fix-up code");
+    Ok(())
+}
+
+fn print_balances(heap: &mut Heap, customers: &[ObjId], when: &str) {
+    println!("balances {when}:");
+    for &c in customers {
+        let name = heap.get_field(c, "name").unwrap();
+        let balance = heap.get_field(c, "balance_cents").unwrap();
+        println!("  {name}: {balance} cents");
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's GUI translation application (§4.3, first bullet).
+//!
+//! "We distribute with NRMI a modified version of one of the Swing API
+//! example applications ... The remote server accepts a vector of words
+//! (strings) used throughout the graphical interface of the application
+//! and translates them between English, German and French. The updated
+//! list is restored on the client site transparently and the GUI is
+//! updated to show the translated words in its menus, labels, etc."
+//!
+//! The GUI model here: `Label` objects hold the display strings; menus,
+//! toolbars, and a status bar all *alias* the same labels
+//! (model-view-controller style). The words vector passed to the remote
+//! translator contains references to those same labels. One
+//! copy-restore call updates every widget.
+//!
+//! ```text
+//! cargo run --example translation_service
+//! ```
+
+use nrmi::core::{FnService, NrmiError, Session};
+use nrmi::heap::{ClassRegistry, FieldType, Heap, HeapAccess, ObjId, Value};
+
+/// (English, German, French) triples for the demo UI strings; the
+/// translator matches the current text in ANY language.
+fn dictionary() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("File", "Datei", "Fichier"),
+        ("Edit", "Bearbeiten", "Édition"),
+        ("View", "Ansicht", "Affichage"),
+        ("Open", "Öffnen", "Ouvrir"),
+        ("Save", "Speichern", "Enregistrer"),
+        ("Quit", "Beenden", "Quitter"),
+        ("Ready", "Bereit", "Prêt"),
+    ]
+}
+
+fn label_texts(heap: &mut Heap, labels: &[ObjId]) -> Vec<String> {
+    labels
+        .iter()
+        .map(|&l| {
+            heap.get_field(l, "text")
+                .ok()
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+fn main() -> Result<(), NrmiError> {
+    let mut registry = ClassRegistry::new();
+    // class Label implements Serializable { String text; }
+    let label = registry.define("Label").field_str("text").serializable().register();
+    // class WordVector implements java.rmi.Restorable — the argument type.
+    // (Everything reachable from a restorable parameter is restored.)
+    let word_vector = registry.define_array("WordVector", FieldType::Ref);
+    // Mark the vector's CLASS restorable by wrapping: arrays are
+    // serializable by default; the restorable marker sits on the holder.
+    let holder = registry
+        .define("RestorableWords")
+        .field_ref("words")
+        .restorable()
+        .register();
+    let registry = registry.snapshot();
+
+    // The remote translation server.
+    let dict = dictionary();
+    let mut session = Session::builder(registry)
+        .serve(
+            "translator",
+            Box::new(FnService::new(move |method, args, heap| {
+                let target = match method {
+                    "to_german" => 0,
+                    "to_french" => 1,
+                    other => return Err(NrmiError::app(format!("no language {other}"))),
+                };
+                let holder = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("expected the word holder"))?;
+                let vector = heap
+                    .get_ref(holder, "words")?
+                    .ok_or_else(|| NrmiError::app("holder has no word vector"))?;
+                let count = heap.slot_count(vector)?;
+                for i in 0..count {
+                    let Some(lbl) = heap.get_element(vector, i)?.as_ref_id() else {
+                        continue;
+                    };
+                    let text = heap
+                        .get_field(lbl, "text")?
+                        .as_str()
+                        .map(str::to_owned)
+                        .unwrap_or_default();
+                    if let Some(&(en, de, fr)) =
+                        dict.iter().find(|(en, de, fr)| text == *en || text == *de || text == *fr)
+                    {
+                        let translated = match target {
+                            0 => de,
+                            1 => fr,
+                            _ => en,
+                        };
+                        heap.set_field(lbl, "text", Value::Str(translated.to_owned()))?;
+                    }
+                }
+                Ok(Value::Int(count as i32))
+            })),
+        )
+        .build();
+
+    // --- Build the client GUI model --------------------------------------
+    let heap = session.heap();
+    let words = ["File", "Edit", "View", "Open", "Save", "Quit", "Ready"];
+    let labels: Vec<ObjId> = words
+        .iter()
+        .map(|w| heap.alloc(label, vec![Value::Str((*w).to_owned())]))
+        .collect::<Result<_, _>>()?;
+
+    // Multiple GUI surfaces alias the SAME label objects:
+    let menu_bar = heap.alloc_array(word_vector, labels[..3].iter().map(|&l| Value::Ref(l)).collect())?;
+    let toolbar = heap.alloc_array(
+        word_vector,
+        vec![Value::Ref(labels[3]), Value::Ref(labels[4]), Value::Ref(labels[5])],
+    )?;
+    let status_bar = heap.alloc_array(word_vector, vec![Value::Ref(labels[6]), Value::Ref(labels[3])])?;
+
+    // The vector handed to the translator aliases all of them.
+    let all_words = heap.alloc_array(word_vector, labels.iter().map(|&l| Value::Ref(l)).collect())?;
+    let words_arg = heap.alloc(holder, vec![Value::Ref(all_words)])?;
+
+    println!("menus before:   {:?}", label_texts(heap, &labels[..3]));
+    println!("toolbar before: {:?}", label_texts(heap, &labels[3..6]));
+
+    // --- One remote call translates the whole UI -------------------------
+    let translated = session.call("translator", "to_german", &[Value::Ref(words_arg)])?;
+    println!("\ntranslated {} labels to German via one copy-restore call", translated);
+
+    let heap = session.heap();
+    println!("menus after:    {:?}", label_texts(heap, &labels[..3]));
+    println!("toolbar after:  {:?}", label_texts(heap, &labels[3..6]));
+
+    // The aliasing GUI surfaces see the translation without any fix-up:
+    let via_menu = heap.get_element(menu_bar, 0)?.as_ref_id().unwrap();
+    let via_status = heap.get_element(status_bar, 1)?.as_ref_id().unwrap();
+    assert_eq!(heap.get_field(via_menu, "text")?.as_str(), Some("Datei"));
+    assert_eq!(heap.get_field(via_status, "text")?.as_str(), Some("Öffnen"));
+    let _ = toolbar;
+
+    // And back to French, proving round trips compose.
+    session.call("translator", "to_french", &[Value::Ref(words_arg)])?;
+    let heap = session.heap();
+    println!("menus (French): {:?}", label_texts(heap, &labels[..3]));
+    assert_eq!(label_texts(heap, &labels[..3]), vec!["Fichier", "Édition", "Affichage"]);
+
+    println!("\nevery aliased view updated transparently — no client fix-up code");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # NRMI — Natural Remote Method Invocation, in Rust
+//!
+//! A reproduction of *NRMI: Natural and Efficient Middleware*
+//! (Tilevich & Smaragdakis, ICDCS 2003): RPC middleware with
+//! **call-by-copy-restore** semantics for arbitrary linked data
+//! structures, alongside call-by-copy and call-by-reference.
+//!
+//! This facade crate re-exports the full stack:
+//!
+//! * [`heap`] — the managed object-graph substrate (classes, aliased
+//!   mutable graphs, traversal, GC);
+//! * [`wire`] — alias-preserving graph serialization, linear maps, deltas;
+//! * [`transport`] — simulated-time network model, in-memory and TCP
+//!   transports, registry;
+//! * [`core`] — the calling semantics and the copy-restore algorithm
+//!   itself.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nrmi::prelude::*;
+//!
+//! # fn main() -> Result<(), NrmiError> {
+//! // Classes are the shared "classpath"; markers pick the semantics.
+//! let mut reg = ClassRegistry::new();
+//! let cell = reg.define("Cell").field_int("value").restorable().register();
+//!
+//! let mut session = Session::builder(reg.snapshot())
+//!     .serve("bump", Box::new(FnService::new(|_m, args, heap| {
+//!         let cell = args[0].as_ref_id().ok_or_else(|| NrmiError::app("want ref"))?;
+//!         let v = heap.get_field(cell, "value")?.as_int().unwrap_or(0);
+//!         heap.set_field(cell, "value", Value::Int(v + 1))?;
+//!         Ok(Value::Null)
+//!     })))
+//!     .build();
+//!
+//! let obj = session.heap().alloc(cell, vec![Value::Int(41)])?;
+//! session.call("bump", "bump", &[Value::Ref(obj)])?;
+//! // The server's mutation was restored onto the caller's object:
+//! assert_eq!(session.heap().get_field(obj, "value")?, Value::Int(42));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for the paper's applications; the [`prelude`] brings
+//! the common types into scope.
+
+pub use nrmi_core as core;
+pub use nrmi_heap as heap;
+pub use nrmi_transport as transport;
+pub use nrmi_wire as wire;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use nrmi_core::{
+        CallOptions, ClientNode, FnService, InterfaceDef, NrmiError, ParamType, PassMode,
+        RemoteService, RuntimeProfile, ServerNode, Session, TypedService,
+    };
+    pub use nrmi_heap::collections::{HList, HMap};
+    pub use nrmi_heap::{
+        ClassRegistry, FieldType, Heap, HeapAccess, HeapError, LinearMap, ObjId, Value,
+    };
+    pub use nrmi_transport::{LinkSpec, MachineSpec, SimEnv};
+}

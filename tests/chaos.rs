@@ -1,0 +1,115 @@
+//! Chaos testing: random fault schedules against copy-restore calls.
+//!
+//! For ANY injected transport fault pattern, a remote call either
+//! completes with full local-call semantics or fails with an error — and
+//! on failure the caller's *reachable* state is bit-identical to the
+//! pre-call state (at worst, unreachable decode debris remains, which
+//! one GC sweep removes — the same guarantee Java gives for partially
+//! deserialized garbage).
+
+use proptest::prelude::*;
+use std::thread;
+
+use nrmi::core::{
+    client_invoke, serve_connection, CallOptions, ClientNode, FnService, NrmiError, PassMode,
+    ServerNode,
+};
+use nrmi::heap::snapshot::HeapSnapshot;
+use nrmi::heap::tree::{self};
+use nrmi::heap::{ClassRegistry, SharedRegistry};
+use nrmi::heap::Value;
+use nrmi::transport::{channel_pair, Fault, FaultPlan, FaultyTransport, LinkSpec, MachineSpec};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = tree::register_tree_classes(&mut reg);
+    reg.snapshot()
+}
+
+fn fault_strategy() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        5 => Just(Fault::Pass),
+        1 => Just(Fault::Disconnect),
+        1 => Just(Fault::Corrupt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn faulty_copy_restore_calls_never_corrupt_reachable_state(
+        sends in proptest::collection::vec(fault_strategy(), 0..3),
+        recvs in proptest::collection::vec(fault_strategy(), 0..3),
+        size in 2usize..12,
+        seed in 0u64..1000,
+    ) {
+        let registry = registry();
+        let (client_t, mut server_t) = channel_pair(None, LinkSpec::free());
+        let server_registry = registry.clone();
+        let server = thread::spawn(move || {
+            let mut server = ServerNode::new(server_registry, MachineSpec::fast());
+            server.bind(
+                "svc",
+                Box::new(FnService::new(move |_m, args, heap| {
+                    let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                    // A benign deterministic mutation.
+                    let v = heap.get_field(root, "data")?.as_int().unwrap_or(0);
+                    heap.set_field(root, "data", Value::Int(v.wrapping_mul(3) + 1))?;
+                    Ok(Value::Null)
+                })),
+            );
+            let _ = serve_connection(&mut server, &mut server_t);
+        });
+
+        let mut client = ClientNode::new(registry, MachineSpec::fast());
+        let classes = tree::TreeClasses {
+            tree: client.state.heap.registry_handle().by_name("Tree").unwrap(),
+        };
+        let root = tree::build_random_tree(&mut client.state.heap, &classes, size, seed).unwrap();
+        let before = HeapSnapshot::capture(&client.state.heap);
+        let data_before = client.state.heap.get(root).unwrap().body().slots()[0].clone();
+
+        let mut transport =
+            FaultyTransport::new(client_t, FaultPlan { sends: sends.clone(), recvs: recvs.clone() });
+        let result = client_invoke(
+            &mut client,
+            &mut transport,
+            "svc",
+            "mutate",
+            &[Value::Ref(root)],
+            CallOptions::forced(PassMode::CopyRestore),
+        );
+        drop(transport);
+        let _ = server.join();
+
+        // Regardless of outcome, the heap must be structurally sound.
+        nrmi::heap::validate::assert_valid(&client.state.heap);
+        match result {
+            Ok(_) => {
+                // Success: exactly the server's mutation is visible.
+                let expected = match data_before {
+                    Value::Int(v) => Value::Int(v.wrapping_mul(3) + 1),
+                    other => other,
+                };
+                let now = client.state.heap.get(root).unwrap().body().slots()[0].clone();
+                prop_assert_eq!(now, expected);
+            }
+            Err(_) => {
+                // Failure: reachable state untouched. Decode debris may
+                // exist but must be unreachable — one GC sweep restores
+                // the exact pre-call heap.
+                let _ = nrmi::heap::gc::mark_sweep(&mut client.state.heap, &[root]).unwrap();
+                let after = HeapSnapshot::capture(&client.state.heap);
+                let diff = before.diff(&after);
+                prop_assert!(
+                    diff.is_empty(),
+                    "failed call perturbed reachable state: {} (sends {:?}, recvs {:?})",
+                    diff.summary(),
+                    sends,
+                    recvs
+                );
+            }
+        }
+    }
+}

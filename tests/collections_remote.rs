@@ -1,0 +1,162 @@
+//! The `RestorableHashMap` pattern (§5.1) end to end: heap-resident
+//! collections passed by copy-restore, mutated remotely, restored in
+//! place — the paper's canonical API example working over the full
+//! middleware stack.
+
+use nrmi::core::{CallOptions, FnService, NrmiError, PassMode, Session};
+use nrmi::heap::collections::{collection_classes, register_collections, HList, HMap};
+use nrmi::heap::{ClassRegistry, SharedRegistry, Value};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = register_collections(&mut reg);
+    reg.snapshot()
+}
+
+#[test]
+fn restorable_hash_map_mutated_remotely() {
+    let mut session = Session::builder(registry())
+        .serve(
+            "inventory",
+            Box::new(FnService::new(|method, args, heap| {
+                let classes = collection_classes(heap.registry());
+                let map = HMap::from_id(args[0].as_ref_id().unwrap(), classes);
+                match method {
+                    "restock" => {
+                        // Read-modify-write through the heap map.
+                        for key in ["widgets", "gadgets"] {
+                            let current = map
+                                .get(heap, key)?
+                                .and_then(|v| v.as_int())
+                                .unwrap_or(0);
+                            map.put(heap, key, Value::Int(current + 10))?;
+                        }
+                        map.put(heap, "sprockets", Value::Int(5))?;
+                        map.remove(heap, "discontinued")?;
+                        Ok(Value::Int(map.len(heap)? as i32))
+                    }
+                    other => Err(NrmiError::app(format!("no method {other}"))),
+                }
+            })),
+        )
+        .build();
+
+    let classes = collection_classes(session.heap().registry_handle());
+    let map = HMap::new(session.heap(), classes).unwrap();
+    map.put(session.heap(), "widgets", Value::Int(3)).unwrap();
+    map.put(session.heap(), "gadgets", Value::Int(0)).unwrap();
+    map.put(session.heap(), "discontinued", Value::Int(99)).unwrap();
+
+    // HashMap is restorable: the default call semantics restores it.
+    let count = session.call("inventory", "restock", &[Value::Ref(map.id())]).unwrap();
+    assert_eq!(count, Value::Int(3));
+
+    // The CALLER's map object was updated in place:
+    assert_eq!(map.get(session.heap(), "widgets").unwrap(), Some(Value::Int(13)));
+    assert_eq!(map.get(session.heap(), "gadgets").unwrap(), Some(Value::Int(10)));
+    assert_eq!(map.get(session.heap(), "sprockets").unwrap(), Some(Value::Int(5)));
+    assert_eq!(map.get(session.heap(), "discontinued").unwrap(), None);
+    assert_eq!(map.len(session.heap()).unwrap(), 3);
+}
+
+#[test]
+fn map_identity_preserved_when_aliased_from_a_list() {
+    // A list and a variable both alias the same map; a remote call
+    // mutating the map is visible through both (the multiple-indexing
+    // story with library collections).
+    let mut session = Session::builder(registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let classes = collection_classes(heap.registry());
+                let map = HMap::from_id(args[0].as_ref_id().unwrap(), classes);
+                map.put(heap, "touched", Value::Bool(true))?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let classes = collection_classes(session.heap().registry_handle());
+    let map = HMap::new(session.heap(), classes).unwrap();
+    let list = HList::new(session.heap(), classes).unwrap();
+    list.push(session.heap(), Value::Ref(map.id())).unwrap();
+
+    session.call("svc", "touch", &[Value::Ref(map.id())]).unwrap();
+
+    // Through the alias held by the list:
+    let via_list = list.get(session.heap(), 0).unwrap().as_ref_id().unwrap();
+    assert_eq!(via_list, map.id(), "object identity preserved");
+    let aliased = HMap::from_id(via_list, classes);
+    assert_eq!(aliased.get(session.heap(), "touched").unwrap(), Some(Value::Bool(true)));
+}
+
+#[test]
+fn list_grown_remotely_restores_header_and_new_backing_array() {
+    // Remote pushes grow the backing array server-side (a NEW array
+    // object); the restore must reseat the caller's header to the new
+    // array while keeping the header's identity.
+    let mut session = Session::builder(registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let classes = collection_classes(heap.registry());
+                let list = HList::from_id(args[0].as_ref_id().unwrap(), classes);
+                for i in 0..50 {
+                    list.push(heap, Value::Int(i))?;
+                }
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let classes = collection_classes(session.heap().registry_handle());
+    let list = HList::new(session.heap(), classes).unwrap();
+    list.push(session.heap(), Value::Int(-1)).unwrap();
+
+    session
+        .call_with("svc", "fill", &[Value::Ref(list.id())], CallOptions::forced(PassMode::CopyRestore))
+        .unwrap();
+
+    assert_eq!(list.len(session.heap()).unwrap(), 51);
+    assert_eq!(list.get(session.heap(), 0).unwrap(), Value::Int(-1));
+    assert_eq!(list.get(session.heap(), 50).unwrap(), Value::Int(49));
+}
+
+#[test]
+fn collections_work_over_remote_pointers_too() {
+    // The same HMap code runs against the remote-heap proxy: every
+    // bucket probe crosses the network. Updates to EXISTING entries land
+    // directly in the caller's map; entries the server ALLOCATES live on
+    // the server and appear to the caller as stubs — exactly Figure 3's
+    // split-heap picture.
+    let mut session = Session::builder(registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let classes = collection_classes(heap.registry());
+                let map = HMap::from_id(args[0].as_ref_id().unwrap(), classes);
+                let existing = map.get(heap, "seed")?;
+                // In-place update of the existing entry (no allocation).
+                map.put(heap, "seed", Value::Int(8))?;
+                Ok(existing.unwrap_or(Value::Null))
+            })),
+        )
+        .build();
+    let classes = collection_classes(session.heap().registry_handle());
+    let map = HMap::new(session.heap(), classes).unwrap();
+    map.put(session.heap(), "seed", Value::Int(7)).unwrap();
+
+    let (ret, stats) = session
+        .call_with_stats(
+            "svc",
+            "put",
+            &[Value::Ref(map.id())],
+            CallOptions::forced(PassMode::RemoteRef),
+        )
+        .unwrap();
+    assert_eq!(ret, Value::Int(7), "server read the caller's entry over the wire");
+    assert!(stats.callbacks_served > 5, "bucket walks crossed the network: {stats:?}");
+    assert_eq!(
+        map.get(session.heap(), "seed").unwrap(),
+        Some(Value::Int(8)),
+        "the in-place update landed directly in the caller's map"
+    );
+}

@@ -1,0 +1,72 @@
+//! Determinism guarantees: the simulated evaluation is exactly
+//! reproducible, run to run and machine to machine — the property that
+//! makes the regenerated tables meaningful.
+
+use nrmi::core::{CallOptions, JdkGeneration, NrmiFlavor, PassMode, RuntimeProfile, Session};
+use nrmi::heap::Value;
+use nrmi::transport::{LinkSpec, MachineSpec, SimEnv};
+use nrmi_bench::workload::{bench_classes, build_workload, scenario_service, Scenario};
+
+fn measure_once(mode: PassMode) -> (f64, u64) {
+    let classes = bench_classes();
+    let env = SimEnv::new();
+    let svc = scenario_service(
+        &classes,
+        Scenario::III,
+        99,
+        Some(env.clone()),
+        MachineSpec::fast(),
+        JdkGeneration::Jdk14,
+    );
+    let mut session = Session::builder(classes.registry.clone())
+        .serve("bench", Box::new(svc))
+        .simulated(
+            env.clone(),
+            LinkSpec::lan_100mbps(),
+            MachineSpec::slow(),
+            MachineSpec::fast(),
+            RuntimeProfile { jdk: JdkGeneration::Jdk14, flavor: NrmiFlavor::Optimized },
+        )
+        .build();
+    let w = build_workload(session.heap(), &classes, Scenario::III, 128, 99).unwrap();
+    session
+        .call_with("bench", "mutate", &[Value::Ref(w.root)], CallOptions::forced(mode))
+        .unwrap();
+    let report = env.report();
+    (report.total_us(), report.bytes_sent)
+}
+
+#[test]
+fn simulated_measurements_are_bit_identical_across_runs() {
+    for mode in [PassMode::Copy, PassMode::CopyRestore, PassMode::RemoteRef, PassMode::DceRpc] {
+        let (us1, bytes1) = measure_once(mode);
+        let (us2, bytes2) = measure_once(mode);
+        assert_eq!(bytes1, bytes2, "{mode:?}: byte counts must be identical");
+        assert!(
+            (us1 - us2).abs() < f64::EPSILON * us1.abs(),
+            "{mode:?}: simulated time must be identical: {us1} vs {us2}"
+        );
+        assert!(us1 > 0.0 && bytes1 > 0, "{mode:?}: something was measured");
+    }
+}
+
+#[test]
+fn workloads_and_mutations_are_identical_across_heaps() {
+    // Two independent builds of the same seeded workload, mutated by two
+    // independent server runs, end isomorphic — the property the linear
+    // map's position matching relies on.
+    let classes = bench_classes();
+    let build_and_mutate = || {
+        let mut heap = nrmi::heap::Heap::new(classes.registry.clone());
+        let w = build_workload(&mut heap, &classes, Scenario::III, 96, 5).unwrap();
+        nrmi_bench::workload::mutate_tree(&mut heap, w.root, Scenario::III, 5).unwrap();
+        (heap, w)
+    };
+    let (h1, w1) = build_and_mutate();
+    let (h2, w2) = build_and_mutate();
+    let mut roots1 = vec![w1.root];
+    roots1.extend(&w1.aliases);
+    let mut roots2 = vec![w2.root];
+    roots2.extend(&w2.aliases);
+    assert!(nrmi::heap::graph::isomorphic_multi(&h1, &roots1, &h2, &roots2).unwrap());
+}

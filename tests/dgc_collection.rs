@@ -1,0 +1,108 @@
+//! The complete distributed-GC loop: client GC detects unreachable
+//! stubs, sends cleans, the server unpins — and distributed *cycles*
+//! still leak, completing the Table 6 story.
+
+use nrmi::core::{CallOptions, FnService, NrmiError, PassMode, Session};
+use nrmi::heap::{ClassRegistry, SharedRegistry, Value};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = nrmi::heap::tree::register_tree_classes(&mut reg);
+    reg.snapshot()
+}
+
+/// A server that hands out fresh server-side nodes by remote reference.
+fn maker_session() -> Session {
+    Session::builder(registry())
+        .serve(
+            "maker",
+            Box::new(FnService::new(|method, args, heap| {
+                let class = heap.registry().by_name("Tree").unwrap();
+                match method {
+                    "make" => Ok(Value::Ref(heap.alloc_raw(
+                        class,
+                        vec![Value::Int(1), Value::Null, Value::Null],
+                    )?)),
+                    "entangle" => {
+                        // Cross-heap cycle: server node ↔ client node.
+                        let client_obj = args[0].as_ref_id().unwrap();
+                        let server_obj = heap.alloc_raw(
+                            class,
+                            vec![Value::Int(2), Value::Ref(client_obj), Value::Null],
+                        )?;
+                        heap.set_field(client_obj, "left", Value::Ref(server_obj))?;
+                        Ok(Value::Null)
+                    }
+                    other => Err(NrmiError::app(format!("no method {other}"))),
+                }
+            })),
+        )
+        .build()
+}
+
+#[test]
+fn acyclic_remote_garbage_is_fully_reclaimed() {
+    let mut session = maker_session();
+    // Acquire three server-object stubs, keep only one reachable.
+    let opts = CallOptions::forced(PassMode::RemoteRef);
+    let keep = session.call_with("maker", "make", &[], opts).unwrap().as_ref_id().unwrap();
+    let _drop1 = session.call_with("maker", "make", &[], opts).unwrap();
+    let _drop2 = session.call_with("maker", "make", &[], opts).unwrap();
+    assert_eq!(session.client().state.stubs.len(), 3);
+
+    let (freed, cleans) = session.collect_garbage(&[keep]).unwrap();
+    assert_eq!(cleans, 2, "two unreachable stubs cleaned");
+    assert_eq!(freed, 2, "two stub objects freed locally");
+    assert!(session.heap().contains(keep), "reachable stub survives");
+    assert_eq!(session.client().state.stubs.len(), 1);
+
+    // The server observed the cleans: after shutdown only one export
+    // remains pinned, and its local GC reclaims the released objects.
+    let mut server = session.shutdown().unwrap();
+    assert_eq!(server.state.exports.len(), 1, "server unpinned the cleaned exports");
+    let live_before = server.state.heap.live_count();
+    let freed_server = server.collect_local(&[]).unwrap();
+    assert_eq!(freed_server, live_before - 1, "only the pinned export survives");
+}
+
+#[test]
+fn distributed_cycle_survives_both_collectors() {
+    let mut session = maker_session();
+    let class = session.heap().registry_handle().by_name("Tree").unwrap();
+    let client_obj = session
+        .heap()
+        .alloc(class, vec![Value::Int(0), Value::Null, Value::Null])
+        .unwrap();
+    session
+        .call_with(
+            "maker",
+            "entangle",
+            &[Value::Ref(client_obj)],
+            CallOptions::forced(PassMode::RemoteRef),
+        )
+        .unwrap();
+    // Drop every client root: the whole structure is globally garbage.
+    let (_, cleans) = session.collect_garbage(&[]).unwrap();
+    // But the client object is pinned by the server's stub, so it (and
+    // the stub it holds to the server node) survives — and no clean can
+    // be sent for the stub, because it is still reachable from the
+    // pinned object. Reference counting cannot break the cycle.
+    assert_eq!(cleans, 0, "cycle: no stub is unreachable from the pinned roots");
+    assert!(session.heap().contains(client_obj), "leaked: pinned by the peer");
+    assert!(!session.client().state.exports.is_empty());
+    let mut server = session.shutdown().unwrap();
+    assert!(!server.state.exports.is_empty(), "server side equally pinned");
+    let freed = server.collect_local(&[]).unwrap();
+    assert!(server.state.heap.live_count() > 0, "server node leaked too (freed {freed})");
+}
+
+#[test]
+fn repeated_collect_is_stable() {
+    let mut session = maker_session();
+    let opts = CallOptions::forced(PassMode::RemoteRef);
+    let _ = session.call_with("maker", "make", &[], opts).unwrap();
+    let (freed1, cleans1) = session.collect_garbage(&[]).unwrap();
+    assert_eq!((freed1, cleans1), (1, 1));
+    let (freed2, cleans2) = session.collect_garbage(&[]).unwrap();
+    assert_eq!((freed2, cleans2), (0, 0), "idempotent once clean");
+}

@@ -1,0 +1,170 @@
+//! Distributed garbage collection behavior — the mechanism behind the
+//! paper's Table 6 observation: "the references back from the server to
+//! the client create distributed circular garbage. Since RMI only
+//! supports reference counting garbage collection, it cannot reclaim
+//! the garbage data", so the remote-pointer benchmark's memory grew
+//! until it exhausted the heap.
+
+use nrmi::core::{CallOptions, FnService, PassMode, Session};
+use nrmi::heap::gc::mark_sweep;
+use nrmi::heap::tree::{self};
+use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = tree::register_tree_classes(&mut reg);
+    reg.snapshot()
+}
+
+#[test]
+fn remote_ref_calls_grow_export_tables_monotonically() {
+    // Each remote-pointer call exports more client objects (the server's
+    // stubs pin them); without DGC cleans, memory growth is unbounded —
+    // the shape of the paper's leak.
+    let mut session = Session::builder(registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let root = args[0].as_ref_id().unwrap();
+                // Touch the whole tree so every node gets exported.
+                let mut stack = vec![root];
+                while let Some(n) = stack.pop() {
+                    let v = heap.get_field(n, "data")?.as_int().unwrap_or(0);
+                    heap.set_field(n, "data", Value::Int(v + 1))?;
+                    for side in ["left", "right"] {
+                        if let Some(c) = heap.get_ref(n, side)? {
+                            stack.push(c);
+                        }
+                    }
+                }
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let classes = nrmi::heap::tree::TreeClasses {
+        tree: session.heap().registry_handle().by_name("Tree").unwrap(),
+    };
+
+    let mut exported_after = Vec::new();
+    for seed in 0..4 {
+        let root = tree::build_random_tree(session.heap(), &classes, 16, seed).unwrap();
+        session
+            .call_with("svc", "inc_all", &[Value::Ref(root)], CallOptions::forced(PassMode::RemoteRef))
+            .expect("call");
+        exported_after.push(session.client().state.exports.len());
+    }
+    assert!(
+        exported_after.windows(2).all(|w| w[1] > w[0]),
+        "exports grow per call: {exported_after:?}"
+    );
+    assert!(*exported_after.last().unwrap() >= 64, "every touched node pinned");
+}
+
+#[test]
+fn release_stub_sends_clean_and_frees_locally() {
+    // A client that holds a stub to a server-created object can release
+    // it; the DGC clean unpins the server's export.
+    let mut session = Session::builder(registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                // Allocate a node server-side and hand back a reference;
+                // under remote-ref the client receives a stub.
+                let class = args[0].as_int().map(|_| ()).map_or_else(
+                    || heap.registry().by_name("Tree").unwrap(),
+                    |_| heap.registry().by_name("Tree").unwrap(),
+                );
+                let fresh = heap.alloc_raw(
+                    class,
+                    vec![Value::Int(123), Value::Null, Value::Null],
+                )?;
+                Ok(Value::Ref(fresh))
+            })),
+        )
+        .build();
+    let ret = session
+        .call_with("svc", "make", &[Value::Int(0)], CallOptions::forced(PassMode::RemoteRef))
+        .expect("call");
+    let stub = ret.as_ref_id().expect("stub handle");
+    assert!(session.heap().stub_key(stub).unwrap().is_some());
+
+    session.release_stub(stub).expect("release");
+    assert!(!session.heap().contains(stub), "stub freed locally");
+    // The server processed the clean: its export table is empty again.
+    let server = session.shutdown().expect("shutdown");
+    assert!(server.state.exports.is_empty(), "server export unpinned by DGC clean");
+}
+
+#[test]
+fn export_roots_keep_pinned_objects_alive_across_local_gc() {
+    // An object the peer holds a stub to must survive local mark-sweep
+    // even when locally unreachable: the export table is a root set.
+    let mut session = Session::builder(registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let root = args[0].as_ref_id().unwrap();
+                let _ = heap.get_field(root, "data")?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let classes = nrmi::heap::tree::TreeClasses {
+        tree: session.heap().registry_handle().by_name("Tree").unwrap(),
+    };
+    let root = tree::build_random_tree(session.heap(), &classes, 4, 1).unwrap();
+    session
+        .call_with("svc", "peek", &[Value::Ref(root)], CallOptions::forced(PassMode::RemoteRef))
+        .expect("call");
+
+    // Drop all client-side references; only the export pins remain.
+    let export_roots = session.client().state.exports.roots();
+    assert!(!export_roots.is_empty());
+    let freed = mark_sweep(session.heap(), &export_roots).expect("gc");
+    // Exported root (and what it reaches) survives; nothing else did.
+    for id in export_roots {
+        assert!(session.heap().contains(id), "pinned object survived GC");
+    }
+    let _ = freed;
+}
+
+#[test]
+fn distributed_cycle_leaks_under_reference_counting() {
+    // Build the cross-heap cycle the paper describes: the server
+    // allocates a node referencing client nodes (stubs server→client),
+    // and links it into the client tree (stub client→server). Neither
+    // export can ever unpin via reference counting alone.
+    let mut session = Session::builder(registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let root = args[0].as_ref_id().unwrap();
+                let class = heap.class_of(root)?;
+                // new Tree(7, root, null); root.left = fresh — a cycle
+                // spanning both address spaces.
+                let fresh = heap.alloc_raw(class, vec![Value::Int(7), Value::Ref(root), Value::Null])?;
+                heap.set_field(root, "left", Value::Ref(fresh))?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let classes = nrmi::heap::tree::TreeClasses {
+        tree: session.heap().registry_handle().by_name("Tree").unwrap(),
+    };
+    let root = tree::build_random_tree(session.heap(), &classes, 1, 3).unwrap();
+    session
+        .call_with("svc", "entangle", &[Value::Ref(root)], CallOptions::forced(PassMode::RemoteRef))
+        .expect("call");
+
+    // Client: root.left is a stub to the server node.
+    let stub = session.heap().get_ref(root, "left").unwrap().expect("stub link");
+    assert!(session.heap().stub_key(stub).unwrap().is_some());
+    // Both sides hold exports pinned by the other side's stubs.
+    assert!(!session.client().state.exports.is_empty(), "client object pinned by server");
+    let server = session.shutdown().expect("shutdown");
+    assert!(!server.state.exports.is_empty(), "server object pinned by client");
+    // Reference counting alone can never release either pin (each side
+    // would have to drop its stub first — but each stub is reachable
+    // from the other side's pinned object). This is the leak: the pins
+    // persist even though the whole structure may be garbage globally.
+}

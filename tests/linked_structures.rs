@@ -1,0 +1,251 @@
+//! Arbitrary linked data structures, end to end — the paper's opening
+//! claim covers "lists, graphs, trees, hash tables, or even
+//! non-recursive structures like a 'customer' object with pointers to
+//! separate 'address' and 'company' objects". Trees are exercised
+//! everywhere else; this suite covers singly-linked lists (with a full
+//! in-place reversal — every link changes), doubly-linked rings (cyclic
+//! graphs crossing the wire), and the customer/address/company record
+//! shape from the introduction.
+
+use nrmi::core::{FnService, Session};
+use nrmi::heap::{ClassRegistry, Heap, HeapAccess, ObjId, SharedRegistry, Value};
+
+fn list_registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.define("ListNode")
+        .field_int("data")
+        .field_ref("next")
+        .restorable()
+        .register();
+    reg.define("RingNode")
+        .field_str("label")
+        .field_ref("next")
+        .field_ref("prev")
+        .restorable()
+        .register();
+    reg.snapshot()
+}
+
+fn build_list(heap: &mut Heap, values: &[i32]) -> Vec<ObjId> {
+    let class = heap.registry_handle().by_name("ListNode").unwrap();
+    let mut nodes = Vec::new();
+    let mut next = Value::Null;
+    for &v in values.iter().rev() {
+        let node = heap.alloc(class, vec![Value::Int(v), next.clone()]).unwrap();
+        next = Value::Ref(node);
+        nodes.push(node);
+    }
+    nodes.reverse(); // head first
+    nodes
+}
+
+fn list_values(heap: &mut Heap, mut cursor: Option<ObjId>) -> Vec<i32> {
+    let mut out = Vec::new();
+    while let Some(node) = cursor {
+        out.push(heap.get_field(node, "data").unwrap().as_int().unwrap());
+        cursor = heap.get_ref(node, "next").unwrap();
+    }
+    out
+}
+
+#[test]
+fn in_place_list_reversal_restores_every_link() {
+    let mut session = Session::builder(list_registry())
+        .serve(
+            "lists",
+            Box::new(FnService::new(|_m, args, heap| {
+                // Classic in-place reversal: every `next` pointer changes.
+                let mut prev = Value::Null;
+                let mut cursor = args[0].as_ref_id();
+                while let Some(node) = cursor {
+                    let next = heap.get_field(node, "next")?;
+                    heap.set_field(node, "next", prev)?;
+                    prev = Value::Ref(node);
+                    cursor = next.as_ref_id();
+                }
+                Ok(prev) // the new head
+            })),
+        )
+        .build();
+
+    let nodes = build_list(session.heap(), &[1, 2, 3, 4, 5]);
+    let (head, tail) = (nodes[0], nodes[4]);
+    let middle = nodes[2]; // the caller's alias into the interior
+
+    let new_head = session
+        .call("lists", "reverse", &[Value::Ref(head)])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
+
+    // The returned head is the caller's ORIGINAL tail object.
+    assert_eq!(new_head, tail, "identity preserved through the reversal");
+    assert_eq!(list_values(session.heap(), Some(new_head)), vec![5, 4, 3, 2, 1]);
+    // The old head is now the last node.
+    assert_eq!(session.heap().get_ref(head, "next").unwrap(), None);
+    // The alias into the middle sees its reversed link.
+    assert_eq!(session.heap().get_ref(middle, "next").unwrap(), Some(nodes[1]));
+}
+
+#[test]
+fn list_split_leaves_detached_half_visible_through_alias() {
+    // The remote method cuts the list in two; the detached half was
+    // mutated BEFORE the cut — those changes must be restored (the
+    // unreachable-but-aliased case, on a list instead of a tree).
+    let mut session = Session::builder(list_registry())
+        .serve(
+            "lists",
+            Box::new(FnService::new(|_m, args, heap| {
+                let head = args[0].as_ref_id().unwrap();
+                // Mark every node, then cut after the second node.
+                let mut cursor = Some(head);
+                while let Some(node) = cursor {
+                    let v = heap.get_field(node, "data")?.as_int().unwrap();
+                    heap.set_field(node, "data", Value::Int(v + 100))?;
+                    cursor = heap.get_ref(node, "next")?;
+                }
+                let second = heap.get_ref(head, "next")?.unwrap();
+                heap.set_field(second, "next", Value::Null)?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+
+    let nodes = build_list(session.heap(), &[1, 2, 3, 4]);
+    let detached_alias = nodes[2]; // will be unlinked by the cut
+
+    session.call("lists", "mark_and_cut", &[Value::Ref(nodes[0])]).unwrap();
+
+    // Reachable half restored:
+    assert_eq!(list_values(session.heap(), Some(nodes[0])), vec![101, 102]);
+    // Detached half's mutations restored too, visible via the alias:
+    assert_eq!(list_values(session.heap(), Some(detached_alias)), vec![103, 104]);
+}
+
+fn build_ring(heap: &mut Heap, labels: &[&str]) -> Vec<ObjId> {
+    let class = heap.registry_handle().by_name("RingNode").unwrap();
+    let nodes: Vec<ObjId> = labels
+        .iter()
+        .map(|l| {
+            heap.alloc(class, vec![Value::Str((*l).to_owned()), Value::Null, Value::Null])
+                .unwrap()
+        })
+        .collect();
+    let n = nodes.len();
+    for i in 0..n {
+        heap.set_field(nodes[i], "next", Value::Ref(nodes[(i + 1) % n])).unwrap();
+        heap.set_field(nodes[i], "prev", Value::Ref(nodes[(i + n - 1) % n])).unwrap();
+    }
+    nodes
+}
+
+#[test]
+fn doubly_linked_ring_survives_remote_splice() {
+    // A fully cyclic structure crosses the wire, the server splices a
+    // new node into the ring, and the restored cycle is intact — with
+    // the new node woven between the caller's ORIGINAL objects.
+    let mut session = Session::builder(list_registry())
+        .serve(
+            "rings",
+            Box::new(FnService::new(|_m, args, heap| {
+                let at = args[0].as_ref_id().unwrap();
+                let class = heap.class_of(at)?;
+                let next = heap.get_ref(at, "next")?.unwrap();
+                let fresh = heap.alloc_raw(
+                    class,
+                    vec![Value::Str("spliced".into()), Value::Ref(next), Value::Ref(at)],
+                )?;
+                heap.set_field(at, "next", Value::Ref(fresh))?;
+                heap.set_field(next, "prev", Value::Ref(fresh))?;
+                Ok(Value::Ref(fresh))
+            })),
+        )
+        .build();
+
+    let ring = build_ring(session.heap(), &["a", "b", "c"]);
+    let fresh = session
+        .call("rings", "splice_after", &[Value::Ref(ring[0])])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
+
+    let heap = session.heap();
+    // Forward walk: a -> spliced -> b -> c -> a.
+    let mut cursor = ring[0];
+    let mut labels = Vec::new();
+    for _ in 0..4 {
+        labels.push(heap.get_field(cursor, "label").unwrap().as_str().unwrap().to_owned());
+        cursor = heap.get_ref(cursor, "next").unwrap().unwrap();
+    }
+    assert_eq!(cursor, ring[0], "ring closes after four hops");
+    assert_eq!(labels, vec!["a", "spliced", "b", "c"]);
+    // Backward links consistent, and the new node sits between originals.
+    assert_eq!(heap.get_ref(fresh, "prev").unwrap(), Some(ring[0]));
+    assert_eq!(heap.get_ref(ring[1], "prev").unwrap(), Some(fresh));
+}
+
+#[test]
+fn customer_record_shape_from_the_introduction() {
+    // "a 'customer' object with pointers to separate 'address' and
+    // 'company' objects" — two customers sharing one company; a remote
+    // relocation updates the shared company's address object once, and
+    // both customers observe it.
+    let mut reg = ClassRegistry::new();
+    let address = reg
+        .define("Address")
+        .field_str("city")
+        .serializable()
+        .register();
+    let company = reg
+        .define("Company")
+        .field_str("name")
+        .field_ref("hq")
+        .serializable()
+        .register();
+    let customer = reg
+        .define("Customer")
+        .field_str("name")
+        .field_ref("address")
+        .field_ref("company")
+        .restorable()
+        .register();
+    let mut session = Session::builder(reg.snapshot())
+        .serve(
+            "crm",
+            Box::new(FnService::new(|_m, args, heap| {
+                let cust = args[0].as_ref_id().unwrap();
+                let comp = heap.get_ref(cust, "company")?.unwrap();
+                let hq = heap.get_ref(comp, "hq")?.unwrap();
+                heap.set_field(hq, "city", Value::Str("Atlanta".into()))?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+
+    let heap = session.heap();
+    let hq = heap.alloc(address, vec![Value::Str("Boston".into())]).unwrap();
+    let acme = heap
+        .alloc(company, vec![Value::Str("ACME".into()), Value::Ref(hq)])
+        .unwrap();
+    let home1 = heap.alloc(address, vec![Value::Str("Decatur".into())]).unwrap();
+    let home2 = heap.alloc(address, vec![Value::Str("Macon".into())]).unwrap();
+    let c1 = heap
+        .alloc(customer, vec![Value::Str("eli".into()), Value::Ref(home1), Value::Ref(acme)])
+        .unwrap();
+    let c2 = heap
+        .alloc(customer, vec![Value::Str("yannis".into()), Value::Ref(home2), Value::Ref(acme)])
+        .unwrap();
+
+    // Relocate via customer 1 only.
+    session.call("crm", "relocate_hq", &[Value::Ref(c1)]).unwrap();
+
+    let heap = session.heap();
+    // Customer 2's view of the SHARED company updated too:
+    let comp2 = heap.get_ref(c2, "company").unwrap().unwrap();
+    assert_eq!(comp2, acme, "still one company object");
+    let hq2 = heap.get_ref(comp2, "hq").unwrap().unwrap();
+    assert_eq!(heap.get_field(hq2, "city").unwrap(), Value::Str("Atlanta".into()));
+    // Personal addresses untouched.
+    assert_eq!(heap.get_field(home1, "city").unwrap(), Value::Str("Decatur".into()));
+    assert_eq!(heap.get_field(home2, "city").unwrap(), Value::Str("Macon".into()));
+}

@@ -1,0 +1,195 @@
+//! Partial failure: the paper's §6.2 stance, under fault injection.
+//!
+//! "Approaches that hide the fact that a network is present have often
+//! been criticized ... Just like RMI, NRMI remote methods throw remote
+//! exceptions that the programmer is responsible for catching." These
+//! tests inject deterministic transport faults and verify that (a) the
+//! failure surfaces as an error, and (b) the caller's heap is never left
+//! half-restored — a failed copy-restore call restores *nothing*.
+
+use std::thread;
+use std::time::Duration;
+
+use nrmi::core::{
+    client_invoke, serve_connection, CallOptions, ClientNode, FnService, NrmiError, PassMode,
+    ServerNode,
+};
+use nrmi::heap::tree::{self};
+use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
+use nrmi::transport::{channel_pair, FaultPlan, FaultyTransport, LinkSpec, MachineSpec, Transport};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = tree::register_tree_classes(&mut reg);
+    reg.snapshot()
+}
+
+/// Runs one faulty call: returns the call result and the client node for
+/// post-mortem heap inspection. The server thread dies with the channel.
+fn faulty_call(
+    plan: FaultPlan,
+    opts: CallOptions,
+) -> (Result<Value, NrmiError>, ClientNode, nrmi::heap::tree::RunningExample) {
+    let registry = registry();
+    let (client_t, mut server_t) = channel_pair(None, LinkSpec::free());
+    let server_registry = registry.clone();
+    let _server = thread::spawn(move || {
+        let mut server = ServerNode::new(server_registry, MachineSpec::fast());
+        server.bind(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                tree::run_foo(heap, root)?;
+                Ok(Value::Null)
+            })),
+        );
+        let _ = serve_connection(&mut server, &mut server_t);
+    });
+
+    let mut client = ClientNode::new(registry, MachineSpec::fast());
+    let classes = tree::TreeClasses {
+        tree: client.state.heap.registry_handle().by_name("Tree").unwrap(),
+    };
+    let ex = tree::build_running_example(&mut client.state.heap, &classes).unwrap();
+    let mut transport = FaultyTransport::new(client_t, plan);
+    let result = client_invoke(&mut client, &mut transport, "svc", "foo", &[Value::Ref(ex.root)], opts);
+    (result, client, ex)
+}
+
+fn assert_heap_untouched(client: &mut ClientNode, ex: &tree::RunningExample) {
+    let heap = &mut client.state.heap;
+    assert_eq!(heap.get_field(ex.root, "data").unwrap(), Value::Int(5));
+    assert_eq!(heap.get_field(ex.alias1_target, "data").unwrap(), Value::Int(3));
+    assert_eq!(heap.get_field(ex.alias2_target, "data").unwrap(), Value::Int(7));
+    assert_eq!(heap.get_ref(ex.root, "left").unwrap(), Some(ex.left));
+    assert_eq!(heap.get_ref(ex.root, "right").unwrap(), Some(ex.right));
+}
+
+#[test]
+fn disconnect_before_request_surfaces_and_leaves_heap_untouched() {
+    let (result, mut client, ex) =
+        faulty_call(FaultPlan::disconnect_on_send(0), CallOptions::forced(PassMode::CopyRestore));
+    let err = result.unwrap_err();
+    assert!(matches!(err, NrmiError::Transport(_)), "{err}");
+    assert_heap_untouched(&mut client, &ex);
+}
+
+#[test]
+fn disconnect_while_awaiting_reply_surfaces_and_leaves_heap_untouched() {
+    // The request reaches the server (which mutates ITS copy), but the
+    // client's receive fails: no restore may happen.
+    let plan = FaultPlan { sends: Vec::new(), recvs: vec![nrmi::transport::Fault::Disconnect] };
+    let (result, mut client, ex) = faulty_call(plan, CallOptions::forced(PassMode::CopyRestore));
+    let err = result.unwrap_err();
+    assert!(matches!(err, NrmiError::Transport(_)), "{err}");
+    assert_heap_untouched(&mut client, &ex);
+}
+
+#[test]
+fn corrupted_reply_is_rejected_not_half_applied() {
+    let (result, mut client, ex) =
+        faulty_call(FaultPlan::corrupt_on_recv(0), CallOptions::forced(PassMode::CopyRestore));
+    assert!(result.is_err(), "corrupted reply must fail the call");
+    assert_heap_untouched(&mut client, &ex);
+}
+
+#[test]
+fn remote_ref_disconnect_mid_call_surfaces_as_remote_exception() {
+    // Remote-pointer mode: the SERVER's proxy dies when the callback
+    // channel breaks; the client sees the failed call (or the broken
+    // transport, depending on which side observes it first).
+    let plan = FaultPlan {
+        sends: vec![
+            nrmi::transport::Fault::Pass, // the CallRequest
+            nrmi::transport::Fault::Disconnect, // first callback reply
+        ],
+        recvs: Vec::new(),
+    };
+    let (result, _client, _ex) = faulty_call(plan, CallOptions::forced(PassMode::RemoteRef));
+    assert!(result.is_err(), "mid-call failure must surface");
+}
+
+#[test]
+fn call_timeout_fires_on_a_slow_server_and_leaves_heap_untouched() {
+    use nrmi::core::{CallOptions as CO, Session};
+    let registry = registry();
+    let mut session = Session::builder(registry)
+        .serve(
+            "sleepy",
+            Box::new(FnService::new(|_m, args, heap| {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                thread::sleep(Duration::from_millis(250));
+                tree::run_foo(heap, root)?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let classes = tree::TreeClasses {
+        tree: session.heap().registry_handle().by_name("Tree").unwrap(),
+    };
+    let ex = tree::build_running_example(session.heap(), &classes).unwrap();
+    let err = session
+        .call_with(
+            "sleepy",
+            "foo",
+            &[Value::Ref(ex.root)],
+            CO::forced(PassMode::CopyRestore).with_timeout(Duration::from_millis(30)),
+        )
+        .unwrap_err();
+    assert!(matches!(err, NrmiError::Transport(_)), "{err}");
+    // No partial restore:
+    assert_eq!(session.heap().get_field(ex.alias1_target, "data").unwrap(), Value::Int(3));
+}
+
+#[test]
+fn classpath_skew_fails_cleanly() {
+    // Client and server built against DIFFERENT registries (the Java
+    // analogue: mismatched classpaths). Decoding the request on the
+    // server hits an unknown class id; the failure travels back as a
+    // remote exception instead of corrupting anything.
+    let mut client_reg = ClassRegistry::new();
+    let _ = tree::register_tree_classes(&mut client_reg);
+    let extra = client_reg.define("OnlyOnClient").field_int("x").restorable().register();
+
+    let server_reg = ClassRegistry::new(); // knows nothing but the stub class
+
+    let (client_t, mut server_t) = channel_pair(None, LinkSpec::free());
+    let server_registry = server_reg.snapshot();
+    let server = thread::spawn(move || {
+        let mut server = ServerNode::new(server_registry, MachineSpec::fast());
+        server.bind("svc", Box::new(FnService::new(|_m, _a, _h| Ok(Value::Null))));
+        let _ = serve_connection(&mut server, &mut server_t);
+    });
+
+    let mut client = ClientNode::new(client_reg.snapshot(), MachineSpec::fast());
+    let obj = client.state.heap.alloc(extra, vec![Value::Int(1)]).unwrap();
+    let mut transport = FaultyTransport::new(client_t, FaultPlan::none());
+    let err = client_invoke(
+        &mut client,
+        &mut transport,
+        "svc",
+        "run",
+        &[Value::Ref(obj)],
+        CallOptions::forced(PassMode::CopyRestore),
+    )
+    .unwrap_err();
+    assert!(matches!(err, NrmiError::Remote(_)), "{err}");
+    assert!(err.to_string().contains("unknown class"), "{err}");
+    // Caller state untouched.
+    assert_eq!(client.state.heap.get_field(obj, "x").unwrap(), Value::Int(1));
+    drop(transport);
+    let _ = server.join();
+}
+
+#[test]
+fn timeout_is_observable_when_a_reply_is_dropped() {
+    // A dropped CallRequest means no reply ever arrives; a bounded recv
+    // makes that observable instead of hanging forever.
+    let registry = registry();
+    let (client_t, _server_t_unserved) = channel_pair(None, LinkSpec::free());
+    let mut transport = FaultyTransport::new(client_t, FaultPlan::none());
+    transport.send(&nrmi::transport::Frame::Lookup { name: "x".into() }).unwrap();
+    let err = transport.recv_timeout(Duration::from_millis(30)).unwrap_err();
+    assert!(matches!(err, nrmi::transport::TransportError::Timeout), "{err:?}");
+    let _ = registry;
+}

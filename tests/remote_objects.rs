@@ -1,0 +1,303 @@
+//! First-class remote objects: the RMI factory pattern end to end.
+//!
+//! A named factory service hands back remote-marked objects; the client
+//! receives stubs and invokes methods ON them directly
+//! (`Session::call_on`), with the server dispatching to the behavior
+//! bound to the receiver's class — `UnicastRemoteObject` semantics. The
+//! receiver's state lives on the server; its mutable-argument semantics
+//! (copy-restore for restorable args) compose as usual.
+
+use nrmi::core::{CallOptions, FnService, NrmiError, PassMode, Session};
+use nrmi::heap::{ClassRegistry, HeapAccess, Value};
+
+/// Bank/account schema: `Bank` is a named factory; `Account` is a remote
+/// class whose instances live on the server.
+fn build_session() -> (Session, nrmi::heap::ClassId) {
+    let mut reg = ClassRegistry::new();
+    // class Account extends UnicastRemoteObject { String owner; long cents; }
+    let account = reg
+        .define("Account")
+        .field_str("owner")
+        .field_long("cents")
+        .remote()
+        .register();
+    // class Statement implements Restorable { long balance; String owner; }
+    let statement = reg
+        .define("Statement")
+        .field_long("balance")
+        .field_str("owner")
+        .restorable()
+        .register();
+    let registry = reg.snapshot();
+
+    let session = Session::builder(registry)
+        // The factory: a named service creating server-resident accounts.
+        .serve(
+            "bank",
+            Box::new(FnService::new(move |method, args, heap| match method {
+                "open_account" => {
+                    let owner = args[0].as_str().ok_or_else(|| NrmiError::app("owner"))?;
+                    let acct = heap.alloc_raw(
+                        account,
+                        vec![Value::Str(owner.to_owned()), Value::Long(0)],
+                    )?;
+                    // Returning a remote-marked object exports it; the
+                    // client receives a stub.
+                    Ok(Value::Ref(acct))
+                }
+                other => Err(NrmiError::app(format!("no method {other}"))),
+            })),
+        )
+        // The Account class behavior: receiver arrives as args[0].
+        .serve_class(
+            account,
+            Box::new(FnService::new(move |method, args, heap| {
+                let this = args[0].as_ref_id().ok_or_else(|| NrmiError::app("receiver"))?;
+                match method {
+                    "deposit" => {
+                        let amount = args[1].as_long().ok_or_else(|| NrmiError::app("amount"))?;
+                        let balance = heap.get_field(this, "cents")?.as_long().unwrap_or(0);
+                        heap.set_field(this, "cents", Value::Long(balance + amount))?;
+                        Ok(Value::Long(balance + amount))
+                    }
+                    "balance" => heap.get_field(this, "cents").map_err(NrmiError::from),
+                    // Fill a caller-supplied restorable Statement object:
+                    // remote receiver + copy-restore argument compose.
+                    "fill_statement" => {
+                        let stmt = args[1].as_ref_id().ok_or_else(|| NrmiError::app("stmt"))?;
+                        let balance = heap.get_field(this, "cents")?;
+                        let owner = heap.get_field(this, "owner")?;
+                        heap.set_field(stmt, "balance", balance)?;
+                        heap.set_field(stmt, "owner", owner)?;
+                        Ok(Value::Null)
+                    }
+                    other => Err(NrmiError::app(format!("no method {other}"))),
+                }
+            })),
+        )
+        .build();
+    (session, statement)
+}
+
+#[test]
+fn factory_returns_stub_and_methods_dispatch_on_it() {
+    let (mut session, _) = build_session();
+    let acct = session
+        .call("bank", "open_account", &[Value::Str("ada".into())])
+        .unwrap()
+        .as_ref_id()
+        .expect("stub");
+    assert!(session.heap().stub_key(acct).unwrap().is_some(), "client holds a stub");
+
+    assert_eq!(session.call_on(acct, "deposit", &[Value::Long(100)]).unwrap(), Value::Long(100));
+    assert_eq!(session.call_on(acct, "deposit", &[Value::Long(42)]).unwrap(), Value::Long(142));
+    assert_eq!(session.call_on(acct, "balance", &[]).unwrap(), Value::Long(142));
+}
+
+#[test]
+fn two_accounts_have_independent_server_state() {
+    let (mut session, _) = build_session();
+    let a = session
+        .call("bank", "open_account", &[Value::Str("a".into())])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
+    let b = session
+        .call("bank", "open_account", &[Value::Str("b".into())])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
+    assert_ne!(a, b, "distinct stubs");
+    session.call_on(a, "deposit", &[Value::Long(10)]).unwrap();
+    session.call_on(b, "deposit", &[Value::Long(99)]).unwrap();
+    assert_eq!(session.call_on(a, "balance", &[]).unwrap(), Value::Long(10));
+    assert_eq!(session.call_on(b, "balance", &[]).unwrap(), Value::Long(99));
+}
+
+#[test]
+fn remote_receiver_composes_with_copy_restore_arguments() {
+    let (mut session, statement) = build_session();
+    let acct = session
+        .call("bank", "open_account", &[Value::Str("turing".into())])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
+    session.call_on(acct, "deposit", &[Value::Long(777)]).unwrap();
+
+    // Pass a restorable Statement; the remote method fills it in and the
+    // restore brings the data home into the caller's object.
+    let stmt = session
+        .heap()
+        .alloc(statement, vec![Value::Long(0), Value::Null])
+        .unwrap();
+    session.call_on(acct, "fill_statement", &[Value::Ref(stmt)]).unwrap();
+    assert_eq!(session.heap().get_field(stmt, "balance").unwrap(), Value::Long(777));
+    assert_eq!(
+        session.heap().get_field(stmt, "owner").unwrap(),
+        Value::Str("turing".into())
+    );
+}
+
+#[test]
+fn client_owned_remote_object_acts_as_a_callback_listener() {
+    // The RMI callback pattern, inverted ownership: the CLIENT owns a
+    // remote-marked listener object. Passing it to the server (AUTO
+    // mode) ships a stub; when the service writes through that stub,
+    // the write crosses back mid-call and lands on the client's
+    // original object — no restore phase involved.
+    let mut reg = ClassRegistry::new();
+    let listener = reg
+        .define("Listener")
+        .field_str("last_event")
+        .field_int("events")
+        .remote()
+        .register();
+    let mut session = Session::builder(reg.snapshot())
+        .serve(
+            "notifier",
+            Box::new(FnService::new(|_m, args, heap| {
+                let l = args[0].as_ref_id().ok_or_else(|| NrmiError::app("listener"))?;
+                let n = heap.get_field(l, "events")?.as_int().unwrap_or(0);
+                heap.set_field(l, "last_event", Value::Str("job-done".into()))?;
+                heap.set_field(l, "events", Value::Int(n + 1))?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let l = session
+        .heap()
+        .alloc(listener, vec![Value::Null, Value::Int(0)])
+        .unwrap();
+    let (_, stats) = session
+        .call_with_stats("notifier", "notify", &[Value::Ref(l)], CallOptions::auto())
+        .unwrap();
+    assert!(stats.callbacks_served >= 3, "writes crossed back mid-call: {stats:?}");
+    let heap = session.heap();
+    assert_eq!(heap.get_field(l, "last_event").unwrap(), Value::Str("job-done".into()));
+    assert_eq!(heap.get_field(l, "events").unwrap(), Value::Int(1));
+}
+
+#[test]
+fn stub_passed_back_as_argument_resolves_to_the_original_server_object() {
+    // The client passes a stub BACK to the server inside an ordinary
+    // (copy-mode) call: on the wire it travels as a remote reference,
+    // and the server resolves it to its own original object — RMI's
+    // round-tripping of remote parameters.
+    let mut reg = ClassRegistry::new();
+    let cell = reg.define("Cell").field_long("v").remote().register();
+    let mut session = Session::builder(reg.snapshot())
+        .serve(
+            "svc",
+            Box::new(FnService::new(move |method, args, heap| match method {
+                "make" => Ok(Value::Ref(heap.alloc_raw(cell, vec![Value::Long(7)])?)),
+                "read_back" => {
+                    // The argument must be the server's ORIGINAL object,
+                    // directly readable (no stub indirection here).
+                    let obj = args[0].as_ref_id().ok_or_else(|| NrmiError::app("ref"))?;
+                    heap.get_field(obj, "v").map_err(NrmiError::from)
+                }
+                other => Err(NrmiError::app(format!("no method {other}"))),
+            })),
+        )
+        .build();
+    let stub = session.call("svc", "make", &[]).unwrap().as_ref_id().unwrap();
+    assert!(session.heap().stub_key(stub).unwrap().is_some());
+    let v = session.call("svc", "read_back", &[Value::Ref(stub)]).unwrap();
+    assert_eq!(v, Value::Long(7), "server resolved its own export, not a copy");
+}
+
+#[test]
+fn call_on_non_stub_is_rejected() {
+    let (mut session, statement) = build_session();
+    let local = session
+        .heap()
+        .alloc(statement, vec![Value::Long(0), Value::Null])
+        .unwrap();
+    let err = session.call_on(local, "balance", &[]).unwrap_err();
+    assert!(matches!(err, NrmiError::InvalidArgument(_)), "{err}");
+}
+
+#[test]
+fn call_on_class_without_behavior_is_a_remote_error() {
+    // Export an object whose class has no bound behavior: the server
+    // reports it like a missing service.
+    let mut reg = ClassRegistry::new();
+    let widget = reg.define("Widget").remote().register();
+    let mut session = Session::builder(reg.snapshot())
+        .serve(
+            "maker",
+            Box::new(FnService::new(move |_m, _a, heap| {
+                Ok(Value::Ref(heap.alloc_raw(widget, vec![])?))
+            })),
+        )
+        .build();
+    let stub = session.call("maker", "make", &[]).unwrap().as_ref_id().unwrap();
+    let err = session.call_on(stub, "spin", &[]).unwrap_err();
+    assert!(err.to_string().contains("Widget"), "{err}");
+}
+
+#[test]
+fn delta_mode_falls_back_to_full_reply_when_server_links_a_stub() {
+    // The remote method links a REMOTE-marked (server-owned) object into
+    // the caller's restorable graph. The delta encoder cannot express
+    // that; the server must transparently fall back to the annotated
+    // full reply, and the call still restores correctly.
+    let mut reg = ClassRegistry::new();
+    let printer = reg.define("Printer").field_str("name").remote().register();
+    let holder = reg.define("Holder").field_ref("device").restorable().register();
+    let mut session = Session::builder(reg.snapshot())
+        .serve(
+            "svc",
+            Box::new(FnService::new(move |_m, args, heap| {
+                let h = args[0].as_ref_id().ok_or_else(|| NrmiError::app("holder"))?;
+                let dev = heap.alloc_raw(printer, vec![Value::Str("lp0".into())])?;
+                heap.set_field(h, "device", Value::Ref(dev))?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let h = session.heap().alloc(holder, vec![Value::Null]).unwrap();
+    session
+        .call_with("svc", "attach", &[Value::Ref(h)], CallOptions::copy_restore_delta())
+        .expect("delta call with stub-bearing reply must fall back, not fail");
+    // The caller's holder now references a stub for the server printer.
+    let dev = session.heap().get_ref(h, "device").unwrap().expect("device attached");
+    assert!(session.heap().stub_key(dev).unwrap().is_some(), "device is a remote stub");
+}
+
+#[test]
+fn released_stub_cannot_be_called() {
+    let (mut session, _) = build_session();
+    let acct = session
+        .call("bank", "open_account", &[Value::Str("gone".into())])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
+    session.release_stub(acct).unwrap();
+    // The stub object is freed locally; calling on it is a heap error.
+    assert!(session.call_on(acct, "balance", &[]).is_err());
+}
+
+#[test]
+fn dropped_factory_products_are_collected_but_live_ones_survive() {
+    let (mut session, _) = build_session();
+    let keep = session
+        .call("bank", "open_account", &[Value::Str("keep".into())])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
+    for i in 0..5 {
+        let _ = session
+            .call("bank", "open_account", &[Value::Str(format!("tmp{i}"))])
+            .unwrap();
+    }
+    let (_, cleans) = session.collect_garbage(&[keep]).unwrap();
+    assert_eq!(cleans, 5, "five unreferenced accounts released");
+    // The kept account still works.
+    assert_eq!(
+        session
+            .call_on_with(keep, "balance", &[], CallOptions::forced(PassMode::Copy))
+            .unwrap(),
+        Value::Long(0)
+    );
+}

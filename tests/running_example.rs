@@ -1,0 +1,227 @@
+//! End-to-end reproduction of the paper's running example (Figures 1–9)
+//! through the full middleware stack (session, transport, wire format).
+
+use nrmi::core::{CallOptions, FnService, NrmiError, PassMode, Session};
+use nrmi::heap::tree::{self, RunningExample, TreeClasses};
+use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = tree::register_tree_classes(&mut reg);
+    reg.snapshot()
+}
+
+fn foo_session(registry: SharedRegistry) -> Session {
+    Session::builder(registry)
+        .serve(
+            "svc",
+            Box::new(FnService::new(|method, args, heap| match method {
+                "foo" => {
+                    let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                    tree::run_foo(heap, root)?;
+                    Ok(Value::Null)
+                }
+                "foo_and_return_new" => {
+                    let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                    tree::run_foo(heap, root)?;
+                    // Return the node foo spliced in (t.right after foo).
+                    heap.get_field(root, "right")
+                        .map_err(NrmiError::from)
+                }
+                other => Err(NrmiError::app(format!("no method {other}"))),
+            })),
+        )
+        .build()
+}
+
+fn build(session: &mut Session) -> (RunningExample, TreeClasses) {
+    let classes = TreeClasses {
+        tree: session.heap().registry_handle().by_name("Tree").expect("Tree"),
+    };
+    let ex = tree::build_running_example(session.heap(), &classes).expect("example");
+    (ex, classes)
+}
+
+#[test]
+fn copy_restore_call_reproduces_figure_2() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    session
+        .call_with("svc", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::CopyRestore))
+        .expect("call");
+    let violations = tree::figure2_violations(session.heap(), &ex).expect("check");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn auto_mode_picks_copy_restore_for_restorable_tree() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    session.call("svc", "foo", &[Value::Ref(ex.root)]).expect("call");
+    let violations = tree::figure2_violations(session.heap(), &ex).expect("check");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn delta_reply_reproduces_figure_2() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    let (_, stats) = session
+        .call_with_stats("svc", "foo", &[Value::Ref(ex.root)], CallOptions::copy_restore_delta())
+        .expect("call");
+    // foo changes 4 of the 7 old objects; the delta must not resend the rest.
+    assert_eq!(stats.restored_objects, 4);
+    assert_eq!(stats.new_objects, 1);
+    let violations = tree::figure2_violations(session.heap(), &ex).expect("check");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn dce_rpc_call_reproduces_figure_9() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    session
+        .call_with("svc", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::DceRpc))
+        .expect("call");
+    let violations = tree::figure9_violations(session.heap(), &ex).expect("check");
+    assert!(violations.is_empty(), "DCE semantics diverged from Figure 9: {violations:?}");
+}
+
+#[test]
+fn plain_copy_call_changes_nothing_on_the_caller() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    session
+        .call_with("svc", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::Copy))
+        .expect("call");
+    let heap = session.heap();
+    assert_eq!(heap.get_field(ex.alias1_target, "data").unwrap(), Value::Int(3));
+    assert_eq!(heap.get_field(ex.alias2_target, "data").unwrap(), Value::Int(7));
+    assert_eq!(heap.get_ref(ex.root, "left").unwrap(), Some(ex.left));
+    assert_eq!(heap.get_ref(ex.root, "right").unwrap(), Some(ex.right));
+}
+
+#[test]
+fn remote_ref_call_mutates_caller_objects_directly() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    let (_, stats) = session
+        .call_with_stats("svc", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::RemoteRef))
+        .expect("call");
+    assert!(stats.callbacks_served > 10, "every access crossed the network: {stats:?}");
+    let heap = session.heap();
+    // Direct mutations visible without any restore phase:
+    assert_eq!(heap.get_field(ex.alias1_target, "data").unwrap(), Value::Int(0));
+    assert_eq!(heap.get_field(ex.alias2_target, "data").unwrap(), Value::Int(9));
+    assert_eq!(heap.get_field(ex.rr, "data").unwrap(), Value::Int(8));
+    // The spliced node lives on the server; t.right is a stub (Figure 3).
+    let t_right = heap.get_ref(ex.root, "right").unwrap().unwrap();
+    assert!(heap.stub_key(t_right).unwrap().is_some());
+}
+
+#[test]
+fn return_value_referencing_new_server_object_is_usable() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    let ret = session
+        .call_with(
+            "svc",
+            "foo_and_return_new",
+            &[Value::Ref(ex.root)],
+            CallOptions::forced(PassMode::CopyRestore),
+        )
+        .expect("call");
+    let new_node = ret.as_ref_id().expect("foo replaces t.right with a new node");
+    let heap = session.heap();
+    // The returned reference IS the caller's t.right (one object, not a copy).
+    assert_eq!(heap.get_ref(ex.root, "right").unwrap(), Some(new_node));
+    assert_eq!(heap.get_field(new_node, "data").unwrap(), Value::Int(2));
+    // And its left child is the caller's ORIGINAL rr node.
+    assert_eq!(heap.get_ref(new_node, "left").unwrap(), Some(ex.rr));
+}
+
+#[test]
+fn repeated_calls_compose() {
+    // Copy-restore twice: the second call operates on the restored
+    // state of the first. After foo, t.right.right is null, so a second
+    // foo would NPE — run a benign mutation instead.
+    let registry = registry();
+    let mut session = Session::builder(registry)
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                let v = heap.get_field(root, "data")?.as_int().unwrap_or(0);
+                heap.set_field(root, "data", Value::Int(v + 1))?;
+                Ok(Value::Int(v + 1))
+            })),
+        )
+        .build();
+    let (ex, _) = build(&mut session);
+    for expected in 6..=15 {
+        let ret = session.call("svc", "inc", &[Value::Ref(ex.root)]).expect("call");
+        assert_eq!(ret, Value::Int(expected));
+    }
+    assert_eq!(session.heap().get_field(ex.root, "data").unwrap(), Value::Int(15));
+}
+
+#[test]
+fn remote_exception_propagates_and_leaves_caller_untouched() {
+    let registry = registry();
+    let mut session = Session::builder(registry)
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                // Mutate, then fail: the failed call must not restore.
+                heap.set_field(root, "data", Value::Int(777))?;
+                Err(NrmiError::app("deliberate server failure"))
+            })),
+        )
+        .build();
+    let (ex, _) = build(&mut session);
+    let err = session.call("svc", "boom", &[Value::Ref(ex.root)]).unwrap_err();
+    assert!(matches!(err, NrmiError::Remote(_)), "{err}");
+    assert!(err.to_string().contains("deliberate server failure"));
+    // No partial restore happened:
+    assert_eq!(session.heap().get_field(ex.root, "data").unwrap(), Value::Int(5));
+}
+
+#[test]
+fn auto_mode_with_delta_replies_is_transparent() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    let opts = CallOptions { delta_reply: true, ..CallOptions::auto() };
+    session.call_with("svc", "foo", &[Value::Ref(ex.root)], opts).expect("call");
+    let violations = tree::figure2_violations(session.heap(), &ex).expect("check");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn delta_with_dce_or_remote_ref_is_rejected() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    for mode in [PassMode::DceRpc, PassMode::RemoteRef] {
+        let opts = CallOptions { delta_reply: true, ..CallOptions::forced(mode) };
+        let err = session.call_with("svc", "foo", &[Value::Ref(ex.root)], opts).unwrap_err();
+        assert!(matches!(err, NrmiError::InvalidArgument(_)), "{mode:?}: {err}");
+    }
+    // The session is still usable afterwards.
+    session.call("svc", "foo", &[Value::Ref(ex.root)]).expect("call");
+}
+
+#[test]
+fn lookup_reports_bound_services() {
+    let mut session = foo_session(registry());
+    assert!(session.lookup("svc").expect("lookup"));
+    assert!(!session.lookup("missing").expect("lookup"));
+}
+
+#[test]
+fn unknown_service_is_an_error() {
+    let mut session = foo_session(registry());
+    let (ex, _) = build(&mut session);
+    let err = session.call("nope", "foo", &[Value::Ref(ex.root)]).unwrap_err();
+    assert!(matches!(err, NrmiError::Remote(_)), "{err}");
+    assert!(err.to_string().contains("nope"));
+}

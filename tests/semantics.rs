@@ -1,0 +1,321 @@
+//! Semantics edge cases: shared arguments, mixed markers, primitives,
+//! argument validation, and the §4.1 statelessness caveat.
+
+use nrmi::core::{CallOptions, FnService, NrmiError, PassMode, Session};
+use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
+
+fn tree_registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = nrmi::heap::tree::register_tree_classes(&mut reg);
+    reg.snapshot()
+}
+
+fn tree_class(session: &mut Session) -> nrmi::heap::ClassId {
+    session.heap().registry_handle().by_name("Tree").expect("Tree")
+}
+
+#[test]
+fn same_parameter_passed_twice_is_one_copy() {
+    // §4.1: "the middleware implementation can notice the sharing of
+    // structure and replicate the sharing in the copy" — contra the
+    // often-repeated claim that copy-restore forces multiple copies.
+    let mut session = Session::builder(tree_registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let a = args[0].as_ref_id().ok_or_else(|| NrmiError::app("a"))?;
+                let b = args[1].as_ref_id().ok_or_else(|| NrmiError::app("b"))?;
+                // The server observes ONE object behind both parameters.
+                if a != b {
+                    return Err(NrmiError::app("sharing was duplicated"));
+                }
+                heap.set_field(a, "data", Value::Int(77))?;
+                // Visible through the second parameter as well:
+                if heap.get_field(b, "data")? != Value::Int(77) {
+                    return Err(NrmiError::app("parameters are distinct copies"));
+                }
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let class = tree_class(&mut session);
+    let obj = session
+        .heap()
+        .alloc(class, vec![Value::Int(1), Value::Null, Value::Null])
+        .unwrap();
+    session
+        .call("svc", "check", &[Value::Ref(obj), Value::Ref(obj)])
+        .expect("shared-arg call");
+    assert_eq!(session.heap().get_field(obj, "data").unwrap(), Value::Int(77));
+}
+
+#[test]
+fn two_arguments_sharing_substructure_restore_consistently() {
+    let mut session = Session::builder(tree_registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let a = args[0].as_ref_id().unwrap();
+                let b = args[1].as_ref_id().unwrap();
+                let shared_a = heap.get_ref(a, "left")?.unwrap();
+                let shared_b = heap.get_ref(b, "left")?.unwrap();
+                if shared_a != shared_b {
+                    return Err(NrmiError::app("cross-parameter sharing lost"));
+                }
+                heap.set_field(shared_a, "data", Value::Int(42))?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let class = tree_class(&mut session);
+    let heap = session.heap();
+    let shared = heap.alloc(class, vec![Value::Int(0), Value::Null, Value::Null]).unwrap();
+    let a = heap.alloc(class, vec![Value::Int(1), Value::Ref(shared), Value::Null]).unwrap();
+    let b = heap.alloc(class, vec![Value::Int(2), Value::Ref(shared), Value::Null]).unwrap();
+    session.call("svc", "touch", &[Value::Ref(a), Value::Ref(b)]).expect("call");
+    // One object, one restore, visible through both parents:
+    let heap = session.heap();
+    assert_eq!(heap.get_field(shared, "data").unwrap(), Value::Int(42));
+    assert_eq!(heap.get_ref(a, "left").unwrap(), heap.get_ref(b, "left").unwrap());
+}
+
+#[test]
+fn mixed_markers_copy_arg_not_restored_restorable_arg_restored() {
+    let mut reg = ClassRegistry::new();
+    // Snapshot is copy-only; Record is restorable.
+    let snapshot = reg.define("Snapshot").field_int("v").serializable().register();
+    let record = reg.define("Record").field_int("v").restorable().register();
+    let mut session = Session::builder(reg.snapshot())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                for arg in args {
+                    let obj = arg.as_ref_id().unwrap();
+                    heap.set_field(obj, "v", Value::Int(100))?;
+                }
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let heap = session.heap();
+    let snap = heap.alloc(snapshot, vec![Value::Int(1)]).unwrap();
+    let rec = heap.alloc(record, vec![Value::Int(2)]).unwrap();
+    session
+        .call("svc", "bump", &[Value::Ref(snap), Value::Ref(rec)])
+        .expect("mixed call");
+    let heap = session.heap();
+    assert_eq!(
+        heap.get_field(snap, "v").unwrap(),
+        Value::Int(1),
+        "Serializable-only argument keeps call-by-copy semantics"
+    );
+    assert_eq!(
+        heap.get_field(rec, "v").unwrap(),
+        Value::Int(100),
+        "Restorable argument is restored"
+    );
+}
+
+#[test]
+fn primitive_arguments_pass_by_value_and_return_values_work() {
+    let reg = ClassRegistry::new().snapshot();
+    let mut session = Session::builder(reg)
+        .serve(
+            "calc",
+            Box::new(FnService::new(|method, args, _h| match method {
+                "mix" => {
+                    let i = args[0].as_int().unwrap_or(0) as f64;
+                    let d = args[1].as_double().unwrap_or(0.0);
+                    let b = args[2].as_bool().unwrap_or(false);
+                    let s = args[3].as_str().unwrap_or("").len() as f64;
+                    Ok(Value::Double(if b { i + d + s } else { 0.0 }))
+                }
+                _ => Err(NrmiError::app("nope")),
+            })),
+        )
+        .build();
+    let ret = session
+        .call(
+            "calc",
+            "mix",
+            &[Value::Int(2), Value::Double(0.5), Value::Bool(true), Value::Str("abc".into())],
+        )
+        .expect("call");
+    assert_eq!(ret, Value::Double(5.5));
+}
+
+#[test]
+fn non_serializable_argument_is_rejected_client_side() {
+    let mut reg = ClassRegistry::new();
+    let plain = reg.define("Plain").field_int("x").register();
+    let mut session = Session::builder(reg.snapshot())
+        .serve("svc", Box::new(FnService::new(|_m, _a, _h| Ok(Value::Null))))
+        .build();
+    let obj = session.heap().alloc_default(plain).unwrap();
+    let err = session.call("svc", "run", &[Value::Ref(obj)]).unwrap_err();
+    assert!(matches!(err, NrmiError::Wire(_)), "{err}");
+    assert!(err.to_string().contains("not serializable"));
+}
+
+#[test]
+fn stateless_server_copy_restore_equals_remote_ref() {
+    // §4.1: "for a single-threaded client, call-by-copy-restore
+    // semantics is identical to call-by-reference if the remote routine
+    // is stateless." Run the same routine under both; outcomes on the
+    // caller's own objects must agree.
+    let registry = tree_registry();
+    let run = |opts: CallOptions| {
+        let mut session = Session::builder(registry.clone())
+            .serve(
+                "svc",
+                Box::new(FnService::new(|_m, args, heap| {
+                    let root = args[0].as_ref_id().unwrap();
+                    let v = heap.get_field(root, "data")?.as_int().unwrap_or(0);
+                    heap.set_field(root, "data", Value::Int(v * 10))?;
+                    let left = heap.get_ref(root, "left")?.unwrap();
+                    heap.set_field(left, "data", Value::Int(-1))?;
+                    Ok(Value::Null)
+                })),
+            )
+            .build();
+        let class = session.heap().registry_handle().by_name("Tree").unwrap();
+        let heap = session.heap();
+        let leaf = heap.alloc(class, vec![Value::Int(2), Value::Null, Value::Null]).unwrap();
+        let root = heap.alloc(class, vec![Value::Int(5), Value::Ref(leaf), Value::Null]).unwrap();
+        session.call_with("svc", "run", &[Value::Ref(root)], opts).expect("call");
+        let heap = session.heap();
+        (
+            heap.get_field(root, "data").unwrap(),
+            heap.get_field(leaf, "data").unwrap(),
+        )
+    };
+    let cbcr = run(CallOptions::forced(PassMode::CopyRestore));
+    let by_ref = run(CallOptions::forced(PassMode::RemoteRef));
+    assert_eq!(cbcr, by_ref, "stateless routine: copy-restore ≡ call-by-reference");
+    assert_eq!(cbcr, (Value::Int(50), Value::Int(-1)));
+}
+
+#[test]
+fn stateful_server_breaks_the_equivalence() {
+    // §4.1's caveat: if the server keeps an alias to the input data that
+    // outlives the call, copy-restore and call-by-reference diverge —
+    // the retained alias points at a dead copy under copy-restore, but
+    // at the caller's live object under call-by-reference.
+    let registry = tree_registry();
+    let run = |opts: CallOptions| {
+        let mut session = Session::builder(registry.clone())
+            .serve(
+                "svc",
+                Box::new(FnService::new({
+                    let mut retained: Option<nrmi::heap::ObjId> = None;
+                    move |method, args, heap| match method {
+                        "keep" => {
+                            retained = args[0].as_ref_id();
+                            Ok(Value::Null)
+                        }
+                        "mutate_kept" => {
+                            let kept = retained.ok_or_else(|| NrmiError::app("nothing kept"))?;
+                            heap.set_field(kept, "data", Value::Int(999))?;
+                            Ok(Value::Null)
+                        }
+                        _ => Err(NrmiError::app("nope")),
+                    }
+                })),
+            )
+            .build();
+        let class = session.heap().registry_handle().by_name("Tree").unwrap();
+        let obj = session
+            .heap()
+            .alloc(class, vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        session.call_with("svc", "keep", &[Value::Ref(obj)], opts).expect("keep");
+        session.call_with("svc", "mutate_kept", &[], opts).expect("mutate");
+        session.heap().get_field(obj, "data").unwrap()
+    };
+    // Copy-restore: the server mutated its stale copy; caller unaffected.
+    assert_eq!(run(CallOptions::forced(PassMode::CopyRestore)), Value::Int(1));
+    // Call-by-reference: the retained stub still aims at the caller's
+    // object; the late mutation IS visible.
+    assert_eq!(run(CallOptions::forced(PassMode::RemoteRef)), Value::Int(999));
+}
+
+#[test]
+fn no_such_method_is_a_remote_error() {
+    let mut session = Session::builder(tree_registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|method, _a, _h| {
+                Err(NrmiError::NoSuchMethod { service: "svc".into(), method: method.into() })
+            })),
+        )
+        .build();
+    let err = session.call("svc", "nothere", &[]).unwrap_err();
+    assert!(err.to_string().contains("nothere"), "{err}");
+}
+
+#[test]
+fn session_tracing_records_calls_and_errors() {
+    let mut session = Session::builder(tree_registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|method, args, heap| match method {
+                "touch" => {
+                    let root = args[0].as_ref_id().unwrap();
+                    heap.set_field(root, "data", Value::Int(1))?;
+                    Ok(Value::Null)
+                }
+                _ => Err(NrmiError::app("nope")),
+            })),
+        )
+        .build();
+    session.enable_tracing();
+    let class = tree_class(&mut session);
+    let obj = session
+        .heap()
+        .alloc(class, vec![Value::Int(0), Value::Null, Value::Null])
+        .unwrap();
+    session.call("svc", "touch", &[Value::Ref(obj)]).unwrap();
+    let _ = session.call("svc", "missing", &[]);
+    let _ = session.call_with(
+        "svc",
+        "touch",
+        &[Value::Ref(obj)],
+        CallOptions::copy_restore_delta(),
+    );
+
+    let tracer = session.tracer();
+    assert_eq!(tracer.entries().len(), 3);
+    let (calls, errors, req, _reply, _cb) = tracer.totals();
+    assert_eq!((calls, errors), (3, 1));
+    assert!(req > 0);
+    let rendered = tracer.render();
+    assert!(rendered.contains("svc.touch [auto]"), "{rendered}");
+    assert!(rendered.contains("copy-restore+delta"), "{rendered}");
+    assert!(rendered.contains("ERR"), "{rendered}");
+    assert!(rendered.contains("restored=1"), "{rendered}");
+}
+
+#[test]
+fn shutdown_returns_server_state_for_inspection() {
+    let mut session = Session::builder(tree_registry())
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                // Leave a copy on the server (stateless in the aliasing
+                // sense, but the heap retains garbage until GC).
+                let root = args[0].as_ref_id().unwrap();
+                let _ = heap.get_field(root, "data")?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let class = tree_class(&mut session);
+    let obj = session
+        .heap()
+        .alloc(class, vec![Value::Int(1), Value::Null, Value::Null])
+        .unwrap();
+    session.call("svc", "peek", &[Value::Ref(obj)]).expect("call");
+    let server = session.shutdown().expect("shutdown");
+    assert!(server.state.heap.live_count() > 0, "server materialized the copy");
+    assert!(server.is_bound("svc"));
+}

@@ -1,0 +1,285 @@
+//! Property-based network-transparency tests: the paper's central claim
+//! (§4.1/§5.3.2), checked on *random* graphs, aliases, and mutations.
+//!
+//! For a single-threaded client and a stateless server, a
+//! call-by-copy-restore remote call must be indistinguishable from a
+//! local call — for arbitrary linked structures, arbitrary aliases, and
+//! arbitrary server-side mutations (including unlinking, splicing, and
+//! allocation). Each proptest case builds the same graph twice, runs the
+//! same mutation script locally and remotely, and compares the heaps up
+//! to alias-preserving isomorphism.
+
+use proptest::prelude::*;
+
+use nrmi::core::{CallOptions, FnService, NrmiError, PassMode, Session};
+use nrmi::heap::graph::first_difference;
+use nrmi::heap::{ClassRegistry, Heap, HeapAccess, ObjId, SharedRegistry, Value};
+
+/// A deterministic mutation script, applied via `HeapAccess` so it runs
+/// both locally and on the server.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Set `data` of node `i` (mod live nodes).
+    SetData(usize, i32),
+    /// Set a child of node `i` to node `j` (mod live nodes) or null.
+    Link(usize, bool, Option<usize>),
+    /// Splice a new node above node `i`'s child.
+    Splice(usize, bool, i32),
+}
+
+fn node_class(reg: &mut ClassRegistry) -> nrmi::heap::ClassId {
+    reg.define("Node")
+        .field_int("data")
+        .field_ref("left")
+        .field_ref("right")
+        .restorable()
+        .register()
+}
+
+/// Builds a graph from a node count, an edge list, and alias picks.
+/// Edges may form shared structure and cycles — the full generality the
+/// paper claims.
+fn build_graph(
+    heap: &mut Heap,
+    class: nrmi::heap::ClassId,
+    node_count: usize,
+    edges: &[(usize, bool, usize)],
+    alias_picks: &[usize],
+) -> (ObjId, Vec<ObjId>) {
+    let nodes: Vec<ObjId> = (0..node_count)
+        .map(|i| {
+            heap.alloc(class, vec![Value::Int(i as i32), Value::Null, Value::Null])
+                .expect("alloc")
+        })
+        .collect();
+    for &(from, left, to) in edges {
+        let from = nodes[from % node_count];
+        let to = nodes[to % node_count];
+        let side = if left { "left" } else { "right" };
+        heap.set_field(from, side, Value::Ref(to)).expect("link");
+    }
+    let aliases: Vec<ObjId> = alias_picks.iter().map(|&i| nodes[i % node_count]).collect();
+    (nodes[0], aliases)
+}
+
+/// Applies the script over any heap view. Node indexing works over the
+/// *current reachable set in traversal order*, which is identical on
+/// both sides by determinism.
+fn apply_ops(heap: &mut dyn HeapAccess, root: ObjId, ops: &[Op]) -> Result<(), NrmiError> {
+    for op in ops {
+        // Re-walk each step: structural ops change the reachable set.
+        let nodes = walk(heap, root)?;
+        match *op {
+            Op::SetData(i, v) => {
+                let node = nodes[i % nodes.len()];
+                heap.set_field(node, "data", Value::Int(v))?;
+            }
+            Op::Link(i, left, to) => {
+                let node = nodes[i % nodes.len()];
+                let side = if left { "left" } else { "right" };
+                let value = match to {
+                    Some(j) => Value::Ref(nodes[j % nodes.len()]),
+                    None => Value::Null,
+                };
+                heap.set_field(node, side, value)?;
+            }
+            Op::Splice(i, left, data) => {
+                let node = nodes[i % nodes.len()];
+                let side = if left { "left" } else { "right" };
+                let child = heap.get_field(node, side)?;
+                let class = heap.class_of(node)?;
+                let fresh = heap.alloc_raw(class, vec![Value::Int(data), child, Value::Null])?;
+                heap.set_field(node, side, Value::Ref(fresh))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn walk(heap: &mut dyn HeapAccess, root: ObjId) -> Result<Vec<ObjId>, NrmiError> {
+    let mut seen = std::collections::HashSet::new();
+    let mut order = Vec::new();
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        if !seen.insert(node) {
+            continue;
+        }
+        order.push(node);
+        if let Some(r) = heap.get_ref(node, "right")? {
+            stack.push(r);
+        }
+        if let Some(l) = heap.get_ref(node, "left")? {
+            stack.push(l);
+        }
+    }
+    Ok(order)
+}
+
+/// Runs the script locally (oracle) and remotely under `opts`; returns
+/// the first difference between the outcome graphs, if any.
+fn transparency_diff(
+    node_count: usize,
+    edges: Vec<(usize, bool, usize)>,
+    alias_picks: Vec<usize>,
+    ops: Vec<Op>,
+    opts: CallOptions,
+) -> Option<String> {
+    let mut reg = ClassRegistry::new();
+    let class = node_class(&mut reg);
+    let registry: SharedRegistry = reg.snapshot();
+
+    // Local oracle.
+    let mut oracle = Heap::new(registry.clone());
+    let (oracle_root, oracle_aliases) =
+        build_graph(&mut oracle, class, node_count, &edges, &alias_picks);
+    apply_ops(&mut oracle, oracle_root, &ops).expect("oracle ops");
+    let mut oracle_roots = vec![oracle_root];
+    oracle_roots.extend(oracle_aliases);
+
+    // Remote execution.
+    let remote_ops = ops.clone();
+    let mut session = Session::builder(registry)
+        .serve(
+            "mutator",
+            Box::new(FnService::new(move |_m, args, heap| {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("root"))?;
+                apply_ops(heap, root, &remote_ops)?;
+                Ok(Value::Null)
+            })),
+        )
+        .build();
+    let (client_root, client_aliases) =
+        build_graph(session.heap(), class, node_count, &edges, &alias_picks);
+    session
+        .call_with("mutator", "run", &[Value::Ref(client_root)], opts)
+        .expect("remote call");
+    let mut client_roots = vec![client_root];
+    client_roots.extend(client_aliases);
+
+    // Every restore must leave a structurally sound heap.
+    nrmi::heap::validate::assert_valid(session.heap());
+    first_difference(&oracle, &oracle_roots, session.heap(), &client_roots).expect("compare")
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64, any::<i32>()).prop_map(|(i, v)| Op::SetData(i, v)),
+        (0usize..64, any::<bool>(), proptest::option::of(0usize..64))
+            .prop_map(|(i, l, t)| Op::Link(i, l, t)),
+        (0usize..64, any::<bool>(), any::<i32>()).prop_map(|(i, l, d)| Op::Splice(i, l, d)),
+    ]
+}
+
+/// (node count, edges, alias picks, mutation script).
+type GraphCase = (usize, Vec<(usize, bool, usize)>, Vec<usize>, Vec<Op>);
+
+fn graph_strategy() -> impl Strategy<Value = GraphCase> {
+    (2usize..24).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0usize..n, any::<bool>(), 0usize..n), 0..32),
+            proptest::collection::vec(0usize..n, 0..5),
+            proptest::collection::vec(op_strategy(), 0..12),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: copy-restore ≡ local execution for random
+    /// graphs (including cycles and shared structure), random aliases,
+    /// and random mutation scripts.
+    #[test]
+    fn copy_restore_is_network_transparent(
+        (n, edges, aliases, ops) in graph_strategy()
+    ) {
+        let diff = transparency_diff(
+            n, edges, aliases, ops,
+            CallOptions::forced(PassMode::CopyRestore),
+        );
+        prop_assert_eq!(diff, None);
+    }
+
+    /// The delta-encoded reply path must be observationally identical to
+    /// the full-reply path.
+    #[test]
+    fn delta_replies_are_network_transparent(
+        (n, edges, aliases, ops) in graph_strategy()
+    ) {
+        let diff = transparency_diff(
+            n, edges, aliases, ops,
+            CallOptions::copy_restore_delta(),
+        );
+        prop_assert_eq!(diff, None);
+    }
+
+    /// Marker-driven AUTO mode equals forced copy-restore for restorable
+    /// argument classes.
+    #[test]
+    fn auto_mode_is_network_transparent_for_restorable(
+        (n, edges, aliases, ops) in graph_strategy()
+    ) {
+        let diff = transparency_diff(n, edges, aliases, ops, CallOptions::auto());
+        prop_assert_eq!(diff, None);
+    }
+
+    /// Restore never duplicates or replaces old objects: every object
+    /// reachable before the call that the oracle still reaches keeps its
+    /// exact ObjId on the client — aliases held ANYWHERE keep working.
+    #[test]
+    fn restore_preserves_object_identity(
+        (n, edges, aliases, ops) in graph_strategy()
+    ) {
+        let mut reg = ClassRegistry::new();
+        let class = node_class(&mut reg);
+        let registry: SharedRegistry = reg.snapshot();
+        let remote_ops = ops.clone();
+        let mut session = Session::builder(registry)
+            .serve(
+                "mutator",
+                Box::new(FnService::new(move |_m, args, heap| {
+                    let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("root"))?;
+                    apply_ops(heap, root, &remote_ops)?;
+                    Ok(Value::Null)
+                })),
+            )
+            .build();
+        let (client_root, client_aliases) =
+            build_graph(session.heap(), class, n, &edges, &aliases);
+        // Everything reachable pre-call:
+        let pre = nrmi::heap::LinearMap::build(session.heap(), &[client_root]).unwrap();
+        session
+            .call_with(
+                "mutator",
+                "run",
+                &[Value::Ref(client_root)],
+                CallOptions::forced(PassMode::CopyRestore),
+            )
+            .expect("remote call");
+        // Every pre-call object is STILL LIVE at its old ObjId (restore
+        // overwrites in place; it never frees or replaces originals).
+        for &id in pre.order() {
+            prop_assert!(session.heap().contains(id), "old object {id} vanished");
+        }
+        let _ = client_aliases;
+    }
+
+    /// DCE RPC semantics restores a SUBSET of copy-restore: on the
+    /// argument graph reachable after the call the two agree; checking
+    /// only the root (no aliases) with purely data mutations, DCE is
+    /// fully transparent.
+    #[test]
+    fn dce_equals_copy_restore_for_data_only_mutations(
+        n in 2usize..24,
+        edges in proptest::collection::vec((0usize..24, any::<bool>(), 0usize..24), 0..24),
+        data_ops in proptest::collection::vec((0usize..64, any::<i32>()), 0..8)
+    ) {
+        let ops: Vec<Op> = data_ops.into_iter().map(|(i, v)| Op::SetData(i, v)).collect();
+        let diff = transparency_diff(
+            n, edges, Vec::new(), ops,
+            CallOptions::forced(PassMode::DceRpc),
+        );
+        prop_assert_eq!(diff, None);
+    }
+}

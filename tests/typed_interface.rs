@@ -1,0 +1,93 @@
+//! Typed remote interfaces over the full stack: the compile-time
+//! contract of `java.rmi.Remote` interfaces, enforced dynamically at the
+//! middleware boundary on both ends.
+
+use std::sync::Arc;
+
+use nrmi::core::{FnService, InterfaceDef, NrmiError, ParamType, Session, TypedService};
+use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = reg
+        .define("Counter")
+        .field_int("count")
+        .restorable()
+        .register();
+    reg.snapshot()
+}
+
+fn counter_interface() -> Arc<InterfaceDef> {
+    Arc::new(
+        InterfaceDef::new("CounterService")
+            .method("bump", &[ParamType::Reference, ParamType::Int], ParamType::Int)
+            .method("describe", &[], ParamType::Str),
+    )
+}
+
+fn typed_session() -> Session {
+    let iface = counter_interface();
+    Session::builder(registry())
+        .serve(
+            "counter",
+            Box::new(TypedService::new(
+                iface,
+                Box::new(FnService::new(|method, args, heap| match method {
+                    "bump" => {
+                        let obj = args[0].as_ref_id().ok_or_else(|| NrmiError::app("ref"))?;
+                        let by = args[1].as_int().unwrap_or(0);
+                        let v = heap.get_field(obj, "count")?.as_int().unwrap_or(0);
+                        heap.set_field(obj, "count", Value::Int(v + by))?;
+                        Ok(Value::Int(v + by))
+                    }
+                    "describe" => Ok(Value::Str("a typed counter".into())),
+                    // Unreachable: the interface gate rejects first.
+                    other => Err(NrmiError::app(format!("no method {other}"))),
+                })),
+            )),
+        )
+        .build()
+}
+
+#[test]
+fn conforming_calls_pass_and_restore() {
+    let mut session = typed_session();
+    let class = session.heap().registry_handle().by_name("Counter").unwrap();
+    let obj = session.heap().alloc(class, vec![Value::Int(5)]).unwrap();
+    let ret = session
+        .call("counter", "bump", &[Value::Ref(obj), Value::Int(3)])
+        .unwrap();
+    assert_eq!(ret, Value::Int(8));
+    assert_eq!(session.heap().get_field(obj, "count").unwrap(), Value::Int(8));
+    assert_eq!(
+        session.call("counter", "describe", &[]).unwrap(),
+        Value::Str("a typed counter".into())
+    );
+}
+
+#[test]
+fn wrong_arity_rejected_as_remote_exception() {
+    let mut session = typed_session();
+    let err = session.call("counter", "bump", &[Value::Int(3)]).unwrap_err();
+    assert!(err.to_string().contains("takes 2"), "{err}");
+}
+
+#[test]
+fn wrong_shape_rejected_before_the_implementation_runs() {
+    let mut session = typed_session();
+    let class = session.heap().registry_handle().by_name("Counter").unwrap();
+    let obj = session.heap().alloc(class, vec![Value::Int(5)]).unwrap();
+    let err = session
+        .call("counter", "bump", &[Value::Ref(obj), Value::Str("three".into())])
+        .unwrap_err();
+    assert!(err.to_string().contains("must be int"), "{err}");
+    // The rejected call mutated nothing.
+    assert_eq!(session.heap().get_field(obj, "count").unwrap(), Value::Int(5));
+}
+
+#[test]
+fn undeclared_methods_are_invisible() {
+    let mut session = typed_session();
+    let err = session.call("counter", "reset", &[]).unwrap_err();
+    assert!(err.to_string().contains("reset"), "{err}");
+}

@@ -1,0 +1,50 @@
+//! The protocol over Unix-domain sockets: the Table 3 configuration
+//! (two runtimes on one machine) on a real same-host IPC path.
+
+#![cfg(unix)]
+
+use std::thread;
+
+use nrmi::core::{serve_connection, FnService, NrmiError, ServerNode, Session};
+use nrmi::heap::tree::{self};
+use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
+use nrmi::transport::{MachineSpec, UdsListenerTransport};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = tree::register_tree_classes(&mut reg);
+    reg.snapshot()
+}
+
+#[test]
+fn copy_restore_over_unix_domain_socket() {
+    let path = std::env::temp_dir().join(format!("nrmi-uds-it-{}", std::process::id()));
+    let listener = UdsListenerTransport::bind(&path).expect("bind");
+    let registry = registry();
+    let server_registry = registry.clone();
+    let server = thread::spawn(move || {
+        let mut server = ServerNode::new(server_registry, MachineSpec::fast());
+        server.bind(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                tree::run_foo(heap, root)?;
+                Ok(Value::Null)
+            })),
+        );
+        let mut transport = listener.accept().expect("accept");
+        serve_connection(&mut server, &mut transport).expect("serve");
+    });
+
+    let mut client = Session::connect_uds(registry, &path).expect("connect");
+    let classes = tree::TreeClasses {
+        tree: client.heap().registry_handle().by_name("Tree").unwrap(),
+    };
+    let ex = tree::build_running_example(client.heap(), &classes).unwrap();
+    client.call("svc", "foo", &[Value::Ref(ex.root)]).expect("remote foo over uds");
+    let violations = tree::figure2_violations(client.heap(), &ex).unwrap();
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(client.heap().get_field(ex.alias1_target, "data").unwrap(), Value::Int(0));
+    client.close().expect("close");
+    server.join().expect("server thread");
+}
