@@ -27,7 +27,9 @@ const SEED: u64 = 7;
 fn sparse_touch_service() -> Box<dyn nrmi_core::RemoteService> {
     Box::new(nrmi_core::FnService::new(
         |method: &str, args: &[Value], heap: &mut dyn HeapAccess| {
-            let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("want tree"))?;
+            let root = args[0]
+                .as_ref_id()
+                .ok_or_else(|| NrmiError::app("want tree"))?;
             match method {
                 "noop" => Ok(Value::Null),
                 "touch_root" => {
@@ -60,9 +62,14 @@ fn bench_reply_encoding(c: &mut Criterion) {
                         b.iter_custom(|iters| {
                             let mut total = Duration::ZERO;
                             for _ in 0..iters {
-                                let w =
-                                    build_workload(session.heap(), &classes, Scenario::I, size, SEED)
-                                        .expect("workload");
+                                let w = build_workload(
+                                    session.heap(),
+                                    &classes,
+                                    Scenario::I,
+                                    size,
+                                    SEED,
+                                )
+                                .expect("workload");
                                 let start = Instant::now();
                                 session
                                     .call_with("svc", method, &[Value::Ref(w.root)], opts)
@@ -109,11 +116,13 @@ fn bench_pipeline_stages(c: &mut Criterion) {
             let server_map = LinearMap::build(&server, &[server_root]).expect("map");
             let old: std::collections::HashMap<_, _> =
                 server_map.iter().map(|(pos, id)| (id, pos)).collect();
-            let reply_roots: Vec<Value> =
-                server_map.order().iter().map(|&id| Value::Ref(id)).collect();
-            let reply =
-                nrmi_wire::serialize_graph_with(&server, &reply_roots, Some(&old), None)
-                    .expect("reply");
+            let reply_roots: Vec<Value> = server_map
+                .order()
+                .iter()
+                .map(|&id| Value::Ref(id))
+                .collect();
+            let reply = nrmi_wire::serialize_graph_with(&server, &reply_roots, Some(&old), None)
+                .expect("reply");
             b.iter_batched(
                 || {
                     // Fresh client copy per iteration (restore mutates).

@@ -133,8 +133,14 @@ fn bench_manual_restore(c: &mut Criterion) {
                             let w = build_workload(session.heap(), &classes, scenario, size, SEED)
                                 .expect("workload");
                             let start = Instant::now();
-                            manual_restore_call(&mut session, "bench", scenario, w.root, &w.aliases)
-                                .expect("manual restore");
+                            manual_restore_call(
+                                &mut session,
+                                "bench",
+                                scenario,
+                                w.root,
+                                &w.aliases,
+                            )
+                            .expect("manual restore");
                             total += start.elapsed();
                         }
                         total

@@ -1,0 +1,104 @@
+//! Warm-call benchmark: cold copy-restore every call vs a warm session
+//! shipping request deltas, at mutation rates δ ∈ {0%, 10%, 50%}.
+//!
+//! The interesting numbers are the steady-state calls (the seed call is
+//! a full marshal in both modes by design), so each measured iteration
+//! runs one post-seed call; the seed happens once per configuration.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nrmi_bench::workload::{bench_classes, build_workload, walk_tree, Scenario};
+use nrmi_core::{CallOptions, NrmiError, Session};
+use nrmi_heap::{HeapAccess, ObjId, Value};
+
+const SEED: u64 = 7;
+
+fn sum_service() -> Box<dyn nrmi_core::RemoteService> {
+    Box::new(nrmi_core::FnService::new(
+        |_m: &str, args: &[Value], heap: &mut dyn HeapAccess| {
+            let root = args[0]
+                .as_ref_id()
+                .ok_or_else(|| NrmiError::app("want tree"))?;
+            let mut sum = 0i64;
+            for node in walk_tree(heap, root)? {
+                sum += i64::from(heap.get_field(node, "data")?.as_int().unwrap_or(0));
+            }
+            Ok(Value::Int(sum as i32))
+        },
+    ))
+}
+
+/// Dirties `round(n·δ)` nodes, rotating the window by `round`.
+fn churn(session: &mut Session, nodes: &[ObjId], rate: f64, round: usize) {
+    let touch = ((nodes.len() as f64) * rate).round() as usize;
+    for i in 0..touch {
+        let node = nodes[(round * touch + i) % nodes.len()];
+        let v = session
+            .heap()
+            .get_field(node, "data")
+            .expect("get")
+            .as_int()
+            .unwrap_or(0);
+        session
+            .heap()
+            .set_field(node, "data", Value::Int(v ^ 0x2a))
+            .expect("set");
+    }
+}
+
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warm_calls");
+    group.sample_size(20);
+    let size = 1024usize;
+    for rate in [0.0f64, 0.1, 0.5] {
+        for warm in [false, true] {
+            let label = if warm { "warm" } else { "cold" };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/delta_{:.0}pct", rate * 100.0), size),
+                &size,
+                |b, &size| {
+                    let classes = bench_classes();
+                    let mut session = Session::builder(classes.registry.clone())
+                        .serve("sum", sum_service())
+                        .build();
+                    let w = build_workload(session.heap(), &classes, Scenario::I, size, SEED)
+                        .expect("workload");
+                    let nodes = walk_tree(session.heap(), w.root).expect("walk");
+                    let opts = CallOptions::copy_restore_delta();
+                    if warm {
+                        // Seed once; measured iterations are steady-state.
+                        session
+                            .call_warm("sum", "sum", &[Value::Ref(w.root)])
+                            .expect("seed");
+                    }
+                    let mut round = 0usize;
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            churn(&mut session, &nodes, rate, round);
+                            round += 1;
+                            let start = Instant::now();
+                            if warm {
+                                session
+                                    .call_warm("sum", "sum", &[Value::Ref(w.root)])
+                                    .expect("warm call");
+                            } else {
+                                session
+                                    .call_with("sum", "sum", &[Value::Ref(w.root)], opts)
+                                    .expect("cold call");
+                            }
+                            total += start.elapsed();
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_vs_cold);
+criterion_main!(benches);

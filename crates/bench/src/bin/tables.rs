@@ -10,8 +10,8 @@
 use nrmi_bench::delta_sweep::{render_delta_sweep, run_delta_sweep};
 use nrmi_bench::ext_collections::{render_map_experiment, run_map_experiment};
 use nrmi_bench::manual::loc;
-use nrmi_bench::sensitivity::{monotonicity_violations, render_sweep, run_sweep};
 use nrmi_bench::observations::{check_observations, render_observations, run_all_tables};
+use nrmi_bench::sensitivity::{monotonicity_violations, render_sweep, run_sweep};
 use nrmi_bench::tables::{render, render_comparison, run_table};
 use nrmi_bench::workload::Scenario;
 
@@ -57,9 +57,7 @@ fn main() {
             println!();
             let all = run_all_tables();
             println!("{}", render_observations(&check_observations(&all)));
-            println!(
-                "\nextensions: `tables -- semantics | sweep | delta | table7 | leak`"
-            );
+            println!("\nextensions: `tables -- semantics | sweep | delta | warm | table7 | leak`");
         }
         "loc" => print_loc(),
         "semantics" => {
@@ -76,6 +74,10 @@ fn main() {
         "delta" => {
             let points = run_delta_sweep(1024);
             println!("{}", render_delta_sweep(1024, &points));
+        }
+        "warm" => {
+            let rows = nrmi_bench::warm::run_warm_ablation(1024);
+            println!("{}", nrmi_bench::warm::render_warm_ablation(1024, &rows));
         }
         "sweep" => {
             for scenario in [Scenario::I, Scenario::III] {
@@ -113,7 +115,7 @@ fn main() {
             print_table(id, compare);
         }
         _ => {
-            eprintln!("usage: tables [all|loc|checks|sweep|delta|leak|semantics|table1..table7] [--bare]");
+            eprintln!("usage: tables [all|loc|checks|sweep|delta|warm|leak|semantics|table1..table7] [--bare]");
             std::process::exit(2);
         }
     }

@@ -10,8 +10,7 @@
 //! graph becomes cheaper than enumerating the changes.
 
 use nrmi_core::{
-    CallOptions, FnService, JdkGeneration, NrmiError, NrmiFlavor, PassMode, RuntimeProfile,
-    Session,
+    CallOptions, FnService, JdkGeneration, NrmiError, NrmiFlavor, PassMode, RuntimeProfile, Session,
 };
 use nrmi_heap::{HeapAccess, Value};
 use nrmi_transport::{LinkSpec, MachineSpec, SimEnv};
@@ -38,20 +37,23 @@ pub struct DeltaPoint {
 pub const FRACTIONS: [f64; 6] = [0.0, 0.05, 0.25, 0.5, 0.75, 1.0];
 
 /// Shorthand for the closure-backed services this module builds.
-type TouchService =
-    FnService<Box<dyn FnMut(&str, &[Value], &mut dyn HeapAccess) -> Result<Value, NrmiError> + Send>>;
+type TouchService = FnService<
+    Box<dyn FnMut(&str, &[Value], &mut dyn HeapAccess) -> Result<Value, NrmiError> + Send>,
+>;
 
 fn touch_service(fraction: f64) -> TouchService {
-    FnService::new(Box::new(move |_m: &str, args: &[Value], heap: &mut dyn HeapAccess| {
-        let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
-        let nodes = walk_tree(heap, root)?;
-        let touch = ((nodes.len() as f64) * fraction).round() as usize;
-        for &node in nodes.iter().take(touch) {
-            let v = heap.get_field(node, "data")?.as_int().unwrap_or(0);
-            heap.set_field(node, "data", Value::Int(v ^ 0x55))?;
-        }
-        Ok(Value::Int(touch as i32))
-    }))
+    FnService::new(Box::new(
+        move |_m: &str, args: &[Value], heap: &mut dyn HeapAccess| {
+            let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+            let nodes = walk_tree(heap, root)?;
+            let touch = ((nodes.len() as f64) * fraction).round() as usize;
+            for &node in nodes.iter().take(touch) {
+                let v = heap.get_field(node, "data")?.as_int().unwrap_or(0);
+                heap.set_field(node, "data", Value::Int(v ^ 0x55))?;
+            }
+            Ok(Value::Int(touch as i32))
+        },
+    ))
 }
 
 fn measure(size: usize, fraction: f64, delta: bool) -> (usize, f64) {
@@ -64,7 +66,10 @@ fn measure(size: usize, fraction: f64, delta: bool) -> (usize, f64) {
             LinkSpec::lan_100mbps(),
             MachineSpec::slow(),
             MachineSpec::fast(),
-            RuntimeProfile { jdk: JdkGeneration::Jdk14, flavor: NrmiFlavor::Optimized },
+            RuntimeProfile {
+                jdk: JdkGeneration::Jdk14,
+                flavor: NrmiFlavor::Optimized,
+            },
         )
         .build();
     let w = build_workload(session.heap(), &classes, Scenario::I, size, SEED).expect("workload");
@@ -86,7 +91,13 @@ pub fn run_delta_sweep(size: usize) -> Vec<DeltaPoint> {
         .map(|&fraction| {
             let (full_bytes, full_ms) = measure(size, fraction, false);
             let (delta_bytes, delta_ms) = measure(size, fraction, true);
-            DeltaPoint { change_fraction: fraction, full_bytes, delta_bytes, full_ms, delta_ms }
+            DeltaPoint {
+                change_fraction: fraction,
+                full_bytes,
+                delta_bytes,
+                full_ms,
+                delta_ms,
+            }
         })
         .collect()
 }
@@ -117,7 +128,11 @@ pub fn render_delta_sweep(size: usize, points: &[DeltaPoint]) -> String {
             p.delta_bytes,
             p.full_ms,
             p.delta_ms,
-            if p.delta_ms <= p.full_ms { "delta" } else { "full" }
+            if p.delta_ms <= p.full_ms {
+                "delta"
+            } else {
+                "full"
+            }
         );
     }
     out
@@ -135,8 +150,16 @@ mod tests {
         // Paper's claim: unchanged copy-restore ≈ copy. The delta reply
         // is tiny, so the delta call cost must be well under the full
         // reply cost — most of the two-way traffic vanished.
-        assert!(p0.delta_bytes < 64, "no-change delta: {} bytes", p0.delta_bytes);
-        assert!(p0.full_bytes > 2_000, "full reply ships the graph: {}", p0.full_bytes);
+        assert!(
+            p0.delta_bytes < 64,
+            "no-change delta: {} bytes",
+            p0.delta_bytes
+        );
+        assert!(
+            p0.full_bytes > 2_000,
+            "full reply ships the graph: {}",
+            p0.full_bytes
+        );
         assert!(p0.delta_ms < p0.full_ms * 0.75, "{p0:?}");
     }
 

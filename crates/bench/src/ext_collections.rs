@@ -20,8 +20,7 @@
 //! optimization matters most.
 
 use nrmi_core::{
-    CallOptions, FnService, JdkGeneration, NrmiError, NrmiFlavor, PassMode, RuntimeProfile,
-    Session,
+    CallOptions, FnService, JdkGeneration, NrmiError, NrmiFlavor, PassMode, RuntimeProfile, Session,
 };
 use nrmi_heap::collections::{collection_classes, register_collections, HMap};
 use nrmi_heap::{ClassRegistry, SharedRegistry, Value};
@@ -88,7 +87,10 @@ fn run_config(entries: usize, updates: usize, config: Config) -> f64 {
             LinkSpec::lan_100mbps(),
             MachineSpec::slow(),
             MachineSpec::fast(),
-            RuntimeProfile { jdk: JdkGeneration::Jdk14, flavor: NrmiFlavor::Optimized },
+            RuntimeProfile {
+                jdk: JdkGeneration::Jdk14,
+                flavor: NrmiFlavor::Optimized,
+            },
         )
         .build();
 
@@ -96,30 +98,49 @@ fn run_config(entries: usize, updates: usize, config: Config) -> f64 {
     let classes = collection_classes(session.heap().registry_handle());
     let map = HMap::new(session.heap(), classes).expect("map");
     for i in 0..entries {
-        map.put(session.heap(), &format!("key-{i}"), Value::Int(i as i32)).expect("put");
+        map.put(session.heap(), &format!("key-{i}"), Value::Int(i as i32))
+            .expect("put");
     }
 
     let args = [Value::Ref(map.id()), Value::Int(updates as i32)];
     match config {
         Config::Manual => {
             let ret = session
-                .call_with("inventory", "update_return", &args, CallOptions::forced(PassMode::Copy))
+                .call_with(
+                    "inventory",
+                    "update_return",
+                    &args,
+                    CallOptions::forced(PassMode::Copy),
+                )
                 .expect("manual call");
             // "Reassign the reference": the returned map replaces the
             // original (checked for effect below).
             let new_map = HMap::from_id(ret.as_ref_id().expect("map return"), classes);
             // key-0 is 0 either way (-0 when updated); presence proves
             // the returned copy is usable after reassignment.
-            assert_eq!(new_map.get(session.heap(), "key-0").expect("get"), Some(Value::Int(0)));
+            assert_eq!(
+                new_map.get(session.heap(), "key-0").expect("get"),
+                Some(Value::Int(0))
+            );
         }
         Config::Nrmi => {
             session
-                .call_with("inventory", "update", &args, CallOptions::forced(PassMode::CopyRestore))
+                .call_with(
+                    "inventory",
+                    "update",
+                    &args,
+                    CallOptions::forced(PassMode::CopyRestore),
+                )
                 .expect("nrmi call");
         }
         Config::NrmiDelta => {
             session
-                .call_with("inventory", "update", &args, CallOptions::copy_restore_delta())
+                .call_with(
+                    "inventory",
+                    "update",
+                    &args,
+                    CallOptions::copy_restore_delta(),
+                )
                 .expect("delta call");
         }
     }
@@ -195,11 +216,20 @@ mod tests {
         let classes = collection_classes(session.heap().registry_handle());
         let map = HMap::new(session.heap(), classes).unwrap();
         for i in 0..8 {
-            map.put(session.heap(), &format!("key-{i}"), Value::Int(i)).unwrap();
+            map.put(session.heap(), &format!("key-{i}"), Value::Int(i))
+                .unwrap();
         }
-        session.call("inventory", "update", &[Value::Ref(map.id())]).unwrap();
-        assert_eq!(map.get(session.heap(), "key-3").unwrap(), Some(Value::Int(-3)));
-        assert_eq!(map.get(session.heap(), "key-5").unwrap(), Some(Value::Int(5)));
+        session
+            .call("inventory", "update", &[Value::Ref(map.id())])
+            .unwrap();
+        assert_eq!(
+            map.get(session.heap(), "key-3").unwrap(),
+            Some(Value::Int(-3))
+        );
+        assert_eq!(
+            map.get(session.heap(), "key-5").unwrap(),
+            Some(Value::Int(5))
+        );
     }
 
     #[test]

@@ -22,7 +22,12 @@ fn registry() -> SharedRegistry {
 }
 
 fn classes(heap: &Heap) -> TreeClasses {
-    TreeClasses { tree: heap.registry_handle().by_name("Tree").expect("Tree registered") }
+    TreeClasses {
+        tree: heap
+            .registry_handle()
+            .by_name("Tree")
+            .expect("Tree registered"),
+    }
 }
 
 fn example_roots(ex: &RunningExample) -> Vec<(String, ObjId)> {
@@ -50,7 +55,8 @@ pub fn figure2() -> String {
     let c = classes(&heap);
     let ex = tree::build_running_example(&mut heap, &c).expect("example");
     tree::run_foo(&mut heap, ex.root).expect("foo");
-    let mut out = String::from("Figure 2: after a local call foo(t) — all reachable data affected\n\n");
+    let mut out =
+        String::from("Figure 2: after a local call foo(t) — all reachable data affected\n\n");
     out.push_str(&render_ascii(&heap, &example_roots(&ex)).expect("render"));
     out
 }
@@ -87,7 +93,11 @@ pub fn figure3() -> String {
          server-resident node\n\n",
     );
     out.push_str(&render_ascii(session.heap(), &example_roots(&ex)).expect("render"));
-    let _ = writeln!(out, "\ncallback round trips served by the client: {}", stats.callbacks_served);
+    let _ = writeln!(
+        out,
+        "\ncallback round trips served by the client: {}",
+        stats.callbacks_served
+    );
     out
 }
 
@@ -119,14 +129,23 @@ pub fn figures4_to_7() -> String {
     out.push_str(
         &render_ascii(
             &server,
-            &server_map.order().iter().enumerate().map(|(i, &id)| (format!("map[{i}]"), id)).collect::<Vec<_>>(),
+            &server_map
+                .order()
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (format!("map[{i}]"), id))
+                .collect::<Vec<_>>(),
         )
         .expect("render"),
     );
 
     // Step 3: reply marshalled from the server's linear map.
     let old_index: HashMap<ObjId, u32> = server_map.iter().map(|(pos, id)| (id, pos)).collect();
-    let reply_roots: Vec<Value> = server_map.order().iter().map(|&id| Value::Ref(id)).collect();
+    let reply_roots: Vec<Value> = server_map
+        .order()
+        .iter()
+        .map(|&id| Value::Ref(id))
+        .collect();
     let reply = serialize_graph_with(&server, &reply_roots, Some(&old_index), None).expect("reply");
 
     let decoded = deserialize_graph(&reply.bytes, &mut client).expect("decode reply");
@@ -142,7 +161,10 @@ pub fn figures4_to_7() -> String {
         match old {
             Some(pos) => {
                 let orig = client_map.at(pos).expect("position");
-                let _ = writeln!(out, "  modified {temp} -> original {orig} (map position {pos})");
+                let _ = writeln!(
+                    out,
+                    "  modified {temp} -> original {orig} (map position {pos})"
+                );
             }
             None => {
                 let _ = writeln!(out, "  new object {temp} (allocated by the remote routine)");
@@ -211,13 +233,17 @@ pub fn figures_dot() -> String {
     let mut heap = Heap::new(registry());
     let c = classes(&heap);
     let ex = tree::build_running_example(&mut heap, &c).expect("example");
-    out.push_str("// Figure 1: before the call
-");
+    out.push_str(
+        "// Figure 1: before the call
+",
+    );
     out.push_str(&render_dot(&heap, &example_roots(&ex)).expect("render"));
     tree::run_foo(&mut heap, ex.root).expect("foo");
-    out.push_str("
+    out.push_str(
+        "
 // Figure 2: after a local call foo(t)
-");
+",
+    );
     out.push_str(&render_dot(&heap, &example_roots(&ex)).expect("render"));
     out
 }
@@ -225,7 +251,13 @@ pub fn figures_dot() -> String {
 /// All figures, concatenated for the `figures` binary.
 pub fn all_figures() -> String {
     let mut out = String::new();
-    for section in [figure1(), figure2(), figure3(), figures4_to_7(), figures8_and_9()] {
+    for section in [
+        figure1(),
+        figure2(),
+        figure3(),
+        figures4_to_7(),
+        figures8_and_9(),
+    ] {
         out.push_str(&section);
         out.push('\n');
         out.push_str(&"=".repeat(72));
@@ -258,7 +290,10 @@ mod tests {
     fn figure3_reports_callbacks() {
         let f = figure3();
         assert!(f.contains("callback round trips"));
-        assert!(f.contains("@RemoteStub"), "t.right should render as a stub:\n{f}");
+        assert!(
+            f.contains("@RemoteStub"),
+            "t.right should render as a stub:\n{f}"
+        );
     }
 
     #[test]
@@ -279,7 +314,10 @@ mod tests {
         let fig8 = &f[..f.find("Figure 9").unwrap()];
         let fig9 = &f[f.find("Figure 9").unwrap()..];
         assert!(fig8.contains("data=0"));
-        assert!(fig9.contains("data=3"), "DCE drops the unlinked write:\n{fig9}");
+        assert!(
+            fig9.contains("data=3"),
+            "DCE drops the unlinked write:\n{fig9}"
+        );
     }
 
     #[test]

@@ -118,7 +118,11 @@ pub fn render_leak_report(report: &LeakReport) -> String {
         "({}-node trees, client GC after EVERY call; growth is DGC-pinned)\n",
         report.tree_size
     );
-    let _ = writeln!(out, "{:>6} {:>16} {:>14}", "call", "pinned exports", "live objects");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>16} {:>14}",
+        "call", "pinned exports", "live objects"
+    );
     for (i, (exports, live)) in report
         .client_exports
         .iter()
@@ -154,7 +158,10 @@ mod tests {
             assert!(pair[1] > pair[0], "{:?}", report.client_exports);
         }
         let growth = report.growth_per_call();
-        assert!(growth >= 10.0, "most of each 16-node tree stays pinned: {growth}");
+        assert!(
+            growth >= 10.0,
+            "most of each 16-node tree stays pinned: {growth}"
+        );
         let until = report.calls_until_exhaustion(1 << 30);
         assert!(until.is_finite());
         assert!(until > 0.0);
@@ -166,9 +173,7 @@ mod tests {
         let large = run_leak_experiment(32, 3);
         assert!(large.growth_per_call() > small.growth_per_call() * 2.0);
         // Bigger leak → exhaustion in fewer calls.
-        assert!(
-            large.calls_until_exhaustion(1 << 30) < small.calls_until_exhaustion(1 << 30)
-        );
+        assert!(large.calls_until_exhaustion(1 << 30) < small.calls_until_exhaustion(1 << 30));
     }
 
     #[test]

@@ -32,12 +32,13 @@
 
 pub mod delta_sweep;
 pub mod ext_collections;
-pub mod leak;
 pub mod figures;
+pub mod leak;
 pub mod manual;
 pub mod observations;
 pub mod paper;
 pub mod semantics_matrix;
 pub mod sensitivity;
 pub mod tables;
+pub mod warm;
 pub mod workload;

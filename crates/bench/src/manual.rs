@@ -64,7 +64,10 @@ pub fn manual_restore_call(
             let new_root = ret
                 .as_ref_id()
                 .ok_or_else(|| NrmiError::Protocol("manual I: expected tree return".into()))?;
-            Ok(ManualOutcome { root: new_root, aliases: Vec::new() })
+            Ok(ManualOutcome {
+                root: new_root,
+                aliases: Vec::new(),
+            })
         }
         Scenario::II => {
             // "Both the original and the modified trees (that are now
@@ -76,7 +79,10 @@ pub fn manual_restore_call(
                 .ok_or_else(|| NrmiError::Protocol("manual II: expected tree return".into()))?;
             let map = lockstep_map(session.heap(), root, new_root)?;
             let aliases = translate_aliases(&map, aliases, "II")?;
-            Ok(ManualOutcome { root: new_root, aliases })
+            Ok(ManualOutcome {
+                root: new_root,
+                aliases,
+            })
         }
         Scenario::III => {
             // "The simplest way to do it is by having the remote method
@@ -98,7 +104,10 @@ pub fn manual_restore_call(
             // the mutated version of the corresponding original node.
             let map = shadow_map(heap, root, shadow)?;
             let aliases = translate_aliases(&map, aliases, "III")?;
-            Ok(ManualOutcome { root: new_root, aliases })
+            Ok(ManualOutcome {
+                root: new_root,
+                aliases,
+            })
         }
     }
 }
@@ -199,9 +208,21 @@ pub fn shadow_map(
 /// 'shadow tree'."
 pub fn loc(scenario: Scenario) -> LocBreakdown {
     match scenario {
-        Scenario::I => LocBreakdown { return_types: 45, traversal: 0, shadow: 0 },
-        Scenario::II => LocBreakdown { return_types: 45, traversal: 16, shadow: 0 },
-        Scenario::III => LocBreakdown { return_types: 45, traversal: 16, shadow: 35 },
+        Scenario::I => LocBreakdown {
+            return_types: 45,
+            traversal: 0,
+            shadow: 0,
+        },
+        Scenario::II => LocBreakdown {
+            return_types: 45,
+            traversal: 16,
+            shadow: 0,
+        },
+        Scenario::III => LocBreakdown {
+            return_types: 45,
+            traversal: 16,
+            shadow: 35,
+        },
     }
 }
 
@@ -310,7 +331,10 @@ mod tests {
         let w = build_workload(session.heap(), &classes, Scenario::II, 16, seed).unwrap();
         let outcome =
             manual_restore_call(&mut session, "bench", Scenario::II, w.root, &w.aliases).unwrap();
-        assert_ne!(outcome.root, w.root, "manual restore reassigns to a replacement");
+        assert_ne!(
+            outcome.root, w.root,
+            "manual restore reassigns to a replacement"
+        );
 
         let svc2 = scenario_service(
             &classes,
@@ -341,7 +365,11 @@ mod tests {
     fn loc_accounting_matches_paper() {
         assert_eq!(loc(Scenario::I).total(), 45);
         assert_eq!(loc(Scenario::II).total(), 61);
-        assert_eq!(loc(Scenario::III).total(), 96, "up to ~100 lines per remote call");
+        assert_eq!(
+            loc(Scenario::III).total(),
+            96,
+            "up to ~100 lines per remote call"
+        );
     }
 
     #[test]

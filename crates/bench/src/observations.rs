@@ -31,7 +31,9 @@ pub struct AllTables {
 
 /// Runs all six tables.
 pub fn run_all_tables() -> AllTables {
-    AllTables { tables: (1..=6).map(run_table).collect() }
+    AllTables {
+        tables: (1..=6).map(run_table).collect(),
+    }
 }
 
 impl AllTables {
@@ -131,11 +133,16 @@ pub fn check_observations(all: &AllTables) -> Vec<Observation> {
         let t5 = all.t(5);
         let rmi = t4.cell(Scenario::III, Jdk14, big).primary;
         let portable = t5.cell(Scenario::III, Jdk14, big).primary;
-        let optimized = t5.cell(Scenario::III, Jdk14, big).secondary.expect("paired cell");
+        let optimized = t5
+            .cell(Scenario::III, Jdk14, big)
+            .secondary
+            .expect("paired cell");
         obs.push(Observation {
             claim: "Benchmark III: optimized NRMI beats manual RMI (shadow-tree bytes)".into(),
             holds: optimized < rmi && portable <= rmi * 1.15,
-            detail: format!("RMI {rmi:.0} ms, NRMI portable {portable:.0} ms, optimized {optimized:.0} ms"),
+            detail: format!(
+                "RMI {rmi:.0} ms, NRMI portable {portable:.0} ms, optimized {optimized:.0} ms"
+            ),
         });
     }
 
@@ -147,9 +154,10 @@ pub fn check_observations(all: &AllTables) -> Vec<Observation> {
         let mut min_ratio = f64::INFINITY;
         for &s in &Scenario::ALL {
             for &size in &TREE_SIZES[..3] {
-                let nrmi = t5.cell(s, Jdk14, size).secondary.unwrap_or_else(|| {
-                    t5.cell(s, Jdk14, size).primary
-                });
+                let nrmi = t5
+                    .cell(s, Jdk14, size)
+                    .secondary
+                    .unwrap_or_else(|| t5.cell(s, Jdk14, size).primary);
                 let remote = t6.cell(s, Jdk14, size).primary;
                 min_ratio = min_ratio.min(remote / nrmi);
             }
@@ -175,7 +183,8 @@ pub fn check_observations(all: &AllTables) -> Vec<Observation> {
             holds &= a < b && (s == Scenario::III || b < c * 1.05);
         }
         obs.push(Observation {
-            claim: "Per-cell ordering: one-way < with-restore ≲ NRMI (crossover only in III)".into(),
+            claim: "Per-cell ordering: one-way < with-restore ≲ NRMI (crossover only in III)"
+                .into(),
             holds,
             detail: "compares Tables 2, 4, 5 at 1024 nodes".into(),
         });
@@ -190,7 +199,12 @@ pub fn render_observations(obs: &[Observation]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "§5.3.3 observation checks (shape reproduction):");
     for o in obs {
-        let _ = writeln!(out, "  [{}] {}", if o.holds { "PASS" } else { "FAIL" }, o.claim);
+        let _ = writeln!(
+            out,
+            "  [{}] {}",
+            if o.holds { "PASS" } else { "FAIL" },
+            o.claim
+        );
         let _ = writeln!(out, "        {}", o.detail);
     }
     out

@@ -22,15 +22,24 @@ pub struct PaperCell {
 
 impl PaperCell {
     const fn one(v: f64) -> Self {
-        PaperCell { primary: Some(v), secondary: None }
+        PaperCell {
+            primary: Some(v),
+            secondary: None,
+        }
     }
 
     const fn pair(a: f64, b: f64) -> Self {
-        PaperCell { primary: Some(a), secondary: Some(b) }
+        PaperCell {
+            primary: Some(a),
+            secondary: Some(b),
+        }
     }
 
     const fn missing() -> Self {
-        PaperCell { primary: None, secondary: None }
+        PaperCell {
+            primary: None,
+            secondary: None,
+        }
     }
 }
 
@@ -49,24 +58,42 @@ pub fn paper_cell(table: usize, scenario: Scenario, jdk: JdkGeneration, size: us
     };
     let row = match (table, jdk, scenario) {
         // Table 1: local execution, fast / slow machine.
-        (1, JdkGeneration::Jdk13, Scenario::I) => {
-            [P::pair(0.5, 0.5), P::pair(0.5, 1.0), P::pair(1.0, 2.0), P::pair(6.0, 8.0)]
-        }
-        (1, JdkGeneration::Jdk13, Scenario::II) => {
-            [P::pair(0.5, 1.0), P::pair(1.0, 1.0), P::pair(4.0, 5.0), P::pair(15.0, 20.0)]
-        }
-        (1, JdkGeneration::Jdk13, Scenario::III) => {
-            [P::pair(0.5, 1.0), P::pair(1.0, 2.0), P::pair(5.0, 6.0), P::pair(19.0, 24.0)]
-        }
-        (1, JdkGeneration::Jdk14, Scenario::I) => {
-            [P::pair(0.5, 0.5), P::pair(0.5, 1.0), P::pair(1.0, 1.0), P::pair(4.0, 6.0)]
-        }
-        (1, JdkGeneration::Jdk14, Scenario::II) => {
-            [P::pair(0.5, 1.0), P::pair(1.0, 1.0), P::pair(3.0, 4.0), P::pair(12.0, 16.0)]
-        }
-        (1, JdkGeneration::Jdk14, Scenario::III) => {
-            [P::pair(0.5, 1.0), P::pair(1.0, 1.0), P::pair(4.0, 5.0), P::pair(15.0, 19.0)]
-        }
+        (1, JdkGeneration::Jdk13, Scenario::I) => [
+            P::pair(0.5, 0.5),
+            P::pair(0.5, 1.0),
+            P::pair(1.0, 2.0),
+            P::pair(6.0, 8.0),
+        ],
+        (1, JdkGeneration::Jdk13, Scenario::II) => [
+            P::pair(0.5, 1.0),
+            P::pair(1.0, 1.0),
+            P::pair(4.0, 5.0),
+            P::pair(15.0, 20.0),
+        ],
+        (1, JdkGeneration::Jdk13, Scenario::III) => [
+            P::pair(0.5, 1.0),
+            P::pair(1.0, 2.0),
+            P::pair(5.0, 6.0),
+            P::pair(19.0, 24.0),
+        ],
+        (1, JdkGeneration::Jdk14, Scenario::I) => [
+            P::pair(0.5, 0.5),
+            P::pair(0.5, 1.0),
+            P::pair(1.0, 1.0),
+            P::pair(4.0, 6.0),
+        ],
+        (1, JdkGeneration::Jdk14, Scenario::II) => [
+            P::pair(0.5, 1.0),
+            P::pair(1.0, 1.0),
+            P::pair(3.0, 4.0),
+            P::pair(12.0, 16.0),
+        ],
+        (1, JdkGeneration::Jdk14, Scenario::III) => [
+            P::pair(0.5, 1.0),
+            P::pair(1.0, 1.0),
+            P::pair(4.0, 5.0),
+            P::pair(15.0, 19.0),
+        ],
         // Table 2: RMI execution without restore (one-way traffic).
         (2, JdkGeneration::Jdk13, Scenario::I) => {
             [P::one(3.0), P::one(7.0), P::one(18.0), P::one(65.0)]
@@ -135,15 +162,24 @@ pub fn paper_cell(table: usize, scenario: Scenario, jdk: JdkGeneration, size: us
         (5, JdkGeneration::Jdk13, Scenario::III) => {
             [P::one(6.0), P::one(14.0), P::one(39.0), P::one(146.0)]
         }
-        (5, JdkGeneration::Jdk14, Scenario::I) => {
-            [P::pair(5.0, 4.0), P::pair(8.0, 8.0), P::pair(25.0, 22.0), P::pair(93.0, 82.0)]
-        }
-        (5, JdkGeneration::Jdk14, Scenario::II) => {
-            [P::pair(5.0, 4.0), P::pair(9.0, 8.0), P::pair(27.0, 24.0), P::pair(103.0, 95.0)]
-        }
-        (5, JdkGeneration::Jdk14, Scenario::III) => {
-            [P::pair(5.0, 4.0), P::pair(9.0, 8.0), P::pair(28.0, 25.0), P::pair(106.0, 97.0)]
-        }
+        (5, JdkGeneration::Jdk14, Scenario::I) => [
+            P::pair(5.0, 4.0),
+            P::pair(8.0, 8.0),
+            P::pair(25.0, 22.0),
+            P::pair(93.0, 82.0),
+        ],
+        (5, JdkGeneration::Jdk14, Scenario::II) => [
+            P::pair(5.0, 4.0),
+            P::pair(9.0, 8.0),
+            P::pair(27.0, 24.0),
+            P::pair(103.0, 95.0),
+        ],
+        (5, JdkGeneration::Jdk14, Scenario::III) => [
+            P::pair(5.0, 4.0),
+            P::pair(9.0, 8.0),
+            P::pair(28.0, 25.0),
+            P::pair(106.0, 97.0),
+        ],
         // Table 6: call-by-reference via remote pointers. The 1024 runs
         // failed to complete (distributed circular garbage exhausted the
         // 1 GB heap).
@@ -233,8 +269,13 @@ mod tests {
             let nrmi = paper_cell(5, scenario, JdkGeneration::Jdk14, 1024)
                 .secondary
                 .unwrap();
-            let rmi = paper_cell(4, scenario, JdkGeneration::Jdk14, 1024).primary.unwrap();
-            assert!(nrmi <= rmi * 1.30 || nrmi <= rmi + 5.0, "{scenario:?}: {nrmi} vs {rmi}");
+            let rmi = paper_cell(4, scenario, JdkGeneration::Jdk14, 1024)
+                .primary
+                .unwrap();
+            assert!(
+                nrmi <= rmi * 1.30 || nrmi <= rmi + 5.0,
+                "{scenario:?}: {nrmi} vs {rmi}"
+            );
         }
     }
 

@@ -38,7 +38,11 @@ pub struct MatrixCell {
     pub divergence: Option<String>,
 }
 
-const SEEDS: [u64; 6] = [1, 7, 42, 1337, 424242, 900913];
+// Sample seeds. The dce-rpc/III divergence (an aliased, data-changed node
+// detached mid-call) is a property of the seed's mutation schedule, so the
+// set must contain seeds that land in that region; these were re-drawn for
+// the vendored deterministic RNG (seeds 4/5/8/13 detach aliased nodes).
+const SEEDS: [u64; 6] = [4, 5, 8, 13, 42, 900913];
 const SIZE: usize = 48;
 
 fn run_seed(opts: CallOptions, scenario: Scenario, seed: u64) -> Option<String> {
@@ -74,10 +78,14 @@ fn run_seed(opts: CallOptions, scenario: Scenario, seed: u64) -> Option<String> 
 }
 
 fn run_cell(mode: &'static str, opts: CallOptions, scenario: Scenario) -> MatrixCell {
-    let divergence = SEEDS.iter().find_map(|&seed| {
-        run_seed(opts, scenario, seed).map(|d| format!("seed {seed}: {d}"))
-    });
-    MatrixCell { mode, scenario, divergence }
+    let divergence = SEEDS
+        .iter()
+        .find_map(|&seed| run_seed(opts, scenario, seed).map(|d| format!("seed {seed}: {d}")));
+    MatrixCell {
+        mode,
+        scenario,
+        divergence,
+    }
 }
 
 /// Runs the full matrix.
@@ -106,7 +114,11 @@ pub fn render_matrix(cells: &[MatrixCell]) -> String {
         out,
         "Network-transparency matrix: remote outcome ≡ local outcome? ({SIZE}-node trees)"
     );
-    let _ = writeln!(out, "{:<20} {:>6} {:>6} {:>6}", "semantics", "I", "II", "III");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:>6} {:>6}",
+        "semantics", "I", "II", "III"
+    );
     let mut modes: Vec<&'static str> = Vec::new();
     for c in cells {
         if !modes.contains(&c.mode) {
@@ -120,7 +132,11 @@ pub fn render_matrix(cells: &[MatrixCell]) -> String {
                 .iter()
                 .find(|c| c.mode == mode && c.scenario == scenario)
                 .expect("full matrix");
-            let mark = if cell.divergence.is_none() { "yes" } else { "NO" };
+            let mark = if cell.divergence.is_none() {
+                "yes"
+            } else {
+                "NO"
+            };
             let _ = write!(out, " {mark:>6}");
         }
         let _ = writeln!(out);
@@ -156,11 +172,16 @@ mod tests {
                 "{scenario:?}"
             );
             assert!(
-                cell(&cells, "copy-restore+delta", scenario).divergence.is_none(),
+                cell(&cells, "copy-restore+delta", scenario)
+                    .divergence
+                    .is_none(),
                 "{scenario:?}"
             );
             // Plain copy never is (the mutation always changes data).
-            assert!(cell(&cells, "copy", scenario).divergence.is_some(), "{scenario:?}");
+            assert!(
+                cell(&cells, "copy", scenario).divergence.is_some(),
+                "{scenario:?}"
+            );
         }
         // DCE matches copy-restore when the structure is untouched (II)
         // and — with no aliases to observe the dropped updates — also in
@@ -171,9 +192,13 @@ mod tests {
         // Remote-ref: scenario II (data only) is fully transparent; the
         // structural scenarios splice SERVER-resident nodes, which the
         // caller sees as stubs — transparent semantics, split heaps.
-        assert!(cell(&cells, "remote-ref", Scenario::II).divergence.is_none());
+        assert!(cell(&cells, "remote-ref", Scenario::II)
+            .divergence
+            .is_none());
         assert!(cell(&cells, "remote-ref", Scenario::I).divergence.is_some());
-        assert!(cell(&cells, "remote-ref", Scenario::III).divergence.is_some());
+        assert!(cell(&cells, "remote-ref", Scenario::III)
+            .divergence
+            .is_some());
     }
 
     #[test]

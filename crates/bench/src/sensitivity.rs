@@ -71,7 +71,14 @@ fn run_cell(scenario: Scenario, size: usize, bandwidth_bps: f64, speedup: f64) -
 
     let measure = |nrmi: bool| -> f64 {
         let env = SimEnv::new();
-        let svc = scenario_service(&classes, scenario, SEED, Some(env.clone()), server.clone(), jdk);
+        let svc = scenario_service(
+            &classes,
+            scenario,
+            SEED,
+            Some(env.clone()),
+            server.clone(),
+            jdk,
+        );
         let mut session = Session::builder(classes.registry.clone())
             .serve("bench", Box::new(svc))
             .simulated(
@@ -79,7 +86,10 @@ fn run_cell(scenario: Scenario, size: usize, bandwidth_bps: f64, speedup: f64) -
                 link,
                 client.clone(),
                 server.clone(),
-                RuntimeProfile { jdk, flavor: NrmiFlavor::Optimized },
+                RuntimeProfile {
+                    jdk,
+                    flavor: NrmiFlavor::Optimized,
+                },
             )
             .build();
         let w = build_workload(session.heap(), &classes, scenario, size, SEED).expect("workload");

@@ -7,9 +7,7 @@
 //! value is simulated milliseconds per call, directly comparable to the
 //! published numbers in [`paper`](crate::paper).
 
-use nrmi_core::{
-    CallOptions, JdkGeneration, NrmiFlavor, PassMode, RuntimeProfile, Session,
-};
+use nrmi_core::{CallOptions, JdkGeneration, NrmiFlavor, PassMode, RuntimeProfile, Session};
 use nrmi_heap::{Heap, Value};
 use nrmi_transport::{LinkSpec, MachineSpec, SimEnv};
 
@@ -66,12 +64,18 @@ pub struct TableData {
 impl TableData {
     /// The measured cell for `(scenario, jdk, size)`.
     pub fn cell(&self, scenario: Scenario, jdk: JdkGeneration, size: usize) -> MeasuredCell {
-        let si = Scenario::ALL.iter().position(|&s| s == scenario).expect("valid scenario");
+        let si = Scenario::ALL
+            .iter()
+            .position(|&s| s == scenario)
+            .expect("valid scenario");
         let ji = match jdk {
             JdkGeneration::Jdk13 => 0,
             JdkGeneration::Jdk14 => 1,
         };
-        let zi = TREE_SIZES.iter().position(|&z| z == size).expect("valid size");
+        let zi = TREE_SIZES
+            .iter()
+            .position(|&z| z == size)
+            .expect("valid size");
         self.cells[si][ji][zi]
     }
 }
@@ -88,7 +92,10 @@ pub fn run_table1() -> TableData {
     build_table(1, |scenario, jdk, size| {
         let classes = bench_classes();
         let mut values = [0.0f64; 2];
-        for (i, machine) in [MachineSpec::fast(), MachineSpec::slow()].into_iter().enumerate() {
+        for (i, machine) in [MachineSpec::fast(), MachineSpec::slow()]
+            .into_iter()
+            .enumerate()
+        {
             let env = SimEnv::new();
             let mut heap = Heap::new(classes.registry.clone());
             let w = build_workload(&mut heap, &classes, scenario, size, SEED).expect("workload");
@@ -99,7 +106,10 @@ pub fn run_table1() -> TableData {
             );
             values[i] = env.report().total_ms();
         }
-        MeasuredCell { primary: values[0], secondary: Some(values[1]) }
+        MeasuredCell {
+            primary: values[0],
+            secondary: Some(values[1]),
+        }
     })
 }
 
@@ -127,7 +137,13 @@ fn simulated_call(
     );
     let mut session = Session::builder(classes.registry.clone())
         .serve("bench", Box::new(svc))
-        .simulated(env.clone(), link, client_machine, server_machine, profile_for(jdk, flavor))
+        .simulated(
+            env.clone(),
+            link,
+            client_machine,
+            server_machine,
+            profile_for(jdk, flavor),
+        )
         .build();
     let w = build_workload(session.heap(), &classes, scenario, size, SEED).expect("workload");
     run(&mut session, w.root, &w.aliases);
@@ -157,7 +173,10 @@ pub fn run_table2() -> TableData {
                     .expect("call");
             },
         );
-        MeasuredCell { primary: ms, secondary: None }
+        MeasuredCell {
+            primary: ms,
+            secondary: None,
+        }
     })
 }
 
@@ -177,7 +196,10 @@ pub fn run_table3() -> TableData {
                 manual_restore_call(session, "bench", scenario, root, aliases).expect("manual");
             },
         );
-        MeasuredCell { primary: ms, secondary: None }
+        MeasuredCell {
+            primary: ms,
+            secondary: None,
+        }
     })
 }
 
@@ -197,7 +219,10 @@ pub fn run_table4() -> TableData {
                 manual_restore_call(session, "bench", scenario, root, aliases).expect("manual");
             },
         );
-        MeasuredCell { primary: ms, secondary: None }
+        MeasuredCell {
+            primary: ms,
+            secondary: None,
+        }
     })
 }
 
@@ -227,9 +252,10 @@ pub fn run_table5() -> TableData {
             )
         };
         match jdk {
-            JdkGeneration::Jdk13 => {
-                MeasuredCell { primary: run_flavor(NrmiFlavor::Portable), secondary: None }
-            }
+            JdkGeneration::Jdk13 => MeasuredCell {
+                primary: run_flavor(NrmiFlavor::Portable),
+                secondary: None,
+            },
             JdkGeneration::Jdk14 => MeasuredCell {
                 primary: run_flavor(NrmiFlavor::Portable),
                 secondary: Some(run_flavor(NrmiFlavor::Optimized)),
@@ -261,7 +287,10 @@ pub fn run_table6() -> TableData {
                     .expect("call");
             },
         );
-        MeasuredCell { primary: ms, secondary: None }
+        MeasuredCell {
+            primary: ms,
+            secondary: None,
+        }
     })
 }
 
@@ -275,7 +304,10 @@ fn build_table(
         .map(|&scenario| {
             JDKS.iter()
                 .map(|&jdk| {
-                    TREE_SIZES.iter().map(|&size| cell(scenario, jdk, size)).collect()
+                    TREE_SIZES
+                        .iter()
+                        .map(|&size| cell(scenario, jdk, size))
+                        .collect()
                 })
                 .collect()
         })
@@ -304,7 +336,10 @@ pub fn render_comparison(table: &TableData) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{}", table_title(table.id));
-    let _ = writeln!(out, "(milliseconds per call; measured = this reproduction, paper = published)");
+    let _ = writeln!(
+        out,
+        "(milliseconds per call; measured = this reproduction, paper = published)"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>6} {:>11} {:>11} {:>7}   jdk",
@@ -379,7 +414,10 @@ mod tests {
         let small = t.cell(Scenario::I, JdkGeneration::Jdk14, 16);
         let large = t.cell(Scenario::I, JdkGeneration::Jdk14, 1024);
         assert!(large.primary > small.primary);
-        assert!(large.secondary.unwrap() > large.primary, "slow machine is slower");
+        assert!(
+            large.secondary.unwrap() > large.primary,
+            "slow machine is slower"
+        );
         let iii = t.cell(Scenario::III, JdkGeneration::Jdk14, 1024);
         assert!(iii.primary > large.primary, "III does more work than I");
         // JDK 1.3 slower than 1.4.
@@ -434,8 +472,8 @@ mod tests {
                     profile_for(JdkGeneration::Jdk14, NrmiFlavor::Optimized),
                 )
                 .build();
-            let w = build_workload(session.heap(), &classes, Scenario::II, 64, SEED)
-                .expect("workload");
+            let w =
+                build_workload(session.heap(), &classes, Scenario::II, 64, SEED).expect("workload");
             // Take extra aliases beyond the scenario's default; they are
             // client-side handles and never touch the wire.
             let nodes = nrmi_heap::tree::collect_nodes(session.heap(), w.root).unwrap();

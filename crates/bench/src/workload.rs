@@ -92,7 +92,12 @@ pub fn bench_classes() -> BenchClasses {
         .field_ref("second")
         .serializable()
         .register();
-    BenchClasses { registry: reg.snapshot(), tree, shadow, pair }
+    BenchClasses {
+        registry: reg.snapshot(),
+        tree,
+        shadow,
+        pair,
+    }
 }
 
 /// A generated workload instance on some heap: the tree root plus the
@@ -125,7 +130,11 @@ pub fn build_workload(
     let mut aliases = Vec::with_capacity(alias_count);
     for _ in 0..alias_count {
         // Interior preference: skip the root itself when possible.
-        let idx = if nodes.len() > 1 { rng.gen_range(1..nodes.len()) } else { 0 };
+        let idx = if nodes.len() > 1 {
+            rng.gen_range(1..nodes.len())
+        } else {
+            0
+        };
         aliases.push(nodes[idx]);
     }
     Ok(WorkloadInstance { root, aliases })
@@ -149,7 +158,10 @@ pub struct MutationReport {
 ///
 /// # Errors
 /// Propagates heap/proxy access errors.
-pub fn walk_tree(heap: &mut dyn HeapAccess, root: ObjId) -> Result<Vec<ObjId>, nrmi_heap::HeapError> {
+pub fn walk_tree(
+    heap: &mut dyn HeapAccess,
+    root: ObjId,
+) -> Result<Vec<ObjId>, nrmi_heap::HeapError> {
     let mut order = Vec::new();
     let mut seen = std::collections::HashSet::new();
     let mut stack = vec![root];
@@ -280,43 +292,45 @@ pub fn scenario_service(
 ) -> ScenarioService {
     let shadow_class = classes.shadow;
     let pair_class = classes.pair;
-    nrmi_core::FnService::new(Box::new(move |method: &str, args: &[Value], heap: &mut dyn HeapAccess| {
-        let root = args
-            .first()
-            .and_then(Value::as_ref_id)
-            .ok_or_else(|| NrmiError::app("expected a tree argument"))?;
-        let charge = |report: &MutationReport| {
-            if let Some(env) = &env {
-                env.charge_cpu(
-                    &machine,
-                    report.nodes_visited as f64 * mutation_cost_us_per_node(scenario, jdk),
-                );
+    nrmi_core::FnService::new(Box::new(
+        move |method: &str, args: &[Value], heap: &mut dyn HeapAccess| {
+            let root = args
+                .first()
+                .and_then(Value::as_ref_id)
+                .ok_or_else(|| NrmiError::app("expected a tree argument"))?;
+            let charge = |report: &MutationReport| {
+                if let Some(env) = &env {
+                    env.charge_cpu(
+                        &machine,
+                        report.nodes_visited as f64 * mutation_cost_us_per_node(scenario, jdk),
+                    );
+                }
+            };
+            match method {
+                "mutate" => {
+                    let report = mutate_tree(heap, root, scenario, seed)?;
+                    charge(&report);
+                    Ok(Value::Null)
+                }
+                "mutate_return" => {
+                    let report = mutate_tree(heap, root, scenario, seed)?;
+                    charge(&report);
+                    Ok(Value::Ref(root))
+                }
+                "mutate_shadow" => {
+                    // Shadow BEFORE mutation: mirrors the original structure
+                    // and pins every original node (§5.3.2, scenario III).
+                    let shadow = build_shadow(heap, root, shadow_class)?;
+                    let report = mutate_tree(heap, root, scenario, seed)?;
+                    charge(&report);
+                    let pair =
+                        heap.alloc_raw(pair_class, vec![Value::Ref(root), Value::Ref(shadow)])?;
+                    Ok(Value::Ref(pair))
+                }
+                other => Err(NrmiError::app(format!("unknown benchmark method {other}"))),
             }
-        };
-        match method {
-            "mutate" => {
-                let report = mutate_tree(heap, root, scenario, seed)?;
-                charge(&report);
-                Ok(Value::Null)
-            }
-            "mutate_return" => {
-                let report = mutate_tree(heap, root, scenario, seed)?;
-                charge(&report);
-                Ok(Value::Ref(root))
-            }
-            "mutate_shadow" => {
-                // Shadow BEFORE mutation: mirrors the original structure
-                // and pins every original node (§5.3.2, scenario III).
-                let shadow = build_shadow(heap, root, shadow_class)?;
-                let report = mutate_tree(heap, root, scenario, seed)?;
-                charge(&report);
-                let pair =
-                    heap.alloc_raw(pair_class, vec![Value::Ref(root), Value::Ref(shadow)])?;
-                Ok(Value::Ref(pair))
-            }
-            other => Err(NrmiError::app(format!("unknown benchmark method {other}"))),
-        }
-    }))
+        },
+    ))
 }
 
 /// The boxed service type returned by [`scenario_service`].
@@ -346,7 +360,10 @@ pub fn build_shadow(
         Some(child) => Value::Ref(build_shadow(heap, child, shadow_class)?),
         None => Value::Null,
     };
-    heap.alloc_raw(shadow_class, vec![Value::Ref(node), left_shadow, right_shadow])
+    heap.alloc_raw(
+        shadow_class,
+        vec![Value::Ref(node), left_shadow, right_shadow],
+    )
 }
 
 #[cfg(test)]
@@ -394,7 +411,10 @@ mod tests {
             .unwrap()
             .iter()
             .map(|&n| {
-                (heap.get_ref(n, "left").unwrap(), heap.get_ref(n, "right").unwrap())
+                (
+                    heap.get_ref(n, "left").unwrap(),
+                    heap.get_ref(n, "right").unwrap(),
+                )
             })
             .collect();
         let report = mutate_tree(&mut heap, w.root, Scenario::II, 3).unwrap();
@@ -405,10 +425,16 @@ mod tests {
             .unwrap()
             .iter()
             .map(|&n| {
-                (heap.get_ref(n, "left").unwrap(), heap.get_ref(n, "right").unwrap())
+                (
+                    heap.get_ref(n, "left").unwrap(),
+                    heap.get_ref(n, "right").unwrap(),
+                )
             })
             .collect();
-        assert_eq!(shape_before, shape_after, "scenario II must not change structure");
+        assert_eq!(
+            shape_before, shape_after,
+            "scenario II must not change structure"
+        );
     }
 
     #[test]
@@ -495,7 +521,10 @@ mod tests {
                 saw_sharing = true;
             }
         }
-        assert!(saw_sharing, "III should produce shared subtrees across 10 seeds");
+        assert!(
+            saw_sharing,
+            "III should produce shared subtrees across 10 seeds"
+        );
     }
 
     #[test]

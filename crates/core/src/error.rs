@@ -106,7 +106,9 @@ mod tests {
 
     #[test]
     fn sources_chain() {
-        assert!(NrmiError::from(HeapError::DanglingRef(1)).source().is_some());
+        assert!(NrmiError::from(HeapError::DanglingRef(1))
+            .source()
+            .is_some());
         assert!(NrmiError::from(WireError::BadMagic).source().is_some());
         assert!(NrmiError::from(TransportError::Timeout).source().is_some());
         assert!(NrmiError::NoSuchService("x".into()).source().is_none());
@@ -118,10 +120,17 @@ mod tests {
         assert!(NrmiError::NoSuchService("translator".into())
             .to_string()
             .contains("translator"));
-        assert!(NrmiError::NoSuchMethod { service: "s".into(), method: "m".into() }
+        assert!(NrmiError::NoSuchMethod {
+            service: "s".into(),
+            method: "m".into()
+        }
+        .to_string()
+        .contains('m'));
+        assert!(NrmiError::Protocol("bad".into())
             .to_string()
-            .contains('m'));
-        assert!(NrmiError::Protocol("bad".into()).to_string().contains("bad"));
-        assert!(NrmiError::InvalidArgument("arg".into()).to_string().contains("arg"));
+            .contains("bad"));
+        assert!(NrmiError::InvalidArgument("arg".into())
+            .to_string()
+            .contains("arg"));
     }
 }

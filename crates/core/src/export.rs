@@ -159,7 +159,10 @@ mod tests {
         let k1 = t.export(obj(1));
         t.clean(k1);
         let k2 = t.export(obj(1));
-        assert_ne!(k1, k2, "fresh key after full release (stale stubs must not resolve)");
+        assert_ne!(
+            k1, k2,
+            "fresh key after full release (stale stubs must not resolve)"
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ pub struct InterfaceDef {
 impl InterfaceDef {
     /// Starts an interface named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        InterfaceDef { name: name.into(), methods: HashMap::new() }
+        InterfaceDef {
+            name: name.into(),
+            methods: HashMap::new(),
+        }
     }
 
     /// Declares a method (builder-style).
@@ -120,8 +123,13 @@ impl InterfaceDef {
         params: &[ParamType],
         returns: ParamType,
     ) -> Self {
-        self.methods
-            .insert(name.into(), MethodSig { params: params.to_vec(), returns });
+        self.methods.insert(
+            name.into(),
+            MethodSig {
+                params: params.to_vec(),
+                returns,
+            },
+        );
         self
     }
 
@@ -146,10 +154,13 @@ impl InterfaceDef {
     /// [`NrmiError::NoSuchMethod`] for undeclared methods;
     /// [`NrmiError::InvalidArgument`] for arity or shape mismatches.
     pub fn check_call(&self, method: &str, args: &[Value]) -> Result<(), NrmiError> {
-        let sig = self.methods.get(method).ok_or_else(|| NrmiError::NoSuchMethod {
-            service: self.name.clone(),
-            method: method.to_owned(),
-        })?;
+        let sig = self
+            .methods
+            .get(method)
+            .ok_or_else(|| NrmiError::NoSuchMethod {
+                service: self.name.clone(),
+                method: method.to_owned(),
+            })?;
         if args.len() != sig.params.len() {
             return Err(NrmiError::InvalidArgument(format!(
                 "{}.{method} takes {} argument(s), got {}",
@@ -201,7 +212,9 @@ pub struct TypedService {
 
 impl std::fmt::Debug for TypedService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TypedService").field("interface", &self.interface.name()).finish()
+        f.debug_struct("TypedService")
+            .field("interface", &self.interface.name())
+            .finish()
     }
 }
 
@@ -243,9 +256,14 @@ mod tests {
     #[test]
     fn check_call_accepts_conforming_arguments() {
         let iface = calc_interface();
-        assert!(iface.check_call("add", &[Value::Int(1), Value::Int(2)]).is_ok());
+        assert!(iface
+            .check_call("add", &[Value::Int(1), Value::Int(2)])
+            .is_ok());
         assert!(iface.check_call("name", &[]).is_ok());
-        assert!(iface.check_call("touch", &[Value::Null]).is_ok(), "references are nullable");
+        assert!(
+            iface.check_call("touch", &[Value::Null]).is_ok(),
+            "references are nullable"
+        );
         assert!(iface
             .check_call("touch", &[Value::Ref(ObjId::from_index(3))])
             .is_ok());
@@ -256,8 +274,13 @@ mod tests {
         let iface = calc_interface();
         let arity = iface.check_call("add", &[Value::Int(1)]).unwrap_err();
         assert!(arity.to_string().contains("takes 2"), "{arity}");
-        let shape = iface.check_call("add", &[Value::Int(1), Value::Long(2)]).unwrap_err();
-        assert!(shape.to_string().contains("argument 1 must be int"), "{shape}");
+        let shape = iface
+            .check_call("add", &[Value::Int(1), Value::Long(2)])
+            .unwrap_err();
+        assert!(
+            shape.to_string().contains("argument 1 must be int"),
+            "{shape}"
+        );
         let missing = iface.check_call("mul", &[]).unwrap_err();
         assert!(matches!(missing, NrmiError::NoSuchMethod { .. }));
     }
@@ -291,11 +314,14 @@ mod tests {
         let reg = ClassRegistry::new();
         let mut heap = Heap::new(reg.snapshot());
         assert_eq!(
-            svc.invoke("add", &[Value::Int(20), Value::Int(22)], &mut heap).unwrap(),
+            svc.invoke("add", &[Value::Int(20), Value::Int(22)], &mut heap)
+                .unwrap(),
             Value::Int(42)
         );
         // Bad arguments rejected before the implementation runs.
-        assert!(svc.invoke("add", &[Value::Null, Value::Int(1)], &mut heap).is_err());
+        assert!(svc
+            .invoke("add", &[Value::Null, Value::Int(1)], &mut heap)
+            .is_err());
         // Bad return surfaced as a protocol error.
         let err = svc.invoke("name", &[], &mut heap).unwrap_err();
         assert!(matches!(err, NrmiError::Protocol(_)), "{err}");

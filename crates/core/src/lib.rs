@@ -68,6 +68,7 @@ pub mod service;
 pub mod session;
 pub mod trace;
 pub mod verify;
+pub mod warm;
 
 pub use error::NrmiError;
 pub use export::ExportTable;
@@ -75,15 +76,18 @@ pub use interface::{InterfaceDef, MethodSig, ParamType, TypedService};
 pub use node::{ClientNode, NodeHooks, NodeState, ServerNode};
 pub use profile::{CostModel, JdkGeneration, NrmiFlavor, RuntimeProfile};
 pub use protocol::{
-    client_invoke, client_invoke_on_object_with_stats, client_invoke_with_stats,
-    serve_connection, serve_connection_shared, CallStats,
+    client_invoke, client_invoke_on_object_with_stats, client_invoke_with_stats, serve_connection,
+    serve_connection_shared, CallStats,
 };
 pub use proxy::{handle_callback, ProxyStats, RemoteHeapProxy};
 pub use restore::{apply_restore, RestoreOutcome, RestoreStats};
 pub use semantics::{CallOptions, PassMode};
 pub use service::{FnService, RemoteService};
-pub use session::{serve_tcp, serve_tcp_concurrent, RemoteSession, Session, SessionBuilder, TcpSession};
+pub use session::{
+    serve_tcp, serve_tcp_concurrent, RemoteSession, Session, SessionBuilder, TcpSession,
+};
 pub use trace::{CallTrace, Tracer};
+pub use warm::{client_invoke_warm_with_stats, server_handle_warm_call, WarmCaches, WarmSessions};
 
 /// Result alias for middleware operations.
 pub type Result<T> = std::result::Result<T, NrmiError>;

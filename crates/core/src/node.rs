@@ -87,9 +87,15 @@ impl NodeState {
             Value::Str(s) => RVal::Str(s.clone()),
             Value::Ref(id) => match self.heap.stub_key(*id)? {
                 // A stub: the peer owns it; send their key back.
-                Some(key) => RVal::Remote { owned_by_sender: false, key },
+                Some(key) => RVal::Remote {
+                    owned_by_sender: false,
+                    key,
+                },
                 // A local object: export it; the peer gets a stub.
-                None => RVal::Remote { owned_by_sender: true, key: self.exports.export(*id) },
+                None => RVal::Remote {
+                    owned_by_sender: true,
+                    key: self.exports.export(*id),
+                },
             },
         })
     }
@@ -109,11 +115,17 @@ impl NodeState {
             RVal::Long(i) => Value::Long(*i),
             RVal::Double(d) => Value::Double(*d),
             RVal::Str(s) => Value::Str(s.clone()),
-            RVal::Remote { owned_by_sender: true, key } => {
+            RVal::Remote {
+                owned_by_sender: true,
+                key,
+            } => {
                 // The sender owns it: we hold a stub.
                 Value::Ref(self.stub_for(*key)?)
             }
-            RVal::Remote { owned_by_sender: false, key } => {
+            RVal::Remote {
+                owned_by_sender: false,
+                key,
+            } => {
                 // It is ours: resolve to the original object.
                 Value::Ref(
                     self.exports
@@ -146,7 +158,12 @@ impl RemoteHooks for NodeHooks<'_> {
         Ok(self.exports.export(obj))
     }
 
-    fn import(&mut self, heap: &mut Heap, owned_by_sender: bool, key: u64) -> Result<Value, WireError> {
+    fn import(
+        &mut self,
+        heap: &mut Heap,
+        owned_by_sender: bool,
+        key: u64,
+    ) -> Result<Value, WireError> {
         if owned_by_sender {
             if let Some(&stub) = self.stubs.get(&key) {
                 return Ok(Value::Ref(stub));
@@ -218,24 +235,33 @@ impl ServerNode {
     ///
     /// # Errors
     /// Propagates heap errors.
-    pub fn collect_local(&mut self, roots: &[nrmi_heap::ObjId]) -> Result<usize, nrmi_heap::HeapError> {
+    pub fn collect_local(
+        &mut self,
+        roots: &[nrmi_heap::ObjId],
+    ) -> Result<usize, nrmi_heap::HeapError> {
         let mut gc_roots = roots.to_vec();
         gc_roots.extend(self.state.exports.roots());
         nrmi_heap::gc::mark_sweep(&mut self.state.heap, &gc_roots)
     }
 }
 
-/// Client-side state (a newtype over [`NodeState`] for API clarity).
+/// Client-side state: node state plus the warm-call session caches.
 #[derive(Debug)]
 pub struct ClientNode {
     /// Shared node state (heap, tables, accounting).
     pub state: NodeState,
+    /// Warm-call session caches, one per service
+    /// (see [`crate::warm`]).
+    pub warm: crate::warm::WarmSessions,
 }
 
 impl ClientNode {
     /// Creates a client node over `registry`.
     pub fn new(registry: SharedRegistry, machine: MachineSpec) -> Self {
-        ClientNode { state: NodeState::new(registry, machine) }
+        ClientNode {
+            state: NodeState::new(registry, machine),
+            warm: crate::warm::WarmSessions::new(),
+        }
     }
 }
 
@@ -264,13 +290,20 @@ mod tests {
         let (mut n, tree) = node();
         let obj = n.heap.alloc_default(tree).unwrap();
         let rv = n.value_to_rval(&Value::Ref(obj)).unwrap();
-        let RVal::Remote { owned_by_sender: true, key } = rv else {
+        let RVal::Remote {
+            owned_by_sender: true,
+            key,
+        } = rv
+        else {
             panic!("local object must export as sender-owned, got {rv:?}");
         };
         // Resolving our own key (as if echoed back by the peer) returns
         // the original object.
         let back = n
-            .rval_to_value(&RVal::Remote { owned_by_sender: false, key })
+            .rval_to_value(&RVal::Remote {
+                owned_by_sender: false,
+                key,
+            })
             .unwrap();
         assert_eq!(back, Value::Ref(obj));
     }
@@ -280,13 +313,24 @@ mod tests {
         let (mut n, _) = node();
         let stub = n.stub_for(42).unwrap();
         let rv = n.value_to_rval(&Value::Ref(stub)).unwrap();
-        assert_eq!(rv, RVal::Remote { owned_by_sender: false, key: 42 });
+        assert_eq!(
+            rv,
+            RVal::Remote {
+                owned_by_sender: false,
+                key: 42
+            }
+        );
     }
 
     #[test]
     fn primitives_pass_through() {
         let (mut n, _) = node();
-        for v in [Value::Null, Value::Int(1), Value::Str("x".into()), Value::Bool(true)] {
+        for v in [
+            Value::Null,
+            Value::Int(1),
+            Value::Str("x".into()),
+            Value::Bool(true),
+        ] {
             let rv = n.value_to_rval(&v).unwrap();
             assert_eq!(n.rval_to_value(&rv).unwrap(), v);
         }
@@ -296,7 +340,10 @@ mod tests {
     fn unknown_export_key_rejected() {
         let (mut n, _) = node();
         let err = n
-            .rval_to_value(&RVal::Remote { owned_by_sender: false, key: 99 })
+            .rval_to_value(&RVal::Remote {
+                owned_by_sender: false,
+                key: 99,
+            })
             .unwrap_err();
         assert!(matches!(err, WireError::UnknownExport { key: 99 }));
     }
@@ -308,7 +355,11 @@ mod tests {
         // returns — RMI's remote-parameter semantics.
         let mut reg = ClassRegistry::new();
         let svc_class = reg.define("Printer").remote().register();
-        let holder = reg.define("Holder").field_ref("svc").serializable().register();
+        let holder = reg
+            .define("Holder")
+            .field_ref("svc")
+            .serializable()
+            .register();
         let registry = reg.snapshot();
         let mut a = NodeState::new(registry.clone(), MachineSpec::fast());
         let mut b = NodeState::new(registry, MachineSpec::fast());
@@ -318,35 +369,29 @@ mod tests {
 
         // a → b
         let mut hooks_a = NodeHooks::new(&mut a.exports, &mut a.stubs);
-        let enc = nrmi_wire::serialize_graph_with(
-            &a.heap,
-            &[Value::Ref(h)],
-            None,
-            Some(&mut hooks_a),
-        )
-        .unwrap();
+        let enc =
+            nrmi_wire::serialize_graph_with(&a.heap, &[Value::Ref(h)], None, Some(&mut hooks_a))
+                .unwrap();
         let mut hooks_b = NodeHooks::new(&mut b.exports, &mut b.stubs);
-        let dec =
-            nrmi_wire::deserialize_graph_with(&enc.bytes, &mut b.heap, &mut hooks_b).unwrap();
+        let dec = nrmi_wire::deserialize_graph_with(&enc.bytes, &mut b.heap, &mut hooks_b).unwrap();
         let h_b = dec.roots[0].as_ref_id().unwrap();
         let svc_b = b.heap.get_ref(h_b, "svc").unwrap().unwrap();
         assert_eq!(b.heap.stub_key(svc_b).unwrap(), Some(0), "b holds a stub");
 
         // b → a (echo back)
         let mut hooks_b = NodeHooks::new(&mut b.exports, &mut b.stubs);
-        let enc2 = nrmi_wire::serialize_graph_with(
-            &b.heap,
-            &[Value::Ref(h_b)],
-            None,
-            Some(&mut hooks_b),
-        )
-        .unwrap();
+        let enc2 =
+            nrmi_wire::serialize_graph_with(&b.heap, &[Value::Ref(h_b)], None, Some(&mut hooks_b))
+                .unwrap();
         let mut hooks_a = NodeHooks::new(&mut a.exports, &mut a.stubs);
         let dec2 =
             nrmi_wire::deserialize_graph_with(&enc2.bytes, &mut a.heap, &mut hooks_a).unwrap();
         let h_a2 = dec2.roots[0].as_ref_id().unwrap();
         let svc_back = a.heap.get_ref(h_a2, "svc").unwrap().unwrap();
-        assert_eq!(svc_back, printer, "stub resolves back to the original remote object");
+        assert_eq!(
+            svc_back, printer,
+            "stub resolves back to the original remote object"
+        );
     }
 
     #[test]

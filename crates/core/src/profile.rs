@@ -79,17 +79,26 @@ pub struct RuntimeProfile {
 impl RuntimeProfile {
     /// RMI/NRMI on JDK 1.3 (portable NRMI — the only one that runs there).
     pub fn jdk13() -> Self {
-        RuntimeProfile { jdk: JdkGeneration::Jdk13, flavor: NrmiFlavor::Portable }
+        RuntimeProfile {
+            jdk: JdkGeneration::Jdk13,
+            flavor: NrmiFlavor::Portable,
+        }
     }
 
     /// RMI/NRMI on JDK 1.4 with the portable NRMI implementation.
     pub fn jdk14_portable() -> Self {
-        RuntimeProfile { jdk: JdkGeneration::Jdk14, flavor: NrmiFlavor::Portable }
+        RuntimeProfile {
+            jdk: JdkGeneration::Jdk14,
+            flavor: NrmiFlavor::Portable,
+        }
     }
 
     /// RMI/NRMI on JDK 1.4 with the optimized NRMI implementation.
     pub fn jdk14_optimized() -> Self {
-        RuntimeProfile { jdk: JdkGeneration::Jdk14, flavor: NrmiFlavor::Optimized }
+        RuntimeProfile {
+            jdk: JdkGeneration::Jdk14,
+            flavor: NrmiFlavor::Optimized,
+        }
     }
 
     /// The cost model for this stack.

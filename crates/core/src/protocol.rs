@@ -40,7 +40,7 @@ use crate::semantics::{CallOptions, PassMode};
 /// Determines which argument objects are copy-restore roots for a call.
 /// Both sides compute this identically (same registry, same argument
 /// order), which is what makes the two linear maps correspond.
-fn restore_roots_of(
+pub(crate) fn restore_roots_of(
     registry: &SharedRegistry,
     heap: &Heap,
     opts: CallOptions,
@@ -133,7 +133,14 @@ pub fn client_invoke_with_stats(
     args: &[Value],
     opts: CallOptions,
 ) -> Result<(Value, CallStats), NrmiError> {
-    client_invoke_target(client, transport, CallTarget::Named(service), method, args, opts)
+    client_invoke_target(
+        client,
+        transport,
+        CallTarget::Named(service),
+        method,
+        args,
+        opts,
+    )
 }
 
 /// Invokes a method ON a remote object the client holds a stub for —
@@ -158,7 +165,14 @@ pub fn client_invoke_on_object_with_stats(
         .heap
         .stub_key(stub)?
         .ok_or_else(|| NrmiError::InvalidArgument(format!("{stub} is not a remote stub")))?;
-    client_invoke_target(client, transport, CallTarget::Exported(key), method, args, opts)
+    client_invoke_target(
+        client,
+        transport,
+        CallTarget::Exported(key),
+        method,
+        args,
+        opts,
+    )
 }
 
 fn client_invoke_target(
@@ -173,7 +187,10 @@ fn client_invoke_target(
     // full copy-restore semantics; combining the flag with DCE's partial
     // restore or remote-ref's no-copy mode would silently change meaning.
     if opts.delta_reply
-        && matches!(opts.mode_override, Some(PassMode::DceRpc) | Some(PassMode::RemoteRef))
+        && matches!(
+            opts.mode_override,
+            Some(PassMode::DceRpc) | Some(PassMode::RemoteRef)
+        )
     {
         return Err(NrmiError::InvalidArgument(
             "delta replies require copy-restore semantics (AUTO or CopyRestore)".into(),
@@ -331,7 +348,9 @@ fn server_handle_call(
         // Application exceptions travel as their own message; wrapping
         // happens once, on the client ("remote exception: <msg>").
         Err(NrmiError::Remote(message)) => Frame::CallError { message },
-        Err(e) => Frame::CallError { message: e.to_string() },
+        Err(e) => Frame::CallError {
+            message: e.to_string(),
+        },
     }
 }
 
@@ -344,7 +363,11 @@ fn server_handle_call_inner(
     payload: &[u8],
 ) -> Result<Frame, NrmiError> {
     let opts = CallOptions::from_wire(mode_byte)?;
-    let ServerNode { state, services, class_services } = server;
+    let ServerNode {
+        state,
+        services,
+        class_services,
+    } = server;
     let cost = state.profile.cost();
     let registry = state.heap.registry_handle().clone();
     // Resolve the callee: a named service, or the class behavior of an
@@ -357,9 +380,10 @@ fn server_handle_call_inner(
             None,
         ),
         Callee::Exported(key) => {
-            let obj = state.exports.lookup(key).ok_or_else(|| {
-                NrmiError::Protocol(format!("call on unknown export key {key}"))
-            })?;
+            let obj = state
+                .exports
+                .lookup(key)
+                .ok_or_else(|| NrmiError::Protocol(format!("call on unknown export key {key}")))?;
             let class = state.heap.get(obj)?.class();
             let service = class_services.get_mut(&class).ok_or_else(|| {
                 let name = registry
@@ -414,7 +438,9 @@ fn server_handle_call_inner(
     // (AFTER the restore map was built: the receiver is server-owned and
     // never restored to the caller).
     let invoke_args: Vec<Value> = match receiver {
-        Some(obj) => std::iter::once(Value::Ref(obj)).chain(args.iter().cloned()).collect(),
+        Some(obj) => std::iter::once(Value::Ref(obj))
+            .chain(args.iter().cloned())
+            .collect(),
         None => args.clone(),
     };
     let ret = {
@@ -426,7 +452,9 @@ fn server_handle_call_inner(
     if remote_ref_mode {
         let rv = state.value_to_rval(&ret)?;
         state.charge_cpu(cost.callback_owner_us);
-        return Ok(Frame::CallReply { payload: encode_rvals(&[rv]) });
+        return Ok(Frame::CallReply {
+            payload: encode_rvals(&[rv]),
+        });
     }
 
     if let Some(snapshot) = snapshot {
@@ -442,7 +470,9 @@ fn server_handle_call_inner(
                         + server_map.len() as f64 * cost.linear_map_per_obj_us
                         + delta.bytes.len() as f64 * cost.per_byte_us,
                 );
-                return Ok(Frame::CallReply { payload: delta.bytes });
+                return Ok(Frame::CallReply {
+                    payload: delta.bytes,
+                });
             }
             Err(nrmi_wire::WireError::NotSerializable { .. })
             | Err(nrmi_wire::WireError::RemoteWithoutHooks { .. }) => {
@@ -478,10 +508,14 @@ fn server_handle_call_inner(
         }
     }
     let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
-    let enc = serialize_graph_with(&state.heap, &reply_roots, Some(&old_index), Some(&mut hooks))?;
+    let enc = serialize_graph_with(
+        &state.heap,
+        &reply_roots,
+        Some(&old_index),
+        Some(&mut hooks),
+    )?;
     state.charge_cpu(
-        enc.object_count() as f64 * cost.ser_per_obj_us
-            + enc.byte_len() as f64 * cost.per_byte_us,
+        enc.object_count() as f64 * cost.ser_per_obj_us + enc.byte_len() as f64 * cost.per_byte_us,
     );
     Ok(Frame::CallReply { payload: enc.bytes })
 }
@@ -500,6 +534,19 @@ pub fn serve_connection_shared(
     server: &parking_lot::Mutex<ServerNode>,
     transport: &mut dyn Transport,
 ) -> Result<(), NrmiError> {
+    // Warm-session caches are per CONNECTION, even over a shared node:
+    // each client can only address sessions it seeded itself.
+    let mut warm = crate::warm::WarmCaches::new();
+    let result = serve_connection_shared_inner(server, transport, &mut warm);
+    warm.release_all(&mut server.lock().state.heap);
+    result
+}
+
+fn serve_connection_shared_inner(
+    server: &parking_lot::Mutex<ServerNode>,
+    transport: &mut dyn Transport,
+    warm: &mut crate::warm::WarmCaches,
+) -> Result<(), NrmiError> {
     loop {
         let frame = match transport.recv() {
             Ok(frame) => frame,
@@ -508,11 +555,33 @@ pub fn serve_connection_shared(
         };
         match frame {
             Frame::Shutdown => return Ok(()),
+            Frame::CallRequestWarm {
+                service,
+                method,
+                mode,
+                cache_id,
+                generation,
+                payload,
+            } => {
+                let reply = crate::warm::server_handle_warm_call_shared(
+                    server, warm, transport, &service, &method, mode, cache_id, generation,
+                    &payload,
+                );
+                transport.send(&reply)?;
+            }
+            Frame::CacheEvict { cache_id } => {
+                warm.evict(&mut server.lock().state.heap, cache_id);
+            }
             Frame::Lookup { name } => {
                 let found = server.lock().is_bound(&name);
                 transport.send(&Frame::LookupReply { found })?;
             }
-            Frame::CallRequest { service, method, mode, payload } => {
+            Frame::CallRequest {
+                service,
+                method,
+                mode,
+                payload,
+            } => {
                 let reply = server_handle_call(
                     &mut server.lock(),
                     transport,
@@ -523,7 +592,12 @@ pub fn serve_connection_shared(
                 );
                 transport.send(&reply)?;
             }
-            Frame::CallObject { key, method, mode, payload } => {
+            Frame::CallObject {
+                key,
+                method,
+                mode,
+                payload,
+            } => {
                 let reply = server_handle_call(
                     &mut server.lock(),
                     transport,
@@ -555,6 +629,19 @@ pub fn serve_connection(
     server: &mut ServerNode,
     transport: &mut dyn Transport,
 ) -> Result<(), NrmiError> {
+    let mut warm = crate::warm::WarmCaches::new();
+    let result = serve_connection_inner(server, transport, &mut warm);
+    // Connection teardown (orderly or not) releases the cached session
+    // graphs — the warm analogue of DGC cleaning a disconnected client.
+    warm.release_all(&mut server.state.heap);
+    result
+}
+
+fn serve_connection_inner(
+    server: &mut ServerNode,
+    transport: &mut dyn Transport,
+    warm: &mut crate::warm::WarmCaches,
+) -> Result<(), NrmiError> {
     loop {
         let frame = match transport.recv() {
             Ok(frame) => frame,
@@ -563,11 +650,33 @@ pub fn serve_connection(
         };
         match frame {
             Frame::Shutdown => return Ok(()),
+            Frame::CallRequestWarm {
+                service,
+                method,
+                mode,
+                cache_id,
+                generation,
+                payload,
+            } => {
+                let reply = crate::warm::server_handle_warm_call(
+                    server, warm, transport, &service, &method, mode, cache_id, generation,
+                    &payload,
+                );
+                transport.send(&reply)?;
+            }
+            Frame::CacheEvict { cache_id } => {
+                warm.evict(&mut server.state.heap, cache_id);
+            }
             Frame::Lookup { name } => {
                 let found = server.is_bound(&name);
                 transport.send(&Frame::LookupReply { found })?;
             }
-            Frame::CallRequest { service, method, mode, payload } => {
+            Frame::CallRequest {
+                service,
+                method,
+                mode,
+                payload,
+            } => {
                 let reply = server_handle_call(
                     server,
                     transport,
@@ -578,7 +687,12 @@ pub fn serve_connection(
                 );
                 transport.send(&reply)?;
             }
-            Frame::CallObject { key, method, mode, payload } => {
+            Frame::CallObject {
+                key,
+                method,
+                mode,
+                payload,
+            } => {
                 let reply = server_handle_call(
                     server,
                     transport,

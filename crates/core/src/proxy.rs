@@ -44,14 +44,21 @@ pub struct RemoteHeapProxy<'a> {
 
 impl std::fmt::Debug for RemoteHeapProxy<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RemoteHeapProxy").field("stats", &self.stats).finish()
+        f.debug_struct("RemoteHeapProxy")
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
 impl<'a> RemoteHeapProxy<'a> {
     /// Wraps the server's node state and its transport back to the caller.
     pub fn new(node: &'a mut NodeState, transport: &'a mut dyn Transport) -> Self {
-        RemoteHeapProxy { node, transport, class_cache: HashMap::new(), stats: ProxyStats::default() }
+        RemoteHeapProxy {
+            node,
+            transport,
+            class_cache: HashMap::new(),
+            stats: ProxyStats::default(),
+        }
     }
 
     /// Accounting for the completed invocation.
@@ -81,11 +88,10 @@ impl<'a> RemoteHeapProxy<'a> {
 
     fn expect_value(&mut self, frame: Frame) -> Result<Value, HeapError> {
         match frame {
-            Frame::ValueReply(rv) => self
-                .node
-                .rval_to_value(&rv)
-                .map_err(Self::remote_error),
-            other => Err(Self::remote_error(format!("expected ValueReply, got {other:?}"))),
+            Frame::ValueReply(rv) => self.node.rval_to_value(&rv).map_err(Self::remote_error),
+            other => Err(Self::remote_error(format!(
+                "expected ValueReply, got {other:?}"
+            ))),
         }
     }
 }
@@ -94,7 +100,10 @@ impl HeapAccess for RemoteHeapProxy<'_> {
     fn get_field_raw(&mut self, obj: ObjId, field: usize) -> Result<Value, HeapError> {
         match self.stub_key_of(obj)? {
             Some(key) => {
-                let reply = self.roundtrip(Frame::GetField { key, field: field as u32 })?;
+                let reply = self.roundtrip(Frame::GetField {
+                    key,
+                    field: field as u32,
+                })?;
                 self.expect_value(reply)
             }
             None => {
@@ -108,8 +117,11 @@ impl HeapAccess for RemoteHeapProxy<'_> {
         match self.stub_key_of(obj)? {
             Some(key) => {
                 let rv = self.node.value_to_rval(&value)?;
-                let reply =
-                    self.roundtrip(Frame::SetField { key, field: field as u32, value: rv })?;
+                let reply = self.roundtrip(Frame::SetField {
+                    key,
+                    field: field as u32,
+                    value: rv,
+                })?;
                 match reply {
                     Frame::Ack => Ok(()),
                     other => Err(Self::remote_error(format!("expected Ack, got {other:?}"))),
@@ -128,7 +140,11 @@ impl HeapAccess for RemoteHeapProxy<'_> {
         self.node.heap.alloc_raw(class, fields)
     }
 
-    fn alloc_array_raw(&mut self, class: ClassId, elements: Vec<Value>) -> Result<ObjId, HeapError> {
+    fn alloc_array_raw(
+        &mut self,
+        class: ClassId,
+        elements: Vec<Value>,
+    ) -> Result<ObjId, HeapError> {
         self.stats.local_accesses += 1;
         self.node.heap.alloc_array_raw(class, elements)
     }
@@ -166,9 +182,9 @@ impl HeapAccess for RemoteHeapProxy<'_> {
                 let reply = self.roundtrip(Frame::SlotCount { key })?;
                 match reply {
                     Frame::CountReply(n) => Ok(n as usize),
-                    other => {
-                        Err(Self::remote_error(format!("expected CountReply, got {other:?}")))
-                    }
+                    other => Err(Self::remote_error(format!(
+                        "expected CountReply, got {other:?}"
+                    ))),
                 }
             }
             None => {
@@ -181,7 +197,10 @@ impl HeapAccess for RemoteHeapProxy<'_> {
     fn get_element(&mut self, obj: ObjId, index: usize) -> Result<Value, HeapError> {
         match self.stub_key_of(obj)? {
             Some(key) => {
-                let reply = self.roundtrip(Frame::GetElement { key, index: index as u32 })?;
+                let reply = self.roundtrip(Frame::GetElement {
+                    key,
+                    index: index as u32,
+                })?;
                 self.expect_value(reply)
             }
             None => {
@@ -195,8 +214,11 @@ impl HeapAccess for RemoteHeapProxy<'_> {
         match self.stub_key_of(obj)? {
             Some(key) => {
                 let rv = self.node.value_to_rval(&value)?;
-                let reply =
-                    self.roundtrip(Frame::SetElement { key, index: index as u32, value: rv })?;
+                let reply = self.roundtrip(Frame::SetElement {
+                    key,
+                    index: index as u32,
+                    value: rv,
+                })?;
                 match reply {
                     Frame::Ack => Ok(()),
                     other => Err(Self::remote_error(format!("expected Ack, got {other:?}"))),
@@ -274,7 +296,9 @@ pub fn handle_callback(node: &mut NodeState, frame: &Frame) -> Option<Frame> {
         }
         _ => return None,
     };
-    Some(reply.unwrap_or_else(|e: HeapError| Frame::ErrorReply { message: e.to_string() }))
+    Some(reply.unwrap_or_else(|e: HeapError| Frame::ErrorReply {
+        message: e.to_string(),
+    }))
 }
 
 fn with_export(
@@ -299,7 +323,12 @@ mod tests {
 
     /// Builds a connected (owner, proxy-side) pair of nodes sharing a
     /// registry, with the running example living at the owner.
-    fn setup() -> (NodeState, NodeState, tree::RunningExample, nrmi_heap::SharedRegistry) {
+    fn setup() -> (
+        NodeState,
+        NodeState,
+        tree::RunningExample,
+        nrmi_heap::SharedRegistry,
+    ) {
         let mut reg = ClassRegistry::new();
         let classes = tree::register_tree_classes(&mut reg);
         let registry = reg.snapshot();
@@ -356,8 +385,14 @@ mod tests {
             // Write through the stub.
             proxy.set_field(root, "data", Value::Int(99)).unwrap();
         });
-        assert!(stats.callbacks >= 2, "reads and writes each cross the network");
-        assert_eq!(owner.heap.get_field(ex.root, "data").unwrap(), Value::Int(99));
+        assert!(
+            stats.callbacks >= 2,
+            "reads and writes each cross the network"
+        );
+        assert_eq!(
+            owner.heap.get_field(ex.root, "data").unwrap(),
+            Value::Int(99)
+        );
     }
 
     #[test]
@@ -376,14 +411,23 @@ mod tests {
         // SERVER; t.right on the owner is a stub (the paper's Figure 3
         // picture), so the full Figure-2 walk happens across two heaps.
         // Direct mutations on owner objects must all be visible:
-        assert_eq!(owner.heap.get_field(ex.alias1_target, "data").unwrap(), Value::Int(0));
-        assert_eq!(owner.heap.get_field(ex.alias2_target, "data").unwrap(), Value::Int(9));
+        assert_eq!(
+            owner.heap.get_field(ex.alias1_target, "data").unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            owner.heap.get_field(ex.alias2_target, "data").unwrap(),
+            Value::Int(9)
+        );
         assert_eq!(owner.heap.get_field(ex.rr, "data").unwrap(), Value::Int(8));
         assert_eq!(owner.heap.get_ref(ex.root, "left").unwrap(), None);
         assert_eq!(owner.heap.get_ref(ex.alias2_target, "right").unwrap(), None);
         // t.right is a stub for the server-allocated temp node.
         let t_right = owner.heap.get_ref(ex.root, "right").unwrap().unwrap();
-        assert!(owner.heap.stub_key(t_right).unwrap().is_some(), "t.right is a remote stub");
+        assert!(
+            owner.heap.stub_key(t_right).unwrap().is_some(),
+            "t.right is a remote stub"
+        );
     }
 
     #[test]
@@ -397,8 +441,14 @@ mod tests {
         let ((), _) = with_proxy(&mut owner, &mut server, key, |proxy, root| {
             tree::run_foo(proxy, root).unwrap();
         });
-        assert!(!owner.exports.is_empty(), "owner objects pinned by server stubs");
-        assert!(!server.exports.is_empty(), "server temp pinned by owner stub");
+        assert!(
+            !owner.exports.is_empty(),
+            "owner objects pinned by server stubs"
+        );
+        assert!(
+            !server.exports.is_empty(),
+            "server temp pinned by owner stub"
+        );
         // The server-side temp node references owner nodes through stubs.
         let temp_stub = owner.heap.get_ref(ex.root, "right").unwrap().unwrap();
         let temp_key = owner.heap.stub_key(temp_stub).unwrap().unwrap();

@@ -24,6 +24,17 @@
 //! (Figure 7: "all modified old objects and their linear representation
 //! can now be deallocated"). New objects stay — spliced into the
 //! caller's graph exactly where the server put them.
+//!
+//! # Atomicity
+//!
+//! Restore is all-or-nothing with respect to the caller's pre-call
+//! graph. Every annotation and handle in the reply is validated *before*
+//! the first original is touched (old index in range and unique, matching
+//! class, compatible arity); if anything is malformed, every object the
+//! decode materialized is freed and the heap is left byte-identical to
+//! its pre-call state — a corrupt or mismatched reply can never
+//! half-restore. Only after the whole reply validates does the overwrite
+//! pass run, and by then none of its operations can fail on reply input.
 
 use std::collections::HashMap;
 
@@ -64,18 +75,51 @@ pub struct RestoreOutcome {
 ///
 /// # Errors
 /// [`NrmiError::Protocol`] if an `old_index` annotation falls outside the
-/// caller's linear map (a corrupt or mismatched reply); heap errors on
-/// dangling handles.
+/// caller's linear map, repeats a position, or pairs objects of different
+/// classes or incompatible arities (a corrupt or mismatched reply). On
+/// any such error the heap is left byte-identical to its pre-call state:
+/// no original is touched and every decoded object is freed.
 pub fn apply_restore(
     heap: &mut Heap,
     client_map: &LinearMap,
     decoded: &DecodedGraph,
 ) -> Result<RestoreOutcome, NrmiError> {
-    // Step 4: match up the two linear maps. `modified_to_original` maps
-    // each returned modified-old object to the caller's original.
+    match plan_restore(heap, client_map, decoded) {
+        Ok(plan) => commit_restore(heap, decoded, plan),
+        Err(e) => {
+            // Transactional abort: undo the decode so the reply leaves no
+            // trace. Everything in `decoded.linear` was freshly allocated
+            // by this reply's unmarshalling (imported stubs are resolved
+            // through hooks and never enter the linear map).
+            for &temp in &decoded.linear {
+                let _ = heap.free(temp);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// The validated step-4 match, ready to commit.
+struct RestorePlan {
+    /// Returned modified-old object → caller's original.
+    modified_to_original: HashMap<ObjId, ObjId>,
+    /// `(temp, original)` pairs in traversal order.
+    modified_old: Vec<(ObjId, ObjId)>,
+    /// Server-allocated objects.
+    new_objects: Vec<ObjId>,
+}
+
+/// Step 4 plus up-front validation of everything the overwrite pass will
+/// rely on. Read-only: the heap is not mutated.
+fn plan_restore(
+    heap: &Heap,
+    client_map: &LinearMap,
+    decoded: &DecodedGraph,
+) -> Result<RestorePlan, NrmiError> {
     let mut modified_to_original: HashMap<ObjId, ObjId> = HashMap::new();
-    let mut modified_old: Vec<(ObjId, ObjId)> = Vec::new(); // (temp, original)
+    let mut modified_old: Vec<(ObjId, ObjId)> = Vec::new();
     let mut new_objects: Vec<ObjId> = Vec::new();
+    let mut seen_positions: HashMap<u32, ObjId> = HashMap::new();
     for (temp, old_index) in decoded.iter_with_old() {
         match old_index {
             Some(pos) => {
@@ -85,12 +129,60 @@ pub fn apply_restore(
                         client_map.len()
                     ))
                 })?;
+                if seen_positions.insert(pos, temp).is_some() {
+                    return Err(NrmiError::Protocol(format!(
+                        "reply annotates old index {pos} twice"
+                    )));
+                }
+                // The overwrite pass must not be able to fail: reject
+                // class or arity mismatches now, while nothing has been
+                // touched, instead of tripping a heap error mid-restore.
+                let temp_obj = heap.get(temp)?;
+                let original_obj = heap.get(original).map_err(|_| {
+                    NrmiError::Protocol(format!(
+                        "reply annotates old index {pos}, but the caller's original is gone"
+                    ))
+                })?;
+                if temp_obj.class() != original_obj.class() {
+                    return Err(NrmiError::Protocol(format!(
+                        "reply object at old index {pos} has class {:?}, original has {:?}",
+                        temp_obj.class(),
+                        original_obj.class()
+                    )));
+                }
+                let is_array = heap.registry_handle().get(temp_obj.class())?.flags().array;
+                if !is_array && temp_obj.body().len() != original_obj.body().len() {
+                    return Err(NrmiError::Protocol(format!(
+                        "reply object at old index {pos} has {} slots, original has {}",
+                        temp_obj.body().len(),
+                        original_obj.body().len()
+                    )));
+                }
                 modified_to_original.insert(temp, original);
                 modified_old.push((temp, original));
             }
             None => new_objects.push(temp),
         }
     }
+    Ok(RestorePlan {
+        modified_to_original,
+        modified_old,
+        new_objects,
+    })
+}
+
+/// Steps 5–6 plus temp deallocation. Only runs on a validated plan, so
+/// none of these operations can fail on reply input.
+fn commit_restore(
+    heap: &mut Heap,
+    decoded: &DecodedGraph,
+    plan: RestorePlan,
+) -> Result<RestoreOutcome, NrmiError> {
+    let RestorePlan {
+        modified_to_original,
+        modified_old,
+        new_objects,
+    } = plan;
 
     // Step 5: overwrite each original with its modified version's data,
     // converting pointers to modified-old objects into pointers to the
@@ -131,7 +223,10 @@ pub fn apply_restore(
 
     Ok(RestoreOutcome {
         roots,
-        stats: RestoreStats { old_objects: modified_old.len(), new_objects: new_objects.len() },
+        stats: RestoreStats {
+            old_objects: modified_old.len(),
+            new_objects: new_objects.len(),
+        },
     })
 }
 
@@ -139,7 +234,7 @@ pub fn apply_restore(
 mod tests {
     use super::*;
     use nrmi_heap::tree::{self, TreeClasses};
-    use nrmi_heap::{ClassRegistry, HeapAccess};
+    use nrmi_heap::{ClassRegistry, HeapAccess, HeapSnapshot};
     use nrmi_wire::{deserialize_graph, serialize_graph, serialize_graph_with};
 
     fn setup() -> (Heap, TreeClasses) {
@@ -170,12 +265,13 @@ mod tests {
 
         // Step 3: reply = every old object (by linear map) as roots, with
         // old-index annotations.
-        let old_index: HashMap<ObjId, u32> =
-            server_map.iter().map(|(pos, id)| (id, pos)).collect();
-        let reply_roots: Vec<Value> =
-            server_map.order().iter().map(|&id| Value::Ref(id)).collect();
-        let reply =
-            serialize_graph_with(&server, &reply_roots, Some(&old_index), None).unwrap();
+        let old_index: HashMap<ObjId, u32> = server_map.iter().map(|(pos, id)| (id, pos)).collect();
+        let reply_roots: Vec<Value> = server_map
+            .order()
+            .iter()
+            .map(|&id| Value::Ref(id))
+            .collect();
+        let reply = serialize_graph_with(&server, &reply_roots, Some(&old_index), None).unwrap();
 
         // Steps 4-6 on the client.
         let decoded = deserialize_graph(&reply.bytes, client).unwrap();
@@ -190,10 +286,16 @@ mod tests {
         let outcome = copy_restore_roundtrip(&mut client, ex.root, |server, r| {
             tree::run_foo(server, r).unwrap();
         });
-        assert_eq!(outcome.stats.old_objects, 7, "all 7 original nodes restored");
+        assert_eq!(
+            outcome.stats.old_objects, 7,
+            "all 7 original nodes restored"
+        );
         assert_eq!(outcome.stats.new_objects, 1, "foo allocates one node");
         let violations = tree::figure2_violations(&mut client, &ex).unwrap();
-        assert!(violations.is_empty(), "copy-restore violated figure 2: {violations:?}");
+        assert!(
+            violations.is_empty(),
+            "copy-restore violated figure 2: {violations:?}"
+        );
         // Temp copies freed: exactly one net new object (foo's temp).
         assert_eq!(client.live_count(), live_before + 1);
     }
@@ -212,7 +314,10 @@ mod tests {
             Value::Int(0),
             "alias1 must observe the write to the unlinked subtree"
         );
-        assert_eq!(client.get_field(ex.alias2_target, "data").unwrap(), Value::Int(9));
+        assert_eq!(
+            client.get_field(ex.alias2_target, "data").unwrap(),
+            Value::Int(9)
+        );
     }
 
     #[test]
@@ -228,7 +333,10 @@ mod tests {
         // must be the SAME ObjId.
         let new_right = client.get_ref(ex.root, "right").unwrap().unwrap();
         let reached = client.get_ref(new_right, "left").unwrap().unwrap();
-        assert_eq!(reached, ex.rr, "identity of old objects preserved through restore");
+        assert_eq!(
+            reached, ex.rr,
+            "identity of old objects preserved through restore"
+        );
     }
 
     #[test]
@@ -261,8 +369,7 @@ mod tests {
         let decoded_req = deserialize_graph(&request.bytes, &mut server).unwrap();
         let server_root = decoded_req.roots[0].as_ref_id().unwrap();
         let server_map = LinearMap::build(&server, &[server_root]).unwrap();
-        let old_index: HashMap<ObjId, u32> =
-            server_map.iter().map(|(pos, id)| (id, pos)).collect();
+        let old_index: HashMap<ObjId, u32> = server_map.iter().map(|(pos, id)| (id, pos)).collect();
         // Reply: [return value = the root itself] ++ linear map.
         let mut reply_roots = vec![Value::Ref(server_root)];
         reply_roots.extend(server_map.order().iter().map(|&id| Value::Ref(id)));
@@ -289,9 +396,123 @@ mod tests {
         let bogus: HashMap<ObjId, u32> = [(server_root, 99u32)].into_iter().collect();
         let reply =
             serialize_graph_with(&server, &[Value::Ref(server_root)], Some(&bogus), None).unwrap();
+        let before = HeapSnapshot::capture(&client);
         let decoded = deserialize_graph(&reply.bytes, &mut client).unwrap();
         let err = apply_restore(&mut client, &client_map, &decoded).unwrap_err();
         assert!(matches!(err, NrmiError::Protocol(_)), "{err}");
+        let diff = before.diff(&HeapSnapshot::capture(&client));
+        assert!(
+            diff.is_empty(),
+            "rejected reply must leave the heap untouched: {diff:?}"
+        );
+    }
+
+    /// The transactional-restore regression: a reply whose first k-1
+    /// entries are valid (and carry real changes) but whose k-th entry is
+    /// corrupt must leave the caller's heap byte-identical — no
+    /// half-restored originals, no leaked temp copies.
+    #[test]
+    fn corrupt_entry_at_position_k_leaves_heap_byte_identical() {
+        let mut reg = ClassRegistry::new();
+        let classes = tree::register_tree_classes(&mut reg);
+        // A second class with a different arity, so a mis-annotated entry
+        // is a class/arity mismatch rather than a bad index.
+        let named = reg
+            .define("Named")
+            .field_str("name")
+            .serializable()
+            .register();
+        let mut client = Heap::new(reg.snapshot());
+        let node = client
+            .alloc(classes.tree, vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        let tag = client.alloc(named, vec![Value::Str("tag".into())]).unwrap();
+        let client_map = LinearMap::build(&client, &[node, tag]).unwrap();
+
+        // Server copy, with a real mutation to the tree node so entry 0
+        // of the reply genuinely differs from the caller's original.
+        let mut server = Heap::new(client.registry_handle().clone());
+        let request = serialize_graph(&client, &[Value::Ref(node), Value::Ref(tag)]).unwrap();
+        let decoded_req = deserialize_graph(&request.bytes, &mut server).unwrap();
+        let s_node = decoded_req.roots[0].as_ref_id().unwrap();
+        let s_tag = decoded_req.roots[1].as_ref_id().unwrap();
+        server.set_field(s_node, "data", Value::Int(777)).unwrap();
+
+        // Corrupt annotations: entry 0 (the tree node) is correct, but
+        // entry k=1 (the Named object) claims the tree node's old index —
+        // a duplicate position AND a class mismatch. Before restore was
+        // transactional, entry 0 was overwritten before the corruption at
+        // entry 1 was discovered.
+        let corrupt: HashMap<ObjId, u32> = [(s_node, 0u32), (s_tag, 0u32)].into_iter().collect();
+        let reply = serialize_graph_with(
+            &server,
+            &[Value::Ref(s_node), Value::Ref(s_tag)],
+            Some(&corrupt),
+            None,
+        )
+        .unwrap();
+
+        let before = HeapSnapshot::capture(&client);
+        let decoded = deserialize_graph(&reply.bytes, &mut client).unwrap();
+        let err = apply_restore(&mut client, &client_map, &decoded).unwrap_err();
+        assert!(matches!(err, NrmiError::Protocol(_)), "{err}");
+        let diff = before.diff(&HeapSnapshot::capture(&client));
+        assert!(
+            diff.is_empty(),
+            "corrupt reply must be all-or-nothing: no half-restore, no leaked temps: {diff:?}"
+        );
+        assert_eq!(
+            client.get_field(node, "data").unwrap(),
+            Value::Int(1),
+            "the valid entry before the corruption must NOT have been applied"
+        );
+    }
+
+    /// Same property for a class-mismatch-only corruption (positions all
+    /// distinct and in range, but one entry pairs objects of different
+    /// classes).
+    #[test]
+    fn class_mismatch_reply_leaves_heap_byte_identical() {
+        let mut reg = ClassRegistry::new();
+        let classes = tree::register_tree_classes(&mut reg);
+        let named = reg
+            .define("Named")
+            .field_str("name")
+            .serializable()
+            .register();
+        let mut client = Heap::new(reg.snapshot());
+        let node = client
+            .alloc(classes.tree, vec![Value::Int(5), Value::Null, Value::Null])
+            .unwrap();
+        let tag = client.alloc(named, vec![Value::Str("x".into())]).unwrap();
+        let client_map = LinearMap::build(&client, &[node, tag]).unwrap();
+
+        let mut server = Heap::new(client.registry_handle().clone());
+        let request = serialize_graph(&client, &[Value::Ref(node), Value::Ref(tag)]).unwrap();
+        let decoded_req = deserialize_graph(&request.bytes, &mut server).unwrap();
+        let s_node = decoded_req.roots[0].as_ref_id().unwrap();
+        let s_tag = decoded_req.roots[1].as_ref_id().unwrap();
+        server.set_field(s_node, "data", Value::Int(6)).unwrap();
+
+        // Swapped annotations: each entry claims the OTHER's old index.
+        let swapped: HashMap<ObjId, u32> = [(s_node, 1u32), (s_tag, 0u32)].into_iter().collect();
+        let reply = serialize_graph_with(
+            &server,
+            &[Value::Ref(s_node), Value::Ref(s_tag)],
+            Some(&swapped),
+            None,
+        )
+        .unwrap();
+
+        let before = HeapSnapshot::capture(&client);
+        let decoded = deserialize_graph(&reply.bytes, &mut client).unwrap();
+        let err = apply_restore(&mut client, &client_map, &decoded).unwrap_err();
+        assert!(matches!(err, NrmiError::Protocol(_)), "{err}");
+        let diff = before.diff(&HeapSnapshot::capture(&client));
+        assert!(
+            diff.is_empty(),
+            "swapped-class reply must leave the heap untouched: {diff:?}"
+        );
     }
 
     #[test]
@@ -308,7 +529,9 @@ mod tests {
         let _server_map = LinearMap::build(&server, &[server_root]).unwrap();
         // Server mutates root and left child...
         let s_left = server.get_ref(server_root, "left").unwrap().unwrap();
-        server.set_field(server_root, "data", Value::Int(100)).unwrap();
+        server
+            .set_field(server_root, "data", Value::Int(100))
+            .unwrap();
         server.set_field(s_left, "data", Value::Int(200)).unwrap();
         // ...but the reply only ships the ROOT (as if left had become
         // parameter-unreachable under DCE rules).

@@ -92,7 +92,10 @@ impl CallOptions {
 
     /// Force `mode` for all reference arguments.
     pub fn forced(mode: PassMode) -> Self {
-        CallOptions { mode_override: Some(mode), ..CallOptions::default() }
+        CallOptions {
+            mode_override: Some(mode),
+            ..CallOptions::default()
+        }
     }
 
     /// Copy-restore with delta-encoded replies.
@@ -145,10 +148,16 @@ impl CallOptions {
             MODE_REMOTE_REF => Some(PassMode::RemoteRef),
             MODE_DCE => Some(PassMode::DceRpc),
             other => {
-                return Err(NrmiError::Protocol(format!("unknown mode byte {other:#04x}")));
+                return Err(NrmiError::Protocol(format!(
+                    "unknown mode byte {other:#04x}"
+                )));
             }
         };
-        Ok(CallOptions { mode_override, delta_reply, timeout: None })
+        Ok(CallOptions {
+            mode_override,
+            delta_reply,
+            timeout: None,
+        })
     }
 }
 
@@ -177,7 +186,11 @@ mod tests {
             CallOptions::forced(PassMode::RemoteRef),
             CallOptions::forced(PassMode::DceRpc),
             CallOptions::copy_restore_delta(),
-            CallOptions { mode_override: None, delta_reply: true, timeout: None },
+            CallOptions {
+                mode_override: None,
+                delta_reply: true,
+                timeout: None,
+            },
         ];
         for opts in cases {
             let byte = opts.to_wire();

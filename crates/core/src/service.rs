@@ -92,7 +92,10 @@ mod tests {
     fn fn_service_dispatches_and_errors() {
         let mut svc = FnService::new(|method, _args, _heap| match method {
             "ok" => Ok(Value::Int(1)),
-            other => Err(NrmiError::NoSuchMethod { service: "t".into(), method: other.into() }),
+            other => Err(NrmiError::NoSuchMethod {
+                service: "t".into(),
+                method: other.into(),
+            }),
         });
         let reg = ClassRegistry::new();
         let mut heap = nrmi_heap::Heap::new(reg.snapshot());

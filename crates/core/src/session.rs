@@ -151,7 +151,9 @@ pub struct Session {
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Session").field("client", &self.client).finish()
+        f.debug_struct("Session")
+            .field("client", &self.client)
+            .finish()
     }
 }
 
@@ -185,7 +187,12 @@ impl Session {
     ///
     /// # Errors
     /// Marshalling, transport, protocol, and remote-exception failures.
-    pub fn call(&mut self, service: &str, method: &str, args: &[Value]) -> Result<Value, NrmiError> {
+    pub fn call(
+        &mut self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, NrmiError> {
         self.call_with(service, method, args, CallOptions::auto())
     }
 
@@ -200,7 +207,8 @@ impl Session {
         args: &[Value],
         opts: CallOptions,
     ) -> Result<Value, NrmiError> {
-        self.call_with_stats(service, method, args, opts).map(|(v, _)| v)
+        self.call_with_stats(service, method, args, opts)
+            .map(|(v, _)| v)
     }
 
     /// Invokes a remote method and returns per-call statistics alongside
@@ -216,8 +224,14 @@ impl Session {
         opts: CallOptions,
     ) -> Result<(Value, CallStats), NrmiError> {
         let started = std::time::Instant::now();
-        let result =
-            client_invoke_with_stats(&mut self.client, &mut self.transport, service, method, args, opts);
+        let result = client_invoke_with_stats(
+            &mut self.client,
+            &mut self.transport,
+            service,
+            method,
+            args,
+            opts,
+        );
         if self.tracer.is_enabled() {
             let (error, stats) = match &result {
                 Ok((_, stats)) => (None, *stats),
@@ -232,6 +246,77 @@ impl Session {
             );
         }
         result
+    }
+
+    /// Invokes a remote method through the warm-call protocol: the first
+    /// call per service seeds a server-side cache of the argument graph;
+    /// later calls ship only a request delta (objects mutated, freed, or
+    /// newly reachable since the previous call). Semantics are full
+    /// copy-restore with delta replies. See [`crate::warm`].
+    ///
+    /// # Errors
+    /// As [`Session::call`]; any error retires the session cache, so the
+    /// next call reseeds.
+    pub fn call_warm(
+        &mut self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, NrmiError> {
+        self.call_warm_with_stats(service, method, args)
+            .map(|(v, _)| v)
+    }
+
+    /// [`Session::call_warm`] returning per-call statistics (request and
+    /// reply bytes reflect the delta sizes).
+    ///
+    /// # Errors
+    /// As [`Session::call_warm`].
+    pub fn call_warm_with_stats(
+        &mut self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<(Value, CallStats), NrmiError> {
+        let started = std::time::Instant::now();
+        let result = crate::warm::client_invoke_warm_with_stats(
+            &mut self.client,
+            &mut self.transport,
+            service,
+            method,
+            args,
+        );
+        if self.tracer.is_enabled() {
+            let (error, stats) = match &result {
+                Ok((_, stats)) => (None, *stats),
+                Err(e) => (Some(e.to_string()), CallStats::default()),
+            };
+            self.tracer.record(
+                format!("{service}.{method}"),
+                CallOptions::copy_restore_delta(),
+                error,
+                stats,
+                started.elapsed(),
+            );
+        }
+        result
+    }
+
+    /// Retires the warm session for `service`: drops the client cache
+    /// and tells the server to free its cached graph. A no-op if no
+    /// session is established.
+    ///
+    /// # Errors
+    /// Transport failures sending the eviction notice.
+    pub fn evict_warm(&mut self, service: &str) -> Result<(), NrmiError> {
+        crate::warm::evict(&mut self.client, &mut self.transport, service)
+    }
+
+    /// The generation the next warm call to `service` will carry
+    /// (`None` before the first call and after eviction; 1 right after
+    /// seeding; +1 per completed warm call).
+    pub fn warm_generation(&self, service: &str) -> Option<u64> {
+        self.client.warm.generation(service)
     }
 
     /// Starts recording a [`CallTrace`](crate::trace::CallTrace) per
@@ -292,8 +377,13 @@ impl Session {
                 Ok((_, stats)) => (None, *stats),
                 Err(e) => (Some(e.to_string()), CallStats::default()),
             };
-            self.tracer
-                .record(format!("{stub}.{method}"), opts, error, stats, started.elapsed());
+            self.tracer.record(
+                format!("{stub}.{method}"),
+                opts,
+                error,
+                stats,
+                started.elapsed(),
+            );
         }
         result.map(|(v, _)| v)
     }
@@ -304,10 +394,14 @@ impl Session {
     /// # Errors
     /// Transport failures or protocol violations.
     pub fn lookup(&mut self, name: &str) -> Result<bool, NrmiError> {
-        self.transport.send(&Frame::Lookup { name: name.to_owned() })?;
+        self.transport.send(&Frame::Lookup {
+            name: name.to_owned(),
+        })?;
         match self.transport.recv()? {
             Frame::LookupReply { found } => Ok(found),
-            other => Err(NrmiError::Protocol(format!("expected LookupReply, got {other:?}"))),
+            other => Err(NrmiError::Protocol(format!(
+                "expected LookupReply, got {other:?}"
+            ))),
         }
     }
 
@@ -347,8 +441,11 @@ impl Session {
         // Objects the PEER holds references to must survive local GC.
         let mut gc_roots: Vec<ObjId> = roots.to_vec();
         gc_roots.extend(state.exports.roots());
-        let reachable: HashSet<ObjId> =
-            LinearMap::build(&state.heap, &gc_roots)?.order().iter().copied().collect();
+        let reachable: HashSet<ObjId> = LinearMap::build(&state.heap, &gc_roots)?
+            .order()
+            .iter()
+            .copied()
+            .collect();
         // Unreachable stubs: release the peer's export before freeing.
         let doomed: Vec<(u64, ObjId)> = state
             .stubs
@@ -482,7 +579,10 @@ impl Session {
 impl<T: Transport> RemoteSession<T> {
     /// Wraps an already-connected transport as a client session.
     pub fn over(registry: SharedRegistry, transport: T) -> Self {
-        RemoteSession { client: ClientNode::new(registry, MachineSpec::fast()), transport }
+        RemoteSession {
+            client: ClientNode::new(registry, MachineSpec::fast()),
+            transport,
+        }
     }
 
     /// The client-side heap.
@@ -499,7 +599,12 @@ impl<T: Transport> RemoteSession<T> {
     ///
     /// # Errors
     /// As [`Session::call`].
-    pub fn call(&mut self, service: &str, method: &str, args: &[Value]) -> Result<Value, NrmiError> {
+    pub fn call(
+        &mut self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, NrmiError> {
         self.call_with(service, method, args, CallOptions::auto())
     }
 
@@ -514,8 +619,15 @@ impl<T: Transport> RemoteSession<T> {
         args: &[Value],
         opts: CallOptions,
     ) -> Result<Value, NrmiError> {
-        client_invoke_with_stats(&mut self.client, &mut self.transport, service, method, args, opts)
-            .map(|(v, _)| v)
+        client_invoke_with_stats(
+            &mut self.client,
+            &mut self.transport,
+            service,
+            method,
+            args,
+            opts,
+        )
+        .map(|(v, _)| v)
     }
 
     /// Invokes a method on a remote object this client holds a stub for.
@@ -537,6 +649,60 @@ impl<T: Transport> RemoteSession<T> {
             CallOptions::auto(),
         )
         .map(|(v, _)| v)
+    }
+
+    /// Invokes a remote method through the warm-call protocol
+    /// (see [`Session::call_warm`]).
+    ///
+    /// # Errors
+    /// As [`Session::call_warm`].
+    pub fn call_warm(
+        &mut self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, NrmiError> {
+        crate::warm::client_invoke_warm_with_stats(
+            &mut self.client,
+            &mut self.transport,
+            service,
+            method,
+            args,
+        )
+        .map(|(v, _)| v)
+    }
+
+    /// [`RemoteSession::call_warm`] returning per-call statistics.
+    ///
+    /// # Errors
+    /// As [`Session::call_warm`].
+    pub fn call_warm_with_stats(
+        &mut self,
+        service: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<(Value, CallStats), NrmiError> {
+        crate::warm::client_invoke_warm_with_stats(
+            &mut self.client,
+            &mut self.transport,
+            service,
+            method,
+            args,
+        )
+    }
+
+    /// Retires the warm session for `service`
+    /// (see [`Session::evict_warm`]).
+    ///
+    /// # Errors
+    /// Transport failures sending the eviction notice.
+    pub fn evict_warm(&mut self, service: &str) -> Result<(), NrmiError> {
+        crate::warm::evict(&mut self.client, &mut self.transport, service)
+    }
+
+    /// The generation the next warm call to `service` will carry.
+    pub fn warm_generation(&self, service: &str) -> Option<u64> {
+        self.client.warm.generation(service)
     }
 
     /// Ends the connection (the server moves on to its next client).

@@ -38,7 +38,11 @@ impl CallTrace {
             Some(crate::PassMode::RemoteRef) => "remote-ref",
             Some(crate::PassMode::DceRpc) => "dce",
         };
-        let delta = if self.options.delta_reply { "+delta" } else { "" };
+        let delta = if self.options.delta_reply {
+            "+delta"
+        } else {
+            ""
+        };
         let outcome = match &self.error {
             None => "ok".to_owned(),
             Some(e) => format!("ERR {e}"),
@@ -106,7 +110,14 @@ impl Tracer {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.push(CallTrace { seq, target, options, error, stats, elapsed });
+        self.entries.push(CallTrace {
+            seq,
+            target,
+            options,
+            error,
+            stats,
+            elapsed,
+        });
         Some(seq)
     }
 
@@ -122,7 +133,11 @@ impl Tracer {
 
     /// Renders the log, one line per call.
     pub fn render(&self) -> String {
-        self.entries.iter().map(|e| e.line()).collect::<Vec<_>>().join("\n")
+        self.entries
+            .iter()
+            .map(|e| e.line())
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     /// Aggregate totals over the recorded calls:
@@ -149,7 +164,11 @@ mod tests {
     use super::*;
 
     fn stats(req: usize, reply: usize) -> CallStats {
-        CallStats { request_bytes: req, reply_bytes: reply, ..CallStats::default() }
+        CallStats {
+            request_bytes: req,
+            reply_bytes: reply,
+            ..CallStats::default()
+        }
     }
 
     #[test]
@@ -157,7 +176,13 @@ mod tests {
         let mut t = Tracer::new();
         assert!(!t.is_enabled());
         assert_eq!(
-            t.record("svc.m".into(), CallOptions::auto(), None, stats(1, 2), Duration::ZERO),
+            t.record(
+                "svc.m".into(),
+                CallOptions::auto(),
+                None,
+                stats(1, 2),
+                Duration::ZERO
+            ),
             None
         );
         assert!(t.entries().is_empty());
@@ -168,7 +193,13 @@ mod tests {
         let mut t = Tracer::new();
         t.enable();
         let seq = t
-            .record("svc.m".into(), CallOptions::auto(), None, stats(100, 200), Duration::from_micros(5))
+            .record(
+                "svc.m".into(),
+                CallOptions::auto(),
+                None,
+                stats(100, 200),
+                Duration::from_micros(5),
+            )
             .unwrap();
         assert_eq!(seq, 0);
         t.record(
@@ -191,11 +222,23 @@ mod tests {
     fn clear_keeps_sequence() {
         let mut t = Tracer::new();
         t.enable();
-        t.record("a.b".into(), CallOptions::auto(), None, stats(0, 0), Duration::ZERO);
+        t.record(
+            "a.b".into(),
+            CallOptions::auto(),
+            None,
+            stats(0, 0),
+            Duration::ZERO,
+        );
         t.clear();
         assert!(t.entries().is_empty());
         let seq = t
-            .record("a.c".into(), CallOptions::auto(), None, stats(0, 0), Duration::ZERO)
+            .record(
+                "a.c".into(),
+                CallOptions::auto(),
+                None,
+                stats(0, 0),
+                Duration::ZERO,
+            )
             .unwrap();
         assert_eq!(seq, 1, "sequence numbers never repeat");
     }

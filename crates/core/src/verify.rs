@@ -51,7 +51,9 @@ pub fn check_transparency(
     // Local oracle.
     let mut oracle_heap = Heap::new(registry.clone());
     let oracle_roots = build(&mut oracle_heap);
-    let oracle_arg = *oracle_roots.first().expect("builder returns at least the argument root");
+    let oracle_arg = *oracle_roots
+        .first()
+        .expect("builder returns at least the argument root");
     routine(&mut oracle_heap, oracle_arg)?;
 
     // Remote execution.
@@ -67,7 +69,9 @@ pub fn check_transparency(
         )
         .build();
     let client_roots = build(session.heap());
-    let client_arg = *client_roots.first().expect("builder returns at least the argument root");
+    let client_arg = *client_roots
+        .first()
+        .expect("builder returns at least the argument root");
     session.call_with("under-test", "run", &[Value::Ref(client_arg)], opts)?;
 
     // Compare outcome graphs across argument + aliases.
@@ -89,7 +93,10 @@ mod tests {
 
     fn build_example(heap: &mut Heap) -> Vec<ObjId> {
         let classes = tree::TreeClasses {
-            tree: heap.registry_handle().by_name("Tree").expect("Tree registered"),
+            tree: heap
+                .registry_handle()
+                .by_name("Tree")
+                .expect("Tree registered"),
         };
         let ex = tree::build_running_example(heap, &classes).unwrap();
         vec![ex.root, ex.alias1_target, ex.alias2_target]
@@ -114,10 +121,17 @@ mod tests {
 
     #[test]
     fn auto_mode_is_transparent_for_restorable_classes() {
-        let diff =
-            check_transparency(&registry(), &build_example, foo_routine, CallOptions::auto())
-                .unwrap();
-        assert_eq!(diff, None, "Tree is Restorable, so AUTO should copy-restore");
+        let diff = check_transparency(
+            &registry(),
+            &build_example,
+            foo_routine,
+            CallOptions::auto(),
+        )
+        .unwrap();
+        assert_eq!(
+            diff, None,
+            "Tree is Restorable, so AUTO should copy-restore"
+        );
     }
 
     #[test]
@@ -129,7 +143,10 @@ mod tests {
             CallOptions::copy_restore_delta(),
         )
         .unwrap();
-        assert_eq!(diff, None, "delta-encoded copy-restore must equal local execution");
+        assert_eq!(
+            diff, None,
+            "delta-encoded copy-restore must equal local execution"
+        );
     }
 
     #[test]
@@ -155,7 +172,10 @@ mod tests {
             CallOptions::forced(PassMode::DceRpc),
         )
         .unwrap();
-        assert!(diff.is_some(), "DCE RPC must diverge on the running example");
+        assert!(
+            diff.is_some(),
+            "DCE RPC must diverge on the running example"
+        );
     }
 
     #[test]

@@ -1,0 +1,723 @@
+//! Warm-call sessions: request deltas over a cached argument graph.
+//!
+//! The delta-reply optimization (§5.2.4) stops the *server* from
+//! re-shipping unchanged state; this module stops the *client* too. A
+//! warm session keeps the marshalled argument graph alive on the server
+//! between calls. The first call through [`client_invoke_warm_with_stats`]
+//! **seeds** the cache with an ordinary full graph (byte-identical to a
+//! cold `copy_restore_delta` request); every later call ships only a
+//! request delta — the synchronized objects the client freed or mutated
+//! since the last reply, plus any newly reachable objects — and receives
+//! the usual reply delta back.
+//!
+//! ## The handshake
+//!
+//! Each session cache is named by a client-allocated `cache_id` and a
+//! `generation` counter that both sides advance in lockstep (one per
+//! completed call). A warm request whose `(cache_id, generation)` the
+//! server cannot honor — evicted, never seeded, out of step, or
+//! invalidated — answers [`Frame::CacheMiss`] and the client falls back
+//! to reseeding under a fresh id. Nothing is ever half-applied: the
+//! server answers `CacheMiss` *before* touching the cached graph.
+//!
+//! ## Coherence
+//!
+//! The cached server graph may be reachable from server state (the
+//! service can store references to it). Before trusting the cache, the
+//! server verifies that every synchronized object still exists and has
+//! not been mutated since the entry was last validated, using the heap's
+//! monotone mutation [`epoch`](nrmi_heap::Heap::epoch): any out-of-band
+//! write — another connection, a `serve_class` method, a direct call on
+//! an exported object — stamps the touched objects above the entry's
+//! `valid_since` watermark and forces a `CacheMiss` instead of a stale
+//! read. An entry invalidated this way is dropped but **not** freed (the
+//! mutation proves server state aliases it); an orderly eviction
+//! ([`Frame::CacheEvict`], connection shutdown) frees the cached graph.
+
+use std::collections::HashMap;
+
+use nrmi_heap::{ClassId, Heap, LinearMap, ObjId, Value};
+use nrmi_transport::{Frame, Transport};
+use nrmi_wire::{
+    apply_delta, apply_request_delta, deserialize_graph_with, encode_delta, encode_request_delta,
+    next_sync, serialize_graph_with, GraphSnapshot,
+};
+
+use crate::error::NrmiError;
+use crate::node::{ClientNode, NodeHooks, ServerNode};
+use crate::protocol::{client_invoke_with_stats, restore_roots_of, CallStats};
+use crate::proxy::{handle_callback, RemoteHeapProxy};
+use crate::restore::apply_restore;
+use crate::semantics::CallOptions;
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// One client-side warm cache: the session state for repeated calls to a
+/// single service.
+#[derive(Clone, Debug)]
+struct ClientWarmCache {
+    cache_id: u64,
+    /// Generation the NEXT call will carry (1 right after seeding).
+    generation: u64,
+    /// Synchronized objects in protocol order, with the class each had
+    /// when it entered the list. A position whose object is gone — or
+    /// whose slot was recycled for a different class — counts as freed.
+    sync: Vec<(ObjId, ClassId)>,
+    /// Heap epoch right after the previous reply was applied; objects
+    /// stamped above it are dirty.
+    last_epoch: u64,
+}
+
+/// The client's warm caches, one per service name.
+#[derive(Debug, Default)]
+pub struct WarmSessions {
+    caches: HashMap<String, ClientWarmCache>,
+    next_cache_id: u64,
+}
+
+impl WarmSessions {
+    /// Creates an empty cache set.
+    pub fn new() -> Self {
+        WarmSessions::default()
+    }
+
+    /// The generation the next warm call to `service` will carry, or
+    /// `None` if no cache is established (the next call seeds).
+    pub fn generation(&self, service: &str) -> Option<u64> {
+        self.caches.get(service).map(|c| c.generation)
+    }
+
+    /// Number of objects currently synchronized with `service`.
+    pub fn sync_len(&self, service: &str) -> Option<usize> {
+        self.caches.get(service).map(|c| c.sync.len())
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_cache_id;
+        self.next_cache_id += 1;
+        id
+    }
+}
+
+/// Builds the `(id, class)` sync records for `ids` from the live heap.
+fn record_classes(heap: &Heap, ids: &[ObjId]) -> Result<Vec<(ObjId, ClassId)>, NrmiError> {
+    ids.iter()
+        .map(|&id| Ok((id, heap.get(id)?.class())))
+        .collect()
+}
+
+/// Receives frames until the call resolves, serving remote-pointer
+/// callbacks in the meantime (the same loop the cold path runs).
+fn recv_call_outcome(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    stats: &mut CallStats,
+) -> Result<WarmOutcome, NrmiError> {
+    loop {
+        let frame = transport.recv()?;
+        match frame {
+            Frame::CallReply { payload } => return Ok(WarmOutcome::Reply(payload)),
+            Frame::CacheMiss => return Ok(WarmOutcome::Miss),
+            Frame::CallError { message } => return Ok(WarmOutcome::Error(message)),
+            other => match handle_callback(&mut client.state, &other) {
+                Some(reply) => {
+                    stats.callbacks_served += 1;
+                    transport.send(&reply)?;
+                }
+                None => {
+                    return Err(NrmiError::Protocol(format!(
+                        "unexpected frame while awaiting warm reply: {other:?}"
+                    )))
+                }
+            },
+        }
+    }
+}
+
+enum WarmOutcome {
+    Reply(Vec<u8>),
+    Miss,
+    Error(String),
+}
+
+/// Invokes `service.method(args)` through the warm-call protocol,
+/// returning the result and per-call statistics. Seeds the session cache
+/// on first use (or after any miss/error); ships a request delta
+/// otherwise. Falls back to an ordinary cold call when the argument
+/// graph cannot travel as a delta (e.g. it contains remote stubs).
+///
+/// Semantics are exactly [`CallOptions::copy_restore_delta`] — full
+/// copy-restore with delta replies; the cold seed payload is
+/// byte-identical to the cold path's request.
+///
+/// # Errors
+/// Marshalling, transport, protocol, and remote-exception failures. On
+/// any error the session cache is dropped, so the next call reseeds.
+pub fn client_invoke_warm_with_stats(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    args: &[Value],
+) -> Result<(Value, CallStats), NrmiError> {
+    if client.warm.caches.contains_key(service) {
+        // A `None` here is a cache miss: the entry is gone; reseed below.
+        if let Some(result) = warm_call(client, transport, service, method, args)? {
+            return Ok(result);
+        }
+    }
+    seed_call(client, transport, service, method, args)
+}
+
+/// Generation ≥ 1: ship a request delta. Returns `None` on a cache miss
+/// (caller reseeds); `Some` on completion.
+fn warm_call(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    args: &[Value],
+) -> Result<Option<(Value, CallStats)>, NrmiError> {
+    let opts = CallOptions::copy_restore_delta();
+    let mut stats = CallStats::default();
+    let cache = client.warm.caches.get(service).expect("checked by caller");
+    let (cache_id, generation, last_epoch) = (cache.cache_id, cache.generation, cache.last_epoch);
+    let sync_records = cache.sync.clone();
+    let cost = client.state.profile.cost();
+
+    // Classify every synchronized position: freed (gone, or its slot
+    // recycled for a different class) or dirty (mutated since the last
+    // reply was applied).
+    let heap = &client.state.heap;
+    let mut sync_ids = Vec::with_capacity(sync_records.len());
+    let mut freed = Vec::new();
+    let mut dirty = Vec::new();
+    for (pos, &(id, class)) in sync_records.iter().enumerate() {
+        sync_ids.push(id);
+        if !heap.contains(id) || heap.get(id)?.class() != class {
+            freed.push(pos as u32);
+        } else if heap.version_of(id)? > last_epoch {
+            dirty.push(pos as u32);
+        }
+    }
+
+    let enc = match encode_request_delta(heap, &sync_ids, &freed, &dirty, args) {
+        Ok(enc) => enc,
+        Err(nrmi_wire::WireError::NotSerializable { .. })
+        | Err(nrmi_wire::WireError::RemoteWithoutHooks { .. }) => {
+            // The graph now contains objects a delta cannot carry (e.g.
+            // remote stubs). Retire the session and run the call cold.
+            evict(client, transport, service)?;
+            return client_invoke_with_stats(client, transport, service, method, args, opts)
+                .map(Some);
+        }
+        Err(e) => return Err(e.into()),
+    };
+    stats.request_objects = enc.stats.new_count + enc.stats.dirty_count;
+    stats.request_bytes = enc.bytes.len();
+    client.state.charge_cpu(
+        cost.call_overhead_us
+            + (enc.stats.new_count + enc.stats.dirty_count) as f64 * cost.ser_per_obj_us
+            + enc.bytes.len() as f64 * cost.per_byte_us,
+    );
+
+    transport.send(&Frame::CallRequestWarm {
+        service: service.to_owned(),
+        method: method.to_owned(),
+        mode: opts.to_wire(),
+        cache_id,
+        generation,
+        payload: enc.bytes,
+    })?;
+
+    let payload = match recv_call_outcome(client, transport, &mut stats)? {
+        WarmOutcome::Reply(payload) => payload,
+        WarmOutcome::Miss => {
+            client.warm.caches.remove(service);
+            return Ok(None);
+        }
+        WarmOutcome::Error(message) => {
+            client.warm.caches.remove(service);
+            return Err(NrmiError::Remote(message));
+        }
+    };
+    stats.reply_bytes = payload.len();
+
+    // Both sides advanced their sync lists identically across the
+    // request delta; the reply is relative to that advanced list.
+    let sync2 = next_sync(&sync_ids, &enc.freed_positions, &enc.new_objects);
+
+    if payload.starts_with(&nrmi_wire::delta::DELTA_MAGIC) {
+        let applied = apply_delta(&payload, &mut client.state.heap, &sync2)?;
+        stats.restored_objects = applied.changed_count;
+        stats.new_objects = applied.new_objects.len();
+        client.state.charge_cpu(
+            payload.len() as f64 * cost.per_byte_us
+                + applied.changed_count as f64 * (cost.de_per_obj_us + cost.restore_per_obj_us)
+                + applied.new_objects.len() as f64 * cost.de_per_obj_us,
+        );
+        let ret = applied
+            .roots
+            .first()
+            .cloned()
+            .ok_or_else(|| NrmiError::Protocol("empty warm delta reply".into()))?;
+        let mut sync3 = sync2;
+        sync3.extend_from_slice(&applied.new_objects);
+        let sync = record_classes(&client.state.heap, &sync3)?;
+        let cache = client.warm.caches.get_mut(service).expect("still present");
+        cache.generation += 1;
+        cache.sync = sync;
+        cache.last_epoch = client.state.heap.epoch();
+        return Ok(Some((ret, stats)));
+    }
+
+    // The server fell back to a full annotated reply (and dropped its
+    // cache entry): restore through the advanced sync order, then retire
+    // the session so the next call reseeds.
+    client.warm.caches.remove(service);
+    let state = &mut client.state;
+    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
+    let decoded = deserialize_graph_with(&payload, &mut state.heap, &mut hooks)?;
+    stats.reply_objects = decoded.object_count();
+    let outcome = apply_restore(&mut state.heap, &LinearMap::from_order(sync2), &decoded)?;
+    stats.restored_objects = outcome.stats.old_objects;
+    stats.new_objects = outcome.stats.new_objects;
+    let ret = outcome
+        .roots
+        .first()
+        .cloned()
+        .ok_or_else(|| NrmiError::Protocol("empty warm reply".into()))?;
+    Ok(Some((ret, stats)))
+}
+
+/// Generation 0: seed the cache with a full graph. The request payload
+/// is byte-identical to a cold `copy_restore_delta` request.
+fn seed_call(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    args: &[Value],
+) -> Result<(Value, CallStats), NrmiError> {
+    let opts = CallOptions::copy_restore_delta();
+    let mut stats = CallStats::default();
+    let cost = client.state.profile.cost();
+    let cache_id = client.warm.fresh_id();
+
+    let state = &mut client.state;
+    let registry = state.heap.registry_handle().clone();
+    let restore_roots = restore_roots_of(&registry, &state.heap, opts, args)?;
+    let client_map = LinearMap::build(&state.heap, &restore_roots)?;
+    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
+    let enc = serialize_graph_with(&state.heap, args, None, Some(&mut hooks))?;
+    stats.request_objects = enc.object_count();
+    stats.request_bytes = enc.byte_len();
+    state.charge_cpu(
+        cost.call_overhead_us
+            + enc.object_count() as f64 * cost.ser_per_obj_us
+            + enc.byte_len() as f64 * cost.per_byte_us
+            + client_map.len() as f64 * cost.linear_map_per_obj_us,
+    );
+
+    transport.send(&Frame::CallRequestWarm {
+        service: service.to_owned(),
+        method: method.to_owned(),
+        mode: opts.to_wire(),
+        cache_id,
+        generation: 0,
+        payload: enc.bytes,
+    })?;
+
+    let payload = match recv_call_outcome(client, transport, &mut stats)? {
+        WarmOutcome::Reply(payload) => payload,
+        WarmOutcome::Miss => {
+            return Err(NrmiError::Protocol(
+                "cache miss answering a seed call".into(),
+            ))
+        }
+        WarmOutcome::Error(message) => return Err(NrmiError::Remote(message)),
+    };
+    stats.reply_bytes = payload.len();
+
+    if payload.starts_with(&nrmi_wire::delta::DELTA_MAGIC) {
+        let applied = apply_delta(&payload, &mut client.state.heap, client_map.order())?;
+        stats.restored_objects = applied.changed_count;
+        stats.new_objects = applied.new_objects.len();
+        client.state.charge_cpu(
+            payload.len() as f64 * cost.per_byte_us
+                + applied.changed_count as f64 * (cost.de_per_obj_us + cost.restore_per_obj_us)
+                + applied.new_objects.len() as f64 * cost.de_per_obj_us,
+        );
+        let ret = applied
+            .roots
+            .first()
+            .cloned()
+            .ok_or_else(|| NrmiError::Protocol("empty seed delta reply".into()))?;
+        let mut sync_ids = client_map.order().to_vec();
+        sync_ids.extend_from_slice(&applied.new_objects);
+        let sync = record_classes(&client.state.heap, &sync_ids)?;
+        client.warm.caches.insert(
+            service.to_owned(),
+            ClientWarmCache {
+                cache_id,
+                generation: 1,
+                sync,
+                last_epoch: client.state.heap.epoch(),
+            },
+        );
+        return Ok((ret, stats));
+    }
+
+    // Full reply: the server could not encode a delta and established no
+    // cache. Restore like a cold call; next invocation seeds again.
+    let state = &mut client.state;
+    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
+    let decoded = deserialize_graph_with(&payload, &mut state.heap, &mut hooks)?;
+    stats.reply_objects = decoded.object_count();
+    let outcome = apply_restore(&mut state.heap, &client_map, &decoded)?;
+    stats.restored_objects = outcome.stats.old_objects;
+    stats.new_objects = outcome.stats.new_objects;
+    let ret = outcome
+        .roots
+        .first()
+        .cloned()
+        .ok_or_else(|| NrmiError::Protocol("empty seed reply".into()))?;
+    Ok((ret, stats))
+}
+
+/// Drops the client's warm cache for `service` (if any) and tells the
+/// server to free its cached graph.
+///
+/// # Errors
+/// Transport failures sending the eviction notice.
+pub fn evict(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    service: &str,
+) -> Result<(), NrmiError> {
+    if let Some(cache) = client.warm.caches.remove(service) {
+        transport.send(&Frame::CacheEvict {
+            cache_id: cache.cache_id,
+        })?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------------
+
+/// One server-side cache entry: the synchronized graph for a warm
+/// session.
+#[derive(Clone, Debug)]
+struct ServerWarmEntry {
+    generation: u64,
+    sync: Vec<ObjId>,
+    /// Heap epoch when the entry was last (re)validated; a synchronized
+    /// object stamped above this has been mutated out-of-band.
+    valid_since: u64,
+}
+
+/// The warm caches of one server connection. Each connection owns its
+/// own set (created by the serve loop), so concurrent clients are
+/// isolated by construction — and a client can only ever address caches
+/// it seeded itself.
+#[derive(Debug, Default)]
+pub struct WarmCaches {
+    entries: HashMap<u64, ServerWarmEntry>,
+}
+
+impl WarmCaches {
+    /// Creates an empty cache set.
+    pub fn new() -> Self {
+        WarmCaches::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no session is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Handles a client eviction notice: frees the cached graph. The
+    /// notice asserts the client's exclusive ownership of the session
+    /// graph (the warm twin of a DGC clean), so freeing is safe; slots
+    /// already freed or never seeded are ignored.
+    pub fn evict(&mut self, heap: &mut Heap, cache_id: u64) {
+        if let Some(entry) = self.entries.remove(&cache_id) {
+            for id in entry.sync {
+                let _ = heap.free(id);
+            }
+        }
+    }
+
+    /// Frees every cached graph (connection teardown).
+    pub fn release_all(&mut self, heap: &mut Heap) {
+        let ids: Vec<u64> = self.entries.keys().copied().collect();
+        for id in ids {
+            self.evict(heap, id);
+        }
+    }
+}
+
+/// True if every synchronized object still exists untouched since the
+/// entry was validated.
+fn coherent(heap: &Heap, entry: &ServerWarmEntry) -> bool {
+    entry.sync.iter().all(|&id| {
+        heap.contains(id)
+            && heap
+                .version_of(id)
+                .map(|v| v <= entry.valid_since)
+                .unwrap_or(false)
+    })
+}
+
+/// Handles one `CallRequestWarm` frame on the server. Returns the frame
+/// to send back: `CallReply`, `CacheMiss`, or `CallError`.
+#[allow(clippy::too_many_arguments)]
+pub fn server_handle_warm_call(
+    server: &mut ServerNode,
+    caches: &mut WarmCaches,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    mode_byte: u8,
+    cache_id: u64,
+    generation: u64,
+    payload: &[u8],
+) -> Frame {
+    let result = if generation == 0 {
+        server_seed_call(
+            server, caches, transport, service, method, mode_byte, cache_id, payload,
+        )
+    } else {
+        // Take the entry out up front: every non-success path below must
+        // leave it dropped (the client drops its side symmetrically), and
+        // only a completed call re-inserts the advanced entry.
+        let Some(entry) = caches.entries.remove(&cache_id) else {
+            return Frame::CacheMiss;
+        };
+        if entry.generation != generation {
+            return Frame::CacheMiss;
+        }
+        if !coherent(&server.state.heap, &entry) {
+            // Out-of-band mutation: the graph is aliased by server state,
+            // so drop without freeing.
+            return Frame::CacheMiss;
+        }
+        server_warm_call(
+            server, caches, transport, service, method, cache_id, entry, payload,
+        )
+    };
+    match result {
+        Ok(frame) => frame,
+        Err(NrmiError::Remote(message)) => Frame::CallError { message },
+        Err(e) => Frame::CallError {
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Seeds a session: full-graph request, delta reply, cache established.
+#[allow(clippy::too_many_arguments)]
+fn server_seed_call(
+    server: &mut ServerNode,
+    caches: &mut WarmCaches,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    mode_byte: u8,
+    cache_id: u64,
+    payload: &[u8],
+) -> Result<Frame, NrmiError> {
+    let opts = CallOptions::from_wire(mode_byte)?;
+    let ServerNode {
+        state,
+        services,
+        class_services: _,
+    } = server;
+    let cost = state.profile.cost();
+    let registry = state.heap.registry_handle().clone();
+    let svc = services
+        .get_mut(service)
+        .ok_or_else(|| NrmiError::NoSuchService(service.to_owned()))?;
+
+    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
+    let decoded = deserialize_graph_with(payload, &mut state.heap, &mut hooks)?;
+    state.charge_cpu(
+        cost.dispatch_overhead_us
+            + decoded.object_count() as f64 * cost.de_per_obj_us
+            + payload.len() as f64 * cost.per_byte_us,
+    );
+    let args = decoded.roots.clone();
+    let restore_roots = restore_roots_of(&registry, &state.heap, opts, &args)?;
+    let server_map = LinearMap::build(&state.heap, &restore_roots)?;
+    let snapshot = GraphSnapshot::capture(&state.heap, server_map.order())?;
+
+    let ret = {
+        let mut proxy = RemoteHeapProxy::new(state, transport);
+        svc.invoke(method, &args, &mut proxy)?
+    };
+
+    match encode_delta(&state.heap, &snapshot, std::slice::from_ref(&ret)) {
+        Ok(delta) => {
+            state.charge_cpu(
+                (delta.stats.changed_count + delta.stats.new_count) as f64 * cost.ser_per_obj_us
+                    + delta.bytes.len() as f64 * cost.per_byte_us,
+            );
+            let mut sync = server_map.order().to_vec();
+            sync.extend_from_slice(&delta.new_objects);
+            caches.entries.insert(
+                cache_id,
+                ServerWarmEntry {
+                    generation: 1,
+                    sync,
+                    valid_since: state.heap.epoch(),
+                },
+            );
+            Ok(Frame::CallReply {
+                payload: delta.bytes,
+            })
+        }
+        Err(nrmi_wire::WireError::NotSerializable { .. })
+        | Err(nrmi_wire::WireError::RemoteWithoutHooks { .. }) => {
+            // Cannot delta-encode the result graph: answer a full
+            // annotated reply and establish no cache.
+            full_reply_fallback(state, server_map.order(), ret)
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// A warm call proper: apply the request delta to the cached graph, run
+/// the method, reply with a delta, advance the entry.
+#[allow(clippy::too_many_arguments)]
+fn server_warm_call(
+    server: &mut ServerNode,
+    caches: &mut WarmCaches,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    cache_id: u64,
+    entry: ServerWarmEntry,
+    payload: &[u8],
+) -> Result<Frame, NrmiError> {
+    let ServerNode {
+        state,
+        services,
+        class_services: _,
+    } = server;
+    let cost = state.profile.cost();
+    let svc = services
+        .get_mut(service)
+        .ok_or_else(|| NrmiError::NoSuchService(service.to_owned()))?;
+
+    let applied = apply_request_delta(payload, &mut state.heap, &entry.sync)?;
+    state.charge_cpu(
+        cost.dispatch_overhead_us
+            + (applied.changed_count + applied.new_objects.len()) as f64 * cost.de_per_obj_us
+            + payload.len() as f64 * cost.per_byte_us,
+    );
+    let sync2 = next_sync(&entry.sync, &applied.freed_positions, &applied.new_objects);
+    let snapshot = GraphSnapshot::capture(&state.heap, &sync2)?;
+    let args = applied.roots;
+
+    let ret = {
+        let mut proxy = RemoteHeapProxy::new(state, transport);
+        svc.invoke(method, &args, &mut proxy)?
+    };
+
+    match encode_delta(&state.heap, &snapshot, std::slice::from_ref(&ret)) {
+        Ok(delta) => {
+            state.charge_cpu(
+                (delta.stats.changed_count + delta.stats.new_count) as f64 * cost.ser_per_obj_us
+                    + delta.bytes.len() as f64 * cost.per_byte_us,
+            );
+            let mut sync = sync2;
+            sync.extend_from_slice(&delta.new_objects);
+            caches.entries.insert(
+                cache_id,
+                ServerWarmEntry {
+                    generation: entry.generation + 1,
+                    sync,
+                    valid_since: state.heap.epoch(),
+                },
+            );
+            Ok(Frame::CallReply {
+                payload: delta.bytes,
+            })
+        }
+        Err(nrmi_wire::WireError::NotSerializable { .. })
+        | Err(nrmi_wire::WireError::RemoteWithoutHooks { .. }) => {
+            // Fall back to a full annotated reply relative to the
+            // advanced sync order; the entry stays dropped (the client
+            // retires its side on seeing the full reply).
+            full_reply_fallback(state, &sync2, ret)
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Emits a full annotated reply (the cold copy-restore wire form) whose
+/// old-index annotations are positions in `sync` — the receiver restores
+/// through `LinearMap::from_order(sync)`.
+fn full_reply_fallback(
+    state: &mut crate::node::NodeState,
+    sync: &[ObjId],
+    ret: Value,
+) -> Result<Frame, NrmiError> {
+    let cost = state.profile.cost();
+    let old_index: HashMap<ObjId, u32> = sync
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i as u32))
+        .collect();
+    let mut reply_roots = vec![ret];
+    reply_roots.extend(sync.iter().map(|&id| Value::Ref(id)));
+    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
+    let enc = serialize_graph_with(
+        &state.heap,
+        &reply_roots,
+        Some(&old_index),
+        Some(&mut hooks),
+    )?;
+    state.charge_cpu(
+        enc.object_count() as f64 * cost.ser_per_obj_us + enc.byte_len() as f64 * cost.per_byte_us,
+    );
+    Ok(Frame::CallReply { payload: enc.bytes })
+}
+
+/// Shared-server warm dispatch: locks the node per request, like
+/// [`serve_connection_shared`](crate::protocol::serve_connection_shared)
+/// does for cold calls. The caches stay per-connection even though the
+/// node is shared.
+#[allow(clippy::too_many_arguments)]
+pub fn server_handle_warm_call_shared(
+    server: &parking_lot::Mutex<ServerNode>,
+    caches: &mut WarmCaches,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    mode_byte: u8,
+    cache_id: u64,
+    generation: u64,
+    payload: &[u8],
+) -> Frame {
+    server_handle_warm_call(
+        &mut server.lock(),
+        caches,
+        transport,
+        service,
+        method,
+        mode_byte,
+        cache_id,
+        generation,
+        payload,
+    )
+}

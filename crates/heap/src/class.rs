@@ -106,7 +106,10 @@ pub struct FieldDescriptor {
 impl FieldDescriptor {
     /// Creates a descriptor for field `name` of type `ty`.
     pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
-        FieldDescriptor { name: name.into(), ty }
+        FieldDescriptor {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// The field name.
@@ -332,7 +335,10 @@ impl ClassRegistry {
         reg.insert(ClassDescriptor {
             name: STUB_CLASS_NAME.to_owned(),
             fields: vec![FieldDescriptor::new("key", FieldType::Long)],
-            flags: ClassFlags { stub: true, ..ClassFlags::default() },
+            flags: ClassFlags {
+                stub: true,
+                ..ClassFlags::default()
+            },
             element: None,
         })
         .expect("fresh registry");
@@ -345,7 +351,8 @@ impl ClassRegistry {
     /// Panics if called on a registry built without [`ClassRegistry::new`]
     /// (e.g. `default()`), which has no stub class.
     pub fn stub_class(&self) -> ClassId {
-        self.by_name(STUB_CLASS_NAME).expect("stub class registered by new()")
+        self.by_name(STUB_CLASS_NAME)
+            .expect("stub class registered by new()")
     }
 
     /// Starts defining a class named `name`.
@@ -365,7 +372,11 @@ impl ClassRegistry {
         self.insert(ClassDescriptor {
             name: name.into(),
             fields: Vec::new(),
-            flags: ClassFlags { serializable: true, array: true, ..ClassFlags::default() },
+            flags: ClassFlags {
+                serializable: true,
+                array: true,
+                ..ClassFlags::default()
+            },
             element: Some(element),
         })
         .expect("duplicate class name")
@@ -478,7 +489,10 @@ mod tests {
         let stub = reg.stub_class();
         let desc = reg.get(stub).unwrap();
         assert!(desc.flags().stub);
-        assert!(!desc.flags().serializable, "stubs use the TAG_REMOTE path, not copying");
+        assert!(
+            !desc.flags().serializable,
+            "stubs use the TAG_REMOTE path, not copying"
+        );
         assert_eq!(desc.field_count(), 1);
         assert_eq!(desc.fields()[0].ty(), FieldType::Long);
     }

@@ -65,7 +65,12 @@ pub fn register_collections(registry: &mut ClassRegistry) -> CollectionClasses {
         .field_ref("next")
         .serializable()
         .register();
-    CollectionClasses { list, map, entry, array }
+    CollectionClasses {
+        list,
+        map,
+        entry,
+        array,
+    }
 }
 
 /// Resolves [`CollectionClasses`] from a registry where
@@ -157,7 +162,8 @@ impl HList {
             .expect("list backing array");
         let capacity = heap.slot_count(items)?;
         if size == capacity {
-            let grown = heap.alloc_array_raw(self.classes.array, vec![Value::Null; capacity * 2])?;
+            let grown =
+                heap.alloc_array_raw(self.classes.array, vec![Value::Null; capacity * 2])?;
             for i in 0..size {
                 let v = heap.get_element(items, i)?;
                 heap.set_element(grown, i, v)?;
@@ -179,7 +185,10 @@ impl HList {
         if index >= size {
             return Err(crate::HeapError::ArrayIndexOutOfBounds { index, len: size });
         }
-        let items = heap.get_field(self.id, "items")?.as_ref_id().expect("backing array");
+        let items = heap
+            .get_field(self.id, "items")?
+            .as_ref_id()
+            .expect("backing array");
         heap.get_element(items, index)
     }
 
@@ -192,7 +201,10 @@ impl HList {
         if index >= size {
             return Err(crate::HeapError::ArrayIndexOutOfBounds { index, len: size });
         }
-        let items = heap.get_field(self.id, "items")?.as_ref_id().expect("backing array");
+        let items = heap
+            .get_field(self.id, "items")?
+            .as_ref_id()
+            .expect("backing array");
         heap.set_element(items, index, value)
     }
 
@@ -202,7 +214,10 @@ impl HList {
     /// Propagates heap access failures.
     pub fn to_vec(&self, heap: &mut dyn HeapAccess) -> Result<Vec<Value>> {
         let size = self.len(heap)?;
-        let items = heap.get_field(self.id, "items")?.as_ref_id().expect("backing array");
+        let items = heap
+            .get_field(self.id, "items")?
+            .as_ref_id()
+            .expect("backing array");
         (0..size).map(|i| heap.get_element(items, i)).collect()
     }
 }
@@ -250,8 +265,7 @@ impl HMap {
     /// # Errors
     /// Propagates allocation failures.
     pub fn new(heap: &mut dyn HeapAccess, classes: CollectionClasses) -> Result<Self> {
-        let buckets =
-            heap.alloc_array_raw(classes.array, vec![Value::Null; INITIAL_BUCKETS])?;
+        let buckets = heap.alloc_array_raw(classes.array, vec![Value::Null; INITIAL_BUCKETS])?;
         let id = heap.alloc_raw(classes.map, vec![Value::Int(0), Value::Ref(buckets)])?;
         Ok(HMap { id, classes })
     }
@@ -287,7 +301,10 @@ impl HMap {
     /// # Errors
     /// Propagates heap access failures.
     pub fn put(&self, heap: &mut dyn HeapAccess, key: &str, value: Value) -> Result<Option<Value>> {
-        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let buckets = heap
+            .get_field(self.id, "buckets")?
+            .as_ref_id()
+            .expect("buckets");
         let capacity = heap.slot_count(buckets)?;
         let slot = bucket_of(key, capacity);
         // Walk the chain looking for the key.
@@ -320,9 +337,14 @@ impl HMap {
     /// # Errors
     /// Propagates heap access failures.
     pub fn get(&self, heap: &mut dyn HeapAccess, key: &str) -> Result<Option<Value>> {
-        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let buckets = heap
+            .get_field(self.id, "buckets")?
+            .as_ref_id()
+            .expect("buckets");
         let capacity = heap.slot_count(buckets)?;
-        let mut cursor = heap.get_element(buckets, bucket_of(key, capacity))?.as_ref_id();
+        let mut cursor = heap
+            .get_element(buckets, bucket_of(key, capacity))?
+            .as_ref_id();
         while let Some(entry) = cursor {
             if heap.get_field(entry, "key")?.as_str() == Some(key) {
                 return Ok(Some(heap.get_field(entry, "value")?));
@@ -337,7 +359,10 @@ impl HMap {
     /// # Errors
     /// Propagates heap access failures.
     pub fn remove(&self, heap: &mut dyn HeapAccess, key: &str) -> Result<Option<Value>> {
-        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let buckets = heap
+            .get_field(self.id, "buckets")?
+            .as_ref_id()
+            .expect("buckets");
         let capacity = heap.slot_count(buckets)?;
         let slot = bucket_of(key, capacity);
         let mut prev: Option<ObjId> = None;
@@ -365,7 +390,10 @@ impl HMap {
     /// # Errors
     /// Propagates heap access failures.
     pub fn entries(&self, heap: &mut dyn HeapAccess) -> Result<Vec<(String, Value)>> {
-        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let buckets = heap
+            .get_field(self.id, "buckets")?
+            .as_ref_id()
+            .expect("buckets");
         let capacity = heap.slot_count(buckets)?;
         let mut out = Vec::new();
         for slot in 0..capacity {
@@ -402,7 +430,10 @@ impl HMap {
     }
 
     fn entries_raw(&self, heap: &mut dyn HeapAccess) -> Result<Vec<ObjId>> {
-        let buckets = heap.get_field(self.id, "buckets")?.as_ref_id().expect("buckets");
+        let buckets = heap
+            .get_field(self.id, "buckets")?
+            .as_ref_id()
+            .expect("buckets");
         let capacity = heap.slot_count(buckets)?;
         let mut out = Vec::new();
         for slot in 0..capacity {
@@ -485,7 +516,10 @@ mod tests {
         assert_eq!(map.get(&mut heap, "a").unwrap(), Some(Value::Int(1)));
         assert_eq!(map.get(&mut heap, "missing").unwrap(), None);
         // Update returns the old value.
-        assert_eq!(map.put(&mut heap, "a", Value::Int(10)).unwrap(), Some(Value::Int(1)));
+        assert_eq!(
+            map.put(&mut heap, "a", Value::Int(10)).unwrap(),
+            Some(Value::Int(1))
+        );
         assert_eq!(map.get(&mut heap, "a").unwrap(), Some(Value::Int(10)));
         assert_eq!(map.len(&mut heap).unwrap(), 2);
         // Remove.
@@ -499,7 +533,8 @@ mod tests {
         let (mut heap, classes) = setup();
         let map = HMap::new(&mut heap, classes).unwrap();
         for i in 0..200 {
-            map.put(&mut heap, &format!("key-{i}"), Value::Int(i)).unwrap();
+            map.put(&mut heap, &format!("key-{i}"), Value::Int(i))
+                .unwrap();
         }
         assert_eq!(map.len(&mut heap).unwrap(), 200);
         for i in 0..200 {
@@ -522,7 +557,10 @@ mod tests {
             map.put(&mut heap, &format!("k{i}"), Value::Int(i)).unwrap();
         }
         for i in 0..6 {
-            assert_eq!(map.get(&mut heap, &format!("k{i}")).unwrap(), Some(Value::Int(i)));
+            assert_eq!(
+                map.get(&mut heap, &format!("k{i}")).unwrap(),
+                Some(Value::Int(i))
+            );
         }
         // Remove from the middle of a chain.
         map.remove(&mut heap, "k2").unwrap();

@@ -24,7 +24,11 @@ use crate::Result;
 ///
 /// # Errors
 /// Propagates dangling-reference errors from either heap.
-pub fn deep_copy_between(src: &Heap, roots: &[ObjId], dst: &mut Heap) -> Result<HashMap<ObjId, ObjId>> {
+pub fn deep_copy_between(
+    src: &Heap,
+    roots: &[ObjId],
+    dst: &mut Heap,
+) -> Result<HashMap<ObjId, ObjId>> {
     let map = LinearMap::build(src, roots)?;
     copy_by_linear_map(src, &map, dst)
 }
@@ -140,7 +144,10 @@ mod tests {
             .alloc(classes.tree, vec![Value::Int(1), Value::Null, Value::Null])
             .unwrap();
         let root = src
-            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)],
+            )
             .unwrap();
         let mut dst = Heap::new(src.registry_handle().clone());
         let t = deep_copy_between(&src, &[root], &mut dst).unwrap();
@@ -162,7 +169,11 @@ mod tests {
         let t = deep_copy_between(&src, &[a], &mut dst).unwrap();
         let a2 = t[&a];
         let b2 = dst.get_ref(a2, "left").unwrap().unwrap();
-        assert_eq!(dst.get_ref(b2, "left").unwrap(), Some(a2), "cycle closed in copy");
+        assert_eq!(
+            dst.get_ref(b2, "left").unwrap(),
+            Some(a2),
+            "cycle closed in copy"
+        );
     }
 
     #[test]
@@ -174,7 +185,8 @@ mod tests {
         assert_eq!(heap.live_count(), before * 2);
         // Mutating the copy leaves the original untouched.
         let copy_root = t[&root];
-        heap.set_field(copy_root, "data", Value::Int(12345)).unwrap();
+        heap.set_field(copy_root, "data", Value::Int(12345))
+            .unwrap();
         assert_ne!(heap.get_field(root, "data").unwrap(), Value::Int(12345));
         assert!(isomorphic_within(&heap, root, copy_root));
     }
@@ -194,7 +206,10 @@ mod tests {
         let mut src = Heap::new(reg.snapshot());
         let leaf = src.alloc_default(classes.tree).unwrap();
         let arr = src
-            .alloc_array(arr_class, vec![Value::Ref(leaf), Value::Ref(leaf), Value::Null])
+            .alloc_array(
+                arr_class,
+                vec![Value::Ref(leaf), Value::Ref(leaf), Value::Null],
+            )
             .unwrap();
         let mut dst = Heap::new(src.registry_handle().clone());
         let t = deep_copy_between(&src, &[arr], &mut dst).unwrap();

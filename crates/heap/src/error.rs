@@ -86,9 +86,17 @@ impl fmt::Display for HeapError {
                 write!(f, "class {class} has no field named {field:?}")
             }
             HeapError::FieldIndexOutOfBounds { class, index, len } => {
-                write!(f, "field index {index} out of bounds for {class} ({len} fields)")
+                write!(
+                    f,
+                    "field index {index} out of bounds for {class} ({len} fields)"
+                )
             }
-            HeapError::TypeMismatch { class, field, expected, found } => write!(
+            HeapError::TypeMismatch {
+                class,
+                field,
+                expected,
+                found,
+            } => write!(
                 f,
                 "type mismatch writing {class}.{field}: expected {expected}, found {found}"
             ),
@@ -98,7 +106,11 @@ impl fmt::Display for HeapError {
             HeapError::ArrayIndexOutOfBounds { index, len } => {
                 write!(f, "array index {index} out of bounds (len {len})")
             }
-            HeapError::ArityMismatch { class, expected, found } => write!(
+            HeapError::ArityMismatch {
+                class,
+                expected,
+                found,
+            } => write!(
                 f,
                 "wrong initializer count for {class}: expected {expected}, found {found}"
             ),
@@ -130,8 +142,15 @@ mod tests {
             HeapError::DanglingRef(1),
             HeapError::UnknownClass(2),
             HeapError::DuplicateClass("A".into()),
-            HeapError::NoSuchField { class: "A".into(), field: "f".into() },
-            HeapError::FieldIndexOutOfBounds { class: "A".into(), index: 3, len: 1 },
+            HeapError::NoSuchField {
+                class: "A".into(),
+                field: "f".into(),
+            },
+            HeapError::FieldIndexOutOfBounds {
+                class: "A".into(),
+                index: 3,
+                len: 1,
+            },
             HeapError::TypeMismatch {
                 class: "A".into(),
                 field: "f".into(),
@@ -140,8 +159,15 @@ mod tests {
             },
             HeapError::NotAnArray("A".into()),
             HeapError::ArrayIndexOutOfBounds { index: 4, len: 2 },
-            HeapError::ArityMismatch { class: "A".into(), expected: 2, found: 0 },
-            HeapError::MarkerViolation { class: "A".into(), required: "serializable" },
+            HeapError::ArityMismatch {
+                class: "A".into(),
+                expected: 2,
+                found: 0,
+            },
+            HeapError::MarkerViolation {
+                class: "A".into(),
+                required: "serializable",
+            },
             HeapError::RemoteAccess("link down".into()),
         ];
         for e in errors {

@@ -178,13 +178,19 @@ mod tests {
         let (mut heap, classes) = setup();
         let shared = heap.alloc_default(classes.tree).unwrap();
         let root = heap
-            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)],
+            )
             .unwrap();
         let mut rc = RcSpace::new();
         rc.track_graph(&heap, root).unwrap();
         assert_eq!(rc.count_of(shared), Some(2), "in-degree 2");
         let freed = rc.unpin(&mut heap, root).unwrap();
-        assert_eq!(freed, 2, "both root and shared reclaimed (both refs released)");
+        assert_eq!(
+            freed, 2,
+            "both root and shared reclaimed (both refs released)"
+        );
     }
 
     #[test]

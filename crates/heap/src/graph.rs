@@ -105,7 +105,9 @@ pub fn first_difference(
     }
     for (&ra, &rb) in roots_a.iter().zip(roots_b) {
         if map_a.position_of(ra) != map_b.position_of(rb) {
-            return Ok(Some(format!("root {ra} / {rb} at different traversal positions")));
+            return Ok(Some(format!(
+                "root {ra} / {rb} at different traversal positions"
+            )));
         }
     }
     for (pos, (&ida, &idb)) in map_a.order().iter().zip(map_b.order()).enumerate() {
@@ -275,7 +277,12 @@ pub fn graph_stats(heap: &Heap, roots: &[ObjId]) -> Result<GraphStats> {
     for &root in roots {
         dfs(heap, root, 1, &mut on_path, &mut max_depth, &mut budget)?;
     }
-    Ok(GraphStats { objects: map.len(), edges, shared_objects, max_depth })
+    Ok(GraphStats {
+        objects: map.len(),
+        edges,
+        shared_objects,
+        max_depth,
+    })
 }
 
 /// Renders the subgraph reachable from `roots` in Graphviz DOT syntax:
@@ -288,7 +295,9 @@ pub fn graph_stats(heap: &Heap, roots: &[ObjId]) -> Result<GraphStats> {
 pub fn render_dot(heap: &Heap, roots: &[(String, ObjId)]) -> Result<String> {
     let root_ids: Vec<ObjId> = roots.iter().map(|(_, id)| *id).collect();
     let map = LinearMap::build(heap, &root_ids)?;
-    let mut out = String::from("digraph heap {\n  rankdir=TB;\n  node [shape=record, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph heap {\n  rankdir=TB;\n  node [shape=record, fontname=\"monospace\"];\n",
+    );
     for (label, root) in roots {
         let pos = map.position_of(*root).unwrap_or(u32::MAX);
         let _ = writeln!(out, "  root_{label} [shape=diamond, label=\"{label}\"];");
@@ -392,15 +401,27 @@ mod tests {
         let (mut h1, c1) = setup();
         let (mut h2, c2) = setup();
         // h1: root with two DISTINCT children holding equal data.
-        let l1 = h1.alloc(c1.tree, vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
-        let r1c = h1.alloc(c1.tree, vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        let l1 = h1
+            .alloc(c1.tree, vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        let r1c = h1
+            .alloc(c1.tree, vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
         let r1 = h1
-            .alloc(c1.tree, vec![Value::Int(0), Value::Ref(l1), Value::Ref(r1c)])
+            .alloc(
+                c1.tree,
+                vec![Value::Int(0), Value::Ref(l1), Value::Ref(r1c)],
+            )
             .unwrap();
         // h2: root whose two children are the SAME object.
-        let shared = h2.alloc(c2.tree, vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        let shared = h2
+            .alloc(c2.tree, vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
         let r2 = h2
-            .alloc(c2.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .alloc(
+                c2.tree,
+                vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)],
+            )
             .unwrap();
         // Value-equal but structurally different: must NOT be isomorphic.
         assert!(!isomorphic(&h1, r1, &h2, r2).unwrap());
@@ -439,8 +460,10 @@ mod tests {
             &[t2.root, t2.alias1_target]
         )
         .unwrap());
-        assert!(!isomorphic_multi(&h1, &[t1.root, t1.alias1_target], &h2, &[t2.root, detached])
-            .unwrap());
+        assert!(
+            !isomorphic_multi(&h1, &[t1.root, t1.alias1_target], &h2, &[t2.root, detached])
+                .unwrap()
+        );
     }
 
     #[test]
@@ -473,13 +496,20 @@ mod tests {
         assert_eq!(stats.objects, 2);
         assert_eq!(stats.edges, 2);
         assert_eq!(stats.shared_objects, 0, "in-degree 1 each within the cycle");
-        assert_eq!(stats.max_depth, 2, "the cycle contributes its perimeter once");
+        assert_eq!(
+            stats.max_depth, 2,
+            "the cycle contributes its perimeter once"
+        );
     }
 
     #[test]
     fn dot_escapes_special_characters() {
         let mut reg = ClassRegistry::new();
-        let named = reg.define("Named").field_str("name").serializable().register();
+        let named = reg
+            .define("Named")
+            .field_str("name")
+            .serializable()
+            .register();
         let mut heap = Heap::new(reg.snapshot());
         let obj = heap
             .alloc(named, vec![Value::Str("we{ird} \"quo|tes\" <here>".into())])
@@ -488,7 +518,10 @@ mod tests {
         // Every special must appear escaped (preceded by a backslash).
         let label_line = dot.lines().find(|l| l.contains("Named")).unwrap();
         for escaped in ["\\{", "\\}", "\\|", "\\<", "\\>"] {
-            assert!(label_line.contains(escaped), "missing {escaped:?} in {label_line}");
+            assert!(
+                label_line.contains(escaped),
+                "missing {escaped:?} in {label_line}"
+            );
         }
         // And the record label still parses (balanced outer braces).
         assert!(label_line.trim_end().ends_with("\"];"));
@@ -500,7 +533,10 @@ mod tests {
         let ex = tree::build_running_example(&mut heap, &classes).unwrap();
         let dot = render_dot(
             &heap,
-            &[("t".to_owned(), ex.root), ("alias1".to_owned(), ex.alias1_target)],
+            &[
+                ("t".to_owned(), ex.root),
+                ("alias1".to_owned(), ex.alias1_target),
+            ],
         )
         .unwrap();
         assert!(dot.starts_with("digraph heap {"));

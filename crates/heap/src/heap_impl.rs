@@ -133,6 +133,7 @@ pub struct Heap {
     slots: Vec<Option<Object>>,
     free: Vec<u32>,
     stats: HeapStats,
+    epoch: u64,
 }
 
 impl fmt::Debug for Heap {
@@ -148,7 +149,37 @@ impl fmt::Debug for Heap {
 impl Heap {
     /// Creates an empty heap bound to a class registry snapshot.
     pub fn new(registry: SharedRegistry) -> Self {
-        Heap { registry, slots: Vec::new(), free: Vec::new(), stats: HeapStats::default() }
+        Heap {
+            registry,
+            slots: Vec::new(),
+            free: Vec::new(),
+            stats: HeapStats::default(),
+            epoch: 0,
+        }
+    }
+
+    /// The heap's mutation clock: a monotone counter advanced by every
+    /// allocation and every slot write. Each object remembers the epoch
+    /// of its last mutation ([`Heap::version_of`]); comparing versions
+    /// against a remembered epoch yields the dirty subset of a graph in
+    /// O(objects) with no slot diffing — the basis of warm-call request
+    /// deltas.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch at which `id` was last allocated or mutated.
+    ///
+    /// # Errors
+    /// [`HeapError::DanglingRef`] if `id` is freed or unallocated.
+    pub fn version_of(&self, id: ObjId) -> Result<u64> {
+        Ok(self.get(id)?.version)
+    }
+
+    /// Advances the clock and returns the new stamp for a mutation.
+    fn tick(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
     }
 
     /// The registry this heap resolves classes against.
@@ -198,8 +229,9 @@ impl Heap {
         self.slots.get(id.0 as usize).is_some_and(Option::is_some)
     }
 
-    fn place(&mut self, obj: Object) -> ObjId {
+    fn place(&mut self, mut obj: Object) -> ObjId {
         self.stats.allocations += 1;
+        obj.version = self.tick();
         if let Some(idx) = self.free.pop() {
             self.slots[idx as usize] = Some(obj);
             ObjId(idx)
@@ -246,7 +278,11 @@ impl Heap {
     /// [`HeapError::UnknownClass`] or [`HeapError::NotAnArray`].
     pub fn alloc_default(&mut self, class: ClassId) -> Result<ObjId> {
         let desc = self.registry.get(class)?;
-        let fields = desc.fields().iter().map(|f| f.ty().default_value()).collect();
+        let fields = desc
+            .fields()
+            .iter()
+            .map(|f| f.ty().default_value())
+            .collect();
         self.alloc(class, fields)
     }
 
@@ -297,7 +333,9 @@ impl Heap {
     /// Dangling handles or arity mismatches.
     pub fn overwrite_slots(&mut self, id: ObjId, values: Vec<Value>) -> Result<()> {
         self.stats.writes += 1;
+        let stamp = self.tick();
         let obj = self.get_mut(id)?;
+        obj.version = stamp;
         let len = obj.body.len();
         if len == values.len() {
             obj.body.slots_mut().clone_from_slice(&values);
@@ -335,7 +373,12 @@ impl Heap {
         let obj = self.get(id)?;
         let desc = self.registry.get(obj.class())?;
         if desc.flags().stub {
-            Ok(obj.body().slots().first().and_then(Value::as_long).map(|k| k as u64))
+            Ok(obj
+                .body()
+                .slots()
+                .first()
+                .and_then(Value::as_long)
+                .map(|k| k as u64))
         } else {
             Ok(None)
         }
@@ -361,7 +404,9 @@ impl Heap {
         map: &std::collections::HashMap<ObjId, ObjId>,
     ) -> Result<()> {
         self.stats.writes += 1;
+        let stamp = self.tick();
         let obj = self.get_mut(id)?;
+        obj.version = stamp;
         for slot in obj.body.slots_mut() {
             if let Value::Ref(target) = slot {
                 if let Some(new_target) = map.get(target) {
@@ -404,17 +449,21 @@ impl HeapAccess for Heap {
     fn set_field_raw(&mut self, obj: ObjId, field: usize, value: Value) -> Result<()> {
         self.stats.writes += 1;
         let registry = self.registry.clone();
+        let stamp = self.tick();
         let o = self.get_mut(obj)?;
         let class = o.class();
         let len = o.body().len();
         // Type-check ordinary fields; array classes have no descriptors.
         if !o.is_array() {
             let desc = registry.get(class)?;
-            let fd = desc.fields().get(field).ok_or(HeapError::FieldIndexOutOfBounds {
-                class: desc.name().to_owned(),
-                index: field,
-                len,
-            })?;
+            let fd = desc
+                .fields()
+                .get(field)
+                .ok_or(HeapError::FieldIndexOutOfBounds {
+                    class: desc.name().to_owned(),
+                    index: field,
+                    len,
+                })?;
             if !fd.ty().admits(&value) {
                 return Err(HeapError::TypeMismatch {
                     class: desc.name().to_owned(),
@@ -424,10 +473,17 @@ impl HeapAccess for Heap {
                 });
             }
         }
-        let slot = o.body.slots_mut().get_mut(field).ok_or(
-            HeapError::FieldIndexOutOfBounds { class: class_name(&registry, class), index: field, len },
-        )?;
+        let slot = o
+            .body
+            .slots_mut()
+            .get_mut(field)
+            .ok_or(HeapError::FieldIndexOutOfBounds {
+                class: class_name(&registry, class),
+                index: field,
+                len,
+            })?;
         *slot = value;
+        o.version = stamp;
         Ok(())
     }
 
@@ -457,12 +513,16 @@ impl HeapAccess for Heap {
             .slots()
             .get(index)
             .cloned()
-            .ok_or(HeapError::ArrayIndexOutOfBounds { index, len: o.body().len() })
+            .ok_or(HeapError::ArrayIndexOutOfBounds {
+                index,
+                len: o.body().len(),
+            })
     }
 
     fn set_element(&mut self, obj: ObjId, index: usize, value: Value) -> Result<()> {
         self.stats.writes += 1;
         let registry = self.registry.clone();
+        let stamp = self.tick();
         let o = self.get_mut(obj)?;
         if !o.is_array() {
             return Err(HeapError::NotAnArray(class_name(&registry, o.class())));
@@ -474,6 +534,7 @@ impl HeapAccess for Heap {
             .get_mut(index)
             .ok_or(HeapError::ArrayIndexOutOfBounds { index, len })?;
         *slot = value;
+        o.version = stamp;
         Ok(())
     }
 
@@ -609,13 +670,19 @@ mod tests {
         let (reg, tree) = tree_setup();
         let mut heap = Heap::new(reg);
         let obj = heap.alloc_default(tree).unwrap();
-        assert!(matches!(heap.get_element(obj, 0), Err(HeapError::NotAnArray(_))));
+        assert!(matches!(
+            heap.get_element(obj, 0),
+            Err(HeapError::NotAnArray(_))
+        ));
         assert!(matches!(
             heap.set_element(obj, 0, Value::Int(1)),
             Err(HeapError::NotAnArray(_))
         ));
         // And alloc of a non-array class via alloc_array fails.
-        assert!(matches!(heap.alloc_array(obj_class(&heap), vec![]), Err(HeapError::NotAnArray(_))));
+        assert!(matches!(
+            heap.alloc_array(obj_class(&heap), vec![]),
+            Err(HeapError::NotAnArray(_))
+        ));
     }
 
     fn obj_class(heap: &Heap) -> ClassId {
@@ -648,6 +715,53 @@ mod tests {
         heap.overwrite_slots(a, vec![Value::Int(1), Value::Int(2), Value::Int(3)])
             .unwrap();
         assert_eq!(heap.slot_count(a).unwrap(), 3);
+    }
+
+    #[test]
+    fn versions_track_mutations() {
+        let (reg, tree) = tree_setup();
+        let mut heap = Heap::new(reg);
+        let a = heap.alloc_default(tree).unwrap();
+        let b = heap.alloc_default(tree).unwrap();
+        let mark = heap.epoch();
+        // Nothing mutated since `mark`: both versions are at or below it.
+        assert!(heap.version_of(a).unwrap() <= mark);
+        assert!(heap.version_of(b).unwrap() <= mark);
+        heap.set_field(b, "data", Value::Int(5)).unwrap();
+        assert!(
+            heap.version_of(a).unwrap() <= mark,
+            "untouched object stays clean"
+        );
+        assert!(
+            heap.version_of(b).unwrap() > mark,
+            "write stamps the target"
+        );
+        assert!(heap.epoch() > mark, "the clock is monotone");
+        // Every mutation path stamps: overwrite_slots and rewrite_refs.
+        let m2 = heap.epoch();
+        heap.overwrite_slots(a, vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        assert!(heap.version_of(a).unwrap() > m2);
+        let m3 = heap.epoch();
+        heap.rewrite_refs(a, &std::collections::HashMap::new())
+            .unwrap();
+        assert!(heap.version_of(a).unwrap() > m3);
+        // A recycled slot gets a fresh (higher) version, so stale-epoch
+        // comparisons see reuse as dirty, never as clean.
+        let m4 = heap.epoch();
+        heap.free(b).unwrap();
+        let b2 = heap.alloc_default(tree).unwrap();
+        assert_eq!(b2.index(), b.index());
+        assert!(heap.version_of(b2).unwrap() > m4);
+    }
+
+    #[test]
+    fn version_of_dangling_errors() {
+        let (reg, tree) = tree_setup();
+        let mut heap = Heap::new(reg);
+        let a = heap.alloc_default(tree).unwrap();
+        heap.free(a).unwrap();
+        assert!(matches!(heap.version_of(a), Err(HeapError::DanglingRef(_))));
     }
 
     #[test]

@@ -63,9 +63,9 @@ pub mod copy;
 pub mod gc;
 pub mod graph;
 pub mod snapshot;
-pub mod validate;
 pub mod traverse;
 pub mod tree;
+pub mod validate;
 
 pub use class::{
     ClassBuilder, ClassDescriptor, ClassFlags, ClassId, ClassRegistry, FieldDescriptor, FieldType,
@@ -74,6 +74,7 @@ pub use class::{
 pub use error::HeapError;
 pub use heap_impl::{Heap, HeapAccess, HeapStats};
 pub use object::{Object, ObjectBody};
+pub use snapshot::{HeapDiff, HeapSnapshot};
 pub use traverse::LinearMap;
 pub use value::{ObjId, Value};
 

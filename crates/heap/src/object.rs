@@ -40,21 +40,50 @@ impl ObjectBody {
 }
 
 /// A heap-resident object: a class tag plus its payload.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Equality compares class and payload only; the mutation `version`
+/// stamp is bookkeeping, not state.
+#[derive(Clone, Debug)]
 pub struct Object {
     pub(crate) class: ClassId,
     pub(crate) body: ObjectBody,
+    /// The heap epoch at which this object was last allocated or
+    /// mutated (see [`Heap::epoch`](crate::Heap::epoch)). Warm-call
+    /// clients compare it against a remembered epoch to find the dirty
+    /// slice of a synchronized graph without diffing slots.
+    pub(crate) version: u64,
 }
+
+impl PartialEq for Object {
+    fn eq(&self, other: &Self) -> bool {
+        self.class == other.class && self.body == other.body
+    }
+}
+
+impl Eq for Object {}
 
 impl Object {
     /// Creates an object with ordinary field slots.
     pub fn new(class: ClassId, fields: Vec<Value>) -> Self {
-        Object { class, body: ObjectBody::Fields(fields) }
+        Object {
+            class,
+            body: ObjectBody::Fields(fields),
+            version: 0,
+        }
     }
 
     /// Creates an array object.
     pub fn new_array(class: ClassId, elements: Vec<Value>) -> Self {
-        Object { class, body: ObjectBody::Array(elements) }
+        Object {
+            class,
+            body: ObjectBody::Array(elements),
+            version: 0,
+        }
+    }
+
+    /// The heap epoch of this object's last allocation or mutation.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The object's class.

@@ -94,7 +94,8 @@ impl HeapSnapshot {
                 Some((old_class, old_slots)) => {
                     if class != old_class || slots.len() != old_slots.len() {
                         // Class or arity changed: report every slot.
-                        diff.changed.insert(id, (0..slots.len().max(old_slots.len())).collect());
+                        diff.changed
+                            .insert(id, (0..slots.len().max(old_slots.len())).collect());
                     } else {
                         let changed_slots: Vec<usize> = slots
                             .iter()

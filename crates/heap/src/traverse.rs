@@ -66,6 +66,20 @@ impl LinearMap {
         LinearMap::default()
     }
 
+    /// Wraps an explicit object order as a linear map, without
+    /// traversing a heap. Warm-call sessions maintain the synchronized
+    /// order incrementally across calls; this lets the reply-side
+    /// restore machinery (which matches old-index annotations against a
+    /// map) run against that maintained order. Duplicate ids keep their
+    /// first position.
+    pub fn from_order(order: Vec<ObjId>) -> Self {
+        let mut position = HashMap::with_capacity(order.len());
+        for (i, &id) in order.iter().enumerate() {
+            position.entry(id).or_insert(i as u32);
+        }
+        LinearMap { order, position }
+    }
+
     /// The objects in traversal order.
     pub fn order(&self) -> &[ObjId] {
         &self.order
@@ -108,7 +122,11 @@ impl LinearMap {
 /// # Errors
 /// Propagates dangling-reference errors from the heap.
 pub fn reachable_set(heap: &Heap, roots: &[ObjId]) -> Result<std::collections::HashSet<ObjId>> {
-    Ok(LinearMap::build(heap, roots)?.order().iter().copied().collect())
+    Ok(LinearMap::build(heap, roots)?
+        .order()
+        .iter()
+        .copied()
+        .collect())
 }
 
 /// Counts the objects reachable from `roots`.
@@ -171,7 +189,10 @@ mod tests {
             .alloc(classes.tree, vec![Value::Int(1), Value::Null, Value::Null])
             .unwrap();
         let root = heap
-            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)],
+            )
             .unwrap();
         let map = LinearMap::build(&heap, &[root]).unwrap();
         assert_eq!(map.len(), 2, "aliased child must appear exactly once");
@@ -195,10 +216,16 @@ mod tests {
         let (mut heap, classes) = setup();
         let shared = heap.alloc_default(classes.tree).unwrap();
         let a = heap
-            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Null])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(0), Value::Ref(shared), Value::Null],
+            )
             .unwrap();
         let b = heap
-            .alloc(classes.tree, vec![Value::Int(1), Value::Ref(shared), Value::Null])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(1), Value::Ref(shared), Value::Null],
+            )
             .unwrap();
         let map = LinearMap::build(&heap, &[a, b]).unwrap();
         // The paper (§4.1): sharing across parameters is replicated, not

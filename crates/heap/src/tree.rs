@@ -115,11 +115,20 @@ pub fn build_running_example(heap: &mut Heap, classes: &TreeClasses) -> Result<R
 /// Propagates heap/proxy access errors.
 pub fn run_foo(heap: &mut dyn HeapAccess, tree: ObjId) -> Result<()> {
     let tree_class = heap.class_of(tree)?;
-    let left = heap.get_field(tree, "left")?.as_ref_id().expect("tree.left");
-    let right = heap.get_field(tree, "right")?.as_ref_id().expect("tree.right");
+    let left = heap
+        .get_field(tree, "left")?
+        .as_ref_id()
+        .expect("tree.left");
+    let right = heap
+        .get_field(tree, "right")?
+        .as_ref_id()
+        .expect("tree.right");
     heap.set_field(left, "data", Value::Int(0))?;
     heap.set_field(right, "data", Value::Int(9))?;
-    let right_right = heap.get_field(right, "right")?.as_ref_id().expect("tree.right.right");
+    let right_right = heap
+        .get_field(right, "right")?
+        .as_ref_id()
+        .expect("tree.right.right");
     heap.set_field(right_right, "data", Value::Int(8))?;
     heap.set_field(tree, "left", Value::Null)?;
     let temp = heap.alloc_raw(
@@ -148,9 +157,15 @@ pub fn figure2_violations(heap: &mut Heap, ex: &RunningExample) -> Result<Vec<St
 
     // Mutations visible through aliases even where unlinked from t:
     let left_data = heap.get_field(ex.alias1_target, "data")?;
-    check(left_data == Value::Int(0), "alias1.data == 0 (was t.left.data = 0)");
+    check(
+        left_data == Value::Int(0),
+        "alias1.data == 0 (was t.left.data = 0)",
+    );
     let right_data = heap.get_field(ex.alias2_target, "data")?;
-    check(right_data == Value::Int(9), "alias2.data == 9 (was t.right.data = 9)");
+    check(
+        right_data == Value::Int(9),
+        "alias2.data == 9 (was t.right.data = 9)",
+    );
     let rr_data = heap.get_field(ex.rr, "data")?;
     check(rr_data == Value::Int(8), "t.right.right.data == 8");
 
@@ -170,16 +185,25 @@ pub fn figure2_violations(heap: &mut Heap, ex: &RunningExample) -> Result<Vec<St
                 "t.right.left is the ORIGINAL t.right.right node (identity preserved)",
             );
             let temp_right = heap.get_ref(temp, "right")?;
-            check(temp_right.is_none(), "t.right.right == null (new node's right)");
+            check(
+                temp_right.is_none(),
+                "t.right.right == null (new node's right)",
+            );
         }
     }
 
     // The old right node was unlinked from rr:
     let old_right_right = heap.get_ref(ex.alias2_target, "right")?;
-    check(old_right_right.is_none(), "alias2.right == null (tree.right.right = null)");
+    check(
+        old_right_right.is_none(),
+        "alias2.right == null (tree.right.right = null)",
+    );
     // Its left child is untouched:
     let old_right_left = heap.get_ref(ex.alias2_target, "left")?;
-    check(old_right_left == Some(ex.rl), "alias2.left still the original RL node");
+    check(
+        old_right_left == Some(ex.rl),
+        "alias2.left still the original RL node",
+    );
 
     // The unlinked left subtree keeps its children (visible via alias1):
     let a1_left = heap.get_ref(ex.alias1_target, "left")?;
@@ -208,9 +232,15 @@ pub fn figure9_violations(heap: &mut Heap, ex: &RunningExample) -> Result<Vec<St
 
     // Disregarded on the caller site under DCE RPC (Figure 9):
     let left_data = heap.get_field(ex.alias1_target, "data")?;
-    check(left_data == Value::Int(3), "alias1.data unchanged (DCE drops tree.left.data = 0)");
+    check(
+        left_data == Value::Int(3),
+        "alias1.data unchanged (DCE drops tree.left.data = 0)",
+    );
     let right_data = heap.get_field(ex.alias2_target, "data")?;
-    check(right_data == Value::Int(7), "alias2.data unchanged (DCE drops tree.right.data = 9)");
+    check(
+        right_data == Value::Int(7),
+        "alias2.data unchanged (DCE drops tree.right.data = 9)",
+    );
     let old_rr_link = heap.get_ref(ex.alias2_target, "right")?;
     check(
         old_rr_link == Some(ex.rr),
@@ -219,7 +249,10 @@ pub fn figure9_violations(heap: &mut Heap, ex: &RunningExample) -> Result<Vec<St
 
     // Still restored (reachable from t after the call):
     let rr_data = heap.get_field(ex.rr, "data")?;
-    check(rr_data == Value::Int(8), "t.right.right.data == 8 (still reachable via new node)");
+    check(
+        rr_data == Value::Int(8),
+        "t.right.right.data == 8 (still reachable via new node)",
+    );
     let t_left = heap.get_ref(ex.root, "left")?;
     check(t_left.is_none(), "t.left == null");
     match heap.get_ref(ex.root, "right")? {
@@ -228,7 +261,10 @@ pub fn figure9_violations(heap: &mut Heap, ex: &RunningExample) -> Result<Vec<St
             let temp_data = heap.get_field(temp, "data")?;
             check(temp_data == Value::Int(2), "t.right.data == 2 (new node)");
             let temp_left = heap.get_ref(temp, "left")?;
-            check(temp_left == Some(ex.rr), "t.right.left is the original RR node");
+            check(
+                temp_left == Some(ex.rr),
+                "t.right.left is the original RR node",
+            );
         }
     }
 
@@ -287,7 +323,9 @@ fn build_random_subtree(
 /// # Errors
 /// Propagates heap access errors.
 pub fn collect_nodes(heap: &Heap, root: ObjId) -> Result<Vec<ObjId>> {
-    Ok(crate::traverse::LinearMap::build(heap, &[root])?.order().to_vec())
+    Ok(crate::traverse::LinearMap::build(heap, &[root])?
+        .order()
+        .to_vec())
 }
 
 #[cfg(test)]
@@ -339,7 +377,11 @@ mod tests {
         let (mut heap, classes) = setup();
         for size in [1, 2, 16, 64, 256] {
             let root = build_random_tree(&mut heap, &classes, size, 42).unwrap();
-            assert_eq!(collect_nodes(&heap, root).unwrap().len(), size, "size {size}");
+            assert_eq!(
+                collect_nodes(&heap, root).unwrap().len(),
+                size,
+                "size {size}"
+            );
         }
         // Same seed, same data sequence.
         let (mut h1, c1) = setup();

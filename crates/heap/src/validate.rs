@@ -60,17 +60,33 @@ pub enum Violation {
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Violation::DanglingReference { holder, slot, target } => {
+            Violation::DanglingReference {
+                holder,
+                slot,
+                target,
+            } => {
                 write!(f, "{holder} slot {slot} dangles to freed slot #{target}")
             }
             Violation::UnknownClass { object, class } => {
                 write!(f, "{object} has unknown class id {class}")
             }
-            Violation::ArityMismatch { object, declared, actual } => {
+            Violation::ArityMismatch {
+                object,
+                declared,
+                actual,
+            } => {
                 write!(f, "{object} has {actual} slots, class declares {declared}")
             }
-            Violation::TypeMismatch { object, slot, declared, found } => {
-                write!(f, "{object} slot {slot} holds {found}, declared {declared:?}")
+            Violation::TypeMismatch {
+                object,
+                slot,
+                declared,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{object} slot {slot} holds {found}, declared {declared:?}"
+                )
             }
             Violation::MalformedStub { object } => write!(f, "{object} is a malformed stub"),
         }
@@ -87,7 +103,10 @@ pub fn validate(heap: &Heap) -> Vec<Violation> {
         let desc = match registry.get(obj.class()) {
             Ok(desc) => desc,
             Err(_) => {
-                violations.push(Violation::UnknownClass { object: id, class: obj.class().index() });
+                violations.push(Violation::UnknownClass {
+                    object: id,
+                    class: obj.class().index(),
+                });
                 continue;
             }
         };
@@ -149,7 +168,11 @@ pub fn assert_valid(heap: &Heap) {
     assert!(
         violations.is_empty(),
         "heap integrity violations:\n{}",
-        violations.iter().map(|v| format!("  - {v}")).collect::<Vec<_>>().join("\n")
+        violations
+            .iter()
+            .map(|v| format!("  - {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
@@ -180,7 +203,10 @@ mod tests {
         let (mut heap, classes) = setup();
         let child = heap.alloc_default(classes.tree).unwrap();
         let parent = heap
-            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(child), Value::Null])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(0), Value::Ref(child), Value::Null],
+            )
             .unwrap();
         // Free the child WITHOUT unlinking — the validator must notice.
         heap.free(child).unwrap();
@@ -201,7 +227,9 @@ mod tests {
         // Corrupt the key slot through the raw interface... the typed
         // heap refuses (Long field), so stubs are well-formed by
         // construction — assert that the write is rejected.
-        assert!(heap.set_field_raw(stub, 0, Value::Str("bad".into())).is_err());
+        assert!(heap
+            .set_field_raw(stub, 0, Value::Str("bad".into()))
+            .is_err());
     }
 
     #[test]
@@ -210,7 +238,10 @@ mod tests {
         let (mut heap, classes) = setup();
         let child = heap.alloc_default(classes.tree).unwrap();
         let _parent = heap
-            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(child), Value::Null])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(0), Value::Ref(child), Value::Null],
+            )
             .unwrap();
         heap.free(child).unwrap();
         assert_valid(&heap);

@@ -61,8 +61,18 @@ pub fn channel_pair(env: Option<SimEnv>, link: LinkSpec) -> (ChannelTransport, C
     let (atx, brx) = crossbeam::channel::unbounded();
     let (btx, arx) = crossbeam::channel::unbounded();
     (
-        ChannelTransport { tx: atx, rx: arx, env: env.clone(), link },
-        ChannelTransport { tx: btx, rx: brx, env, link },
+        ChannelTransport {
+            tx: atx,
+            rx: arx,
+            env: env.clone(),
+            link,
+        },
+        ChannelTransport {
+            tx: btx,
+            rx: brx,
+            env,
+            link,
+        },
     )
 }
 
@@ -72,7 +82,9 @@ impl Transport for ChannelTransport {
         if let Some(env) = &self.env {
             env.charge_transfer(&self.link, bytes.len());
         }
-        self.tx.send(bytes).map_err(|_| TransportError::Disconnected)
+        self.tx
+            .send(bytes)
+            .map_err(|_| TransportError::Disconnected)
     }
 
     fn recv(&mut self) -> Result<Frame> {
@@ -107,7 +119,9 @@ mod tests {
     fn send_charges_sim_env() {
         let env = SimEnv::new();
         let (mut a, mut b) = channel_pair(Some(env.clone()), LinkSpec::lan_100mbps());
-        let frame = Frame::CallReply { payload: vec![0u8; 1000] };
+        let frame = Frame::CallReply {
+            payload: vec![0u8; 1000],
+        };
         a.send(&frame).unwrap();
         let r = env.report();
         assert_eq!(r.messages, 1);
@@ -120,7 +134,10 @@ mod tests {
     fn disconnect_detected() {
         let (mut a, b) = channel_pair(None, LinkSpec::free());
         drop(b);
-        assert!(matches!(a.send(&Frame::Ack), Err(TransportError::Disconnected)));
+        assert!(matches!(
+            a.send(&Frame::Ack),
+            Err(TransportError::Disconnected)
+        ));
         assert!(matches!(a.recv(), Err(TransportError::Disconnected)));
     }
 

@@ -75,10 +75,16 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(TransportError::Disconnected.to_string().contains("disconnected"));
+        assert!(TransportError::Disconnected
+            .to_string()
+            .contains("disconnected"));
         assert!(TransportError::Timeout.to_string().contains("timed out"));
-        assert!(TransportError::UnknownFrame(0xab).to_string().contains("0xab"));
-        assert!(TransportError::FrameTooLarge { len: 10, max: 5 }.to_string().contains("10"));
+        assert!(TransportError::UnknownFrame(0xab)
+            .to_string()
+            .contains("0xab"));
+        assert!(TransportError::FrameTooLarge { len: 10, max: 5 }
+            .to_string()
+            .contains("10"));
         let codec = TransportError::Codec(nrmi_wire::WireError::BadMagic);
         assert!(codec.source().is_some());
     }

@@ -47,7 +47,10 @@ impl FaultPlan {
     pub fn disconnect_on_send(n: usize) -> Self {
         let mut sends = vec![Fault::Pass; n];
         sends.push(Fault::Disconnect);
-        FaultPlan { sends, recvs: Vec::new() }
+        FaultPlan {
+            sends,
+            recvs: Vec::new(),
+        }
     }
 
     /// Drops the `n`-th send silently (the caller will block or time out
@@ -55,14 +58,20 @@ impl FaultPlan {
     pub fn drop_on_send(n: usize) -> Self {
         let mut sends = vec![Fault::Pass; n];
         sends.push(Fault::DropFrame);
-        FaultPlan { sends, recvs: Vec::new() }
+        FaultPlan {
+            sends,
+            recvs: Vec::new(),
+        }
     }
 
     /// Corrupts the `n`-th received frame.
     pub fn corrupt_on_recv(n: usize) -> Self {
         let mut recvs = vec![Fault::Pass; n];
         recvs.push(Fault::Corrupt);
-        FaultPlan { recvs, sends: Vec::new() }
+        FaultPlan {
+            recvs,
+            sends: Vec::new(),
+        }
     }
 }
 
@@ -87,7 +96,12 @@ impl<T: std::fmt::Debug> std::fmt::Debug for FaultyTransport<T> {
 impl<T: Transport> FaultyTransport<T> {
     /// Wraps `inner` with the given schedule.
     pub fn new(inner: T, plan: FaultPlan) -> Self {
-        FaultyTransport { inner, plan, sends_seen: 0, recvs_seen: 0 }
+        FaultyTransport {
+            inner,
+            plan,
+            sends_seen: 0,
+            recvs_seen: 0,
+        }
     }
 
     /// Operations observed so far, `(sends, recvs)`.
@@ -96,13 +110,23 @@ impl<T: Transport> FaultyTransport<T> {
     }
 
     fn next_send_fault(&mut self) -> Fault {
-        let f = self.plan.sends.get(self.sends_seen).copied().unwrap_or(Fault::Pass);
+        let f = self
+            .plan
+            .sends
+            .get(self.sends_seen)
+            .copied()
+            .unwrap_or(Fault::Pass);
         self.sends_seen += 1;
         f
     }
 
     fn next_recv_fault(&mut self) -> Fault {
-        let f = self.plan.recvs.get(self.recvs_seen).copied().unwrap_or(Fault::Pass);
+        let f = self
+            .plan
+            .recvs
+            .get(self.recvs_seen)
+            .copied()
+            .unwrap_or(Fault::Pass);
         self.recvs_seen += 1;
         f
     }
@@ -117,7 +141,9 @@ impl<T: Transport> FaultyTransport<T> {
         }
         match Frame::decode(&bytes) {
             Ok(decoded) => decoded,
-            Err(_) => Frame::ErrorReply { message: "corrupted frame".into() },
+            Err(_) => Frame::ErrorReply {
+                message: "corrupted frame".into(),
+            },
         }
     }
 }
@@ -186,7 +212,10 @@ mod tests {
         let (a, mut b) = channel_pair(None, LinkSpec::free());
         let mut faulty = FaultyTransport::new(a, FaultPlan::disconnect_on_send(1));
         faulty.send(&Frame::Ack).unwrap();
-        assert!(matches!(faulty.send(&Frame::Ack), Err(TransportError::Disconnected)));
+        assert!(matches!(
+            faulty.send(&Frame::Ack),
+            Err(TransportError::Disconnected)
+        ));
         // Past the schedule: passes again.
         faulty.send(&Frame::Ack).unwrap();
         assert_eq!(b.recv().unwrap(), Frame::Ack);
@@ -199,17 +228,28 @@ mod tests {
         let mut faulty = FaultyTransport::new(a, FaultPlan::drop_on_send(0));
         faulty.send(&Frame::CountReply(1)).unwrap(); // dropped
         faulty.send(&Frame::CountReply(2)).unwrap();
-        assert_eq!(b.recv().unwrap(), Frame::CountReply(2), "first frame vanished");
+        assert_eq!(
+            b.recv().unwrap(),
+            Frame::CountReply(2),
+            "first frame vanished"
+        );
     }
 
     #[test]
     fn dropped_recv_skips_one_frame() {
         let (a, mut b) = channel_pair(None, LinkSpec::free());
-        let plan = FaultPlan { sends: Vec::new(), recvs: vec![Fault::DropFrame] };
+        let plan = FaultPlan {
+            sends: Vec::new(),
+            recvs: vec![Fault::DropFrame],
+        };
         let mut faulty = FaultyTransport::new(a, plan);
         b.send(&Frame::CountReply(1)).unwrap();
         b.send(&Frame::CountReply(2)).unwrap();
-        assert_eq!(faulty.recv().unwrap(), Frame::CountReply(2), "first frame swallowed");
+        assert_eq!(
+            faulty.recv().unwrap(),
+            Frame::CountReply(2),
+            "first frame swallowed"
+        );
     }
 
     #[test]

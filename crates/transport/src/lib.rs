@@ -31,8 +31,8 @@ pub mod tcp;
 pub mod uds;
 
 pub use endpoint::{channel_pair, ChannelTransport, Transport};
-pub use fault::{Fault, FaultPlan, FaultyTransport};
 pub use error::TransportError;
+pub use fault::{Fault, FaultPlan, FaultyTransport};
 pub use message::{decode_rvals, encode_rvals, Frame, RVal};
 pub use simnet::{LinkSpec, MachineSpec, SimEnv, SimReport};
 pub use tcp::{TcpListenerTransport, TcpTransport};

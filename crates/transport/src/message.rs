@@ -81,8 +81,15 @@ impl RVal {
                 w.put_u8(RV_STR);
                 w.put_str(s);
             }
-            RVal::Remote { owned_by_sender, key } => {
-                w.put_u8(if *owned_by_sender { RV_REMOTE_MINE } else { RV_REMOTE_YOURS });
+            RVal::Remote {
+                owned_by_sender,
+                key,
+            } => {
+                w.put_u8(if *owned_by_sender {
+                    RV_REMOTE_MINE
+                } else {
+                    RV_REMOTE_YOURS
+                });
                 w.put_varint(*key);
             }
         }
@@ -115,9 +122,13 @@ impl RVal {
     /// "mine" is the receiver's "yours"). Scalars are unchanged.
     pub fn flipped(self) -> Self {
         match self {
-            RVal::Remote { owned_by_sender, key } => {
-                RVal::Remote { owned_by_sender: !owned_by_sender, key }
-            }
+            RVal::Remote {
+                owned_by_sender,
+                key,
+            } => RVal::Remote {
+                owned_by_sender: !owned_by_sender,
+                key,
+            },
             other => other,
         }
     }
@@ -262,6 +273,35 @@ pub enum Frame {
     Ack,
     /// Orderly shutdown of the serving loop.
     Shutdown,
+    /// Warm-session call: like `CallRequest`, but relative to a cached
+    /// argument graph. `cache_id` names the session cache (allocated by
+    /// the client); `generation` counts completed calls through it.
+    /// Generation 0 seeds the cache (`payload` is a full graph),
+    /// generation ≥ 1 ships a request delta against the cached state.
+    CallRequestWarm {
+        /// Registered service name.
+        service: String,
+        /// Method name.
+        method: String,
+        /// Calling-semantics discriminant (opaque at this layer).
+        mode: u8,
+        /// Client-allocated cache identifier.
+        cache_id: u64,
+        /// Expected cache generation (0 = seed).
+        generation: u64,
+        /// Full graph (seed) or request delta (warm).
+        payload: Vec<u8>,
+    },
+    /// The server has no cache matching the request's `(cache_id,
+    /// generation)` — evicted, never seeded, or invalidated by an
+    /// out-of-band mutation. The client must fall back to a cold call.
+    CacheMiss,
+    /// Client-initiated release of a warm-session cache (fire-and-forget,
+    /// like `DgcClean`): the server frees the cached graph.
+    CacheEvict {
+        /// Cache identifier to drop.
+        cache_id: u64,
+    },
 }
 
 const F_CALL_REQUEST: u8 = 1;
@@ -283,13 +323,21 @@ const F_DGC_CLEAN: u8 = 16;
 const F_ACK: u8 = 17;
 const F_SHUTDOWN: u8 = 18;
 const F_CALL_OBJECT: u8 = 19;
+const F_CALL_REQUEST_WARM: u8 = 20;
+const F_CACHE_MISS: u8 = 21;
+const F_CACHE_EVICT: u8 = 22;
 
 impl Frame {
     /// Encodes the frame to bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         match self {
-            Frame::CallRequest { service, method, mode, payload } => {
+            Frame::CallRequest {
+                service,
+                method,
+                mode,
+                payload,
+            } => {
                 w.put_u8(F_CALL_REQUEST);
                 w.put_str(service);
                 w.put_str(method);
@@ -297,7 +345,12 @@ impl Frame {
                 w.put_varint(payload.len() as u64);
                 w.put_slice(payload);
             }
-            Frame::CallObject { key, method, mode, payload } => {
+            Frame::CallObject {
+                key,
+                method,
+                mode,
+                payload,
+            } => {
                 w.put_u8(F_CALL_OBJECT);
                 w.put_varint(*key);
                 w.put_str(method);
@@ -374,6 +427,28 @@ impl Frame {
             }
             Frame::Ack => w.put_u8(F_ACK),
             Frame::Shutdown => w.put_u8(F_SHUTDOWN),
+            Frame::CallRequestWarm {
+                service,
+                method,
+                mode,
+                cache_id,
+                generation,
+                payload,
+            } => {
+                w.put_u8(F_CALL_REQUEST_WARM);
+                w.put_str(service);
+                w.put_str(method);
+                w.put_u8(*mode);
+                w.put_varint(*cache_id);
+                w.put_varint(*generation);
+                w.put_varint(payload.len() as u64);
+                w.put_slice(payload);
+            }
+            Frame::CacheMiss => w.put_u8(F_CACHE_MISS),
+            Frame::CacheEvict { cache_id } => {
+                w.put_u8(F_CACHE_EVICT);
+                w.put_varint(*cache_id);
+            }
         }
         w.into_bytes()
     }
@@ -393,7 +468,12 @@ impl Frame {
                 let mode = r.get_u8().map_err(wire)?;
                 let len = r.get_varint().map_err(wire)? as usize;
                 let payload = r.get_slice(len).map_err(wire)?.to_vec();
-                Frame::CallRequest { service, method, mode, payload }
+                Frame::CallRequest {
+                    service,
+                    method,
+                    mode,
+                    payload,
+                }
             }
             F_CALL_OBJECT => {
                 let key = r.get_varint().map_err(wire)?;
@@ -401,16 +481,27 @@ impl Frame {
                 let mode = r.get_u8().map_err(wire)?;
                 let len = r.get_varint().map_err(wire)? as usize;
                 let payload = r.get_slice(len).map_err(wire)?.to_vec();
-                Frame::CallObject { key, method, mode, payload }
+                Frame::CallObject {
+                    key,
+                    method,
+                    mode,
+                    payload,
+                }
             }
             F_CALL_REPLY => {
                 let len = r.get_varint().map_err(wire)? as usize;
                 let payload = r.get_slice(len).map_err(wire)?.to_vec();
                 Frame::CallReply { payload }
             }
-            F_CALL_ERROR => Frame::CallError { message: r.get_str().map_err(wire)? },
-            F_LOOKUP => Frame::Lookup { name: r.get_str().map_err(wire)? },
-            F_LOOKUP_REPLY => Frame::LookupReply { found: r.get_u8().map_err(wire)? != 0 },
+            F_CALL_ERROR => Frame::CallError {
+                message: r.get_str().map_err(wire)?,
+            },
+            F_LOOKUP => Frame::Lookup {
+                name: r.get_str().map_err(wire)?,
+            },
+            F_LOOKUP_REPLY => Frame::LookupReply {
+                found: r.get_u8().map_err(wire)? != 0,
+            },
             F_GET_FIELD => Frame::GetField {
                 key: r.get_varint().map_err(wire)?,
                 field: r.get_varint().map_err(wire)? as u32,
@@ -429,15 +520,44 @@ impl Frame {
                 index: r.get_varint().map_err(wire)? as u32,
                 value: RVal::decode(&mut r)?,
             },
-            F_SLOT_COUNT => Frame::SlotCount { key: r.get_varint().map_err(wire)? },
-            F_CLASS_OF => Frame::ClassOf { key: r.get_varint().map_err(wire)? },
+            F_SLOT_COUNT => Frame::SlotCount {
+                key: r.get_varint().map_err(wire)?,
+            },
+            F_CLASS_OF => Frame::ClassOf {
+                key: r.get_varint().map_err(wire)?,
+            },
             F_VALUE_REPLY => Frame::ValueReply(RVal::decode(&mut r)?),
             F_COUNT_REPLY => Frame::CountReply(r.get_varint().map_err(wire)?),
             F_CLASS_REPLY => Frame::ClassReply(r.get_varint().map_err(wire)? as u32),
-            F_ERROR_REPLY => Frame::ErrorReply { message: r.get_str().map_err(wire)? },
-            F_DGC_CLEAN => Frame::DgcClean { key: r.get_varint().map_err(wire)? },
+            F_ERROR_REPLY => Frame::ErrorReply {
+                message: r.get_str().map_err(wire)?,
+            },
+            F_DGC_CLEAN => Frame::DgcClean {
+                key: r.get_varint().map_err(wire)?,
+            },
             F_ACK => Frame::Ack,
             F_SHUTDOWN => Frame::Shutdown,
+            F_CALL_REQUEST_WARM => {
+                let service = r.get_str().map_err(wire)?;
+                let method = r.get_str().map_err(wire)?;
+                let mode = r.get_u8().map_err(wire)?;
+                let cache_id = r.get_varint().map_err(wire)?;
+                let generation = r.get_varint().map_err(wire)?;
+                let len = r.get_varint().map_err(wire)? as usize;
+                let payload = r.get_slice(len).map_err(wire)?.to_vec();
+                Frame::CallRequestWarm {
+                    service,
+                    method,
+                    mode,
+                    cache_id,
+                    generation,
+                    payload,
+                }
+            }
+            F_CACHE_MISS => Frame::CacheMiss,
+            F_CACHE_EVICT => Frame::CacheEvict {
+                cache_id: r.get_varint().map_err(wire)?,
+            },
             other => return Err(TransportError::UnknownFrame(other)),
         };
         Ok(frame)
@@ -475,28 +595,84 @@ mod tests {
             payload: vec![4, 5],
         });
         roundtrip(Frame::CallReply { payload: vec![] });
-        roundtrip(Frame::CallError { message: "remote exception: boom".into() });
+        roundtrip(Frame::CallError {
+            message: "remote exception: boom".into(),
+        });
         roundtrip(Frame::Lookup { name: "svc".into() });
         roundtrip(Frame::LookupReply { found: true });
         roundtrip(Frame::LookupReply { found: false });
         roundtrip(Frame::GetField { key: 7, field: 2 });
-        roundtrip(Frame::SetField { key: 7, field: 2, value: RVal::Int(-5) });
+        roundtrip(Frame::SetField {
+            key: 7,
+            field: 2,
+            value: RVal::Int(-5),
+        });
         roundtrip(Frame::GetElement { key: 1, index: 9 });
-        roundtrip(Frame::SetElement { key: 1, index: 9, value: RVal::Str("x".into()) });
+        roundtrip(Frame::SetElement {
+            key: 1,
+            index: 9,
+            value: RVal::Str("x".into()),
+        });
         roundtrip(Frame::SlotCount { key: 3 });
         roundtrip(Frame::ClassOf { key: 3 });
-        roundtrip(Frame::ValueReply(RVal::Remote { owned_by_sender: true, key: 12 }));
-        roundtrip(Frame::ValueReply(RVal::Remote { owned_by_sender: false, key: 12 }));
+        roundtrip(Frame::ValueReply(RVal::Remote {
+            owned_by_sender: true,
+            key: 12,
+        }));
+        roundtrip(Frame::ValueReply(RVal::Remote {
+            owned_by_sender: false,
+            key: 12,
+        }));
         roundtrip(Frame::ValueReply(RVal::Double(2.5)));
         roundtrip(Frame::ValueReply(RVal::Bool(true)));
         roundtrip(Frame::ValueReply(RVal::Long(i64::MIN)));
         roundtrip(Frame::ValueReply(RVal::Null));
         roundtrip(Frame::CountReply(u64::MAX));
         roundtrip(Frame::ClassReply(42));
-        roundtrip(Frame::ErrorReply { message: "dangling".into() });
+        roundtrip(Frame::ErrorReply {
+            message: "dangling".into(),
+        });
         roundtrip(Frame::DgcClean { key: 99 });
         roundtrip(Frame::Ack);
         roundtrip(Frame::Shutdown);
+        roundtrip(Frame::CallRequestWarm {
+            service: "translator".into(),
+            method: "translate".into(),
+            mode: 3,
+            cache_id: 7,
+            generation: 0,
+            payload: vec![1, 2, 3],
+        });
+        roundtrip(Frame::CallRequestWarm {
+            service: "s".into(),
+            method: "m".into(),
+            mode: 3,
+            cache_id: u64::MAX,
+            generation: 41,
+            payload: vec![],
+        });
+        roundtrip(Frame::CacheMiss);
+        roundtrip(Frame::CacheEvict { cache_id: 55 });
+    }
+
+    #[test]
+    fn truncated_warm_frames_rejected() {
+        let full = Frame::CallRequestWarm {
+            service: "svc".into(),
+            method: "mm".into(),
+            mode: 3,
+            cache_id: 300,
+            generation: 12,
+            payload: vec![7; 10],
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert!(Frame::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+        let evict = Frame::CacheEvict { cache_id: 300 }.encode();
+        for cut in 1..evict.len() {
+            assert!(Frame::decode(&evict[..cut]).is_err(), "evict cut at {cut}");
+        }
     }
 
     #[test]
@@ -505,12 +681,18 @@ mod tests {
             RVal::Null,
             RVal::Int(-7),
             RVal::Str("arg".into()),
-            RVal::Remote { owned_by_sender: true, key: 3 },
+            RVal::Remote {
+                owned_by_sender: true,
+                key: 3,
+            },
             RVal::Double(1.25),
         ];
         let bytes = encode_rvals(&values);
         assert_eq!(decode_rvals(&bytes).unwrap(), values);
-        assert_eq!(decode_rvals(&encode_rvals(&[])).unwrap(), Vec::<RVal>::new());
+        assert_eq!(
+            decode_rvals(&encode_rvals(&[])).unwrap(),
+            Vec::<RVal>::new()
+        );
         // Truncations fail cleanly.
         for cut in 0..bytes.len() {
             assert!(decode_rvals(&bytes[..cut]).is_err() || cut == 0 && bytes[0] == 0);
@@ -521,14 +703,26 @@ mod tests {
 
     #[test]
     fn rval_flip() {
-        let v = RVal::Remote { owned_by_sender: true, key: 4 };
-        assert_eq!(v.clone().flipped(), RVal::Remote { owned_by_sender: false, key: 4 });
+        let v = RVal::Remote {
+            owned_by_sender: true,
+            key: 4,
+        };
+        assert_eq!(
+            v.clone().flipped(),
+            RVal::Remote {
+                owned_by_sender: false,
+                key: 4
+            }
+        );
         assert_eq!(RVal::Int(1).flipped(), RVal::Int(1));
     }
 
     #[test]
     fn unknown_tag_rejected() {
-        assert!(matches!(Frame::decode(&[0xEE]), Err(TransportError::UnknownFrame(0xEE))));
+        assert!(matches!(
+            Frame::decode(&[0xEE]),
+            Err(TransportError::UnknownFrame(0xEE))
+        ));
         assert!(matches!(Frame::decode(&[]), Err(TransportError::Codec(_))));
     }
 

@@ -30,18 +30,27 @@ pub struct MachineSpec {
 impl MachineSpec {
     /// The paper's fast node: SunBlade 1000, 750 MHz (reference speed).
     pub fn fast() -> Self {
-        MachineSpec { name: "sunblade-750MHz".to_owned(), speed_factor: 1.0 }
+        MachineSpec {
+            name: "sunblade-750MHz".to_owned(),
+            speed_factor: 1.0,
+        }
     }
 
     /// The paper's slow node: Ultra 10, 440 MHz.
     pub fn slow() -> Self {
-        MachineSpec { name: "ultra10-440MHz".to_owned(), speed_factor: 750.0 / 440.0 }
+        MachineSpec {
+            name: "ultra10-440MHz".to_owned(),
+            speed_factor: 750.0 / 440.0,
+        }
     }
 
     /// A custom machine.
     pub fn new(name: impl Into<String>, speed_factor: f64) -> Self {
         assert!(speed_factor > 0.0, "speed factor must be positive");
-        MachineSpec { name: name.into(), speed_factor }
+        MachineSpec {
+            name: name.into(),
+            speed_factor,
+        }
     }
 }
 
@@ -58,25 +67,40 @@ impl LinkSpec {
     /// The paper's LAN: 100 Mbps effective bandwidth; we model a typical
     /// switched-Ethernet one-way latency of 200 µs.
     pub fn lan_100mbps() -> Self {
-        LinkSpec { latency_us: 200.0, bandwidth_bps: 100e6 }
+        LinkSpec {
+            latency_us: 200.0,
+            bandwidth_bps: 100e6,
+        }
     }
 
     /// Two JVMs on one physical machine (Table 3's configuration):
     /// loopback transfers modelled as memory-speed (≈ 10 Gbps, 20 µs).
     pub fn same_machine() -> Self {
-        LinkSpec { latency_us: 20.0, bandwidth_bps: 10e9 }
+        LinkSpec {
+            latency_us: 20.0,
+            bandwidth_bps: 10e9,
+        }
     }
 
     /// A zero-cost link: transfers are free. Used for the pure local
     /// baseline (Table 1), where no middleware runs at all.
     pub fn free() -> Self {
-        LinkSpec { latency_us: 0.0, bandwidth_bps: f64::INFINITY }
+        LinkSpec {
+            latency_us: 0.0,
+            bandwidth_bps: f64::INFINITY,
+        }
     }
 
     /// A custom link.
     pub fn new(latency_us: f64, bandwidth_bps: f64) -> Self {
-        assert!(latency_us >= 0.0 && bandwidth_bps > 0.0, "invalid link parameters");
-        LinkSpec { latency_us, bandwidth_bps }
+        assert!(
+            latency_us >= 0.0 && bandwidth_bps > 0.0,
+            "invalid link parameters"
+        );
+        LinkSpec {
+            latency_us,
+            bandwidth_bps,
+        }
     }
 
     /// Microseconds to move `bytes` one way over this link.
@@ -200,7 +224,10 @@ mod tests {
     #[test]
     fn same_machine_link_is_much_faster_than_lan() {
         let bytes = 50_000;
-        assert!(LinkSpec::same_machine().transfer_us(bytes) < LinkSpec::lan_100mbps().transfer_us(bytes) / 10.0);
+        assert!(
+            LinkSpec::same_machine().transfer_us(bytes)
+                < LinkSpec::lan_100mbps().transfer_us(bytes) / 10.0
+        );
     }
 
     #[test]

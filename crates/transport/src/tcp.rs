@@ -42,7 +42,11 @@ impl TcpTransport {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpTransport { stream, env: None, link: LinkSpec::free() })
+        Ok(TcpTransport {
+            stream,
+            env: None,
+            link: LinkSpec::free(),
+        })
     }
 
     /// Wraps an accepted stream.
@@ -51,7 +55,11 @@ impl TcpTransport {
     /// Propagates socket errors.
     pub fn from_stream(stream: TcpStream) -> Result<Self> {
         stream.set_nodelay(true)?;
-        Ok(TcpTransport { stream, env: None, link: LinkSpec::free() })
+        Ok(TcpTransport {
+            stream,
+            env: None,
+            link: LinkSpec::free(),
+        })
     }
 
     /// Attaches simulated-cost accounting (in addition to the real
@@ -109,7 +117,10 @@ impl TcpTransport {
         }
         let len = u32::from_be_bytes(len_buf) as usize;
         if len > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge { len, max: MAX_FRAME });
+            return Err(TransportError::FrameTooLarge {
+                len,
+                max: MAX_FRAME,
+            });
         }
         let mut buf = vec![0u8; len];
         self.stream.read_exact(&mut buf).map_err(|e| {
@@ -135,7 +146,9 @@ impl TcpListenerTransport {
     /// # Errors
     /// Propagates socket errors.
     pub fn bind(addr: impl ToSocketAddrs) -> Result<Self> {
-        Ok(TcpListenerTransport { listener: TcpListener::bind(addr)? })
+        Ok(TcpListenerTransport {
+            listener: TcpListener::bind(addr)?,
+        })
     }
 
     /// The bound local address.
@@ -168,7 +181,12 @@ mod tests {
         let server = thread::spawn(move || {
             let mut t = listener.accept().unwrap();
             let f = t.recv().unwrap();
-            assert_eq!(f, Frame::Lookup { name: "echo".into() });
+            assert_eq!(
+                f,
+                Frame::Lookup {
+                    name: "echo".into()
+                }
+            );
             t.send(&Frame::LookupReply { found: true }).unwrap();
             // Large frame across the socket.
             let big = t.recv().unwrap();
@@ -176,10 +194,17 @@ mod tests {
                 Frame::CallRequest { payload, .. } => assert_eq!(payload.len(), 100_000),
                 other => panic!("unexpected {other:?}"),
             }
-            t.send(&Frame::CallReply { payload: vec![7; 10] }).unwrap();
+            t.send(&Frame::CallReply {
+                payload: vec![7; 10],
+            })
+            .unwrap();
         });
         let mut client = TcpTransport::connect(addr).unwrap();
-        client.send(&Frame::Lookup { name: "echo".into() }).unwrap();
+        client
+            .send(&Frame::Lookup {
+                name: "echo".into(),
+            })
+            .unwrap();
         assert_eq!(client.recv().unwrap(), Frame::LookupReply { found: true });
         client
             .send(&Frame::CallRequest {
@@ -189,7 +214,12 @@ mod tests {
                 payload: vec![1; 100_000],
             })
             .unwrap();
-        assert_eq!(client.recv().unwrap(), Frame::CallReply { payload: vec![7; 10] });
+        assert_eq!(
+            client.recv().unwrap(),
+            Frame::CallReply {
+                payload: vec![7; 10]
+            }
+        );
         server.join().unwrap();
     }
 

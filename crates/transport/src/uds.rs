@@ -31,7 +31,9 @@ impl UdsTransport {
     /// # Errors
     /// Propagates socket errors.
     pub fn connect(path: impl AsRef<Path>) -> Result<Self> {
-        Ok(UdsTransport { stream: UnixStream::connect(path)? })
+        Ok(UdsTransport {
+            stream: UnixStream::connect(path)?,
+        })
     }
 
     /// Wraps an accepted stream.
@@ -50,7 +52,10 @@ impl UdsTransport {
         }
         let len = u32::from_be_bytes(len_buf) as usize;
         if len > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge { len, max: MAX_FRAME });
+            return Err(TransportError::FrameTooLarge {
+                len,
+                max: MAX_FRAME,
+            });
         }
         let mut buf = vec![0u8; len];
         self.stream.read_exact(&mut buf).map_err(|e| {
@@ -111,7 +116,10 @@ impl UdsListenerTransport {
     pub fn bind(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
-        Ok(UdsListenerTransport { listener: UnixListener::bind(&path)?, path })
+        Ok(UdsListenerTransport {
+            listener: UnixListener::bind(&path)?,
+            path,
+        })
     }
 
     /// The bound filesystem path.

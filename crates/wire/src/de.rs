@@ -43,7 +43,10 @@ impl DecodedGraph {
 
     /// Iterates over `(obj, old_index)` pairs in traversal order.
     pub fn iter_with_old(&self) -> impl Iterator<Item = (ObjId, Option<u32>)> + '_ {
-        self.linear.iter().copied().zip(self.old_index.iter().copied())
+        self.linear
+            .iter()
+            .copied()
+            .zip(self.old_index.iter().copied())
     }
 }
 
@@ -103,7 +106,11 @@ impl<'h, 'b, 'k> Deserializer<'h, 'b, 'k> {
             let v = self.decode_value()?;
             roots.push(v);
         }
-        Ok(DecodedGraph { roots, linear: self.linear, old_index: self.old_index })
+        Ok(DecodedGraph {
+            roots,
+            linear: self.linear,
+            old_index: self.old_index,
+        })
     }
 
     fn decode_value(&mut self) -> Result<Value> {
@@ -140,14 +147,19 @@ impl<'h, 'b, 'k> Deserializer<'h, 'b, 'k> {
                 self.linear
                     .get(pos as usize)
                     .map(|&id| Value::Ref(id))
-                    .ok_or(WireError::BadBackRef { position: pos, decoded: self.linear.len() as u32 })
+                    .ok_or(WireError::BadBackRef {
+                        position: pos,
+                        decoded: self.linear.len() as u32,
+                    })
             }
             TAG_REMOTE => {
                 let owned_by_sender = self.reader.get_u8()? != 0;
                 let key = self.reader.get_varint()?;
                 match self.hooks.as_deref_mut() {
                     Some(hooks) => hooks.import(self.heap, owned_by_sender, key),
-                    None => Err(WireError::RemoteWithoutHooks { class: format!("<stub:{key}>") }),
+                    None => Err(WireError::RemoteWithoutHooks {
+                        class: format!("<stub:{key}>"),
+                    }),
                 }
             }
             other => Err(WireError::UnknownTag { tag: other, offset }),
@@ -245,7 +257,10 @@ mod tests {
             .alloc(classes.tree, vec![Value::Int(42), Value::Null, Value::Null])
             .unwrap();
         let root = heap
-            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)],
+            )
             .unwrap();
         let (mut dst, dec) = roundtrip(&heap, &[Value::Ref(root)]);
         let root2 = dec.roots[0].as_ref_id().unwrap();
@@ -297,7 +312,11 @@ mod tests {
         let mut dst = Heap::new(heap.registry_handle().clone());
         let dec = deserialize_graph(&enc.bytes, &mut dst).unwrap();
         for (i, old) in dec.old_index.iter().enumerate() {
-            assert_eq!(*old, Some(i as u32), "traversal order equals old order here");
+            assert_eq!(
+                *old,
+                Some(i as u32),
+                "traversal order equals old order here"
+            );
         }
     }
 
@@ -307,7 +326,12 @@ mod tests {
         let root = tree::build_random_tree(&mut heap, &classes, 4, 9).unwrap();
         let (_, dec) = roundtrip(
             &heap,
-            &[Value::Int(1), Value::Ref(root), Value::Null, Value::Str("tail".into())],
+            &[
+                Value::Int(1),
+                Value::Ref(root),
+                Value::Null,
+                Value::Str("tail".into()),
+            ],
         );
         assert_eq!(dec.roots.len(), 4);
         assert_eq!(dec.roots[0], Value::Int(1));
@@ -362,13 +386,18 @@ mod tests {
     #[test]
     fn repeated_strings_are_interned() {
         let mut reg = ClassRegistry::new();
-        let named = reg.define("Named").field_str("name").serializable().register();
+        let named = reg
+            .define("Named")
+            .field_str("name")
+            .serializable()
+            .register();
         let mut heap = Heap::new(reg.snapshot());
         let long_name = "a-rather-long-repeated-string-value".to_owned();
         let nodes: Vec<Value> = (0..20)
             .map(|_| {
                 Value::Ref(
-                    heap.alloc(named, vec![Value::Str(long_name.clone())]).unwrap(),
+                    heap.alloc(named, vec![Value::Str(long_name.clone())])
+                        .unwrap(),
                 )
             })
             .collect();
@@ -384,14 +413,21 @@ mod tests {
         let dec = deserialize_graph(&enc.bytes, &mut dst).unwrap();
         for root in &dec.roots {
             let id = root.as_ref_id().unwrap();
-            assert_eq!(dst.get_field(id, "name").unwrap().as_str(), Some(long_name.as_str()));
+            assert_eq!(
+                dst.get_field(id, "name").unwrap().as_str(),
+                Some(long_name.as_str())
+            );
         }
     }
 
     #[test]
     fn distinct_strings_stay_distinct() {
         let mut reg = ClassRegistry::new();
-        let named = reg.define("Named").field_str("name").serializable().register();
+        let named = reg
+            .define("Named")
+            .field_str("name")
+            .serializable()
+            .register();
         let mut heap = Heap::new(reg.snapshot());
         let a = heap.alloc(named, vec![Value::Str("alpha".into())]).unwrap();
         let b = heap.alloc(named, vec![Value::Str("beta".into())]).unwrap();
@@ -411,7 +447,11 @@ mod tests {
             .collect();
         assert_eq!(
             texts,
-            vec![Some("alpha".into()), Some("beta".into()), Some("alpha".into())]
+            vec![
+                Some("alpha".into()),
+                Some("beta".into()),
+                Some("alpha".into())
+            ]
         );
     }
 
@@ -423,7 +463,10 @@ mod tests {
         let mut heap = Heap::new(reg.snapshot());
         let node = heap.alloc_default(classes.tree).unwrap();
         let arr = heap
-            .alloc_array(arr_class, vec![Value::Ref(node), Value::Ref(node), Value::Null])
+            .alloc_array(
+                arr_class,
+                vec![Value::Ref(node), Value::Ref(node), Value::Null],
+            )
             .unwrap();
         let (mut dst, dec) = roundtrip(&heap, &[Value::Ref(arr)]);
         let arr2 = dec.roots[0].as_ref_id().unwrap();

@@ -29,9 +29,9 @@ use crate::{Result, WireError};
 /// Magic prefix for delta payloads.
 pub const DELTA_MAGIC: [u8; 4] = *b"NRMD";
 
-const DTAG_OLDREF: u8 = 10;
-const DTAG_NEWOBJ: u8 = 11;
-const DTAG_NEWBACK: u8 = 12;
+pub(crate) const DTAG_OLDREF: u8 = 10;
+pub(crate) const DTAG_NEWOBJ: u8 = 11;
+pub(crate) const DTAG_NEWBACK: u8 = 12;
 
 /// The server-side snapshot of the objects received in a request, taken
 /// before the remote method runs.
@@ -52,7 +52,10 @@ impl GraphSnapshot {
         for &id in linear {
             slots.push(heap.slots_of(id)?);
         }
-        Ok(GraphSnapshot { linear: linear.to_vec(), slots })
+        Ok(GraphSnapshot {
+            linear: linear.to_vec(),
+            slots,
+        })
     }
 
     /// Number of old objects in the snapshot.
@@ -86,18 +89,33 @@ pub struct EncodedDelta {
     pub bytes: Vec<u8>,
     /// Size accounting.
     pub stats: DeltaStats,
+    /// Sender-side ids of the new objects shipped in full, in emission
+    /// order — the order the receiver's [`AppliedDelta::new_objects`]
+    /// materializes them in. Warm-call sessions append these to both
+    /// sides' synchronized object lists so positions keep corresponding.
+    pub new_objects: Vec<ObjId>,
 }
 
-struct DeltaEncoder<'h> {
-    heap: &'h Heap,
-    writer: ByteWriter,
-    old_pos: HashMap<ObjId, u32>,
-    new_pos: HashMap<ObjId, u32>,
-    new_count: u32,
+pub(crate) struct DeltaEncoder<'h> {
+    pub(crate) heap: &'h Heap,
+    pub(crate) writer: ByteWriter,
+    pub(crate) old_pos: HashMap<ObjId, u32>,
+    pub(crate) new_pos: HashMap<ObjId, u32>,
+    pub(crate) new_ids: Vec<ObjId>,
 }
 
 impl<'h> DeltaEncoder<'h> {
-    fn encode_value(&mut self, value: &Value) -> Result<()> {
+    pub(crate) fn new(heap: &'h Heap, old_pos: HashMap<ObjId, u32>) -> Self {
+        DeltaEncoder {
+            heap,
+            writer: ByteWriter::new(),
+            old_pos,
+            new_pos: HashMap::new(),
+            new_ids: Vec::new(),
+        }
+    }
+
+    pub(crate) fn encode_value(&mut self, value: &Value) -> Result<()> {
         match value {
             Value::Null => self.writer.put_u8(TAG_NULL),
             Value::Bool(false) => self.writer.put_u8(TAG_FALSE),
@@ -138,11 +156,13 @@ impl<'h> DeltaEncoder<'h> {
         let obj = self.heap.get(id)?;
         let desc = self.heap.registry_handle().get(obj.class())?;
         if !desc.flags().serializable {
-            return Err(WireError::NotSerializable { class: desc.name().to_owned() });
+            return Err(WireError::NotSerializable {
+                class: desc.name().to_owned(),
+            });
         }
-        let pos = self.new_count;
+        let pos = self.new_ids.len() as u32;
         self.new_pos.insert(id, pos);
-        self.new_count += 1;
+        self.new_ids.push(id);
         self.writer.put_u8(DTAG_NEWOBJ);
         self.writer.put_varint(u64::from(obj.class().index()));
         let slots = obj.body().slots().to_vec();
@@ -159,7 +179,11 @@ impl<'h> DeltaEncoder<'h> {
 ///
 /// # Errors
 /// Fails on dangling references or non-serializable new objects.
-pub fn encode_delta(heap: &Heap, snapshot: &GraphSnapshot, roots: &[Value]) -> Result<EncodedDelta> {
+pub fn encode_delta(
+    heap: &Heap,
+    snapshot: &GraphSnapshot,
+    roots: &[Value],
+) -> Result<EncodedDelta> {
     let old_pos: HashMap<ObjId, u32> = snapshot
         .linear
         .iter()
@@ -176,13 +200,7 @@ pub fn encode_delta(heap: &Heap, snapshot: &GraphSnapshot, roots: &[Value]) -> R
         }
     }
 
-    let mut enc = DeltaEncoder {
-        heap,
-        writer: ByteWriter::new(),
-        old_pos,
-        new_pos: HashMap::new(),
-        new_count: 0,
-    };
+    let mut enc = DeltaEncoder::new(heap, old_pos);
     enc.writer.put_slice(&DELTA_MAGIC);
     enc.writer.put_u8(crate::FORMAT_VERSION);
     enc.writer.put_varint(snapshot.len() as u64);
@@ -199,14 +217,19 @@ pub fn encode_delta(heap: &Heap, snapshot: &GraphSnapshot, roots: &[Value]) -> R
         enc.encode_value(root)?;
     }
 
+    let new_objects = enc.new_ids;
     let bytes = enc.writer.into_bytes();
     let stats = DeltaStats {
         old_count: snapshot.len(),
         changed_count: changed.len(),
-        new_count: enc.new_count as usize,
+        new_count: new_objects.len(),
         bytes: bytes.len(),
     };
-    Ok(EncodedDelta { bytes, stats })
+    Ok(EncodedDelta {
+        bytes,
+        stats,
+        new_objects,
+    })
 }
 
 /// The result of applying a delta on the caller side.
@@ -220,15 +243,15 @@ pub struct AppliedDelta {
     pub changed_count: usize,
 }
 
-struct DeltaDecoder<'h, 'b> {
-    heap: &'h mut Heap,
-    reader: ByteReader<'b>,
-    client_linear: &'b [ObjId],
-    new_objects: Vec<ObjId>,
+pub(crate) struct DeltaDecoder<'h, 'b> {
+    pub(crate) heap: &'h mut Heap,
+    pub(crate) reader: ByteReader<'b>,
+    pub(crate) client_linear: &'b [ObjId],
+    pub(crate) new_objects: Vec<ObjId>,
 }
 
 impl<'h, 'b> DeltaDecoder<'h, 'b> {
-    fn decode_value(&mut self) -> Result<Value> {
+    pub(crate) fn decode_value(&mut self) -> Result<Value> {
         let offset = self.reader.position();
         let tag = self.reader.get_u8()?;
         match tag {
@@ -244,7 +267,10 @@ impl<'h, 'b> DeltaDecoder<'h, 'b> {
                 self.client_linear
                     .get(idx as usize)
                     .map(|&id| Value::Ref(id))
-                    .ok_or(WireError::BadOldIndex { index: idx, len: self.client_linear.len() as u32 })
+                    .ok_or(WireError::BadOldIndex {
+                        index: idx,
+                        len: self.client_linear.len() as u32,
+                    })
             }
             DTAG_NEWBACK => {
                 let pos = self.reader.get_varint()? as u32;
@@ -308,12 +334,18 @@ pub fn apply_delta(bytes: &[u8], heap: &mut Heap, client_linear: &[ObjId]) -> Re
     }
     let changed_count = reader.get_count()?;
 
-    let mut dec = DeltaDecoder { heap, reader, client_linear, new_objects: Vec::new() };
+    let mut dec = DeltaDecoder {
+        heap,
+        reader,
+        client_linear,
+        new_objects: Vec::new(),
+    };
     for _ in 0..changed_count {
         let idx = dec.reader.get_varint()? as usize;
-        let target = *client_linear
-            .get(idx)
-            .ok_or(WireError::BadOldIndex { index: idx as u32, len: old_count as u32 })?;
+        let target = *client_linear.get(idx).ok_or(WireError::BadOldIndex {
+            index: idx as u32,
+            len: old_count as u32,
+        })?;
         let slot_count = dec.reader.get_count()?;
         let mut slots = Vec::with_capacity(slot_count);
         for _ in 0..slot_count {
@@ -327,7 +359,11 @@ pub fn apply_delta(bytes: &[u8], heap: &mut Heap, client_linear: &[ObjId]) -> Re
         let v = dec.decode_value()?;
         roots.push(v);
     }
-    Ok(AppliedDelta { roots, new_objects: dec.new_objects, changed_count })
+    Ok(AppliedDelta {
+        roots,
+        new_objects: dec.new_objects,
+        changed_count,
+    })
 }
 
 #[cfg(test)]
@@ -403,7 +439,10 @@ mod tests {
         assert_eq!(stats.new_count, 1);
         assert_eq!(applied.new_objects.len(), 1);
         let violations = tree::figure2_violations(&mut client, &ex).unwrap();
-        assert!(violations.is_empty(), "delta restore violated figure 2: {violations:?}");
+        assert!(
+            violations.is_empty(),
+            "delta restore violated figure 2: {violations:?}"
+        );
     }
 
     #[test]
@@ -412,7 +451,10 @@ mod tests {
         let a = client.alloc_default(classes.tree).unwrap();
         let b = client.alloc_default(classes.tree).unwrap();
         let root = client
-            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(a), Value::Ref(b)])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(0), Value::Ref(a), Value::Ref(b)],
+            )
             .unwrap();
         let (applied, stats) = delta_roundtrip(&mut client, root, |server, r| {
             // Both children now point at ONE new node.
@@ -460,11 +502,19 @@ mod tests {
         let snapshot = GraphSnapshot::capture(&server, &dec.linear).unwrap();
         let server_root = dec.roots[0].as_ref_id().unwrap();
         // Return value: an int and the root itself (as an old-ref).
-        let delta =
-            encode_delta(&server, &snapshot, &[Value::Int(5), Value::Ref(server_root)]).unwrap();
+        let delta = encode_delta(
+            &server,
+            &snapshot,
+            &[Value::Int(5), Value::Ref(server_root)],
+        )
+        .unwrap();
         let applied = apply_delta(&delta.bytes, &mut client, &enc.linear).unwrap();
         assert_eq!(applied.roots[0], Value::Int(5));
-        assert_eq!(applied.roots[1], Value::Ref(root), "old-ref root maps to client original");
+        assert_eq!(
+            applied.roots[1],
+            Value::Ref(root),
+            "old-ref root maps to client original"
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@ use nrmi_heap::ClassRegistry;
 
 use crate::io::ByteReader;
 use crate::ser::{
-    TAG_BACKREF, TAG_DOUBLE, TAG_FALSE, TAG_INT, TAG_LONG, TAG_NULL, TAG_OBJ, TAG_REMOTE,
-    TAG_STR, TAG_STRREF, TAG_TRUE,
+    TAG_BACKREF, TAG_DOUBLE, TAG_FALSE, TAG_INT, TAG_LONG, TAG_NULL, TAG_OBJ, TAG_REMOTE, TAG_STR,
+    TAG_STRREF, TAG_TRUE,
 };
 use crate::{Result, WireError, FORMAT_VERSION, MAGIC};
 
@@ -99,7 +99,11 @@ impl Dumper<'_, '_> {
                 let owned_by_sender = self.reader.get_u8()? != 0;
                 let key = self.reader.get_varint()?;
                 self.stats.remotes += 1;
-                let owner = if owned_by_sender { "sender" } else { "receiver" };
+                let owner = if owned_by_sender {
+                    "sender"
+                } else {
+                    "receiver"
+                };
                 let _ = writeln!(self.out, "{indent}remote stub key={key} (owned by {owner})");
             }
             TAG_OBJ => {
@@ -169,12 +173,19 @@ pub fn dump_graph(bytes: &[u8], registry: &ClassRegistry) -> Result<GraphDump> {
         return Err(WireError::UnsupportedVersion(version));
     }
     let root_count = dumper.reader.get_count()?;
-    let _ = writeln!(dumper.out, "graph payload v{version}: {root_count} root(s), {} bytes", bytes.len());
+    let _ = writeln!(
+        dumper.out,
+        "graph payload v{version}: {root_count} root(s), {} bytes",
+        bytes.len()
+    );
     for i in 0..root_count {
         let _ = writeln!(dumper.out, "root[{i}]:");
         dumper.dump_value(1)?;
     }
-    Ok(GraphDump { text: dumper.out, stats: dumper.stats })
+    Ok(GraphDump {
+        text: dumper.out,
+        stats: dumper.stats,
+    })
 }
 
 #[cfg(test)]
@@ -194,7 +205,9 @@ mod tests {
     #[test]
     fn dump_shows_structure_and_stats() {
         let (mut heap, registry) = setup();
-        let classes = tree::TreeClasses { tree: registry.by_name("Tree").unwrap() };
+        let classes = tree::TreeClasses {
+            tree: registry.by_name("Tree").unwrap(),
+        };
         let ex = tree::build_running_example(&mut heap, &classes).unwrap();
         let enc =
             serialize_graph(&heap, &[Value::Ref(ex.root), Value::Ref(ex.alias1_target)]).unwrap();
@@ -211,20 +224,30 @@ mod tests {
     #[test]
     fn dump_shows_old_index_annotations() {
         let (mut heap, registry) = setup();
-        let classes = tree::TreeClasses { tree: registry.by_name("Tree").unwrap() };
+        let classes = tree::TreeClasses {
+            tree: registry.by_name("Tree").unwrap(),
+        };
         let root = tree::build_random_tree(&mut heap, &classes, 5, 1).unwrap();
         let map = LinearMap::build(&heap, &[root]).unwrap();
         let old: HashMap<ObjId, u32> = map.iter().map(|(p, id)| (id, p)).collect();
         let enc = serialize_graph_with(&heap, &[Value::Ref(root)], Some(&old), None).unwrap();
         let dump = dump_graph(&enc.bytes, &registry).unwrap();
-        assert_eq!(dump.stats.annotated, 5, "every object annotated:\n{}", dump.text);
+        assert_eq!(
+            dump.stats.annotated, 5,
+            "every object annotated:\n{}",
+            dump.text
+        );
         assert!(dump.text.contains("old_index=0"));
     }
 
     #[test]
     fn dump_shows_interned_strings() {
         let mut reg = ClassRegistry::new();
-        let named = reg.define("Named").field_str("name").serializable().register();
+        let named = reg
+            .define("Named")
+            .field_str("name")
+            .serializable()
+            .register();
         let registry_snapshot = reg.snapshot();
         let mut heap = Heap::new(registry_snapshot);
         let a = heap.alloc(named, vec![Value::Str("dup".into())]).unwrap();
@@ -238,7 +261,10 @@ mod tests {
     #[test]
     fn dump_rejects_malformed() {
         let reg = ClassRegistry::new();
-        assert!(matches!(dump_graph(b"XXXX\x01\x00", &reg), Err(WireError::BadMagic)));
+        assert!(matches!(
+            dump_graph(b"XXXX\x01\x00", &reg),
+            Err(WireError::BadMagic)
+        ));
         assert!(dump_graph(b"NRMI\x01\x01\x63", &reg).is_err());
     }
 }

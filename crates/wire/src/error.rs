@@ -142,13 +142,35 @@ mod tests {
             (WireError::BadMagic, "magic"),
             (WireError::UnsupportedVersion(9), "9"),
             (WireError::UnexpectedEof { offset: 5 }, "5"),
-            (WireError::UnknownTag { tag: 0xff, offset: 2 }, "0xff"),
-            (WireError::BadBackRef { position: 7, decoded: 3 }, "7"),
+            (
+                WireError::UnknownTag {
+                    tag: 0xff,
+                    offset: 2,
+                },
+                "0xff",
+            ),
+            (
+                WireError::BadBackRef {
+                    position: 7,
+                    decoded: 3,
+                },
+                "7",
+            ),
             (WireError::BadOldIndex { index: 4, len: 2 }, "4"),
             (WireError::InvalidUtf8 { offset: 1 }, "UTF-8"),
             (WireError::VarintOverflow { offset: 1 }, "varint"),
-            (WireError::NotSerializable { class: "Foo".into() }, "Foo"),
-            (WireError::RemoteWithoutHooks { class: "Bar".into() }, "Bar"),
+            (
+                WireError::NotSerializable {
+                    class: "Foo".into(),
+                },
+                "Foo",
+            ),
+            (
+                WireError::RemoteWithoutHooks {
+                    class: "Bar".into(),
+                },
+                "Bar",
+            ),
             (WireError::UnknownExport { key: 77 }, "77"),
         ];
         for (e, needle) in cases {

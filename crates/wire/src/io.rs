@@ -215,7 +215,16 @@ mod tests {
 
     #[test]
     fn zigzag_roundtrip() {
-        let values = [0i64, -1, 1, -2, i32::MIN as i64, i32::MAX as i64, i64::MIN, i64::MAX];
+        let values = [
+            0i64,
+            -1,
+            1,
+            -2,
+            i32::MIN as i64,
+            i32::MAX as i64,
+            i64::MIN,
+            i64::MAX,
+        ];
         let mut w = ByteWriter::new();
         for &v in &values {
             w.put_zigzag(v);
@@ -257,7 +266,10 @@ mod tests {
         let mut r = ByteReader::new(&[]);
         assert!(matches!(r.get_u8(), Err(WireError::UnexpectedEof { .. })));
         let mut r = ByteReader::new(&[0x80, 0x80]);
-        assert!(matches!(r.get_varint(), Err(WireError::UnexpectedEof { .. })));
+        assert!(matches!(
+            r.get_varint(),
+            Err(WireError::UnexpectedEof { .. })
+        ));
         let mut r = ByteReader::new(&[1, 2, 3]);
         assert!(matches!(r.get_f64(), Err(WireError::UnexpectedEof { .. })));
     }
@@ -267,7 +279,10 @@ mod tests {
         // 11 continuation bytes exceed 64 bits.
         let bytes = [0xffu8; 11];
         let mut r = ByteReader::new(&bytes);
-        assert!(matches!(r.get_varint(), Err(WireError::VarintOverflow { .. })));
+        assert!(matches!(
+            r.get_varint(),
+            Err(WireError::VarintOverflow { .. })
+        ));
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub mod de;
 pub mod delta;
 pub mod dump;
 pub mod ser;
+pub mod warm;
 
 pub use de::{deserialize_graph, deserialize_graph_with, DecodedGraph, Deserializer};
 pub use delta::{apply_delta, encode_delta, DeltaStats, GraphSnapshot};
@@ -90,6 +91,10 @@ pub use dump::{dump_graph, DumpStats, GraphDump};
 pub use error::WireError;
 pub use io::{ByteReader, ByteWriter};
 pub use ser::{serialize_graph, serialize_graph_with, EncodedGraph, RemoteHooks, Serializer};
+pub use warm::{
+    apply_request_delta, encode_request_delta, next_sync, AppliedRequestDelta, EncodedRequestDelta,
+    RequestDeltaStats,
+};
 
 /// Result alias for wire operations.
 pub type Result<T> = std::result::Result<T, WireError>;

@@ -143,7 +143,10 @@ impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
         for root in roots {
             self.encode_value(root)?;
         }
-        Ok(EncodedGraph { bytes: self.writer.into_bytes(), linear: self.order })
+        Ok(EncodedGraph {
+            bytes: self.writer.into_bytes(),
+            linear: self.order,
+        })
     }
 
     fn encode_value(&mut self, value: &Value) -> Result<()> {
@@ -204,7 +207,9 @@ impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
             // RMI semantics: remote objects travel as stubs, not copies.
             // I own this object; the receiver gets a stub with my key.
             let Some(hooks) = self.hooks.as_deref_mut() else {
-                return Err(WireError::RemoteWithoutHooks { class: desc.name().to_owned() });
+                return Err(WireError::RemoteWithoutHooks {
+                    class: desc.name().to_owned(),
+                });
             };
             let key = hooks.export(self.heap, id)?;
             self.writer.put_u8(TAG_REMOTE);
@@ -213,7 +218,9 @@ impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
             return Ok(());
         }
         if !flags.serializable {
-            return Err(WireError::NotSerializable { class: desc.name().to_owned() });
+            return Err(WireError::NotSerializable {
+                class: desc.name().to_owned(),
+            });
         }
 
         let pos = self.order.len() as u32;
@@ -286,7 +293,11 @@ mod tests {
         let ex = tree::build_running_example(&mut heap, &classes).unwrap();
         let enc = serialize_graph(&heap, &[Value::Ref(ex.root)]).unwrap();
         let map = nrmi_heap::LinearMap::build(&heap, &[ex.root]).unwrap();
-        assert_eq!(enc.linear, map.order(), "serialization walk IS the linear map");
+        assert_eq!(
+            enc.linear,
+            map.order(),
+            "serialization walk IS the linear map"
+        );
     }
 
     #[test]
@@ -294,7 +305,10 @@ mod tests {
         let (mut heap, classes) = setup();
         let shared = heap.alloc_default(classes.tree).unwrap();
         let root = heap
-            .alloc(classes.tree, vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)])
+            .alloc(
+                classes.tree,
+                vec![Value::Int(0), Value::Ref(shared), Value::Ref(shared)],
+            )
             .unwrap();
         let enc = serialize_graph(&heap, &[Value::Ref(root)]).unwrap();
         assert_eq!(enc.object_count(), 2);
@@ -334,8 +348,11 @@ mod tests {
     #[test]
     fn primitive_roots_only() {
         let (heap, _) = setup();
-        let enc =
-            serialize_graph(&heap, &[Value::Int(7), Value::Str("ok".into()), Value::Null]).unwrap();
+        let enc = serialize_graph(
+            &heap,
+            &[Value::Int(7), Value::Str("ok".into()), Value::Null],
+        )
+        .unwrap();
         assert_eq!(enc.object_count(), 0);
     }
 

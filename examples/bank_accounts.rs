@@ -47,7 +47,9 @@ fn main() -> Result<(), NrmiError> {
         .serve_class(
             account,
             Box::new(FnService::new(|method, args, heap| {
-                let this = args[0].as_ref_id().ok_or_else(|| NrmiError::app("receiver"))?;
+                let this = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("receiver"))?;
                 match method {
                     "deposit" | "withdraw" => {
                         let amount = args[1].as_long().ok_or_else(|| NrmiError::app("amount"))?;
@@ -91,11 +93,15 @@ fn main() -> Result<(), NrmiError> {
     println!("ada after deposit 500 / withdraw 150: {after} cents");
 
     // A remote exception from the class behavior:
-    let err = session.call_on(bob, "withdraw", &[Value::Long(1_000_000)]).unwrap_err();
+    let err = session
+        .call_on(bob, "withdraw", &[Value::Long(1_000_000)])
+        .unwrap_err();
     println!("bob overdraw rejected: {err}");
 
     // Restorable argument filled in by the remote receiver:
-    let stmt = session.heap().alloc(statement, vec![Value::Null, Value::Long(0)])?;
+    let stmt = session
+        .heap()
+        .alloc(statement, vec![Value::Null, Value::Long(0)])?;
     session.call_on(ada, "statement", &[Value::Ref(stmt)])?;
     println!(
         "statement for {}: {} cents (copy-restored into the caller's object)",

@@ -79,7 +79,11 @@ fn main() -> Result<(), NrmiError> {
         .restorable()
         .register();
     // One level of indirection so `recent` can be reseated on append.
-    let holder = registry.define("ListHolder").field_ref("items").serializable().register();
+    let holder = registry
+        .define("ListHolder")
+        .field_ref("items")
+        .serializable()
+        .register();
     let registry = registry.snapshot();
 
     // --- The remote billing service ----------------------------------------
@@ -91,7 +95,9 @@ fn main() -> Result<(), NrmiError> {
                 // Apply a surcharge to every customer in a zip code and
                 // log one transaction per affected customer.
                 "surcharge_zip" => {
-                    let ledger = args[0].as_ref_id().ok_or_else(|| NrmiError::app("ledger"))?;
+                    let ledger = args[0]
+                        .as_ref_id()
+                        .ok_or_else(|| NrmiError::app("ledger"))?;
                     let zip = args[1].as_int().ok_or_else(|| NrmiError::app("zip"))?;
                     let cents = args[2].as_long().ok_or_else(|| NrmiError::app("cents"))?;
                     let by_zip = heap.get_ref(ledger, "by_zip")?.expect("index");
@@ -105,8 +111,10 @@ fn main() -> Result<(), NrmiError> {
                         if heap.get_field(cust, "zip")?.as_int() != Some(zip) {
                             continue;
                         }
-                        let balance =
-                            heap.get_field(cust, "balance_cents")?.as_long().unwrap_or(0);
+                        let balance = heap
+                            .get_field(cust, "balance_cents")?
+                            .as_long()
+                            .unwrap_or(0);
                         heap.set_field(cust, "balance_cents", Value::Long(balance + cents))?;
                         // One new transaction, linked from BOTH the
                         // global log and the customer's own history —
@@ -152,17 +160,29 @@ fn main() -> Result<(), NrmiError> {
     // Two orderings, SAME customer objects (aliases):
     let by_name = heap.alloc_array(
         list,
-        vec![Value::Ref(customers[1]), Value::Ref(customers[0]), Value::Ref(customers[2])],
+        vec![
+            Value::Ref(customers[1]),
+            Value::Ref(customers[0]),
+            Value::Ref(customers[2]),
+        ],
     )?;
     let by_zip = heap.alloc_array(
         list,
-        vec![Value::Ref(customers[2]), Value::Ref(customers[0]), Value::Ref(customers[1])],
+        vec![
+            Value::Ref(customers[2]),
+            Value::Ref(customers[0]),
+            Value::Ref(customers[1]),
+        ],
     )?;
     let empty_log = heap.alloc_array(list, Vec::new())?;
     let recent_holder = heap.alloc(holder, vec![Value::Ref(empty_log)])?;
     let ledger_obj = heap.alloc(
         ledger,
-        vec![Value::Ref(by_name), Value::Ref(by_zip), Value::Ref(recent_holder)],
+        vec![
+            Value::Ref(by_name),
+            Value::Ref(by_zip),
+            Value::Ref(recent_holder),
+        ],
     )?;
 
     print_balances(heap, &customers, "before");
@@ -181,8 +201,14 @@ fn main() -> Result<(), NrmiError> {
     // The by-name index (never mentioned in the call) sees the update,
     // because the customer OBJECTS were restored in place:
     let ada_via_name = heap.get_element(by_name, 1)?.as_ref_id().unwrap();
-    assert_eq!(ada_via_name, customers[0], "index still aliases the original object");
-    assert_eq!(heap.get_field(ada_via_name, "balance_cents")?, Value::Long(12_000 + 999));
+    assert_eq!(
+        ada_via_name, customers[0],
+        "index still aliases the original object"
+    );
+    assert_eq!(
+        heap.get_field(ada_via_name, "balance_cents")?,
+        Value::Long(12_000 + 999)
+    );
 
     // The global log and Ada's history share ONE transaction object —
     // server-created aliasing, replicated on the client:
@@ -196,9 +222,15 @@ fn main() -> Result<(), NrmiError> {
     // customer object (restore step 6: new objects' pointers converted):
     assert_eq!(heap.get_ref(global_tx, "customer")?, Some(customers[0]));
     // Turing (zip 10001) untouched:
-    assert_eq!(heap.get_field(customers[2], "balance_cents")?, Value::Long(20_000));
+    assert_eq!(
+        heap.get_field(customers[2], "balance_cents")?,
+        Value::Long(20_000)
+    );
     let memo = heap.get_field(global_tx, "memo")?;
-    println!("\nshared transaction: {memo} for {} cents", heap.get_field(global_tx, "amount_cents")?);
+    println!(
+        "\nshared transaction: {memo} for {} cents",
+        heap.get_field(global_tx, "amount_cents")?
+    );
     println!("back-references land on the caller's original customers — no fix-up code");
     Ok(())
 }

@@ -50,7 +50,12 @@ fn main() -> Result<(), NrmiError> {
     println!("{}", render_ascii(session.heap(), &roots)?);
 
     // 4a. Plain call-by-copy: the server mutates a copy; nothing comes back.
-    session.call_with("example", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::Copy))?;
+    session.call_with(
+        "example",
+        "foo",
+        &[Value::Ref(ex.root)],
+        CallOptions::forced(PassMode::Copy),
+    )?;
     let untouched = session.heap().get_field(ex.alias1_target, "data")?;
     println!("after call-by-copy: alias1.data = {untouched}  (changes were LOST)\n");
 
@@ -62,7 +67,10 @@ fn main() -> Result<(), NrmiError> {
     // 5. Every mutation — including to subtrees foo unlinked from t — is
     //    visible through the caller's aliases, exactly as in a local call.
     let violations = tree::figure2_violations(session.heap(), &ex)?;
-    assert!(violations.is_empty(), "unexpected divergence: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "unexpected divergence: {violations:?}"
+    );
     println!("all Figure-2 expectations hold: remote call ≡ local call");
     Ok(())
 }

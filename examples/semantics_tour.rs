@@ -37,7 +37,11 @@ fn run_semantics(name: &str, opts: CallOptions) -> Result<(), NrmiError> {
         )
         .build();
     let classes = TreeClasses {
-        tree: session.heap().registry_handle().by_name("Tree").expect("registered"),
+        tree: session
+            .heap()
+            .registry_handle()
+            .by_name("Tree")
+            .expect("registered"),
     };
     let ex = tree::build_running_example(session.heap(), &classes)?;
     let (_, stats) = session.call_with_stats("tour", "foo", &[Value::Ref(ex.root)], opts)?;
@@ -49,9 +53,7 @@ fn run_semantics(name: &str, opts: CallOptions) -> Result<(), NrmiError> {
     let t_right_is_new = heap.get_ref(ex.root, "right")? != Some(ex.right);
 
     println!("{name}:");
-    println!(
-        "  alias1.data = {alias1_data} (local: 0)   alias2.data = {alias2_data} (local: 9)"
-    );
+    println!("  alias1.data = {alias1_data} (local: 0)   alias2.data = {alias2_data} (local: 9)");
     println!(
         "  t.left = {}   t.right replaced by new node: {}",
         t_left.map_or("null".to_owned(), |id| id.to_string()),
@@ -62,9 +64,8 @@ fn run_semantics(name: &str, opts: CallOptions) -> Result<(), NrmiError> {
         stats.request_objects, stats.reply_bytes, stats.restored_objects, stats.callbacks_served
     );
 
-    let violations = tree::figure2_violations(heap, &ex).unwrap_or_else(|e| {
-        vec![format!("(cross-heap state: {e})")]
-    });
+    let violations = tree::figure2_violations(heap, &ex)
+        .unwrap_or_else(|e| vec![format!("(cross-heap state: {e})")]);
     if violations.is_empty() {
         println!("  ≡ local execution (all Figure-2 expectations hold)\n");
     } else {
@@ -79,13 +80,22 @@ fn run_semantics(name: &str, opts: CallOptions) -> Result<(), NrmiError> {
 
 fn main() -> Result<(), NrmiError> {
     println!("the same remote call, four calling semantics\n");
-    run_semantics("call-by-copy (standard RMI)", CallOptions::forced(PassMode::Copy))?;
-    run_semantics("call-by-copy-restore (NRMI)", CallOptions::forced(PassMode::CopyRestore))?;
+    run_semantics(
+        "call-by-copy (standard RMI)",
+        CallOptions::forced(PassMode::Copy),
+    )?;
+    run_semantics(
+        "call-by-copy-restore (NRMI)",
+        CallOptions::forced(PassMode::CopyRestore),
+    )?;
     run_semantics(
         "call-by-copy-restore with delta replies (§5.2.4 opt. 2)",
         CallOptions::copy_restore_delta(),
     )?;
-    run_semantics("DCE RPC approximation (§4.2)", CallOptions::forced(PassMode::DceRpc))?;
+    run_semantics(
+        "DCE RPC approximation (§4.2)",
+        CallOptions::forced(PassMode::DceRpc),
+    )?;
     run_semantics(
         "call-by-reference via remote pointers (Figure 3)",
         CallOptions::forced(PassMode::RemoteRef),

@@ -41,13 +41,17 @@ fn main() -> Result<(), NrmiError> {
             "editor",
             Box::new(FnService::new(move |method, args, heap| {
                 let classes = collection_classes(heap.registry());
-                let doc = args[0].as_ref_id().ok_or_else(|| NrmiError::app("document"))?;
+                let doc = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("document"))?;
                 let paragraphs = HList::from_id(
-                    heap.get_ref(doc, "paragraphs")?.ok_or_else(|| NrmiError::app("list"))?,
+                    heap.get_ref(doc, "paragraphs")?
+                        .ok_or_else(|| NrmiError::app("list"))?,
                     classes,
                 );
                 let index = HMap::from_id(
-                    heap.get_ref(doc, "index")?.ok_or_else(|| NrmiError::app("index"))?,
+                    heap.get_ref(doc, "index")?
+                        .ok_or_else(|| NrmiError::app("index"))?,
                     classes,
                 );
                 match method {
@@ -104,7 +108,11 @@ fn main() -> Result<(), NrmiError> {
         let count = session.call(
             "editor",
             "append_section",
-            &[Value::Ref(doc), Value::Str(name.into()), Value::Str(text.into())],
+            &[
+                Value::Ref(doc),
+                Value::Str(name.into()),
+                Value::Str(text.into()),
+            ],
         )?;
         println!("appended {name:12} → {count} paragraphs");
     }
@@ -132,9 +140,15 @@ fn main() -> Result<(), NrmiError> {
 
     // The index aliases the same paragraph objects the list holds:
     let heap = session.heap();
-    let via_index = index.get(heap, "results")?.and_then(|v| v.as_ref_id()).unwrap();
+    let via_index = index
+        .get(heap, "results")?
+        .and_then(|v| v.as_ref_id())
+        .unwrap();
     let via_list = paragraphs.get(heap, 2)?.as_ref_id().unwrap();
-    assert_eq!(via_index, via_list, "index and list alias one paragraph object");
+    assert_eq!(
+        via_index, via_list,
+        "index and list alias one paragraph object"
+    );
     assert_eq!(heap.get_field(via_index, "revision")?, Value::Int(2));
     println!("\nindex['results'] and paragraphs[2] are the same object — aliasing restored");
     Ok(())

@@ -64,10 +64,19 @@ fn main() -> Result<(), NrmiError> {
 
     client.call("treesvc", "foo", &[Value::Ref(ex.root)])?;
     let violations = tree::figure2_violations(client.heap(), &ex)?;
-    assert!(violations.is_empty(), "copy-restore over TCP diverged: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "copy-restore over TCP diverged: {violations:?}"
+    );
     println!("after remote foo over TCP: all Figure-2 expectations hold");
-    println!("  alias1.data = {}", client.heap().get_field(ex.alias1_target, "data")?);
-    println!("  alias2.data = {}", client.heap().get_field(ex.alias2_target, "data")?);
+    println!(
+        "  alias1.data = {}",
+        client.heap().get_field(ex.alias1_target, "data")?
+    );
+    println!(
+        "  alias2.data = {}",
+        client.heap().get_field(ex.alias2_target, "data")?
+    );
 
     let sum_after = client.call("treesvc", "sum", &[Value::Ref(ex.root)])?;
     println!("sum over the wire after foo:  {sum_after}");

@@ -49,7 +49,11 @@ fn label_texts(heap: &mut Heap, labels: &[ObjId]) -> Vec<String> {
 fn main() -> Result<(), NrmiError> {
     let mut registry = ClassRegistry::new();
     // class Label implements Serializable { String text; }
-    let label = registry.define("Label").field_str("text").serializable().register();
+    let label = registry
+        .define("Label")
+        .field_str("text")
+        .serializable()
+        .register();
     // class WordVector implements java.rmi.Restorable — the argument type.
     // (Everything reachable from a restorable parameter is restored.)
     let word_vector = registry.define_array("WordVector", FieldType::Ref);
@@ -89,8 +93,9 @@ fn main() -> Result<(), NrmiError> {
                         .as_str()
                         .map(str::to_owned)
                         .unwrap_or_default();
-                    if let Some(&(en, de, fr)) =
-                        dict.iter().find(|(en, de, fr)| text == *en || text == *de || text == *fr)
+                    if let Some(&(en, de, fr)) = dict
+                        .iter()
+                        .find(|(en, de, fr)| text == *en || text == *de || text == *fr)
                     {
                         let translated = match target {
                             0 => de,
@@ -114,15 +119,26 @@ fn main() -> Result<(), NrmiError> {
         .collect::<Result<_, _>>()?;
 
     // Multiple GUI surfaces alias the SAME label objects:
-    let menu_bar = heap.alloc_array(word_vector, labels[..3].iter().map(|&l| Value::Ref(l)).collect())?;
+    let menu_bar = heap.alloc_array(
+        word_vector,
+        labels[..3].iter().map(|&l| Value::Ref(l)).collect(),
+    )?;
     let toolbar = heap.alloc_array(
         word_vector,
-        vec![Value::Ref(labels[3]), Value::Ref(labels[4]), Value::Ref(labels[5])],
+        vec![
+            Value::Ref(labels[3]),
+            Value::Ref(labels[4]),
+            Value::Ref(labels[5]),
+        ],
     )?;
-    let status_bar = heap.alloc_array(word_vector, vec![Value::Ref(labels[6]), Value::Ref(labels[3])])?;
+    let status_bar = heap.alloc_array(
+        word_vector,
+        vec![Value::Ref(labels[6]), Value::Ref(labels[3])],
+    )?;
 
     // The vector handed to the translator aliases all of them.
-    let all_words = heap.alloc_array(word_vector, labels.iter().map(|&l| Value::Ref(l)).collect())?;
+    let all_words =
+        heap.alloc_array(word_vector, labels.iter().map(|&l| Value::Ref(l)).collect())?;
     let words_arg = heap.alloc(holder, vec![Value::Ref(all_words)])?;
 
     println!("menus before:   {:?}", label_texts(heap, &labels[..3]));
@@ -130,7 +146,10 @@ fn main() -> Result<(), NrmiError> {
 
     // --- One remote call translates the whole UI -------------------------
     let translated = session.call("translator", "to_german", &[Value::Ref(words_arg)])?;
-    println!("\ntranslated {} labels to German via one copy-restore call", translated);
+    println!(
+        "\ntranslated {} labels to German via one copy-restore call",
+        translated
+    );
 
     let heap = session.heap();
     println!("menus after:    {:?}", label_texts(heap, &labels[..3]));
@@ -147,7 +166,10 @@ fn main() -> Result<(), NrmiError> {
     session.call("translator", "to_french", &[Value::Ref(words_arg)])?;
     let heap = session.heap();
     println!("menus (French): {:?}", label_texts(heap, &labels[..3]));
-    assert_eq!(label_texts(heap, &labels[..3]), vec!["Fichier", "Édition", "Affichage"]);
+    assert_eq!(
+        label_texts(heap, &labels[..3]),
+        vec!["Fichier", "Édition", "Affichage"]
+    );
 
     println!("\nevery aliased view updated transparently — no client fix-up code");
     Ok(())

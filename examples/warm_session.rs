@@ -1,0 +1,96 @@
+//! Warm-call sessions over real TCP: seed once, then ship request deltas.
+//!
+//! The first `call_warm` marshals the whole argument graph (byte-identical
+//! to a cold call) and seeds a server-side session cache. Every later
+//! call ships only what the client changed since — watch the request
+//! byte counts collapse. Eviction frees the server's cached graph and
+//! the next call transparently reseeds.
+//!
+//! ```text
+//! cargo run --example warm_session
+//! ```
+
+use std::thread;
+
+use nrmi::core::{serve_tcp, FnService, NrmiError, ServerNode, Session};
+use nrmi::heap::tree::{self, TreeClasses};
+use nrmi::heap::{ClassRegistry, HeapAccess, Value};
+use nrmi::transport::{MachineSpec, TcpListenerTransport};
+
+fn main() -> Result<(), NrmiError> {
+    let mut reg = ClassRegistry::new();
+    let classes: TreeClasses = tree::register_tree_classes(&mut reg);
+    let registry = reg.snapshot();
+
+    // --- Server: sums the tree it is handed --------------------------------
+    let listener = TcpListenerTransport::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let server_registry = registry.clone();
+    let server_thread = thread::spawn(move || -> Result<(), NrmiError> {
+        let mut server = ServerNode::new(server_registry, MachineSpec::fast());
+        server.bind(
+            "treesvc",
+            Box::new(FnService::new(|_method, args, heap| {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                let mut total = 0i64;
+                let mut stack = vec![root];
+                while let Some(node) = stack.pop() {
+                    total += i64::from(heap.get_field(node, "data")?.as_int().unwrap_or(0));
+                    for side in ["left", "right"] {
+                        if let Some(child) = heap.get_ref(node, side)? {
+                            stack.push(child);
+                        }
+                    }
+                }
+                Ok(Value::Long(total))
+            })),
+        );
+        serve_tcp(&mut server, &listener, 1)
+    });
+
+    // --- Client: one big tree, many calls ----------------------------------
+    let mut client = Session::connect_tcp(registry, addr)?;
+    let root = tree::build_random_tree(client.heap(), &classes, 1024, 7)?;
+
+    let (sum, seed) = client.call_warm_with_stats("treesvc", "sum", &[Value::Ref(root)])?;
+    println!(
+        "call 1 (seed):   sum={sum}  request={} bytes",
+        seed.request_bytes
+    );
+
+    let (sum, warm) = client.call_warm_with_stats("treesvc", "sum", &[Value::Ref(root)])?;
+    println!(
+        "call 2 (clean):  sum={sum}  request={} bytes",
+        warm.request_bytes
+    );
+
+    // Touch one node out of 1024: the delta carries just that slot.
+    client.heap().set_field(root, "data", Value::Int(500_000))?;
+    let (sum, dirty) = client.call_warm_with_stats("treesvc", "sum", &[Value::Ref(root)])?;
+    println!(
+        "call 3 (1 dirty): sum={sum}  request={} bytes",
+        dirty.request_bytes
+    );
+
+    assert!(warm.request_bytes * 20 < seed.request_bytes);
+    assert!(dirty.request_bytes * 20 < seed.request_bytes);
+    println!(
+        "warm session generation: {:?}",
+        client.warm_generation("treesvc")
+    );
+
+    // Orderly teardown: free the server's cached graph, then reseed.
+    client.evict_warm("treesvc")?;
+    let (_, reseed) = client.call_warm_with_stats("treesvc", "sum", &[Value::Ref(root)])?;
+    println!(
+        "call 4 (post-evict reseed): request={} bytes",
+        reseed.request_bytes
+    );
+    // A full marshal again (the graph changed since call 1, so the exact
+    // byte count can differ by a varint width — but it is no delta).
+    assert!(reseed.request_bytes > seed.request_bytes / 2);
+
+    client.close()?;
+    server_thread.join().expect("server thread")?;
+    Ok(())
+}

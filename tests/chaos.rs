@@ -16,8 +16,8 @@ use nrmi::core::{
 };
 use nrmi::heap::snapshot::HeapSnapshot;
 use nrmi::heap::tree::{self};
-use nrmi::heap::{ClassRegistry, SharedRegistry};
 use nrmi::heap::Value;
+use nrmi::heap::{ClassRegistry, SharedRegistry};
 use nrmi::transport::{channel_pair, Fault, FaultPlan, FaultyTransport, LinkSpec, MachineSpec};
 
 fn registry() -> SharedRegistry {

@@ -25,10 +25,7 @@ fn restorable_hash_map_mutated_remotely() {
                     "restock" => {
                         // Read-modify-write through the heap map.
                         for key in ["widgets", "gadgets"] {
-                            let current = map
-                                .get(heap, key)?
-                                .and_then(|v| v.as_int())
-                                .unwrap_or(0);
+                            let current = map.get(heap, key)?.and_then(|v| v.as_int()).unwrap_or(0);
                             map.put(heap, key, Value::Int(current + 10))?;
                         }
                         map.put(heap, "sprockets", Value::Int(5))?;
@@ -45,16 +42,28 @@ fn restorable_hash_map_mutated_remotely() {
     let map = HMap::new(session.heap(), classes).unwrap();
     map.put(session.heap(), "widgets", Value::Int(3)).unwrap();
     map.put(session.heap(), "gadgets", Value::Int(0)).unwrap();
-    map.put(session.heap(), "discontinued", Value::Int(99)).unwrap();
+    map.put(session.heap(), "discontinued", Value::Int(99))
+        .unwrap();
 
     // HashMap is restorable: the default call semantics restores it.
-    let count = session.call("inventory", "restock", &[Value::Ref(map.id())]).unwrap();
+    let count = session
+        .call("inventory", "restock", &[Value::Ref(map.id())])
+        .unwrap();
     assert_eq!(count, Value::Int(3));
 
     // The CALLER's map object was updated in place:
-    assert_eq!(map.get(session.heap(), "widgets").unwrap(), Some(Value::Int(13)));
-    assert_eq!(map.get(session.heap(), "gadgets").unwrap(), Some(Value::Int(10)));
-    assert_eq!(map.get(session.heap(), "sprockets").unwrap(), Some(Value::Int(5)));
+    assert_eq!(
+        map.get(session.heap(), "widgets").unwrap(),
+        Some(Value::Int(13))
+    );
+    assert_eq!(
+        map.get(session.heap(), "gadgets").unwrap(),
+        Some(Value::Int(10))
+    );
+    assert_eq!(
+        map.get(session.heap(), "sprockets").unwrap(),
+        Some(Value::Int(5))
+    );
     assert_eq!(map.get(session.heap(), "discontinued").unwrap(), None);
     assert_eq!(map.len(session.heap()).unwrap(), 3);
 }
@@ -80,13 +89,18 @@ fn map_identity_preserved_when_aliased_from_a_list() {
     let list = HList::new(session.heap(), classes).unwrap();
     list.push(session.heap(), Value::Ref(map.id())).unwrap();
 
-    session.call("svc", "touch", &[Value::Ref(map.id())]).unwrap();
+    session
+        .call("svc", "touch", &[Value::Ref(map.id())])
+        .unwrap();
 
     // Through the alias held by the list:
     let via_list = list.get(session.heap(), 0).unwrap().as_ref_id().unwrap();
     assert_eq!(via_list, map.id(), "object identity preserved");
     let aliased = HMap::from_id(via_list, classes);
-    assert_eq!(aliased.get(session.heap(), "touched").unwrap(), Some(Value::Bool(true)));
+    assert_eq!(
+        aliased.get(session.heap(), "touched").unwrap(),
+        Some(Value::Bool(true))
+    );
 }
 
 #[test]
@@ -112,7 +126,12 @@ fn list_grown_remotely_restores_header_and_new_backing_array() {
     list.push(session.heap(), Value::Int(-1)).unwrap();
 
     session
-        .call_with("svc", "fill", &[Value::Ref(list.id())], CallOptions::forced(PassMode::CopyRestore))
+        .call_with(
+            "svc",
+            "fill",
+            &[Value::Ref(list.id())],
+            CallOptions::forced(PassMode::CopyRestore),
+        )
         .unwrap();
 
     assert_eq!(list.len(session.heap()).unwrap(), 51);
@@ -152,8 +171,15 @@ fn collections_work_over_remote_pointers_too() {
             CallOptions::forced(PassMode::RemoteRef),
         )
         .unwrap();
-    assert_eq!(ret, Value::Int(7), "server read the caller's entry over the wire");
-    assert!(stats.callbacks_served > 5, "bucket walks crossed the network: {stats:?}");
+    assert_eq!(
+        ret,
+        Value::Int(7),
+        "server read the caller's entry over the wire"
+    );
+    assert!(
+        stats.callbacks_served > 5,
+        "bucket walks crossed the network: {stats:?}"
+    );
     assert_eq!(
         map.get(session.heap(), "seed").unwrap(),
         Some(Value::Int(8)),

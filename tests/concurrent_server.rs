@@ -100,7 +100,9 @@ fn concurrent_copy_restore_calls_do_not_interfere() {
             // interleaving on the server.
             for _ in 0..5 {
                 let ex = tree::build_running_example(client.heap(), &classes).unwrap();
-                client.call("svc", "foo", &[Value::Ref(ex.root)]).expect("call");
+                client
+                    .call("svc", "foo", &[Value::Ref(ex.root)])
+                    .expect("call");
                 let violations = tree::figure2_violations(client.heap(), &ex).unwrap();
                 assert!(violations.is_empty(), "{violations:?}");
             }
@@ -111,5 +113,8 @@ fn concurrent_copy_restore_calls_do_not_interfere() {
         t.join().expect("client thread");
     }
     let server = server_thread.join().expect("server thread");
-    assert!(server.state.heap.live_count() > 0, "server accumulated call copies");
+    assert!(
+        server.state.heap.live_count() > 0,
+        "server accumulated call copies"
+    );
 }

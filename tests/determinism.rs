@@ -25,12 +25,20 @@ fn measure_once(mode: PassMode) -> (f64, u64) {
             LinkSpec::lan_100mbps(),
             MachineSpec::slow(),
             MachineSpec::fast(),
-            RuntimeProfile { jdk: JdkGeneration::Jdk14, flavor: NrmiFlavor::Optimized },
+            RuntimeProfile {
+                jdk: JdkGeneration::Jdk14,
+                flavor: NrmiFlavor::Optimized,
+            },
         )
         .build();
     let w = build_workload(session.heap(), &classes, Scenario::III, 128, 99).unwrap();
     session
-        .call_with("bench", "mutate", &[Value::Ref(w.root)], CallOptions::forced(mode))
+        .call_with(
+            "bench",
+            "mutate",
+            &[Value::Ref(w.root)],
+            CallOptions::forced(mode),
+        )
         .unwrap();
     let report = env.report();
     (report.total_us(), report.bytes_sent)
@@ -38,7 +46,12 @@ fn measure_once(mode: PassMode) -> (f64, u64) {
 
 #[test]
 fn simulated_measurements_are_bit_identical_across_runs() {
-    for mode in [PassMode::Copy, PassMode::CopyRestore, PassMode::RemoteRef, PassMode::DceRpc] {
+    for mode in [
+        PassMode::Copy,
+        PassMode::CopyRestore,
+        PassMode::RemoteRef,
+        PassMode::DceRpc,
+    ] {
         let (us1, bytes1) = measure_once(mode);
         let (us2, bytes2) = measure_once(mode);
         assert_eq!(bytes1, bytes2, "{mode:?}: byte counts must be identical");

@@ -19,10 +19,9 @@ fn maker_session() -> Session {
             Box::new(FnService::new(|method, args, heap| {
                 let class = heap.registry().by_name("Tree").unwrap();
                 match method {
-                    "make" => Ok(Value::Ref(heap.alloc_raw(
-                        class,
-                        vec![Value::Int(1), Value::Null, Value::Null],
-                    )?)),
+                    "make" => Ok(Value::Ref(
+                        heap.alloc_raw(class, vec![Value::Int(1), Value::Null, Value::Null])?,
+                    )),
                     "entangle" => {
                         // Cross-heap cycle: server node ↔ client node.
                         let client_obj = args[0].as_ref_id().unwrap();
@@ -45,7 +44,11 @@ fn acyclic_remote_garbage_is_fully_reclaimed() {
     let mut session = maker_session();
     // Acquire three server-object stubs, keep only one reachable.
     let opts = CallOptions::forced(PassMode::RemoteRef);
-    let keep = session.call_with("maker", "make", &[], opts).unwrap().as_ref_id().unwrap();
+    let keep = session
+        .call_with("maker", "make", &[], opts)
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
     let _drop1 = session.call_with("maker", "make", &[], opts).unwrap();
     let _drop2 = session.call_with("maker", "make", &[], opts).unwrap();
     assert_eq!(session.client().state.stubs.len(), 3);
@@ -59,10 +62,18 @@ fn acyclic_remote_garbage_is_fully_reclaimed() {
     // The server observed the cleans: after shutdown only one export
     // remains pinned, and its local GC reclaims the released objects.
     let mut server = session.shutdown().unwrap();
-    assert_eq!(server.state.exports.len(), 1, "server unpinned the cleaned exports");
+    assert_eq!(
+        server.state.exports.len(),
+        1,
+        "server unpinned the cleaned exports"
+    );
     let live_before = server.state.heap.live_count();
     let freed_server = server.collect_local(&[]).unwrap();
-    assert_eq!(freed_server, live_before - 1, "only the pinned export survives");
+    assert_eq!(
+        freed_server,
+        live_before - 1,
+        "only the pinned export survives"
+    );
 }
 
 #[test]
@@ -87,13 +98,25 @@ fn distributed_cycle_survives_both_collectors() {
     // the stub it holds to the server node) survives — and no clean can
     // be sent for the stub, because it is still reachable from the
     // pinned object. Reference counting cannot break the cycle.
-    assert_eq!(cleans, 0, "cycle: no stub is unreachable from the pinned roots");
-    assert!(session.heap().contains(client_obj), "leaked: pinned by the peer");
+    assert_eq!(
+        cleans, 0,
+        "cycle: no stub is unreachable from the pinned roots"
+    );
+    assert!(
+        session.heap().contains(client_obj),
+        "leaked: pinned by the peer"
+    );
     assert!(!session.client().state.exports.is_empty());
     let mut server = session.shutdown().unwrap();
-    assert!(!server.state.exports.is_empty(), "server side equally pinned");
+    assert!(
+        !server.state.exports.is_empty(),
+        "server side equally pinned"
+    );
     let freed = server.collect_local(&[]).unwrap();
-    assert!(server.state.heap.live_count() > 0, "server node leaked too (freed {freed})");
+    assert!(
+        server.state.heap.live_count() > 0,
+        "server node leaked too (freed {freed})"
+    );
 }
 
 #[test]

@@ -49,7 +49,12 @@ fn remote_ref_calls_grow_export_tables_monotonically() {
     for seed in 0..4 {
         let root = tree::build_random_tree(session.heap(), &classes, 16, seed).unwrap();
         session
-            .call_with("svc", "inc_all", &[Value::Ref(root)], CallOptions::forced(PassMode::RemoteRef))
+            .call_with(
+                "svc",
+                "inc_all",
+                &[Value::Ref(root)],
+                CallOptions::forced(PassMode::RemoteRef),
+            )
             .expect("call");
         exported_after.push(session.client().state.exports.len());
     }
@@ -57,7 +62,10 @@ fn remote_ref_calls_grow_export_tables_monotonically() {
         exported_after.windows(2).all(|w| w[1] > w[0]),
         "exports grow per call: {exported_after:?}"
     );
-    assert!(*exported_after.last().unwrap() >= 64, "every touched node pinned");
+    assert!(
+        *exported_after.last().unwrap() >= 64,
+        "every touched node pinned"
+    );
 }
 
 #[test]
@@ -74,16 +82,19 @@ fn release_stub_sends_clean_and_frees_locally() {
                     || heap.registry().by_name("Tree").unwrap(),
                     |_| heap.registry().by_name("Tree").unwrap(),
                 );
-                let fresh = heap.alloc_raw(
-                    class,
-                    vec![Value::Int(123), Value::Null, Value::Null],
-                )?;
+                let fresh =
+                    heap.alloc_raw(class, vec![Value::Int(123), Value::Null, Value::Null])?;
                 Ok(Value::Ref(fresh))
             })),
         )
         .build();
     let ret = session
-        .call_with("svc", "make", &[Value::Int(0)], CallOptions::forced(PassMode::RemoteRef))
+        .call_with(
+            "svc",
+            "make",
+            &[Value::Int(0)],
+            CallOptions::forced(PassMode::RemoteRef),
+        )
         .expect("call");
     let stub = ret.as_ref_id().expect("stub handle");
     assert!(session.heap().stub_key(stub).unwrap().is_some());
@@ -92,7 +103,10 @@ fn release_stub_sends_clean_and_frees_locally() {
     assert!(!session.heap().contains(stub), "stub freed locally");
     // The server processed the clean: its export table is empty again.
     let server = session.shutdown().expect("shutdown");
-    assert!(server.state.exports.is_empty(), "server export unpinned by DGC clean");
+    assert!(
+        server.state.exports.is_empty(),
+        "server export unpinned by DGC clean"
+    );
 }
 
 #[test]
@@ -114,7 +128,12 @@ fn export_roots_keep_pinned_objects_alive_across_local_gc() {
     };
     let root = tree::build_random_tree(session.heap(), &classes, 4, 1).unwrap();
     session
-        .call_with("svc", "peek", &[Value::Ref(root)], CallOptions::forced(PassMode::RemoteRef))
+        .call_with(
+            "svc",
+            "peek",
+            &[Value::Ref(root)],
+            CallOptions::forced(PassMode::RemoteRef),
+        )
         .expect("call");
 
     // Drop all client-side references; only the export pins remain.
@@ -142,7 +161,8 @@ fn distributed_cycle_leaks_under_reference_counting() {
                 let class = heap.class_of(root)?;
                 // new Tree(7, root, null); root.left = fresh — a cycle
                 // spanning both address spaces.
-                let fresh = heap.alloc_raw(class, vec![Value::Int(7), Value::Ref(root), Value::Null])?;
+                let fresh =
+                    heap.alloc_raw(class, vec![Value::Int(7), Value::Ref(root), Value::Null])?;
                 heap.set_field(root, "left", Value::Ref(fresh))?;
                 Ok(Value::Null)
             })),
@@ -153,16 +173,31 @@ fn distributed_cycle_leaks_under_reference_counting() {
     };
     let root = tree::build_random_tree(session.heap(), &classes, 1, 3).unwrap();
     session
-        .call_with("svc", "entangle", &[Value::Ref(root)], CallOptions::forced(PassMode::RemoteRef))
+        .call_with(
+            "svc",
+            "entangle",
+            &[Value::Ref(root)],
+            CallOptions::forced(PassMode::RemoteRef),
+        )
         .expect("call");
 
     // Client: root.left is a stub to the server node.
-    let stub = session.heap().get_ref(root, "left").unwrap().expect("stub link");
+    let stub = session
+        .heap()
+        .get_ref(root, "left")
+        .unwrap()
+        .expect("stub link");
     assert!(session.heap().stub_key(stub).unwrap().is_some());
     // Both sides hold exports pinned by the other side's stubs.
-    assert!(!session.client().state.exports.is_empty(), "client object pinned by server");
+    assert!(
+        !session.client().state.exports.is_empty(),
+        "client object pinned by server"
+    );
     let server = session.shutdown().expect("shutdown");
-    assert!(!server.state.exports.is_empty(), "server object pinned by client");
+    assert!(
+        !server.state.exports.is_empty(),
+        "server object pinned by client"
+    );
     // Reference counting alone can never release either pin (each side
     // would have to drop its stub first — but each stub is reachable
     // from the other side's pinned object). This is the leak: the pins

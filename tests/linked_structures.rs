@@ -31,7 +31,9 @@ fn build_list(heap: &mut Heap, values: &[i32]) -> Vec<ObjId> {
     let mut nodes = Vec::new();
     let mut next = Value::Null;
     for &v in values.iter().rev() {
-        let node = heap.alloc(class, vec![Value::Int(v), next.clone()]).unwrap();
+        let node = heap
+            .alloc(class, vec![Value::Int(v), next.clone()])
+            .unwrap();
         next = Value::Ref(node);
         nodes.push(node);
     }
@@ -80,11 +82,17 @@ fn in_place_list_reversal_restores_every_link() {
 
     // The returned head is the caller's ORIGINAL tail object.
     assert_eq!(new_head, tail, "identity preserved through the reversal");
-    assert_eq!(list_values(session.heap(), Some(new_head)), vec![5, 4, 3, 2, 1]);
+    assert_eq!(
+        list_values(session.heap(), Some(new_head)),
+        vec![5, 4, 3, 2, 1]
+    );
     // The old head is now the last node.
     assert_eq!(session.heap().get_ref(head, "next").unwrap(), None);
     // The alias into the middle sees its reversed link.
-    assert_eq!(session.heap().get_ref(middle, "next").unwrap(), Some(nodes[1]));
+    assert_eq!(
+        session.heap().get_ref(middle, "next").unwrap(),
+        Some(nodes[1])
+    );
 }
 
 #[test]
@@ -114,12 +122,17 @@ fn list_split_leaves_detached_half_visible_through_alias() {
     let nodes = build_list(session.heap(), &[1, 2, 3, 4]);
     let detached_alias = nodes[2]; // will be unlinked by the cut
 
-    session.call("lists", "mark_and_cut", &[Value::Ref(nodes[0])]).unwrap();
+    session
+        .call("lists", "mark_and_cut", &[Value::Ref(nodes[0])])
+        .unwrap();
 
     // Reachable half restored:
     assert_eq!(list_values(session.heap(), Some(nodes[0])), vec![101, 102]);
     // Detached half's mutations restored too, visible via the alias:
-    assert_eq!(list_values(session.heap(), Some(detached_alias)), vec![103, 104]);
+    assert_eq!(
+        list_values(session.heap(), Some(detached_alias)),
+        vec![103, 104]
+    );
 }
 
 fn build_ring(heap: &mut Heap, labels: &[&str]) -> Vec<ObjId> {
@@ -127,14 +140,19 @@ fn build_ring(heap: &mut Heap, labels: &[&str]) -> Vec<ObjId> {
     let nodes: Vec<ObjId> = labels
         .iter()
         .map(|l| {
-            heap.alloc(class, vec![Value::Str((*l).to_owned()), Value::Null, Value::Null])
-                .unwrap()
+            heap.alloc(
+                class,
+                vec![Value::Str((*l).to_owned()), Value::Null, Value::Null],
+            )
+            .unwrap()
         })
         .collect();
     let n = nodes.len();
     for i in 0..n {
-        heap.set_field(nodes[i], "next", Value::Ref(nodes[(i + 1) % n])).unwrap();
-        heap.set_field(nodes[i], "prev", Value::Ref(nodes[(i + n - 1) % n])).unwrap();
+        heap.set_field(nodes[i], "next", Value::Ref(nodes[(i + 1) % n]))
+            .unwrap();
+        heap.set_field(nodes[i], "prev", Value::Ref(nodes[(i + n - 1) % n]))
+            .unwrap();
     }
     nodes
 }
@@ -153,7 +171,11 @@ fn doubly_linked_ring_survives_remote_splice() {
                 let next = heap.get_ref(at, "next")?.unwrap();
                 let fresh = heap.alloc_raw(
                     class,
-                    vec![Value::Str("spliced".into()), Value::Ref(next), Value::Ref(at)],
+                    vec![
+                        Value::Str("spliced".into()),
+                        Value::Ref(next),
+                        Value::Ref(at),
+                    ],
                 )?;
                 heap.set_field(at, "next", Value::Ref(fresh))?;
                 heap.set_field(next, "prev", Value::Ref(fresh))?;
@@ -174,7 +196,13 @@ fn doubly_linked_ring_survives_remote_splice() {
     let mut cursor = ring[0];
     let mut labels = Vec::new();
     for _ in 0..4 {
-        labels.push(heap.get_field(cursor, "label").unwrap().as_str().unwrap().to_owned());
+        labels.push(
+            heap.get_field(cursor, "label")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_owned(),
+        );
         cursor = heap.get_ref(cursor, "next").unwrap().unwrap();
     }
     assert_eq!(cursor, ring[0], "ring closes after four hops");
@@ -223,29 +251,60 @@ fn customer_record_shape_from_the_introduction() {
         .build();
 
     let heap = session.heap();
-    let hq = heap.alloc(address, vec![Value::Str("Boston".into())]).unwrap();
+    let hq = heap
+        .alloc(address, vec![Value::Str("Boston".into())])
+        .unwrap();
     let acme = heap
         .alloc(company, vec![Value::Str("ACME".into()), Value::Ref(hq)])
         .unwrap();
-    let home1 = heap.alloc(address, vec![Value::Str("Decatur".into())]).unwrap();
-    let home2 = heap.alloc(address, vec![Value::Str("Macon".into())]).unwrap();
+    let home1 = heap
+        .alloc(address, vec![Value::Str("Decatur".into())])
+        .unwrap();
+    let home2 = heap
+        .alloc(address, vec![Value::Str("Macon".into())])
+        .unwrap();
     let c1 = heap
-        .alloc(customer, vec![Value::Str("eli".into()), Value::Ref(home1), Value::Ref(acme)])
+        .alloc(
+            customer,
+            vec![
+                Value::Str("eli".into()),
+                Value::Ref(home1),
+                Value::Ref(acme),
+            ],
+        )
         .unwrap();
     let c2 = heap
-        .alloc(customer, vec![Value::Str("yannis".into()), Value::Ref(home2), Value::Ref(acme)])
+        .alloc(
+            customer,
+            vec![
+                Value::Str("yannis".into()),
+                Value::Ref(home2),
+                Value::Ref(acme),
+            ],
+        )
         .unwrap();
 
     // Relocate via customer 1 only.
-    session.call("crm", "relocate_hq", &[Value::Ref(c1)]).unwrap();
+    session
+        .call("crm", "relocate_hq", &[Value::Ref(c1)])
+        .unwrap();
 
     let heap = session.heap();
     // Customer 2's view of the SHARED company updated too:
     let comp2 = heap.get_ref(c2, "company").unwrap().unwrap();
     assert_eq!(comp2, acme, "still one company object");
     let hq2 = heap.get_ref(comp2, "hq").unwrap().unwrap();
-    assert_eq!(heap.get_field(hq2, "city").unwrap(), Value::Str("Atlanta".into()));
+    assert_eq!(
+        heap.get_field(hq2, "city").unwrap(),
+        Value::Str("Atlanta".into())
+    );
     // Personal addresses untouched.
-    assert_eq!(heap.get_field(home1, "city").unwrap(), Value::Str("Decatur".into()));
-    assert_eq!(heap.get_field(home2, "city").unwrap(), Value::Str("Macon".into()));
+    assert_eq!(
+        heap.get_field(home1, "city").unwrap(),
+        Value::Str("Decatur".into())
+    );
+    assert_eq!(
+        heap.get_field(home2, "city").unwrap(),
+        Value::Str("Macon".into())
+    );
 }

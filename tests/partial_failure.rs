@@ -29,7 +29,11 @@ fn registry() -> SharedRegistry {
 fn faulty_call(
     plan: FaultPlan,
     opts: CallOptions,
-) -> (Result<Value, NrmiError>, ClientNode, nrmi::heap::tree::RunningExample) {
+) -> (
+    Result<Value, NrmiError>,
+    ClientNode,
+    nrmi::heap::tree::RunningExample,
+) {
     let registry = registry();
     let (client_t, mut server_t) = channel_pair(None, LinkSpec::free());
     let server_registry = registry.clone();
@@ -52,23 +56,38 @@ fn faulty_call(
     };
     let ex = tree::build_running_example(&mut client.state.heap, &classes).unwrap();
     let mut transport = FaultyTransport::new(client_t, plan);
-    let result = client_invoke(&mut client, &mut transport, "svc", "foo", &[Value::Ref(ex.root)], opts);
+    let result = client_invoke(
+        &mut client,
+        &mut transport,
+        "svc",
+        "foo",
+        &[Value::Ref(ex.root)],
+        opts,
+    );
     (result, client, ex)
 }
 
 fn assert_heap_untouched(client: &mut ClientNode, ex: &tree::RunningExample) {
     let heap = &mut client.state.heap;
     assert_eq!(heap.get_field(ex.root, "data").unwrap(), Value::Int(5));
-    assert_eq!(heap.get_field(ex.alias1_target, "data").unwrap(), Value::Int(3));
-    assert_eq!(heap.get_field(ex.alias2_target, "data").unwrap(), Value::Int(7));
+    assert_eq!(
+        heap.get_field(ex.alias1_target, "data").unwrap(),
+        Value::Int(3)
+    );
+    assert_eq!(
+        heap.get_field(ex.alias2_target, "data").unwrap(),
+        Value::Int(7)
+    );
     assert_eq!(heap.get_ref(ex.root, "left").unwrap(), Some(ex.left));
     assert_eq!(heap.get_ref(ex.root, "right").unwrap(), Some(ex.right));
 }
 
 #[test]
 fn disconnect_before_request_surfaces_and_leaves_heap_untouched() {
-    let (result, mut client, ex) =
-        faulty_call(FaultPlan::disconnect_on_send(0), CallOptions::forced(PassMode::CopyRestore));
+    let (result, mut client, ex) = faulty_call(
+        FaultPlan::disconnect_on_send(0),
+        CallOptions::forced(PassMode::CopyRestore),
+    );
     let err = result.unwrap_err();
     assert!(matches!(err, NrmiError::Transport(_)), "{err}");
     assert_heap_untouched(&mut client, &ex);
@@ -78,7 +97,10 @@ fn disconnect_before_request_surfaces_and_leaves_heap_untouched() {
 fn disconnect_while_awaiting_reply_surfaces_and_leaves_heap_untouched() {
     // The request reaches the server (which mutates ITS copy), but the
     // client's receive fails: no restore may happen.
-    let plan = FaultPlan { sends: Vec::new(), recvs: vec![nrmi::transport::Fault::Disconnect] };
+    let plan = FaultPlan {
+        sends: Vec::new(),
+        recvs: vec![nrmi::transport::Fault::Disconnect],
+    };
     let (result, mut client, ex) = faulty_call(plan, CallOptions::forced(PassMode::CopyRestore));
     let err = result.unwrap_err();
     assert!(matches!(err, NrmiError::Transport(_)), "{err}");
@@ -87,8 +109,10 @@ fn disconnect_while_awaiting_reply_surfaces_and_leaves_heap_untouched() {
 
 #[test]
 fn corrupted_reply_is_rejected_not_half_applied() {
-    let (result, mut client, ex) =
-        faulty_call(FaultPlan::corrupt_on_recv(0), CallOptions::forced(PassMode::CopyRestore));
+    let (result, mut client, ex) = faulty_call(
+        FaultPlan::corrupt_on_recv(0),
+        CallOptions::forced(PassMode::CopyRestore),
+    );
     assert!(result.is_err(), "corrupted reply must fail the call");
     assert_heap_untouched(&mut client, &ex);
 }
@@ -100,7 +124,7 @@ fn remote_ref_disconnect_mid_call_surfaces_as_remote_exception() {
     // transport, depending on which side observes it first).
     let plan = FaultPlan {
         sends: vec![
-            nrmi::transport::Fault::Pass, // the CallRequest
+            nrmi::transport::Fault::Pass,       // the CallRequest
             nrmi::transport::Fault::Disconnect, // first callback reply
         ],
         recvs: Vec::new(),
@@ -138,7 +162,10 @@ fn call_timeout_fires_on_a_slow_server_and_leaves_heap_untouched() {
         .unwrap_err();
     assert!(matches!(err, NrmiError::Transport(_)), "{err}");
     // No partial restore:
-    assert_eq!(session.heap().get_field(ex.alias1_target, "data").unwrap(), Value::Int(3));
+    assert_eq!(
+        session.heap().get_field(ex.alias1_target, "data").unwrap(),
+        Value::Int(3)
+    );
 }
 
 #[test]
@@ -149,7 +176,11 @@ fn classpath_skew_fails_cleanly() {
     // remote exception instead of corrupting anything.
     let mut client_reg = ClassRegistry::new();
     let _ = tree::register_tree_classes(&mut client_reg);
-    let extra = client_reg.define("OnlyOnClient").field_int("x").restorable().register();
+    let extra = client_reg
+        .define("OnlyOnClient")
+        .field_int("x")
+        .restorable()
+        .register();
 
     let server_reg = ClassRegistry::new(); // knows nothing but the stub class
 
@@ -157,7 +188,10 @@ fn classpath_skew_fails_cleanly() {
     let server_registry = server_reg.snapshot();
     let server = thread::spawn(move || {
         let mut server = ServerNode::new(server_registry, MachineSpec::fast());
-        server.bind("svc", Box::new(FnService::new(|_m, _a, _h| Ok(Value::Null))));
+        server.bind(
+            "svc",
+            Box::new(FnService::new(|_m, _a, _h| Ok(Value::Null))),
+        );
         let _ = serve_connection(&mut server, &mut server_t);
     });
 
@@ -176,7 +210,10 @@ fn classpath_skew_fails_cleanly() {
     assert!(matches!(err, NrmiError::Remote(_)), "{err}");
     assert!(err.to_string().contains("unknown class"), "{err}");
     // Caller state untouched.
-    assert_eq!(client.state.heap.get_field(obj, "x").unwrap(), Value::Int(1));
+    assert_eq!(
+        client.state.heap.get_field(obj, "x").unwrap(),
+        Value::Int(1)
+    );
     drop(transport);
     let _ = server.join();
 }
@@ -188,8 +225,15 @@ fn timeout_is_observable_when_a_reply_is_dropped() {
     let registry = registry();
     let (client_t, _server_t_unserved) = channel_pair(None, LinkSpec::free());
     let mut transport = FaultyTransport::new(client_t, FaultPlan::none());
-    transport.send(&nrmi::transport::Frame::Lookup { name: "x".into() }).unwrap();
-    let err = transport.recv_timeout(Duration::from_millis(30)).unwrap_err();
-    assert!(matches!(err, nrmi::transport::TransportError::Timeout), "{err:?}");
+    transport
+        .send(&nrmi::transport::Frame::Lookup { name: "x".into() })
+        .unwrap();
+    let err = transport
+        .recv_timeout(Duration::from_millis(30))
+        .unwrap_err();
+    assert!(
+        matches!(err, nrmi::transport::TransportError::Timeout),
+        "{err:?}"
+    );
     let _ = registry;
 }

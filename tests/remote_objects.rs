@@ -37,10 +37,8 @@ fn build_session() -> (Session, nrmi::heap::ClassId) {
             Box::new(FnService::new(move |method, args, heap| match method {
                 "open_account" => {
                     let owner = args[0].as_str().ok_or_else(|| NrmiError::app("owner"))?;
-                    let acct = heap.alloc_raw(
-                        account,
-                        vec![Value::Str(owner.to_owned()), Value::Long(0)],
-                    )?;
+                    let acct = heap
+                        .alloc_raw(account, vec![Value::Str(owner.to_owned()), Value::Long(0)])?;
                     // Returning a remote-marked object exports it; the
                     // client receives a stub.
                     Ok(Value::Ref(acct))
@@ -52,7 +50,9 @@ fn build_session() -> (Session, nrmi::heap::ClassId) {
         .serve_class(
             account,
             Box::new(FnService::new(move |method, args, heap| {
-                let this = args[0].as_ref_id().ok_or_else(|| NrmiError::app("receiver"))?;
+                let this = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("receiver"))?;
                 match method {
                     "deposit" => {
                         let amount = args[1].as_long().ok_or_else(|| NrmiError::app("amount"))?;
@@ -87,11 +87,27 @@ fn factory_returns_stub_and_methods_dispatch_on_it() {
         .unwrap()
         .as_ref_id()
         .expect("stub");
-    assert!(session.heap().stub_key(acct).unwrap().is_some(), "client holds a stub");
+    assert!(
+        session.heap().stub_key(acct).unwrap().is_some(),
+        "client holds a stub"
+    );
 
-    assert_eq!(session.call_on(acct, "deposit", &[Value::Long(100)]).unwrap(), Value::Long(100));
-    assert_eq!(session.call_on(acct, "deposit", &[Value::Long(42)]).unwrap(), Value::Long(142));
-    assert_eq!(session.call_on(acct, "balance", &[]).unwrap(), Value::Long(142));
+    assert_eq!(
+        session
+            .call_on(acct, "deposit", &[Value::Long(100)])
+            .unwrap(),
+        Value::Long(100)
+    );
+    assert_eq!(
+        session
+            .call_on(acct, "deposit", &[Value::Long(42)])
+            .unwrap(),
+        Value::Long(142)
+    );
+    assert_eq!(
+        session.call_on(acct, "balance", &[]).unwrap(),
+        Value::Long(142)
+    );
 }
 
 #[test]
@@ -122,7 +138,9 @@ fn remote_receiver_composes_with_copy_restore_arguments() {
         .unwrap()
         .as_ref_id()
         .unwrap();
-    session.call_on(acct, "deposit", &[Value::Long(777)]).unwrap();
+    session
+        .call_on(acct, "deposit", &[Value::Long(777)])
+        .unwrap();
 
     // Pass a restorable Statement; the remote method fills it in and the
     // restore brings the data home into the caller's object.
@@ -130,8 +148,13 @@ fn remote_receiver_composes_with_copy_restore_arguments() {
         .heap()
         .alloc(statement, vec![Value::Long(0), Value::Null])
         .unwrap();
-    session.call_on(acct, "fill_statement", &[Value::Ref(stmt)]).unwrap();
-    assert_eq!(session.heap().get_field(stmt, "balance").unwrap(), Value::Long(777));
+    session
+        .call_on(acct, "fill_statement", &[Value::Ref(stmt)])
+        .unwrap();
+    assert_eq!(
+        session.heap().get_field(stmt, "balance").unwrap(),
+        Value::Long(777)
+    );
     assert_eq!(
         session.heap().get_field(stmt, "owner").unwrap(),
         Value::Str("turing".into())
@@ -156,7 +179,9 @@ fn client_owned_remote_object_acts_as_a_callback_listener() {
         .serve(
             "notifier",
             Box::new(FnService::new(|_m, args, heap| {
-                let l = args[0].as_ref_id().ok_or_else(|| NrmiError::app("listener"))?;
+                let l = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("listener"))?;
                 let n = heap.get_field(l, "events")?.as_int().unwrap_or(0);
                 heap.set_field(l, "last_event", Value::Str("job-done".into()))?;
                 heap.set_field(l, "events", Value::Int(n + 1))?;
@@ -171,9 +196,15 @@ fn client_owned_remote_object_acts_as_a_callback_listener() {
     let (_, stats) = session
         .call_with_stats("notifier", "notify", &[Value::Ref(l)], CallOptions::auto())
         .unwrap();
-    assert!(stats.callbacks_served >= 3, "writes crossed back mid-call: {stats:?}");
+    assert!(
+        stats.callbacks_served >= 3,
+        "writes crossed back mid-call: {stats:?}"
+    );
     let heap = session.heap();
-    assert_eq!(heap.get_field(l, "last_event").unwrap(), Value::Str("job-done".into()));
+    assert_eq!(
+        heap.get_field(l, "last_event").unwrap(),
+        Value::Str("job-done".into())
+    );
     assert_eq!(heap.get_field(l, "events").unwrap(), Value::Int(1));
 }
 
@@ -200,10 +231,20 @@ fn stub_passed_back_as_argument_resolves_to_the_original_server_object() {
             })),
         )
         .build();
-    let stub = session.call("svc", "make", &[]).unwrap().as_ref_id().unwrap();
+    let stub = session
+        .call("svc", "make", &[])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
     assert!(session.heap().stub_key(stub).unwrap().is_some());
-    let v = session.call("svc", "read_back", &[Value::Ref(stub)]).unwrap();
-    assert_eq!(v, Value::Long(7), "server resolved its own export, not a copy");
+    let v = session
+        .call("svc", "read_back", &[Value::Ref(stub)])
+        .unwrap();
+    assert_eq!(
+        v,
+        Value::Long(7),
+        "server resolved its own export, not a copy"
+    );
 }
 
 #[test]
@@ -231,7 +272,11 @@ fn call_on_class_without_behavior_is_a_remote_error() {
             })),
         )
         .build();
-    let stub = session.call("maker", "make", &[]).unwrap().as_ref_id().unwrap();
+    let stub = session
+        .call("maker", "make", &[])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
     let err = session.call_on(stub, "spin", &[]).unwrap_err();
     assert!(err.to_string().contains("Widget"), "{err}");
 }
@@ -244,12 +289,18 @@ fn delta_mode_falls_back_to_full_reply_when_server_links_a_stub() {
     // full reply, and the call still restores correctly.
     let mut reg = ClassRegistry::new();
     let printer = reg.define("Printer").field_str("name").remote().register();
-    let holder = reg.define("Holder").field_ref("device").restorable().register();
+    let holder = reg
+        .define("Holder")
+        .field_ref("device")
+        .restorable()
+        .register();
     let mut session = Session::builder(reg.snapshot())
         .serve(
             "svc",
             Box::new(FnService::new(move |_m, args, heap| {
-                let h = args[0].as_ref_id().ok_or_else(|| NrmiError::app("holder"))?;
+                let h = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("holder"))?;
                 let dev = heap.alloc_raw(printer, vec![Value::Str("lp0".into())])?;
                 heap.set_field(h, "device", Value::Ref(dev))?;
                 Ok(Value::Null)
@@ -258,11 +309,23 @@ fn delta_mode_falls_back_to_full_reply_when_server_links_a_stub() {
         .build();
     let h = session.heap().alloc(holder, vec![Value::Null]).unwrap();
     session
-        .call_with("svc", "attach", &[Value::Ref(h)], CallOptions::copy_restore_delta())
+        .call_with(
+            "svc",
+            "attach",
+            &[Value::Ref(h)],
+            CallOptions::copy_restore_delta(),
+        )
         .expect("delta call with stub-bearing reply must fall back, not fail");
     // The caller's holder now references a stub for the server printer.
-    let dev = session.heap().get_ref(h, "device").unwrap().expect("device attached");
-    assert!(session.heap().stub_key(dev).unwrap().is_some(), "device is a remote stub");
+    let dev = session
+        .heap()
+        .get_ref(h, "device")
+        .unwrap()
+        .expect("device attached");
+    assert!(
+        session.heap().stub_key(dev).unwrap().is_some(),
+        "device is a remote stub"
+    );
 }
 
 #[test]

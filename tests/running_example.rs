@@ -25,8 +25,7 @@ fn foo_session(registry: SharedRegistry) -> Session {
                     let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
                     tree::run_foo(heap, root)?;
                     // Return the node foo spliced in (t.right after foo).
-                    heap.get_field(root, "right")
-                        .map_err(NrmiError::from)
+                    heap.get_field(root, "right").map_err(NrmiError::from)
                 }
                 other => Err(NrmiError::app(format!("no method {other}"))),
             })),
@@ -36,7 +35,11 @@ fn foo_session(registry: SharedRegistry) -> Session {
 
 fn build(session: &mut Session) -> (RunningExample, TreeClasses) {
     let classes = TreeClasses {
-        tree: session.heap().registry_handle().by_name("Tree").expect("Tree"),
+        tree: session
+            .heap()
+            .registry_handle()
+            .by_name("Tree")
+            .expect("Tree"),
     };
     let ex = tree::build_running_example(session.heap(), &classes).expect("example");
     (ex, classes)
@@ -47,7 +50,12 @@ fn copy_restore_call_reproduces_figure_2() {
     let mut session = foo_session(registry());
     let (ex, _) = build(&mut session);
     session
-        .call_with("svc", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::CopyRestore))
+        .call_with(
+            "svc",
+            "foo",
+            &[Value::Ref(ex.root)],
+            CallOptions::forced(PassMode::CopyRestore),
+        )
         .expect("call");
     let violations = tree::figure2_violations(session.heap(), &ex).expect("check");
     assert!(violations.is_empty(), "{violations:?}");
@@ -57,7 +65,9 @@ fn copy_restore_call_reproduces_figure_2() {
 fn auto_mode_picks_copy_restore_for_restorable_tree() {
     let mut session = foo_session(registry());
     let (ex, _) = build(&mut session);
-    session.call("svc", "foo", &[Value::Ref(ex.root)]).expect("call");
+    session
+        .call("svc", "foo", &[Value::Ref(ex.root)])
+        .expect("call");
     let violations = tree::figure2_violations(session.heap(), &ex).expect("check");
     assert!(violations.is_empty(), "{violations:?}");
 }
@@ -67,7 +77,12 @@ fn delta_reply_reproduces_figure_2() {
     let mut session = foo_session(registry());
     let (ex, _) = build(&mut session);
     let (_, stats) = session
-        .call_with_stats("svc", "foo", &[Value::Ref(ex.root)], CallOptions::copy_restore_delta())
+        .call_with_stats(
+            "svc",
+            "foo",
+            &[Value::Ref(ex.root)],
+            CallOptions::copy_restore_delta(),
+        )
         .expect("call");
     // foo changes 4 of the 7 old objects; the delta must not resend the rest.
     assert_eq!(stats.restored_objects, 4);
@@ -81,10 +96,18 @@ fn dce_rpc_call_reproduces_figure_9() {
     let mut session = foo_session(registry());
     let (ex, _) = build(&mut session);
     session
-        .call_with("svc", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::DceRpc))
+        .call_with(
+            "svc",
+            "foo",
+            &[Value::Ref(ex.root)],
+            CallOptions::forced(PassMode::DceRpc),
+        )
         .expect("call");
     let violations = tree::figure9_violations(session.heap(), &ex).expect("check");
-    assert!(violations.is_empty(), "DCE semantics diverged from Figure 9: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "DCE semantics diverged from Figure 9: {violations:?}"
+    );
 }
 
 #[test]
@@ -92,11 +115,22 @@ fn plain_copy_call_changes_nothing_on_the_caller() {
     let mut session = foo_session(registry());
     let (ex, _) = build(&mut session);
     session
-        .call_with("svc", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::Copy))
+        .call_with(
+            "svc",
+            "foo",
+            &[Value::Ref(ex.root)],
+            CallOptions::forced(PassMode::Copy),
+        )
         .expect("call");
     let heap = session.heap();
-    assert_eq!(heap.get_field(ex.alias1_target, "data").unwrap(), Value::Int(3));
-    assert_eq!(heap.get_field(ex.alias2_target, "data").unwrap(), Value::Int(7));
+    assert_eq!(
+        heap.get_field(ex.alias1_target, "data").unwrap(),
+        Value::Int(3)
+    );
+    assert_eq!(
+        heap.get_field(ex.alias2_target, "data").unwrap(),
+        Value::Int(7)
+    );
     assert_eq!(heap.get_ref(ex.root, "left").unwrap(), Some(ex.left));
     assert_eq!(heap.get_ref(ex.root, "right").unwrap(), Some(ex.right));
 }
@@ -106,13 +140,27 @@ fn remote_ref_call_mutates_caller_objects_directly() {
     let mut session = foo_session(registry());
     let (ex, _) = build(&mut session);
     let (_, stats) = session
-        .call_with_stats("svc", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::RemoteRef))
+        .call_with_stats(
+            "svc",
+            "foo",
+            &[Value::Ref(ex.root)],
+            CallOptions::forced(PassMode::RemoteRef),
+        )
         .expect("call");
-    assert!(stats.callbacks_served > 10, "every access crossed the network: {stats:?}");
+    assert!(
+        stats.callbacks_served > 10,
+        "every access crossed the network: {stats:?}"
+    );
     let heap = session.heap();
     // Direct mutations visible without any restore phase:
-    assert_eq!(heap.get_field(ex.alias1_target, "data").unwrap(), Value::Int(0));
-    assert_eq!(heap.get_field(ex.alias2_target, "data").unwrap(), Value::Int(9));
+    assert_eq!(
+        heap.get_field(ex.alias1_target, "data").unwrap(),
+        Value::Int(0)
+    );
+    assert_eq!(
+        heap.get_field(ex.alias2_target, "data").unwrap(),
+        Value::Int(9)
+    );
     assert_eq!(heap.get_field(ex.rr, "data").unwrap(), Value::Int(8));
     // The spliced node lives on the server; t.right is a stub (Figure 3).
     let t_right = heap.get_ref(ex.root, "right").unwrap().unwrap();
@@ -131,7 +179,9 @@ fn return_value_referencing_new_server_object_is_usable() {
             CallOptions::forced(PassMode::CopyRestore),
         )
         .expect("call");
-    let new_node = ret.as_ref_id().expect("foo replaces t.right with a new node");
+    let new_node = ret
+        .as_ref_id()
+        .expect("foo replaces t.right with a new node");
     let heap = session.heap();
     // The returned reference IS the caller's t.right (one object, not a copy).
     assert_eq!(heap.get_ref(ex.root, "right").unwrap(), Some(new_node));
@@ -159,10 +209,15 @@ fn repeated_calls_compose() {
         .build();
     let (ex, _) = build(&mut session);
     for expected in 6..=15 {
-        let ret = session.call("svc", "inc", &[Value::Ref(ex.root)]).expect("call");
+        let ret = session
+            .call("svc", "inc", &[Value::Ref(ex.root)])
+            .expect("call");
         assert_eq!(ret, Value::Int(expected));
     }
-    assert_eq!(session.heap().get_field(ex.root, "data").unwrap(), Value::Int(15));
+    assert_eq!(
+        session.heap().get_field(ex.root, "data").unwrap(),
+        Value::Int(15)
+    );
 }
 
 #[test]
@@ -180,19 +235,29 @@ fn remote_exception_propagates_and_leaves_caller_untouched() {
         )
         .build();
     let (ex, _) = build(&mut session);
-    let err = session.call("svc", "boom", &[Value::Ref(ex.root)]).unwrap_err();
+    let err = session
+        .call("svc", "boom", &[Value::Ref(ex.root)])
+        .unwrap_err();
     assert!(matches!(err, NrmiError::Remote(_)), "{err}");
     assert!(err.to_string().contains("deliberate server failure"));
     // No partial restore happened:
-    assert_eq!(session.heap().get_field(ex.root, "data").unwrap(), Value::Int(5));
+    assert_eq!(
+        session.heap().get_field(ex.root, "data").unwrap(),
+        Value::Int(5)
+    );
 }
 
 #[test]
 fn auto_mode_with_delta_replies_is_transparent() {
     let mut session = foo_session(registry());
     let (ex, _) = build(&mut session);
-    let opts = CallOptions { delta_reply: true, ..CallOptions::auto() };
-    session.call_with("svc", "foo", &[Value::Ref(ex.root)], opts).expect("call");
+    let opts = CallOptions {
+        delta_reply: true,
+        ..CallOptions::auto()
+    };
+    session
+        .call_with("svc", "foo", &[Value::Ref(ex.root)], opts)
+        .expect("call");
     let violations = tree::figure2_violations(session.heap(), &ex).expect("check");
     assert!(violations.is_empty(), "{violations:?}");
 }
@@ -202,12 +267,22 @@ fn delta_with_dce_or_remote_ref_is_rejected() {
     let mut session = foo_session(registry());
     let (ex, _) = build(&mut session);
     for mode in [PassMode::DceRpc, PassMode::RemoteRef] {
-        let opts = CallOptions { delta_reply: true, ..CallOptions::forced(mode) };
-        let err = session.call_with("svc", "foo", &[Value::Ref(ex.root)], opts).unwrap_err();
-        assert!(matches!(err, NrmiError::InvalidArgument(_)), "{mode:?}: {err}");
+        let opts = CallOptions {
+            delta_reply: true,
+            ..CallOptions::forced(mode)
+        };
+        let err = session
+            .call_with("svc", "foo", &[Value::Ref(ex.root)], opts)
+            .unwrap_err();
+        assert!(
+            matches!(err, NrmiError::InvalidArgument(_)),
+            "{mode:?}: {err}"
+        );
     }
     // The session is still usable afterwards.
-    session.call("svc", "foo", &[Value::Ref(ex.root)]).expect("call");
+    session
+        .call("svc", "foo", &[Value::Ref(ex.root)])
+        .expect("call");
 }
 
 #[test]
@@ -221,7 +296,9 @@ fn lookup_reports_bound_services() {
 fn unknown_service_is_an_error() {
     let mut session = foo_session(registry());
     let (ex, _) = build(&mut session);
-    let err = session.call("nope", "foo", &[Value::Ref(ex.root)]).unwrap_err();
+    let err = session
+        .call("nope", "foo", &[Value::Ref(ex.root)])
+        .unwrap_err();
     assert!(matches!(err, NrmiError::Remote(_)), "{err}");
     assert!(err.to_string().contains("nope"));
 }

@@ -11,7 +11,11 @@ fn tree_registry() -> SharedRegistry {
 }
 
 fn tree_class(session: &mut Session) -> nrmi::heap::ClassId {
-    session.heap().registry_handle().by_name("Tree").expect("Tree")
+    session
+        .heap()
+        .registry_handle()
+        .by_name("Tree")
+        .expect("Tree")
 }
 
 #[test]
@@ -46,7 +50,10 @@ fn same_parameter_passed_twice_is_one_copy() {
     session
         .call("svc", "check", &[Value::Ref(obj), Value::Ref(obj)])
         .expect("shared-arg call");
-    assert_eq!(session.heap().get_field(obj, "data").unwrap(), Value::Int(77));
+    assert_eq!(
+        session.heap().get_field(obj, "data").unwrap(),
+        Value::Int(77)
+    );
 }
 
 #[test]
@@ -69,21 +76,36 @@ fn two_arguments_sharing_substructure_restore_consistently() {
         .build();
     let class = tree_class(&mut session);
     let heap = session.heap();
-    let shared = heap.alloc(class, vec![Value::Int(0), Value::Null, Value::Null]).unwrap();
-    let a = heap.alloc(class, vec![Value::Int(1), Value::Ref(shared), Value::Null]).unwrap();
-    let b = heap.alloc(class, vec![Value::Int(2), Value::Ref(shared), Value::Null]).unwrap();
-    session.call("svc", "touch", &[Value::Ref(a), Value::Ref(b)]).expect("call");
+    let shared = heap
+        .alloc(class, vec![Value::Int(0), Value::Null, Value::Null])
+        .unwrap();
+    let a = heap
+        .alloc(class, vec![Value::Int(1), Value::Ref(shared), Value::Null])
+        .unwrap();
+    let b = heap
+        .alloc(class, vec![Value::Int(2), Value::Ref(shared), Value::Null])
+        .unwrap();
+    session
+        .call("svc", "touch", &[Value::Ref(a), Value::Ref(b)])
+        .expect("call");
     // One object, one restore, visible through both parents:
     let heap = session.heap();
     assert_eq!(heap.get_field(shared, "data").unwrap(), Value::Int(42));
-    assert_eq!(heap.get_ref(a, "left").unwrap(), heap.get_ref(b, "left").unwrap());
+    assert_eq!(
+        heap.get_ref(a, "left").unwrap(),
+        heap.get_ref(b, "left").unwrap()
+    );
 }
 
 #[test]
 fn mixed_markers_copy_arg_not_restored_restorable_arg_restored() {
     let mut reg = ClassRegistry::new();
     // Snapshot is copy-only; Record is restorable.
-    let snapshot = reg.define("Snapshot").field_int("v").serializable().register();
+    let snapshot = reg
+        .define("Snapshot")
+        .field_int("v")
+        .serializable()
+        .register();
     let record = reg.define("Record").field_int("v").restorable().register();
     let mut session = Session::builder(reg.snapshot())
         .serve(
@@ -138,7 +160,12 @@ fn primitive_arguments_pass_by_value_and_return_values_work() {
         .call(
             "calc",
             "mix",
-            &[Value::Int(2), Value::Double(0.5), Value::Bool(true), Value::Str("abc".into())],
+            &[
+                Value::Int(2),
+                Value::Double(0.5),
+                Value::Bool(true),
+                Value::Str("abc".into()),
+            ],
         )
         .expect("call");
     assert_eq!(ret, Value::Double(5.5));
@@ -149,7 +176,10 @@ fn non_serializable_argument_is_rejected_client_side() {
     let mut reg = ClassRegistry::new();
     let plain = reg.define("Plain").field_int("x").register();
     let mut session = Session::builder(reg.snapshot())
-        .serve("svc", Box::new(FnService::new(|_m, _a, _h| Ok(Value::Null))))
+        .serve(
+            "svc",
+            Box::new(FnService::new(|_m, _a, _h| Ok(Value::Null))),
+        )
         .build();
     let obj = session.heap().alloc_default(plain).unwrap();
     let err = session.call("svc", "run", &[Value::Ref(obj)]).unwrap_err();
@@ -180,9 +210,15 @@ fn stateless_server_copy_restore_equals_remote_ref() {
             .build();
         let class = session.heap().registry_handle().by_name("Tree").unwrap();
         let heap = session.heap();
-        let leaf = heap.alloc(class, vec![Value::Int(2), Value::Null, Value::Null]).unwrap();
-        let root = heap.alloc(class, vec![Value::Int(5), Value::Ref(leaf), Value::Null]).unwrap();
-        session.call_with("svc", "run", &[Value::Ref(root)], opts).expect("call");
+        let leaf = heap
+            .alloc(class, vec![Value::Int(2), Value::Null, Value::Null])
+            .unwrap();
+        let root = heap
+            .alloc(class, vec![Value::Int(5), Value::Ref(leaf), Value::Null])
+            .unwrap();
+        session
+            .call_with("svc", "run", &[Value::Ref(root)], opts)
+            .expect("call");
         let heap = session.heap();
         (
             heap.get_field(root, "data").unwrap(),
@@ -191,7 +227,10 @@ fn stateless_server_copy_restore_equals_remote_ref() {
     };
     let cbcr = run(CallOptions::forced(PassMode::CopyRestore));
     let by_ref = run(CallOptions::forced(PassMode::RemoteRef));
-    assert_eq!(cbcr, by_ref, "stateless routine: copy-restore ≡ call-by-reference");
+    assert_eq!(
+        cbcr, by_ref,
+        "stateless routine: copy-restore ≡ call-by-reference"
+    );
     assert_eq!(cbcr, (Value::Int(50), Value::Int(-1)));
 }
 
@@ -228,15 +267,25 @@ fn stateful_server_breaks_the_equivalence() {
             .heap()
             .alloc(class, vec![Value::Int(1), Value::Null, Value::Null])
             .unwrap();
-        session.call_with("svc", "keep", &[Value::Ref(obj)], opts).expect("keep");
-        session.call_with("svc", "mutate_kept", &[], opts).expect("mutate");
+        session
+            .call_with("svc", "keep", &[Value::Ref(obj)], opts)
+            .expect("keep");
+        session
+            .call_with("svc", "mutate_kept", &[], opts)
+            .expect("mutate");
         session.heap().get_field(obj, "data").unwrap()
     };
     // Copy-restore: the server mutated its stale copy; caller unaffected.
-    assert_eq!(run(CallOptions::forced(PassMode::CopyRestore)), Value::Int(1));
+    assert_eq!(
+        run(CallOptions::forced(PassMode::CopyRestore)),
+        Value::Int(1)
+    );
     // Call-by-reference: the retained stub still aims at the caller's
     // object; the late mutation IS visible.
-    assert_eq!(run(CallOptions::forced(PassMode::RemoteRef)), Value::Int(999));
+    assert_eq!(
+        run(CallOptions::forced(PassMode::RemoteRef)),
+        Value::Int(999)
+    );
 }
 
 #[test]
@@ -245,7 +294,10 @@ fn no_such_method_is_a_remote_error() {
         .serve(
             "svc",
             Box::new(FnService::new(|method, _a, _h| {
-                Err(NrmiError::NoSuchMethod { service: "svc".into(), method: method.into() })
+                Err(NrmiError::NoSuchMethod {
+                    service: "svc".into(),
+                    method: method.into(),
+                })
             })),
         )
         .build();
@@ -314,8 +366,13 @@ fn shutdown_returns_server_state_for_inspection() {
         .heap()
         .alloc(class, vec![Value::Int(1), Value::Null, Value::Null])
         .unwrap();
-    session.call("svc", "peek", &[Value::Ref(obj)]).expect("call");
+    session
+        .call("svc", "peek", &[Value::Ref(obj)])
+        .expect("call");
     let server = session.shutdown().expect("shutdown");
-    assert!(server.state.heap.live_count() > 0, "server materialized the copy");
+    assert!(
+        server.state.heap.live_count() > 0,
+        "server materialized the copy"
+    );
     assert!(server.is_bound("svc"));
 }

@@ -15,7 +15,9 @@ fn registry() -> SharedRegistry {
     reg.snapshot()
 }
 
-fn spawn_server(registry: SharedRegistry) -> (std::net::SocketAddr, thread::JoinHandle<ServerNode>) {
+fn spawn_server(
+    registry: SharedRegistry,
+) -> (std::net::SocketAddr, thread::JoinHandle<ServerNode>) {
     let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
     let handle = thread::spawn(move || {
@@ -48,7 +50,9 @@ fn copy_restore_over_tcp_reproduces_figure_2() {
         tree: client.heap().registry_handle().by_name("Tree").unwrap(),
     };
     let ex = tree::build_running_example(client.heap(), &classes).unwrap();
-    client.call("svc", "foo", &[Value::Ref(ex.root)]).expect("remote foo");
+    client
+        .call("svc", "foo", &[Value::Ref(ex.root)])
+        .expect("remote foo");
     let violations = tree::figure2_violations(client.heap(), &ex).unwrap();
     assert!(violations.is_empty(), "{violations:?}");
     client.close().expect("close");
@@ -65,11 +69,22 @@ fn remote_ref_callbacks_work_over_tcp() {
     };
     let ex = tree::build_running_example(client.heap(), &classes).unwrap();
     client
-        .call_with("svc", "foo", &[Value::Ref(ex.root)], CallOptions::forced(PassMode::RemoteRef))
+        .call_with(
+            "svc",
+            "foo",
+            &[Value::Ref(ex.root)],
+            CallOptions::forced(PassMode::RemoteRef),
+        )
         .expect("remote-ref foo over tcp");
     // Mutations landed directly on the caller's objects.
-    assert_eq!(client.heap().get_field(ex.alias1_target, "data").unwrap(), Value::Int(0));
-    assert_eq!(client.heap().get_field(ex.alias2_target, "data").unwrap(), Value::Int(9));
+    assert_eq!(
+        client.heap().get_field(ex.alias1_target, "data").unwrap(),
+        Value::Int(0)
+    );
+    assert_eq!(
+        client.heap().get_field(ex.alias2_target, "data").unwrap(),
+        Value::Int(9)
+    );
     client.close().expect("close");
     server.join().expect("server thread");
 }
@@ -79,12 +94,16 @@ fn errors_and_primitives_cross_the_socket() {
     let registry = registry();
     let (addr, server) = spawn_server(registry.clone());
     let mut client = Session::connect_tcp(registry, addr).expect("connect");
-    let ret = client.call("svc", "echo", &[Value::Str("påylöad".into())]).expect("echo");
+    let ret = client
+        .call("svc", "echo", &[Value::Str("påylöad".into())])
+        .expect("echo");
     assert_eq!(ret, Value::Str("påylöad".into()));
     let err = client.call("svc", "fail", &[]).unwrap_err();
     assert!(err.to_string().contains("tcp failure path"), "{err}");
     // Session still usable after a remote exception.
-    let ret = client.call("svc", "echo", &[Value::Long(-9)]).expect("echo after error");
+    let ret = client
+        .call("svc", "echo", &[Value::Long(-9)])
+        .expect("echo after error");
     assert_eq!(ret, Value::Long(-9));
     client.close().expect("close");
     server.join().expect("server thread");
@@ -131,10 +150,16 @@ fn factory_pattern_works_over_tcp() {
     });
 
     let mut client = Session::connect_tcp(registry, addr).expect("connect");
-    let stub = client.call("bank", "open", &[]).unwrap().as_ref_id().unwrap();
+    let stub = client
+        .call("bank", "open", &[])
+        .unwrap()
+        .as_ref_id()
+        .unwrap();
     assert!(client.heap().stub_key(stub).unwrap().is_some());
     assert_eq!(
-        client.call_on(stub, "deposit", &[Value::Long(125)]).unwrap(),
+        client
+            .call_on(stub, "deposit", &[Value::Long(125)])
+            .unwrap(),
         Value::Long(125)
     );
     assert_eq!(
@@ -166,7 +191,11 @@ fn sequential_clients_share_one_server() {
     for expected in 1..=3 {
         let mut client = Session::connect_tcp(registry.clone(), addr).expect("connect");
         let ret = client.call("counter", "tick", &[]).expect("tick");
-        assert_eq!(ret, Value::Int(expected), "server state persists across connections");
+        assert_eq!(
+            ret,
+            Value::Int(expected),
+            "server state persists across connections"
+        );
         client.close().expect("close");
     }
     handle.join().expect("server thread");

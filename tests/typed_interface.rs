@@ -20,7 +20,11 @@ fn registry() -> SharedRegistry {
 fn counter_interface() -> Arc<InterfaceDef> {
     Arc::new(
         InterfaceDef::new("CounterService")
-            .method("bump", &[ParamType::Reference, ParamType::Int], ParamType::Int)
+            .method(
+                "bump",
+                &[ParamType::Reference, ParamType::Int],
+                ParamType::Int,
+            )
             .method("describe", &[], ParamType::Str),
     )
 }
@@ -58,7 +62,10 @@ fn conforming_calls_pass_and_restore() {
         .call("counter", "bump", &[Value::Ref(obj), Value::Int(3)])
         .unwrap();
     assert_eq!(ret, Value::Int(8));
-    assert_eq!(session.heap().get_field(obj, "count").unwrap(), Value::Int(8));
+    assert_eq!(
+        session.heap().get_field(obj, "count").unwrap(),
+        Value::Int(8)
+    );
     assert_eq!(
         session.call("counter", "describe", &[]).unwrap(),
         Value::Str("a typed counter".into())
@@ -68,7 +75,9 @@ fn conforming_calls_pass_and_restore() {
 #[test]
 fn wrong_arity_rejected_as_remote_exception() {
     let mut session = typed_session();
-    let err = session.call("counter", "bump", &[Value::Int(3)]).unwrap_err();
+    let err = session
+        .call("counter", "bump", &[Value::Int(3)])
+        .unwrap_err();
     assert!(err.to_string().contains("takes 2"), "{err}");
 }
 
@@ -78,11 +87,18 @@ fn wrong_shape_rejected_before_the_implementation_runs() {
     let class = session.heap().registry_handle().by_name("Counter").unwrap();
     let obj = session.heap().alloc(class, vec![Value::Int(5)]).unwrap();
     let err = session
-        .call("counter", "bump", &[Value::Ref(obj), Value::Str("three".into())])
+        .call(
+            "counter",
+            "bump",
+            &[Value::Ref(obj), Value::Str("three".into())],
+        )
         .unwrap_err();
     assert!(err.to_string().contains("must be int"), "{err}");
     // The rejected call mutated nothing.
-    assert_eq!(session.heap().get_field(obj, "count").unwrap(), Value::Int(5));
+    assert_eq!(
+        session.heap().get_field(obj, "count").unwrap(),
+        Value::Int(5)
+    );
 }
 
 #[test]

@@ -41,10 +41,15 @@ fn copy_restore_over_unix_domain_socket() {
         tree: client.heap().registry_handle().by_name("Tree").unwrap(),
     };
     let ex = tree::build_running_example(client.heap(), &classes).unwrap();
-    client.call("svc", "foo", &[Value::Ref(ex.root)]).expect("remote foo over uds");
+    client
+        .call("svc", "foo", &[Value::Ref(ex.root)])
+        .expect("remote foo over uds");
     let violations = tree::figure2_violations(client.heap(), &ex).unwrap();
     assert!(violations.is_empty(), "{violations:?}");
-    assert_eq!(client.heap().get_field(ex.alias1_target, "data").unwrap(), Value::Int(0));
+    assert_eq!(
+        client.heap().get_field(ex.alias1_target, "data").unwrap(),
+        Value::Int(0)
+    );
     client.close().expect("close");
     server.join().expect("server thread");
 }

@@ -1,0 +1,262 @@
+//! Differential property test: a warm session (request deltas against a
+//! cached server graph) must be observationally identical to a cold
+//! session (full copy-restore each call) for *any* graph shape and any
+//! schedule of client- and server-side mutations.
+//!
+//! Both worlds start from the same random (possibly cyclic, aliased)
+//! graph, run the same deterministic mutator service for `k` calls, and
+//! apply the same client-side edits between calls. After every call the
+//! two client heaps must be isomorphic and the return values equal.
+
+use proptest::prelude::*;
+
+use nrmi::core::{CallOptions, FnService, NrmiError, RemoteService, Session};
+use nrmi::heap::graph::{first_difference, isomorphic_multi};
+use nrmi::heap::{ClassRegistry, Heap, HeapAccess, ObjId, Value};
+
+/// One mutation, addressed by *preorder index* (not ObjId) so it means
+/// the same thing on any isomorphic copy of the graph:
+/// `(op, target_index, value)` with `op % 4` selecting
+/// 0 = set data, 1 = unlink a child, 2 = alias to an existing node,
+/// 3 = allocate a fresh node and link it in.
+type Op = (u8, usize, i32);
+
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    data: Vec<i32>,
+    edges: Vec<(usize, bool, usize)>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (1usize..24).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<i32>(), n..=n),
+            proptest::collection::vec((0usize..n, any::<bool>(), 0usize..n), 0..36),
+        )
+            .prop_map(|(data, edges)| GraphSpec { data, edges })
+    })
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..4, 0usize..64, -100i32..100), 0..5)
+}
+
+/// Per-call schedule: what the server does during the call, and what the
+/// client does to its own graph after the call returns.
+fn schedule() -> impl Strategy<Value = Vec<(Vec<Op>, Vec<Op>)>> {
+    proptest::collection::vec((ops(), ops()), 1..5)
+}
+
+fn fresh_heap() -> Heap {
+    let mut reg = ClassRegistry::new();
+    reg.define("Node")
+        .field_int("data")
+        .field_ref("left")
+        .field_ref("right")
+        .restorable()
+        .register();
+    Heap::new(reg.snapshot())
+}
+
+fn build(heap: &mut Heap, spec: &GraphSpec) -> ObjId {
+    let class = heap.registry_handle().by_name("Node").expect("Node");
+    let nodes: Vec<ObjId> = spec
+        .data
+        .iter()
+        .map(|&d| {
+            heap.alloc(class, vec![Value::Int(d), Value::Null, Value::Null])
+                .unwrap()
+        })
+        .collect();
+    for &(from, left, to) in &spec.edges {
+        let side = if left { "left" } else { "right" };
+        heap.set_field(nodes[from], side, Value::Ref(nodes[to]))
+            .unwrap();
+    }
+    nodes[0]
+}
+
+/// Deterministic preorder over `left` then `right` — the shared
+/// coordinate system both worlds address mutations in.
+fn preorder(heap: &mut dyn HeapAccess, root: ObjId) -> nrmi::heap::Result<Vec<ObjId>> {
+    let mut order = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        order.push(id);
+        // Push right first so left is visited first.
+        for slot in [2usize, 1] {
+            if let Some(child) = heap.get_field_raw(id, slot)?.as_ref_id() {
+                stack.push(child);
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Applies one batch of ops to whatever heap (client's real heap or the
+/// server's proxied one) — identical meaning on isomorphic graphs.
+fn apply_ops(heap: &mut dyn HeapAccess, root: ObjId, ops: &[Op]) -> nrmi::heap::Result<()> {
+    for &(op, idx, val) in ops {
+        let order = preorder(heap, root)?;
+        let target = order[idx % order.len()];
+        let slot = 1 + (val.rem_euclid(2) as usize);
+        match op % 4 {
+            0 => heap.set_field_raw(target, 0, Value::Int(val))?,
+            1 => heap.set_field_raw(target, slot, Value::Null)?,
+            2 => {
+                let other = order[(val.unsigned_abs() as usize) % order.len()];
+                heap.set_field_raw(target, slot, Value::Ref(other))?;
+            }
+            3 => {
+                let class = heap.class_of(target)?;
+                let fresh =
+                    heap.alloc_raw(class, vec![Value::Int(val), Value::Null, Value::Null])?;
+                heap.set_field_raw(target, slot, Value::Ref(fresh))?;
+            }
+            _ => unreachable!(),
+        }
+    }
+    Ok(())
+}
+
+/// Checksum of the reachable graph: order-sensitive fold over preorder
+/// data fields, so any divergence in shape or values shows up.
+fn checksum(heap: &mut dyn HeapAccess, root: ObjId) -> nrmi::heap::Result<i64> {
+    let mut sum = 0i64;
+    for (i, id) in preorder(heap, root)?.into_iter().enumerate() {
+        let d = i64::from(heap.get_field_raw(id, 0)?.as_int().unwrap_or(0));
+        sum = sum.wrapping_mul(31).wrapping_add(d ^ i as i64);
+    }
+    Ok(sum)
+}
+
+/// The server-side mutator: call `i` applies `schedule[i]` and returns
+/// the post-mutation checksum.
+fn mutator(schedule: Vec<Vec<Op>>) -> Box<dyn RemoteService> {
+    Box::new(FnService::new(move |_m, args, heap| {
+        let root = args[0]
+            .as_ref_id()
+            .ok_or_else(|| NrmiError::app("want graph"))?;
+        let call = args[1]
+            .as_int()
+            .ok_or_else(|| NrmiError::app("want call index"))? as usize;
+        let ops = schedule.get(call).cloned().unwrap_or_default();
+        apply_ops(heap, root, &ops)?;
+        Ok(Value::Int(checksum(heap, root)? as i32))
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// warm ≡ cold: same graphs, same returns, call after call.
+    #[test]
+    fn warm_session_is_observationally_cold(
+        spec in graph_spec(),
+        plan in schedule(),
+    ) {
+        let server_side: Vec<Vec<Op>> = plan.iter().map(|(s, _)| s.clone()).collect();
+
+        let mut reg = ClassRegistry::new();
+        reg.define("Node")
+            .field_int("data")
+            .field_ref("left")
+            .field_ref("right")
+            .restorable()
+            .register();
+        let mut cold = Session::builder(reg.snapshot())
+            .serve("mutate", mutator(server_side.clone()))
+            .build();
+        let mut warm = Session::builder(reg.snapshot())
+            .serve("mutate", mutator(server_side))
+            .build();
+
+        let cold_root = build(cold.heap(), &spec);
+        let warm_root = build(warm.heap(), &spec);
+        let opts = CallOptions::copy_restore_delta();
+
+        for (i, (_, client_ops)) in plan.iter().enumerate() {
+            let args = [Value::Ref(cold_root), Value::Int(i as i32)];
+            let cv = cold.call_with_stats("mutate", "run", &args, opts).unwrap().0;
+            let wargs = [Value::Ref(warm_root), Value::Int(i as i32)];
+            let wv = warm.call_warm("mutate", "run", &wargs).unwrap();
+            prop_assert_eq!(cv, wv, "call {}: same return value", i);
+
+            prop_assert!(
+                isomorphic_multi(cold.heap(), &[cold_root], warm.heap(), &[warm_root]).unwrap(),
+                "call {}: client heaps diverged: {:?}",
+                i,
+                first_difference(cold.heap(), &[cold_root], warm.heap(), &[warm_root]).unwrap()
+            );
+
+            // Same client-side edits between calls in both worlds.
+            apply_ops(cold.heap(), cold_root, client_ops).unwrap();
+            apply_ops(warm.heap(), warm_root, client_ops).unwrap();
+        }
+
+        // The warm session really was warm the whole time.
+        prop_assert_eq!(warm.warm_generation("mutate"), Some(plan.len() as u64));
+    }
+}
+
+/// A directed (non-random) case covering the trickiest delta interaction:
+/// the client unlinks a shared subtree (freed positions) while also
+/// grafting new nodes, then the server re-aliases what is left.
+#[test]
+fn directed_free_then_alias_case() {
+    let spec = GraphSpec {
+        data: vec![1, 2, 3, 4, 5],
+        edges: vec![
+            (0, true, 1),
+            (0, false, 2),
+            (1, true, 3),
+            (2, true, 3),
+            (3, false, 4),
+        ],
+    };
+    let server_side = vec![vec![(2u8, 0usize, 3i32)], vec![(0u8, 2usize, 77i32)]];
+    let client_side: Vec<Op> = vec![(1, 1, 0), (3, 0, 9)];
+
+    let mut cold = {
+        let h = fresh_heap();
+        Session::builder(h.registry_handle().clone())
+            .serve("mutate", mutator(server_side.clone()))
+            .build()
+    };
+    let mut warm = {
+        let h = fresh_heap();
+        Session::builder(h.registry_handle().clone())
+            .serve("mutate", mutator(server_side))
+            .build()
+    };
+    let cold_root = build(cold.heap(), &spec);
+    let warm_root = build(warm.heap(), &spec);
+    let opts = CallOptions::copy_restore_delta();
+
+    for i in 0..2 {
+        let cv = cold
+            .call_with_stats(
+                "mutate",
+                "run",
+                &[Value::Ref(cold_root), Value::Int(i)],
+                opts,
+            )
+            .unwrap()
+            .0;
+        let wv = warm
+            .call_warm("mutate", "run", &[Value::Ref(warm_root), Value::Int(i)])
+            .unwrap();
+        assert_eq!(cv, wv, "call {i}");
+        assert!(
+            isomorphic_multi(cold.heap(), &[cold_root], warm.heap(), &[warm_root]).unwrap(),
+            "call {i} diverged"
+        );
+        apply_ops(cold.heap(), cold_root, &client_side).unwrap();
+        apply_ops(warm.heap(), warm_root, &client_side).unwrap();
+    }
+    assert_eq!(warm.warm_generation("mutate"), Some(2));
+}

@@ -7,9 +7,7 @@ use proptest::prelude::*;
 use nrmi::heap::copy::deep_copy_between;
 use nrmi::heap::graph::isomorphic_multi;
 use nrmi::heap::{ClassRegistry, Heap, HeapAccess, LinearMap, ObjId, Value};
-use nrmi::wire::{
-    apply_delta, deserialize_graph, encode_delta, serialize_graph, GraphSnapshot,
-};
+use nrmi::wire::{apply_delta, deserialize_graph, encode_delta, serialize_graph, GraphSnapshot};
 
 /// Specification of a random graph: node payloads and an edge list.
 #[derive(Clone, Debug)]
@@ -33,11 +31,15 @@ fn build(heap: &mut Heap, spec: &GraphSpec) -> Vec<ObjId> {
     let nodes: Vec<ObjId> = spec
         .data
         .iter()
-        .map(|&d| heap.alloc(class, vec![Value::Int(d), Value::Null, Value::Null]).unwrap())
+        .map(|&d| {
+            heap.alloc(class, vec![Value::Int(d), Value::Null, Value::Null])
+                .unwrap()
+        })
         .collect();
     for &(from, left, to) in &spec.edges {
         let side = if left { "left" } else { "right" };
-        heap.set_field(nodes[from], side, Value::Ref(nodes[to])).unwrap();
+        heap.set_field(nodes[from], side, Value::Ref(nodes[to]))
+            .unwrap();
     }
     nodes
 }

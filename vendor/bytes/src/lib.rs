@@ -1,0 +1,95 @@
+//! Offline stand-in for the `bytes` crate: a `Vec<u8>`-backed
+//! [`BytesMut`] plus the [`BufMut`] methods this workspace uses. The
+//! build environment cannot fetch crates, so the workspace path-depends
+//! on this shim; swapping back to the real crate requires no call-site
+//! changes.
+
+/// Append-oriented byte sink, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, v: &[u8]);
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+/// Growable byte buffer, mirroring the subset of `bytes::BytesMut` the
+/// wire layer needs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes currently stored.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no bytes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_in_order() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u8(1);
+        b.put_slice(&[2, 3]);
+        b.put_u64_le(0x0807_0605_0403_0201);
+        assert_eq!(b.len(), 11);
+        assert!(!b.is_empty());
+        assert_eq!(b.to_vec()[..3], [1, 2, 3]);
+        assert_eq!(b.as_ref()[3..], [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(Vec::from(b).len(), 11);
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` crate: a minimal timing harness
+//! with the same API shape (`Criterion`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::{iter, iter_custom, iter_batched}`,
+//! `criterion_group!`/`criterion_main!`). The build environment cannot
+//! fetch crates, so the workspace path-depends on this shim; swapping
+//! back to the real crate requires no call-site changes.
+//!
+//! Statistics are deliberately simple — each benchmark runs a handful of
+//! timed samples and reports the per-iteration mean. Benchmarks exist to
+//! compile and to produce indicative numbers, not rigorous confidence
+//! intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup; all variants behave identically
+/// here (per-iteration setup outside the timed region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into an id.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hands the iteration count to `f`, which returns the measured time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+
+    /// Times `routine` only, regenerating its input with `setup` outside
+    /// the timed region each iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark registry/driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (capped low — this is a smoke harness).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 10);
+        self
+    }
+
+    /// Runs one benchmark with an input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for sample in 0..self.samples {
+            let mut b = Bencher {
+                iters: if sample == 0 { 1 } else { 2 },
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if sample > 0 {
+                // Sample 0 is warmup.
+                total += b.elapsed;
+                iters += b.iters;
+            }
+        }
+        let mean_ns = (total.as_nanos() as u64).checked_div(iters).unwrap_or(0);
+        println!(
+            "bench {}/{}: {} ns/iter ({} iters)",
+            self.name, id, mean_ns, iters
+        );
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_all_styles() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("iter", 1), &5u32, |b, &n| {
+            b.iter(|| n + 1);
+            ran += 1;
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(2 + 2);
+                }
+                start.elapsed()
+            });
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(ran >= 1, "closure ran at least once");
+    }
+}
