@@ -114,15 +114,18 @@ fn bench_pipeline_stages(c: &mut Criterion) {
             let dec = deserialize_graph(&enc.bytes, &mut server).expect("deserialize");
             let server_root = dec.roots[0].as_ref_id().expect("root");
             let server_map = LinearMap::build(&server, &[server_root]).expect("map");
-            let old: std::collections::HashMap<_, _> =
-                server_map.iter().map(|(pos, id)| (id, pos)).collect();
             let reply_roots: Vec<Value> = server_map
                 .order()
                 .iter()
                 .map(|&id| Value::Ref(id))
                 .collect();
-            let reply = nrmi_wire::serialize_graph_with(&server, &reply_roots, Some(&old), None)
-                .expect("reply");
+            let reply = nrmi_wire::serialize_graph_with(
+                &server,
+                &reply_roots,
+                Some(server_map.position_map()),
+                None,
+            )
+            .expect("reply");
             b.iter_batched(
                 || {
                     // Fresh client copy per iteration (restore mutates).

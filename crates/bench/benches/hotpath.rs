@@ -1,0 +1,73 @@
+//! Hot-path criterion bench: cold-call and steady-state warm-call
+//! latency on the 1k-node tree the allocation ablation uses.
+//!
+//! `tables -- hotpath` reports allocator traffic per call; this bench
+//! gives the corresponding wall-clock picture with criterion's
+//! statistics. The counting allocator is installed here too so the
+//! measured path is byte-for-byte the one the ablation counts (its
+//! overhead is two relaxed atomic adds per allocation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nrmi_bench::hotpath::SIZE;
+use nrmi_bench::workload::{bench_classes, build_workload, walk_tree, Scenario};
+use nrmi_core::{CallOptions, NrmiError, Session};
+use nrmi_heap::{HeapAccess, Value};
+
+#[global_allocator]
+static ALLOC: nrmi_bench::alloc_count::CountingAlloc = nrmi_bench::alloc_count::CountingAlloc;
+
+const SEED: u64 = 7;
+
+fn sum_service() -> Box<dyn nrmi_core::RemoteService> {
+    Box::new(nrmi_core::FnService::new(
+        |_m: &str, args: &[Value], heap: &mut dyn HeapAccess| {
+            let root = args[0]
+                .as_ref_id()
+                .ok_or_else(|| NrmiError::app("want tree"))?;
+            let mut sum = 0i64;
+            for node in walk_tree(heap, root)? {
+                sum += i64::from(heap.get_field(node, "data")?.as_int().unwrap_or(0));
+            }
+            Ok(Value::Int(sum as i32))
+        },
+    ))
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(30);
+    for warm in [false, true] {
+        let label = if warm { "warm_steady" } else { "cold" };
+        group.bench_with_input(BenchmarkId::new(label, SIZE), &SIZE, |b, &size| {
+            let classes = bench_classes();
+            let mut session = Session::builder(classes.registry.clone())
+                .serve("sum", sum_service())
+                .build();
+            let w = build_workload(session.heap(), &classes, Scenario::I, size, SEED)
+                .expect("workload");
+            let args = [Value::Ref(w.root)];
+            let opts = CallOptions::copy_restore_delta();
+            if warm {
+                session.call_warm("sum", "sum", &args).expect("seed");
+            } else {
+                // One throwaway call fills the codec's buffer pool so
+                // measured cold calls see steady state, like deployments.
+                session.call_with("sum", "sum", &args, opts).expect("fill");
+            }
+            b.iter(|| {
+                if warm {
+                    session.call_warm("sum", "sum", &args).expect("warm call")
+                } else {
+                    session
+                        .call_with("sum", "sum", &args, opts)
+                        .expect("cold call")
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

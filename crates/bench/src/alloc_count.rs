@@ -1,0 +1,73 @@
+//! A counting global allocator for the hot-path ablation.
+//!
+//! The zero-copy work (dense position maps, pooled codec scratch, buffer
+//! reuse) claims to cut per-call allocator traffic; this module makes the
+//! claim measurable. [`CountingAlloc`] wraps the system allocator and
+//! counts every `alloc`/`realloc` event and the bytes requested, with two
+//! relaxed atomic adds of overhead — cheap enough to leave installed for
+//! every bench binary.
+//!
+//! The counters are process-global and monotonic: measure by differencing
+//! [`counters`] snapshots around the region of interest (no reset racing
+//! against other threads). Binaries opt in explicitly:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: nrmi_bench::alloc_count::CountingAlloc = nrmi_bench::alloc_count::CountingAlloc;
+//! ```
+//!
+//! Without that attribute the counters simply stay at zero, so library
+//! code can call [`counters`] unconditionally.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper counting allocation events and bytes.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the wrapper only adds relaxed counter updates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is allocator traffic too: count the event and the
+        // bytes of the NEW block (the copy the allocator may perform).
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Snapshot of `(allocation_events, bytes_requested)` since process
+/// start. Zero forever if no binary installed [`CountingAlloc`].
+pub fn counters() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// True if a [`CountingAlloc`] is installed and has seen traffic (any
+/// program that reached `main` has allocated something).
+pub fn is_active() -> bool {
+    ALLOCS.load(Ordering::Relaxed) > 0
+}

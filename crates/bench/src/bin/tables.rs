@@ -15,6 +15,12 @@ use nrmi_bench::sensitivity::{monotonicity_violations, render_sweep, run_sweep};
 use nrmi_bench::tables::{render, render_comparison, run_table};
 use nrmi_bench::workload::Scenario;
 
+/// Counting allocator: makes `tables -- hotpath` report real alloc
+/// traffic. Two relaxed atomic adds per allocation; negligible for every
+/// other command.
+#[global_allocator]
+static ALLOC: nrmi_bench::alloc_count::CountingAlloc = nrmi_bench::alloc_count::CountingAlloc;
+
 fn print_table(id: usize, compare: bool) {
     let table = run_table(id);
     if compare {
@@ -57,7 +63,9 @@ fn main() {
             println!();
             let all = run_all_tables();
             println!("{}", render_observations(&check_observations(&all)));
-            println!("\nextensions: `tables -- semantics | sweep | delta | warm | table7 | leak`");
+            println!(
+                "\nextensions: `tables -- semantics | sweep | delta | warm | hotpath | table7 | leak`"
+            );
         }
         "loc" => print_loc(),
         "semantics" => {
@@ -78,6 +86,22 @@ fn main() {
         "warm" => {
             let rows = nrmi_bench::warm::run_warm_ablation(1024);
             println!("{}", nrmi_bench::warm::render_warm_ablation(1024, &rows));
+        }
+        "hotpath" => {
+            use nrmi_bench::hotpath;
+            let after = hotpath::run_hotpath(hotpath::SIZE);
+            println!("{}", hotpath::render_hotpath(&hotpath::BASELINE, &after));
+            let json = hotpath::to_json(&hotpath::BASELINE, &after);
+            let path = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_hotpath.json");
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
         }
         "sweep" => {
             for scenario in [Scenario::I, Scenario::III] {
@@ -115,7 +139,7 @@ fn main() {
             print_table(id, compare);
         }
         _ => {
-            eprintln!("usage: tables [all|loc|checks|sweep|delta|warm|leak|semantics|table1..table7] [--bare]");
+            eprintln!("usage: tables [all|loc|checks|sweep|delta|warm|hotpath|leak|semantics|table1..table7] [--bare]");
             std::process::exit(2);
         }
     }

@@ -6,7 +6,6 @@
 //! Each function returns the rendered diagram; the `figures` binary
 //! prints them all.
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use nrmi_core::{CallOptions, PassMode, Session};
@@ -140,13 +139,13 @@ pub fn figures4_to_7() -> String {
     );
 
     // Step 3: reply marshalled from the server's linear map.
-    let old_index: HashMap<ObjId, u32> = server_map.iter().map(|(pos, id)| (id, pos)).collect();
     let reply_roots: Vec<Value> = server_map
         .order()
         .iter()
         .map(|&id| Value::Ref(id))
         .collect();
-    let reply = serialize_graph_with(&server, &reply_roots, Some(&old_index), None).expect("reply");
+    let reply = serialize_graph_with(&server, &reply_roots, Some(server_map.position_map()), None)
+        .expect("reply");
 
     let decoded = deserialize_graph(&reply.bytes, &mut client).expect("decode reply");
     let _ = writeln!(

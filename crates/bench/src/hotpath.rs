@@ -1,0 +1,265 @@
+//! Hot-path allocation ablation: allocator traffic per call, before and
+//! after the zero-copy pipeline work.
+//!
+//! §5.2.4 of the paper argues NRMI's marshalling traversal can run "at
+//! cost comparable to plain call-by-copy"; that only holds if the
+//! steady-state call path stops re-allocating its working set on every
+//! invocation. This ablation drives the same read-only workload as
+//! [`crate::warm`] (a seeded binary tree passed to a summing service)
+//! through the cold protocol and the warm (request-delta) protocol, and
+//! — with [`crate::alloc_count::CountingAlloc`] installed — reports
+//! *allocation events per call* and *bytes through the allocator per
+//! call* for each.
+//!
+//! The numbers in [`BASELINE`] were captured at the commit immediately
+//! before the dense-position-map / pooled-codec / buffer-reuse work, with
+//! the identical harness; `tables -- hotpath` re-measures the current
+//! tree and emits `BENCH_hotpath.json` with both, so the perf trajectory
+//! stays machine-readable from this PR onward.
+
+use std::time::Instant;
+
+use nrmi_core::{CallOptions, FnService, NrmiError, RemoteService, Session};
+use nrmi_heap::{HeapAccess, Value};
+
+use crate::alloc_count;
+use crate::tables::SEED;
+use crate::workload::{bench_classes, build_workload, walk_tree, Scenario};
+
+/// Tree size the ablation runs on (the paper's largest benchmark size).
+pub const SIZE: usize = 1024;
+
+/// Measured calls per mode (after warmup; averages are per call).
+pub const CALLS: usize = 32;
+
+/// Warmup calls before counters are sampled (fills buffer pools, session
+/// caches, and the warm seed, so the measurement sees steady state).
+pub const WARMUP: usize = 4;
+
+/// Per-call averages for one protocol mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotpathPoint {
+    /// Allocation events (alloc/realloc) per call, both ends combined.
+    pub allocs_per_call: u64,
+    /// Bytes requested from the allocator per call.
+    pub alloc_bytes_per_call: u64,
+    /// Request payload bytes per call.
+    pub request_bytes_per_call: u64,
+    /// Wall-clock nanoseconds per call (indicative, single run).
+    pub ns_per_call: u64,
+}
+
+/// The ablation result: cold calls vs steady-state warm calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotpathReport {
+    /// Tree size measured.
+    pub size: usize,
+    /// Calls averaged over.
+    pub calls: usize,
+    /// Full copy-restore call (graph re-marshalled every call).
+    pub cold: HotpathPoint,
+    /// Steady-state warm call, δ = 0 (cache seeded, nothing dirty).
+    pub warm_steady: HotpathPoint,
+}
+
+/// Allocator traffic at the pre-optimization commit (same harness, same
+/// workload, `CountingAlloc` installed). Timing fields are indicative
+/// only; the alloc counts are deterministic for this workload.
+pub const BASELINE: HotpathReport = HotpathReport {
+    size: SIZE,
+    calls: CALLS,
+    cold: HotpathPoint {
+        allocs_per_call: 6625,
+        alloc_bytes_per_call: 897_103,
+        request_bytes_per_call: 8125,
+        ns_per_call: 957_789,
+    },
+    warm_steady: HotpathPoint {
+        allocs_per_call: 2145,
+        alloc_bytes_per_call: 343_820,
+        request_bytes_per_call: 12,
+        ns_per_call: 407_114,
+    },
+};
+
+/// The read-only summing service (replies stay tiny, so request-side
+/// marshalling dominates — the path this PR optimizes).
+fn sum_service() -> Box<dyn RemoteService> {
+    Box::new(FnService::new(
+        |_m, args: &[Value], heap: &mut dyn HeapAccess| {
+            let root = args[0]
+                .as_ref_id()
+                .ok_or_else(|| NrmiError::app("want tree"))?;
+            let mut sum = 0i64;
+            for node in walk_tree(heap, root)? {
+                sum += i64::from(heap.get_field(node, "data")?.as_int().unwrap_or(0));
+            }
+            Ok(Value::Int(sum as i32))
+        },
+    ))
+}
+
+fn measure(size: usize, warm: bool) -> HotpathPoint {
+    let classes = bench_classes();
+    let mut session = Session::builder(classes.registry.clone())
+        .serve("sum", sum_service())
+        .build();
+    let w = build_workload(session.heap(), &classes, Scenario::I, size, SEED).expect("workload");
+    let args = [Value::Ref(w.root)];
+    let opts = CallOptions::copy_restore_delta();
+    let call = |session: &mut Session| -> usize {
+        let stats = if warm {
+            session
+                .call_warm_with_stats("sum", "sum", &args)
+                .expect("warm call")
+                .1
+        } else {
+            session
+                .call_with_stats("sum", "sum", &args, opts)
+                .expect("cold call")
+                .1
+        };
+        stats.request_bytes
+    };
+    for _ in 0..WARMUP {
+        call(&mut session);
+    }
+    let (a0, b0) = alloc_count::counters();
+    let started = Instant::now();
+    let mut request_bytes = 0usize;
+    for _ in 0..CALLS {
+        request_bytes += call(&mut session);
+    }
+    let elapsed = started.elapsed().as_nanos() as u64;
+    let (a1, b1) = alloc_count::counters();
+    let n = CALLS as u64;
+    HotpathPoint {
+        allocs_per_call: (a1 - a0) / n,
+        alloc_bytes_per_call: (b1 - b0) / n,
+        request_bytes_per_call: request_bytes as u64 / n,
+        ns_per_call: elapsed / n,
+    }
+}
+
+/// Runs the ablation on a `size`-node tree (both ends in-process; the
+/// counters see client and server traffic combined, which is what a
+/// deployment pays).
+pub fn run_hotpath(size: usize) -> HotpathReport {
+    HotpathReport {
+        size,
+        calls: CALLS,
+        cold: measure(size, false),
+        warm_steady: measure(size, true),
+    }
+}
+
+fn ratio(before: u64, after: u64) -> f64 {
+    if after == 0 {
+        f64::INFINITY
+    } else {
+        before as f64 / after as f64
+    }
+}
+
+/// Renders the before/after comparison as an aligned table.
+pub fn render_hotpath(before: &HotpathReport, after: &HotpathReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Hot-path allocation ablation — {}-node tree, {} calls/mode",
+        after.size, after.calls
+    );
+    if !alloc_count::is_active() {
+        let _ = writeln!(
+            out,
+            "(WARNING: counting allocator not installed — alloc columns are zero)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n{:<28} {:>12} {:>12} {:>8}",
+        "metric", "before", "after", "ratio"
+    );
+    let rows: [(&str, u64, u64); 6] = [
+        (
+            "cold allocs/call",
+            before.cold.allocs_per_call,
+            after.cold.allocs_per_call,
+        ),
+        (
+            "cold alloc bytes/call",
+            before.cold.alloc_bytes_per_call,
+            after.cold.alloc_bytes_per_call,
+        ),
+        (
+            "cold ns/call",
+            before.cold.ns_per_call,
+            after.cold.ns_per_call,
+        ),
+        (
+            "warm allocs/call",
+            before.warm_steady.allocs_per_call,
+            after.warm_steady.allocs_per_call,
+        ),
+        (
+            "warm alloc bytes/call",
+            before.warm_steady.alloc_bytes_per_call,
+            after.warm_steady.alloc_bytes_per_call,
+        ),
+        (
+            "warm ns/call",
+            before.warm_steady.ns_per_call,
+            after.warm_steady.ns_per_call,
+        ),
+    ];
+    for (name, b, a) in rows {
+        let _ = writeln!(out, "{name:<28} {b:>12} {a:>12} {:>7.1}x", ratio(b, a));
+    }
+    out
+}
+
+fn point_json(p: &HotpathPoint) -> String {
+    format!(
+        "{{\"allocs_per_call\": {}, \"alloc_bytes_per_call\": {}, \"request_bytes_per_call\": {}, \"ns_per_call\": {}}}",
+        p.allocs_per_call, p.alloc_bytes_per_call, p.request_bytes_per_call, p.ns_per_call
+    )
+}
+
+fn report_json(r: &HotpathReport) -> String {
+    format!(
+        "{{\"size\": {}, \"calls\": {}, \"cold\": {}, \"warm_steady\": {}}}",
+        r.size,
+        r.calls,
+        point_json(&r.cold),
+        point_json(&r.warm_steady)
+    )
+}
+
+/// Serializes the before/after pair as the `BENCH_hotpath.json` document.
+pub fn to_json(before: &HotpathReport, after: &HotpathReport) -> String {
+    format!(
+        "{{\n  \"workload\": \"scenario I tree, read-only sum service, delta replies\",\n  \"before\": {},\n  \"after\": {}\n}}\n",
+        report_json(before),
+        report_json(after)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpath_runs_and_reports_bytes() {
+        // Unit tests run without the counting allocator installed, so
+        // only the byte/timing columns are meaningful here.
+        let report = run_hotpath(64);
+        assert!(report.cold.request_bytes_per_call > 0);
+        assert!(
+            report.warm_steady.request_bytes_per_call < report.cold.request_bytes_per_call,
+            "steady warm requests must be smaller than cold requests"
+        );
+        let json = to_json(&BASELINE, &report);
+        assert!(json.contains("\"after\""), "json has both sections");
+    }
+}

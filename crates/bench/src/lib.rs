@@ -27,12 +27,14 @@
 //! Binaries: `cargo run -p nrmi-bench --bin tables -- all` and
 //! `cargo run -p nrmi-bench --bin figures`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // alloc_count opts out locally for its GlobalAlloc impl
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod delta_sweep;
 pub mod ext_collections;
 pub mod figures;
+pub mod hotpath;
 pub mod leak;
 pub mod manual;
 pub mod observations;

@@ -1,0 +1,105 @@
+//! Allocation-regression guard: steady-state calls must stay inside a
+//! fixed allocator budget.
+//!
+//! The zero-copy pipeline (dense position maps, pooled codec scratch,
+//! recaptured snapshots, reused transport buffers) is only durable if a
+//! regression shows up in CI, not in a quarterly profile. This test
+//! installs the counting allocator and asserts per-call allocation
+//! events stay under budgets set ~2x above the measured post-optimization
+//! numbers — loose enough to tolerate allocator jitter and small feature
+//! work, tight enough that reintroducing a per-call clone of the linear
+//! map, slot vectors, or payload buffers (hundreds to thousands of
+//! events) fails loudly.
+//!
+//! Budgets are per-call averages over a run of steady-state calls with
+//! warmed pools, measured with client and server in one process (both
+//! ends' traffic counts, as in `tables -- hotpath`).
+
+use nrmi_bench::alloc_count;
+use nrmi_bench::workload::{bench_classes, build_workload, walk_tree, Scenario};
+use nrmi_core::{CallOptions, NrmiError, Session};
+use nrmi_heap::{HeapAccess, Value};
+
+#[global_allocator]
+static ALLOC: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
+/// Steady-state warm call (δ = 0): the request is a tiny delta and every
+/// buffer comes from a pool. Measured ~60 allocs/call after the pooling
+/// work (baseline before: 2145).
+const WARM_BUDGET_ALLOCS_PER_CALL: u64 = 200;
+
+/// Steady-state cold call: the graph is re-marshalled every call, so the
+/// traversal itself allocates, but maps, scratch, and payload buffers
+/// are pooled. Measured ~2.2k allocs/call after (baseline before: 6625).
+const COLD_BUDGET_ALLOCS_PER_CALL: u64 = 5000;
+
+const SIZE: usize = 1024;
+const WARMUP: usize = 4;
+const CALLS: usize = 16;
+const SEED: u64 = 7;
+
+fn sum_service() -> Box<dyn nrmi_core::RemoteService> {
+    Box::new(nrmi_core::FnService::new(
+        |_m: &str, args: &[Value], heap: &mut dyn HeapAccess| {
+            let root = args[0]
+                .as_ref_id()
+                .ok_or_else(|| NrmiError::app("want tree"))?;
+            let mut sum = 0i64;
+            for node in walk_tree(heap, root)? {
+                sum += i64::from(heap.get_field(node, "data")?.as_int().unwrap_or(0));
+            }
+            Ok(Value::Int(sum as i32))
+        },
+    ))
+}
+
+fn allocs_per_steady_call(warm: bool) -> u64 {
+    let classes = bench_classes();
+    let mut session = Session::builder(classes.registry.clone())
+        .serve("sum", sum_service())
+        .build();
+    let w = build_workload(session.heap(), &classes, Scenario::I, SIZE, SEED).expect("workload");
+    let args = [Value::Ref(w.root)];
+    let opts = CallOptions::copy_restore_delta();
+    let call = |session: &mut Session| {
+        if warm {
+            session.call_warm("sum", "sum", &args).expect("warm call");
+        } else {
+            session
+                .call_with("sum", "sum", &args, opts)
+                .expect("cold call");
+        }
+    };
+    for _ in 0..WARMUP {
+        call(&mut session);
+    }
+    let (before, _) = alloc_count::counters();
+    for _ in 0..CALLS {
+        call(&mut session);
+    }
+    let (after, _) = alloc_count::counters();
+    (after - before) / CALLS as u64
+}
+
+// One test, not two: the counters are process-global, so two tests
+// differencing them from parallel test threads would see each other's
+// traffic.
+#[test]
+fn steady_calls_stay_under_alloc_budgets() {
+    assert!(
+        alloc_count::is_active(),
+        "counting allocator must be installed for this test to mean anything"
+    );
+    let warm = allocs_per_steady_call(true);
+    assert!(
+        warm <= WARM_BUDGET_ALLOCS_PER_CALL,
+        "steady-state warm call allocated {warm} times \
+         (budget {WARM_BUDGET_ALLOCS_PER_CALL}); a per-call clone crept back into the hot path"
+    );
+    let cold = allocs_per_steady_call(false);
+    assert!(
+        cold <= COLD_BUDGET_ALLOCS_PER_CALL,
+        "steady-state cold call allocated {cold} times \
+         (budget {COLD_BUDGET_ALLOCS_PER_CALL}); a per-call clone crept back into the hot path"
+    );
+}

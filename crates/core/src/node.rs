@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use nrmi_heap::{Heap, ObjId, SharedRegistry, Value};
 use nrmi_transport::{MachineSpec, RVal, SimEnv};
-use nrmi_wire::{RemoteHooks, WireError};
+use nrmi_wire::{Codec, GraphSnapshot, RemoteHooks, WireError};
 
 use crate::export::ExportTable;
 use crate::profile::RuntimeProfile;
@@ -27,6 +27,14 @@ pub struct NodeState {
     pub profile: RuntimeProfile,
     /// Simulated-cost accumulator (optional; `None` disables accounting).
     pub env: Option<SimEnv>,
+    /// Reusable encoder scratch (position maps + payload-buffer pool);
+    /// every encode this node performs runs through it so steady-state
+    /// calls stop allocating bookkeeping.
+    pub codec: Codec,
+    /// Pooled pre-call snapshot for delta replies, recaptured per call so
+    /// its per-object slot storage is reused. Taken out with `mem::take`
+    /// around the service invocation (which needs the whole node state).
+    pub(crate) reply_snapshot: GraphSnapshot,
 }
 
 impl NodeState {
@@ -39,6 +47,8 @@ impl NodeState {
             machine,
             profile: RuntimeProfile::default(),
             env: None,
+            codec: Codec::new(),
+            reply_snapshot: GraphSnapshot::default(),
         }
     }
 

@@ -23,16 +23,12 @@
 //!
 //! [`RemoteHeapProxy`]: crate::proxy::RemoteHeapProxy
 
-use std::collections::HashMap;
-
 use nrmi_heap::{Heap, LinearMap, ObjId, SharedRegistry, Value};
 use nrmi_transport::{decode_rvals, encode_rvals, Frame, Transport, TransportError};
-use nrmi_wire::{
-    apply_delta, deserialize_graph_with, encode_delta, serialize_graph_with, GraphSnapshot,
-};
+use nrmi_wire::{apply_delta, deserialize_graph_with};
 
 use crate::error::NrmiError;
-use crate::node::{ClientNode, NodeHooks, ServerNode};
+use crate::node::{ClientNode, NodeHooks, NodeState, ServerNode};
 use crate::proxy::{handle_callback, RemoteHeapProxy};
 use crate::restore::apply_restore;
 use crate::semantics::{CallOptions, PassMode};
@@ -217,9 +213,17 @@ fn client_invoke_target(
         let restore_roots = restore_roots_of(&registry, &state.heap, opts, args)?;
         let client_map = LinearMap::build(&state.heap, &restore_roots)?;
         // Step 2 (first half): serialize everything reachable from the
-        // arguments. The traversal IS the linear-map walk (§5.2.1).
-        let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
-        let enc = serialize_graph_with(&state.heap, args, None, Some(&mut hooks))?;
+        // arguments. The traversal IS the linear-map walk (§5.2.1). The
+        // node's codec supplies the position-map and buffer scratch.
+        let NodeState {
+            heap,
+            exports,
+            stubs,
+            codec,
+            ..
+        } = &mut *state;
+        let mut hooks = NodeHooks::new(exports, stubs);
+        let enc = codec.encode_graph(heap, args, None, Some(&mut hooks))?;
         stats.request_objects = enc.object_count();
         stats.request_bytes = enc.byte_len();
         state.charge_cpu(
@@ -423,7 +427,11 @@ fn server_handle_call_inner(
         let server_map = LinearMap::build(&state.heap, &restore_roots)?;
         state.charge_cpu(server_map.len() as f64 * cost.linear_map_per_obj_us);
         let snapshot = if opts.delta_reply {
-            Some(GraphSnapshot::capture(&state.heap, server_map.order())?)
+            // Reuse the node's pooled snapshot storage (taken out because
+            // the service invocation below needs the whole node state).
+            let mut snap = std::mem::take(&mut state.reply_snapshot);
+            snap.recapture(&state.heap, server_map.order())?;
+            Some(snap)
         } else {
             None
         };
@@ -462,7 +470,12 @@ fn server_handle_call_inner(
         // express remote stubs linked into restorable state; when the
         // method created such links, fall through to the full-reply path
         // (the payload self-describes via its magic, so the client copes).
-        match encode_delta(&state.heap, &snapshot, std::slice::from_ref(&ret)) {
+        let outcome = {
+            let NodeState { heap, codec, .. } = &mut *state;
+            codec.encode_reply_delta(heap, &snapshot, std::slice::from_ref(&ret))
+        };
+        state.reply_snapshot = snapshot;
+        match outcome {
             Ok(delta) => {
                 state.charge_cpu(
                     delta.stats.changed_count as f64 * cost.ser_per_obj_us
@@ -483,8 +496,8 @@ fn server_handle_call_inner(
     }
 
     // Step 3: marshal the reply. Old-index annotations implement the
-    // map matching of step 4 on the wire.
-    let old_index: HashMap<ObjId, u32> = server_map.iter().map(|(pos, id)| (id, pos)).collect();
+    // map matching of step 4 on the wire; the linear map's own dense
+    // position index is the annotation table.
     let mut reply_roots = vec![ret];
     match opts.mode_override {
         Some(PassMode::DceRpc) => {
@@ -507,11 +520,18 @@ fn server_handle_call_inner(
             reply_roots.extend(server_map.order().iter().map(|&id| Value::Ref(id)));
         }
     }
-    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
-    let enc = serialize_graph_with(
-        &state.heap,
+    let NodeState {
+        heap,
+        exports,
+        stubs,
+        codec,
+        ..
+    } = &mut *state;
+    let mut hooks = NodeHooks::new(exports, stubs);
+    let enc = codec.encode_graph(
+        heap,
         &reply_roots,
-        Some(&old_index),
+        Some(server_map.position_map()),
         Some(&mut hooks),
     )?;
     state.charge_cpu(

@@ -36,9 +36,7 @@
 //! half-restore. Only after the whole reply validates does the overwrite
 //! pass run, and by then none of its operations can fail on reply input.
 
-use std::collections::HashMap;
-
-use nrmi_heap::{Heap, LinearMap, ObjId, Value};
+use nrmi_heap::{DenseIdMap, Heap, LinearMap, ObjId, Value};
 use nrmi_wire::DecodedGraph;
 
 use crate::error::NrmiError;
@@ -101,12 +99,20 @@ pub fn apply_restore(
 
 /// The validated step-4 match, ready to commit.
 struct RestorePlan {
-    /// Returned modified-old object → caller's original.
-    modified_to_original: HashMap<ObjId, ObjId>,
+    /// Returned modified-old object → caller's original, stored densely
+    /// by the temp's arena index (the value is the original's raw index).
+    modified_to_original: DenseIdMap<u32>,
     /// `(temp, original)` pairs in traversal order.
     modified_old: Vec<(ObjId, ObjId)>,
     /// Server-allocated objects.
     new_objects: Vec<ObjId>,
+}
+
+impl RestorePlan {
+    /// The caller's original for a returned modified-old object, if any.
+    fn original_of(&self, temp: ObjId) -> Option<ObjId> {
+        self.modified_to_original.get(temp).map(ObjId::from_index)
+    }
 }
 
 /// Step 4 plus up-front validation of everything the overwrite pass will
@@ -116,10 +122,11 @@ fn plan_restore(
     client_map: &LinearMap,
     decoded: &DecodedGraph,
 ) -> Result<RestorePlan, NrmiError> {
-    let mut modified_to_original: HashMap<ObjId, ObjId> = HashMap::new();
+    let mut modified_to_original: DenseIdMap<u32> = DenseIdMap::new();
     let mut modified_old: Vec<(ObjId, ObjId)> = Vec::new();
     let mut new_objects: Vec<ObjId> = Vec::new();
-    let mut seen_positions: HashMap<u32, ObjId> = HashMap::new();
+    // Duplicate-annotation detection, dense by linear-map position.
+    let mut seen_positions = vec![false; client_map.len()];
     for (temp, old_index) in decoded.iter_with_old() {
         match old_index {
             Some(pos) => {
@@ -129,7 +136,7 @@ fn plan_restore(
                         client_map.len()
                     ))
                 })?;
-                if seen_positions.insert(pos, temp).is_some() {
+                if std::mem::replace(&mut seen_positions[pos as usize], true) {
                     return Err(NrmiError::Protocol(format!(
                         "reply annotates old index {pos} twice"
                     )));
@@ -158,7 +165,7 @@ fn plan_restore(
                         original_obj.body().len()
                     )));
                 }
-                modified_to_original.insert(temp, original);
+                modified_to_original.insert(temp, original.index());
                 modified_old.push((temp, original));
             }
             None => new_objects.push(temp),
@@ -178,22 +185,16 @@ fn commit_restore(
     decoded: &DecodedGraph,
     plan: RestorePlan,
 ) -> Result<RestoreOutcome, NrmiError> {
-    let RestorePlan {
-        modified_to_original,
-        modified_old,
-        new_objects,
-    } = plan;
-
     // Step 5: overwrite each original with its modified version's data,
     // converting pointers to modified-old objects into pointers to the
     // corresponding originals. Pointers to new objects pass through
     // untouched — the new objects live in the caller's heap already.
-    for &(temp, original) in &modified_old {
+    for &(temp, original) in &plan.modified_old {
         let slots: Vec<Value> = heap
             .slots_of(temp)?
             .into_iter()
             .map(|v| match v {
-                Value::Ref(id) => Value::Ref(*modified_to_original.get(&id).unwrap_or(&id)),
+                Value::Ref(id) => Value::Ref(plan.original_of(id).unwrap_or(id)),
                 other => other,
             })
             .collect();
@@ -202,8 +203,8 @@ fn commit_restore(
 
     // Step 6: new objects' pointers to modified-old objects become
     // pointers to the originals.
-    for &temp in &new_objects {
-        heap.rewrite_refs(temp, &modified_to_original)?;
+    for &temp in &plan.new_objects {
+        heap.rewrite_refs_with(temp, |id| plan.original_of(id))?;
     }
 
     // Translate the reply roots the same way.
@@ -211,21 +212,21 @@ fn commit_restore(
         .roots
         .iter()
         .map(|v| match v {
-            Value::Ref(id) => Value::Ref(*modified_to_original.get(id).unwrap_or(id)),
+            Value::Ref(id) => Value::Ref(plan.original_of(*id).unwrap_or(*id)),
             other => other.clone(),
         })
         .collect();
 
     // Figure 7: deallocate the modified versions.
-    for &(temp, _) in &modified_old {
+    for &(temp, _) in &plan.modified_old {
         heap.free(temp)?;
     }
 
     Ok(RestoreOutcome {
         roots,
         stats: RestoreStats {
-            old_objects: modified_old.len(),
-            new_objects: new_objects.len(),
+            old_objects: plan.modified_old.len(),
+            new_objects: plan.new_objects.len(),
         },
     })
 }
@@ -234,7 +235,7 @@ fn commit_restore(
 mod tests {
     use super::*;
     use nrmi_heap::tree::{self, TreeClasses};
-    use nrmi_heap::{ClassRegistry, HeapAccess, HeapSnapshot};
+    use nrmi_heap::{ClassRegistry, DensePositionMap, HeapAccess, HeapSnapshot};
     use nrmi_wire::{deserialize_graph, serialize_graph, serialize_graph_with};
 
     fn setup() -> (Heap, TreeClasses) {
@@ -265,13 +266,14 @@ mod tests {
 
         // Step 3: reply = every old object (by linear map) as roots, with
         // old-index annotations.
-        let old_index: HashMap<ObjId, u32> = server_map.iter().map(|(pos, id)| (id, pos)).collect();
         let reply_roots: Vec<Value> = server_map
             .order()
             .iter()
             .map(|&id| Value::Ref(id))
             .collect();
-        let reply = serialize_graph_with(&server, &reply_roots, Some(&old_index), None).unwrap();
+        let reply =
+            serialize_graph_with(&server, &reply_roots, Some(server_map.position_map()), None)
+                .unwrap();
 
         // Steps 4-6 on the client.
         let decoded = deserialize_graph(&reply.bytes, client).unwrap();
@@ -369,11 +371,12 @@ mod tests {
         let decoded_req = deserialize_graph(&request.bytes, &mut server).unwrap();
         let server_root = decoded_req.roots[0].as_ref_id().unwrap();
         let server_map = LinearMap::build(&server, &[server_root]).unwrap();
-        let old_index: HashMap<ObjId, u32> = server_map.iter().map(|(pos, id)| (id, pos)).collect();
         // Reply: [return value = the root itself] ++ linear map.
         let mut reply_roots = vec![Value::Ref(server_root)];
         reply_roots.extend(server_map.order().iter().map(|&id| Value::Ref(id)));
-        let reply = serialize_graph_with(&server, &reply_roots, Some(&old_index), None).unwrap();
+        let reply =
+            serialize_graph_with(&server, &reply_roots, Some(server_map.position_map()), None)
+                .unwrap();
         let decoded = deserialize_graph(&reply.bytes, &mut client).unwrap();
         let outcome = apply_restore(&mut client, &client_map, &decoded).unwrap();
         assert_eq!(
@@ -393,7 +396,8 @@ mod tests {
         let request = serialize_graph(&client, &[Value::Ref(root)]).unwrap();
         let decoded_req = deserialize_graph(&request.bytes, &mut server).unwrap();
         let server_root = decoded_req.roots[0].as_ref_id().unwrap();
-        let bogus: HashMap<ObjId, u32> = [(server_root, 99u32)].into_iter().collect();
+        let mut bogus = DensePositionMap::new();
+        bogus.insert(server_root, 99);
         let reply =
             serialize_graph_with(&server, &[Value::Ref(server_root)], Some(&bogus), None).unwrap();
         let before = HeapSnapshot::capture(&client);
@@ -443,7 +447,9 @@ mod tests {
         // a duplicate position AND a class mismatch. Before restore was
         // transactional, entry 0 was overwritten before the corruption at
         // entry 1 was discovered.
-        let corrupt: HashMap<ObjId, u32> = [(s_node, 0u32), (s_tag, 0u32)].into_iter().collect();
+        let mut corrupt = DensePositionMap::new();
+        corrupt.insert(s_node, 0);
+        corrupt.insert(s_tag, 0);
         let reply = serialize_graph_with(
             &server,
             &[Value::Ref(s_node), Value::Ref(s_tag)],
@@ -495,7 +501,9 @@ mod tests {
         server.set_field(s_node, "data", Value::Int(6)).unwrap();
 
         // Swapped annotations: each entry claims the OTHER's old index.
-        let swapped: HashMap<ObjId, u32> = [(s_node, 1u32), (s_tag, 0u32)].into_iter().collect();
+        let mut swapped = DensePositionMap::new();
+        swapped.insert(s_node, 1);
+        swapped.insert(s_tag, 0);
         let reply = serialize_graph_with(
             &server,
             &[Value::Ref(s_node), Value::Ref(s_tag)],
@@ -535,7 +543,8 @@ mod tests {
         server.set_field(s_left, "data", Value::Int(200)).unwrap();
         // ...but the reply only ships the ROOT (as if left had become
         // parameter-unreachable under DCE rules).
-        let old_index: HashMap<ObjId, u32> = [(server_root, 0u32)].into_iter().collect();
+        let mut old_index = DensePositionMap::new();
+        old_index.insert(server_root, 0);
         // Note: serializing the root would drag children along; detach
         // them first to model a minimal partial reply.
         server.set_field(server_root, "left", Value::Null).unwrap();

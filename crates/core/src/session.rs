@@ -9,9 +9,7 @@
 
 use std::thread::JoinHandle;
 
-use std::collections::HashSet;
-
-use nrmi_heap::{Heap, LinearMap, ObjId, SharedRegistry, Value};
+use nrmi_heap::{DenseObjSet, Heap, LinearMap, ObjId, SharedRegistry, Value};
 use nrmi_transport::{
     channel_pair, ChannelTransport, Frame, LinkSpec, MachineSpec, SimEnv, TcpListenerTransport,
     TcpTransport, Transport,
@@ -441,16 +439,15 @@ impl Session {
         // Objects the PEER holds references to must survive local GC.
         let mut gc_roots: Vec<ObjId> = roots.to_vec();
         gc_roots.extend(state.exports.roots());
-        let reachable: HashSet<ObjId> = LinearMap::build(&state.heap, &gc_roots)?
-            .order()
-            .iter()
-            .copied()
-            .collect();
+        let mut reachable = DenseObjSet::new();
+        for &id in LinearMap::build(&state.heap, &gc_roots)?.order() {
+            reachable.insert(id);
+        }
         // Unreachable stubs: release the peer's export before freeing.
         let doomed: Vec<(u64, ObjId)> = state
             .stubs
             .iter()
-            .filter(|(_, stub)| !reachable.contains(stub))
+            .filter(|(_, stub)| !reachable.contains(**stub))
             .map(|(&key, &stub)| (key, stub))
             .collect();
         let mut cleans = 0;

@@ -36,15 +36,14 @@
 
 use std::collections::HashMap;
 
-use nrmi_heap::{ClassId, Heap, LinearMap, ObjId, Value};
+use nrmi_heap::{ClassId, DensePositionMap, Heap, LinearMap, ObjId, Value};
 use nrmi_transport::{Frame, Transport};
 use nrmi_wire::{
-    apply_delta, apply_request_delta, deserialize_graph_with, encode_delta, encode_request_delta,
-    next_sync, serialize_graph_with, GraphSnapshot,
+    apply_delta, apply_request_delta, deserialize_graph_with, next_sync, GraphSnapshot,
 };
 
 use crate::error::NrmiError;
-use crate::node::{ClientNode, NodeHooks, ServerNode};
+use crate::node::{ClientNode, NodeHooks, NodeState, ServerNode};
 use crate::protocol::{client_invoke_with_stats, restore_roots_of, CallStats};
 use crate::proxy::{handle_callback, RemoteHeapProxy};
 use crate::restore::apply_restore;
@@ -182,19 +181,20 @@ fn warm_call(
 ) -> Result<Option<(Value, CallStats)>, NrmiError> {
     let opts = CallOptions::copy_restore_delta();
     let mut stats = CallStats::default();
-    let cache = client.warm.caches.get(service).expect("checked by caller");
+    let ClientNode { state, warm } = client;
+    let cache = warm.caches.get(service).expect("checked by caller");
     let (cache_id, generation, last_epoch) = (cache.cache_id, cache.generation, cache.last_epoch);
-    let sync_records = cache.sync.clone();
-    let cost = client.state.profile.cost();
+    let cost = state.profile.cost();
 
     // Classify every synchronized position: freed (gone, or its slot
     // recycled for a different class) or dirty (mutated since the last
-    // reply was applied).
-    let heap = &client.state.heap;
-    let mut sync_ids = Vec::with_capacity(sync_records.len());
+    // reply was applied). The sync list is read in place — the cache
+    // borrow and the heap borrow are disjoint fields of the client.
+    let heap = &state.heap;
+    let mut sync_ids = Vec::with_capacity(cache.sync.len());
     let mut freed = Vec::new();
     let mut dirty = Vec::new();
-    for (pos, &(id, class)) in sync_records.iter().enumerate() {
+    for (pos, &(id, class)) in cache.sync.iter().enumerate() {
         sync_ids.push(id);
         if !heap.contains(id) || heap.get(id)?.class() != class {
             freed.push(pos as u32);
@@ -203,7 +203,11 @@ fn warm_call(
         }
     }
 
-    let enc = match encode_request_delta(heap, &sync_ids, &freed, &dirty, args) {
+    let encoded = {
+        let NodeState { heap, codec, .. } = &mut *state;
+        codec.encode_request_delta(heap, &sync_ids, &freed, &dirty, args)
+    };
+    let enc = match encoded {
         Ok(enc) => enc,
         Err(nrmi_wire::WireError::NotSerializable { .. })
         | Err(nrmi_wire::WireError::RemoteWithoutHooks { .. }) => {
@@ -310,8 +314,15 @@ fn seed_call(
     let registry = state.heap.registry_handle().clone();
     let restore_roots = restore_roots_of(&registry, &state.heap, opts, args)?;
     let client_map = LinearMap::build(&state.heap, &restore_roots)?;
-    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
-    let enc = serialize_graph_with(&state.heap, args, None, Some(&mut hooks))?;
+    let NodeState {
+        heap,
+        exports,
+        stubs,
+        codec,
+        ..
+    } = &mut *state;
+    let mut hooks = NodeHooks::new(exports, stubs);
+    let enc = codec.encode_graph(heap, args, None, Some(&mut hooks))?;
     stats.request_objects = enc.object_count();
     stats.request_bytes = enc.byte_len();
     state.charge_cpu(
@@ -418,6 +429,9 @@ struct ServerWarmEntry {
     /// Heap epoch when the entry was last (re)validated; a synchronized
     /// object stamped above this has been mutated out-of-band.
     valid_since: u64,
+    /// Pooled pre-call snapshot storage, recaptured per warm call so the
+    /// per-object slot buffers are reused instead of reallocated.
+    snapshot: GraphSnapshot,
 }
 
 /// The warm caches of one server connection. Each connection owns its
@@ -565,7 +579,11 @@ fn server_seed_call(
         svc.invoke(method, &args, &mut proxy)?
     };
 
-    match encode_delta(&state.heap, &snapshot, std::slice::from_ref(&ret)) {
+    let outcome = {
+        let NodeState { heap, codec, .. } = &mut *state;
+        codec.encode_reply_delta(heap, &snapshot, std::slice::from_ref(&ret))
+    };
+    match outcome {
         Ok(delta) => {
             state.charge_cpu(
                 (delta.stats.changed_count + delta.stats.new_count) as f64 * cost.ser_per_obj_us
@@ -579,6 +597,8 @@ fn server_seed_call(
                     generation: 1,
                     sync,
                     valid_since: state.heap.epoch(),
+                    // The seed's snapshot storage seeds the entry's pool.
+                    snapshot,
                 },
             );
             Ok(Frame::CallReply {
@@ -605,7 +625,7 @@ fn server_warm_call(
     service: &str,
     method: &str,
     cache_id: u64,
-    entry: ServerWarmEntry,
+    mut entry: ServerWarmEntry,
     payload: &[u8],
 ) -> Result<Frame, NrmiError> {
     let ServerNode {
@@ -625,7 +645,9 @@ fn server_warm_call(
             + payload.len() as f64 * cost.per_byte_us,
     );
     let sync2 = next_sync(&entry.sync, &applied.freed_positions, &applied.new_objects);
-    let snapshot = GraphSnapshot::capture(&state.heap, &sync2)?;
+    // Recapture into the entry's pooled snapshot: in steady state this
+    // reuses every per-object slot buffer from the previous call.
+    entry.snapshot.recapture(&state.heap, &sync2)?;
     let args = applied.roots;
 
     let ret = {
@@ -633,7 +655,11 @@ fn server_warm_call(
         svc.invoke(method, &args, &mut proxy)?
     };
 
-    match encode_delta(&state.heap, &snapshot, std::slice::from_ref(&ret)) {
+    let outcome = {
+        let NodeState { heap, codec, .. } = &mut *state;
+        codec.encode_reply_delta(heap, &entry.snapshot, std::slice::from_ref(&ret))
+    };
+    match outcome {
         Ok(delta) => {
             state.charge_cpu(
                 (delta.stats.changed_count + delta.stats.new_count) as f64 * cost.ser_per_obj_us
@@ -647,6 +673,7 @@ fn server_warm_call(
                     generation: entry.generation + 1,
                     sync,
                     valid_since: state.heap.epoch(),
+                    snapshot: entry.snapshot,
                 },
             );
             Ok(Frame::CallReply {
@@ -668,25 +695,26 @@ fn server_warm_call(
 /// old-index annotations are positions in `sync` — the receiver restores
 /// through `LinearMap::from_order(sync)`.
 fn full_reply_fallback(
-    state: &mut crate::node::NodeState,
+    state: &mut NodeState,
     sync: &[ObjId],
     ret: Value,
 ) -> Result<Frame, NrmiError> {
     let cost = state.profile.cost();
-    let old_index: HashMap<ObjId, u32> = sync
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i as u32))
-        .collect();
+    let mut old_index = DensePositionMap::new();
+    for (i, &id) in sync.iter().enumerate() {
+        old_index.insert(id, i as u32);
+    }
     let mut reply_roots = vec![ret];
     reply_roots.extend(sync.iter().map(|&id| Value::Ref(id)));
-    let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
-    let enc = serialize_graph_with(
-        &state.heap,
-        &reply_roots,
-        Some(&old_index),
-        Some(&mut hooks),
-    )?;
+    let NodeState {
+        heap,
+        exports,
+        stubs,
+        codec,
+        ..
+    } = &mut *state;
+    let mut hooks = NodeHooks::new(exports, stubs);
+    let enc = codec.encode_graph(heap, &reply_roots, Some(&old_index), Some(&mut hooks))?;
     state.charge_cpu(
         enc.object_count() as f64 * cost.ser_per_obj_us + enc.byte_len() as f64 * cost.per_byte_us,
     );

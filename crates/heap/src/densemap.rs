@@ -1,0 +1,249 @@
+//! Dense, generation-stamped object-id maps and sets.
+//!
+//! [`ObjId`]s are small dense arena indices ([`ObjId::index`]), so the
+//! `HashMap<ObjId, _>` tables the marshalling hot path used to rebuild on
+//! every call (linear-map positions, delta old/new indices, restore
+//! matching) can instead be flat `Vec`s indexed by id. Two properties
+//! make that safe and fast:
+//!
+//! * **generation stamps** — each entry records the map generation that
+//!   wrote it, so [`DenseIdMap::clear`] is O(1) (bump the generation) and
+//!   a pooled map can be reused call after call without touching, or
+//!   re-zeroing, its backing storage;
+//! * **arena density** — the heap recycles freed slots, so the vector
+//!   never grows past the arena's high-water mark
+//!   ([`Heap::slot_limit`](crate::Heap::slot_limit)).
+//!
+//! [`DenseObjSet`] is the companion bitset (1 bit per arena slot) used by
+//! reachability and mark-sweep instead of `HashSet<ObjId>`.
+
+use crate::value::ObjId;
+
+/// A map from [`ObjId`] to a small copyable value, stored densely by
+/// arena index with O(1) insert, lookup, and clear.
+///
+/// Cleared maps keep their backing storage; a pooled instance reaches a
+/// steady state where no call allocates. Presence is tracked by a
+/// per-entry generation stamp, not by value, so any `T` (including zero)
+/// round-trips faithfully.
+#[derive(Clone, Debug)]
+pub struct DenseIdMap<T> {
+    /// `(generation, value)` per arena slot; a stale generation means
+    /// "absent".
+    entries: Vec<(u32, T)>,
+    generation: u32,
+}
+
+impl<T: Copy + Default> Default for DenseIdMap<T> {
+    fn default() -> Self {
+        DenseIdMap {
+            entries: Vec::new(),
+            // Starts at 1 so freshly grown entries (stamped 0) read as
+            // absent.
+            generation: 1,
+        }
+    }
+}
+
+impl<T: Copy + Default> DenseIdMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        DenseIdMap::default()
+    }
+
+    /// Creates an empty map with room for arena indices `< limit`
+    /// without growing (see [`Heap::slot_limit`](crate::Heap::slot_limit)).
+    pub fn with_capacity(limit: usize) -> Self {
+        let mut map = DenseIdMap::default();
+        map.entries.resize(limit, (0, T::default()));
+        map
+    }
+
+    /// Empties the map in O(1), keeping the backing storage.
+    pub fn clear(&mut self) {
+        if self.generation == u32::MAX {
+            // Stamp wrap: fall back to a real reset (once per 2^32
+            // clears).
+            self.entries.clear();
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+
+    /// Inserts or overwrites the value for `id`.
+    pub fn insert(&mut self, id: ObjId, value: T) {
+        let i = id.index() as usize;
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, (0, T::default()));
+        }
+        self.entries[i] = (self.generation, value);
+    }
+
+    /// Inserts `value` only if `id` is absent; returns true if inserted.
+    /// (The dense analogue of `entry(id).or_insert(value)`.)
+    pub fn insert_if_absent(&mut self, id: ObjId, value: T) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        self.insert(id, value);
+        true
+    }
+
+    /// The value for `id`, if present.
+    pub fn get(&self, id: ObjId) -> Option<T> {
+        self.entries
+            .get(id.index() as usize)
+            .filter(|e| e.0 == self.generation)
+            .map(|e| e.1)
+    }
+
+    /// True if `id` has a value.
+    pub fn contains(&self, id: ObjId) -> bool {
+        self.get(id).is_some()
+    }
+}
+
+/// The position table used throughout marshalling: object → `u32` index
+/// in some linear order.
+pub type DensePositionMap = DenseIdMap<u32>;
+
+/// A dense bitset of [`ObjId`]s (1 bit per arena slot).
+///
+/// The replacement for `HashSet<ObjId>` in reachability and mark-sweep:
+/// membership is one shift and mask, and `clear` keeps the storage.
+#[derive(Clone, Debug, Default)]
+pub struct DenseObjSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseObjSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        DenseObjSet::default()
+    }
+
+    /// Creates an empty set with room for arena indices `< limit`.
+    pub fn with_capacity(limit: usize) -> Self {
+        DenseObjSet {
+            words: vec![0; limit.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Empties the set, keeping the backing storage.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Adds `id`; returns true if it was newly inserted.
+    pub fn insert(&mut self, id: ObjId) -> bool {
+        let i = id.index() as usize;
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let fresh = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// True if `id` is in the set.
+    pub fn contains(&self, id: ObjId) -> bool {
+        let i = id.index() as usize;
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the ids in ascending arena order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64)
+                .filter(move |b| bits & (1 << b) != 0)
+                .map(move |b| ObjId::from_index((w * 64 + b) as u32))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> ObjId {
+        ObjId::from_index(i)
+    }
+
+    #[test]
+    fn map_insert_get_contains() {
+        let mut m = DensePositionMap::new();
+        assert_eq!(m.get(id(3)), None);
+        m.insert(id(3), 7);
+        m.insert(id(0), 0);
+        assert_eq!(m.get(id(3)), Some(7));
+        assert_eq!(m.get(id(0)), Some(0), "zero values are present");
+        assert!(!m.contains(id(1)), "grown gap entries read as absent");
+        m.insert(id(3), 9);
+        assert_eq!(m.get(id(3)), Some(9), "insert overwrites");
+    }
+
+    #[test]
+    fn map_clear_is_generational() {
+        let mut m = DenseIdMap::<u32>::with_capacity(8);
+        m.insert(id(2), 5);
+        m.clear();
+        assert_eq!(m.get(id(2)), None, "cleared entries are absent");
+        m.insert(id(4), 1);
+        assert_eq!(m.get(id(4)), Some(1));
+        assert_eq!(m.get(id(2)), None, "stale stamp from old generation");
+    }
+
+    #[test]
+    fn map_insert_if_absent_keeps_first() {
+        let mut m = DensePositionMap::new();
+        assert!(m.insert_if_absent(id(1), 10));
+        assert!(!m.insert_if_absent(id(1), 20));
+        assert_eq!(m.get(id(1)), Some(10));
+    }
+
+    #[test]
+    fn map_generation_wrap_resets_storage() {
+        let mut m = DensePositionMap::new();
+        m.insert(id(0), 1);
+        m.generation = u32::MAX;
+        m.clear();
+        assert_eq!(m.get(id(0)), None);
+        m.insert(id(0), 2);
+        assert_eq!(m.get(id(0)), Some(2));
+    }
+
+    #[test]
+    fn set_insert_contains_len() {
+        let mut s = DenseObjSet::with_capacity(4);
+        assert!(s.is_empty());
+        assert!(s.insert(id(3)));
+        assert!(s.insert(id(200)), "grows past capacity hint");
+        assert!(!s.insert(id(3)), "duplicate insert reports false");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(id(3)));
+        assert!(s.contains(id(200)));
+        assert!(!s.contains(id(64)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![id(3), id(200)]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(id(3)));
+    }
+}

@@ -12,28 +12,26 @@
 //!   failure mode honestly: it reclaims acyclic garbage promptly and
 //!   leaks cycles.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use crate::heap_impl::Heap;
-use crate::traverse::LinearMap;
+use crate::traverse::{reachable_set, LinearMap};
 use crate::value::ObjId;
 use crate::Result;
 
 /// Runs a mark-sweep collection over `heap`, treating `roots` as the root
-/// set. Returns the number of objects freed.
+/// set. The mark bitmap is a dense bitset (one bit per arena slot), so
+/// marking does no hashing and no per-object allocation. Returns the
+/// number of objects freed.
 ///
 /// # Errors
 /// Propagates dangling-reference errors (a root that was already freed).
 pub fn mark_sweep(heap: &mut Heap, roots: &[ObjId]) -> Result<usize> {
-    let marked: HashSet<ObjId> = LinearMap::build(heap, roots)?
-        .order()
-        .iter()
-        .copied()
-        .collect();
+    let marked = reachable_set(heap, roots)?;
     let all: Vec<ObjId> = heap.iter().map(|(id, _)| id).collect();
     let mut freed = 0;
     for id in all {
-        if !marked.contains(&id) {
+        if !marked.contains(id) {
             heap.free(id)?;
             freed += 1;
         }

@@ -197,6 +197,13 @@ impl Heap {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Exclusive upper bound on every live [`ObjId::index`]: the arena's
+    /// high-water mark. Sizes dense id-indexed structures
+    /// ([`crate::densemap`]) so they never grow mid-traversal.
+    pub fn slot_limit(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Iterates over `(id, object)` pairs for all live objects, in slot
     /// order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjId, &Object)> {
@@ -392,6 +399,20 @@ impl Heap {
         Ok(self.get(id)?.body().slots().to_vec())
     }
 
+    /// Clones the slots of `id` into `out` (cleared first), reusing
+    /// `out`'s storage — the pooled-snapshot path of [`slots_of`].
+    ///
+    /// [`slots_of`]: Heap::slots_of
+    ///
+    /// # Errors
+    /// [`HeapError::DanglingRef`] if `id` is freed or unallocated.
+    pub fn clone_slots_into(&self, id: ObjId, out: &mut Vec<Value>) -> Result<()> {
+        let slots = self.get(id)?.body().slots();
+        out.clear();
+        out.extend_from_slice(slots);
+        Ok(())
+    }
+
     /// Rewrites every reference slot of `id` through `map`; slots whose
     /// target is absent from `map` are left unchanged. Used by restore
     /// step 6 (pointer conversion new → old).
@@ -403,14 +424,28 @@ impl Heap {
         id: ObjId,
         map: &std::collections::HashMap<ObjId, ObjId>,
     ) -> Result<()> {
+        self.rewrite_refs_with(id, |target| map.get(&target).copied())
+    }
+
+    /// As [`rewrite_refs`](Heap::rewrite_refs), but resolving each
+    /// reference through `lookup` — lets callers translate through dense
+    /// tables without materializing a `HashMap`.
+    ///
+    /// # Errors
+    /// [`HeapError::DanglingRef`].
+    pub fn rewrite_refs_with(
+        &mut self,
+        id: ObjId,
+        lookup: impl Fn(ObjId) -> Option<ObjId>,
+    ) -> Result<()> {
         self.stats.writes += 1;
         let stamp = self.tick();
         let obj = self.get_mut(id)?;
         obj.version = stamp;
         for slot in obj.body.slots_mut() {
             if let Value::Ref(target) = slot {
-                if let Some(new_target) = map.get(target) {
-                    *slot = Value::Ref(*new_target);
+                if let Some(new_target) = lookup(*target) {
+                    *slot = Value::Ref(new_target);
                 }
             }
         }

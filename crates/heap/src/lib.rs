@@ -60,12 +60,15 @@ mod value;
 
 pub mod collections;
 pub mod copy;
+pub mod densemap;
 pub mod gc;
 pub mod graph;
 pub mod snapshot;
 pub mod traverse;
 pub mod tree;
 pub mod validate;
+
+pub use densemap::{DenseIdMap, DenseObjSet, DensePositionMap};
 
 pub use class::{
     ClassBuilder, ClassDescriptor, ClassFlags, ClassId, ClassRegistry, FieldDescriptor, FieldType,
@@ -75,7 +78,7 @@ pub use error::HeapError;
 pub use heap_impl::{Heap, HeapAccess, HeapStats};
 pub use object::{Object, ObjectBody};
 pub use snapshot::{HeapDiff, HeapSnapshot};
-pub use traverse::LinearMap;
+pub use traverse::{LinearMap, TraverseScratch};
 pub use value::{ObjId, Value};
 
 /// Convenient result alias for heap operations.

@@ -10,11 +10,25 @@
 //! convenience: we use preorder depth-first traversal, visiting slots in
 //! declaration order.
 
-use std::collections::HashMap;
-
+use crate::densemap::{DenseObjSet, DensePositionMap};
 use crate::heap_impl::Heap;
-use crate::value::ObjId;
+use crate::value::{ObjId, Value};
 use crate::Result;
+
+/// Reusable working storage for [`LinearMap::build_with`]: the traversal
+/// stack survives across calls, so a pooled instance stops allocating
+/// once it has seen the deepest graph.
+#[derive(Clone, Debug, Default)]
+pub struct TraverseScratch {
+    stack: Vec<ObjId>,
+}
+
+impl TraverseScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        TraverseScratch::default()
+    }
+}
 
 /// All objects reachable from a set of roots, in deterministic traversal
 /// order, with O(1) position lookup.
@@ -22,11 +36,22 @@ use crate::Result;
 /// Position `i` on the client corresponds to position `i` on the server
 /// after marshalling, which is how "old" objects are matched back to their
 /// originals during restore.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Positions live in a [`DensePositionMap`]; two maps compare equal iff
+/// their traversal orders are equal (positions are derived data).
+#[derive(Clone, Debug, Default)]
 pub struct LinearMap {
     order: Vec<ObjId>,
-    position: HashMap<ObjId, u32>,
+    position: DensePositionMap,
 }
+
+impl PartialEq for LinearMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+    }
+}
+
+impl Eq for LinearMap {}
 
 impl LinearMap {
     /// Builds the linear map of everything reachable from `roots` in
@@ -37,28 +62,57 @@ impl LinearMap {
     /// # Errors
     /// Propagates dangling-reference errors from the heap.
     pub fn build(heap: &Heap, roots: &[ObjId]) -> Result<Self> {
-        let mut map = LinearMap::default();
-        let mut stack: Vec<ObjId> = Vec::new();
+        Self::build_with(heap, roots, &mut TraverseScratch::new())
+    }
+
+    /// [`LinearMap::build`] with caller-pooled traversal storage.
+    ///
+    /// # Errors
+    /// As [`LinearMap::build`].
+    pub fn build_with(heap: &Heap, roots: &[ObjId], scratch: &mut TraverseScratch) -> Result<Self> {
+        let mut map = LinearMap {
+            order: Vec::new(),
+            position: DensePositionMap::with_capacity(heap.slot_limit()),
+        };
+        map.rebuild(heap, roots, scratch)?;
+        Ok(map)
+    }
+
+    /// Rebuilds this map in place from `roots`, reusing its own storage
+    /// and the scratch stack — the steady-state path allocates nothing.
+    ///
+    /// # Errors
+    /// As [`LinearMap::build`]; on error the map is left cleared.
+    pub fn rebuild(
+        &mut self,
+        heap: &Heap,
+        roots: &[ObjId],
+        scratch: &mut TraverseScratch,
+    ) -> Result<()> {
+        self.order.clear();
+        self.position.clear();
+        let stack = &mut scratch.stack;
+        stack.clear();
         // Push roots in reverse so they are visited first-root-first.
-        for &root in roots.iter().rev() {
-            stack.push(root);
-        }
+        stack.extend(roots.iter().rev());
         while let Some(id) = stack.pop() {
-            if map.position.contains_key(&id) {
+            if self.position.contains(id) {
                 continue;
             }
             let obj = heap.get(id)?;
-            map.position.insert(id, map.order.len() as u32);
-            map.order.push(id);
-            // Reverse so the first declared field is traversed first.
-            let outgoing: Vec<ObjId> = obj.outgoing_refs().collect();
-            for child in outgoing.into_iter().rev() {
-                if !map.position.contains_key(&child) {
-                    stack.push(child);
+            self.position.insert(id, self.order.len() as u32);
+            self.order.push(id);
+            // Reverse so the first declared field is traversed first
+            // when popped.
+            for slot in obj.body().slots().iter().rev() {
+                if let Value::Ref(child) = *slot {
+                    if !self.position.contains(child) {
+                        stack.push(child);
+                    }
                 }
             }
         }
-        Ok(map)
+        Ok(())
     }
 
     /// Builds an empty map (e.g. for calls with no reference arguments).
@@ -73,9 +127,9 @@ impl LinearMap {
     /// map) run against that maintained order. Duplicate ids keep their
     /// first position.
     pub fn from_order(order: Vec<ObjId>) -> Self {
-        let mut position = HashMap::with_capacity(order.len());
+        let mut position = DensePositionMap::new();
         for (i, &id) in order.iter().enumerate() {
-            position.entry(id).or_insert(i as u32);
+            position.insert_if_absent(id, i as u32);
         }
         LinearMap { order, position }
     }
@@ -87,7 +141,13 @@ impl LinearMap {
 
     /// The traversal position of `id`, if reachable.
     pub fn position_of(&self, id: ObjId) -> Option<u32> {
-        self.position.get(&id).copied()
+        self.position.get(id)
+    }
+
+    /// The dense id → position table backing this map (for marshalling
+    /// code that annotates against "the position in a previous map").
+    pub fn position_map(&self) -> &DensePositionMap {
+        &self.position
     }
 
     /// The object at traversal position `pos`.
@@ -97,7 +157,7 @@ impl LinearMap {
 
     /// True if `id` was reachable from the roots.
     pub fn contains(&self, id: ObjId) -> bool {
-        self.position.contains_key(&id)
+        self.position.contains(id)
     }
 
     /// Number of reachable objects.
@@ -116,17 +176,44 @@ impl LinearMap {
     }
 }
 
-/// Returns the set of objects reachable from `roots` (unordered
-/// convenience wrapper over [`LinearMap::build`]).
+/// Returns the set of objects reachable from `roots` as a dense bitset
+/// (1 bit per arena slot — no hashing, no per-node allocation).
 ///
 /// # Errors
 /// Propagates dangling-reference errors from the heap.
-pub fn reachable_set(heap: &Heap, roots: &[ObjId]) -> Result<std::collections::HashSet<ObjId>> {
-    Ok(LinearMap::build(heap, roots)?
-        .order()
-        .iter()
-        .copied()
-        .collect())
+pub fn reachable_set(heap: &Heap, roots: &[ObjId]) -> Result<DenseObjSet> {
+    let mut set = DenseObjSet::with_capacity(heap.slot_limit());
+    reachable_set_into(heap, roots, &mut set, &mut TraverseScratch::new())?;
+    Ok(set)
+}
+
+/// [`reachable_set`] into caller-pooled storage: `set` is cleared and
+/// refilled, `scratch` provides the traversal stack.
+///
+/// # Errors
+/// Propagates dangling-reference errors from the heap.
+pub fn reachable_set_into(
+    heap: &Heap,
+    roots: &[ObjId],
+    set: &mut DenseObjSet,
+    scratch: &mut TraverseScratch,
+) -> Result<()> {
+    set.clear();
+    let stack = &mut scratch.stack;
+    stack.clear();
+    stack.extend(roots.iter().copied());
+    while let Some(id) = stack.pop() {
+        if !set.insert(id) {
+            continue;
+        }
+        let obj = heap.get(id)?;
+        for child in obj.outgoing_refs() {
+            if !set.contains(child) {
+                stack.push(child);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Counts the objects reachable from `roots`.
@@ -265,7 +352,36 @@ mod tests {
         assert_eq!(set.len(), map.len());
         assert_eq!(reachable_count(&heap, &[root]).unwrap(), map.len());
         for &id in map.order() {
-            assert!(set.contains(&id));
+            assert!(set.contains(id));
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_storage_and_matches_build() {
+        let (mut heap, classes) = setup();
+        let small = tree::build_random_tree(&mut heap, &classes, 8, 3).unwrap();
+        let large = tree::build_random_tree(&mut heap, &classes, 32, 4).unwrap();
+        let mut scratch = TraverseScratch::new();
+        let mut map = LinearMap::build_with(&heap, &[large], &mut scratch).unwrap();
+        assert_eq!(map, LinearMap::build(&heap, &[large]).unwrap());
+        // Rebuild over a different root set: same result as a fresh build.
+        map.rebuild(&heap, &[small], &mut scratch).unwrap();
+        assert_eq!(map, LinearMap::build(&heap, &[small]).unwrap());
+        assert_eq!(map.len(), 8);
+        for (pos, id) in map.iter() {
+            assert_eq!(map.position_of(id), Some(pos));
+        }
+        // Stale entries from the larger build must not leak through.
+        let only_large: Vec<_> = LinearMap::build(&heap, &[large])
+            .unwrap()
+            .order()
+            .iter()
+            .copied()
+            .filter(|id| !map.contains(*id))
+            .collect();
+        assert!(!only_large.is_empty());
+        for id in only_large {
+            assert_eq!(map.position_of(id), None);
         }
     }
 }

@@ -1,0 +1,68 @@
+//! Length-prefixed framing shared by the socket transports.
+//!
+//! A frame travels as a 4-byte big-endian length followed by the encoded
+//! frame body. Both halves are built in one pooled buffer and shipped
+//! with a single `write_all`, so the prefix and body never straddle
+//! separate writes (small frames leave in one packet even without
+//! Nagle's algorithm) and steady-state sends reuse the buffer
+//! allocation. The receive side reuses its buffer the same way.
+
+use std::io::{Read, Write};
+
+use nrmi_wire::ByteWriter;
+
+use crate::message::Frame;
+use crate::tcp::MAX_FRAME;
+use crate::{Result, TransportError};
+
+/// Encodes `[length][frame]` into `buf` (reusing its storage) and ships
+/// it with a single write. The buffer is handed back through `buf` even
+/// when the write fails. Returns the frame body length, for transfer
+/// accounting.
+pub(crate) fn write_frame(
+    stream: &mut impl Write,
+    frame: &Frame,
+    buf: &mut Vec<u8>,
+) -> Result<usize> {
+    let mut w = ByteWriter::with_buffer(std::mem::take(buf));
+    w.put_slice(&[0u8; 4]);
+    frame.encode_into(&mut w);
+    let mut bytes = w.into_bytes();
+    let body_len = bytes.len() - 4;
+    bytes[..4].copy_from_slice(&(body_len as u32).to_be_bytes());
+    let outcome = stream.write_all(&bytes).and_then(|()| stream.flush());
+    *buf = bytes;
+    outcome?;
+    Ok(body_len)
+}
+
+/// Reads one `[length][frame]` message, reusing `buf` as the receive
+/// buffer. EOF at a frame boundary reports
+/// [`TransportError::Disconnected`].
+pub(crate) fn read_frame(stream: &mut impl Read, buf: &mut Vec<u8>) -> Result<Frame> {
+    let mut len_buf = [0u8; 4];
+    if let Err(e) = stream.read_exact(&mut len_buf) {
+        return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TransportError::Disconnected
+        } else {
+            TransportError::Io(e)
+        });
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(TransportError::FrameTooLarge {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    stream.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TransportError::Disconnected
+        } else {
+            TransportError::Io(e)
+        }
+    })?;
+    Frame::decode(buf)
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod framed;
 
 pub mod endpoint;
 pub mod fault;

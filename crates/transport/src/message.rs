@@ -331,6 +331,14 @@ impl Frame {
     /// Encodes the frame to bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encodes the frame into `w`, appended after whatever `w` already
+    /// holds. Socket transports use this to build `[length][frame]` in
+    /// one reusable buffer and ship it with a single write.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
         match self {
             Frame::CallRequest {
                 service,
@@ -384,7 +392,7 @@ impl Frame {
                 w.put_u8(F_SET_FIELD);
                 w.put_varint(*key);
                 w.put_varint(u64::from(*field));
-                value.encode(&mut w);
+                value.encode(w);
             }
             Frame::GetElement { key, index } => {
                 w.put_u8(F_GET_ELEMENT);
@@ -395,7 +403,7 @@ impl Frame {
                 w.put_u8(F_SET_ELEMENT);
                 w.put_varint(*key);
                 w.put_varint(u64::from(*index));
-                value.encode(&mut w);
+                value.encode(w);
             }
             Frame::SlotCount { key } => {
                 w.put_u8(F_SLOT_COUNT);
@@ -407,7 +415,7 @@ impl Frame {
             }
             Frame::ValueReply(v) => {
                 w.put_u8(F_VALUE_REPLY);
-                v.encode(&mut w);
+                v.encode(w);
             }
             Frame::CountReply(n) => {
                 w.put_u8(F_COUNT_REPLY);
@@ -450,7 +458,6 @@ impl Frame {
                 w.put_varint(*cache_id);
             }
         }
-        w.into_bytes()
     }
 
     /// Decodes a frame from bytes.

@@ -6,11 +6,11 @@
 //! machines. Framing is a 4-byte big-endian length followed by the
 //! encoded frame; a size cap guards against corrupt peers.
 
-use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::endpoint::Transport;
+use crate::framed;
 use crate::message::Frame;
 use crate::simnet::{LinkSpec, SimEnv};
 use crate::{Result, TransportError};
@@ -24,6 +24,8 @@ pub struct TcpTransport {
     stream: TcpStream,
     env: Option<SimEnv>,
     link: LinkSpec,
+    send_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -46,6 +48,8 @@ impl TcpTransport {
             stream,
             env: None,
             link: LinkSpec::free(),
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
         })
     }
 
@@ -59,6 +63,8 @@ impl TcpTransport {
             stream,
             env: None,
             link: LinkSpec::free(),
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
         })
     }
 
@@ -73,14 +79,10 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&mut self, frame: &Frame) -> Result<()> {
-        let bytes = frame.encode();
+        let body_len = framed::write_frame(&mut self.stream, frame, &mut self.send_buf)?;
         if let Some(env) = &self.env {
-            env.charge_transfer(&self.link, bytes.len());
+            env.charge_transfer(&self.link, body_len);
         }
-        let len = (bytes.len() as u32).to_be_bytes();
-        self.stream.write_all(&len)?;
-        self.stream.write_all(&bytes)?;
-        self.stream.flush()?;
         Ok(())
     }
 
@@ -107,30 +109,7 @@ impl Transport for TcpTransport {
 
 impl TcpTransport {
     fn recv_inner(&mut self) -> Result<Frame> {
-        let mut len_buf = [0u8; 4];
-        if let Err(e) = self.stream.read_exact(&mut len_buf) {
-            return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                TransportError::Disconnected
-            } else {
-                TransportError::Io(e)
-            });
-        }
-        let len = u32::from_be_bytes(len_buf) as usize;
-        if len > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge {
-                len,
-                max: MAX_FRAME,
-            });
-        }
-        let mut buf = vec![0u8; len];
-        self.stream.read_exact(&mut buf).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                TransportError::Disconnected
-            } else {
-                TransportError::Io(e)
-            }
-        })?;
-        Frame::decode(&buf)
+        framed::read_frame(&mut self.stream, &mut self.recv_buf)
     }
 }
 

@@ -4,19 +4,20 @@
 
 #![cfg(unix)]
 
-use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::time::Duration;
 
 use crate::endpoint::Transport;
+use crate::framed;
 use crate::message::Frame;
-use crate::tcp::MAX_FRAME;
 use crate::{Result, TransportError};
 
 /// A connected Unix-domain-socket frame transport.
 pub struct UdsTransport {
     stream: UnixStream,
+    send_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for UdsTransport {
@@ -33,49 +34,28 @@ impl UdsTransport {
     pub fn connect(path: impl AsRef<Path>) -> Result<Self> {
         Ok(UdsTransport {
             stream: UnixStream::connect(path)?,
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
         })
     }
 
     /// Wraps an accepted stream.
     pub fn from_stream(stream: UnixStream) -> Self {
-        UdsTransport { stream }
+        UdsTransport {
+            stream,
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
+        }
     }
 
     fn recv_inner(&mut self) -> Result<Frame> {
-        let mut len_buf = [0u8; 4];
-        if let Err(e) = self.stream.read_exact(&mut len_buf) {
-            return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                TransportError::Disconnected
-            } else {
-                TransportError::Io(e)
-            });
-        }
-        let len = u32::from_be_bytes(len_buf) as usize;
-        if len > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge {
-                len,
-                max: MAX_FRAME,
-            });
-        }
-        let mut buf = vec![0u8; len];
-        self.stream.read_exact(&mut buf).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                TransportError::Disconnected
-            } else {
-                TransportError::Io(e)
-            }
-        })?;
-        Frame::decode(&buf)
+        framed::read_frame(&mut self.stream, &mut self.recv_buf)
     }
 }
 
 impl Transport for UdsTransport {
     fn send(&mut self, frame: &Frame) -> Result<()> {
-        let bytes = frame.encode();
-        let len = (bytes.len() as u32).to_be_bytes();
-        self.stream.write_all(&len)?;
-        self.stream.write_all(&bytes)?;
-        self.stream.flush()?;
+        framed::write_frame(&mut self.stream, frame, &mut self.send_buf)?;
         Ok(())
     }
 

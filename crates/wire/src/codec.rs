@@ -1,0 +1,268 @@
+//! A reusable encoding scratch: the [`Codec`].
+//!
+//! Every encoder in this crate needs the same working state — a
+//! position map from objects to traversal indices, a second map for
+//! delta-shipped new objects, and a growable payload buffer. Building
+//! those fresh per call is exactly the allocation churn the hot path
+//! does not want: the position maps are sized by the arena and the
+//! buffer by the payload, both of which are stable across the calls of
+//! a session.
+//!
+//! A [`Codec`] owns that state and lends it to the encoders. Position
+//! maps are generation-stamped ([`DensePositionMap`]), so "clearing"
+//! them between calls is a counter bump; payload buffers come from a
+//! small recycle pool fed by [`Codec::recycle`]. In steady state an
+//! encode touches no allocator at all for its bookkeeping — the only
+//! allocation left is the payload `Vec` itself when the pool is empty.
+//!
+//! The codec is *transparent*: each `encode_*` method runs the same
+//! code path as the corresponding free function and produces
+//! byte-identical output (the differential tests below pin this down).
+
+use nrmi_heap::{DensePositionMap, Heap, ObjId, Value};
+
+use crate::delta::{self, EncodedDelta, GraphSnapshot};
+use crate::ser::{EncodedGraph, RemoteHooks, Serializer};
+use crate::warm::{self, EncodedRequestDelta};
+use crate::Result;
+
+/// Payload buffers kept in the recycle pool beyond which [`Codec::recycle`]
+/// drops its argument instead of retaining it.
+const MAX_POOLED_BUFFERS: usize = 8;
+
+/// Reusable encoder scratch: dense position maps plus a payload-buffer
+/// pool. See the [module docs](self) for the design.
+#[derive(Debug, Default)]
+pub struct Codec {
+    /// Traversal-position map for full graph encodes.
+    graph_positions: DensePositionMap,
+    /// Old-object position map for (request and reply) delta encodes.
+    delta_old: DensePositionMap,
+    /// New-object position map for delta encodes.
+    delta_new: DensePositionMap,
+    /// Recycled payload buffers (cleared, capacity retained).
+    buffers: Vec<Vec<u8>>,
+}
+
+impl Codec {
+    /// Creates a codec with empty scratch; storage grows on first use
+    /// and is retained afterwards.
+    pub fn new() -> Self {
+        Codec::default()
+    }
+
+    /// Returns a finished payload buffer to the pool so a later encode
+    /// can reuse its allocation. Callers that keep payloads alive (e.g.
+    /// cached seed requests) simply skip this.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.buffers.len() < MAX_POOLED_BUFFERS && buf.capacity() > 0 {
+            buf.clear();
+            self.buffers.push(buf);
+        }
+    }
+
+    fn take_buf(&mut self) -> Vec<u8> {
+        self.buffers.pop().unwrap_or_default()
+    }
+
+    /// As [`serialize_graph_with`](crate::ser::serialize_graph_with),
+    /// reusing this codec's scratch. Byte-identical to the free
+    /// function.
+    ///
+    /// # Errors
+    /// See [`Serializer::encode_roots`].
+    pub fn encode_graph<'a>(
+        &mut self,
+        heap: &'a Heap,
+        roots: &'a [Value],
+        old_index: Option<&DensePositionMap>,
+        hooks: Option<&mut dyn RemoteHooks>,
+    ) -> Result<EncodedGraph> {
+        let ser = Serializer::with_scratch(
+            heap,
+            old_index,
+            hooks,
+            std::mem::take(&mut self.graph_positions),
+            self.take_buf(),
+        );
+        let (enc, positions) = ser.encode_roots_reclaim(roots)?;
+        self.graph_positions = positions;
+        Ok(enc)
+    }
+
+    /// As [`encode_delta`](crate::delta::encode_delta), reusing this
+    /// codec's scratch. Byte-identical to the free function.
+    ///
+    /// # Errors
+    /// See [`encode_delta`](crate::delta::encode_delta).
+    pub fn encode_reply_delta(
+        &mut self,
+        heap: &Heap,
+        snapshot: &GraphSnapshot,
+        roots: &[Value],
+    ) -> Result<EncodedDelta> {
+        let (delta, old, new) = delta::encode_delta_pooled(
+            heap,
+            snapshot,
+            roots,
+            std::mem::take(&mut self.delta_old),
+            std::mem::take(&mut self.delta_new),
+            self.take_buf(),
+        )?;
+        self.delta_old = old;
+        self.delta_new = new;
+        Ok(delta)
+    }
+
+    /// As [`encode_request_delta`](crate::warm::encode_request_delta),
+    /// reusing this codec's scratch. Byte-identical to the free
+    /// function.
+    ///
+    /// # Errors
+    /// See [`encode_request_delta`](crate::warm::encode_request_delta).
+    pub fn encode_request_delta(
+        &mut self,
+        heap: &Heap,
+        sync: &[ObjId],
+        freed: &[u32],
+        dirty: &[u32],
+        roots: &[Value],
+    ) -> Result<EncodedRequestDelta> {
+        let (delta, old, new) = warm::encode_request_delta_pooled(
+            heap,
+            sync,
+            freed,
+            dirty,
+            roots,
+            std::mem::take(&mut self.delta_old),
+            std::mem::take(&mut self.delta_new),
+            self.take_buf(),
+        )?;
+        self.delta_old = old;
+        self.delta_new = new;
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{encode_delta, DELTA_MAGIC};
+    use crate::deserialize_graph;
+    use crate::ser::{serialize_graph, serialize_graph_with};
+    use crate::warm::{encode_request_delta, REQUEST_DELTA_MAGIC};
+    use nrmi_heap::tree::{self, TreeClasses};
+    use nrmi_heap::{ClassRegistry, HeapAccess, LinearMap};
+
+    fn setup() -> (Heap, TreeClasses) {
+        let mut reg = ClassRegistry::new();
+        let classes = tree::register_tree_classes(&mut reg);
+        (Heap::new(reg.snapshot()), classes)
+    }
+
+    #[test]
+    fn pooled_graph_encode_is_byte_identical_across_reuse() {
+        let (mut heap, classes) = setup();
+        let mut codec = Codec::new();
+        // Several different graphs through ONE codec: stale scratch from
+        // one encode must never leak into the next.
+        for seed in 0..4 {
+            let root = tree::build_random_tree(&mut heap, &classes, 32, seed).unwrap();
+            let fresh = serialize_graph(&heap, &[Value::Ref(root)]).unwrap();
+            let pooled = codec
+                .encode_graph(&heap, &[Value::Ref(root)], None, None)
+                .unwrap();
+            assert_eq!(pooled.bytes, fresh.bytes, "seed {seed}");
+            assert_eq!(pooled.linear, fresh.linear, "seed {seed}");
+            codec.recycle(pooled.bytes);
+        }
+    }
+
+    #[test]
+    fn pooled_graph_encode_with_old_index_matches_fresh() {
+        let (mut heap, classes) = setup();
+        let root = tree::build_random_tree(&mut heap, &classes, 16, 9).unwrap();
+        let map = LinearMap::build(&heap, &[root]).unwrap();
+        let fresh =
+            serialize_graph_with(&heap, &[Value::Ref(root)], Some(map.position_map()), None)
+                .unwrap();
+        let mut codec = Codec::new();
+        // Warm the scratch on an unrelated encode first.
+        let other = tree::build_random_tree(&mut heap, &classes, 8, 10).unwrap();
+        let warmup = codec
+            .encode_graph(&heap, &[Value::Ref(other)], None, None)
+            .unwrap();
+        codec.recycle(warmup.bytes);
+        let pooled = codec
+            .encode_graph(&heap, &[Value::Ref(root)], Some(map.position_map()), None)
+            .unwrap();
+        assert_eq!(pooled.bytes, fresh.bytes);
+    }
+
+    #[test]
+    fn pooled_reply_delta_is_byte_identical() {
+        let (mut client, classes) = setup();
+        let root = tree::build_random_tree(&mut client, &classes, 64, 11).unwrap();
+        let enc = serialize_graph(&client, &[Value::Ref(root)]).unwrap();
+        let mut server = Heap::new(client.registry_handle().clone());
+        let dec = deserialize_graph(&enc.bytes, &mut server).unwrap();
+        let snapshot = GraphSnapshot::capture(&server, &dec.linear).unwrap();
+        let server_root = dec.roots[0].as_ref_id().unwrap();
+        server
+            .set_field(server_root, "data", Value::Int(5))
+            .unwrap();
+        let fresh = encode_delta(&server, &snapshot, &[Value::Ref(server_root)]).unwrap();
+        let mut codec = Codec::new();
+        for round in 0..3 {
+            let pooled = codec
+                .encode_reply_delta(&server, &snapshot, &[Value::Ref(server_root)])
+                .unwrap();
+            assert_eq!(pooled.bytes, fresh.bytes, "round {round}");
+            assert_eq!(pooled.stats, fresh.stats, "round {round}");
+            assert_eq!(&pooled.bytes[..4], &DELTA_MAGIC);
+            codec.recycle(pooled.bytes);
+        }
+    }
+
+    #[test]
+    fn pooled_request_delta_is_byte_identical() {
+        let (mut client, classes) = setup();
+        let root = tree::build_random_tree(&mut client, &classes, 32, 12).unwrap();
+        let sync = LinearMap::build(&client, &[root]).unwrap().order().to_vec();
+        client.set_field(sync[3], "data", Value::Int(99)).unwrap();
+        let leaf = client
+            .alloc(classes.tree, vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        client.set_field(sync[0], "left", Value::Ref(leaf)).unwrap();
+        let fresh =
+            encode_request_delta(&client, &sync, &[], &[0, 3], &[Value::Ref(sync[0])]).unwrap();
+        let mut codec = Codec::new();
+        for round in 0..3 {
+            let pooled = codec
+                .encode_request_delta(&client, &sync, &[], &[0, 3], &[Value::Ref(sync[0])])
+                .unwrap();
+            assert_eq!(pooled.bytes, fresh.bytes, "round {round}");
+            assert_eq!(pooled.new_objects, fresh.new_objects, "round {round}");
+            assert_eq!(&pooled.bytes[..4], &REQUEST_DELTA_MAGIC);
+            codec.recycle(pooled.bytes);
+        }
+    }
+
+    #[test]
+    fn recycled_buffers_are_actually_reused() {
+        let (mut heap, classes) = setup();
+        let root = tree::build_random_tree(&mut heap, &classes, 8, 13).unwrap();
+        let mut codec = Codec::new();
+        let enc = codec
+            .encode_graph(&heap, &[Value::Ref(root)], None, None)
+            .unwrap();
+        let cap = enc.bytes.capacity();
+        let ptr = enc.bytes.as_ptr();
+        codec.recycle(enc.bytes);
+        let enc2 = codec
+            .encode_graph(&heap, &[Value::Ref(root)], None, None)
+            .unwrap();
+        assert_eq!(enc2.bytes.as_ptr(), ptr, "same backing allocation");
+        assert!(enc2.bytes.capacity() >= cap);
+    }
+}

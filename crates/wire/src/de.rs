@@ -305,10 +305,13 @@ mod tests {
         let (mut heap, classes) = setup();
         let root = tree::build_random_tree(&mut heap, &classes, 8, 2).unwrap();
         let map = nrmi_heap::LinearMap::build(&heap, &[root]).unwrap();
-        let old: std::collections::HashMap<ObjId, u32> =
-            map.iter().map(|(pos, id)| (id, pos)).collect();
-        let enc =
-            crate::ser::serialize_graph_with(&heap, &[Value::Ref(root)], Some(&old), None).unwrap();
+        let enc = crate::ser::serialize_graph_with(
+            &heap,
+            &[Value::Ref(root)],
+            Some(map.position_map()),
+            None,
+        )
+        .unwrap();
         let mut dst = Heap::new(heap.registry_handle().clone());
         let dec = deserialize_graph(&enc.bytes, &mut dst).unwrap();
         for (i, old) in dec.old_index.iter().enumerate() {

@@ -18,9 +18,7 @@
 //! restore needs no temporary copies and no pointer-fixup pass at all —
 //! delta application subsumes algorithm steps 4–6.
 
-use std::collections::HashMap;
-
-use nrmi_heap::{Heap, ObjId, Value};
+use nrmi_heap::{DensePositionMap, Heap, ObjId, Value};
 
 use crate::io::{ByteReader, ByteWriter};
 use crate::ser::{TAG_DOUBLE, TAG_FALSE, TAG_INT, TAG_LONG, TAG_NULL, TAG_STR, TAG_TRUE};
@@ -35,7 +33,7 @@ pub(crate) const DTAG_NEWBACK: u8 = 12;
 
 /// The server-side snapshot of the objects received in a request, taken
 /// before the remote method runs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct GraphSnapshot {
     linear: Vec<ObjId>,
     slots: Vec<Vec<Value>>,
@@ -48,14 +46,29 @@ impl GraphSnapshot {
     /// # Errors
     /// Propagates dangling-reference errors.
     pub fn capture(heap: &Heap, linear: &[ObjId]) -> Result<Self> {
-        let mut slots = Vec::with_capacity(linear.len());
-        for &id in linear {
-            slots.push(heap.slots_of(id)?);
+        let mut snap = GraphSnapshot {
+            linear: Vec::new(),
+            slots: Vec::new(),
+        };
+        snap.recapture(heap, linear)?;
+        Ok(snap)
+    }
+
+    /// Re-captures the snapshot in place over (a possibly different)
+    /// `linear`, reusing the existing per-object slot storage. A session
+    /// that snapshots the same cached graph between warm calls reaches a
+    /// steady state where recapture allocates nothing.
+    ///
+    /// # Errors
+    /// Propagates dangling-reference errors.
+    pub fn recapture(&mut self, heap: &Heap, linear: &[ObjId]) -> Result<()> {
+        self.linear.clear();
+        self.linear.extend_from_slice(linear);
+        self.slots.resize_with(linear.len(), Vec::new);
+        for (i, &id) in linear.iter().enumerate() {
+            heap.clone_slots_into(id, &mut self.slots[i])?;
         }
-        Ok(GraphSnapshot {
-            linear: linear.to_vec(),
-            slots,
-        })
+        Ok(())
     }
 
     /// Number of old objects in the snapshot.
@@ -99,18 +112,27 @@ pub struct EncodedDelta {
 pub(crate) struct DeltaEncoder<'h> {
     pub(crate) heap: &'h Heap,
     pub(crate) writer: ByteWriter,
-    pub(crate) old_pos: HashMap<ObjId, u32>,
-    pub(crate) new_pos: HashMap<ObjId, u32>,
+    pub(crate) old_pos: DensePositionMap,
+    pub(crate) new_pos: DensePositionMap,
     pub(crate) new_ids: Vec<ObjId>,
 }
 
 impl<'h> DeltaEncoder<'h> {
-    pub(crate) fn new(heap: &'h Heap, old_pos: HashMap<ObjId, u32>) -> Self {
+    /// Creates an encoder over recycled scratch. `old_pos` is used as
+    /// populated by the caller; `new_pos` is cleared (O(1)) and the
+    /// payload buffer's allocation is reused.
+    pub(crate) fn with_scratch(
+        heap: &'h Heap,
+        old_pos: DensePositionMap,
+        mut new_pos: DensePositionMap,
+        buf: Vec<u8>,
+    ) -> Self {
+        new_pos.clear();
         DeltaEncoder {
             heap,
-            writer: ByteWriter::new(),
+            writer: ByteWriter::with_buffer(buf),
             old_pos,
-            new_pos: HashMap::new(),
+            new_pos,
             new_ids: Vec::new(),
         }
     }
@@ -142,19 +164,22 @@ impl<'h> DeltaEncoder<'h> {
     }
 
     fn encode_ref(&mut self, id: ObjId) -> Result<()> {
-        if let Some(&pos) = self.old_pos.get(&id) {
+        if let Some(pos) = self.old_pos.get(id) {
             self.writer.put_u8(DTAG_OLDREF);
             self.writer.put_varint(u64::from(pos));
             return Ok(());
         }
-        if let Some(&pos) = self.new_pos.get(&id) {
+        if let Some(pos) = self.new_pos.get(id) {
             self.writer.put_u8(DTAG_NEWBACK);
             self.writer.put_varint(u64::from(pos));
             return Ok(());
         }
-        // A genuinely new object: ship it in full, depth-first.
-        let obj = self.heap.get(id)?;
-        let desc = self.heap.registry_handle().get(obj.class())?;
+        // A genuinely new object: ship it in full, depth-first. The heap
+        // reference is copied out of `self` so the slot borrow stays
+        // disjoint from the recursive `&mut self` calls (no clone).
+        let heap = self.heap;
+        let obj = heap.get(id)?;
+        let desc = heap.registry_handle().get(obj.class())?;
         if !desc.flags().serializable {
             return Err(WireError::NotSerializable {
                 class: desc.name().to_owned(),
@@ -165,9 +190,9 @@ impl<'h> DeltaEncoder<'h> {
         self.new_ids.push(id);
         self.writer.put_u8(DTAG_NEWOBJ);
         self.writer.put_varint(u64::from(obj.class().index()));
-        let slots = obj.body().slots().to_vec();
+        let slots = obj.body().slots();
         self.writer.put_varint(slots.len() as u64);
-        for slot in &slots {
+        for slot in slots {
             self.encode_value(slot)?;
         }
         Ok(())
@@ -184,31 +209,55 @@ pub fn encode_delta(
     snapshot: &GraphSnapshot,
     roots: &[Value],
 ) -> Result<EncodedDelta> {
-    let old_pos: HashMap<ObjId, u32> = snapshot
-        .linear
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i as u32))
-        .collect();
+    let (delta, _, _) = encode_delta_pooled(
+        heap,
+        snapshot,
+        roots,
+        DensePositionMap::new(),
+        DensePositionMap::new(),
+        Vec::new(),
+    )?;
+    Ok(delta)
+}
 
-    // Identify changed old objects first (borrowing heap immutably).
-    let mut changed: Vec<(u32, Vec<Value>)> = Vec::new();
+/// The pooled workhorse behind [`encode_delta`]: identical output, but
+/// the position-map scratch and payload buffer are supplied by the
+/// caller and the maps are handed back for reuse.
+pub(crate) fn encode_delta_pooled(
+    heap: &Heap,
+    snapshot: &GraphSnapshot,
+    roots: &[Value],
+    mut old_pos: DensePositionMap,
+    new_pos: DensePositionMap,
+    buf: Vec<u8>,
+) -> Result<(EncodedDelta, DensePositionMap, DensePositionMap)> {
+    old_pos.clear();
     for (i, &id) in snapshot.linear.iter().enumerate() {
-        let now = heap.slots_of(id)?;
-        if now != snapshot.slots[i] {
-            changed.push((i as u32, now));
+        old_pos.insert(id, i as u32);
+    }
+
+    // Count changed old objects first (one comparison pass against the
+    // snapshot, borrowing slots in place — no clones).
+    let mut changed_count: usize = 0;
+    for (i, &id) in snapshot.linear.iter().enumerate() {
+        if heap.get(id)?.body().slots() != snapshot.slots[i].as_slice() {
+            changed_count += 1;
         }
     }
 
-    let mut enc = DeltaEncoder::new(heap, old_pos);
+    let mut enc = DeltaEncoder::with_scratch(heap, old_pos, new_pos, buf);
     enc.writer.put_slice(&DELTA_MAGIC);
     enc.writer.put_u8(crate::FORMAT_VERSION);
     enc.writer.put_varint(snapshot.len() as u64);
-    enc.writer.put_varint(changed.len() as u64);
-    for (idx, slots) in &changed {
-        enc.writer.put_varint(u64::from(*idx));
-        enc.writer.put_varint(slots.len() as u64);
-        for v in slots {
+    enc.writer.put_varint(changed_count as u64);
+    for (i, &id) in snapshot.linear.iter().enumerate() {
+        let now = heap.get(id)?.body().slots();
+        if now == snapshot.slots[i].as_slice() {
+            continue;
+        }
+        enc.writer.put_varint(i as u64);
+        enc.writer.put_varint(now.len() as u64);
+        for v in now {
             enc.encode_value(v)?;
         }
     }
@@ -217,19 +266,29 @@ pub fn encode_delta(
         enc.encode_value(root)?;
     }
 
-    let new_objects = enc.new_ids;
-    let bytes = enc.writer.into_bytes();
+    let DeltaEncoder {
+        writer,
+        old_pos,
+        new_pos,
+        new_ids: new_objects,
+        ..
+    } = enc;
+    let bytes = writer.into_bytes();
     let stats = DeltaStats {
         old_count: snapshot.len(),
-        changed_count: changed.len(),
+        changed_count,
         new_count: new_objects.len(),
         bytes: bytes.len(),
     };
-    Ok(EncodedDelta {
-        bytes,
-        stats,
-        new_objects,
-    })
+    Ok((
+        EncodedDelta {
+            bytes,
+            stats,
+            new_objects,
+        },
+        old_pos,
+        new_pos,
+    ))
 }
 
 /// The result of applying a delta on the caller side.

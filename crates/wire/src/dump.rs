@@ -192,8 +192,7 @@ pub fn dump_graph(bytes: &[u8], registry: &ClassRegistry) -> Result<GraphDump> {
 mod tests {
     use super::*;
     use crate::{serialize_graph, serialize_graph_with};
-    use nrmi_heap::{tree, Heap, LinearMap, ObjId, Value};
-    use std::collections::HashMap;
+    use nrmi_heap::{tree, Heap, LinearMap, Value};
 
     fn setup() -> (Heap, ClassRegistry) {
         let mut reg = ClassRegistry::new();
@@ -229,8 +228,8 @@ mod tests {
         };
         let root = tree::build_random_tree(&mut heap, &classes, 5, 1).unwrap();
         let map = LinearMap::build(&heap, &[root]).unwrap();
-        let old: HashMap<ObjId, u32> = map.iter().map(|(p, id)| (id, p)).collect();
-        let enc = serialize_graph_with(&heap, &[Value::Ref(root)], Some(&old), None).unwrap();
+        let enc = serialize_graph_with(&heap, &[Value::Ref(root)], Some(map.position_map()), None)
+            .unwrap();
         let dump = dump_graph(&enc.bytes, &registry).unwrap();
         assert_eq!(
             dump.stats.annotated, 5,

@@ -16,6 +16,14 @@ impl ByteWriter {
         ByteWriter::default()
     }
 
+    /// Creates a writer that reuses `buf`'s allocation (the buffer is
+    /// cleared first). Pooled encoders pass recycled payload buffers
+    /// here so steady-state encoding does not allocate.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        ByteWriter { buf: buf.into() }
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -26,9 +34,10 @@ impl ByteWriter {
         self.buf.is_empty()
     }
 
-    /// Consumes the writer, returning the payload.
+    /// Consumes the writer, returning the payload. This is a move of the
+    /// backing storage, not a copy.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf.into()
     }
 
     /// Writes one raw byte.

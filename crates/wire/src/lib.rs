@@ -79,12 +79,14 @@
 mod error;
 mod io;
 
+pub mod codec;
 pub mod de;
 pub mod delta;
 pub mod dump;
 pub mod ser;
 pub mod warm;
 
+pub use codec::Codec;
 pub use de::{deserialize_graph, deserialize_graph_with, DecodedGraph, Deserializer};
 pub use delta::{apply_delta, encode_delta, DeltaStats, GraphSnapshot};
 pub use dump::{dump_graph, DumpStats, GraphDump};

@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use nrmi_heap::{Heap, ObjId, Value};
+use nrmi_heap::{DensePositionMap, Heap, ObjId, Value};
 
 use crate::io::ByteWriter;
 use crate::{Result, WireError, FORMAT_VERSION, MAGIC};
@@ -89,13 +89,15 @@ impl EncodedGraph {
 pub struct Serializer<'h, 'm, 'k> {
     heap: &'h Heap,
     writer: ByteWriter,
-    positions: HashMap<ObjId, u32>,
+    positions: DensePositionMap,
     order: Vec<ObjId>,
-    old_index: Option<&'m HashMap<ObjId, u32>>,
+    old_index: Option<&'m DensePositionMap>,
     hooks: Option<&'k mut (dyn RemoteHooks + 'k)>,
     /// String intern table: repeated strings are emitted once and then
     /// referenced by index, as Java serialization's handle table does.
-    strings: HashMap<String, u32>,
+    /// Keys borrow from the heap (and the root slice), so interning
+    /// never copies string data.
+    strings: HashMap<&'h str, u32>,
 }
 
 impl<'h, 'm, 'k> std::fmt::Debug for Serializer<'h, 'm, 'k> {
@@ -115,16 +117,31 @@ impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
     /// remote-marked objects.
     pub fn new(
         heap: &'h Heap,
-        old_index: Option<&'m HashMap<ObjId, u32>>,
+        old_index: Option<&'m DensePositionMap>,
         hooks: Option<&'k mut (dyn RemoteHooks + 'k)>,
     ) -> Self {
-        let mut writer = ByteWriter::new();
+        Serializer::with_scratch(heap, old_index, hooks, DensePositionMap::new(), Vec::new())
+    }
+
+    /// Creates a serializer over recycled scratch: a position map whose
+    /// storage survives clears and a payload buffer whose allocation is
+    /// reused. [`Codec`](crate::Codec) threads these through so
+    /// steady-state encoding allocates nothing per object.
+    pub(crate) fn with_scratch(
+        heap: &'h Heap,
+        old_index: Option<&'m DensePositionMap>,
+        hooks: Option<&'k mut (dyn RemoteHooks + 'k)>,
+        mut positions: DensePositionMap,
+        buf: Vec<u8>,
+    ) -> Self {
+        positions.clear();
+        let mut writer = ByteWriter::with_buffer(buf);
         writer.put_slice(&MAGIC);
         writer.put_u8(FORMAT_VERSION);
         Serializer {
             heap,
             writer,
-            positions: HashMap::new(),
+            positions,
             order: Vec::new(),
             old_index,
             hooks,
@@ -138,18 +155,30 @@ impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
     /// # Errors
     /// Fails on dangling references, non-serializable classes, or
     /// remote-marked objects without hooks.
-    pub fn encode_roots(mut self, roots: &[Value]) -> Result<EncodedGraph> {
+    pub fn encode_roots(self, roots: &'h [Value]) -> Result<EncodedGraph> {
+        Ok(self.encode_roots_reclaim(roots)?.0)
+    }
+
+    /// As [`Serializer::encode_roots`], but also hands the position map
+    /// back so a pooling caller can reuse its storage.
+    pub(crate) fn encode_roots_reclaim(
+        mut self,
+        roots: &'h [Value],
+    ) -> Result<(EncodedGraph, DensePositionMap)> {
         self.writer.put_varint(roots.len() as u64);
         for root in roots {
             self.encode_value(root)?;
         }
-        Ok(EncodedGraph {
-            bytes: self.writer.into_bytes(),
-            linear: self.order,
-        })
+        Ok((
+            EncodedGraph {
+                bytes: self.writer.into_bytes(),
+                linear: self.order,
+            },
+            self.positions,
+        ))
     }
 
-    fn encode_value(&mut self, value: &Value) -> Result<()> {
+    fn encode_value(&mut self, value: &'h Value) -> Result<()> {
         match value {
             Value::Null => self.writer.put_u8(TAG_NULL),
             Value::Bool(false) => self.writer.put_u8(TAG_FALSE),
@@ -172,7 +201,7 @@ impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
                     self.writer.put_varint(u64::from(idx));
                 }
                 None => {
-                    self.strings.insert(s.clone(), self.strings.len() as u32);
+                    self.strings.insert(s.as_str(), self.strings.len() as u32);
                     self.writer.put_u8(TAG_STR);
                     self.writer.put_str(s);
                 }
@@ -183,13 +212,18 @@ impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
     }
 
     fn encode_object(&mut self, id: ObjId) -> Result<()> {
-        if let Some(&pos) = self.positions.get(&id) {
+        if let Some(pos) = self.positions.get(id) {
             self.writer.put_u8(TAG_BACKREF);
             self.writer.put_varint(u64::from(pos));
             return Ok(());
         }
-        let obj = self.heap.get(id)?;
-        let desc = self.heap.registry_handle().get(obj.class())?;
+        // Copy the shared heap reference out of `self` so borrows of
+        // object slots are disjoint from the `&mut self` the recursive
+        // encode calls need — this is what lets slots be encoded in
+        // place instead of cloned.
+        let heap = self.heap;
+        let obj = heap.get(id)?;
+        let desc = heap.registry_handle().get(obj.class())?;
         let flags = desc.flags();
         if flags.stub {
             // A stub I hold names an object YOU (the receiver) own:
@@ -229,13 +263,13 @@ impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
 
         self.writer.put_u8(TAG_OBJ);
         self.writer.put_varint(u64::from(obj.class().index()));
-        match self.old_index.and_then(|m| m.get(&id)) {
-            Some(&old) => self.writer.put_varint(u64::from(old) + 1),
+        match self.old_index.and_then(|m| m.get(id)) {
+            Some(old) => self.writer.put_varint(u64::from(old) + 1),
             None => self.writer.put_varint(0),
         }
-        let slots = obj.body().slots().to_vec();
+        let slots = obj.body().slots();
         self.writer.put_varint(slots.len() as u64);
-        for slot in &slots {
+        for slot in slots {
             self.encode_value(slot)?;
         }
         Ok(())
@@ -246,19 +280,21 @@ impl<'h, 'm, 'k> Serializer<'h, 'm, 'k> {
 ///
 /// # Errors
 /// See [`Serializer::encode_roots`].
-pub fn serialize_graph(heap: &Heap, roots: &[Value]) -> Result<EncodedGraph> {
+pub fn serialize_graph<'a>(heap: &'a Heap, roots: &'a [Value]) -> Result<EncodedGraph> {
     Serializer::new(heap, None, None).encode_roots(roots)
 }
 
 /// Serializes with old-index annotations and/or remote hooks — the form
 /// the middleware layer uses for server replies and stub-bearing graphs.
+/// `old_index` is typically a linear map's
+/// [`position_map`](nrmi_heap::LinearMap::position_map).
 ///
 /// # Errors
 /// See [`Serializer::encode_roots`].
-pub fn serialize_graph_with(
-    heap: &Heap,
-    roots: &[Value],
-    old_index: Option<&HashMap<ObjId, u32>>,
+pub fn serialize_graph_with<'a>(
+    heap: &'a Heap,
+    roots: &'a [Value],
+    old_index: Option<&DensePositionMap>,
     hooks: Option<&mut dyn RemoteHooks>,
 ) -> Result<EncodedGraph> {
     Serializer::new(heap, old_index, hooks).encode_roots(roots)

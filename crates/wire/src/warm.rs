@@ -23,9 +23,7 @@
 //!
 //! [`delta`]: crate::delta
 
-use std::collections::HashMap;
-
-use nrmi_heap::{Heap, ObjId, Value};
+use nrmi_heap::{DensePositionMap, Heap, ObjId, Value};
 
 use crate::delta::{DeltaDecoder, DeltaEncoder};
 use crate::io::ByteReader;
@@ -81,6 +79,33 @@ pub fn encode_request_delta(
     dirty: &[u32],
     roots: &[Value],
 ) -> Result<EncodedRequestDelta> {
+    let (delta, _, _) = encode_request_delta_pooled(
+        heap,
+        sync,
+        freed,
+        dirty,
+        roots,
+        DensePositionMap::new(),
+        DensePositionMap::new(),
+        Vec::new(),
+    )?;
+    Ok(delta)
+}
+
+/// The pooled workhorse behind [`encode_request_delta`]: identical
+/// output, but the position-map scratch and payload buffer are supplied
+/// by the caller and the maps are handed back for reuse.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_request_delta_pooled(
+    heap: &Heap,
+    sync: &[ObjId],
+    freed: &[u32],
+    dirty: &[u32],
+    roots: &[Value],
+    mut old_pos: DensePositionMap,
+    new_pos: DensePositionMap,
+    buf: Vec<u8>,
+) -> Result<(EncodedRequestDelta, DensePositionMap, DensePositionMap)> {
     let len = sync.len() as u32;
     let mut freed_positions: Vec<u32> = freed.to_vec();
     freed_positions.sort_unstable();
@@ -90,20 +115,20 @@ pub fn encode_request_delta(
             return Err(WireError::BadOldIndex { index: pos, len });
         }
     }
-    let freed_set: std::collections::HashSet<u32> = freed_positions.iter().copied().collect();
+    let is_freed = |pos: u32| freed_positions.binary_search(&pos).is_ok();
 
     // Freed entries are not referenceable: leave them out of the
     // position map so a stray reference to one surfaces as an error
     // (the object is gone from the sender's heap) instead of shipping a
     // position the receiver is about to free.
-    let old_pos: HashMap<ObjId, u32> = sync
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| !freed_set.contains(&(*i as u32)))
-        .map(|(i, &id)| (id, i as u32))
-        .collect();
+    old_pos.clear();
+    for (i, &id) in sync.iter().enumerate() {
+        if !is_freed(i as u32) {
+            old_pos.insert(id, i as u32);
+        }
+    }
 
-    let mut enc = DeltaEncoder::new(heap, old_pos);
+    let mut enc = DeltaEncoder::with_scratch(heap, old_pos, new_pos, buf);
     enc.writer.put_slice(&REQUEST_DELTA_MAGIC);
     enc.writer.put_u8(crate::FORMAT_VERSION);
     enc.writer.put_varint(u64::from(len));
@@ -113,13 +138,13 @@ pub fn encode_request_delta(
     }
     enc.writer.put_varint(dirty.len() as u64);
     for &pos in dirty {
-        if freed_set.contains(&pos) {
+        if is_freed(pos) {
             return Err(WireError::BadOldIndex { index: pos, len });
         }
-        let slots = heap.slots_of(sync[pos as usize])?;
+        let slots = heap.get(sync[pos as usize])?.body().slots();
         enc.writer.put_varint(u64::from(pos));
         enc.writer.put_varint(slots.len() as u64);
-        for v in &slots {
+        for v in slots {
             enc.encode_value(v)?;
         }
     }
@@ -128,8 +153,14 @@ pub fn encode_request_delta(
         enc.encode_value(root)?;
     }
 
-    let new_objects = enc.new_ids;
-    let bytes = enc.writer.into_bytes();
+    let DeltaEncoder {
+        writer,
+        old_pos,
+        new_pos,
+        new_ids: new_objects,
+        ..
+    } = enc;
+    let bytes = writer.into_bytes();
     let stats = RequestDeltaStats {
         sync_count: sync.len(),
         freed_count: freed_positions.len(),
@@ -137,12 +168,16 @@ pub fn encode_request_delta(
         new_count: new_objects.len(),
         bytes: bytes.len(),
     };
-    Ok(EncodedRequestDelta {
-        bytes,
-        new_objects,
-        freed_positions,
-        stats,
-    })
+    Ok((
+        EncodedRequestDelta {
+            bytes,
+            new_objects,
+            freed_positions,
+            stats,
+        },
+        old_pos,
+        new_pos,
+    ))
 }
 
 /// The result of applying a request delta on the receiver.
@@ -257,14 +292,25 @@ pub fn apply_request_delta(
 /// [`AppliedRequestDelta`] /
 /// [`AppliedDelta`](crate::delta::AppliedDelta) ids); because emission
 /// and decode order coincide, the two lists stay position-aligned.
+///
+/// `freed_positions` must be in ascending order, as both
+/// [`EncodedRequestDelta::freed_positions`] and
+/// [`AppliedRequestDelta::freed_positions`] are — the drop is a single
+/// merge walk, with no per-call set construction.
 pub fn next_sync(sync: &[ObjId], freed_positions: &[u32], new_objects: &[ObjId]) -> Vec<ObjId> {
-    let freed: std::collections::HashSet<u32> = freed_positions.iter().copied().collect();
-    let mut out: Vec<ObjId> = sync
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| !freed.contains(&(*i as u32)))
-        .map(|(_, &id)| id)
-        .collect();
+    debug_assert!(
+        freed_positions.windows(2).all(|w| w[0] < w[1]),
+        "freed positions must be sorted and unique"
+    );
+    let mut out =
+        Vec::with_capacity(sync.len().saturating_sub(freed_positions.len()) + new_objects.len());
+    let mut freed = freed_positions.iter().peekable();
+    for (i, &id) in sync.iter().enumerate() {
+        if freed.next_if(|&&pos| pos as usize == i).is_some() {
+            continue;
+        }
+        out.push(id);
+    }
     out.extend_from_slice(new_objects);
     out
 }
@@ -373,7 +419,7 @@ mod tests {
         let freed: Vec<u32> = c_sync
             .iter()
             .enumerate()
-            .filter(|(_, id)| reachable.contains(id))
+            .filter(|(_, id)| reachable.contains(**id))
             .map(|(i, _)| i as u32)
             .collect();
         client.set_field(c_sync[0], "right", Value::Null).unwrap();

@@ -53,10 +53,10 @@ fn main() -> Result<(), NrmiError> {
     let mut heap = nrmi::heap::Heap::new(registry.clone());
     let ex = tree::build_running_example(&mut heap, &classes)?;
     let map = LinearMap::build(&heap, &[ex.root])?;
-    let old: std::collections::HashMap<_, _> = map.iter().map(|(p, id)| (id, p)).collect();
     tree::run_foo(&mut heap, ex.root)?;
     let reply_roots: Vec<Value> = map.order().iter().map(|&id| Value::Ref(id)).collect();
-    let enc = nrmi::wire::serialize_graph_with(&heap, &reply_roots, Some(&old), None)?;
+    let enc =
+        nrmi::wire::serialize_graph_with(&heap, &reply_roots, Some(map.position_map()), None)?;
     let dump = dump_graph(&enc.bytes, &registry)?;
     println!("reply payload dump (the restore's raw material):");
     print!("{}", dump.text);

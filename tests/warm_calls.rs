@@ -204,10 +204,12 @@ fn structural_changes_ship_new_objects_and_frees() {
     heap.set_field(root, "left", Value::Ref(mid)).unwrap();
     // … and free the detached subtree (freed positions travel too).
     if let Some(old) = old_left {
-        let doomed = nrmi::heap::traverse::reachable_set(heap, &[old]).unwrap();
+        let doomed = nrmi::heap::LinearMap::build(heap, &[old]).unwrap();
         let keep = nrmi::heap::traverse::reachable_set(heap, &[root]).unwrap();
-        for id in doomed.difference(&keep) {
-            heap.free(*id).unwrap();
+        for &id in doomed.order() {
+            if !keep.contains(id) {
+                heap.free(id).unwrap();
+            }
         }
     }
     let n1 = nrmi::heap::traverse::reachable_count(session.heap(), &[root]).unwrap();

@@ -76,6 +76,12 @@ impl From<BytesMut> for Vec<u8> {
     }
 }
 
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> BytesMut {
+        BytesMut { buf }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
