@@ -5,6 +5,7 @@
 //! cargo run -p nrmi-bench --bin tables -- table4     # one table
 //! cargo run -p nrmi-bench --bin tables -- loc        # §5.3.2 LoC accounting
 //! cargo run -p nrmi-bench --bin tables -- checks     # §5.3.3 observations
+//! cargo run -p nrmi-bench --bin tables -- check      # nrmi-check gate (exit 1 on errors)
 //! ```
 
 use nrmi_bench::delta_sweep::{render_delta_sweep, run_delta_sweep};
@@ -131,6 +132,23 @@ fn main() {
             let all = run_all_tables();
             println!("{}", render_observations(&check_observations(&all)));
         }
+        "check" => {
+            // The nrmi-check verification gate: schema analysis, registry
+            // drift diff, and the exhaustive protocol model check. CI
+            // fails the build on any error-severity diagnostic.
+            let cfg = nrmi_check::ModelCheckConfig::default();
+            let report = nrmi_check::self_check(&cfg);
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", report.to_json());
+            } else {
+                println!("{}", report.render());
+            }
+            let (errors, warnings, infos) = report.counts();
+            eprintln!("nrmi-check: {errors} error(s), {warnings} warning(s), {infos} info(s)");
+            if report.has_errors() {
+                std::process::exit(1);
+            }
+        }
         table if table.starts_with("table") => {
             let id: usize = table["table".len()..].parse().unwrap_or_else(|_| {
                 eprintln!("usage: tables [all|loc|checks|table1..table6] [--bare]");
@@ -139,7 +157,7 @@ fn main() {
             print_table(id, compare);
         }
         _ => {
-            eprintln!("usage: tables [all|loc|checks|sweep|delta|warm|hotpath|leak|semantics|table1..table7] [--bare]");
+            eprintln!("usage: tables [all|loc|check|checks|sweep|delta|warm|hotpath|leak|semantics|table1..table7] [--bare]");
             std::process::exit(2);
         }
     }

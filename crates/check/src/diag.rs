@@ -1,0 +1,277 @@
+//! The diagnostic engine every analysis reports through.
+//!
+//! One [`Diagnostic`] type carries a stable code (`NRMI-S001`, …), a
+//! severity, a human message, and span-ish context (named facts about
+//! where the problem lives: class, field, action sequence). A [`Report`]
+//! is an ordered collection with text and JSON renderers; CI gates on
+//! [`Report::has_errors`].
+//!
+//! ## Code scheme
+//!
+//! | prefix | analysis |
+//! |--------|----------|
+//! | `NRMI-S0xx` | static descriptor/schema analysis ([`crate::schema`]) |
+//! | `NRMI-H0xx` | heap structural integrity ([`crate::heapcheck`]) |
+//! | `NRMI-P0xx` | protocol model checking ([`crate::protocol`]) |
+//! | `NRMI-Z0xx` | runtime sanitizer traps (`nrmi-heap` `sanitize` feature) |
+
+use std::fmt;
+
+/// How bad a finding is. `Error` findings fail the CI gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth surfacing, not wrong.
+    Info,
+    /// Suspicious but not provably wire-unsound.
+    Warning,
+    /// Wire-unsound or semantics-corrupting; fails the gate.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in renderings ("error", "warning", "info").
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding: code, severity, message, and named context facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code, e.g. `NRMI-S001`.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable one-line description.
+    pub message: String,
+    /// Span-ish context: ordered `(key, value)` facts pinning the finding
+    /// to a class, field, object, or action sequence.
+    pub context: Vec<(String, String)>,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// Creates an info-severity diagnostic.
+    pub fn info(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Info,
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// Attaches a context fact (builder style).
+    pub fn with(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.context.push((key.into(), value.to_string()));
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.severity, self.code, self.message)?;
+        for (k, v) in &self.context {
+            write!(f, "\n    {k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics from one or more analyses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Appends every diagnostic of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// The diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// True if nothing was found.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// True if any finding is [`Severity::Error`] — the CI gate condition.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// `(errors, warnings, infos)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.diags {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Info => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// True if some finding carries `code`.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Multi-line human rendering; `"no findings"` when empty.
+    pub fn render(&self) -> String {
+        if self.diags.is_empty() {
+            return "no findings".to_owned();
+        }
+        let (e, w, i) = self.counts();
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!("{e} error(s), {w} warning(s), {i} info(s)"));
+        out
+    }
+
+    /// Renders the report as a JSON array of finding objects, suitable
+    /// for `tables -- check` machine output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"severity\":{},\"message\":{},\"context\":{{",
+                json_str(d.code),
+                json_str(d.severity.label()),
+                json_str(&d.message),
+            ));
+            for (j, (k, v)) in d.context.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json_str(k), json_str(v)));
+            }
+            out.push_str("}}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl FromIterator<Diagnostic> for Report {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        Report {
+            diags: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_labels() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.label(), "error");
+    }
+
+    #[test]
+    fn report_counts_and_gate() {
+        let mut r = Report::new();
+        assert!(!r.has_errors());
+        r.push(Diagnostic::info("NRMI-X000", "fyi"));
+        r.push(Diagnostic::warning("NRMI-X001", "hmm"));
+        assert!(!r.has_errors());
+        r.push(Diagnostic::error("NRMI-X002", "bad").with("class", "Tree"));
+        assert!(r.has_errors());
+        assert_eq!(r.counts(), (1, 1, 1));
+        assert!(r.has_code("NRMI-X002"));
+        assert!(!r.has_code("NRMI-X999"));
+        assert!(r.render().contains("NRMI-X002"));
+        assert!(r.render().contains("class: Tree"));
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut r = Report::new();
+        r.push(Diagnostic::error("NRMI-X002", "line\nwith \"quotes\"").with("k", "v\\w"));
+        let json = r.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"k\":\"v\\\\w\""));
+        assert_eq!(Report::new().to_json(), "[]");
+    }
+}

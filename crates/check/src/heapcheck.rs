@@ -1,0 +1,112 @@
+//! Heap structural diagnostics: [`nrmi_heap::validate`] lifted into the
+//! diagnostic engine (`NRMI-H00x`).
+//!
+//! The heap validator is the shared integrity oracle — restore tests,
+//! chaos tests, and the protocol model checker all gate on it. This
+//! module gives each violation class a stable code and span-ish context
+//! so heap corruption reports render and gate exactly like schema and
+//! protocol findings:
+//!
+//! * `H001` — dangling reference (a live slot points at a freed index).
+//! * `H002` — unknown class id.
+//! * `H003` — slot-arity mismatch against the class declaration.
+//! * `H004` — field/element type mismatch.
+//! * `H005` — malformed remote stub (non-`Long` key).
+
+use nrmi_heap::validate::{validate, Violation};
+use nrmi_heap::Heap;
+
+use crate::diag::{Diagnostic, Report};
+
+/// Validates `heap` and renders each violation as an error diagnostic.
+/// `label` names the heap in context (e.g. `"client"`, `"server"`).
+pub fn check_heap(label: &str, heap: &Heap) -> Report {
+    validate(heap)
+        .into_iter()
+        .map(|v| violation_to_diag(label, &v))
+        .collect()
+}
+
+fn violation_to_diag(label: &str, v: &Violation) -> Diagnostic {
+    let code = match v {
+        Violation::DanglingReference { .. } => "NRMI-H001",
+        Violation::UnknownClass { .. } => "NRMI-H002",
+        Violation::ArityMismatch { .. } => "NRMI-H003",
+        Violation::TypeMismatch { .. } => "NRMI-H004",
+        Violation::MalformedStub { .. } => "NRMI-H005",
+    };
+    let diag = Diagnostic::error(code, v.to_string()).with("heap", label);
+    match v {
+        Violation::DanglingReference {
+            holder,
+            slot,
+            target,
+        } => diag
+            .with("object", holder)
+            .with("slot", slot)
+            .with("target", format!("#{target}")),
+        Violation::UnknownClass { object, class } => {
+            diag.with("object", object).with("class_index", class)
+        }
+        Violation::ArityMismatch {
+            object,
+            declared,
+            actual,
+        } => diag
+            .with("object", object)
+            .with("declared", declared)
+            .with("actual", actual),
+        Violation::TypeMismatch {
+            object,
+            slot,
+            declared,
+            found,
+        } => diag
+            .with("object", object)
+            .with("slot", slot)
+            .with("declared", format!("{declared:?}"))
+            .with("found", found),
+        Violation::MalformedStub { object } => diag.with("object", object),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrmi_heap::{ClassRegistry, Value};
+
+    #[test]
+    fn clean_heap_reports_nothing() {
+        let mut reg = ClassRegistry::new();
+        reg.define("Pair")
+            .field_int("a")
+            .field_ref("b")
+            .serializable()
+            .register();
+        let heap = Heap::new(reg.snapshot());
+        assert!(check_heap("client", &heap).is_empty());
+    }
+
+    #[test]
+    fn dangling_reference_maps_to_h001_with_context() {
+        let mut reg = ClassRegistry::new();
+        let pair = reg
+            .define("Pair")
+            .field_int("a")
+            .field_ref("b")
+            .serializable()
+            .register();
+        let mut heap = Heap::new(reg.snapshot());
+        let child = heap.alloc_default(pair).unwrap();
+        let _parent = heap
+            .alloc(pair, vec![Value::Int(1), Value::Ref(child)])
+            .unwrap();
+        heap.free(child).unwrap();
+        let report = check_heap("server", &heap);
+        assert!(report.has_errors());
+        assert!(report.has_code("NRMI-H001"));
+        let d = &report.diagnostics()[0];
+        assert!(d.context.iter().any(|(k, v)| k == "heap" && v == "server"));
+        assert!(d.context.iter().any(|(k, _)| k == "slot"));
+    }
+}

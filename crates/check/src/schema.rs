@@ -1,0 +1,551 @@
+//! Static descriptor analysis: wire-soundness of a [`ClassRegistry`] and
+//! schema-drift detection between two registries.
+//!
+//! NRMI ships objects by walking descriptor metadata (the §5.3.1
+//! reflective/portable split), so a *wrong* descriptor corrupts the wire
+//! silently: the serializer happily emits what the registry says. These
+//! checks run without executing anything.
+//!
+//! ## Single-registry soundness (`NRMI-S00x`)
+//!
+//! * `S001` — duplicate (shadowed) field names: name-based field access
+//!   always resolves to the first occurrence, so the shadowed slot is
+//!   unreachable by name and restore-by-name semantics diverge.
+//! * `S002` — array/element disagreement: an `array` class without an
+//!   element type (elements unserializable), an element type on a
+//!   non-array (ignored metadata), or an array with declared fields
+//!   (fields the wire never carries).
+//! * `S003` — marker-flag contradictions that select impossible wire
+//!   semantics: `restorable` without `serializable` (the paper's
+//!   `Restorable extends Serializable`), or a user class carrying the
+//!   internal `stub` flag alongside copying flags.
+//! * `S004` — missing or malformed `@RemoteStub` class: `TAG_REMOTE`
+//!   decoding materializes stubs, so a registry without the well-formed
+//!   stub class cannot receive remote references.
+//! * `S005` (warning) — an unmarked class: neither serializable,
+//!   restorable, remote, nor internal; instances cannot cross the wire
+//!   at all and fail at runtime with `NotSerializable`.
+//!
+//! Reference fields are untyped in this metadata model (every ref field
+//! is `Object`, the dynamic class travels with the object), so "ref
+//! field naming an unregistered class" and value-type cycles degenerate
+//! here to the array/element checks above plus runtime `UnknownClass`
+//! validation — see DESIGN.md §3d.
+//!
+//! ## Cross-registry drift (`NRMI-S01x`)
+//!
+//! [`fingerprint`] hashes everything wire-relevant about a class;
+//! [`diff_registries`] compares a client and a server registry and
+//! reports *who changed what*:
+//!
+//! * `S010` — class present on one side only.
+//! * `S011` — field-layout drift (added / removed / renamed / retyped
+//!   fields, by position).
+//! * `S012` — flag or element-type drift (same layout, different
+//!   semantics).
+//! * `S013` — registration-index drift: class ids travel by index, so
+//!   even structurally identical registries corrupt the wire when
+//!   registration order differs.
+
+use nrmi_heap::{ClassDescriptor, ClassRegistry, FieldType};
+
+use crate::diag::{Diagnostic, Report};
+
+/// Name of the auto-registered stub class (mirrors
+/// `nrmi_heap::class::STUB_CLASS_NAME`, re-checked here).
+const STUB_CLASS_NAME: &str = "@RemoteStub";
+
+/// Analyzes one registry for wire-unsound metadata (`NRMI-S00x`).
+pub fn analyze_registry(registry: &ClassRegistry) -> Report {
+    let mut report = Report::new();
+    for (_, desc) in registry.iter() {
+        check_duplicate_fields(desc, &mut report);
+        check_array_consistency(desc, &mut report);
+        check_flag_contradictions(desc, &mut report);
+        check_unmarked(desc, &mut report);
+    }
+    check_stub_class(registry, &mut report);
+    report
+}
+
+fn check_duplicate_fields(desc: &ClassDescriptor, report: &mut Report) {
+    for (i, field) in desc.fields().iter().enumerate() {
+        if let Some(first) = desc.fields()[..i]
+            .iter()
+            .position(|f| f.name() == field.name())
+        {
+            report.push(
+                Diagnostic::error(
+                    "NRMI-S001",
+                    format!(
+                        "class `{}` declares field `{}` twice; by-name access always \
+                         resolves to slot {first}, so slot {i} is shadowed",
+                        desc.name(),
+                        field.name(),
+                    ),
+                )
+                .with("class", desc.name())
+                .with("field", field.name())
+                .with("slots", format!("{first} and {i}")),
+            );
+        }
+    }
+}
+
+fn check_array_consistency(desc: &ClassDescriptor, report: &mut Report) {
+    let flags = desc.flags();
+    if flags.array && desc.element_type().is_none() {
+        report.push(
+            Diagnostic::error(
+                "NRMI-S002",
+                format!(
+                    "array class `{}` has no element type; its elements cannot be \
+                     type-checked or serialized",
+                    desc.name()
+                ),
+            )
+            .with("class", desc.name()),
+        );
+    }
+    if !flags.array && desc.element_type().is_some() {
+        report.push(
+            Diagnostic::error(
+                "NRMI-S002",
+                format!(
+                    "non-array class `{}` declares an element type the wire format \
+                     will never consult",
+                    desc.name()
+                ),
+            )
+            .with("class", desc.name()),
+        );
+    }
+    if flags.array && !desc.fields().is_empty() {
+        report.push(
+            Diagnostic::error(
+                "NRMI-S002",
+                format!(
+                    "array class `{}` declares {} named field(s); array payloads are \
+                     element vectors and the fields never travel",
+                    desc.name(),
+                    desc.field_count()
+                ),
+            )
+            .with("class", desc.name()),
+        );
+    }
+}
+
+fn check_flag_contradictions(desc: &ClassDescriptor, report: &mut Report) {
+    let flags = desc.flags();
+    if flags.restorable && !flags.serializable {
+        report.push(
+            Diagnostic::error(
+                "NRMI-S003",
+                format!(
+                    "class `{}` is restorable but not serializable; Restorable extends \
+                     Serializable, and the copy-restore encoder requires the copy half",
+                    desc.name()
+                ),
+            )
+            .with("class", desc.name()),
+        );
+    }
+    if flags.stub && desc.name() != STUB_CLASS_NAME {
+        report.push(
+            Diagnostic::error(
+                "NRMI-S003",
+                format!(
+                    "class `{}` carries the internal stub flag; stubs are \
+                     middleware-owned and must only be the auto-registered `{}`",
+                    desc.name(),
+                    STUB_CLASS_NAME
+                ),
+            )
+            .with("class", desc.name()),
+        );
+    }
+    if flags.stub && (flags.serializable || flags.restorable) {
+        report.push(
+            Diagnostic::error(
+                "NRMI-S003",
+                format!(
+                    "stub class `{}` is marked for copying; stubs travel via \
+                     TAG_REMOTE, never by value",
+                    desc.name()
+                ),
+            )
+            .with("class", desc.name()),
+        );
+    }
+}
+
+fn check_unmarked(desc: &ClassDescriptor, report: &mut Report) {
+    let flags = desc.flags();
+    if !flags.serializable && !flags.restorable && !flags.remote && !flags.stub && !flags.array {
+        report.push(
+            Diagnostic::warning(
+                "NRMI-S005",
+                format!(
+                    "class `{}` has no passing-semantics marker; instances reaching a \
+                     call boundary fail with NotSerializable",
+                    desc.name()
+                ),
+            )
+            .with("class", desc.name()),
+        );
+    }
+}
+
+fn check_stub_class(registry: &ClassRegistry, report: &mut Report) {
+    match registry.by_name(STUB_CLASS_NAME) {
+        None => report.push(Diagnostic::error(
+            "NRMI-S004",
+            format!(
+                "registry has no `{STUB_CLASS_NAME}` class; TAG_REMOTE decoding cannot \
+                 materialize remote references (registry built without \
+                 ClassRegistry::new?)"
+            ),
+        )),
+        Some(id) => {
+            let desc = registry.get(id).expect("by_name returned the id");
+            let shape_ok = desc.flags().stub
+                && desc.field_count() == 1
+                && desc.fields()[0].ty() == FieldType::Long;
+            if !shape_ok {
+                report.push(
+                    Diagnostic::error(
+                        "NRMI-S004",
+                        format!(
+                            "`{STUB_CLASS_NAME}` is malformed: expected the stub flag and \
+                             exactly one Long key field, found {} field(s)",
+                            desc.field_count()
+                        ),
+                    )
+                    .with("class", desc.name()),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints and drift
+// ---------------------------------------------------------------------------
+
+/// A structural fingerprint of one class: a stable 64-bit hash over every
+/// wire-relevant part of the descriptor (name, flags, element type, and
+/// each field's name and type, in declaration order). Two descriptors
+/// fingerprint equal iff they serialize objects identically.
+pub fn fingerprint(desc: &ClassDescriptor) -> u64 {
+    let mut h = Fnv::new();
+    h.write(desc.name().as_bytes());
+    let f = desc.flags();
+    h.write(&[
+        u8::from(f.serializable),
+        u8::from(f.restorable),
+        u8::from(f.remote),
+        u8::from(f.array),
+        u8::from(f.stub),
+    ]);
+    h.write(&[element_code(desc.element_type())]);
+    for field in desc.fields() {
+        h.write(field.name().as_bytes());
+        h.write(&[0xff, type_code(field.ty())]);
+    }
+    h.finish()
+}
+
+/// Fingerprints every class of `registry` as `(name, fingerprint)` pairs
+/// in registration order — the unit a deployment publishes so a peer can
+/// diff schemas without shipping descriptors.
+pub fn fingerprints(registry: &ClassRegistry) -> Vec<(String, u64)> {
+    registry
+        .iter()
+        .map(|(_, d)| (d.name().to_owned(), fingerprint(d)))
+        .collect()
+}
+
+fn type_code(ty: FieldType) -> u8 {
+    match ty {
+        FieldType::Bool => 1,
+        FieldType::Int => 2,
+        FieldType::Long => 3,
+        FieldType::Double => 4,
+        FieldType::Str => 5,
+        FieldType::Ref => 6,
+        FieldType::Any => 7,
+    }
+}
+
+fn element_code(ty: Option<FieldType>) -> u8 {
+    ty.map(type_code).unwrap_or(0)
+}
+
+/// FNV-1a, 64-bit. Hand-rolled so fingerprints are stable across std
+/// hasher changes (they may be persisted and compared across builds).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Diffs a client registry against a server registry and reports schema
+/// drift (`NRMI-S01x`) with precise who-changed-what context. `a_name`
+/// and `b_name` label the two sides in messages (e.g. `"client"`,
+/// `"server"`).
+pub fn diff_registries(a_name: &str, a: &ClassRegistry, b_name: &str, b: &ClassRegistry) -> Report {
+    let mut report = Report::new();
+    for (a_id, a_desc) in a.iter() {
+        match b.by_name(a_desc.name()) {
+            None => report.push(
+                Diagnostic::error(
+                    "NRMI-S010",
+                    format!(
+                        "class `{}` exists on {a_name} but not on {b_name}",
+                        a_desc.name()
+                    ),
+                )
+                .with("class", a_desc.name())
+                .with("present_on", a_name),
+            ),
+            Some(b_id) => {
+                let b_desc = b.get(b_id).expect("by_name returned the id");
+                diff_class(a_name, a_desc, b_name, b_desc, &mut report);
+                if a_id.index() != b_id.index() {
+                    report.push(
+                        Diagnostic::error(
+                            "NRMI-S013",
+                            format!(
+                                "class `{}` is registered at index {} on {a_name} but {} \
+                                 on {b_name}; class ids travel by index, so every object \
+                                 of this class decodes as the wrong class",
+                                a_desc.name(),
+                                a_id.index(),
+                                b_id.index()
+                            ),
+                        )
+                        .with("class", a_desc.name())
+                        .with(a_name, a_id.index())
+                        .with(b_name, b_id.index()),
+                    );
+                }
+            }
+        }
+    }
+    for (_, b_desc) in b.iter() {
+        if a.by_name(b_desc.name()).is_none() {
+            report.push(
+                Diagnostic::error(
+                    "NRMI-S010",
+                    format!(
+                        "class `{}` exists on {b_name} but not on {a_name}",
+                        b_desc.name()
+                    ),
+                )
+                .with("class", b_desc.name())
+                .with("present_on", b_name),
+            );
+        }
+    }
+    report
+}
+
+fn diff_class(
+    a_name: &str,
+    a: &ClassDescriptor,
+    b_name: &str,
+    b: &ClassDescriptor,
+    report: &mut Report,
+) {
+    if fingerprint(a) == fingerprint(b) {
+        return;
+    }
+    let class = a.name();
+    // Field-layout drift, position by position (S011).
+    let max = a.field_count().max(b.field_count());
+    for i in 0..max {
+        match (a.fields().get(i), b.fields().get(i)) {
+            (Some(fa), Some(fb)) => {
+                if fa.name() != fb.name() || fa.ty() != fb.ty() {
+                    report.push(
+                        Diagnostic::error(
+                            "NRMI-S011",
+                            format!(
+                                "class `{class}` field {i} drifted: {a_name} declares \
+                                 `{}: {:?}`, {b_name} declares `{}: {:?}`",
+                                fa.name(),
+                                fa.ty(),
+                                fb.name(),
+                                fb.ty()
+                            ),
+                        )
+                        .with("class", class)
+                        .with("slot", i),
+                    );
+                }
+            }
+            (Some(fa), None) => report.push(
+                Diagnostic::error(
+                    "NRMI-S011",
+                    format!(
+                        "class `{class}` field {i} (`{}: {:?}`) exists on {a_name} but \
+                         not on {b_name}",
+                        fa.name(),
+                        fa.ty()
+                    ),
+                )
+                .with("class", class)
+                .with("slot", i)
+                .with("present_on", a_name),
+            ),
+            (None, Some(fb)) => report.push(
+                Diagnostic::error(
+                    "NRMI-S011",
+                    format!(
+                        "class `{class}` field {i} (`{}: {:?}`) exists on {b_name} but \
+                         not on {a_name}",
+                        fb.name(),
+                        fb.ty()
+                    ),
+                )
+                .with("class", class)
+                .with("slot", i)
+                .with("present_on", b_name),
+            ),
+            (None, None) => unreachable!(),
+        }
+    }
+    // Flag / element drift (S012).
+    if a.flags() != b.flags() {
+        report.push(
+            Diagnostic::error(
+                "NRMI-S012",
+                format!(
+                    "class `{class}` marker flags drifted: {a_name} has {:?}, {b_name} \
+                     has {:?}",
+                    a.flags(),
+                    b.flags()
+                ),
+            )
+            .with("class", class),
+        );
+    }
+    if a.element_type() != b.element_type() {
+        report.push(
+            Diagnostic::error(
+                "NRMI-S012",
+                format!(
+                    "class `{class}` element type drifted: {a_name} has {:?}, {b_name} \
+                     has {:?}",
+                    a.element_type(),
+                    b.element_type()
+                ),
+            )
+            .with("class", class),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrmi_heap::{ClassFlags, FieldDescriptor};
+
+    fn sound_registry() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        reg.define("Tree")
+            .field_int("data")
+            .field_ref("left")
+            .field_ref("right")
+            .restorable()
+            .register();
+        reg.define_array("Object[]", FieldType::Ref);
+        reg
+    }
+
+    #[test]
+    fn sound_registry_is_clean() {
+        let report = analyze_registry(&sound_registry());
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let reg = sound_registry();
+        let fp1 = fingerprints(&reg);
+        let fp2 = fingerprints(&sound_registry());
+        assert_eq!(fp1, fp2, "same schema, same fingerprints");
+        // Any wire-relevant change must move the fingerprint.
+        let base = ClassDescriptor::new(
+            "C",
+            vec![FieldDescriptor::new("x", FieldType::Int)],
+            ClassFlags {
+                serializable: true,
+                ..ClassFlags::default()
+            },
+            None,
+        );
+        let renamed = ClassDescriptor::new(
+            "C",
+            vec![FieldDescriptor::new("y", FieldType::Int)],
+            base.flags(),
+            None,
+        );
+        let retyped = ClassDescriptor::new(
+            "C",
+            vec![FieldDescriptor::new("x", FieldType::Long)],
+            base.flags(),
+            None,
+        );
+        let reflagged = ClassDescriptor::new(
+            "C",
+            vec![FieldDescriptor::new("x", FieldType::Int)],
+            ClassFlags {
+                serializable: true,
+                restorable: true,
+                ..ClassFlags::default()
+            },
+            None,
+        );
+        let fp = fingerprint(&base);
+        assert_ne!(fp, fingerprint(&renamed));
+        assert_ne!(fp, fingerprint(&retyped));
+        assert_ne!(fp, fingerprint(&reflagged));
+    }
+
+    #[test]
+    fn field_boundaries_do_not_collide() {
+        // ["ab", "c"] vs ["a", "bc"] must fingerprint differently: field
+        // names are delimited in the hash stream.
+        let f = |names: &[&str]| {
+            ClassDescriptor::new(
+                "C",
+                names
+                    .iter()
+                    .map(|n| FieldDescriptor::new(*n, FieldType::Int))
+                    .collect(),
+                ClassFlags::default(),
+                None,
+            )
+        };
+        assert_ne!(fingerprint(&f(&["ab", "c"])), fingerprint(&f(&["a", "bc"])));
+    }
+
+    #[test]
+    fn identical_registries_diff_clean() {
+        let report = diff_registries("client", &sound_registry(), "server", &sound_registry());
+        assert!(report.is_empty(), "{}", report.render());
+    }
+}

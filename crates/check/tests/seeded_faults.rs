@@ -1,0 +1,332 @@
+//! Seeded-fault self-test: every analyzer must catch every fault class
+//! it claims to catch, with the exact diagnostic code.
+//!
+//! Each test plants one deliberate corruption — a wire-unsound
+//! descriptor, a drifted registry pair, a dangling heap reference, an
+//! illegal protocol reply — and asserts the analyzer reports it under
+//! the right `NRMI-*` code. This is the analyzer's own regression net:
+//! if a refactor silently stops detecting a fault class, one of these
+//! goes red.
+
+use nrmi_check::{analyze_registry, check_heap, diff_registries, judge_reply, ReplyContext};
+use nrmi_heap::{ClassDescriptor, ClassFlags, ClassRegistry, FieldDescriptor, FieldType, Value};
+use nrmi_transport::Frame;
+
+/// A descriptor with `install`-level validity only; the analyzer is the
+/// one that must complain.
+fn desc(
+    name: &str,
+    fields: Vec<FieldDescriptor>,
+    flags: ClassFlags,
+    element: Option<FieldType>,
+) -> ClassDescriptor {
+    ClassDescriptor::new(name, fields, flags, element)
+}
+
+fn serializable() -> ClassFlags {
+    ClassFlags {
+        serializable: true,
+        ..ClassFlags::default()
+    }
+}
+
+#[test]
+fn s001_duplicate_field_names() {
+    let mut reg = ClassRegistry::new();
+    reg.install(desc(
+        "Shadowed",
+        vec![
+            FieldDescriptor::new("x", FieldType::Int),
+            FieldDescriptor::new("x", FieldType::Long),
+        ],
+        serializable(),
+        None,
+    ))
+    .unwrap();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S001"), "{}", report.render());
+}
+
+#[test]
+fn s002_array_without_element_type() {
+    let mut reg = ClassRegistry::new();
+    reg.install(desc(
+        "Int[]",
+        vec![],
+        ClassFlags {
+            serializable: true,
+            array: true,
+            ..ClassFlags::default()
+        },
+        None,
+    ))
+    .unwrap();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S002"), "{}", report.render());
+}
+
+#[test]
+fn s002_element_type_on_non_array() {
+    let mut reg = ClassRegistry::new();
+    reg.install(desc(
+        "NotAnArray",
+        vec![FieldDescriptor::new("x", FieldType::Int)],
+        serializable(),
+        Some(FieldType::Int),
+    ))
+    .unwrap();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S002"), "{}", report.render());
+}
+
+#[test]
+fn s002_array_with_named_fields() {
+    let mut reg = ClassRegistry::new();
+    reg.install(desc(
+        "Weird[]",
+        vec![FieldDescriptor::new("len", FieldType::Int)],
+        ClassFlags {
+            serializable: true,
+            array: true,
+            ..ClassFlags::default()
+        },
+        Some(FieldType::Int),
+    ))
+    .unwrap();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S002"), "{}", report.render());
+}
+
+#[test]
+fn s003_restorable_without_serializable() {
+    let mut reg = ClassRegistry::new();
+    reg.install(desc(
+        "HalfMarked",
+        vec![FieldDescriptor::new("x", FieldType::Int)],
+        ClassFlags {
+            restorable: true,
+            ..ClassFlags::default()
+        },
+        None,
+    ))
+    .unwrap();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S003"), "{}", report.render());
+}
+
+#[test]
+fn s003_stub_flag_on_user_class() {
+    let mut reg = ClassRegistry::new();
+    reg.install(desc(
+        "Impostor",
+        vec![FieldDescriptor::new("key", FieldType::Long)],
+        ClassFlags {
+            stub: true,
+            ..ClassFlags::default()
+        },
+        None,
+    ))
+    .unwrap();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S003"), "{}", report.render());
+}
+
+#[test]
+fn s003_stub_marked_for_copying() {
+    // A registry whose (correctly named, correctly shaped) stub class is
+    // additionally marked serializable: shape passes S004, the copying
+    // contradiction is S003.
+    let mut reg = ClassRegistry::default();
+    reg.install(desc(
+        "@RemoteStub",
+        vec![FieldDescriptor::new("key", FieldType::Long)],
+        ClassFlags {
+            stub: true,
+            serializable: true,
+            ..ClassFlags::default()
+        },
+        None,
+    ))
+    .unwrap();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S003"), "{}", report.render());
+    assert!(!report.has_code("NRMI-S004"), "{}", report.render());
+}
+
+#[test]
+fn s004_missing_stub_class() {
+    // `default()` skips the stub auto-registration `new()` performs.
+    let reg = ClassRegistry::default();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S004"), "{}", report.render());
+}
+
+#[test]
+fn s004_malformed_stub_class() {
+    let mut reg = ClassRegistry::default();
+    reg.install(desc(
+        "@RemoteStub",
+        vec![
+            FieldDescriptor::new("key", FieldType::Int),
+            FieldDescriptor::new("extra", FieldType::Int),
+        ],
+        ClassFlags {
+            stub: true,
+            ..ClassFlags::default()
+        },
+        None,
+    ))
+    .unwrap();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S004"), "{}", report.render());
+}
+
+#[test]
+fn s005_unmarked_class_is_a_warning_not_an_error() {
+    let mut reg = ClassRegistry::new();
+    reg.define("Local").field_int("x").register();
+    let report = analyze_registry(&reg);
+    assert!(report.has_code("NRMI-S005"), "{}", report.render());
+    assert!(!report.has_errors(), "S005 must not fail the build");
+}
+
+// ---------------------------------------------------------------------------
+// Drift (two registries)
+// ---------------------------------------------------------------------------
+
+fn base_registry() -> ClassRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.define("Tree")
+        .field_int("data")
+        .field_ref("left")
+        .field_ref("right")
+        .restorable()
+        .register();
+    reg
+}
+
+#[test]
+fn s010_one_sided_class() {
+    let client = base_registry();
+    let mut server = base_registry();
+    server
+        .define("Extra")
+        .field_int("x")
+        .serializable()
+        .register();
+    let report = diff_registries("client", &client, "server", &server);
+    assert!(report.has_code("NRMI-S010"), "{}", report.render());
+}
+
+#[test]
+fn s011_field_layout_drift() {
+    let client = base_registry();
+    let mut server = ClassRegistry::new();
+    server
+        .define("Tree")
+        .field_long("data") // retyped: Int on the client
+        .field_ref("left")
+        .field_ref("right")
+        .restorable()
+        .register();
+    let report = diff_registries("client", &client, "server", &server);
+    assert!(report.has_code("NRMI-S011"), "{}", report.render());
+}
+
+#[test]
+fn s012_flag_drift() {
+    let client = base_registry();
+    let mut server = ClassRegistry::new();
+    server
+        .define("Tree")
+        .field_int("data")
+        .field_ref("left")
+        .field_ref("right")
+        .serializable() // copy-only: restore semantics dropped
+        .register();
+    let report = diff_registries("client", &client, "server", &server);
+    assert!(report.has_code("NRMI-S012"), "{}", report.render());
+}
+
+#[test]
+fn s013_registration_order_drift() {
+    // Same classes, same shapes — but registered in a different order.
+    // Class ids travel by index, so this corrupts every payload.
+    let mut client = ClassRegistry::new();
+    client.define("A").field_int("x").serializable().register();
+    client.define("B").field_int("x").serializable().register();
+    let mut server = ClassRegistry::new();
+    server.define("B").field_int("x").serializable().register();
+    server.define("A").field_int("x").serializable().register();
+    let report = diff_registries("client", &client, "server", &server);
+    assert!(report.has_code("NRMI-S013"), "{}", report.render());
+}
+
+// ---------------------------------------------------------------------------
+// Heap corruption
+// ---------------------------------------------------------------------------
+
+#[test]
+fn h001_dangling_reference() {
+    let mut reg = ClassRegistry::new();
+    let node = reg
+        .define("Node")
+        .field_ref("next")
+        .serializable()
+        .register();
+    let mut heap = nrmi_heap::Heap::new(reg.snapshot());
+    let child = heap.alloc(node, vec![Value::Null]).unwrap();
+    let _parent = heap.alloc(node, vec![Value::Ref(child)]).unwrap();
+    // Free the child without unlinking it: the parent now dangles.
+    heap.free(child).unwrap();
+    let report = check_heap("seeded", &heap);
+    assert!(report.has_code("NRMI-H001"), "{}", report.render());
+}
+
+#[test]
+fn clean_heap_reports_nothing() {
+    let mut reg = ClassRegistry::new();
+    let node = reg
+        .define("Node")
+        .field_ref("next")
+        .serializable()
+        .register();
+    let mut heap = nrmi_heap::Heap::new(reg.snapshot());
+    let child = heap.alloc(node, vec![Value::Null]).unwrap();
+    heap.alloc(node, vec![Value::Ref(child)]).unwrap();
+    assert!(check_heap("clean", &heap).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol transitions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn p004_serving_a_stale_generation() {
+    // A server that answers a stale-generation request with a CallReply
+    // has executed against the wrong cached graph.
+    let verdict = judge_reply(
+        ReplyContext::StaleGeneration,
+        &Frame::CallReply { payload: vec![] },
+    );
+    let diag = verdict.expect("stale service must be flagged");
+    assert_eq!(diag.code, "NRMI-P004");
+}
+
+#[test]
+fn p004_garbage_answered_with_success() {
+    let verdict = judge_reply(
+        ReplyContext::GarbagePayload,
+        &Frame::CallReply { payload: vec![] },
+    );
+    assert_eq!(verdict.expect("must be flagged").code, "NRMI-P004");
+    // The legal answers pass.
+    assert!(judge_reply(
+        ReplyContext::GarbagePayload,
+        &Frame::CallError {
+            message: "malformed".into()
+        }
+    )
+    .is_none());
+    assert!(judge_reply(ReplyContext::UnknownCache, &Frame::CacheMiss).is_none());
+}

@@ -87,7 +87,10 @@ pub use session::{
     serve_tcp, serve_tcp_concurrent, RemoteSession, Session, SessionBuilder, TcpSession,
 };
 pub use trace::{CallTrace, Tracer};
-pub use warm::{client_invoke_warm_with_stats, server_handle_warm_call, WarmCaches, WarmSessions};
+pub use warm::{
+    client_evict_warm, client_invoke_warm_with_stats, server_handle_warm_call, WarmCaches,
+    WarmSessions,
+};
 
 /// Result alias for middleware operations.
 pub type Result<T> = std::result::Result<T, NrmiError>;

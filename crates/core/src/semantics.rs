@@ -124,7 +124,10 @@ pub(crate) const MODE_DCE: u8 = 4;
 pub(crate) const MODE_DELTA_FLAG: u8 = 0x10;
 
 impl CallOptions {
-    pub(crate) fn to_wire(self) -> u8 {
+    /// Encodes these options as the request `mode` byte. Public so
+    /// protocol tooling (the `nrmi-check` model checker) can build raw
+    /// request frames.
+    pub fn to_wire(self) -> u8 {
         let base = match self.mode_override {
             None => MODE_AUTO,
             Some(PassMode::Copy) => MODE_COPY,
@@ -139,7 +142,11 @@ impl CallOptions {
         }
     }
 
-    pub(crate) fn from_wire(byte: u8) -> Result<Self, NrmiError> {
+    /// Decodes a request `mode` byte back into options.
+    ///
+    /// # Errors
+    /// [`NrmiError::Protocol`] for discriminants no release ever emitted.
+    pub fn from_wire(byte: u8) -> Result<Self, NrmiError> {
         let delta_reply = byte & MODE_DELTA_FLAG != 0;
         let mode_override = match byte & !MODE_DELTA_FLAG {
             MODE_AUTO => None,

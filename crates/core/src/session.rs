@@ -307,7 +307,7 @@ impl Session {
     /// # Errors
     /// Transport failures sending the eviction notice.
     pub fn evict_warm(&mut self, service: &str) -> Result<(), NrmiError> {
-        crate::warm::evict(&mut self.client, &mut self.transport, service)
+        crate::warm::client_evict_warm(&mut self.client, &mut self.transport, service)
     }
 
     /// The generation the next warm call to `service` will carry
@@ -694,7 +694,7 @@ impl<T: Transport> RemoteSession<T> {
     /// # Errors
     /// Transport failures sending the eviction notice.
     pub fn evict_warm(&mut self, service: &str) -> Result<(), NrmiError> {
-        crate::warm::evict(&mut self.client, &mut self.transport, service)
+        crate::warm::client_evict_warm(&mut self.client, &mut self.transport, service)
     }
 
     /// The generation the next warm call to `service` will carry.

@@ -93,6 +93,12 @@ impl WarmSessions {
         self.caches.get(service).map(|c| c.sync.len())
     }
 
+    /// The wire `cache_id` naming the session with `service`, if one is
+    /// established. Exposed for protocol introspection and checking.
+    pub fn cache_id(&self, service: &str) -> Option<u64> {
+        self.caches.get(service).map(|c| c.cache_id)
+    }
+
     fn fresh_id(&mut self) -> u64 {
         let id = self.next_cache_id;
         self.next_cache_id += 1;
@@ -196,10 +202,17 @@ fn warm_call(
     let mut dirty = Vec::new();
     for (pos, &(id, class)) in cache.sync.iter().enumerate() {
         sync_ids.push(id);
-        if !heap.contains(id) || heap.get(id)?.class() != class {
-            freed.push(pos as u32);
-        } else if heap.version_of(id)? > last_epoch {
-            dirty.push(pos as u32);
+        // Probe accessors, not `get`: a cached handle may legitimately be
+        // stale (freed, or its slot recycled), and under the `sanitize`
+        // feature dereferencing such a handle is a trap — classifying it
+        // as freed is exactly the non-dereferencing probe we want.
+        match heap.class_if_live(id) {
+            Some(live_class) if live_class == class => {
+                if heap.version_if_live(id).unwrap_or(u64::MAX) > last_epoch {
+                    dirty.push(pos as u32);
+                }
+            }
+            _ => freed.push(pos as u32),
         }
     }
 
@@ -213,7 +226,7 @@ fn warm_call(
         | Err(nrmi_wire::WireError::RemoteWithoutHooks { .. }) => {
             // The graph now contains objects a delta cannot carry (e.g.
             // remote stubs). Retire the session and run the call cold.
-            evict(client, transport, service)?;
+            client_evict_warm(client, transport, service)?;
             return client_invoke_with_stats(client, transport, service, method, args, opts)
                 .map(Some);
         }
@@ -403,7 +416,7 @@ fn seed_call(
 ///
 /// # Errors
 /// Transport failures sending the eviction notice.
-pub fn evict(
+pub fn client_evict_warm(
     client: &mut ClientNode,
     transport: &mut dyn Transport,
     service: &str,
@@ -459,14 +472,35 @@ impl WarmCaches {
         self.entries.is_empty()
     }
 
+    /// The generation the server will accept next for `cache_id`, if the
+    /// session is cached. Exposed so protocol checkers can assert the
+    /// client/server generation lockstep invariant.
+    pub fn generation_of(&self, cache_id: u64) -> Option<u64> {
+        self.entries.get(&cache_id).map(|e| e.generation)
+    }
+
     /// Handles a client eviction notice: frees the cached graph. The
     /// notice asserts the client's exclusive ownership of the session
     /// graph (the warm twin of a DGC clean), so freeing is safe; slots
     /// already freed or never seeded are ignored.
     pub fn evict(&mut self, heap: &mut Heap, cache_id: u64) {
         if let Some(entry) = self.entries.remove(&cache_id) {
-            for id in entry.sync {
-                let _ = heap.free(id);
+            // All-or-nothing: free the graph only if every synchronized
+            // slot still holds the object the session left there,
+            // untouched since `valid_since`. Any out-of-band activity —
+            // a mutation (server state aliases the graph), a free, or a
+            // free-then-recycle (the slot now holds an innocent object,
+            // which a blind free would destroy and the sanitize feature
+            // traps as NRMI-Z001) — means partial freeing would leave
+            // the surviving objects dangling at their freed neighbors,
+            // so the entry is dropped unfreed instead, exactly like a
+            // coherence invalidation. Recycled slots always fail the
+            // watermark test because the epoch is monotone: whatever
+            // occupies them was allocated after the entry was validated.
+            if coherent(heap, &entry) {
+                for id in entry.sync {
+                    let _ = heap.free(id);
+                }
             }
         }
     }
@@ -483,12 +517,11 @@ impl WarmCaches {
 /// True if every synchronized object still exists untouched since the
 /// entry was validated.
 fn coherent(heap: &Heap, entry: &ServerWarmEntry) -> bool {
+    // Probe, don't dereference: the whole point is that these handles may
+    // have gone stale behind the cache's back.
     entry.sync.iter().all(|&id| {
-        heap.contains(id)
-            && heap
-                .version_of(id)
-                .map(|v| v <= entry.valid_since)
-                .unwrap_or(false)
+        heap.version_if_live(id)
+            .is_some_and(|v| v <= entry.valid_since)
     })
 }
 

@@ -158,6 +158,28 @@ pub struct ClassDescriptor {
 }
 
 impl ClassDescriptor {
+    /// Assembles a descriptor from raw parts.
+    ///
+    /// Unlike [`ClassRegistry::define`], this performs *no* validation —
+    /// inconsistent metadata (duplicate field names, an array flag with
+    /// no element type, contradictory marker flags) is accepted as-is.
+    /// That is deliberate: schema tooling (`nrmi-check`) needs to build
+    /// and install descriptors that model a *misconfigured* peer in order
+    /// to test that static analysis rejects them.
+    pub fn new(
+        name: impl Into<String>,
+        fields: Vec<FieldDescriptor>,
+        flags: ClassFlags,
+        element: Option<FieldType>,
+    ) -> Self {
+        ClassDescriptor {
+            name: name.into(),
+            fields,
+            flags,
+            element,
+        }
+    }
+
     /// The fully qualified class name.
     pub fn name(&self) -> &str {
         &self.name
@@ -380,6 +402,18 @@ impl ClassRegistry {
             element: Some(element),
         })
         .expect("duplicate class name")
+    }
+
+    /// Installs a pre-assembled descriptor (see [`ClassDescriptor::new`]).
+    ///
+    /// Only the cross-registry identity invariant is enforced — class
+    /// names must be unique; the descriptor's internal consistency is the
+    /// static analyzer's job, not the registry's.
+    ///
+    /// # Errors
+    /// [`HeapError::DuplicateClass`] if the name is taken.
+    pub fn install(&mut self, desc: ClassDescriptor) -> Result<ClassId, HeapError> {
+        self.insert(desc)
     }
 
     fn insert(&mut self, desc: ClassDescriptor) -> Result<ClassId, HeapError> {

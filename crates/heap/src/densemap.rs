@@ -32,6 +32,12 @@ pub struct DenseIdMap<T> {
     /// "absent".
     entries: Vec<(u32, T)>,
     generation: u32,
+    /// Shadow provenance per entry: the allocation generation of the
+    /// [`ObjId`] each fresh entry was inserted under, so reads through a
+    /// handle to a *different* occupant of the same arena slot trap as
+    /// `NRMI-Z003` instead of silently returning the stale value.
+    #[cfg(feature = "sanitize")]
+    origin_gens: Vec<u32>,
 }
 
 impl<T: Copy + Default> Default for DenseIdMap<T> {
@@ -41,6 +47,8 @@ impl<T: Copy + Default> Default for DenseIdMap<T> {
             // Starts at 1 so freshly grown entries (stamped 0) read as
             // absent.
             generation: 1,
+            #[cfg(feature = "sanitize")]
+            origin_gens: Vec::new(),
         }
     }
 }
@@ -66,6 +74,8 @@ impl<T: Copy + Default> DenseIdMap<T> {
             // clears).
             self.entries.clear();
             self.generation = 1;
+            #[cfg(feature = "sanitize")]
+            self.origin_gens.clear();
         } else {
             self.generation += 1;
         }
@@ -78,6 +88,13 @@ impl<T: Copy + Default> DenseIdMap<T> {
             self.entries.resize(i + 1, (0, T::default()));
         }
         self.entries[i] = (self.generation, value);
+        #[cfg(feature = "sanitize")]
+        {
+            if i >= self.origin_gens.len() {
+                self.origin_gens.resize(i + 1, 0);
+            }
+            self.origin_gens[i] = id.alloc_gen;
+        }
     }
 
     /// Inserts `value` only if `id` is absent; returns true if inserted.
@@ -92,10 +109,29 @@ impl<T: Copy + Default> DenseIdMap<T> {
 
     /// The value for `id`, if present.
     pub fn get(&self, id: ObjId) -> Option<T> {
-        self.entries
+        let hit = self
+            .entries
             .get(id.index() as usize)
             .filter(|e| e.0 == self.generation)
-            .map(|e| e.1)
+            .map(|e| e.1);
+        #[cfg(feature = "sanitize")]
+        if hit.is_some() {
+            let origin = self
+                .origin_gens
+                .get(id.index() as usize)
+                .copied()
+                .unwrap_or(0);
+            if origin != 0 && id.alloc_gen != 0 && origin != id.alloc_gen {
+                panic!(
+                    "NRMI-Z003 stale dense-map read: entry for slot {slot} was inserted \
+                     under allocation generation {origin} but read through a handle of \
+                     generation {reader} — the arena slot was recycled in between",
+                    slot = id.index(),
+                    reader = id.alloc_gen,
+                );
+            }
+        }
+        hit
     }
 
     /// True if `id` has a value.
@@ -228,6 +264,55 @@ mod tests {
         assert_eq!(m.get(id(0)), None);
         m.insert(id(0), 2);
         assert_eq!(m.get(id(0)), Some(2));
+    }
+
+    #[test]
+    fn map_near_max_generation_still_distinguishes_stale_entries() {
+        // Drive the generation counter right up to the wrap boundary and
+        // prove entries written under earlier generations can never read
+        // as fresh after any bump in between.
+        let mut m = DensePositionMap::new();
+        m.generation = u32::MAX - 2;
+        m.insert(id(1), 11);
+        assert_eq!(m.get(id(1)), Some(11));
+        m.clear(); // MAX - 2 -> MAX - 1
+        assert_eq!(m.get(id(1)), None, "one bump below MAX hides the entry");
+        m.insert(id(2), 22);
+        m.clear(); // MAX - 1 -> MAX
+        assert_eq!(m.generation, u32::MAX);
+        assert_eq!(m.get(id(2)), None, "entry from MAX-1 is stale at MAX");
+        m.insert(id(3), 33);
+        assert_eq!(m.get(id(3)), Some(33), "the MAX generation itself works");
+        m.clear(); // MAX wraps: real reset back to 1
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.get(id(3)), None, "entries do not survive the wrap");
+        assert_eq!(m.get(id(1)), None);
+        assert_eq!(m.get(id(2)), None);
+    }
+
+    #[test]
+    fn stale_entries_never_alias_fresh_ones_across_wrap() {
+        // The dangerous wrap scenario: an entry stamped with generation G
+        // must not become visible again when the counter cycles back to
+        // G. The real reset at MAX makes the cycle safe; walk a map
+        // through it and check every slot ever written stays hidden.
+        let mut m = DenseIdMap::<u32>::with_capacity(8);
+        m.generation = u32::MAX - 1;
+        for i in 0..8 {
+            m.insert(id(i), 100 + i);
+        }
+        m.clear(); // -> MAX
+        m.clear(); // wrap -> 1 (real reset)
+        for bump in 0..4 {
+            // Generations 1..=4 after the wrap: old stamps MAX-1 and MAX
+            // can never match again because the reset dropped them.
+            for i in 0..8 {
+                assert_eq!(m.get(id(i)), None, "gen {} slot {}", m.generation, i);
+            }
+            m.insert(id(bump), bump);
+            assert_eq!(m.get(id(bump)), Some(bump));
+            m.clear();
+        }
     }
 
     #[test]

@@ -134,6 +134,8 @@ pub struct Heap {
     free: Vec<u32>,
     stats: HeapStats,
     epoch: u64,
+    #[cfg(feature = "sanitize")]
+    shadow: crate::sanitize::Shadow,
 }
 
 impl fmt::Debug for Heap {
@@ -155,6 +157,49 @@ impl Heap {
             free: Vec::new(),
             stats: HeapStats::default(),
             epoch: 0,
+            #[cfg(feature = "sanitize")]
+            shadow: crate::sanitize::Shadow::new(),
+        }
+    }
+
+    /// Builds a handle for slot `index` carrying this heap's current
+    /// provenance (a no-op wrapper around the index in normal builds).
+    fn handle(&self, index: u32) -> ObjId {
+        ObjId {
+            index,
+            #[cfg(feature = "sanitize")]
+            heap_tag: self.shadow.tag,
+            #[cfg(feature = "sanitize")]
+            alloc_gen: self.shadow.gen_of(index as usize),
+        }
+    }
+
+    /// Traps sanitizer-visible misuse of `id` before a checked operation.
+    ///
+    /// Freed-but-unrecycled slots are *not* trapped here: they surface as
+    /// the ordinary [`HeapError::DanglingRef`] so error-path semantics are
+    /// identical with and without the feature.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check(&self, id: ObjId, op: &str) {
+        if id.heap_tag != 0 && id.heap_tag != self.shadow.tag {
+            panic!(
+                "NRMI-Z002 cross-heap handle confusion: `{op}` on {id} issued by heap \
+                 #{issuer} but applied to heap #{this}",
+                issuer = id.heap_tag,
+                this = self.shadow.tag,
+            );
+        }
+        if id.heap_tag == self.shadow.tag && id.alloc_gen != 0 {
+            let idx = id.index as usize;
+            let live = self.slots.get(idx).is_some_and(Option::is_some);
+            let current = self.shadow.gen_of(idx);
+            if live && current != id.alloc_gen {
+                panic!(
+                    "NRMI-Z001 use-after-GC: `{op}` on {id} (allocation generation \
+                     {stale}) reached a recycled slot now owned by generation {current}",
+                    stale = id.alloc_gen,
+                );
+            }
         }
     }
 
@@ -210,7 +255,7 @@ impl Heap {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|o| (ObjId(i as u32), o)))
+            .filter_map(|(i, s)| s.as_ref().map(|o| (self.handle(i as u32), o)))
     }
 
     /// Borrows the object behind `id`.
@@ -218,34 +263,75 @@ impl Heap {
     /// # Errors
     /// [`HeapError::DanglingRef`] if `id` is freed or unallocated.
     pub fn get(&self, id: ObjId) -> Result<&Object> {
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check(id, "get");
         self.slots
-            .get(id.0 as usize)
+            .get(id.index as usize)
             .and_then(Option::as_ref)
-            .ok_or(HeapError::DanglingRef(id.0))
+            .ok_or(HeapError::DanglingRef(id.index))
     }
 
     fn get_mut(&mut self, id: ObjId) -> Result<&mut Object> {
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check(id, "get_mut");
         self.slots
-            .get_mut(id.0 as usize)
+            .get_mut(id.index as usize)
             .and_then(Option::as_mut)
-            .ok_or(HeapError::DanglingRef(id.0))
+            .ok_or(HeapError::DanglingRef(id.index))
     }
 
     /// True if `id` refers to a live object.
+    ///
+    /// This is a liveness *probe*, not a dereference: it is exempt from
+    /// `sanitize`-mode provenance checks so callers may test handles that
+    /// are allowed to have gone stale (the warm-call cache does).
     pub fn contains(&self, id: ObjId) -> bool {
-        self.slots.get(id.0 as usize).is_some_and(Option::is_some)
+        self.slots
+            .get(id.index as usize)
+            .is_some_and(Option::is_some)
+    }
+
+    /// The class of the object currently occupying `id`'s slot, or `None`
+    /// if the slot is empty.
+    ///
+    /// Like [`Heap::contains`] this is a probe over possibly-stale
+    /// handles (exempt from `sanitize` checks): the occupant may not be
+    /// the object `id` was issued for. The warm-call classifier uses this
+    /// to treat class-changed slots as freed.
+    pub fn class_if_live(&self, id: ObjId) -> Option<ClassId> {
+        self.slots
+            .get(id.index as usize)
+            .and_then(Option::as_ref)
+            .map(Object::class)
+    }
+
+    /// The mutation version of the object currently occupying `id`'s
+    /// slot, or `None` if the slot is empty.
+    ///
+    /// Probe semantics, as [`Heap::class_if_live`]: recycled slots report
+    /// the *new* occupant's version, which is strictly newer than any
+    /// epoch observed before the recycling — so stale-epoch comparisons
+    /// see reuse as dirty, never as clean.
+    pub fn version_if_live(&self, id: ObjId) -> Option<u64> {
+        self.slots
+            .get(id.index as usize)
+            .and_then(Option::as_ref)
+            .map(|o| o.version)
     }
 
     fn place(&mut self, mut obj: Object) -> ObjId {
         self.stats.allocations += 1;
         obj.version = self.tick();
-        if let Some(idx) = self.free.pop() {
+        let index = if let Some(idx) = self.free.pop() {
             self.slots[idx as usize] = Some(obj);
-            ObjId(idx)
+            idx
         } else {
             self.slots.push(Some(obj));
-            ObjId((self.slots.len() - 1) as u32)
-        }
+            (self.slots.len() - 1) as u32
+        };
+        #[cfg(feature = "sanitize")]
+        self.shadow.on_place(index as usize);
+        self.handle(index)
     }
 
     /// Allocates an object, validating arity and field types against the
@@ -321,15 +407,17 @@ impl Heap {
     /// # Errors
     /// [`HeapError::DanglingRef`] if already freed.
     pub fn free(&mut self, id: ObjId) -> Result<()> {
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check(id, "free");
         let slot = self
             .slots
-            .get_mut(id.0 as usize)
-            .ok_or(HeapError::DanglingRef(id.0))?;
+            .get_mut(id.index as usize)
+            .ok_or(HeapError::DanglingRef(id.index))?;
         if slot.take().is_none() {
-            return Err(HeapError::DanglingRef(id.0));
+            return Err(HeapError::DanglingRef(id.index));
         }
         self.stats.frees += 1;
-        self.free.push(id.0);
+        self.free.push(id.index);
         Ok(())
     }
 

@@ -56,6 +56,8 @@ mod class;
 mod error;
 mod heap_impl;
 mod object;
+#[cfg(feature = "sanitize")]
+mod sanitize;
 mod value;
 
 pub mod collections;

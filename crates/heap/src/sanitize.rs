@@ -1,0 +1,66 @@
+//! Shadow liveness state backing the `sanitize` feature.
+//!
+//! When `nrmi-heap` is built with `--features sanitize`, every heap gets
+//! a process-unique tag and a per-slot allocation-generation table, and
+//! every [`ObjId`](crate::ObjId) issued by the heap carries both. The
+//! checked accessors ([`Heap::get`](crate::Heap::get),
+//! [`Heap::get_mut`], [`Heap::free`](crate::Heap::free) and everything
+//! funnelling through them) then trap three bug classes the normal build
+//! cannot see, *at the offending call* and with a diagnostic code:
+//!
+//! * `NRMI-Z001` — use-after-GC: a handle dereferenced after its slot
+//!   was freed and recycled by a newer allocation. Without the shadow
+//!   generation this reads the imposter object silently.
+//! * `NRMI-Z002` — cross-heap confusion: a handle issued by one heap
+//!   dereferenced against another (e.g. a client id used server-side).
+//! * `NRMI-Z003` — stale dense-map read: a
+//!   [`DenseIdMap`](crate::DenseIdMap) entry inserted for a previous
+//!   occupant of an arena slot, read back through a handle to the new
+//!   occupant (or vice versa).
+//!
+//! Handles of unknown provenance (rebuilt via
+//! [`ObjId::from_index`](crate::ObjId::from_index), e.g. by wire
+//! decoding) are exempt, as are the deliberate liveness *probes*
+//! ([`Heap::contains`](crate::Heap::contains),
+//! [`Heap::class_if_live`](crate::Heap::class_if_live),
+//! [`Heap::version_if_live`](crate::Heap::version_if_live)) the warm-call
+//! cache uses to classify possibly-recycled handles.
+//!
+//! [`Heap::get_mut`]: crate::Heap
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Process-wide heap-tag allocator. Tag 0 is reserved for "unknown".
+static NEXT_TAG: AtomicU32 = AtomicU32::new(1);
+
+/// Per-heap shadow state: the heap's tag and each slot's allocation
+/// generation (bumped every time an object is placed into the slot).
+#[derive(Clone, Debug)]
+pub(crate) struct Shadow {
+    pub(crate) tag: u32,
+    slot_gens: Vec<u32>,
+}
+
+impl Shadow {
+    pub(crate) fn new() -> Self {
+        Shadow {
+            tag: NEXT_TAG.fetch_add(1, Ordering::Relaxed),
+            slot_gens: Vec::new(),
+        }
+    }
+
+    /// Records an allocation into `index` and returns the slot's new
+    /// generation.
+    pub(crate) fn on_place(&mut self, index: usize) -> u32 {
+        if index >= self.slot_gens.len() {
+            self.slot_gens.resize(index + 1, 0);
+        }
+        self.slot_gens[index] = self.slot_gens[index].wrapping_add(1).max(1);
+        self.slot_gens[index]
+    }
+
+    /// The current generation of `index` (0 if never allocated).
+    pub(crate) fn gen_of(&self, index: usize) -> u32 {
+        self.slot_gens.get(index).copied().unwrap_or(0)
+    }
+}

@@ -10,14 +10,31 @@ use std::fmt;
 /// to preserve across address spaces.
 ///
 /// An `ObjId` is only meaningful relative to the heap that issued it.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ObjId(pub(crate) u32);
+///
+/// Under the `sanitize` feature the handle additionally carries invisible
+/// provenance (the issuing heap's tag and the slot's allocation
+/// generation) so checked heap operations can detect use-after-GC and
+/// cross-heap confusion at the offending call. Provenance never affects
+/// equality, ordering, or hashing — a sanitized build behaves
+/// observably identically to a normal one until it traps.
+#[derive(Clone, Copy)]
+pub struct ObjId {
+    pub(crate) index: u32,
+    /// Tag of the issuing heap; 0 means "unknown origin" (wire decode,
+    /// [`ObjId::from_index`]) and exempts the handle from checks.
+    #[cfg(feature = "sanitize")]
+    pub(crate) heap_tag: u32,
+    /// Allocation generation of the slot when this handle was issued;
+    /// 0 means unknown.
+    #[cfg(feature = "sanitize")]
+    pub(crate) alloc_gen: u32,
+}
 
 impl ObjId {
     /// Returns the raw slot index. Exposed for wire formats and debugging;
     /// the value has no meaning outside the issuing heap.
     pub fn index(self) -> u32 {
-        self.0
+        self.index
     }
 
     /// Reconstructs a handle from a raw index previously obtained with
@@ -25,19 +42,51 @@ impl ObjId {
     /// correct heap; a stale handle is caught at access time as
     /// [`HeapError::DanglingRef`](crate::HeapError::DanglingRef).
     pub fn from_index(index: u32) -> Self {
-        ObjId(index)
+        ObjId {
+            index,
+            #[cfg(feature = "sanitize")]
+            heap_tag: 0,
+            #[cfg(feature = "sanitize")]
+            alloc_gen: 0,
+        }
+    }
+}
+
+impl PartialEq for ObjId {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+
+impl Eq for ObjId {}
+
+impl PartialOrd for ObjId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ObjId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.index.cmp(&other.index)
+    }
+}
+
+impl std::hash::Hash for ObjId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
     }
 }
 
 impl fmt::Debug for ObjId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{}", self.0)
+        write!(f, "#{}", self.index)
     }
 }
 
 impl fmt::Display for ObjId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{}", self.0)
+        write!(f, "#{}", self.index)
     }
 }
 

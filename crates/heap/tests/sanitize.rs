@@ -1,0 +1,98 @@
+//! Sanitizer trap tests: each shadow-liveness bug class must panic at
+//! the offending call with its `NRMI-Z00x` code in the message.
+//!
+//! These misuse patterns are silent in normal builds (they read a
+//! plausible-looking imposter object); the whole point of `--features
+//! sanitize` is that they become loud. Compiled only under the feature.
+
+#![cfg(feature = "sanitize")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use nrmi_heap::{ClassRegistry, DenseIdMap, Heap, SharedRegistry, Value};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.define("Cell").field_int("v").serializable().register();
+    reg.snapshot()
+}
+
+fn cell(heap: &mut Heap, v: i32) -> nrmi_heap::ObjId {
+    let class = heap.registry_handle().by_name("Cell").unwrap();
+    heap.alloc(class, vec![Value::Int(v)]).unwrap()
+}
+
+/// Runs `f`, asserting it panics with `code` in the message.
+fn assert_traps(code: &str, f: impl FnOnce()) {
+    let payload = catch_unwind(AssertUnwindSafe(f)).expect_err("expected a sanitizer trap");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains(code), "trap message missing {code}: {msg}");
+}
+
+#[test]
+fn z001_use_after_gc_traps() {
+    let mut heap = Heap::new(registry());
+    let stale = cell(&mut heap, 1);
+    heap.free(stale).unwrap();
+    // Recycle the arena slot with a fresh allocation …
+    let fresh = cell(&mut heap, 2);
+    assert_eq!(fresh.index(), stale.index(), "slot recycled");
+    // … then dereference the dead handle: without the shadow generation
+    // this silently reads the imposter's 2.
+    assert_traps("NRMI-Z001", || {
+        let _ = heap.get(stale);
+    });
+}
+
+#[test]
+fn z001_exempt_probes_stay_quiet() {
+    // The warm cache deliberately probes possibly-recycled handles; the
+    // probe APIs must classify, not trap.
+    let mut heap = Heap::new(registry());
+    let stale = cell(&mut heap, 1);
+    heap.free(stale).unwrap();
+    let _fresh = cell(&mut heap, 2);
+    assert!(heap.contains(stale), "slot itself is live (recycled)");
+    assert!(heap.version_if_live(stale).is_some());
+}
+
+#[test]
+fn z002_cross_heap_confusion_traps() {
+    let reg = registry();
+    let mut a = Heap::new(reg.clone());
+    let mut b = Heap::new(reg);
+    let id_a = cell(&mut a, 7);
+    let _id_b = cell(&mut b, 8);
+    // Same index, wrong heap: plausible in normal builds, a trap here.
+    assert_traps("NRMI-Z002", || {
+        let _ = b.get(id_a);
+    });
+}
+
+#[test]
+fn z003_stale_densemap_read_traps() {
+    let mut heap = Heap::new(registry());
+    let old = cell(&mut heap, 1);
+    let mut map: DenseIdMap<u32> = DenseIdMap::new();
+    map.insert(old, 42);
+    // Recycle the slot, then read the old entry through the new handle.
+    heap.free(old).unwrap();
+    let new = cell(&mut heap, 2);
+    assert_eq!(new.index(), old.index(), "slot recycled");
+    assert_traps("NRMI-Z003", || {
+        let _ = map.get(new);
+    });
+}
+
+#[test]
+fn z003_same_generation_reads_are_clean() {
+    let mut heap = Heap::new(registry());
+    let id = cell(&mut heap, 1);
+    let mut map: DenseIdMap<u32> = DenseIdMap::new();
+    map.insert(id, 42);
+    assert_eq!(map.get(id), Some(42));
+}

@@ -106,6 +106,12 @@ impl<'h, 'b, 'k> Deserializer<'h, 'b, 'k> {
             let v = self.decode_value()?;
             roots.push(v);
         }
+        if !self.reader.is_exhausted() {
+            return Err(WireError::TrailingBytes {
+                offset: self.reader.position(),
+                trailing: self.reader.remaining(),
+            });
+        }
         Ok(DecodedGraph {
             roots,
             linear: self.linear,
@@ -132,7 +138,7 @@ impl<'h, 'b, 'k> Deserializer<'h, 'b, 'k> {
                 Ok(Value::Str(s))
             }
             TAG_STRREF => {
-                let idx = self.reader.get_varint()? as usize;
+                let idx = self.reader.get_varint_u32()? as usize;
                 self.strings
                     .get(idx)
                     .map(|s| Value::Str(s.clone()))
@@ -143,7 +149,7 @@ impl<'h, 'b, 'k> Deserializer<'h, 'b, 'k> {
             }
             TAG_OBJ => self.decode_object(),
             TAG_BACKREF => {
-                let pos = self.reader.get_varint()? as u32;
+                let pos = self.reader.get_varint_u32()?;
                 self.linear
                     .get(pos as usize)
                     .map(|&id| Value::Ref(id))
@@ -237,6 +243,19 @@ mod tests {
         let mut dst = Heap::new(heap.registry_handle().clone());
         let dec = deserialize_graph(&enc.bytes, &mut dst).unwrap();
         (dst, dec)
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (mut heap, classes) = setup();
+        let root = tree::build_random_tree(&mut heap, &classes, 8, 4).unwrap();
+        let mut bytes = serialize_graph(&heap, &[Value::Ref(root)]).unwrap().bytes;
+        bytes.push(0x00);
+        let mut dst = Heap::new(heap.registry_handle().clone());
+        match deserialize_graph(&bytes, &mut dst) {
+            Err(WireError::TrailingBytes { trailing, .. }) => assert_eq!(trailing, 1),
+            other => panic!("expected TrailingBytes, got {other:?}"),
+        }
     }
 
     #[test]

@@ -322,7 +322,7 @@ impl<'h, 'b> DeltaDecoder<'h, 'b> {
             TAG_DOUBLE => Ok(Value::Double(self.reader.get_f64()?)),
             TAG_STR => Ok(Value::Str(self.reader.get_str()?)),
             DTAG_OLDREF => {
-                let idx = self.reader.get_varint()? as u32;
+                let idx = self.reader.get_varint_u32()?;
                 self.client_linear
                     .get(idx as usize)
                     .map(|&id| Value::Ref(id))
@@ -332,7 +332,7 @@ impl<'h, 'b> DeltaDecoder<'h, 'b> {
                     })
             }
             DTAG_NEWBACK => {
-                let pos = self.reader.get_varint()? as u32;
+                let pos = self.reader.get_varint_u32()?;
                 self.new_objects
                     .get(pos as usize)
                     .map(|&id| Value::Ref(id))
@@ -342,7 +342,7 @@ impl<'h, 'b> DeltaDecoder<'h, 'b> {
                     })
             }
             DTAG_NEWOBJ => {
-                let class = nrmi_heap::ClassId::from_index(self.reader.get_varint()? as u32);
+                let class = nrmi_heap::ClassId::from_index(self.reader.get_varint_u32()?);
                 let slot_count = self.reader.get_count()?;
                 let desc = self.heap.registry_handle().get(class)?;
                 let id = if desc.flags().array {
@@ -384,7 +384,7 @@ pub fn apply_delta(bytes: &[u8], heap: &mut Heap, client_linear: &[ObjId]) -> Re
     if version != crate::FORMAT_VERSION {
         return Err(WireError::UnsupportedVersion(version));
     }
-    let old_count = reader.get_varint()? as usize;
+    let old_count = reader.get_varint_u32()? as usize;
     if old_count != client_linear.len() {
         return Err(WireError::BadOldIndex {
             index: old_count as u32,
@@ -400,7 +400,7 @@ pub fn apply_delta(bytes: &[u8], heap: &mut Heap, client_linear: &[ObjId]) -> Re
         new_objects: Vec::new(),
     };
     for _ in 0..changed_count {
-        let idx = dec.reader.get_varint()? as usize;
+        let idx = dec.reader.get_varint_u32()? as usize;
         let target = *client_linear.get(idx).ok_or(WireError::BadOldIndex {
             index: idx as u32,
             len: old_count as u32,
@@ -417,6 +417,12 @@ pub fn apply_delta(bytes: &[u8], heap: &mut Heap, client_linear: &[ObjId]) -> Re
     for _ in 0..root_count {
         let v = dec.decode_value()?;
         roots.push(v);
+    }
+    if !dec.reader.is_exhausted() {
+        return Err(WireError::TrailingBytes {
+            offset: dec.reader.position(),
+            trailing: dec.reader.remaining(),
+        });
     }
     Ok(AppliedDelta {
         roots,
@@ -455,6 +461,22 @@ mod tests {
         let delta = encode_delta(&server, &snapshot, &[]).unwrap();
         let applied = apply_delta(&delta.bytes, client, &enc.linear).unwrap();
         (applied, delta.stats)
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (mut client, classes) = setup();
+        let root = tree::build_random_tree(&mut client, &classes, 8, 5).unwrap();
+        let enc = serialize_graph(&client, &[Value::Ref(root)]).unwrap();
+        let mut server = Heap::new(client.registry_handle().clone());
+        let dec = deserialize_graph(&enc.bytes, &mut server).unwrap();
+        let snapshot = GraphSnapshot::capture(&server, &dec.linear).unwrap();
+        let mut bytes = encode_delta(&server, &snapshot, &[]).unwrap().bytes;
+        bytes.push(0x7f);
+        match apply_delta(&bytes, &mut client, &enc.linear) {
+            Err(WireError::TrailingBytes { trailing, .. }) => assert_eq!(trailing, 1),
+            other => panic!("expected TrailingBytes, got {other:?}"),
+        }
     }
 
     #[test]

@@ -65,6 +65,15 @@ pub enum WireError {
         /// The unresolvable key.
         key: u64,
     },
+    /// The payload decoded completely but bytes were left over — a
+    /// truncated write, a mis-framed buffer, or data smuggled after a
+    /// valid prefix. Accepting it would silently drop state.
+    TrailingBytes {
+        /// Byte offset where decoding finished.
+        offset: usize,
+        /// Number of unconsumed bytes after it.
+        trailing: usize,
+    },
     /// An underlying heap operation failed.
     Heap(HeapError),
 }
@@ -102,6 +111,12 @@ impl fmt::Display for WireError {
             ),
             WireError::UnknownExport { key } => {
                 write!(f, "remote reference to unknown export key {key}")
+            }
+            WireError::TrailingBytes { offset, trailing } => {
+                write!(
+                    f,
+                    "{trailing} unconsumed byte(s) after payload ended at byte {offset}"
+                )
             }
             WireError::Heap(e) => write!(f, "heap error during (de)serialization: {e}"),
         }
@@ -172,6 +187,13 @@ mod tests {
                 "Bar",
             ),
             (WireError::UnknownExport { key: 77 }, "77"),
+            (
+                WireError::TrailingBytes {
+                    offset: 12,
+                    trailing: 3,
+                },
+                "3 unconsumed",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

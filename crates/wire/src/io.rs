@@ -155,6 +155,19 @@ impl<'a> ByteReader<'a> {
         }
     }
 
+    /// Reads a varint that must fit an index/position field (`u32` on
+    /// the wire). A wider value is a malformed frame: truncating it with
+    /// `as u32` could alias a *valid* index and silently corrupt the
+    /// decode, so it is rejected as an overflow instead.
+    ///
+    /// # Errors
+    /// [`WireError::VarintOverflow`] for values above `u32::MAX`; varint
+    /// errors as [`ByteReader::get_varint`].
+    pub fn get_varint_u32(&mut self) -> Result<u32> {
+        let offset = self.pos;
+        u32::try_from(self.get_varint()?).map_err(|_| WireError::VarintOverflow { offset })
+    }
+
     /// Reads a count (varint) that prefixes a sequence of items each at
     /// least one byte long. Rejects counts exceeding the remaining
     /// payload, which bounds attacker-controlled pre-allocation.
@@ -290,6 +303,22 @@ mod tests {
         let mut r = ByteReader::new(&bytes);
         assert!(matches!(
             r.get_varint(),
+            Err(WireError::VarintOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn varint_u32_narrowing() {
+        let mut w = ByteWriter::new();
+        w.put_varint(u64::from(u32::MAX));
+        w.put_varint(u64::from(u32::MAX) + 1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_varint_u32().unwrap(), u32::MAX);
+        // One past u32::MAX is a well-formed varint but not a legal
+        // index; it must be rejected, not truncated.
+        assert!(matches!(
+            r.get_varint_u32(),
             Err(WireError::VarintOverflow { .. })
         ));
     }

@@ -217,7 +217,7 @@ pub fn apply_request_delta(
     if version != crate::FORMAT_VERSION {
         return Err(WireError::UnsupportedVersion(version));
     }
-    let sync_count = reader.get_varint()? as usize;
+    let sync_count = reader.get_varint_u32()? as usize;
     if sync_count != sync.len() {
         return Err(WireError::BadOldIndex {
             index: sync_count as u32,
@@ -228,7 +228,7 @@ pub fn apply_request_delta(
     let mut freed_positions = Vec::with_capacity(freed_count);
     let mut freed_flags = vec![false; sync_count];
     for _ in 0..freed_count {
-        let pos = reader.get_varint()? as usize;
+        let pos = reader.get_varint_u32()? as usize;
         // Out-of-range and duplicate positions are both protocol errors.
         match freed_flags.get_mut(pos) {
             Some(flag @ false) => *flag = true,
@@ -250,7 +250,7 @@ pub fn apply_request_delta(
         new_objects: Vec::new(),
     };
     for _ in 0..dirty_count {
-        let pos = dec.reader.get_varint()? as usize;
+        let pos = dec.reader.get_varint_u32()? as usize;
         if pos >= sync_count || freed_flags[pos] {
             return Err(WireError::BadOldIndex {
                 index: pos as u32,
@@ -271,6 +271,12 @@ pub fn apply_request_delta(
         roots.push(dec.decode_value()?);
     }
     let new_objects = dec.new_objects;
+    if !dec.reader.is_exhausted() {
+        return Err(WireError::TrailingBytes {
+            offset: dec.reader.position(),
+            trailing: dec.reader.remaining(),
+        });
+    }
     // Free last, after all decoding: freed slots must not be recycled by
     // the new-object allocations above, and a malformed payload errors
     // out before any receiver object is freed.
@@ -339,6 +345,22 @@ mod tests {
         let dec = deserialize_graph(&enc.bytes, &mut server).unwrap();
         let client_sync = LinearMap::build(&client, &[root]).unwrap().order().to_vec();
         (client, server, client_sync, dec.linear, classes)
+    }
+
+    #[test]
+    fn trailing_bytes_error_before_any_free() {
+        let (client, mut server, c_sync, s_sync, _) = seeded_pair(8, 6);
+        let enc =
+            encode_request_delta(&client, &c_sync, &[1], &[], &[Value::Ref(c_sync[0])]).unwrap();
+        let mut bytes = enc.bytes;
+        bytes.push(0x00);
+        match apply_request_delta(&bytes, &mut server, &s_sync) {
+            Err(WireError::TrailingBytes { trailing, .. }) => assert_eq!(trailing, 1),
+            other => panic!("expected TrailingBytes, got {other:?}"),
+        }
+        // Exhaustion is checked before the free loop runs, so the
+        // malformed frame must not have freed the to-be-dropped slot.
+        assert!(server.get_field(s_sync[1], "data").is_ok());
     }
 
     #[test]

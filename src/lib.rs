@@ -13,7 +13,9 @@
 //! * [`transport`] — simulated-time network model, in-memory and TCP
 //!   transports, registry;
 //! * [`core`] — the calling semantics and the copy-restore algorithm
-//!   itself.
+//!   itself;
+//! * [`check`] — static schema analysis, protocol model checking, and
+//!   heap diagnostics (`nrmi-check`).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 //! See `examples/` for the paper's applications; the [`prelude`] brings
 //! the common types into scope.
 
+pub use nrmi_check as check;
 pub use nrmi_core as core;
 pub use nrmi_heap as heap;
 pub use nrmi_transport as transport;

@@ -60,6 +60,7 @@ proptest! {
                 })),
             );
             let _ = serve_connection(&mut server, &mut server_t);
+            server
         });
 
         let mut client = ClientNode::new(registry, MachineSpec::fast());
@@ -81,10 +82,13 @@ proptest! {
             CallOptions::forced(PassMode::CopyRestore),
         );
         drop(transport);
-        let _ = server.join();
+        let server_node = server.join().expect("server thread");
 
-        // Regardless of outcome, the heap must be structurally sound.
+        // Regardless of outcome, both heaps must be structurally sound:
+        // a corrupted or truncated frame may abort the call, but it must
+        // never leave either side holding dangling references.
         nrmi::heap::validate::assert_valid(&client.state.heap);
+        nrmi::heap::validate::assert_valid(&server_node.state.heap);
         match result {
             Ok(_) => {
                 // Success: exactly the server's mutation is visible.

@@ -8,6 +8,7 @@ use nrmi::core::{
     serve_tcp_concurrent, CallOptions, FnService, NrmiError, RemoteService, ServerNode, Session,
 };
 use nrmi::heap::tree::{self, TreeClasses};
+use nrmi::heap::validate::assert_valid;
 use nrmi::heap::{ClassRegistry, HeapAccess, ObjId, SharedRegistry, Value};
 use nrmi::transport::{MachineSpec, TcpListenerTransport};
 
@@ -70,6 +71,9 @@ fn warm_calls_restore_like_cold_and_ship_fewer_bytes() {
         assert_eq!(cv, wv, "call {i}: same return value");
         cold_request_bytes.push(cs.request_bytes);
         warm_request_bytes.push(ws.request_bytes);
+        // Restores must leave both heaps structurally sound every round.
+        assert_valid(cold.heap());
+        assert_valid(warm.heap());
     }
 
     // The seed request marshals the same full graph as the cold request.
@@ -221,6 +225,7 @@ fn structural_changes_ship_new_objects_and_frees() {
         "server-side cached graph tracks grafts and frees"
     );
     assert_eq!(session.warm_generation("count"), Some(2));
+    assert_valid(session.heap());
 }
 
 #[test]
@@ -288,6 +293,7 @@ fn out_of_band_mutation_invalidates_warm_cache() {
         Some(1),
         "cache miss forced a reseed (generation reset)"
     );
+    assert_valid(session.heap());
 }
 
 #[test]
@@ -312,8 +318,10 @@ fn eviction_reseeds_and_server_frees_cached_graphs() {
     assert_eq!(session.warm_generation("bump"), Some(1));
 
     // After shutdown every cached graph has been released: the server
-    // heap holds no leaked session state.
+    // heap holds no leaked session state — and what was freed was freed
+    // cleanly (no survivors left dangling at freed neighbors).
     let server = session.shutdown().unwrap();
+    assert_valid(&server.state.heap);
     assert_eq!(
         server.state.heap.live_count(),
         0,
@@ -353,6 +361,7 @@ fn remote_errors_retire_the_session() {
         None,
         "error retires the session"
     );
+    assert_valid(session.heap());
     // And the next call transparently reseeds.
     session
         .call_warm("moody", "get", &[Value::Ref(root)])
@@ -409,6 +418,7 @@ fn warm_sessions_are_isolated_per_tcp_client() {
         t.join().expect("client thread");
     }
     let server = server_thread.join().expect("server thread");
+    assert_valid(&server.state.heap);
     assert_eq!(
         server.state.heap.live_count(),
         0,
@@ -462,4 +472,5 @@ fn warm_falls_back_to_cold_for_undeltable_graphs() {
         None,
         "undeltable graph retired the warm session and ran cold"
     );
+    assert_valid(session.heap());
 }
