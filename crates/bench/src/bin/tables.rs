@@ -65,7 +65,7 @@ fn main() {
             let all = run_all_tables();
             println!("{}", render_observations(&check_observations(&all)));
             println!(
-                "\nextensions: `tables -- semantics | sweep | delta | warm | hotpath | table7 | leak`"
+                "\nextensions: `tables -- semantics | sweep | delta | warm | hotpath | faults | table7 | leak`"
             );
         }
         "loc" => print_loc(),
@@ -87,6 +87,25 @@ fn main() {
         "warm" => {
             let rows = nrmi_bench::warm::run_warm_ablation(1024);
             println!("{}", nrmi_bench::warm::render_warm_ablation(1024, &rows));
+        }
+        "faults" => {
+            use nrmi_bench::faults;
+            let report = faults::run_faults();
+            println!("{}", faults::render_faults(&report));
+            let json = faults::to_json(&report);
+            let path = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_faults.json");
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+            if !faults::at_most_once_violations(&report).is_empty() {
+                std::process::exit(1);
+            }
         }
         "hotpath" => {
             use nrmi_bench::hotpath;
@@ -157,7 +176,7 @@ fn main() {
             print_table(id, compare);
         }
         _ => {
-            eprintln!("usage: tables [all|loc|check|checks|sweep|delta|warm|hotpath|leak|semantics|table1..table7] [--bare]");
+            eprintln!("usage: tables [all|loc|check|checks|sweep|delta|warm|hotpath|faults|leak|semantics|table1..table7] [--bare]");
             std::process::exit(2);
         }
     }

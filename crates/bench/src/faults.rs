@@ -1,0 +1,359 @@
+//! Goodput-under-loss ablation: what the at-most-once reliability layer
+//! buys on a lossy link.
+//!
+//! The paper's position (§6.2, after Waldo et al.) is that middleware
+//! must surface network failure rather than hide it; the reliability
+//! layer refines that into a usable contract — every call either takes
+//! effect exactly once or fails with a deadline error. This ablation
+//! quantifies the *goodput* side of that contract: it drives the same
+//! counting workload through a [`FaultyTransport`] that drops a fixed
+//! percentage of frames (requests and replies alike, from a seeded
+//! deterministic schedule) and compares
+//!
+//! * **naive** — one attempt per call, no retransmission (what a plain
+//!   request/reply client gets on a lossy link), against
+//! * **reliable** — [`ReliableTransport`] with retries, duplicate
+//!   suppression, and a per-call deadline.
+//!
+//! Alongside goodput it reports the server-side execution count, which
+//! the at-most-once invariant bounds by the number of calls — retries
+//! must never double an effect. `tables -- faults` renders the table
+//! and emits `BENCH_faults.json` (mirroring the `hotpath` artifact) so
+//! CI keeps the loss/goodput trajectory machine-readable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use nrmi_core::{
+    client_invoke, CallOptions, ClientNode, FnService, PassMode, ReliableTransport, RetryPolicy,
+};
+use nrmi_heap::{ClassRegistry, SharedRegistry, Value};
+use nrmi_transport::{channel_pair, Fault, FaultPlan, FaultyTransport, LinkSpec, MachineSpec};
+
+/// Calls issued per (loss rate, mode) cell.
+pub const CALLS: usize = 48;
+
+/// Loss rates swept, in percent of frames dropped (each direction).
+pub const LOSS_RATES: [u32; 4] = [0, 5, 10, 20];
+
+/// Seed for the deterministic drop schedule (same schedule family for
+/// every run, so the numbers are reproducible).
+pub const SEED: u64 = 0x6c6f_7373;
+
+/// One measured cell: a loss rate driven through one delivery mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultsPoint {
+    /// Percentage of frames dropped, each direction.
+    pub loss_pct: u32,
+    /// Calls issued.
+    pub calls: usize,
+    /// Calls that returned a value to the caller.
+    pub ok: usize,
+    /// Times the service body actually ran (server-side truth).
+    pub executions: usize,
+    /// Retransmissions performed by the client (0 in naive mode).
+    pub retries: u64,
+    /// Replies served from the duplicate-suppression cache.
+    pub replays: u64,
+    /// Mean wall-clock nanoseconds per call.
+    pub ns_per_call: u64,
+}
+
+impl FaultsPoint {
+    /// Fraction of calls that completed, in percent.
+    pub fn goodput_pct(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            100.0 * self.ok as f64 / self.calls as f64
+        }
+    }
+}
+
+/// The sweep: naive vs reliable at each loss rate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultsReport {
+    /// Calls per cell.
+    pub calls: usize,
+    /// Single-attempt delivery, one row per loss rate.
+    pub naive: Vec<FaultsPoint>,
+    /// At-most-once delivery with retries, one row per loss rate.
+    pub reliable: Vec<FaultsPoint>,
+}
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.define("Cell").field_int("data").restorable().register();
+    reg.snapshot()
+}
+
+/// xorshift64 — the same generator the retry jitter uses; keeps the drop
+/// schedule deterministic without a `rand` dependency in the hot loop.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A deterministic schedule dropping ~`loss_pct`% of operations.
+fn lossy_plan(loss_pct: u32, len: usize, seed: u64) -> Vec<Fault> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            if xorshift64(&mut state) % 100 < u64::from(loss_pct) {
+                Fault::DropFrame
+            } else {
+                Fault::Pass
+            }
+        })
+        .collect()
+}
+
+fn naive_policy() -> RetryPolicy {
+    RetryPolicy {
+        deadline: Duration::from_millis(40),
+        attempt_timeout: Duration::from_millis(40),
+        max_attempts: 1,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        jitter: false,
+    }
+}
+
+fn reliable_policy() -> RetryPolicy {
+    RetryPolicy {
+        deadline: Duration::from_secs(2),
+        attempt_timeout: Duration::from_millis(25),
+        max_attempts: 12,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        jitter: false,
+    }
+}
+
+fn measure(loss_pct: u32, reliable: bool) -> FaultsPoint {
+    let registry = registry();
+    let (client_t, mut server_t) = channel_pair(None, LinkSpec::free());
+    let executions = Arc::new(AtomicUsize::new(0));
+    let server_execs = Arc::clone(&executions);
+    let server_registry = registry.clone();
+    let server = thread::spawn(move || {
+        let mut node = nrmi_core::ServerNode::new(server_registry, MachineSpec::fast());
+        node.bind(
+            "count",
+            Box::new(FnService::new(move |_m, _args, _h| {
+                let n = server_execs.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Int(n as i32 + 1))
+            })),
+        );
+        let _ = nrmi_core::serve_connection(&mut node, &mut server_t);
+    });
+
+    // The plan must outlast every retransmission: worst case each call
+    // burns max_attempts sends and as many receives.
+    let plan_len = CALLS * 16;
+    let policy = if reliable {
+        reliable_policy()
+    } else {
+        naive_policy()
+    };
+    let plan = FaultPlan {
+        sends: lossy_plan(loss_pct, plan_len, SEED ^ 0x5e5e),
+        recvs: lossy_plan(loss_pct, plan_len, SEED ^ 0x7265_6376),
+    };
+    let faulty = FaultyTransport::new(client_t, plan);
+    let mut transport = ReliableTransport::new(faulty, policy);
+    let mut client = ClientNode::new(registry, MachineSpec::fast());
+
+    let mut ok = 0usize;
+    let started = Instant::now();
+    for _ in 0..CALLS {
+        if client_invoke(
+            &mut client,
+            &mut transport,
+            "count",
+            "bump",
+            &[Value::Int(1)],
+            CallOptions::forced(PassMode::Copy),
+        )
+        .is_ok()
+        {
+            ok += 1;
+        }
+    }
+    let elapsed = started.elapsed().as_nanos() as u64;
+    let stats = transport.stats();
+
+    // Dropping the client end disconnects the channel and ends the
+    // serve loop (a Shutdown frame could itself be dropped by the plan).
+    drop(transport);
+    server.join().expect("server thread");
+
+    FaultsPoint {
+        loss_pct,
+        calls: CALLS,
+        ok,
+        executions: executions.load(Ordering::SeqCst),
+        retries: stats.retries,
+        replays: stats.replays,
+        ns_per_call: elapsed / CALLS as u64,
+    }
+}
+
+/// Runs the full sweep: every loss rate in [`LOSS_RATES`], both modes.
+pub fn run_faults() -> FaultsReport {
+    FaultsReport {
+        calls: CALLS,
+        naive: LOSS_RATES.iter().map(|&p| measure(p, false)).collect(),
+        reliable: LOSS_RATES.iter().map(|&p| measure(p, true)).collect(),
+    }
+}
+
+/// Renders the sweep as an aligned table with the at-most-once audit.
+pub fn render_faults(report: &FaultsReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Goodput under loss — {} calls/cell, frames dropped each direction",
+        report.calls
+    );
+    let _ = writeln!(
+        out,
+        "\n{:<6} {:>12} {:>15} {:>9} {:>9} {:>9} {:>12}",
+        "loss%", "naive ok", "reliable ok", "execs", "retries", "replays", "us/call"
+    );
+    for (n, r) in report.naive.iter().zip(&report.reliable) {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>7}/{:<4} {:>10}/{:<4} {:>9} {:>9} {:>9} {:>12}",
+            n.loss_pct,
+            n.ok,
+            n.calls,
+            r.ok,
+            r.calls,
+            r.executions,
+            r.retries,
+            r.replays,
+            r.ns_per_call / 1_000
+        );
+    }
+    let violations = at_most_once_violations(report);
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n[PASS] at-most-once held at every loss rate (executions ≤ calls, successes all took effect)"
+        );
+    } else {
+        let _ = writeln!(out, "\n[FAIL] at-most-once violations:");
+        for v in &violations {
+            let _ = writeln!(out, "  - {v}");
+        }
+    }
+    out
+}
+
+/// Audits the sweep against the delivery contract. Empty means clean:
+/// no cell executed more service bodies than calls issued, and every
+/// reported success corresponds to a real execution.
+pub fn at_most_once_violations(report: &FaultsReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    for p in report.naive.iter().chain(&report.reliable) {
+        if p.executions > p.calls {
+            violations.push(format!(
+                "loss {}%: {} executions for {} calls — a retry doubled an effect",
+                p.loss_pct, p.executions, p.calls
+            ));
+        }
+        if p.ok > p.executions {
+            violations.push(format!(
+                "loss {}%: {} successes but only {} executions — a success without an effect",
+                p.loss_pct, p.ok, p.executions
+            ));
+        }
+    }
+    violations
+}
+
+fn point_json(p: &FaultsPoint) -> String {
+    format!(
+        "{{\"loss_pct\": {}, \"calls\": {}, \"ok\": {}, \"executions\": {}, \"retries\": {}, \"replays\": {}, \"ns_per_call\": {}}}",
+        p.loss_pct, p.calls, p.ok, p.executions, p.retries, p.replays, p.ns_per_call
+    )
+}
+
+/// Serializes the sweep as the `BENCH_faults.json` document.
+pub fn to_json(report: &FaultsReport) -> String {
+    let join =
+        |points: &[FaultsPoint]| points.iter().map(point_json).collect::<Vec<_>>().join(", ");
+    format!(
+        "{{\n  \"workload\": \"counting service, frames dropped both directions, deterministic schedule\",\n  \"calls_per_cell\": {},\n  \"naive\": [{}],\n  \"reliable\": [{}]\n}}\n",
+        report.calls,
+        join(&report.naive),
+        join(&report.reliable)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_cells_complete_every_call() {
+        let clean = measure(0, true);
+        assert_eq!(clean.ok, CALLS);
+        assert_eq!(clean.executions, CALLS);
+        assert_eq!(clean.retries, 0);
+    }
+
+    #[test]
+    fn reliable_mode_beats_naive_under_loss_and_stays_at_most_once() {
+        let naive = measure(20, false);
+        let reliable = measure(20, true);
+        assert!(
+            reliable.ok > naive.ok,
+            "retries must recover goodput: naive {}/{} vs reliable {}/{}",
+            naive.ok,
+            naive.calls,
+            reliable.ok,
+            reliable.calls
+        );
+        let report = FaultsReport {
+            calls: CALLS,
+            naive: vec![naive],
+            reliable: vec![reliable],
+        };
+        assert!(
+            at_most_once_violations(&report).is_empty(),
+            "{}",
+            render_faults(&report)
+        );
+    }
+
+    #[test]
+    fn json_has_both_modes() {
+        let p = FaultsPoint {
+            loss_pct: 5,
+            calls: 4,
+            ok: 4,
+            executions: 4,
+            retries: 1,
+            replays: 1,
+            ns_per_call: 10,
+        };
+        let report = FaultsReport {
+            calls: 4,
+            naive: vec![p],
+            reliable: vec![p],
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"naive\""));
+        assert!(json.contains("\"reliable\""));
+        assert!(json.contains("\"loss_pct\": 5"));
+    }
+}

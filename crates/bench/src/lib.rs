@@ -33,6 +33,7 @@
 pub mod alloc_count;
 pub mod delta_sweep;
 pub mod ext_collections;
+pub mod faults;
 pub mod figures;
 pub mod hotpath;
 pub mod leak;

@@ -34,8 +34,8 @@ pub mod schema;
 pub use diag::{Diagnostic, Report, Severity};
 pub use heapcheck::check_heap;
 pub use protocol::{
-    check_sequence, judge_reply, model_check, Action, ModelCheckConfig, ReplyContext,
-    ADVERSARIAL_ALPHABET, CORE_ALPHABET,
+    check_reliability_sequence, check_sequence, judge_reply, model_check, Action, ModelCheckConfig,
+    ReliabilityAction, ReplyContext, ADVERSARIAL_ALPHABET, CORE_ALPHABET, RELIABILITY_ALPHABET,
 };
 pub use schema::{analyze_registry, diff_registries, fingerprint, fingerprints};
 
@@ -75,6 +75,7 @@ mod tests {
         let report = self_check(&ModelCheckConfig {
             core_depth: 0,
             adversarial_depth: 0,
+            reliability_depth: 0,
             max_errors: 25,
         });
         assert!(!report.has_errors(), "{}", report.render());

@@ -202,6 +202,17 @@ struct ServerSide {
     server: ServerNode,
     caches: WarmCaches,
     replies: VecDeque<Frame>,
+    faults: FaultFlags,
+}
+
+/// Single-shot fault counters the reliability alphabet arms; each is
+/// consumed by the next frame it applies to.
+#[derive(Default)]
+struct FaultFlags {
+    drop_requests: u32,
+    drop_replies: u32,
+    duplicate_requests: u32,
+    disconnects: u32,
 }
 
 impl ServerSide {
@@ -209,6 +220,32 @@ impl ServerSide {
     /// frame warrants one).
     fn dispatch(&mut self, frame: &Frame) -> Option<Frame> {
         match frame {
+            // The at-most-once envelope: consult the node's reply cache
+            // before executing, exactly as the real serve loop does.
+            Frame::Tagged { nonce, seq, frame } => {
+                use nrmi_core::ReplyDecision;
+                match self.server.replies.decision(*nonce, *seq) {
+                    ReplyDecision::Replay(cached) => Some(Frame::ReplyCached {
+                        nonce: *nonce,
+                        seq: *seq,
+                        frame: Box::new(cached),
+                    }),
+                    ReplyDecision::Evicted => Some(Frame::ReplyCached {
+                        nonce: *nonce,
+                        seq: *seq,
+                        frame: Box::new(nrmi_core::reliable::evicted_reply()),
+                    }),
+                    ReplyDecision::Fresh => {
+                        let reply = self.dispatch(frame)?;
+                        self.server.replies.store(*nonce, *seq, &reply);
+                        Some(Frame::Tagged {
+                            nonce: *nonce,
+                            seq: *seq,
+                            frame: Box::new(reply),
+                        })
+                    }
+                }
+            }
             Frame::CallRequestWarm {
                 service,
                 method,
@@ -343,6 +380,7 @@ impl World {
                 server,
                 caches: WarmCaches::new(),
                 replies: VecDeque::new(),
+                faults: FaultFlags::default(),
             },
             root,
             twin,
@@ -664,6 +702,367 @@ fn reachable_from(heap: &Heap, root: ObjId) -> Vec<ObjId> {
 }
 
 // ---------------------------------------------------------------------------
+// The reliability model: the real retry client against a lossy link
+// ---------------------------------------------------------------------------
+
+/// One action of the reliability alphabet, driving the real
+/// [`ReliableTransport`](nrmi_core::ReliableTransport) client over a
+/// lossy in-process link against the real server-side reply cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReliabilityAction {
+    /// A warm call through the reliable transport (checked against the
+    /// oracle twin and the execution counter).
+    Call,
+    /// Mutate the client graph (varies the deltas between calls).
+    MutateClient,
+    /// Arm: the next tagged request vanishes in flight (client must
+    /// retransmit; the server never saw it, so it executes once).
+    DropRequest,
+    /// Arm: the next reply vanishes in flight (the call executed; the
+    /// retransmission must be answered from the reply cache, not re-run).
+    DropReply,
+    /// Arm: the next tagged request is delivered twice (the second copy
+    /// must replay from the reply cache, not re-execute).
+    DuplicateRequest,
+    /// Arm: the next receive fails as a broken connection; the client
+    /// reconnects (per-connection warm caches die, the reply cache
+    /// survives) and retransmits.
+    Disconnect,
+}
+
+/// Every transition of the retry/duplicate-suppression state machine.
+pub const RELIABILITY_ALPHABET: [ReliabilityAction; 6] = [
+    ReliabilityAction::Call,
+    ReliabilityAction::MutateClient,
+    ReliabilityAction::DropRequest,
+    ReliabilityAction::DropReply,
+    ReliabilityAction::DuplicateRequest,
+    ReliabilityAction::Disconnect,
+];
+
+/// The lossy link: a handle on the shared [`ServerSide`] that consumes
+/// the armed fault flags. Unlike the bare `ServerSide` transport (where
+/// an empty queue is a deadlock), an empty queue here is a `Timeout` —
+/// the client's retry loop, not the checker, decides what that means.
+struct LossyLink(Arc<Mutex<ServerSide>>);
+
+impl Transport for LossyLink {
+    fn send(&mut self, frame: &Frame) -> nrmi_transport::Result<()> {
+        let mut side = self.0.lock().expect("poisoned");
+        let tagged = matches!(frame, Frame::Tagged { .. });
+        if tagged && side.faults.drop_requests > 0 {
+            side.faults.drop_requests -= 1;
+            return Ok(()); // the request is lost in flight
+        }
+        let copies = if tagged && side.faults.duplicate_requests > 0 {
+            side.faults.duplicate_requests -= 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            if let Some(reply) = side.dispatch(frame) {
+                if side.faults.drop_replies > 0 {
+                    side.faults.drop_replies -= 1; // the reply is lost
+                } else {
+                    side.replies.push_back(reply);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> nrmi_transport::Result<Frame> {
+        let mut side = self.0.lock().expect("poisoned");
+        if side.faults.disconnects > 0 {
+            side.faults.disconnects -= 1;
+            return Err(TransportError::Disconnected);
+        }
+        side.replies.pop_front().ok_or(TransportError::Timeout)
+    }
+
+    fn recv_timeout(&mut self, _timeout: Duration) -> nrmi_transport::Result<Frame> {
+        self.recv()
+    }
+
+    fn reconnect(&mut self) -> nrmi_transport::Result<bool> {
+        let mut side = self.0.lock().expect("poisoned");
+        // A fresh connection: per-connection warm session graphs are
+        // released (as serve_connection's teardown does) and queued
+        // replies die with the old socket. The reply cache lives on the
+        // node and survives — that is the property under test.
+        let ServerSide { server, caches, .. } = &mut *side;
+        caches.release_all(&mut server.state.heap);
+        side.replies.clear();
+        Ok(true)
+    }
+}
+
+/// Fresh world per reliability sequence: the real warm client behind a
+/// real [`ReliableTransport`](nrmi_core::ReliableTransport), the real
+/// server + reply cache behind a [`LossyLink`], and the local oracle
+/// twin. The service counts its executions so duplicate execution is
+/// observable directly, not only through graph divergence.
+struct ReliableWorld {
+    client: ClientNode,
+    transport: nrmi_core::ReliableTransport<LossyLink>,
+    side: Arc<Mutex<ServerSide>>,
+    root: ObjId,
+    twin: Heap,
+    twin_root: ObjId,
+    executions: Arc<std::sync::atomic::AtomicUsize>,
+    expected_executions: usize,
+}
+
+impl ReliableWorld {
+    fn new() -> Self {
+        let mut reg = ClassRegistry::new();
+        reg.define("Node")
+            .field_int("data")
+            .field_ref("left")
+            .field_ref("right")
+            .restorable()
+            .register();
+        let registry = reg.snapshot();
+
+        let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());
+        let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+        let executions = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::clone(&executions);
+        server.bind(
+            SVC,
+            Box::new(FnService::new(move |_method, args, heap| {
+                let root = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("want a root reference"))?;
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                service_logic(heap, root)
+            })),
+        );
+
+        let root = build_tree(&mut client.state.heap, &registry);
+        let mut twin = Heap::new(registry.clone());
+        let twin_root = build_tree(&mut twin, &registry);
+
+        let side = Arc::new(Mutex::new(ServerSide {
+            server,
+            caches: WarmCaches::new(),
+            replies: VecDeque::new(),
+            faults: FaultFlags::default(),
+        }));
+        // Instant virtual time: the lossy link never blocks, so retries
+        // are bounded by attempts, not wall clock.
+        let policy = nrmi_core::RetryPolicy {
+            deadline: Duration::from_secs(30),
+            attempt_timeout: Duration::from_millis(1),
+            max_attempts: 16,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: false,
+        };
+        let transport = nrmi_core::ReliableTransport::with_nonce(
+            LossyLink(Arc::clone(&side)),
+            policy,
+            0xC4_11_1D,
+        );
+
+        ReliableWorld {
+            client,
+            transport,
+            side,
+            root,
+            twin,
+            twin_root,
+            executions,
+            expected_executions: 0,
+        }
+    }
+
+    fn step(&mut self, action: ReliabilityAction, report: &mut Report) {
+        match action {
+            ReliabilityAction::Call => self.do_call(report),
+            ReliabilityAction::MutateClient => self.do_mutate_client(report),
+            ReliabilityAction::DropRequest => {
+                self.side.lock().expect("poisoned").faults.drop_requests += 1;
+            }
+            ReliabilityAction::DropReply => {
+                self.side.lock().expect("poisoned").faults.drop_replies += 1;
+            }
+            ReliabilityAction::DuplicateRequest => {
+                self.side
+                    .lock()
+                    .expect("poisoned")
+                    .faults
+                    .duplicate_requests += 1;
+            }
+            ReliabilityAction::Disconnect => {
+                self.side.lock().expect("poisoned").faults.disconnects += 1;
+            }
+        }
+        self.check_heaps(report);
+        self.check_at_most_once(report);
+    }
+
+    fn do_call(&mut self, report: &mut Report) {
+        let warm = client_invoke_warm_with_stats(
+            &mut self.client,
+            &mut self.transport,
+            SVC,
+            METHOD,
+            &[Value::Ref(self.root)],
+        );
+        let oracle = service_logic(&mut self.twin, self.twin_root);
+        self.expected_executions += 1;
+        match (warm, oracle) {
+            (Ok((got, _stats)), Ok(want)) => {
+                if got != want {
+                    report.push(Diagnostic::error(
+                        "NRMI-P003",
+                        format!(
+                            "reliable warm call diverged from the oracle: got {got:?}, \
+                             want {want:?}"
+                        ),
+                    ));
+                }
+                match graph::isomorphic(
+                    &self.client.state.heap,
+                    self.root,
+                    &self.twin,
+                    self.twin_root,
+                ) {
+                    Ok(true) => {}
+                    Ok(false) => report.push(Diagnostic::error(
+                        "NRMI-P003",
+                        "restored graph diverged from the oracle under faults \
+                         (a retransmission re-applied the mutation?)",
+                    )),
+                    Err(e) => report.push(Diagnostic::error(
+                        "NRMI-P003",
+                        format!("isomorphism comparison failed: {e}"),
+                    )),
+                }
+            }
+            (Err(e), Ok(_)) => report.push(
+                Diagnostic::error(
+                    "NRMI-P004",
+                    format!(
+                        "reliable call failed where the oracle succeeded \
+                         (the retry loop must mask single-shot faults): {e}"
+                    ),
+                )
+                .with("error", e.to_string()),
+            ),
+            (_, Err(e)) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("local oracle itself failed (checker bug): {e}"),
+            )),
+        }
+    }
+
+    fn do_mutate_client(&mut self, report: &mut Report) {
+        for (heap, root) in [
+            (&mut self.client.state.heap, self.root),
+            (&mut self.twin, self.twin_root),
+        ] {
+            let r = (|| -> Result<(), NrmiError> {
+                let d = heap
+                    .get_field(root, "data")?
+                    .as_int()
+                    .ok_or_else(|| NrmiError::app("data is not an int"))?;
+                heap.set_field(root, "data", Value::Int(d.wrapping_add(10)))?;
+                Ok(())
+            })();
+            if let Err(e) = r {
+                report.push(Diagnostic::error(
+                    "NRMI-P001",
+                    format!("client mutation failed: {e}"),
+                ));
+            }
+        }
+    }
+
+    fn check_heaps(&mut self, report: &mut Report) {
+        let side = self.side.lock().expect("poisoned");
+        for (label, code, heap) in [
+            ("client", "NRMI-P001", &self.client.state.heap),
+            ("server", "NRMI-P002", &side.server.state.heap),
+            ("oracle", "NRMI-P001", &self.twin),
+        ] {
+            for v in validate(heap) {
+                report.push(
+                    Diagnostic::error(code, format!("{label} heap corrupted: {v}"))
+                        .with("heap", label),
+                );
+            }
+        }
+    }
+
+    /// The tentpole invariant: under any drop/duplicate/disconnect
+    /// schedule, the service body runs exactly once per completed call —
+    /// never twice (`NRMI-P007`).
+    fn check_at_most_once(&mut self, report: &mut Report) {
+        let ran = self.executions.load(std::sync::atomic::Ordering::SeqCst);
+        if ran != self.expected_executions {
+            report.push(
+                Diagnostic::error(
+                    "NRMI-P007",
+                    format!(
+                        "at-most-once violated: {ran} service execution(s) for \
+                         {} completed call(s)",
+                        self.expected_executions
+                    ),
+                )
+                .with("executions", ran)
+                .with("calls", self.expected_executions),
+            );
+        }
+    }
+}
+
+/// Runs one reliability action sequence against a fresh world, returning
+/// all violations (panics become `NRMI-P006`, as in [`check_sequence`]).
+pub fn check_reliability_sequence(actions: &[ReliabilityAction]) -> Report {
+    let trace = actions
+        .iter()
+        .map(|a| format!("{a:?}"))
+        .collect::<Vec<_>>()
+        .join(" → ");
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut world = ReliableWorld::new();
+        let mut report = Report::new();
+        for (i, &action) in actions.iter().enumerate() {
+            world.step(action, &mut report);
+            if report.has_errors() {
+                return (report, Some(i));
+            }
+        }
+        (report, None)
+    }));
+    match outcome {
+        Ok((mut report, failed_at)) => {
+            if let Some(i) = failed_at {
+                report = report
+                    .diagnostics()
+                    .iter()
+                    .cloned()
+                    .map(|d| d.with("trace", &trace).with("failed_at_step", i))
+                    .collect();
+            }
+            report
+        }
+        Err(payload) => {
+            let msg = panic_message(&payload);
+            let mut report = Report::new();
+            report.push(
+                Diagnostic::error("NRMI-P006", format!("sequence panicked: {msg}"))
+                    .with("trace", &trace),
+            );
+            report
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Enumeration
 // ---------------------------------------------------------------------------
 
@@ -674,6 +1073,9 @@ pub struct ModelCheckConfig {
     pub core_depth: usize,
     /// Exhaustive depth over [`ADVERSARIAL_ALPHABET`].
     pub adversarial_depth: usize,
+    /// Exhaustive depth over [`RELIABILITY_ALPHABET`] (the retry /
+    /// duplicate-suppression / reconnect state machine).
+    pub reliability_depth: usize,
     /// Stop after this many error diagnostics (a broken invariant tends
     /// to fail thousands of sequences identically).
     pub max_errors: usize,
@@ -682,10 +1084,12 @@ pub struct ModelCheckConfig {
 impl Default for ModelCheckConfig {
     fn default() -> Self {
         // Depth 6 over the 6-action core alphabet: 46_656 sequences,
-        // ~280k protocol actions; plus 9^4 = 6_561 adversarial sequences.
+        // ~280k protocol actions; plus 9^4 = 6_561 adversarial sequences
+        // and 6^4 = 1_296 reliability sequences.
         ModelCheckConfig {
             core_depth: 6,
             adversarial_depth: 4,
+            reliability_depth: 4,
             max_errors: 25,
         }
     }
@@ -771,8 +1175,23 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             (&CORE_ALPHABET[..], cfg.core_depth),
             (&ADVERSARIAL_ALPHABET[..], cfg.adversarial_depth),
         ] {
-            enumerate(alphabet, depth, cfg.max_errors, &mut inner, &mut count);
+            enumerate(
+                alphabet,
+                depth,
+                cfg.max_errors,
+                &mut inner,
+                &mut count,
+                check_sequence,
+            );
         }
+        enumerate(
+            &RELIABILITY_ALPHABET[..],
+            cfg.reliability_depth,
+            cfg.max_errors,
+            &mut inner,
+            &mut count,
+            check_reliability_sequence,
+        );
         (inner, count)
     }));
     std::panic::set_hook(prev_hook);
@@ -794,8 +1213,9 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             "NRMI-P000",
             format!(
                 "protocol enumeration explored {sequences} sequences \
-                 (core depth {}, adversarial depth {}): {errors} violation(s)",
-                cfg.core_depth, cfg.adversarial_depth
+                 (core depth {}, adversarial depth {}, reliability depth {}): \
+                 {errors} violation(s)",
+                cfg.core_depth, cfg.adversarial_depth, cfg.reliability_depth
             ),
         )
         .with("sequences", sequences),
@@ -803,21 +1223,23 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
     report
 }
 
-/// Odometer-style enumeration of all `|alphabet|^depth` sequences.
-fn enumerate(
-    alphabet: &[Action],
+/// Odometer-style enumeration of all `|alphabet|^depth` sequences,
+/// running each through `run` (one of the per-sequence checkers).
+fn enumerate<A: Copy>(
+    alphabet: &[A],
     depth: usize,
     max_errors: usize,
     report: &mut Report,
     sequences: &mut usize,
+    run: impl Fn(&[A]) -> Report,
 ) {
     if depth == 0 {
         return;
     }
     let mut digits = vec![0usize; depth];
     loop {
-        let actions: Vec<Action> = digits.iter().map(|&d| alphabet[d]).collect();
-        report.merge(check_sequence(&actions));
+        let actions: Vec<A> = digits.iter().map(|&d| alphabet[d]).collect();
+        report.merge(run(&actions));
         *sequences += 1;
         if report.counts().0 >= max_errors {
             report.push(Diagnostic::warning(
@@ -890,10 +1312,59 @@ mod tests {
         let report = model_check(&ModelCheckConfig {
             core_depth: 3,
             adversarial_depth: 2,
+            reliability_depth: 2,
             max_errors: 25,
         });
         assert!(!report.has_errors(), "{}", report.render());
         assert!(report.has_code("NRMI-P000"), "coverage note present");
+    }
+
+    #[test]
+    fn reliability_fault_sequences_are_clean() {
+        use ReliabilityAction as R;
+        for seq in [
+            vec![R::Call, R::Call],
+            vec![R::DropReply, R::Call, R::Call],
+            vec![R::DropRequest, R::Call, R::MutateClient, R::Call],
+            vec![R::DuplicateRequest, R::Call, R::Call],
+            vec![R::Disconnect, R::Call, R::Call],
+            // Reply lost, then the connection too: the retransmission
+            // crosses a reconnect and must be served from the cache.
+            vec![R::Call, R::DropReply, R::Disconnect, R::Call],
+            // Everything at once against a single call.
+            vec![
+                R::DropRequest,
+                R::DropReply,
+                R::DuplicateRequest,
+                R::Disconnect,
+                R::Call,
+                R::Call,
+            ],
+        ] {
+            let report = check_reliability_sequence(&seq);
+            assert!(
+                !report.has_errors(),
+                "sequence {seq:?} failed:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_without_reply_cache_would_be_caught() {
+        // Sanity that the at-most-once counter is live: dispatching the
+        // same tagged request twice directly at a fresh server must
+        // execute once and replay once.
+        let mut world = ReliableWorld::new();
+        let mut report = Report::new();
+        world.step(ReliabilityAction::DuplicateRequest, &mut report);
+        world.step(ReliabilityAction::Call, &mut report);
+        assert!(!report.has_errors(), "{}", report.render());
+        assert_eq!(
+            world.executions.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "the duplicated request must execute exactly once"
+        );
     }
 
     #[test]

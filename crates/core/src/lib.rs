@@ -62,6 +62,7 @@ pub mod node;
 pub mod profile;
 pub mod protocol;
 pub mod proxy;
+pub mod reliable;
 pub mod restore;
 pub mod semantics;
 pub mod service;
@@ -80,6 +81,10 @@ pub use protocol::{
     serve_connection_shared, CallStats,
 };
 pub use proxy::{handle_callback, ProxyStats, RemoteHeapProxy};
+pub use reliable::{
+    fresh_nonce, ReliableTransport, ReplyCache, ReplyDecision, RetryPolicy, RetryStats,
+    REPLY_EVICTED,
+};
 pub use restore::{apply_restore, RestoreOutcome, RestoreStats};
 pub use semantics::{CallOptions, PassMode};
 pub use service::{FnService, RemoteService};

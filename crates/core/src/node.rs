@@ -200,6 +200,10 @@ pub struct ServerNode {
     /// of that class dispatches here, with the receiver prepended to the
     /// arguments — the `UnicastRemoteObject` dispatch model.
     pub class_services: HashMap<nrmi_heap::ClassId, Box<dyn RemoteService>>,
+    /// Duplicate-suppression reply cache: replies to tagged calls are
+    /// recorded here so a retransmitted call id replays its reply
+    /// instead of re-executing (at-most-once delivery).
+    pub replies: crate::reliable::ReplyCache,
 }
 
 impl std::fmt::Debug for ServerNode {
@@ -218,6 +222,7 @@ impl ServerNode {
             state: NodeState::new(registry, machine),
             services: HashMap::new(),
             class_services: HashMap::new(),
+            replies: crate::reliable::ReplyCache::default(),
         }
     }
 

@@ -371,6 +371,7 @@ fn server_handle_call_inner(
         state,
         services,
         class_services,
+        replies: _,
     } = server;
     let cost = state.profile.cost();
     let registry = state.heap.registry_handle().clone();
@@ -540,6 +541,59 @@ fn server_handle_call_inner(
     Ok(Frame::CallReply { payload: enc.bytes })
 }
 
+/// Executes the call carried inside a [`Frame::Tagged`] envelope and
+/// returns its reply frame. Only call frames may travel tagged; anything
+/// else is a protocol error answered in-band so the client's retry loop
+/// terminates instead of retransmitting forever.
+fn dispatch_tagged(
+    server: &mut ServerNode,
+    warm: &mut crate::warm::WarmCaches,
+    transport: &mut dyn Transport,
+    frame: Frame,
+) -> Frame {
+    match frame {
+        Frame::CallRequest {
+            service,
+            method,
+            mode,
+            payload,
+        } => server_handle_call(
+            server,
+            transport,
+            &method,
+            Callee::Named(&service),
+            mode,
+            &payload,
+        ),
+        Frame::CallObject {
+            key,
+            method,
+            mode,
+            payload,
+        } => server_handle_call(
+            server,
+            transport,
+            &method,
+            Callee::Exported(key),
+            mode,
+            &payload,
+        ),
+        Frame::CallRequestWarm {
+            service,
+            method,
+            mode,
+            cache_id,
+            generation,
+            payload,
+        } => crate::warm::server_handle_warm_call(
+            server, warm, transport, &service, &method, mode, cache_id, generation, &payload,
+        ),
+        other => Frame::CallError {
+            message: format!("frame cannot carry a call id: {other:?}"),
+        },
+    }
+}
+
 /// Shared-server variant of [`serve_connection`]: the server node sits
 /// behind a mutex so several connection threads can serve it — the
 /// paper's multi-threaded server accepting requests from multiple client
@@ -630,6 +684,78 @@ fn serve_connection_shared_inner(
             }
             Frame::DgcClean { key } => {
                 server.lock().state.exports.clean(key);
+            }
+            Frame::Tagged { nonce, seq, frame } => {
+                use crate::reliable::ReplyDecision;
+                let reply = match *frame {
+                    Frame::CallRequestWarm {
+                        service,
+                        method,
+                        mode,
+                        cache_id,
+                        generation,
+                        payload,
+                    } => {
+                        // The warm handler takes the mutex itself, so the
+                        // decision and store use separate lock scopes. The
+                        // window is benign: warm caches are per connection,
+                        // so a duplicate of this id can only arrive on this
+                        // connection — serialized by this very loop.
+                        let decision = server.lock().replies.decision(nonce, seq);
+                        match decision {
+                            ReplyDecision::Replay(cached) => Frame::ReplyCached {
+                                nonce,
+                                seq,
+                                frame: Box::new(cached),
+                            },
+                            ReplyDecision::Evicted => Frame::ReplyCached {
+                                nonce,
+                                seq,
+                                frame: Box::new(crate::reliable::evicted_reply()),
+                            },
+                            ReplyDecision::Fresh => {
+                                let reply = crate::warm::server_handle_warm_call_shared(
+                                    server, warm, transport, &service, &method, mode, cache_id,
+                                    generation, &payload,
+                                );
+                                server.lock().replies.store(nonce, seq, &reply);
+                                Frame::Tagged {
+                                    nonce,
+                                    seq,
+                                    frame: Box::new(reply),
+                                }
+                            }
+                        }
+                    }
+                    inner => {
+                        // Cold calls: one guard spans decide + execute +
+                        // store, so two connections retrying the same id
+                        // can never both execute it.
+                        let mut guard = server.lock();
+                        match guard.replies.decision(nonce, seq) {
+                            ReplyDecision::Replay(cached) => Frame::ReplyCached {
+                                nonce,
+                                seq,
+                                frame: Box::new(cached),
+                            },
+                            ReplyDecision::Evicted => Frame::ReplyCached {
+                                nonce,
+                                seq,
+                                frame: Box::new(crate::reliable::evicted_reply()),
+                            },
+                            ReplyDecision::Fresh => {
+                                let reply = dispatch_tagged(&mut guard, warm, transport, inner);
+                                guard.replies.store(nonce, seq, &reply);
+                                Frame::Tagged {
+                                    nonce,
+                                    seq,
+                                    frame: Box::new(reply),
+                                }
+                            }
+                        }
+                    }
+                };
+                transport.send(&reply)?;
             }
             other => {
                 return Err(NrmiError::Protocol(format!("unexpected frame {other:?}")));
@@ -725,6 +851,31 @@ fn serve_connection_inner(
             }
             Frame::DgcClean { key } => {
                 server.state.exports.clean(key);
+            }
+            Frame::Tagged { nonce, seq, frame } => {
+                use crate::reliable::ReplyDecision;
+                let reply = match server.replies.decision(nonce, seq) {
+                    ReplyDecision::Replay(cached) => Frame::ReplyCached {
+                        nonce,
+                        seq,
+                        frame: Box::new(cached),
+                    },
+                    ReplyDecision::Evicted => Frame::ReplyCached {
+                        nonce,
+                        seq,
+                        frame: Box::new(crate::reliable::evicted_reply()),
+                    },
+                    ReplyDecision::Fresh => {
+                        let reply = dispatch_tagged(server, warm, transport, *frame);
+                        server.replies.store(nonce, seq, &reply);
+                        Frame::Tagged {
+                            nonce,
+                            seq,
+                            frame: Box::new(reply),
+                        }
+                    }
+                };
+                transport.send(&reply)?;
             }
             other => {
                 // Callbacks addressed at the server's exports (a client

@@ -1,0 +1,849 @@
+//! At-most-once delivery: call ids, client retry, and the server reply
+//! cache.
+//!
+//! NRMI's pitch is that a remote call behaves like a local call — but a
+//! local call never executes twice. A naive retry after a lost reply
+//! re-runs the remote routine, and under copy-restore that re-applies
+//! the routine's mutations to the caller's graph: the one failure mode
+//! worse than failing. This module closes that hole with the classic
+//! at-most-once construction (Birrell & Nelson's RPC, RFC-style
+//! request ids):
+//!
+//! * every call frame is wrapped in [`Frame::Tagged`] with a call id —
+//!   a per-session random `nonce` plus a monotone `seq`;
+//! * the server remembers the reply for each executed id in a bounded
+//!   [`ReplyCache`]; a retransmitted id is answered from the cache
+//!   ([`Frame::ReplyCached`]) *without re-executing*;
+//! * the client's [`ReliableTransport`] retries per a [`RetryPolicy`]
+//!   (deadline, capped exponential backoff with jitter, max attempts)
+//!   and transparently reconnects socket transports, so the caller sees
+//!   either exactly-once-effect success or a
+//!   [`TransportError::DeadlineExceeded`] — never a duplicate effect.
+//!
+//! The reply cache is byte-capped. When a retransmission arrives for a
+//! call whose reply was evicted, the server answers with a definite
+//! error ([`REPLY_EVICTED`]) rather than re-executing: at-most-once is
+//! preserved at the price of an explicit failure, the same trade RMI's
+//! DGC makes under lease expiry.
+//!
+//! Retry is sound for the copy semantics (copy, copy-restore, DCE,
+//! warm deltas): the request payload is immutable once marshalled, and
+//! the effect lands only when a reply is applied. It is *not* offered
+//! for remote-reference calls mid-flight callbacks mutate the caller —
+//! resending those is application-level replay, which no transport can
+//! make safe.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use nrmi_transport::{Frame, Transport, TransportError};
+
+/// Error message a server sends when a retransmitted call already
+/// executed but its cached reply was evicted. The effect happened
+/// exactly once; only the reply is gone.
+pub const REPLY_EVICTED: &str =
+    "call executed but its reply was evicted from the at-most-once cache";
+
+/// Client retry schedule for [`ReliableTransport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Overall per-call budget: once this much wall-clock time has
+    /// passed since the request was first sent, the call fails with
+    /// [`TransportError::DeadlineExceeded`].
+    pub deadline: Duration,
+    /// How long to wait for a reply before retransmitting.
+    pub attempt_timeout: Duration,
+    /// Maximum send attempts (first send included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Randomize each backoff to 50–100% of its nominal value, so a
+    /// fleet of clients recovering from one outage does not
+    /// retransmit in lockstep.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_secs(30),
+            attempt_timeout: Duration::from_secs(2),
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A fast-failing policy for tests and in-process links: short
+    /// waits, no backoff sleep.
+    pub fn aggressive() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_secs(2),
+            attempt_timeout: Duration::from_millis(50),
+            max_attempts: 6,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: false,
+        }
+    }
+
+    /// Nominal backoff before attempt `attempt + 1` (0-based completed
+    /// attempts), jittered into `[half, full]` when enabled.
+    fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        let nominal = self
+            .base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff);
+        if !self.jitter {
+            return nominal;
+        }
+        // 50–100% of nominal, from a self-contained xorshift stream.
+        let r = xorshift64(rng) % 512;
+        nominal.mul_f64(0.5 + (r as f64) / 1024.0)
+    }
+}
+
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Allocates a session nonce: unique per process run with high
+/// probability across processes (seeded by the OS-randomized
+/// `RandomState` hasher), without pulling in an RNG dependency.
+pub fn fresh_nonce() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x6e72_6d69); // "nrmi"
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    let n = h.finish();
+    // A zero nonce would seed a degenerate xorshift stream.
+    if n == 0 {
+        1
+    } else {
+        n
+    }
+}
+
+/// Counters a [`ReliableTransport`] accumulates, for benchmarks and
+/// assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Call requests issued (unique calls, not attempts).
+    pub calls: u64,
+    /// Retransmissions (attempts beyond the first, across all calls).
+    pub retries: u64,
+    /// Replies served from the server's duplicate-suppression cache.
+    pub replays: u64,
+    /// Stale envelopes (late replies to abandoned attempts) discarded.
+    pub stale_discarded: u64,
+    /// Successful transport reconnects.
+    pub reconnects: u64,
+    /// Calls that failed with a deadline error.
+    pub deadline_failures: u64,
+}
+
+/// The request currently awaiting its reply.
+#[derive(Debug)]
+struct InFlight {
+    seq: u64,
+    /// The full `Tagged` envelope, kept verbatim for retransmission.
+    request: Frame,
+    deadline: Instant,
+    attempts: u32,
+    /// True when the last send failed (or timed out) and the request
+    /// must be retransmitted before waiting again.
+    needs_send: bool,
+}
+
+/// A [`Transport`] decorator that makes every call at-most-once with a
+/// deadline.
+///
+/// Call frames (`CallRequest`, `CallObject`, `CallRequestWarm`) are
+/// stamped with a call id on send; `recv`/`recv_timeout` then run the
+/// retry loop — retransmitting on timeout, reconnecting on disconnect,
+/// discarding stale replies — until the matching reply arrives or the
+/// deadline passes. All other frames (callback replies, lookups,
+/// shutdown, DGC) pass through untouched, so the decorated transport
+/// drops into every existing client path unchanged.
+pub struct ReliableTransport<T> {
+    inner: T,
+    policy: RetryPolicy,
+    nonce: u64,
+    next_seq: u64,
+    in_flight: Option<InFlight>,
+    rng: u64,
+    stats: RetryStats,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ReliableTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReliableTransport")
+            .field("inner", &self.inner)
+            .field("nonce", &self.nonce)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<T: Transport> ReliableTransport<T> {
+    /// Wraps `inner` with a fresh session nonce.
+    pub fn new(inner: T, policy: RetryPolicy) -> Self {
+        let nonce = fresh_nonce();
+        ReliableTransport {
+            inner,
+            policy,
+            nonce,
+            next_seq: 0,
+            in_flight: None,
+            rng: nonce | 1,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Wraps `inner` with an explicit nonce (deterministic tests and the
+    /// model checker).
+    pub fn with_nonce(inner: T, policy: RetryPolicy, nonce: u64) -> Self {
+        ReliableTransport {
+            inner,
+            policy,
+            nonce,
+            next_seq: 0,
+            in_flight: None,
+            rng: nonce | 1,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Accumulated retry counters.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// The session nonce stamped on every call.
+    pub fn nonce(&self) -> u64 {
+        self.nonce
+    }
+
+    /// Unwraps the decorated transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn is_call(frame: &Frame) -> bool {
+        matches!(
+            frame,
+            Frame::CallRequest { .. } | Frame::CallObject { .. } | Frame::CallRequestWarm { .. }
+        )
+    }
+
+    /// Runs the retry loop until the in-flight call resolves. `extra`
+    /// optionally tightens the deadline (a caller-side `recv_timeout`).
+    fn recv_reliable(&mut self, extra: Option<Duration>) -> Result<Frame, TransportError> {
+        let (deadline, seq) = {
+            let fl = self.in_flight.as_ref().expect("in-flight call");
+            let d = match extra {
+                Some(t) => fl.deadline.min(Instant::now() + t),
+                None => fl.deadline,
+            };
+            (d, fl.seq)
+        };
+        loop {
+            let fl = self.in_flight.as_mut().expect("in-flight call");
+            if fl.needs_send {
+                if fl.attempts >= self.policy.max_attempts {
+                    return self.fail_deadline();
+                }
+                let pause = self.policy.backoff(fl.attempts, &mut self.rng);
+                let now = Instant::now();
+                if now + pause >= deadline {
+                    return self.fail_deadline();
+                }
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                let fl = self.in_flight.as_mut().expect("in-flight call");
+                fl.attempts += 1;
+                if fl.attempts > 1 {
+                    self.stats.retries += 1;
+                }
+                let request = fl.request.clone();
+                match self.inner.send(&request) {
+                    Ok(()) => {
+                        self.in_flight.as_mut().expect("in-flight call").needs_send = false;
+                    }
+                    Err(TransportError::Disconnected) => {
+                        if matches!(self.inner.reconnect(), Ok(true)) {
+                            self.stats.reconnects += 1;
+                        }
+                        // Still needs_send: the next iteration retries
+                        // (bounded by max_attempts / the deadline).
+                    }
+                    Err(e) => {
+                        self.in_flight = None;
+                        return Err(e);
+                    }
+                }
+                continue;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return self.fail_deadline();
+            }
+            let wait = self.policy.attempt_timeout.min(deadline - now);
+            match self.inner.recv_timeout(wait) {
+                Ok(Frame::Tagged {
+                    nonce,
+                    seq: rseq,
+                    frame,
+                }) => {
+                    if nonce == self.nonce && rseq == seq {
+                        self.in_flight = None;
+                        return Ok(*frame);
+                    }
+                    self.stats.stale_discarded += 1;
+                }
+                Ok(Frame::ReplyCached {
+                    nonce,
+                    seq: rseq,
+                    frame,
+                }) => {
+                    if nonce == self.nonce && rseq == seq {
+                        self.in_flight = None;
+                        self.stats.replays += 1;
+                        return Ok(*frame);
+                    }
+                    self.stats.stale_discarded += 1;
+                }
+                // A mid-call frame from the server (remote-pointer
+                // callback): hand it up; the caller's loop answers it
+                // through us and keeps waiting.
+                Ok(other) => return Ok(other),
+                Err(TransportError::Timeout) => {
+                    self.in_flight.as_mut().expect("in-flight call").needs_send = true;
+                }
+                Err(TransportError::Disconnected) => {
+                    if matches!(self.inner.reconnect(), Ok(true)) {
+                        self.stats.reconnects += 1;
+                    }
+                    self.in_flight.as_mut().expect("in-flight call").needs_send = true;
+                }
+                Err(e) => {
+                    self.in_flight = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn fail_deadline(&mut self) -> Result<Frame, TransportError> {
+        let attempts = self
+            .in_flight
+            .take()
+            .map(|fl| fl.attempts)
+            .unwrap_or_default();
+        self.stats.deadline_failures += 1;
+        Err(TransportError::DeadlineExceeded { attempts })
+    }
+
+    /// Passthrough receive for non-call traffic, discarding stale
+    /// envelopes (late replies to calls already abandoned or resolved).
+    fn recv_passthrough(&mut self, timeout: Option<Duration>) -> Result<Frame, TransportError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let frame = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(TransportError::Timeout);
+                    }
+                    self.inner.recv_timeout(d - now)?
+                }
+                None => self.inner.recv()?,
+            };
+            match frame {
+                Frame::Tagged { .. } | Frame::ReplyCached { .. } => {
+                    self.stats.stale_discarded += 1;
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+}
+
+impl<T: Transport> Transport for ReliableTransport<T> {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        if !Self::is_call(frame) {
+            return self.inner.send(frame);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let request = Frame::Tagged {
+            nonce: self.nonce,
+            seq,
+            frame: Box::new(frame.clone()),
+        };
+        self.stats.calls += 1;
+        self.in_flight = Some(InFlight {
+            seq,
+            request: request.clone(),
+            deadline: Instant::now() + self.policy.deadline,
+            attempts: 1,
+            needs_send: false,
+        });
+        match self.inner.send(&request) {
+            Ok(()) => Ok(()),
+            Err(TransportError::Disconnected) => {
+                // Defer to the receive loop: reconnect there and
+                // retransmit. The caller always follows a call send
+                // with a receive.
+                if matches!(self.inner.reconnect(), Ok(true)) {
+                    self.stats.reconnects += 1;
+                }
+                self.in_flight.as_mut().expect("just set").needs_send = true;
+                Ok(())
+            }
+            Err(e) => {
+                self.in_flight = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Result<Frame, TransportError> {
+        if self.in_flight.is_some() {
+            self.recv_reliable(None)
+        } else {
+            self.recv_passthrough(None)
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, TransportError> {
+        if self.in_flight.is_some() {
+            self.recv_reliable(Some(timeout))
+        } else {
+            self.recv_passthrough(Some(timeout))
+        }
+    }
+
+    fn reconnect(&mut self) -> Result<bool, TransportError> {
+        self.inner.reconnect()
+    }
+}
+
+/// What the server should do with a tagged request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplyDecision {
+    /// First sighting of this id: execute and [`ReplyCache::store`].
+    Fresh,
+    /// Already executed; retransmit this recorded reply.
+    Replay(Frame),
+    /// Already executed, but the recorded reply was evicted. Answer
+    /// with a [`REPLY_EVICTED`] error — never re-execute.
+    Evicted,
+}
+
+/// Default reply-cache budget (4 MiB of encoded reply bytes).
+pub const DEFAULT_REPLY_CACHE_BYTES: usize = 4 << 20;
+
+/// Server-side duplicate-suppression cache: recorded replies keyed by
+/// call id, LRU-evicted under a byte cap.
+///
+/// The `executed` watermark (highest seq seen per nonce) outlives
+/// eviction, which is what keeps the at-most-once promise after the
+/// reply itself is gone: a late retransmission of an evicted call gets
+/// a definite error, not a second execution.
+#[derive(Debug)]
+pub struct ReplyCache {
+    max_bytes: usize,
+    bytes: usize,
+    entries: HashMap<(u64, u64), Frame>,
+    /// LRU order, least-recent first.
+    order: VecDeque<(u64, u64)>,
+    executed: HashMap<u64, u64>,
+}
+
+impl Default for ReplyCache {
+    fn default() -> Self {
+        ReplyCache::new(DEFAULT_REPLY_CACHE_BYTES)
+    }
+}
+
+impl ReplyCache {
+    /// Creates a cache holding at most `max_bytes` of encoded replies.
+    pub fn new(max_bytes: usize) -> Self {
+        ReplyCache {
+            max_bytes,
+            bytes: 0,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            executed: HashMap::new(),
+        }
+    }
+
+    /// Classifies an incoming call id. `Replay` touches the entry's LRU
+    /// position.
+    pub fn decision(&mut self, nonce: u64, seq: u64) -> ReplyDecision {
+        if let Some(reply) = self.entries.get(&(nonce, seq)) {
+            let reply = reply.clone();
+            self.touch(nonce, seq);
+            return ReplyDecision::Replay(reply);
+        }
+        match self.executed.get(&nonce) {
+            Some(&max) if seq <= max => ReplyDecision::Evicted,
+            _ => ReplyDecision::Fresh,
+        }
+    }
+
+    /// Records the reply for an executed call and advances the nonce's
+    /// executed watermark. Evicts least-recently-used entries while over
+    /// the byte cap (the entry just stored is never evicted by its own
+    /// insertion).
+    pub fn store(&mut self, nonce: u64, seq: u64, reply: &Frame) {
+        let key = (nonce, seq);
+        let max = self.executed.entry(nonce).or_insert(seq);
+        if seq > *max {
+            *max = seq;
+        }
+        if self.entries.contains_key(&key) {
+            return;
+        }
+        self.bytes += reply.wire_size();
+        self.entries.insert(key, reply.clone());
+        self.order.push_back(key);
+        while self.bytes > self.max_bytes && self.order.len() > 1 {
+            let victim = self.order.pop_front().expect("len > 1");
+            if let Some(evicted) = self.entries.remove(&victim) {
+                self.bytes -= evicted.wire_size();
+            }
+        }
+    }
+
+    /// Cached replies currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no replies are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Encoded bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn touch(&mut self, nonce: u64, seq: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == (nonce, seq)) {
+            self.order.remove(pos);
+            self.order.push_back((nonce, seq));
+        }
+    }
+}
+
+/// The error reply for a [`ReplyDecision::Evicted`] retransmission.
+pub fn evicted_reply() -> Frame {
+    Frame::CallError {
+        message: REPLY_EVICTED.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrmi_transport::{channel_pair, ChannelTransport, LinkSpec};
+
+    fn call_frame(tag: u8) -> Frame {
+        Frame::CallRequest {
+            service: "svc".into(),
+            method: "m".into(),
+            mode: 2,
+            payload: vec![tag],
+        }
+    }
+
+    fn reply_frame(tag: u8) -> Frame {
+        Frame::CallReply {
+            payload: vec![tag; 8],
+        }
+    }
+
+    fn reliable(policy: RetryPolicy) -> (ReliableTransport<ChannelTransport>, ChannelTransport) {
+        let (a, b) = channel_pair(None, LinkSpec::free());
+        (ReliableTransport::with_nonce(a, policy, 77), b)
+    }
+
+    #[test]
+    fn tags_calls_and_matches_replies() {
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        client.send(&call_frame(1)).unwrap();
+        let Frame::Tagged { nonce, seq, frame } = server.recv().unwrap() else {
+            panic!("call must travel tagged");
+        };
+        assert_eq!((nonce, seq), (77, 0));
+        assert_eq!(*frame, call_frame(1));
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq,
+                frame: Box::new(reply_frame(9)),
+            })
+            .unwrap();
+        assert_eq!(client.recv().unwrap(), reply_frame(9));
+        assert_eq!(client.stats().calls, 1);
+        assert_eq!(client.stats().retries, 0);
+    }
+
+    #[test]
+    fn non_call_frames_pass_through_untagged() {
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        client.send(&Frame::Lookup { name: "x".into() }).unwrap();
+        assert_eq!(server.recv().unwrap(), Frame::Lookup { name: "x".into() });
+        server.send(&Frame::LookupReply { found: true }).unwrap();
+        assert_eq!(client.recv().unwrap(), Frame::LookupReply { found: true });
+    }
+
+    #[test]
+    fn retransmits_on_timeout_until_reply() {
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        client.send(&call_frame(1)).unwrap();
+        // Server stays silent through two attempt windows, then answers
+        // the latest retransmission.
+        let t = std::thread::spawn(move || {
+            let mut seen = 0u32;
+            let (nonce, seq) = loop {
+                if let Frame::Tagged { nonce, seq, .. } = server.recv().unwrap() {
+                    seen += 1;
+                    if seen == 3 {
+                        break (nonce, seq);
+                    }
+                }
+            };
+            server
+                .send(&Frame::Tagged {
+                    nonce,
+                    seq,
+                    frame: Box::new(reply_frame(5)),
+                })
+                .unwrap();
+            seen
+        });
+        assert_eq!(client.recv().unwrap(), reply_frame(5));
+        assert_eq!(t.join().unwrap(), 3, "two retransmissions reached the peer");
+        assert_eq!(client.stats().retries, 2);
+    }
+
+    #[test]
+    fn deadline_exceeded_after_max_attempts() {
+        let (mut client, _server) = reliable(RetryPolicy {
+            deadline: Duration::from_secs(5),
+            attempt_timeout: Duration::from_millis(5),
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: false,
+        });
+        client.send(&call_frame(1)).unwrap();
+        let err = client.recv().unwrap_err();
+        assert!(
+            matches!(err, TransportError::DeadlineExceeded { attempts: 3 }),
+            "{err:?}"
+        );
+        assert_eq!(client.stats().deadline_failures, 1);
+    }
+
+    #[test]
+    fn deadline_bounds_total_wait() {
+        let (mut client, _server) = reliable(RetryPolicy {
+            deadline: Duration::from_millis(60),
+            attempt_timeout: Duration::from_millis(20),
+            max_attempts: 1000,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: false,
+        });
+        let start = Instant::now();
+        client.send(&call_frame(1)).unwrap();
+        let err = client.recv().unwrap_err();
+        assert!(
+            matches!(err, TransportError::DeadlineExceeded { .. }),
+            "{err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "client hung past its deadline: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn stale_replies_discarded() {
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        client.send(&call_frame(1)).unwrap();
+        let Frame::Tagged { nonce, seq, .. } = server.recv().unwrap() else {
+            panic!("tagged");
+        };
+        // A late reply for some other call id arrives first.
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq: seq + 100,
+                frame: Box::new(reply_frame(1)),
+            })
+            .unwrap();
+        server
+            .send(&Frame::ReplyCached {
+                nonce: nonce ^ 1,
+                seq,
+                frame: Box::new(reply_frame(2)),
+            })
+            .unwrap();
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq,
+                frame: Box::new(reply_frame(3)),
+            })
+            .unwrap();
+        assert_eq!(client.recv().unwrap(), reply_frame(3));
+        assert_eq!(client.stats().stale_discarded, 2);
+    }
+
+    #[test]
+    fn callback_frames_pass_up_mid_call() {
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        client.send(&call_frame(1)).unwrap();
+        let Frame::Tagged { nonce, seq, .. } = server.recv().unwrap() else {
+            panic!("tagged");
+        };
+        server.send(&Frame::GetField { key: 3, field: 0 }).unwrap();
+        assert_eq!(
+            client.recv().unwrap(),
+            Frame::GetField { key: 3, field: 0 },
+            "callbacks surface to the caller"
+        );
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq,
+                frame: Box::new(reply_frame(4)),
+            })
+            .unwrap();
+        assert_eq!(client.recv().unwrap(), reply_frame(4));
+    }
+
+    #[test]
+    fn reply_cache_replays_without_reexecution() {
+        let mut cache = ReplyCache::new(1 << 20);
+        assert_eq!(cache.decision(7, 0), ReplyDecision::Fresh);
+        cache.store(7, 0, &reply_frame(1));
+        assert_eq!(
+            cache.decision(7, 0),
+            ReplyDecision::Replay(reply_frame(1)),
+            "duplicate id replays the recorded reply"
+        );
+        assert_eq!(
+            cache.decision(7, 1),
+            ReplyDecision::Fresh,
+            "next seq is new"
+        );
+        assert_eq!(
+            cache.decision(8, 0),
+            ReplyDecision::Fresh,
+            "other nonce is new"
+        );
+    }
+
+    #[test]
+    fn reply_cache_eviction_is_an_error_not_a_rerun() {
+        // Cap small enough that the second store evicts the first.
+        let reply = reply_frame(1);
+        let mut cache = ReplyCache::new(reply.wire_size() + 2);
+        cache.store(7, 0, &reply);
+        cache.store(7, 1, &reply_frame(2));
+        assert_eq!(cache.len(), 1, "byte cap evicted the older entry");
+        assert_eq!(
+            cache.decision(7, 0),
+            ReplyDecision::Evicted,
+            "an executed-but-evicted id must NOT be Fresh"
+        );
+        assert_eq!(cache.decision(7, 1), ReplyDecision::Replay(reply_frame(2)));
+    }
+
+    #[test]
+    fn reply_cache_lru_touch_on_replay() {
+        let reply = reply_frame(1);
+        let unit = reply.wire_size();
+        let mut cache = ReplyCache::new(2 * unit + 1);
+        cache.store(7, 0, &reply_frame(1));
+        cache.store(7, 1, &reply_frame(2));
+        // Touch seq 0; storing a third entry must now evict seq 1.
+        assert!(matches!(cache.decision(7, 0), ReplyDecision::Replay(_)));
+        cache.store(7, 2, &reply_frame(3));
+        assert!(matches!(cache.decision(7, 0), ReplyDecision::Replay(_)));
+        assert_eq!(cache.decision(7, 1), ReplyDecision::Evicted);
+    }
+
+    #[test]
+    fn reply_cache_byte_accounting() {
+        let mut cache = ReplyCache::new(1 << 20);
+        let r = reply_frame(1);
+        cache.store(1, 0, &r);
+        cache.store(1, 0, &r); // duplicate store is idempotent
+        assert_eq!(cache.bytes(), r.wire_size());
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn fresh_nonces_are_distinct() {
+        let a = fresh_nonce();
+        let b = fresh_nonce();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            jitter: false,
+            ..RetryPolicy::default()
+        };
+        let mut rng = 1;
+        assert_eq!(policy.backoff(1, &mut rng), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2, &mut rng), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3, &mut rng), Duration::from_millis(40));
+        assert_eq!(policy.backoff(4, &mut rng), Duration::from_millis(80));
+        assert_eq!(policy.backoff(10, &mut rng), Duration::from_millis(80));
+        let jittered = RetryPolicy {
+            jitter: true,
+            ..policy
+        };
+        for attempt in 1..6 {
+            let b = jittered.backoff(attempt, &mut rng);
+            let nominal = policy.backoff(attempt, &mut rng);
+            assert!(
+                b >= nominal.mul_f64(0.5) && b <= nominal,
+                "{b:?} vs {nominal:?}"
+            );
+        }
+    }
+}

@@ -559,6 +559,46 @@ impl Session {
         Ok(RemoteSession::over(registry, transport))
     }
 
+    /// Connects a TCP client with at-most-once call delivery: every call
+    /// is stamped with a call id and retried per `policy` — the server
+    /// suppresses duplicates from its reply cache, and lost connections
+    /// re-dial transparently.
+    ///
+    /// # Errors
+    /// Socket failures.
+    pub fn connect_tcp_reliable(
+        registry: SharedRegistry,
+        addr: impl std::net::ToSocketAddrs,
+        policy: crate::reliable::RetryPolicy,
+    ) -> Result<RemoteSession<crate::reliable::ReliableTransport<TcpTransport>>, NrmiError> {
+        let transport = TcpTransport::connect(addr)?;
+        Ok(RemoteSession::over(
+            registry,
+            crate::reliable::ReliableTransport::new(transport, policy),
+        ))
+    }
+
+    /// Connects over a Unix-domain socket with at-most-once call
+    /// delivery (see [`Session::connect_tcp_reliable`]).
+    ///
+    /// # Errors
+    /// Socket failures.
+    #[cfg(unix)]
+    pub fn connect_uds_reliable(
+        registry: SharedRegistry,
+        path: impl AsRef<std::path::Path>,
+        policy: crate::reliable::RetryPolicy,
+    ) -> Result<
+        RemoteSession<crate::reliable::ReliableTransport<nrmi_transport::UdsTransport>>,
+        NrmiError,
+    > {
+        let transport = nrmi_transport::UdsTransport::connect(path)?;
+        Ok(RemoteSession::over(
+            registry,
+            crate::reliable::ReliableTransport::new(transport, policy),
+        ))
+    }
+
     /// Connects over a Unix-domain socket at `path`.
     ///
     /// # Errors

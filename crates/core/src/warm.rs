@@ -588,6 +588,7 @@ fn server_seed_call(
         state,
         services,
         class_services: _,
+        replies: _,
     } = server;
     let cost = state.profile.cost();
     let registry = state.heap.registry_handle().clone();
@@ -665,6 +666,7 @@ fn server_warm_call(
         state,
         services,
         class_services: _,
+        replies: _,
     } = server;
     let cost = state.profile.cost();
     let svc = services

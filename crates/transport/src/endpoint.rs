@@ -32,6 +32,19 @@ pub trait Transport: Send {
     /// [`TransportError::Timeout`] if nothing arrives in time;
     /// [`TransportError::Disconnected`] if the peer is gone.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame>;
+
+    /// Attempts to re-establish the underlying connection after a
+    /// failure. Returns `Ok(true)` when a fresh connection replaced the
+    /// broken one (any in-flight partial frame is discarded), `Ok(false)`
+    /// when this transport has nothing to re-dial — the default, and the
+    /// right answer for in-process channels and accepted server-side
+    /// streams.
+    ///
+    /// # Errors
+    /// Propagates connection errors from the re-dial.
+    fn reconnect(&mut self) -> Result<bool> {
+        Ok(false)
+    }
 }
 
 /// In-process transport over crossbeam channels.

@@ -24,6 +24,13 @@ pub enum TransportError {
         /// Maximum accepted length.
         max: usize,
     },
+    /// A reliable call exhausted its deadline or retry budget without a
+    /// reply. The call executed *at most once* on the server — it may
+    /// have run without its reply surviving, but it never ran twice.
+    DeadlineExceeded {
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -36,6 +43,9 @@ impl fmt::Display for TransportError {
             TransportError::Io(e) => write!(f, "socket error: {e}"),
             TransportError::FrameTooLarge { len, max } => {
                 write!(f, "frame of {len} bytes exceeds maximum {max}")
+            }
+            TransportError::DeadlineExceeded { attempts } => {
+                write!(f, "call deadline exceeded after {attempts} attempt(s)")
             }
         }
     }
@@ -85,6 +95,9 @@ mod tests {
         assert!(TransportError::FrameTooLarge { len: 10, max: 5 }
             .to_string()
             .contains("10"));
+        assert!(TransportError::DeadlineExceeded { attempts: 3 }
+            .to_string()
+            .contains("3 attempt"));
         let codec = TransportError::Codec(nrmi_wire::WireError::BadMagic);
         assert!(codec.source().is_some());
     }

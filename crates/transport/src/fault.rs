@@ -8,6 +8,7 @@
 //! [`FaultPlan`], so tests can prove that a failed call surfaces as an
 //! error *and leaves the caller's heap untouched* (no partial restore).
 
+use std::collections::VecDeque;
 use std::time::Duration;
 
 use crate::endpoint::Transport;
@@ -25,6 +26,14 @@ pub enum Fault {
     Disconnect,
     /// Corrupt the frame's bytes before delivery.
     Corrupt,
+    /// Deliver the frame twice (a retransmission the network duplicated:
+    /// on send the peer sees two copies; on recv the same frame is
+    /// handed up again on the next receive).
+    Duplicate,
+    /// Hold the frame for the given duration before delivery. Against a
+    /// receive deadline shorter than the delay this surfaces as a
+    /// [`TransportError::Timeout`] — the frame is late, not lost.
+    Delay(Duration),
 }
 
 /// A deterministic schedule of faults: the `n`-th send consults
@@ -73,6 +82,27 @@ impl FaultPlan {
             sends: Vec::new(),
         }
     }
+
+    /// Duplicates the `n`-th send (the peer sees the frame twice).
+    pub fn duplicate_on_send(n: usize) -> Self {
+        let mut sends = vec![Fault::Pass; n];
+        sends.push(Fault::Duplicate);
+        FaultPlan {
+            sends,
+            recvs: Vec::new(),
+        }
+    }
+
+    /// Drops the `n`-th received frame (the reply vanishes in flight;
+    /// under a receive deadline the caller observes a timeout).
+    pub fn drop_on_recv(n: usize) -> Self {
+        let mut recvs = vec![Fault::Pass; n];
+        recvs.push(Fault::DropFrame);
+        FaultPlan {
+            recvs,
+            sends: Vec::new(),
+        }
+    }
 }
 
 /// A [`Transport`] wrapper that injects faults per a [`FaultPlan`].
@@ -81,6 +111,10 @@ pub struct FaultyTransport<T> {
     plan: FaultPlan,
     sends_seen: usize,
     recvs_seen: usize,
+    /// Frames queued for redelivery by [`Fault::Duplicate`] on receive.
+    /// Popped ahead of the plan (a duplicate is a free delivery, not a
+    /// scheduled operation).
+    pending: VecDeque<Frame>,
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for FaultyTransport<T> {
@@ -101,6 +135,7 @@ impl<T: Transport> FaultyTransport<T> {
             plan,
             sends_seen: 0,
             recvs_seen: 0,
+            pending: VecDeque::new(),
         }
     }
 
@@ -155,10 +190,21 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             Fault::DropFrame => Ok(()),
             Fault::Disconnect => Err(TransportError::Disconnected),
             Fault::Corrupt => self.inner.send(&Self::corrupt(frame)),
+            Fault::Duplicate => {
+                self.inner.send(frame)?;
+                self.inner.send(frame)
+            }
+            Fault::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.send(frame)
+            }
         }
     }
 
     fn recv(&mut self) -> Result<Frame> {
+        if let Some(frame) = self.pending.pop_front() {
+            return Ok(frame);
+        }
         let fault = self.next_recv_fault();
         match fault {
             Fault::Pass => self.inner.recv(),
@@ -171,10 +217,22 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 let frame = self.inner.recv()?;
                 Ok(Self::corrupt(&frame))
             }
+            Fault::Duplicate => {
+                let frame = self.inner.recv()?;
+                self.pending.push_back(frame.clone());
+                Ok(frame)
+            }
+            Fault::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.recv()
+            }
         }
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        if let Some(frame) = self.pending.pop_front() {
+            return Ok(frame);
+        }
         match self.next_recv_fault() {
             Fault::Pass => self.inner.recv_timeout(timeout),
             Fault::DropFrame => {
@@ -186,7 +244,31 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 let frame = self.inner.recv_timeout(timeout)?;
                 Ok(Self::corrupt(&frame))
             }
+            Fault::Duplicate => {
+                let frame = self.inner.recv_timeout(timeout)?;
+                self.pending.push_back(frame.clone());
+                Ok(frame)
+            }
+            Fault::Delay(d) => {
+                // The frame is late: if the deadline expires first the
+                // caller sees a timeout and the frame stays queued
+                // inside the inner transport for a later receive.
+                if d >= timeout {
+                    std::thread::sleep(timeout);
+                    Err(TransportError::Timeout)
+                } else {
+                    std::thread::sleep(d);
+                    self.inner.recv_timeout(timeout - d)
+                }
+            }
         }
+    }
+
+    fn reconnect(&mut self) -> Result<bool> {
+        // A reconnect abandons the old stream; late duplicates die with
+        // it.
+        self.pending.clear();
+        self.inner.reconnect()
     }
 }
 
@@ -249,6 +331,61 @@ mod tests {
             faulty.recv().unwrap(),
             Frame::CountReply(2),
             "first frame swallowed"
+        );
+    }
+
+    #[test]
+    fn duplicated_send_arrives_twice() {
+        let (a, mut b) = channel_pair(None, LinkSpec::free());
+        let mut faulty = FaultyTransport::new(a, FaultPlan::duplicate_on_send(0));
+        faulty.send(&Frame::CountReply(5)).unwrap();
+        assert_eq!(b.recv().unwrap(), Frame::CountReply(5));
+        assert_eq!(b.recv().unwrap(), Frame::CountReply(5), "duplicate copy");
+    }
+
+    #[test]
+    fn duplicated_recv_redelivers_the_frame() {
+        let (a, mut b) = channel_pair(None, LinkSpec::free());
+        let plan = FaultPlan {
+            sends: Vec::new(),
+            recvs: vec![Fault::Duplicate],
+        };
+        let mut faulty = FaultyTransport::new(a, plan);
+        b.send(&Frame::CountReply(1)).unwrap();
+        b.send(&Frame::CountReply(2)).unwrap();
+        assert_eq!(faulty.recv().unwrap(), Frame::CountReply(1));
+        assert_eq!(faulty.recv().unwrap(), Frame::CountReply(1), "redelivered");
+        assert_eq!(faulty.recv().unwrap(), Frame::CountReply(2));
+    }
+
+    #[test]
+    fn delayed_recv_times_out_then_delivers() {
+        let (a, mut b) = channel_pair(None, LinkSpec::free());
+        let plan = FaultPlan {
+            sends: Vec::new(),
+            recvs: vec![Fault::Delay(Duration::from_millis(50))],
+        };
+        let mut faulty = FaultyTransport::new(a, plan);
+        b.send(&Frame::CountReply(9)).unwrap();
+        // Deadline shorter than the delay: the frame is late.
+        let err = faulty.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout), "{err:?}");
+        // Past the schedule: the queued frame is still there.
+        assert_eq!(faulty.recv().unwrap(), Frame::CountReply(9));
+    }
+
+    #[test]
+    fn delayed_recv_within_deadline_delivers() {
+        let (a, mut b) = channel_pair(None, LinkSpec::free());
+        let plan = FaultPlan {
+            sends: Vec::new(),
+            recvs: vec![Fault::Delay(Duration::from_millis(5))],
+        };
+        let mut faulty = FaultyTransport::new(a, plan);
+        b.send(&Frame::CountReply(3)).unwrap();
+        assert_eq!(
+            faulty.recv_timeout(Duration::from_millis(200)).unwrap(),
+            Frame::CountReply(3)
         );
     }
 

@@ -5,15 +5,52 @@
 //! with a single `write_all`, so the prefix and body never straddle
 //! separate writes (small frames leave in one packet even without
 //! Nagle's algorithm) and steady-state sends reuse the buffer
-//! allocation. The receive side reuses its buffer the same way.
+//! allocation.
+//!
+//! The receive side is a [`FrameReader`]: a resumable parser that keeps
+//! the in-flight frame's partial state across calls. That matters for
+//! two failure modes:
+//!
+//! * **Timeout mid-frame.** With a read deadline set, the OS can hand us
+//!   the 4-byte length (or part of the body) and then time out. A naive
+//!   reader that discards that progress desynchronizes the stream — the
+//!   next `recv` misparses body bytes as a length. The reader instead
+//!   returns the timeout error with its cursor intact, and the next call
+//!   resumes exactly where it left off.
+//! * **Hostile length prefix.** The declared length is attacker
+//!   controlled (up to `MAX_FRAME` = 64 MiB). Allocating it up front, in
+//!   zeroed memory, before a single body byte arrives is a cheap
+//!   memory-exhaustion lever. The reader grows its buffer in bounded
+//!   chunks as bytes actually arrive, so a peer must *send* 64 MiB to
+//!   make us hold 64 MiB.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 
 use nrmi_wire::ByteWriter;
 
 use crate::message::Frame;
 use crate::tcp::MAX_FRAME;
 use crate::{Result, TransportError};
+
+/// Largest single `read` we issue while the body is incomplete; also the
+/// buffer growth step. A peer that declares a huge length but sends
+/// nothing costs us at most this much memory.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// True for I/O error kinds that mean the connection itself is gone —
+/// the peer reset or the pipe broke. These surface as
+/// [`TransportError::Disconnected`] so callers (notably the reconnecting
+/// retry layer) treat a torn socket and an orderly close identically.
+fn is_connection_fatal(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::NotConnected
+            | ErrorKind::UnexpectedEof
+    )
+}
 
 /// Encodes `[length][frame]` into `buf` (reusing its storage) and ships
 /// it with a single write. The buffer is handed back through `buf` even
@@ -32,37 +69,311 @@ pub(crate) fn write_frame(
     bytes[..4].copy_from_slice(&(body_len as u32).to_be_bytes());
     let outcome = stream.write_all(&bytes).and_then(|()| stream.flush());
     *buf = bytes;
-    outcome?;
-    Ok(body_len)
+    match outcome {
+        Ok(()) => Ok(body_len),
+        Err(e) if is_connection_fatal(e.kind()) => Err(TransportError::Disconnected),
+        Err(e) => Err(e.into()),
+    }
 }
 
-/// Reads one `[length][frame]` message, reusing `buf` as the receive
-/// buffer. EOF at a frame boundary reports
-/// [`TransportError::Disconnected`].
-pub(crate) fn read_frame(stream: &mut impl Read, buf: &mut Vec<u8>) -> Result<Frame> {
-    let mut len_buf = [0u8; 4];
-    if let Err(e) = stream.read_exact(&mut len_buf) {
-        return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            TransportError::Disconnected
-        } else {
-            TransportError::Io(e)
-        });
+/// Resumable `[length][frame]` parser. One instance per connection; its
+/// buffer is reused across frames and its cursor survives timeouts.
+#[derive(Debug, Default)]
+pub(crate) struct FrameReader {
+    len_buf: [u8; 4],
+    /// Prefix bytes received so far (0..=4).
+    len_got: usize,
+    /// Decoded body length, once all 4 prefix bytes are in.
+    body_len: Option<usize>,
+    /// Body bytes received so far.
+    body_got: usize,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    pub(crate) fn new() -> Self {
+        FrameReader::default()
     }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
-        return Err(TransportError::FrameTooLarge {
-            len,
-            max: MAX_FRAME,
-        });
+
+    /// Discards any in-flight partial frame (used after a reconnect —
+    /// the new stream starts at a frame boundary).
+    pub(crate) fn reset(&mut self) {
+        self.len_got = 0;
+        self.body_len = None;
+        self.body_got = 0;
     }
-    buf.clear();
-    buf.resize(len, 0);
-    stream.read_exact(buf).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            TransportError::Disconnected
-        } else {
-            TransportError::Io(e)
+
+    /// Reads one frame, resuming any partial progress from a previous
+    /// call that failed with a timeout.
+    ///
+    /// EOF at a frame boundary (or mid-frame — the peer is gone either
+    /// way) reports [`TransportError::Disconnected`]. `WouldBlock` /
+    /// `TimedOut` I/O errors are returned as-is with the parse state
+    /// preserved; socket transports map them to
+    /// [`TransportError::Timeout`] and may call again to resume.
+    pub(crate) fn read_frame(&mut self, stream: &mut impl Read) -> Result<Frame> {
+        while self.len_got < 4 {
+            match stream.read(&mut self.len_buf[self.len_got..]) {
+                Ok(0) => {
+                    // Peer closed; any partial prefix can never complete.
+                    self.reset();
+                    return Err(TransportError::Disconnected);
+                }
+                Ok(n) => self.len_got += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_connection_fatal(e.kind()) => {
+                    self.reset();
+                    return Err(TransportError::Disconnected);
+                }
+                // Timeouts included: state stays put for the next call.
+                Err(e) => return Err(TransportError::Io(e)),
+            }
         }
-    })?;
-    Frame::decode(buf)
+        let len = match self.body_len {
+            Some(len) => len,
+            None => {
+                let len = u32::from_be_bytes(self.len_buf) as usize;
+                if len > MAX_FRAME {
+                    // The stream is garbage past this point; callers
+                    // drop the connection. Start clean either way.
+                    self.reset();
+                    return Err(TransportError::FrameTooLarge {
+                        len,
+                        max: MAX_FRAME,
+                    });
+                }
+                self.body_len = Some(len);
+                self.body_got = 0;
+                self.buf.clear();
+                len
+            }
+        };
+        while self.body_got < len {
+            // Grow lazily: never hold more than one chunk beyond what
+            // the peer has actually sent.
+            let target = len.min(self.body_got + READ_CHUNK);
+            if self.buf.len() < target {
+                self.buf.resize(target, 0);
+            }
+            match stream.read(&mut self.buf[self.body_got..target]) {
+                Ok(0) => {
+                    self.reset();
+                    return Err(TransportError::Disconnected);
+                }
+                Ok(n) => self.body_got += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_connection_fatal(e.kind()) => {
+                    self.reset();
+                    return Err(TransportError::Disconnected);
+                }
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
+        let frame = Frame::decode(&self.buf[..len]);
+        self.reset();
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::io::{self, Read};
+
+    /// A scripted stream: each step either yields bytes or fails with an
+    /// error kind, letting tests interleave data with timeouts.
+    struct Script {
+        steps: VecDeque<ScriptStep>,
+    }
+
+    enum ScriptStep {
+        Data(Vec<u8>),
+        Fail(ErrorKind),
+        Eof,
+    }
+
+    impl Script {
+        fn new(steps: Vec<ScriptStep>) -> Self {
+            Script {
+                steps: steps.into(),
+            }
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            match self.steps.front_mut() {
+                None | Some(ScriptStep::Eof) => Ok(0),
+                Some(ScriptStep::Fail(kind)) => {
+                    let kind = *kind;
+                    self.steps.pop_front();
+                    Err(io::Error::new(kind, "scripted failure"))
+                }
+                Some(ScriptStep::Data(bytes)) => {
+                    let n = out.len().min(bytes.len());
+                    out[..n].copy_from_slice(&bytes[..n]);
+                    bytes.drain(..n);
+                    if bytes.is_empty() {
+                        self.steps.pop_front();
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    fn framed_bytes(frame: &Frame) -> Vec<u8> {
+        let body = frame.encode();
+        let mut out = (body.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(&body);
+        out
+    }
+
+    #[test]
+    fn timeout_after_prefix_resumes_cleanly() {
+        // The regression this module exists for: a timeout lands after
+        // the length prefix; the next call must treat the following
+        // bytes as *body*, not as a fresh length.
+        let frame = Frame::CallReply {
+            payload: vec![9; 300],
+        };
+        let bytes = framed_bytes(&frame);
+        let mut stream = Script::new(vec![
+            ScriptStep::Data(bytes[..4].to_vec()),
+            ScriptStep::Fail(ErrorKind::WouldBlock),
+            ScriptStep::Data(bytes[4..].to_vec()),
+        ]);
+        let mut reader = FrameReader::new();
+        let err = reader.read_frame(&mut stream).unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)), "{err:?}");
+        assert_eq!(reader.read_frame(&mut stream).unwrap(), frame);
+    }
+
+    #[test]
+    fn timeout_mid_body_resumes_cleanly() {
+        let frame = Frame::CallRequest {
+            service: "svc".into(),
+            method: "m".into(),
+            mode: 2,
+            payload: vec![7; 500],
+        };
+        let bytes = framed_bytes(&frame);
+        let mut stream = Script::new(vec![
+            ScriptStep::Data(bytes[..100].to_vec()),
+            ScriptStep::Fail(ErrorKind::TimedOut),
+            ScriptStep::Data(bytes[100..250].to_vec()),
+            ScriptStep::Fail(ErrorKind::TimedOut),
+            ScriptStep::Data(bytes[250..].to_vec()),
+        ]);
+        let mut reader = FrameReader::new();
+        assert!(reader.read_frame(&mut stream).is_err());
+        assert!(reader.read_frame(&mut stream).is_err());
+        assert_eq!(reader.read_frame(&mut stream).unwrap(), frame);
+    }
+
+    #[test]
+    fn back_to_back_frames_share_the_buffer() {
+        let a = Frame::CountReply(1);
+        let b = Frame::CallReply {
+            payload: vec![3; 64],
+        };
+        let mut bytes = framed_bytes(&a);
+        bytes.extend_from_slice(&framed_bytes(&b));
+        let mut stream = Script::new(vec![ScriptStep::Data(bytes)]);
+        let mut reader = FrameReader::new();
+        assert_eq!(reader.read_frame(&mut stream).unwrap(), a);
+        assert_eq!(reader.read_frame(&mut stream).unwrap(), b);
+    }
+
+    #[test]
+    fn hostile_prefix_allocates_at_most_one_chunk() {
+        // A 60 MiB declared length with no body must not materialize
+        // 60 MiB of zeroed memory.
+        let len: u32 = 60 << 20;
+        let mut stream = Script::new(vec![ScriptStep::Data(len.to_be_bytes().to_vec())]);
+        let mut reader = FrameReader::new();
+        let err = reader.read_frame(&mut stream).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Disconnected),
+            "no body ever arrives: {err:?}"
+        );
+        assert!(
+            reader.buf.capacity() <= READ_CHUNK,
+            "buffer grew to {} for an unreceived body",
+            reader.buf.capacity()
+        );
+    }
+
+    #[test]
+    fn hostile_prefix_with_slow_body_grows_incrementally() {
+        let len: u32 = 60 << 20;
+        let mut stream = Script::new(vec![
+            ScriptStep::Data(len.to_be_bytes().to_vec()),
+            ScriptStep::Data(vec![0xab; 1000]),
+            ScriptStep::Fail(ErrorKind::WouldBlock),
+        ]);
+        let mut reader = FrameReader::new();
+        let err = reader.read_frame(&mut stream).unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)), "{err:?}");
+        assert!(
+            reader.buf.capacity() <= 2 * READ_CHUNK,
+            "1000 received bytes grew the buffer to {}",
+            reader.buf.capacity()
+        );
+    }
+
+    #[test]
+    fn oversize_prefix_rejected_without_allocation() {
+        let len = (MAX_FRAME as u32) + 1;
+        let mut stream = Script::new(vec![ScriptStep::Data(len.to_be_bytes().to_vec())]);
+        let mut reader = FrameReader::new();
+        let err = reader.read_frame(&mut stream).unwrap_err();
+        assert!(
+            matches!(err, TransportError::FrameTooLarge { .. }),
+            "{err:?}"
+        );
+        assert_eq!(reader.buf.capacity(), 0);
+    }
+
+    #[test]
+    fn eof_at_boundary_is_disconnect() {
+        let mut stream = Script::new(vec![ScriptStep::Eof]);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.read_frame(&mut stream),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_disconnect() {
+        let frame = Frame::CountReply(5);
+        let bytes = framed_bytes(&frame);
+        let mut stream = Script::new(vec![ScriptStep::Data(bytes[..3].to_vec()), ScriptStep::Eof]);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.read_frame(&mut stream),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let frame = Frame::CallRequestWarm {
+            service: "svc".into(),
+            method: "m".into(),
+            mode: 3,
+            cache_id: 12,
+            generation: 4,
+            payload: vec![1, 2, 3, 4],
+        };
+        let mut wire = Vec::new();
+        let mut pool = Vec::new();
+        let body_len = write_frame(&mut wire, &frame, &mut pool).unwrap();
+        assert_eq!(body_len + 4, wire.len());
+        let mut stream = Script::new(vec![ScriptStep::Data(wire)]);
+        let mut reader = FrameReader::new();
+        assert_eq!(reader.read_frame(&mut stream).unwrap(), frame);
+    }
 }

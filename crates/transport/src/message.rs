@@ -302,6 +302,32 @@ pub enum Frame {
         /// Cache identifier to drop.
         cache_id: u64,
     },
+    /// Reliability envelope around a call frame: `(nonce, seq)` is the
+    /// call id — `nonce` identifies the client session (random per
+    /// session), `seq` the call within it (monotone). The server
+    /// executes the inner call *at most once* per id; a retransmission
+    /// of an already-executed id is answered from the reply cache.
+    /// Envelopes never nest.
+    Tagged {
+        /// Per-session random identifier.
+        nonce: u64,
+        /// Monotone per-session call sequence number.
+        seq: u64,
+        /// The call frame being stamped (`CallRequest`, `CallObject`,
+        /// or `CallRequestWarm`).
+        frame: Box<Frame>,
+    },
+    /// A reply served from the server's duplicate-suppression cache:
+    /// the call identified by `(nonce, seq)` already executed and this
+    /// is its recorded reply — the call's effect was NOT applied again.
+    ReplyCached {
+        /// Per-session random identifier, echoed from the request.
+        nonce: u64,
+        /// Call sequence number, echoed from the request.
+        seq: u64,
+        /// The recorded reply frame.
+        frame: Box<Frame>,
+    },
 }
 
 const F_CALL_REQUEST: u8 = 1;
@@ -326,6 +352,8 @@ const F_CALL_OBJECT: u8 = 19;
 const F_CALL_REQUEST_WARM: u8 = 20;
 const F_CACHE_MISS: u8 = 21;
 const F_CACHE_EVICT: u8 = 22;
+const F_TAGGED: u8 = 23;
+const F_REPLY_CACHED: u8 = 24;
 
 impl Frame {
     /// Encodes the frame to bytes.
@@ -457,6 +485,18 @@ impl Frame {
                 w.put_u8(F_CACHE_EVICT);
                 w.put_varint(*cache_id);
             }
+            Frame::Tagged { nonce, seq, frame } => {
+                w.put_u8(F_TAGGED);
+                w.put_varint(*nonce);
+                w.put_varint(*seq);
+                frame.encode_into(w);
+            }
+            Frame::ReplyCached { nonce, seq, frame } => {
+                w.put_u8(F_REPLY_CACHED);
+                w.put_varint(*nonce);
+                w.put_varint(*seq);
+                frame.encode_into(w);
+            }
         }
     }
 
@@ -466,6 +506,14 @@ impl Frame {
     /// Fails on truncated payloads or unknown tags.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
+        Self::decode_from(&mut r, true)
+    }
+
+    /// Decodes one frame from the reader. `allow_envelope` is true only
+    /// at the top level: envelope frames (`Tagged`, `ReplyCached`) may
+    /// wrap ordinary frames but never each other, so a hostile
+    /// deeply-nested envelope is rejected instead of recursing.
+    fn decode_from(r: &mut ByteReader<'_>, allow_envelope: bool) -> Result<Self> {
         let wire = |e| TransportError::Codec(e);
         let tag = r.get_u8().map_err(wire)?;
         let frame = match tag {
@@ -516,7 +564,7 @@ impl Frame {
             F_SET_FIELD => Frame::SetField {
                 key: r.get_varint().map_err(wire)?,
                 field: r.get_varint().map_err(wire)? as u32,
-                value: RVal::decode(&mut r)?,
+                value: RVal::decode(r)?,
             },
             F_GET_ELEMENT => Frame::GetElement {
                 key: r.get_varint().map_err(wire)?,
@@ -525,7 +573,7 @@ impl Frame {
             F_SET_ELEMENT => Frame::SetElement {
                 key: r.get_varint().map_err(wire)?,
                 index: r.get_varint().map_err(wire)? as u32,
-                value: RVal::decode(&mut r)?,
+                value: RVal::decode(r)?,
             },
             F_SLOT_COUNT => Frame::SlotCount {
                 key: r.get_varint().map_err(wire)?,
@@ -533,7 +581,7 @@ impl Frame {
             F_CLASS_OF => Frame::ClassOf {
                 key: r.get_varint().map_err(wire)?,
             },
-            F_VALUE_REPLY => Frame::ValueReply(RVal::decode(&mut r)?),
+            F_VALUE_REPLY => Frame::ValueReply(RVal::decode(r)?),
             F_COUNT_REPLY => Frame::CountReply(r.get_varint().map_err(wire)?),
             F_CLASS_REPLY => Frame::ClassReply(r.get_varint().map_err(wire)? as u32),
             F_ERROR_REPLY => Frame::ErrorReply {
@@ -565,6 +613,27 @@ impl Frame {
             F_CACHE_EVICT => Frame::CacheEvict {
                 cache_id: r.get_varint().map_err(wire)?,
             },
+            F_TAGGED | F_REPLY_CACHED => {
+                if !allow_envelope {
+                    return Err(TransportError::UnknownFrame(tag));
+                }
+                let nonce = r.get_varint().map_err(wire)?;
+                let seq = r.get_varint().map_err(wire)?;
+                let inner = Box::new(Self::decode_from(r, false)?);
+                if tag == F_TAGGED {
+                    Frame::Tagged {
+                        nonce,
+                        seq,
+                        frame: inner,
+                    }
+                } else {
+                    Frame::ReplyCached {
+                        nonce,
+                        seq,
+                        frame: inner,
+                    }
+                }
+            }
             other => return Err(TransportError::UnknownFrame(other)),
         };
         Ok(frame)
@@ -660,6 +729,107 @@ mod tests {
         });
         roundtrip(Frame::CacheMiss);
         roundtrip(Frame::CacheEvict { cache_id: 55 });
+        roundtrip(Frame::Tagged {
+            nonce: 0xdead_beef_cafe,
+            seq: 17,
+            frame: Box::new(Frame::CallRequest {
+                service: "svc".into(),
+                method: "m".into(),
+                mode: 2,
+                payload: vec![1, 2, 3],
+            }),
+        });
+        roundtrip(Frame::Tagged {
+            nonce: u64::MAX,
+            seq: 0,
+            frame: Box::new(Frame::CallRequestWarm {
+                service: "svc".into(),
+                method: "m".into(),
+                mode: 3,
+                cache_id: 8,
+                generation: 2,
+                payload: vec![],
+            }),
+        });
+        roundtrip(Frame::ReplyCached {
+            nonce: 42,
+            seq: 9,
+            frame: Box::new(Frame::CallReply {
+                payload: vec![5; 20],
+            }),
+        });
+        roundtrip(Frame::ReplyCached {
+            nonce: 1,
+            seq: 2,
+            frame: Box::new(Frame::CacheMiss),
+        });
+    }
+
+    #[test]
+    fn truncated_envelope_frames_rejected() {
+        let full = Frame::Tagged {
+            nonce: 300,
+            seq: 5,
+            frame: Box::new(Frame::CallObject {
+                key: 7,
+                method: "mm".into(),
+                mode: 2,
+                payload: vec![9; 8],
+            }),
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert!(Frame::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+        let cached = Frame::ReplyCached {
+            nonce: 300,
+            seq: 5,
+            frame: Box::new(Frame::CallError {
+                message: "boom".into(),
+            }),
+        }
+        .encode();
+        for cut in 1..cached.len() {
+            assert!(Frame::decode(&cached[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn nested_envelopes_rejected() {
+        // Envelopes never nest on the honest path; a crafted
+        // envelope-in-envelope must be rejected, not recursed into.
+        let nested = Frame::Tagged {
+            nonce: 1,
+            seq: 1,
+            frame: Box::new(Frame::Tagged {
+                nonce: 2,
+                seq: 2,
+                frame: Box::new(Frame::Ack),
+            }),
+        }
+        .encode();
+        assert!(matches!(
+            Frame::decode(&nested),
+            Err(TransportError::UnknownFrame(_))
+        ));
+        let cached_in_tagged = Frame::Tagged {
+            nonce: 1,
+            seq: 1,
+            frame: Box::new(Frame::ReplyCached {
+                nonce: 1,
+                seq: 1,
+                frame: Box::new(Frame::Ack),
+            }),
+        }
+        .encode();
+        assert!(Frame::decode(&cached_in_tagged).is_err());
+        // Depth guard, not stack depth: a long chain of envelope tags
+        // fails fast at depth 2 instead of overflowing the stack.
+        let mut hostile = Vec::new();
+        for _ in 0..10_000 {
+            hostile.extend_from_slice(&[23, 0, 0]);
+        }
+        assert!(Frame::decode(&hostile).is_err());
     }
 
     #[test]

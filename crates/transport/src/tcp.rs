@@ -4,13 +4,15 @@
 //! transport demonstrates that the middleware genuinely distributes —
 //! client and server can run in different processes or on different
 //! machines. Framing is a 4-byte big-endian length followed by the
-//! encoded frame; a size cap guards against corrupt peers.
+//! encoded frame; a size cap guards against corrupt peers, and the
+//! resumable [`framed::FrameReader`] keeps the stream in sync across
+//! receive timeouts.
 
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::endpoint::Transport;
-use crate::framed;
+use crate::framed::{self, FrameReader};
 use crate::message::Frame;
 use crate::simnet::{LinkSpec, SimEnv};
 use crate::{Result, TransportError};
@@ -22,10 +24,14 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// A connected TCP frame transport.
 pub struct TcpTransport {
     stream: TcpStream,
+    /// The dialed address, kept so [`Transport::reconnect`] can re-dial.
+    /// `None` for accepted (server-side) streams, which cannot dial the
+    /// client back.
+    peer: Option<SocketAddr>,
     env: Option<SimEnv>,
     link: LinkSpec,
     send_buf: Vec<u8>,
-    recv_buf: Vec<u8>,
+    reader: FrameReader,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -44,12 +50,14 @@ impl TcpTransport {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr().ok();
         Ok(TcpTransport {
             stream,
+            peer,
             env: None,
             link: LinkSpec::free(),
             send_buf: Vec::new(),
-            recv_buf: Vec::new(),
+            reader: FrameReader::new(),
         })
     }
 
@@ -61,10 +69,11 @@ impl TcpTransport {
         stream.set_nodelay(true)?;
         Ok(TcpTransport {
             stream,
+            peer: None,
             env: None,
             link: LinkSpec::free(),
             send_buf: Vec::new(),
-            recv_buf: Vec::new(),
+            reader: FrameReader::new(),
         })
     }
 
@@ -105,11 +114,22 @@ impl Transport for TcpTransport {
             other => other,
         }
     }
+
+    fn reconnect(&mut self) -> Result<bool> {
+        let Some(addr) = self.peer else {
+            return Ok(false);
+        };
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.reader.reset();
+        Ok(true)
+    }
 }
 
 impl TcpTransport {
     fn recv_inner(&mut self) -> Result<Frame> {
-        framed::read_frame(&mut self.stream, &mut self.recv_buf)
+        self.reader.read_frame(&mut self.stream)
     }
 }
 
@@ -227,6 +247,84 @@ mod tests {
         let mut client = TcpTransport::connect(addr).unwrap();
         let err = client.recv_timeout(Duration::from_millis(20)).unwrap_err();
         assert!(matches!(err, TransportError::Timeout), "{err:?}");
+    }
+
+    #[test]
+    fn timeout_mid_frame_then_completion() {
+        // Regression for the stream-desync bug: the server sends the
+        // length prefix, pauses past the client's deadline, then sends
+        // the body. The client's first recv times out; the second must
+        // deliver the frame intact instead of misreading body bytes as
+        // a fresh length.
+        use std::io::Write;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let body = Frame::CallReply {
+                payload: vec![0x42; 2000],
+            }
+            .encode();
+            let prefix = (body.len() as u32).to_be_bytes();
+            stream.write_all(&prefix).unwrap();
+            stream.write_all(&body[..10]).unwrap();
+            stream.flush().unwrap();
+            thread::sleep(Duration::from_millis(150));
+            stream.write_all(&body[10..]).unwrap();
+            stream.flush().unwrap();
+            // Hold the connection until the client is done reading.
+            thread::sleep(Duration::from_millis(200));
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let err = client.recv_timeout(Duration::from_millis(30)).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout), "{err:?}");
+        let frame = client.recv().unwrap();
+        assert_eq!(
+            frame,
+            Frame::CallReply {
+                payload: vec![0x42; 2000]
+            }
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reconnect_redials_the_listener() {
+        let listener = TcpListenerTransport::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            // First connection: answer one frame, then drop.
+            let mut t = listener.accept().unwrap();
+            let _ = t.recv().unwrap();
+            t.send(&Frame::Ack).unwrap();
+            drop(t);
+            // Second connection after the client reconnects.
+            let mut t = listener.accept().unwrap();
+            let _ = t.recv().unwrap();
+            t.send(&Frame::CountReply(2)).unwrap();
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.send(&Frame::Ack).unwrap();
+        assert_eq!(client.recv().unwrap(), Frame::Ack);
+        // Wait for the server to drop the first connection.
+        assert!(matches!(client.recv(), Err(TransportError::Disconnected)));
+        assert!(client.reconnect().unwrap());
+        client.send(&Frame::Ack).unwrap();
+        assert_eq!(client.recv().unwrap(), Frame::CountReply(2));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn accepted_streams_do_not_reconnect() {
+        let listener = TcpListenerTransport::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let _t = TcpTransport::connect(addr).unwrap();
+            thread::sleep(Duration::from_millis(50));
+        });
+        let mut server_side = listener.accept().unwrap();
+        assert!(!server_side.reconnect().unwrap());
+        client.join().unwrap();
     }
 
     #[test]

@@ -5,19 +5,22 @@
 #![cfg(unix)]
 
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use crate::endpoint::Transport;
-use crate::framed;
+use crate::framed::{self, FrameReader};
 use crate::message::Frame;
 use crate::{Result, TransportError};
 
 /// A connected Unix-domain-socket frame transport.
 pub struct UdsTransport {
     stream: UnixStream,
+    /// The dialed path, kept so [`Transport::reconnect`] can re-dial.
+    /// `None` for accepted (server-side) streams.
+    peer: Option<PathBuf>,
     send_buf: Vec<u8>,
-    recv_buf: Vec<u8>,
+    reader: FrameReader,
 }
 
 impl std::fmt::Debug for UdsTransport {
@@ -32,10 +35,12 @@ impl UdsTransport {
     /// # Errors
     /// Propagates socket errors.
     pub fn connect(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
         Ok(UdsTransport {
-            stream: UnixStream::connect(path)?,
+            stream: UnixStream::connect(&path)?,
+            peer: Some(path),
             send_buf: Vec::new(),
-            recv_buf: Vec::new(),
+            reader: FrameReader::new(),
         })
     }
 
@@ -43,13 +48,14 @@ impl UdsTransport {
     pub fn from_stream(stream: UnixStream) -> Self {
         UdsTransport {
             stream,
+            peer: None,
             send_buf: Vec::new(),
-            recv_buf: Vec::new(),
+            reader: FrameReader::new(),
         }
     }
 
     fn recv_inner(&mut self) -> Result<Frame> {
-        framed::read_frame(&mut self.stream, &mut self.recv_buf)
+        self.reader.read_frame(&mut self.stream)
     }
 }
 
@@ -78,6 +84,15 @@ impl Transport for UdsTransport {
             other => other,
         }
     }
+
+    fn reconnect(&mut self) -> Result<bool> {
+        let Some(path) = &self.peer else {
+            return Ok(false);
+        };
+        self.stream = UnixStream::connect(path)?;
+        self.reader.reset();
+        Ok(true)
+    }
 }
 
 /// A listener accepting [`UdsTransport`] connections at a filesystem
@@ -89,13 +104,35 @@ pub struct UdsListenerTransport {
 }
 
 impl UdsListenerTransport {
-    /// Binds at `path` (any stale socket file is removed first).
+    /// Binds at `path`, unlinking a *stale* socket file first.
+    ///
+    /// A crashed server leaves its socket file behind (the kernel never
+    /// unlinks it), and a plain `bind` on that path fails with
+    /// `AddrInUse`. Unlinking unconditionally would instead silently
+    /// steal the path from a *live* server. A connect probe tells the
+    /// two apart: only a socket someone is accepting on answers.
     ///
     /// # Errors
-    /// Propagates socket errors.
+    /// `AddrInUse` if a live server already accepts on `path`; otherwise
+    /// propagates socket errors.
     pub fn bind(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let _ = std::fs::remove_file(&path);
+        if path.exists() {
+            match UnixStream::connect(&path) {
+                Ok(_probe) => {
+                    return Err(TransportError::Io(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!("{} is in use by a live server", path.display()),
+                    )));
+                }
+                Err(_) => {
+                    // Nobody answers: a stale file from a crashed
+                    // server (or a non-socket squatter bind will still
+                    // reject). Reclaim the path.
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
         Ok(UdsListenerTransport {
             listener: UnixListener::bind(&path)?,
             path,
@@ -172,5 +209,59 @@ mod tests {
             assert!(path.exists());
         }
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn bind_reclaims_stale_socket_after_crash() {
+        let path = socket_path("stale");
+        // Simulate a crashed server: raw std bind leaves the socket
+        // file behind on drop (std never unlinks it).
+        {
+            let _crashed = UnixListener::bind(&path).unwrap();
+        }
+        assert!(path.exists(), "crash leaves the socket file");
+        // A plain re-bind would fail with AddrInUse; ours must probe,
+        // find nobody home, unlink, and bind.
+        let listener = UdsListenerTransport::bind(&path).unwrap();
+        let server = thread::spawn(move || {
+            let mut t = listener.accept().unwrap();
+            t.send(&Frame::Ack).unwrap();
+        });
+        let mut client = UdsTransport::connect(&path).unwrap();
+        assert_eq!(client.recv().unwrap(), Frame::Ack);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn bind_refuses_to_clobber_live_server() {
+        let path = socket_path("live");
+        let live = UdsListenerTransport::bind(&path).unwrap();
+        let err = UdsListenerTransport::bind(&path).unwrap_err();
+        match err {
+            TransportError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::AddrInUse),
+            other => panic!("expected AddrInUse, got {other:?}"),
+        }
+        // The live listener still works afterwards.
+        assert!(path.exists());
+        drop(live);
+    }
+
+    #[test]
+    fn uds_reconnect_redials_the_listener() {
+        let path = socket_path("reconnect");
+        let listener = UdsListenerTransport::bind(&path).unwrap();
+        let server = thread::spawn(move || {
+            let t = listener.accept().unwrap();
+            drop(t);
+            let mut t = listener.accept().unwrap();
+            let _ = t.recv().unwrap();
+            t.send(&Frame::CountReply(7)).unwrap();
+        });
+        let mut client = UdsTransport::connect(&path).unwrap();
+        assert!(matches!(client.recv(), Err(TransportError::Disconnected)));
+        assert!(client.reconnect().unwrap());
+        client.send(&Frame::Ack).unwrap();
+        assert_eq!(client.recv().unwrap(), Frame::CountReply(7));
+        server.join().unwrap();
     }
 }

@@ -36,7 +36,8 @@ fn concurrent_clients_share_server_state() {
                 Ok(Value::Int(total))
             })),
         );
-        serve_tcp_concurrent(server, &listener, CLIENTS).expect("serve")
+        // One connection beyond the workers: the final auditing client.
+        serve_tcp_concurrent(server, &listener, CLIENTS + 1).expect("serve")
     });
 
     let mut client_threads = Vec::new();
@@ -58,12 +59,20 @@ fn concurrent_clients_share_server_state() {
     for t in client_threads {
         t.join().expect("client thread");
     }
+    // All contributions arrived exactly once: a fresh connection reads
+    // the final total with an add(0) and it must be exact — neither a
+    // lost increment nor a double-counted one.
+    let mut auditor = Session::connect_tcp(registry, addr).expect("connect auditor");
+    let total = auditor
+        .call("accumulator", "add", &[Value::Int(0)])
+        .expect("audit call");
+    assert_eq!(
+        total.as_int().unwrap(),
+        CLIENTS as i32 * CALLS_PER_CLIENT,
+        "every increment must be applied exactly once"
+    );
+    auditor.close().expect("close auditor");
     let _server = server_thread.join().expect("server thread");
-    // All contributions arrived exactly once: one final check through a
-    // fresh accounting — the last returned total across clients must
-    // have reached CLIENTS * CALLS_PER_CLIENT at some point; easiest
-    // exact check is to re-run a single client session... instead assert
-    // via a final call in one more connection below.
 }
 
 #[test]

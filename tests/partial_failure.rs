@@ -218,6 +218,143 @@ fn classpath_skew_fails_cleanly() {
     let _ = server.join();
 }
 
+// ---------------------------------------------------------------------------
+// The retry matrix: the same lost-message faults, but through the
+// at-most-once reliability layer — instead of surfacing an error, the
+// call must complete with its effect applied exactly once.
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use nrmi::core::{ReliableTransport, RetryPolicy};
+
+/// Runs `calls` reliable calls against a counting service with `plan`
+/// injected under the retry layer. Returns the per-call results, the
+/// number of times the service body actually executed, and the client's
+/// retry stats.
+fn retried_calls(
+    plan: FaultPlan,
+    calls: usize,
+) -> (Vec<Result<Value, NrmiError>>, usize, nrmi::core::RetryStats) {
+    let registry = registry();
+    let (client_t, mut server_t) = channel_pair(None, LinkSpec::free());
+    let executions = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&executions);
+    let server_registry = registry.clone();
+    let server = thread::spawn(move || {
+        let mut node = ServerNode::new(server_registry, MachineSpec::fast());
+        node.bind(
+            "count",
+            Box::new(FnService::new(move |_m, args, _h| {
+                let n = counter.fetch_add(1, Ordering::SeqCst);
+                let _ = args;
+                Ok(Value::Int(n as i32 + 1))
+            })),
+        );
+        let _ = serve_connection(&mut node, &mut server_t);
+    });
+
+    let mut client = ClientNode::new(registry, MachineSpec::fast());
+    let policy = RetryPolicy {
+        deadline: Duration::from_secs(5),
+        attempt_timeout: Duration::from_millis(40),
+        max_attempts: 6,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        jitter: false,
+    };
+    let mut transport = ReliableTransport::new(FaultyTransport::new(client_t, plan), policy);
+    let results = (0..calls)
+        .map(|i| {
+            client_invoke(
+                &mut client,
+                &mut transport,
+                "count",
+                "tick",
+                &[Value::Int(i as i32)],
+                CallOptions::forced(PassMode::Copy),
+            )
+        })
+        .collect();
+    let stats = transport.stats();
+    let _ = transport.send(&nrmi::transport::Frame::Shutdown);
+    drop(transport);
+    server.join().expect("server thread");
+    (results, executions.load(Ordering::SeqCst), stats)
+}
+
+#[test]
+fn lost_reply_is_retried_and_executes_exactly_once() {
+    // The reply to the first call vanishes; the retransmission must be
+    // answered from the server's reply cache, not re-executed.
+    let (results, executions, stats) = retried_calls(FaultPlan::drop_on_recv(0), 2);
+    assert_eq!(results[0].as_ref().unwrap(), &Value::Int(1));
+    assert_eq!(results[1].as_ref().unwrap(), &Value::Int(2));
+    assert_eq!(executions, 2, "each call executed exactly once");
+    assert!(stats.retries >= 1, "the lost reply forced a retransmission");
+    assert!(stats.replays >= 1, "the retransmission hit the reply cache");
+}
+
+#[test]
+fn lost_request_is_retried_and_executes_exactly_once() {
+    // The first request never reaches the server; the retransmission is
+    // the first copy it sees, so it executes fresh — once.
+    let (results, executions, stats) = retried_calls(FaultPlan::drop_on_send(0), 2);
+    assert_eq!(results[0].as_ref().unwrap(), &Value::Int(1));
+    assert_eq!(results[1].as_ref().unwrap(), &Value::Int(2));
+    assert_eq!(executions, 2, "each call executed exactly once");
+    assert!(
+        stats.retries >= 1,
+        "the lost request forced a retransmission"
+    );
+    assert_eq!(
+        stats.replays, 0,
+        "nothing executed twice, nothing to replay"
+    );
+}
+
+#[test]
+fn duplicated_request_is_suppressed_and_executes_exactly_once() {
+    // The first request arrives twice; the second copy must replay the
+    // cached reply. The stale extra reply is discarded by the client.
+    let (results, executions, stats) = retried_calls(FaultPlan::duplicate_on_send(0), 3);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.as_ref().unwrap(), &Value::Int(i as i32 + 1));
+    }
+    assert_eq!(executions, 3, "the duplicate did not re-execute");
+    assert!(
+        stats.stale_discarded >= 1,
+        "the duplicate's extra reply was discarded as stale"
+    );
+}
+
+#[test]
+fn deadline_exceeded_when_every_attempt_is_lost() {
+    // Every send the client makes vanishes: the call must fail with a
+    // deadline error after its attempt budget — and must not hang.
+    let plan = FaultPlan {
+        sends: vec![nrmi::transport::Fault::DropFrame; 8],
+        recvs: Vec::new(),
+    };
+    let started = std::time::Instant::now();
+    let (results, executions, stats) = retried_calls(plan, 1);
+    let err = results[0].as_ref().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            NrmiError::Transport(nrmi::transport::TransportError::DeadlineExceeded { .. })
+        ),
+        "{err}"
+    );
+    assert_eq!(executions, 0, "the server never saw the call");
+    assert_eq!(stats.deadline_failures, 1);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the client must not hang past its deadline"
+    );
+}
+
 #[test]
 fn timeout_is_observable_when_a_reply_is_dropped() {
     // A dropped CallRequest means no reply ever arrives; a bounded recv

@@ -1,0 +1,291 @@
+//! At-most-once delivery under chaos: for ANY drop/duplicate/delay/
+//! disconnect schedule, every call's observable server-side effect
+//! happens exactly once, or the client gets a deadline error — never
+//! twice, and never a hang past the deadline.
+//!
+//! The oracle is arithmetic: call `i` adds `3^i` to a server-side
+//! accumulator, so the final total is a base-3 numeral whose `i`-th
+//! digit counts how many times call `i` executed. Any digit ≥ 2 is a
+//! double execution — the failure mode the reply cache exists to
+//! prevent. A digit of 1 under a deadline error is legal ("executed,
+//! reply lost"); a digit of 0 under success is the opposite corruption
+//! (a lost effect) and equally fatal.
+
+use proptest::prelude::*;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use nrmi::core::{
+    client_invoke, client_invoke_warm_with_stats, serve_connection, serve_tcp_concurrent,
+    CallOptions, ClientNode, FnService, NrmiError, PassMode, ReliableTransport, RetryPolicy,
+    ServerNode,
+};
+use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
+use nrmi::transport::{
+    channel_pair, Fault, FaultPlan, FaultyTransport, Frame, LinkSpec, MachineSpec,
+    TcpListenerTransport, TcpTransport, Transport, TransportError,
+};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.define("Cell").field_int("data").restorable().register();
+    reg.snapshot()
+}
+
+/// Binds the digit accumulator: `tick` adds `3^i` for call index `i`,
+/// `read` returns the accumulator untouched.
+fn bind_digit_service(node: &mut ServerNode) {
+    let mut total = 0i64;
+    node.bind(
+        "digits",
+        Box::new(FnService::new(move |method, args, _h| {
+            if method == "read" {
+                return Ok(Value::Long(total));
+            }
+            let i = args[0].as_int().unwrap_or(0) as u32;
+            total += 3i64.pow(i);
+            Ok(Value::Long(total))
+        })),
+    );
+}
+
+fn test_policy() -> RetryPolicy {
+    RetryPolicy {
+        deadline: Duration::from_secs(3),
+        attempt_timeout: Duration::from_millis(60),
+        max_attempts: 8,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        jitter: false,
+    }
+}
+
+fn chaos_fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        5 => Just(Fault::Pass),
+        2 => Just(Fault::DropFrame),
+        2 => Just(Fault::Duplicate),
+        1 => Just(Fault::Disconnect),
+        1 => (1u64..30).prop_map(|ms| Fault::Delay(Duration::from_millis(ms))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_effect_happens_exactly_once_or_the_call_deadline_errors(
+        sends in proptest::collection::vec(chaos_fault(), 0..8),
+        recvs in proptest::collection::vec(chaos_fault(), 0..8),
+    ) {
+        const CALLS: usize = 6;
+        let registry = registry();
+        let (client_t, mut server_t) = channel_pair(None, LinkSpec::free());
+        let server_registry = registry.clone();
+        let server = thread::spawn(move || {
+            let mut node = ServerNode::new(server_registry, MachineSpec::fast());
+            bind_digit_service(&mut node);
+            let _ = serve_connection(&mut node, &mut server_t);
+        });
+
+        let mut client = ClientNode::new(registry, MachineSpec::fast());
+        let policy = test_policy();
+        let faulty = FaultyTransport::new(client_t, FaultPlan { sends, recvs });
+        let mut transport = ReliableTransport::new(faulty, policy);
+
+        let mut succeeded = [false; CALLS];
+        for (i, ok) in succeeded.iter_mut().enumerate() {
+            let started = Instant::now();
+            let result = client_invoke(
+                &mut client,
+                &mut transport,
+                "digits",
+                "tick",
+                &[Value::Int(i as i32)],
+                CallOptions::forced(PassMode::Copy),
+            );
+            prop_assert!(
+                started.elapsed() < policy.deadline + Duration::from_secs(2),
+                "call {i} hung past its deadline: {:?}",
+                started.elapsed()
+            );
+            match result {
+                Ok(_) => *ok = true,
+                Err(NrmiError::Transport(TransportError::DeadlineExceeded { .. })) => {}
+                Err(other) => prop_assert!(
+                    false,
+                    "call {i}: the only legal failure is a deadline error, got {other}"
+                ),
+            }
+        }
+
+        // The schedules are exhausted by now (≤ 8 faults a side); the
+        // audit read runs clean.
+        let total = client_invoke(
+            &mut client,
+            &mut transport,
+            "digits",
+            "read",
+            &[Value::Int(-1)],
+            CallOptions::forced(PassMode::Copy),
+        )
+        .expect("audit read")
+        .as_long()
+        .expect("long total");
+
+        for (i, &ok) in succeeded.iter().enumerate() {
+            let digit = (total / 3i64.pow(i as u32)) % 3;
+            prop_assert!(
+                digit <= 1,
+                "call {i} executed {digit} times (total {total}): at-most-once violated"
+            );
+            if ok {
+                prop_assert_eq!(
+                    digit, 1,
+                    "call {} reported success but its effect is missing (total {})", i, total
+                );
+            }
+        }
+        prop_assert!(total < 3i64.pow(CALLS as u32), "effects beyond the last call");
+
+        let _ = transport.send(&Frame::Shutdown);
+        drop(transport);
+        server.join().expect("server thread");
+    }
+}
+
+#[test]
+fn tcp_reconnect_retransmits_and_executes_exactly_once() {
+    let registry = registry();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server_registry = registry.clone();
+    let server = thread::spawn(move || {
+        let mut node = ServerNode::new(server_registry, MachineSpec::fast());
+        bind_digit_service(&mut node);
+        serve_tcp_concurrent(node, &listener, 2).expect("serve")
+    });
+
+    let mut client = ClientNode::new(registry, MachineSpec::fast());
+    let transport = TcpTransport::connect(addr).expect("connect");
+    let mut transport = ReliableTransport::new(transport, test_policy());
+
+    let call = |client: &mut ClientNode,
+                transport: &mut ReliableTransport<TcpTransport>,
+                i: i32|
+     -> Result<Value, NrmiError> {
+        client_invoke(
+            client,
+            transport,
+            "digits",
+            "tick",
+            &[Value::Int(i)],
+            CallOptions::forced(PassMode::Copy),
+        )
+    };
+
+    assert_eq!(
+        call(&mut client, &mut transport, 0).unwrap(),
+        Value::Long(1)
+    );
+
+    // An orderly Shutdown ends connection 1 on the server; the next
+    // call's request lands on a dead socket, and the client must
+    // re-dial and retransmit — landing on connection 2, where the
+    // shared reply cache still guards against double execution.
+    transport.send(&Frame::Shutdown).expect("shutdown conn 1");
+    assert_eq!(
+        call(&mut client, &mut transport, 1).unwrap(),
+        Value::Long(4),
+        "3^0 + 3^1: both calls executed exactly once across the reconnect"
+    );
+    assert!(
+        transport.stats().reconnects >= 1,
+        "the second call crossed a reconnect: {:?}",
+        transport.stats()
+    );
+
+    transport.send(&Frame::Shutdown).expect("shutdown conn 2");
+    drop(transport);
+    server.join().expect("server thread");
+}
+
+#[test]
+fn warm_sessions_fall_back_to_a_cold_reseed_across_reconnect() {
+    // Warm sessions cache the argument graph per CONNECTION; a reconnect
+    // loses them. The client must recover by falling back to a cold
+    // (seed) call that rebuilds the server cache — transparently, with
+    // the same answer a never-disconnected session would give.
+    let registry = registry();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server_registry = registry.clone();
+    let server = thread::spawn(move || {
+        let mut node = ServerNode::new(server_registry, MachineSpec::fast());
+        node.bind(
+            "svc",
+            Box::new(FnService::new(|_m, args, heap| {
+                let cell = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("want a cell"))?;
+                let d = heap.get_field(cell, "data")?.as_int().unwrap_or(0);
+                heap.set_field(cell, "data", Value::Int(3 * d + 1))?;
+                Ok(Value::Long(i64::from(d)))
+            })),
+        );
+        serve_tcp_concurrent(node, &listener, 2).expect("serve")
+    });
+
+    let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());
+    let cell_class = registry.by_name("Cell").expect("registered");
+    let cell = client
+        .state
+        .heap
+        .alloc(cell_class, vec![Value::Int(1)])
+        .expect("alloc");
+    let transport = TcpTransport::connect(addr).expect("connect");
+    let mut transport = ReliableTransport::new(transport, test_policy());
+
+    // Seed the warm session on connection 1: returns the old value 1,
+    // restores 4 into the client's cell.
+    let (v1, _) = client_invoke_warm_with_stats(
+        &mut client,
+        &mut transport,
+        "svc",
+        "bump",
+        &[Value::Ref(cell)],
+    )
+    .expect("warm call 1");
+    assert_eq!(v1, Value::Long(1));
+    assert_eq!(
+        client.state.heap.get_field(cell, "data").unwrap(),
+        Value::Int(4)
+    );
+
+    // Kill connection 1. The client's warm cache now names a session
+    // generation the server lost with the connection.
+    transport.send(&Frame::Shutdown).expect("shutdown conn 1");
+
+    // The next warm call reconnects, gets CacheMiss for the orphaned
+    // session, and reseeds — the observable result is exactly one more
+    // application of the mutation.
+    let (v2, _) = client_invoke_warm_with_stats(
+        &mut client,
+        &mut transport,
+        "svc",
+        "bump",
+        &[Value::Ref(cell)],
+    )
+    .expect("warm call 2");
+    assert_eq!(v2, Value::Long(4), "the old value, applied exactly once");
+    assert_eq!(
+        client.state.heap.get_field(cell, "data").unwrap(),
+        Value::Int(13),
+        "3*4 + 1, not a double application"
+    );
+    assert!(transport.stats().reconnects >= 1, "{:?}", transport.stats());
+
+    transport.send(&Frame::Shutdown).expect("shutdown conn 2");
+    drop(transport);
+    server.join().expect("server thread");
+}
