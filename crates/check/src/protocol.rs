@@ -235,6 +235,11 @@ impl ServerSide {
                         seq: *seq,
                         frame: Box::new(nrmi_core::reliable::evicted_reply()),
                     }),
+                    // The model dispatches each frame to completion before
+                    // the next, so the cross-connection executing marker
+                    // (set only by `begin`) is never observed here; the
+                    // real serve loop drops such duplicates unanswered.
+                    ReplyDecision::InProgress => None,
                     ReplyDecision::Fresh => {
                         let reply = self.dispatch(frame)?;
                         self.server.replies.store(*nonce, *seq, &reply);

@@ -697,33 +697,36 @@ fn serve_connection_shared_inner(
                         payload,
                     } => {
                         // The warm handler takes the mutex itself, so the
-                        // decision and store use separate lock scopes. The
-                        // window is benign: warm caches are per connection,
-                        // so a duplicate of this id can only arrive on this
-                        // connection — serialized by this very loop.
-                        let decision = server.lock().replies.decision(nonce, seq);
+                        // decision and store use separate lock scopes.
+                        // `begin` bridges the gap: it marks the id as
+                        // executing while still under the lock, so a
+                        // reconnect retransmission of the same id racing
+                        // in on ANOTHER connection reads InProgress —
+                        // never a second Fresh.
+                        let decision = server.lock().replies.begin(nonce, seq);
                         match decision {
-                            ReplyDecision::Replay(cached) => Frame::ReplyCached {
+                            ReplyDecision::Replay(cached) => Some(Frame::ReplyCached {
                                 nonce,
                                 seq,
                                 frame: Box::new(cached),
-                            },
-                            ReplyDecision::Evicted => Frame::ReplyCached {
+                            }),
+                            ReplyDecision::Evicted => Some(Frame::ReplyCached {
                                 nonce,
                                 seq,
                                 frame: Box::new(crate::reliable::evicted_reply()),
-                            },
+                            }),
+                            ReplyDecision::InProgress => None,
                             ReplyDecision::Fresh => {
                                 let reply = crate::warm::server_handle_warm_call_shared(
                                     server, warm, transport, &service, &method, mode, cache_id,
                                     generation, &payload,
                                 );
                                 server.lock().replies.store(nonce, seq, &reply);
-                                Frame::Tagged {
+                                Some(Frame::Tagged {
                                     nonce,
                                     seq,
                                     frame: Box::new(reply),
-                                }
+                                })
                             }
                         }
                     }
@@ -732,30 +735,36 @@ fn serve_connection_shared_inner(
                         // store, so two connections retrying the same id
                         // can never both execute it.
                         let mut guard = server.lock();
-                        match guard.replies.decision(nonce, seq) {
-                            ReplyDecision::Replay(cached) => Frame::ReplyCached {
+                        match guard.replies.begin(nonce, seq) {
+                            ReplyDecision::Replay(cached) => Some(Frame::ReplyCached {
                                 nonce,
                                 seq,
                                 frame: Box::new(cached),
-                            },
-                            ReplyDecision::Evicted => Frame::ReplyCached {
+                            }),
+                            ReplyDecision::Evicted => Some(Frame::ReplyCached {
                                 nonce,
                                 seq,
                                 frame: Box::new(crate::reliable::evicted_reply()),
-                            },
+                            }),
+                            ReplyDecision::InProgress => None,
                             ReplyDecision::Fresh => {
                                 let reply = dispatch_tagged(&mut guard, warm, transport, inner);
                                 guard.replies.store(nonce, seq, &reply);
-                                Frame::Tagged {
+                                Some(Frame::Tagged {
                                     nonce,
                                     seq,
                                     frame: Box::new(reply),
-                                }
+                                })
                             }
                         }
                     }
                 };
-                transport.send(&reply)?;
+                // An in-progress duplicate gets no reply at all: the
+                // client's next retransmission (after the original
+                // execution stores) is answered from the cache.
+                if let Some(reply) = reply {
+                    transport.send(&reply)?;
+                }
             }
             other => {
                 return Err(NrmiError::Protocol(format!("unexpected frame {other:?}")));
@@ -854,28 +863,33 @@ fn serve_connection_inner(
             }
             Frame::Tagged { nonce, seq, frame } => {
                 use crate::reliable::ReplyDecision;
-                let reply = match server.replies.decision(nonce, seq) {
-                    ReplyDecision::Replay(cached) => Frame::ReplyCached {
+                let reply = match server.replies.begin(nonce, seq) {
+                    ReplyDecision::Replay(cached) => Some(Frame::ReplyCached {
                         nonce,
                         seq,
                         frame: Box::new(cached),
-                    },
-                    ReplyDecision::Evicted => Frame::ReplyCached {
+                    }),
+                    ReplyDecision::Evicted => Some(Frame::ReplyCached {
                         nonce,
                         seq,
                         frame: Box::new(crate::reliable::evicted_reply()),
-                    },
+                    }),
+                    // Unreachable on a single-threaded node (begin and
+                    // store never straddle a frame); drop for safety.
+                    ReplyDecision::InProgress => None,
                     ReplyDecision::Fresh => {
                         let reply = dispatch_tagged(server, warm, transport, *frame);
                         server.replies.store(nonce, seq, &reply);
-                        Frame::Tagged {
+                        Some(Frame::Tagged {
                             nonce,
                             seq,
                             frame: Box::new(reply),
-                        }
+                        })
                     }
                 };
-                transport.send(&reply)?;
+                if let Some(reply) = reply {
+                    transport.send(&reply)?;
+                }
             }
             other => {
                 // Callbacks addressed at the server's exports (a client

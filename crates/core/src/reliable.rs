@@ -24,7 +24,10 @@
 //! call whose reply was evicted, the server answers with a definite
 //! error ([`REPLY_EVICTED`]) rather than re-executing: at-most-once is
 //! preserved at the price of an explicit failure, the same trade RMI's
-//! DGC makes under lease expiry.
+//! DGC makes under lease expiry. A duplicate that lands on a *second*
+//! connection while the original is still executing (a reconnect
+//! retransmission) is held off by an in-progress marker
+//! ([`ReplyCache::begin`]) — dropped, never run a second time.
 //!
 //! Retry is sound for the copy semantics (copy, copy-restore, DCE,
 //! warm deltas): the request payload is immutable once marshalled, and
@@ -33,7 +36,7 @@
 //! resending those is application-level replay, which no transport can
 //! make safe.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use nrmi_transport::{Frame, Transport, TransportError};
@@ -121,17 +124,34 @@ fn xorshift64(state: &mut u64) -> u64 {
     x
 }
 
-/// Allocates a session nonce: unique per process run with high
-/// probability across processes (seeded by the OS-randomized
-/// `RandomState` hasher), without pulling in an RNG dependency.
+/// Allocates a session nonce, without pulling in an RNG dependency.
+///
+/// The nonce mixes two independently keyed `RandomState` (SipHash)
+/// outputs over a process-wide counter; the entropy comes from the
+/// OS-randomized hasher keys. Within one process, the counter makes
+/// nonces distinct. Across processes, collisions are birthday-bounded:
+/// two concurrently tracked sessions collide with probability about
+/// `n^2 / 2^65`, under one in a billion for tens of thousands of
+/// sessions — and the server only tracks the most recent
+/// [`DEFAULT_REPLY_CACHE_NONCES`] sessions at all.
+///
+/// A collision is not a safety hole for execution (seqs still advance
+/// per client) but can cross-deliver one client's cached reply — or a
+/// spurious [`REPLY_EVICTED`] error — to the other. Deployments that
+/// cannot tolerate that at scale should mint nonces from a real CSPRNG
+/// (or a connection-scoped identity) and pass them through
+/// [`ReliableTransport::with_nonce`].
 pub fn fresh_nonce() -> u64 {
     use std::collections::hash_map::RandomState;
     use std::hash::{BuildHasher, Hasher};
     use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0x6e72_6d69); // "nrmi"
-    let mut h = RandomState::new().build_hasher();
-    h.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
-    let n = h.finish();
+    let tick = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut h1 = RandomState::new().build_hasher();
+    h1.write_u64(tick);
+    let mut h2 = RandomState::new().build_hasher();
+    h2.write_u64(tick ^ 0x9e37_79b9_7f4a_7c15);
+    let n = h1.finish() ^ h2.finish().rotate_left(32);
     // A zero nonce would seed a degenerate xorshift stream.
     if n == 0 {
         1
@@ -178,9 +198,14 @@ struct InFlight {
 /// stamped with a call id on send; `recv`/`recv_timeout` then run the
 /// retry loop — retransmitting on timeout, reconnecting on disconnect,
 /// discarding stale replies — until the matching reply arrives or the
-/// deadline passes. All other frames (callback replies, lookups,
-/// shutdown, DGC) pass through untouched, so the decorated transport
-/// drops into every existing client path unchanged.
+/// deadline passes. A `recv_timeout` whose window closes while the call
+/// still has budget returns [`TransportError::Timeout`] with the call
+/// kept in flight — a recoverable poll; the next `recv` resumes it.
+/// Only the call's own deadline or attempt budget yields
+/// [`TransportError::DeadlineExceeded`], which abandons the call. All
+/// other frames (callback replies, lookups, shutdown, DGC) pass through
+/// untouched, so the decorated transport drops into every existing
+/// client path unchanged.
 pub struct ReliableTransport<T> {
     inner: T,
     policy: RetryPolicy,
@@ -253,16 +278,18 @@ impl<T: Transport> ReliableTransport<T> {
     }
 
     /// Runs the retry loop until the in-flight call resolves. `extra`
-    /// optionally tightens the deadline (a caller-side `recv_timeout`).
+    /// is a caller-side `recv_timeout` poll window: when it closes
+    /// before the call's own budget does, the loop returns a
+    /// recoverable [`TransportError::Timeout`] with the call still in
+    /// flight, so a later `recv` resumes it. Only the call deadline and
+    /// the attempt budget produce [`TransportError::DeadlineExceeded`]
+    /// (which abandons the call).
     fn recv_reliable(&mut self, extra: Option<Duration>) -> Result<Frame, TransportError> {
         let (deadline, seq) = {
             let fl = self.in_flight.as_ref().expect("in-flight call");
-            let d = match extra {
-                Some(t) => fl.deadline.min(Instant::now() + t),
-                None => fl.deadline,
-            };
-            (d, fl.seq)
+            (fl.deadline, fl.seq)
         };
+        let poll_deadline = extra.map(|t| Instant::now() + t);
         loop {
             let fl = self.in_flight.as_mut().expect("in-flight call");
             if fl.needs_send {
@@ -273,6 +300,11 @@ impl<T: Transport> ReliableTransport<T> {
                 let now = Instant::now();
                 if now + pause >= deadline {
                     return self.fail_deadline();
+                }
+                if poll_deadline.is_some_and(|p| now + pause >= p) {
+                    // The caller's poll window closed; the retransmit
+                    // (needs_send stays set) happens on the next recv.
+                    return Err(TransportError::Timeout);
                 }
                 if !pause.is_zero() {
                     std::thread::sleep(pause);
@@ -305,7 +337,13 @@ impl<T: Transport> ReliableTransport<T> {
             if now >= deadline {
                 return self.fail_deadline();
             }
-            let wait = self.policy.attempt_timeout.min(deadline - now);
+            if poll_deadline.is_some_and(|p| now >= p) {
+                return Err(TransportError::Timeout);
+            }
+            let mut wait = self.policy.attempt_timeout.min(deadline - now);
+            if let Some(p) = poll_deadline {
+                wait = wait.min(p - now);
+            }
             match self.inner.recv_timeout(wait) {
                 Ok(Frame::Tagged {
                     nonce,
@@ -335,6 +373,12 @@ impl<T: Transport> ReliableTransport<T> {
                 // through us and keeps waiting.
                 Ok(other) => return Ok(other),
                 Err(TransportError::Timeout) => {
+                    // Poll window closing is the caller's timeout, not
+                    // the server's: leave the call waiting (no
+                    // retransmission) and report it recoverable.
+                    if poll_deadline.is_some_and(|p| Instant::now() >= p) {
+                        return Err(TransportError::Timeout);
+                    }
                     self.in_flight.as_mut().expect("in-flight call").needs_send = true;
                 }
                 Err(TransportError::Disconnected) => {
@@ -456,18 +500,38 @@ pub enum ReplyDecision {
     /// Already executed, but the recorded reply was evicted. Answer
     /// with a [`REPLY_EVICTED`] error — never re-execute.
     Evicted,
+    /// Currently executing on another connection ([`ReplyCache::begin`]
+    /// was issued but [`ReplyCache::store`] has not run yet): a
+    /// reconnect retransmission racing the original execution. Neither
+    /// execute nor reply — drop the duplicate; the client retransmits
+    /// and finds the stored reply.
+    InProgress,
 }
 
 /// Default reply-cache budget (4 MiB of encoded reply bytes).
 pub const DEFAULT_REPLY_CACHE_BYTES: usize = 4 << 20;
 
+/// Default bound on distinct session nonces whose executed watermarks
+/// the cache tracks (see [`ReplyCache::with_limits`]).
+pub const DEFAULT_REPLY_CACHE_NONCES: usize = 4096;
+
 /// Server-side duplicate-suppression cache: recorded replies keyed by
 /// call id, LRU-evicted under a byte cap.
 ///
 /// The `executed` watermark (highest seq seen per nonce) outlives
-/// eviction, which is what keeps the at-most-once promise after the
-/// reply itself is gone: a late retransmission of an evicted call gets
-/// a definite error, not a second execution.
+/// reply eviction, which is what keeps the at-most-once promise after
+/// the reply itself is gone: a late retransmission of an evicted call
+/// gets a definite error, not a second execution.
+///
+/// The watermark map itself is bounded too (`max_nonces` sessions,
+/// LRU by activity), so a long-lived node — or a hostile peer spraying
+/// random nonces — cannot grow it without limit. Evicting a nonce
+/// forgets that session's watermarks and drops its cached replies:
+/// a client that stays idle while `max_nonces` newer sessions pass and
+/// *then* retransmits an old call can re-execute it. That window is the
+/// price of bounded memory, the same trade DGC makes under lease
+/// expiry; size `max_nonces` above the node's plausible concurrent
+/// session count.
 #[derive(Debug)]
 pub struct ReplyCache {
     max_bytes: usize,
@@ -476,6 +540,13 @@ pub struct ReplyCache {
     /// LRU order, least-recent first.
     order: VecDeque<(u64, u64)>,
     executed: HashMap<u64, u64>,
+    /// Nonce LRU, least-recently-active first — bounds `executed`.
+    nonce_order: VecDeque<u64>,
+    max_nonces: usize,
+    /// Ids a [`begin`](ReplyCache::begin) classified `Fresh` whose
+    /// reply has not been stored yet: the cross-connection duplicate
+    /// barrier.
+    executing: HashSet<(u64, u64)>,
 }
 
 impl Default for ReplyCache {
@@ -485,52 +556,98 @@ impl Default for ReplyCache {
 }
 
 impl ReplyCache {
-    /// Creates a cache holding at most `max_bytes` of encoded replies.
+    /// Creates a cache holding at most `max_bytes` of encoded replies,
+    /// tracking at most [`DEFAULT_REPLY_CACHE_NONCES`] sessions.
     pub fn new(max_bytes: usize) -> Self {
+        ReplyCache::with_limits(max_bytes, DEFAULT_REPLY_CACHE_NONCES)
+    }
+
+    /// Creates a cache holding at most `max_bytes` of encoded replies
+    /// and at most `max_nonces` per-session executed watermarks.
+    pub fn with_limits(max_bytes: usize, max_nonces: usize) -> Self {
         ReplyCache {
             max_bytes,
             bytes: 0,
             entries: HashMap::new(),
             order: VecDeque::new(),
             executed: HashMap::new(),
+            nonce_order: VecDeque::new(),
+            max_nonces: max_nonces.max(1),
+            executing: HashSet::new(),
         }
     }
 
     /// Classifies an incoming call id. `Replay` touches the entry's LRU
     /// position.
     pub fn decision(&mut self, nonce: u64, seq: u64) -> ReplyDecision {
+        if self.executing.contains(&(nonce, seq)) {
+            return ReplyDecision::InProgress;
+        }
         if let Some(reply) = self.entries.get(&(nonce, seq)) {
             let reply = reply.clone();
             self.touch(nonce, seq);
+            self.touch_nonce(nonce);
             return ReplyDecision::Replay(reply);
         }
         match self.executed.get(&nonce) {
-            Some(&max) if seq <= max => ReplyDecision::Evicted,
+            Some(&max) if seq <= max => {
+                self.touch_nonce(nonce);
+                ReplyDecision::Evicted
+            }
             _ => ReplyDecision::Fresh,
         }
     }
 
-    /// Records the reply for an executed call and advances the nonce's
-    /// executed watermark. Evicts least-recently-used entries while over
-    /// the byte cap (the entry just stored is never evicted by its own
-    /// insertion).
+    /// Classifies an id AND, when it is `Fresh`, marks it as executing
+    /// in the same step, so a duplicate racing in on another connection
+    /// (a reconnect retransmission) observes [`InProgress`] rather than
+    /// a second `Fresh`. Serve loops whose execute step releases the
+    /// node lock (the warm-call path) must use this instead of
+    /// [`decision`](ReplyCache::decision); the marker is cleared by
+    /// [`store`](ReplyCache::store).
+    ///
+    /// [`InProgress`]: ReplyDecision::InProgress
+    pub fn begin(&mut self, nonce: u64, seq: u64) -> ReplyDecision {
+        let decision = self.decision(nonce, seq);
+        if decision == ReplyDecision::Fresh {
+            self.executing.insert((nonce, seq));
+        }
+        decision
+    }
+
+    /// Records the reply for an executed call, clears its executing
+    /// marker, and advances the nonce's executed watermark. Evicts
+    /// least-recently-used entries while over the byte cap (the entry
+    /// just stored is never evicted by its own insertion) and
+    /// least-recently-active sessions while over the nonce cap.
     pub fn store(&mut self, nonce: u64, seq: u64, reply: &Frame) {
         let key = (nonce, seq);
+        self.executing.remove(&key);
+        if self.executed.contains_key(&nonce) {
+            self.touch_nonce(nonce);
+        } else {
+            self.nonce_order.push_back(nonce);
+        }
         let max = self.executed.entry(nonce).or_insert(seq);
         if seq > *max {
             *max = seq;
         }
-        if self.entries.contains_key(&key) {
-            return;
-        }
-        self.bytes += reply.wire_size();
-        self.entries.insert(key, reply.clone());
-        self.order.push_back(key);
-        while self.bytes > self.max_bytes && self.order.len() > 1 {
-            let victim = self.order.pop_front().expect("len > 1");
-            if let Some(evicted) = self.entries.remove(&victim) {
-                self.bytes -= evicted.wire_size();
+        if !self.entries.contains_key(&key) {
+            self.bytes += reply.wire_size();
+            self.entries.insert(key, reply.clone());
+            self.order.push_back(key);
+            while self.bytes > self.max_bytes && self.order.len() > 1 {
+                let victim = self.order.pop_front().expect("len > 1");
+                if let Some(evicted) = self.entries.remove(&victim) {
+                    self.bytes -= evicted.wire_size();
+                }
             }
+        }
+        while self.executed.len() > self.max_nonces {
+            let Some(victim) = self.pick_idle_nonce() else {
+                break;
+            };
+            self.evict_nonce(victim);
         }
     }
 
@@ -549,11 +666,50 @@ impl ReplyCache {
         self.bytes
     }
 
+    /// Distinct session nonces whose executed watermarks are tracked.
+    pub fn tracked_nonces(&self) -> usize {
+        self.executed.len()
+    }
+
     fn touch(&mut self, nonce: u64, seq: u64) {
         if let Some(pos) = self.order.iter().position(|&k| k == (nonce, seq)) {
             self.order.remove(pos);
             self.order.push_back((nonce, seq));
         }
+    }
+
+    fn touch_nonce(&mut self, nonce: u64) {
+        if let Some(pos) = self.nonce_order.iter().position(|&n| n == nonce) {
+            self.nonce_order.remove(pos);
+            self.nonce_order.push_back(nonce);
+        }
+    }
+
+    /// The least-recently-active nonce with no call still executing
+    /// (evicting mid-execution would re-open the duplicate window).
+    fn pick_idle_nonce(&mut self) -> Option<u64> {
+        let pos = (0..self.nonce_order.len()).find(|&i| {
+            !self
+                .executing
+                .iter()
+                .any(|&(n, _)| n == self.nonce_order[i])
+        })?;
+        self.nonce_order.remove(pos)
+    }
+
+    fn evict_nonce(&mut self, nonce: u64) {
+        self.executed.remove(&nonce);
+        let entries = &mut self.entries;
+        let bytes = &mut self.bytes;
+        self.order.retain(|&(n, s)| {
+            if n != nonce {
+                return true;
+            }
+            if let Some(evicted) = entries.remove(&(n, s)) {
+                *bytes -= evicted.wire_size();
+            }
+            false
+        });
     }
 }
 
@@ -798,6 +954,107 @@ mod tests {
         cache.store(7, 2, &reply_frame(3));
         assert!(matches!(cache.decision(7, 0), ReplyDecision::Replay(_)));
         assert_eq!(cache.decision(7, 1), ReplyDecision::Evicted);
+    }
+
+    #[test]
+    fn poll_timeout_keeps_the_call_in_flight() {
+        // A caller-side recv_timeout window closing is a recoverable
+        // poll, not call abandonment: the call must survive it and be
+        // resumable by a later recv.
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        client.send(&call_frame(1)).unwrap();
+        let err = client.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout), "{err:?}");
+        assert_eq!(
+            client.stats().deadline_failures,
+            0,
+            "a poll timeout is not a deadline failure"
+        );
+        let Frame::Tagged { nonce, seq, .. } = server.recv().unwrap() else {
+            panic!("tagged");
+        };
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq,
+                frame: Box::new(reply_frame(9)),
+            })
+            .unwrap();
+        assert_eq!(client.recv().unwrap(), reply_frame(9), "call resumed");
+    }
+
+    #[test]
+    fn poll_timeout_still_honors_the_call_deadline() {
+        let (mut client, _server) = reliable(RetryPolicy {
+            deadline: Duration::from_millis(30),
+            attempt_timeout: Duration::from_millis(10),
+            max_attempts: 100,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: false,
+        });
+        client.send(&call_frame(1)).unwrap();
+        // Poll until the call's own deadline takes over.
+        let err = loop {
+            match client.recv_timeout(Duration::from_millis(5)) {
+                Err(TransportError::Timeout) => continue,
+                Err(e) => break e,
+                Ok(f) => panic!("unexpected reply {f:?}"),
+            }
+        };
+        assert!(
+            matches!(err, TransportError::DeadlineExceeded { .. }),
+            "{err:?}"
+        );
+        assert_eq!(client.stats().deadline_failures, 1);
+    }
+
+    #[test]
+    fn begin_blocks_a_concurrent_duplicate() {
+        let mut cache = ReplyCache::new(1 << 20);
+        assert_eq!(cache.begin(7, 0), ReplyDecision::Fresh);
+        // The same id again, before store: the reconnect-retransmission
+        // race. It must NOT read Fresh.
+        assert_eq!(cache.begin(7, 0), ReplyDecision::InProgress);
+        assert_eq!(cache.decision(7, 0), ReplyDecision::InProgress);
+        cache.store(7, 0, &reply_frame(1));
+        assert_eq!(
+            cache.begin(7, 0),
+            ReplyDecision::Replay(reply_frame(1)),
+            "after store the duplicate replays"
+        );
+    }
+
+    #[test]
+    fn executed_watermarks_are_bounded() {
+        let mut cache = ReplyCache::with_limits(1 << 20, 4);
+        for n in 0..100u64 {
+            cache.store(n, 0, &reply_frame(1));
+        }
+        assert_eq!(cache.tracked_nonces(), 4, "nonce map is capped");
+        assert_eq!(cache.len(), 4, "evicted sessions drop their replies");
+        assert!(matches!(cache.decision(99, 0), ReplyDecision::Replay(_)));
+        // The documented window: a session idle past the cap is
+        // forgotten entirely — its old id reads Fresh again.
+        assert_eq!(cache.decision(0, 0), ReplyDecision::Fresh);
+    }
+
+    #[test]
+    fn nonce_eviction_spares_executing_sessions() {
+        let mut cache = ReplyCache::with_limits(1 << 20, 2);
+        assert_eq!(cache.begin(1, 0), ReplyDecision::Fresh);
+        // Flood past the cap while nonce 1 is mid-execution.
+        cache.store(2, 0, &reply_frame(2));
+        cache.store(3, 0, &reply_frame(3));
+        cache.store(4, 0, &reply_frame(4));
+        assert_eq!(cache.decision(1, 0), ReplyDecision::InProgress);
+        cache.store(1, 0, &reply_frame(1));
+        assert_eq!(
+            cache.decision(1, 0),
+            ReplyDecision::Replay(reply_frame(1)),
+            "the executing session must not be evicted mid-call"
+        );
+        assert!(cache.tracked_nonces() <= 2);
     }
 
     #[test]

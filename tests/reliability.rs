@@ -12,6 +12,8 @@
 //! (a lost effect) and equally fatal.
 
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -284,6 +286,126 @@ fn warm_sessions_fall_back_to_a_cold_reseed_across_reconnect() {
         "3*4 + 1, not a double application"
     );
     assert!(transport.stats().reconnects >= 1, "{:?}", transport.stats());
+
+    transport.send(&Frame::Shutdown).expect("shutdown conn 2");
+    drop(transport);
+    server.join().expect("server thread");
+}
+
+/// A transport whose first connection dies right after the request goes
+/// out: `recv` reports `Disconnected` until `reconnect` swaps in the
+/// standby connection. This makes the reconnect-mid-execution race
+/// deterministic — the retransmission always lands on a second server
+/// connection while the first is still executing.
+struct SwitchTransport {
+    active: TcpTransport,
+    standby: Option<TcpTransport>,
+}
+
+impl Transport for SwitchTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.active.send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Frame, TransportError> {
+        if self.standby.is_some() {
+            return Err(TransportError::Disconnected);
+        }
+        self.active.recv()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, TransportError> {
+        if self.standby.is_some() {
+            return Err(TransportError::Disconnected);
+        }
+        self.active.recv_timeout(timeout)
+    }
+
+    fn reconnect(&mut self) -> Result<bool, TransportError> {
+        match self.standby.take() {
+            Some(fresh) => {
+                self.active = fresh;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+#[test]
+fn duplicate_on_second_connection_mid_execution_runs_once() {
+    // A client disconnects after sending a warm SEED call, reconnects,
+    // and retransmits the same call id on a new connection while the
+    // original execution is still running on the first. The warm path
+    // decides and stores under separate lock scopes, so the duplicate
+    // must be held off by the reply cache's executing marker — without
+    // it, the duplicate reads Fresh and the seed executes twice.
+    let registry = registry();
+    let executions = Arc::new(AtomicUsize::new(0));
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server_registry = registry.clone();
+    let server_executions = executions.clone();
+    let server = thread::spawn(move || {
+        let mut node = ServerNode::new(server_registry, MachineSpec::fast());
+        node.bind(
+            "slow",
+            Box::new(FnService::new(move |_m, args, heap| {
+                // Slow enough that the retransmission arrives while this
+                // execution is still in flight.
+                thread::sleep(Duration::from_millis(150));
+                server_executions.fetch_add(1, Ordering::SeqCst);
+                let cell = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("want a cell"))?;
+                let d = heap.get_field(cell, "data")?.as_int().unwrap_or(0);
+                heap.set_field(cell, "data", Value::Int(d + 1))?;
+                Ok(Value::Long(i64::from(d)))
+            })),
+        );
+        serve_tcp_concurrent(node, &listener, 2).expect("serve")
+    });
+
+    let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());
+    let cell_class = registry.by_name("Cell").expect("registered");
+    let cell = client
+        .state
+        .heap
+        .alloc(cell_class, vec![Value::Int(0)])
+        .expect("alloc");
+
+    let conn1 = TcpTransport::connect(addr).expect("connect 1");
+    let conn2 = TcpTransport::connect(addr).expect("connect 2");
+    let mut transport = ReliableTransport::new(
+        SwitchTransport {
+            active: conn1,
+            standby: Some(conn2),
+        },
+        test_policy(),
+    );
+
+    let (v, _) = client_invoke_warm_with_stats(
+        &mut client,
+        &mut transport,
+        "slow",
+        "bump",
+        &[Value::Ref(cell)],
+    )
+    .expect("warm seed call across the reconnect");
+    assert_eq!(v, Value::Long(0));
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        1,
+        "the seed call executed more than once: duplicate suppression \
+         failed across connections"
+    );
+    assert_eq!(
+        client.state.heap.get_field(cell, "data").unwrap(),
+        Value::Int(1),
+        "the restore must be applied exactly once"
+    );
+    assert!(transport.stats().reconnects >= 1, "{:?}", transport.stats());
+    assert!(transport.stats().retries >= 1, "{:?}", transport.stats());
 
     transport.send(&Frame::Shutdown).expect("shutdown conn 2");
     drop(transport);
