@@ -65,7 +65,7 @@ fn main() {
             let all = run_all_tables();
             println!("{}", render_observations(&check_observations(&all)));
             println!(
-                "\nextensions: `tables -- semantics | sweep | delta | warm | hotpath | faults | table7 | leak`"
+                "\nextensions: `tables -- semantics | sweep | delta | warm | hotpath | faults | scaling | table7 | leak`"
             );
         }
         "loc" => print_loc(),
@@ -104,6 +104,25 @@ fn main() {
                 Err(e) => eprintln!("could not write {path}: {e}"),
             }
             if !faults::at_most_once_violations(&report).is_empty() {
+                std::process::exit(1);
+            }
+        }
+        "scaling" => {
+            use nrmi_bench::scaling;
+            let report = scaling::run_scaling();
+            println!("{}", scaling::render_scaling(&report));
+            let json = scaling::to_json(&report);
+            let path = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_scaling.json");
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+            if !scaling::scaling_violations(&report).is_empty() {
                 std::process::exit(1);
             }
         }
@@ -176,7 +195,7 @@ fn main() {
             print_table(id, compare);
         }
         _ => {
-            eprintln!("usage: tables [all|loc|check|checks|sweep|delta|warm|hotpath|faults|leak|semantics|table1..table7] [--bare]");
+            eprintln!("usage: tables [all|loc|check|checks|sweep|delta|warm|hotpath|faults|scaling|leak|semantics|table1..table7] [--bare]");
             std::process::exit(2);
         }
     }

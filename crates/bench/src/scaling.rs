@@ -1,0 +1,569 @@
+//! Multi-client scaling ablation: the pooled server vs the big lock.
+//!
+//! The hazard this measures is not CPU parallelism (the CI box may well
+//! have one core) but *lock-held blocking*: the old
+//! `serve_connection_shared` big lock is held across the mid-call
+//! callback round trip of remote-reference calls, so while one client
+//! thinks about a `GetField` answer, every other connection — even ones
+//! using completely independent services — is frozen. The pooled
+//! [`ServerPool`] server overlaps those waits: a callback parks only its
+//! own connection's worker.
+//!
+//! Two measurements, both over real TCP:
+//!
+//! * **throughput** — N clients (1/2/4/8), each hammering its own
+//!   service with remote-ref calls whose callback answer takes
+//!   ~[`CALLBACK_TURNAROUND`] of client-side time. The big lock
+//!   serializes the turnarounds; the pool overlaps them.
+//! * **stall latency** — one client parks mid-call for [`STALL`] while a
+//!   second client probes an independent service; we record the probe's
+//!   worst-case latency under both servers.
+//!
+//! `tables -- scaling` renders the table and emits `BENCH_scaling.json`;
+//! the gate fails when the pool stops beating the serialized baseline or
+//! a stalled client blocks the probe again.
+
+use std::sync::{mpsc, Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use nrmi_core::{
+    client_invoke, serve_connection_pooled, serve_connection_shared, CallOptions, ClientNode,
+    FnService, NrmiError, PassMode, ServerNode, SharedServer,
+};
+use nrmi_heap::{ClassId, ClassRegistry, HeapAccess, SharedRegistry, Value};
+use nrmi_transport::{Frame, MachineSpec, TcpListenerTransport, TcpTransport, Transport};
+
+/// Client counts swept for the throughput measurement.
+pub const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Remote-ref calls each client issues per throughput cell.
+pub const CALLS_PER_CLIENT: usize = 10;
+
+/// Simulated client-side "think time" before answering each `GetField`
+/// callback. This is the blocking the big lock serializes.
+pub const CALLBACK_TURNAROUND: Duration = Duration::from_millis(2);
+
+/// How long the stalling client parks mid-call in the latency probe.
+pub const STALL: Duration = Duration::from_millis(300);
+
+/// Probe calls timed while the other client is stalled.
+pub const STALL_PROBE_CALLS: usize = 5;
+
+/// One throughput cell: N clients against one server flavor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Total calls completed across all clients.
+    pub calls: usize,
+    /// Wall-clock time for the whole cell, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Aggregate throughput, calls per second.
+    pub calls_per_sec: f64,
+}
+
+/// The probe client's latency while the other client is stalled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallPoint {
+    /// Probe calls issued.
+    pub probe_calls: usize,
+    /// Mean probe latency, microseconds.
+    pub mean_us: u64,
+    /// Worst probe latency, microseconds.
+    pub max_us: u64,
+}
+
+/// The full ablation: throughput sweep plus the stall probe, both modes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingReport {
+    /// Calls per client per throughput cell.
+    pub calls_per_client: usize,
+    /// Callback turnaround per call, microseconds.
+    pub turnaround_us: u64,
+    /// Throughput under the serialized big-lock server.
+    pub biglock: Vec<ScalingPoint>,
+    /// Throughput under the pooled server.
+    pub pooled: Vec<ScalingPoint>,
+    /// Stall duration for the latency probe, milliseconds.
+    pub stall_ms: u64,
+    /// Probe latency under the big lock (head-of-line blocking).
+    pub stall_biglock: StallPoint,
+    /// Probe latency under the pool (bounded).
+    pub stall_pooled: StallPoint,
+}
+
+/// Which serve loop a cell runs against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerFlavor {
+    /// `serve_connection_shared` behind one `Mutex<ServerNode>`.
+    BigLock,
+    /// `serve_connection_pooled` / per-connection state.
+    Pooled,
+}
+
+struct Schema {
+    registry: SharedRegistry,
+    cell: ClassId,
+}
+
+fn schema() -> Schema {
+    let mut reg = ClassRegistry::new();
+    // class Cell extends UnicastRemoteObject { int v; } — the remote-ref
+    // argument whose reads call back to the client mid-call.
+    let cell = reg.define("Cell").field_int("v").remote().register();
+    Schema {
+        registry: reg.snapshot(),
+        cell,
+    }
+}
+
+/// Builds the server: one independent service per potential client, plus
+/// the stall pair ("slow" with a callback, "probe" without).
+fn build_server(registry: &SharedRegistry) -> ServerNode {
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    let read_cell = || {
+        FnService::new(|_m, args, heap| {
+            let cell = args[0].as_ref_id().ok_or_else(|| NrmiError::app("cell"))?;
+            let v = heap.get_field(cell, "v")?.as_int().unwrap_or(0);
+            Ok(Value::Int(v + 1))
+        })
+    };
+    for i in 0..CLIENT_COUNTS[CLIENT_COUNTS.len() - 1] {
+        server.bind(format!("svc{i}"), Box::new(read_cell()));
+    }
+    server.bind("slow", Box::new(read_cell()));
+    server.bind(
+        "probe",
+        Box::new(FnService::new(|_m, args, _h| {
+            Ok(Value::Int(args[0].as_int().unwrap_or(0) + 1))
+        })),
+    );
+    server
+}
+
+/// Client-side transport that sleeps for `delay` after receiving each
+/// callback, modelling the caller computing the answer. The server-side
+/// cost of that think time is what differs between the two serve loops.
+struct CallbackThinkTime {
+    inner: TcpTransport,
+    delay: Duration,
+    /// When set, only the FIRST callback is delayed (the stall probe).
+    once: bool,
+    fired: bool,
+}
+
+impl Transport for CallbackThinkTime {
+    fn send(&mut self, frame: &Frame) -> nrmi_transport::Result<()> {
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> nrmi_transport::Result<Frame> {
+        let frame = self.inner.recv()?;
+        if matches!(frame, Frame::GetField { .. } | Frame::SetField { .. })
+            && (!self.once || !self.fired)
+        {
+            self.fired = true;
+            thread::sleep(self.delay);
+        }
+        Ok(frame)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> nrmi_transport::Result<Frame> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+/// Runs `clients` workers against a freshly served node of the given
+/// flavor; returns when every client finished its calls.
+fn throughput_cell(flavor: ServerFlavor, clients: usize) -> ScalingPoint {
+    let schema = schema();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = build_server(&schema.registry);
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut client_threads = Vec::new();
+    for i in 0..clients {
+        let registry = schema.registry.clone();
+        let cell_cls = schema.cell;
+        let barrier = Arc::clone(&barrier);
+        client_threads.push(thread::spawn(move || {
+            let mut transport = CallbackThinkTime {
+                inner: TcpTransport::connect(addr).expect("connect"),
+                delay: CALLBACK_TURNAROUND,
+                once: false,
+                fired: false,
+            };
+            let mut client = ClientNode::new(registry, MachineSpec::fast());
+            let cell = client
+                .state
+                .heap
+                .alloc_raw(cell_cls, vec![Value::Int(i as i32)])
+                .expect("alloc");
+            let service = format!("svc{i}");
+            barrier.wait();
+            for _ in 0..CALLS_PER_CLIENT {
+                client_invoke(
+                    &mut client,
+                    &mut transport,
+                    &service,
+                    "read",
+                    &[Value::Ref(cell)],
+                    CallOptions::forced(PassMode::RemoteRef),
+                )
+                .expect("scaling call");
+            }
+            let _ = transport.send(&Frame::Shutdown);
+        }));
+    }
+
+    let elapsed = match flavor {
+        ServerFlavor::BigLock => {
+            let shared = Arc::new(parking_lot::Mutex::new(server));
+            let mut workers = Vec::new();
+            for _ in 0..clients {
+                let mut conn = listener.accept().expect("accept");
+                let shared = Arc::clone(&shared);
+                workers.push(thread::spawn(move || {
+                    let _ = serve_connection_shared(&shared, &mut conn);
+                }));
+            }
+            barrier.wait();
+            let started = Instant::now();
+            for t in client_threads {
+                t.join().expect("client");
+            }
+            let elapsed = started.elapsed();
+            for w in workers {
+                w.join().expect("worker");
+            }
+            elapsed
+        }
+        ServerFlavor::Pooled => {
+            let shared = Arc::new(SharedServer::from_node(server));
+            let mut workers = Vec::new();
+            for _ in 0..clients {
+                let mut conn = listener.accept().expect("accept");
+                let shared = Arc::clone(&shared);
+                workers.push(thread::spawn(move || {
+                    let _ = serve_connection_pooled(&shared, &mut conn);
+                }));
+            }
+            barrier.wait();
+            let started = Instant::now();
+            for t in client_threads {
+                t.join().expect("client");
+            }
+            let elapsed = started.elapsed();
+            for w in workers {
+                w.join().expect("worker");
+            }
+            elapsed
+        }
+    };
+
+    let calls = clients * CALLS_PER_CLIENT;
+    let secs = elapsed.as_secs_f64();
+    ScalingPoint {
+        clients,
+        calls,
+        elapsed_ms: secs * 1e3,
+        calls_per_sec: calls as f64 / secs.max(1e-9),
+    }
+}
+
+/// One client parks mid-call for [`STALL`]; a probe client times its own
+/// calls on an independent service meanwhile.
+fn stall_cell(flavor: ServerFlavor) -> StallPoint {
+    let schema = schema();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = build_server(&schema.registry);
+
+    // Two connections, accepted up front so both flavors pay identical
+    // accept costs.
+    let serve = |conns: Vec<TcpTransport>| -> Vec<thread::JoinHandle<()>> {
+        match flavor {
+            ServerFlavor::BigLock => {
+                let shared = Arc::new(parking_lot::Mutex::new(server));
+                conns
+                    .into_iter()
+                    .map(|mut conn| {
+                        let shared = Arc::clone(&shared);
+                        thread::spawn(move || {
+                            let _ = serve_connection_shared(&shared, &mut conn);
+                        })
+                    })
+                    .collect()
+            }
+            ServerFlavor::Pooled => {
+                let shared = Arc::new(SharedServer::from_node(server));
+                conns
+                    .into_iter()
+                    .map(|mut conn| {
+                        let shared = Arc::clone(&shared);
+                        thread::spawn(move || {
+                            let _ = serve_connection_pooled(&shared, &mut conn);
+                        })
+                    })
+                    .collect()
+            }
+        }
+    };
+
+    let registry = schema.registry.clone();
+    let cell_cls = schema.cell;
+    let (in_call_tx, in_call_rx) = mpsc::channel();
+    let staller = thread::spawn(move || {
+        let mut transport = CallbackThinkTime {
+            inner: TcpTransport::connect(addr).expect("connect"),
+            delay: STALL,
+            once: true,
+            fired: false,
+        };
+        let mut client = ClientNode::new(registry, MachineSpec::fast());
+        let cell = client
+            .state
+            .heap
+            .alloc_raw(cell_cls, vec![Value::Int(7)])
+            .expect("alloc");
+        in_call_tx.send(()).unwrap();
+        client_invoke(
+            &mut client,
+            &mut transport,
+            "slow",
+            "read",
+            &[Value::Ref(cell)],
+            CallOptions::forced(PassMode::RemoteRef),
+        )
+        .expect("stalled call");
+        let _ = transport.send(&Frame::Shutdown);
+    });
+
+    let mut probe_conn = TcpTransport::connect(addr).expect("connect probe");
+    let staller_conn = listener.accept().expect("accept staller");
+    let probe_srv_conn = listener.accept().expect("accept probe");
+    let workers = serve(vec![staller_conn, probe_srv_conn]);
+
+    in_call_rx.recv().expect("staller started");
+    // Give the stalling call time to reach the server and park on its
+    // callback before the probe starts timing.
+    thread::sleep(Duration::from_millis(50));
+
+    let registry = schema.registry;
+    let mut probe = ClientNode::new(registry, MachineSpec::fast());
+    let mut latencies = Vec::with_capacity(STALL_PROBE_CALLS);
+    for i in 0..STALL_PROBE_CALLS {
+        let started = Instant::now();
+        client_invoke(
+            &mut probe,
+            &mut probe_conn,
+            "probe",
+            "echo",
+            &[Value::Int(i as i32)],
+            CallOptions::forced(PassMode::Copy),
+        )
+        .expect("probe call");
+        latencies.push(started.elapsed());
+    }
+    let _ = probe_conn.send(&Frame::Shutdown);
+
+    staller.join().expect("staller thread");
+    for w in workers {
+        w.join().expect("worker");
+    }
+
+    let max = latencies.iter().max().copied().unwrap_or_default();
+    let total: Duration = latencies.iter().sum();
+    StallPoint {
+        probe_calls: STALL_PROBE_CALLS,
+        mean_us: (total / STALL_PROBE_CALLS as u32).as_micros() as u64,
+        max_us: max.as_micros() as u64,
+    }
+}
+
+/// Runs the full ablation: both flavors through the sweep and the probe.
+pub fn run_scaling() -> ScalingReport {
+    ScalingReport {
+        calls_per_client: CALLS_PER_CLIENT,
+        turnaround_us: CALLBACK_TURNAROUND.as_micros() as u64,
+        biglock: CLIENT_COUNTS
+            .iter()
+            .map(|&n| throughput_cell(ServerFlavor::BigLock, n))
+            .collect(),
+        pooled: CLIENT_COUNTS
+            .iter()
+            .map(|&n| throughput_cell(ServerFlavor::Pooled, n))
+            .collect(),
+        stall_ms: STALL.as_millis() as u64,
+        stall_biglock: stall_cell(ServerFlavor::BigLock),
+        stall_pooled: stall_cell(ServerFlavor::Pooled),
+    }
+}
+
+/// Audits the report. Empty means the pool still delivers: multi-client
+/// throughput beats the serialized baseline, and a stalled client no
+/// longer blocks an independent probe.
+pub fn scaling_violations(report: &ScalingReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if let (Some(big), Some(pool)) = (report.biglock.last(), report.pooled.last()) {
+        if pool.calls_per_sec <= big.calls_per_sec {
+            violations.push(format!(
+                "{} clients: pooled {:.0} calls/s does not beat big-lock {:.0} calls/s — \
+                 callback waits are serializing again",
+                pool.clients, pool.calls_per_sec, big.calls_per_sec
+            ));
+        }
+    }
+    let bound_us = (STALL.as_micros() / 2) as u64;
+    if report.stall_pooled.max_us >= bound_us {
+        violations.push(format!(
+            "stall probe: worst pooled latency {}us >= {}us — a stalled client \
+             is blocking independent connections",
+            report.stall_pooled.max_us, bound_us
+        ));
+    }
+    violations
+}
+
+/// Renders the sweep and probe as aligned tables with the gate verdict.
+pub fn render_scaling(report: &ScalingReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Multi-client scaling — {} remote-ref calls/client, {}us callback turnaround",
+        report.calls_per_client, report.turnaround_us
+    );
+    let _ = writeln!(
+        out,
+        "\n{:<9} {:>16} {:>16} {:>9}",
+        "clients", "biglock calls/s", "pooled calls/s", "speedup"
+    );
+    for (b, p) in report.biglock.iter().zip(&report.pooled) {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>16.0} {:>16.0} {:>8.2}x",
+            b.clients,
+            b.calls_per_sec,
+            p.calls_per_sec,
+            p.calls_per_sec / b.calls_per_sec.max(1e-9)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nStall probe — one client parked {}ms mid-call, {} probe calls on an independent service:",
+        report.stall_ms, report.stall_biglock.probe_calls
+    );
+    let _ = writeln!(out, "{:<9} {:>12} {:>12}", "server", "mean us", "max us");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>12} {:>12}",
+        "biglock", report.stall_biglock.mean_us, report.stall_biglock.max_us
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} {:>12} {:>12}",
+        "pooled", report.stall_pooled.mean_us, report.stall_pooled.max_us
+    );
+    let violations = scaling_violations(report);
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n[PASS] pooled server beats the serialized baseline; stalls stay per-connection"
+        );
+    } else {
+        let _ = writeln!(out, "\n[FAIL] scaling regressions:");
+        for v in &violations {
+            let _ = writeln!(out, "  - {v}");
+        }
+    }
+    out
+}
+
+fn point_json(p: &ScalingPoint) -> String {
+    format!(
+        "{{\"clients\": {}, \"calls\": {}, \"elapsed_ms\": {:.3}, \"calls_per_sec\": {:.1}}}",
+        p.clients, p.calls, p.elapsed_ms, p.calls_per_sec
+    )
+}
+
+fn stall_json(p: &StallPoint) -> String {
+    format!(
+        "{{\"probe_calls\": {}, \"mean_us\": {}, \"max_us\": {}}}",
+        p.probe_calls, p.mean_us, p.max_us
+    )
+}
+
+/// Serializes the ablation as the `BENCH_scaling.json` document.
+pub fn to_json(report: &ScalingReport) -> String {
+    let join =
+        |points: &[ScalingPoint]| points.iter().map(point_json).collect::<Vec<_>>().join(", ");
+    format!(
+        "{{\n  \"workload\": \"remote-ref calls with {}us client-side callback turnaround, independent services\",\n  \"calls_per_client\": {},\n  \"biglock\": [{}],\n  \"pooled\": [{}],\n  \"stall_ms\": {},\n  \"stall_biglock\": {},\n  \"stall_pooled\": {}\n}}\n",
+        report.turnaround_us,
+        report.calls_per_client,
+        join(&report.biglock),
+        join(&report.pooled),
+        report.stall_ms,
+        stall_json(&report.stall_biglock),
+        stall_json(&report.stall_pooled)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooled_beats_biglock_with_multiple_clients() {
+        let big = throughput_cell(ServerFlavor::BigLock, 4);
+        let pool = throughput_cell(ServerFlavor::Pooled, 4);
+        assert!(
+            pool.calls_per_sec > big.calls_per_sec,
+            "pooled {:.0} calls/s vs biglock {:.0} calls/s",
+            pool.calls_per_sec,
+            big.calls_per_sec
+        );
+    }
+
+    #[test]
+    fn stalled_client_does_not_slow_pooled_probe() {
+        let p = stall_cell(ServerFlavor::Pooled);
+        assert!(
+            u128::from(p.max_us) < STALL.as_micros() / 2,
+            "probe max {}us under a {}ms stall",
+            p.max_us,
+            STALL.as_millis()
+        );
+    }
+
+    #[test]
+    fn json_has_both_flavors() {
+        let point = ScalingPoint {
+            clients: 2,
+            calls: 40,
+            elapsed_ms: 10.0,
+            calls_per_sec: 4000.0,
+        };
+        let stall = StallPoint {
+            probe_calls: 5,
+            mean_us: 100,
+            max_us: 200,
+        };
+        let report = ScalingReport {
+            calls_per_client: 20,
+            turnaround_us: 2000,
+            biglock: vec![point],
+            pooled: vec![point],
+            stall_ms: 300,
+            stall_biglock: stall,
+            stall_pooled: stall,
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"biglock\""));
+        assert!(json.contains("\"pooled\""));
+        assert!(json.contains("\"stall_pooled\""));
+    }
+}

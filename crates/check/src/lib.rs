@@ -34,8 +34,9 @@ pub mod schema;
 pub use diag::{Diagnostic, Report, Severity};
 pub use heapcheck::check_heap;
 pub use protocol::{
-    check_reliability_sequence, check_sequence, judge_reply, model_check, Action, ModelCheckConfig,
-    ReliabilityAction, ReplyContext, ADVERSARIAL_ALPHABET, CORE_ALPHABET, RELIABILITY_ALPHABET,
+    check_reliability_sequence, check_sequence, check_shared_sequence, judge_reply, model_check,
+    Action, ModelCheckConfig, ReliabilityAction, ReplyContext, SharedAction, ADVERSARIAL_ALPHABET,
+    CORE_ALPHABET, RELIABILITY_ALPHABET, SHARED_ALPHABET,
 };
 pub use schema::{analyze_registry, diff_registries, fingerprint, fingerprints};
 
@@ -76,6 +77,7 @@ mod tests {
             core_depth: 0,
             adversarial_depth: 0,
             reliability_depth: 0,
+            shared_depth: 0,
             max_errors: 25,
         });
         assert!(!report.has_errors(), "{}", report.render());

@@ -47,6 +47,14 @@
 //!   counter disagrees with the server's for a live session.
 //! * `P006` — a panic anywhere in the sequence (caught per sequence;
 //!   the diagnostic carries the action trace and panic message).
+//! * `P007` — at-most-once broken: the number of service executions
+//!   disagrees with the number of completed calls, under faults (the
+//!   reliability model) or across two connections sharing one reply
+//!   cache (the shared model).
+//! * `P008` — a reply observed a torn heap state: after any
+//!   two-connection interleaving on the lock-split shared server, some
+//!   client graph no longer matches its private oracle twin — another
+//!   connection's call leaked into this one's restore.
 
 use std::collections::HashSet;
 use std::collections::VecDeque;
@@ -1068,6 +1076,410 @@ pub fn check_reliability_sequence(actions: &[ReliabilityAction]) -> Report {
 }
 
 // ---------------------------------------------------------------------------
+// The shared world: two connections against one lock-split server
+// ---------------------------------------------------------------------------
+
+/// One action in the two-connection shared-server model. Actions are
+/// addressed to connection A or B; each connection has its own session
+/// tree, its own oracle twin, and its own nonce stream, while the reply
+/// cache and service bindings are the [`SharedServer`]'s — exactly the
+/// state the pooled serve loop shares between connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SharedAction {
+    /// A warm call on connection A (seeds on first use).
+    CallA,
+    /// A warm call on connection B.
+    CallB,
+    /// Mutate connection A's root (a dirty position in A's next delta).
+    MutateA,
+    /// Mutate connection B's root.
+    MutateB,
+    /// Orderly eviction of connection A's warm session.
+    EvictA,
+    /// Orderly eviction of connection B's warm session.
+    EvictB,
+}
+
+/// Every transition of the two-connection interleaving model.
+pub const SHARED_ALPHABET: [SharedAction; 6] = [
+    SharedAction::CallA,
+    SharedAction::CallB,
+    SharedAction::MutateA,
+    SharedAction::MutateB,
+    SharedAction::EvictA,
+    SharedAction::EvictB,
+];
+
+/// One modeled connection's server half: a per-connection node minted by
+/// [`SharedServer::connection_node`], per-connection warm caches, and the
+/// *shared* reply cache consulted with the same begin/store discipline as
+/// `serve_connection_pooled`. Implements [`Transport`] for the client the
+/// same way [`ServerSide`] does: `send` dispatches synchronously, `recv`
+/// drains the reply queue.
+struct SharedLink {
+    shared: Arc<nrmi_core::SharedServer>,
+    conn: ServerNode,
+    caches: WarmCaches,
+    replies: VecDeque<Frame>,
+}
+
+impl SharedLink {
+    fn dispatch(&mut self, frame: &Frame) -> Option<Frame> {
+        use nrmi_core::ReplyDecision;
+        match frame {
+            Frame::Tagged { nonce, seq, frame } => {
+                // The shared sharded cache, with the decide-mark-executing
+                // discipline of the pooled loop.
+                match self.shared.replies.begin(*nonce, *seq) {
+                    ReplyDecision::Replay(cached) => Some(Frame::ReplyCached {
+                        nonce: *nonce,
+                        seq: *seq,
+                        frame: Box::new(cached),
+                    }),
+                    ReplyDecision::Evicted => Some(Frame::ReplyCached {
+                        nonce: *nonce,
+                        seq: *seq,
+                        frame: Box::new(nrmi_core::reliable::evicted_reply()),
+                    }),
+                    // Another "connection" is executing this nonce: the
+                    // pooled loop drops the duplicate unanswered.
+                    ReplyDecision::InProgress => None,
+                    ReplyDecision::Fresh => {
+                        let reply = self.dispatch(frame)?;
+                        self.shared.replies.store(*nonce, *seq, &reply);
+                        Some(Frame::Tagged {
+                            nonce: *nonce,
+                            seq: *seq,
+                            frame: Box::new(reply),
+                        })
+                    }
+                }
+            }
+            Frame::CallRequestWarm {
+                service,
+                method,
+                mode,
+                cache_id,
+                generation,
+                payload,
+            } => Some(server_handle_warm_call(
+                &mut self.conn,
+                &mut self.caches,
+                &mut NullTransport,
+                service,
+                method,
+                *mode,
+                *cache_id,
+                *generation,
+                payload,
+            )),
+            Frame::CacheEvict { cache_id } => {
+                self.caches.evict(&mut self.conn.state.heap, *cache_id);
+                None
+            }
+            other => Some(Frame::CallError {
+                message: format!("checker: unmodeled frame {other:?}"),
+            }),
+        }
+    }
+}
+
+impl Transport for SharedLink {
+    fn send(&mut self, frame: &Frame) -> nrmi_transport::Result<()> {
+        if let Some(reply) = self.dispatch(frame) {
+            self.replies.push_back(reply);
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> nrmi_transport::Result<Frame> {
+        self.replies.pop_front().ok_or(TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&mut self, _timeout: Duration) -> nrmi_transport::Result<Frame> {
+        self.recv()
+    }
+}
+
+/// One client endpoint of the shared world: the real warm client behind
+/// a real [`ReliableTransport`](nrmi_core::ReliableTransport) (so every
+/// request crosses the shared reply cache), plus its private oracle twin.
+struct SharedEndpoint {
+    client: ClientNode,
+    transport: nrmi_core::ReliableTransport<SharedLink>,
+    root: ObjId,
+    twin: Heap,
+    twin_root: ObjId,
+    completed_calls: usize,
+}
+
+/// Fresh two-connection world per enumerated sequence: one
+/// [`SharedServer`] (shared bindings + sharded reply cache), two
+/// per-connection endpoints, and a shared execution counter for the
+/// exactly-once audit.
+struct SharedWorld {
+    a: SharedEndpoint,
+    b: SharedEndpoint,
+    executions: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl SharedWorld {
+    fn new() -> Self {
+        let mut reg = ClassRegistry::new();
+        reg.define("Node")
+            .field_int("data")
+            .field_ref("left")
+            .field_ref("right")
+            .restorable()
+            .register();
+        let registry = reg.snapshot();
+
+        let executions = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::clone(&executions);
+        let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+        server.bind(
+            SVC,
+            Box::new(FnService::new(move |_method, args, heap| {
+                let root = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("want a root reference"))?;
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                service_logic(heap, root)
+            })),
+        );
+        let shared = Arc::new(nrmi_core::SharedServer::from_node(server));
+
+        let endpoint = |nonce_seed: u64| -> SharedEndpoint {
+            let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());
+            let root = build_tree(&mut client.state.heap, &registry);
+            let mut twin = Heap::new(registry.clone());
+            let twin_root = build_tree(&mut twin, &registry);
+            let link = SharedLink {
+                shared: Arc::clone(&shared),
+                conn: shared.connection_node(),
+                caches: WarmCaches::new(),
+                replies: VecDeque::new(),
+            };
+            // Instant virtual time, as in the reliability model.
+            let policy = nrmi_core::RetryPolicy {
+                deadline: Duration::from_secs(30),
+                attempt_timeout: Duration::from_millis(1),
+                max_attempts: 16,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+                jitter: false,
+            };
+            SharedEndpoint {
+                client,
+                transport: nrmi_core::ReliableTransport::with_nonce(link, policy, nonce_seed),
+                root,
+                twin,
+                twin_root,
+                completed_calls: 0,
+            }
+        };
+
+        SharedWorld {
+            // Distinct nonce streams, as two real connections would draw
+            // from `fresh_nonce`.
+            a: endpoint(0xAAAA_1111),
+            b: endpoint(0xBBBB_2222),
+            executions,
+        }
+    }
+
+    fn step(&mut self, action: SharedAction, report: &mut Report) {
+        match action {
+            SharedAction::CallA => Self::do_call(&mut self.a, "A", report),
+            SharedAction::CallB => Self::do_call(&mut self.b, "B", report),
+            SharedAction::MutateA => Self::do_mutate(&mut self.a, report),
+            SharedAction::MutateB => Self::do_mutate(&mut self.b, report),
+            SharedAction::EvictA => Self::do_evict(&mut self.a, "A", report),
+            SharedAction::EvictB => Self::do_evict(&mut self.b, "B", report),
+        }
+        // The concurrency invariant, checked after EVERY action: no
+        // endpoint ever observes a torn heap — both restored client
+        // graphs stay isomorphic to their private oracles no matter how
+        // the other connection's calls interleave (NRMI-P008), all four
+        // server/client heaps stay structurally valid, and the service
+        // ran exactly once per completed call across both connections.
+        self.check_isolation(report);
+        self.check_heaps(report);
+        self.check_exactly_once(report);
+    }
+
+    fn do_call(ep: &mut SharedEndpoint, who: &str, report: &mut Report) {
+        let warm = client_invoke_warm_with_stats(
+            &mut ep.client,
+            &mut ep.transport,
+            SVC,
+            METHOD,
+            &[Value::Ref(ep.root)],
+        );
+        let oracle = service_logic(&mut ep.twin, ep.twin_root);
+        ep.completed_calls += 1;
+        match (warm, oracle) {
+            (Ok((got, _stats)), Ok(want)) => {
+                if got != want {
+                    report.push(Diagnostic::error(
+                        "NRMI-P003",
+                        format!(
+                            "connection {who}: warm call diverged from its oracle: \
+                             got {got:?}, want {want:?}"
+                        ),
+                    ));
+                }
+            }
+            (Err(e), Ok(_)) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("connection {who}: warm call failed where the oracle succeeded: {e}"),
+            )),
+            (_, Err(e)) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("local oracle itself failed (checker bug): {e}"),
+            )),
+        }
+    }
+
+    fn do_mutate(ep: &mut SharedEndpoint, report: &mut Report) {
+        for (heap, root) in [
+            (&mut ep.client.state.heap, ep.root),
+            (&mut ep.twin, ep.twin_root),
+        ] {
+            let r = (|| -> Result<(), NrmiError> {
+                let d = heap
+                    .get_field(root, "data")?
+                    .as_int()
+                    .ok_or_else(|| NrmiError::app("data is not an int"))?;
+                heap.set_field(root, "data", Value::Int(d.wrapping_add(10)))?;
+                Ok(())
+            })();
+            if let Err(e) = r {
+                report.push(Diagnostic::error(
+                    "NRMI-P001",
+                    format!("client mutation failed: {e}"),
+                ));
+            }
+        }
+    }
+
+    fn do_evict(ep: &mut SharedEndpoint, who: &str, report: &mut Report) {
+        if let Err(e) = client_evict_warm(&mut ep.client, &mut ep.transport, SVC) {
+            report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("connection {who}: eviction failed: {e}"),
+            ));
+        }
+    }
+
+    /// `NRMI-P008`: the lock-split server must keep each connection's
+    /// view atomic per call — after any interleaving, each client graph
+    /// equals what its own private oracle computed, untouched by the
+    /// other connection.
+    fn check_isolation(&mut self, report: &mut Report) {
+        for (who, ep) in [("A", &self.a), ("B", &self.b)] {
+            match graph::isomorphic(&ep.client.state.heap, ep.root, &ep.twin, ep.twin_root) {
+                Ok(true) => {}
+                Ok(false) => report.push(Diagnostic::error(
+                    "NRMI-P008",
+                    format!(
+                        "connection {who}: client graph diverged from its private oracle — \
+                         a reply observed state torn by the other connection"
+                    ),
+                )),
+                Err(e) => report.push(Diagnostic::error(
+                    "NRMI-P008",
+                    format!("connection {who}: isomorphism comparison failed: {e}"),
+                )),
+            }
+        }
+    }
+
+    fn check_heaps(&mut self, report: &mut Report) {
+        for (label, code, heap) in [
+            ("client A", "NRMI-P001", &self.a.client.state.heap),
+            ("client B", "NRMI-P001", &self.b.client.state.heap),
+            (
+                "connection A",
+                "NRMI-P002",
+                &self.a.transport.inner().conn.state.heap,
+            ),
+            (
+                "connection B",
+                "NRMI-P002",
+                &self.b.transport.inner().conn.state.heap,
+            ),
+            ("oracle A", "NRMI-P001", &self.a.twin),
+            ("oracle B", "NRMI-P001", &self.b.twin),
+        ] {
+            for v in validate(heap) {
+                report.push(
+                    Diagnostic::error(code, format!("{label} heap corrupted: {v}"))
+                        .with("heap", label),
+                );
+            }
+        }
+    }
+
+    fn check_exactly_once(&mut self, report: &mut Report) {
+        let ran = self.executions.load(std::sync::atomic::Ordering::SeqCst);
+        let expected = self.a.completed_calls + self.b.completed_calls;
+        if ran != expected {
+            report.push(Diagnostic::error(
+                "NRMI-P007",
+                format!(
+                    "shared reply cache broke exactly-once across connections: \
+                     {ran} execution(s) for {expected} completed call(s)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs one two-connection action sequence against a fresh shared world,
+/// returning all violations (panics become `NRMI-P006`).
+pub fn check_shared_sequence(actions: &[SharedAction]) -> Report {
+    let trace = actions
+        .iter()
+        .map(|a| format!("{a:?}"))
+        .collect::<Vec<_>>()
+        .join(" → ");
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut world = SharedWorld::new();
+        let mut report = Report::new();
+        for (i, &action) in actions.iter().enumerate() {
+            world.step(action, &mut report);
+            if report.has_errors() {
+                return (report, Some(i));
+            }
+        }
+        (report, None)
+    }));
+    match outcome {
+        Ok((mut report, failed_at)) => {
+            if let Some(i) = failed_at {
+                report = report
+                    .diagnostics()
+                    .iter()
+                    .cloned()
+                    .map(|d| d.with("trace", &trace).with("failed_at_step", i))
+                    .collect();
+            }
+            report
+        }
+        Err(payload) => {
+            let msg = panic_message(&payload);
+            let mut report = Report::new();
+            report.push(
+                Diagnostic::error("NRMI-P006", format!("sequence panicked: {msg}"))
+                    .with("trace", &trace),
+            );
+            report
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Enumeration
 // ---------------------------------------------------------------------------
 
@@ -1081,6 +1493,9 @@ pub struct ModelCheckConfig {
     /// Exhaustive depth over [`RELIABILITY_ALPHABET`] (the retry /
     /// duplicate-suppression / reconnect state machine).
     pub reliability_depth: usize,
+    /// Exhaustive depth over [`SHARED_ALPHABET`] (two connections
+    /// interleaved on one lock-split server).
+    pub shared_depth: usize,
     /// Stop after this many error diagnostics (a broken invariant tends
     /// to fail thousands of sequences identically).
     pub max_errors: usize,
@@ -1089,12 +1504,14 @@ pub struct ModelCheckConfig {
 impl Default for ModelCheckConfig {
     fn default() -> Self {
         // Depth 6 over the 6-action core alphabet: 46_656 sequences,
-        // ~280k protocol actions; plus 9^4 = 6_561 adversarial sequences
-        // and 6^4 = 1_296 reliability sequences.
+        // ~280k protocol actions; plus 9^4 = 6_561 adversarial sequences,
+        // 6^4 = 1_296 reliability sequences, and 6^5 = 7_776
+        // two-connection shared-server sequences.
         ModelCheckConfig {
             core_depth: 6,
             adversarial_depth: 4,
             reliability_depth: 4,
+            shared_depth: 5,
             max_errors: 25,
         }
     }
@@ -1197,6 +1614,14 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             &mut count,
             check_reliability_sequence,
         );
+        enumerate(
+            &SHARED_ALPHABET[..],
+            cfg.shared_depth,
+            cfg.max_errors,
+            &mut inner,
+            &mut count,
+            check_shared_sequence,
+        );
         (inner, count)
     }));
     std::panic::set_hook(prev_hook);
@@ -1218,9 +1643,9 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             "NRMI-P000",
             format!(
                 "protocol enumeration explored {sequences} sequences \
-                 (core depth {}, adversarial depth {}, reliability depth {}): \
-                 {errors} violation(s)",
-                cfg.core_depth, cfg.adversarial_depth, cfg.reliability_depth
+                 (core depth {}, adversarial depth {}, reliability depth {}, \
+                 shared depth {}): {errors} violation(s)",
+                cfg.core_depth, cfg.adversarial_depth, cfg.reliability_depth, cfg.shared_depth
             ),
         )
         .with("sequences", sequences),
@@ -1318,6 +1743,7 @@ mod tests {
             core_depth: 3,
             adversarial_depth: 2,
             reliability_depth: 2,
+            shared_depth: 3,
             max_errors: 25,
         });
         assert!(!report.has_errors(), "{}", report.render());
@@ -1353,6 +1779,51 @@ mod tests {
                 report.render()
             );
         }
+    }
+
+    #[test]
+    fn shared_two_connection_sequences_are_clean() {
+        use SharedAction as S;
+        for seq in [
+            // Interleaved seeding: both connections seed against the
+            // same shared server and stay independent.
+            vec![S::CallA, S::CallB, S::CallA, S::CallB],
+            // Dirty deltas cross the shared reply cache interleaved.
+            vec![
+                S::CallA,
+                S::CallB,
+                S::MutateA,
+                S::MutateB,
+                S::CallA,
+                S::CallB,
+            ],
+            // One connection evicts mid-stream; the other must not care.
+            vec![S::CallA, S::CallB, S::EvictA, S::CallB, S::CallA],
+            // Eviction of a never-seeded session, then cross traffic.
+            vec![S::EvictB, S::CallA, S::CallB],
+        ] {
+            let report = check_shared_sequence(&seq);
+            assert!(
+                !report.has_errors(),
+                "sequence {seq:?} failed:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_world_counts_executions_across_connections() {
+        let mut world = SharedWorld::new();
+        let mut report = Report::new();
+        world.step(SharedAction::CallA, &mut report);
+        world.step(SharedAction::CallB, &mut report);
+        world.step(SharedAction::CallA, &mut report);
+        assert!(!report.has_errors(), "{}", report.render());
+        assert_eq!(
+            world.executions.load(std::sync::atomic::Ordering::SeqCst),
+            3,
+            "each connection's calls execute exactly once on the shared server"
+        );
     }
 
     #[test]

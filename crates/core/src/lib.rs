@@ -65,6 +65,7 @@ pub mod proxy;
 pub mod reliable;
 pub mod restore;
 pub mod semantics;
+pub mod server;
 pub mod service;
 pub mod session;
 pub mod trace;
@@ -87,9 +88,11 @@ pub use reliable::{
 };
 pub use restore::{apply_restore, RestoreOutcome, RestoreStats};
 pub use semantics::{CallOptions, PassMode};
+pub use server::{serve_connection_pooled, ShardedReplyCache, SharedServer};
 pub use service::{FnService, RemoteService};
 pub use session::{
-    serve_tcp, serve_tcp_concurrent, RemoteSession, Session, SessionBuilder, TcpSession,
+    serve_tcp, serve_tcp_concurrent, RemoteSession, ServeHandle, ServerPool, Session,
+    SessionBuilder, TcpSession,
 };
 pub use trace::{CallTrace, Tracer};
 pub use warm::{

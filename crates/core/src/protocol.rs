@@ -339,6 +339,47 @@ enum Callee<'a> {
     Exported(u64),
 }
 
+/// Handles one named-service call against `server`, returning the reply
+/// frame. Entry point for serve loops living outside this module (the
+/// pooled per-connection loop in [`crate::server`]).
+pub(crate) fn server_handle_named_call(
+    server: &mut ServerNode,
+    transport: &mut dyn Transport,
+    service: &str,
+    method: &str,
+    mode_byte: u8,
+    payload: &[u8],
+) -> Frame {
+    server_handle_call(
+        server,
+        transport,
+        method,
+        Callee::Named(service),
+        mode_byte,
+        payload,
+    )
+}
+
+/// Handles one exported-object call against `server` (see
+/// [`server_handle_named_call`]).
+pub(crate) fn server_handle_object_call(
+    server: &mut ServerNode,
+    transport: &mut dyn Transport,
+    key: u64,
+    method: &str,
+    mode_byte: u8,
+    payload: &[u8],
+) -> Frame {
+    server_handle_call(
+        server,
+        transport,
+        method,
+        Callee::Exported(key),
+        mode_byte,
+        payload,
+    )
+}
+
 fn server_handle_call(
     server: &mut ServerNode,
     transport: &mut dyn Transport,
@@ -545,7 +586,7 @@ fn server_handle_call_inner(
 /// returns its reply frame. Only call frames may travel tagged; anything
 /// else is a protocol error answered in-band so the client's retry loop
 /// terminates instead of retransmitting forever.
-fn dispatch_tagged(
+pub(crate) fn dispatch_tagged(
     server: &mut ServerNode,
     warm: &mut crate::warm::WarmCaches,
     transport: &mut dyn Transport,
@@ -594,13 +635,18 @@ fn dispatch_tagged(
     }
 }
 
-/// Shared-server variant of [`serve_connection`]: the server node sits
-/// behind a mutex so several connection threads can serve it — the
-/// paper's multi-threaded server accepting requests from multiple client
-/// machines (§4.1: this never endangers network transparency; only
-/// multi-threaded *clients* do). The lock is held per request, so
-/// requests from different clients serialize against the shared heap
-/// exactly as `synchronized` dispatch would.
+/// Big-lock shared-server variant of [`serve_connection`]: the server
+/// node sits behind one mutex and every connection thread locks it per
+/// request. **Retained only as the serialized baseline** for the
+/// `tables -- scaling` ablation; real multi-client servers use
+/// [`ServerPool`](crate::session::ServerPool), which replaces the big
+/// lock with per-connection node state, per-service mutexes, and a
+/// sharded reply cache.
+///
+/// Known limitation (the bug the pool fixes): the node lock is held
+/// across call execution *including mid-call callback traffic to the
+/// client*, so a client that stalls inside a callback blocks every
+/// other connection — and a client that never answers deadlocks them.
 ///
 /// # Errors
 /// Returns transport errors other than orderly disconnect.

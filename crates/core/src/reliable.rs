@@ -265,6 +265,11 @@ impl<T: Transport> ReliableTransport<T> {
         self.nonce
     }
 
+    /// Borrows the decorated transport (e.g. to inspect link state).
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
     /// Unwraps the decorated transport.
     pub fn into_inner(self) -> T {
         self.inner

@@ -1,0 +1,433 @@
+//! The fine-grained shared server: what several connection threads
+//! dispatch into *without* a one-big-lock [`ServerNode`].
+//!
+//! The old shared path (`serve_connection_shared`) funnels every
+//! connection through one `Mutex<ServerNode>` held across call
+//! execution — including mid-call callback traffic to the calling
+//! client — so one stalled client freezes every other connection
+//! (head-of-line blocking). This module splits that state by how it is
+//! actually shared:
+//!
+//! * **Bindings** (name → service, class → service) are read-mostly:
+//!   they live behind an [`RwLock`](parking_lot::RwLock) and are
+//!   snapshotted per connection. Each service body itself is `&mut` —
+//!   the paper's §4.1 `synchronized`-equivalent dispatch — so it sits
+//!   behind its *own* mutex ([`SharedService`]), held only for the
+//!   invocation. Calls to *different* services never contend.
+//! * **Heap, export/stub tables, codec scratch** are per-*connection*:
+//!   each accepted connection gets a private [`NodeState`], so wire
+//!   decode, call execution, and reply encode run with no lock other
+//!   than the callee's service mutex. Copy-restore is stateless across
+//!   calls (every call re-marshals its arguments), so confining call
+//!   copies to the connection that made them preserves semantics — and
+//!   disconnect reclaims them wholesale instead of accreting garbage in
+//!   a shared heap.
+//! * **The reply cache** (at-most-once, PR 4) must stay global: a
+//!   reconnect retransmits a call id on a *new* connection and must
+//!   still find the recorded reply or the in-progress marker. It
+//!   becomes a [`ShardedReplyCache`]: N independently locked
+//!   [`ReplyCache`] shards keyed by session nonce, so unrelated
+//!   sessions do not contend and no shard lock is ever held across
+//!   execution — the `begin`/`store` decide-mark-executing-store
+//!   discipline is unchanged.
+//!
+//! What this does *not* provide: cross-call ordering between clients
+//! (none was promised — the big lock serialized calls in arrival order,
+//! which no correct client could observe), and cross-connection sharing
+//! of server heap state for named services (no in-tree service relied
+//! on it; services share state through their own captured fields, as
+//! `synchronized` Java methods share fields of the remote object).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nrmi_heap::{ClassId, HeapAccess, SharedRegistry, Value};
+use nrmi_transport::{Frame, MachineSpec, SimEnv, Transport, TransportError};
+
+use crate::error::NrmiError;
+use crate::node::{NodeState, ServerNode};
+use crate::profile::RuntimeProfile;
+use crate::reliable::{
+    evicted_reply, ReplyCache, ReplyDecision, DEFAULT_REPLY_CACHE_BYTES, DEFAULT_REPLY_CACHE_NONCES,
+};
+use crate::service::RemoteService;
+
+/// A service binding shared across connection threads: the service body
+/// runs under its own mutex, the `synchronized`-method analogue. The
+/// mutex is held for the duration of one invocation (including any
+/// mid-call callbacks to the *calling* client), so concurrent calls to
+/// the same service serialize — and calls to different services do not.
+type ServiceHandle = Arc<parking_lot::Mutex<Box<dyn RemoteService>>>;
+
+/// Per-connection adapter: implements [`RemoteService`] by locking the
+/// shared binding for each invocation.
+struct SharedService(ServiceHandle);
+
+impl RemoteService for SharedService {
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[Value],
+        heap: &mut dyn HeapAccess,
+    ) -> Result<Value, NrmiError> {
+        self.0.lock().invoke(method, args, heap)
+    }
+}
+
+/// Number of reply-cache shards. A power of two so the nonce hash
+/// reduces with a mask; 16 is comfortably above the worker counts this
+/// server runs with.
+const REPLY_SHARDS: usize = 16;
+
+/// The at-most-once reply cache, split into independently locked shards
+/// keyed by session nonce. All traffic for one client session (one
+/// nonce) lands on one shard, so the per-session decide/execute/store
+/// discipline of [`ReplyCache`] is preserved verbatim; different
+/// sessions usually hash to different shards and never contend.
+///
+/// No shard lock is ever held across call execution: `begin` classifies
+/// and (when fresh) marks the id executing in one locked step, the call
+/// runs lock-free, and `store` records the reply in a second locked
+/// step. A duplicate racing in on another connection between the two
+/// observes [`ReplyDecision::InProgress`] — exactly the PR 4 warm-path
+/// discipline, now uniform for cold calls too.
+#[derive(Debug)]
+pub struct ShardedReplyCache {
+    shards: Vec<parking_lot::Mutex<ReplyCache>>,
+}
+
+impl Default for ShardedReplyCache {
+    fn default() -> Self {
+        ShardedReplyCache::with_limits(DEFAULT_REPLY_CACHE_BYTES, DEFAULT_REPLY_CACHE_NONCES)
+    }
+}
+
+impl ShardedReplyCache {
+    /// Creates a cache whose *total* budget across shards is `max_bytes`
+    /// of encoded replies and `max_nonces` tracked sessions.
+    pub fn with_limits(max_bytes: usize, max_nonces: usize) -> Self {
+        let per_shard_bytes = (max_bytes / REPLY_SHARDS).max(1);
+        let per_shard_nonces = (max_nonces / REPLY_SHARDS).max(1);
+        ShardedReplyCache {
+            shards: (0..REPLY_SHARDS)
+                .map(|_| {
+                    parking_lot::Mutex::new(ReplyCache::with_limits(
+                        per_shard_bytes,
+                        per_shard_nonces,
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, nonce: u64) -> &parking_lot::Mutex<ReplyCache> {
+        // Fibonacci hash: session nonces are random 64-bit values, but
+        // don't rely on their low bits alone.
+        let ix = (nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (REPLY_SHARDS - 1);
+        &self.shards[ix]
+    }
+
+    /// Classifies call id `(nonce, seq)` and, when fresh, marks it
+    /// executing — one locked step on the nonce's shard.
+    pub fn begin(&self, nonce: u64, seq: u64) -> ReplyDecision {
+        self.shard(nonce).lock().begin(nonce, seq)
+    }
+
+    /// Records the reply for an executed call and clears its executing
+    /// marker.
+    pub fn store(&self, nonce: u64, seq: u64, reply: &Frame) {
+        self.shard(nonce).lock().store(nonce, seq, reply);
+    }
+
+    /// Cached replies currently held, summed across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no shard holds a cached reply.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Name and class bindings, read-mostly behind one [`RwLock`]
+/// (`parking_lot::RwLock`): connection setup takes a read snapshot,
+/// [`SharedServer::bind`] takes the write lock.
+struct Bindings {
+    services: HashMap<String, ServiceHandle>,
+    class_services: HashMap<ClassId, ServiceHandle>,
+}
+
+/// The lock-split shared server state: everything connection workers
+/// share, and nothing they don't. Built from a configured
+/// [`ServerNode`] with [`SharedServer::from_node`]; gives the node back
+/// (services unwrapped, root state untouched) with
+/// [`SharedServer::into_node`] once every worker has finished.
+pub struct SharedServer {
+    registry: SharedRegistry,
+    machine: MachineSpec,
+    profile: RuntimeProfile,
+    env: Option<SimEnv>,
+    bindings: parking_lot::RwLock<Bindings>,
+    /// The global at-most-once reply cache (see [`ShardedReplyCache`]).
+    pub replies: ShardedReplyCache,
+    /// The root node state the server was built from, returned by
+    /// [`SharedServer::into_node`]. Connection workers never touch it.
+    root: parking_lot::Mutex<Option<NodeState>>,
+}
+
+impl std::fmt::Debug for SharedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedServer")
+            .field("services", &self.bindings.read().services.len())
+            .finish()
+    }
+}
+
+impl SharedServer {
+    /// Splits a configured [`ServerNode`] into shared server state:
+    /// each bound service moves behind its own mutex, the reply cache
+    /// becomes sharded, and the node state is kept aside for
+    /// [`SharedServer::into_node`].
+    pub fn from_node(node: ServerNode) -> Self {
+        let ServerNode {
+            state,
+            services,
+            class_services,
+            replies: _,
+        } = node;
+        SharedServer {
+            registry: state.heap.registry_handle().clone(),
+            machine: state.machine.clone(),
+            profile: state.profile,
+            env: state.env.clone(),
+            bindings: parking_lot::RwLock::new(Bindings {
+                services: services
+                    .into_iter()
+                    .map(|(name, svc)| (name, Arc::new(parking_lot::Mutex::new(svc))))
+                    .collect(),
+                class_services: class_services
+                    .into_iter()
+                    .map(|(class, svc)| (class, Arc::new(parking_lot::Mutex::new(svc))))
+                    .collect(),
+            }),
+            replies: ShardedReplyCache::default(),
+            root: parking_lot::Mutex::new(Some(state)),
+        }
+    }
+
+    /// Binds `service` under `name` for connections accepted *after*
+    /// this call (each connection snapshots the bindings at accept).
+    pub fn bind(&self, name: impl Into<String>, service: Box<dyn RemoteService>) {
+        self.bindings
+            .write()
+            .services
+            .insert(name.into(), Arc::new(parking_lot::Mutex::new(service)));
+    }
+
+    /// True if `name` is currently bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.bindings.read().services.contains_key(name)
+    }
+
+    /// Builds the private [`ServerNode`] a connection worker serves
+    /// with: a fresh [`NodeState`] (own heap, export/stub tables, codec
+    /// scratch — no lock needed on any of them) plus locking adapters
+    /// for every shared service binding.
+    pub fn connection_node(&self) -> ServerNode {
+        let mut state = NodeState::new(self.registry.clone(), self.machine.clone());
+        state.profile = self.profile;
+        state.env = self.env.clone();
+        let bindings = self.bindings.read();
+        ServerNode {
+            state,
+            services: bindings
+                .services
+                .iter()
+                .map(|(name, svc)| {
+                    (
+                        name.clone(),
+                        Box::new(SharedService(Arc::clone(svc))) as Box<dyn RemoteService>,
+                    )
+                })
+                .collect(),
+            class_services: bindings
+                .class_services
+                .iter()
+                .map(|(&class, svc)| {
+                    (
+                        class,
+                        Box::new(SharedService(Arc::clone(svc))) as Box<dyn RemoteService>,
+                    )
+                })
+                .collect(),
+            // Unused by the pooled serve loop (tagged calls go through
+            // the shared `replies` shards), present for type uniformity.
+            replies: ReplyCache::default(),
+        }
+    }
+
+    /// Reassembles the [`ServerNode`] this server was built from. Call
+    /// only after every connection worker has finished (they hold
+    /// references to the service bindings); a binding still referenced
+    /// elsewhere is dropped from the returned node.
+    pub fn into_node(self) -> ServerNode {
+        let SharedServer { bindings, root, .. } = self;
+        let Bindings {
+            services,
+            class_services,
+        } = bindings.into_inner();
+        let state = root
+            .into_inner()
+            .expect("into_node consumes the root state once");
+        let mut node = ServerNode {
+            state,
+            services: HashMap::new(),
+            class_services: HashMap::new(),
+            replies: ReplyCache::default(),
+        };
+        for (name, svc) in services {
+            match Arc::try_unwrap(svc) {
+                Ok(mutex) => {
+                    node.services.insert(name, mutex.into_inner());
+                }
+                Err(_) => debug_assert!(false, "service {name:?} still referenced by a worker"),
+            }
+        }
+        for (class, svc) in class_services {
+            match Arc::try_unwrap(svc) {
+                Ok(mutex) => {
+                    node.class_services.insert(class, mutex.into_inner());
+                }
+                Err(_) => debug_assert!(false, "class service still referenced by a worker"),
+            }
+        }
+        node
+    }
+}
+
+/// Serves one connection against the lock-split [`SharedServer`] until
+/// the peer disconnects or sends `Shutdown`. This is the pooled
+/// replacement for `serve_connection_shared`: the connection's heap,
+/// warm caches, and codec scratch are private, so a stalled client —
+/// even one blocked mid-call inside a callback — holds nothing another
+/// connection waits on except the mutex of the service it is executing
+/// in.
+///
+/// # Errors
+/// Returns transport errors other than orderly disconnect.
+pub fn serve_connection_pooled(
+    shared: &SharedServer,
+    transport: &mut dyn Transport,
+) -> Result<(), NrmiError> {
+    let mut conn = shared.connection_node();
+    let mut warm = crate::warm::WarmCaches::new();
+    let result = serve_connection_pooled_inner(shared, &mut conn, &mut warm, transport);
+    // Disconnect releases the connection's cached warm-session graphs;
+    // the rest of the private heap (cold-call copies included) goes
+    // with the node itself, so a long-lived server no longer
+    // accumulates call copies across clients.
+    warm.release_all(&mut conn.state.heap);
+    result
+}
+
+fn serve_connection_pooled_inner(
+    shared: &SharedServer,
+    conn: &mut ServerNode,
+    warm: &mut crate::warm::WarmCaches,
+    transport: &mut dyn Transport,
+) -> Result<(), NrmiError> {
+    loop {
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(TransportError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        match frame {
+            Frame::Shutdown => return Ok(()),
+            Frame::Tagged { nonce, seq, frame } => {
+                // Decide-mark-executing on the nonce's shard, execute
+                // with no shard lock held, store. A duplicate arriving
+                // on another connection mid-execution reads InProgress
+                // and is dropped unanswered — the client's next
+                // retransmission replays the stored reply.
+                let reply = match shared.replies.begin(nonce, seq) {
+                    ReplyDecision::Replay(cached) => Some(Frame::ReplyCached {
+                        nonce,
+                        seq,
+                        frame: Box::new(cached),
+                    }),
+                    ReplyDecision::Evicted => Some(Frame::ReplyCached {
+                        nonce,
+                        seq,
+                        frame: Box::new(evicted_reply()),
+                    }),
+                    ReplyDecision::InProgress => None,
+                    ReplyDecision::Fresh => {
+                        let reply = crate::protocol::dispatch_tagged(conn, warm, transport, *frame);
+                        shared.replies.store(nonce, seq, &reply);
+                        Some(Frame::Tagged {
+                            nonce,
+                            seq,
+                            frame: Box::new(reply),
+                        })
+                    }
+                };
+                if let Some(reply) = reply {
+                    transport.send(&reply)?;
+                }
+            }
+            // Everything untagged touches only per-connection state (and
+            // the callee's service mutex) — identical to the exclusive
+            // single-connection loop.
+            Frame::CallRequestWarm {
+                service,
+                method,
+                mode,
+                cache_id,
+                generation,
+                payload,
+            } => {
+                let reply = crate::warm::server_handle_warm_call(
+                    conn, warm, transport, &service, &method, mode, cache_id, generation, &payload,
+                );
+                transport.send(&reply)?;
+            }
+            Frame::CacheEvict { cache_id } => {
+                warm.evict(&mut conn.state.heap, cache_id);
+            }
+            Frame::Lookup { name } => {
+                let found = shared.is_bound(&name);
+                transport.send(&Frame::LookupReply { found })?;
+            }
+            Frame::CallRequest {
+                service,
+                method,
+                mode,
+                payload,
+            } => {
+                let reply = crate::protocol::server_handle_named_call(
+                    conn, transport, &service, &method, mode, &payload,
+                );
+                transport.send(&reply)?;
+            }
+            Frame::CallObject {
+                key,
+                method,
+                mode,
+                payload,
+            } => {
+                let reply = crate::protocol::server_handle_object_call(
+                    conn, transport, key, &method, mode, &payload,
+                );
+                transport.send(&reply)?;
+            }
+            Frame::DgcClean { key } => {
+                conn.state.exports.clean(key);
+            }
+            other => {
+                return Err(NrmiError::Protocol(format!("unexpected frame {other:?}")));
+            }
+        }
+    }
+}

@@ -7,12 +7,15 @@
 //! run the identical protocol across real sockets for genuine
 //! distribution.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use nrmi_heap::{DenseObjSet, Heap, LinearMap, ObjId, SharedRegistry, Value};
 use nrmi_transport::{
-    channel_pair, ChannelTransport, Frame, LinkSpec, MachineSpec, SimEnv, TcpListenerTransport,
-    TcpTransport, Transport,
+    channel_pair, ChannelTransport, Frame, LinkSpec, Listener, MachineSpec, SimEnv,
+    TcpListenerTransport, TcpTransport, Transport, TransportError,
 };
 
 use crate::error::NrmiError;
@@ -503,31 +506,288 @@ pub fn serve_tcp(
     Ok(())
 }
 
-/// Serves `max_connections` connections **concurrently**: each accepted
-/// client gets its own thread, all dispatching into one shared
-/// [`ServerNode`] (per-request locking). Returns the server node once
-/// every connection has ended.
+/// Serves `max_connections` connections **concurrently** over the
+/// lock-split [`SharedServer`](crate::server::SharedServer), then
+/// returns the server node once every connection has ended. A
+/// compatibility wrapper over [`ServerPool`] for callers that know
+/// their connection count up front; everyone else should hold a
+/// [`ServeHandle`] and call [`ServeHandle::shutdown`] when done.
 ///
 /// # Errors
-/// Socket failures on accept; per-connection protocol errors end that
-/// connection only.
+/// Socket failures on accept (surfaced after in-flight connections
+/// drain, without tearing them down); per-connection protocol errors
+/// end that connection only.
 pub fn serve_tcp_concurrent(
     server: ServerNode,
-    listener: &TcpListenerTransport,
+    listener: TcpListenerTransport,
     max_connections: usize,
 ) -> Result<ServerNode, NrmiError> {
-    let shared = parking_lot::Mutex::new(server);
-    std::thread::scope(|scope| -> Result<(), NrmiError> {
-        for _ in 0..max_connections {
-            let mut transport = listener.accept()?;
-            let shared = &shared;
-            scope.spawn(move || {
-                let _ = crate::protocol::serve_connection_shared(shared, &mut transport);
-            });
+    ServerPool::new()
+        .max_live_connections(max_connections.max(1))
+        .max_total_connections(max_connections)
+        .serve(server, listener)
+        .join()
+}
+
+/// Configures and launches a multi-client serve loop: an accept thread
+/// plus one worker thread per live connection, all dispatching into the
+/// lock-split [`SharedServer`](crate::server::SharedServer) — no
+/// one-big-lock [`ServerNode`], so independent clients execute
+/// concurrently and a client stalled mid-call cannot freeze the others.
+///
+/// ```no_run
+/// use nrmi_core::{ServerNode, ServerPool};
+/// use nrmi_transport::TcpListenerTransport;
+/// # use nrmi_heap::ClassRegistry;
+/// # use nrmi_transport::MachineSpec;
+/// # fn main() -> Result<(), nrmi_core::NrmiError> {
+/// # let server = ServerNode::new(ClassRegistry::new().snapshot(), MachineSpec::fast());
+/// let listener = TcpListenerTransport::bind("127.0.0.1:0")?;
+/// let handle = ServerPool::new().serve(server, listener);
+/// // ... clients come and go ...
+/// let server = handle.shutdown()?; // unblocks accept, drains workers
+/// # let _ = server; Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ServerPool {
+    max_live: usize,
+    max_total: Option<usize>,
+    accept_poll: Duration,
+}
+
+impl Default for ServerPool {
+    fn default() -> Self {
+        ServerPool::new()
+    }
+}
+
+impl ServerPool {
+    /// Default configuration: up to 64 live connections, no total
+    /// limit, shutdown flag polled every 25 ms.
+    pub fn new() -> Self {
+        ServerPool {
+            max_live: 64,
+            max_total: None,
+            accept_poll: Duration::from_millis(25),
         }
-        Ok(())
-    })?;
-    Ok(shared.into_inner())
+    }
+
+    /// Caps concurrently served connections; the accept loop waits
+    /// (leaving further clients in the listen backlog) while at the cap.
+    pub fn max_live_connections(mut self, n: usize) -> Self {
+        self.max_live = n.max(1);
+        self
+    }
+
+    /// Stops accepting after `n` connections in total — the accept loop
+    /// then exits on its own and [`ServeHandle::join`] returns once the
+    /// last of them disconnects.
+    pub fn max_total_connections(mut self, n: usize) -> Self {
+        self.max_total = Some(n);
+        self
+    }
+
+    /// How long each accept wait lasts before the loop rechecks the
+    /// shutdown flag — the latency bound on [`ServeHandle::shutdown`]
+    /// unblocking `accept`.
+    pub fn accept_poll(mut self, poll: Duration) -> Self {
+        self.accept_poll = poll.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Splits `server` into shared state, spawns the accept loop on its
+    /// own thread, and returns the handle controlling it. Works over
+    /// any [`Listener`] (TCP, Unix-domain).
+    pub fn serve<L>(self, server: ServerNode, listener: L) -> ServeHandle
+    where
+        L: Listener + Send + 'static,
+    {
+        let shared = Arc::new(crate::server::SharedServer::from_node(server));
+        let stop = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicUsize::new(0));
+        let served = Arc::new(AtomicUsize::new(0));
+        let workers: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let accept_error: Arc<parking_lot::Mutex<Option<String>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let live = Arc::clone(&live);
+            let served = Arc::clone(&served);
+            let workers = Arc::clone(&workers);
+            let accept_error = Arc::clone(&accept_error);
+            std::thread::spawn(move || -> Result<(), NrmiError> {
+                let mut accepted = 0usize;
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    if self.max_total.is_some_and(|n| accepted >= n) {
+                        return Ok(());
+                    }
+                    if live.load(Ordering::SeqCst) >= self.max_live {
+                        std::thread::sleep(self.accept_poll);
+                        continue;
+                    }
+                    match listener.accept_timeout(self.accept_poll) {
+                        Ok(mut transport) => {
+                            accepted += 1;
+                            served.fetch_add(1, Ordering::SeqCst);
+                            live.fetch_add(1, Ordering::SeqCst);
+                            let shared = Arc::clone(&shared);
+                            let live = Arc::clone(&live);
+                            let worker = std::thread::spawn(move || {
+                                // Decrement on every exit path, panics
+                                // included, so the accept loop's cap
+                                // can't wedge.
+                                let _guard = LiveGuard(live);
+                                let _ =
+                                    crate::server::serve_connection_pooled(&shared, &mut transport);
+                            });
+                            workers.lock().push(worker);
+                        }
+                        Err(TransportError::Timeout) => continue,
+                        Err(e) => {
+                            // An accept failure ends only the accept
+                            // loop; live connections keep running. The
+                            // message is visible immediately via
+                            // `ServeHandle::accept_error`, the error
+                            // itself from `join`/`shutdown`.
+                            let err = NrmiError::from(e);
+                            *accept_error.lock() = Some(err.to_string());
+                            return Err(err);
+                        }
+                    }
+                }
+            })
+        };
+
+        ServeHandle {
+            shared: Some(shared),
+            stop,
+            accept_thread: Some(accept_thread),
+            accept_error,
+            workers,
+            live,
+            served,
+        }
+    }
+}
+
+/// Decrements the live-connection counter when a worker exits — by any
+/// path, including a panic unwinding through the serve loop.
+struct LiveGuard(Arc<AtomicUsize>);
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Control handle for a running [`ServerPool`]: inspect progress, and
+/// end serving with [`ServeHandle::shutdown`] (which unblocks the
+/// accept loop — no dummy connection needed) or wait for a configured
+/// total-connection limit with [`ServeHandle::join`].
+#[derive(Debug)]
+pub struct ServeHandle {
+    shared: Option<Arc<crate::server::SharedServer>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<Result<(), NrmiError>>>,
+    accept_error: Arc<parking_lot::Mutex<Option<String>>>,
+    workers: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    live: Arc<AtomicUsize>,
+    served: Arc<AtomicUsize>,
+}
+
+impl ServeHandle {
+    /// Connections currently being served.
+    pub fn live_connections(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted since the pool started.
+    pub fn connections_served(&self) -> usize {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// The accept loop's failure message, available the moment the
+    /// failure happens — while healthy connections are still being
+    /// served. `None` while the loop is healthy (or ended cleanly).
+    pub fn accept_error(&self) -> Option<String> {
+        self.accept_error.lock().clone()
+    }
+
+    /// Stops accepting (the accept loop notices within its poll
+    /// interval — no dummy connection required), waits for in-flight
+    /// connections to disconnect, and returns the reassembled server
+    /// node.
+    ///
+    /// # Errors
+    /// An accept-loop failure recorded before shutdown.
+    pub fn shutdown(mut self) -> Result<ServerNode, NrmiError> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.finish()
+    }
+
+    /// Waits for the accept loop to end on its own (a configured
+    /// [`ServerPool::max_total_connections`] limit, or an accept
+    /// failure) and for every connection to drain, then returns the
+    /// server node. Blocks forever on an unlimited pool — use
+    /// [`ServeHandle::shutdown`] for those.
+    ///
+    /// # Errors
+    /// The accept loop's failure, surfaced after in-flight connections
+    /// drain.
+    pub fn join(mut self) -> Result<ServerNode, NrmiError> {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Result<ServerNode, NrmiError> {
+        let accept_result = self
+            .accept_thread
+            .take()
+            .map(|handle| handle.join())
+            .unwrap_or(Ok(Ok(())));
+        // The accept thread has exited: no further workers will be
+        // registered, so draining the list here joins every connection.
+        let handles = std::mem::take(&mut *self.workers.lock());
+        let mut worker_panicked = false;
+        for handle in handles {
+            worker_panicked |= handle.join().is_err();
+        }
+        let shared = self
+            .shared
+            .take()
+            .expect("finish runs once (shutdown/join consume the handle)");
+        let node = match Arc::try_unwrap(shared) {
+            Ok(shared) => shared.into_node(),
+            Err(_) => {
+                return Err(NrmiError::Protocol(
+                    "server workers still hold the shared state".into(),
+                ))
+            }
+        };
+        match accept_result {
+            Ok(Ok(())) if worker_panicked => {
+                Err(NrmiError::Protocol("a connection worker panicked".into()))
+            }
+            Ok(Ok(())) => Ok(node),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(NrmiError::Protocol("accept thread panicked".into())),
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        // Dropping the handle without shutdown/join: tell the accept
+        // loop to stop and detach. Joining here could block forever on
+        // connections whose clients never disconnect.
+        self.stop.store(true, Ordering::SeqCst);
+    }
 }
 
 /// A client connected over an arbitrary [`Transport`] — the generic twin

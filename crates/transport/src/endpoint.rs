@@ -47,6 +47,28 @@ pub trait Transport: Send {
     }
 }
 
+/// A bound server socket producing accepted [`Transport`] connections —
+/// the abstraction serve loops are written against, so TCP and
+/// Unix-domain servers share one accept loop.
+pub trait Listener {
+    /// The transport type of an accepted connection.
+    type Conn: Transport + 'static;
+
+    /// Blocks until a client connects.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    fn accept(&self) -> Result<Self::Conn>;
+
+    /// Waits up to `timeout` for a client, so an accept loop can poll a
+    /// shutdown flag instead of blocking forever.
+    ///
+    /// # Errors
+    /// [`TransportError::Timeout`] if nobody connected in time;
+    /// otherwise propagates socket errors.
+    fn accept_timeout(&self, timeout: Duration) -> Result<Self::Conn>;
+}
+
 /// In-process transport over crossbeam channels.
 ///
 /// When built with [`channel_pair`]'s `env`/`link` parameters, every sent

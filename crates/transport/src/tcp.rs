@@ -163,8 +163,56 @@ impl TcpListenerTransport {
     /// # Errors
     /// Propagates socket errors.
     pub fn accept(&self) -> Result<TcpTransport> {
+        self.listener.set_nonblocking(false)?;
         let (stream, _) = self.listener.accept()?;
         TcpTransport::from_stream(stream)
+    }
+
+    /// Waits up to `timeout` for a client. `std` listeners have no
+    /// native accept deadline, so this polls a non-blocking accept —
+    /// coarse, but it lets a serve loop check a shutdown flag between
+    /// waits instead of blocking in `accept` forever.
+    ///
+    /// # Errors
+    /// [`TransportError::Timeout`] if nobody connected in time;
+    /// otherwise propagates socket errors.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<TcpTransport> {
+        self.listener.set_nonblocking(true)?;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = self.listener.set_nonblocking(false);
+                    // Accepted sockets may inherit the listener's
+                    // non-blocking flag (platform-dependent); undo it.
+                    stream.set_nonblocking(false)?;
+                    return TcpTransport::from_stream(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        let _ = self.listener.set_nonblocking(false);
+                        return Err(TransportError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    let _ = self.listener.set_nonblocking(false);
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+}
+
+impl crate::endpoint::Listener for TcpListenerTransport {
+    type Conn = TcpTransport;
+
+    fn accept(&self) -> Result<TcpTransport> {
+        TcpListenerTransport::accept(self)
+    }
+
+    fn accept_timeout(&self, timeout: Duration) -> Result<TcpTransport> {
+        TcpListenerTransport::accept_timeout(self, timeout)
     }
 }
 

@@ -149,8 +149,53 @@ impl UdsListenerTransport {
     /// # Errors
     /// Propagates socket errors.
     pub fn accept(&self) -> Result<UdsTransport> {
+        self.listener.set_nonblocking(false)?;
         let (stream, _) = self.listener.accept()?;
         Ok(UdsTransport::from_stream(stream))
+    }
+
+    /// Waits up to `timeout` for a client by polling a non-blocking
+    /// accept (see
+    /// [`TcpListenerTransport::accept_timeout`](crate::tcp::TcpListenerTransport::accept_timeout)).
+    ///
+    /// # Errors
+    /// [`TransportError::Timeout`] if nobody connected in time;
+    /// otherwise propagates socket errors.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<UdsTransport> {
+        self.listener.set_nonblocking(true)?;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = self.listener.set_nonblocking(false);
+                    stream.set_nonblocking(false)?;
+                    return Ok(UdsTransport::from_stream(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        let _ = self.listener.set_nonblocking(false);
+                        return Err(TransportError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    let _ = self.listener.set_nonblocking(false);
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+}
+
+impl crate::endpoint::Listener for UdsListenerTransport {
+    type Conn = UdsTransport;
+
+    fn accept(&self) -> Result<UdsTransport> {
+        UdsListenerTransport::accept(self)
+    }
+
+    fn accept_timeout(&self, timeout: Duration) -> Result<UdsTransport> {
+        UdsListenerTransport::accept_timeout(self, timeout)
     }
 }
 

@@ -1,17 +1,17 @@
 //! Genuine distribution: the same protocol over real TCP sockets.
 //!
-//! Spawns the NRMI server on a TCP listener (its own thread, its own
-//! heap — a separate "machine" as far as the protocol is concerned) and
-//! connects a client over a real socket. Copy-restore works unchanged.
+//! Serves the NRMI server through a [`ServerPool`] (its own accept
+//! thread, per-connection state — a separate "machine" as far as the
+//! protocol is concerned) and connects a client over a real socket.
+//! Copy-restore works unchanged, and `shutdown()` tears the pool down
+//! without needing to predict the connection count.
 //!
 //! Run the two halves in one process:
 //! ```text
 //! cargo run --example tcp_demo
 //! ```
 
-use std::thread;
-
-use nrmi::core::{serve_tcp, FnService, NrmiError, ServerNode, Session};
+use nrmi::core::{FnService, NrmiError, ServerNode, ServerPool, Session};
 use nrmi::heap::tree::{self, TreeClasses};
 use nrmi::heap::{ClassRegistry, HeapAccess, Value};
 use nrmi::transport::{MachineSpec, TcpListenerTransport};
@@ -21,39 +21,36 @@ fn main() -> Result<(), NrmiError> {
     let classes: TreeClasses = tree::register_tree_classes(&mut reg);
     let registry = reg.snapshot();
 
-    // --- Server process (modelled as a thread with its own state) --------
+    // --- Server process (its own accept thread, its own state) -----------
     let listener = TcpListenerTransport::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
-    let server_registry = registry.clone();
-    let server_thread = thread::spawn(move || -> Result<(), NrmiError> {
-        let mut server = ServerNode::new(server_registry, MachineSpec::fast());
-        server.bind(
-            "treesvc",
-            Box::new(FnService::new(|method, args, heap| match method {
-                "foo" => {
-                    let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
-                    tree::run_foo(heap, root)?;
-                    Ok(Value::Null)
-                }
-                "sum" => {
-                    let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
-                    let mut total = 0i64;
-                    let mut stack = vec![root];
-                    while let Some(node) = stack.pop() {
-                        total += i64::from(heap.get_field(node, "data")?.as_int().unwrap_or(0));
-                        for side in ["left", "right"] {
-                            if let Some(child) = heap.get_ref(node, side)? {
-                                stack.push(child);
-                            }
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    server.bind(
+        "treesvc",
+        Box::new(FnService::new(|method, args, heap| match method {
+            "foo" => {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                tree::run_foo(heap, root)?;
+                Ok(Value::Null)
+            }
+            "sum" => {
+                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+                let mut total = 0i64;
+                let mut stack = vec![root];
+                while let Some(node) = stack.pop() {
+                    total += i64::from(heap.get_field(node, "data")?.as_int().unwrap_or(0));
+                    for side in ["left", "right"] {
+                        if let Some(child) = heap.get_ref(node, side)? {
+                            stack.push(child);
                         }
                     }
-                    Ok(Value::Long(total))
                 }
-                other => Err(NrmiError::app(format!("no method {other}"))),
-            })),
-        );
-        serve_tcp(&mut server, &listener, 1)
-    });
+                Ok(Value::Long(total))
+            }
+            other => Err(NrmiError::app(format!("no method {other}"))),
+        })),
+    );
+    let handle = ServerPool::new().serve(server, listener);
 
     // --- Client process ----------------------------------------------------
     let mut client = Session::connect_tcp(registry, addr)?;
@@ -82,7 +79,7 @@ fn main() -> Result<(), NrmiError> {
     println!("sum over the wire after foo:  {sum_after}");
 
     client.close()?;
-    server_thread.join().expect("server thread")?;
+    let _server = handle.shutdown()?;
     println!("server shut down cleanly");
     Ok(())
 }

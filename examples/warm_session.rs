@@ -10,9 +10,7 @@
 //! cargo run --example warm_session
 //! ```
 
-use std::thread;
-
-use nrmi::core::{serve_tcp, FnService, NrmiError, ServerNode, Session};
+use nrmi::core::{FnService, NrmiError, ServerNode, ServerPool, Session};
 use nrmi::heap::tree::{self, TreeClasses};
 use nrmi::heap::{ClassRegistry, HeapAccess, Value};
 use nrmi::transport::{MachineSpec, TcpListenerTransport};
@@ -25,28 +23,25 @@ fn main() -> Result<(), NrmiError> {
     // --- Server: sums the tree it is handed --------------------------------
     let listener = TcpListenerTransport::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
-    let server_registry = registry.clone();
-    let server_thread = thread::spawn(move || -> Result<(), NrmiError> {
-        let mut server = ServerNode::new(server_registry, MachineSpec::fast());
-        server.bind(
-            "treesvc",
-            Box::new(FnService::new(|_method, args, heap| {
-                let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
-                let mut total = 0i64;
-                let mut stack = vec![root];
-                while let Some(node) = stack.pop() {
-                    total += i64::from(heap.get_field(node, "data")?.as_int().unwrap_or(0));
-                    for side in ["left", "right"] {
-                        if let Some(child) = heap.get_ref(node, side)? {
-                            stack.push(child);
-                        }
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    server.bind(
+        "treesvc",
+        Box::new(FnService::new(|_method, args, heap| {
+            let root = args[0].as_ref_id().ok_or_else(|| NrmiError::app("tree"))?;
+            let mut total = 0i64;
+            let mut stack = vec![root];
+            while let Some(node) = stack.pop() {
+                total += i64::from(heap.get_field(node, "data")?.as_int().unwrap_or(0));
+                for side in ["left", "right"] {
+                    if let Some(child) = heap.get_ref(node, side)? {
+                        stack.push(child);
                     }
                 }
-                Ok(Value::Long(total))
-            })),
-        );
-        serve_tcp(&mut server, &listener, 1)
-    });
+            }
+            Ok(Value::Long(total))
+        })),
+    );
+    let handle = ServerPool::new().serve(server, listener);
 
     // --- Client: one big tree, many calls ----------------------------------
     let mut client = Session::connect_tcp(registry, addr)?;
@@ -91,6 +86,6 @@ fn main() -> Result<(), NrmiError> {
     assert!(reseed.request_bytes > seed.request_bytes / 2);
 
     client.close()?;
-    server_thread.join().expect("server thread")?;
+    let _server = handle.shutdown()?;
     Ok(())
 }

@@ -1,11 +1,11 @@
 //! Multi-client serving: several TCP clients hitting one shared server
-//! node concurrently (§4.1: "servers can always be multi-threaded and
+//! concurrently (§4.1: "servers can always be multi-threaded and
 //! accept requests from multiple client machines without sacrificing
 //! network transparency").
 
 use std::thread;
 
-use nrmi::core::{serve_tcp_concurrent, FnService, NrmiError, ServerNode, Session};
+use nrmi::core::{serve_tcp_concurrent, FnService, NrmiError, ServerNode, ServerPool, Session};
 use nrmi::heap::tree::{self};
 use nrmi::heap::{ClassRegistry, SharedRegistry, Value};
 use nrmi::transport::{MachineSpec, TcpListenerTransport};
@@ -25,20 +25,18 @@ fn concurrent_clients_share_server_state() {
     let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
 
-    let server_registry = registry.clone();
-    let server_thread = thread::spawn(move || {
-        let mut server = ServerNode::new(server_registry, MachineSpec::fast());
-        let mut total = 0i32;
-        server.bind(
-            "accumulator",
-            Box::new(FnService::new(move |_m, args, _h| {
-                total += args[0].as_int().unwrap_or(0);
-                Ok(Value::Int(total))
-            })),
-        );
-        // One connection beyond the workers: the final auditing client.
-        serve_tcp_concurrent(server, &listener, CLIENTS + 1).expect("serve")
-    });
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    let mut total = 0i32;
+    server.bind(
+        "accumulator",
+        Box::new(FnService::new(move |_m, args, _h| {
+            total += args[0].as_int().unwrap_or(0);
+            Ok(Value::Int(total))
+        })),
+    );
+    // No connection count and no dummy connection: the pool accepts
+    // until `shutdown()` unblocks its accept loop.
+    let handle = ServerPool::new().serve(server, listener);
 
     let mut client_threads = Vec::new();
     for c in 0..CLIENTS {
@@ -72,7 +70,8 @@ fn concurrent_clients_share_server_state() {
         "every increment must be applied exactly once"
     );
     auditor.close().expect("close auditor");
-    let _server = server_thread.join().expect("server thread");
+    let server = handle.shutdown().expect("shutdown");
+    assert!(server.is_bound("accumulator"), "binding survives the pool");
 }
 
 #[test]
@@ -93,7 +92,7 @@ fn concurrent_copy_restore_calls_do_not_interfere() {
                 Ok(Value::Null)
             })),
         );
-        serve_tcp_concurrent(server, &listener, CLIENTS).expect("serve")
+        serve_tcp_concurrent(server, listener, CLIENTS).expect("serve")
     });
 
     let mut client_threads = Vec::new();
@@ -122,8 +121,11 @@ fn concurrent_copy_restore_calls_do_not_interfere() {
         t.join().expect("client thread");
     }
     let server = server_thread.join().expect("server thread");
-    assert!(
-        server.state.heap.live_count() > 0,
-        "server accumulated call copies"
+    // Call copies live in per-connection heaps and are reclaimed when
+    // the connection ends — the shared node no longer accumulates them.
+    assert_eq!(
+        server.state.heap.live_count(),
+        0,
+        "call copies are confined to connection heaps and freed on disconnect"
     );
 }

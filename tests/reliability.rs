@@ -165,7 +165,7 @@ fn tcp_reconnect_retransmits_and_executes_exactly_once() {
     let server = thread::spawn(move || {
         let mut node = ServerNode::new(server_registry, MachineSpec::fast());
         bind_digit_service(&mut node);
-        serve_tcp_concurrent(node, &listener, 2).expect("serve")
+        serve_tcp_concurrent(node, listener, 2).expect("serve")
     });
 
     let mut client = ClientNode::new(registry, MachineSpec::fast());
@@ -235,7 +235,7 @@ fn warm_sessions_fall_back_to_a_cold_reseed_across_reconnect() {
                 Ok(Value::Long(i64::from(d)))
             })),
         );
-        serve_tcp_concurrent(node, &listener, 2).expect("serve")
+        serve_tcp_concurrent(node, listener, 2).expect("serve")
     });
 
     let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());
@@ -363,7 +363,7 @@ fn duplicate_on_second_connection_mid_execution_runs_once() {
                 Ok(Value::Long(i64::from(d)))
             })),
         );
-        serve_tcp_concurrent(node, &listener, 2).expect("serve")
+        serve_tcp_concurrent(node, listener, 2).expect("serve")
     });
 
     let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());

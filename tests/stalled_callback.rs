@@ -1,0 +1,199 @@
+//! Regression: a client stalled mid-call must not block other clients.
+//!
+//! The deadlock this guards against: under the old one-big-lock server,
+//! a remote-ref call holds the server lock while the service's heap
+//! accesses issue `GetField` callbacks to the *calling* client. If that
+//! client is slow to answer, the server worker sits in `recv()` with the
+//! lock held and every other connection — including ones talking to
+//! completely independent services — freezes for the duration.
+//!
+//! With the pooled server, a stalled callback pins only the stalling
+//! connection's worker (and the mutex of the one service it is executing
+//! in). Client B's cold *and* warm calls on an independent service must
+//! complete in bounded time while client A is parked mid-call. The same
+//! scenario runs over TCP and Unix-domain sockets.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use nrmi::core::{
+    CallOptions, FnService, NrmiError, PassMode, RemoteSession, ServerNode, ServerPool,
+};
+use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
+use nrmi::transport::{
+    Frame, Listener, MachineSpec, TcpListenerTransport, TcpTransport, Transport,
+};
+#[cfg(unix)]
+use nrmi::transport::{UdsListenerTransport, UdsTransport};
+
+/// How long client A delays its callback reply. Client B's bound below
+/// must stay comfortably under this, so a serialized server fails loudly.
+const STALL: Duration = Duration::from_millis(1200);
+
+/// Wall-clock budget for ALL of client B's calls during the stall.
+const B_BUDGET: Duration = Duration::from_millis(900);
+
+/// A transport that delays exactly the second frame it sends. For the
+/// stalling client that second frame is the `GetField` callback reply —
+/// the request goes out promptly, the server parks mid-call waiting for
+/// the answer, and later frames (shutdown) are unaffected.
+struct StallSecondSend<T: Transport> {
+    inner: T,
+    sent: usize,
+}
+
+impl<T: Transport> Transport for StallSecondSend<T> {
+    fn send(&mut self, frame: &Frame) -> nrmi::transport::Result<()> {
+        if self.sent == 1 {
+            thread::sleep(STALL);
+        }
+        self.sent += 1;
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> nrmi::transport::Result<Frame> {
+        self.inner.recv()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> nrmi::transport::Result<Frame> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    // class Cell extends UnicastRemoteObject { int v; } — passing one by
+    // reference makes the server read it back through a callback.
+    reg.define("Cell").field_int("v").remote().register();
+    // class Box implements Restorable { int v; } — client B's warm-call
+    // payload.
+    reg.define("Box").field_int("v").restorable().register();
+    reg.snapshot()
+}
+
+fn build_server(registry: &SharedRegistry) -> ServerNode {
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    // The stalling service: reading the remote-ref argument's field
+    // sends a GetField callback to the caller and blocks this worker —
+    // and ONLY this worker — until the caller answers.
+    server.bind(
+        "slow",
+        Box::new(FnService::new(|_m, args, heap| {
+            let cell = args[0].as_ref_id().ok_or_else(|| NrmiError::app("cell"))?;
+            let v = heap.get_field(cell, "v")?.as_int().unwrap_or(0);
+            Ok(Value::Int(v * 2))
+        })),
+    );
+    // An independent service for client B: pure local heap work.
+    server.bind(
+        "fast",
+        Box::new(FnService::new(|_m, args, heap| {
+            let b = args[0].as_ref_id().ok_or_else(|| NrmiError::app("box"))?;
+            let v = heap.get_field(b, "v")?.as_int().unwrap_or(0);
+            heap.set_field(b, "v", Value::Int(v + 1))?;
+            Ok(Value::Int(v + 1))
+        })),
+    );
+    server
+}
+
+/// Runs the scenario over an already-bound listener, with `connect`
+/// dialing a fresh transport to it.
+fn stalled_client_does_not_block_others<L, C, T>(listener: L, connect: C)
+where
+    L: Listener + Send + 'static,
+    C: Fn() -> T,
+    T: Transport + 'static,
+{
+    let registry = registry();
+    let handle = ServerPool::new().serve(build_server(&registry), listener);
+
+    // --- Client A: remote-ref call whose callback reply stalls ----------
+    let a_registry = registry.clone();
+    let a_transport = StallSecondSend {
+        inner: connect(),
+        sent: 0,
+    };
+    let (in_call_tx, in_call_rx) = mpsc::channel();
+    let a_thread = thread::spawn(move || {
+        let mut a = RemoteSession::over(a_registry, a_transport);
+        let cell_cls = a.heap().registry_handle().by_name("Cell").unwrap();
+        let cell = a.heap().alloc_raw(cell_cls, vec![Value::Int(21)]).unwrap();
+        in_call_tx.send(()).unwrap();
+        let started = Instant::now();
+        let ret = a
+            .call_with(
+                "slow",
+                "read",
+                &[Value::Ref(cell)],
+                CallOptions::forced(PassMode::RemoteRef),
+            )
+            .expect("stalled call still completes");
+        let stalled_for = started.elapsed();
+        a.close().expect("close A");
+        (ret, stalled_for)
+    });
+
+    // --- Client B: independent service, while A is parked mid-call ------
+    in_call_rx.recv().expect("A about to call");
+    // Let A's request reach the server and its worker park on the
+    // callback. A's reply is held for STALL, so the window is wide.
+    thread::sleep(Duration::from_millis(150));
+
+    let mut b = RemoteSession::over(registry, connect());
+    let box_cls = b.heap().registry_handle().by_name("Box").unwrap();
+    let bx = b.heap().alloc_raw(box_cls, vec![Value::Int(0)]).unwrap();
+    let b_started = Instant::now();
+    let cold = b
+        .call("fast", "bump", &[Value::Ref(bx)])
+        .expect("B cold call");
+    assert_eq!(cold, Value::Int(1));
+    let warm1 = b
+        .call_warm("fast", "bump", &[Value::Ref(bx)])
+        .expect("B warm seed");
+    assert_eq!(warm1, Value::Int(2));
+    let warm2 = b
+        .call_warm("fast", "bump", &[Value::Ref(bx)])
+        .expect("B warm delta");
+    assert_eq!(warm2, Value::Int(3));
+    let b_elapsed = b_started.elapsed();
+    b.close().expect("close B");
+    assert!(
+        b_elapsed < B_BUDGET,
+        "client B took {b_elapsed:?} while client A was stalled — \
+         head-of-line blocking is back"
+    );
+
+    let (a_ret, a_stalled_for) = a_thread.join().expect("client A thread");
+    assert_eq!(a_ret, Value::Int(42));
+    // Prove the stall actually happened mid-call: A's call cannot have
+    // finished before its delayed callback reply was sent.
+    assert!(
+        a_stalled_for >= STALL,
+        "client A finished in {a_stalled_for:?}; the callback never stalled"
+    );
+
+    let server = handle.shutdown().expect("shutdown");
+    assert!(server.is_bound("slow") && server.is_bound("fast"));
+}
+
+#[test]
+fn stalled_callback_does_not_block_other_clients_tcp() {
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    stalled_client_does_not_block_others(listener, move || {
+        TcpTransport::connect(addr).expect("connect")
+    });
+}
+
+#[cfg(unix)]
+#[test]
+fn stalled_callback_does_not_block_other_clients_uds() {
+    let path = std::env::temp_dir().join(format!("nrmi-stall-{}", std::process::id()));
+    let listener = UdsListenerTransport::bind(&path).expect("bind");
+    let connect_path = path.clone();
+    stalled_client_does_not_block_others(listener, move || {
+        UdsTransport::connect(&connect_path).expect("connect")
+    });
+}

@@ -381,7 +381,7 @@ fn warm_sessions_are_isolated_per_tcp_client() {
     let server_thread = thread::spawn(move || {
         let mut server = ServerNode::new(server_registry, MachineSpec::fast());
         server.bind("bump", bump_service());
-        serve_tcp_concurrent(server, &listener, CLIENTS).expect("serve")
+        serve_tcp_concurrent(server, listener, CLIENTS).expect("serve")
     });
 
     let mut client_threads = Vec::new();
