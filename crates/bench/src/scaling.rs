@@ -19,9 +19,16 @@
 //!   second client probes an independent service; we record the probe's
 //!   worst-case latency under both servers.
 //!
-//! `tables -- scaling` renders the table and emits `BENCH_scaling.json`;
-//! the gate fails when the pool stops beating the serialized baseline or
-//! a stalled client blocks the probe again.
+//! A third axis measures **in-flight depth** on a single connection:
+//! one client issues [`PIPELINE_TOTAL_CALLS`] copy-mode calls in batches
+//! of 1/4/16/64 through [`Session::call_pipelined`]'s request-map
+//! multiplexing against the pipelined serve loop. Depth 1 pays one
+//! network round trip per call; deeper batches amortize it, so depth 16
+//! must beat depth 1 by at least 2x or the gate fails.
+//!
+//! `tables -- scaling` renders the tables and emits `BENCH_scaling.json`;
+//! the gate fails when the pool stops beating the serialized baseline,
+//! a stalled client blocks the probe again, or pipelining stops paying.
 
 use std::sync::{mpsc, Arc, Barrier};
 use std::thread;
@@ -29,13 +36,25 @@ use std::time::{Duration, Instant};
 
 use nrmi_core::{
     client_invoke, serve_connection_pooled, serve_connection_shared, CallOptions, ClientNode,
-    FnService, NrmiError, PassMode, ServerNode, SharedServer,
+    FnService, NrmiError, PassMode, PipelinedCall, ServerNode, Session, SharedServer,
 };
 use nrmi_heap::{ClassId, ClassRegistry, HeapAccess, SharedRegistry, Value};
 use nrmi_transport::{Frame, MachineSpec, TcpListenerTransport, TcpTransport, Transport};
 
 /// Client counts swept for the throughput measurement.
 pub const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// In-flight call depths swept on one pipelined connection.
+pub const PIPELINE_DEPTHS: [usize; 4] = [1, 4, 16, 64];
+
+/// Calls issued per pipeline cell (spread over batches of the depth).
+pub const PIPELINE_TOTAL_CALLS: usize = 256;
+
+/// Service time per pipelined call. Depth 1 pays round trip + service
+/// time serially for every call; deeper batches overlap the service
+/// times across the serve loop's worker pool — that overlap (plus the
+/// amortized round trips) is the speedup under test.
+pub const PIPELINE_SERVICE_TIME: Duration = Duration::from_micros(500);
 
 /// Remote-ref calls each client issues per throughput cell.
 pub const CALLS_PER_CLIENT: usize = 10;
@@ -60,6 +79,19 @@ pub struct ScalingPoint {
     /// Wall-clock time for the whole cell, in milliseconds.
     pub elapsed_ms: f64,
     /// Aggregate throughput, calls per second.
+    pub calls_per_sec: f64,
+}
+
+/// One pipeline cell: a fixed call budget at one in-flight depth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PipelinePoint {
+    /// Calls in flight per batch.
+    pub depth: usize,
+    /// Total calls completed.
+    pub calls: usize,
+    /// Wall-clock time for the whole cell, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Throughput, calls per second.
     pub calls_per_sec: f64,
 }
 
@@ -91,6 +123,8 @@ pub struct ScalingReport {
     pub stall_biglock: StallPoint,
     /// Probe latency under the pool (bounded).
     pub stall_pooled: StallPoint,
+    /// Single-connection throughput per in-flight depth.
+    pub pipeline: Vec<PipelinePoint>,
 }
 
 /// Which serve loop a cell runs against.
@@ -383,6 +417,94 @@ fn stall_cell(flavor: ServerFlavor) -> StallPoint {
     }
 }
 
+/// Service bindings the pipeline cell spreads its calls across. Each
+/// binding is its own mutex on the server, so this — matched to the
+/// serve loop's worker pool — is what lets in-flight calls execute
+/// concurrently; calls to one service stay mutually exclusive by
+/// design (services may hold state).
+const PIPELINE_SERVICES: usize = 4;
+
+/// One client, one TCP connection, [`PIPELINE_TOTAL_CALLS`] copy-mode
+/// calls in batches of `depth` through the request-map client against
+/// the pipelined serve loop, round-robined over
+/// [`PIPELINE_SERVICES`] bindings. The registry carries no
+/// remote-marked classes, so the server's worker pool is eligible and
+/// replies may complete out of order; the reliable client reorders
+/// them by call id.
+fn pipeline_cell(depth: usize) -> PipelinePoint {
+    let mut reg = ClassRegistry::new();
+    // Copy-only schema: no remote classes, so calls are pipelineable
+    // end to end (remote-ref callbacks would force exclusive dispatch).
+    reg.define("Payload")
+        .field_int("v")
+        .serializable()
+        .register();
+    let registry = reg.snapshot();
+
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    for s in 0..PIPELINE_SERVICES {
+        server.bind(
+            format!("echo{s}"),
+            Box::new(FnService::new(|_m, args, _h| {
+                thread::sleep(PIPELINE_SERVICE_TIME);
+                Ok(Value::Int(args[0].as_int().unwrap_or(0) + 1))
+            })),
+        );
+    }
+    let shared = Arc::new(SharedServer::from_node(server));
+    let server_thread = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            let _ = serve_connection_pooled(&shared, &mut conn);
+        })
+    };
+
+    let mut session =
+        Session::connect_tcp_reliable(registry, addr, nrmi_core::RetryPolicy::default())
+            .expect("connect");
+    // Warm up the connection (and the server's worker pool) off-clock.
+    let warmup = [PipelinedCall::new("echo0", "inc", vec![Value::Int(-1)])];
+    session.call_pipelined(&warmup).expect("warmup");
+
+    let started = Instant::now();
+    let mut done = 0usize;
+    while done < PIPELINE_TOTAL_CALLS {
+        let batch: Vec<PipelinedCall> = (0..depth.min(PIPELINE_TOTAL_CALLS - done))
+            .map(|j| {
+                PipelinedCall::new(
+                    format!("echo{}", (done + j) % PIPELINE_SERVICES),
+                    "inc",
+                    vec![Value::Int((done + j) as i32)],
+                )
+            })
+            .collect();
+        let results = session.call_pipelined(&batch).expect("pipelined batch");
+        for (j, slot) in results.into_iter().enumerate() {
+            let got = slot.expect("pipelined call");
+            assert_eq!(
+                got,
+                Value::Int((done + j) as i32 + 1),
+                "reply routed to the wrong slot at depth {depth}"
+            );
+        }
+        done += batch.len();
+    }
+    let elapsed = started.elapsed();
+    let _ = session.close();
+    server_thread.join().expect("server thread");
+
+    let secs = elapsed.as_secs_f64();
+    PipelinePoint {
+        depth,
+        calls: PIPELINE_TOTAL_CALLS,
+        elapsed_ms: secs * 1e3,
+        calls_per_sec: PIPELINE_TOTAL_CALLS as f64 / secs.max(1e-9),
+    }
+}
+
 /// Runs the full ablation: both flavors through the sweep and the probe.
 pub fn run_scaling() -> ScalingReport {
     ScalingReport {
@@ -399,6 +521,7 @@ pub fn run_scaling() -> ScalingReport {
         stall_ms: STALL.as_millis() as u64,
         stall_biglock: stall_cell(ServerFlavor::BigLock),
         stall_pooled: stall_cell(ServerFlavor::Pooled),
+        pipeline: PIPELINE_DEPTHS.iter().map(|&d| pipeline_cell(d)).collect(),
     }
 }
 
@@ -423,6 +546,16 @@ pub fn scaling_violations(report: &ScalingReport) -> Vec<String> {
              is blocking independent connections",
             report.stall_pooled.max_us, bound_us
         ));
+    }
+    let depth_point = |d: usize| report.pipeline.iter().find(|p| p.depth == d);
+    if let (Some(d1), Some(d16)) = (depth_point(1), depth_point(16)) {
+        if d16.calls_per_sec < 2.0 * d1.calls_per_sec {
+            violations.push(format!(
+                "pipelining: depth 16 at {:.0} calls/s fails to double depth 1 at \
+                 {:.0} calls/s — in-flight calls are serializing again",
+                d16.calls_per_sec, d1.calls_per_sec
+            ));
+        }
     }
     violations
 }
@@ -467,11 +600,37 @@ pub fn render_scaling(report: &ScalingReport) -> String {
         "{:<9} {:>12} {:>12}",
         "pooled", report.stall_pooled.mean_us, report.stall_pooled.max_us
     );
+    let _ = writeln!(
+        out,
+        "\nPipelining — one connection, {} copy calls in batches of each depth:",
+        PIPELINE_TOTAL_CALLS
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} {:>12} {:>16} {:>9}",
+        "depth", "elapsed ms", "calls/s", "vs d=1"
+    );
+    let d1_rate = report
+        .pipeline
+        .iter()
+        .find(|p| p.depth == 1)
+        .map_or(0.0, |p| p.calls_per_sec);
+    for p in &report.pipeline {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>12.1} {:>16.0} {:>8.2}x",
+            p.depth,
+            p.elapsed_ms,
+            p.calls_per_sec,
+            p.calls_per_sec / d1_rate.max(1e-9)
+        );
+    }
     let violations = scaling_violations(report);
     if violations.is_empty() {
         let _ = writeln!(
             out,
-            "\n[PASS] pooled server beats the serialized baseline; stalls stay per-connection"
+            "\n[PASS] pooled server beats the serialized baseline; stalls stay \
+             per-connection; pipelining pays"
         );
     } else {
         let _ = writeln!(out, "\n[FAIL] scaling regressions:");
@@ -496,19 +655,33 @@ fn stall_json(p: &StallPoint) -> String {
     )
 }
 
+fn pipeline_json(p: &PipelinePoint) -> String {
+    format!(
+        "{{\"depth\": {}, \"calls\": {}, \"elapsed_ms\": {:.3}, \"calls_per_sec\": {:.1}}}",
+        p.depth, p.calls, p.elapsed_ms, p.calls_per_sec
+    )
+}
+
 /// Serializes the ablation as the `BENCH_scaling.json` document.
 pub fn to_json(report: &ScalingReport) -> String {
     let join =
         |points: &[ScalingPoint]| points.iter().map(point_json).collect::<Vec<_>>().join(", ");
+    let pipeline = report
+        .pipeline
+        .iter()
+        .map(pipeline_json)
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
-        "{{\n  \"workload\": \"remote-ref calls with {}us client-side callback turnaround, independent services\",\n  \"calls_per_client\": {},\n  \"biglock\": [{}],\n  \"pooled\": [{}],\n  \"stall_ms\": {},\n  \"stall_biglock\": {},\n  \"stall_pooled\": {}\n}}\n",
+        "{{\n  \"workload\": \"remote-ref calls with {}us client-side callback turnaround, independent services\",\n  \"calls_per_client\": {},\n  \"biglock\": [{}],\n  \"pooled\": [{}],\n  \"stall_ms\": {},\n  \"stall_biglock\": {},\n  \"stall_pooled\": {},\n  \"pipeline\": [{}]\n}}\n",
         report.turnaround_us,
         report.calls_per_client,
         join(&report.biglock),
         join(&report.pooled),
         report.stall_ms,
         stall_json(&report.stall_biglock),
-        stall_json(&report.stall_pooled)
+        stall_json(&report.stall_pooled),
+        pipeline
     )
 }
 
@@ -560,10 +733,63 @@ mod tests {
             stall_ms: 300,
             stall_biglock: stall,
             stall_pooled: stall,
+            pipeline: vec![PipelinePoint {
+                depth: 16,
+                calls: 256,
+                elapsed_ms: 10.0,
+                calls_per_sec: 25_600.0,
+            }],
         };
         let json = to_json(&report);
         assert!(json.contains("\"biglock\""));
         assert!(json.contains("\"pooled\""));
         assert!(json.contains("\"stall_pooled\""));
+        assert!(json.contains("\"pipeline\""));
+        assert!(json.contains("\"depth\": 16"));
+    }
+
+    #[test]
+    fn depth16_pipelining_doubles_depth1_throughput() {
+        let d1 = pipeline_cell(1);
+        let d16 = pipeline_cell(16);
+        assert!(
+            d16.calls_per_sec >= 2.0 * d1.calls_per_sec,
+            "depth 16 {:.0} calls/s vs depth 1 {:.0} calls/s",
+            d16.calls_per_sec,
+            d1.calls_per_sec
+        );
+    }
+
+    #[test]
+    fn violation_fires_when_pipelining_stops_paying() {
+        let flat = |depth: usize| PipelinePoint {
+            depth,
+            calls: 256,
+            elapsed_ms: 100.0,
+            calls_per_sec: 2_560.0,
+        };
+        let report = ScalingReport {
+            calls_per_client: 20,
+            turnaround_us: 2000,
+            biglock: vec![],
+            pooled: vec![],
+            stall_ms: 300,
+            stall_biglock: StallPoint {
+                probe_calls: 5,
+                mean_us: 100,
+                max_us: 200,
+            },
+            stall_pooled: StallPoint {
+                probe_calls: 5,
+                mean_us: 100,
+                max_us: 200,
+            },
+            pipeline: vec![flat(1), flat(16)],
+        };
+        let violations = scaling_violations(&report);
+        assert!(
+            violations.iter().any(|v| v.contains("pipelining")),
+            "{violations:?}"
+        );
     }
 }

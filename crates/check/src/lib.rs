@@ -34,9 +34,10 @@ pub mod schema;
 pub use diag::{Diagnostic, Report, Severity};
 pub use heapcheck::check_heap;
 pub use protocol::{
-    check_reliability_sequence, check_sequence, check_shared_sequence, judge_reply, model_check,
-    Action, ModelCheckConfig, ReliabilityAction, ReplyContext, SharedAction, ADVERSARIAL_ALPHABET,
-    CORE_ALPHABET, RELIABILITY_ALPHABET, SHARED_ALPHABET,
+    check_pipelined_sequence, check_reliability_sequence, check_sequence, check_shared_sequence,
+    judge_reply, model_check, Action, ModelCheckConfig, PipelinedAction, ReliabilityAction,
+    ReplyContext, SharedAction, ADVERSARIAL_ALPHABET, CORE_ALPHABET, PIPELINED_ALPHABET,
+    RELIABILITY_ALPHABET, SHARED_ALPHABET,
 };
 pub use schema::{analyze_registry, diff_registries, fingerprint, fingerprints};
 
@@ -78,6 +79,7 @@ mod tests {
             adversarial_depth: 0,
             reliability_depth: 0,
             shared_depth: 0,
+            pipelined_depth: 0,
             max_errors: 25,
         });
         assert!(!report.has_errors(), "{}", report.render());

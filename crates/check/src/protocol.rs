@@ -55,6 +55,11 @@
 //!   two-connection interleaving on the lock-split shared server, some
 //!   client graph no longer matches its private oracle twin — another
 //!   connection's call leaked into this one's restore.
+//! * `P009` — reply routing broken: with several calls in flight on one
+//!   multiplexed connection (the pipelined model), a reply resolved the
+//!   wrong call — a collected value diverged from that call's private
+//!   oracle, a consumed call id produced a ghost reply, or a call frame
+//!   escaped the connection untagged.
 
 use std::collections::HashSet;
 use std::collections::VecDeque;
@@ -64,8 +69,9 @@ use std::time::Duration;
 
 use nrmi_core::ClientNode;
 use nrmi_core::{
-    client_evict_warm, client_invoke_warm_with_stats, server_handle_warm_call, CallOptions,
-    FnService, NrmiError, ServerNode, WarmCaches,
+    client_apply_reply, client_evict_warm, client_invoke_warm_with_stats, client_marshal_call,
+    server_handle_warm_call, CallOptions, FnService, NrmiError, PassMode, PendingCall, ServerNode,
+    WarmCaches,
 };
 use nrmi_heap::validate::validate;
 use nrmi_heap::{graph, ClassRegistry, Heap, HeapAccess, ObjId, Value};
@@ -281,6 +287,15 @@ impl ServerSide {
                 self.caches.evict(&mut self.server.state.heap, *cache_id);
                 None
             }
+            // Plain (cold) calls: the pipelined model issues copy-restore
+            // `CallRequest`s through the split-phase client API; dispatch
+            // through the serve loop's real step function.
+            Frame::CallRequest { .. } => Some(nrmi_core::dispatch_tagged(
+                &mut self.server,
+                &mut self.caches,
+                &mut NullTransport,
+                frame.clone(),
+            )),
             // The model's graphs never contain stubs, so the client never
             // legitimately falls back to a cold call; anything else here
             // is itself a protocol violation and is answered with an
@@ -1480,6 +1495,403 @@ pub fn check_shared_sequence(actions: &[SharedAction]) -> Report {
 }
 
 // ---------------------------------------------------------------------------
+// The pipelined world: two calls in flight on one multiplexed link
+// ---------------------------------------------------------------------------
+
+/// One action in the pipelined single-connection model: two call slots
+/// (A and B, each owning a private graph) share one
+/// [`ReliableTransport`](nrmi_core::ReliableTransport), and both may be
+/// in flight at once through the split-phase client API
+/// ([`client_marshal_call`] + `send_call`, collected later with
+/// `recv_reply` + [`client_apply_reply`]). The adversary reorders and
+/// drops queued replies; the request map must still route every reply to
+/// the call that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelinedAction {
+    /// Issue a copy-restore call on slot A without collecting it (a
+    /// no-op if A is already in flight).
+    IssueA,
+    /// Issue a call on slot B.
+    IssueB,
+    /// Swap the two oldest queued replies (out-of-order delivery).
+    SwapReplies,
+    /// Discard the oldest queued reply: the collect must retransmit and
+    /// be answered from the reply cache, never re-executed.
+    DropReply,
+    /// Collect slot A's reply and restore its graph. With nothing in
+    /// flight, instead verifies that collecting an already-consumed call
+    /// id yields the typed `NoPendingCall` error — never a panic, never
+    /// a ghost reply.
+    CollectA,
+    /// Collect slot B.
+    CollectB,
+}
+
+/// Every transition of the pipelined reply-routing state machine.
+pub const PIPELINED_ALPHABET: [PipelinedAction; 6] = [
+    PipelinedAction::IssueA,
+    PipelinedAction::IssueB,
+    PipelinedAction::SwapReplies,
+    PipelinedAction::DropReply,
+    PipelinedAction::CollectA,
+    PipelinedAction::CollectB,
+];
+
+/// The reorderable link: synchronous dispatch as in [`ServerSide`], but
+/// an empty queue is a [`TransportError::Timeout`] (the retry loop's
+/// concern, not a deadlock), and the checker permutes or drops queued
+/// replies between actions.
+struct PipeLink(Arc<Mutex<ServerSide>>);
+
+impl Transport for PipeLink {
+    fn send(&mut self, frame: &Frame) -> nrmi_transport::Result<()> {
+        let mut side = self.0.lock().expect("poisoned");
+        if let Some(reply) = side.dispatch(frame) {
+            side.replies.push_back(reply);
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> nrmi_transport::Result<Frame> {
+        self.0
+            .lock()
+            .expect("poisoned")
+            .replies
+            .pop_front()
+            .ok_or(TransportError::Timeout)
+    }
+
+    fn recv_timeout(&mut self, _timeout: Duration) -> nrmi_transport::Result<Frame> {
+        self.recv()
+    }
+}
+
+/// One call slot of the pipelined world: a private three-node tree, its
+/// oracle twin root, and the in-flight state of its current call.
+struct PipeSlot {
+    root: ObjId,
+    twin_root: ObjId,
+    pending: Option<(u64, PendingCall)>,
+    consumed_seq: Option<u64>,
+}
+
+/// Fresh world per pipelined sequence: one client with two disjoint
+/// graphs, the real request-map client over a reorderable link, the real
+/// server + reply cache, and a per-slot oracle twin. Each slot's values
+/// depend on its own history (`data` starts 100 vs 200 and evolves as
+/// `3d+1`), so a reply routed to the wrong call is observable both in
+/// the returned sum and in the restored graph.
+struct PipelinedWorld {
+    client: ClientNode,
+    transport: nrmi_core::ReliableTransport<PipeLink>,
+    side: Arc<Mutex<ServerSide>>,
+    twin: Heap,
+    slots: [PipeSlot; 2],
+    executions: Arc<std::sync::atomic::AtomicUsize>,
+    issued: usize,
+}
+
+impl PipelinedWorld {
+    fn new() -> Self {
+        let mut reg = ClassRegistry::new();
+        reg.define("Node")
+            .field_int("data")
+            .field_ref("left")
+            .field_ref("right")
+            .restorable()
+            .register();
+        let registry = reg.snapshot();
+
+        let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());
+        let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+        let executions = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::clone(&executions);
+        server.bind(
+            SVC,
+            Box::new(FnService::new(move |_method, args, heap| {
+                let root = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("want a root reference"))?;
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                service_logic(heap, root)
+            })),
+        );
+
+        let mut twin = Heap::new(registry.clone());
+        let slot = |client: &mut ClientNode, twin: &mut Heap, seed: i32| -> PipeSlot {
+            let root = build_tree(&mut client.state.heap, &registry);
+            let twin_root = build_tree(twin, &registry);
+            client
+                .state
+                .heap
+                .set_field(root, "data", Value::Int(seed))
+                .expect("seed slot");
+            twin.set_field(twin_root, "data", Value::Int(seed))
+                .expect("seed twin");
+            PipeSlot {
+                root,
+                twin_root,
+                pending: None,
+                consumed_seq: None,
+            }
+        };
+        let slot_a = slot(&mut client, &mut twin, 100);
+        let slot_b = slot(&mut client, &mut twin, 200);
+
+        let side = Arc::new(Mutex::new(ServerSide {
+            server,
+            caches: WarmCaches::new(),
+            replies: VecDeque::new(),
+            faults: FaultFlags::default(),
+        }));
+        // Instant virtual time, as in the reliability model: retries are
+        // bounded by attempts, not wall clock.
+        let policy = nrmi_core::RetryPolicy {
+            deadline: Duration::from_secs(30),
+            attempt_timeout: Duration::from_millis(1),
+            max_attempts: 16,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: false,
+        };
+        let transport =
+            nrmi_core::ReliableTransport::with_nonce(PipeLink(Arc::clone(&side)), policy, 0xF1F0);
+
+        PipelinedWorld {
+            client,
+            transport,
+            side,
+            twin,
+            slots: [slot_a, slot_b],
+            executions,
+            issued: 0,
+        }
+    }
+
+    fn step(&mut self, action: PipelinedAction, report: &mut Report) {
+        match action {
+            PipelinedAction::IssueA => self.do_issue(0, "A", report),
+            PipelinedAction::IssueB => self.do_issue(1, "B", report),
+            PipelinedAction::SwapReplies => {
+                let mut side = self.side.lock().expect("poisoned");
+                if side.replies.len() >= 2 {
+                    side.replies.swap(0, 1);
+                }
+            }
+            PipelinedAction::DropReply => {
+                self.side.lock().expect("poisoned").replies.pop_front();
+            }
+            PipelinedAction::CollectA => self.do_collect(0, "A", report),
+            PipelinedAction::CollectB => self.do_collect(1, "B", report),
+        }
+        self.check_heaps(report);
+        self.check_exactly_once(report);
+    }
+
+    fn do_issue(&mut self, which: usize, who: &str, report: &mut Report) {
+        if self.slots[which].pending.is_some() {
+            return;
+        }
+        let root = self.slots[which].root;
+        let marshalled = client_marshal_call(
+            &mut self.client,
+            SVC,
+            METHOD,
+            &[Value::Ref(root)],
+            CallOptions::forced(PassMode::CopyRestore),
+        );
+        let (frame, pending) = match marshalled {
+            Ok(split) => split,
+            Err(e) => {
+                report.push(Diagnostic::error(
+                    "NRMI-P004",
+                    format!("slot {who}: marshal failed: {e}"),
+                ));
+                return;
+            }
+        };
+        match self.transport.send_call(&frame) {
+            Ok(Some(seq)) => {
+                self.issued += 1;
+                self.slots[which].pending = Some((seq, pending));
+            }
+            Ok(None) => report.push(Diagnostic::error(
+                "NRMI-P009",
+                format!("slot {who}: call frame passed through untagged — its reply can never be demultiplexed"),
+            )),
+            Err(e) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("slot {who}: pipelined issue failed: {e}"),
+            )),
+        }
+    }
+
+    fn do_collect(&mut self, which: usize, who: &str, report: &mut Report) {
+        let Some((seq, pending)) = self.slots[which].pending.take() else {
+            // Nothing in flight: collecting the already-consumed call id
+            // must yield the typed error. (The `expect()` this replaced
+            // panicked here; a ghost reply would mean a neighbor's reply
+            // leaked out of the request map.)
+            if let Some(stale) = self.slots[which].consumed_seq {
+                match self.transport.recv_reply(stale) {
+                    Err(TransportError::NoPendingCall { .. }) => {}
+                    Ok(frame) => report.push(Diagnostic::error(
+                        "NRMI-P009",
+                        format!(
+                            "slot {who}: consumed call {stale} produced a ghost reply {frame:?}"
+                        ),
+                    )),
+                    Err(e) => report.push(Diagnostic::error(
+                        "NRMI-P009",
+                        format!(
+                            "slot {who}: collecting consumed call {stale}: expected the typed \
+                             NoPendingCall error, got {e}"
+                        ),
+                    )),
+                }
+            }
+            return;
+        };
+        let reply = self.transport.recv_reply(seq);
+        self.slots[which].consumed_seq = Some(seq);
+        let payload = match reply {
+            Ok(Frame::CallReply { payload }) => payload,
+            Ok(other) => {
+                report.push(Diagnostic::error(
+                    "NRMI-P009",
+                    format!("slot {who}: call {seq} answered with {other:?}"),
+                ));
+                return;
+            }
+            Err(e) => {
+                report.push(Diagnostic::error(
+                    "NRMI-P004",
+                    format!("slot {who}: collect of call {seq} failed: {e}"),
+                ));
+                return;
+            }
+        };
+        let twin_root = self.slots[which].twin_root;
+        let got = client_apply_reply(&mut self.client, pending, &payload);
+        let want = service_logic(&mut self.twin, twin_root);
+        match (got, want) {
+            (Ok((got, _stats)), Ok(want)) => {
+                if got != want {
+                    report.push(Diagnostic::error(
+                        "NRMI-P009",
+                        format!(
+                            "slot {who}: reply routed to the wrong call: got {got:?}, \
+                             want {want:?}"
+                        ),
+                    ));
+                }
+                match graph::isomorphic(
+                    &self.client.state.heap,
+                    self.slots[which].root,
+                    &self.twin,
+                    twin_root,
+                ) {
+                    Ok(true) => {}
+                    Ok(false) => report.push(Diagnostic::error(
+                        "NRMI-P008",
+                        format!(
+                            "slot {who}: restored graph diverged from its oracle — a \
+                             neighboring in-flight call tore the restore"
+                        ),
+                    )),
+                    Err(e) => report.push(Diagnostic::error(
+                        "NRMI-P008",
+                        format!("slot {who}: isomorphism comparison failed: {e}"),
+                    )),
+                }
+            }
+            (Err(e), _) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("slot {who}: restore failed: {e}"),
+            )),
+            (_, Err(e)) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("local oracle itself failed (checker bug): {e}"),
+            )),
+        }
+    }
+
+    fn check_heaps(&mut self, report: &mut Report) {
+        let side = self.side.lock().expect("poisoned");
+        for (label, code, heap) in [
+            ("client", "NRMI-P001", &self.client.state.heap),
+            ("server", "NRMI-P002", &side.server.state.heap),
+            ("oracle", "NRMI-P001", &self.twin),
+        ] {
+            for v in validate(heap) {
+                report.push(
+                    Diagnostic::error(code, format!("{label} heap corrupted: {v}"))
+                        .with("heap", label),
+                );
+            }
+        }
+    }
+
+    /// Every issued call executes exactly once, at dispatch; replays
+    /// (after a dropped reply's retransmission) never re-execute.
+    fn check_exactly_once(&mut self, report: &mut Report) {
+        let ran = self.executions.load(std::sync::atomic::Ordering::SeqCst);
+        if ran != self.issued {
+            report.push(Diagnostic::error(
+                "NRMI-P007",
+                format!(
+                    "pipelined at-most-once broken: {ran} execution(s) for {} issued call(s)",
+                    self.issued
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs one pipelined action sequence against a fresh world, returning
+/// all violations (panics become `NRMI-P006`).
+pub fn check_pipelined_sequence(actions: &[PipelinedAction]) -> Report {
+    let trace = actions
+        .iter()
+        .map(|a| format!("{a:?}"))
+        .collect::<Vec<_>>()
+        .join(" → ");
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut world = PipelinedWorld::new();
+        let mut report = Report::new();
+        for (i, &action) in actions.iter().enumerate() {
+            world.step(action, &mut report);
+            if report.has_errors() {
+                return (report, Some(i));
+            }
+        }
+        (report, None)
+    }));
+    match outcome {
+        Ok((mut report, failed_at)) => {
+            if let Some(i) = failed_at {
+                report = report
+                    .diagnostics()
+                    .iter()
+                    .cloned()
+                    .map(|d| d.with("trace", &trace).with("failed_at_step", i))
+                    .collect();
+            }
+            report
+        }
+        Err(payload) => {
+            let msg = panic_message(&payload);
+            let mut report = Report::new();
+            report.push(
+                Diagnostic::error("NRMI-P006", format!("sequence panicked: {msg}"))
+                    .with("trace", &trace),
+            );
+            report
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Enumeration
 // ---------------------------------------------------------------------------
 
@@ -1496,6 +1908,9 @@ pub struct ModelCheckConfig {
     /// Exhaustive depth over [`SHARED_ALPHABET`] (two connections
     /// interleaved on one lock-split server).
     pub shared_depth: usize,
+    /// Exhaustive depth over [`PIPELINED_ALPHABET`] (two calls in flight
+    /// on one multiplexed connection, replies reordered and dropped).
+    pub pipelined_depth: usize,
     /// Stop after this many error diagnostics (a broken invariant tends
     /// to fail thousands of sequences identically).
     pub max_errors: usize,
@@ -1505,13 +1920,15 @@ impl Default for ModelCheckConfig {
     fn default() -> Self {
         // Depth 6 over the 6-action core alphabet: 46_656 sequences,
         // ~280k protocol actions; plus 9^4 = 6_561 adversarial sequences,
-        // 6^4 = 1_296 reliability sequences, and 6^5 = 7_776
-        // two-connection shared-server sequences.
+        // 6^4 = 1_296 reliability sequences, 6^5 = 7_776 two-connection
+        // shared-server sequences, and 6^4 = 1_296 pipelined
+        // reply-routing sequences.
         ModelCheckConfig {
             core_depth: 6,
             adversarial_depth: 4,
             reliability_depth: 4,
             shared_depth: 5,
+            pipelined_depth: 4,
             max_errors: 25,
         }
     }
@@ -1622,6 +2039,14 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             &mut count,
             check_shared_sequence,
         );
+        enumerate(
+            &PIPELINED_ALPHABET[..],
+            cfg.pipelined_depth,
+            cfg.max_errors,
+            &mut inner,
+            &mut count,
+            check_pipelined_sequence,
+        );
         (inner, count)
     }));
     std::panic::set_hook(prev_hook);
@@ -1644,8 +2069,12 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             format!(
                 "protocol enumeration explored {sequences} sequences \
                  (core depth {}, adversarial depth {}, reliability depth {}, \
-                 shared depth {}): {errors} violation(s)",
-                cfg.core_depth, cfg.adversarial_depth, cfg.reliability_depth, cfg.shared_depth
+                 shared depth {}, pipelined depth {}): {errors} violation(s)",
+                cfg.core_depth,
+                cfg.adversarial_depth,
+                cfg.reliability_depth,
+                cfg.shared_depth,
+                cfg.pipelined_depth
             ),
         )
         .with("sequences", sequences),
@@ -1744,6 +2173,7 @@ mod tests {
             adversarial_depth: 2,
             reliability_depth: 2,
             shared_depth: 3,
+            pipelined_depth: 3,
             max_errors: 25,
         });
         assert!(!report.has_errors(), "{}", report.render());
@@ -1809,6 +2239,66 @@ mod tests {
                 report.render()
             );
         }
+    }
+
+    #[test]
+    fn pipelined_reply_routing_sequences_are_clean() {
+        use PipelinedAction as P;
+        for seq in [
+            // Plain pipelining: two in flight, collected in issue order.
+            vec![P::IssueA, P::IssueB, P::CollectA, P::CollectB],
+            // Collected in reverse: the demux resolves B first and
+            // parks A's reply for its later collect.
+            vec![P::IssueA, P::IssueB, P::CollectB, P::CollectA],
+            // Replies cross on the wire: routing must follow call ids,
+            // not arrival order.
+            vec![
+                P::IssueA,
+                P::IssueB,
+                P::SwapReplies,
+                P::CollectA,
+                P::CollectB,
+            ],
+            // A's reply is lost: its collect retransmits and replays
+            // from the cache while B's reply sits queued behind it.
+            vec![P::IssueA, P::IssueB, P::DropReply, P::CollectA, P::CollectB],
+            // Collect with nothing in flight: the typed NoPendingCall
+            // error, not a panic (the regression the satellite fixed).
+            vec![P::IssueA, P::CollectA, P::CollectA],
+            // Back-to-back rounds reuse the slots with evolved values.
+            vec![
+                P::IssueA,
+                P::CollectA,
+                P::IssueB,
+                P::IssueA,
+                P::SwapReplies,
+                P::CollectA,
+                P::CollectB,
+            ],
+        ] {
+            let report = check_pipelined_sequence(&seq);
+            assert!(
+                !report.has_errors(),
+                "sequence {seq:?} failed:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_world_counts_one_execution_per_issued_call() {
+        use PipelinedAction as P;
+        let mut world = PipelinedWorld::new();
+        let mut report = Report::new();
+        for action in [P::IssueA, P::IssueB, P::DropReply, P::CollectA, P::CollectB] {
+            world.step(action, &mut report);
+        }
+        assert!(!report.has_errors(), "{}", report.render());
+        assert_eq!(
+            world.executions.load(std::sync::atomic::Ordering::SeqCst),
+            2,
+            "the dropped reply's retransmission must replay, not re-execute"
+        );
     }
 
     #[test]

@@ -78,8 +78,9 @@ pub use interface::{InterfaceDef, MethodSig, ParamType, TypedService};
 pub use node::{ClientNode, NodeHooks, NodeState, ServerNode};
 pub use profile::{CostModel, JdkGeneration, NrmiFlavor, RuntimeProfile};
 pub use protocol::{
-    client_invoke, client_invoke_on_object_with_stats, client_invoke_with_stats, serve_connection,
-    serve_connection_shared, CallStats,
+    client_apply_reply, client_invoke, client_invoke_on_object_with_stats, client_invoke_pipelined,
+    client_invoke_with_stats, client_marshal_call, dispatch_tagged, serve_connection,
+    serve_connection_shared, CallStats, PendingCall, PipelinedCall,
 };
 pub use proxy::{handle_callback, ProxyStats, RemoteHeapProxy};
 pub use reliable::{

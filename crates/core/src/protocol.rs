@@ -179,6 +179,65 @@ fn client_invoke_target(
     args: &[Value],
     opts: CallOptions,
 ) -> Result<(Value, CallStats), NrmiError> {
+    let (request, mut pending) = client_marshal_target(client, target, method, args, opts)?;
+    transport.send(&request)?;
+    let reply_payload = client_collect_reply(
+        client,
+        transport,
+        opts.timeout,
+        &mut pending.stats.callbacks_served,
+    )?;
+    client_apply_reply(client, pending, &reply_payload)
+}
+
+/// The client half of a call between marshal and restore: the linear
+/// map and options [`client_apply_reply`] needs to translate the reply
+/// payload back into the caller's heap.
+///
+/// Produced by [`client_marshal_call`]; between the two phases the
+/// caller owns delivery — send the request frame, collect the matching
+/// reply payload — which is what lets several calls share one
+/// connection in flight at once (see [`client_invoke_pipelined`] and
+/// `ReliableTransport::send_call`/`recv_reply`).
+#[derive(Debug)]
+pub struct PendingCall {
+    client_map: LinearMap,
+    remote_ref: bool,
+    opts: CallOptions,
+    stats: CallStats,
+}
+
+impl PendingCall {
+    /// The options the call was marshalled with.
+    pub fn opts(&self) -> CallOptions {
+        self.opts
+    }
+}
+
+/// Marshals `service.method(args)` into a sendable [`Frame`] plus the
+/// [`PendingCall`] state needed to apply its reply — the split-phase
+/// form of [`client_invoke_with_stats`]. The caller delivers the frame
+/// and hands the reply payload to [`client_apply_reply`].
+///
+/// # Errors
+/// Marshalling failures and invalid option combinations.
+pub fn client_marshal_call(
+    client: &mut ClientNode,
+    service: &str,
+    method: &str,
+    args: &[Value],
+    opts: CallOptions,
+) -> Result<(Frame, PendingCall), NrmiError> {
+    client_marshal_target(client, CallTarget::Named(service), method, args, opts)
+}
+
+fn client_marshal_target(
+    client: &mut ClientNode,
+    target: CallTarget<'_>,
+    method: &str,
+    args: &[Value],
+    opts: CallOptions,
+) -> Result<(Frame, PendingCall), NrmiError> {
     // Delta replies encode "everything the server changed", which is
     // full copy-restore semantics; combining the flag with DCE's partial
     // restore or remote-ref's no-copy mode would silently change meaning.
@@ -196,7 +255,6 @@ fn client_invoke_target(
     let cost = state.profile.cost();
     let mut stats = CallStats::default();
 
-    // --- Marshal the request -------------------------------------------
     let registry = state.heap.registry_handle().clone();
     let remote_ref_mode = opts.mode_override == Some(PassMode::RemoteRef);
 
@@ -249,20 +307,38 @@ fn client_invoke_target(
             payload,
         },
     };
-    transport.send(&request)?;
+    Ok((
+        request,
+        PendingCall {
+            client_map,
+            remote_ref: remote_ref_mode,
+            opts,
+            stats,
+        },
+    ))
+}
 
-    // --- Serve callbacks until the reply arrives ------------------------
-    let reply_payload = loop {
-        let frame = match opts.timeout {
+/// Receives frames until the call's reply payload arrives, serving
+/// remote-pointer callbacks on the way (the client's receive loop
+/// doubles as the callback server).
+fn client_collect_reply(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    timeout: Option<std::time::Duration>,
+    callbacks_served: &mut u64,
+) -> Result<Vec<u8>, NrmiError> {
+    let state = &mut client.state;
+    loop {
+        let frame = match timeout {
             Some(deadline) => transport.recv_timeout(deadline)?,
             None => transport.recv()?,
         };
         match frame {
-            Frame::CallReply { payload } => break payload,
+            Frame::CallReply { payload } => return Ok(payload),
             Frame::CallError { message } => return Err(NrmiError::Remote(message)),
             other => match handle_callback(state, &other) {
                 Some(reply) => {
-                    stats.callbacks_served += 1;
+                    *callbacks_served += 1;
                     transport.send(&reply)?;
                 }
                 None => {
@@ -272,12 +348,32 @@ fn client_invoke_target(
                 }
             },
         }
-    };
+    }
+}
+
+/// Applies a reply payload to the caller's heap — unmarshal, match
+/// against the linear map, restore in place (steps 4–6) — completing a
+/// call begun with [`client_marshal_call`].
+///
+/// # Errors
+/// Unmarshalling, protocol, and restore failures.
+pub fn client_apply_reply(
+    client: &mut ClientNode,
+    pending: PendingCall,
+    reply_payload: &[u8],
+) -> Result<(Value, CallStats), NrmiError> {
+    let PendingCall {
+        client_map,
+        remote_ref,
+        opts,
+        mut stats,
+    } = pending;
+    let state = &mut client.state;
+    let cost = state.profile.cost();
     stats.reply_bytes = reply_payload.len();
 
-    // --- Unmarshal the reply and restore --------------------------------
-    if remote_ref_mode {
-        let rvals = decode_rvals(&reply_payload)?;
+    if remote_ref {
+        let rvals = decode_rvals(reply_payload)?;
         let ret = rvals
             .first()
             .ok_or_else(|| NrmiError::Protocol("empty remote-ref reply".into()))?;
@@ -290,7 +386,7 @@ fn client_invoke_target(
         // implicit in delta application. (A reply starting with the
         // graph magic instead means the server fell back to a full
         // reply; the ordinary path below handles it.)
-        let applied = apply_delta(&reply_payload, &mut state.heap, client_map.order())?;
+        let applied = apply_delta(reply_payload, &mut state.heap, client_map.order())?;
         stats.restored_objects = applied.changed_count;
         stats.new_objects = applied.new_objects.len();
         state.charge_cpu(
@@ -309,7 +405,7 @@ fn client_invoke_target(
     // Full reply: deserialize (rebuilding the reply-side linear map in
     // the same pass), then run steps 4–6.
     let mut hooks = NodeHooks::new(&mut state.exports, &mut state.stubs);
-    let decoded = deserialize_graph_with(&reply_payload, &mut state.heap, &mut hooks)?;
+    let decoded = deserialize_graph_with(reply_payload, &mut state.heap, &mut hooks)?;
     stats.reply_objects = decoded.object_count();
     state.charge_cpu(
         decoded.object_count() as f64 * cost.de_per_obj_us
@@ -327,6 +423,112 @@ fn client_invoke_target(
         .cloned()
         .ok_or_else(|| NrmiError::Protocol("empty reply".into()))?;
     Ok((ret, stats))
+}
+
+/// One named-service call in a pipelined batch (see
+/// [`client_invoke_pipelined`]).
+#[derive(Clone, Debug)]
+pub struct PipelinedCall {
+    service: String,
+    method: String,
+    args: Vec<Value>,
+    opts: CallOptions,
+}
+
+impl PipelinedCall {
+    /// A call with default (marker-driven) options.
+    pub fn new(service: impl Into<String>, method: impl Into<String>, args: Vec<Value>) -> Self {
+        PipelinedCall::with_opts(service, method, args, CallOptions::default())
+    }
+
+    /// A call with explicit options. Remote-reference mode is rejected
+    /// at invoke time: its mid-call callbacks interleave with the reply
+    /// stream and cannot share the connection with other calls.
+    pub fn with_opts(
+        service: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<Value>,
+        opts: CallOptions,
+    ) -> Self {
+        PipelinedCall {
+            service: service.into(),
+            method: method.into(),
+            args,
+            opts,
+        }
+    }
+}
+
+/// Invokes a batch of calls over one connection with every request on
+/// the wire before the first reply is collected — pipelining: one
+/// round-trip's latency is paid once for the whole batch instead of
+/// once per call.
+///
+/// Replies are collected in issue order. Over a plain transport that is
+/// also wire order (in-order serve loops); over a `ReliableTransport`
+/// each reply is routed by call id, so a pipelined server may answer
+/// out of order and each call still gets its own. Per-call failures —
+/// a remote exception, a per-call deadline — land in that call's slot
+/// without abandoning the rest of the batch.
+///
+/// # Errors
+/// Whole-batch failures only: a remote-reference call in the batch
+/// ([`NrmiError::InvalidArgument`]), marshalling failures, and
+/// connection-fatal transport errors. Everything per-call comes back in
+/// the result vector.
+pub fn client_invoke_pipelined(
+    client: &mut ClientNode,
+    transport: &mut dyn Transport,
+    calls: &[PipelinedCall],
+) -> Result<Vec<Result<Value, NrmiError>>, NrmiError> {
+    for call in calls {
+        if call.opts.mode_override == Some(PassMode::RemoteRef) {
+            return Err(NrmiError::InvalidArgument(
+                "remote-reference calls cannot be pipelined: their mid-call callbacks \
+                 interleave with the reply stream"
+                    .into(),
+            ));
+        }
+    }
+    // Marshal the whole batch first (so a bad call poisons nothing),
+    // then put every request on the wire before collecting any reply.
+    let mut marshalled = Vec::with_capacity(calls.len());
+    for call in calls {
+        marshalled.push(client_marshal_target(
+            client,
+            CallTarget::Named(&call.service),
+            &call.method,
+            &call.args,
+            call.opts,
+        )?);
+    }
+    let mut pendings = Vec::with_capacity(marshalled.len());
+    for (frame, pending) in marshalled {
+        transport.send(&frame)?;
+        pendings.push(pending);
+    }
+    let mut results = Vec::with_capacity(pendings.len());
+    for mut pending in pendings {
+        let timeout = pending.opts.timeout;
+        match client_collect_reply(
+            client,
+            transport,
+            timeout,
+            &mut pending.stats.callbacks_served,
+        ) {
+            Ok(payload) => {
+                results.push(client_apply_reply(client, pending, &payload).map(|(v, _)| v));
+            }
+            // This call's failure, not the connection's: record it in
+            // its slot and keep collecting the rest.
+            Err(e @ NrmiError::Remote(_)) => results.push(Err(e)),
+            Err(NrmiError::Transport(e @ TransportError::DeadlineExceeded { .. })) => {
+                results.push(Err(NrmiError::Transport(e)));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(results)
 }
 
 /// Handles one `CallRequest` on the server. Returns the reply frame
@@ -586,7 +788,11 @@ fn server_handle_call_inner(
 /// returns its reply frame. Only call frames may travel tagged; anything
 /// else is a protocol error answered in-band so the client's retry loop
 /// terminates instead of retransmitting forever.
-pub(crate) fn dispatch_tagged(
+///
+/// Public as the single-frame step function of the serve loop: protocol
+/// tooling (the `nrmi-check` model checker) dispatches frames one at a
+/// time through it, with full control over reply ordering.
+pub fn dispatch_tagged(
     server: &mut ServerNode,
     warm: &mut crate::warm::WarmCaches,
     transport: &mut dyn Transport,

@@ -178,10 +178,9 @@ pub struct RetryStats {
     pub deadline_failures: u64,
 }
 
-/// The request currently awaiting its reply.
+/// One request awaiting its reply.
 #[derive(Debug)]
 struct InFlight {
-    seq: u64,
     /// The full `Tagged` envelope, kept verbatim for retransmission.
     request: Frame,
     deadline: Instant,
@@ -189,29 +188,61 @@ struct InFlight {
     /// True when the last send failed (or timed out) and the request
     /// must be retransmitted before waiting again.
     needs_send: bool,
+    /// Earliest instant a pending retransmission may go out (backoff).
+    next_send: Instant,
+    /// When the request last reached the wire (drives the attempt
+    /// window).
+    last_sent: Instant,
+}
+
+/// A resolved call whose reply has not been collected yet.
+#[derive(Debug)]
+enum Outcome {
+    Reply(Frame),
+    Deadline { attempts: u32 },
 }
 
 /// A [`Transport`] decorator that makes every call at-most-once with a
-/// deadline.
+/// deadline — and multiplexes any number of concurrent calls over one
+/// connection.
 ///
 /// Call frames (`CallRequest`, `CallObject`, `CallRequestWarm`) are
-/// stamped with a call id on send; `recv`/`recv_timeout` then run the
-/// retry loop — retransmitting on timeout, reconnecting on disconnect,
-/// discarding stale replies — until the matching reply arrives or the
-/// deadline passes. A `recv_timeout` whose window closes while the call
-/// still has budget returns [`TransportError::Timeout`] with the call
-/// kept in flight — a recoverable poll; the next `recv` resumes it.
-/// Only the call's own deadline or attempt budget yields
-/// [`TransportError::DeadlineExceeded`], which abandons the call. All
-/// other frames (callback replies, lookups, shutdown, DGC) pass through
-/// untouched, so the decorated transport drops into every existing
-/// client path unchanged.
+/// stamped with a call id on send and entered into a request map keyed
+/// by seq; the receive path is a demux that routes every incoming
+/// `Tagged`/[`Frame::ReplyCached`] envelope to the matching pending
+/// call, so N calls can be in flight at once ([`send_call`] issues,
+/// [`recv_reply`] collects a specific one, out of order). Per-call
+/// deadlines, attempt windows, capped backoff, and transparent
+/// reconnect are preserved per entry in the map.
+///
+/// `recv`/`recv_timeout` keep their historical single-call contract:
+/// they collect the *oldest* uncollected call. A `recv_timeout` whose
+/// window closes while the call still has budget returns
+/// [`TransportError::Timeout`] with the call kept in flight — a
+/// recoverable poll; the next `recv` resumes it. Only a call's own
+/// deadline or attempt budget yields
+/// [`TransportError::DeadlineExceeded`], which abandons that call (and
+/// only that call). Asking for a reply no call is pending — or one
+/// already consumed — is a typed [`TransportError::NoPendingCall`]
+/// error, never a panic. All other frames (callback replies, lookups,
+/// shutdown, DGC) pass through untouched, so the decorated transport
+/// drops into every existing client path unchanged.
+///
+/// [`send_call`]: ReliableTransport::send_call
+/// [`recv_reply`]: ReliableTransport::recv_reply
 pub struct ReliableTransport<T> {
     inner: T,
     policy: RetryPolicy,
     nonce: u64,
     next_seq: u64,
-    in_flight: Option<InFlight>,
+    /// Requests still awaiting a reply, keyed by seq.
+    pending: HashMap<u64, InFlight>,
+    /// Issue order of every call not yet collected (pending or
+    /// completed) — what plain `recv` walks.
+    order: VecDeque<u64>,
+    /// Replies (and per-call deadline failures) that resolved while the
+    /// caller was waiting on a different seq.
+    completed: HashMap<u64, Outcome>,
     rng: u64,
     stats: RetryStats,
 }
@@ -230,15 +261,7 @@ impl<T: Transport> ReliableTransport<T> {
     /// Wraps `inner` with a fresh session nonce.
     pub fn new(inner: T, policy: RetryPolicy) -> Self {
         let nonce = fresh_nonce();
-        ReliableTransport {
-            inner,
-            policy,
-            nonce,
-            next_seq: 0,
-            in_flight: None,
-            rng: nonce | 1,
-            stats: RetryStats::default(),
-        }
+        ReliableTransport::with_nonce(inner, policy, nonce)
     }
 
     /// Wraps `inner` with an explicit nonce (deterministic tests and the
@@ -249,7 +272,9 @@ impl<T: Transport> ReliableTransport<T> {
             policy,
             nonce,
             next_seq: 0,
-            in_flight: None,
+            pending: HashMap::new(),
+            order: VecDeque::new(),
+            completed: HashMap::new(),
             rng: nonce | 1,
             stats: RetryStats::default(),
         }
@@ -282,132 +307,282 @@ impl<T: Transport> ReliableTransport<T> {
         )
     }
 
-    /// Runs the retry loop until the in-flight call resolves. `extra`
-    /// is a caller-side `recv_timeout` poll window: when it closes
-    /// before the call's own budget does, the loop returns a
-    /// recoverable [`TransportError::Timeout`] with the call still in
-    /// flight, so a later `recv` resumes it. Only the call deadline and
-    /// the attempt budget produce [`TransportError::DeadlineExceeded`]
-    /// (which abandons the call).
-    fn recv_reliable(&mut self, extra: Option<Duration>) -> Result<Frame, TransportError> {
-        let (deadline, seq) = {
-            let fl = self.in_flight.as_ref().expect("in-flight call");
-            (fl.deadline, fl.seq)
+    /// Sends a frame, tagging call frames with a fresh call id and
+    /// entering them into the request map. Returns the call's seq
+    /// (collect it with [`recv_reply`](ReliableTransport::recv_reply)),
+    /// or `None` for non-call traffic, which passes through untagged.
+    ///
+    /// Any number of calls may be outstanding at once; this is the
+    /// pipelined issue path. A `Disconnected` on the initial send is
+    /// absorbed (reconnect, then retransmit from the receive loop), the
+    /// same as every later attempt.
+    ///
+    /// # Errors
+    /// Connection-fatal send errors (not `Disconnected`); the call is
+    /// not entered into the map.
+    pub fn send_call(&mut self, frame: &Frame) -> Result<Option<u64>, TransportError> {
+        if !Self::is_call(frame) {
+            self.inner.send(frame)?;
+            return Ok(None);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let request = Frame::Tagged {
+            nonce: self.nonce,
+            seq,
+            frame: Box::new(frame.clone()),
         };
-        let poll_deadline = extra.map(|t| Instant::now() + t);
-        loop {
-            let fl = self.in_flight.as_mut().expect("in-flight call");
-            if fl.needs_send {
-                if fl.attempts >= self.policy.max_attempts {
-                    return self.fail_deadline();
+        self.stats.calls += 1;
+        let now = Instant::now();
+        let mut fl = InFlight {
+            request,
+            deadline: now + self.policy.deadline,
+            attempts: 1,
+            needs_send: false,
+            next_send: now,
+            last_sent: now,
+        };
+        match self.inner.send(&fl.request) {
+            Ok(()) => {}
+            Err(TransportError::Disconnected) => {
+                // Defer to the receive loop: reconnect here and
+                // retransmit there. The caller always follows a call
+                // send with a receive.
+                if matches!(self.inner.reconnect(), Ok(true)) {
+                    self.stats.reconnects += 1;
                 }
                 let pause = self.policy.backoff(fl.attempts, &mut self.rng);
-                let now = Instant::now();
-                if now + pause >= deadline {
-                    return self.fail_deadline();
-                }
-                if poll_deadline.is_some_and(|p| now + pause >= p) {
-                    // The caller's poll window closed; the retransmit
-                    // (needs_send stays set) happens on the next recv.
-                    return Err(TransportError::Timeout);
-                }
-                if !pause.is_zero() {
-                    std::thread::sleep(pause);
-                }
-                let fl = self.in_flight.as_mut().expect("in-flight call");
-                fl.attempts += 1;
-                if fl.attempts > 1 {
-                    self.stats.retries += 1;
-                }
-                let request = fl.request.clone();
-                match self.inner.send(&request) {
-                    Ok(()) => {
-                        self.in_flight.as_mut().expect("in-flight call").needs_send = false;
+                fl.needs_send = true;
+                fl.next_send = now + pause;
+            }
+            Err(e) => return Err(e),
+        }
+        self.pending.insert(seq, fl);
+        self.order.push_back(seq);
+        Ok(Some(seq))
+    }
+
+    /// Calls issued and not yet collected (pending or already resolved
+    /// and waiting for their [`recv_reply`](ReliableTransport::recv_reply)).
+    pub fn pending_calls(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Blocks until the call issued as `seq` resolves, running the
+    /// retry machinery for *every* pending call while it waits: replies
+    /// for other calls are routed to their map entries (collected later,
+    /// out of order), retransmissions go out when any call's attempt
+    /// window lapses, and a call that exhausts its budget resolves to a
+    /// per-call [`TransportError::DeadlineExceeded`] without disturbing
+    /// its neighbors.
+    ///
+    /// # Errors
+    /// [`TransportError::NoPendingCall`] if `seq` was never issued or
+    /// its reply was already consumed; per-call deadline errors;
+    /// connection-fatal transport errors (which abandon all pending
+    /// calls).
+    pub fn recv_reply(&mut self, seq: u64) -> Result<Frame, TransportError> {
+        self.recv_reply_inner(seq, None)
+    }
+
+    /// [`recv_reply`](ReliableTransport::recv_reply) with a caller-side
+    /// poll window: when it closes first, returns a recoverable
+    /// [`TransportError::Timeout`] with the call still in flight.
+    ///
+    /// # Errors
+    /// As [`recv_reply`](ReliableTransport::recv_reply), plus
+    /// [`TransportError::Timeout`] when the window closes.
+    pub fn recv_reply_timeout(
+        &mut self,
+        seq: u64,
+        timeout: Duration,
+    ) -> Result<Frame, TransportError> {
+        self.recv_reply_inner(seq, Some(timeout))
+    }
+
+    /// The demux loop behind [`recv_reply`](ReliableTransport::recv_reply):
+    /// waits for `seq` while pumping sends and routing every incoming
+    /// envelope to its map entry. Returns mid-call callback frames
+    /// (non-envelope traffic) to the caller, who answers them and calls
+    /// again.
+    fn recv_reply_inner(
+        &mut self,
+        seq: u64,
+        extra: Option<Duration>,
+    ) -> Result<Frame, TransportError> {
+        let poll_deadline = extra.map(|t| Instant::now() + t);
+        loop {
+            if let Some(outcome) = self.completed.remove(&seq) {
+                self.order.retain(|&s| s != seq);
+                return match outcome {
+                    Outcome::Reply(frame) => Ok(frame),
+                    Outcome::Deadline { attempts } => {
+                        Err(TransportError::DeadlineExceeded { attempts })
                     }
-                    Err(TransportError::Disconnected) => {
-                        if matches!(self.inner.reconnect(), Ok(true)) {
-                            self.stats.reconnects += 1;
-                        }
-                        // Still needs_send: the next iteration retries
-                        // (bounded by max_attempts / the deadline).
-                    }
-                    Err(e) => {
-                        self.in_flight = None;
-                        return Err(e);
-                    }
-                }
-                continue;
+                };
+            }
+            if !self.pending.contains_key(&seq) {
+                return Err(TransportError::NoPendingCall { seq: Some(seq) });
             }
             let now = Instant::now();
-            if now >= deadline {
-                return self.fail_deadline();
+            self.pump_sends(now)?;
+            if self.completed.contains_key(&seq) || !self.pending.contains_key(&seq) {
+                continue;
             }
             if poll_deadline.is_some_and(|p| now >= p) {
+                // The caller's poll window closed; this is the caller's
+                // timeout, not the server's — every call stays in
+                // flight, resumable by a later receive.
                 return Err(TransportError::Timeout);
             }
-            let mut wait = self.policy.attempt_timeout.min(deadline - now);
-            if let Some(p) = poll_deadline {
-                wait = wait.min(p - now);
-            }
+            let wait = self.next_wait(now, poll_deadline);
             match self.inner.recv_timeout(wait) {
                 Ok(Frame::Tagged {
                     nonce,
                     seq: rseq,
                     frame,
-                }) => {
-                    if nonce == self.nonce && rseq == seq {
-                        self.in_flight = None;
-                        return Ok(*frame);
-                    }
-                    self.stats.stale_discarded += 1;
-                }
+                }) => self.route_reply(nonce, rseq, *frame, false),
                 Ok(Frame::ReplyCached {
                     nonce,
                     seq: rseq,
                     frame,
-                }) => {
-                    if nonce == self.nonce && rseq == seq {
-                        self.in_flight = None;
-                        self.stats.replays += 1;
-                        return Ok(*frame);
-                    }
-                    self.stats.stale_discarded += 1;
-                }
+                }) => self.route_reply(nonce, rseq, *frame, true),
                 // A mid-call frame from the server (remote-pointer
                 // callback): hand it up; the caller's loop answers it
                 // through us and keeps waiting.
                 Ok(other) => return Ok(other),
-                Err(TransportError::Timeout) => {
-                    // Poll window closing is the caller's timeout, not
-                    // the server's: leave the call waiting (no
-                    // retransmission) and report it recoverable.
-                    if poll_deadline.is_some_and(|p| Instant::now() >= p) {
-                        return Err(TransportError::Timeout);
-                    }
-                    self.in_flight.as_mut().expect("in-flight call").needs_send = true;
-                }
+                // Quiet window: the next pump_sends marks and
+                // retransmits whatever lapsed.
+                Err(TransportError::Timeout) => {}
                 Err(TransportError::Disconnected) => {
                     if matches!(self.inner.reconnect(), Ok(true)) {
                         self.stats.reconnects += 1;
                     }
-                    self.in_flight.as_mut().expect("in-flight call").needs_send = true;
+                    // A lost connection loses every unanswered request:
+                    // queue them all for retransmission.
+                    let now = Instant::now();
+                    for fl in self.pending.values_mut() {
+                        fl.needs_send = true;
+                        fl.next_send = now;
+                    }
                 }
-                Err(e) => {
-                    self.in_flight = None;
-                    return Err(e);
-                }
+                Err(e) => return self.fail_all(e),
             }
         }
     }
 
-    fn fail_deadline(&mut self) -> Result<Frame, TransportError> {
-        let attempts = self
-            .in_flight
-            .take()
-            .map(|fl| fl.attempts)
-            .unwrap_or_default();
-        self.stats.deadline_failures += 1;
-        Err(TransportError::DeadlineExceeded { attempts })
+    /// Walks every pending call once: marks lapsed attempt windows for
+    /// retransmission, resolves calls that exhausted their deadline or
+    /// attempt budget into per-call failures, and puts due
+    /// retransmissions on the wire (issue order).
+    ///
+    /// # Errors
+    /// Connection-fatal send errors, which abandon all pending calls.
+    fn pump_sends(&mut self, now: Instant) -> Result<(), TransportError> {
+        let seqs: Vec<u64> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|s| self.pending.contains_key(s))
+            .collect();
+        for seq in seqs {
+            let Some(mut fl) = self.pending.remove(&seq) else {
+                continue;
+            };
+            if !fl.needs_send && now.duration_since(fl.last_sent) >= self.policy.attempt_timeout {
+                fl.needs_send = true;
+                fl.next_send = now + self.policy.backoff(fl.attempts, &mut self.rng);
+            }
+            let exhausted = now >= fl.deadline
+                || (fl.needs_send
+                    && (fl.attempts >= self.policy.max_attempts || fl.next_send >= fl.deadline));
+            if exhausted {
+                self.stats.deadline_failures += 1;
+                self.completed.insert(
+                    seq,
+                    Outcome::Deadline {
+                        attempts: fl.attempts,
+                    },
+                );
+                continue;
+            }
+            if fl.needs_send && now >= fl.next_send {
+                fl.attempts += 1;
+                if fl.attempts > 1 {
+                    self.stats.retries += 1;
+                }
+                match self.inner.send(&fl.request) {
+                    Ok(()) => {
+                        fl.needs_send = false;
+                        fl.last_sent = now;
+                    }
+                    Err(TransportError::Disconnected) => {
+                        if matches!(self.inner.reconnect(), Ok(true)) {
+                            self.stats.reconnects += 1;
+                        }
+                        // Still needs_send: the next pump retries after
+                        // a backoff (bounded by max_attempts and the
+                        // deadline).
+                        fl.next_send = now + self.policy.backoff(fl.attempts, &mut self.rng);
+                    }
+                    Err(e) => {
+                        self.pending.insert(seq, fl);
+                        return self.fail_all(e).map(|_| ());
+                    }
+                }
+            }
+            self.pending.insert(seq, fl);
+        }
+        Ok(())
+    }
+
+    /// A connection-fatal error: every pending call is lost. Resolved
+    /// outcomes already in `completed` stay collectable.
+    fn fail_all(&mut self, e: TransportError) -> Result<Frame, TransportError> {
+        self.pending.clear();
+        let completed = &self.completed;
+        self.order.retain(|s| completed.contains_key(s));
+        Err(e)
+    }
+
+    /// Routes an incoming reply envelope to its map entry; anything not
+    /// matching a pending call (wrong nonce, abandoned or already
+    /// resolved seq) is a stale late arrival and is discarded.
+    fn route_reply(&mut self, nonce: u64, rseq: u64, frame: Frame, cached: bool) {
+        if nonce != self.nonce || !self.pending.contains_key(&rseq) {
+            self.stats.stale_discarded += 1;
+            return;
+        }
+        self.pending.remove(&rseq);
+        if cached {
+            self.stats.replays += 1;
+        }
+        self.completed.insert(rseq, Outcome::Reply(frame));
+    }
+
+    /// How long the demux may block in `recv_timeout` before something
+    /// needs attention: the earliest pending retransmission, attempt
+    /// window, or deadline — capped by the caller's poll window.
+    fn next_wait(&self, now: Instant, poll_deadline: Option<Instant>) -> Duration {
+        let mut earliest: Option<Instant> = poll_deadline;
+        for fl in self.pending.values() {
+            let event = if fl.needs_send {
+                fl.next_send
+            } else {
+                fl.last_sent + self.policy.attempt_timeout
+            };
+            let event = event.min(fl.deadline);
+            earliest = Some(match earliest {
+                Some(e) => e.min(event),
+                None => event,
+            });
+        }
+        let wait = earliest
+            .map(|e| e.saturating_duration_since(now))
+            .unwrap_or(self.policy.attempt_timeout);
+        // Floor so a just-elapsed event cannot spin recv_timeout(0);
+        // the next pump resolves it.
+        wait.max(Duration::from_millis(1))
     }
 
     /// Passthrough receive for non-call traffic, discarding stale
@@ -437,56 +612,24 @@ impl<T: Transport> ReliableTransport<T> {
 
 impl<T: Transport> Transport for ReliableTransport<T> {
     fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
-        if !Self::is_call(frame) {
-            return self.inner.send(frame);
-        }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let request = Frame::Tagged {
-            nonce: self.nonce,
-            seq,
-            frame: Box::new(frame.clone()),
-        };
-        self.stats.calls += 1;
-        self.in_flight = Some(InFlight {
-            seq,
-            request: request.clone(),
-            deadline: Instant::now() + self.policy.deadline,
-            attempts: 1,
-            needs_send: false,
-        });
-        match self.inner.send(&request) {
-            Ok(()) => Ok(()),
-            Err(TransportError::Disconnected) => {
-                // Defer to the receive loop: reconnect there and
-                // retransmit. The caller always follows a call send
-                // with a receive.
-                if matches!(self.inner.reconnect(), Ok(true)) {
-                    self.stats.reconnects += 1;
-                }
-                self.in_flight.as_mut().expect("just set").needs_send = true;
-                Ok(())
-            }
-            Err(e) => {
-                self.in_flight = None;
-                Err(e)
-            }
-        }
+        self.send_call(frame).map(|_| ())
     }
 
+    /// Collects the *oldest* uncollected call — the single-in-flight
+    /// contract every pre-pipelining caller wrote against — or, with no
+    /// call outstanding, passes non-call traffic through (the lookup
+    /// and shutdown flows).
     fn recv(&mut self) -> Result<Frame, TransportError> {
-        if self.in_flight.is_some() {
-            self.recv_reliable(None)
-        } else {
-            self.recv_passthrough(None)
+        match self.order.front().copied() {
+            Some(seq) => self.recv_reply_inner(seq, None),
+            None => self.recv_passthrough(None),
         }
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, TransportError> {
-        if self.in_flight.is_some() {
-            self.recv_reliable(Some(timeout))
-        } else {
-            self.recv_passthrough(Some(timeout))
+        match self.order.front().copied() {
+            Some(seq) => self.recv_reply_inner(seq, Some(timeout)),
+            None => self.recv_passthrough(Some(timeout)),
         }
     }
 
@@ -1012,6 +1155,185 @@ mod tests {
             "{err:?}"
         );
         assert_eq!(client.stats().deadline_failures, 1);
+    }
+
+    #[test]
+    fn recv_reply_without_a_pending_call_is_a_typed_error() {
+        // The old single-slot implementation `expect`-panicked when its
+        // receive path ran without an in-flight call; asking for a
+        // reply nobody is waiting on must be a typed error instead.
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        let err = client.recv_reply(42).unwrap_err();
+        assert!(
+            matches!(err, TransportError::NoPendingCall { seq: Some(42) }),
+            "{err:?}"
+        );
+        // And after a reply is consumed, its seq is no longer pending.
+        let seq = client.send_call(&call_frame(1)).unwrap().expect("a call");
+        let Frame::Tagged { nonce, seq: s, .. } = server.recv().unwrap() else {
+            panic!("tagged");
+        };
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq: s,
+                frame: Box::new(reply_frame(9)),
+            })
+            .unwrap();
+        assert_eq!(client.recv_reply(seq).unwrap(), reply_frame(9));
+        let err = client.recv_reply(seq).unwrap_err();
+        assert!(
+            matches!(err, TransportError::NoPendingCall { seq: Some(s) } if s == seq),
+            "{err:?}"
+        );
+        assert_eq!(client.pending_calls(), 0);
+    }
+
+    #[test]
+    fn pipelined_replies_route_out_of_order() {
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        let s0 = client.send_call(&call_frame(1)).unwrap().expect("a call");
+        let s1 = client.send_call(&call_frame(2)).unwrap().expect("a call");
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(client.pending_calls(), 2);
+        let Frame::Tagged { nonce, seq: r0, .. } = server.recv().unwrap() else {
+            panic!("tagged");
+        };
+        let Frame::Tagged { seq: r1, .. } = server.recv().unwrap() else {
+            panic!("tagged");
+        };
+        // Server answers the second call first.
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq: r1,
+                frame: Box::new(reply_frame(2)),
+            })
+            .unwrap();
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq: r0,
+                frame: Box::new(reply_frame(1)),
+            })
+            .unwrap();
+        // Collecting the first call routes the second's reply to its
+        // map entry on the way; collecting the second finds it waiting.
+        assert_eq!(client.recv_reply(s0).unwrap(), reply_frame(1));
+        assert_eq!(client.recv_reply(s1).unwrap(), reply_frame(2));
+        assert_eq!(client.stats().calls, 2);
+        assert_eq!(client.stats().stale_discarded, 0, "nothing was discarded");
+    }
+
+    #[test]
+    fn per_call_deadlines_are_isolated() {
+        // Two calls in flight; the server answers only the second. The
+        // first must fail with its own DeadlineExceeded without
+        // dragging the answered call down with it.
+        let (mut client, mut server) = reliable(RetryPolicy {
+            deadline: Duration::from_secs(5),
+            attempt_timeout: Duration::from_millis(5),
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: false,
+        });
+        let s0 = client.send_call(&call_frame(1)).unwrap().expect("a call");
+        let s1 = client.send_call(&call_frame(2)).unwrap().expect("a call");
+        let Frame::Tagged { nonce, .. } = server.recv().unwrap() else {
+            panic!("tagged");
+        };
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq: s1,
+                frame: Box::new(reply_frame(2)),
+            })
+            .unwrap();
+        let err = client.recv_reply(s0).unwrap_err();
+        assert!(
+            matches!(err, TransportError::DeadlineExceeded { attempts: 3 }),
+            "{err:?}"
+        );
+        assert_eq!(client.stats().deadline_failures, 1);
+        assert_eq!(
+            client.recv_reply(s1).unwrap(),
+            reply_frame(2),
+            "the answered call survives its neighbor's deadline"
+        );
+    }
+
+    #[test]
+    fn plain_recv_collects_calls_oldest_first() {
+        // Transport-trait compatibility: `recv` with several calls in
+        // flight resolves them in issue order, whatever order the
+        // replies arrived in.
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        client.send(&call_frame(1)).unwrap();
+        client.send(&call_frame(2)).unwrap();
+        let Frame::Tagged { nonce, seq: r0, .. } = server.recv().unwrap() else {
+            panic!("tagged");
+        };
+        let Frame::Tagged { seq: r1, .. } = server.recv().unwrap() else {
+            panic!("tagged");
+        };
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq: r1,
+                frame: Box::new(reply_frame(2)),
+            })
+            .unwrap();
+        server
+            .send(&Frame::Tagged {
+                nonce,
+                seq: r0,
+                frame: Box::new(reply_frame(1)),
+            })
+            .unwrap();
+        assert_eq!(client.recv().unwrap(), reply_frame(1));
+        assert_eq!(client.recv().unwrap(), reply_frame(2));
+    }
+
+    #[test]
+    fn pipelined_retransmits_cover_every_pending_call() {
+        // Both calls outstanding, server silent for one attempt window:
+        // the retry pump must retransmit *both*, not just the one being
+        // collected.
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        let s0 = client.send_call(&call_frame(1)).unwrap().expect("a call");
+        let s1 = client.send_call(&call_frame(2)).unwrap().expect("a call");
+        let t = std::thread::spawn(move || {
+            let mut seen: Vec<(u64, u64)> = Vec::new();
+            let nonce = loop {
+                if let Frame::Tagged { nonce, seq, .. } = server.recv().unwrap() {
+                    seen.push((nonce, seq));
+                    // First sends + one retransmission of each.
+                    let retrans_0 = seen.iter().filter(|&&(_, s)| s == 0).count();
+                    let retrans_1 = seen.iter().filter(|&&(_, s)| s == 1).count();
+                    if retrans_0 >= 2 && retrans_1 >= 2 {
+                        break nonce;
+                    }
+                }
+            };
+            for seq in [0, 1] {
+                server
+                    .send(&Frame::Tagged {
+                        nonce,
+                        seq,
+                        frame: Box::new(reply_frame(seq as u8 + 1)),
+                    })
+                    .unwrap();
+            }
+        });
+        assert_eq!(client.recv_reply(s0).unwrap(), reply_frame(1));
+        assert_eq!(client.recv_reply(s1).unwrap(), reply_frame(2));
+        t.join().unwrap();
+        assert!(
+            client.stats().retries >= 2,
+            "each silent call retransmitted: {:?}",
+            client.stats()
+        );
     }
 
     #[test]

@@ -123,6 +123,12 @@ pub(crate) const MODE_REMOTE_REF: u8 = 3;
 pub(crate) const MODE_DCE: u8 = 4;
 pub(crate) const MODE_DELTA_FLAG: u8 = 0x10;
 
+/// The semantics discriminant of a request `mode` byte, flags stripped —
+/// what serve loops branch on without fully decoding the options.
+pub(crate) fn wire_mode_bits(byte: u8) -> u8 {
+    byte & !MODE_DELTA_FLAG
+}
+
 impl CallOptions {
     /// Encodes these options as the request `mode` byte. Public so
     /// protocol tooling (the `nrmi-check` model checker) can build raw

@@ -38,11 +38,15 @@
 //! on it; services share state through their own captured fields, as
 //! `synchronized` Java methods share fields of the remote object).
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 use nrmi_heap::{ClassId, HeapAccess, SharedRegistry, Value};
-use nrmi_transport::{Frame, MachineSpec, SimEnv, Transport, TransportError};
+use nrmi_transport::{
+    Frame, MachineSpec, SimEnv, Transport, TransportError, TransportReceiver, TransportSender,
+};
 
 use crate::error::NrmiError;
 use crate::node::{NodeState, ServerNode};
@@ -94,6 +98,11 @@ const REPLY_SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct ShardedReplyCache {
     shards: Vec<parking_lot::Mutex<ReplyCache>>,
+    /// Cached replies across all shards, maintained on store/evict so
+    /// [`len`](ShardedReplyCache::len) is one relaxed load instead of a
+    /// sweep that takes all shard locks (which briefly serialized every
+    /// connection behind a caller polling the size).
+    entries: AtomicUsize,
 }
 
 impl Default for ShardedReplyCache {
@@ -117,6 +126,7 @@ impl ShardedReplyCache {
                     ))
                 })
                 .collect(),
+            entries: AtomicUsize::new(0),
         }
     }
 
@@ -136,12 +146,27 @@ impl ShardedReplyCache {
     /// Records the reply for an executed call and clears its executing
     /// marker.
     pub fn store(&self, nonce: u64, seq: u64, reply: &Frame) {
-        self.shard(nonce).lock().store(nonce, seq, reply);
+        // One store can both insert and evict (byte cap, nonce cap), so
+        // the global count moves by the shard's net length change,
+        // measured under the shard lock where it is exact.
+        let (before, after) = {
+            let mut shard = self.shard(nonce).lock();
+            let before = shard.len();
+            shard.store(nonce, seq, reply);
+            (before, shard.len())
+        };
+        if after >= before {
+            self.entries.fetch_add(after - before, Ordering::Relaxed);
+        } else {
+            self.entries.fetch_sub(before - after, Ordering::Relaxed);
+        }
     }
 
-    /// Cached replies currently held, summed across shards.
+    /// Cached replies currently held, summed across shards — a relaxed
+    /// atomic read. Concurrent stores make the value a snapshot, not a
+    /// linearized sum, which is all a size probe can promise anyway.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// True when no shard holds a cached reply.
@@ -267,6 +292,18 @@ impl SharedServer {
         }
     }
 
+    /// True when cold calls may execute on pooled worker threads with
+    /// their own per-worker node state. This requires a registry with no
+    /// remote-marked classes: a reply containing a remote-marked object
+    /// registers an export in whatever node marshals it, and an export
+    /// created in a worker's private table would be unreachable from
+    /// later calls on the connection's main node (the factory pattern
+    /// would hand out dead stubs). Such schemas still pipeline — read-
+    /// ahead and out-of-order writes apply — but execute on one thread.
+    fn offloadable(&self) -> bool {
+        !self.registry.iter().any(|(_, desc)| desc.flags().remote)
+    }
+
     /// Reassembles the [`ServerNode`] this server was built from. Call
     /// only after every connection worker has finished (they hold
     /// references to the service bindings); a binding still referenced
@@ -314,6 +351,15 @@ impl SharedServer {
 /// connection waits on except the mutex of the service it is executing
 /// in.
 ///
+/// When the transport [splits](Transport::split) into sender and
+/// receiver halves, the connection is served **pipelined**: a reader
+/// keeps draining tagged requests while calls execute, a writer thread
+/// puts each reply on the wire the moment it is ready (out of order, by
+/// call id), and — for schemas with no remote-marked classes — a small
+/// worker pool executes tagged cold calls concurrently. A client that
+/// keeps N calls in flight then pays one round-trip for the batch, not
+/// N. Transports that cannot split fall back to the serial loop.
+///
 /// # Errors
 /// Returns transport errors other than orderly disconnect.
 pub fn serve_connection_pooled(
@@ -322,13 +368,368 @@ pub fn serve_connection_pooled(
 ) -> Result<(), NrmiError> {
     let mut conn = shared.connection_node();
     let mut warm = crate::warm::WarmCaches::new();
-    let result = serve_connection_pooled_inner(shared, &mut conn, &mut warm, transport);
+    let result = match transport.split() {
+        Some((sender, receiver)) => {
+            serve_connection_pipelined(shared, &mut conn, &mut warm, sender, receiver)
+        }
+        None => serve_connection_pooled_inner(shared, &mut conn, &mut warm, transport),
+    };
     // Disconnect releases the connection's cached warm-session graphs;
     // the rest of the private heap (cold-call copies included) goes
     // with the node itself, so a long-lived server no longer
     // accumulates call copies across clients.
     warm.release_all(&mut conn.state.heap);
     result
+}
+
+/// Workers executing tagged cold calls concurrently for one pipelined
+/// connection. Small on purpose: the win is overlapping execution with
+/// the network, not saturating cores per client.
+const PIPELINE_WORKERS: usize = 4;
+
+/// A tagged request queued for a pipeline worker.
+type PipelineJob = (u64, u64, Frame);
+
+/// Calls a pipeline worker may execute out of order against its own
+/// node: cold named-service calls under a copy semantics. Remote-ref
+/// calls interleave callbacks with the reply stream, warm calls mutate
+/// the connection's cache generations, and object calls address the
+/// connection node's export table — all of those stay exclusive on the
+/// connection thread.
+fn is_pipelineable(frame: &Frame) -> bool {
+    match frame {
+        Frame::CallRequest { mode, .. } => {
+            crate::semantics::wire_mode_bits(*mode) != crate::semantics::MODE_REMOTE_REF
+        }
+        _ => false,
+    }
+}
+
+/// The transport handed to pipeline workers: their calls are gated to
+/// never need mid-call traffic, so any use is a bug surfaced as an
+/// in-band call error rather than a hang or a cross-thread frame steal.
+struct NoCallbackTransport;
+
+impl Transport for NoCallbackTransport {
+    fn send(&mut self, _frame: &Frame) -> Result<(), TransportError> {
+        Err(TransportError::Io(std::io::Error::other(
+            "remote-reference callbacks cannot cross a pipelined worker",
+        )))
+    }
+
+    fn recv(&mut self) -> Result<Frame, TransportError> {
+        Err(TransportError::Io(std::io::Error::other(
+            "remote-reference callbacks cannot cross a pipelined worker",
+        )))
+    }
+
+    fn recv_timeout(&mut self, _timeout: Duration) -> Result<Frame, TransportError> {
+        self.recv()
+    }
+}
+
+/// Exclusive-call I/O bridge for the pipelined loop: sends go through
+/// the writer thread (keeping the sender half single-owner), receives
+/// pull from the connection's receiver half, and any frame that is not
+/// a callback reply is stashed for the main loop to process once the
+/// exclusive call finishes — pipelined requests keep arriving mid-call
+/// without getting lost or misread as callback answers.
+struct ConnIo<'a> {
+    writer_tx: mpsc::Sender<Frame>,
+    receiver: &'a mut dyn TransportReceiver,
+    stash: &'a mut VecDeque<Frame>,
+}
+
+/// Frames a client's callback server sends back to a mid-call proxy
+/// (see [`crate::proxy::handle_callback`]). Everything else arriving
+/// during an exclusive call is read-ahead traffic for the main loop.
+fn is_callback_reply(frame: &Frame) -> bool {
+    matches!(
+        frame,
+        Frame::ValueReply(_)
+            | Frame::Ack
+            | Frame::CountReply(_)
+            | Frame::ClassReply(_)
+            | Frame::ErrorReply { .. }
+    )
+}
+
+impl Transport for ConnIo<'_> {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.writer_tx
+            .send(frame.clone())
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Frame, TransportError> {
+        loop {
+            let frame = self.receiver.recv()?;
+            if is_callback_reply(&frame) {
+                return Ok(frame);
+            }
+            self.stash.push_back(frame);
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, TransportError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            let frame = self.receiver.recv_timeout(deadline - now)?;
+            if is_callback_reply(&frame) {
+                return Ok(frame);
+            }
+            self.stash.push_back(frame);
+        }
+    }
+}
+
+/// The pipelined serve loop (see [`serve_connection_pooled`]): reader on
+/// this thread, replies through a dedicated writer thread, tagged cold
+/// calls offloaded to [`PIPELINE_WORKERS`] when the schema allows.
+fn serve_connection_pipelined(
+    shared: &SharedServer,
+    conn: &mut ServerNode,
+    warm: &mut crate::warm::WarmCaches,
+    mut sender: Box<dyn TransportSender>,
+    mut receiver: Box<dyn TransportReceiver>,
+) -> Result<(), NrmiError> {
+    let (writer_tx, writer_rx) = mpsc::channel::<Frame>();
+    let writer_err: parking_lot::Mutex<Option<TransportError>> = parking_lot::Mutex::new(None);
+    let workers = if shared.offloadable() {
+        PIPELINE_WORKERS
+    } else {
+        0
+    };
+    let (job_tx, job_rx) = mpsc::channel::<PipelineJob>();
+    let job_rx = parking_lot::Mutex::new(job_rx);
+    let result = std::thread::scope(|scope| {
+        let writer_err = &writer_err;
+        scope.spawn(move || {
+            // The writer: sole owner of the send half. Replies (and
+            // callback frames from exclusive calls) go out the instant
+            // they land here — no polling, no reply-order coupling.
+            while let Ok(frame) = writer_rx.recv() {
+                if let Err(e) = sender.send(&frame) {
+                    *writer_err.lock() = Some(e);
+                    // Drain without sending: producers must not block
+                    // on a dead connection.
+                    while writer_rx.recv().is_ok() {}
+                    return;
+                }
+            }
+        });
+        for _ in 0..workers {
+            let worker_writer = writer_tx.clone();
+            let job_rx = &job_rx;
+            scope.spawn(move || {
+                // Per-worker private node state, the same isolation a
+                // connection gets — workers of one connection contend
+                // only on service mutexes and reply-cache shards.
+                let mut conn = shared.connection_node();
+                let mut warm = crate::warm::WarmCaches::new();
+                let mut io = NoCallbackTransport;
+                loop {
+                    let job = job_rx.lock().recv();
+                    let Ok((nonce, seq, frame)) = job else {
+                        break;
+                    };
+                    let reply =
+                        crate::protocol::dispatch_tagged(&mut conn, &mut warm, &mut io, frame);
+                    shared.replies.store(nonce, seq, &reply);
+                    let _ = worker_writer.send(Frame::Tagged {
+                        nonce,
+                        seq,
+                        frame: Box::new(reply),
+                    });
+                }
+                warm.release_all(&mut conn.state.heap);
+            });
+        }
+        let result = pipelined_recv_loop(
+            shared,
+            conn,
+            warm,
+            receiver.as_mut(),
+            &writer_tx,
+            &job_tx,
+            workers > 0,
+        );
+        // Reader done: closing the job queue drains the workers (they
+        // finish queued calls and push the replies), and closing our
+        // writer handle lets the writer exit once the last worker drops
+        // its clone. The scope joins everything.
+        drop(job_tx);
+        drop(writer_tx);
+        result
+    });
+    match result {
+        // An error on the writer's half is the connection going down
+        // mid-reply; a plain disconnect there is as orderly as one on
+        // the read side.
+        Ok(()) => match writer_err.into_inner() {
+            Some(TransportError::Disconnected) | None => Ok(()),
+            Some(e) => Err(e.into()),
+        },
+        err => err,
+    }
+}
+
+/// Reader side of the pipelined loop: classify each frame, answer
+/// duplicates from the reply cache, queue pipelineable fresh calls to
+/// the workers, and execute everything else exclusively in arrival
+/// order on this thread.
+fn pipelined_recv_loop(
+    shared: &SharedServer,
+    conn: &mut ServerNode,
+    warm: &mut crate::warm::WarmCaches,
+    receiver: &mut dyn TransportReceiver,
+    writer_tx: &mpsc::Sender<Frame>,
+    job_tx: &mpsc::Sender<PipelineJob>,
+    offload: bool,
+) -> Result<(), NrmiError> {
+    // Frames that arrived while an exclusive call was waiting on its
+    // callback replies; processed before reading the socket again.
+    let mut stash: VecDeque<Frame> = VecDeque::new();
+    // A send into the writer channel only fails after the writer hit a
+    // connection error; `writer_err` carries the cause, so stop cleanly.
+    macro_rules! write_out {
+        ($frame:expr) => {
+            if writer_tx.send($frame).is_err() {
+                return Ok(());
+            }
+        };
+    }
+    loop {
+        let frame = match stash.pop_front() {
+            Some(frame) => frame,
+            None => match receiver.recv() {
+                Ok(frame) => frame,
+                Err(TransportError::Disconnected) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            },
+        };
+        match frame {
+            Frame::Shutdown => return Ok(()),
+            Frame::Tagged { nonce, seq, frame } => {
+                // Decide-mark-executing on the nonce's shard, execute
+                // with no shard lock held, store. A duplicate arriving
+                // mid-execution — on this connection or another — reads
+                // InProgress and is dropped unanswered; the client's
+                // next retransmission replays the stored reply.
+                match shared.replies.begin(nonce, seq) {
+                    ReplyDecision::Replay(cached) => write_out!(Frame::ReplyCached {
+                        nonce,
+                        seq,
+                        frame: Box::new(cached),
+                    }),
+                    ReplyDecision::Evicted => write_out!(Frame::ReplyCached {
+                        nonce,
+                        seq,
+                        frame: Box::new(evicted_reply()),
+                    }),
+                    ReplyDecision::InProgress => {}
+                    ReplyDecision::Fresh if offload && is_pipelineable(&frame) => {
+                        // Cannot fail while this loop holds `job_tx`.
+                        let _ = job_tx.send((nonce, seq, *frame));
+                    }
+                    ReplyDecision::Fresh => {
+                        let reply = {
+                            let mut io = ConnIo {
+                                writer_tx: writer_tx.clone(),
+                                receiver,
+                                stash: &mut stash,
+                            };
+                            crate::protocol::dispatch_tagged(conn, warm, &mut io, *frame)
+                        };
+                        shared.replies.store(nonce, seq, &reply);
+                        write_out!(Frame::Tagged {
+                            nonce,
+                            seq,
+                            frame: Box::new(reply),
+                        });
+                    }
+                }
+            }
+            // Untagged traffic is executed exclusively, in arrival
+            // order, exactly as the serial loop would — only the reply
+            // leaves through the writer.
+            Frame::CallRequestWarm {
+                service,
+                method,
+                mode,
+                cache_id,
+                generation,
+                payload,
+            } => {
+                let reply = {
+                    let mut io = ConnIo {
+                        writer_tx: writer_tx.clone(),
+                        receiver,
+                        stash: &mut stash,
+                    };
+                    crate::warm::server_handle_warm_call(
+                        conn, warm, &mut io, &service, &method, mode, cache_id, generation,
+                        &payload,
+                    )
+                };
+                write_out!(reply);
+            }
+            Frame::CacheEvict { cache_id } => {
+                warm.evict(&mut conn.state.heap, cache_id);
+            }
+            Frame::Lookup { name } => {
+                write_out!(Frame::LookupReply {
+                    found: shared.is_bound(&name),
+                });
+            }
+            Frame::CallRequest {
+                service,
+                method,
+                mode,
+                payload,
+            } => {
+                let reply = {
+                    let mut io = ConnIo {
+                        writer_tx: writer_tx.clone(),
+                        receiver,
+                        stash: &mut stash,
+                    };
+                    crate::protocol::server_handle_named_call(
+                        conn, &mut io, &service, &method, mode, &payload,
+                    )
+                };
+                write_out!(reply);
+            }
+            Frame::CallObject {
+                key,
+                method,
+                mode,
+                payload,
+            } => {
+                let reply = {
+                    let mut io = ConnIo {
+                        writer_tx: writer_tx.clone(),
+                        receiver,
+                        stash: &mut stash,
+                    };
+                    crate::protocol::server_handle_object_call(
+                        conn, &mut io, key, &method, mode, &payload,
+                    )
+                };
+                write_out!(reply);
+            }
+            Frame::DgcClean { key } => {
+                conn.state.exports.clean(key);
+            }
+            other => {
+                return Err(NrmiError::Protocol(format!("unexpected frame {other:?}")));
+            }
+        }
+    }
 }
 
 fn serve_connection_pooled_inner(
@@ -429,5 +830,64 @@ fn serve_connection_pooled_inner(
                 return Err(NrmiError::Protocol(format!("unexpected frame {other:?}")));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(tag: u8) -> Frame {
+        Frame::CallReply {
+            payload: vec![tag; 16],
+        }
+    }
+
+    #[test]
+    fn sharded_len_counts_without_locking_shards() {
+        let cache = ShardedReplyCache::with_limits(64 << 20, 1 << 16);
+        assert!(cache.is_empty());
+        cache.store(1, 0, &reply(1));
+        cache.store(1, 1, &reply(2));
+        cache.store(2, 0, &reply(3));
+        assert_eq!(cache.len(), 3);
+        // Idempotent re-store does not double count.
+        cache.store(1, 0, &reply(1));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn sharded_len_tracks_evictions() {
+        // Total budget 16 shards × 1 byte: every store immediately
+        // evicts down to one entry per shard, so the counter must move
+        // by net change, not by insertions.
+        let cache = ShardedReplyCache::with_limits(16, 16);
+        for nonce in 0..64u64 {
+            cache.store(nonce, 0, &reply(nonce as u8));
+        }
+        let counted = cache.len();
+        let actual: usize = cache.shards.iter().map(|s| s.lock().len()).sum();
+        assert_eq!(counted, actual, "atomic count must match shard contents");
+        assert!(counted <= 16, "byte caps keep at most one entry per shard");
+    }
+
+    #[test]
+    fn sharded_len_is_consistent_under_concurrent_stores() {
+        let cache = ShardedReplyCache::with_limits(64 << 20, 1 << 16);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        // Distinct (nonce, seq) per store across threads.
+                        cache.store(t * 1000 + i, i, &reply(t as u8));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 800);
+        let actual: usize = cache.shards.iter().map(|s| s.lock().len()).sum();
+        assert_eq!(cache.len(), actual);
+        assert!(!cache.is_empty());
     }
 }

@@ -22,7 +22,8 @@ use crate::error::NrmiError;
 use crate::node::{ClientNode, ServerNode};
 use crate::profile::RuntimeProfile;
 use crate::protocol::{
-    client_invoke_on_object_with_stats, client_invoke_with_stats, serve_connection, CallStats,
+    client_invoke_on_object_with_stats, client_invoke_pipelined, client_invoke_with_stats,
+    serve_connection, CallStats, PipelinedCall,
 };
 use crate::semantics::CallOptions;
 use crate::service::RemoteService;
@@ -101,11 +102,13 @@ impl SessionBuilder {
             server.bind_class(class, service);
         }
         let handle = std::thread::spawn(move || {
-            // Orderly disconnects end the loop; a protocol error from a
-            // misbehaving peer also ends it (the node is returned for
-            // inspection either way).
-            let _ = serve_connection(&mut server, &mut server_t);
-            server
+            // Orderly disconnects end the loop with Ok; a protocol error
+            // from a misbehaving peer also ends it. Either way the node
+            // is returned for inspection, and the serve result rides
+            // along so `shutdown` can surface what ended the loop
+            // instead of swallowing it.
+            let result = serve_connection(&mut server, &mut server_t);
+            (server, result)
         });
         let mut client = ClientNode::new(self.registry, self.client_machine);
         if let Some(env) = &self.env {
@@ -146,7 +149,7 @@ impl SessionBuilder {
 pub struct Session {
     client: ClientNode,
     transport: ChannelTransport,
-    server_thread: Option<JoinHandle<ServerNode>>,
+    server_thread: Option<JoinHandle<(ServerNode, Result<(), NrmiError>)>>,
     tracer: crate::trace::Tracer,
 }
 
@@ -247,6 +250,28 @@ impl Session {
             );
         }
         result
+    }
+
+    /// Issues a batch of calls back to back on the connection before
+    /// collecting any reply — pipelining: one network round trip of
+    /// latency is paid for the whole batch instead of per call. Results
+    /// come back in issue order, each slot carrying its own outcome
+    /// (a remote exception or per-call deadline failure in one slot
+    /// does not poison its neighbors).
+    ///
+    /// Remote-reference calls cannot be batched (their mid-call
+    /// callbacks interleave with the reply stream); see
+    /// [`client_invoke_pipelined`].
+    ///
+    /// # Errors
+    /// Marshalling failures, transport loss, and protocol violations
+    /// fail the whole batch; per-call failures come back in that call's
+    /// slot.
+    pub fn call_pipelined(
+        &mut self,
+        calls: &[PipelinedCall],
+    ) -> Result<Vec<Result<Value, NrmiError>>, NrmiError> {
+        client_invoke_pipelined(&mut self.client, &mut self.transport, calls)
     }
 
     /// Invokes a remote method through the warm-call protocol: the first
@@ -468,13 +493,24 @@ impl Session {
     /// (tests assert on server heaps, export tables, and statistics).
     ///
     /// # Errors
-    /// Transport failures during shutdown; a panicked server thread.
+    /// Transport failures during shutdown; a panicked server thread; the
+    /// error that ended the serve loop, if it ended on one (a protocol
+    /// violation mid-session would otherwise be silently discarded —
+    /// the pooled path surfaces worker failures the same way).
     pub fn shutdown(mut self) -> Result<ServerNode, NrmiError> {
-        self.transport.send(&Frame::Shutdown)?;
+        // If the serve loop already ended (say, on a protocol error),
+        // the channel is closed and this send fails; hold the result so
+        // the serve error below isn't masked by the failed goodbye.
+        let sent = self.transport.send(&Frame::Shutdown);
         let handle = self.server_thread.take().expect("shutdown called once");
-        handle
-            .join()
-            .map_err(|_| NrmiError::Protocol("server thread panicked".into()))
+        match handle.join() {
+            Ok((node, Ok(()))) => {
+                sent?;
+                Ok(node)
+            }
+            Ok((_, Err(e))) => Err(e),
+            Err(_) => Err(NrmiError::Protocol("server thread panicked".into())),
+        }
     }
 }
 
@@ -927,6 +963,20 @@ impl<T: Transport> RemoteSession<T> {
         .map(|(v, _)| v)
     }
 
+    /// Issues a batch of calls back to back before collecting any reply
+    /// (see [`Session::call_pipelined`]). Over a reliable transport the
+    /// batch is multiplexed by call id, so replies may complete out of
+    /// order on the wire and are still delivered in issue order here.
+    ///
+    /// # Errors
+    /// As [`Session::call_pipelined`].
+    pub fn call_pipelined(
+        &mut self,
+        calls: &[PipelinedCall],
+    ) -> Result<Vec<Result<Value, NrmiError>>, NrmiError> {
+        client_invoke_pipelined(&mut self.client, &mut self.transport, calls)
+    }
+
     /// Invokes a method on a remote object this client holds a stub for.
     ///
     /// # Errors
@@ -1009,5 +1059,92 @@ impl<T: Transport> RemoteSession<T> {
     pub fn close(mut self) -> Result<(), NrmiError> {
         self.transport.send(&Frame::Shutdown)?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::FnService;
+    use nrmi_heap::ClassRegistry;
+
+    fn adder_session() -> Session {
+        Session::builder(ClassRegistry::new().snapshot())
+            .serve(
+                "adder",
+                Box::new(FnService::new(|_m, args, _h| {
+                    let (a, b) = (args[0].as_int().unwrap_or(0), args[1].as_int().unwrap_or(0));
+                    Ok(Value::Int(a + b))
+                })),
+            )
+            .build()
+    }
+
+    #[test]
+    fn shutdown_returns_the_node_on_clean_exit() {
+        let mut session = adder_session();
+        let sum = session
+            .call("adder", "add", &[Value::Int(1), Value::Int(2)])
+            .unwrap();
+        assert_eq!(sum, Value::Int(3));
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_surfaces_the_error_that_ended_the_serve_loop() {
+        let mut session = adder_session();
+        // A reply frame arriving at the server is a protocol violation.
+        // The serve loop errors out; the old code discarded that error
+        // and shutdown reported nothing but a dead channel.
+        session
+            .transport
+            .send(&Frame::LookupReply { found: true })
+            .unwrap();
+        let err = session.shutdown().unwrap_err();
+        assert!(
+            err.to_string().contains("unexpected frame"),
+            "expected the serve loop's protocol error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn call_pipelined_delivers_results_in_issue_order() {
+        let mut session = adder_session();
+        let calls: Vec<PipelinedCall> = (0..5)
+            .map(|i| PipelinedCall::new("adder", "add", vec![Value::Int(i), Value::Int(10 * i)]))
+            .collect();
+        let results = session.call_pipelined(&calls).unwrap();
+        assert_eq!(results.len(), 5);
+        for (i, slot) in results.into_iter().enumerate() {
+            assert_eq!(slot.unwrap(), Value::Int(11 * i as i32));
+        }
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn call_pipelined_isolates_per_call_remote_errors() {
+        let mut session = Session::builder(ClassRegistry::new().snapshot())
+            .serve(
+                "picky",
+                Box::new(FnService::new(|_m, args, _h| match args[0].as_int() {
+                    Some(n) if n >= 0 => Ok(Value::Int(n)),
+                    _ => Err(NrmiError::app("negative input")),
+                })),
+            )
+            .build();
+        let calls = vec![
+            PipelinedCall::new("picky", "id", vec![Value::Int(7)]),
+            PipelinedCall::new("picky", "id", vec![Value::Int(-1)]),
+            PipelinedCall::new("picky", "id", vec![Value::Int(9)]),
+        ];
+        let results = session.call_pipelined(&calls).unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), &Value::Int(7));
+        assert!(
+            matches!(results[1], Err(NrmiError::Remote(_))),
+            "the failing slot carries its own error: {:?}",
+            results[1]
+        );
+        assert_eq!(results[2].as_ref().unwrap(), &Value::Int(9));
+        session.shutdown().unwrap();
     }
 }

@@ -45,6 +45,47 @@ pub trait Transport: Send {
     fn reconnect(&mut self) -> Result<bool> {
         Ok(false)
     }
+
+    /// Splits this transport into independently owned send and receive
+    /// halves, so one thread can write frames while another blocks in a
+    /// read — the substrate for pipelined serve loops that reply out of
+    /// order while a reader keeps draining requests.
+    ///
+    /// Returns `None` when the transport cannot be split (in-flight
+    /// fault injectors, decorators, simulated links) — callers fall back
+    /// to single-threaded operation. After a successful split the
+    /// original transport must not be used again: socket transports
+    /// hand their buffered read state to the receiver half, and the
+    /// channel transport's receive side moves out entirely.
+    fn split(&mut self) -> Option<(Box<dyn TransportSender>, Box<dyn TransportReceiver>)> {
+        None
+    }
+}
+
+/// The write half of a [`Transport::split`]: sends frames to the peer,
+/// usable concurrently with the matching [`TransportReceiver`].
+pub trait TransportSender: Send {
+    /// Sends one frame to the peer.
+    ///
+    /// # Errors
+    /// [`TransportError::Disconnected`] if the peer is gone.
+    fn send(&mut self, frame: &Frame) -> Result<()>;
+}
+
+/// The read half of a [`Transport::split`].
+pub trait TransportReceiver: Send {
+    /// Receives the next frame, blocking until one arrives.
+    ///
+    /// # Errors
+    /// [`TransportError::Disconnected`] if the peer is gone.
+    fn recv(&mut self) -> Result<Frame>;
+
+    /// Receives with a deadline.
+    ///
+    /// # Errors
+    /// [`TransportError::Timeout`] if nothing arrives in time;
+    /// [`TransportError::Disconnected`] if the peer is gone.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame>;
 }
 
 /// A bound server socket producing accepted [`Transport`] connections —
@@ -134,6 +175,60 @@ impl Transport for ChannelTransport {
         })?;
         Frame::decode(&bytes)
     }
+
+    fn split(&mut self) -> Option<(Box<dyn TransportSender>, Box<dyn TransportReceiver>)> {
+        // The receive side moves out; the original transport keeps a
+        // receiver whose sender was dropped, so any further recv on it
+        // reports Disconnected instead of silently stealing frames.
+        let (dead_tx, dead_rx) = crossbeam::channel::unbounded();
+        drop(dead_tx);
+        let rx = std::mem::replace(&mut self.rx, dead_rx);
+        let sender = ChannelSenderHalf {
+            tx: self.tx.clone(),
+            env: self.env.clone(),
+            link: self.link,
+        };
+        Some((Box::new(sender), Box::new(ChannelReceiverHalf { rx })))
+    }
+}
+
+/// Write half of a split [`ChannelTransport`].
+struct ChannelSenderHalf {
+    tx: Sender<Vec<u8>>,
+    env: Option<SimEnv>,
+    link: LinkSpec,
+}
+
+impl TransportSender for ChannelSenderHalf {
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        let bytes = frame.encode();
+        if let Some(env) = &self.env {
+            env.charge_transfer(&self.link, bytes.len());
+        }
+        self.tx
+            .send(bytes)
+            .map_err(|_| TransportError::Disconnected)
+    }
+}
+
+/// Read half of a split [`ChannelTransport`].
+struct ChannelReceiverHalf {
+    rx: Receiver<Vec<u8>>,
+}
+
+impl TransportReceiver for ChannelReceiverHalf {
+    fn recv(&mut self) -> Result<Frame> {
+        let bytes = self.rx.recv().map_err(|_| TransportError::Disconnected)?;
+        Frame::decode(&bytes)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        let bytes = self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })?;
+        Frame::decode(&bytes)
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +275,20 @@ mod tests {
     fn recv_timeout_fires() {
         let (mut a, _b) = channel_pair(None, LinkSpec::free());
         let err = a.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout));
+    }
+
+    #[test]
+    fn split_halves_work_concurrently() {
+        let (mut a, mut b) = channel_pair(None, LinkSpec::free());
+        let (mut tx, mut rx) = a.split().expect("channel transports split");
+        tx.send(&Frame::Ack).unwrap();
+        assert_eq!(b.recv().unwrap(), Frame::Ack);
+        b.send(&Frame::CountReply(9)).unwrap();
+        assert_eq!(rx.recv().unwrap(), Frame::CountReply(9));
+        // The original transport's receive side moved into the half.
+        assert!(matches!(a.recv(), Err(TransportError::Disconnected)));
+        let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
         assert!(matches!(err, TransportError::Timeout));
     }
 

@@ -31,6 +31,14 @@ pub enum TransportError {
         /// Send attempts made before giving up.
         attempts: u32,
     },
+    /// A reply was requested for a call id that is not outstanding: no
+    /// call was issued, or its reply was already consumed. This is the
+    /// typed replacement for what used to be an `expect` panic in the
+    /// single-in-flight receive path.
+    NoPendingCall {
+        /// The requested call seq, when a specific one was named.
+        seq: Option<u64>,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -46,6 +54,12 @@ impl fmt::Display for TransportError {
             }
             TransportError::DeadlineExceeded { attempts } => {
                 write!(f, "call deadline exceeded after {attempts} attempt(s)")
+            }
+            TransportError::NoPendingCall { seq: Some(seq) } => {
+                write!(f, "no pending call with seq {seq} (never issued, or its reply was already consumed)")
+            }
+            TransportError::NoPendingCall { seq: None } => {
+                write!(f, "no call is pending a reply")
             }
         }
     }
@@ -98,6 +112,12 @@ mod tests {
         assert!(TransportError::DeadlineExceeded { attempts: 3 }
             .to_string()
             .contains("3 attempt"));
+        assert!(TransportError::NoPendingCall { seq: Some(7) }
+            .to_string()
+            .contains("seq 7"));
+        assert!(TransportError::NoPendingCall { seq: None }
+            .to_string()
+            .contains("no call"));
         let codec = TransportError::Codec(nrmi_wire::WireError::BadMagic);
         assert!(codec.source().is_some());
     }

@@ -31,7 +31,9 @@ pub mod tcp;
 #[cfg(unix)]
 pub mod uds;
 
-pub use endpoint::{channel_pair, ChannelTransport, Listener, Transport};
+pub use endpoint::{
+    channel_pair, ChannelTransport, Listener, Transport, TransportReceiver, TransportSender,
+};
 pub use error::TransportError;
 pub use fault::{Fault, FaultPlan, FaultyTransport};
 pub use message::{decode_rvals, encode_rvals, Frame, RVal};

@@ -11,7 +11,7 @@
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::endpoint::Transport;
+use crate::endpoint::{Transport, TransportReceiver, TransportSender};
 use crate::framed::{self, FrameReader};
 use crate::message::Frame;
 use crate::simnet::{LinkSpec, SimEnv};
@@ -125,11 +125,76 @@ impl Transport for TcpTransport {
         self.reader.reset();
         Ok(true)
     }
+
+    fn split(&mut self) -> Option<(Box<dyn TransportSender>, Box<dyn TransportReceiver>)> {
+        // A TCP socket duplicates into independent handles; the receiver
+        // half inherits the resumable reader so bytes buffered across an
+        // earlier recv_timeout are not lost.
+        let send_stream = self.stream.try_clone().ok()?;
+        let recv_stream = self.stream.try_clone().ok()?;
+        let sender = TcpSenderHalf {
+            stream: send_stream,
+            env: self.env.clone(),
+            link: self.link,
+            send_buf: std::mem::take(&mut self.send_buf),
+        };
+        let receiver = TcpReceiverHalf {
+            stream: recv_stream,
+            reader: std::mem::take(&mut self.reader),
+        };
+        Some((Box::new(sender), Box::new(receiver)))
+    }
 }
 
 impl TcpTransport {
     fn recv_inner(&mut self) -> Result<Frame> {
         self.reader.read_frame(&mut self.stream)
+    }
+}
+
+/// Write half of a split [`TcpTransport`].
+struct TcpSenderHalf {
+    stream: TcpStream,
+    env: Option<SimEnv>,
+    link: LinkSpec,
+    send_buf: Vec<u8>,
+}
+
+impl TransportSender for TcpSenderHalf {
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        let body_len = framed::write_frame(&mut self.stream, frame, &mut self.send_buf)?;
+        if let Some(env) = &self.env {
+            env.charge_transfer(&self.link, body_len);
+        }
+        Ok(())
+    }
+}
+
+/// Read half of a split [`TcpTransport`].
+struct TcpReceiverHalf {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl TransportReceiver for TcpReceiverHalf {
+    fn recv(&mut self) -> Result<Frame> {
+        self.stream.set_read_timeout(None)?;
+        self.reader.read_frame(&mut self.stream)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        let result = self.reader.read_frame(&mut self.stream);
+        let _ = self.stream.set_read_timeout(None);
+        match result {
+            Err(TransportError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(TransportError::Timeout)
+            }
+            other => other,
+        }
     }
 }
 

@@ -8,7 +8,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use crate::endpoint::Transport;
+use crate::endpoint::{Transport, TransportReceiver, TransportSender};
 use crate::framed::{self, FrameReader};
 use crate::message::Frame;
 use crate::{Result, TransportError};
@@ -92,6 +92,61 @@ impl Transport for UdsTransport {
         self.stream = UnixStream::connect(path)?;
         self.reader.reset();
         Ok(true)
+    }
+
+    fn split(&mut self) -> Option<(Box<dyn TransportSender>, Box<dyn TransportReceiver>)> {
+        let send_stream = self.stream.try_clone().ok()?;
+        let recv_stream = self.stream.try_clone().ok()?;
+        let sender = UdsSenderHalf {
+            stream: send_stream,
+            send_buf: std::mem::take(&mut self.send_buf),
+        };
+        let receiver = UdsReceiverHalf {
+            stream: recv_stream,
+            reader: std::mem::take(&mut self.reader),
+        };
+        Some((Box::new(sender), Box::new(receiver)))
+    }
+}
+
+/// Write half of a split [`UdsTransport`].
+struct UdsSenderHalf {
+    stream: UnixStream,
+    send_buf: Vec<u8>,
+}
+
+impl TransportSender for UdsSenderHalf {
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        framed::write_frame(&mut self.stream, frame, &mut self.send_buf)?;
+        Ok(())
+    }
+}
+
+/// Read half of a split [`UdsTransport`].
+struct UdsReceiverHalf {
+    stream: UnixStream,
+    reader: FrameReader,
+}
+
+impl TransportReceiver for UdsReceiverHalf {
+    fn recv(&mut self) -> Result<Frame> {
+        self.stream.set_read_timeout(None)?;
+        self.reader.read_frame(&mut self.stream)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        let result = self.reader.read_frame(&mut self.stream);
+        let _ = self.stream.set_read_timeout(None);
+        match result {
+            Err(TransportError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(TransportError::Timeout)
+            }
+            other => other,
+        }
     }
 }
 

@@ -18,9 +18,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use nrmi::core::{
-    client_invoke, client_invoke_warm_with_stats, serve_connection, serve_tcp_concurrent,
-    CallOptions, ClientNode, FnService, NrmiError, PassMode, ReliableTransport, RetryPolicy,
-    ServerNode,
+    client_invoke, client_invoke_warm_with_stats, client_marshal_call, serve_connection,
+    serve_connection_pooled, serve_tcp_concurrent, CallOptions, ClientNode, FnService, NrmiError,
+    PassMode, PipelinedCall, ReliableTransport, ReplyCache, ReplyDecision, RetryPolicy, ServerNode,
+    Session, SharedServer, REPLY_EVICTED,
 };
 use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
 use nrmi::transport::{
@@ -289,6 +290,174 @@ fn warm_sessions_fall_back_to_a_cold_reseed_across_reconnect() {
 
     transport.send(&Frame::Shutdown).expect("shutdown conn 2");
     drop(transport);
+    server.join().expect("server thread");
+}
+
+#[test]
+fn evicted_reply_racing_a_pipelined_retransmit_reports_not_reexecutes() {
+    // Two calls pipelined on one connection, both replies lost, and a
+    // reply cache so tight that storing the second reply evicts the
+    // first. The retransmissions must resolve deterministically: the
+    // evicted call gets the definite REPLY_EVICTED error, the cached
+    // call gets its stored reply replayed — and neither executes twice.
+    // The test thread plays the server inline over a channel pair, so
+    // every interleaving step is explicit.
+    let registry = registry();
+    let (client_t, mut server_t) = channel_pair(None, LinkSpec::free());
+    let mut client = ClientNode::new(registry, MachineSpec::fast());
+    let mut transport = ReliableTransport::new(client_t, test_policy());
+
+    let marshal = |client: &mut ClientNode, i: i32| {
+        let (frame, _pending) = client_marshal_call(
+            client,
+            "digits",
+            "tick",
+            &[Value::Int(i)],
+            CallOptions::forced(PassMode::Copy),
+        )
+        .expect("marshal");
+        frame
+    };
+    let f0 = marshal(&mut client, 0);
+    let f1 = marshal(&mut client, 1);
+    let seq0 = transport.send_call(&f0).expect("send 0").expect("tagged");
+    let seq1 = transport.send_call(&f1).expect("send 1").expect("tagged");
+    assert_eq!(transport.pending_calls(), 2);
+
+    // Server, fresh pass: execute both, store both replies — the 1-byte
+    // cap means storing the second evicts the first — and "lose" both
+    // replies (send nothing).
+    let mut cache = ReplyCache::with_limits(1, 8);
+    let mut executions = 0usize;
+    for _ in 0..2 {
+        let frame = server_t.recv().expect("fresh request");
+        let Frame::Tagged { nonce, seq, frame } = frame else {
+            panic!("pipelined call escaped the connection untagged: {frame:?}");
+        };
+        assert!(matches!(*frame, Frame::CallRequest { .. }));
+        assert_eq!(cache.begin(nonce, seq), ReplyDecision::Fresh);
+        executions += 1;
+        cache.store(
+            nonce,
+            seq,
+            &Frame::CallError {
+                message: format!("stored-{seq}"),
+            },
+        );
+    }
+
+    // Client: the poll window closes after the attempt timeout, so both
+    // calls go back on the wire before it returns.
+    assert!(matches!(
+        transport.recv_reply_timeout(seq0, Duration::from_millis(200)),
+        Err(TransportError::Timeout)
+    ));
+
+    // Server, retransmission pass: the duplicates must classify as
+    // Evicted/Replay — a Fresh here would be a re-execution.
+    let mut answered = std::collections::HashSet::new();
+    while answered.len() < 2 {
+        let frame = server_t
+            .recv_timeout(Duration::from_secs(2))
+            .expect("retransmission");
+        let Frame::Tagged { nonce, seq, .. } = frame else {
+            panic!("expected a tagged retransmission, got {frame:?}");
+        };
+        let reply = match cache.decision(nonce, seq) {
+            ReplyDecision::Evicted => {
+                assert_eq!(seq, seq0, "the LRU entry (the first call) was evicted");
+                Frame::CallError {
+                    message: REPLY_EVICTED.into(),
+                }
+            }
+            ReplyDecision::Replay(cached) => {
+                assert_eq!(seq, seq1);
+                cached
+            }
+            other => panic!("retransmission of call {seq} classified {other:?}"),
+        };
+        if answered.insert(seq) {
+            server_t
+                .send(&Frame::ReplyCached {
+                    nonce,
+                    seq,
+                    frame: Box::new(reply),
+                })
+                .expect("send reply");
+        }
+    }
+    assert_eq!(executions, 2, "each call executed exactly once");
+
+    // Client: the evicted call resolves to the definite error, the
+    // cached call to its replayed reply — routed by call id, in any
+    // collection order.
+    match transport.recv_reply(seq0).expect("evicted outcome") {
+        Frame::CallError { message } => assert_eq!(message, REPLY_EVICTED),
+        other => panic!("evicted call resolved to {other:?}"),
+    }
+    match transport.recv_reply(seq1).expect("replayed outcome") {
+        Frame::CallError { message } => assert_eq!(message, format!("stored-{seq1}")),
+        other => panic!("cached call resolved to {other:?}"),
+    }
+    assert_eq!(transport.pending_calls(), 0);
+    assert!(transport.stats().retries >= 2, "{:?}", transport.stats());
+}
+
+#[test]
+fn pipelined_tcp_batch_overlaps_execution_and_collects_in_issue_order() {
+    // End to end over TCP against the pooled serve loop: a slow call
+    // issued first and two fast calls issued behind it. The fast calls
+    // must execute while the slow one sleeps (their count is read by
+    // the slow service as it wakes), which forces the slow reply to be
+    // the LAST on the wire — and the client must still deliver it in
+    // slot 0, reordered by call id.
+    let registry = registry();
+    let fast_done = Arc::new(AtomicUsize::new(0));
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut node = ServerNode::new(registry.clone(), MachineSpec::fast());
+    let slow_sees = fast_done.clone();
+    node.bind(
+        "slow",
+        Box::new(FnService::new(move |_m, _args, _h| {
+            thread::sleep(Duration::from_millis(150));
+            Ok(Value::Int(slow_sees.load(Ordering::SeqCst) as i32))
+        })),
+    );
+    let fast_ticks = fast_done.clone();
+    node.bind(
+        "fast",
+        Box::new(FnService::new(move |_m, args, _h| {
+            fast_ticks.fetch_add(1, Ordering::SeqCst);
+            Ok(Value::Int(args[0].as_int().unwrap_or(0) + 1))
+        })),
+    );
+    let shared = Arc::new(SharedServer::from_node(node));
+    let server = {
+        let shared = shared.clone();
+        thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            serve_connection_pooled(&shared, &mut conn).expect("serve");
+        })
+    };
+
+    let mut session =
+        Session::connect_tcp_reliable(registry, addr, RetryPolicy::default()).expect("connect");
+    let batch = [
+        PipelinedCall::new("slow", "probe", vec![Value::Null]),
+        PipelinedCall::new("fast", "inc", vec![Value::Int(10)]),
+        PipelinedCall::new("fast", "inc", vec![Value::Int(20)]),
+    ];
+    let results = session.call_pipelined(&batch).expect("pipelined batch");
+    assert_eq!(
+        results[0].as_ref().expect("slow"),
+        &Value::Int(2),
+        "both fast calls must have executed while the slow call slept"
+    );
+    assert_eq!(results[1].as_ref().expect("fast 1"), &Value::Int(11));
+    assert_eq!(results[2].as_ref().expect("fast 2"), &Value::Int(21));
+
+    let _ = session.close();
     server.join().expect("server thread");
 }
 
