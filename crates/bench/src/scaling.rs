@@ -59,6 +59,25 @@ pub const PIPELINE_SERVICE_TIME: Duration = Duration::from_micros(500);
 /// Remote-ref calls each client issues per throughput cell.
 pub const CALLS_PER_CLIENT: usize = 10;
 
+/// Connection counts swept for the mostly-idle fleet axis. A fourth
+/// point at 10,000 joins the sweep when `NRMI_SCALING_10K` is set in
+/// the environment (it needs a generous fd limit and a minute of
+/// patience on small machines).
+pub const CONNECTION_COUNTS: [usize; 3] = [1, 100, 1000];
+
+/// Opt-in 10k fleet point (environment variable name).
+pub const TEN_K_ENV: &str = "NRMI_SCALING_10K";
+
+/// Busy clients inside the fleet (the rest of the connections are
+/// parked idle — the realistic shape the reactor is built for).
+pub const CONN_BUSY_CLIENTS: usize = 8;
+
+/// Tagged copy-mode calls each busy client completes per fleet cell.
+pub const CONN_CALLS_PER_BUSY: usize = 64;
+
+/// In-flight depth each busy client pipelines at.
+pub const CONN_PIPELINE_DEPTH: usize = 16;
+
 /// Simulated client-side "think time" before answering each `GetField`
 /// callback. This is the blocking the big lock serializes.
 pub const CALLBACK_TURNAROUND: Duration = Duration::from_millis(2);
@@ -95,6 +114,24 @@ pub struct PipelinePoint {
     pub calls_per_sec: f64,
 }
 
+/// One fleet cell: `connections` total connections, of which `busy`
+/// run tagged pipelined calls while the rest sit parked.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConnectionPoint {
+    /// Total connections held open (busy + idle).
+    pub connections: usize,
+    /// Clients actually issuing calls.
+    pub busy: usize,
+    /// Total calls completed across the busy clients.
+    pub calls: usize,
+    /// Wall-clock for the cell — connect storm included, since paying a
+    /// thread (or six) per idle connection is exactly the cost under
+    /// test — in milliseconds.
+    pub elapsed_ms: f64,
+    /// Aggregate throughput, calls per second.
+    pub calls_per_sec: f64,
+}
+
 /// The probe client's latency while the other client is stalled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StallPoint {
@@ -125,6 +162,10 @@ pub struct ScalingReport {
     pub stall_pooled: StallPoint,
     /// Single-connection throughput per in-flight depth.
     pub pipeline: Vec<PipelinePoint>,
+    /// Mostly-idle fleet throughput, thread-per-connection server.
+    pub connections_pooled: Vec<ConnectionPoint>,
+    /// Mostly-idle fleet throughput, reactor server.
+    pub connections_reactor: Vec<ConnectionPoint>,
 }
 
 /// Which serve loop a cell runs against.
@@ -505,6 +546,150 @@ fn pipeline_cell(depth: usize) -> PipelinePoint {
     }
 }
 
+/// Which server core a fleet cell runs against — both through
+/// [`ServerPool`], differing only in the serve mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreFlavor {
+    /// [`ServerPool::serve`]: a thread per connection (several once a
+    /// connection goes pipelined).
+    PooledThreads,
+    /// [`ServerPool::serve_reactor`]: one event loop plus a fixed
+    /// worker pool for every connection.
+    Reactor,
+}
+
+/// The connection counts for this run: the static sweep, plus 10k when
+/// [`TEN_K_ENV`] is set.
+pub fn connection_counts() -> Vec<usize> {
+    let mut counts = CONNECTION_COUNTS.to_vec();
+    if std::env::var_os(TEN_K_ENV).is_some() {
+        counts.push(10_000);
+    }
+    counts
+}
+
+/// One fleet cell: hold `connections` open with [`CONN_BUSY_CLIENTS`]
+/// of them running pipelined tagged calls. The clock covers the connect
+/// storm and the calls; idle connections send nothing, which is
+/// precisely what makes them nearly free on the reactor and a thread
+/// each on the pooled server.
+fn connection_cell(flavor: CoreFlavor, connections: usize) -> ConnectionPoint {
+    use nrmi_core::ServerPool;
+
+    let mut reg = ClassRegistry::new();
+    // Copy-only schema: calls are pipelineable end to end, so the
+    // reactor offloads them to its worker pool instead of escalating.
+    reg.define("Payload")
+        .field_int("v")
+        .serializable()
+        .register();
+    let registry = reg.snapshot();
+
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    for s in 0..PIPELINE_SERVICES {
+        server.bind(
+            format!("echo{s}"),
+            Box::new(FnService::new(|_m, args, _h| {
+                Ok(Value::Int(args[0].as_int().unwrap_or(0) + 1))
+            })),
+        );
+    }
+    let busy = CONN_BUSY_CLIENTS.min(connections);
+    let idle = connections - busy;
+    let pool = ServerPool::new().max_live_connections(connections + 8);
+    let handle = match flavor {
+        CoreFlavor::PooledThreads => pool.serve(server, listener),
+        CoreFlavor::Reactor => pool
+            .serve_reactor(server, listener)
+            .expect("serve_reactor"),
+    };
+
+    // Flow-controlled connect storm: chunks small enough to stay inside
+    // the listener's accept backlog, waiting for the server to take each
+    // chunk before sending the next. Real clients back off the same way;
+    // without it the cell measures kernel SYN-retransmission timeouts
+    // (a dropped SYN costs ~1s) instead of the server's accept-and-hold
+    // capacity — which is the cost under test, and which stays on the
+    // clock: the pooled server pays a thread per accepted connection,
+    // the reactor a registration.
+    const STORM_CHUNK: usize = 64;
+    let started = Instant::now();
+    let mut idle_conns: Vec<std::net::TcpStream> = Vec::with_capacity(idle);
+    while idle_conns.len() < idle {
+        let next = (idle_conns.len() + STORM_CHUNK).min(idle);
+        while idle_conns.len() < next {
+            let i = idle_conns.len();
+            idle_conns.push(
+                std::net::TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle {i}: {e}")),
+            );
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while handle.live_connections() < idle_conns.len() {
+            assert!(
+                Instant::now() < deadline,
+                "accept stalled at {} of {}",
+                handle.live_connections(),
+                idle_conns.len()
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let mut busy_threads = Vec::new();
+    for c in 0..busy {
+        let registry = registry.clone();
+        busy_threads.push(thread::spawn(move || {
+            let mut session =
+                Session::connect_tcp_reliable(registry, addr, nrmi_core::RetryPolicy::default())
+                    .expect("connect busy");
+            let mut done = 0usize;
+            while done < CONN_CALLS_PER_BUSY {
+                let batch: Vec<PipelinedCall> = (0..CONN_PIPELINE_DEPTH
+                    .min(CONN_CALLS_PER_BUSY - done))
+                    .map(|j| {
+                        PipelinedCall::new(
+                            format!("echo{}", (done + j) % PIPELINE_SERVICES),
+                            "inc",
+                            vec![Value::Int((done + j) as i32)],
+                        )
+                    })
+                    .collect();
+                let results = session.call_pipelined(&batch).expect("fleet batch");
+                for (j, slot) in results.into_iter().enumerate() {
+                    assert_eq!(
+                        slot.expect("fleet call"),
+                        Value::Int((done + j) as i32 + 1),
+                        "client {c}: reply routed to the wrong slot"
+                    );
+                }
+                done += batch.len();
+            }
+            let _ = session.close();
+        }));
+    }
+    for t in busy_threads {
+        t.join().expect("busy client");
+    }
+    let elapsed = started.elapsed();
+
+    // Idle clients must disconnect before shutdown: the pooled server
+    // joins per-connection workers, which exit on client disconnect.
+    drop(idle_conns);
+    handle.shutdown().expect("shutdown");
+
+    let calls = busy * CONN_CALLS_PER_BUSY;
+    let secs = elapsed.as_secs_f64();
+    ConnectionPoint {
+        connections,
+        busy,
+        calls,
+        elapsed_ms: secs * 1e3,
+        calls_per_sec: calls as f64 / secs.max(1e-9),
+    }
+}
+
 /// Runs the full ablation: both flavors through the sweep and the probe.
 pub fn run_scaling() -> ScalingReport {
     ScalingReport {
@@ -522,6 +707,14 @@ pub fn run_scaling() -> ScalingReport {
         stall_biglock: stall_cell(ServerFlavor::BigLock),
         stall_pooled: stall_cell(ServerFlavor::Pooled),
         pipeline: PIPELINE_DEPTHS.iter().map(|&d| pipeline_cell(d)).collect(),
+        connections_pooled: connection_counts()
+            .iter()
+            .map(|&n| connection_cell(CoreFlavor::PooledThreads, n))
+            .collect(),
+        connections_reactor: connection_counts()
+            .iter()
+            .map(|&n| connection_cell(CoreFlavor::Reactor, n))
+            .collect(),
     }
 }
 
@@ -554,6 +747,25 @@ pub fn scaling_violations(report: &ScalingReport) -> Vec<String> {
                 "pipelining: depth 16 at {:.0} calls/s fails to double depth 1 at \
                  {:.0} calls/s — in-flight calls are serializing again",
                 d16.calls_per_sec, d1.calls_per_sec
+            ));
+        }
+    }
+    // The reactor gate: at 1000 mostly-idle connections the event loop
+    // must deliver at least 4x the thread-per-connection aggregate —
+    // the tentpole claim, kept honest in CI.
+    let fleet_point = |points: &[ConnectionPoint], n: usize| {
+        points.iter().find(|p| p.connections == n).copied()
+    };
+    if let (Some(pooled), Some(reactor)) = (
+        fleet_point(&report.connections_pooled, 1000),
+        fleet_point(&report.connections_reactor, 1000),
+    ) {
+        if reactor.calls_per_sec < 4.0 * pooled.calls_per_sec {
+            violations.push(format!(
+                "fleet: reactor {:.0} calls/s under 1000 idle connections is below 4x \
+                 the pooled server's {:.0} calls/s — idle connections are costing \
+                 threads again",
+                reactor.calls_per_sec, pooled.calls_per_sec
             ));
         }
     }
@@ -625,12 +837,36 @@ pub fn render_scaling(report: &ScalingReport) -> String {
             p.calls_per_sec / d1_rate.max(1e-9)
         );
     }
+    let _ = writeln!(
+        out,
+        "\nMostly-idle fleet — {} busy clients x {} calls at depth {}, the rest parked:",
+        CONN_BUSY_CLIENTS, CONN_CALLS_PER_BUSY, CONN_PIPELINE_DEPTH
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>16} {:>16} {:>9}",
+        "connections", "pooled calls/s", "reactor calls/s", "speedup"
+    );
+    for (p, r) in report
+        .connections_pooled
+        .iter()
+        .zip(&report.connections_reactor)
+    {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>16.0} {:>16.0} {:>8.2}x",
+            p.connections,
+            p.calls_per_sec,
+            r.calls_per_sec,
+            r.calls_per_sec / p.calls_per_sec.max(1e-9)
+        );
+    }
     let violations = scaling_violations(report);
     if violations.is_empty() {
         let _ = writeln!(
             out,
             "\n[PASS] pooled server beats the serialized baseline; stalls stay \
-             per-connection; pipelining pays"
+             per-connection; pipelining pays; the reactor holds idle fleets for free"
         );
     } else {
         let _ = writeln!(out, "\n[FAIL] scaling regressions:");
@@ -662,6 +898,13 @@ fn pipeline_json(p: &PipelinePoint) -> String {
     )
 }
 
+fn connection_json(p: &ConnectionPoint) -> String {
+    format!(
+        "{{\"connections\": {}, \"busy\": {}, \"calls\": {}, \"elapsed_ms\": {:.3}, \"calls_per_sec\": {:.1}}}",
+        p.connections, p.busy, p.calls, p.elapsed_ms, p.calls_per_sec
+    )
+}
+
 /// Serializes the ablation as the `BENCH_scaling.json` document.
 pub fn to_json(report: &ScalingReport) -> String {
     let join =
@@ -672,8 +915,15 @@ pub fn to_json(report: &ScalingReport) -> String {
         .map(pipeline_json)
         .collect::<Vec<_>>()
         .join(", ");
+    let fleet = |points: &[ConnectionPoint]| {
+        points
+            .iter()
+            .map(connection_json)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     format!(
-        "{{\n  \"workload\": \"remote-ref calls with {}us client-side callback turnaround, independent services\",\n  \"calls_per_client\": {},\n  \"biglock\": [{}],\n  \"pooled\": [{}],\n  \"stall_ms\": {},\n  \"stall_biglock\": {},\n  \"stall_pooled\": {},\n  \"pipeline\": [{}]\n}}\n",
+        "{{\n  \"workload\": \"remote-ref calls with {}us client-side callback turnaround, independent services\",\n  \"calls_per_client\": {},\n  \"biglock\": [{}],\n  \"pooled\": [{}],\n  \"stall_ms\": {},\n  \"stall_biglock\": {},\n  \"stall_pooled\": {},\n  \"pipeline\": [{}],\n  \"connections_pooled\": [{}],\n  \"connections_reactor\": [{}]\n}}\n",
         report.turnaround_us,
         report.calls_per_client,
         join(&report.biglock),
@@ -681,7 +931,9 @@ pub fn to_json(report: &ScalingReport) -> String {
         report.stall_ms,
         stall_json(&report.stall_biglock),
         stall_json(&report.stall_pooled),
-        pipeline
+        pipeline,
+        fleet(&report.connections_pooled),
+        fleet(&report.connections_reactor)
     )
 }
 
@@ -739,6 +991,8 @@ mod tests {
                 elapsed_ms: 10.0,
                 calls_per_sec: 25_600.0,
             }],
+            connections_pooled: vec![fleet_point(1000, 3_200.0)],
+            connections_reactor: vec![fleet_point(1000, 14_000.0)],
         };
         let json = to_json(&report);
         assert!(json.contains("\"biglock\""));
@@ -746,6 +1000,19 @@ mod tests {
         assert!(json.contains("\"stall_pooled\""));
         assert!(json.contains("\"pipeline\""));
         assert!(json.contains("\"depth\": 16"));
+        assert!(json.contains("\"connections_pooled\""));
+        assert!(json.contains("\"connections_reactor\""));
+        assert!(json.contains("\"connections\": 1000"));
+    }
+
+    fn fleet_point(connections: usize, calls_per_sec: f64) -> ConnectionPoint {
+        ConnectionPoint {
+            connections,
+            busy: 8,
+            calls: 512,
+            elapsed_ms: 512.0 / calls_per_sec * 1e3,
+            calls_per_sec,
+        }
     }
 
     #[test]
@@ -785,11 +1052,58 @@ mod tests {
                 max_us: 200,
             },
             pipeline: vec![flat(1), flat(16)],
+            connections_pooled: vec![],
+            connections_reactor: vec![],
         };
         let violations = scaling_violations(&report);
         assert!(
             violations.iter().any(|v| v.contains("pipelining")),
             "{violations:?}"
         );
+    }
+
+    /// The fleet gate fires when the reactor's aggregate throughput at
+    /// 1000 connections falls under 4x the pooled server's.
+    #[test]
+    fn violation_fires_when_reactor_stops_paying() {
+        let report = ScalingReport {
+            calls_per_client: 20,
+            turnaround_us: 2000,
+            biglock: vec![],
+            pooled: vec![],
+            stall_ms: 300,
+            stall_biglock: StallPoint {
+                probe_calls: 5,
+                mean_us: 100,
+                max_us: 200,
+            },
+            stall_pooled: StallPoint {
+                probe_calls: 5,
+                mean_us: 100,
+                max_us: 200,
+            },
+            pipeline: vec![],
+            connections_pooled: vec![fleet_point(1000, 3_200.0)],
+            connections_reactor: vec![fleet_point(1000, 6_000.0)],
+        };
+        let violations = scaling_violations(&report);
+        assert!(
+            violations.iter().any(|v| v.contains("fleet")),
+            "{violations:?}"
+        );
+    }
+
+    /// Smoke: one small fleet cell per server core completes with the
+    /// right call accounting (the 1000-connection gate runs in the
+    /// `tables -- scaling` regeneration, not per-test).
+    #[test]
+    fn fleet_cells_complete_on_both_cores() {
+        for flavor in [CoreFlavor::PooledThreads, CoreFlavor::Reactor] {
+            let p = connection_cell(flavor, 16);
+            assert_eq!(p.connections, 16);
+            assert_eq!(p.busy, CONN_BUSY_CLIENTS);
+            assert_eq!(p.calls, CONN_BUSY_CLIENTS * CONN_CALLS_PER_BUSY, "{flavor:?}");
+            assert!(p.calls_per_sec > 0.0, "{flavor:?}");
+        }
     }
 }

@@ -34,10 +34,10 @@ pub mod schema;
 pub use diag::{Diagnostic, Report, Severity};
 pub use heapcheck::check_heap;
 pub use protocol::{
-    check_pipelined_sequence, check_reliability_sequence, check_sequence, check_shared_sequence,
-    judge_reply, model_check, Action, ModelCheckConfig, PipelinedAction, ReliabilityAction,
-    ReplyContext, SharedAction, ADVERSARIAL_ALPHABET, CORE_ALPHABET, PIPELINED_ALPHABET,
-    RELIABILITY_ALPHABET, SHARED_ALPHABET,
+    check_pipelined_sequence, check_reactor_sequence, check_reliability_sequence, check_sequence,
+    check_shared_sequence, judge_reply, model_check, Action, ModelCheckConfig, PipelinedAction,
+    ReactorAction, ReliabilityAction, ReplyContext, SharedAction, ADVERSARIAL_ALPHABET,
+    CORE_ALPHABET, PIPELINED_ALPHABET, REACTOR_ALPHABET, RELIABILITY_ALPHABET, SHARED_ALPHABET,
 };
 pub use schema::{analyze_registry, diff_registries, fingerprint, fingerprints};
 
@@ -80,6 +80,7 @@ mod tests {
             reliability_depth: 0,
             shared_depth: 0,
             pipelined_depth: 0,
+            reactor_depth: 0,
             max_errors: 25,
         });
         assert!(!report.has_errors(), "{}", report.render());

@@ -60,6 +60,14 @@
 //!   wrong call — a collected value diverged from that call's private
 //!   oracle, a consumed call id produced a ghost reply, or a call frame
 //!   escaped the connection untagged.
+//! * `P010` — the reactor dispatch discipline broken: enumerating the
+//!   real [`nrmi_core::reactor_classify`] step function over two
+//!   connections and an explicit job queue (the reactor model), a fresh
+//!   pipelineable call failed to offload, a retransmitted call id
+//!   offloaded a second execution, a reply reached the wrong
+//!   connection, or a worker dispatch restored a graph its private
+//!   oracle disowns (a torn heap) — each checked against
+//!   per-connection oracle twins exactly as `P008`/`P009` are.
 
 use std::collections::HashSet;
 use std::collections::VecDeque;
@@ -1892,6 +1900,446 @@ pub fn check_pipelined_sequence(actions: &[PipelinedAction]) -> Report {
 }
 
 // ---------------------------------------------------------------------------
+// The reactor dispatch model: NRMI-P010
+// ---------------------------------------------------------------------------
+
+/// One action of the reactor dispatch model: two client connections
+/// multiplexed through the **real** reactor step function
+/// ([`reactor_classify`]) onto a shared job queue drained by two
+/// worker nodes, with the checker in full control of execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReactorAction {
+    /// Issue a copy-restore call on connection A: marshal with the real
+    /// client, wrap in the tagged envelope, classify. A fresh
+    /// pipelineable call must classify as `Offload` — anything else is
+    /// a `P010` violation.
+    IssueA,
+    /// Issue a call on connection B.
+    IssueB,
+    /// Pop the oldest queued job and dispatch it on the next worker
+    /// node (workers alternate, as the real pool's threads do), store
+    /// the reply in the shared cache, and route the tagged reply to the
+    /// owning connection's inbox.
+    RunJob,
+    /// Re-classify connection A's last tagged call frame, byte for
+    /// byte, as a retransmission would arrive. Legal outcomes are
+    /// `Ignore` (still executing) or a cached `Reply`; a second
+    /// `Offload` is a double execution.
+    RetransmitA,
+    /// Collect connection A's reply from its inbox (a no-op while the
+    /// job is still queued) and restore against A's private oracle.
+    CollectA,
+    /// Collect connection B.
+    CollectB,
+}
+
+/// The reactor model's alphabet.
+pub const REACTOR_ALPHABET: [ReactorAction; 6] = [
+    ReactorAction::IssueA,
+    ReactorAction::IssueB,
+    ReactorAction::RunJob,
+    ReactorAction::RetransmitA,
+    ReactorAction::CollectA,
+    ReactorAction::CollectB,
+];
+
+/// One client connection of the reactor model: its own real
+/// [`ClientNode`] and private oracle twin (the reactor's workers share
+/// heaps *across* calls of different connections, so a torn restore
+/// shows up as client-vs-twin divergence), plus the in-flight state the
+/// reactor tracks per connection.
+struct ReactorConn {
+    client: ClientNode,
+    twin: Heap,
+    root: ObjId,
+    twin_root: ObjId,
+    nonce: u64,
+    next_seq: u64,
+    pending: Option<(u64, PendingCall)>,
+    /// The exact tagged frame last sent, for retransmission.
+    last_tagged: Option<Frame>,
+    /// Tagged replies routed back to this connection (the reactor's
+    /// completion channel keyed by connection token).
+    inbox: VecDeque<Frame>,
+}
+
+/// Fresh world per reactor sequence: one [`SharedServer`], two
+/// connections with distinct session nonces, the shared job queue, and
+/// two worker nodes built with [`SharedServer::connection_node`]
+/// exactly as the reactor's pool builds them.
+struct ReactorWorld {
+    shared: Arc<nrmi_core::SharedServer>,
+    conns: [ReactorConn; 2],
+    /// Queued jobs: (connection index, nonce, seq, inner call frame).
+    jobs: VecDeque<(usize, u64, u64, Frame)>,
+    workers: Vec<(ServerNode, WarmCaches)>,
+    next_worker: usize,
+    executions: Arc<std::sync::atomic::AtomicUsize>,
+    dispatched: usize,
+}
+
+impl ReactorWorld {
+    fn new() -> Self {
+        let mut reg = ClassRegistry::new();
+        reg.define("Node")
+            .field_int("data")
+            .field_ref("left")
+            .field_ref("right")
+            .restorable()
+            .register();
+        let registry = reg.snapshot();
+
+        let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+        let executions = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::clone(&executions);
+        server.bind(
+            SVC,
+            Box::new(FnService::new(move |_method, args, heap| {
+                let root = args[0]
+                    .as_ref_id()
+                    .ok_or_else(|| NrmiError::app("want a root reference"))?;
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                service_logic(heap, root)
+            })),
+        );
+        let shared = Arc::new(nrmi_core::SharedServer::from_node(server));
+
+        let conn = |nonce: u64, seed: i32| -> ReactorConn {
+            let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());
+            let mut twin = Heap::new(registry.clone());
+            let root = build_tree(&mut client.state.heap, &registry);
+            let twin_root = build_tree(&mut twin, &registry);
+            client
+                .state
+                .heap
+                .set_field(root, "data", Value::Int(seed))
+                .expect("seed conn");
+            twin.set_field(twin_root, "data", Value::Int(seed))
+                .expect("seed twin");
+            ReactorConn {
+                client,
+                twin,
+                root,
+                twin_root,
+                nonce,
+                next_seq: 1,
+                pending: None,
+                last_tagged: None,
+                inbox: VecDeque::new(),
+            }
+        };
+        // Distinct nonces and histories: connection A's values evolve
+        // from 100, B's from 200, so a reply executed on the wrong
+        // state or routed to the wrong connection is observable.
+        let conn_a = conn(0xAAAA_1111, 100);
+        let conn_b = conn(0xBBBB_2222, 200);
+
+        let workers = (0..2)
+            .map(|_| (shared.connection_node(), WarmCaches::new()))
+            .collect();
+
+        ReactorWorld {
+            shared,
+            conns: [conn_a, conn_b],
+            jobs: VecDeque::new(),
+            workers,
+            next_worker: 0,
+            executions,
+            dispatched: 0,
+        }
+    }
+
+    fn step(&mut self, action: ReactorAction, report: &mut Report) {
+        match action {
+            ReactorAction::IssueA => self.do_issue(0, "A", report),
+            ReactorAction::IssueB => self.do_issue(1, "B", report),
+            ReactorAction::RunJob => self.do_run_job(report),
+            ReactorAction::RetransmitA => self.do_retransmit(0, "A", report),
+            ReactorAction::CollectA => self.do_collect(0, "A", report),
+            ReactorAction::CollectB => self.do_collect(1, "B", report),
+        }
+        self.check_heaps(report);
+        self.check_exactly_once(report);
+    }
+
+    fn do_issue(&mut self, which: usize, who: &str, report: &mut Report) {
+        if self.conns[which].pending.is_some() {
+            return;
+        }
+        let root = self.conns[which].root;
+        let marshalled = client_marshal_call(
+            &mut self.conns[which].client,
+            SVC,
+            METHOD,
+            &[Value::Ref(root)],
+            CallOptions::forced(PassMode::CopyRestore),
+        );
+        let (frame, pending) = match marshalled {
+            Ok(split) => split,
+            Err(e) => {
+                report.push(Diagnostic::error(
+                    "NRMI-P004",
+                    format!("conn {who}: marshal failed: {e}"),
+                ));
+                return;
+            }
+        };
+        let seq = self.conns[which].next_seq;
+        self.conns[which].next_seq += 1;
+        let tagged = Frame::Tagged {
+            nonce: self.conns[which].nonce,
+            seq,
+            frame: Box::new(frame),
+        };
+        self.conns[which].last_tagged = Some(tagged.clone());
+        match nrmi_core::reactor_classify(&self.shared, true, tagged) {
+            nrmi_core::ReactorStep::Offload {
+                nonce,
+                seq: got_seq,
+                call,
+            } => {
+                if nonce != self.conns[which].nonce || got_seq != seq {
+                    report.push(Diagnostic::error(
+                        "NRMI-P010",
+                        format!(
+                            "conn {who}: classify mangled the call id: sent \
+                             ({:#x}, {seq}), offloaded ({nonce:#x}, {got_seq})",
+                            self.conns[which].nonce
+                        ),
+                    ));
+                    return;
+                }
+                self.jobs.push_back((which, nonce, got_seq, call));
+                self.conns[which].pending = Some((seq, pending));
+            }
+            other => report.push(Diagnostic::error(
+                "NRMI-P010",
+                format!(
+                    "conn {who}: a fresh pipelineable call must offload to the \
+                     worker pool; the reactor answered {other:?}"
+                ),
+            )),
+        }
+    }
+
+    fn do_run_job(&mut self, _report: &mut Report) {
+        let Some((which, nonce, seq, call)) = self.jobs.pop_front() else {
+            return;
+        };
+        // Workers alternate, as the real pool's threads race: the same
+        // connection's consecutive calls may execute on different
+        // worker heaps.
+        let slot = self.next_worker % self.workers.len();
+        self.next_worker += 1;
+        let (node, warm) = &mut self.workers[slot];
+        let reply = nrmi_core::dispatch_tagged(node, warm, &mut NullTransport, call);
+        self.dispatched += 1;
+        self.shared.replies.store(nonce, seq, &reply);
+        self.conns[which].inbox.push_back(Frame::Tagged {
+            nonce,
+            seq,
+            frame: Box::new(reply),
+        });
+    }
+
+    fn do_retransmit(&mut self, which: usize, who: &str, report: &mut Report) {
+        let Some(tagged) = self.conns[which].last_tagged.clone() else {
+            return;
+        };
+        match nrmi_core::reactor_classify(&self.shared, true, tagged) {
+            // Still queued or executing: the duplicate is dropped
+            // unanswered and the client's next retransmission replays
+            // the stored reply.
+            nrmi_core::ReactorStep::Ignore => {}
+            // Executed: answered from the cache. Route it to the
+            // connection like any reply; a stale duplicate for an
+            // already-collected call just sits in the inbox, exactly as
+            // the client's demultiplexer discards unsolicited frames.
+            nrmi_core::ReactorStep::Reply(reply) => self.conns[which].inbox.push_back(reply),
+            other => report.push(Diagnostic::error(
+                "NRMI-P010",
+                format!(
+                    "conn {who}: a retransmitted call id must be ignored or \
+                     answered from the reply cache, never {other:?} — that is a \
+                     double execution"
+                ),
+            )),
+        }
+    }
+
+    fn do_collect(&mut self, which: usize, who: &str, report: &mut Report) {
+        let Some(&(seq, _)) = self.conns[which].pending.as_ref() else {
+            return;
+        };
+        let want_nonce = self.conns[which].nonce;
+        // The reply may not have been produced yet (job still queued):
+        // leave the call pending, as the blocked client would.
+        let Some(pos) = self.conns[which].inbox.iter().position(|f| {
+            matches!(
+                f,
+                Frame::Tagged { seq: s, .. } | Frame::ReplyCached { seq: s, .. } if *s == seq
+            )
+        }) else {
+            return;
+        };
+        let frame = self.conns[which].inbox.remove(pos).expect("indexed");
+        let (nonce, inner) = match frame {
+            Frame::Tagged { nonce, frame, .. } | Frame::ReplyCached { nonce, frame, .. } => {
+                (nonce, *frame)
+            }
+            other => unreachable!("matched above: {other:?}"),
+        };
+        if nonce != want_nonce {
+            report.push(Diagnostic::error(
+                "NRMI-P010",
+                format!(
+                    "conn {who}: reply crossed connections: call id nonce \
+                     {nonce:#x}, connection nonce {want_nonce:#x}"
+                ),
+            ));
+            return;
+        }
+        let payload = match inner {
+            Frame::CallReply { payload } => payload,
+            other => {
+                report.push(Diagnostic::error(
+                    "NRMI-P010",
+                    format!("conn {who}: call {seq} answered with {other:?}"),
+                ));
+                return;
+            }
+        };
+        let (_, pending) = self.conns[which].pending.take().expect("checked above");
+        let twin_root = self.conns[which].twin_root;
+        let got = client_apply_reply(&mut self.conns[which].client, pending, &payload);
+        let want = service_logic(&mut self.conns[which].twin, twin_root);
+        match (got, want) {
+            (Ok((got, _stats)), Ok(want)) => {
+                if got != want {
+                    report.push(Diagnostic::error(
+                        "NRMI-P010",
+                        format!(
+                            "conn {who}: reply routed to the wrong call or executed \
+                             on torn state: got {got:?}, want {want:?}"
+                        ),
+                    ));
+                }
+                match graph::isomorphic(
+                    &self.conns[which].client.state.heap,
+                    self.conns[which].root,
+                    &self.conns[which].twin,
+                    twin_root,
+                ) {
+                    Ok(true) => {}
+                    Ok(false) => report.push(Diagnostic::error(
+                        "NRMI-P010",
+                        format!(
+                            "conn {who}: restored graph diverged from its oracle — \
+                             another connection's call tore this worker dispatch"
+                        ),
+                    )),
+                    Err(e) => report.push(Diagnostic::error(
+                        "NRMI-P010",
+                        format!("conn {who}: isomorphism comparison failed: {e}"),
+                    )),
+                }
+            }
+            (Err(e), _) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("conn {who}: restore failed: {e}"),
+            )),
+            (_, Err(e)) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("local oracle itself failed (checker bug): {e}"),
+            )),
+        }
+    }
+
+    fn check_heaps(&mut self, report: &mut Report) {
+        for (which, who) in [(0usize, "A"), (1, "B")] {
+            for (label, code, heap) in [
+                ("client", "NRMI-P001", &self.conns[which].client.state.heap),
+                ("oracle", "NRMI-P001", &self.conns[which].twin),
+            ] {
+                for v in validate(heap) {
+                    report.push(
+                        Diagnostic::error(code, format!("conn {who} {label} heap corrupted: {v}"))
+                            .with("heap", label),
+                    );
+                }
+            }
+        }
+        for (i, (node, _)) in self.workers.iter().enumerate() {
+            for v in validate(&node.state.heap) {
+                report.push(
+                    Diagnostic::error("NRMI-P002", format!("worker {i} heap corrupted: {v}"))
+                        .with("heap", "worker"),
+                );
+            }
+        }
+    }
+
+    /// Every offloaded job executes exactly once, when a `RunJob` pops
+    /// it — retransmissions must never enqueue a second execution.
+    fn check_exactly_once(&mut self, report: &mut Report) {
+        let ran = self.executions.load(std::sync::atomic::Ordering::SeqCst);
+        if ran != self.dispatched {
+            report.push(Diagnostic::error(
+                "NRMI-P007",
+                format!(
+                    "reactor at-most-once broken: {ran} service execution(s) for \
+                     {} dispatched job(s)",
+                    self.dispatched
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs one reactor action sequence against a fresh world, returning
+/// all violations (panics become `NRMI-P006`).
+pub fn check_reactor_sequence(actions: &[ReactorAction]) -> Report {
+    let trace = actions
+        .iter()
+        .map(|a| format!("{a:?}"))
+        .collect::<Vec<_>>()
+        .join(" → ");
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut world = ReactorWorld::new();
+        let mut report = Report::new();
+        for (i, &action) in actions.iter().enumerate() {
+            world.step(action, &mut report);
+            if report.has_errors() {
+                return (report, Some(i));
+            }
+        }
+        (report, None)
+    }));
+    match outcome {
+        Ok((mut report, failed_at)) => {
+            if let Some(i) = failed_at {
+                report = report
+                    .diagnostics()
+                    .iter()
+                    .cloned()
+                    .map(|d| d.with("trace", &trace).with("failed_at_step", i))
+                    .collect();
+            }
+            report
+        }
+        Err(payload) => {
+            let msg = panic_message(&payload);
+            let mut report = Report::new();
+            report.push(
+                Diagnostic::error("NRMI-P006", format!("sequence panicked: {msg}"))
+                    .with("trace", &trace),
+            );
+            report
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Enumeration
 // ---------------------------------------------------------------------------
 
@@ -1911,6 +2359,10 @@ pub struct ModelCheckConfig {
     /// Exhaustive depth over [`PIPELINED_ALPHABET`] (two calls in flight
     /// on one multiplexed connection, replies reordered and dropped).
     pub pipelined_depth: usize,
+    /// Exhaustive depth over [`REACTOR_ALPHABET`] (two connections
+    /// multiplexed through the reactor's classify/offload/complete step
+    /// function onto alternating worker nodes).
+    pub reactor_depth: usize,
     /// Stop after this many error diagnostics (a broken invariant tends
     /// to fail thousands of sequences identically).
     pub max_errors: usize,
@@ -1921,14 +2373,15 @@ impl Default for ModelCheckConfig {
         // Depth 6 over the 6-action core alphabet: 46_656 sequences,
         // ~280k protocol actions; plus 9^4 = 6_561 adversarial sequences,
         // 6^4 = 1_296 reliability sequences, 6^5 = 7_776 two-connection
-        // shared-server sequences, and 6^4 = 1_296 pipelined
-        // reply-routing sequences.
+        // shared-server sequences, 6^4 = 1_296 pipelined reply-routing
+        // sequences, and 6^4 = 1_296 reactor dispatch sequences.
         ModelCheckConfig {
             core_depth: 6,
             adversarial_depth: 4,
             reliability_depth: 4,
             shared_depth: 5,
             pipelined_depth: 4,
+            reactor_depth: 4,
             max_errors: 25,
         }
     }
@@ -2047,6 +2500,14 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             &mut count,
             check_pipelined_sequence,
         );
+        enumerate(
+            &REACTOR_ALPHABET[..],
+            cfg.reactor_depth,
+            cfg.max_errors,
+            &mut inner,
+            &mut count,
+            check_reactor_sequence,
+        );
         (inner, count)
     }));
     std::panic::set_hook(prev_hook);
@@ -2069,12 +2530,14 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             format!(
                 "protocol enumeration explored {sequences} sequences \
                  (core depth {}, adversarial depth {}, reliability depth {}, \
-                 shared depth {}, pipelined depth {}): {errors} violation(s)",
+                 shared depth {}, pipelined depth {}, reactor depth {}): \
+                 {errors} violation(s)",
                 cfg.core_depth,
                 cfg.adversarial_depth,
                 cfg.reliability_depth,
                 cfg.shared_depth,
-                cfg.pipelined_depth
+                cfg.pipelined_depth,
+                cfg.reactor_depth
             ),
         )
         .with("sequences", sequences),
@@ -2174,6 +2637,7 @@ mod tests {
             reliability_depth: 2,
             shared_depth: 3,
             pipelined_depth: 3,
+            reactor_depth: 3,
             max_errors: 25,
         });
         assert!(!report.has_errors(), "{}", report.render());
@@ -2283,6 +2747,63 @@ mod tests {
                 report.render()
             );
         }
+    }
+
+    #[test]
+    fn reactor_dispatch_sequences_are_clean() {
+        use ReactorAction as R;
+        for seq in [
+            // One call through the whole offload path.
+            vec![R::IssueA, R::RunJob, R::CollectA],
+            // Both connections in flight; jobs drain in either order
+            // relative to collects, replies route by connection.
+            vec![R::IssueA, R::IssueB, R::RunJob, R::RunJob, R::CollectB, R::CollectA],
+            // Collect before the job ran: a no-op, then the real thing.
+            vec![R::IssueA, R::CollectA, R::RunJob, R::CollectA],
+            // Retransmission of a queued call: ignored (in progress),
+            // executed once, collected once.
+            vec![R::IssueA, R::RetransmitA, R::RunJob, R::CollectA],
+            // Retransmission of an executed call: answered from the
+            // cache, and the cached reply satisfies the collect.
+            vec![R::IssueA, R::RunJob, R::RetransmitA, R::CollectA],
+            // Back-to-back rounds on one connection interleaved with
+            // the other: consecutive calls land on different worker
+            // heaps.
+            vec![
+                R::IssueA,
+                R::RunJob,
+                R::CollectA,
+                R::IssueB,
+                R::IssueA,
+                R::RunJob,
+                R::RunJob,
+                R::CollectA,
+                R::CollectB,
+            ],
+        ] {
+            let report = check_reactor_sequence(&seq);
+            assert!(
+                !report.has_errors(),
+                "sequence {seq:?} failed:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn reactor_world_replays_retransmissions_from_the_cache() {
+        use ReactorAction as R;
+        let mut world = ReactorWorld::new();
+        let mut report = Report::new();
+        for action in [R::IssueA, R::RetransmitA, R::RunJob, R::RetransmitA, R::CollectA] {
+            world.step(action, &mut report);
+        }
+        assert!(!report.has_errors(), "{}", report.render());
+        assert_eq!(
+            world.executions.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "two retransmissions around one execution must not re-execute"
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod node;
 pub mod profile;
 pub mod protocol;
 pub mod proxy;
+pub mod reactor;
 pub mod reliable;
 pub mod restore;
 pub mod semantics;
@@ -83,6 +84,7 @@ pub use protocol::{
     serve_connection_shared, CallStats, PendingCall, PipelinedCall,
 };
 pub use proxy::{handle_callback, ProxyStats, RemoteHeapProxy};
+pub use reactor::{reactor_classify, ReactorStep};
 pub use reliable::{
     fresh_nonce, ReliableTransport, ReplyCache, ReplyDecision, RetryPolicy, RetryStats,
     REPLY_EVICTED,

@@ -300,7 +300,7 @@ impl SharedServer {
     /// later calls on the connection's main node (the factory pattern
     /// would hand out dead stubs). Such schemas still pipeline — read-
     /// ahead and out-of-order writes apply — but execute on one thread.
-    fn offloadable(&self) -> bool {
+    pub(crate) fn offloadable(&self) -> bool {
         !self.registry.iter().any(|(_, desc)| desc.flags().remote)
     }
 
@@ -387,6 +387,19 @@ pub fn serve_connection_pooled(
 /// the network, not saturating cores per client.
 const PIPELINE_WORKERS: usize = 4;
 
+/// Replies (and callback frames) queued for the writer thread before
+/// producers block. A client that stops reading fills the socket
+/// buffer, then the writer blocks in `send`, then this queue fills,
+/// then the reader and workers block — so a slow reader backpressures
+/// its own request stream instead of growing server memory without
+/// bound (each queued frame can be a full reply graph).
+const PIPELINE_REPLY_QUEUE: usize = 64;
+
+/// Tagged calls queued for pipeline workers before the reader blocks.
+/// Bounds read-ahead: the reader stops pulling requests off the socket
+/// once the workers are this far behind.
+const PIPELINE_JOB_QUEUE: usize = 64;
+
 /// A tagged request queued for a pipeline worker.
 type PipelineJob = (u64, u64, Frame);
 
@@ -396,7 +409,7 @@ type PipelineJob = (u64, u64, Frame);
 /// the connection's cache generations, and object calls address the
 /// connection node's export table — all of those stay exclusive on the
 /// connection thread.
-fn is_pipelineable(frame: &Frame) -> bool {
+pub(crate) fn is_pipelineable(frame: &Frame) -> bool {
     match frame {
         Frame::CallRequest { mode, .. } => {
             crate::semantics::wire_mode_bits(*mode) != crate::semantics::MODE_REMOTE_REF
@@ -408,7 +421,7 @@ fn is_pipelineable(frame: &Frame) -> bool {
 /// The transport handed to pipeline workers: their calls are gated to
 /// never need mid-call traffic, so any use is a bug surfaced as an
 /// in-band call error rather than a hang or a cross-thread frame steal.
-struct NoCallbackTransport;
+pub(crate) struct NoCallbackTransport;
 
 impl Transport for NoCallbackTransport {
     fn send(&mut self, _frame: &Frame) -> Result<(), TransportError> {
@@ -435,7 +448,7 @@ impl Transport for NoCallbackTransport {
 /// exclusive call finishes — pipelined requests keep arriving mid-call
 /// without getting lost or misread as callback answers.
 struct ConnIo<'a> {
-    writer_tx: mpsc::Sender<Frame>,
+    writer_tx: mpsc::SyncSender<Frame>,
     receiver: &'a mut dyn TransportReceiver,
     stash: &'a mut VecDeque<Frame>,
 }
@@ -497,14 +510,17 @@ fn serve_connection_pipelined(
     mut sender: Box<dyn TransportSender>,
     mut receiver: Box<dyn TransportReceiver>,
 ) -> Result<(), NrmiError> {
-    let (writer_tx, writer_rx) = mpsc::channel::<Frame>();
+    // Both queues are bounded: a send on a full queue blocks the
+    // producer, propagating a stalled client back to the reader instead
+    // of buffering replies without limit (see PIPELINE_REPLY_QUEUE).
+    let (writer_tx, writer_rx) = mpsc::sync_channel::<Frame>(PIPELINE_REPLY_QUEUE);
     let writer_err: parking_lot::Mutex<Option<TransportError>> = parking_lot::Mutex::new(None);
     let workers = if shared.offloadable() {
         PIPELINE_WORKERS
     } else {
         0
     };
-    let (job_tx, job_rx) = mpsc::channel::<PipelineJob>();
+    let (job_tx, job_rx) = mpsc::sync_channel::<PipelineJob>(PIPELINE_JOB_QUEUE);
     let job_rx = parking_lot::Mutex::new(job_rx);
     let result = std::thread::scope(|scope| {
         let writer_err = &writer_err;
@@ -587,8 +603,8 @@ fn pipelined_recv_loop(
     conn: &mut ServerNode,
     warm: &mut crate::warm::WarmCaches,
     receiver: &mut dyn TransportReceiver,
-    writer_tx: &mpsc::Sender<Frame>,
-    job_tx: &mpsc::Sender<PipelineJob>,
+    writer_tx: &mpsc::SyncSender<Frame>,
+    job_tx: &mpsc::SyncSender<PipelineJob>,
     offload: bool,
 ) -> Result<(), NrmiError> {
     // Frames that arrived while an exclusive call was waiting on its
@@ -732,20 +748,62 @@ fn pipelined_recv_loop(
     }
 }
 
-fn serve_connection_pooled_inner(
+/// Serves a connection the reactor escalated off its readiness loop:
+/// the stashed frames it read ahead of the escalation trigger are
+/// processed first (in arrival order, exclusively), then the transport
+/// — restored to blocking mode by the reactor — continues under the
+/// normal pooled discipline (pipelined when it splits). The connection
+/// node and warm caches are created here, lazily: reactor-owned
+/// connections carry no node state until they need exclusive traffic.
+pub(crate) fn serve_connection_escalated(
+    shared: &SharedServer,
+    transport: &mut dyn Transport,
+    stash: Vec<Frame>,
+) -> Result<(), NrmiError> {
+    let mut conn = shared.connection_node();
+    let mut warm = crate::warm::WarmCaches::new();
+    let mut result = Ok(());
+    let mut stopped = false;
+    for frame in stash {
+        match handle_exclusive_frame(shared, &mut conn, &mut warm, transport, frame) {
+            Ok(true) => {}
+            Ok(false) => {
+                stopped = true;
+                break;
+            }
+            Err(e) => {
+                result = Err(e);
+                stopped = true;
+                break;
+            }
+        }
+    }
+    if !stopped {
+        result = match transport.split() {
+            Some((sender, receiver)) => {
+                serve_connection_pipelined(shared, &mut conn, &mut warm, sender, receiver)
+            }
+            None => serve_connection_pooled_inner(shared, &mut conn, &mut warm, transport),
+        };
+    }
+    warm.release_all(&mut conn.state.heap);
+    result
+}
+
+/// Handles one frame exclusively on the connection thread — the shared
+/// body of the serial pooled loop and the escalated stash replay.
+/// Returns `Ok(false)` when the frame ends the connection (`Shutdown`),
+/// `Ok(true)` to continue.
+fn handle_exclusive_frame(
     shared: &SharedServer,
     conn: &mut ServerNode,
     warm: &mut crate::warm::WarmCaches,
     transport: &mut dyn Transport,
-) -> Result<(), NrmiError> {
-    loop {
-        let frame = match transport.recv() {
-            Ok(frame) => frame,
-            Err(TransportError::Disconnected) => return Ok(()),
-            Err(e) => return Err(e.into()),
-        };
+    frame: Frame,
+) -> Result<bool, NrmiError> {
+    {
         match frame {
-            Frame::Shutdown => return Ok(()),
+            Frame::Shutdown => return Ok(false),
             Frame::Tagged { nonce, seq, frame } => {
                 // Decide-mark-executing on the nonce's shard, execute
                 // with no shard lock held, store. A duplicate arriving
@@ -831,6 +889,25 @@ fn serve_connection_pooled_inner(
             }
         }
     }
+    Ok(true)
+}
+
+fn serve_connection_pooled_inner(
+    shared: &SharedServer,
+    conn: &mut ServerNode,
+    warm: &mut crate::warm::WarmCaches,
+    transport: &mut dyn Transport,
+) -> Result<(), NrmiError> {
+    loop {
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(TransportError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        if !handle_exclusive_frame(shared, conn, warm, transport, frame)? {
+            return Ok(());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -889,5 +966,121 @@ mod tests {
         let actual: usize = cache.shards.iter().map(|s| s.lock().len()).sum();
         assert_eq!(cache.len(), actual);
         assert!(!cache.is_empty());
+    }
+
+    /// A client that floods calls but never reads replies must not grow
+    /// server memory without bound: the bounded reply and job queues
+    /// propagate the stall back to the reader, which stops consuming
+    /// frames once `PIPELINE_JOB_QUEUE + PIPELINE_REPLY_QUEUE` plus the
+    /// threads' in-hand frames are outstanding.
+    #[test]
+    fn slow_reader_bounds_pipelined_consumption() {
+        use std::sync::atomic::AtomicBool;
+
+        /// Write half modeling a client that never drains replies: the
+        /// first send parks on a gate; once the gate opens, every send
+        /// reports the connection gone so the loop unwinds.
+        struct StalledSender {
+            gate: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+        }
+        impl TransportSender for StalledSender {
+            fn send(&mut self, _frame: &Frame) -> Result<(), TransportError> {
+                let (lock, cvar) = &*self.gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cvar.wait(open).unwrap();
+                }
+                Err(TransportError::Disconnected)
+            }
+        }
+
+        /// Read half with an infinite supply of fresh tagged calls,
+        /// counting how many the server actually consumed.
+        struct FloodReceiver {
+            stop: Arc<AtomicBool>,
+            consumed: Arc<AtomicUsize>,
+            seq: u64,
+        }
+        impl TransportReceiver for FloodReceiver {
+            fn recv(&mut self) -> Result<Frame, TransportError> {
+                if self.stop.load(Ordering::SeqCst) {
+                    return Err(TransportError::Disconnected);
+                }
+                self.seq += 1;
+                self.consumed.fetch_add(1, Ordering::SeqCst);
+                Ok(Frame::Tagged {
+                    nonce: 7,
+                    seq: self.seq,
+                    // An unknown service still runs the full
+                    // begin/execute/store/reply path (as an error
+                    // reply), which is all backpressure sees.
+                    frame: Box::new(Frame::CallRequest {
+                        service: "no-such-service".into(),
+                        method: "m".into(),
+                        mode: 0,
+                        payload: Vec::new(),
+                    }),
+                })
+            }
+            fn recv_timeout(&mut self, _timeout: Duration) -> Result<Frame, TransportError> {
+                self.recv()
+            }
+        }
+
+        let registry = nrmi_heap::ClassRegistry::new().snapshot();
+        let shared = Arc::new(SharedServer::from_node(ServerNode::new(
+            registry,
+            MachineSpec::fast(),
+        )));
+        let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let consumed = Arc::new(AtomicUsize::new(0));
+
+        let server_thread = {
+            let shared = Arc::clone(&shared);
+            let sender = Box::new(StalledSender {
+                gate: Arc::clone(&gate),
+            });
+            let receiver = Box::new(FloodReceiver {
+                stop: Arc::clone(&stop),
+                consumed: Arc::clone(&consumed),
+                seq: 0,
+            });
+            std::thread::spawn(move || {
+                let mut conn = shared.connection_node();
+                let mut warm = crate::warm::WarmCaches::new();
+                serve_connection_pipelined(&shared, &mut conn, &mut warm, sender, receiver)
+            })
+        };
+
+        // Let the flood run to its stall. Consumption must plateau: two
+        // samples far apart agree, and the total stays within the sum
+        // of the queue bounds plus one frame in each thread's hands.
+        let budget = PIPELINE_JOB_QUEUE + PIPELINE_REPLY_QUEUE + PIPELINE_WORKERS + 8;
+        std::thread::sleep(Duration::from_millis(300));
+        let sample1 = consumed.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(300));
+        let sample2 = consumed.load(Ordering::SeqCst);
+        assert!(
+            sample2 <= budget,
+            "slow reader let the server consume {sample2} frames (budget {budget})"
+        );
+        assert_eq!(
+            sample1, sample2,
+            "consumption must plateau once the bounded queues fill"
+        );
+
+        // Unwind: stop the flood, then open the gate — the writer sees
+        // Disconnected, drains the reply queue, and everyone exits.
+        stop.store(true, Ordering::SeqCst);
+        {
+            let (lock, cvar) = &*gate;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
+        server_thread
+            .join()
+            .expect("serve thread")
+            .expect("clean disconnect");
     }
 }

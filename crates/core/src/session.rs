@@ -590,6 +590,7 @@ pub struct ServerPool {
     max_live: usize,
     max_total: Option<usize>,
     accept_poll: Duration,
+    reactor_workers: usize,
 }
 
 impl Default for ServerPool {
@@ -597,6 +598,8 @@ impl Default for ServerPool {
         ServerPool::new()
     }
 }
+
+const REACTOR_WORKER_DEFAULT: usize = crate::reactor::REACTOR_WORKERS;
 
 impl ServerPool {
     /// Default configuration: up to 64 live connections, no total
@@ -606,6 +609,7 @@ impl ServerPool {
             max_live: 64,
             max_total: None,
             accept_poll: Duration::from_millis(25),
+            reactor_workers: REACTOR_WORKER_DEFAULT,
         }
     }
 
@@ -626,9 +630,19 @@ impl ServerPool {
 
     /// How long each accept wait lasts before the loop rechecks the
     /// shutdown flag — the latency bound on [`ServeHandle::shutdown`]
-    /// unblocking `accept`.
+    /// unblocking `accept`. (The reactor mode needs no poll: its
+    /// shutdown wakes the poller directly.)
     pub fn accept_poll(mut self, poll: Duration) -> Self {
         self.accept_poll = poll.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Worker threads executing cold calls for the whole reactor in
+    /// [`ServerPool::serve_reactor`] mode (default 4) — fixed regardless
+    /// of connection count. Ignored by thread-per-connection
+    /// [`ServerPool::serve`].
+    pub fn reactor_workers(mut self, n: usize) -> Self {
+        self.reactor_workers = n.max(1);
         self
     }
 
@@ -709,13 +723,81 @@ impl ServerPool {
             workers,
             live,
             served,
+            #[cfg(unix)]
+            waker: None,
         }
+    }
+
+    /// Launches the **reactor** serve core instead of a thread per
+    /// connection: one event-loop thread owns every socket in
+    /// non-blocking mode (a handwritten `poll(2)` loop — see
+    /// [`reactor`](crate::reactor)), answering cached/lookup traffic
+    /// inline and handing fresh pipelineable cold calls to
+    /// [`ServerPool::reactor_workers`] shared worker threads. Exclusive
+    /// traffic (warm, object, and remote-reference calls) escalates that
+    /// connection to a dedicated blocking thread with PR 5/6 semantics
+    /// intact, so the modes are behaviorally interchangeable — this one
+    /// holds thousands of mostly-idle connections at a fixed thread
+    /// count.
+    ///
+    /// The returned handle is the same [`ServeHandle`];
+    /// [`ServeHandle::shutdown`] wakes the poller directly (no
+    /// accept-poll latency).
+    ///
+    /// # Errors
+    /// Failure to construct the poller's wake channel.
+    #[cfg(unix)]
+    pub fn serve_reactor<L>(self, server: ServerNode, listener: L) -> Result<ServeHandle, NrmiError>
+    where
+        L: nrmi_transport::PollableListener + Send + 'static,
+        L::Conn: nrmi_transport::ReactorIo + Send + 'static,
+    {
+        let shared = Arc::new(crate::server::SharedServer::from_node(server));
+        let stop = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicUsize::new(0));
+        let served = Arc::new(AtomicUsize::new(0));
+        let workers: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let accept_error: Arc<parking_lot::Mutex<Option<String>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+
+        let poller = nrmi_transport::Poller::new()?;
+        let waker = poller.waker();
+        let config = crate::reactor::ReactorConfig {
+            workers: self.reactor_workers,
+            max_live: self.max_live,
+            max_total: self.max_total,
+        };
+        let ctl = crate::reactor::ReactorShared {
+            stop: Arc::clone(&stop),
+            live: Arc::clone(&live),
+            served: Arc::clone(&served),
+            escalated: Arc::clone(&workers),
+            accept_error: Arc::clone(&accept_error),
+        };
+        let reactor_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                crate::reactor::run_reactor(shared, listener, poller, config, ctl)
+            })
+        };
+
+        Ok(ServeHandle {
+            shared: Some(shared),
+            stop,
+            accept_thread: Some(reactor_thread),
+            accept_error,
+            workers,
+            live,
+            served,
+            waker: Some(waker),
+        })
     }
 }
 
 /// Decrements the live-connection counter when a worker exits — by any
 /// path, including a panic unwinding through the serve loop.
-struct LiveGuard(Arc<AtomicUsize>);
+pub(crate) struct LiveGuard(pub(crate) Arc<AtomicUsize>);
 
 impl Drop for LiveGuard {
     fn drop(&mut self) {
@@ -736,6 +818,10 @@ pub struct ServeHandle {
     workers: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
     live: Arc<AtomicUsize>,
     served: Arc<AtomicUsize>,
+    /// `Some` in reactor mode: shutdown wakes the poller out of its
+    /// indefinite wait instead of relying on an accept-poll interval.
+    #[cfg(unix)]
+    waker: Option<nrmi_transport::Waker>,
 }
 
 impl ServeHandle {
@@ -765,6 +851,10 @@ impl ServeHandle {
     /// An accept-loop failure recorded before shutdown.
     pub fn shutdown(mut self) -> Result<ServerNode, NrmiError> {
         self.stop.store(true, Ordering::SeqCst);
+        #[cfg(unix)]
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         self.finish()
     }
 
@@ -823,6 +913,10 @@ impl Drop for ServeHandle {
         // loop to stop and detach. Joining here could block forever on
         // connections whose clients never disconnect.
         self.stop.store(true, Ordering::SeqCst);
+        #[cfg(unix)]
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
     }
 }
 

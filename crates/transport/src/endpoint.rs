@@ -110,6 +110,69 @@ pub trait Listener {
     fn accept_timeout(&self, timeout: Duration) -> Result<Self::Conn>;
 }
 
+/// Non-blocking I/O surface a reactor needs from a connection: raw-fd
+/// registration, explicit blocking-mode control, resumable frame reads,
+/// and readiness-driven flushing of a [`SendQueue`](crate::SendQueue).
+///
+/// Implementors are ordinary [`Transport`]s (TCP, Unix-domain) whose
+/// socket a reactor temporarily owns in non-blocking mode. When a
+/// connection escalates to a dedicated thread, the reactor restores
+/// blocking mode and hands it back to the blocking serve loop — the
+/// same object serves both disciplines.
+#[cfg(unix)]
+pub trait ReactorIo: Transport {
+    /// The raw descriptor to register with a
+    /// [`Poller`](crate::poller::Poller).
+    fn raw_fd(&self) -> std::os::unix::io::RawFd;
+
+    /// Switches the underlying socket between blocking and non-blocking
+    /// mode.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    fn set_nonblocking(&self, nonblocking: bool) -> Result<()>;
+
+    /// Attempts one non-blocking frame read: `Ok(Some)` with a decoded
+    /// frame, `Ok(None)` when the socket has no complete frame yet
+    /// (partial progress is retained for the next readiness event).
+    ///
+    /// # Errors
+    /// [`TransportError::Disconnected`] on peer closure; decode and I/O
+    /// errors as-is.
+    fn try_read_frame(&mut self) -> Result<Option<Frame>>;
+
+    /// Flushes as much of `queue` as the socket accepts without
+    /// blocking; `Ok(true)` when the queue drained.
+    ///
+    /// # Errors
+    /// As [`SendQueue::flush`](crate::SendQueue::flush).
+    fn flush_queue(&mut self, queue: &mut crate::SendQueue) -> Result<bool>;
+}
+
+/// Listener-side counterpart of [`ReactorIo`]: lets a reactor register
+/// the listening socket itself and accept without blocking.
+#[cfg(unix)]
+pub trait PollableListener: Listener {
+    /// The raw descriptor to register with a
+    /// [`Poller`](crate::poller::Poller).
+    fn raw_fd(&self) -> std::os::unix::io::RawFd;
+
+    /// Switches the listening socket between blocking and non-blocking
+    /// mode.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    fn set_nonblocking(&self, nonblocking: bool) -> Result<()>;
+
+    /// Accepts one pending connection without blocking; `Ok(None)` when
+    /// the backlog is empty. The accepted connection's blocking mode is
+    /// unspecified — callers set it explicitly before use.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    fn try_accept(&self) -> Result<Option<Self::Conn>>;
+}
+
 /// In-process transport over crossbeam channels.
 ///
 /// When built with [`channel_pair`]'s `env`/`link` parameters, every sent

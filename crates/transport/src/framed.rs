@@ -24,6 +24,7 @@
 //!   chunks as bytes actually arrive, so a peer must *send* 64 MiB to
 //!   make us hold 64 MiB.
 
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 
 use nrmi_wire::ByteWriter;
@@ -73,6 +74,90 @@ pub(crate) fn write_frame(
         Ok(()) => Ok(body_len),
         Err(e) if is_connection_fatal(e.kind()) => Err(TransportError::Disconnected),
         Err(e) => Err(e.into()),
+    }
+}
+
+/// A resumable non-blocking write queue: encoded `[length][frame]`
+/// buffers waiting for the socket to accept them, with a cursor into
+/// the front buffer so a partial write resumes exactly where the
+/// kernel stopped taking bytes.
+///
+/// This is the write-side twin of [`FrameReader`] for reactor-owned
+/// connections: the reactor queues replies as they complete and flushes
+/// on write-readiness events, never blocking in `write`. The total
+/// queued byte count ([`SendQueue::pending_bytes`]) is the reactor's
+/// backpressure signal — above a high-water mark it stops *reading*
+/// from the connection, so a client that stops draining replies stalls
+/// its own request stream instead of growing server memory.
+#[derive(Debug, Default)]
+pub struct SendQueue {
+    chunks: VecDeque<Vec<u8>>,
+    /// Bytes of the front chunk already written.
+    offset: usize,
+    /// Total unwritten bytes across all chunks.
+    bytes: usize,
+}
+
+impl SendQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        SendQueue::default()
+    }
+
+    /// Encodes `frame` (with its length prefix) and appends it to the
+    /// queue.
+    pub fn push(&mut self, frame: &Frame) {
+        let mut w = ByteWriter::with_buffer(Vec::new());
+        w.put_slice(&[0u8; 4]);
+        frame.encode_into(&mut w);
+        let mut bytes = w.into_bytes();
+        let body_len = bytes.len() - 4;
+        bytes[..4].copy_from_slice(&(body_len as u32).to_be_bytes());
+        self.bytes += bytes.len();
+        self.chunks.push_back(bytes);
+    }
+
+    /// Unwritten bytes currently queued.
+    pub fn pending_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// True when everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Writes as much queued data as `stream` accepts without blocking.
+    /// Returns `Ok(true)` when the queue drained completely, `Ok(false)`
+    /// when the stream stopped taking bytes (`WouldBlock`) — call again
+    /// on the next write-readiness event.
+    ///
+    /// # Errors
+    /// [`TransportError::Disconnected`] when the peer is gone; other
+    /// I/O errors as-is.
+    pub fn flush(&mut self, stream: &mut impl Write) -> Result<bool> {
+        loop {
+            let Some(front) = self.chunks.front() else {
+                return Ok(true);
+            };
+            match stream.write(&front[self.offset..]) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => {
+                    self.offset += n;
+                    self.bytes -= n;
+                    if self.offset == front.len() {
+                        self.chunks.pop_front();
+                        self.offset = 0;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_connection_fatal(e.kind()) => {
+                    return Err(TransportError::Disconnected)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 }
 
@@ -354,6 +439,84 @@ mod tests {
         let mut reader = FrameReader::new();
         assert!(matches!(
             reader.read_frame(&mut stream),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    /// A stream that accepts at most `quota` bytes per `write` call and
+    /// fails with `WouldBlock` once `cap` total bytes have been taken —
+    /// the shape of a non-blocking socket with a full send buffer.
+    struct Throttled {
+        taken: Vec<u8>,
+        quota: usize,
+        cap: usize,
+    }
+
+    impl io::Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.taken.len() >= self.cap {
+                return Err(io::Error::new(ErrorKind::WouldBlock, "send buffer full"));
+            }
+            let n = buf.len().min(self.quota).min(self.cap - self.taken.len());
+            self.taken.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn send_queue_resumes_partial_writes() {
+        let frames = [
+            Frame::CountReply(1),
+            Frame::CallReply {
+                payload: vec![5; 700],
+            },
+            Frame::Ack,
+        ];
+        let mut q = SendQueue::new();
+        for f in &frames {
+            q.push(f);
+        }
+        let total = q.pending_bytes();
+        // First pass: the socket takes 100 bytes in 7-byte dribbles.
+        let mut stream = Throttled {
+            taken: Vec::new(),
+            quota: 7,
+            cap: 100,
+        };
+        assert!(!q.flush(&mut stream).unwrap(), "socket filled mid-frame");
+        assert_eq!(q.pending_bytes(), total - 100);
+        // Second pass: the socket drains.
+        stream.cap = usize::MAX;
+        assert!(q.flush(&mut stream).unwrap());
+        assert!(q.is_empty());
+        assert_eq!(q.pending_bytes(), 0);
+        // The bytes on the wire parse back to the exact frame sequence.
+        let mut reader = FrameReader::new();
+        let mut replay = Script::new(vec![ScriptStep::Data(stream.taken)]);
+        for f in &frames {
+            assert_eq!(&reader.read_frame(&mut replay).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn send_queue_reports_disconnect() {
+        struct Dead;
+        impl io::Write for Dead {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut q = SendQueue::new();
+        q.push(&Frame::Ack);
+        assert!(matches!(
+            q.flush(&mut Dead),
             Err(TransportError::Disconnected)
         ));
     }

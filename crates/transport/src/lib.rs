@@ -17,26 +17,36 @@
 //! (no accounting), and the middleware charges the `SimEnv` explicitly
 //! for the work it models (serialization CPU, restore CPU, transfers).
 
-#![forbid(unsafe_code)]
+// Denied (not forbidden) so the `poller` module can scope an allow for
+// its two lines of `poll(2)` FFI; everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod framed;
+mod listen;
 
 pub mod endpoint;
 pub mod fault;
 pub mod message;
+#[cfg(unix)]
+pub mod poller;
 pub mod simnet;
 pub mod tcp;
 #[cfg(unix)]
 pub mod uds;
 
+#[cfg(unix)]
+pub use endpoint::{PollableListener, ReactorIo};
 pub use endpoint::{
     channel_pair, ChannelTransport, Listener, Transport, TransportReceiver, TransportSender,
 };
 pub use error::TransportError;
 pub use fault::{Fault, FaultPlan, FaultyTransport};
+pub use framed::SendQueue;
 pub use message::{decode_rvals, encode_rvals, Frame, RVal};
+#[cfg(unix)]
+pub use poller::{Event, Interest, Poller, Token, Waker};
 pub use simnet::{LinkSpec, MachineSpec, SimEnv, SimReport};
 pub use tcp::{TcpListenerTransport, TcpTransport};
 #[cfg(unix)]

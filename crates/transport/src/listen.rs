@@ -1,0 +1,122 @@
+//! The shared non-blocking accept-poll loop behind the TCP and
+//! Unix-domain `accept_timeout` implementations.
+//!
+//! `std` listeners have no native accept deadline, so a timed accept
+//! flips the listener non-blocking and polls. Both socket families need
+//! the identical loop, and both must restore the listener's blocking
+//! flag on *every* exit path — success, timeout, and accept error alike
+//! — or the next plain `accept` spins on `WouldBlock`. A drop guard
+//! makes the restoration unconditional instead of hand-copied per
+//! return.
+
+use std::io::ErrorKind;
+use std::time::{Duration, Instant};
+
+use crate::{Result, TransportError};
+
+/// How long the poll loop sleeps between non-blocking accept attempts.
+const ACCEPT_POLL_STEP: Duration = Duration::from_millis(2);
+
+/// Restores the listener's blocking flag when the poll loop exits by
+/// any path (including panics unwinding through an accept callback).
+struct BlockingGuard<'a> {
+    set_nonblocking: &'a dyn Fn(bool) -> std::io::Result<()>,
+}
+
+impl Drop for BlockingGuard<'_> {
+    fn drop(&mut self) {
+        let _ = (self.set_nonblocking)(false);
+    }
+}
+
+/// Polls `accept` (which must be non-blocking once `set_nonblocking`
+/// has run) until a connection arrives or `timeout` elapses. The
+/// listener's blocking flag is restored on every exit path.
+///
+/// # Errors
+/// [`TransportError::Timeout`] if nobody connected in time; otherwise
+/// propagates accept/socket errors.
+pub(crate) fn poll_accept<S>(
+    set_nonblocking: impl Fn(bool) -> std::io::Result<()>,
+    mut accept: impl FnMut() -> std::io::Result<S>,
+    timeout: Duration,
+) -> Result<S> {
+    set_nonblocking(true)?;
+    let _restore = BlockingGuard {
+        set_nonblocking: &set_nonblocking,
+    };
+    let deadline = Instant::now() + timeout;
+    loop {
+        match accept() {
+            Ok(conn) => return Ok(conn),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(TransportError::Timeout);
+                }
+                std::thread::sleep(ACCEPT_POLL_STEP.min(timeout));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn success_restores_blocking_flag() {
+        let flag = Cell::new(false);
+        let got: Result<u32> = poll_accept(
+            |nb| {
+                flag.set(nb);
+                Ok(())
+            },
+            || Ok(42u32),
+            Duration::from_millis(50),
+        );
+        assert_eq!(got.unwrap(), 42);
+        assert!(!flag.get(), "blocking flag restored after success");
+    }
+
+    #[test]
+    fn timeout_restores_blocking_flag() {
+        let flag = Cell::new(false);
+        let got: Result<u32> = poll_accept(
+            |nb| {
+                flag.set(nb);
+                Ok(())
+            },
+            || Err(std::io::Error::new(ErrorKind::WouldBlock, "empty")),
+            Duration::from_millis(10),
+        );
+        assert!(matches!(got, Err(TransportError::Timeout)));
+        assert!(!flag.get(), "blocking flag restored after timeout");
+    }
+
+    #[test]
+    fn accept_error_restores_blocking_flag() {
+        let flag = Cell::new(false);
+        let got: Result<u32> = poll_accept(
+            |nb| {
+                flag.set(nb);
+                Ok(())
+            },
+            || Err(std::io::Error::other("listener torn down")),
+            Duration::from_millis(50),
+        );
+        assert!(matches!(got, Err(TransportError::Io(_))));
+        assert!(!flag.get(), "blocking flag restored after accept error");
+    }
+
+    #[test]
+    fn set_nonblocking_failure_propagates() {
+        let got: Result<u32> = poll_accept(
+            |_| Err(std::io::Error::other("no fcntl for you")),
+            || Ok(1u32),
+            Duration::from_millis(10),
+        );
+        assert!(got.is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! A thin readiness-polling abstraction over `poll(2)` — the substrate
+//! for the reactor serve loop, with no runtime dependency.
+//!
+//! The design is the classic self-pipe reactor core:
+//!
+//! * Callers [`register`](Poller::register) file descriptors under
+//!   opaque [`Token`]s with a read/write [`Interest`], then block in
+//!   [`Poller::wait`] until the kernel reports readiness [`Event`]s.
+//! * A [`Waker`] (the write end of an internal socket pair) lets any
+//!   thread interrupt a blocked `wait` — how worker completions and
+//!   shutdown reach a reactor that is asleep in the kernel.
+//!
+//! `poll(2)` is declared directly as an `extern "C"` item: the workspace
+//! vendors no `libc` crate, and `std` already links the platform libc,
+//! so the symbol resolves with no new dependency. `poll` over `epoll`
+//! keeps the code portable across Unixes and needs no extra fd
+//! lifecycle; rebuilding the pollfd array per wait is O(n) in
+//! registered fds, which the readiness loop is anyway.
+
+#![cfg(unix)]
+// The crate denies unsafe code; this module is the one or two lines of
+// FFI the reactor needs, so the lint is scoped down here rather than
+// relaxed crate-wide.
+#![allow(unsafe_code)]
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{Result, TransportError};
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Identifies one registered file descriptor across [`Poller::wait`]
+/// calls. Chosen by the caller; `usize::MAX` is reserved for the
+/// poller's internal wake channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+impl Token {
+    /// The reserved token [`Poller::wait`] never reports: the internal
+    /// wake pipe.
+    pub const WAKE: Token = Token(usize::MAX);
+}
+
+/// Which readiness conditions a registration asks to be told about.
+/// Error/hangup conditions are always reported regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when a read would make progress.
+    pub readable: bool,
+    /// Report when a write would make progress.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write readiness only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Neither direction — the fd stays registered for error/hangup
+    /// reporting only (a paused connection).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn events(self) -> i16 {
+        let mut ev = 0;
+        if self.readable {
+            ev |= POLLIN;
+        }
+        if self.writable {
+            ev |= POLLOUT;
+        }
+        ev
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The registration this event is for.
+    pub token: Token,
+    /// A read would make progress (includes peer hangup: the read that
+    /// observes EOF is how the closure is consumed).
+    pub readable: bool,
+    /// A write would make progress.
+    pub writable: bool,
+    /// The kernel reports an error/hangup condition on the fd
+    /// (`POLLERR`/`POLLHUP`/`POLLNVAL`); the owner should drain and
+    /// drop it.
+    pub hangup: bool,
+}
+
+/// Wakes a [`Poller`] blocked in [`wait`](Poller::wait) from any
+/// thread. Cheap to clone; writes one byte into the poller's internal
+/// socket pair (a full pipe means a wake is already pending, which is
+/// just as good).
+#[derive(Debug, Clone)]
+pub struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Interrupts the poller's current (or next) wait.
+    pub fn wake(&self) {
+        // WouldBlock: the pipe already holds unread wake bytes, so the
+        // poller is guaranteed to wake — nothing to do. Other errors
+        // mean the poller is gone; nothing to wake.
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// A `poll(2)`-backed readiness selector.
+pub struct Poller {
+    wake_rx: UnixStream,
+    wake_tx: Arc<UnixStream>,
+    registered: HashMap<usize, (RawFd, Interest)>,
+    /// Scratch pollfd array rebuilt per wait, reused across calls.
+    scratch: Vec<PollFd>,
+    /// Tokens parallel to `scratch` (index 0 is the wake pipe).
+    tokens: Vec<usize>,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("registered", &self.registered.len())
+            .finish()
+    }
+}
+
+impl Poller {
+    /// Creates a poller and its internal wake channel.
+    ///
+    /// # Errors
+    /// Propagates socket-pair creation failures.
+    pub fn new() -> Result<Self> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        Ok(Poller {
+            wake_rx,
+            wake_tx: Arc::new(wake_tx),
+            registered: HashMap::new(),
+            scratch: Vec::new(),
+            tokens: Vec::new(),
+        })
+    }
+
+    /// A handle other threads use to interrupt [`Poller::wait`].
+    pub fn waker(&self) -> Waker {
+        Waker {
+            tx: Arc::clone(&self.wake_tx),
+        }
+    }
+
+    /// Registers `fd` under `token`. Re-registering a live token
+    /// replaces its fd and interest.
+    pub fn register(&mut self, token: Token, fd: RawFd, interest: Interest) {
+        debug_assert_ne!(token, Token::WAKE, "WAKE token is reserved");
+        self.registered.insert(token.0, (fd, interest));
+    }
+
+    /// Updates the interest of an existing registration; no-op for an
+    /// unknown token.
+    pub fn modify(&mut self, token: Token, interest: Interest) {
+        if let Some(entry) = self.registered.get_mut(&token.0) {
+            entry.1 = interest;
+        }
+    }
+
+    /// Removes a registration; no-op for an unknown token.
+    pub fn deregister(&mut self, token: Token) {
+        self.registered.remove(&token.0);
+    }
+
+    /// Registered descriptors (excluding the wake channel).
+    pub fn len(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.registered.is_empty()
+    }
+
+    /// Blocks until at least one registered fd is ready, the `timeout`
+    /// elapses (`None` blocks indefinitely), or a [`Waker`] fires.
+    /// Readiness reports are appended to `events` (cleared first);
+    /// returns `true` when a wake was consumed.
+    ///
+    /// A signal interrupting the underlying `poll` returns normally
+    /// with no events — callers are loops and simply come around again.
+    ///
+    /// # Errors
+    /// Propagates `poll(2)` failures.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> Result<bool> {
+        events.clear();
+        self.scratch.clear();
+        self.tokens.clear();
+        self.scratch.push(PollFd {
+            fd: self.wake_rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        self.tokens.push(usize::MAX);
+        for (&token, &(fd, interest)) in &self.registered {
+            self.scratch.push(PollFd {
+                fd,
+                events: interest.events(),
+                revents: 0,
+            });
+            self.tokens.push(token);
+        }
+        let timeout_ms: c_int = match timeout {
+            // Round up so a nonzero wait can't busy-spin as zero.
+            Some(t) => t.as_millis().max(1).min(c_int::MAX as u128) as c_int,
+            None => -1,
+        };
+        let rc = unsafe {
+            poll(
+                self.scratch.as_mut_ptr(),
+                self.scratch.len() as c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == ErrorKind::Interrupted {
+                return Ok(false);
+            }
+            return Err(TransportError::Io(err));
+        }
+        let mut woke = false;
+        for (pfd, &token) in self.scratch.iter().zip(&self.tokens) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            if token == usize::MAX {
+                woke = true;
+                // Drain every pending wake byte so the next wait blocks.
+                let mut sink = [0u8; 64];
+                while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+                continue;
+            }
+            events.push(Event {
+                token: Token(token),
+                readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                writable: pfd.revents & POLLOUT != 0,
+                hangup: pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0,
+            });
+        }
+        Ok(woke)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::time::Instant;
+
+    #[test]
+    fn wait_times_out_with_no_events() {
+        let mut poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let woke = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(!woke);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn readable_fd_reports_its_token() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(Token(7), b.as_raw_fd(), Interest::READABLE);
+        a.write_all(&[0xab]).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, Token(7));
+        assert!(events[0].readable);
+        drop(b);
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let mut poller = Poller::new().unwrap();
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let woke = poller.wait(&mut events, None).unwrap();
+        assert!(woke, "wait must report the wake");
+        assert!(events.is_empty());
+        assert!(start.elapsed() < Duration::from_secs(2));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wake_bytes_are_drained() {
+        let mut poller = Poller::new().unwrap();
+        let waker = poller.waker();
+        for _ in 0..10 {
+            waker.wake();
+        }
+        let mut events = Vec::new();
+        assert!(poller.wait(&mut events, Some(Duration::from_secs(1))).unwrap());
+        // All ten coalesced into one wake; the next wait blocks fresh.
+        assert!(!poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap());
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(Token(3), b.as_raw_fd(), Interest::READABLE);
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(
+            events[0].hangup || events[0].readable,
+            "peer closure must surface as hangup or EOF-readable: {:?}",
+            events[0]
+        );
+        drop(b);
+    }
+
+    #[test]
+    fn modify_and_deregister_change_reports() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(Token(1), b.as_raw_fd(), Interest::NONE);
+        a.write_all(&[1]).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty(), "no interest, no report: {events:?}");
+        poller.modify(Token(1), Interest::READABLE);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        poller.deregister(Token(1));
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty());
+        drop(b);
+    }
+}

@@ -234,38 +234,24 @@ impl TcpListenerTransport {
     }
 
     /// Waits up to `timeout` for a client. `std` listeners have no
-    /// native accept deadline, so this polls a non-blocking accept —
-    /// coarse, but it lets a serve loop check a shutdown flag between
-    /// waits instead of blocking in `accept` forever.
+    /// native accept deadline, so this polls a non-blocking accept (the
+    /// shared loop in `crate::listen`) — coarse, but it lets a serve
+    /// loop check a shutdown flag between waits instead of blocking in
+    /// `accept` forever.
     ///
     /// # Errors
     /// [`TransportError::Timeout`] if nobody connected in time;
     /// otherwise propagates socket errors.
     pub fn accept_timeout(&self, timeout: Duration) -> Result<TcpTransport> {
-        self.listener.set_nonblocking(true)?;
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = self.listener.set_nonblocking(false);
-                    // Accepted sockets may inherit the listener's
-                    // non-blocking flag (platform-dependent); undo it.
-                    stream.set_nonblocking(false)?;
-                    return TcpTransport::from_stream(stream);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if std::time::Instant::now() >= deadline {
-                        let _ = self.listener.set_nonblocking(false);
-                        return Err(TransportError::Timeout);
-                    }
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(e) => {
-                    let _ = self.listener.set_nonblocking(false);
-                    return Err(e.into());
-                }
-            }
-        }
+        let stream = crate::listen::poll_accept(
+            |nb| self.listener.set_nonblocking(nb),
+            || self.listener.accept().map(|(stream, _)| stream),
+            timeout,
+        )?;
+        // Accepted sockets may inherit the listener's non-blocking flag
+        // (platform-dependent); undo it.
+        stream.set_nonblocking(false)?;
+        TcpTransport::from_stream(stream)
     }
 }
 
@@ -278,6 +264,52 @@ impl crate::endpoint::Listener for TcpListenerTransport {
 
     fn accept_timeout(&self, timeout: Duration) -> Result<TcpTransport> {
         TcpListenerTransport::accept_timeout(self, timeout)
+    }
+}
+
+#[cfg(unix)]
+impl crate::endpoint::ReactorIo for TcpTransport {
+    fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.stream.as_raw_fd()
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> Result<()> {
+        Ok(self.stream.set_nonblocking(nonblocking)?)
+    }
+
+    fn try_read_frame(&mut self) -> Result<Option<Frame>> {
+        // The resumable reader keeps its cursor across WouldBlock, so a
+        // frame straddling readiness events assembles incrementally.
+        match self.reader.read_frame(&mut self.stream) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TransportError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn flush_queue(&mut self, queue: &mut crate::SendQueue) -> Result<bool> {
+        queue.flush(&mut self.stream)
+    }
+}
+
+#[cfg(unix)]
+impl crate::endpoint::PollableListener for TcpListenerTransport {
+    fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.listener.as_raw_fd()
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> Result<()> {
+        Ok(self.listener.set_nonblocking(nonblocking)?)
+    }
+
+    fn try_accept(&self) -> Result<Option<TcpTransport>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => TcpTransport::from_stream(stream).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 

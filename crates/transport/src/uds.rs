@@ -217,28 +217,13 @@ impl UdsListenerTransport {
     /// [`TransportError::Timeout`] if nobody connected in time;
     /// otherwise propagates socket errors.
     pub fn accept_timeout(&self, timeout: Duration) -> Result<UdsTransport> {
-        self.listener.set_nonblocking(true)?;
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = self.listener.set_nonblocking(false);
-                    stream.set_nonblocking(false)?;
-                    return Ok(UdsTransport::from_stream(stream));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if std::time::Instant::now() >= deadline {
-                        let _ = self.listener.set_nonblocking(false);
-                        return Err(TransportError::Timeout);
-                    }
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(e) => {
-                    let _ = self.listener.set_nonblocking(false);
-                    return Err(e.into());
-                }
-            }
-        }
+        let stream = crate::listen::poll_accept(
+            |nb| self.listener.set_nonblocking(nb),
+            || self.listener.accept().map(|(stream, _)| stream),
+            timeout,
+        )?;
+        stream.set_nonblocking(false)?;
+        Ok(UdsTransport::from_stream(stream))
     }
 }
 
@@ -251,6 +236,48 @@ impl crate::endpoint::Listener for UdsListenerTransport {
 
     fn accept_timeout(&self, timeout: Duration) -> Result<UdsTransport> {
         UdsListenerTransport::accept_timeout(self, timeout)
+    }
+}
+
+impl crate::endpoint::ReactorIo for UdsTransport {
+    fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.stream.as_raw_fd()
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> Result<()> {
+        Ok(self.stream.set_nonblocking(nonblocking)?)
+    }
+
+    fn try_read_frame(&mut self) -> Result<Option<Frame>> {
+        match self.reader.read_frame(&mut self.stream) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TransportError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn flush_queue(&mut self, queue: &mut crate::SendQueue) -> Result<bool> {
+        queue.flush(&mut self.stream)
+    }
+}
+
+impl crate::endpoint::PollableListener for UdsListenerTransport {
+    fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.listener.as_raw_fd()
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> Result<()> {
+        Ok(self.listener.set_nonblocking(nonblocking)?)
+    }
+
+    fn try_accept(&self) -> Result<Option<UdsTransport>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => Ok(Some(UdsTransport::from_stream(stream))),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 

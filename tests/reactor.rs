@@ -1,0 +1,322 @@
+//! The reactor server core end to end: tagged calls offloaded to the
+//! fixed worker pool, exclusive traffic escalated to dedicated threads,
+//! shutdown through the poller waker — and the tentpole claim itself,
+//! that hundreds of idle connections cost no extra threads.
+
+#![cfg(unix)]
+
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use nrmi::core::{
+    FnService, NrmiError, PipelinedCall, RetryPolicy, ServerNode, ServerPool, Session,
+};
+use nrmi::heap::{ClassRegistry, HeapAccess, SharedRegistry, Value};
+use nrmi::transport::{MachineSpec, TcpListenerTransport};
+
+fn registry() -> SharedRegistry {
+    let mut reg = ClassRegistry::new();
+    let _ = reg.define("Cell").field_int("value").restorable().register();
+    reg.snapshot()
+}
+
+fn counting_server(registry: &SharedRegistry) -> ServerNode {
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    let mut total = 0i64;
+    server.bind(
+        "adder",
+        Box::new(FnService::new(move |_m, args, _h| {
+            total += i64::from(args[0].as_int().unwrap_or(0));
+            Ok(Value::Int(total as i32))
+        })),
+    );
+    server
+}
+
+/// Reliable (tagged) calls from several clients concurrently: all of
+/// them run through the reactor's offload path, and shutdown hands back
+/// the node with every call's effect applied exactly once.
+#[test]
+fn reactor_serves_tagged_calls_from_many_clients() {
+    const CLIENTS: usize = 4;
+    const CALLS_PER_CLIENT: i32 = 25;
+
+    let registry = registry();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = ServerPool::new()
+        .serve_reactor(counting_server(&registry), listener)
+        .expect("serve_reactor");
+
+    let mut client_threads = Vec::new();
+    for c in 0..CLIENTS {
+        let registry = registry.clone();
+        client_threads.push(thread::spawn(move || {
+            let mut client =
+                Session::connect_tcp_reliable(registry, addr, RetryPolicy::default())
+                    .expect("connect");
+            for i in 0..CALLS_PER_CLIENT {
+                let ret = client.call("adder", "add", &[Value::Int(1)]).expect("call");
+                assert!(ret.as_int().unwrap() > i, "client {c}: total is monotone");
+            }
+            client.close().expect("close");
+        }));
+    }
+    for t in client_threads {
+        t.join().expect("client thread");
+    }
+
+    assert_eq!(
+        handle.connections_served(),
+        CLIENTS,
+        "every client went through the reactor"
+    );
+    let node = handle.shutdown().expect("shutdown");
+    drop(node);
+}
+
+/// A pipelined batch over one reactor connection: independent calls
+/// overlap in the worker pool, a slow call does not block the fast ones
+/// behind it, and replies route back to the right requests.
+#[test]
+fn reactor_overlaps_pipelined_batch() {
+    let registry = registry();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    server.bind(
+        "slow",
+        Box::new(FnService::new(|_m, _args, _h| {
+            thread::sleep(Duration::from_millis(100));
+            Ok(Value::Int(-1))
+        })),
+    );
+    server.bind(
+        "fast",
+        Box::new(FnService::new(|_m, args, _h| {
+            Ok(Value::Int(args[0].as_int().unwrap_or(0) + 1))
+        })),
+    );
+    let handle = ServerPool::new()
+        .serve_reactor(server, listener)
+        .expect("serve_reactor");
+
+    let mut session =
+        Session::connect_tcp_reliable(registry, addr, RetryPolicy::default()).expect("connect");
+    let batch = [
+        PipelinedCall::new("slow", "probe", vec![Value::Null]),
+        PipelinedCall::new("fast", "inc", vec![Value::Int(10)]),
+        PipelinedCall::new("fast", "inc", vec![Value::Int(20)]),
+    ];
+    let started = Instant::now();
+    let results = session.call_pipelined(&batch).expect("pipelined batch");
+    let elapsed = started.elapsed();
+    assert_eq!(results[0].as_ref().expect("slow"), &Value::Int(-1));
+    assert_eq!(results[1].as_ref().expect("fast 1"), &Value::Int(11));
+    assert_eq!(results[2].as_ref().expect("fast 2"), &Value::Int(21));
+    // All three overlapped in the worker pool: the batch takes ~one
+    // slow call, not three sequential turns.
+    assert!(
+        elapsed < Duration::from_millis(300),
+        "batch took {elapsed:?}; calls did not overlap"
+    );
+
+    let _ = session.close();
+    handle.shutdown().expect("shutdown");
+}
+
+/// Untagged cold calls (a plain client) and warm calls are exclusive
+/// traffic: the reactor escalates those connections to dedicated
+/// blocking threads and the PR 5/6 semantics — copy-restore effects,
+/// warm deltas — come out identical to the pooled mode.
+#[test]
+fn reactor_escalates_exclusive_traffic() {
+    let registry = registry();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    server.bind(
+        "bump",
+        Box::new(FnService::new(|_m, args, heap| {
+            let cell = args[0]
+                .as_ref_id()
+                .ok_or_else(|| NrmiError::app("want cell"))?;
+            let v = heap.get_field(cell, "value")?.as_int().unwrap_or(0);
+            heap.set_field(cell, "value", Value::Int(v + 1))?;
+            Ok(Value::Int(v + 1))
+        })),
+    );
+    let handle = ServerPool::new()
+        .serve_reactor(server, listener)
+        .expect("serve_reactor");
+
+    // Plain client: untagged CallRequest frames — escalated on frame 1.
+    let mut plain = Session::connect_tcp(registry.clone(), addr).expect("connect plain");
+    let cell_cls = registry.by_name("Cell").expect("Cell");
+    let cell = plain
+        .heap()
+        .alloc(cell_cls, vec![Value::Int(41)])
+        .expect("alloc");
+    let ret = plain.call("bump", "bump", &[Value::Ref(cell)]).expect("cold call");
+    assert_eq!(ret, Value::Int(42));
+    // Copy-restore wrote the server's mutation back onto our object.
+    assert_eq!(
+        plain.heap().get_field(cell, "value").expect("field"),
+        Value::Int(42)
+    );
+
+    // Warm client: warm traffic is exclusive too, same escalation path.
+    let mut warm =
+        Session::connect_tcp_reliable(registry.clone(), addr, RetryPolicy::default())
+            .expect("connect warm");
+    let wcell = warm
+        .heap()
+        .alloc(cell_cls, vec![Value::Int(0)])
+        .expect("alloc");
+    for i in 1..=3 {
+        let (ret, _stats) = warm
+            .call_warm_with_stats("bump", "bump", &[Value::Ref(wcell)])
+            .expect("warm call");
+        assert_eq!(ret, Value::Int(i));
+        assert_eq!(
+            warm.heap().get_field(wcell, "value").expect("field"),
+            Value::Int(i)
+        );
+    }
+
+    let _ = plain.close();
+    let _ = warm.close();
+    handle.shutdown().expect("shutdown");
+}
+
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("/proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|n| n.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+/// The tentpole claim as a regression test: parking 256 mostly-idle
+/// connections on the reactor adds **zero** threads — the process stays
+/// at O(reactor + worker pool), where thread-per-connection would add
+/// 256 and the pipelined pooled mode several times that.
+#[test]
+#[cfg(target_os = "linux")]
+fn reactor_holds_idle_connections_without_threads() {
+    const IDLE_CONNS: usize = 256;
+
+    let registry = registry();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = ServerPool::new()
+        .max_live_connections(IDLE_CONNS + 8)
+        .serve_reactor(counting_server(&registry), listener)
+        .expect("serve_reactor");
+
+    // Settle: one round-trip guarantees the reactor thread and the
+    // whole worker pool are spawned before the baseline is taken.
+    {
+        let mut client = Session::connect_tcp_reliable(registry.clone(), addr, RetryPolicy::default())
+            .expect("connect warmup");
+        client.call("adder", "add", &[Value::Int(0)]).expect("warmup call");
+        let _ = client.close();
+    }
+    let baseline = thread_count();
+
+    let conns: Vec<TcpStream> = (0..IDLE_CONNS)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}")))
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while handle.live_connections() < IDLE_CONNS {
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {IDLE_CONNS} connections accepted",
+            handle.live_connections()
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    let with_idle = thread_count();
+    assert!(
+        with_idle <= baseline + 2,
+        "{IDLE_CONNS} idle connections grew the thread count {baseline} -> {with_idle}; \
+         the reactor must hold them without per-connection threads"
+    );
+
+    // The fleet still works: a tagged call lands while the idle herd is
+    // parked.
+    let mut client =
+        Session::connect_tcp_reliable(registry, addr, RetryPolicy::default()).expect("connect");
+    assert_eq!(
+        client.call("adder", "add", &[Value::Int(5)]).expect("call"),
+        Value::Int(5)
+    );
+    let _ = client.close();
+
+    drop(conns);
+    handle.shutdown().expect("shutdown");
+}
+
+/// Shutdown with parked idle connections returns promptly: the waker
+/// interrupts the poller, the drain pass closes the idle herd, and the
+/// node comes back.
+#[test]
+fn reactor_shutdown_drains_idle_connections() {
+    const IDLE_CONNS: usize = 32;
+
+    let registry = registry();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = ServerPool::new()
+        .serve_reactor(counting_server(&registry), listener)
+        .expect("serve_reactor");
+
+    let conns: Vec<TcpStream> = (0..IDLE_CONNS)
+        .map(|_| TcpStream::connect(addr).expect("connect"))
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.live_connections() < IDLE_CONNS {
+        assert!(Instant::now() < deadline, "accept stalled");
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    let started = Instant::now();
+    let node = handle.shutdown().expect("shutdown");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "shutdown with idle connections took {:?}",
+        started.elapsed()
+    );
+    drop(node);
+    drop(conns);
+}
+
+/// `max_total_connections` works in reactor mode: after the limit the
+/// listener stops accepting, and `join` returns once the last
+/// connection drains.
+#[test]
+fn reactor_honors_total_connection_limit() {
+    let registry = registry();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = ServerPool::new()
+        .max_total_connections(2)
+        .serve_reactor(counting_server(&registry), listener)
+        .expect("serve_reactor");
+
+    for _ in 0..2 {
+        let mut client =
+            Session::connect_tcp_reliable(registry.clone(), addr, RetryPolicy::default())
+                .expect("connect");
+        client.call("adder", "add", &[Value::Int(1)]).expect("call");
+        client.close().expect("close");
+    }
+    let node = handle.join().expect("join after total limit");
+    drop(node);
+}
