@@ -36,7 +36,8 @@ use std::time::{Duration, Instant};
 
 use nrmi_core::{
     client_invoke, serve_connection_pooled, serve_connection_shared, CallOptions, ClientNode,
-    FnService, NrmiError, PassMode, PipelinedCall, ServerNode, Session, SharedServer,
+    FnService, LockClass, NrmiError, PassMode, PipelinedCall, ServerNode, Session, SharedServer,
+    TrackedMutex,
 };
 use nrmi_heap::{ClassId, ClassRegistry, HeapAccess, SharedRegistry, Value};
 use nrmi_transport::{Frame, MachineSpec, TcpListenerTransport, TcpTransport, Transport};
@@ -295,7 +296,7 @@ fn throughput_cell(flavor: ServerFlavor, clients: usize) -> ScalingPoint {
 
     let elapsed = match flavor {
         ServerFlavor::BigLock => {
-            let shared = Arc::new(parking_lot::Mutex::new(server));
+            let shared = Arc::new(TrackedMutex::new(LockClass::NodeHeap, server));
             let mut workers = Vec::new();
             for _ in 0..clients {
                 let mut conn = listener.accept().expect("accept");
@@ -361,7 +362,7 @@ fn stall_cell(flavor: ServerFlavor) -> StallPoint {
     let serve = |conns: Vec<TcpTransport>| -> Vec<thread::JoinHandle<()>> {
         match flavor {
             ServerFlavor::BigLock => {
-                let shared = Arc::new(parking_lot::Mutex::new(server));
+                let shared = Arc::new(TrackedMutex::new(LockClass::NodeHeap, server));
                 conns
                     .into_iter()
                     .map(|mut conn| {
@@ -601,9 +602,7 @@ fn connection_cell(flavor: CoreFlavor, connections: usize) -> ConnectionPoint {
     let pool = ServerPool::new().max_live_connections(connections + 8);
     let handle = match flavor {
         CoreFlavor::PooledThreads => pool.serve(server, listener),
-        CoreFlavor::Reactor => pool
-            .serve_reactor(server, listener)
-            .expect("serve_reactor"),
+        CoreFlavor::Reactor => pool.serve_reactor(server, listener).expect("serve_reactor"),
     };
 
     // Flow-controlled connect storm: chunks small enough to stay inside
@@ -753,9 +752,8 @@ pub fn scaling_violations(report: &ScalingReport) -> Vec<String> {
     // The reactor gate: at 1000 mostly-idle connections the event loop
     // must deliver at least 4x the thread-per-connection aggregate —
     // the tentpole claim, kept honest in CI.
-    let fleet_point = |points: &[ConnectionPoint], n: usize| {
-        points.iter().find(|p| p.connections == n).copied()
-    };
+    let fleet_point =
+        |points: &[ConnectionPoint], n: usize| points.iter().find(|p| p.connections == n).copied();
     if let (Some(pooled), Some(reactor)) = (
         fleet_point(&report.connections_pooled, 1000),
         fleet_point(&report.connections_reactor, 1000),
@@ -1102,7 +1100,11 @@ mod tests {
             let p = connection_cell(flavor, 16);
             assert_eq!(p.connections, 16);
             assert_eq!(p.busy, CONN_BUSY_CLIENTS);
-            assert_eq!(p.calls, CONN_BUSY_CLIENTS * CONN_CALLS_PER_BUSY, "{flavor:?}");
+            assert_eq!(
+                p.calls,
+                CONN_BUSY_CLIENTS * CONN_CALLS_PER_BUSY,
+                "{flavor:?}"
+            );
             assert!(p.calls_per_sec > 0.0, "{flavor:?}");
         }
     }

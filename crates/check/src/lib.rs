@@ -1,6 +1,6 @@
 //! # nrmi-check — static analysis and verification for NRMI
 //!
-//! Three analyses, one diagnostic engine (DESIGN.md §3d):
+//! Four analyses, one diagnostic engine (DESIGN.md §3d):
 //!
 //! 1. **Static descriptor analysis** ([`schema`]): walks a
 //!    [`ClassRegistry`](nrmi_heap::ClassRegistry) without executing
@@ -13,11 +13,16 @@
 //!    implementations with a local-oracle divergence check
 //!    (`NRMI-P00x`).
 //! 3. **Heap diagnostics** ([`heapcheck`]): the structural heap
-//!    validator lifted into diagnostics (`NRMI-H00x`). The fourth code
+//!    validator lifted into diagnostics (`NRMI-H00x`). A related code
 //!    family, `NRMI-Z00x`, is emitted at runtime by `nrmi-heap`'s
 //!    `sanitize` feature (shadow liveness state catching dangling
 //!    dereference, use-after-GC, cross-heap confusion, and stale
 //!    dense-map reads at the moment they happen).
+//! 4. **Lock-discipline audit** ([`lockcheck`]): judges the
+//!    acquisition-order witness `nrmi-core`'s tracked locks record
+//!    under the `lockcheck` feature — order cycles, locks held across
+//!    blocking transport ops, same-class re-entry, hold-time
+//!    watermarks (`NRMI-L00x`, DESIGN.md §3i).
 //!
 //! Everything reports through [`Diagnostic`]/[`Report`]; CI gates on
 //! [`Report::has_errors`] via `cargo run -p nrmi-bench --bin tables --
@@ -28,11 +33,13 @@
 
 pub mod diag;
 pub mod heapcheck;
+pub mod lockcheck;
 pub mod protocol;
 pub mod schema;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use heapcheck::check_heap;
+pub use lockcheck::{assert_discipline_clean, check_lock_witness, check_locks};
 pub use protocol::{
     check_pipelined_sequence, check_reactor_sequence, check_reliability_sequence, check_sequence,
     check_shared_sequence, judge_reply, model_check, Action, ModelCheckConfig, PipelinedAction,
@@ -47,7 +54,10 @@ pub use schema::{analyze_registry, diff_registries, fingerprint, fingerprints};
 ///   classes every benchmark and example uses);
 /// * a drift diff of two independently constructed copies of that
 ///   registry (must be clean — it is the same build recipe);
-/// * the protocol model check at the given bounds.
+/// * the protocol model check at the given bounds;
+/// * the lock-discipline audit over whatever this process's witness
+///   has recorded so far (empty — and silent — unless built with
+///   `--features lockcheck` and real server code ran first).
 ///
 /// Returns the merged report; the caller decides how to render it and
 /// whether errors are fatal.
@@ -63,6 +73,7 @@ pub fn self_check(cfg: &ModelCheckConfig) -> Report {
     report.merge(analyze_registry(&registry));
     report.merge(diff_registries("client", &registry, "server", &build()));
     report.merge(model_check(cfg));
+    report.merge(check_locks());
     report
 }
 

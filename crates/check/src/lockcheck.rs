@@ -1,0 +1,388 @@
+//! Lock-discipline analysis over the `nrmi-core` witness (`NRMI-L00x`,
+//! DESIGN.md §3i).
+//!
+//! `nrmi-core`'s tracked locks record *what happened* — acquisition
+//! order edges between [`LockClass`]es, blocking-transport entries with
+//! locks held, same-class re-entry, hold-time watermarks. This module
+//! is the judgement: [`check_lock_witness`] turns a
+//! [`WitnessSnapshot`] into [`Diagnostic`]s the same way the schema
+//! analyzer judges a registry.
+//!
+//! The codes:
+//!
+//! * **`NRMI-L000`** (info) — audit summary: classes observed, order
+//!   edges, accepted blocking holds. Emitted whenever the witness saw
+//!   anything, so a "clean" report still proves the auditor ran.
+//! * **`NRMI-L001`** (error) — a cycle in the class acquisition-order
+//!   graph. Two code paths took the same pair of lock domains in
+//!   opposite orders; under the right interleaving they deadlock, even
+//!   if no run ever has. This is the lockdep argument: the *order
+//!   violation* is the bug, not the hang.
+//! * **`NRMI-L002`** (error, or info when covered by
+//!   [`allow_blocking`](nrmi_core::allow_blocking)) — a tracked lock
+//!   was held while entering a blocking transport operation
+//!   (`tcp.recv`, `framed.write_frame`, `poller.wait`, …). Holding a
+//!   lock across peer-controlled I/O lets one stalled client convoy
+//!   every thread that needs the class — the PR 5 head-of-line bug
+//!   class. Designed-in holds carry a reason string and report at info
+//!   severity.
+//! * **`NRMI-L003`** (error) — same-class re-entry: a thread acquired a
+//!   class it already held exclusively. On the same instance this is an
+//!   instant self-deadlock with non-reentrant locks; across instances
+//!   it is an unordered same-class pair (the AB/BA hazard inside one
+//!   class).
+//! * **`NRMI-L004`** (warning) — a hot-path class
+//!   ([`LockClass::hot_path`]) was held longer than
+//!   [`HOT_HOLD_WATERMARK`]. Not a proof of a bug (the scheduler can
+//!   stall any thread), which is why it warns instead of erroring; a
+//!   watermark this high on a microsecond-scale class deserves a look.
+//!
+//! Analysis is pure over the snapshot, so these functions (and their
+//! tests) work without the `lockcheck` feature — the snapshot is just
+//! empty, and the report with it.
+
+use nrmi_core::lockcheck::{snapshot, EdgeRecord, LockClass, WitnessSnapshot, HOT_HOLD_WATERMARK};
+
+use crate::diag::{Diagnostic, Report};
+
+/// Analyzes the live process-global witness: takes a snapshot and runs
+/// [`check_lock_witness`] over it. Without the `lockcheck` feature the
+/// snapshot is empty and the report is too.
+pub fn check_locks() -> Report {
+    check_lock_witness(&snapshot())
+}
+
+/// Panics with the rendered report if the live witness shows any
+/// error-severity discipline violation. Integration suites call this
+/// after driving the real server under `--features lockcheck`, turning
+/// every existing scenario into a lock-discipline test.
+///
+/// # Panics
+/// On any `NRMI-L001`/`L002`/`L003` error in the current witness.
+pub fn assert_discipline_clean(context: &str) {
+    let report = check_locks();
+    assert!(
+        !report.has_errors(),
+        "lock-discipline audit failed after {context}:\n{}",
+        report.render()
+    );
+}
+
+/// Judges a witness snapshot, returning one diagnostic per distinct
+/// finding (cycles and records are deduplicated by the witness itself).
+pub fn check_lock_witness(snap: &WitnessSnapshot) -> Report {
+    let mut report = Report::new();
+
+    if !snap.is_empty() {
+        let accepted = snap.blocking.iter().filter(|b| b.allowed.is_some()).count();
+        report.push(
+            Diagnostic::info("NRMI-L000", "lock-discipline audit ran")
+                .with("classes_observed", snap.holds.len())
+                .with("order_edges", snap.edges.len())
+                .with("accepted_blocking_holds", accepted),
+        );
+    }
+
+    for cycle in find_cycles(&snap.edges) {
+        let mut names: Vec<&str> = cycle.iter().map(|c| c.name()).collect();
+        names.push(cycle[0].name()); // close the loop for display
+        let mut diag = Diagnostic::error(
+            "NRMI-L001",
+            "lock-order cycle: these classes are acquired in conflicting orders",
+        )
+        .with("cycle", names.join(" -> "));
+        for window in cycle.windows(2) {
+            if let Some(edge) = find_edge(&snap.edges, window[0], window[1]) {
+                diag = diag.with(
+                    format!("edge {} -> {}", window[0].name(), window[1].name()),
+                    &edge.witness,
+                );
+            }
+        }
+        if let Some(edge) = find_edge(&snap.edges, cycle[cycle.len() - 1], cycle[0]) {
+            diag = diag.with(
+                format!(
+                    "edge {} -> {}",
+                    cycle[cycle.len() - 1].name(),
+                    cycle[0].name()
+                ),
+                &edge.witness,
+            );
+        }
+        report.push(diag);
+    }
+
+    for b in &snap.blocking {
+        let held: Vec<&str> = b.held.iter().map(|c| c.name()).collect();
+        let held = held.join(", ");
+        match b.allowed {
+            None => report.push(
+                Diagnostic::error(
+                    "NRMI-L002",
+                    "lock held while entering a blocking transport operation",
+                )
+                .with("region", b.region)
+                .with("held", held)
+                .with("count", b.count)
+                .with("witness", &b.witness),
+            ),
+            Some(reason) => report.push(
+                Diagnostic::info(
+                    "NRMI-L002",
+                    "accepted: lock held across a blocking transport operation by design",
+                )
+                .with("region", b.region)
+                .with("held", held)
+                .with("reason", reason)
+                .with("count", b.count),
+            ),
+        }
+    }
+
+    for r in &snap.reentrant {
+        report.push(
+            Diagnostic::error(
+                "NRMI-L003",
+                "same-class re-entry: thread acquired a lock class it already held",
+            )
+            .with("class", r.class.name())
+            .with("count", r.count)
+            .with("witness", &r.witness),
+        );
+    }
+
+    for h in &snap.holds {
+        if h.class.hot_path() && h.max_held > HOT_HOLD_WATERMARK {
+            report.push(
+                Diagnostic::warning(
+                    "NRMI-L004",
+                    "hot-path lock class held past the hold-time watermark",
+                )
+                .with("class", h.class.name())
+                .with("max_held_ms", h.max_held.as_millis())
+                .with("watermark_ms", HOT_HOLD_WATERMARK.as_millis())
+                .with("acquisitions", h.acquisitions),
+            );
+        }
+    }
+
+    report
+}
+
+fn find_edge(edges: &[EdgeRecord], from: LockClass, to: LockClass) -> Option<&EdgeRecord> {
+    edges.iter().find(|e| e.from == from && e.to == to)
+}
+
+/// Finds every distinct simple cycle in the class order graph,
+/// canonicalized (rotated so the smallest class leads) and
+/// deduplicated. With seven nodes exhaustive search is trivial: for
+/// each edge `a -> b`, a shortest path `b ~> a` closes a cycle.
+fn find_cycles(edges: &[EdgeRecord]) -> Vec<Vec<LockClass>> {
+    let mut cycles: Vec<Vec<LockClass>> = Vec::new();
+    for e in edges {
+        if let Some(path) = shortest_path(edges, e.to, e.from) {
+            // path = [e.to, ..., e.from]; prepending nothing and noting
+            // the closing edge e.from -> e.to gives the cycle.
+            let mut cycle = path;
+            canonicalize(&mut cycle);
+            if !cycles.contains(&cycle) {
+                cycles.push(cycle);
+            }
+        }
+    }
+    cycles.sort();
+    cycles
+}
+
+/// Breadth-first shortest path `from ~> to` over the edge list;
+/// `Some(vec![from])` when `from == to` (a self-edge cycle cannot occur
+/// — same-class nesting is recorded as re-entry, not as an edge).
+fn shortest_path(edges: &[EdgeRecord], from: LockClass, to: LockClass) -> Option<Vec<LockClass>> {
+    let mut prev: Vec<Option<LockClass>> = vec![None; LockClass::ALL.len()];
+    let index = |c: LockClass| LockClass::ALL.iter().position(|&x| x == c).expect("class");
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut seen = vec![false; LockClass::ALL.len()];
+    seen[index(from)] = true;
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![node];
+            let mut cur = node;
+            while let Some(p) = prev[index(cur)] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for e in edges.iter().filter(|e| e.from == node) {
+            if !seen[index(e.to)] {
+                seen[index(e.to)] = true;
+                prev[index(e.to)] = Some(node);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    None
+}
+
+/// Rotates a cycle so its smallest class comes first, making rotations
+/// of the same cycle compare equal.
+fn canonicalize(cycle: &mut [LockClass]) {
+    let min_ix = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, c)| *c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    cycle.rotate_left(min_ix);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrmi_core::lockcheck::{BlockingRecord, HoldRecord, ReentrantRecord};
+    use std::time::Duration;
+
+    fn edge(from: LockClass, to: LockClass) -> EdgeRecord {
+        EdgeRecord {
+            from,
+            to,
+            count: 1,
+            witness: format!("test thread holding [{}]", from.name()),
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_clean_and_silent() {
+        let report = check_lock_witness(&WitnessSnapshot::default());
+        assert!(report.is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn acyclic_order_graph_is_clean() {
+        let snap = WitnessSnapshot {
+            edges: vec![
+                edge(LockClass::Bindings, LockClass::Service),
+                edge(LockClass::Service, LockClass::ReplyCacheShard),
+                edge(LockClass::Bindings, LockClass::ReplyCacheShard),
+            ],
+            ..Default::default()
+        };
+        let report = check_lock_witness(&snap);
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(report.has_code("NRMI-L000"));
+    }
+
+    #[test]
+    fn two_cycle_is_l001() {
+        let snap = WitnessSnapshot {
+            edges: vec![
+                edge(LockClass::Service, LockClass::NodeHeap),
+                edge(LockClass::NodeHeap, LockClass::Service),
+            ],
+            ..Default::default()
+        };
+        let report = check_lock_witness(&snap);
+        assert!(report.has_code("NRMI-L001"), "{}", report.render());
+        // One cycle, reported once despite two contributing edges.
+        let (errors, _, _) = report.counts();
+        assert_eq!(errors, 1, "{}", report.render());
+    }
+
+    #[test]
+    fn three_cycle_through_intermediate_is_l001() {
+        let snap = WitnessSnapshot {
+            edges: vec![
+                edge(LockClass::Bindings, LockClass::Service),
+                edge(LockClass::Service, LockClass::SendQueue),
+                edge(LockClass::SendQueue, LockClass::Bindings),
+            ],
+            ..Default::default()
+        };
+        let report = check_lock_witness(&snap);
+        assert!(report.has_code("NRMI-L001"), "{}", report.render());
+    }
+
+    #[test]
+    fn unallowed_blocking_hold_is_l002_error() {
+        let snap = WitnessSnapshot {
+            blocking: vec![BlockingRecord {
+                region: "tcp.recv",
+                held: vec![LockClass::ReplyCacheShard],
+                allowed: None,
+                count: 3,
+                witness: "worker-1".into(),
+            }],
+            ..Default::default()
+        };
+        let report = check_lock_witness(&snap);
+        assert!(report.has_errors());
+        assert!(report.has_code("NRMI-L002"));
+    }
+
+    #[test]
+    fn allowed_blocking_hold_is_l002_info() {
+        let snap = WitnessSnapshot {
+            blocking: vec![BlockingRecord {
+                region: "framed.write_frame",
+                held: vec![LockClass::Service],
+                allowed: Some("service mutex held across mid-call callbacks by design"),
+                count: 12,
+                witness: "conn-3".into(),
+            }],
+            ..Default::default()
+        };
+        let report = check_lock_witness(&snap);
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(report.has_code("NRMI-L002"));
+    }
+
+    #[test]
+    fn reentry_is_l003() {
+        let snap = WitnessSnapshot {
+            reentrant: vec![ReentrantRecord {
+                class: LockClass::NodeHeap,
+                count: 1,
+                witness: "main".into(),
+            }],
+            ..Default::default()
+        };
+        let report = check_lock_witness(&snap);
+        assert!(report.has_errors());
+        assert!(report.has_code("NRMI-L003"));
+    }
+
+    #[test]
+    fn hot_hold_past_watermark_is_l004_warning_only() {
+        let snap = WitnessSnapshot {
+            holds: vec![
+                HoldRecord {
+                    class: LockClass::ReplyCacheShard,
+                    acquisitions: 100,
+                    max_held: HOT_HOLD_WATERMARK + Duration::from_millis(1),
+                },
+                // Non-hot classes may idle holding their lock freely.
+                HoldRecord {
+                    class: LockClass::ReactorQueue,
+                    acquisitions: 5,
+                    max_held: Duration::from_secs(30),
+                },
+            ],
+            ..Default::default()
+        };
+        let report = check_lock_witness(&snap);
+        assert!(report.has_code("NRMI-L004"), "{}", report.render());
+        assert!(!report.has_errors(), "L004 must warn, not error");
+        let (_, warnings, _) = report.counts();
+        assert_eq!(warnings, 1, "{}", report.render());
+    }
+
+    #[test]
+    fn live_check_without_feature_or_activity_is_clean() {
+        // Under the default build the witness never records; under
+        // lockcheck this still holds only errors from *this* test
+        // binary, which drives no server code.
+        let report = check_locks();
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+}

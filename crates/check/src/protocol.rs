@@ -2757,7 +2757,14 @@ mod tests {
             vec![R::IssueA, R::RunJob, R::CollectA],
             // Both connections in flight; jobs drain in either order
             // relative to collects, replies route by connection.
-            vec![R::IssueA, R::IssueB, R::RunJob, R::RunJob, R::CollectB, R::CollectA],
+            vec![
+                R::IssueA,
+                R::IssueB,
+                R::RunJob,
+                R::RunJob,
+                R::CollectB,
+                R::CollectA,
+            ],
             // Collect before the job ran: a no-op, then the real thing.
             vec![R::IssueA, R::CollectA, R::RunJob, R::CollectA],
             // Retransmission of a queued call: ignored (in progress),
@@ -2795,7 +2802,13 @@ mod tests {
         use ReactorAction as R;
         let mut world = ReactorWorld::new();
         let mut report = Report::new();
-        for action in [R::IssueA, R::RetransmitA, R::RunJob, R::RetransmitA, R::CollectA] {
+        for action in [
+            R::IssueA,
+            R::RetransmitA,
+            R::RunJob,
+            R::RetransmitA,
+            R::CollectA,
+        ] {
             world.step(action, &mut report);
         }
         assert!(!report.has_errors(), "{}", report.render());

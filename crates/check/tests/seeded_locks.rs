@@ -1,0 +1,143 @@
+//! Seeded lock-discipline faults: the witness must catch every
+//! violation class it claims to catch, with the exact `NRMI-L` code —
+//! and stay silent on disciplined code. The lock-order companion to
+//! `seeded_faults.rs`.
+//!
+//! The witness is process-global, so these tests serialize on one mutex
+//! and reset the witness at the top of each; no other test shares this
+//! binary. Violations are seeded with real [`TrackedMutex`]es on real
+//! threads driving real transport blocking paths — not with hand-built
+//! snapshots (the analyzer's own unit tests cover those).
+
+#![cfg(feature = "lockcheck")]
+
+use std::time::Duration;
+
+use nrmi_check::check_locks;
+use nrmi_core::lockcheck::{allow_blocking, reset, LockClass, TrackedMutex};
+use nrmi_transport::{channel_pair, LinkSpec, Transport};
+
+/// Serializes the tests in this binary (the harness runs them on
+/// concurrent threads by default) so each sees only its own seeds.
+fn witness_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    reset();
+    guard
+}
+
+#[test]
+fn l001_opposite_order_acquisition_on_two_threads() {
+    let _gate = witness_guard();
+
+    let a = std::sync::Arc::new(TrackedMutex::new(LockClass::Bindings, ()));
+    let b = std::sync::Arc::new(TrackedMutex::new(LockClass::SendQueue, ()));
+
+    // Thread 1 takes bindings -> send-queue, thread 2 the reverse.
+    // Sequenced by the join, so the run cannot actually deadlock — the
+    // witness must flag the *order* conflict anyway: that is the
+    // lockdep property this auditor exists for.
+    {
+        let (a, b) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        })
+        .join()
+        .unwrap();
+    }
+    {
+        let (a, b) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })
+        .join()
+        .unwrap();
+    }
+
+    let report = check_locks();
+    assert!(report.has_code("NRMI-L001"), "{}", report.render());
+    assert!(report.has_errors());
+}
+
+#[test]
+fn l002_lock_held_across_blocking_transport_recv() {
+    let _gate = witness_guard();
+
+    let (mut transport, _peer) = channel_pair(None, LinkSpec::free());
+    let shard = TrackedMutex::new(LockClass::ReplyCacheShard, ());
+    {
+        let _guard = shard.lock();
+        // Blocks until timeout with the shard lock held: the convoy
+        // pattern the fine-grained server must never exhibit.
+        let _ = transport.recv_timeout(Duration::from_millis(5));
+    }
+
+    let report = check_locks();
+    assert!(report.has_code("NRMI-L002"), "{}", report.render());
+    assert!(report.has_errors(), "unallowed hold must be an error");
+}
+
+#[test]
+fn l002_allowed_hold_reports_info_with_reason() {
+    let _gate = witness_guard();
+
+    let (mut transport, _peer) = channel_pair(None, LinkSpec::free());
+    let service = TrackedMutex::new(LockClass::Service, ());
+    {
+        let _allow = allow_blocking("seeded: designed-in hold under test");
+        let _guard = service.lock();
+        let _ = transport.recv_timeout(Duration::from_millis(5));
+    }
+
+    let report = check_locks();
+    assert!(report.has_code("NRMI-L002"), "{}", report.render());
+    assert!(
+        !report.has_errors(),
+        "allowed hold must downgrade to info:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn l003_reentrant_same_class_acquisition() {
+    let _gate = witness_guard();
+
+    // Two *instances* of one class: safe from self-deadlock here, but
+    // an unordered same-class pair — exactly what L003 exists to stop
+    // before someone does it on one instance.
+    let outer = TrackedMutex::new(LockClass::NodeHeap, ());
+    let inner = TrackedMutex::new(LockClass::NodeHeap, ());
+    {
+        let _go = outer.lock();
+        let _gi = inner.lock();
+    }
+
+    let report = check_locks();
+    assert!(report.has_code("NRMI-L003"), "{}", report.render());
+    assert!(report.has_errors());
+}
+
+#[test]
+fn disciplined_paths_report_no_violations() {
+    let _gate = witness_guard();
+
+    // Consistent nesting order, no holds across transport waits, no
+    // re-entry: the audit must stay quiet (the L000 summary and hold
+    // stats are expected; violations are not).
+    let bindings = TrackedMutex::new(LockClass::Bindings, ());
+    let service = TrackedMutex::new(LockClass::Service, ());
+    for _ in 0..3 {
+        let _gb = bindings.lock();
+        let _gs = service.lock();
+    }
+    let (mut transport, _peer) = channel_pair(None, LinkSpec::free());
+    let _ = transport.recv_timeout(Duration::from_millis(1)); // no locks held
+
+    let report = check_locks();
+    assert!(!report.has_errors(), "{}", report.render());
+    assert!(!report.has_code("NRMI-L001"));
+    assert!(!report.has_code("NRMI-L002"));
+    assert!(!report.has_code("NRMI-L003"));
+}

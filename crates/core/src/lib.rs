@@ -58,6 +58,7 @@ mod error;
 
 pub mod export;
 pub mod interface;
+pub mod lockcheck;
 pub mod node;
 pub mod profile;
 pub mod protocol;
@@ -76,6 +77,9 @@ pub mod warm;
 pub use error::NrmiError;
 pub use export::ExportTable;
 pub use interface::{InterfaceDef, MethodSig, ParamType, TypedService};
+pub use lockcheck::{
+    allow_blocking, BlockingAllowance, LockClass, TrackedMutex, TrackedRwLock, WitnessSnapshot,
+};
 pub use node::{ClientNode, NodeHooks, NodeState, ServerNode};
 pub use profile::{CostModel, JdkGeneration, NrmiFlavor, RuntimeProfile};
 pub use protocol::{

@@ -28,6 +28,7 @@ use nrmi_transport::{decode_rvals, encode_rvals, Frame, Transport, TransportErro
 use nrmi_wire::{apply_delta, deserialize_graph_with};
 
 use crate::error::NrmiError;
+use crate::lockcheck::{allow_blocking, TrackedMutex};
 use crate::node::{ClientNode, NodeHooks, NodeState, ServerNode};
 use crate::proxy::{handle_callback, RemoteHeapProxy};
 use crate::restore::apply_restore;
@@ -857,7 +858,7 @@ pub fn dispatch_tagged(
 /// # Errors
 /// Returns transport errors other than orderly disconnect.
 pub fn serve_connection_shared(
-    server: &parking_lot::Mutex<ServerNode>,
+    server: &TrackedMutex<ServerNode>,
     transport: &mut dyn Transport,
 ) -> Result<(), NrmiError> {
     // Warm-session caches are per CONNECTION, even over a shared node:
@@ -869,10 +870,18 @@ pub fn serve_connection_shared(
 }
 
 fn serve_connection_shared_inner(
-    server: &parking_lot::Mutex<ServerNode>,
+    server: &TrackedMutex<ServerNode>,
     transport: &mut dyn Transport,
     warm: &mut crate::warm::WarmCaches,
 ) -> Result<(), NrmiError> {
+    // Designed-in hold (DESIGN.md §3i): this baseline keeps the node
+    // lock across call execution including callback I/O — that is
+    // exactly the limitation documented above and measured by the
+    // scaling ablation, so the witness records it as accepted rather
+    // than as NRMI-L002.
+    let _allow = allow_blocking(
+        "big-lock baseline holds the node lock across callback I/O by documented design",
+    );
     loop {
         let frame = match transport.recv() {
             Ok(frame) => frame,

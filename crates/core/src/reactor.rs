@@ -63,6 +63,8 @@ use nrmi_transport::{PollableListener, ReactorIo, SendQueue};
 
 #[cfg(unix)]
 use crate::error::NrmiError;
+#[cfg(unix)]
+use crate::lockcheck::{LockClass, TrackedMutex};
 use crate::reliable::{evicted_reply, ReplyDecision};
 use crate::server::{is_pipelineable, SharedServer};
 #[cfg(unix)]
@@ -216,8 +218,8 @@ pub(crate) struct ReactorShared {
     pub stop: Arc<AtomicBool>,
     pub live: Arc<AtomicUsize>,
     pub served: Arc<AtomicUsize>,
-    pub escalated: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
-    pub accept_error: Arc<parking_lot::Mutex<Option<String>>>,
+    pub escalated: Arc<TrackedMutex<Vec<JoinHandle<()>>>>,
+    pub accept_error: Arc<TrackedMutex<Option<String>>>,
 }
 
 /// The reactor serve loop. Runs on its own thread until stopped (via
@@ -244,7 +246,7 @@ where
     let offload = shared.offloadable();
     let (job_tx, job_rx) = mpsc::sync_channel::<ReactorJob>(JOB_QUEUE);
     let (done_tx, done_rx) = mpsc::channel::<(usize, Frame)>();
-    let job_rx = Arc::new(parking_lot::Mutex::new(job_rx));
+    let job_rx = Arc::new(TrackedMutex::new(LockClass::ReactorQueue, job_rx));
     let waker = poller.waker();
     let mut worker_handles = Vec::new();
     for _ in 0..config.workers {
@@ -370,12 +372,11 @@ where
         // --- refresh poller interest for every connection ---
         let reads_paused = overflow.len() >= JOB_OVERFLOW_PAUSE;
         let at_cap = conns.len() >= config.max_live;
-        let listener_interest =
-            if at_cap || stopping || total_done || accept_failure.is_some() {
-                Interest::NONE
-            } else {
-                Interest::READABLE
-            };
+        let listener_interest = if at_cap || stopping || total_done || accept_failure.is_some() {
+            Interest::NONE
+        } else {
+            Interest::READABLE
+        };
         poller.modify(LISTENER, listener_interest);
         for (&token, conn) in conns.iter_mut() {
             let interest = desired_interest(conn, reads_paused);

@@ -9,7 +9,7 @@
 //! actually shared:
 //!
 //! * **Bindings** (name → service, class → service) are read-mostly:
-//!   they live behind an [`RwLock`](parking_lot::RwLock) and are
+//!   they live behind an [`RwLock`](crate::lockcheck::TrackedRwLock) and are
 //!   snapshotted per connection. Each service body itself is `&mut` —
 //!   the paper's §4.1 `synchronized`-equivalent dispatch — so it sits
 //!   behind its *own* mutex ([`SharedService`]), held only for the
@@ -49,6 +49,7 @@ use nrmi_transport::{
 };
 
 use crate::error::NrmiError;
+use crate::lockcheck::{allow_blocking, LockClass, TrackedMutex, TrackedRwLock};
 use crate::node::{NodeState, ServerNode};
 use crate::profile::RuntimeProfile;
 use crate::reliable::{
@@ -61,7 +62,11 @@ use crate::service::RemoteService;
 /// mutex is held for the duration of one invocation (including any
 /// mid-call callbacks to the *calling* client), so concurrent calls to
 /// the same service serialize — and calls to different services do not.
-type ServiceHandle = Arc<parking_lot::Mutex<Box<dyn RemoteService>>>;
+type ServiceHandle = Arc<TrackedMutex<Box<dyn RemoteService>>>;
+
+fn service_handle(service: Box<dyn RemoteService>) -> ServiceHandle {
+    Arc::new(TrackedMutex::new(LockClass::Service, service))
+}
 
 /// Per-connection adapter: implements [`RemoteService`] by locking the
 /// shared binding for each invocation.
@@ -74,6 +79,13 @@ impl RemoteService for SharedService {
         args: &[Value],
         heap: &mut dyn HeapAccess,
     ) -> Result<Value, NrmiError> {
+        // Designed-in hold (DESIGN.md §3i): the service mutex stays
+        // held across mid-call callbacks to the calling client — that
+        // *is* the §4.1 synchronized-dispatch semantics — so the
+        // witness records transport waits under it as accepted, not as
+        // NRMI-L002 violations.
+        let _allow =
+            allow_blocking("service mutex held across mid-call callbacks by design (\u{a7}4.1)");
         self.0.lock().invoke(method, args, heap)
     }
 }
@@ -97,7 +109,7 @@ const REPLY_SHARDS: usize = 16;
 /// discipline, now uniform for cold calls too.
 #[derive(Debug)]
 pub struct ShardedReplyCache {
-    shards: Vec<parking_lot::Mutex<ReplyCache>>,
+    shards: Vec<TrackedMutex<ReplyCache>>,
     /// Cached replies across all shards, maintained on store/evict so
     /// [`len`](ShardedReplyCache::len) is one relaxed load instead of a
     /// sweep that takes all shard locks (which briefly serialized every
@@ -120,17 +132,17 @@ impl ShardedReplyCache {
         ShardedReplyCache {
             shards: (0..REPLY_SHARDS)
                 .map(|_| {
-                    parking_lot::Mutex::new(ReplyCache::with_limits(
-                        per_shard_bytes,
-                        per_shard_nonces,
-                    ))
+                    TrackedMutex::new(
+                        LockClass::ReplyCacheShard,
+                        ReplyCache::with_limits(per_shard_bytes, per_shard_nonces),
+                    )
                 })
                 .collect(),
             entries: AtomicUsize::new(0),
         }
     }
 
-    fn shard(&self, nonce: u64) -> &parking_lot::Mutex<ReplyCache> {
+    fn shard(&self, nonce: u64) -> &TrackedMutex<ReplyCache> {
         // Fibonacci hash: session nonces are random 64-bit values, but
         // don't rely on their low bits alone.
         let ix = (nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (REPLY_SHARDS - 1);
@@ -175,9 +187,9 @@ impl ShardedReplyCache {
     }
 }
 
-/// Name and class bindings, read-mostly behind one [`RwLock`]
-/// (`parking_lot::RwLock`): connection setup takes a read snapshot,
-/// [`SharedServer::bind`] takes the write lock.
+/// Name and class bindings, read-mostly behind one
+/// [`TrackedRwLock`] (class `bindings`): connection setup takes a read
+/// snapshot, [`SharedServer::bind`] takes the write lock.
 struct Bindings {
     services: HashMap<String, ServiceHandle>,
     class_services: HashMap<ClassId, ServiceHandle>,
@@ -193,12 +205,12 @@ pub struct SharedServer {
     machine: MachineSpec,
     profile: RuntimeProfile,
     env: Option<SimEnv>,
-    bindings: parking_lot::RwLock<Bindings>,
+    bindings: TrackedRwLock<Bindings>,
     /// The global at-most-once reply cache (see [`ShardedReplyCache`]).
     pub replies: ShardedReplyCache,
     /// The root node state the server was built from, returned by
     /// [`SharedServer::into_node`]. Connection workers never touch it.
-    root: parking_lot::Mutex<Option<NodeState>>,
+    root: TrackedMutex<Option<NodeState>>,
 }
 
 impl std::fmt::Debug for SharedServer {
@@ -226,18 +238,21 @@ impl SharedServer {
             machine: state.machine.clone(),
             profile: state.profile,
             env: state.env.clone(),
-            bindings: parking_lot::RwLock::new(Bindings {
-                services: services
-                    .into_iter()
-                    .map(|(name, svc)| (name, Arc::new(parking_lot::Mutex::new(svc))))
-                    .collect(),
-                class_services: class_services
-                    .into_iter()
-                    .map(|(class, svc)| (class, Arc::new(parking_lot::Mutex::new(svc))))
-                    .collect(),
-            }),
+            bindings: TrackedRwLock::new(
+                LockClass::Bindings,
+                Bindings {
+                    services: services
+                        .into_iter()
+                        .map(|(name, svc)| (name, service_handle(svc)))
+                        .collect(),
+                    class_services: class_services
+                        .into_iter()
+                        .map(|(class, svc)| (class, service_handle(svc)))
+                        .collect(),
+                },
+            ),
             replies: ShardedReplyCache::default(),
-            root: parking_lot::Mutex::new(Some(state)),
+            root: TrackedMutex::new(LockClass::NodeHeap, Some(state)),
         }
     }
 
@@ -247,7 +262,7 @@ impl SharedServer {
         self.bindings
             .write()
             .services
-            .insert(name.into(), Arc::new(parking_lot::Mutex::new(service)));
+            .insert(name.into(), service_handle(service));
     }
 
     /// True if `name` is currently bound.
@@ -514,14 +529,15 @@ fn serve_connection_pipelined(
     // producer, propagating a stalled client back to the reader instead
     // of buffering replies without limit (see PIPELINE_REPLY_QUEUE).
     let (writer_tx, writer_rx) = mpsc::sync_channel::<Frame>(PIPELINE_REPLY_QUEUE);
-    let writer_err: parking_lot::Mutex<Option<TransportError>> = parking_lot::Mutex::new(None);
+    let writer_err: TrackedMutex<Option<TransportError>> =
+        TrackedMutex::new(LockClass::SendQueue, None);
     let workers = if shared.offloadable() {
         PIPELINE_WORKERS
     } else {
         0
     };
     let (job_tx, job_rx) = mpsc::sync_channel::<PipelineJob>(PIPELINE_JOB_QUEUE);
-    let job_rx = parking_lot::Mutex::new(job_rx);
+    let job_rx = TrackedMutex::new(LockClass::ReactorQueue, job_rx);
     let result = std::thread::scope(|scope| {
         let writer_err = &writer_err;
         scope.spawn(move || {

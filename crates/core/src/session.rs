@@ -19,6 +19,7 @@ use nrmi_transport::{
 };
 
 use crate::error::NrmiError;
+use crate::lockcheck::{LockClass, TrackedMutex};
 use crate::node::{ClientNode, ServerNode};
 use crate::profile::RuntimeProfile;
 use crate::protocol::{
@@ -657,10 +658,10 @@ impl ServerPool {
         let stop = Arc::new(AtomicBool::new(false));
         let live = Arc::new(AtomicUsize::new(0));
         let served = Arc::new(AtomicUsize::new(0));
-        let workers: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> =
-            Arc::new(parking_lot::Mutex::new(Vec::new()));
-        let accept_error: Arc<parking_lot::Mutex<Option<String>>> =
-            Arc::new(parking_lot::Mutex::new(None));
+        let workers: Arc<TrackedMutex<Vec<JoinHandle<()>>>> =
+            Arc::new(TrackedMutex::new(LockClass::Control, Vec::new()));
+        let accept_error: Arc<TrackedMutex<Option<String>>> =
+            Arc::new(TrackedMutex::new(LockClass::Control, None));
 
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -756,10 +757,10 @@ impl ServerPool {
         let stop = Arc::new(AtomicBool::new(false));
         let live = Arc::new(AtomicUsize::new(0));
         let served = Arc::new(AtomicUsize::new(0));
-        let workers: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>> =
-            Arc::new(parking_lot::Mutex::new(Vec::new()));
-        let accept_error: Arc<parking_lot::Mutex<Option<String>>> =
-            Arc::new(parking_lot::Mutex::new(None));
+        let workers: Arc<TrackedMutex<Vec<JoinHandle<()>>>> =
+            Arc::new(TrackedMutex::new(LockClass::Control, Vec::new()));
+        let accept_error: Arc<TrackedMutex<Option<String>>> =
+            Arc::new(TrackedMutex::new(LockClass::Control, None));
 
         let poller = nrmi_transport::Poller::new()?;
         let waker = poller.waker();
@@ -814,8 +815,8 @@ pub struct ServeHandle {
     shared: Option<Arc<crate::server::SharedServer>>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<Result<(), NrmiError>>>,
-    accept_error: Arc<parking_lot::Mutex<Option<String>>>,
-    workers: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    accept_error: Arc<TrackedMutex<Option<String>>>,
+    workers: Arc<TrackedMutex<Vec<JoinHandle<()>>>>,
     live: Arc<AtomicUsize>,
     served: Arc<AtomicUsize>,
     /// `Some` in reactor mode: shutdown wakes the poller out of its

@@ -762,7 +762,7 @@ fn full_reply_fallback(
 /// node is shared.
 #[allow(clippy::too_many_arguments)]
 pub fn server_handle_warm_call_shared(
-    server: &parking_lot::Mutex<ServerNode>,
+    server: &crate::lockcheck::TrackedMutex<ServerNode>,
     caches: &mut WarmCaches,
     transport: &mut dyn Transport,
     service: &str,

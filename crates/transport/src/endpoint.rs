@@ -227,11 +227,13 @@ impl Transport for ChannelTransport {
     }
 
     fn recv(&mut self) -> Result<Frame> {
+        crate::blocking::blocking_region("channel.recv");
         let bytes = self.rx.recv().map_err(|_| TransportError::Disconnected)?;
         Frame::decode(&bytes)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        crate::blocking::blocking_region("channel.recv_timeout");
         let bytes = self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => TransportError::Timeout,
             RecvTimeoutError::Disconnected => TransportError::Disconnected,
@@ -281,11 +283,13 @@ struct ChannelReceiverHalf {
 
 impl TransportReceiver for ChannelReceiverHalf {
     fn recv(&mut self) -> Result<Frame> {
+        crate::blocking::blocking_region("channel.recv");
         let bytes = self.rx.recv().map_err(|_| TransportError::Disconnected)?;
         Frame::decode(&bytes)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        crate::blocking::blocking_region("channel.recv_timeout");
         let bytes = self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => TransportError::Timeout,
             RecvTimeoutError::Disconnected => TransportError::Disconnected,

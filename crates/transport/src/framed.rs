@@ -62,6 +62,8 @@ pub(crate) fn write_frame(
     frame: &Frame,
     buf: &mut Vec<u8>,
 ) -> Result<usize> {
+    // A full socket send buffer parks this thread in write_all below.
+    crate::blocking::blocking_region("framed.write_frame");
     let mut w = ByteWriter::with_buffer(std::mem::take(buf));
     w.put_slice(&[0u8; 4]);
     frame.encode_into(&mut w);

@@ -26,6 +26,7 @@ mod error;
 mod framed;
 mod listen;
 
+pub mod blocking;
 pub mod endpoint;
 pub mod fault;
 pub mod message;
@@ -36,11 +37,14 @@ pub mod tcp;
 #[cfg(unix)]
 pub mod uds;
 
-#[cfg(unix)]
-pub use endpoint::{PollableListener, ReactorIo};
+pub use blocking::blocking_region;
+#[cfg(feature = "lockcheck")]
+pub use blocking::set_blocking_hook;
 pub use endpoint::{
     channel_pair, ChannelTransport, Listener, Transport, TransportReceiver, TransportSender,
 };
+#[cfg(unix)]
+pub use endpoint::{PollableListener, ReactorIo};
 pub use error::TransportError;
 pub use fault::{Fault, FaultPlan, FaultyTransport};
 pub use framed::SendQueue;

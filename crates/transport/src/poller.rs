@@ -229,6 +229,7 @@ impl Poller {
     /// # Errors
     /// Propagates `poll(2)` failures.
     pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> Result<bool> {
+        crate::blocking::blocking_region("poller.wait");
         events.clear();
         self.scratch.clear();
         self.tokens.clear();
@@ -348,7 +349,9 @@ mod tests {
             waker.wake();
         }
         let mut events = Vec::new();
-        assert!(poller.wait(&mut events, Some(Duration::from_secs(1))).unwrap());
+        assert!(poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap());
         // All ten coalesced into one wake; the next wait blocks fresh.
         assert!(!poller
             .wait(&mut events, Some(Duration::from_millis(20)))

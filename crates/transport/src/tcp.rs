@@ -96,11 +96,13 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&mut self) -> Result<Frame> {
+        crate::blocking::blocking_region("tcp.recv");
         self.stream.set_read_timeout(None)?;
         self.recv_inner()
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        crate::blocking::blocking_region("tcp.recv_timeout");
         self.stream.set_read_timeout(Some(timeout))?;
         let result = self.recv_inner();
         let _ = self.stream.set_read_timeout(None);
@@ -178,11 +180,13 @@ struct TcpReceiverHalf {
 
 impl TransportReceiver for TcpReceiverHalf {
     fn recv(&mut self) -> Result<Frame> {
+        crate::blocking::blocking_region("tcp.recv");
         self.stream.set_read_timeout(None)?;
         self.reader.read_frame(&mut self.stream)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        crate::blocking::blocking_region("tcp.recv_timeout");
         self.stream.set_read_timeout(Some(timeout))?;
         let result = self.reader.read_frame(&mut self.stream);
         let _ = self.stream.set_read_timeout(None);

@@ -66,11 +66,13 @@ impl Transport for UdsTransport {
     }
 
     fn recv(&mut self) -> Result<Frame> {
+        crate::blocking::blocking_region("uds.recv");
         self.stream.set_read_timeout(None)?;
         self.recv_inner()
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        crate::blocking::blocking_region("uds.recv_timeout");
         self.stream.set_read_timeout(Some(timeout))?;
         let result = self.recv_inner();
         let _ = self.stream.set_read_timeout(None);
@@ -130,11 +132,13 @@ struct UdsReceiverHalf {
 
 impl TransportReceiver for UdsReceiverHalf {
     fn recv(&mut self) -> Result<Frame> {
+        crate::blocking::blocking_region("uds.recv");
         self.stream.set_read_timeout(None)?;
         self.reader.read_frame(&mut self.stream)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        crate::blocking::blocking_region("uds.recv_timeout");
         self.stream.set_read_timeout(Some(timeout))?;
         let result = self.reader.read_frame(&mut self.stream);
         let _ = self.stream.set_read_timeout(None);

@@ -47,6 +47,8 @@
 //! See `examples/` for the paper's applications; the [`prelude`] brings
 //! the common types into scope.
 
+#![deny(unsafe_code)]
+
 pub use nrmi_check as check;
 pub use nrmi_core as core;
 pub use nrmi_heap as heap;

@@ -115,5 +115,10 @@ proptest! {
                 );
             }
         }
+
+        // Under `--features lockcheck`, the chaos sweep doubles as a
+        // lock-discipline audit of the real server (DESIGN.md §3i).
+        #[cfg(feature = "lockcheck")]
+        nrmi::check::assert_discipline_clean("chaos: faulty copy-restore sweep");
     }
 }

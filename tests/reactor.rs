@@ -17,7 +17,11 @@ use nrmi::transport::{MachineSpec, TcpListenerTransport};
 
 fn registry() -> SharedRegistry {
     let mut reg = ClassRegistry::new();
-    let _ = reg.define("Cell").field_int("value").restorable().register();
+    let _ = reg
+        .define("Cell")
+        .field_int("value")
+        .restorable()
+        .register();
     reg.snapshot()
 }
 
@@ -53,9 +57,8 @@ fn reactor_serves_tagged_calls_from_many_clients() {
     for c in 0..CLIENTS {
         let registry = registry.clone();
         client_threads.push(thread::spawn(move || {
-            let mut client =
-                Session::connect_tcp_reliable(registry, addr, RetryPolicy::default())
-                    .expect("connect");
+            let mut client = Session::connect_tcp_reliable(registry, addr, RetryPolicy::default())
+                .expect("connect");
             for i in 0..CALLS_PER_CLIENT {
                 let ret = client.call("adder", "add", &[Value::Int(1)]).expect("call");
                 assert!(ret.as_int().unwrap() > i, "client {c}: total is monotone");
@@ -72,6 +75,11 @@ fn reactor_serves_tagged_calls_from_many_clients() {
         CLIENTS,
         "every client went through the reactor"
     );
+
+    // Under `--features lockcheck`, every scenario above doubles as a
+    // lock-discipline audit of the real server (DESIGN.md §3i).
+    #[cfg(feature = "lockcheck")]
+    nrmi::check::assert_discipline_clean("reactor: tagged calls from many clients");
     let node = handle.shutdown().expect("shutdown");
     drop(node);
 }
@@ -160,7 +168,9 @@ fn reactor_escalates_exclusive_traffic() {
         .heap()
         .alloc(cell_cls, vec![Value::Int(41)])
         .expect("alloc");
-    let ret = plain.call("bump", "bump", &[Value::Ref(cell)]).expect("cold call");
+    let ret = plain
+        .call("bump", "bump", &[Value::Ref(cell)])
+        .expect("cold call");
     assert_eq!(ret, Value::Int(42));
     // Copy-restore wrote the server's mutation back onto our object.
     assert_eq!(
@@ -169,9 +179,8 @@ fn reactor_escalates_exclusive_traffic() {
     );
 
     // Warm client: warm traffic is exclusive too, same escalation path.
-    let mut warm =
-        Session::connect_tcp_reliable(registry.clone(), addr, RetryPolicy::default())
-            .expect("connect warm");
+    let mut warm = Session::connect_tcp_reliable(registry.clone(), addr, RetryPolicy::default())
+        .expect("connect warm");
     let wcell = warm
         .heap()
         .alloc(cell_cls, vec![Value::Int(0)])
@@ -222,9 +231,12 @@ fn reactor_holds_idle_connections_without_threads() {
     // Settle: one round-trip guarantees the reactor thread and the
     // whole worker pool are spawned before the baseline is taken.
     {
-        let mut client = Session::connect_tcp_reliable(registry.clone(), addr, RetryPolicy::default())
-            .expect("connect warmup");
-        client.call("adder", "add", &[Value::Int(0)]).expect("warmup call");
+        let mut client =
+            Session::connect_tcp_reliable(registry.clone(), addr, RetryPolicy::default())
+                .expect("connect warmup");
+        client
+            .call("adder", "add", &[Value::Int(0)])
+            .expect("warmup call");
         let _ = client.close();
     }
     let baseline = thread_count();
@@ -317,6 +329,11 @@ fn reactor_honors_total_connection_limit() {
         client.call("adder", "add", &[Value::Int(1)]).expect("call");
         client.close().expect("close");
     }
+
+    // Under `--features lockcheck`, every scenario above doubles as a
+    // lock-discipline audit of the real server (DESIGN.md §3i).
+    #[cfg(feature = "lockcheck")]
+    nrmi::check::assert_discipline_clean("reactor: total connection limit");
     let node = handle.join().expect("join after total limit");
     drop(node);
 }

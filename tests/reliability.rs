@@ -208,6 +208,10 @@ fn tcp_reconnect_retransmits_and_executes_exactly_once() {
         transport.stats()
     );
 
+    // Under `--features lockcheck`, every scenario above doubles as a
+    // lock-discipline audit of the real server (DESIGN.md §3i).
+    #[cfg(feature = "lockcheck")]
+    nrmi::check::assert_discipline_clean("reliability: tcp reconnect retransmit");
     transport.send(&Frame::Shutdown).expect("shutdown conn 2");
     drop(transport);
     server.join().expect("server thread");
@@ -576,6 +580,10 @@ fn duplicate_on_second_connection_mid_execution_runs_once() {
     assert!(transport.stats().reconnects >= 1, "{:?}", transport.stats());
     assert!(transport.stats().retries >= 1, "{:?}", transport.stats());
 
+    // Under `--features lockcheck`, every scenario above doubles as a
+    // lock-discipline audit of the real server (DESIGN.md §3i).
+    #[cfg(feature = "lockcheck")]
+    nrmi::check::assert_discipline_clean("reliability: duplicate across connections");
     transport.send(&Frame::Shutdown).expect("shutdown conn 2");
     drop(transport);
     server.join().expect("server thread");

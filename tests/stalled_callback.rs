@@ -174,6 +174,10 @@ where
         "client A finished in {a_stalled_for:?}; the callback never stalled"
     );
 
+    // Under `--features lockcheck`, every scenario above doubles as a
+    // lock-discipline audit of the real server (DESIGN.md §3i).
+    #[cfg(feature = "lockcheck")]
+    nrmi::check::assert_discipline_clean("stalled-callback: pool stays live");
     let server = handle.shutdown().expect("shutdown");
     assert!(server.is_bound("slow") && server.is_bound("fast"));
 }
