@@ -130,7 +130,9 @@ fn main() {
             use nrmi_bench::hotpath;
             let after = hotpath::run_hotpath(hotpath::SIZE);
             println!("{}", hotpath::render_hotpath(&hotpath::BASELINE, &after));
-            let json = hotpath::to_json(&hotpath::BASELINE, &after);
+            let wire = hotpath::run_wire(hotpath::SIZE);
+            println!("{}", hotpath::render_wire(&wire));
+            let json = hotpath::to_json(&hotpath::BASELINE, &after, &wire);
             let path = args
                 .iter()
                 .position(|a| a == "--out")
@@ -141,6 +143,15 @@ fn main() {
                 Ok(()) => println!("wrote {path}"),
                 Err(e) => eprintln!("could not write {path}: {e}"),
             }
+            let violations = hotpath::hotpath_violations(&after, &wire);
+            if !violations.is_empty() {
+                println!("[FAIL] hot-path budget violations:");
+                for v in &violations {
+                    println!("  - {v}");
+                }
+                std::process::exit(1);
+            }
+            println!("[PASS] warm allocation budget and batched-wire copy ceiling hold");
         }
         "sweep" => {
             for scenario in [Scenario::I, Scenario::III] {

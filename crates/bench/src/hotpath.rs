@@ -16,11 +16,25 @@
 //! the identical harness; `tables -- hotpath` re-measures the current
 //! tree and emits `BENCH_hotpath.json` with both, so the perf trajectory
 //! stays machine-readable from this PR onward.
+//!
+//! A second axis meters the **wire copy path** over real TCP: payload
+//! bytes memmoved into contiguous frame bodies per call
+//! ([`nrmi_transport::bytes_copied`]) and wire syscalls per call, for
+//! the per-call-write wire vs the batched scatter-gather wire. The
+//! vectored encode references payloads in place, so batching must drive
+//! bytes-copied-per-call to (near) zero — [`hotpath_violations`] gates
+//! on it, alongside the warm allocation budget.
 
+use std::sync::Arc;
+use std::thread;
 use std::time::Instant;
 
-use nrmi_core::{CallOptions, FnService, NrmiError, RemoteService, Session};
+use nrmi_core::{
+    serve_connection_pooled, CallOptions, FnService, NrmiError, RemoteService, ServerNode, Session,
+    SharedServer,
+};
 use nrmi_heap::{HeapAccess, Value};
+use nrmi_transport::{MachineSpec, TcpListenerTransport};
 
 use crate::alloc_count;
 use crate::tables::SEED;
@@ -61,6 +75,52 @@ pub struct HotpathReport {
     /// Steady-state warm call, δ = 0 (cache seeded, nothing dirty).
     pub warm_steady: HotpathPoint,
 }
+
+/// Wire-copy metering for one call mode under one batching toggle state
+/// (both ends in one process, so the counters see client and server
+/// traffic combined).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WirePoint {
+    /// Payload bytes memmoved into contiguous frame bodies per call.
+    /// The vectored path references payloads in place and copies none.
+    pub bytes_copied_per_call: u64,
+    /// `write`/`writev` syscalls per call (request + reply, both ends).
+    pub write_syscalls_per_call: f64,
+    /// `read` syscalls per call.
+    pub read_syscalls_per_call: f64,
+}
+
+/// The wire-copy ablation over real TCP: cold and steady-warm calls,
+/// each measured with wire batching off (a contiguous encode and its
+/// own `write` per frame) and on (vectored scatter-gather trains).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireReport {
+    /// Tree size measured.
+    pub size: usize,
+    /// Calls averaged over per cell.
+    pub calls: usize,
+    /// Cold copy-restore calls, per-frame-write wire.
+    pub cold_per_write: WirePoint,
+    /// Cold copy-restore calls, batched wire.
+    pub cold_batched: WirePoint,
+    /// Steady warm calls, per-frame-write wire.
+    pub warm_per_write: WirePoint,
+    /// Steady warm calls, batched wire.
+    pub warm_batched: WirePoint,
+}
+
+/// Warm steady-state allocation budget: [`hotpath_violations`] fails
+/// when allocator events per warm call exceed this. The budget reflects
+/// the pooled-codec / buffer-reuse floor with headroom of a few events
+/// for hashmap churn; a regression that re-allocates the working set
+/// per call blows past it immediately.
+pub const WARM_ALLOCS_MAX: u64 = 63;
+
+/// Ceiling on payload bytes memmoved per call by the *batched* wire —
+/// the scatter-gather encode references request and reply payloads in
+/// place, so anything beyond stray control-frame bytes means contiguous
+/// coalescing crept back into the send path.
+pub const WIRE_BYTES_COPIED_MAX: u64 = 512;
 
 /// Allocator traffic at the pre-optimization commit (same harness, same
 /// workload, `CountingAlloc` installed). Timing fields are indicative
@@ -153,6 +213,127 @@ pub fn run_hotpath(size: usize) -> HotpathReport {
     }
 }
 
+/// Restores the wire-batching default even when a measurement panics.
+struct BatchingGuard;
+
+impl Drop for BatchingGuard {
+    fn drop(&mut self) {
+        nrmi_transport::set_wire_batching(true);
+    }
+}
+
+/// One wire-copy cell: the hotpath workload over loopback TCP with the
+/// batching toggle pinned, metering copied payload bytes and wire
+/// syscalls per measured call.
+fn measure_wire(size: usize, warm: bool, batching: bool) -> WirePoint {
+    let classes = bench_classes();
+    let listener = TcpListenerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut server = ServerNode::new(classes.registry.clone(), MachineSpec::fast());
+    server.bind("sum", sum_service());
+    let shared = Arc::new(SharedServer::from_node(server));
+    let server_thread = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            let _ = serve_connection_pooled(&shared, &mut conn);
+        })
+    };
+
+    let mut session = Session::connect_tcp_reliable(
+        classes.registry.clone(),
+        addr,
+        nrmi_core::RetryPolicy::default(),
+    )
+    .expect("connect");
+    let w = build_workload(session.heap(), &classes, Scenario::I, size, SEED).expect("workload");
+    let args = [Value::Ref(w.root)];
+    let opts = CallOptions::copy_restore_delta();
+    let call = |session: &mut nrmi_core::RemoteSession<_>| {
+        if warm {
+            session.call_warm("sum", "sum", &args).expect("warm call");
+        } else {
+            session
+                .call_with("sum", "sum", &args, opts)
+                .expect("cold call");
+        }
+    };
+
+    let _restore = BatchingGuard;
+    nrmi_transport::set_wire_batching(batching);
+    for _ in 0..WARMUP {
+        call(&mut session);
+    }
+    let copied0 = nrmi_transport::bytes_copied();
+    let (w0, r0) = nrmi_transport::wire_syscalls();
+    for _ in 0..CALLS {
+        call(&mut session);
+    }
+    let copied1 = nrmi_transport::bytes_copied();
+    let (w1, r1) = nrmi_transport::wire_syscalls();
+    nrmi_transport::set_wire_batching(true);
+    let _ = session.close();
+    server_thread.join().expect("server thread");
+
+    let n = CALLS as u64;
+    WirePoint {
+        bytes_copied_per_call: (copied1 - copied0) / n,
+        write_syscalls_per_call: (w1 - w0) as f64 / n as f64,
+        read_syscalls_per_call: (r1 - r0) as f64 / n as f64,
+    }
+}
+
+/// Runs the wire-copy ablation on a `size`-node tree over loopback TCP.
+pub fn run_wire(size: usize) -> WireReport {
+    WireReport {
+        size,
+        calls: CALLS,
+        cold_per_write: measure_wire(size, false, false),
+        cold_batched: measure_wire(size, false, true),
+        warm_per_write: measure_wire(size, true, false),
+        warm_batched: measure_wire(size, true, true),
+    }
+}
+
+/// Gate predicate for `tables -- hotpath`: empty means healthy.
+///
+/// * Steady warm calls must stay within [`WARM_ALLOCS_MAX`] allocator
+///   events (checked only when the counting allocator is installed —
+///   unit tests without it would read zero and pass vacuously).
+/// * The batched wire must copy no more payload bytes than the
+///   per-write wire, cold and warm.
+/// * The batched wire's copied bytes must stay under
+///   [`WIRE_BYTES_COPIED_MAX`] — the absolute regression tripwire for
+///   the scatter-gather encode.
+pub fn hotpath_violations(after: &HotpathReport, wire: &WireReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if alloc_count::is_active() && after.warm_steady.allocs_per_call > WARM_ALLOCS_MAX {
+        violations.push(format!(
+            "warm steady-state call allocates {} times (budget {WARM_ALLOCS_MAX})",
+            after.warm_steady.allocs_per_call
+        ));
+    }
+    for (mode, per_write, batched) in [
+        ("cold", &wire.cold_per_write, &wire.cold_batched),
+        ("warm", &wire.warm_per_write, &wire.warm_batched),
+    ] {
+        if batched.bytes_copied_per_call > per_write.bytes_copied_per_call {
+            violations.push(format!(
+                "{mode} batched wire copies {} bytes/call, more than the per-write wire's {}",
+                batched.bytes_copied_per_call, per_write.bytes_copied_per_call
+            ));
+        }
+        if batched.bytes_copied_per_call > WIRE_BYTES_COPIED_MAX {
+            violations.push(format!(
+                "{mode} batched wire copies {} bytes/call (ceiling {WIRE_BYTES_COPIED_MAX}): \
+                 contiguous coalescing is back in the send path",
+                batched.bytes_copied_per_call
+            ));
+        }
+    }
+    violations
+}
+
 fn ratio(before: u64, after: u64) -> f64 {
     if after == 0 {
         f64::INFINITY
@@ -219,6 +400,55 @@ pub fn render_hotpath(before: &HotpathReport, after: &HotpathReport) -> String {
     out
 }
 
+/// Renders the wire-copy ablation as an aligned table.
+pub fn render_wire(wire: &WireReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Wire copy ablation — {}-node tree over loopback TCP, {} calls/cell",
+        wire.size, wire.calls
+    );
+    let _ = writeln!(
+        out,
+        "\n{:<24} {:>16} {:>12} {:>12}",
+        "mode", "copied bytes/call", "writes/call", "reads/call"
+    );
+    let rows: [(&str, &WirePoint); 4] = [
+        ("cold, write-per-frame", &wire.cold_per_write),
+        ("cold, batched", &wire.cold_batched),
+        ("warm, write-per-frame", &wire.warm_per_write),
+        ("warm, batched", &wire.warm_batched),
+    ];
+    for (name, p) in rows {
+        let _ = writeln!(
+            out,
+            "{name:<24} {:>16} {:>12.2} {:>12.2}",
+            p.bytes_copied_per_call, p.write_syscalls_per_call, p.read_syscalls_per_call
+        );
+    }
+    out
+}
+
+fn wire_point_json(p: &WirePoint) -> String {
+    format!(
+        "{{\"bytes_copied_per_call\": {}, \"write_syscalls_per_call\": {:.3}, \"read_syscalls_per_call\": {:.3}}}",
+        p.bytes_copied_per_call, p.write_syscalls_per_call, p.read_syscalls_per_call
+    )
+}
+
+fn wire_json(w: &WireReport) -> String {
+    format!(
+        "{{\"size\": {}, \"calls\": {}, \"cold_per_write\": {}, \"cold_batched\": {}, \"warm_per_write\": {}, \"warm_batched\": {}}}",
+        w.size,
+        w.calls,
+        wire_point_json(&w.cold_per_write),
+        wire_point_json(&w.cold_batched),
+        wire_point_json(&w.warm_per_write),
+        wire_point_json(&w.warm_batched)
+    )
+}
+
 fn point_json(p: &HotpathPoint) -> String {
     format!(
         "{{\"allocs_per_call\": {}, \"alloc_bytes_per_call\": {}, \"request_bytes_per_call\": {}, \"ns_per_call\": {}}}",
@@ -236,12 +466,16 @@ fn report_json(r: &HotpathReport) -> String {
     )
 }
 
-/// Serializes the before/after pair as the `BENCH_hotpath.json` document.
-pub fn to_json(before: &HotpathReport, after: &HotpathReport) -> String {
+/// Serializes the before/after pair plus the wire-copy ablation as the
+/// `BENCH_hotpath.json` document. The `wire` section's per-write vs
+/// batched rows record what the scatter-gather encode saves: copied
+/// payload bytes per call and wire syscalls per call, cold and warm.
+pub fn to_json(before: &HotpathReport, after: &HotpathReport, wire: &WireReport) -> String {
     format!(
-        "{{\n  \"workload\": \"scenario I tree, read-only sum service, delta replies\",\n  \"before\": {},\n  \"after\": {}\n}}\n",
+        "{{\n  \"workload\": \"scenario I tree, read-only sum service, delta replies\",\n  \"before\": {},\n  \"after\": {},\n  \"wire\": {},\n  \"wire_notes\": \"loopback TCP, both ends in one process; bytes_copied_per_call = payload bytes memmoved into contiguous frame bodies (the copy the scatter-gather encode eliminates); per_write = wire batching disabled (a write and a contiguous encode per frame), batched = vectored frame trains (the default)\"\n}}\n",
         report_json(before),
-        report_json(after)
+        report_json(after),
+        wire_json(wire)
     )
 }
 
@@ -259,7 +493,76 @@ mod tests {
             report.warm_steady.request_bytes_per_call < report.cold.request_bytes_per_call,
             "steady warm requests must be smaller than cold requests"
         );
-        let json = to_json(&BASELINE, &report);
-        assert!(json.contains("\"after\""), "json has both sections");
+    }
+
+    fn wire_point(copied: u64) -> WirePoint {
+        WirePoint {
+            bytes_copied_per_call: copied,
+            write_syscalls_per_call: 1.0,
+            read_syscalls_per_call: 2.0,
+        }
+    }
+
+    #[test]
+    fn wire_ablation_measures_the_copy_savings() {
+        let wire = run_wire(64);
+        assert!(
+            wire.cold_per_write.bytes_copied_per_call > 0,
+            "the contiguous encode must meter its payload copies"
+        );
+        assert!(
+            wire.cold_batched.bytes_copied_per_call <= WIRE_BYTES_COPIED_MAX,
+            "the vectored encode must reference payloads in place, copied {} bytes/call",
+            wire.cold_batched.bytes_copied_per_call
+        );
+        assert!(
+            nrmi_transport::wire_batching_enabled(),
+            "measurement must restore the batching default"
+        );
+        assert!(
+            hotpath_violations(&run_hotpath(64), &wire).is_empty(),
+            "healthy measurement must pass its own gate"
+        );
+    }
+
+    #[test]
+    fn json_has_all_three_sections() {
+        let report = run_hotpath(64);
+        let wire = WireReport {
+            size: 64,
+            calls: CALLS,
+            cold_per_write: wire_point(4096),
+            cold_batched: wire_point(0),
+            warm_per_write: wire_point(64),
+            warm_batched: wire_point(0),
+        };
+        let json = to_json(&BASELINE, &report, &wire);
+        assert!(json.contains("\"after\""), "json has the after section");
+        assert!(
+            json.contains("\"wire\"") && json.contains("\"cold_batched\""),
+            "json has the wire section"
+        );
+    }
+
+    #[test]
+    fn violation_fires_when_coalescing_returns() {
+        let healthy = WireReport {
+            size: SIZE,
+            calls: CALLS,
+            cold_per_write: wire_point(8192),
+            cold_batched: wire_point(0),
+            warm_per_write: wire_point(64),
+            warm_batched: wire_point(0),
+        };
+        let mut after = BASELINE;
+        after.warm_steady.allocs_per_call = 10;
+        assert!(hotpath_violations(&after, &healthy).is_empty());
+        let mut regressed = healthy;
+        regressed.cold_batched = wire_point(8192);
+        let violations = hotpath_violations(&after, &regressed);
+        assert!(
+            violations.iter().any(|v| v.contains("ceiling")),
+            "coalescing regression must trip the byte ceiling: {violations:?}"
+        );
     }
 }

@@ -1,0 +1,70 @@
+//! Reactor-substrate allocation guard: an idle fleet must cost nothing
+//! per tick.
+//!
+//! A reactor holding a thousand mostly-idle connections spins its
+//! `Poller::wait` loop forever; if each tick rebuilt its pollfd scratch,
+//! token map, or event vector, the idle fleet would churn the allocator
+//! at wakeup frequency. The poller keeps all three member-pooled and the
+//! reactor hoists its event buffer outside the loop — this test pins
+//! that down with the counting allocator: after a warmup tick sizes the
+//! pools, a hundred timeout ticks over hundreds of registered
+//! descriptors must allocate NOTHING.
+
+#![cfg(unix)]
+
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use nrmi_bench::alloc_count;
+use nrmi_transport::{Event, Interest, Poller, Token};
+
+#[global_allocator]
+static ALLOC: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
+const FDS: usize = 256;
+const WARMUP_TICKS: usize = 8;
+const MEASURED_TICKS: usize = 100;
+
+// One test in its own binary: the counters are process-global, and the
+// differenced window must see only the poll loop's traffic.
+#[test]
+fn idle_poll_ticks_allocate_nothing() {
+    assert!(
+        alloc_count::is_active(),
+        "counting allocator must be installed for this test to mean anything"
+    );
+    let mut poller = Poller::new().expect("poller");
+    // A fleet of idle connections: the write ends are kept open and
+    // silent, so readable-interest on the read ends never fires and
+    // every wait runs to its timeout — the steady state of a reactor
+    // holding mostly-idle clients.
+    let pairs: Vec<(UnixStream, UnixStream)> = (0..FDS)
+        .map(|_| UnixStream::pair().expect("socketpair"))
+        .collect();
+    for (i, (reader, _writer)) in pairs.iter().enumerate() {
+        poller.register(Token(i), reader.as_raw_fd(), Interest::READABLE);
+    }
+    let mut events: Vec<Event> = Vec::new();
+    let tick = |poller: &mut Poller, events: &mut Vec<Event>| {
+        poller
+            .wait(events, Some(Duration::from_millis(1)))
+            .expect("wait");
+        assert!(events.is_empty(), "idle fds must produce no events");
+    };
+    for _ in 0..WARMUP_TICKS {
+        tick(&mut poller, &mut events);
+    }
+    let (before, _) = alloc_count::counters();
+    for _ in 0..MEASURED_TICKS {
+        tick(&mut poller, &mut events);
+    }
+    let (after, _) = alloc_count::counters();
+    assert_eq!(
+        after - before,
+        0,
+        "an idle {FDS}-connection poll loop allocated {} times over \
+         {MEASURED_TICKS} ticks; per-tick scratch crept back into the poller",
+        after - before
+    );
+}

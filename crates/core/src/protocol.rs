@@ -503,11 +503,17 @@ pub fn client_invoke_pipelined(
             call.opts,
         )?);
     }
+    // The whole train goes out through one send_batch — a single
+    // vectored write on socket transports, one syscall for N calls.
+    let mut frames = Vec::with_capacity(marshalled.len());
     let mut pendings = Vec::with_capacity(marshalled.len());
     for (frame, pending) in marshalled {
-        transport.send(&frame)?;
+        frames.push(frame);
         pendings.push(pending);
     }
+    let refs: Vec<&Frame> = frames.iter().collect();
+    transport.send_batch(&refs)?;
+    drop(frames);
     let mut results = Vec::with_capacity(pendings.len());
     for mut pending in pendings {
         let timeout = pending.opts.timeout;

@@ -378,16 +378,28 @@ where
             Interest::READABLE
         };
         poller.modify(LISTENER, listener_interest);
+        // Connections holding read-ahead bytes in user space: the
+        // poller cannot see those (the kernel buffer may be empty), so
+        // any unpaused connection with buffered input is ready NOW —
+        // poll without blocking and parse it below.
+        let mut buffered_ready: Vec<usize> = Vec::new();
         for (&token, conn) in conns.iter_mut() {
             let interest = desired_interest(conn, reads_paused);
             if interest != conn.interest {
                 conn.interest = interest;
                 poller.modify(Token(token), interest);
             }
+            if interest.readable && conn.io.has_buffered_input() {
+                buffered_ready.push(token);
+            }
         }
 
         // --- block for readiness (bounded while draining) ---
-        let timeout = draining.map(|_| Duration::from_millis(50));
+        let timeout = if buffered_ready.is_empty() {
+            draining.map(|_| Duration::from_millis(50))
+        } else {
+            Some(Duration::ZERO)
+        };
         if let Err(e) = poller.wait(&mut events, timeout) {
             break Err(e.into());
         }
@@ -398,7 +410,14 @@ where
             // dropped; the reply is in the cache for a reconnect.
             if let Some(conn) = conns.get_mut(&token) {
                 conn.in_flight -= 1;
-                conn.out.push(&reply);
+                // A reply too large to frame can never be delivered;
+                // close the connection (the cached reply is what a
+                // reconnect would replay, and it would hit the same
+                // wall — the client sees the connection drop instead
+                // of a silent hang).
+                if conn.out.push(&reply).is_err() {
+                    conn.closing = true;
+                }
             }
         }
 
@@ -439,6 +458,20 @@ where
                 dead = read_burst(&shared, offload, token, conn, &job_tx, &mut overflow);
             }
             if dead {
+                poller.deregister(Token(token));
+                conns.remove(&token);
+                ctl.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        // --- parse frames already buffered in user space ---
+        // (Harmless overlap with the event loop above: read_burst is
+        // resumable and stops cleanly at WouldBlock or a pause guard.)
+        for token in buffered_ready {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if read_burst(&shared, offload, token, conn, &job_tx, &mut overflow) {
                 poller.deregister(Token(token));
                 conns.remove(&token);
                 ctl.live.fetch_sub(1, Ordering::SeqCst);
@@ -560,7 +593,15 @@ fn read_burst<C: ReactorIo>(
             Err(_) => return true,
         };
         match reactor_classify(shared, offload, frame) {
-            ReactorStep::Reply(reply) => conn.out.push(&reply),
+            // An oversized reply cannot be framed: the stream is still
+            // in sync (nothing was queued), but the call can never be
+            // answered — close the connection rather than hang it.
+            ReactorStep::Reply(reply) => {
+                if conn.out.push(&reply).is_err() {
+                    conn.closing = true;
+                    return false;
+                }
+            }
             ReactorStep::Offload { nonce, seq, call } => {
                 conn.in_flight += 1;
                 let job = (token, nonce, seq, call);

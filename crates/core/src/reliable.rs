@@ -243,6 +243,15 @@ pub struct ReliableTransport<T> {
     /// Replies (and per-call deadline failures) that resolved while the
     /// caller was waiting on a different seq.
     completed: HashMap<u64, Outcome>,
+    /// Earliest instant any pending call could need pump attention
+    /// (retransmission due, attempt window lapse, or deadline), refreshed
+    /// by every full [`pump_sends`](Self::pump_sends) walk. Lets the
+    /// receive loop's per-reply pump return in O(1) while every event is
+    /// still in the future. `None` means stale — the next pump must walk.
+    /// Invariant: when `Some`, it is ≤ the true earliest event (events
+    /// only move later between walks; mutations that could move one
+    /// earlier reset this to `None`).
+    next_pump: Option<Instant>,
     rng: u64,
     stats: RetryStats,
 }
@@ -275,6 +284,7 @@ impl<T: Transport> ReliableTransport<T> {
             pending: HashMap::new(),
             order: VecDeque::new(),
             completed: HashMap::new(),
+            next_pump: None,
             rng: nonce | 1,
             stats: RetryStats::default(),
         }
@@ -359,7 +369,91 @@ impl<T: Transport> ReliableTransport<T> {
         }
         self.pending.insert(seq, fl);
         self.order.push_back(seq);
+        self.next_pump = None;
         Ok(Some(seq))
+    }
+
+    /// Pipelined issue path for a whole train of calls: every frame is
+    /// tagged and entered into the request map exactly as
+    /// [`send_call`](ReliableTransport::send_call) would, but the train
+    /// reaches the wire through one [`Transport::send_batch`] — a single
+    /// vectored write on socket transports. Returns the seqs in issue
+    /// order.
+    ///
+    /// A `Disconnected` on the batch send is absorbed the same way as a
+    /// single call's lost first send: reconnect, queue the *entire*
+    /// train for retransmission, and let the receive loop resend (the
+    /// at-most-once ids make the retransmission safe even if a prefix
+    /// of the train reached the peer before the connection died).
+    /// Trains containing non-call traffic fall back to per-frame sends
+    /// so ordering against untagged frames is preserved.
+    ///
+    /// # Errors
+    /// Connection-fatal send errors (not `Disconnected`); the train is
+    /// not entered into the map.
+    pub fn send_call_batch(&mut self, frames: &[&Frame]) -> Result<Vec<u64>, TransportError> {
+        if frames.iter().any(|f| !Self::is_call(f)) {
+            let mut seqs = Vec::new();
+            for frame in frames {
+                if let Some(seq) = self.send_call(frame)? {
+                    seqs.push(seq);
+                }
+            }
+            return Ok(seqs);
+        }
+        let now = Instant::now();
+        let mut seqs = Vec::with_capacity(frames.len());
+        for frame in frames {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.stats.calls += 1;
+            let request = Frame::Tagged {
+                nonce: self.nonce,
+                seq,
+                frame: Box::new((*frame).clone()),
+            };
+            self.pending.insert(
+                seq,
+                InFlight {
+                    request,
+                    deadline: now + self.policy.deadline,
+                    attempts: 1,
+                    needs_send: false,
+                    next_send: now,
+                    last_sent: now,
+                },
+            );
+            self.order.push_back(seq);
+            seqs.push(seq);
+        }
+        let result = {
+            let batch: Vec<&Frame> = seqs.iter().map(|s| &self.pending[s].request).collect();
+            self.inner.send_batch(&batch)
+        };
+        match result {
+            Ok(()) => {}
+            Err(TransportError::Disconnected) => {
+                if matches!(self.inner.reconnect(), Ok(true)) {
+                    self.stats.reconnects += 1;
+                }
+                for seq in &seqs {
+                    if let Some(fl) = self.pending.get_mut(seq) {
+                        let pause = self.policy.backoff(fl.attempts, &mut self.rng);
+                        fl.needs_send = true;
+                        fl.next_send = now + pause;
+                    }
+                }
+            }
+            Err(e) => {
+                for seq in &seqs {
+                    self.pending.remove(seq);
+                }
+                self.order.retain(|s| !seqs.contains(s));
+                return Err(e);
+            }
+        }
+        self.next_pump = None;
+        Ok(seqs)
     }
 
     /// Calls issued and not yet collected (pending or already resolved
@@ -465,6 +559,7 @@ impl<T: Transport> ReliableTransport<T> {
                         fl.needs_send = true;
                         fl.next_send = now;
                     }
+                    self.next_pump = None;
                 }
                 Err(e) => return self.fail_all(e),
             }
@@ -479,6 +574,14 @@ impl<T: Transport> ReliableTransport<T> {
     /// # Errors
     /// Connection-fatal send errors, which abandon all pending calls.
     fn pump_sends(&mut self, now: Instant) -> Result<(), TransportError> {
+        // Every event the walk acts on is at or after `next_pump`; while
+        // that instant is still in the future the whole walk is a no-op,
+        // so the per-reply pump in the receive loop costs one comparison
+        // instead of an allocation and a scan of every pending call.
+        if self.next_pump.is_some_and(|np| now < np) {
+            return Ok(());
+        }
+        let mut next_pump: Option<Instant> = None;
         let seqs: Vec<u64> = self
             .order
             .iter()
@@ -531,8 +634,16 @@ impl<T: Transport> ReliableTransport<T> {
                     }
                 }
             }
+            let event = if fl.needs_send {
+                fl.next_send
+            } else {
+                fl.last_sent + self.policy.attempt_timeout
+            }
+            .min(fl.deadline);
+            next_pump = Some(next_pump.map_or(event, |np| np.min(event)));
             self.pending.insert(seq, fl);
         }
+        self.next_pump = next_pump;
         Ok(())
     }
 
@@ -565,17 +676,24 @@ impl<T: Transport> ReliableTransport<T> {
     /// window, or deadline — capped by the caller's poll window.
     fn next_wait(&self, now: Instant, poll_deadline: Option<Instant>) -> Duration {
         let mut earliest: Option<Instant> = poll_deadline;
-        for fl in self.pending.values() {
-            let event = if fl.needs_send {
-                fl.next_send
-            } else {
-                fl.last_sent + self.policy.attempt_timeout
-            };
-            let event = event.min(fl.deadline);
-            earliest = Some(match earliest {
-                Some(e) => e.min(event),
-                None => event,
-            });
+        if let Some(np) = self.next_pump {
+            // The pump just refreshed (or validated) its cache; it is a
+            // lower bound on every pending event, so the scan below
+            // would only ever find something later.
+            earliest = Some(earliest.map_or(np, |e| e.min(np)));
+        } else {
+            for fl in self.pending.values() {
+                let event = if fl.needs_send {
+                    fl.next_send
+                } else {
+                    fl.last_sent + self.policy.attempt_timeout
+                };
+                let event = event.min(fl.deadline);
+                earliest = Some(match earliest {
+                    Some(e) => e.min(event),
+                    None => event,
+                });
+            }
         }
         let wait = earliest
             .map(|e| e.saturating_duration_since(now))
@@ -613,6 +731,10 @@ impl<T: Transport> ReliableTransport<T> {
 impl<T: Transport> Transport for ReliableTransport<T> {
     fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
         self.send_call(frame).map(|_| ())
+    }
+
+    fn send_batch(&mut self, frames: &[&Frame]) -> Result<(), TransportError> {
+        self.send_call_batch(frames).map(|_| ())
     }
 
     /// Collects the *oldest* uncollected call — the single-in-flight
@@ -1223,6 +1345,68 @@ mod tests {
         assert_eq!(client.recv_reply(s1).unwrap(), reply_frame(2));
         assert_eq!(client.stats().calls, 2);
         assert_eq!(client.stats().stale_discarded, 0, "nothing was discarded");
+    }
+
+    #[test]
+    fn batched_calls_tag_and_route_like_sequential_sends() {
+        let (mut client, mut server) = reliable(RetryPolicy::aggressive());
+        let frames = [call_frame(1), call_frame(2), call_frame(3)];
+        let refs: Vec<&Frame> = frames.iter().collect();
+        let seqs = client.send_call_batch(&refs).unwrap();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(client.pending_calls(), 3);
+        assert_eq!(client.stats().calls, 3);
+        let mut nonce = 0;
+        for (i, frame) in frames.iter().enumerate() {
+            let Frame::Tagged {
+                nonce: n,
+                seq,
+                frame: inner,
+            } = server.recv().unwrap()
+            else {
+                panic!("batched calls must travel tagged");
+            };
+            nonce = n;
+            assert_eq!(seq, i as u64, "train preserves issue order");
+            assert_eq!(*inner, *frame);
+        }
+        // Answer out of order; each seq routes to its own entry.
+        for &seq in seqs.iter().rev() {
+            server
+                .send(&Frame::Tagged {
+                    nonce,
+                    seq,
+                    frame: Box::new(reply_frame(seq as u8)),
+                })
+                .unwrap();
+        }
+        for &seq in &seqs {
+            assert_eq!(client.recv_reply(seq).unwrap(), reply_frame(seq as u8));
+        }
+        assert_eq!(client.pending_calls(), 0);
+    }
+
+    #[test]
+    fn batched_calls_absorb_disconnect_and_retransmit() {
+        // The peer is gone before the batch goes out: the whole train
+        // must queue for retransmission, not error out.
+        let (a, b) = channel_pair(None, LinkSpec::free());
+        drop(b);
+        let mut client = ReliableTransport::with_nonce(a, RetryPolicy::aggressive(), 77);
+        let frames = [call_frame(1), call_frame(2)];
+        let refs: Vec<&Frame> = frames.iter().collect();
+        let seqs = client.send_call_batch(&refs).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(client.pending_calls(), 2, "train stays in flight");
+        // With nobody to reconnect to, both calls fail their own
+        // budgets — proving they were tracked, not dropped.
+        for &seq in &seqs {
+            let err = client.recv_reply(seq).unwrap_err();
+            assert!(
+                matches!(err, TransportError::DeadlineExceeded { .. }),
+                "{err:?}"
+            );
+        }
     }
 
     #[test]

@@ -541,11 +541,26 @@ fn serve_connection_pipelined(
     let result = std::thread::scope(|scope| {
         let writer_err = &writer_err;
         scope.spawn(move || {
-            // The writer: sole owner of the send half. Replies (and
-            // callback frames from exclusive calls) go out the instant
-            // they land here — no polling, no reply-order coupling.
+            // The writer: sole owner of the send half. It blocks for
+            // the first reply, then greedily drains whatever else has
+            // queued behind it and flushes the whole train with one
+            // send_batch — one vectored write instead of a syscall per
+            // reply. Flushing on queue-drain (rather than per-reply)
+            // batches exactly when the connection is busy and adds no
+            // latency when it is not: an empty queue means the one
+            // reply goes out immediately.
+            let mut train: Vec<Frame> = Vec::with_capacity(PIPELINE_REPLY_QUEUE);
             while let Ok(frame) = writer_rx.recv() {
-                if let Err(e) = sender.send(&frame) {
+                train.clear();
+                train.push(frame);
+                while train.len() < PIPELINE_REPLY_QUEUE {
+                    match writer_rx.try_recv() {
+                        Ok(next) => train.push(next),
+                        Err(_) => break,
+                    }
+                }
+                let refs: Vec<&Frame> = train.iter().collect();
+                if let Err(e) = sender.send_batch(&refs) {
                     *writer_err.lock() = Some(e);
                     // Drain without sending: producers must not block
                     // on a dead connection.
@@ -988,7 +1003,8 @@ mod tests {
     /// server memory without bound: the bounded reply and job queues
     /// propagate the stall back to the reader, which stops consuming
     /// frames once `PIPELINE_JOB_QUEUE + PIPELINE_REPLY_QUEUE` plus the
-    /// threads' in-hand frames are outstanding.
+    /// threads' in-hand frames (including the writer's drained train,
+    /// at most `PIPELINE_REPLY_QUEUE` more) are outstanding.
     #[test]
     fn slow_reader_bounds_pipelined_consumption() {
         use std::sync::atomic::AtomicBool;
@@ -1071,8 +1087,10 @@ mod tests {
 
         // Let the flood run to its stall. Consumption must plateau: two
         // samples far apart agree, and the total stays within the sum
-        // of the queue bounds plus one frame in each thread's hands.
-        let budget = PIPELINE_JOB_QUEUE + PIPELINE_REPLY_QUEUE + PIPELINE_WORKERS + 8;
+        // of the queue bounds plus one frame in each thread's hands —
+        // plus one full train (up to PIPELINE_REPLY_QUEUE frames) the
+        // writer greedily drained before blocking in send_batch.
+        let budget = PIPELINE_JOB_QUEUE + 2 * PIPELINE_REPLY_QUEUE + PIPELINE_WORKERS + 8;
         std::thread::sleep(Duration::from_millis(300));
         let sample1 = consumed.load(Ordering::SeqCst);
         std::thread::sleep(Duration::from_millis(300));

@@ -20,6 +20,22 @@ pub trait Transport: Send {
     /// [`TransportError::Disconnected`] if the peer is gone.
     fn send(&mut self, frame: &Frame) -> Result<()>;
 
+    /// Sends a train of frames, preserving order. Implementations backed
+    /// by a stream socket override this to flush the whole train with one
+    /// vectored write; the default just loops [`Transport::send`], so
+    /// every transport keeps identical wire bytes and error semantics.
+    ///
+    /// # Errors
+    /// [`TransportError::Disconnected`] if the peer is gone. On error the
+    /// train may be partially sent; callers that need exactly-once
+    /// delivery layer their own retransmission (see `ReliableTransport`).
+    fn send_batch(&mut self, frames: &[&Frame]) -> Result<()> {
+        for frame in frames {
+            self.send(frame)?;
+        }
+        Ok(())
+    }
+
     /// Receives the next frame, blocking until one arrives.
     ///
     /// # Errors
@@ -70,6 +86,18 @@ pub trait TransportSender: Send {
     /// # Errors
     /// [`TransportError::Disconnected`] if the peer is gone.
     fn send(&mut self, frame: &Frame) -> Result<()>;
+
+    /// Sends a train of frames in order; socket-backed halves override
+    /// this with a single vectored write (see [`Transport::send_batch`]).
+    ///
+    /// # Errors
+    /// [`TransportError::Disconnected`] if the peer is gone.
+    fn send_batch(&mut self, frames: &[&Frame]) -> Result<()> {
+        for frame in frames {
+            self.send(frame)?;
+        }
+        Ok(())
+    }
 }
 
 /// The read half of a [`Transport::split`].
@@ -140,6 +168,16 @@ pub trait ReactorIo: Transport {
     /// [`TransportError::Disconnected`] on peer closure; decode and I/O
     /// errors as-is.
     fn try_read_frame(&mut self) -> Result<Option<Frame>>;
+
+    /// True when frame bytes already read from the socket sit buffered
+    /// in user space. A level-triggered poller never reports these —
+    /// the kernel buffer may be empty — so an event loop that pauses
+    /// reads (back-pressure) and later resumes must consult this, not
+    /// just readiness, or buffered frames strand until the peer happens
+    /// to send more.
+    fn has_buffered_input(&self) -> bool {
+        false
+    }
 
     /// Flushes as much of `queue` as the socket accepts without
     /// blocking; `Ok(true)` when the queue drained.

@@ -47,7 +47,9 @@ pub use endpoint::{
 pub use endpoint::{PollableListener, ReactorIo};
 pub use error::TransportError;
 pub use fault::{Fault, FaultPlan, FaultyTransport};
-pub use framed::SendQueue;
+pub use framed::{
+    bytes_copied, set_wire_batching, wire_batching_enabled, wire_syscalls, SendQueue,
+};
 pub use message::{decode_rvals, encode_rvals, Frame, RVal};
 #[cfg(unix)]
 pub use poller::{Event, Interest, Poller, Token, Waker};

@@ -500,6 +500,102 @@ impl Frame {
         }
     }
 
+    /// Encodes everything *except* the trailing payload bytes into `w` —
+    /// the tag, the header fields, and the payload's varint length — and
+    /// returns the payload slice to be shipped as its own iovec. Every
+    /// payload-carrying frame writes its payload as the final field, so
+    /// the written prefix concatenated with the returned slice is
+    /// byte-identical to [`Frame::encode_into`] (differential-tested in
+    /// the transport's framing layer). `None` means the frame has no
+    /// payload tail and the prefix *is* the complete encoding.
+    ///
+    /// This is the scatter-gather half of the wire path: large graph and
+    /// delta payloads stay in their pooled codec segments and are handed
+    /// to `writev` in place instead of being memmoved into a contiguous
+    /// frame body.
+    pub fn encode_prefix_into<'a>(&'a self, w: &mut ByteWriter) -> Option<&'a [u8]> {
+        match self {
+            Frame::CallRequest {
+                service,
+                method,
+                mode,
+                payload,
+            } => {
+                w.put_u8(F_CALL_REQUEST);
+                w.put_str(service);
+                w.put_str(method);
+                w.put_u8(*mode);
+                w.put_varint(payload.len() as u64);
+                Some(payload)
+            }
+            Frame::CallObject {
+                key,
+                method,
+                mode,
+                payload,
+            } => {
+                w.put_u8(F_CALL_OBJECT);
+                w.put_varint(*key);
+                w.put_str(method);
+                w.put_u8(*mode);
+                w.put_varint(payload.len() as u64);
+                Some(payload)
+            }
+            Frame::CallReply { payload } => {
+                w.put_u8(F_CALL_REPLY);
+                w.put_varint(payload.len() as u64);
+                Some(payload)
+            }
+            Frame::CallRequestWarm {
+                service,
+                method,
+                mode,
+                cache_id,
+                generation,
+                payload,
+            } => {
+                w.put_u8(F_CALL_REQUEST_WARM);
+                w.put_str(service);
+                w.put_str(method);
+                w.put_u8(*mode);
+                w.put_varint(*cache_id);
+                w.put_varint(*generation);
+                w.put_varint(payload.len() as u64);
+                Some(payload)
+            }
+            Frame::Tagged { nonce, seq, frame } => {
+                w.put_u8(F_TAGGED);
+                w.put_varint(*nonce);
+                w.put_varint(*seq);
+                frame.encode_prefix_into(w)
+            }
+            Frame::ReplyCached { nonce, seq, frame } => {
+                w.put_u8(F_REPLY_CACHED);
+                w.put_varint(*nonce);
+                w.put_varint(*seq);
+                frame.encode_prefix_into(w)
+            }
+            other => {
+                other.encode_into(w);
+                None
+            }
+        }
+    }
+
+    /// Length of the frame's trailing payload (zero when it has none):
+    /// the bytes a contiguous encode memmoves into the frame body and
+    /// the vectored path references in place.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Frame::CallRequest { payload, .. }
+            | Frame::CallObject { payload, .. }
+            | Frame::CallReply { payload }
+            | Frame::CallRequestWarm { payload, .. } => payload.len(),
+            Frame::Tagged { frame, .. } | Frame::ReplyCached { frame, .. } => frame.payload_len(),
+            _ => 0,
+        }
+    }
+
     /// Decodes a frame from bytes.
     ///
     /// # Errors
@@ -654,6 +750,17 @@ mod tests {
         let back = Frame::decode(&bytes).unwrap();
         assert_eq!(f, back);
         assert_eq!(f.wire_size(), bytes.len());
+        // The scatter-gather twin must be byte-identical: prefix ++
+        // payload == contiguous encoding, for every frame shape.
+        let mut w = ByteWriter::new();
+        let payload = f.encode_prefix_into(&mut w);
+        let mut split = w.into_bytes();
+        let copied = payload.map_or(0, <[u8]>::len);
+        if let Some(p) = payload {
+            split.extend_from_slice(p);
+        }
+        assert_eq!(split, bytes, "prefix+payload diverges for {f:?}");
+        assert_eq!(f.payload_len(), copied, "payload_len diverges for {f:?}");
     }
 
     #[test]

@@ -95,13 +95,34 @@ impl Transport for TcpTransport {
         Ok(())
     }
 
+    fn send_batch(&mut self, frames: &[&Frame]) -> Result<()> {
+        // Simulated links charge per frame (which needs each body's
+        // size), so they keep the per-frame path; real links flush the
+        // whole train with one vectored write.
+        if frames.len() <= 1 || self.env.is_some() || !framed::wire_batching_enabled() {
+            for frame in frames {
+                self.send(frame)?;
+            }
+            return Ok(());
+        }
+        framed::write_frames_vectored(&mut self.stream, frames, &mut self.send_buf).map(|_| ())
+    }
+
     fn recv(&mut self) -> Result<Frame> {
+        // Fast path: a frame already sitting in the read-ahead needs no
+        // syscalls at all (not even the timeout-reset setsockopt).
+        if let Some(result) = self.reader.read_frame_buffered() {
+            return result;
+        }
         crate::blocking::blocking_region("tcp.recv");
         self.stream.set_read_timeout(None)?;
         self.recv_inner()
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        if let Some(result) = self.reader.read_frame_buffered() {
+            return result;
+        }
         crate::blocking::blocking_region("tcp.recv_timeout");
         self.stream.set_read_timeout(Some(timeout))?;
         let result = self.recv_inner();
@@ -170,6 +191,16 @@ impl TransportSender for TcpSenderHalf {
         }
         Ok(())
     }
+
+    fn send_batch(&mut self, frames: &[&Frame]) -> Result<()> {
+        if frames.len() <= 1 || self.env.is_some() || !framed::wire_batching_enabled() {
+            for frame in frames {
+                self.send(frame)?;
+            }
+            return Ok(());
+        }
+        framed::write_frames_vectored(&mut self.stream, frames, &mut self.send_buf).map(|_| ())
+    }
 }
 
 /// Read half of a split [`TcpTransport`].
@@ -180,12 +211,18 @@ struct TcpReceiverHalf {
 
 impl TransportReceiver for TcpReceiverHalf {
     fn recv(&mut self) -> Result<Frame> {
+        if let Some(result) = self.reader.read_frame_buffered() {
+            return result;
+        }
         crate::blocking::blocking_region("tcp.recv");
         self.stream.set_read_timeout(None)?;
         self.reader.read_frame(&mut self.stream)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        if let Some(result) = self.reader.read_frame_buffered() {
+            return result;
+        }
         crate::blocking::blocking_region("tcp.recv_timeout");
         self.stream.set_read_timeout(Some(timeout))?;
         let result = self.reader.read_frame(&mut self.stream);
@@ -290,6 +327,10 @@ impl crate::endpoint::ReactorIo for TcpTransport {
             Err(TransportError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => Err(e),
         }
+    }
+
+    fn has_buffered_input(&self) -> bool {
+        self.reader.has_buffered_input()
     }
 
     fn flush_queue(&mut self, queue: &mut crate::SendQueue) -> Result<bool> {

@@ -65,13 +65,31 @@ impl Transport for UdsTransport {
         Ok(())
     }
 
+    fn send_batch(&mut self, frames: &[&Frame]) -> Result<()> {
+        if frames.len() <= 1 || !framed::wire_batching_enabled() {
+            for frame in frames {
+                self.send(frame)?;
+            }
+            return Ok(());
+        }
+        framed::write_frames_vectored(&mut self.stream, frames, &mut self.send_buf).map(|_| ())
+    }
+
     fn recv(&mut self) -> Result<Frame> {
+        // Fast path: a frame already sitting in the read-ahead needs no
+        // syscalls at all (not even the timeout-reset setsockopt).
+        if let Some(result) = self.reader.read_frame_buffered() {
+            return result;
+        }
         crate::blocking::blocking_region("uds.recv");
         self.stream.set_read_timeout(None)?;
         self.recv_inner()
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        if let Some(result) = self.reader.read_frame_buffered() {
+            return result;
+        }
         crate::blocking::blocking_region("uds.recv_timeout");
         self.stream.set_read_timeout(Some(timeout))?;
         let result = self.recv_inner();
@@ -122,6 +140,16 @@ impl TransportSender for UdsSenderHalf {
         framed::write_frame(&mut self.stream, frame, &mut self.send_buf)?;
         Ok(())
     }
+
+    fn send_batch(&mut self, frames: &[&Frame]) -> Result<()> {
+        if frames.len() <= 1 || !framed::wire_batching_enabled() {
+            for frame in frames {
+                self.send(frame)?;
+            }
+            return Ok(());
+        }
+        framed::write_frames_vectored(&mut self.stream, frames, &mut self.send_buf).map(|_| ())
+    }
 }
 
 /// Read half of a split [`UdsTransport`].
@@ -132,12 +160,18 @@ struct UdsReceiverHalf {
 
 impl TransportReceiver for UdsReceiverHalf {
     fn recv(&mut self) -> Result<Frame> {
+        if let Some(result) = self.reader.read_frame_buffered() {
+            return result;
+        }
         crate::blocking::blocking_region("uds.recv");
         self.stream.set_read_timeout(None)?;
         self.reader.read_frame(&mut self.stream)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame> {
+        if let Some(result) = self.reader.read_frame_buffered() {
+            return result;
+        }
         crate::blocking::blocking_region("uds.recv_timeout");
         self.stream.set_read_timeout(Some(timeout))?;
         let result = self.reader.read_frame(&mut self.stream);
@@ -259,6 +293,10 @@ impl crate::endpoint::ReactorIo for UdsTransport {
             Err(TransportError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => Err(e),
         }
+    }
+
+    fn has_buffered_input(&self) -> bool {
+        self.reader.has_buffered_input()
     }
 
     fn flush_queue(&mut self, queue: &mut crate::SendQueue) -> Result<bool> {

@@ -18,6 +18,15 @@
 //! The codec is *transparent*: each `encode_*` method runs the same
 //! code path as the corresponding free function and produces
 //! byte-identical output (the differential tests below pin this down).
+//!
+//! The pooled buffers double as **wire segments** for the transport's
+//! scatter-gather path: the payload `Vec` inside an [`EncodedGraph`] or
+//! [`EncodedDelta`] is handed to `Frame` construction whole, and the
+//! vectored write path (`Frame::encode_prefix_into` plus `writev`)
+//! references it *in place* as its own iovec entry instead of memmoving
+//! it into a contiguous frame body. [`Codec::loan_segment`] is the
+//! explicit loan side of that cycle; [`Codec::recycle`] is the return
+//! side.
 
 use nrmi_heap::{DensePositionMap, Heap, ObjId, Value};
 
@@ -61,7 +70,14 @@ impl Codec {
         }
     }
 
-    fn take_buf(&mut self) -> Vec<u8> {
+    /// Loans a pooled segment (cleared, capacity retained) for a caller
+    /// to fill — the buffer every `encode_*` method writes its payload
+    /// into, and the allocation the vectored wire path later references
+    /// in place as one iovec entry. Return it with [`Codec::recycle`]
+    /// once the bytes have left the process (or keep it alive for
+    /// caches). Empty when the pool is dry — the caller's writes grow
+    /// it, and recycling teaches the pool the session's payload sizes.
+    pub fn loan_segment(&mut self) -> Vec<u8> {
         self.buffers.pop().unwrap_or_default()
     }
 
@@ -83,7 +99,7 @@ impl Codec {
             old_index,
             hooks,
             std::mem::take(&mut self.graph_positions),
-            self.take_buf(),
+            self.loan_segment(),
         );
         let (enc, positions) = ser.encode_roots_reclaim(roots)?;
         self.graph_positions = positions;
@@ -107,7 +123,7 @@ impl Codec {
             roots,
             std::mem::take(&mut self.delta_old),
             std::mem::take(&mut self.delta_new),
-            self.take_buf(),
+            self.loan_segment(),
         )?;
         self.delta_old = old;
         self.delta_new = new;
@@ -136,7 +152,7 @@ impl Codec {
             roots,
             std::mem::take(&mut self.delta_old),
             std::mem::take(&mut self.delta_new),
-            self.take_buf(),
+            self.loan_segment(),
         )?;
         self.delta_old = old;
         self.delta_new = new;

@@ -82,6 +82,16 @@ impl EncodedGraph {
     pub fn byte_len(&self) -> usize {
         self.bytes.len()
     }
+
+    /// The payload viewed as a wire segment: the exact bytes the
+    /// transport's scatter-gather path hands to `writev` as one iovec
+    /// entry (via `Frame::encode_prefix_into`), without copying them
+    /// into a contiguous frame body first. The backing `Vec` usually
+    /// came from a [`Codec`](crate::Codec) loan and goes back to its
+    /// pool once sent.
+    pub fn wire_segment(&self) -> &[u8] {
+        &self.bytes
+    }
 }
 
 /// Streaming graph encoder. Most callers use [`serialize_graph`] or
