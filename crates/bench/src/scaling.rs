@@ -34,22 +34,43 @@
 //! depth [`BATCHED_WIRE_DEPTHS`] the train must pay at least
 //! [`BATCHED_WIRE_MIN_SPEEDUP`].
 //!
+//! A fifth axis measures **shared-graph contention**: N warm readers
+//! each hold a leased [`CONTENTION_GRAPH_NODES`]-node chain on one
+//! server heap while a writer dirties a few nodes of every leased graph
+//! between reads. Targeted invalidation repairs each reader with a
+//! `CacheStale` patch covering only the dirty positions; the baseline
+//! is what the pre-lease protocol could do — treat any cross-session
+//! write as total, evict, and reseed the full graph. The cell counts
+//! wire bytes per steady-state call under both policies *and* audits
+//! coherence: with targeted patches every read must see the writer's
+//! values ([`ContentionPoint::stale_reads`] stays 0), while the reseed
+//! baseline demonstrably clobbers peer writes
+//! ([`ContentionPoint::lost_writes`]). This axis runs in process over
+//! [`dispatch_warm_frame`] — it measures bytes and coherence, not
+//! syscalls — so the numbers are deterministic.
+//!
 //! `tables -- scaling` renders the tables and emits `BENCH_scaling.json`;
 //! the gate fails when the pool stops beating the serialized baseline,
-//! a stalled client blocks the probe again, pipelining stops paying, or
-//! batched trains stop beating per-call writes.
+//! a stalled client blocks the probe again, pipelining stops paying,
+//! batched trains stop beating per-call writes, or targeted
+//! invalidation stops beating the evict-and-reseed baseline (in bytes
+//! or in coherence).
 
-use std::sync::{mpsc, Arc, Barrier};
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Barrier, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use nrmi_core::{
-    client_invoke, serve_connection_pooled, serve_connection_shared, CallOptions, ClientNode,
-    FnService, LockClass, NrmiError, PassMode, PipelinedCall, ServerNode, Session, SharedServer,
-    TrackedMutex,
+    client_evict_warm, client_invoke, client_invoke_warm_with_stats, dispatch_warm_frame,
+    serve_connection_pooled, serve_connection_shared, CallOptions, ClientNode, FnService,
+    LockClass, NrmiError, PassMode, PipelinedCall, ServerNode, Session, SharedServer,
+    TrackedMutex, WarmCaches,
 };
-use nrmi_heap::{ClassId, ClassRegistry, HeapAccess, SharedRegistry, Value};
-use nrmi_transport::{Frame, MachineSpec, TcpListenerTransport, TcpTransport, Transport};
+use nrmi_heap::{ClassId, ClassRegistry, HeapAccess, ObjId, SharedRegistry, Value};
+use nrmi_transport::{
+    Frame, MachineSpec, TcpListenerTransport, TcpTransport, Transport, TransportError,
+};
 
 /// Client counts swept for the throughput measurement.
 pub const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -119,6 +140,27 @@ pub const CONN_CALLS_PER_BUSY: usize = 64;
 
 /// In-flight depth each busy client pipelines at.
 pub const CONN_PIPELINE_DEPTH: usize = 16;
+
+/// Warm reader counts swept for the shared-graph contention axis.
+pub const CONTENTION_READER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Nodes in each reader's leased chain. This is what a full reseed
+/// re-ships and what a targeted patch must *not* re-ship.
+pub const CONTENTION_GRAPH_NODES: usize = 64;
+
+/// Writer rounds per contention cell; every round dirties each reader's
+/// leased graph and then every reader calls once.
+pub const CONTENTION_ROUNDS: usize = 16;
+
+/// Nodes the writer dirties per leased graph per round — the size of
+/// the coherence patch, against [`CONTENTION_GRAPH_NODES`] for a reseed.
+pub const CONTENTION_DIRTY_PER_ROUND: usize = 2;
+
+/// A steady-state reseed call must cost at least this many times the
+/// bytes of a targeted-patch call, or `tables -- scaling` fails: the
+/// whole point of the lease table is that a cross-session write
+/// invalidates positions, not sessions.
+pub const CONTENTION_MIN_BYTES_RATIO: f64 = 2.0;
 
 /// Simulated client-side "think time" before answering each `GetField`
 /// callback. This is the blocking the big lock serializes.
@@ -197,6 +239,38 @@ pub struct ConnectionPoint {
     pub calls_per_sec: f64,
 }
 
+/// One contention cell: N warm readers leased on one server heap, a
+/// writer dirtying every leased graph between reads, measured under
+/// targeted invalidation and under the evict-and-reseed baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContentionPoint {
+    /// Warm reader sessions sharing the server heap.
+    pub readers: usize,
+    /// Writer rounds (each reader calls once per round).
+    pub rounds: usize,
+    /// Steady-state reader calls measured per policy.
+    pub calls: usize,
+    /// Reads that missed the writer's values under targeted
+    /// invalidation — the reply value or the repaired client graph
+    /// disagreeing with the oracle. Must be zero.
+    pub stale_reads: usize,
+    /// Peer writes the reseed baseline clobbered (the reseed ships the
+    /// client's stale graph back over the writer's values). Nonzero by
+    /// construction — it is why "just reseed" was never a fix.
+    pub lost_writes: usize,
+    /// Mean wire bytes per steady-state call with `CacheStale` patches.
+    pub patched_bytes_per_call: f64,
+    /// Mean wire bytes per steady-state call evicting and reseeding.
+    pub reseed_bytes_per_call: f64,
+}
+
+impl ContentionPoint {
+    /// Reseed over targeted-patch bytes per call.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.reseed_bytes_per_call / self.patched_bytes_per_call.max(1e-9)
+    }
+}
+
 /// The probe client's latency while the other client is stalled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StallPoint {
@@ -233,6 +307,8 @@ pub struct ScalingReport {
     pub connections_pooled: Vec<ConnectionPoint>,
     /// Mostly-idle fleet throughput, reactor server.
     pub connections_reactor: Vec<ConnectionPoint>,
+    /// Shared-graph contention: targeted invalidation vs full reseed.
+    pub contention: Vec<ContentionPoint>,
 }
 
 /// Which serve loop a cell runs against.
@@ -857,6 +933,273 @@ fn connection_cell(flavor: CoreFlavor, connections: usize) -> ConnectionPoint {
     }
 }
 
+/// Stands in for the dispatch's (unused) callback channel.
+struct NullWire;
+
+impl Transport for NullWire {
+    fn send(&mut self, _frame: &Frame) -> nrmi_transport::Result<()> {
+        Ok(())
+    }
+    fn recv(&mut self) -> nrmi_transport::Result<Frame> {
+        Err(TransportError::Disconnected)
+    }
+    fn recv_timeout(&mut self, _timeout: Duration) -> nrmi_transport::Result<Frame> {
+        Err(TransportError::Disconnected)
+    }
+}
+
+/// One reader's connection to the shared server: `send` runs the frame
+/// through [`dispatch_warm_frame`] against the one server node (pushes
+/// enabled, queued ahead of the reply exactly as the serve loops write
+/// them); `recv` drains the queue. Each reader has its own
+/// [`WarmCaches`], all built over the node's one lease table — the
+/// per-connection shape of the real servers.
+struct WarmLink {
+    server: Arc<Mutex<ServerNode>>,
+    caches: WarmCaches,
+    replies: VecDeque<Frame>,
+}
+
+impl Transport for WarmLink {
+    fn send(&mut self, frame: &Frame) -> nrmi_transport::Result<()> {
+        let mut server = self.server.lock().expect("server");
+        let out = dispatch_warm_frame(
+            &mut server,
+            &mut self.caches,
+            &mut NullWire,
+            frame.clone(),
+            true,
+        );
+        drop(server);
+        self.replies.extend(out);
+        Ok(())
+    }
+    fn recv(&mut self) -> nrmi_transport::Result<Frame> {
+        self.replies.pop_front().ok_or(TransportError::Disconnected)
+    }
+    fn recv_timeout(&mut self, _timeout: Duration) -> nrmi_transport::Result<Frame> {
+        self.recv()
+    }
+}
+
+/// One warm reader: its client node, its connection, its chain's client
+/// root, and the oracle mirror of what the chain must hold.
+struct WarmReader {
+    client: ClientNode,
+    link: WarmLink,
+    root: ObjId,
+    oracle: Vec<i32>,
+}
+
+const CONTENTION_SVC: &str = "sum";
+
+/// The chain's `data` values in link order, read from `heap`.
+fn chain_values(heap: &mut dyn HeapAccess, root: ObjId) -> Vec<i32> {
+    let mut values = Vec::new();
+    let mut node = Some(root);
+    while let Some(id) = node {
+        values.push(
+            heap.get_field(id, "data")
+                .expect("chain data")
+                .as_int()
+                .unwrap_or(i32::MIN),
+        );
+        node = heap.get_field(id, "next").expect("chain next").as_ref_id();
+    }
+    values
+}
+
+/// Runs one contention workload: seed every reader, then
+/// [`CONTENTION_ROUNDS`] rounds of writer-dirties-then-reader-reads per
+/// reader. Returns (stale reads, lost peer writes, steady wire bytes,
+/// steady calls).
+///
+/// `targeted` keeps the leases warm and lets `CacheStale` patches do
+/// the repair; otherwise each read evicts first and reseeds the full
+/// graph — the only coherent-looking move the one-owner protocol had,
+/// which both costs the whole graph per call *and* ships the client's
+/// stale values back over the writer's.
+fn contention_run(readers: usize, targeted: bool) -> (usize, usize, usize, usize) {
+    let mut reg = ClassRegistry::new();
+    // class Node implements java.rmi.Restorable { int data; Node next; }
+    let node_cls = reg
+        .define("Node")
+        .field_int("data")
+        .field_ref("next")
+        .restorable()
+        .register();
+    let registry = reg.snapshot();
+
+    let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+    server.bind(
+        CONTENTION_SVC,
+        Box::new(FnService::new(|_m, args, heap| {
+            let mut node = args[0].as_ref_id();
+            let mut sum = 0i64;
+            while let Some(id) = node {
+                sum += i64::from(heap.get_field(id, "data")?.as_int().unwrap_or(0));
+                node = heap.get_field(id, "next")?.as_ref_id();
+            }
+            Ok(Value::Int(sum as i32))
+        })),
+    );
+    let leases = Arc::clone(&server.leases);
+    let server = Arc::new(Mutex::new(server));
+
+    let mut fleet: Vec<WarmReader> = (0..readers)
+        .map(|_| {
+            let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());
+            let mut next = Value::Null;
+            let mut root = None;
+            for i in (0..CONTENTION_GRAPH_NODES).rev() {
+                let id = client
+                    .state
+                    .heap
+                    .alloc(node_cls, vec![Value::Int(i as i32), next])
+                    .expect("alloc chain");
+                next = Value::Ref(id);
+                root = Some(id);
+            }
+            WarmReader {
+                client,
+                link: WarmLink {
+                    server: Arc::clone(&server),
+                    caches: WarmCaches::with_leases(Arc::clone(&leases)),
+                    replies: VecDeque::new(),
+                },
+                root: root.expect("nonempty chain"),
+                oracle: (0..CONTENTION_GRAPH_NODES).map(|i| i as i32).collect(),
+            }
+        })
+        .collect();
+
+    // Seed every lease off-clock: the seed costs the same under both
+    // policies (it is byte-identical to a cold call), so the comparison
+    // is over steady-state calls only.
+    for rd in &mut fleet {
+        client_invoke_warm_with_stats(
+            &mut rd.client,
+            &mut rd.link,
+            CONTENTION_SVC,
+            "sum",
+            &[Value::Ref(rd.root)],
+        )
+        .expect("seed");
+    }
+
+    let mut stale_reads = 0usize;
+    let mut lost_writes = 0usize;
+    let mut steady_bytes = 0usize;
+    let mut steady_calls = 0usize;
+
+    for round in 0..CONTENTION_ROUNDS {
+        for (j, rd) in fleet.iter_mut().enumerate() {
+            // The writer: dirty a few positions of this reader's leased
+            // server graph out of band — a committed cross-session write
+            // from this lease's point of view.
+            let cache_id = rd
+                .client
+                .warm
+                .cache_id(CONTENTION_SVC)
+                .expect("warm session");
+            let ids: Vec<ObjId> = rd
+                .link
+                .caches
+                .sync_ids_of(cache_id)
+                .expect("leased")
+                .to_vec();
+            let mut written = Vec::new();
+            {
+                let mut server = rd.link.server.lock().expect("server");
+                for k in 0..CONTENTION_DIRTY_PER_ROUND {
+                    let pos = (round * CONTENTION_DIRTY_PER_ROUND + k) % CONTENTION_GRAPH_NODES;
+                    let value = 1_000 + (round * readers + j) as i32;
+                    server
+                        .state
+                        .heap
+                        .set_field(ids[pos], "data", Value::Int(value))
+                        .expect("writer poke");
+                    written.push((pos, value));
+                }
+            }
+
+            if targeted {
+                for &(pos, value) in &written {
+                    rd.oracle[pos] = value;
+                }
+                let (got, stats) = client_invoke_warm_with_stats(
+                    &mut rd.client,
+                    &mut rd.link,
+                    CONTENTION_SVC,
+                    "sum",
+                    &[Value::Ref(rd.root)],
+                )
+                .expect("patched call");
+                steady_bytes += stats.request_bytes + stats.reply_bytes;
+                steady_calls += 1;
+                let want: i64 = rd.oracle.iter().map(|&v| i64::from(v)).sum();
+                if got != Value::Int(want as i32) {
+                    stale_reads += 1;
+                }
+                if chain_values(&mut rd.client.state.heap, rd.root) != rd.oracle {
+                    stale_reads += 1;
+                }
+            } else {
+                client_evict_warm(&mut rd.client, &mut rd.link, CONTENTION_SVC).expect("evict");
+                let (_got, stats) = client_invoke_warm_with_stats(
+                    &mut rd.client,
+                    &mut rd.link,
+                    CONTENTION_SVC,
+                    "sum",
+                    &[Value::Ref(rd.root)],
+                )
+                .expect("reseed call");
+                steady_bytes += stats.request_bytes + stats.reply_bytes;
+                steady_calls += 1;
+                // The reseed shipped the client's stale graph: any
+                // position the new server copy no longer carries at the
+                // writer's value is a clobbered peer write.
+                let cache_id = rd.client.warm.cache_id(CONTENTION_SVC).expect("reseeded");
+                let ids: Vec<ObjId> = rd
+                    .link
+                    .caches
+                    .sync_ids_of(cache_id)
+                    .expect("leased")
+                    .to_vec();
+                let mut server = rd.link.server.lock().expect("server");
+                for &(pos, value) in &written {
+                    let now = server
+                        .state
+                        .heap
+                        .get_field(ids[pos], "data")
+                        .expect("read back")
+                        .as_int();
+                    if now != Some(value) {
+                        lost_writes += 1;
+                    }
+                }
+            }
+        }
+    }
+    (stale_reads, lost_writes, steady_bytes, steady_calls)
+}
+
+/// One contention cell: the same workload under targeted invalidation
+/// and under the evict-and-reseed baseline.
+fn contention_cell(readers: usize) -> ContentionPoint {
+    let (stale_reads, _, patched_bytes, patched_calls) = contention_run(readers, true);
+    let (_, lost_writes, reseed_bytes, reseed_calls) = contention_run(readers, false);
+    ContentionPoint {
+        readers,
+        rounds: CONTENTION_ROUNDS,
+        calls: patched_calls,
+        stale_reads,
+        lost_writes,
+        patched_bytes_per_call: patched_bytes as f64 / patched_calls.max(1) as f64,
+        reseed_bytes_per_call: reseed_bytes as f64 / reseed_calls.max(1) as f64,
+    }
+}
+
 /// Runs the full ablation: both flavors through the sweep and the probe.
 pub fn run_scaling() -> ScalingReport {
     ScalingReport {
@@ -885,6 +1228,10 @@ pub fn run_scaling() -> ScalingReport {
         connections_reactor: connection_counts()
             .iter()
             .map(|&n| connection_cell(CoreFlavor::Reactor, n))
+            .collect(),
+        contention: CONTENTION_READER_COUNTS
+            .iter()
+            .map(|&n| contention_cell(n))
             .collect(),
     }
 }
@@ -957,6 +1304,31 @@ pub fn scaling_violations(report: &ScalingReport) -> Vec<String> {
                  the pooled server's {:.0} calls/s — idle connections are costing \
                  threads again",
                 reactor.calls_per_sec, pooled.calls_per_sec
+            ));
+        }
+    }
+    // The contention gates: targeted invalidation must keep every warm
+    // reader coherent (zero stale reads), and a patched steady-state
+    // call must undercut the evict-and-reseed baseline's bytes by the
+    // committed factor at every reader count.
+    for c in &report.contention {
+        if c.stale_reads > 0 {
+            violations.push(format!(
+                "contention: {} readers saw {} stale reads across {} patched calls — \
+                 targeted invalidation is missing cross-session writes",
+                c.readers, c.stale_reads, c.calls
+            ));
+        }
+        if c.bytes_ratio() < CONTENTION_MIN_BYTES_RATIO {
+            violations.push(format!(
+                "contention: {} readers: reseed at {:.0} B/call is only {:.2}x the \
+                 patched call's {:.0} B/call (need {:.1}x) — coherence patches are \
+                 re-shipping the graph again",
+                c.readers,
+                c.reseed_bytes_per_call,
+                c.bytes_ratio(),
+                c.patched_bytes_per_call,
+                CONTENTION_MIN_BYTES_RATIO
             ));
         }
     }
@@ -1072,12 +1444,35 @@ pub fn render_scaling(report: &ScalingReport) -> String {
             r.calls_per_sec / p.calls_per_sec.max(1e-9)
         );
     }
+    let _ = writeln!(
+        out,
+        "\nShared-graph contention — {CONTENTION_GRAPH_NODES}-node leased chains, \
+         {CONTENTION_DIRTY_PER_ROUND} nodes dirtied per graph per round, {CONTENTION_ROUNDS} rounds:"
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} {:>13} {:>13} {:>7} {:>11} {:>11}",
+        "readers", "patch B/call", "reseed B/call", "ratio", "stale reads", "lost writes"
+    );
+    for c in &report.contention {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>13.0} {:>13.0} {:>6.1}x {:>11} {:>11}",
+            c.readers,
+            c.patched_bytes_per_call,
+            c.reseed_bytes_per_call,
+            c.bytes_ratio(),
+            c.stale_reads,
+            c.lost_writes
+        );
+    }
     let violations = scaling_violations(report);
     if violations.is_empty() {
         let _ = writeln!(
             out,
             "\n[PASS] pooled server beats the serialized baseline; stalls stay \
-             per-connection; pipelining pays; the reactor holds idle fleets for free"
+             per-connection; pipelining pays; the reactor holds idle fleets for free; \
+             targeted invalidation keeps shared graphs coherent for a fraction of a reseed"
         );
     } else {
         let _ = writeln!(out, "\n[FAIL] scaling regressions:");
@@ -1116,6 +1511,20 @@ fn batched_json(p: &BatchedPoint) -> String {
     )
 }
 
+fn contention_json(p: &ContentionPoint) -> String {
+    format!(
+        "{{\"readers\": {}, \"rounds\": {}, \"calls\": {}, \"stale_reads\": {}, \"lost_writes\": {}, \"patched_bytes_per_call\": {:.1}, \"reseed_bytes_per_call\": {:.1}, \"bytes_ratio\": {:.2}}}",
+        p.readers,
+        p.rounds,
+        p.calls,
+        p.stale_reads,
+        p.lost_writes,
+        p.patched_bytes_per_call,
+        p.reseed_bytes_per_call,
+        p.bytes_ratio()
+    )
+}
+
 fn connection_json(p: &ConnectionPoint) -> String {
     format!(
         "{{\"connections\": {}, \"busy\": {}, \"calls\": {}, \"elapsed_ms\": {:.3}, \"calls_per_sec\": {:.1}}}",
@@ -1146,8 +1555,14 @@ pub fn to_json(report: &ScalingReport) -> String {
             .collect::<Vec<_>>()
             .join(", ")
     };
+    let contention = report
+        .contention
+        .iter()
+        .map(contention_json)
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
-        "{{\n  \"workload\": \"remote-ref calls with {}us client-side callback turnaround, independent services\",\n  \"calls_per_client\": {},\n  \"biglock\": [{}],\n  \"pooled\": [{}],\n  \"stall_ms\": {},\n  \"stall_biglock\": {},\n  \"stall_pooled\": {},\n  \"pipeline\": [{}],\n  \"batched_wire\": [{}],\n  \"connections_pooled\": [{}],\n  \"connections_reactor\": [{}]\n}}\n",
+        "{{\n  \"workload\": \"remote-ref calls with {}us client-side callback turnaround, independent services\",\n  \"calls_per_client\": {},\n  \"biglock\": [{}],\n  \"pooled\": [{}],\n  \"stall_ms\": {},\n  \"stall_biglock\": {},\n  \"stall_pooled\": {},\n  \"pipeline\": [{}],\n  \"batched_wire\": [{}],\n  \"connections_pooled\": [{}],\n  \"connections_reactor\": [{}],\n  \"contention\": [{}]\n}}\n",
         report.turnaround_us,
         report.calls_per_client,
         join(&report.biglock),
@@ -1158,7 +1573,8 @@ pub fn to_json(report: &ScalingReport) -> String {
         pipeline,
         batched,
         fleet(&report.connections_pooled),
-        fleet(&report.connections_reactor)
+        fleet(&report.connections_reactor),
+        contention
     )
 }
 
@@ -1219,6 +1635,7 @@ mod tests {
             batched: vec![batched_point(16, 10_000.0, 25_000.0)],
             connections_pooled: vec![fleet_point(1000, 3_200.0)],
             connections_reactor: vec![fleet_point(1000, 14_000.0)],
+            contention: vec![contention_point(4, 0, 120.0, 2_400.0)],
         };
         let json = to_json(&report);
         assert!(json.contains("\"biglock\""));
@@ -1232,6 +1649,26 @@ mod tests {
         assert!(json.contains("\"connections_pooled\""));
         assert!(json.contains("\"connections_reactor\""));
         assert!(json.contains("\"connections\": 1000"));
+        assert!(json.contains("\"contention\""));
+        assert!(json.contains("\"stale_reads\": 0"));
+        assert!(json.contains("\"bytes_ratio\": 20.00"));
+    }
+
+    fn contention_point(
+        readers: usize,
+        stale_reads: usize,
+        patched: f64,
+        reseed: f64,
+    ) -> ContentionPoint {
+        ContentionPoint {
+            readers,
+            rounds: CONTENTION_ROUNDS,
+            calls: CONTENTION_ROUNDS * readers,
+            stale_reads,
+            lost_writes: 0,
+            patched_bytes_per_call: patched,
+            reseed_bytes_per_call: reseed,
+        }
     }
 
     fn fleet_point(connections: usize, calls_per_sec: f64) -> ConnectionPoint {
@@ -1293,6 +1730,7 @@ mod tests {
             batched: vec![],
             connections_pooled: vec![],
             connections_reactor: vec![],
+            contention: vec![],
         };
         let violations = scaling_violations(&report);
         assert!(
@@ -1326,6 +1764,7 @@ mod tests {
             batched,
             connections_pooled: vec![],
             connections_reactor: vec![],
+            contention: vec![],
         };
         let flat = report(vec![batched_point(16, 10_000.0, 11_000.0)]);
         let violations = scaling_violations(&flat);
@@ -1366,11 +1805,83 @@ mod tests {
             batched: vec![],
             connections_pooled: vec![fleet_point(1000, 3_200.0)],
             connections_reactor: vec![fleet_point(1000, 6_000.0)],
+            contention: vec![],
         };
         let violations = scaling_violations(&report);
         assert!(
             violations.iter().any(|v| v.contains("fleet")),
             "{violations:?}"
+        );
+    }
+
+    /// The contention gates fire on a stale read and on patches that
+    /// stop undercutting a reseed — and stay quiet on a healthy cell.
+    #[test]
+    fn violation_fires_on_stale_reads_or_expensive_patches() {
+        let report = |contention: Vec<ContentionPoint>| ScalingReport {
+            calls_per_client: 20,
+            turnaround_us: 2000,
+            biglock: vec![],
+            pooled: vec![],
+            stall_ms: 300,
+            stall_biglock: StallPoint {
+                probe_calls: 5,
+                mean_us: 100,
+                max_us: 200,
+            },
+            stall_pooled: StallPoint {
+                probe_calls: 5,
+                mean_us: 100,
+                max_us: 200,
+            },
+            pipeline: vec![],
+            batched: vec![],
+            connections_pooled: vec![],
+            connections_reactor: vec![],
+            contention,
+        };
+        let stale = report(vec![contention_point(4, 3, 120.0, 2_400.0)]);
+        assert!(
+            scaling_violations(&stale)
+                .iter()
+                .any(|v| v.contains("stale reads")),
+            "stale reads must trip the gate"
+        );
+        let pricey = report(vec![contention_point(4, 0, 1_600.0, 2_400.0)]);
+        assert!(
+            scaling_violations(&pricey)
+                .iter()
+                .any(|v| v.contains("re-shipping")),
+            "a 1.5x ratio must trip the {CONTENTION_MIN_BYTES_RATIO}x gate"
+        );
+        let healthy = report(vec![contention_point(4, 0, 120.0, 2_400.0)]);
+        assert!(
+            !scaling_violations(&healthy)
+                .iter()
+                .any(|v| v.contains("contention")),
+            "a healthy cell must pass"
+        );
+    }
+
+    /// The real cell, smallest reader count: targeted invalidation must
+    /// deliver zero stale reads and undercut the evict-and-reseed
+    /// baseline's bytes by the gated factor, while the baseline
+    /// demonstrably loses the writer's values.
+    #[test]
+    fn targeted_invalidation_beats_reseed_and_stays_coherent() {
+        let p = contention_cell(2);
+        assert_eq!(p.readers, 2);
+        assert_eq!(p.calls, 2 * CONTENTION_ROUNDS);
+        assert_eq!(p.stale_reads, 0, "patched readers saw stale state");
+        assert!(
+            p.bytes_ratio() >= CONTENTION_MIN_BYTES_RATIO,
+            "patched {:.0} B/call vs reseed {:.0} B/call",
+            p.patched_bytes_per_call,
+            p.reseed_bytes_per_call
+        );
+        assert!(
+            p.lost_writes > 0,
+            "the reseed baseline should clobber peer writes — that is why it was never a fix"
         );
     }
 

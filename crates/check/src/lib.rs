@@ -42,9 +42,10 @@ pub use heapcheck::check_heap;
 pub use lockcheck::{assert_discipline_clean, check_lock_witness, check_locks};
 pub use protocol::{
     check_pipelined_sequence, check_reactor_sequence, check_reliability_sequence, check_sequence,
-    check_shared_sequence, judge_reply, model_check, Action, ModelCheckConfig, PipelinedAction,
-    ReactorAction, ReliabilityAction, ReplyContext, SharedAction, ADVERSARIAL_ALPHABET,
-    CORE_ALPHABET, PIPELINED_ALPHABET, REACTOR_ALPHABET, RELIABILITY_ALPHABET, SHARED_ALPHABET,
+    check_shared_graph_sequence, check_shared_sequence, judge_reply, model_check, Action,
+    ModelCheckConfig, PipelinedAction, ReactorAction, ReliabilityAction, ReplyContext,
+    SharedAction, SharedGraphAction, ADVERSARIAL_ALPHABET, CORE_ALPHABET, PIPELINED_ALPHABET,
+    REACTOR_ALPHABET, RELIABILITY_ALPHABET, SHARED_ALPHABET, SHARED_GRAPH_ALPHABET,
 };
 pub use schema::{analyze_registry, diff_registries, fingerprint, fingerprints};
 
@@ -90,6 +91,7 @@ mod tests {
             adversarial_depth: 0,
             reliability_depth: 0,
             shared_depth: 0,
+            shared_graph_depth: 0,
             pipelined_depth: 0,
             reactor_depth: 0,
             max_errors: 25,

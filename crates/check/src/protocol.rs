@@ -20,7 +20,7 @@
 //! | `MutateClient` | dirty-position classification in the request delta |
 //! | `Graft` | new-object shipping in the request delta |
 //! | `Prune` | freed-position shipping and server-side frees |
-//! | `MutateServer` | out-of-band mutation → coherence drop → `CacheMiss` → reseed |
+//! | `MutateServer` | out-of-band mutation → `CacheStale` repair patch, or client-wins merge when the request rewrites the same object |
 //! | `Evict` | `CacheEvict` → server frees the cached graph |
 //!
 //! The *adversarial* alphabet adds hand-built frames the client
@@ -68,6 +68,12 @@
 //!   connection, or a worker dispatch restored a graph its private
 //!   oracle disowns (a torn heap) — each checked against
 //!   per-connection oracle twins exactly as `P008`/`P009` are.
+//! * `P011` — shared-graph coherence or lease safety broken: with two
+//!   warm clients leased onto ONE server heap (the shared-graph model),
+//!   each call writing the other's graph out-of-band, a client read
+//!   stale state, a `CacheStale` repair clobbered an unshipped local
+//!   write (the positional merge rule), or a connection teardown freed
+//!   an object another connection's live session still synchronizes.
 
 use std::collections::HashSet;
 use std::collections::VecDeque;
@@ -141,8 +147,9 @@ pub const ADVERSARIAL_ALPHABET: [Action; 9] = [
 pub enum ReplyContext {
     /// A generation-0 seed carrying a full graph.
     SeedCall,
-    /// An in-step warm request (delta); a miss is legal (invalidation),
-    /// an error is not.
+    /// An in-step warm request (delta); a miss is legal (the entry was
+    /// lost) and so is a stale patch (out-of-band writes repaired in
+    /// place), an error is not.
     WarmInStep,
     /// A warm request with a generation the server cannot be at.
     StaleGeneration,
@@ -162,10 +169,14 @@ pub fn judge_reply(ctx: ReplyContext, reply: &Frame) -> Option<Diagnostic> {
         ReplyContext::SeedCall => {
             matches!(reply, Frame::CallReply { .. } | Frame::CallError { .. })
         }
-        // In-step warm: reply, or miss if the entry was invalidated.
+        // In-step warm: reply; miss if the entry was lost; or a
+        // targeted repair patch if it went stale out-of-band.
         ReplyContext::WarmInStep => matches!(
             reply,
-            Frame::CallReply { .. } | Frame::CacheMiss | Frame::CallError { .. }
+            Frame::CallReply { .. }
+                | Frame::CacheMiss
+                | Frame::CacheStale { .. }
+                | Frame::CallError { .. }
         ),
         // Serving a stale or unknown session would be state corruption;
         // the only sound answer is a miss.
@@ -376,6 +387,12 @@ struct World {
     /// The server-side root of the cached session graph, leaked by the
     /// service body so `MutateServer` can poke it out-of-band.
     server_root: Arc<Mutex<Option<ObjId>>>,
+    /// True when the client has written the root object since its last
+    /// completed call. The coherence merge rule keys off this: a
+    /// server-side poke of the root is only *visible* to the next call
+    /// when the client's own request delta does not rewrite the root
+    /// (client wins at object granularity when it does).
+    client_wrote_root: bool,
     /// Counter for grafted nodes (also mirrored into the twin).
     next_data: i32,
 }
@@ -422,6 +439,7 @@ impl World {
             twin,
             twin_root,
             server_root,
+            client_wrote_root: false,
             next_data: 100,
         }
     }
@@ -444,7 +462,39 @@ impl World {
         self.check_lockstep(report);
     }
 
+    /// Mirrors the coherence merge rule into the twin: a `MutateServer`
+    /// poke of the root becomes visible to the next call exactly when
+    /// the warm session is live on both sides **and** the client has not
+    /// written the root itself since its last call (otherwise the
+    /// client's in-flight slots win and the poke is erased). When
+    /// visible, the server's current root `data` is what the call will
+    /// compute with, so the twin adopts it. When the server was never
+    /// poked this is a no-op: between calls only pokes can make the
+    /// server's root diverge from the twin's.
+    fn sync_twin_with_visible_pokes(&mut self) {
+        if self.client_wrote_root {
+            return;
+        }
+        let Some(server_root) = *self.server_root.lock().expect("poisoned") else {
+            return;
+        };
+        let (Some(cache_id), Some(client_gen)) = (
+            self.client.warm.cache_id(SVC),
+            self.client.warm.generation(SVC),
+        ) else {
+            return; // no client session: the next call reseeds wholesale
+        };
+        if self.link.caches.generation_of(cache_id) != Some(client_gen) {
+            return; // server entry gone or out of step: reseed, not repair
+        }
+        if let Ok(Value::Int(d)) = self.link.server.state.heap.get_field(server_root, "data") {
+            let _ = self.twin.set_field(self.twin_root, "data", Value::Int(d));
+        }
+    }
+
     fn do_call(&mut self, report: &mut Report) {
+        self.sync_twin_with_visible_pokes();
+        self.client_wrote_root = false;
         let warm = client_invoke_warm_with_stats(
             &mut self.client,
             &mut self.link,
@@ -519,11 +569,13 @@ impl World {
                 ));
             }
         }
+        self.client_wrote_root = true;
     }
 
     fn do_graft(&mut self, report: &mut Report) {
         let data = self.next_data;
         self.next_data += 1;
+        self.client_wrote_root = true; // root.left is rewritten below
         for (heap, root) in [
             (&mut self.client.state.heap, self.root),
             (&mut self.twin, self.twin_root),
@@ -545,6 +597,11 @@ impl World {
     }
 
     fn do_prune(&mut self, report: &mut Report) {
+        // A prune only writes the root when there is something to cut;
+        // both heaps agree on that by lockstep construction.
+        if matches!(self.client.state.heap.get_ref(self.root, "left"), Ok(Some(_))) {
+            self.client_wrote_root = true;
+        }
         for (heap, root) in [
             (&mut self.client.state.heap, self.root),
             (&mut self.twin, self.twin_root),
@@ -572,8 +629,10 @@ impl World {
 
     fn do_mutate_server(&mut self) {
         // An out-of-band server-side write: another connection or a local
-        // caller touching the cached graph. The coherence watermark must
-        // force the next warm call to miss instead of reading stale state.
+        // caller touching the cached graph. The version vector must keep
+        // the next warm call from reading stale state — either a
+        // `CacheStale` patch repairs the client's copy, or the client's
+        // own in-flight write to the same object wins the merge.
         let root = *self.server_root.lock().expect("poisoned");
         if let Some(root) = root {
             let heap = &mut self.link.server.state.heap;
@@ -1503,6 +1562,499 @@ pub fn check_shared_sequence(actions: &[SharedAction]) -> Report {
 }
 
 // ---------------------------------------------------------------------------
+// The shared-graph world: two warm clients leased onto one server heap
+// ---------------------------------------------------------------------------
+
+/// One action in the two-client shared-graph model (`NRMI-P011`). Unlike
+/// the [`SharedAction`] world — two connections with *disjoint* session
+/// graphs behind one reply cache — this model shares the coherence
+/// surface itself: both endpoints hold warm sessions against ONE
+/// [`ServerNode`] heap, their [`WarmCaches`] built with
+/// [`WarmCaches::with_leases`] on the node's lease table exactly as
+/// `serve_connection_shared` builds them, and every call writes the
+/// *other* endpoint's server-side root out-of-band. Each step drives the
+/// real coherence machinery: version-vector staleness classification,
+/// `CacheStale` repair patches, the client-wins positional merge, and
+/// lease-guarded eviction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SharedGraphAction {
+    /// A warm call on endpoint A; its service body pokes B's registered
+    /// server root (an out-of-band write from B's point of view).
+    CallA,
+    /// A warm call on endpoint B; pokes A's registered server root.
+    CallB,
+    /// Mutate endpoint A's root client-side (an unshipped local write
+    /// the merge rule must not clobber).
+    MutateA,
+    /// Mutate endpoint B's root client-side.
+    MutateB,
+    /// Orderly client-driven eviction of A's warm session.
+    EvictA,
+    /// Orderly client-driven eviction of B's warm session.
+    EvictB,
+    /// Tear down A's server-side connection state (`release_all` + fresh
+    /// caches), as `serve_connection_shared` does when a client vanishes.
+    /// B's leased session must survive with every synchronized object
+    /// still alive; A reconnects through the `CacheMiss` reseed path.
+    DropA,
+}
+
+/// Every transition of the two-client shared-graph coherence model.
+pub const SHARED_GRAPH_ALPHABET: [SharedGraphAction; 7] = [
+    SharedGraphAction::CallA,
+    SharedGraphAction::CallB,
+    SharedGraphAction::MutateA,
+    SharedGraphAction::MutateB,
+    SharedGraphAction::EvictA,
+    SharedGraphAction::EvictB,
+    SharedGraphAction::DropA,
+];
+
+/// Name → server-side root of each endpoint's *live* session graph, as
+/// the services see it. The MODEL maintains hygiene — entries leave at
+/// eviction and teardown — because a freed root id can be recycled into
+/// another session's graph, and poking a recycled id would be a checker
+/// artifact, not a middleware bug (real out-of-band writers reach the
+/// shared graph through live references, not saved ids).
+type SgRegistry = Arc<Mutex<Vec<(&'static str, ObjId)>>>;
+
+/// One endpoint's connection half: the shared [`ServerNode`] behind a
+/// mutex (the model is sequential; the lock only shares ownership), this
+/// connection's own lease-registered [`WarmCaches`], and a reply queue.
+/// `send` dispatches synchronously like [`ServerSide`].
+struct SgLink {
+    server: Arc<Mutex<ServerNode>>,
+    caches: WarmCaches,
+    replies: VecDeque<Frame>,
+}
+
+impl SgLink {
+    fn dispatch(&mut self, frame: &Frame) -> Option<Frame> {
+        match frame {
+            Frame::CallRequestWarm {
+                service,
+                method,
+                mode,
+                cache_id,
+                generation,
+                payload,
+            } => {
+                let mut server = self.server.lock().expect("poisoned");
+                Some(server_handle_warm_call(
+                    &mut server,
+                    &mut self.caches,
+                    &mut NullTransport,
+                    service,
+                    method,
+                    *mode,
+                    *cache_id,
+                    *generation,
+                    payload,
+                ))
+            }
+            Frame::CacheEvict { cache_id } => {
+                let mut server = self.server.lock().expect("poisoned");
+                self.caches.evict(&mut server.state.heap, *cache_id);
+                None
+            }
+            other => Some(Frame::CallError {
+                message: format!("checker: unmodeled frame {other:?}"),
+            }),
+        }
+    }
+}
+
+impl Transport for SgLink {
+    fn send(&mut self, frame: &Frame) -> nrmi_transport::Result<()> {
+        if let Some(reply) = self.dispatch(frame) {
+            self.replies.push_back(reply);
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> nrmi_transport::Result<Frame> {
+        self.replies.pop_front().ok_or(TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&mut self, _timeout: Duration) -> nrmi_transport::Result<Frame> {
+        self.recv()
+    }
+}
+
+/// One client endpoint of the shared-graph world: the real warm client,
+/// its connection link, and a private oracle twin with the
+/// visible-pokes bookkeeping of the single-client [`World`].
+struct SgEndpoint {
+    /// The service this endpoint calls; its body knows the endpoint's
+    /// name and pokes every OTHER registered root.
+    svc: &'static str,
+    name: &'static str,
+    client: ClientNode,
+    link: SgLink,
+    root: ObjId,
+    twin: Heap,
+    twin_root: ObjId,
+    /// True if this endpoint wrote its root since its last call: its
+    /// next request delta carries the position, so the positional merge
+    /// lets the client win and the peer's poke is erased (the twin must
+    /// NOT adopt it).
+    wrote_root: bool,
+}
+
+/// Fresh two-client shared-graph world per enumerated sequence: one
+/// server heap, one lease table, two leased connections, one root
+/// registry the services poke through.
+struct SharedGraphWorld {
+    server: Arc<Mutex<ServerNode>>,
+    registry: SgRegistry,
+    a: SgEndpoint,
+    b: SgEndpoint,
+}
+
+/// How much a service call perturbs the OTHER endpoint's root `data` —
+/// distinctive so a stale read stands out from the ×3+1 service values.
+const SG_POKE: i32 = 100;
+
+impl SharedGraphWorld {
+    fn new() -> Self {
+        let mut reg = ClassRegistry::new();
+        reg.define("Node")
+            .field_int("data")
+            .field_ref("left")
+            .field_ref("right")
+            .restorable()
+            .register();
+        let registry = reg.snapshot();
+
+        let roots: SgRegistry = Arc::new(Mutex::new(Vec::new()));
+        let mut server = ServerNode::new(registry.clone(), MachineSpec::fast());
+        for (svc, name) in [("svc.a", "A"), ("svc.b", "B")] {
+            let roots = Arc::clone(&roots);
+            server.bind(
+                svc,
+                Box::new(FnService::new(move |_method, args, heap| {
+                    let root = args[0]
+                        .as_ref_id()
+                        .ok_or_else(|| NrmiError::app("want a root reference"))?;
+                    let mut reg = roots.lock().expect("poisoned");
+                    // (Re-)register this endpoint's live root — a reseed
+                    // materializes the graph at fresh ids.
+                    match reg.iter_mut().find(|(n, _)| *n == name) {
+                        Some(slot) => slot.1 = root,
+                        None => reg.push((name, root)),
+                    }
+                    // The out-of-band write: perturb every OTHER live
+                    // root. From the peer session's point of view this
+                    // is exactly the coherence hazard — its server-side
+                    // graph changed underneath its warm cache.
+                    for &(other, id) in reg.iter().filter(|(n, _)| *n != name) {
+                        let d = heap
+                            .get_field(id, "data")?
+                            .as_int()
+                            .ok_or_else(|| NrmiError::app(format!("{other}: data not int")))?;
+                        heap.set_field(id, "data", Value::Int(d.wrapping_add(SG_POKE)))?;
+                    }
+                    drop(reg);
+                    service_logic(heap, root)
+                })),
+            );
+        }
+        let leases = Arc::clone(&server.leases);
+        let server = Arc::new(Mutex::new(server));
+
+        let endpoint = |svc: &'static str, name: &'static str| -> SgEndpoint {
+            let mut client = ClientNode::new(registry.clone(), MachineSpec::fast());
+            let root = build_tree(&mut client.state.heap, &registry);
+            let mut twin = Heap::new(registry.clone());
+            let twin_root = build_tree(&mut twin, &registry);
+            SgEndpoint {
+                svc,
+                name,
+                client,
+                link: SgLink {
+                    server: Arc::clone(&server),
+                    caches: WarmCaches::with_leases(Arc::clone(&leases)),
+                    replies: VecDeque::new(),
+                },
+                root,
+                twin,
+                twin_root,
+                wrote_root: false,
+            }
+        };
+
+        SharedGraphWorld {
+            a: endpoint("svc.a", "A"),
+            b: endpoint("svc.b", "B"),
+            server,
+            registry: roots,
+        }
+    }
+
+    fn step(&mut self, action: SharedGraphAction, report: &mut Report) {
+        match action {
+            SharedGraphAction::CallA => self.do_call(true, report),
+            SharedGraphAction::CallB => self.do_call(false, report),
+            SharedGraphAction::MutateA => Self::do_mutate(&mut self.a, report),
+            SharedGraphAction::MutateB => Self::do_mutate(&mut self.b, report),
+            SharedGraphAction::EvictA => self.do_evict(true, report),
+            SharedGraphAction::EvictB => self.do_evict(false, report),
+            SharedGraphAction::DropA => self.do_drop_a(report),
+        }
+        // Checked after EVERY action: neither client ever reads stale
+        // state or loses a write (graph ≡ its private oracle), every
+        // live session's leased objects are still alive, and all heaps
+        // stay structurally valid.
+        self.check_coherence(report);
+        self.check_lease_liveness(report);
+        self.check_heaps(report);
+    }
+
+    /// The oracle's visibility rule, as in the single-client [`World`]:
+    /// a peer's poke becomes visible to this endpoint's next call iff
+    /// its warm session is live in generation lockstep (the repair path
+    /// reaches it) AND it has not written the root itself since its last
+    /// call (else its delta wins positionally and the poke is erased).
+    /// When visible, the twin adopts the server root's current data.
+    fn sync_twin_with_visible_pokes(&mut self, a_side: bool) {
+        let ep = if a_side { &mut self.a } else { &mut self.b };
+        if ep.wrote_root {
+            return;
+        }
+        let (Some(cache_id), Some(client_gen)) = (
+            ep.client.warm.cache_id(ep.svc),
+            ep.client.warm.generation(ep.svc),
+        ) else {
+            return;
+        };
+        if ep.link.caches.generation_of(cache_id) != Some(client_gen) {
+            return;
+        }
+        let Some(server_root) = self
+            .registry
+            .lock()
+            .expect("poisoned")
+            .iter()
+            .find(|(n, _)| *n == ep.name)
+            .map(|&(_, id)| id)
+        else {
+            return;
+        };
+        let mut server = self.server.lock().expect("poisoned");
+        if let Ok(Value::Int(d)) = server.state.heap.get_field(server_root, "data") {
+            let _ = ep.twin.set_field(ep.twin_root, "data", Value::Int(d));
+        }
+    }
+
+    fn do_call(&mut self, a_side: bool, report: &mut Report) {
+        self.sync_twin_with_visible_pokes(a_side);
+        let ep = if a_side { &mut self.a } else { &mut self.b };
+        ep.wrote_root = false;
+        let warm = client_invoke_warm_with_stats(
+            &mut ep.client,
+            &mut ep.link,
+            ep.svc,
+            METHOD,
+            &[Value::Ref(ep.root)],
+        );
+        let oracle = service_logic(&mut ep.twin, ep.twin_root);
+        let who = ep.name;
+        match (warm, oracle) {
+            (Ok((got, _stats)), Ok(want)) => {
+                if got != want {
+                    report.push(Diagnostic::error(
+                        "NRMI-P003",
+                        format!(
+                            "endpoint {who}: warm call diverged from its oracle: \
+                             got {got:?}, want {want:?}"
+                        ),
+                    ));
+                }
+            }
+            (Err(e), Ok(_)) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("endpoint {who}: warm call failed where the oracle succeeded: {e}"),
+            )),
+            (_, Err(e)) => report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("local oracle itself failed (checker bug): {e}"),
+            )),
+        }
+    }
+
+    fn do_mutate(ep: &mut SgEndpoint, report: &mut Report) {
+        for (heap, root) in [
+            (&mut ep.client.state.heap, ep.root),
+            (&mut ep.twin, ep.twin_root),
+        ] {
+            let r = (|| -> Result<(), NrmiError> {
+                let d = heap
+                    .get_field(root, "data")?
+                    .as_int()
+                    .ok_or_else(|| NrmiError::app("data is not an int"))?;
+                heap.set_field(root, "data", Value::Int(d.wrapping_add(10)))?;
+                Ok(())
+            })();
+            if let Err(e) = r {
+                report.push(Diagnostic::error(
+                    "NRMI-P001",
+                    format!("client mutation failed: {e}"),
+                ));
+            }
+        }
+        ep.wrote_root = true;
+    }
+
+    fn do_evict(&mut self, a_side: bool, report: &mut Report) {
+        let ep = if a_side { &mut self.a } else { &mut self.b };
+        // The session graph is leaving the server (or leaking, if a
+        // peer's poke made it incoherent); either way its root id stops
+        // being a live out-of-band target.
+        self.registry
+            .lock()
+            .expect("poisoned")
+            .retain(|(n, _)| *n != ep.name);
+        if let Err(e) = client_evict_warm(&mut ep.client, &mut ep.link, ep.svc) {
+            report.push(Diagnostic::error(
+                "NRMI-P004",
+                format!("endpoint {}: eviction failed: {e}", ep.name),
+            ));
+        }
+    }
+
+    /// Connection teardown for A, exactly as `serve_connection_shared`
+    /// runs it: `release_all` on THIS connection's caches, then the
+    /// connection state is gone. A's client keeps its (now dangling)
+    /// warm session and must recover through `CacheMiss`; B's leased
+    /// session must be untouched.
+    fn do_drop_a(&mut self, _report: &mut Report) {
+        self.registry
+            .lock()
+            .expect("poisoned")
+            .retain(|(n, _)| *n != self.a.name);
+        {
+            let mut server = self.server.lock().expect("poisoned");
+            self.a.link.caches.release_all(&mut server.state.heap);
+            let leases = Arc::clone(&server.leases);
+            self.a.link.caches = WarmCaches::with_leases(leases);
+        }
+        self.a.link.replies.clear();
+    }
+
+    /// `NRMI-P011` (stale read / lost write): after any interleaving,
+    /// each client graph equals its private oracle under the
+    /// visible-pokes rule — a divergence means a repair patch clobbered
+    /// an unshipped client write, or a call read the shared graph stale.
+    fn check_coherence(&mut self, report: &mut Report) {
+        for ep in [&self.a, &self.b] {
+            match graph::isomorphic(&ep.client.state.heap, ep.root, &ep.twin, ep.twin_root) {
+                Ok(true) => {}
+                Ok(false) => report.push(Diagnostic::error(
+                    "NRMI-P011",
+                    format!(
+                        "endpoint {}: client graph diverged from its oracle — \
+                         a stale read or a clobbered local write on the shared graph",
+                        ep.name
+                    ),
+                )),
+                Err(e) => report.push(Diagnostic::error(
+                    "NRMI-P011",
+                    format!("endpoint {}: isomorphism comparison failed: {e}", ep.name),
+                )),
+            }
+        }
+    }
+
+    /// `NRMI-P011` (lease safety): every object a live warm session
+    /// synchronizes is still alive on the shared heap — no teardown or
+    /// eviction by the OTHER connection freed it out from under us.
+    fn check_lease_liveness(&mut self, report: &mut Report) {
+        let server = self.server.lock().expect("poisoned");
+        for ep in [&self.a, &self.b] {
+            let Some(cache_id) = ep.client.warm.cache_id(ep.svc) else {
+                continue;
+            };
+            let Some(sync) = ep.link.caches.sync_ids_of(cache_id) else {
+                continue;
+            };
+            for &id in sync {
+                if server.state.heap.class_if_live(id).is_none() {
+                    report.push(Diagnostic::error(
+                        "NRMI-P011",
+                        format!(
+                            "endpoint {}: leased object {id:?} of live session \
+                             {cache_id} was freed by another connection",
+                            ep.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn check_heaps(&mut self, report: &mut Report) {
+        let server = self.server.lock().expect("poisoned");
+        for (label, code, heap) in [
+            ("client A", "NRMI-P001", &self.a.client.state.heap),
+            ("client B", "NRMI-P001", &self.b.client.state.heap),
+            ("shared server", "NRMI-P002", &server.state.heap),
+            ("oracle A", "NRMI-P001", &self.a.twin),
+            ("oracle B", "NRMI-P001", &self.b.twin),
+        ] {
+            for v in validate(heap) {
+                report.push(
+                    Diagnostic::error(code, format!("{label} heap corrupted: {v}"))
+                        .with("heap", label),
+                );
+            }
+        }
+    }
+}
+
+/// Runs one two-client shared-graph action sequence against a fresh
+/// world, returning all violations (panics become `NRMI-P006`).
+pub fn check_shared_graph_sequence(actions: &[SharedGraphAction]) -> Report {
+    let trace = actions
+        .iter()
+        .map(|a| format!("{a:?}"))
+        .collect::<Vec<_>>()
+        .join(" → ");
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut world = SharedGraphWorld::new();
+        let mut report = Report::new();
+        for (i, &action) in actions.iter().enumerate() {
+            world.step(action, &mut report);
+            if report.has_errors() {
+                return (report, Some(i));
+            }
+        }
+        (report, None)
+    }));
+    match outcome {
+        Ok((mut report, failed_at)) => {
+            if let Some(i) = failed_at {
+                report = report
+                    .diagnostics()
+                    .iter()
+                    .cloned()
+                    .map(|d| d.with("trace", &trace).with("failed_at_step", i))
+                    .collect();
+            }
+            report
+        }
+        Err(payload) => {
+            let msg = panic_message(&payload);
+            let mut report = Report::new();
+            report.push(
+                Diagnostic::error("NRMI-P006", format!("sequence panicked: {msg}"))
+                    .with("trace", &trace),
+            );
+            report
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The pipelined world: two calls in flight on one multiplexed link
 // ---------------------------------------------------------------------------
 
@@ -2356,6 +2908,10 @@ pub struct ModelCheckConfig {
     /// Exhaustive depth over [`SHARED_ALPHABET`] (two connections
     /// interleaved on one lock-split server).
     pub shared_depth: usize,
+    /// Exhaustive depth over [`SHARED_GRAPH_ALPHABET`] (two warm clients
+    /// leased onto ONE server heap, each call writing the other's graph
+    /// out-of-band — the coherence/lease model).
+    pub shared_graph_depth: usize,
     /// Exhaustive depth over [`PIPELINED_ALPHABET`] (two calls in flight
     /// on one multiplexed connection, replies reordered and dropped).
     pub pipelined_depth: usize,
@@ -2373,13 +2929,15 @@ impl Default for ModelCheckConfig {
         // Depth 6 over the 6-action core alphabet: 46_656 sequences,
         // ~280k protocol actions; plus 9^4 = 6_561 adversarial sequences,
         // 6^4 = 1_296 reliability sequences, 6^5 = 7_776 two-connection
-        // shared-server sequences, 6^4 = 1_296 pipelined reply-routing
-        // sequences, and 6^4 = 1_296 reactor dispatch sequences.
+        // shared-server sequences, 7^4 = 2_401 shared-graph coherence
+        // sequences, 6^4 = 1_296 pipelined reply-routing sequences, and
+        // 6^4 = 1_296 reactor dispatch sequences.
         ModelCheckConfig {
             core_depth: 6,
             adversarial_depth: 4,
             reliability_depth: 4,
             shared_depth: 5,
+            shared_graph_depth: 4,
             pipelined_depth: 4,
             reactor_depth: 4,
             max_errors: 25,
@@ -2493,6 +3051,14 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             check_shared_sequence,
         );
         enumerate(
+            &SHARED_GRAPH_ALPHABET[..],
+            cfg.shared_graph_depth,
+            cfg.max_errors,
+            &mut inner,
+            &mut count,
+            check_shared_graph_sequence,
+        );
+        enumerate(
             &PIPELINED_ALPHABET[..],
             cfg.pipelined_depth,
             cfg.max_errors,
@@ -2530,12 +3096,13 @@ pub fn model_check(cfg: &ModelCheckConfig) -> Report {
             format!(
                 "protocol enumeration explored {sequences} sequences \
                  (core depth {}, adversarial depth {}, reliability depth {}, \
-                 shared depth {}, pipelined depth {}, reactor depth {}): \
-                 {errors} violation(s)",
+                 shared depth {}, shared-graph depth {}, pipelined depth {}, \
+                 reactor depth {}): {errors} violation(s)",
                 cfg.core_depth,
                 cfg.adversarial_depth,
                 cfg.reliability_depth,
                 cfg.shared_depth,
+                cfg.shared_graph_depth,
                 cfg.pipelined_depth,
                 cfg.reactor_depth
             ),
@@ -2636,6 +3203,7 @@ mod tests {
             adversarial_depth: 2,
             reliability_depth: 2,
             shared_depth: 3,
+            shared_graph_depth: 3,
             pipelined_depth: 3,
             reactor_depth: 3,
             max_errors: 25,
@@ -2697,6 +3265,39 @@ mod tests {
             vec![S::EvictB, S::CallA, S::CallB],
         ] {
             let report = check_shared_sequence(&seq);
+            assert!(
+                !report.has_errors(),
+                "sequence {seq:?} failed:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_graph_coherence_sequences_are_clean() {
+        use SharedGraphAction as G;
+        for seq in [
+            // Alternating calls: every call dirties the peer's leased
+            // graph; every next call must see the CacheStale repair.
+            vec![G::CallA, G::CallB, G::CallA, G::CallB],
+            // An unshipped local write races the peer's out-of-band
+            // poke: the positional merge must let the client win.
+            vec![G::CallA, G::CallB, G::MutateA, G::CallA, G::CallB],
+            // Both sides write locally, then both call: client-wins on
+            // both roots, no repair patch may clobber either.
+            vec![G::CallA, G::CallB, G::MutateA, G::MutateB, G::CallA, G::CallB],
+            // A's teardown while B holds a leased session on the same
+            // heap: B's objects must survive, A reconnects via miss.
+            vec![G::CallA, G::CallB, G::DropA, G::CallB, G::CallA],
+            // Teardown of a dirtied (incoherent) session, then reuse.
+            vec![G::CallA, G::CallB, G::MutateA, G::DropA, G::CallA],
+            // Eviction after the peer poked the evicted graph: the
+            // incoherent entry must leak, not free, and B stays intact.
+            vec![G::CallA, G::CallB, G::EvictA, G::CallB, G::CallA],
+            // Teardown and eviction against never-seeded sessions.
+            vec![G::DropA, G::EvictB, G::CallA, G::CallB],
+        ] {
+            let report = check_shared_graph_sequence(&seq);
             assert!(
                 !report.has_errors(),
                 "sequence {seq:?} failed:\n{}",

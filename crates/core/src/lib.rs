@@ -103,7 +103,8 @@ pub use session::{
 };
 pub use trace::{CallTrace, Tracer};
 pub use warm::{
-    client_evict_warm, client_invoke_warm_with_stats, server_handle_warm_call, WarmCaches,
+    client_evict_warm, client_invoke_warm_with_stats, dispatch_warm_frame,
+    dispatch_warm_frame_shared, new_lease_table, server_handle_warm_call, LeaseTable, WarmCaches,
     WarmSessions,
 };
 

@@ -81,11 +81,16 @@ pub enum LockClass {
     /// Serve-pool control plane: worker/escalation join-handle lists
     /// and the accept-error slot.
     Control,
+    /// The warm-cache coherence lease table (`SharedServer`): which
+    /// holder has which graph objects warm-cached, consulted on every
+    /// warm call's revalidation and on connection teardown. Never held
+    /// across call execution or transport I/O.
+    LeaseTable,
 }
 
 impl LockClass {
     /// Every class, in a stable order (used for snapshot iteration).
-    pub const ALL: [LockClass; 7] = [
+    pub const ALL: [LockClass; 8] = [
         LockClass::Service,
         LockClass::NodeHeap,
         LockClass::ReplyCacheShard,
@@ -93,6 +98,7 @@ impl LockClass {
         LockClass::ReactorQueue,
         LockClass::SendQueue,
         LockClass::Control,
+        LockClass::LeaseTable,
     ];
 
     /// Stable lowercase name used in diagnostics and reports.
@@ -105,6 +111,7 @@ impl LockClass {
             LockClass::ReactorQueue => "reactor-queue",
             LockClass::SendQueue => "send-queue",
             LockClass::Control => "control",
+            LockClass::LeaseTable => "lease-table",
         }
     }
 
@@ -116,7 +123,10 @@ impl LockClass {
     pub fn hot_path(self) -> bool {
         matches!(
             self,
-            LockClass::ReplyCacheShard | LockClass::Bindings | LockClass::SendQueue
+            LockClass::ReplyCacheShard
+                | LockClass::Bindings
+                | LockClass::SendQueue
+                | LockClass::LeaseTable
         )
     }
 
@@ -691,6 +701,7 @@ mod tests {
             assert!(!class.name().is_empty());
         }
         assert!(LockClass::ReplyCacheShard.hot_path());
+        assert!(LockClass::LeaseTable.hot_path());
         assert!(!LockClass::Service.hot_path());
         assert!(!LockClass::ReactorQueue.hot_path());
     }

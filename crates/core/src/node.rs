@@ -204,6 +204,13 @@ pub struct ServerNode {
     /// recorded here so a retransmitted call id replays its reply
     /// instead of re-executing (at-most-once delivery).
     pub replies: crate::reliable::ReplyCache,
+    /// Which warm sessions currently cover which heap objects (see
+    /// [`crate::warm::LeaseTable`]). Connections serving this node build
+    /// their [`WarmCaches`](crate::warm::WarmCaches) with
+    /// [`with_leases`](crate::warm::WarmCaches::with_leases) on a clone
+    /// of this handle, so an eviction by one connection never frees an
+    /// object another connection's warm session still reads.
+    pub leases: std::sync::Arc<crate::lockcheck::TrackedMutex<crate::warm::LeaseTable>>,
 }
 
 impl std::fmt::Debug for ServerNode {
@@ -223,6 +230,7 @@ impl ServerNode {
             services: HashMap::new(),
             class_services: HashMap::new(),
             replies: crate::reliable::ReplyCache::default(),
+            leases: crate::warm::new_lease_table(),
         }
     }
 

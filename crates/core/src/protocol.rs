@@ -90,6 +90,10 @@ pub struct CallStats {
     pub new_objects: usize,
     /// Remote-pointer callbacks served by this client during the call.
     pub callbacks_served: u64,
+    /// Coherence repair patches (`CacheStale`) applied during the call —
+    /// both replies to our own warm request and pushes for idle sessions
+    /// consumed while waiting.
+    pub stale_patches: u64,
 }
 
 /// What a call is addressed to: a registry-named service, or a
@@ -328,7 +332,6 @@ fn client_collect_reply(
     timeout: Option<std::time::Duration>,
     callbacks_served: &mut u64,
 ) -> Result<Vec<u8>, NrmiError> {
-    let state = &mut client.state;
     loop {
         let frame = match timeout {
             Some(deadline) => transport.recv_timeout(deadline)?,
@@ -337,7 +340,17 @@ fn client_collect_reply(
         match frame {
             Frame::CallReply { payload } => return Ok(payload),
             Frame::CallError { message } => return Err(NrmiError::Remote(message)),
-            other => match handle_callback(state, &other) {
+            // A pushed warm-session invalidation racing this cold call's
+            // reply: apply it to the addressed (idle) session and keep
+            // waiting.
+            Frame::CacheStale {
+                cache_id,
+                version,
+                payload,
+            } => {
+                crate::warm::client_apply_stale(client, cache_id, version, &payload);
+            }
+            other => match handle_callback(&mut client.state, &other) {
                 Some(reply) => {
                     *callbacks_served += 1;
                     transport.send(&reply)?;
@@ -622,6 +635,7 @@ fn server_handle_call_inner(
         services,
         class_services,
         replies: _,
+        leases: _,
     } = server;
     let cost = state.profile.cost();
     let registry = state.heap.registry_handle().clone();
@@ -868,8 +882,12 @@ pub fn serve_connection_shared(
     transport: &mut dyn Transport,
 ) -> Result<(), NrmiError> {
     // Warm-session caches are per CONNECTION, even over a shared node:
-    // each client can only address sessions it seeded itself.
-    let mut warm = crate::warm::WarmCaches::new();
+    // each client can only address sessions it seeded itself. Evictions
+    // go through the node's lease table, because different connections'
+    // sessions CAN cover the same heap objects here (the shared-graph
+    // case the scaling ablation contends on).
+    let leases = server.lock().leases.clone();
+    let mut warm = crate::warm::WarmCaches::with_leases(leases);
     let result = serve_connection_shared_inner(server, transport, &mut warm);
     warm.release_all(&mut server.lock().state.heap);
     result
@@ -896,22 +914,16 @@ fn serve_connection_shared_inner(
         };
         match frame {
             Frame::Shutdown => return Ok(()),
-            Frame::CallRequestWarm {
-                service,
-                method,
-                mode,
-                cache_id,
-                generation,
-                payload,
-            } => {
-                let reply = crate::warm::server_handle_warm_call_shared(
-                    server, warm, transport, &service, &method, mode, cache_id, generation,
-                    &payload,
-                );
-                transport.send(&reply)?;
-            }
-            Frame::CacheEvict { cache_id } => {
-                warm.evict(&mut server.lock().state.heap, cache_id);
+            // One dispatcher for warm calls and evictions, shared with
+            // every other serve loop. It returns pushed `CacheStale`
+            // invalidations — for THIS connection's other sessions that
+            // a peer's call staled — ahead of the call's own reply.
+            frame @ (Frame::CallRequestWarm { .. } | Frame::CacheEvict { .. }) => {
+                let out =
+                    crate::warm::dispatch_warm_frame_shared(server, warm, transport, frame, true);
+                for reply in out {
+                    transport.send(&reply)?;
+                }
             }
             Frame::Lookup { name } => {
                 let found = server.lock().is_bound(&name);
@@ -1051,7 +1063,7 @@ pub fn serve_connection(
     server: &mut ServerNode,
     transport: &mut dyn Transport,
 ) -> Result<(), NrmiError> {
-    let mut warm = crate::warm::WarmCaches::new();
+    let mut warm = crate::warm::WarmCaches::with_leases(server.leases.clone());
     let result = serve_connection_inner(server, transport, &mut warm);
     // Connection teardown (orderly or not) releases the cached session
     // graphs — the warm analogue of DGC cleaning a disconnected client.
@@ -1072,22 +1084,16 @@ fn serve_connection_inner(
         };
         match frame {
             Frame::Shutdown => return Ok(()),
-            Frame::CallRequestWarm {
-                service,
-                method,
-                mode,
-                cache_id,
-                generation,
-                payload,
-            } => {
-                let reply = crate::warm::server_handle_warm_call(
-                    server, warm, transport, &service, &method, mode, cache_id, generation,
-                    &payload,
-                );
-                transport.send(&reply)?;
-            }
-            Frame::CacheEvict { cache_id } => {
-                warm.evict(&mut server.state.heap, cache_id);
+            // One dispatcher for warm calls and evictions, shared with
+            // every other serve loop. On a single-connection node the
+            // pushes repair sessions this connection's own calls staled
+            // through aliased server state (`serve_class` methods,
+            // exported-object calls touching a cached graph).
+            frame @ (Frame::CallRequestWarm { .. } | Frame::CacheEvict { .. }) => {
+                let out = crate::warm::dispatch_warm_frame(server, warm, transport, frame, true);
+                for reply in out {
+                    transport.send(&reply)?;
+                }
             }
             Frame::Lookup { name } => {
                 let found = server.is_bound(&name);

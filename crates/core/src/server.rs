@@ -232,6 +232,7 @@ impl SharedServer {
             services,
             class_services,
             replies: _,
+            leases: _,
         } = node;
         SharedServer {
             registry: state.heap.registry_handle().clone(),
@@ -304,6 +305,10 @@ impl SharedServer {
             // Unused by the pooled serve loop (tagged calls go through
             // the shared `replies` shards), present for type uniformity.
             replies: ReplyCache::default(),
+            // Each pooled connection has a private heap, so its warm
+            // sessions never alias another connection's; a fresh table
+            // per connection node is exact.
+            leases: crate::warm::new_lease_table(),
         }
     }
 
@@ -337,6 +342,7 @@ impl SharedServer {
             services: HashMap::new(),
             class_services: HashMap::new(),
             replies: ReplyCache::default(),
+            leases: crate::warm::new_lease_table(),
         };
         for (name, svc) in services {
             match Arc::try_unwrap(svc) {
@@ -382,7 +388,7 @@ pub fn serve_connection_pooled(
     transport: &mut dyn Transport,
 ) -> Result<(), NrmiError> {
     let mut conn = shared.connection_node();
-    let mut warm = crate::warm::WarmCaches::new();
+    let mut warm = crate::warm::WarmCaches::with_leases(conn.leases.clone());
     let result = match transport.split() {
         Some((sender, receiver)) => {
             serve_connection_pipelined(shared, &mut conn, &mut warm, sender, receiver)
@@ -577,7 +583,7 @@ fn serve_connection_pipelined(
                 // connection gets — workers of one connection contend
                 // only on service mutexes and reply-cache shards.
                 let mut conn = shared.connection_node();
-                let mut warm = crate::warm::WarmCaches::new();
+                let mut warm = crate::warm::WarmCaches::with_leases(conn.leases.clone());
                 let mut io = NoCallbackTransport;
                 loop {
                     let job = job_rx.lock().recv();
@@ -703,30 +709,22 @@ fn pipelined_recv_loop(
             }
             // Untagged traffic is executed exclusively, in arrival
             // order, exactly as the serial loop would — only the reply
-            // leaves through the writer.
-            Frame::CallRequestWarm {
-                service,
-                method,
-                mode,
-                cache_id,
-                generation,
-                payload,
-            } => {
-                let reply = {
+            // leaves through the writer. Warm-protocol frames share one
+            // dispatcher with the other serve loops; it returns pushed
+            // `CacheStale` invalidations (for sibling sessions the call
+            // staled) ahead of the call's own reply, already ordered.
+            frame @ (Frame::CallRequestWarm { .. } | Frame::CacheEvict { .. }) => {
+                let out = {
                     let mut io = ConnIo {
                         writer_tx: writer_tx.clone(),
                         receiver,
                         stash: &mut stash,
                     };
-                    crate::warm::server_handle_warm_call(
-                        conn, warm, &mut io, &service, &method, mode, cache_id, generation,
-                        &payload,
-                    )
+                    crate::warm::dispatch_warm_frame(conn, warm, &mut io, frame, true)
                 };
-                write_out!(reply);
-            }
-            Frame::CacheEvict { cache_id } => {
-                warm.evict(&mut conn.state.heap, cache_id);
+                for reply in out {
+                    write_out!(reply);
+                }
             }
             Frame::Lookup { name } => {
                 write_out!(Frame::LookupReply {
@@ -792,7 +790,7 @@ pub(crate) fn serve_connection_escalated(
     stash: Vec<Frame>,
 ) -> Result<(), NrmiError> {
     let mut conn = shared.connection_node();
-    let mut warm = crate::warm::WarmCaches::new();
+    let mut warm = crate::warm::WarmCaches::with_leases(conn.leases.clone());
     let mut result = Ok(());
     let mut stopped = false;
     for frame in stash {
@@ -869,22 +867,13 @@ fn handle_exclusive_frame(
             }
             // Everything untagged touches only per-connection state (and
             // the callee's service mutex) — identical to the exclusive
-            // single-connection loop.
-            Frame::CallRequestWarm {
-                service,
-                method,
-                mode,
-                cache_id,
-                generation,
-                payload,
-            } => {
-                let reply = crate::warm::server_handle_warm_call(
-                    conn, warm, transport, &service, &method, mode, cache_id, generation, &payload,
-                );
-                transport.send(&reply)?;
-            }
-            Frame::CacheEvict { cache_id } => {
-                warm.evict(&mut conn.state.heap, cache_id);
+            // single-connection loop. The warm dispatcher returns pushed
+            // `CacheStale` invalidations ahead of the call's own reply.
+            frame @ (Frame::CallRequestWarm { .. } | Frame::CacheEvict { .. }) => {
+                let out = crate::warm::dispatch_warm_frame(conn, warm, transport, frame, true);
+                for reply in out {
+                    transport.send(&reply)?;
+                }
             }
             Frame::Lookup { name } => {
                 let found = shared.is_bound(&name);

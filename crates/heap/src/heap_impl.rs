@@ -319,9 +319,27 @@ impl Heap {
             .map(|o| o.version)
     }
 
+    /// The allocation epoch of the object currently occupying `id`'s
+    /// slot, or `None` if the slot is empty.
+    ///
+    /// Probe semantics, as [`Heap::version_if_live`]. An occupant born
+    /// *after* a version the caller recorded for `id` proves the slot
+    /// was freed and recycled in between — the recorded object is gone,
+    /// whatever now answers the probe. The coherence protocol uses this
+    /// to tell a repairable mutation from an unrepairable recycle
+    /// without dereferencing (which `sanitize` builds trap on recycled
+    /// slots).
+    pub fn born_if_live(&self, id: ObjId) -> Option<u64> {
+        self.slots
+            .get(id.index as usize)
+            .and_then(Option::as_ref)
+            .map(|o| o.born)
+    }
+
     fn place(&mut self, mut obj: Object) -> ObjId {
         self.stats.allocations += 1;
         obj.version = self.tick();
+        obj.born = obj.version;
         let index = if let Some(idx) = self.free.pop() {
             self.slots[idx as usize] = Some(obj);
             idx

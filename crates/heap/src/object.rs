@@ -52,6 +52,13 @@ pub struct Object {
     /// clients compare it against a remembered epoch to find the dirty
     /// slice of a synchronized graph without diffing slots.
     pub(crate) version: u64,
+    /// The heap epoch at which this object was allocated. Never changes
+    /// after [`place`](crate::Heap) — comparing it against a remembered
+    /// version distinguishes "this object mutated" (repairable by a
+    /// coherence patch) from "the slot was freed and recycled for a
+    /// different object" (the session object is gone), without
+    /// dereferencing the possibly-stale handle.
+    pub(crate) born: u64,
 }
 
 impl PartialEq for Object {
@@ -69,6 +76,7 @@ impl Object {
             class,
             body: ObjectBody::Fields(fields),
             version: 0,
+            born: 0,
         }
     }
 
@@ -78,12 +86,18 @@ impl Object {
             class,
             body: ObjectBody::Array(elements),
             version: 0,
+            born: 0,
         }
     }
 
     /// The heap epoch of this object's last allocation or mutation.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The heap epoch at which this object was allocated.
+    pub fn born(&self) -> u64 {
+        self.born
     }
 
     /// The object's class.

@@ -328,6 +328,23 @@ pub enum Frame {
         /// The recorded reply frame.
         frame: Box<Frame>,
     },
+    /// Targeted invalidation of a warm-session cache: another client's
+    /// call (or another call on this connection) mutated objects this
+    /// cache covers. Unlike `CacheMiss` — which retires the session and
+    /// forces a full cold reseed — the payload is an invalidation patch
+    /// (`nrmi-wire`'s NRMV format) that repairs only the dirty subgraph;
+    /// the client applies it and re-issues the warm call. `version` is
+    /// the entry's monotone revalidation counter, which makes a pushed
+    /// copy of the same invalidation idempotent.
+    CacheStale {
+        /// Cache identifier the patch applies to.
+        cache_id: u64,
+        /// Monotone per-entry revalidation counter (deduplicates a
+        /// pushed delta racing the reply-path copy).
+        version: u64,
+        /// Invalidation patch for the dirty subgraph.
+        payload: Vec<u8>,
+    },
 }
 
 const F_CALL_REQUEST: u8 = 1;
@@ -354,6 +371,7 @@ const F_CACHE_MISS: u8 = 21;
 const F_CACHE_EVICT: u8 = 22;
 const F_TAGGED: u8 = 23;
 const F_REPLY_CACHED: u8 = 24;
+const F_CACHE_STALE: u8 = 25;
 
 impl Frame {
     /// Encodes the frame to bytes.
@@ -497,6 +515,17 @@ impl Frame {
                 w.put_varint(*seq);
                 frame.encode_into(w);
             }
+            Frame::CacheStale {
+                cache_id,
+                version,
+                payload,
+            } => {
+                w.put_u8(F_CACHE_STALE);
+                w.put_varint(*cache_id);
+                w.put_varint(*version);
+                w.put_varint(payload.len() as u64);
+                w.put_slice(payload);
+            }
         }
     }
 
@@ -575,6 +604,17 @@ impl Frame {
                 w.put_varint(*seq);
                 frame.encode_prefix_into(w)
             }
+            Frame::CacheStale {
+                cache_id,
+                version,
+                payload,
+            } => {
+                w.put_u8(F_CACHE_STALE);
+                w.put_varint(*cache_id);
+                w.put_varint(*version);
+                w.put_varint(payload.len() as u64);
+                Some(payload)
+            }
             other => {
                 other.encode_into(w);
                 None
@@ -590,7 +630,8 @@ impl Frame {
             Frame::CallRequest { payload, .. }
             | Frame::CallObject { payload, .. }
             | Frame::CallReply { payload }
-            | Frame::CallRequestWarm { payload, .. } => payload.len(),
+            | Frame::CallRequestWarm { payload, .. }
+            | Frame::CacheStale { payload, .. } => payload.len(),
             Frame::Tagged { frame, .. } | Frame::ReplyCached { frame, .. } => frame.payload_len(),
             _ => 0,
         }
@@ -709,6 +750,17 @@ impl Frame {
             F_CACHE_EVICT => Frame::CacheEvict {
                 cache_id: r.get_varint().map_err(wire)?,
             },
+            F_CACHE_STALE => {
+                let cache_id = r.get_varint().map_err(wire)?;
+                let version = r.get_varint().map_err(wire)?;
+                let len = r.get_varint().map_err(wire)? as usize;
+                let payload = r.get_slice(len).map_err(wire)?.to_vec();
+                Frame::CacheStale {
+                    cache_id,
+                    version,
+                    payload,
+                }
+            }
             F_TAGGED | F_REPLY_CACHED => {
                 if !allow_envelope {
                     return Err(TransportError::UnknownFrame(tag));
@@ -836,6 +888,16 @@ mod tests {
         });
         roundtrip(Frame::CacheMiss);
         roundtrip(Frame::CacheEvict { cache_id: 55 });
+        roundtrip(Frame::CacheStale {
+            cache_id: 55,
+            version: 3,
+            payload: vec![1, 2, 3],
+        });
+        roundtrip(Frame::CacheStale {
+            cache_id: u64::MAX,
+            version: u64::MAX,
+            payload: vec![],
+        });
         roundtrip(Frame::Tagged {
             nonce: 0xdead_beef_cafe,
             seq: 17,
@@ -956,6 +1018,15 @@ mod tests {
         let evict = Frame::CacheEvict { cache_id: 300 }.encode();
         for cut in 1..evict.len() {
             assert!(Frame::decode(&evict[..cut]).is_err(), "evict cut at {cut}");
+        }
+        let stale = Frame::CacheStale {
+            cache_id: 300,
+            version: 12,
+            payload: vec![7; 10],
+        }
+        .encode();
+        for cut in 1..stale.len() {
+            assert!(Frame::decode(&stale[..cut]).is_err(), "stale cut at {cut}");
         }
     }
 

@@ -94,8 +94,10 @@ pub use error::WireError;
 pub use io::{ByteReader, ByteWriter};
 pub use ser::{serialize_graph, serialize_graph_with, EncodedGraph, RemoteHooks, Serializer};
 pub use warm::{
-    apply_request_delta, encode_request_delta, next_sync, AppliedRequestDelta, EncodedRequestDelta,
-    RequestDeltaStats,
+    apply_invalidation, apply_invalidation_filtered, apply_request_delta, encode_invalidation,
+    encode_request_delta, next_sync, peek_request_delta, AppliedInvalidation, AppliedRequestDelta,
+    EncodedInvalidation, EncodedRequestDelta, InvalidationStats, PeekedRequestDelta,
+    RequestDeltaStats, INVALIDATION_MAGIC,
 };
 
 /// Result alias for wire operations.

@@ -25,8 +25,9 @@
 
 use nrmi_heap::{DensePositionMap, Heap, ObjId, Value};
 
-use crate::delta::{DeltaDecoder, DeltaEncoder};
+use crate::delta::{DeltaDecoder, DeltaEncoder, DTAG_NEWBACK, DTAG_NEWOBJ, DTAG_OLDREF};
 use crate::io::ByteReader;
+use crate::ser::{TAG_DOUBLE, TAG_FALSE, TAG_INT, TAG_LONG, TAG_NULL, TAG_STR, TAG_TRUE};
 use crate::{Result, WireError};
 
 /// Magic prefix for request-delta payloads.
@@ -291,6 +292,164 @@ pub fn apply_request_delta(
     })
 }
 
+/// The sync positions a request delta touches, recovered without
+/// applying it. Both lists are sorted and unique.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PeekedRequestDelta {
+    /// Positions the sender freed.
+    pub freed_positions: Vec<u32>,
+    /// Positions the sender overwrote.
+    pub dirty_positions: Vec<u32>,
+}
+
+impl PeekedRequestDelta {
+    /// True when the delta frees or overwrites the given sync position.
+    pub fn touches(&self, pos: u32) -> bool {
+        self.freed_positions.binary_search(&pos).is_ok()
+            || self.dirty_positions.binary_search(&pos).is_ok()
+    }
+}
+
+/// Skips `count` encoded values without decoding them into a heap,
+/// validating exactly what [`DeltaDecoder::decode_value`] would reject
+/// structurally: tags, old-index bounds, and back-reference bounds.
+/// `NEWOBJ` payloads are flattened into the skip count (the stream is
+/// depth-first, so stream order equals recursion order), which also
+/// bounds the walk by the payload length instead of the stack.
+fn skip_values(
+    reader: &mut ByteReader,
+    count: usize,
+    sync_len: usize,
+    new_seen: &mut u32,
+) -> Result<()> {
+    let mut remaining = count as u64;
+    while remaining > 0 {
+        remaining -= 1;
+        let offset = reader.position();
+        let tag = reader.get_u8()?;
+        match tag {
+            TAG_NULL | TAG_FALSE | TAG_TRUE => {}
+            TAG_INT | TAG_LONG => {
+                reader.get_zigzag()?;
+            }
+            TAG_DOUBLE => {
+                reader.get_f64()?;
+            }
+            TAG_STR => {
+                let len = reader.get_count()?;
+                reader.get_slice(len)?;
+            }
+            DTAG_OLDREF => {
+                let idx = reader.get_varint_u32()?;
+                if idx as usize >= sync_len {
+                    return Err(WireError::BadOldIndex {
+                        index: idx,
+                        len: sync_len as u32,
+                    });
+                }
+            }
+            DTAG_NEWBACK => {
+                let pos = reader.get_varint_u32()?;
+                if pos >= *new_seen {
+                    return Err(WireError::BadBackRef {
+                        position: pos,
+                        decoded: *new_seen,
+                    });
+                }
+            }
+            DTAG_NEWOBJ => {
+                reader.get_varint_u32()?; // class id; validated on apply
+                let slot_count = reader.get_count()?;
+                *new_seen += 1;
+                remaining = remaining.saturating_add(slot_count as u64);
+            }
+            other => return Err(WireError::UnknownTag { tag: other, offset }),
+        }
+    }
+    Ok(())
+}
+
+/// Parses a request delta far enough to learn which sync positions it
+/// frees or overwrites, without touching any heap.
+///
+/// This is the server half of the coherence **merge rule**: when a warm
+/// entry is dirty (out-of-band writes) *and* a request is in flight, the
+/// repair patch must exclude every position the request itself rewrites
+/// — the client's write wins at object granularity, because its slots
+/// are already on the wire and will overwrite the server's copy when the
+/// delta applies. Patching those positions back would silently undo the
+/// client's mutation.
+///
+/// Validation mirrors [`apply_request_delta`] structurally (magic,
+/// version, sync count, position bounds and duplicates, value tags,
+/// trailing bytes), so any payload this rejects would also fail to
+/// apply; the caller can fall through and let the apply path surface the
+/// authoritative error. Values are skipped, never decoded — no
+/// allocation proportional to the graph, no heap access.
+pub fn peek_request_delta(bytes: &[u8], sync_len: usize) -> Result<PeekedRequestDelta> {
+    let mut reader = ByteReader::new(bytes);
+    if reader.get_slice(4)? != REQUEST_DELTA_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = reader.get_u8()?;
+    if version != crate::FORMAT_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let sync_count = reader.get_varint_u32()? as usize;
+    if sync_count != sync_len {
+        return Err(WireError::BadOldIndex {
+            index: sync_count as u32,
+            len: sync_len as u32,
+        });
+    }
+    let freed_count = reader.get_count()?;
+    let mut freed_flags = vec![false; sync_count];
+    let mut freed_positions = Vec::with_capacity(freed_count);
+    for _ in 0..freed_count {
+        let pos = reader.get_varint_u32()? as usize;
+        match freed_flags.get_mut(pos) {
+            Some(flag @ false) => *flag = true,
+            _ => {
+                return Err(WireError::BadOldIndex {
+                    index: pos as u32,
+                    len: sync_count as u32,
+                })
+            }
+        }
+        freed_positions.push(pos as u32);
+    }
+    let dirty_count = reader.get_count()?;
+    let mut dirty_positions = Vec::with_capacity(dirty_count);
+    let mut new_seen = 0u32;
+    for _ in 0..dirty_count {
+        let pos = reader.get_varint_u32()? as usize;
+        if pos >= sync_count || freed_flags[pos] {
+            return Err(WireError::BadOldIndex {
+                index: pos as u32,
+                len: sync_count as u32,
+            });
+        }
+        dirty_positions.push(pos as u32);
+        let slot_count = reader.get_count()?;
+        skip_values(&mut reader, slot_count, sync_len, &mut new_seen)?;
+    }
+    let root_count = reader.get_count()?;
+    skip_values(&mut reader, root_count, sync_len, &mut new_seen)?;
+    if !reader.is_exhausted() {
+        return Err(WireError::TrailingBytes {
+            offset: reader.position(),
+            trailing: reader.remaining(),
+        });
+    }
+    freed_positions.sort_unstable();
+    dirty_positions.sort_unstable();
+    dirty_positions.dedup();
+    Ok(PeekedRequestDelta {
+        freed_positions,
+        dirty_positions,
+    })
+}
+
 /// Advances a sync list across one delta exchange: drops the freed
 /// positions and appends the delta's new objects. Each side calls this
 /// with its *own* object ids (the sender's [`EncodedRequestDelta`] /
@@ -319,6 +478,212 @@ pub fn next_sync(sync: &[ObjId], freed_positions: &[u32], new_objects: &[ObjId])
     }
     out.extend_from_slice(new_objects);
     out
+}
+
+/// Magic prefix for invalidation-patch payloads (server-to-client: the
+/// coherence protocol's targeted reseed of a stale warm cache).
+pub const INVALIDATION_MAGIC: [u8; 4] = *b"NRMV";
+
+/// Size accounting for an invalidation patch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvalidationStats {
+    /// Synchronized objects the patch is relative to.
+    pub sync_count: usize,
+    /// Synchronized objects whose slots were re-shipped.
+    pub dirty_count: usize,
+    /// New objects shipped in full (reached from dirty slots but not in
+    /// the sync list — e.g. spliced in by another client's call).
+    pub new_count: usize,
+    /// Total payload bytes.
+    pub bytes: usize,
+}
+
+/// An encoded invalidation patch plus the bookkeeping the sender needs
+/// to advance its sync list.
+#[derive(Clone, Debug)]
+pub struct EncodedInvalidation {
+    /// The wire payload.
+    pub bytes: Vec<u8>,
+    /// Sender-side ids of the new objects shipped in full, in emission
+    /// order (the receiver materializes them in the same order, so both
+    /// sync lists extend identically).
+    pub new_objects: Vec<ObjId>,
+    /// Size accounting.
+    pub stats: InvalidationStats,
+}
+
+/// Encodes an invalidation patch against `sync`: the dirty positions'
+/// current slots, with references to objects outside the sync list
+/// shipped in full, depth-first. This is a request delta with no freed
+/// section and no roots — the receiver's graph shape is repaired, not
+/// re-rooted — and it travels server-to-client inside
+/// `Frame::CacheStale`.
+///
+/// # Errors
+/// Fails on out-of-range positions, dangling references (a sync object
+/// freed out from under the cache — the caller must fall back to a full
+/// `CacheMiss`), or non-serializable new objects.
+pub fn encode_invalidation(
+    heap: &Heap,
+    sync: &[ObjId],
+    dirty: &[u32],
+) -> Result<EncodedInvalidation> {
+    let len = sync.len() as u32;
+    let mut dirty_positions: Vec<u32> = dirty.to_vec();
+    dirty_positions.sort_unstable();
+    dirty_positions.dedup();
+    for &pos in &dirty_positions {
+        if pos >= len {
+            return Err(WireError::BadOldIndex { index: pos, len });
+        }
+    }
+
+    let mut old_pos = DensePositionMap::new();
+    for (i, &id) in sync.iter().enumerate() {
+        old_pos.insert(id, i as u32);
+    }
+
+    let mut enc = DeltaEncoder::with_scratch(heap, old_pos, DensePositionMap::new(), Vec::new());
+    enc.writer.put_slice(&INVALIDATION_MAGIC);
+    enc.writer.put_u8(crate::FORMAT_VERSION);
+    enc.writer.put_varint(u64::from(len));
+    enc.writer.put_varint(dirty_positions.len() as u64);
+    for &pos in &dirty_positions {
+        let slots = heap.get(sync[pos as usize])?.body().slots();
+        enc.writer.put_varint(u64::from(pos));
+        enc.writer.put_varint(slots.len() as u64);
+        for v in slots {
+            enc.encode_value(v)?;
+        }
+    }
+
+    let DeltaEncoder {
+        writer,
+        new_ids: new_objects,
+        ..
+    } = enc;
+    let bytes = writer.into_bytes();
+    let stats = InvalidationStats {
+        sync_count: sync.len(),
+        dirty_count: dirty_positions.len(),
+        new_count: new_objects.len(),
+        bytes: bytes.len(),
+    };
+    Ok(EncodedInvalidation {
+        bytes,
+        new_objects,
+        stats,
+    })
+}
+
+/// The result of applying an invalidation patch on the receiver.
+#[derive(Clone, Debug, Default)]
+pub struct AppliedInvalidation {
+    /// Objects newly materialized in the receiver's heap, decode order
+    /// (append to the sync list, exactly like a delta's new objects).
+    pub new_objects: Vec<ObjId>,
+    /// Positions patched in place, ascending.
+    pub dirty_positions: Vec<u32>,
+}
+
+/// Applies an invalidation patch: overwrites the dirty positions' slots
+/// and materializes any new objects they reference. No objects are
+/// freed — a peer's call can splice objects *into* the shared graph,
+/// but unlinking only makes them unreachable, and unreachable cached
+/// objects are harmless until the entry is evicted.
+///
+/// # Errors
+/// Fails on malformed payloads, or if `sync` does not match the sync
+/// count recorded in the patch (sessions out of step — the caller
+/// should evict and fall back cold).
+pub fn apply_invalidation(
+    bytes: &[u8],
+    heap: &mut Heap,
+    sync: &[ObjId],
+) -> Result<AppliedInvalidation> {
+    apply_invalidation_filtered(bytes, heap, sync, &mut |_| true)
+}
+
+/// [`apply_invalidation`] with a per-position merge predicate: a
+/// position is overwritten only when `overwrite(pos)` returns true.
+///
+/// This is the client half of the coherence merge rule, for *pushed*
+/// patches: a patch that arrives over an idle connection may race local
+/// writes the client has not shipped yet. Positions the client has
+/// dirtied locally must keep the client's slots — they stay dirty, ship
+/// with the next request delta, and win on the server — so the caller
+/// skips them here instead of letting the patch clobber them.
+///
+/// Skipped positions still have their wire values decoded (the stream
+/// must be consumed, and any new objects they reference are still
+/// materialized to keep the two sync lists position-aligned); only the
+/// final overwrite is withheld. `dirty_positions` in the result lists
+/// the positions actually overwritten.
+pub fn apply_invalidation_filtered(
+    bytes: &[u8],
+    heap: &mut Heap,
+    sync: &[ObjId],
+    overwrite: &mut dyn FnMut(u32) -> bool,
+) -> Result<AppliedInvalidation> {
+    let mut reader = ByteReader::new(bytes);
+    let magic = reader.get_slice(4)?;
+    if magic != INVALIDATION_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = reader.get_u8()?;
+    if version != crate::FORMAT_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let sync_count = reader.get_varint_u32()? as usize;
+    if sync_count != sync.len() {
+        return Err(WireError::BadOldIndex {
+            index: sync_count as u32,
+            len: sync.len() as u32,
+        });
+    }
+    let dirty_count = reader.get_count()?;
+
+    let mut dec = DeltaDecoder {
+        heap,
+        reader,
+        client_linear: sync,
+        new_objects: Vec::new(),
+    };
+    let mut dirty_positions = Vec::with_capacity(dirty_count);
+    let mut last_pos: Option<u32> = None;
+    for _ in 0..dirty_count {
+        let pos = dec.reader.get_varint_u32()?;
+        // Positions are ascending on the honest path; duplicates and
+        // disorder are protocol errors, same as duplicate freed slots.
+        if pos as usize >= sync_count || last_pos.is_some_and(|p| p >= pos) {
+            return Err(WireError::BadOldIndex {
+                index: pos,
+                len: sync_count as u32,
+            });
+        }
+        last_pos = Some(pos);
+        let target = sync[pos as usize];
+        let slot_count = dec.reader.get_count()?;
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            slots.push(dec.decode_value()?);
+        }
+        if overwrite(pos) {
+            dec.heap.overwrite_slots(target, slots)?;
+            dirty_positions.push(pos);
+        }
+    }
+    let new_objects = dec.new_objects;
+    if !dec.reader.is_exhausted() {
+        return Err(WireError::TrailingBytes {
+            offset: dec.reader.position(),
+            trailing: dec.reader.remaining(),
+        });
+    }
+    Ok(AppliedInvalidation {
+        new_objects,
+        dirty_positions,
+    })
 }
 
 #[cfg(test)]
@@ -361,6 +726,83 @@ mod tests {
         // Exhaustion is checked before the free loop runs, so the
         // malformed frame must not have freed the to-be-dropped slot.
         assert!(server.get_field(s_sync[1], "data").is_ok());
+    }
+
+    #[test]
+    fn peek_reports_touched_positions_without_a_heap() {
+        let (mut client, _server, c_sync, _s_sync, classes) = seeded_pair(8, 11);
+        // Splice a fresh node under the root (dirty + new object), and
+        // free position 2's subtree standing (just the position here —
+        // peek never dereferences, so a simple mark suffices).
+        let fresh = client
+            .alloc(classes.tree, vec![Value::Int(55), Value::Null, Value::Null])
+            .unwrap();
+        client
+            .set_field(c_sync[0], "left", Value::Ref(fresh))
+            .unwrap();
+        let enc =
+            encode_request_delta(&client, &c_sync, &[2], &[0], &[Value::Ref(c_sync[0])]).unwrap();
+        let peeked = peek_request_delta(&enc.bytes, c_sync.len()).unwrap();
+        assert_eq!(peeked.freed_positions, vec![2]);
+        assert_eq!(peeked.dirty_positions, vec![0]);
+        assert!(peeked.touches(0) && peeked.touches(2));
+        assert!(!peeked.touches(1));
+    }
+
+    #[test]
+    fn peek_of_clean_delta_touches_nothing() {
+        let (client, _server, c_sync, _s_sync, _) = seeded_pair(16, 12);
+        let enc =
+            encode_request_delta(&client, &c_sync, &[], &[], &[Value::Ref(c_sync[0])]).unwrap();
+        let peeked = peek_request_delta(&enc.bytes, c_sync.len()).unwrap();
+        assert!(peeked.freed_positions.is_empty());
+        assert!(peeked.dirty_positions.is_empty());
+    }
+
+    #[test]
+    fn peek_rejects_malformed_payloads() {
+        let (client, _server, c_sync, _s_sync, _) = seeded_pair(8, 13);
+        let enc =
+            encode_request_delta(&client, &c_sync, &[1], &[], &[Value::Ref(c_sync[0])]).unwrap();
+        // Garbage magic.
+        assert!(peek_request_delta(&[0xFF, 0x00, 0x01], c_sync.len()).is_err());
+        // Sync-list mismatch.
+        assert!(matches!(
+            peek_request_delta(&enc.bytes, c_sync.len() + 1),
+            Err(WireError::BadOldIndex { .. })
+        ));
+        // Truncation anywhere must error, never panic.
+        for cut in 0..enc.bytes.len() {
+            assert!(
+                peek_request_delta(&enc.bytes[..cut], c_sync.len()).is_err(),
+                "truncated at {cut} must not parse"
+            );
+        }
+        // Trailing garbage.
+        let mut bytes = enc.bytes.clone();
+        bytes.push(0x00);
+        assert!(matches!(
+            peek_request_delta(&bytes, c_sync.len()),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn filtered_invalidation_apply_skips_vetoed_positions() {
+        let (mut server, mut client, s_sync, c_sync, _) = seeded_pair(8, 14);
+        // "Server" side dirties two synchronized objects out-of-band.
+        server.set_field(s_sync[0], "data", Value::Int(41)).unwrap();
+        server.set_field(s_sync[3], "data", Value::Int(43)).unwrap();
+        let patch = encode_invalidation(&server, &s_sync, &[0, 3]).unwrap();
+        // The client has its own unshipped write at position 0: the
+        // merge predicate vetoes the overwrite there.
+        client.set_field(c_sync[0], "data", Value::Int(7)).unwrap();
+        let applied =
+            apply_invalidation_filtered(&patch.bytes, &mut client, &c_sync, &mut |pos| pos != 0)
+                .unwrap();
+        assert_eq!(applied.dirty_positions, vec![3]);
+        assert_eq!(client.get_field(c_sync[0], "data").unwrap(), Value::Int(7));
+        assert_eq!(client.get_field(c_sync[3], "data").unwrap(), Value::Int(43));
     }
 
     #[test]
@@ -531,6 +973,163 @@ mod tests {
         w.put_varint(2); // dirty position 2 — contradicts freed
         assert!(matches!(
             apply_request_delta(&w.into_bytes(), &mut server, &s_sync),
+            Err(WireError::BadOldIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn invalidation_patches_dirty_slots_in_place() {
+        // Server-to-client direction: the server's copy mutated under a
+        // peer's call; the patch repairs the client's cache.
+        let (mut client, mut server, c_sync, s_sync, _) = seeded_pair(16, 11);
+        server
+            .set_field(s_sync[5], "data", Value::Int(4242))
+            .unwrap();
+        let enc = encode_invalidation(&server, &s_sync, &[5]).unwrap();
+        assert_eq!(enc.stats.dirty_count, 1);
+        assert_eq!(enc.stats.new_count, 0);
+        let applied = apply_invalidation(&enc.bytes, &mut client, &c_sync).unwrap();
+        assert_eq!(applied.dirty_positions, vec![5]);
+        assert_eq!(
+            client.get_field(c_sync[5], "data").unwrap(),
+            Value::Int(4242)
+        );
+        let _ = &mut server;
+    }
+
+    #[test]
+    fn invalidation_ships_spliced_objects_and_lists_stay_aligned() {
+        let (mut client, mut server, c_sync, s_sync, classes) = seeded_pair(8, 12);
+        // A peer's call spliced a fresh chain under the server's root.
+        let leaf = server
+            .alloc(classes.tree, vec![Value::Int(61), Value::Null, Value::Null])
+            .unwrap();
+        let mid = server
+            .alloc(
+                classes.tree,
+                vec![Value::Int(60), Value::Ref(leaf), Value::Null],
+            )
+            .unwrap();
+        server
+            .set_field(s_sync[0], "left", Value::Ref(mid))
+            .unwrap();
+        let enc = encode_invalidation(&server, &s_sync, &[0]).unwrap();
+        assert_eq!(enc.stats.new_count, 2);
+        let applied = apply_invalidation(&enc.bytes, &mut client, &c_sync).unwrap();
+        assert_eq!(applied.new_objects.len(), 2);
+        let s_next = next_sync(&s_sync, &[], &enc.new_objects);
+        let c_next = next_sync(&c_sync, &[], &applied.new_objects);
+        assert_eq!(s_next.len(), c_next.len());
+        for (&s_id, &c_id) in s_next.iter().zip(&c_next) {
+            assert_eq!(
+                server.get_field(s_id, "data").unwrap(),
+                client.get_field(c_id, "data").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_invalidation_is_tiny_and_clean() {
+        let (mut client, server, c_sync, s_sync, _) = seeded_pair(64, 13);
+        let enc = encode_invalidation(&server, &s_sync, &[]).unwrap();
+        assert!(
+            enc.stats.bytes < 16,
+            "empty patch must be tiny: {}",
+            enc.stats.bytes
+        );
+        let applied = apply_invalidation(&enc.bytes, &mut client, &c_sync).unwrap();
+        assert!(applied.dirty_positions.is_empty());
+        assert!(applied.new_objects.is_empty());
+    }
+
+    #[test]
+    fn invalidation_rejects_dangling_sync_object() {
+        // A peer freed part of the shared graph: the encoder must error
+        // (the serve loop then falls back to a full CacheMiss), never
+        // ship garbage.
+        let (_, mut server, _, s_sync, _) = seeded_pair(8, 14);
+        let victim = *s_sync.last().unwrap();
+        let reachable = nrmi_heap::traverse::reachable_set(&server, &[victim]).unwrap();
+        for &id in s_sync.iter().rev() {
+            if reachable.contains(id) {
+                // Detach first so the free is legal on a sanitized heap.
+                for (i, parent) in s_sync.iter().enumerate() {
+                    if !server.contains(*parent) {
+                        continue;
+                    }
+                    let _ = i;
+                    for field in ["left", "right"] {
+                        if server.get_ref(*parent, field) == Ok(Some(id)) {
+                            server.set_field(*parent, field, Value::Null).unwrap();
+                        }
+                    }
+                }
+                server.free(id).unwrap();
+            }
+        }
+        let dirty: Vec<u32> = (0..s_sync.len() as u32).collect();
+        assert!(encode_invalidation(&server, &s_sync, &dirty).is_err());
+    }
+
+    #[test]
+    fn invalidation_hostile_payloads_error_cleanly() {
+        let (mut client, mut server, c_sync, s_sync, _) = seeded_pair(4, 15);
+        // Bad magic.
+        assert!(matches!(
+            apply_invalidation(b"XXXX\x01\x00", &mut client, &c_sync),
+            Err(WireError::BadMagic)
+        ));
+        // Sync-count mismatch.
+        server
+            .set_field(s_sync[1], "data", Value::Int(9))
+            .unwrap();
+        let enc = encode_invalidation(&server, &s_sync, &[1]).unwrap();
+        assert!(matches!(
+            apply_invalidation(&enc.bytes, &mut client, &c_sync[..2]),
+            Err(WireError::BadOldIndex { .. })
+        ));
+        // Every truncation errors, never panics.
+        for cut in 0..enc.bytes.len() {
+            assert!(
+                apply_invalidation(&enc.bytes[..cut], &mut client, &c_sync).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage after a valid patch.
+        let mut padded = enc.bytes.clone();
+        padded.push(0x00);
+        assert!(matches!(
+            apply_invalidation(&padded, &mut client, &c_sync),
+            Err(WireError::TrailingBytes { .. })
+        ));
+        // Duplicate dirty position (disorder is a protocol error). The
+        // first entry is well-formed (three null slots match the Node
+        // arity), so the duplicate check is what fires.
+        let mut w = ByteWriter::new();
+        w.put_slice(&INVALIDATION_MAGIC);
+        w.put_u8(crate::FORMAT_VERSION);
+        w.put_varint(c_sync.len() as u64);
+        w.put_varint(2); // dirty_count
+        w.put_varint(1);
+        w.put_varint(3); // slot_count
+        for _ in 0..3 {
+            w.put_u8(TAG_NULL);
+        }
+        w.put_varint(1); // duplicate position
+        w.put_varint(0);
+        assert!(matches!(
+            apply_invalidation(&w.into_bytes(), &mut client, &c_sync),
+            Err(WireError::BadOldIndex { .. })
+        ));
+        // Out-of-range dirty position.
+        let mut oob = ByteWriter::new();
+        oob.put_slice(&INVALIDATION_MAGIC);
+        oob.put_u8(crate::FORMAT_VERSION);
+        oob.put_varint(c_sync.len() as u64);
+        oob.put_varint(1);
+        oob.put_varint(99);
+        assert!(matches!(
+            apply_invalidation(&oob.into_bytes(), &mut client, &c_sync),
             Err(WireError::BadOldIndex { .. })
         ));
     }

@@ -229,12 +229,15 @@ fn structural_changes_ship_new_objects_and_frees() {
 }
 
 #[test]
-fn out_of_band_mutation_invalidates_warm_cache() {
+fn out_of_band_mutation_repairs_warm_cache() {
     // "keeper" serves warm calls over a cached graph and leaks the
     // server-side root id; "poker" mutates that cached object during an
     // unrelated (cold) call — the out-of-band write the coherence check
-    // must catch. Without invalidation, the next warm call would read
-    // the poked value from the stale cache.
+    // must catch. The server answers the next warm call with a targeted
+    // `CacheStale` patch: the client's view is repaired in place (the
+    // poked value becomes visible on both sides) and the session
+    // survives at the same cadence — no cold reseed, and no stale read
+    // of the pre-poke value from the cached graph.
     let stashed: Arc<Mutex<Option<ObjId>>> = Arc::new(Mutex::new(None));
     let stash_w = Arc::clone(&stashed);
     let stash_p = Arc::clone(&stashed);
@@ -282,16 +285,23 @@ fn out_of_band_mutation_invalidates_warm_cache() {
     // Out-of-band: a cold call mutates the cached server-side graph.
     session.call("poker", "poke", &[]).unwrap();
 
-    // The warm cache is stale; the server must miss, and the client must
-    // reseed and read ITS value — not the poked one.
+    // The warm session is stale but repairable: the server patches the
+    // dirty position back to the client and the re-issued call reads the
+    // COHERENT (poked) value — never the stale pre-poke one from either
+    // side's cache.
     let (v, _) = session
         .call_warm_with_stats("keeper", "get", &[Value::Ref(root)])
         .unwrap();
-    assert_eq!(v, Value::Int(42), "stale cache read prevented");
+    assert_eq!(v, Value::Int(666), "out-of-band write visible, coherently");
+    assert_eq!(
+        session.heap().get_field(root, "data").unwrap(),
+        Value::Int(666),
+        "coherence patch repaired the client's copy in place"
+    );
     assert_eq!(
         session.warm_generation("keeper"),
-        Some(1),
-        "cache miss forced a reseed (generation reset)"
+        Some(3),
+        "session repaired, not reseeded (generation advanced normally)"
     );
     assert_valid(session.heap());
 }
